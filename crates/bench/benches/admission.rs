@@ -1,0 +1,264 @@
+//! Admission-control micro-benchmarks — the scalability side of the
+//! paper's argument.
+//!
+//! The broker's value proposition is that admission decisions are pure
+//! MIB arithmetic: O(1) on rate-based paths, O(M) in the number of
+//! *distinct delay values* (not flows!) on mixed paths, versus the
+//! hop-by-hop model's per-router message round and per-router state
+//! touch. These benches measure:
+//!
+//! * `rate_based_admit/hops=N` — §3.1 test vs. path length (flat);
+//! * `mixed_admit/classes=M` — Figure-4 scan vs. distinct delay count;
+//! * `mixed_admit_flows/flows=N` — same link load spread over a *fixed*
+//!   number of classes while the flow count grows: cost stays flat,
+//!   demonstrating the aggregation claim;
+//! * `aggregate_join` — class-based join planning;
+//! * `intserv_hop_by_hop/hops=N` — the baseline's per-hop walk;
+//! * `broker_request_release` — full request+bookkeeping+release cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bb_core::admission::aggregate::{plan_join, ClassSpec};
+use bb_core::admission::{mixed, rate_based};
+use bb_core::intserv::IntServ;
+use bb_core::mib::{LinkQos, NodeMib, PathId, PathMib};
+use bb_core::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use netsim::topology::{SchedulerSpec, TopologyBuilder};
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use vtrs::reference::HopKind;
+use workload::profiles::type0;
+
+/// A path of `rate_hops` CsVC links and `delay_hops` VT-EDF links, on a
+/// fat 100 Mb/s core so admission never rejects during measurement.
+fn mib_path(rate_hops: usize, delay_hops: usize) -> (NodeMib, PathMib, PathId) {
+    let mut nodes = NodeMib::new();
+    let mut refs = Vec::new();
+    for i in 0..rate_hops + delay_hops {
+        let kind = if i < rate_hops {
+            HopKind::RateBased
+        } else {
+            HopKind::DelayBased
+        };
+        refs.push(nodes.add_link(LinkQos::new(
+            Rate::from_mbps(100),
+            kind,
+            Nanos::from_micros(120),
+            Nanos::ZERO,
+            Bits::from_bytes(1500),
+        )));
+    }
+    let mut paths = PathMib::new();
+    let pid = paths.register(&nodes, refs);
+    (nodes, paths, pid)
+}
+
+fn bench_rate_based(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rate_based_admit");
+    for hops in [2usize, 5, 10, 20, 40] {
+        let (nodes, paths, pid) = mib_path(hops, 0);
+        let p = type0();
+        g.bench_with_input(BenchmarkId::new("hops", hops), &hops, |b, _| {
+            b.iter(|| {
+                // A loose bound keeps long paths feasible; the cost is
+                // bound-independent.
+                rate_based::admit(
+                    black_box(&p),
+                    black_box(Nanos::from_secs(20)),
+                    paths.path(pid),
+                    &nodes,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Seeds `classes` distinct delay values on the EDF links.
+fn seed_classes(
+    nodes: &mut NodeMib,
+    paths: &PathMib,
+    pid: PathId,
+    classes: usize,
+    per_class: usize,
+) {
+    let links = paths.path(pid).links.clone();
+    for k in 0..classes {
+        let d = Nanos::from_millis(20 + 5 * k as u64);
+        for _ in 0..per_class {
+            for l in &links {
+                nodes.link_mut(*l).reserve(Rate::from_bps(10_000));
+                if nodes.link(*l).kind == HopKind::DelayBased {
+                    nodes
+                        .link_mut(*l)
+                        .add_edf(Rate::from_bps(10_000), d, Bits::from_bytes(1500));
+                }
+            }
+        }
+    }
+}
+
+fn bench_mixed_vs_classes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mixed_admit");
+    for classes in [1usize, 4, 16, 64, 256] {
+        let (mut nodes, paths, pid) = mib_path(3, 2);
+        seed_classes(&mut nodes, &paths, pid, classes, 1);
+        let p = type0();
+        g.bench_with_input(BenchmarkId::new("classes", classes), &classes, |b, _| {
+            b.iter(|| {
+                mixed::admit(
+                    black_box(&p),
+                    black_box(Nanos::from_millis(2_190)),
+                    paths.path(pid),
+                    &nodes,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mixed_vs_flows(c: &mut Criterion) {
+    // The complexity claim: cost depends on distinct delays, not flows.
+    let mut g = c.benchmark_group("mixed_admit_flows");
+    for flows in [8usize, 64, 512] {
+        let (mut nodes, paths, pid) = mib_path(3, 2);
+        seed_classes(&mut nodes, &paths, pid, 8, flows / 8);
+        let p = type0();
+        g.bench_with_input(BenchmarkId::new("flows", flows), &flows, |b, _| {
+            b.iter(|| {
+                mixed::admit(
+                    black_box(&p),
+                    black_box(Nanos::from_millis(2_190)),
+                    paths.path(pid),
+                    &nodes,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_aggregate_join(c: &mut Criterion) {
+    let (nodes, paths, pid) = mib_path(3, 2);
+    let p = type0();
+    let cls = ClassSpec {
+        id: 0,
+        d_req: Nanos::from_millis(2_440),
+        cd: Nanos::from_millis(240),
+    };
+    let agg = p.aggregate(&p).aggregate(&p);
+    c.bench_function("aggregate_join", |b| {
+        b.iter(|| {
+            plan_join(
+                black_box(&cls),
+                paths.path(pid),
+                &nodes,
+                Some((&agg, Rate::from_bps(150_000))),
+                black_box(&p),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_intserv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("intserv_hop_by_hop");
+    for hops in [2usize, 5, 10, 20, 40] {
+        let mut b = TopologyBuilder::new();
+        let nodes: Vec<_> = (0..=hops).map(|i| b.node(format!("n{i}"))).collect();
+        for i in 0..hops {
+            b.link(
+                nodes[i],
+                nodes[i + 1],
+                Rate::from_mbps(100),
+                Nanos::ZERO,
+                SchedulerSpec::CsVc,
+                Bits::from_bytes(1500),
+            );
+        }
+        let topo = b.build();
+        let route: Vec<usize> = (0..hops).collect();
+        let p = type0();
+        g.bench_with_input(BenchmarkId::new("hops", hops), &hops, |bch, _| {
+            let mut is = IntServ::new(&topo);
+            let mut id = 0u64;
+            bch.iter(|| {
+                let flow = FlowId(id);
+                id += 1;
+                let r = is
+                    .request(
+                        Time::ZERO,
+                        flow,
+                        black_box(&p),
+                        Nanos::from_secs(20),
+                        &route,
+                    )
+                    .unwrap();
+                is.release(flow).unwrap();
+                r
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_broker_cycle(c: &mut Criterion) {
+    let mut b = TopologyBuilder::new();
+    let n: Vec<_> = (0..6).map(|i| b.node(format!("n{i}"))).collect();
+    for i in 0..5 {
+        b.link(
+            n[i],
+            n[i + 1],
+            Rate::from_mbps(100),
+            Nanos::ZERO,
+            if i >= 3 {
+                SchedulerSpec::VtEdf
+            } else {
+                SchedulerSpec::CsVc
+            },
+            Bits::from_bytes(1500),
+        );
+    }
+    let topo = b.build();
+    let mut broker = Broker::new(topo, BrokerConfig::default());
+    let route: Vec<_> = (0..5).map(netsim::topology::LinkId).collect();
+    let pid = broker.register_route(&route);
+    let p = type0();
+    let mut id = 0u64;
+    c.bench_function("broker_request_release", |bch| {
+        bch.iter(|| {
+            let flow = FlowId(id);
+            id += 1;
+            let res = broker
+                .request(
+                    Time::ZERO,
+                    &FlowRequest {
+                        flow,
+                        profile: p,
+                        d_req: Nanos::from_millis(2_440),
+                        service: ServiceKind::PerFlow,
+                        path: pid,
+                    },
+                )
+                .unwrap();
+            broker.release(Time::ZERO, flow).unwrap();
+            res
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rate_based,
+    bench_mixed_vs_classes,
+    bench_mixed_vs_flows,
+    bench_aggregate_join,
+    bench_intserv,
+    bench_broker_cycle
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Data-plane micro-benchmarks: per-packet scheduling cost.
+//!
+//! The core-stateless schedulers' per-packet work is a heap operation on
+//! state read from the packet header; the stateful baselines add a flow
+//! table lookup and clock update. These benches quantify both, plus the
+//! edge conditioner's shaping cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qos_units::{Bits, Nanos, Rate, Time};
+use sched::{CsVc, Scheduler, VirtualClock, VtEdf};
+use vtrs::conditioner::EdgeConditioner;
+use vtrs::packet::{FlowId, Packet, PacketState};
+
+fn stamped(flow: u64, seq: u64, vt_ns: u64) -> Packet {
+    let mut p = Packet::new(FlowId(flow), seq, Bits::from_bytes(1500), Time::ZERO);
+    p.state = Some(PacketState {
+        rate: Rate::from_bps(50_000),
+        delay: Nanos::from_millis(240),
+        virtual_time: Time::from_nanos(vt_ns),
+        delta: Nanos::ZERO,
+    });
+    p
+}
+
+/// Enqueue + drain `n` packets round-robin over 16 flows.
+fn drive<S: Scheduler>(mut s: S, n: u64) -> u64 {
+    for k in 0..n {
+        s.enqueue(Time::from_nanos(k), stamped(k % 16, k, k * 1_000));
+    }
+    let mut served = 0;
+    while let Some(t) = s.next_event() {
+        if s.dequeue(t).is_some() {
+            served += 1;
+        }
+    }
+    served
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_throughput");
+    let n = 1_000u64;
+    g.bench_with_input(BenchmarkId::new("csvc", n), &n, |b, &n| {
+        b.iter(|| {
+            drive(
+                CsVc::new(Rate::from_mbps(100), Bits::from_bytes(1500)),
+                black_box(n),
+            )
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("vtedf", n), &n, |b, &n| {
+        b.iter(|| {
+            drive(
+                VtEdf::new(Rate::from_mbps(100), Bits::from_bytes(1500)),
+                black_box(n),
+            )
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("vc_stateful", n), &n, |b, &n| {
+        b.iter(|| {
+            let mut s = VirtualClock::new(Rate::from_mbps(100), Bits::from_bytes(1500));
+            for f in 0..16 {
+                s.install_flow(FlowId(f), Rate::from_bps(50_000)).unwrap();
+            }
+            drive(s, black_box(n))
+        })
+    });
+    g.finish();
+}
+
+fn bench_conditioner(c: &mut Criterion) {
+    c.bench_function("edge_conditioner_shape_1000", |b| {
+        b.iter(|| {
+            let mut cond = EdgeConditioner::new(Rate::from_bps(50_000), Nanos::ZERO, 5);
+            for k in 0..1_000u64 {
+                cond.arrive(
+                    Time::ZERO,
+                    Packet::new(FlowId(1), k, Bits::from_bytes(1500), Time::ZERO),
+                );
+            }
+            let mut out = 0u64;
+            while let Some(due) = cond.next_release_time() {
+                if cond.release(due).is_some() {
+                    out += 1;
+                }
+            }
+            black_box(out)
+        })
+    });
+}
+
+criterion_group!(benches, bench_schedulers, bench_conditioner);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Extension experiment: broker scalability with domain size — the §1
+//! concern ("its ability to manage a large number of QoS control states
+//! and process a large volume of user flow QoS requests").
+//!
+//! Grows a grid-ish domain (parallel pods of 5-hop paths), fills every
+//! pod with per-flow reservations, and reports the broker's decision
+//! throughput and state footprint against the hop-by-hop alternative's
+//! per-router state.
+
+use std::time::Instant;
+
+use bb_core::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use netsim::topology::{LinkId, SchedulerSpec, TopologyBuilder};
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use workload::profiles::type0;
+
+/// `pods` disjoint 5-hop chains in one domain.
+fn build(pods: usize) -> (netsim::topology::Topology, Vec<Vec<LinkId>>) {
+    let mut b = TopologyBuilder::new();
+    let mut routes = Vec::new();
+    for p in 0..pods {
+        let nodes: Vec<_> = (0..6).map(|i| b.node(format!("p{p}n{i}"))).collect();
+        routes.push(
+            (0..5)
+                .map(|i| {
+                    b.link(
+                        nodes[i],
+                        nodes[i + 1],
+                        Rate::from_bps(1_500_000),
+                        Nanos::ZERO,
+                        SchedulerSpec::CsVc,
+                        Bits::from_bytes(1500),
+                    )
+                })
+                .collect(),
+        );
+    }
+    (b.build(), routes)
+}
+
+fn main() {
+    println!("broker scalability vs domain size (type-0 flows, D = 2.44 s):");
+    println!(
+        "{:>6} {:>8} {:>8} {:>12} {:>14} {:>18}",
+        "pods", "links", "flows", "decisions/s", "BB flow recs", "hop-by-hop state"
+    );
+    for pods in [1usize, 4, 16, 64, 256] {
+        let (topo, routes) = build(pods);
+        let links = topo.link_count();
+        let mut broker = Broker::new(topo, BrokerConfig::default());
+        let pids: Vec<_> = routes.iter().map(|r| broker.register_route(r)).collect();
+
+        let t0 = Instant::now();
+        let mut decisions = 0u64;
+        let mut admitted = 0u64;
+        let mut id = 0u64;
+        for pid in &pids {
+            loop {
+                let req = FlowRequest {
+                    flow: FlowId(id),
+                    profile: type0(),
+                    d_req: Nanos::from_millis(2_440),
+                    service: ServiceKind::PerFlow,
+                    path: *pid,
+                };
+                id += 1;
+                decisions += 1;
+                match broker.request(Time::ZERO, &req) {
+                    Ok(_) => admitted += 1,
+                    Err(_) => break,
+                }
+            }
+        }
+        let dps = decisions as f64 / t0.elapsed().as_secs_f64();
+        // Hop-by-hop would install one entry per flow per hop.
+        let hop_state = admitted * 5;
+        println!(
+            "{:>6} {:>8} {:>8} {:>12.0} {:>14} {:>18}",
+            pods,
+            links,
+            admitted,
+            dps,
+            broker.flows().len(),
+            hop_state
+        );
+    }
+    println!(
+        "\ndecision throughput is flat in domain size (each decision touches one\n\
+         path's MIB rows), and the broker's footprint is one record per flow —\n\
+         versus flows × hops entries scattered across routers hop-by-hop."
+    );
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 10: flow blocking rate vs. offered load for the
+//! per-flow, aggregate-bounding and aggregate-feedback schemes (5 seeded
+//! runs averaged per point), CSV to stdout.
+
+fn main() {
+    let cfg = bb_bench::fig10::Config::default();
+    let curves = bb_bench::fig10::run(&cfg);
+    print!("{}", bb_bench::fig10::render(&curves));
+}

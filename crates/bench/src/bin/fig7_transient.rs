@@ -1,0 +1,9 @@
+//! Regenerates the Figure-7 transient demonstration: a naive macroflow
+//! rate change violates the new edge-delay bound; the contingency
+//! bandwidth of Theorem 2 repairs it. Runs the real packet-level VTRS
+//! data plane.
+
+fn main() {
+    let r = bb_bench::fig7::run();
+    print!("{}", bb_bench::fig7::render(&r));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 9: mean reserved bandwidth per flow vs. number of
+//! flows admitted (mixed setting, D = 2.19 s), CSV to stdout.
+
+use qos_units::Nanos;
+
+fn main() {
+    let series = bb_bench::fig9::run(Nanos::from_millis(2_190));
+    print!("{}", bb_bench::fig9::render(&series));
+}

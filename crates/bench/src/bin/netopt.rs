@@ -1,0 +1,81 @@
+//! Extension experiment (beyond the paper's figures): network-wide
+//! optimization through alternate-path admission.
+//!
+//! §1 argues that concentrating all QoS state at the broker enables
+//! "sophisticated QoS provisioning … to optimize network utilization in
+//! a network-wide fashion … difficult, if not impossible, under the
+//! conventional hop-by-hop reservation set-up approach". This binary
+//! quantifies that: on a diamond domain (a 1-hop shortcut plus two 2-hop
+//! branches), fixed shortest-path admission strands the branch capacity,
+//! while the broker's residual-aware alternate placement uses it.
+
+use bb_core::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use netsim::topology::{SchedulerSpec, TopologyBuilder};
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use workload::profiles::type0;
+
+fn main() {
+    let mut b = TopologyBuilder::new();
+    let i = b.node("I");
+    let a = b.node("A");
+    let c = b.node("B");
+    let e = b.node("E");
+    let cap = Rate::from_bps(1_500_000);
+    let lmax = Bits::from_bytes(1500);
+    b.link(i, e, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+    b.link(i, a, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+    b.link(a, e, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+    b.link(i, c, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+    b.link(c, e, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+    let topo = b.build();
+
+    let profile = type0();
+    let request = |flow: u64| FlowRequest {
+        flow: FlowId(flow),
+        profile,
+        d_req: Nanos::from_secs(5),
+        service: ServiceKind::PerFlow,
+        path: bb_core::mib::PathId(0),
+    };
+
+    // Fixed shortest path only.
+    let mut fixed = Broker::new(topo.clone(), BrokerConfig::default());
+    let pid = fixed.path_between(i, e).expect("reachable");
+    let mut n_fixed = 0u64;
+    loop {
+        let mut req = request(n_fixed);
+        req.path = pid;
+        if fixed.request(Time::ZERO, &req).is_err() {
+            break;
+        }
+        n_fixed += 1;
+    }
+
+    // Broker-steered alternates.
+    let mut alt = Broker::new(topo, BrokerConfig::default());
+    let mut n_alt = 0u64;
+    let mut per_path = std::collections::HashMap::new();
+    while let Ok((_, chosen)) =
+        alt.request_with_alternates(Time::ZERO, &request(1_000 + n_alt), i, e, 4)
+    {
+        n_alt += 1;
+        *per_path.entry(chosen).or_insert(0u64) += 1;
+    }
+
+    println!("network-wide optimization on the diamond domain (type-0 flows, D = 5 s):");
+    println!("  fixed shortest-path admission : {n_fixed} flows");
+    println!(
+        "  broker alternate-path admission: {n_alt} flows across {} paths {:?}",
+        per_path.len(),
+        {
+            let mut v: Vec<u64> = per_path.values().copied().collect();
+            v.sort_unstable();
+            v
+        }
+    );
+    println!(
+        "  gain: {:.0}% — capacity a hop-by-hop control plane leaves stranded",
+        (n_alt as f64 / n_fixed as f64 - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 2: maximum calls admitted per scheme × setting ×
+//! delay bound.
+
+fn main() {
+    let t = bb_bench::table2::run();
+    print!("{}", bb_bench::table2::render(&t));
+}

@@ -1,0 +1,369 @@
+//! Figure 10 — flow blocking rates under dynamic arrivals/departures.
+//!
+//! Flows arrive as a Poisson process from both sources (S1 and S2),
+//! hold for an exponential time with mean 200 s (§5), and request either
+//! per-flow service or membership in the delay service class. Three
+//! schemes are compared as the offered load grows:
+//!
+//! * **per-flow BB/VTRS** — reserves each flow's minimal rate; lowest
+//!   blocking;
+//! * **Aggr BB/VTRS, contingency period bounding** — every join/leave
+//!   holds peak-rate contingency bandwidth for the worst-case period
+//!   τ̂ (eq. 17), which grows with the aggregate — highest blocking;
+//! * **Aggr BB/VTRS, contingency feedback** — the edge conditioner
+//!   (here its fluid model, [`bb_core::edge_model::FluidEdge`]) reports
+//!   the buffer drain, releasing contingency within ~a second — blocking
+//!   between the other two, converging with them near saturation.
+//!
+//! Each point averages the paper's 5 independent runs (seeds 0–4).
+
+use std::collections::HashMap;
+
+use bb_core::admission::aggregate::ClassSpec;
+use bb_core::contingency::ContingencyPolicy;
+use bb_core::edge_model::FluidEdge;
+use bb_core::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use qos_units::{Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+use workload::arrivals::{FlowEventKind, FlowProcess};
+use workload::profiles::type0;
+
+use crate::figure8::{build, Setting};
+
+/// The admission scheme under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockingScheme {
+    /// Per-flow BB/VTRS.
+    PerFlow,
+    /// Aggregate BB/VTRS, theoretical contingency-period bounding.
+    AggrBounding,
+    /// Aggregate BB/VTRS, contingency feedback from the edge.
+    AggrFeedback,
+}
+
+impl BlockingScheme {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockingScheme::PerFlow => "Per-flow BB/VTRS",
+            BlockingScheme::AggrBounding => "Aggr BB/VTRS (bounding)",
+            BlockingScheme::AggrFeedback => "Aggr BB/VTRS (feedback)",
+        }
+    }
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Aggregate flow arrival rates (flows/second) to sweep.
+    pub arrival_rates: Vec<f64>,
+    /// Mean flow holding time (the paper uses 200 s).
+    pub mean_holding: Nanos,
+    /// Simulated horizon per run.
+    pub horizon: Time,
+    /// Seeds, one run each (the paper averages 5).
+    pub seeds: Vec<u64>,
+    /// End-to-end delay requirement / class bound.
+    pub d_req: Nanos,
+    /// Class delay parameter (delay-based hops only; harmless in the
+    /// rate-based setting used here).
+    pub cd: Nanos,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            arrival_rates: vec![0.075, 0.1, 0.125, 0.15, 0.2, 0.25, 0.3, 0.4],
+            mean_holding: Nanos::from_secs(200),
+            horizon: Time::from_secs_f64(4_000.0),
+            seeds: vec![0, 1, 2, 3, 4],
+            d_req: Nanos::from_millis(2_440),
+            cd: Nanos::from_millis(240),
+        }
+    }
+}
+
+/// One curve: (arrival rate, mean blocking fraction) pairs.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Scheme label.
+    pub label: &'static str,
+    /// `(arrival_rate_per_sec, blocking_probability)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Runs the full sweep for all three schemes.
+#[must_use]
+pub fn run(cfg: &Config) -> Vec<Curve> {
+    [
+        BlockingScheme::PerFlow,
+        BlockingScheme::AggrBounding,
+        BlockingScheme::AggrFeedback,
+    ]
+    .into_iter()
+    .map(|scheme| Curve {
+        label: scheme.label(),
+        points: cfg
+            .arrival_rates
+            .iter()
+            .map(|rate| {
+                let mut blocked = 0u64;
+                let mut offered = 0u64;
+                for seed in &cfg.seeds {
+                    let (o, b) = run_once(scheme, cfg, *seed, *rate);
+                    offered += o;
+                    blocked += b;
+                }
+                (*rate, blocked as f64 / offered.max(1) as f64)
+            })
+            .collect(),
+    })
+    .collect()
+}
+
+/// One seeded run; returns (offered, blocked).
+fn run_once(scheme: BlockingScheme, cfg: &Config, seed: u64, rate: f64) -> (u64, u64) {
+    let f8 = build(Setting::RateOnly);
+    let contingency = match scheme {
+        BlockingScheme::AggrBounding => ContingencyPolicy::Bounding,
+        _ => ContingencyPolicy::Feedback,
+    };
+    let mut broker = Broker::new(
+        f8.topo,
+        BrokerConfig {
+            contingency,
+            classes: vec![ClassSpec {
+                id: 0,
+                d_req: cfg.d_req,
+                cd: cfg.cd,
+            }],
+            ..BrokerConfig::default()
+        },
+    );
+    let paths = [
+        broker.register_route(&f8.path1),
+        broker.register_route(&f8.path2),
+    ];
+    let process = FlowProcess::generate(seed, rate, cfg.mean_holding, cfg.horizon, 2);
+    let profile = type0();
+
+    // Fluid edge models, one per macroflow (feedback scheme only).
+    let mut edges: HashMap<FlowId, (FluidEdge, Rate)> = HashMap::new(); // (model, Σρ)
+    let mut admitted: HashMap<FlowId, usize> = HashMap::new(); // flow → source
+    let (mut offered, mut blocked) = (0u64, 0u64);
+
+    for ev in process.events() {
+        let now = ev.at;
+        // Contingency lifecycle before handling the event.
+        broker.tick(now);
+        if scheme == BlockingScheme::AggrFeedback {
+            drain_edges(&mut broker, &mut edges, now);
+        }
+        match ev.kind {
+            FlowEventKind::Arrival => {
+                offered += 1;
+                let service = match scheme {
+                    BlockingScheme::PerFlow => ServiceKind::PerFlow,
+                    _ => ServiceKind::Class(0),
+                };
+                let req = FlowRequest {
+                    flow: ev.flow,
+                    profile,
+                    d_req: cfg.d_req,
+                    service,
+                    path: paths[ev.source],
+                };
+                match broker.request(now, &req) {
+                    Ok(res) => {
+                        admitted.insert(ev.flow, ev.source);
+                        if scheme == BlockingScheme::AggrFeedback {
+                            on_join(&broker, &mut edges, now, res.conditioned_flow, &profile);
+                        }
+                    }
+                    Err(_) => blocked += 1,
+                }
+            }
+            FlowEventKind::Departure => {
+                if admitted.remove(&ev.flow).is_none() {
+                    continue; // was blocked on arrival
+                }
+                let res = broker.release(now, ev.flow).expect("admitted flow");
+                if scheme == BlockingScheme::AggrFeedback {
+                    if let Some(res) = res {
+                        on_leave(&broker, &mut edges, now, res.conditioned_flow, &profile);
+                    }
+                }
+            }
+        }
+    }
+    (offered, blocked)
+}
+
+/// Releases contingency for macroflows whose fluid buffer has drained by
+/// `now`, mirroring the edge → BB feedback message.
+fn drain_edges(broker: &mut Broker, edges: &mut HashMap<FlowId, (FluidEdge, Rate)>, now: Time) {
+    let ids: Vec<FlowId> = edges.keys().copied().collect();
+    for id in ids {
+        let Some(state) = broker.macroflow_by_id(id) else {
+            edges.remove(&id);
+            continue;
+        };
+        if state.contingency.is_empty() {
+            continue;
+        }
+        let (edge, _) = edges.get_mut(&id).expect("iterating known ids");
+        if let Some(at) = edge.empty_at() {
+            if at <= now {
+                edge.advance(at);
+                broker.edge_buffer_empty(at, id);
+                let service = broker
+                    .macroflow_by_id(id)
+                    .map_or(Rate::ZERO, |m| m.allocated());
+                let (edge, _) = edges.get_mut(&id).expect("still present");
+                edge.set_service(at, service);
+            }
+        }
+    }
+}
+
+/// Updates the fluid model after a join: the new microflow's sustained
+/// rate joins the aggregate arrival, it may dump its bucket as an initial
+/// burst, and the shaping rate becomes the macroflow's new allocation.
+fn on_join(
+    broker: &Broker,
+    edges: &mut HashMap<FlowId, (FluidEdge, Rate)>,
+    now: Time,
+    macroflow: FlowId,
+    profile: &TrafficProfile,
+) {
+    let allocated = broker
+        .macroflow_by_id(macroflow)
+        .map_or(Rate::ZERO, |m| m.allocated());
+    let entry = edges
+        .entry(macroflow)
+        .or_insert_with(|| (FluidEdge::new(now), Rate::ZERO));
+    entry.1 = entry.1.saturating_add(profile.rho);
+    entry.0.set_arrival(now, entry.1);
+    entry.0.add_burst(now, profile.sigma);
+    entry.0.set_service(now, allocated);
+}
+
+/// Updates the fluid model after a leave (allocation is unchanged during
+/// the leave transient; only the arrival rate drops).
+fn on_leave(
+    broker: &Broker,
+    edges: &mut HashMap<FlowId, (FluidEdge, Rate)>,
+    now: Time,
+    macroflow: FlowId,
+    profile: &TrafficProfile,
+) {
+    let Some(entry) = edges.get_mut(&macroflow) else {
+        return;
+    };
+    entry.1 = entry.1.saturating_sub(profile.rho);
+    entry.0.set_arrival(now, entry.1);
+    let allocated = broker
+        .macroflow_by_id(macroflow)
+        .map_or(Rate::ZERO, |m| m.allocated());
+    entry.0.set_service(now, allocated);
+}
+
+/// Renders the curves as CSV.
+#[must_use]
+pub fn render(curves: &[Curve]) -> String {
+    let mut out = String::from("arrival_rate_per_s");
+    for c in curves {
+        out.push(',');
+        out.push_str(c.label);
+    }
+    out.push('\n');
+    let n = curves.first().map_or(0, |c| c.points.len());
+    for i in 0..n {
+        out.push_str(&format!("{:.3}", curves[0].points[i].0));
+        for c in curves {
+            out.push_str(&format!(",{:.4}", c.points[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced sweep that still shows the paper's ordering and
+    /// convergence (full parameters run in the `fig10` binary).
+    fn small_config() -> Config {
+        Config {
+            arrival_rates: vec![0.1, 0.2, 0.4],
+            horizon: Time::from_secs_f64(2_000.0),
+            seeds: vec![0, 1, 2],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn reproduces_figure10_ordering() {
+        let curves = run(&small_config());
+        let (pf, bound, feed) = (&curves[0], &curves[1], &curves[2]);
+        for i in 0..pf.points.len() {
+            let (p, b, f) = (pf.points[i].1, bound.points[i].1, feed.points[i].1);
+            assert!(
+                p <= f + 0.02,
+                "per-flow ({p}) should not block more than feedback ({f}) at point {i}"
+            );
+            assert!(
+                f <= b + 0.02,
+                "feedback ({f}) should not block more than bounding ({b}) at point {i}"
+            );
+        }
+        // Blocking grows with load for every scheme.
+        for c in &curves {
+            assert!(c.points.last().unwrap().1 > c.points[0].1);
+        }
+        // Bounding is clearly worse than per-flow at moderate load…
+        assert!(bound.points[0].1 > pf.points[0].1);
+        // …and the schemes converge near saturation (relative gap closes).
+        let gap_lo = bound.points[0].1 - pf.points[0].1;
+        let rel_lo = gap_lo / bound.points[0].1.max(1e-9);
+        let gap_hi = bound.points.last().unwrap().1 - pf.points.last().unwrap().1;
+        let rel_hi = gap_hi / bound.points.last().unwrap().1.max(1e-9);
+        assert!(
+            rel_hi < rel_lo,
+            "relative gap should shrink: {rel_lo:.3} → {rel_hi:.3}"
+        );
+    }
+
+    #[test]
+    fn render_emits_csv_rows() {
+        let cfg = Config {
+            arrival_rates: vec![0.1, 0.3],
+            horizon: Time::from_secs_f64(500.0),
+            seeds: vec![0],
+            ..Config::default()
+        };
+        let curves = run(&cfg);
+        let s = render(&curves);
+        let mut lines = s.lines();
+        assert!(lines.next().unwrap().starts_with("arrival_rate_per_s,"));
+        assert_eq!(lines.count(), 2);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = Config {
+            arrival_rates: vec![0.15],
+            horizon: Time::from_secs_f64(1_000.0),
+            seeds: vec![7],
+            ..Config::default()
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.points, y.points);
+        }
+    }
+}

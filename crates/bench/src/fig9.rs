@@ -1,0 +1,227 @@
+//! Figure 9 — mean reserved bandwidth per flow vs. flows admitted.
+//!
+//! Mixed scheduler setting, delay bound 2.19 s, type-0 flows admitted
+//! sequentially on S1 → D1. After each admission the plot records the
+//! bandwidth currently allocated on the path divided by the number of
+//! admitted flows:
+//!
+//! * **IntServ/GS** — every flow reserves the same WFQ-reference rate, a
+//!   flat line slightly above the per-flow BB curve;
+//! * **Per-flow BB/VTRS** — early flows get the mean rate (the
+//!   path-oriented algorithm trades delay budget for rate); later flows
+//!   need more as the VT-EDF horizons fill, so the average climbs but
+//!   stays below IntServ/GS;
+//! * **Aggr BB/VTRS** — measured right after each join, while the
+//!   peak-rate contingency is still allocated: the average starts at the
+//!   peak rate and falls toward (just above) the mean rate as the
+//!   aggregate grows — eventually well below both per-flow schemes.
+
+use bb_core::admission::aggregate::ClassSpec;
+use bb_core::contingency::ContingencyPolicy;
+use bb_core::intserv::IntServ;
+use bb_core::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use qos_units::{Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use workload::profiles::type0;
+
+use crate::figure8::{build, Setting};
+
+/// One scheme's series: `points[n-1]` is the mean reserved bandwidth per
+/// flow (bps) after admitting `n` flows.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Scheme label.
+    pub label: &'static str,
+    /// Mean reserved bandwidth per flow after each admission.
+    pub points: Vec<f64>,
+}
+
+/// The class delay parameter used for the aggregate curve (the paper
+/// plots cd = 0.10 in Figure 9's discussion).
+#[must_use]
+pub fn aggr_cd() -> Nanos {
+    Nanos::from_millis(100)
+}
+
+/// Runs the experiment at the given delay bound (the paper uses 2.19 s).
+#[must_use]
+pub fn run(d_req: Nanos) -> Vec<Series> {
+    vec![
+        intserv_series(d_req),
+        perflow_series(d_req),
+        aggregate_series(d_req),
+    ]
+}
+
+fn intserv_series(d_req: Nanos) -> Series {
+    let f8 = build(Setting::Mixed);
+    let mut is = IntServ::new(&f8.topo);
+    let route: Vec<usize> = f8.path1.iter().map(|l| l.0).collect();
+    let profile = type0();
+    let mut total = 0u64;
+    let mut points = Vec::new();
+    let mut n = 0u64;
+    while let Ok(rate) = is.request(Time::ZERO, FlowId(n), &profile, d_req, &route) {
+        n += 1;
+        total += rate.as_bps();
+        points.push(total as f64 / n as f64);
+    }
+    Series {
+        label: "IntServ/GS",
+        points,
+    }
+}
+
+fn perflow_series(d_req: Nanos) -> Series {
+    let f8 = build(Setting::Mixed);
+    let mut broker = Broker::new(f8.topo, BrokerConfig::default());
+    let pid = broker.register_route(&f8.path1);
+    let profile = type0();
+    let mut total = 0u64;
+    let mut points = Vec::new();
+    let mut n = 0u64;
+    loop {
+        let res = broker.request(
+            Time::ZERO,
+            &FlowRequest {
+                flow: FlowId(n),
+                profile,
+                d_req,
+                service: ServiceKind::PerFlow,
+                path: pid,
+            },
+        );
+        let Ok(r) = res else { break };
+        n += 1;
+        total += r.rate.as_bps();
+        points.push(total as f64 / n as f64);
+    }
+    Series {
+        label: "Per-flow BB/VTRS",
+        points,
+    }
+}
+
+fn aggregate_series(d_req: Nanos) -> Series {
+    let f8 = build(Setting::Mixed);
+    let mut broker = Broker::new(
+        f8.topo,
+        BrokerConfig {
+            contingency: ContingencyPolicy::Bounding,
+            classes: vec![ClassSpec {
+                id: 0,
+                d_req,
+                cd: aggr_cd(),
+            }],
+            ..BrokerConfig::default()
+        },
+    );
+    let pid = broker.register_route(&f8.path1);
+    let profile = type0();
+    let mut points = Vec::new();
+    let mut now = Time::ZERO;
+    let mut n = 0u64;
+    loop {
+        let res = broker.request(
+            now,
+            &FlowRequest {
+                flow: FlowId(n),
+                profile,
+                d_req,
+                service: ServiceKind::Class(0),
+                path: pid,
+            },
+        );
+        let Ok(r) = res else { break };
+        n += 1;
+        // Sample while the join's contingency is still allocated — the
+        // bandwidth the network is actually committing at this instant.
+        let allocated: Rate = r.rate.saturating_add(r.contingency);
+        points.push(allocated.as_bps() as f64 / n as f64);
+        if let Some(exp) = r.contingency_expires {
+            now = exp + Nanos::from_nanos(1);
+            broker.tick(now);
+        }
+    }
+    Series {
+        label: "Aggr BB/VTRS",
+        points,
+    }
+}
+
+/// Renders the three series as aligned CSV (flows, then one column per
+/// scheme; empty cells once a scheme saturates).
+#[must_use]
+pub fn render(series: &[Series]) -> String {
+    let mut out = String::from("flows");
+    for s in series {
+        out.push(',');
+        out.push_str(s.label);
+    }
+    out.push('\n');
+    let max_n = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..max_n {
+        out.push_str(&format!("{}", i + 1));
+        for s in series {
+            match s.points.get(i) {
+                Some(v) => out.push_str(&format!(",{v:.1}")),
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_figure9_shape() {
+        let series = run(Nanos::from_millis(2_190));
+        let (is, pf, ag) = (&series[0], &series[1], &series[2]);
+        // Admission counts are Table 2's mixed/2.19 column.
+        assert_eq!(is.points.len(), 27);
+        assert_eq!(pf.points.len(), 27);
+        assert_eq!(ag.points.len(), 29);
+        // IntServ: flat at the GS rate.
+        assert!(is.points.iter().all(|p| (*p - 54_020.0).abs() < 1.0));
+        // Per-flow BB: starts at the mean rate, ends higher, never above
+        // IntServ.
+        assert!((pf.points[0] - 50_000.0).abs() < 1.0);
+        assert!(*pf.points.last().unwrap() > pf.points[0]);
+        for (a, b) in pf.points.iter().zip(&is.points) {
+            assert!(a <= b, "per-flow average {a} above IntServ {b}");
+        }
+        // Aggregate: the first join creates the macroflow with no
+        // contingency (its edge buffer is empty); from the second join on
+        // the peak-rate contingency dominates and the average decreases
+        // monotonically toward the mean rate.
+        assert!((ag.points[0] - 50_000.0).abs() < 1.0);
+        assert!(
+            ag.points[1] > 70_000.0,
+            "second join should carry peak-rate contingency"
+        );
+        for w in ag.points[1..].windows(2) {
+            assert!(w[1] <= w[0] + 1.0, "aggregate average increased");
+        }
+        let ag_last = *ag.points.last().unwrap();
+        assert!(ag_last < pf.points[26], "no crossover vs per-flow");
+        assert!(ag_last < is.points[26], "no crossover vs IntServ");
+        // And the asymptote is just above the mean rate.
+        assert!((50_000.0..53_000.0).contains(&ag_last));
+    }
+
+    #[test]
+    fn render_is_csv_with_header() {
+        let series = run(Nanos::from_millis(2_190));
+        let s = render(&series);
+        let mut lines = s.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "flows,IntServ/GS,Per-flow BB/VTRS,Aggr BB/VTRS"
+        );
+        assert!(lines.next().unwrap().starts_with("1,"));
+    }
+}

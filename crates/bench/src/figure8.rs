@@ -1,0 +1,114 @@
+//! The simulation topology of Figure 8.
+//!
+//! Sources S1/S2 feed ingresses I1/I2; the shared core is
+//! R2 → R3 → R4 → R5 with egresses E1 (for D1) and E2 (for D2). All core
+//! links run at 1.5 Mb/s with zero propagation delay; access links are
+//! modeled as infinite (they never queue, so they are simply omitted from
+//! the QoS paths, matching the paper's "capacity … assumed to be
+//! infinity").
+//!
+//! Two scheduler settings (§5):
+//!
+//! * **rate-based only** — every link runs C̄SVC;
+//! * **mixed** — C̄SVC on I1→R2, I2→R2, R2→R3, R5→E1 and VT-EDF on
+//!   R3→R4, R4→R5, R5→E2.
+
+use netsim::topology::{LinkId, SchedulerSpec, Topology, TopologyBuilder};
+use qos_units::{Bits, Nanos, Rate};
+
+/// Which §5 scheduler setting to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Setting {
+    /// All links C̄SVC.
+    RateOnly,
+    /// The paper's CsVC/VT-EDF mix.
+    Mixed,
+}
+
+impl Setting {
+    /// Display label matching the paper's column headers.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Setting::RateOnly => "Rate-Based Only",
+            Setting::Mixed => "Mixed Rate/Delay-Based",
+        }
+    }
+}
+
+/// The built topology plus the two QoS routes.
+#[derive(Debug, Clone)]
+pub struct Figure8 {
+    /// The topology.
+    pub topo: Topology,
+    /// Route for S1 → D1 traffic: I1 → R2 → R3 → R4 → R5 → E1.
+    pub path1: Vec<LinkId>,
+    /// Route for S2 → D2 traffic: I2 → R2 → R3 → R4 → R5 → E2.
+    pub path2: Vec<LinkId>,
+}
+
+/// Core link capacity: 1.5 Mb/s.
+#[must_use]
+pub fn core_capacity() -> Rate {
+    Rate::from_bps(1_500_000)
+}
+
+/// Builds the Figure-8 topology in the given setting.
+#[must_use]
+pub fn build(setting: Setting) -> Figure8 {
+    let mut b = TopologyBuilder::new();
+    let i1 = b.node("I1");
+    let i2 = b.node("I2");
+    let r2 = b.node("R2");
+    let r3 = b.node("R3");
+    let r4 = b.node("R4");
+    let r5 = b.node("R5");
+    let e1 = b.node("E1");
+    let e2 = b.node("E2");
+    let cap = core_capacity();
+    let lmax = Bits::from_bytes(1500);
+    let cs = SchedulerSpec::CsVc;
+    let ed = match setting {
+        Setting::RateOnly => SchedulerSpec::CsVc,
+        Setting::Mixed => SchedulerSpec::VtEdf,
+    };
+    let l_i1r2 = b.link(i1, r2, cap, Nanos::ZERO, cs, lmax);
+    let l_i2r2 = b.link(i2, r2, cap, Nanos::ZERO, cs, lmax);
+    let l_r2r3 = b.link(r2, r3, cap, Nanos::ZERO, cs, lmax);
+    let l_r3r4 = b.link(r3, r4, cap, Nanos::ZERO, ed, lmax);
+    let l_r4r5 = b.link(r4, r5, cap, Nanos::ZERO, ed, lmax);
+    let l_r5e1 = b.link(r5, e1, cap, Nanos::ZERO, cs, lmax);
+    let l_r5e2 = b.link(r5, e2, cap, Nanos::ZERO, ed, lmax);
+    Figure8 {
+        topo: b.build(),
+        path1: vec![l_i1r2, l_r2r3, l_r3r4, l_r4r5, l_r5e1],
+        path2: vec![l_i2r2, l_r2r3, l_r3r4, l_r4r5, l_r5e2],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settings_have_expected_hop_mix() {
+        let f = build(Setting::RateOnly);
+        let spec = f.topo.path_spec(&f.path1);
+        assert_eq!((spec.h(), spec.q()), (5, 5));
+
+        let f = build(Setting::Mixed);
+        let spec1 = f.topo.path_spec(&f.path1);
+        assert_eq!((spec1.h(), spec1.q()), (5, 3));
+        let spec2 = f.topo.path_spec(&f.path2);
+        assert_eq!((spec2.h(), spec2.q()), (5, 2)); // R5→E2 is VT-EDF
+                                                    // Ψ = 8 ms per hop either way.
+        assert_eq!(spec1.d_tot(), Nanos::from_millis(40));
+    }
+
+    #[test]
+    fn paths_share_the_core() {
+        let f = build(Setting::RateOnly);
+        let shared: Vec<_> = f.path1.iter().filter(|l| f.path2.contains(l)).collect();
+        assert_eq!(shared.len(), 3); // R2→R3, R3→R4, R4→R5
+    }
+}

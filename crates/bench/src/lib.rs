@@ -1,0 +1,24 @@
+//! Experiment harness reproducing every table and figure of §5.
+//!
+//! Each experiment is a library function returning structured results
+//! (so integration tests can assert the paper's numbers) plus a thin
+//! binary that prints the same rows/series the paper reports:
+//!
+//! | artifact | module | binary |
+//! |----------|--------|--------|
+//! | Table 1 (inputs)            | [`workload::profiles`] | `table1` |
+//! | Table 2 (calls admitted)    | [`table2`]             | `table2` |
+//! | Figure 7 (transient demo)   | [`fig7`]               | `fig7_transient` |
+//! | Figure 9 (mean reserved bw) | [`fig9`]               | `fig9` |
+//! | Figure 10 (blocking rates)  | [`fig10`]              | `fig10` |
+//!
+//! The shared Figure-8 topology lives in [`figure8`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig10;
+pub mod fig7;
+pub mod fig9;
+pub mod figure8;
+pub mod table2;

@@ -1,0 +1,231 @@
+//! Table 2 — maximum number of calls admitted.
+//!
+//! Type-0 flows with infinite lifetimes are offered one at a time on the
+//! S1 → D1 path until the first rejection, under each of the paper's
+//! schemes: IntServ/GS (hop-by-hop, WFQ reference), per-flow BB/VTRS
+//! (path-oriented §3 algorithms), and aggregate BB/VTRS (class-based §4,
+//! with the class delay parameter `cd` swept over {0.10, 0.24, 0.50} s).
+//! Because lifetimes are infinite, each join's contingency period is
+//! allowed to lapse before the next arrival (the paper notes this
+//! masking effect explicitly).
+
+use bb_core::admission::aggregate::ClassSpec;
+use bb_core::contingency::ContingencyPolicy;
+use bb_core::intserv::IntServ;
+use bb_core::{Broker, BrokerConfig, FlowRequest, Reservation, ServiceKind};
+use qos_units::{Nanos, Time};
+use vtrs::packet::FlowId;
+use workload::profiles::type0;
+
+use crate::figure8::{build, Setting};
+
+/// One admission-scheme row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// IntServ Guaranteed Service, hop-by-hop.
+    IntServGs,
+    /// Per-flow BB/VTRS (path-oriented).
+    PerFlowBb,
+    /// Aggregate BB/VTRS with the given fixed class delay `cd`.
+    AggrBb {
+        /// The class delay parameter, in milliseconds.
+        cd_ms: u64,
+    },
+}
+
+impl Scheme {
+    /// Row label as printed.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            Scheme::IntServGs => "IntServ/GS".to_owned(),
+            Scheme::PerFlowBb => "Per-flow BB/VTRS".to_owned(),
+            Scheme::AggrBb { cd_ms } => {
+                format!("Aggr BB/VTRS cd={:.2}", cd_ms as f64 / 1000.0)
+            }
+        }
+    }
+}
+
+/// Counts the calls admitted under `scheme` in `setting` at delay bound
+/// `d_req`.
+#[must_use]
+pub fn calls_admitted(scheme: Scheme, setting: Setting, d_req: Nanos) -> u64 {
+    let f8 = build(setting);
+    let profile = type0();
+    match scheme {
+        Scheme::IntServGs => {
+            let mut is = IntServ::new(&f8.topo);
+            let route: Vec<usize> = f8.path1.iter().map(|l| l.0).collect();
+            let mut n = 0u64;
+            while is
+                .request(Time::ZERO, FlowId(n), &profile, d_req, &route)
+                .is_ok()
+            {
+                n += 1;
+                assert!(n <= 100, "runaway admission");
+            }
+            n
+        }
+        Scheme::PerFlowBb => {
+            let mut broker = Broker::new(f8.topo, BrokerConfig::default());
+            let pid = broker.register_route(&f8.path1);
+            let mut n = 0u64;
+            while broker
+                .request(
+                    Time::ZERO,
+                    &FlowRequest {
+                        flow: FlowId(n),
+                        profile,
+                        d_req,
+                        service: ServiceKind::PerFlow,
+                        path: pid,
+                    },
+                )
+                .is_ok()
+            {
+                n += 1;
+                assert!(n <= 100, "runaway admission");
+            }
+            n
+        }
+        Scheme::AggrBb { cd_ms } => {
+            let mut broker = Broker::new(
+                f8.topo,
+                BrokerConfig {
+                    contingency: ContingencyPolicy::Bounding,
+                    classes: vec![ClassSpec {
+                        id: 0,
+                        d_req,
+                        cd: Nanos::from_millis(cd_ms),
+                    }],
+                    ..BrokerConfig::default()
+                },
+            );
+            let pid = broker.register_route(&f8.path1);
+            let mut now = Time::ZERO;
+            let mut n = 0u64;
+            loop {
+                let res: Result<Reservation, _> = broker.request(
+                    now,
+                    &FlowRequest {
+                        flow: FlowId(n),
+                        profile,
+                        d_req,
+                        service: ServiceKind::Class(0),
+                        path: pid,
+                    },
+                );
+                match res {
+                    Ok(r) => {
+                        n += 1;
+                        assert!(n <= 100, "runaway admission");
+                        // Infinite lifetimes: let the contingency period
+                        // lapse before the next arrival.
+                        if let Some(exp) = r.contingency_expires {
+                            now = exp + Nanos::from_nanos(1);
+                            broker.tick(now);
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            n
+        }
+    }
+}
+
+/// A full Table-2 result: rows × (setting, bound) columns.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// `(scheme, [rate@2.44, rate@2.19, mixed@2.44, mixed@2.19])`.
+    pub rows: Vec<(Scheme, [u64; 4])>,
+}
+
+/// The bounds used by §5 for type-0 flows.
+#[must_use]
+pub fn bounds() -> [Nanos; 2] {
+    [Nanos::from_millis(2_440), Nanos::from_millis(2_190)]
+}
+
+/// Runs the complete experiment.
+#[must_use]
+pub fn run() -> Table2 {
+    let schemes = [
+        Scheme::IntServGs,
+        Scheme::PerFlowBb,
+        Scheme::AggrBb { cd_ms: 100 },
+        Scheme::AggrBb { cd_ms: 240 },
+        Scheme::AggrBb { cd_ms: 500 },
+    ];
+    let [loose, tight] = bounds();
+    let cells = |s: Scheme| {
+        [
+            calls_admitted(s, Setting::RateOnly, loose),
+            calls_admitted(s, Setting::RateOnly, tight),
+            calls_admitted(s, Setting::Mixed, loose),
+            calls_admitted(s, Setting::Mixed, tight),
+        ]
+    };
+    Table2 {
+        rows: schemes.into_iter().map(|s| (s, cells(s))).collect(),
+    }
+}
+
+/// Renders the table in the paper's layout.
+#[must_use]
+pub fn render(t: &Table2) -> String {
+    let mut out = String::new();
+    out.push_str("Table 2: number of calls admitted\n");
+    out.push_str("                         | Rate-Based Only | Mixed Rate/Delay\n");
+    out.push_str("Scheme                   |  2.44s   2.19s  |  2.44s   2.19s\n");
+    out.push_str("-------------------------+-----------------+-----------------\n");
+    for (scheme, c) in &t.rows {
+        out.push_str(&format!(
+            "{:<25}|  {:>5}   {:>5}  |  {:>5}   {:>5}\n",
+            scheme.label(),
+            c[0],
+            c[1],
+            c[2],
+            c[3]
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full Table 2, cell by cell, against the paper.
+    #[test]
+    fn reproduces_the_paper_exactly() {
+        let t = run();
+        let expected: Vec<(Scheme, [u64; 4])> = vec![
+            (Scheme::IntServGs, [30, 27, 30, 27]),
+            (Scheme::PerFlowBb, [30, 27, 30, 27]),
+            (Scheme::AggrBb { cd_ms: 100 }, [29, 29, 29, 29]),
+            (Scheme::AggrBb { cd_ms: 240 }, [29, 29, 29, 29]),
+            (Scheme::AggrBb { cd_ms: 500 }, [29, 29, 29, 28]),
+        ];
+        for ((scheme, got), (escheme, want)) in t.rows.iter().zip(&expected) {
+            assert_eq!(scheme, escheme);
+            assert_eq!(
+                got,
+                want,
+                "{}: got {:?}, paper says {:?}",
+                scheme.label(),
+                got,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let t = run();
+        let s = render(&t);
+        assert!(s.contains("IntServ/GS"));
+        assert!(s.contains("Aggr BB/VTRS cd=0.50"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Path-oriented admission control (§3 and §4.3).
+//!
+//! All three algorithms consume only the broker's MIBs — the architectural
+//! point is that no router participates:
+//!
+//! * [`rate_based::admit`] — O(1) admissibility for paths of rate-based
+//!   schedulers only (§3.1);
+//! * [`mixed::admit`] — the Figure-4 scan over the distinct delay values
+//!   of the path's delay-based schedulers (§3.2 / Theorem 1), returning
+//!   the minimal-rate feasible `⟨r, d⟩` pair;
+//! * [`aggregate`] — rate planning for macroflow joins and leaves under
+//!   class-based service (§4.3), paired with the contingency-bandwidth
+//!   rules of [`crate::contingency`].
+
+pub mod aggregate;
+pub mod mixed;
+pub mod rate_based;

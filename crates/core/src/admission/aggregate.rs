@@ -1,0 +1,396 @@
+//! Class-based admission with dynamic flow aggregation (§4.3).
+//!
+//! A **macroflow** aggregates every admitted microflow of one delay
+//! service class on one path; the class fixes the end-to-end bound
+//! `D^{α,req}` and the delay parameter `cd` used at delay-based hops
+//! (held constant across joins and leaves, per §4.2.2). The planners here
+//! compute, for a join or a leave, the macroflow's new reserved rate and
+//! the contingency bandwidth mandated by Theorems 2/3; the broker applies
+//! the plan to the MIBs and manages the contingency lifetime.
+
+use qos_units::ratio::u128_div_ceil;
+use qos_units::{Bits, Nanos, Rate, NANOS_PER_SEC};
+use serde::{Deserialize, Serialize};
+use vtrs::delay::core_delay_bound;
+use vtrs::profile::TrafficProfile;
+
+use crate::mib::{NodeMib, PathQos};
+use crate::signaling::Reject;
+
+/// A delay service class offered by the domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassSpec {
+    /// Class identifier (carried in [`crate::ServiceKind::Class`]).
+    pub id: u32,
+    /// End-to-end delay bound the class guarantees.
+    pub d_req: Nanos,
+    /// Fixed delay parameter used at every delay-based hop.
+    pub cd: Nanos,
+}
+
+/// The plan for admitting a microflow into a (possibly new) macroflow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinPlan {
+    /// The macroflow's reserved rate after the join, `r^{α'}`.
+    pub new_rate: Rate,
+    /// `r^{α'} − r^α` (equals `new_rate` for a fresh macroflow).
+    pub increment: Rate,
+    /// Contingency bandwidth `Δr = Pν − increment` to hold for the
+    /// contingency period (zero for a fresh macroflow — its edge buffer
+    /// starts empty, so Theorem 2 is satisfied with `τ = 0`).
+    pub contingency: Rate,
+    /// Aggregate traffic profile after the join.
+    pub new_profile: TrafficProfile,
+}
+
+/// The plan for removing a microflow from a macroflow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeavePlan {
+    /// The macroflow's reserved rate after the contingency period.
+    pub new_rate: Rate,
+    /// `r^α − r^{α'}`, also the contingency bandwidth to keep allocated
+    /// during the contingency period (Theorem 3).
+    pub contingency: Rate,
+    /// Aggregate profile after the leave; `None` when the last microflow
+    /// departs (the macroflow dissolves once the contingency expires).
+    pub new_profile: Option<TrafficProfile>,
+}
+
+/// Minimal rate `r` with `T_on(P−r)/r + Lmax/r ≤ budget` — the edge-bound
+/// inversion shared by join and leave planning. `extra` adds a rate-hop
+/// term `extra/r` to the left side (pass `q · L^{P,max}` to fold in the
+/// core's rate-dependent part).
+fn min_rate_for_budget(profile: &TrafficProfile, extra: Bits, budget: Nanos) -> Option<Rate> {
+    let t_on = profile.t_on();
+    let denom = u128::from(budget.as_nanos()) + u128::from(t_on.as_nanos());
+    if denom == 0 {
+        return None;
+    }
+    let num = u128::from(t_on.as_nanos()) * u128::from(profile.peak.as_bps())
+        + (u128::from(profile.l_max.as_bits()) + u128::from(extra.as_bits()))
+            * u128::from(NANOS_PER_SEC);
+    Some(Rate::from_bps(u128_div_ceil(num, denom)))
+}
+
+/// Plans a microflow join (§4.3, "Microflow Join").
+///
+/// `current` is the macroflow's present aggregate profile and reserved
+/// rate, or `None` when this microflow creates the macroflow.
+///
+/// # Errors
+///
+/// * [`Reject::DelayInfeasible`] — the class bound cannot be met for the
+///   grown aggregate at any admissible rate;
+/// * [`Reject::Bandwidth`] — the peak-rate contingency allocation does
+///   not fit in the path's residual bandwidth;
+/// * [`Reject::Schedulability`] — the rate increase violates the EDF
+///   constraints at a delay-based hop, or exceeds the Theorem-2 envelope.
+pub fn plan_join(
+    class: &ClassSpec,
+    path: &PathQos,
+    nodes: &NodeMib,
+    current: Option<(&TrafficProfile, Rate)>,
+    nu: &TrafficProfile,
+) -> Result<JoinPlan, Reject> {
+    let c_res = path.residual(nodes);
+    match current {
+        None => {
+            // Fresh macroflow: full end-to-end budget, core evaluated at
+            // the rate being chosen, edge buffer empty → no contingency.
+            let fixed = path
+                .spec
+                .d_tot()
+                .saturating_add(class.cd.scale(path.spec.delay_hops()));
+            let budget = class
+                .d_req
+                .checked_sub(fixed)
+                .ok_or(Reject::DelayInfeasible)?;
+            let q_lp = Bits::from_bits(path.l_pmax.as_bits() * path.spec.q());
+            let r_min = min_rate_for_budget(nu, q_lp, budget).ok_or(Reject::DelayInfeasible)?;
+            let rate = r_min.max(nu.rho);
+            if rate > nu.peak {
+                return Err(Reject::DelayInfeasible);
+            }
+            if rate > c_res {
+                return Err(Reject::Bandwidth);
+            }
+            // EDF feasibility of the new macroflow entry at every
+            // delay-based hop.
+            for (link, _) in path.delay_links(nodes) {
+                if !link.edf_admissible(rate, class.cd, path.l_pmax) {
+                    return Err(Reject::Schedulability);
+                }
+            }
+            Ok(JoinPlan {
+                new_rate: rate,
+                increment: rate,
+                contingency: Rate::ZERO,
+                new_profile: *nu,
+            })
+        }
+        Some((agg, r_alpha)) => {
+            let new_profile = agg.aggregate(nu);
+            // Old core bound persists while old packets drain; since the
+            // rate only grows, max(d_core^α, d_core^{α'}) = d_core^α.
+            let d_core_old = core_delay_bound(&path.spec, path.l_pmax, r_alpha, class.cd)
+                .map_err(|_| Reject::DelayInfeasible)?;
+            let budget = class
+                .d_req
+                .checked_sub(d_core_old)
+                .ok_or(Reject::DelayInfeasible)?;
+            let r_min = min_rate_for_budget(&new_profile, Bits::ZERO, budget)
+                .ok_or(Reject::DelayInfeasible)?;
+            let new_rate = r_min.max(new_profile.rho).max(r_alpha);
+            if new_rate > new_profile.peak {
+                return Err(Reject::DelayInfeasible);
+            }
+            let increment = new_rate - r_alpha;
+            if increment > nu.peak {
+                // Outside the envelope Theorem 2 covers.
+                return Err(Reject::Schedulability);
+            }
+            // Peak-rate allocation during the contingency period:
+            // increment + Δr = Pν must fit (§4.3: Pν ≤ C_res).
+            if nu.peak > c_res {
+                return Err(Reject::Bandwidth);
+            }
+            // EDF impact: the macroflow's rate rises by up to Pν at the
+            // class's fixed delay; its packet-burst term is unchanged
+            // (still one aggregate flow), so test the increment as a
+            // zero-burst addition.
+            for (link, _) in path.delay_links(nodes) {
+                if !link.edf_admissible(nu.peak, class.cd, Bits::ZERO) {
+                    return Err(Reject::Schedulability);
+                }
+            }
+            Ok(JoinPlan {
+                new_rate,
+                increment,
+                contingency: nu.peak - increment,
+                new_profile,
+            })
+        }
+    }
+}
+
+/// Plans a microflow leave (§4.3, "Microflow Leave").
+///
+/// The rate reduction is deferred: the macroflow keeps `r^α` for the
+/// contingency period (`Δr = r^α − r^{α'}` of it counted as contingency),
+/// then drops to the returned `new_rate`.
+pub fn plan_leave(
+    class: &ClassSpec,
+    path: &PathQos,
+    current: (&TrafficProfile, Rate),
+    nu: &TrafficProfile,
+) -> LeavePlan {
+    let (agg, r_alpha) = current;
+    if agg == nu {
+        // Last microflow: macroflow dissolves after the contingency.
+        return LeavePlan {
+            new_rate: Rate::ZERO,
+            contingency: r_alpha,
+            new_profile: None,
+        };
+    }
+    let remaining = agg.deaggregate(nu);
+    // Full budget with the core evaluated at the (lower) new rate:
+    // d_edge(r') + q·L^{P,max}/r' + (h−q)·cd + D_tot ≤ D.
+    let fixed = path
+        .spec
+        .d_tot()
+        .saturating_add(class.cd.scale(path.spec.delay_hops()));
+    let q_lp = Bits::from_bits(path.l_pmax.as_bits() * path.spec.q());
+    let new_rate = match class.d_req.checked_sub(fixed) {
+        Some(budget) => min_rate_for_budget(&remaining, q_lp, budget)
+            .map_or(r_alpha, |r| r.max(remaining.rho).min(r_alpha)),
+        // Should not happen for a class that admitted flows; keep the
+        // old rate defensively.
+        None => r_alpha,
+    };
+    LeavePlan {
+        new_rate,
+        contingency: r_alpha - new_rate,
+        new_profile: Some(remaining),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mib::{LinkQos, NodeMib, PathId, PathMib};
+    use vtrs::reference::HopKind;
+
+    fn type0() -> TrafficProfile {
+        TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap()
+    }
+
+    fn class_244() -> ClassSpec {
+        ClassSpec {
+            id: 0,
+            d_req: Nanos::from_millis(2_440),
+            cd: Nanos::from_millis(240),
+        }
+    }
+
+    /// 5 rate-based hops (the rate-only simulation setting).
+    fn rate_fixture() -> (NodeMib, PathMib, PathId) {
+        let mut nodes = NodeMib::new();
+        let refs: Vec<_> = (0..5)
+            .map(|_| {
+                nodes.add_link(LinkQos::new(
+                    Rate::from_bps(1_500_000),
+                    HopKind::RateBased,
+                    Nanos::from_millis(8),
+                    Nanos::ZERO,
+                    Bits::from_bytes(1500),
+                ))
+            })
+            .collect();
+        let mut paths = PathMib::new();
+        let pid = paths.register(&nodes, refs);
+        (nodes, paths, pid)
+    }
+
+    #[test]
+    fn first_join_creates_macroflow_without_contingency() {
+        let (nodes, paths, pid) = rate_fixture();
+        let plan = plan_join(&class_244(), paths.path(pid), &nodes, None, &type0()).unwrap();
+        assert_eq!(plan.contingency, Rate::ZERO);
+        assert_eq!(plan.increment, plan.new_rate);
+        // Single type-0 flow at D = 2.44 s needs exactly the mean rate.
+        assert_eq!(plan.new_rate, Rate::from_bps(50_000));
+    }
+
+    #[test]
+    fn subsequent_join_allocates_peak_contingency() {
+        let (nodes, paths, pid) = rate_fixture();
+        let p = type0();
+        let agg = p; // one member so far
+        let plan = plan_join(
+            &class_244(),
+            paths.path(pid),
+            &nodes,
+            Some((&agg, Rate::from_bps(50_000))),
+            &p,
+        )
+        .unwrap();
+        // Homogeneous type-0 flows at 2.44 s: mean-rate aggregate still
+        // suffices, increment = ρν, contingency = Pν − ρν.
+        assert_eq!(plan.new_rate, Rate::from_bps(100_000));
+        assert_eq!(plan.increment, Rate::from_bps(50_000));
+        assert_eq!(plan.contingency, Rate::from_bps(50_000));
+        assert_eq!(plan.new_profile.rho, Rate::from_bps(100_000));
+    }
+
+    #[test]
+    fn join_fails_on_bandwidth_when_peak_does_not_fit() {
+        let (mut nodes, paths, pid) = rate_fixture();
+        let p = type0();
+        // Leave less than Pν residual.
+        let links = paths.path(pid).links.clone();
+        for l in &links {
+            nodes.link_mut(*l).reserve(Rate::from_bps(1_450_000));
+        }
+        let err = plan_join(
+            &class_244(),
+            paths.path(pid),
+            &nodes,
+            Some((&p, Rate::from_bps(50_000))),
+            &p,
+        )
+        .unwrap_err();
+        assert_eq!(err, Reject::Bandwidth);
+    }
+
+    #[test]
+    fn sequential_joins_admit_exactly_29_at_244s() {
+        // Table 2, Aggr BB/VTRS, rate-based setting, D = 2.44 s: the
+        // peak-rate contingency costs one call versus per-flow's 30.
+        let (mut nodes, paths, pid) = rate_fixture();
+        let p = type0();
+        let cls = class_244();
+        let mut agg: Option<(TrafficProfile, Rate)> = None;
+        let mut allocated = Rate::ZERO; // rate + active contingency on links
+        let mut admitted = 0;
+        loop {
+            let cur = agg.as_ref().map(|(a, r)| (a, *r));
+            match plan_join(&cls, paths.path(pid), &nodes, cur, &p) {
+                Ok(plan) => {
+                    // Allocate the delta (increment + contingency), then
+                    // model the contingency expiring before the next
+                    // arrival (infinite holding times mask transients).
+                    let delta = plan.increment + plan.contingency;
+                    let links = paths.path(pid).links.clone();
+                    for l in &links {
+                        nodes.link_mut(*l).reserve(delta);
+                    }
+                    allocated += delta;
+                    // Contingency expiry: release it again.
+                    for l in &links {
+                        nodes.link_mut(*l).release(plan.contingency);
+                    }
+                    allocated -= plan.contingency;
+                    agg = Some((plan.new_profile, plan.new_rate));
+                    admitted += 1;
+                    assert!(admitted <= 40, "runaway admission");
+                }
+                Err(Reject::Bandwidth) => break,
+                Err(e) => panic!("unexpected rejection {e}"),
+            }
+        }
+        assert_eq!(admitted, 29);
+        assert_eq!(allocated, Rate::from_bps(50_000 * 29));
+    }
+
+    #[test]
+    fn leave_defers_rate_reduction_as_contingency() {
+        let (_, paths, pid) = rate_fixture();
+        let p = type0();
+        let agg = p.aggregate(&p).aggregate(&p); // 3 members
+        let plan = plan_leave(
+            &class_244(),
+            paths.path(pid),
+            (&agg, Rate::from_bps(150_000)),
+            &p,
+        );
+        assert_eq!(plan.new_rate, Rate::from_bps(100_000));
+        assert_eq!(plan.contingency, Rate::from_bps(50_000));
+        assert_eq!(plan.new_profile.unwrap().rho, Rate::from_bps(100_000));
+    }
+
+    #[test]
+    fn last_leave_dissolves_macroflow() {
+        let (_, paths, pid) = rate_fixture();
+        let p = type0();
+        let plan = plan_leave(
+            &class_244(),
+            paths.path(pid),
+            (&p, Rate::from_bps(50_000)),
+            &p,
+        );
+        assert_eq!(plan.new_rate, Rate::ZERO);
+        assert_eq!(plan.contingency, Rate::from_bps(50_000));
+        assert!(plan.new_profile.is_none());
+    }
+
+    #[test]
+    fn tight_class_bound_is_infeasible() {
+        let (nodes, paths, pid) = rate_fixture();
+        let cls = ClassSpec {
+            id: 1,
+            d_req: Nanos::from_millis(100),
+            cd: Nanos::from_millis(10),
+        };
+        assert_eq!(
+            plan_join(&cls, paths.path(pid), &nodes, None, &type0()),
+            Err(Reject::DelayInfeasible)
+        );
+    }
+}

@@ -1,0 +1,589 @@
+//! Path-oriented admission for mixed rate/delay-based paths — the
+//! Figure-4 algorithm (§3.2, Theorem 1).
+//!
+//! The search space is the rate–delay plane. Projecting the end-to-end
+//! bound (eq. 7) gives `d ≤ t − Ξ/r` with
+//!
+//! ```text
+//! t  = (D_req − D_tot + T_on) / (h − q)          (ns)
+//! Ξ  = (T_on·P + (q+1)·Lmax) / (h − q)           (bits)
+//! ```
+//!
+//! and the per-hop EDF constraints (eq. 8) restrict `r` around the
+//! *distinct delay values* `d¹ < … < d^M` reserved on the path's
+//! delay-based links, with `S^k` the path's minimal residual service at
+//! `d^k`. The algorithm scans delay intervals `[d^{m−1}, d^m)` right to
+//! left from the interval containing `t`, intersecting two rate ranges
+//! per interval:
+//!
+//! * `R_fea` — from eq. 7 and the profile/bandwidth box constraints;
+//!   both edges move left as the scan moves left;
+//! * `R_del` — from eq. 8; its lower edge only grows as the scan moves
+//!   left, its upper edge is interval-independent.
+//!
+//! The monotonicity gives Theorem 1's early exits: an empty `R_fea`, an
+//! empty `R_del`, or `R_fea` entirely below `R_del` proves no interval
+//! further left can work. When the intersection is non-empty and the
+//! lower edge comes from `R_del`, the candidate rate is globally minimal
+//! and the scan stops; otherwise it continues hoping for a smaller rate.
+//!
+//! **Delay-parameter assignment.** For the minimal rate the broker
+//! assigns the **largest** delay the end-to-end budget allows,
+//! `d = t − Ξ/r`: spending the budget at the delay hops (rather than on
+//! extra rate) keeps every flow at the smallest rate the EDF links can
+//! carry, and defers each flow's capacity consumption to the latest
+//! horizon. Early flows share one delay value; once the residual service
+//! at that horizon is exhausted, later flows slide to larger delays and
+//! slightly higher rates — the §5 dynamic behind Figure 9 ("as more
+//! flows are admitted, the feasible delay parameter that can be
+//! allocated to a new flow becomes larger, resulting in higher reserved
+//! rate"). The new flow's own-deadline constraint `S̄(d) ≥ L` is folded
+//! into each interval's rate range as an extra floor on `d` (hence on
+//! `r`), computed by walking the piecewise-linear residual service.
+//!
+//! Complexity: O(M) interval steps over the distinct delays — not the
+//! flow count — matching the paper's claim; each step touches only MIB
+//! aggregates. Every grant is finished with an **exact verification**
+//! against the MIB (cross-multiplied integer comparisons, no rounding),
+//! so a granted pair is feasible by construction.
+
+use qos_units::ratio::u128_div_ceil;
+use qos_units::{Bits, Nanos, Rate, NANOS_PER_SEC};
+use vtrs::profile::TrafficProfile;
+
+use crate::mib::{NodeMib, PathQos};
+use crate::signaling::Reject;
+
+/// A granted rate–delay pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateDelay {
+    /// Reserved rate `r` (minimal feasible).
+    pub rate: Rate,
+    /// Delay parameter `d` at every delay-based hop (minimal feasible for
+    /// the granted rate).
+    pub delay: Nanos,
+}
+
+/// Scaled fixed-point unit: bits × 10⁹ (aligning `r[bps] · Δt[ns]` with
+/// packet sizes).
+fn scaled(b: Bits) -> u128 {
+    u128::from(b.as_bits()) * u128::from(NANOS_PER_SEC)
+}
+
+/// Runs the Figure-4 admissibility test, returning the minimal-rate
+/// feasible `⟨r, d⟩`.
+///
+/// # Errors
+///
+/// * [`Reject::DelayInfeasible`] — the requirement cannot be met at any
+///   rate on this path;
+/// * [`Reject::Bandwidth`] — insufficient residual bandwidth;
+/// * [`Reject::Schedulability`] — bandwidth exists but no rate–delay
+///   pair passes the EDF constraints.
+pub fn admit(
+    profile: &TrafficProfile,
+    d_req: Nanos,
+    path: &PathQos,
+    nodes: &NodeMib,
+) -> Result<RateDelay, Reject> {
+    let dh = path.spec.delay_hops();
+    if dh == 0 {
+        // Pure rate-based path: §3.1 applies with d unused.
+        let range = super::rate_based::admit(profile, d_req, path, nodes)?;
+        return Ok(RateDelay {
+            rate: range.low,
+            delay: Nanos::ZERO,
+        });
+    }
+    let q = path.spec.q();
+    let t_on = profile.t_on();
+
+    // t = (D − D_tot + T_on)/(h−q), floored (conservative).
+    let budget = u128::from(d_req.as_nanos()) + u128::from(t_on.as_nanos());
+    let fixed = u128::from(path.spec.d_tot().as_nanos());
+    if budget <= fixed {
+        return Err(Reject::DelayInfeasible);
+    }
+    let t_ns = u64::try_from((budget - fixed) / u128::from(dh)).expect("t fits u64");
+    if t_ns == 0 {
+        return Err(Reject::DelayInfeasible);
+    }
+    let t = Nanos::from_nanos(t_ns);
+
+    // Ξ = (T_on·P + (q+1)·Lmax)/(h−q), scaled bits, ceiled (conservative).
+    let xi = (u128::from(t_on.as_nanos()) * u128::from(profile.peak.as_bps())
+        + u128::from(q + 1) * scaled(profile.l_max))
+    .div_ceil(u128::from(dh));
+    let l9 = scaled(profile.l_max);
+
+    let c_res = path.residual(nodes);
+
+    // d ≥ d_min0: the flow's own breakpoint must clear its packet on
+    // every delay-based link (C_i·d ≥ L).
+    let delay_links = path.delay_links(nodes);
+    let d_min0 = delay_links
+        .iter()
+        .map(|(link, _)| Nanos::from_nanos(u128_div_ceil(l9, u128::from(link.capacity.as_bps()))))
+        .max()
+        .unwrap_or(Nanos::ZERO);
+    if d_min0 >= t {
+        return Err(Reject::DelayInfeasible);
+    }
+
+    // Absolute floor on the rate, independent of current load: the
+    // loosest interval (d as small as d_min0 allows) still needs
+    // r ≥ max(ρ, Ξ/(t − d_min0))… no load involved, so exceeding the
+    // profile peak is a delay infeasibility and exceeding the residual
+    // bandwidth alone is a bandwidth rejection.
+    let r_abs_min = u128_div_ceil(xi, u128::from(t.as_nanos())).max(profile.rho.as_bps());
+    if u128::from(r_abs_min) > u128::from(profile.peak.as_bps()) {
+        return Err(Reject::DelayInfeasible);
+    }
+    if u128::from(r_abs_min) > u128::from(c_res.as_bps()) {
+        return Err(Reject::Bandwidth);
+    }
+
+    // Breakpoints and the path's minimal residual service at each,
+    // computed in one prefix-sum sweep per link.
+    let breakpoints = path.distinct_delays(nodes);
+    let m = breakpoints.len();
+    let mut s_bar = vec![i128::MAX; m];
+    for (link, _) in &delay_links {
+        for (k, s) in link
+            .residual_service_profile(&breakpoints)
+            .iter()
+            .enumerate()
+        {
+            s_bar[k] = s_bar[k].min(*s);
+        }
+    }
+
+    // i_start: index of the interval containing t; breakpoints[..i_start]
+    // are strictly below t.
+    let i_start = breakpoints.partition_point(|d| *d < t);
+
+    // Upper rate bound from breakpoints at or beyond t (constraints
+    // r·(d^k − t) + Ξ + L ≤ S^k), identical across intervals.
+    let xi_l = i128::try_from(xi).expect("xi fits i128") + i128::try_from(l9).unwrap();
+    let mut del_r: u128 = u128::MAX;
+    for k in i_start..m {
+        let slack = s_bar[k] - xi_l;
+        if slack < 0 {
+            // Even the loosest d cannot satisfy this breakpoint at any
+            // rate — and it binds in every interval we could scan.
+            return Err(Reject::Schedulability);
+        }
+        let gap = breakpoints[k] - t; // ≥ 0
+        if gap > Nanos::ZERO {
+            let bound = u128::try_from(slack).unwrap() / u128::from(gap.as_nanos());
+            del_r = del_r.min(bound);
+        }
+        // gap == 0: satisfied for every r, no bound.
+    }
+
+    let box_hi = u128::from(profile.peak.min(c_res).as_bps());
+
+    // Analytic scan first (O(M)): track the best (rate, delay-floor)
+    // pair; the exact verification runs once, after the scan.
+    let mut best: Option<(u128, Nanos)> = None;
+    let l9_i = i128::try_from(l9).expect("l9 fits i128");
+    // R_del's lower edge is a running maximum: entering interval i folds
+    // in breakpoint i's constraint — O(1) per interval, keeping the whole
+    // scan O(M) as the paper claims.
+    let mut del_l: u128 = 0;
+    // Scan intervals i = i_start, i_start−1, …, 0; interval i spans
+    // [lo_i, hi_i) with lo_i = d^{i−1} (0 for i = 0) and hi_i = d^i
+    // (∞ for i = m).
+    let mut i = i_start;
+    loop {
+        if i < i_start {
+            // Entering interval i: breakpoint d^i now lies at or above
+            // any candidate d, activating its eq.-8 lower bound.
+            let deficit = xi_l - s_bar[i];
+            if deficit > 0 {
+                let gap = t - breakpoints[i];
+                let need = u128::try_from(deficit)
+                    .expect("positive deficit")
+                    .div_ceil(u128::from(gap.as_nanos()));
+                del_l = del_l.max(need);
+            }
+        }
+        let lo_i = if i == 0 {
+            Nanos::ZERO
+        } else {
+            breakpoints[i - 1]
+        };
+        let d_lo = lo_i.max(d_min0);
+        // d_min0 may clear this interval entirely — and then everything
+        // to its left too.
+        if i < i_start && d_min0 >= breakpoints[i] {
+            break;
+        }
+        // Within one interval no link has a breakpoint, so each link's
+        // residual service is linear there; the smallest d clearing the
+        // new flow's own deadline (S_i(d) ≥ L on every link) is a
+        // per-link closed form.
+        let hi_cap = if i < i_start {
+            breakpoints[i].min(t)
+        } else {
+            t
+        };
+        // Fast path for the own-deadline floor: if the path's minimal
+        // residual service at the interval's left edge already covers the
+        // packet (or no reserved class lies below the interval), d_lo
+        // itself clears it; only otherwise walk the per-link slopes.
+        let d_own = if i == 0 || s_bar[i - 1] >= l9_i {
+            Some(d_lo)
+        } else {
+            own_clear_delay(&delay_links, d_lo, hi_cap, l9)
+        };
+
+        if let Some(d_eff) = d_own {
+            // R_fea edges (eq. 10, with the own-deadline floor folded in).
+            let fea_l_delay = u128_div_ceil(xi, u128::from((t - d_eff).as_nanos()));
+            let fea_l = u128::from(profile.rho.as_bps()).max(u128::from(fea_l_delay));
+            let fea_r = if i < i_start {
+                box_hi.min(xi / u128::from((t - breakpoints[i]).as_nanos()))
+            } else {
+                box_hi
+            };
+            // R_del lower edge: the running maximum folded in above.
+            let lo = fea_l.max(del_l);
+            let hi = fea_r.min(del_r);
+            if lo <= hi {
+                if best.is_none_or(|(b, _)| lo < b) {
+                    best = Some((lo, d_eff));
+                }
+                if del_l > fea_l {
+                    // Theorem 1: the binding lower edge is the delay
+                    // constraint set, which only tightens leftward —
+                    // globally minimal.
+                    break;
+                }
+            } else if del_l > del_r || fea_r < del_l {
+                // Theorem 1: the delay constraints already exceed the
+                // (monotone) upper edges; nothing to the left can work.
+                break;
+            }
+            // An R_fea emptied only by the own-deadline floor is not
+            // conclusive — capacity at earlier horizons may be free —
+            // so the scan continues leftward.
+        }
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+
+    // Exact verification, once, on the analytically minimal candidate
+    // (finish_candidate nudges the rate by a few bps if conservative
+    // rounding left it a hair short).
+    if let Some((lo, d_eff)) = best {
+        if let Some(pair) = finish_candidate(lo, box_hi, t, xi, d_eff, profile, path, nodes, d_req)
+        {
+            return Ok(pair);
+        }
+    }
+    Err(if c_res < profile.rho {
+        Reject::Bandwidth
+    } else {
+        Reject::Schedulability
+    })
+}
+
+/// The smallest `d ≥ start` (strictly below `cap`) at which every
+/// delay-based link's residual service covers the new flow's packet,
+/// `S_i(d) ≥ L`. Within one breakpoint interval each link's `S_i` is
+/// linear with slope `C_i − Σ r_(≤ d)`, so the answer is a per-link
+/// closed form; `None` when some link cannot clear before `cap`.
+fn own_clear_delay(
+    links: &[(&crate::mib::LinkQos, crate::mib::LinkRef)],
+    start: Nanos,
+    cap: Nanos,
+    l9: u128,
+) -> Option<Nanos> {
+    let l9_i = i128::try_from(l9).expect("l9 fits i128");
+    let mut d = start;
+    for (link, _) in links {
+        let s = link.residual_service(start);
+        if s >= l9_i {
+            continue;
+        }
+        let slope = link.capacity.saturating_sub(link.edf_active_rate(start));
+        if slope.is_zero() {
+            return None;
+        }
+        let deficit = u128::try_from(l9_i - s).expect("deficit positive");
+        let step = u128_div_ceil(deficit, u128::from(slope.as_bps()));
+        d = d.max(start + Nanos::from_nanos(step));
+    }
+    (d < cap).then_some(d)
+}
+
+/// Materializes a candidate: `d = t − ⌈Ξ/r⌉` (clamped to the interval's
+/// own-deadline floor) and exact verification, nudging the rate by a few
+/// bps if conservative rounding left the analytic candidate a hair short.
+#[allow(clippy::too_many_arguments)]
+fn finish_candidate(
+    mut r_bps: u128,
+    box_hi: u128,
+    t: Nanos,
+    xi: u128,
+    d_floor: Nanos,
+    profile: &TrafficProfile,
+    path: &PathQos,
+    nodes: &NodeMib,
+    d_req: Nanos,
+) -> Option<RateDelay> {
+    for _ in 0..4 {
+        if r_bps == 0 || r_bps > box_hi {
+            return None;
+        }
+        let r = Rate::from_bps(u64::try_from(r_bps).expect("rate fits u64"));
+        let xi_over_r = u128_div_ceil(xi, r_bps);
+        let d = if t.as_nanos() > xi_over_r {
+            Nanos::from_nanos(t.as_nanos() - xi_over_r).max(d_floor)
+        } else {
+            d_floor
+        };
+        if verify(profile, d_req, r, d, path, nodes) {
+            return Some(RateDelay { rate: r, delay: d });
+        }
+        r_bps += 1;
+    }
+    None
+}
+
+/// Exact feasibility check of a concrete `⟨r, d⟩` against the path:
+/// the end-to-end bound (eq. 7) by cross-multiplication and the per-link
+/// EDF constraints (eq. 8) via [`crate::mib::LinkQos::edf_admissible`].
+#[must_use]
+pub fn verify(
+    profile: &TrafficProfile,
+    d_req: Nanos,
+    r: Rate,
+    d: Nanos,
+    path: &PathQos,
+    nodes: &NodeMib,
+) -> bool {
+    if r < profile.rho || r > profile.peak || r > path.residual(nodes) {
+        return false;
+    }
+    // e2e: r·(D − D_tot − (h−q)·d + T_on) ≥ T_on·P + (q+1)·L   (scaled)
+    let dh = path.spec.delay_hops();
+    let q = path.spec.q();
+    let lhs_budget = i128::from(d_req.as_nanos()) + i128::from(profile.t_on().as_nanos())
+        - i128::from(path.spec.d_tot().as_nanos())
+        - i128::from(dh) * i128::from(d.as_nanos());
+    if lhs_budget < 0 {
+        return false;
+    }
+    let rhs = u128::from(profile.t_on().as_nanos()) * u128::from(profile.peak.as_bps())
+        + u128::from(q + 1) * scaled(profile.l_max);
+    if u128::try_from(lhs_budget).unwrap() * u128::from(r.as_bps()) < rhs {
+        return false;
+    }
+    // Per-hop EDF constraints on every delay-based link.
+    path.delay_links(nodes)
+        .iter()
+        .all(|(link, _)| link.edf_admissible(r, d, profile.l_max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mib::{LinkQos, NodeMib, PathId, PathMib};
+    use vtrs::reference::HopKind;
+
+    fn type0() -> TrafficProfile {
+        TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap()
+    }
+
+    /// The Figure-8 S1→D1 mixed path: CsVC at hops 1, 2, 5; VT-EDF at
+    /// hops 3, 4. All 1.5 Mb/s, Ψ = 8 ms, π = 0.
+    fn fixture() -> (NodeMib, PathMib, PathId) {
+        let mut nodes = NodeMib::new();
+        let kinds = [
+            HopKind::RateBased,
+            HopKind::RateBased,
+            HopKind::DelayBased,
+            HopKind::DelayBased,
+            HopKind::RateBased,
+        ];
+        let refs: Vec<_> = kinds
+            .iter()
+            .map(|k| {
+                nodes.add_link(LinkQos::new(
+                    Rate::from_bps(1_500_000),
+                    *k,
+                    Nanos::from_millis(8),
+                    Nanos::ZERO,
+                    Bits::from_bytes(1500),
+                ))
+            })
+            .collect();
+        let mut paths = PathMib::new();
+        let pid = paths.register(&nodes, refs);
+        (nodes, paths, pid)
+    }
+
+    fn book(nodes: &mut NodeMib, paths: &PathMib, pid: PathId, pair: RateDelay, l_max: Bits) {
+        let links = paths.path(pid).links.clone();
+        for l in links {
+            nodes.link_mut(l).reserve(pair.rate);
+            if nodes.link(l).kind == HopKind::DelayBased {
+                nodes.link_mut(l).add_edf(pair.rate, pair.delay, l_max);
+            }
+        }
+    }
+
+    #[test]
+    fn first_flow_gets_mean_rate_with_full_delay_budget() {
+        let (nodes, paths, pid) = fixture();
+        let pair = admit(&type0(), Nanos::from_millis(2_190), paths.path(pid), &nodes).unwrap();
+        assert_eq!(pair.rate, Rate::from_bps(50_000));
+        // d = t − Ξ/r = 1.555 − 72000/50000 = 0.115 s: the whole
+        // remaining budget goes to the delay hops.
+        assert_eq!(pair.delay, Nanos::from_millis(115));
+        assert!(verify(
+            &type0(),
+            Nanos::from_millis(2_190),
+            pair.rate,
+            pair.delay,
+            paths.path(pid),
+            &nodes
+        ));
+    }
+
+    #[test]
+    fn delay_parameters_grow_as_edf_capacity_fills() {
+        // The Figure-9 dynamic: successive flows receive non-decreasing
+        // delay parameters, and eventually rates above the mean.
+        let (mut nodes, paths, pid) = fixture();
+        let p = type0();
+        let mut last_d = Nanos::ZERO;
+        let mut saw_rate_rise = false;
+        while let Ok(pair) = admit(&p, Nanos::from_millis(2_190), paths.path(pid), &nodes) {
+            assert!(
+                pair.delay >= last_d,
+                "delay went backwards: {} after {}",
+                pair.delay,
+                last_d
+            );
+            last_d = pair.delay;
+            if pair.rate > p.rho {
+                saw_rate_rise = true;
+            }
+            book(&mut nodes, &paths, pid, pair, p.l_max);
+        }
+        assert!(saw_rate_rise, "late flows should need rates above the mean");
+    }
+
+    #[test]
+    fn thirty_flows_at_244s_on_mixed_path() {
+        // Table 2, mixed setting, D = 2.44 s: exactly 30 (same as the
+        // rate-based setting and as IntServ/GS).
+        let (mut nodes, paths, pid) = fixture();
+        let p = type0();
+        let mut admitted = 0;
+        while let Ok(pair) = admit(&p, Nanos::from_millis(2_440), paths.path(pid), &nodes) {
+            book(&mut nodes, &paths, pid, pair, p.l_max);
+            admitted += 1;
+            assert!(admitted <= 40, "runaway admission");
+        }
+        assert_eq!(admitted, 30);
+    }
+
+    #[test]
+    fn twentyseven_flows_at_219s_on_mixed_path() {
+        // Table 2, mixed setting, D = 2.19 s: exactly 27.
+        let (mut nodes, paths, pid) = fixture();
+        let p = type0();
+        let mut admitted = 0;
+        while let Ok(pair) = admit(&p, Nanos::from_millis(2_190), paths.path(pid), &nodes) {
+            book(&mut nodes, &paths, pid, pair, p.l_max);
+            admitted += 1;
+            assert!(admitted <= 40, "runaway admission");
+        }
+        assert_eq!(admitted, 27);
+    }
+
+    #[test]
+    fn granted_rate_is_minimal() {
+        // Whatever the algorithm grants, one bps less must fail exact
+        // verification at every delay value it could pick.
+        let (mut nodes, paths, pid) = fixture();
+        let p = type0();
+        for _ in 0..5 {
+            let pair = admit(&p, Nanos::from_millis(2_190), paths.path(pid), &nodes).unwrap();
+            book(&mut nodes, &paths, pid, pair, p.l_max);
+        }
+        let pair = admit(&p, Nanos::from_millis(2_190), paths.path(pid), &nodes).unwrap();
+        let lower = Rate::from_bps(pair.rate.as_bps() - 1);
+        for d_ms in 0..=1_555 {
+            assert!(
+                !verify(
+                    &p,
+                    Nanos::from_millis(2_190),
+                    lower,
+                    Nanos::from_millis(d_ms),
+                    paths.path(pid),
+                    &nodes
+                ),
+                "r−1 verified at d = {d_ms} ms — granted rate not minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn delay_requirement_below_fixed_cost_is_infeasible() {
+        let (nodes, paths, pid) = fixture();
+        assert_eq!(
+            admit(&type0(), Nanos::from_millis(30), paths.path(pid), &nodes),
+            Err(Reject::DelayInfeasible)
+        );
+    }
+
+    #[test]
+    fn saturated_path_rejects_on_bandwidth() {
+        let (mut nodes, paths, pid) = fixture();
+        let links = paths.path(pid).links.clone();
+        for l in &links {
+            nodes.link_mut(*l).reserve(Rate::from_bps(1_470_000));
+        }
+        assert_eq!(
+            admit(&type0(), Nanos::from_millis(2_440), paths.path(pid), &nodes),
+            Err(Reject::Bandwidth)
+        );
+    }
+
+    #[test]
+    fn heterogeneous_classes_share_the_edf_links() {
+        // Admit flows with different delay requirements: the scan must
+        // navigate multiple breakpoints. Verify every grant exactly.
+        let (mut nodes, paths, pid) = fixture();
+        let p = type0();
+        let reqs = [2_440u64, 2_190, 2_800, 2_300, 2_600];
+        for (i, ms) in reqs.iter().cycle().take(15).enumerate() {
+            let d_req = Nanos::from_millis(*ms);
+            match admit(&p, d_req, paths.path(pid), &nodes) {
+                Ok(pair) => {
+                    assert!(
+                        verify(&p, d_req, pair.rate, pair.delay, paths.path(pid), &nodes),
+                        "grant {i} failed exact verification"
+                    );
+                    book(&mut nodes, &paths, pid, pair, p.l_max);
+                }
+                Err(Reject::Bandwidth | Reject::Schedulability) => break,
+                Err(e) => panic!("unexpected rejection {e}"),
+            }
+        }
+        assert!(paths.path(pid).distinct_delays(&nodes).len() >= 2);
+    }
+}

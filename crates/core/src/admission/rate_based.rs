@@ -1,0 +1,171 @@
+//! O(1) admission for paths with only rate-based schedulers (§3.1).
+//!
+//! With every hop rate-based the end-to-end bound (eq. 4) collapses to a
+//! function of `r` alone, so admissibility reduces to intersecting three
+//! intervals: the delay-derived minimum rate `r_min` (eq. 6), the
+//! profile's `[ρ, P]`, and the path's residual bandwidth `C_res`. The
+//! feasible range is `[max(ρ, r_min), min(P, C_res)]`; the broker grants
+//! the minimal feasible rate.
+
+use qos_units::{Nanos, Rate};
+use vtrs::delay::min_rate_rate_based;
+use vtrs::profile::TrafficProfile;
+
+use crate::mib::{NodeMib, PathQos};
+use crate::signaling::Reject;
+
+/// Outcome of the O(1) test: the feasible rate range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeasibleRange {
+    /// Lower edge `max(ρ, r_min)` — the rate the broker grants.
+    pub low: Rate,
+    /// Upper edge `min(P, C_res)`.
+    pub high: Rate,
+}
+
+/// Runs the §3.1 admissibility test; on success returns the feasible rate
+/// range (grant `range.low`).
+///
+/// # Errors
+///
+/// * [`Reject::DelayInfeasible`] — no rate ≤ `P` can meet `d_req`;
+/// * [`Reject::Bandwidth`] — the path lacks residual bandwidth.
+pub fn admit(
+    profile: &TrafficProfile,
+    d_req: Nanos,
+    path: &PathQos,
+    nodes: &NodeMib,
+) -> Result<FeasibleRange, Reject> {
+    debug_assert_eq!(
+        path.spec.delay_hops(),
+        0,
+        "rate_based::admit on a path with delay-based hops"
+    );
+    let h = path.spec.h();
+    let r_min =
+        min_rate_rate_based(profile, h, path.spec.d_tot(), d_req).ok_or(Reject::DelayInfeasible)?;
+    if r_min > profile.peak {
+        return Err(Reject::DelayInfeasible);
+    }
+    let low = r_min.max(profile.rho);
+    let high = profile.peak.min(path.residual(nodes));
+    if low > high {
+        return Err(Reject::Bandwidth);
+    }
+    Ok(FeasibleRange { low, high })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mib::{LinkQos, NodeMib, PathMib};
+    use qos_units::Bits;
+    use vtrs::reference::HopKind;
+
+    fn type0() -> TrafficProfile {
+        TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap()
+    }
+
+    /// 5 CsVC hops at 1.5 Mb/s, Ψ = 8 ms, π = 0 (the Figure-8 S1→D1 path
+    /// in the rate-based-only setting).
+    fn fixture() -> (NodeMib, PathMib, crate::mib::PathId) {
+        let mut nodes = NodeMib::new();
+        let refs: Vec<_> = (0..5)
+            .map(|_| {
+                nodes.add_link(LinkQos::new(
+                    Rate::from_bps(1_500_000),
+                    HopKind::RateBased,
+                    Nanos::from_millis(8),
+                    Nanos::ZERO,
+                    Bits::from_bytes(1500),
+                ))
+            })
+            .collect();
+        let mut paths = PathMib::new();
+        let pid = paths.register(&nodes, refs);
+        (nodes, paths, pid)
+    }
+
+    #[test]
+    fn grants_mean_rate_at_244s() {
+        let (nodes, paths, pid) = fixture();
+        let range = admit(&type0(), Nanos::from_millis(2_440), paths.path(pid), &nodes).unwrap();
+        assert_eq!(range.low, Rate::from_bps(50_000));
+        assert_eq!(range.high, Rate::from_bps(100_000));
+    }
+
+    #[test]
+    fn exactly_thirty_flows_fit_at_244s() {
+        // The Table-2 headline: greedy sequential admission of type-0
+        // flows at D = 2.44 s admits exactly 30.
+        let (mut nodes, paths, pid) = fixture();
+        let p = type0();
+        let mut admitted = 0;
+        loop {
+            match admit(&p, Nanos::from_millis(2_440), paths.path(pid), &nodes) {
+                Ok(range) => {
+                    let links: Vec<_> = paths.path(pid).links.clone();
+                    for l in links {
+                        nodes.link_mut(l).reserve(range.low);
+                    }
+                    admitted += 1;
+                }
+                Err(Reject::Bandwidth) => break,
+                Err(e) => panic!("unexpected rejection {e}"),
+            }
+        }
+        assert_eq!(admitted, 30);
+    }
+
+    #[test]
+    fn exactly_twentyseven_flows_fit_at_219s() {
+        let (mut nodes, paths, pid) = fixture();
+        let p = type0();
+        let mut admitted = 0;
+        while let Ok(range) = admit(&p, Nanos::from_millis(2_190), paths.path(pid), &nodes) {
+            let links: Vec<_> = paths.path(pid).links.clone();
+            for l in links {
+                nodes.link_mut(l).reserve(range.low);
+            }
+            admitted += 1;
+            // r_min at 2.19 s is 54020 b/s > ρ.
+            assert_eq!(range.low, Rate::from_bps(54_020));
+        }
+        assert_eq!(admitted, 27);
+    }
+
+    #[test]
+    fn infeasible_delay_is_distinguished_from_bandwidth() {
+        let (mut nodes, paths, pid) = fixture();
+        let p = type0();
+        // Even at the peak rate the bound is 0.96·0 + 6·0.12 + 0.04 =
+        // 0.76 s; asking for less is a delay infeasibility.
+        assert_eq!(
+            admit(&p, Nanos::from_millis(700), paths.path(pid), &nodes),
+            Err(Reject::DelayInfeasible)
+        );
+        // Drain the path: now it is a bandwidth rejection.
+        let links: Vec<_> = paths.path(pid).links.clone();
+        for l in &links {
+            nodes.link_mut(*l).reserve(Rate::from_bps(1_460_000));
+        }
+        assert_eq!(
+            admit(&p, Nanos::from_millis(2_440), paths.path(pid), &nodes),
+            Err(Reject::Bandwidth)
+        );
+    }
+
+    #[test]
+    fn bound_at_760ms_is_feasible_at_peak() {
+        let (nodes, paths, pid) = fixture();
+        let range = admit(&type0(), Nanos::from_millis(760), paths.path(pid), &nodes).unwrap();
+        assert_eq!(range.low, Rate::from_bps(100_000));
+        assert_eq!(range.high, Rate::from_bps(100_000));
+    }
+}

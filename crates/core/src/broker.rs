@@ -1,0 +1,697 @@
+//! The bandwidth broker façade.
+//!
+//! [`Broker`] owns the three MIBs, the policy and routing modules, and
+//! the class/macroflow registry, and exposes the control-plane protocol
+//! of Figure 1: a [`FlowRequest`] comes in from an ingress, passes policy
+//! control, is admission-tested *path-wide* against the MIBs alone, and —
+//! if admitted — the bookkeeping phase updates the MIBs and a
+//! [`Reservation`] goes back so the ingress can (re)configure the edge
+//! conditioner. **No core router is touched at any point.**
+//!
+//! Time is passed explicitly into every operation: the broker is a
+//! passive state machine, so it composes with the discrete-event
+//! simulator, the experiment harnesses, and wall-clock deployments alike.
+
+use std::collections::HashMap;
+
+use netsim::topology::{LinkId, NodeId, Topology};
+use qos_units::{Nanos, Rate, Time};
+use vtrs::delay::edge_delay_bound;
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+use vtrs::reference::HopKind;
+
+use crate::admission::aggregate::{plan_join, plan_leave, ClassSpec};
+use crate::admission::{mixed, rate_based};
+use crate::contingency::{bounding_period, ContingencyPolicy, ContingencySet, Grant};
+use crate::mib::{FlowMib, FlowRecord, FlowService, NodeMib, PathId, PathMib};
+use crate::policy::Policy;
+use crate::routing::RoutingModule;
+use crate::signaling::{FlowRequest, Reject, Reservation, ServiceKind};
+
+/// Macroflow identifiers live in the top half of the `FlowId` space so
+/// they can never collide with caller-chosen microflow ids.
+const MACRO_BASE: u64 = 1 << 63;
+
+/// Broker construction parameters.
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// Administrative policy applied before any resource test.
+    pub policy: Policy,
+    /// How contingency periods are terminated.
+    pub contingency: ContingencyPolicy,
+    /// Delay service classes offered (class-based service).
+    pub classes: Vec<ClassSpec>,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            policy: Policy::allow_all(),
+            contingency: ContingencyPolicy::Feedback,
+            classes: Vec::new(),
+        }
+    }
+}
+
+/// A macroflow's control state.
+#[derive(Debug, Clone)]
+pub struct MacroState {
+    /// The macroflow's own id (top-half space).
+    pub id: FlowId,
+    /// Service class.
+    pub class: u32,
+    /// Path it is pinned to.
+    pub path: PathId,
+    /// Aggregate profile of current members (meaningless once
+    /// dissolving).
+    pub profile: TrafficProfile,
+    /// Reserved rate `r^α` (excluding contingency).
+    pub reserved: Rate,
+    /// Member microflows.
+    pub members: u64,
+    /// Active contingency grants.
+    pub contingency: ContingencySet,
+    /// Set when the last member left; the macroflow is torn down once
+    /// the final contingency expires.
+    pub dissolving: bool,
+}
+
+impl MacroState {
+    /// Total bandwidth currently allocated on the path for this
+    /// macroflow: reserved + contingency.
+    #[must_use]
+    pub fn allocated(&self) -> Rate {
+        self.reserved.saturating_add(self.contingency.total())
+    }
+}
+
+/// Counters for reporting and the scalability benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Requests received.
+    pub requested: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Rejections, by cause.
+    pub rejected_policy: u64,
+    /// Rejected: delay infeasible.
+    pub rejected_delay: u64,
+    /// Rejected: bandwidth.
+    pub rejected_bandwidth: u64,
+    /// Rejected: schedulability.
+    pub rejected_sched: u64,
+    /// Flows released.
+    pub released: u64,
+    /// Contingency grants issued.
+    pub grants: u64,
+    /// Contingency bandwidth released by timer expiry.
+    pub grant_expiries: u64,
+    /// Contingency bandwidth released by edge feedback.
+    pub grant_resets: u64,
+}
+
+/// The bandwidth broker.
+#[derive(Debug)]
+pub struct Broker {
+    nodes: NodeMib,
+    paths: PathMib,
+    routing: RoutingModule,
+    flows: FlowMib,
+    policy: Policy,
+    contingency_policy: ContingencyPolicy,
+    classes: HashMap<u32, ClassSpec>,
+    macroflows: HashMap<FlowId, MacroState>,
+    macro_index: HashMap<(u32, PathId), FlowId>,
+    next_macro: u64,
+    stats: BrokerStats,
+}
+
+impl Broker {
+    /// Builds a broker for a domain, importing the topology into the node
+    /// MIB via the routing module.
+    #[must_use]
+    pub fn new(topo: Topology, config: BrokerConfig) -> Self {
+        let mut nodes = NodeMib::new();
+        let routing = RoutingModule::import(topo, &mut nodes);
+        Broker {
+            nodes,
+            paths: PathMib::new(),
+            routing,
+            flows: FlowMib::new(),
+            policy: config.policy,
+            contingency_policy: config.contingency,
+            classes: config.classes.into_iter().map(|c| (c.id, c)).collect(),
+            macroflows: HashMap::new(),
+            macro_index: HashMap::new(),
+            next_macro: MACRO_BASE,
+            stats: BrokerStats::default(),
+        }
+    }
+
+    /// Path selection between two nodes (minimum hop), registering the
+    /// path on first use.
+    pub fn path_between(&mut self, from: NodeId, to: NodeId) -> Option<PathId> {
+        self.routing
+            .path_between(&self.nodes, &mut self.paths, from, to)
+    }
+
+    /// Candidate paths between two nodes (min-hop + single-link
+    /// deviations), registered on first use.
+    pub fn paths_between(&mut self, from: NodeId, to: NodeId, k: usize) -> Vec<PathId> {
+        self.routing
+            .paths_between(&self.nodes, &mut self.paths, from, to, k)
+    }
+
+    /// Handles a request with **alternate-path selection**: candidate
+    /// paths between `from` and `to` are tried in descending order of
+    /// residual bandwidth (the path-wide view only the broker has), and
+    /// the first admissible one carries the flow. Returns the reservation
+    /// and the chosen path.
+    ///
+    /// The request's `path` field is ignored and replaced per candidate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejection from the *best* candidate (the one with the
+    /// most residual bandwidth) when none admits, or
+    /// [`Reject::Bandwidth`] when the egress is unreachable.
+    pub fn request_with_alternates(
+        &mut self,
+        now: Time,
+        req: &FlowRequest,
+        from: NodeId,
+        to: NodeId,
+        k: usize,
+    ) -> Result<(Reservation, PathId), Reject> {
+        let mut candidates = self.paths_between(from, to, k);
+        if candidates.is_empty() {
+            return Err(Reject::Bandwidth);
+        }
+        candidates.sort_by_key(|pid| std::cmp::Reverse(self.path_residual(*pid)));
+        let mut first_err = None;
+        for pid in candidates {
+            let mut attempt = req.clone();
+            attempt.path = pid;
+            match self.request(now, &attempt) {
+                Ok(res) => return Ok((res, pid)),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        Err(first_err.expect("at least one candidate was tried"))
+    }
+
+    /// Registers an explicit route.
+    pub fn register_route(&mut self, route: &[LinkId]) -> PathId {
+        self.routing
+            .register_route(&self.nodes, &mut self.paths, route)
+    }
+
+    /// The node MIB (read access for experiments and tests).
+    #[must_use]
+    pub fn nodes(&self) -> &NodeMib {
+        &self.nodes
+    }
+
+    /// The path MIB.
+    #[must_use]
+    pub fn paths(&self) -> &PathMib {
+        &self.paths
+    }
+
+    /// The flow MIB.
+    #[must_use]
+    pub fn flows(&self) -> &FlowMib {
+        &self.flows
+    }
+
+    /// The imported topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        self.routing.topology()
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> &BrokerStats {
+        &self.stats
+    }
+
+    /// Minimal residual bandwidth along a path, `C_res^P`.
+    #[must_use]
+    pub fn path_residual(&self, path: PathId) -> Rate {
+        self.paths.path(path).residual(&self.nodes)
+    }
+
+    /// The macroflow serving (class, path), if any.
+    #[must_use]
+    pub fn macroflow(&self, class: u32, path: PathId) -> Option<&MacroState> {
+        self.macro_index
+            .get(&(class, path))
+            .and_then(|id| self.macroflows.get(id))
+    }
+
+    /// Macroflow lookup by id.
+    #[must_use]
+    pub fn macroflow_by_id(&self, id: FlowId) -> Option<&MacroState> {
+        self.macroflows.get(&id)
+    }
+
+    /// Iterates over all live macroflows (monitoring / invariant checks).
+    pub fn macroflows(&self) -> impl Iterator<Item = &MacroState> {
+        self.macroflows.values()
+    }
+
+    /// Earliest pending contingency timer across all macroflows.
+    #[must_use]
+    pub fn next_expiry(&self) -> Option<Time> {
+        self.macroflows
+            .values()
+            .filter_map(|m| m.contingency.next_expiry())
+            .min()
+    }
+
+    /// Handles a new-flow service request: policy → admissibility test →
+    /// bookkeeping (§2.2's two phases).
+    ///
+    /// # Errors
+    ///
+    /// Returns the applicable [`Reject`] cause.
+    pub fn request(&mut self, now: Time, req: &FlowRequest) -> Result<Reservation, Reject> {
+        self.stats.requested += 1;
+        let result = self.request_inner(now, req);
+        match &result {
+            Ok(_) => self.stats.admitted += 1,
+            Err(Reject::Policy) => self.stats.rejected_policy += 1,
+            Err(Reject::DelayInfeasible) => self.stats.rejected_delay += 1,
+            Err(Reject::Bandwidth) => self.stats.rejected_bandwidth += 1,
+            Err(Reject::Schedulability) => self.stats.rejected_sched += 1,
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn request_inner(&mut self, now: Time, req: &FlowRequest) -> Result<Reservation, Reject> {
+        if self.flows.get(req.flow).is_some() {
+            return Err(Reject::DuplicateFlow);
+        }
+        if !self
+            .policy
+            .permits(&req.profile, req.d_req, self.flows.len())
+        {
+            return Err(Reject::Policy);
+        }
+        match req.service {
+            ServiceKind::PerFlow => self.admit_per_flow(req),
+            ServiceKind::Class(class) => self.admit_class_member(now, req, class),
+        }
+    }
+
+    fn admit_per_flow(&mut self, req: &FlowRequest) -> Result<Reservation, Reject> {
+        let path = self.paths.path(req.path);
+        let (rate, delay) = if path.spec.has_delay_hops() {
+            let pair = mixed::admit(&req.profile, req.d_req, path, &self.nodes)?;
+            (pair.rate, pair.delay)
+        } else {
+            let range = rate_based::admit(&req.profile, req.d_req, path, &self.nodes)?;
+            (range.low, Nanos::ZERO)
+        };
+        // Bookkeeping phase.
+        let links = self.paths.path(req.path).links.clone();
+        for l in &links {
+            self.nodes.link_mut(*l).reserve(rate);
+            if self.nodes.link(*l).kind == HopKind::DelayBased {
+                self.nodes
+                    .link_mut(*l)
+                    .add_edf(rate, delay, req.profile.l_max);
+            }
+        }
+        self.flows.insert(
+            req.flow,
+            FlowRecord {
+                profile: req.profile,
+                d_req: req.d_req,
+                path: req.path,
+                service: FlowService::PerFlow { rate, delay },
+            },
+        );
+        Ok(Reservation {
+            flow: req.flow,
+            conditioned_flow: req.flow,
+            rate,
+            delay,
+            contingency: Rate::ZERO,
+            contingency_expires: None,
+        })
+    }
+
+    fn admit_class_member(
+        &mut self,
+        now: Time,
+        req: &FlowRequest,
+        class_id: u32,
+    ) -> Result<Reservation, Reject> {
+        let class = *self.classes.get(&class_id).ok_or(Reject::UnknownClass)?;
+        let macro_id = self.macro_index.get(&(class_id, req.path)).copied();
+        let existing = macro_id
+            .and_then(|id| self.macroflows.get(&id))
+            .filter(|m| !m.dissolving);
+
+        let path = self.paths.path(req.path);
+        let current = existing.map(|m| (&m.profile, m.reserved));
+        let plan = plan_join(&class, path, &self.nodes, current, &req.profile)?;
+
+        // Bookkeeping: allocate the delta (rate increment + contingency)
+        // on every path link; adjust or create the EDF entry at the class
+        // delay.
+        let links = self.paths.path(req.path).links.clone();
+        let l_pmax = self.paths.path(req.path).l_pmax;
+        let delta = plan.increment.saturating_add(plan.contingency);
+
+        let (macro_id, old_alloc, expires) = match existing.map(|m| m.id) {
+            Some(id) => {
+                // d_edge^old for the bounding period uses the macroflow's
+                // state before this join (eq. 17).
+                let m = self.macroflows.get(&id).expect("existing macroflow");
+                let d_edge_old = edge_delay_bound(&m.profile, m.reserved).unwrap_or(class.d_req);
+                let expires = match self.contingency_policy {
+                    ContingencyPolicy::Bounding => Some(
+                        now + bounding_period(
+                            d_edge_old,
+                            m.reserved,
+                            m.contingency.total(),
+                            plan.contingency,
+                        ),
+                    ),
+                    ContingencyPolicy::Feedback => None,
+                };
+                (id, m.allocated(), expires)
+            }
+            None => {
+                let id = FlowId(self.next_macro);
+                self.next_macro += 1;
+                self.macroflows.insert(
+                    id,
+                    MacroState {
+                        id,
+                        class: class_id,
+                        path: req.path,
+                        profile: plan.new_profile,
+                        reserved: Rate::ZERO,
+                        members: 0,
+                        contingency: ContingencySet::new(),
+                        dissolving: false,
+                    },
+                );
+                self.macro_index.insert((class_id, req.path), id);
+                (id, Rate::ZERO, None)
+            }
+        };
+
+        for l in &links {
+            self.nodes.link_mut(*l).reserve(delta);
+            if self.nodes.link(*l).kind == HopKind::DelayBased {
+                if old_alloc.is_zero() {
+                    self.nodes.link_mut(*l).add_edf(
+                        old_alloc.saturating_add(delta),
+                        class.cd,
+                        l_pmax,
+                    );
+                } else {
+                    self.nodes.link_mut(*l).adjust_edf_rate(
+                        class.cd,
+                        old_alloc,
+                        old_alloc.saturating_add(delta),
+                    );
+                }
+            }
+        }
+
+        let m = self
+            .macroflows
+            .get_mut(&macro_id)
+            .expect("macroflow exists");
+        m.profile = plan.new_profile;
+        m.reserved = plan.new_rate;
+        m.members += 1;
+        if !plan.contingency.is_zero() {
+            m.contingency.add(Grant {
+                amount: plan.contingency,
+                granted_at: now,
+                expires,
+            });
+            self.stats.grants += 1;
+        }
+        let total_contingency = m.contingency.total();
+
+        self.flows.insert(
+            req.flow,
+            FlowRecord {
+                profile: req.profile,
+                d_req: class.d_req,
+                path: req.path,
+                service: FlowService::ClassMember {
+                    macroflow: macro_id,
+                },
+            },
+        );
+        Ok(Reservation {
+            flow: req.flow,
+            conditioned_flow: macro_id,
+            rate: plan.new_rate,
+            delay: class.cd,
+            contingency: total_contingency,
+            contingency_expires: expires,
+        })
+    }
+
+    /// Books an externally computed per-flow reservation `⟨rate, delay⟩`
+    /// verbatim, after validating it against this broker's MIBs — the
+    /// child-broker half of a hierarchical deployment, where a parent
+    /// decides the end-to-end pair and instructs each segment's broker to
+    /// install its share (see [`crate::hierarchy`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`Reject::DuplicateFlow`] — the id is already booked here;
+    /// * [`Reject::Bandwidth`] — the rate exceeds the path's residual;
+    /// * [`Reject::Schedulability`] — a delay-based hop cannot accept
+    ///   the pair.
+    pub fn reserve_exact(
+        &mut self,
+        _now: Time,
+        flow: FlowId,
+        profile: &TrafficProfile,
+        rate: Rate,
+        delay: Nanos,
+        path: PathId,
+    ) -> Result<(), Reject> {
+        if self.flows.get(flow).is_some() {
+            return Err(Reject::DuplicateFlow);
+        }
+        let p = self.paths.path(path);
+        if rate > p.residual(&self.nodes) {
+            return Err(Reject::Bandwidth);
+        }
+        for (link, _) in p.delay_links(&self.nodes) {
+            if !link.edf_admissible(rate, delay, profile.l_max) {
+                return Err(Reject::Schedulability);
+            }
+        }
+        let links = self.paths.path(path).links.clone();
+        for l in &links {
+            self.nodes.link_mut(*l).reserve(rate);
+            if self.nodes.link(*l).kind == HopKind::DelayBased {
+                self.nodes.link_mut(*l).add_edf(rate, delay, profile.l_max);
+            }
+        }
+        self.flows.insert(
+            flow,
+            FlowRecord {
+                profile: *profile,
+                d_req: Nanos::MAX,
+                path,
+                service: FlowService::PerFlow { rate, delay },
+            },
+        );
+        self.stats.admitted += 1;
+        Ok(())
+    }
+
+    /// Releases a flow. For a class member this begins the leave
+    /// transient: the macroflow keeps its allocation, with `r^α − r^{α'}`
+    /// reclassified as contingency until the period ends. Returns the
+    /// macroflow's updated reservation for class members, `None` for
+    /// per-flow service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownFlow`] if the id is not in the flow MIB.
+    pub fn release(&mut self, now: Time, flow: FlowId) -> Result<Option<Reservation>, UnknownFlow> {
+        let record = self.flows.remove(flow).ok_or(UnknownFlow(flow))?;
+        self.stats.released += 1;
+        match record.service {
+            FlowService::PerFlow { rate, delay } => {
+                let links = self.paths.path(record.path).links.clone();
+                for l in &links {
+                    self.nodes.link_mut(*l).release(rate);
+                    if self.nodes.link(*l).kind == HopKind::DelayBased {
+                        self.nodes
+                            .link_mut(*l)
+                            .remove_edf(rate, delay, record.profile.l_max);
+                    }
+                }
+                Ok(None)
+            }
+            FlowService::ClassMember { macroflow } => {
+                let class = {
+                    let m = self.macroflows.get(&macroflow).expect("member's macroflow");
+                    *self.classes.get(&m.class).expect("registered class")
+                };
+                let m = self.macroflows.get(&macroflow).expect("member's macroflow");
+                let path = self.paths.path(m.path);
+                let plan = plan_leave(&class, path, (&m.profile, m.reserved), &record.profile);
+
+                let d_edge_old = edge_delay_bound(&m.profile, m.reserved).unwrap_or(class.d_req);
+                let expires = match self.contingency_policy {
+                    ContingencyPolicy::Bounding => Some(
+                        now + bounding_period(
+                            d_edge_old,
+                            m.reserved,
+                            m.contingency.total(),
+                            plan.contingency,
+                        ),
+                    ),
+                    ContingencyPolicy::Feedback => None,
+                };
+
+                let m = self.macroflows.get_mut(&macroflow).expect("macroflow");
+                m.members -= 1;
+                m.reserved = plan.new_rate;
+                match plan.new_profile {
+                    Some(p) => m.profile = p,
+                    None => m.dissolving = true,
+                }
+                if !plan.contingency.is_zero() {
+                    m.contingency.add(Grant {
+                        amount: plan.contingency,
+                        granted_at: now,
+                        expires,
+                    });
+                    self.stats.grants += 1;
+                }
+                // Total allocation is unchanged during the leave
+                // transient — no link updates until expiry/feedback.
+                let reservation = Reservation {
+                    flow,
+                    conditioned_flow: macroflow,
+                    rate: plan.new_rate,
+                    delay: class.cd,
+                    contingency: m.contingency.total(),
+                    contingency_expires: expires,
+                };
+                self.maybe_teardown_macro(macroflow);
+                Ok(Some(reservation))
+            }
+        }
+    }
+
+    /// Processes contingency timer expiries up to `now` (bounding
+    /// policy). Returns `(macroflow, released)` pairs.
+    pub fn tick(&mut self, now: Time) -> Vec<(FlowId, Rate)> {
+        let ids: Vec<FlowId> = self.macroflows.keys().copied().collect();
+        let mut out = Vec::new();
+        for id in ids {
+            let released = {
+                let m = self.macroflows.get_mut(&id).expect("iterating known ids");
+                m.contingency.expire(now)
+            };
+            if !released.is_zero() {
+                self.stats.grant_expiries += 1;
+                self.release_macro_bandwidth(id, released);
+                out.push((id, released));
+            }
+            self.maybe_teardown_macro(id);
+        }
+        out
+    }
+
+    /// Edge feedback: the macroflow's conditioner buffer drained, so all
+    /// of its contingency bandwidth can be reset (§4.2.1). Returns the
+    /// bandwidth released.
+    pub fn edge_buffer_empty(&mut self, _now: Time, macroflow: FlowId) -> Rate {
+        let Some(m) = self.macroflows.get_mut(&macroflow) else {
+            return Rate::ZERO;
+        };
+        let released = m.contingency.reset();
+        if !released.is_zero() {
+            self.stats.grant_resets += 1;
+            self.release_macro_bandwidth(macroflow, released);
+        }
+        self.maybe_teardown_macro(macroflow);
+        released
+    }
+
+    /// Releases `amount` of a macroflow's allocation from its path links,
+    /// keeping the EDF aggregates consistent.
+    fn release_macro_bandwidth(&mut self, macroflow: FlowId, amount: Rate) {
+        let (path_id, class_id, new_alloc) = {
+            let m = self.macroflows.get(&macroflow).expect("known macroflow");
+            (m.path, m.class, m.allocated())
+        };
+        let cd = self.classes.get(&class_id).expect("registered class").cd;
+        let links = self.paths.path(path_id).links.clone();
+        for l in &links {
+            self.nodes.link_mut(*l).release(amount);
+            if self.nodes.link(*l).kind == HopKind::DelayBased {
+                self.nodes.link_mut(*l).adjust_edf_rate(
+                    cd,
+                    new_alloc.saturating_add(amount),
+                    new_alloc,
+                );
+            }
+        }
+    }
+
+    /// Tears down a dissolving macroflow once nothing is allocated.
+    fn maybe_teardown_macro(&mut self, macroflow: FlowId) {
+        let Some(m) = self.macroflows.get(&macroflow) else {
+            return;
+        };
+        if !(m.dissolving && m.contingency.is_empty() && m.reserved.is_zero()) {
+            return;
+        }
+        let (class_id, path_id) = (m.class, m.path);
+        let cd = self.classes.get(&class_id).expect("registered class").cd;
+        let l_pmax = self.paths.path(path_id).l_pmax;
+        // Remove the (now zero-rate) EDF entry so its Lmax burst term no
+        // longer weighs on the links.
+        let links = self.paths.path(path_id).links.clone();
+        for l in &links {
+            if self.nodes.link(*l).kind == HopKind::DelayBased {
+                self.nodes.link_mut(*l).remove_edf(Rate::ZERO, cd, l_pmax);
+            }
+        }
+        self.macroflows.remove(&macroflow);
+        // A successor macroflow may already serve (class, path) — joins
+        // arriving during the dissolution create one — so only clear the
+        // index if it still points at the flow being torn down.
+        if self.macro_index.get(&(class_id, path_id)) == Some(&macroflow) {
+            self.macro_index.remove(&(class_id, path_id));
+        }
+    }
+}
+
+/// Error: the flow id is not in the flow MIB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownFlow(pub FlowId);
+
+impl core::fmt::Display for UnknownFlow {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unknown flow {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownFlow {}

@@ -1,0 +1,255 @@
+//! Contingency bandwidth management (§4.2.1, Theorems 2 & 3).
+//!
+//! When a microflow joins or leaves a macroflow, the backlog already
+//! queued at the edge conditioner can push later packets past the new
+//! edge-delay bound. The fix: alongside the rate change, allocate
+//! **contingency bandwidth** `Δr` for a **contingency period** `τ` long
+//! enough to flush that backlog — `Δr ≥ Pν − rν` on a join (Theorem 2),
+//! `Δr ≥ rν` on a leave (Theorem 3), with `τ ≥ Q(t*)/Δr` in both cases.
+//!
+//! Two ways to end the period:
+//!
+//! * [`ContingencyPolicy::Bounding`] — the broker computes the worst-case
+//!   period `τ̂ = d_edge^old · (r^α + Δr^α(t*)) / Δr` (eq. 17) from the
+//!   backlog bound (eq. 16) and deallocates on that timer. Conservative:
+//!   bandwidth is tied up for the full theoretical period.
+//! * [`ContingencyPolicy::Feedback`] — the edge conditioner reports its
+//!   actual buffer occupancy; the grant is released as soon as the buffer
+//!   drains (usually almost immediately). Additionally, *any* buffer-empty
+//!   report resets all of a macroflow's outstanding contingency (§4.2.1's
+//!   early-reset observation).
+
+use qos_units::ratio::mul_div_ceil;
+use qos_units::{Nanos, Rate, Time};
+use serde::{Deserialize, Serialize};
+
+/// How the broker decides when a contingency grant ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContingencyPolicy {
+    /// Theoretical worst-case period (eq. 17).
+    Bounding,
+    /// Edge-driven release on actual buffer drain.
+    Feedback,
+}
+
+/// One active contingency grant on a macroflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// Extra bandwidth held.
+    pub amount: Rate,
+    /// When it was granted.
+    pub granted_at: Time,
+    /// Timer expiry (bounding policy); `None` for feedback-managed
+    /// grants, which end on an edge report.
+    pub expires: Option<Time>,
+}
+
+/// The contingency bandwidth required by a microflow **join**
+/// (Theorem 2): `Δr = Pν − rν` where `rν = r^{α'} − r^α`.
+#[must_use]
+pub fn join_delta(peak_nu: Rate, increment: Rate) -> Rate {
+    peak_nu.saturating_sub(increment)
+}
+
+/// The contingency bandwidth required by a microflow **leave**
+/// (Theorem 3): `Δr = rν = r^α − r^{α'}`.
+#[must_use]
+pub fn leave_delta(decrement: Rate) -> Rate {
+    decrement
+}
+
+/// The worst-case contingency period `τ̂` (eq. 17):
+/// `τ̂ = d_edge^old · (r^α + Δr^α(t*)) / Δr`,
+/// where `d_edge^old` bounds the backlog age, `base` is the macroflow's
+/// reserved rate, `active` the contingency bandwidth already allocated at
+/// `t*`, and `delta` the new grant.
+///
+/// Returns [`Nanos::ZERO`] when `delta` is zero (no grant, no period).
+#[must_use]
+pub fn bounding_period(d_edge_old: Nanos, base: Rate, active: Rate, delta: Rate) -> Nanos {
+    if delta.is_zero() {
+        return Nanos::ZERO;
+    }
+    Nanos::from_nanos(mul_div_ceil(
+        d_edge_old.as_nanos(),
+        base.saturating_add(active).as_bps(),
+        delta.as_bps(),
+    ))
+}
+
+/// The exact contingency period given a measured backlog (Theorems 2/3):
+/// `τ = Q(t*)/Δr`. Used by the feedback path when the edge reports its
+/// occupancy instead of an empty-buffer event.
+#[must_use]
+pub fn measured_period(backlog_bits: u64, delta: Rate) -> Nanos {
+    if delta.is_zero() || backlog_bits == 0 {
+        return Nanos::ZERO;
+    }
+    Nanos::from_nanos(mul_div_ceil(
+        backlog_bits,
+        qos_units::NANOS_PER_SEC,
+        delta.as_bps(),
+    ))
+}
+
+/// Active contingency grants of one macroflow.
+#[derive(Debug, Clone, Default)]
+pub struct ContingencySet {
+    grants: Vec<Grant>,
+}
+
+impl ContingencySet {
+    /// No grants.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a grant; zero-amount grants are ignored.
+    pub fn add(&mut self, grant: Grant) {
+        if !grant.amount.is_zero() {
+            self.grants.push(grant);
+        }
+    }
+
+    /// Total contingency bandwidth currently held — the `Δr^α(t*)` of
+    /// eq. 16.
+    #[must_use]
+    pub fn total(&self) -> Rate {
+        self.grants
+            .iter()
+            .fold(Rate::ZERO, |acc, g| acc.saturating_add(g.amount))
+    }
+
+    /// Removes grants whose timer has expired by `now`; returns the
+    /// bandwidth released.
+    pub fn expire(&mut self, now: Time) -> Rate {
+        let mut released = Rate::ZERO;
+        self.grants.retain(|g| match g.expires {
+            Some(t) if t <= now => {
+                released = released.saturating_add(g.amount);
+                false
+            }
+            _ => true,
+        });
+        released
+    }
+
+    /// Releases everything (the §4.2.1 early reset on an empty edge
+    /// buffer); returns the bandwidth released.
+    pub fn reset(&mut self) -> Rate {
+        let total = self.total();
+        self.grants.clear();
+        total
+    }
+
+    /// Earliest pending timer expiry, if any.
+    #[must_use]
+    pub fn next_expiry(&self) -> Option<Time> {
+        self.grants.iter().filter_map(|g| g.expires).min()
+    }
+
+    /// Number of active grants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// Whether no grants are active.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.grants.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_follow_the_theorems() {
+        // Join: Δr = Pν − rν.
+        assert_eq!(
+            join_delta(Rate::from_bps(100_000), Rate::from_bps(50_000)),
+            Rate::from_bps(50_000)
+        );
+        // Over-incremented joins clamp to zero.
+        assert_eq!(
+            join_delta(Rate::from_bps(100_000), Rate::from_bps(120_000)),
+            Rate::ZERO
+        );
+        // Leave: Δr = rν.
+        assert_eq!(leave_delta(Rate::from_bps(30_000)), Rate::from_bps(30_000));
+    }
+
+    #[test]
+    fn bounding_period_matches_eq_17() {
+        // d_edge_old = 1.2 s, r = 50 kb/s, no prior contingency,
+        // Δr = 50 kb/s → τ̂ = 1.2 s.
+        assert_eq!(
+            bounding_period(
+                Nanos::from_millis(1_200),
+                Rate::from_bps(50_000),
+                Rate::ZERO,
+                Rate::from_bps(50_000)
+            ),
+            Nanos::from_millis(1_200)
+        );
+        // Prior contingency inflates the bound proportionally.
+        assert_eq!(
+            bounding_period(
+                Nanos::from_millis(1_200),
+                Rate::from_bps(50_000),
+                Rate::from_bps(50_000),
+                Rate::from_bps(50_000)
+            ),
+            Nanos::from_millis(2_400)
+        );
+        assert_eq!(
+            bounding_period(
+                Nanos::from_secs(1),
+                Rate::from_bps(1),
+                Rate::ZERO,
+                Rate::ZERO
+            ),
+            Nanos::ZERO
+        );
+    }
+
+    #[test]
+    fn measured_period_is_backlog_over_delta() {
+        // 48000 bits at Δr = 50 kb/s → 0.96 s.
+        assert_eq!(
+            measured_period(48_000, Rate::from_bps(50_000)),
+            Nanos::from_millis(960)
+        );
+        assert_eq!(measured_period(0, Rate::from_bps(50_000)), Nanos::ZERO);
+    }
+
+    #[test]
+    fn set_bookkeeping() {
+        let mut s = ContingencySet::new();
+        s.add(Grant {
+            amount: Rate::from_bps(100),
+            granted_at: Time::ZERO,
+            expires: Some(Time::from_nanos(10)),
+        });
+        s.add(Grant {
+            amount: Rate::from_bps(200),
+            granted_at: Time::ZERO,
+            expires: Some(Time::from_nanos(20)),
+        });
+        s.add(Grant {
+            amount: Rate::ZERO,
+            granted_at: Time::ZERO,
+            expires: None,
+        });
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total(), Rate::from_bps(300));
+        assert_eq!(s.next_expiry(), Some(Time::from_nanos(10)));
+        assert_eq!(s.expire(Time::from_nanos(10)), Rate::from_bps(100));
+        assert_eq!(s.total(), Rate::from_bps(200));
+        assert_eq!(s.reset(), Rate::from_bps(200));
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,658 @@
+//! A COPS (Common Open Policy Service, RFC 2748) wire codec for the
+//! BB ↔ edge-router control channel.
+//!
+//! §2.2: *"If the flow is admitted, the BB will also pass (using, e.g.,
+//! COPS) the QoS reservation information such as ⟨r, d⟩ to the ingress
+//! router."* This module implements the subset of COPS that conversation
+//! needs, byte-exact:
+//!
+//! * the 8-byte **common header** (version 1, op code, client-type) with
+//!   length-prefixed framing;
+//! * **objects** in the standard `(length, C-Num, C-Type)` TLV format:
+//!   Handle, Context, Decision flags, Error, Report-Type, and Client
+//!   Specific Information (ClientSI) payloads carrying this
+//!   architecture's request/reservation fields;
+//! * typed views of the four message exchanges the broker uses:
+//!   `REQ` (edge → BB: new-flow service request), `DEC` (BB → edge:
+//!   install ⟨r, d⟩ + contingency, or remove), `RPT` (edge → BB:
+//!   buffer-empty feedback), `DRQ` (edge → BB: flow departed).
+//!
+//! The client-type value is from the private/experimental space; the
+//! framing and object grammar follow the RFC, so a capture of this
+//! traffic dissects as COPS.
+//!
+//! Security note: decoders treat all length fields as untrusted — every
+//! read is bounds-checked and rejects truncated or oversized frames
+//! (property-tested against random corruption).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use qos_units::{Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+use crate::mib::PathId;
+use crate::signaling::{FlowRequest, Reservation, ServiceKind};
+
+/// COPS protocol version implemented (RFC 2748).
+pub const VERSION: u8 = 1;
+/// Client-type for the bandwidth-broker guaranteed service (private
+/// space, 0x8000+).
+pub const CLIENT_TYPE: u16 = 0x8002;
+
+/// COPS operation codes (RFC 2748 §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpCode {
+    /// REQ: the edge asks for a policy decision (flow admission).
+    Request,
+    /// DEC: the broker's decision (install / remove).
+    Decision,
+    /// RPT: report state (the edge's buffer-empty feedback).
+    Report,
+    /// DRQ: delete request state (flow departed).
+    DeleteRequest,
+    /// KA: keep-alive.
+    KeepAlive,
+}
+
+impl OpCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            OpCode::Request => 1,
+            OpCode::Decision => 2,
+            OpCode::Report => 3,
+            OpCode::DeleteRequest => 4,
+            OpCode::KeepAlive => 9,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => OpCode::Request,
+            2 => OpCode::Decision,
+            3 => OpCode::Report,
+            4 => OpCode::DeleteRequest,
+            9 => OpCode::KeepAlive,
+            _ => return None,
+        })
+    }
+}
+
+/// Object class numbers (C-Num) used by this client-type.
+mod cnum {
+    pub const HANDLE: u8 = 1;
+    pub const CONTEXT: u8 = 2;
+    pub const DECISION: u8 = 6;
+    pub const ERROR: u8 = 8;
+    pub const CLIENT_SI: u8 = 9;
+    pub const REPORT_TYPE: u8 = 12;
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopsError {
+    /// Fewer bytes than a common header.
+    Truncated,
+    /// Header length field disagrees with the buffer.
+    BadLength,
+    /// Unsupported protocol version.
+    BadVersion,
+    /// Unknown op code.
+    BadOpCode,
+    /// Wrong client-type for this codec.
+    BadClientType,
+    /// An object's length field is malformed.
+    BadObject,
+    /// A required object is missing.
+    MissingObject,
+}
+
+impl core::fmt::Display for CopsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            CopsError::Truncated => "truncated COPS frame",
+            CopsError::BadLength => "COPS header length mismatch",
+            CopsError::BadVersion => "unsupported COPS version",
+            CopsError::BadOpCode => "unknown COPS op code",
+            CopsError::BadClientType => "unexpected COPS client-type",
+            CopsError::BadObject => "malformed COPS object",
+            CopsError::MissingObject => "required COPS object missing",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for CopsError {}
+
+/// A raw COPS object (TLV body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Object {
+    c_num: u8,
+    c_type: u8,
+    body: Bytes,
+}
+
+/// A parsed COPS frame: header plus objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Operation.
+    pub op: OpCode,
+    objects: Vec<Object>,
+}
+
+impl Frame {
+    fn object(&self, c_num: u8) -> Result<&Object, CopsError> {
+        self.objects
+            .iter()
+            .find(|o| o.c_num == c_num)
+            .ok_or(CopsError::MissingObject)
+    }
+}
+
+/// Encodes a frame (header + objects) into bytes.
+fn encode_frame(op: OpCode, objects: &[(u8, u8, Bytes)]) -> Bytes {
+    let mut body = BytesMut::new();
+    for (c_num, c_type, payload) in objects {
+        // Object header: 2-byte length (incl. header), C-Num, C-Type;
+        // contents padded to 4-byte alignment per the RFC.
+        let raw_len: usize = 4 + payload.len();
+        let padded = raw_len.div_ceil(4) * 4;
+        body.put_u16(u16::try_from(raw_len).expect("object fits u16"));
+        body.put_u8(*c_num);
+        body.put_u8(*c_type);
+        body.put_slice(payload);
+        for _ in raw_len..padded {
+            body.put_u8(0);
+        }
+    }
+    let mut out = BytesMut::with_capacity(8 + body.len());
+    out.put_u8(VERSION << 4); // version in the high nibble, flags low
+    out.put_u8(op.to_u8());
+    out.put_u16(CLIENT_TYPE);
+    out.put_u32(u32::try_from(8 + body.len()).expect("frame fits u32"));
+    out.put_slice(&body);
+    out.freeze()
+}
+
+/// Decodes one frame from `buf`, consuming exactly its bytes.
+///
+/// # Errors
+///
+/// Any [`CopsError`] on malformed input; the buffer is left untouched on
+/// error (peek-before-consume framing).
+pub fn decode_frame(buf: &mut Bytes) -> Result<Frame, CopsError> {
+    if buf.len() < 8 {
+        return Err(CopsError::Truncated);
+    }
+    let ver_flags = buf[0];
+    if ver_flags >> 4 != VERSION {
+        return Err(CopsError::BadVersion);
+    }
+    let op = OpCode::from_u8(buf[1]).ok_or(CopsError::BadOpCode)?;
+    let client_type = u16::from_be_bytes([buf[2], buf[3]]);
+    if client_type != CLIENT_TYPE {
+        return Err(CopsError::BadClientType);
+    }
+    let len = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    if len < 8 || len > buf.len() {
+        return Err(CopsError::BadLength);
+    }
+    let mut frame = buf.slice(8..len);
+    let mut objects = Vec::new();
+    while frame.has_remaining() {
+        if frame.len() < 4 {
+            return Err(CopsError::BadObject);
+        }
+        let obj_len = u16::from_be_bytes([frame[0], frame[1]]) as usize;
+        if obj_len < 4 || obj_len > frame.len() {
+            return Err(CopsError::BadObject);
+        }
+        let c_num = frame[2];
+        let c_type = frame[3];
+        let body = frame.slice(4..obj_len);
+        objects.push(Object {
+            c_num,
+            c_type,
+            body,
+        });
+        let padded = obj_len.div_ceil(4) * 4;
+        if padded > frame.len() {
+            // Padding may be absent only on the final object.
+            frame.advance(frame.len());
+        } else {
+            frame.advance(padded);
+        }
+    }
+    buf.advance(len);
+    Ok(Frame { op, objects })
+}
+
+// ---- ClientSI payload codecs ------------------------------------------
+
+fn put_profile(b: &mut BytesMut, p: &TrafficProfile) {
+    b.put_u64(p.sigma.as_bits());
+    b.put_u64(p.rho.as_bps());
+    b.put_u64(p.peak.as_bps());
+    b.put_u64(p.l_max.as_bits());
+}
+
+fn get_profile(b: &mut Bytes) -> Result<TrafficProfile, CopsError> {
+    if b.len() < 32 {
+        return Err(CopsError::BadObject);
+    }
+    TrafficProfile::new(
+        qos_units::Bits::from_bits(b.get_u64()),
+        Rate::from_bps(b.get_u64()),
+        Rate::from_bps(b.get_u64()),
+        qos_units::Bits::from_bits(b.get_u64()),
+    )
+    .map_err(|_| CopsError::BadObject)
+}
+
+/// Encodes an edge → BB flow service request as a COPS `REQ`.
+#[must_use]
+pub fn encode_request(req: &FlowRequest) -> Bytes {
+    let mut handle = BytesMut::new();
+    handle.put_u64(req.flow.0);
+    // Context: R-Type = 1 (incoming message), M-Type = 0.
+    let mut ctx = BytesMut::new();
+    ctx.put_u16(1);
+    ctx.put_u16(0);
+    let mut si = BytesMut::new();
+    put_profile(&mut si, &req.profile);
+    si.put_u64(req.d_req.as_nanos());
+    match req.service {
+        ServiceKind::PerFlow => {
+            si.put_u32(0);
+            si.put_u32(0);
+        }
+        ServiceKind::Class(c) => {
+            si.put_u32(1);
+            si.put_u32(c);
+        }
+    }
+    si.put_u64(req.path.0);
+    encode_frame(
+        OpCode::Request,
+        &[
+            (cnum::HANDLE, 1, handle.freeze()),
+            (cnum::CONTEXT, 1, ctx.freeze()),
+            (cnum::CLIENT_SI, 1, si.freeze()),
+        ],
+    )
+}
+
+/// Decodes a COPS `REQ` back into a [`FlowRequest`].
+///
+/// # Errors
+///
+/// [`CopsError`] on malformed frames or missing objects.
+pub fn decode_request(frame: &Frame) -> Result<FlowRequest, CopsError> {
+    if frame.op != OpCode::Request {
+        return Err(CopsError::BadOpCode);
+    }
+    let mut handle = frame.object(cnum::HANDLE)?.body.clone();
+    if handle.len() < 8 {
+        return Err(CopsError::BadObject);
+    }
+    let flow = FlowId(handle.get_u64());
+    let mut si = frame.object(cnum::CLIENT_SI)?.body.clone();
+    let profile = get_profile(&mut si)?;
+    if si.len() < 8 + 4 + 4 + 8 {
+        return Err(CopsError::BadObject);
+    }
+    let d_req = Nanos::from_nanos(si.get_u64());
+    let kind = si.get_u32();
+    let class = si.get_u32();
+    let path = PathId(si.get_u64());
+    let service = match kind {
+        0 => ServiceKind::PerFlow,
+        1 => ServiceKind::Class(class),
+        _ => return Err(CopsError::BadObject),
+    };
+    Ok(FlowRequest {
+        flow,
+        profile,
+        d_req,
+        service,
+        path,
+    })
+}
+
+/// Decision command values (RFC 2748 Decision-Flags object).
+const CMD_INSTALL: u16 = 1;
+const CMD_REMOVE: u16 = 2;
+
+/// Encodes a BB → edge admit decision (`DEC` / Install + ClientSI with
+/// the reservation).
+#[must_use]
+pub fn encode_decision_install(res: &Reservation) -> Bytes {
+    let mut handle = BytesMut::new();
+    handle.put_u64(res.flow.0);
+    let mut dec = BytesMut::new();
+    dec.put_u16(CMD_INSTALL);
+    dec.put_u16(0);
+    let mut si = BytesMut::new();
+    si.put_u64(res.conditioned_flow.0);
+    si.put_u64(res.rate.as_bps());
+    si.put_u64(res.delay.as_nanos());
+    si.put_u64(res.contingency.as_bps());
+    match res.contingency_expires {
+        Some(t) => {
+            si.put_u8(1);
+            si.put_u64(t.as_nanos());
+        }
+        None => {
+            si.put_u8(0);
+            si.put_u64(0);
+        }
+    }
+    encode_frame(
+        OpCode::Decision,
+        &[
+            (cnum::HANDLE, 1, handle.freeze()),
+            (cnum::DECISION, 1, dec.freeze()),
+            (cnum::CLIENT_SI, 1, si.freeze()),
+        ],
+    )
+}
+
+/// Encodes a BB → edge reject decision (`DEC` / Remove + Error object
+/// carrying the cause as a private error sub-code).
+#[must_use]
+pub fn encode_decision_reject(flow: FlowId, cause: crate::signaling::Reject) -> Bytes {
+    let mut handle = BytesMut::new();
+    handle.put_u64(flow.0);
+    let mut dec = BytesMut::new();
+    dec.put_u16(CMD_REMOVE);
+    dec.put_u16(0);
+    let mut err = BytesMut::new();
+    err.put_u16(1); // Error-Code 1 = "Bad handle" family; sub-code private
+    err.put_u16(reject_code(cause));
+    encode_frame(
+        OpCode::Decision,
+        &[
+            (cnum::HANDLE, 1, handle.freeze()),
+            (cnum::DECISION, 1, dec.freeze()),
+            (cnum::ERROR, 1, err.freeze()),
+        ],
+    )
+}
+
+fn reject_code(r: crate::signaling::Reject) -> u16 {
+    use crate::signaling::Reject as R;
+    match r {
+        R::Policy => 1,
+        R::DelayInfeasible => 2,
+        R::Bandwidth => 3,
+        R::Schedulability => 4,
+        R::UnknownClass => 5,
+        R::DuplicateFlow => 6,
+    }
+}
+
+fn reject_from_code(c: u16) -> Option<crate::signaling::Reject> {
+    use crate::signaling::Reject as R;
+    Some(match c {
+        1 => R::Policy,
+        2 => R::DelayInfeasible,
+        3 => R::Bandwidth,
+        4 => R::Schedulability,
+        5 => R::UnknownClass,
+        6 => R::DuplicateFlow,
+        _ => return None,
+    })
+}
+
+/// A decoded `DEC` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Install the reservation at the edge conditioner.
+    Install(Reservation),
+    /// Remove / reject with the given cause.
+    Reject {
+        /// The flow the decision answers.
+        flow: FlowId,
+        /// Why it was rejected.
+        cause: crate::signaling::Reject,
+    },
+}
+
+/// Decodes a COPS `DEC`.
+///
+/// # Errors
+///
+/// [`CopsError`] on malformed frames.
+pub fn decode_decision(frame: &Frame) -> Result<Decision, CopsError> {
+    if frame.op != OpCode::Decision {
+        return Err(CopsError::BadOpCode);
+    }
+    let mut handle = frame.object(cnum::HANDLE)?.body.clone();
+    if handle.len() < 8 {
+        return Err(CopsError::BadObject);
+    }
+    let flow = FlowId(handle.get_u64());
+    let mut dec = frame.object(cnum::DECISION)?.body.clone();
+    if dec.len() < 4 {
+        return Err(CopsError::BadObject);
+    }
+    let cmd = dec.get_u16();
+    match cmd {
+        CMD_INSTALL => {
+            let mut si = frame.object(cnum::CLIENT_SI)?.body.clone();
+            if si.len() < 8 * 4 + 1 + 8 {
+                return Err(CopsError::BadObject);
+            }
+            let conditioned_flow = FlowId(si.get_u64());
+            let rate = Rate::from_bps(si.get_u64());
+            let delay = Nanos::from_nanos(si.get_u64());
+            let contingency = Rate::from_bps(si.get_u64());
+            let has_expiry = si.get_u8() == 1;
+            let expires_ns = si.get_u64();
+            Ok(Decision::Install(Reservation {
+                flow,
+                conditioned_flow,
+                rate,
+                delay,
+                contingency,
+                contingency_expires: has_expiry.then(|| Time::from_nanos(expires_ns)),
+            }))
+        }
+        CMD_REMOVE => {
+            let mut err = frame.object(cnum::ERROR)?.body.clone();
+            if err.len() < 4 {
+                return Err(CopsError::BadObject);
+            }
+            let _family = err.get_u16();
+            let cause = reject_from_code(err.get_u16()).ok_or(CopsError::BadObject)?;
+            Ok(Decision::Reject { flow, cause })
+        }
+        _ => Err(CopsError::BadObject),
+    }
+}
+
+/// Encodes the edge's buffer-empty feedback (`RPT`, Report-Type =
+/// Success, ClientSI = macroflow + timestamp).
+#[must_use]
+pub fn encode_buffer_empty(macroflow: FlowId, at: Time) -> Bytes {
+    let mut handle = BytesMut::new();
+    handle.put_u64(macroflow.0);
+    let mut rt = BytesMut::new();
+    rt.put_u16(1); // Success
+    rt.put_u16(0);
+    let mut si = BytesMut::new();
+    si.put_u64(at.as_nanos());
+    encode_frame(
+        OpCode::Report,
+        &[
+            (cnum::HANDLE, 1, handle.freeze()),
+            (cnum::REPORT_TYPE, 1, rt.freeze()),
+            (cnum::CLIENT_SI, 1, si.freeze()),
+        ],
+    )
+}
+
+/// Decodes a buffer-empty `RPT` into `(macroflow, at)`.
+///
+/// # Errors
+///
+/// [`CopsError`] on malformed frames.
+pub fn decode_buffer_empty(frame: &Frame) -> Result<(FlowId, Time), CopsError> {
+    if frame.op != OpCode::Report {
+        return Err(CopsError::BadOpCode);
+    }
+    let mut handle = frame.object(cnum::HANDLE)?.body.clone();
+    if handle.len() < 8 {
+        return Err(CopsError::BadObject);
+    }
+    let flow = FlowId(handle.get_u64());
+    let mut si = frame.object(cnum::CLIENT_SI)?.body.clone();
+    if si.len() < 8 {
+        return Err(CopsError::BadObject);
+    }
+    Ok((flow, Time::from_nanos(si.get_u64())))
+}
+
+/// Encodes a flow-departed `DRQ`.
+#[must_use]
+pub fn encode_delete(flow: FlowId) -> Bytes {
+    let mut handle = BytesMut::new();
+    handle.put_u64(flow.0);
+    encode_frame(OpCode::DeleteRequest, &[(cnum::HANDLE, 1, handle.freeze())])
+}
+
+/// Decodes a `DRQ` into the departing flow id.
+///
+/// # Errors
+///
+/// [`CopsError`] on malformed frames.
+pub fn decode_delete(frame: &Frame) -> Result<FlowId, CopsError> {
+    if frame.op != OpCode::DeleteRequest {
+        return Err(CopsError::BadOpCode);
+    }
+    let mut handle = frame.object(cnum::HANDLE)?.body.clone();
+    if handle.len() < 8 {
+        return Err(CopsError::BadObject);
+    }
+    Ok(FlowId(handle.get_u64()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_units::Bits;
+
+    fn req() -> FlowRequest {
+        FlowRequest {
+            flow: FlowId(42),
+            profile: TrafficProfile::new(
+                Bits::from_bits(60_000),
+                Rate::from_bps(50_000),
+                Rate::from_bps(100_000),
+                Bits::from_bytes(1500),
+            )
+            .unwrap(),
+            d_req: Nanos::from_millis(2_440),
+            service: ServiceKind::Class(3),
+            path: PathId(7),
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let bytes = encode_request(&req());
+        let mut buf = bytes.clone();
+        let frame = decode_frame(&mut buf).unwrap();
+        assert!(buf.is_empty(), "frame fully consumed");
+        let back = decode_request(&frame).unwrap();
+        assert_eq!(back.flow, FlowId(42));
+        assert_eq!(back.profile, req().profile);
+        assert_eq!(back.d_req, Nanos::from_millis(2_440));
+        assert_eq!(back.service, ServiceKind::Class(3));
+        assert_eq!(back.path, PathId(7));
+    }
+
+    #[test]
+    fn decision_roundtrips_both_ways() {
+        let res = Reservation {
+            flow: FlowId(42),
+            conditioned_flow: FlowId(1 << 63),
+            rate: Rate::from_bps(100_000),
+            delay: Nanos::from_millis(240),
+            contingency: Rate::from_bps(50_000),
+            contingency_expires: Some(Time::from_nanos(123_456)),
+        };
+        let mut buf = encode_decision_install(&res);
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(decode_decision(&frame).unwrap(), Decision::Install(res));
+
+        let mut buf = encode_decision_reject(FlowId(9), crate::signaling::Reject::Bandwidth);
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(
+            decode_decision(&frame).unwrap(),
+            Decision::Reject {
+                flow: FlowId(9),
+                cause: crate::signaling::Reject::Bandwidth
+            }
+        );
+    }
+
+    #[test]
+    fn report_and_delete_roundtrip() {
+        let mut buf = encode_buffer_empty(FlowId(5), Time::from_nanos(99));
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(
+            decode_buffer_empty(&frame).unwrap(),
+            (FlowId(5), Time::from_nanos(99))
+        );
+        let mut buf = encode_delete(FlowId(6));
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(decode_delete(&frame).unwrap(), FlowId(6));
+    }
+
+    #[test]
+    fn frames_stream_back_to_back() {
+        let mut stream = BytesMut::new();
+        stream.put_slice(&encode_request(&req()));
+        stream.put_slice(&encode_delete(FlowId(42)));
+        let mut buf = stream.freeze();
+        let f1 = decode_frame(&mut buf).unwrap();
+        assert_eq!(f1.op, OpCode::Request);
+        let f2 = decode_frame(&mut buf).unwrap();
+        assert_eq!(f2.op, OpCode::DeleteRequest);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_not_panicked() {
+        // Truncation at every prefix length.
+        let good = encode_request(&req());
+        for cut in 0..good.len() {
+            let mut short = good.slice(..cut);
+            assert!(decode_frame(&mut short).is_err(), "cut at {cut} decoded");
+        }
+        // Wrong version / client-type / op.
+        let mut v = BytesMut::from(&good[..]);
+        v[0] = 0x20;
+        assert_eq!(decode_frame(&mut v.freeze()), Err(CopsError::BadVersion));
+        let mut c = BytesMut::from(&good[..]);
+        c[2] = 0;
+        c[3] = 1;
+        assert_eq!(decode_frame(&mut c.freeze()), Err(CopsError::BadClientType));
+        let mut o = BytesMut::from(&good[..]);
+        o[1] = 200;
+        assert_eq!(decode_frame(&mut o.freeze()), Err(CopsError::BadOpCode));
+    }
+
+    #[test]
+    fn header_length_is_authoritative() {
+        // Declare a length larger than the buffer: rejected.
+        let good = encode_request(&req());
+        let mut big = BytesMut::from(&good[..]);
+        big[4..8].copy_from_slice(&(u32::MAX).to_be_bytes());
+        assert_eq!(decode_frame(&mut big.freeze()), Err(CopsError::BadLength));
+        // Shorter than a header: rejected.
+        let mut tiny = BytesMut::from(&good[..]);
+        tiny[4..8].copy_from_slice(&4u32.to_be_bytes());
+        assert_eq!(decode_frame(&mut tiny.freeze()), Err(CopsError::BadLength));
+    }
+}

@@ -1,0 +1,141 @@
+//! Fluid model of a macroflow's edge-conditioner backlog.
+//!
+//! The contingency **feedback** policy needs to know when the edge buffer
+//! drains. In the packet-level simulator the real
+//! [`vtrs::conditioner::EdgeConditioner`] provides that signal exactly;
+//! for the large-scale blocking experiments (Figure 10) running thousands
+//! of flow arrivals, this fluid approximation captures the same dynamics
+//! at negligible cost: the backlog integrates `arrival_rate −
+//! service_rate` between events, microflow joins may dump a burst, and
+//! the drain instant is predicted in closed form.
+//!
+//! The approximation is conservative in the direction that matters for
+//! the experiment: it never predicts a drain earlier than the fluid
+//! dynamics allow, so feedback-released contingency bandwidth is never
+//! freed too early.
+
+use qos_units::ratio::mul_div_ceil;
+use qos_units::{Bits, Rate, Time, NANOS_PER_SEC};
+
+/// Fluid backlog state of one macroflow's edge conditioner.
+#[derive(Debug, Clone)]
+pub struct FluidEdge {
+    backlog: u64, // bits
+    arrival: Rate,
+    service: Rate,
+    last: Time,
+}
+
+impl FluidEdge {
+    /// A fresh, empty conditioner.
+    #[must_use]
+    pub fn new(now: Time) -> Self {
+        FluidEdge {
+            backlog: 0,
+            arrival: Rate::ZERO,
+            service: Rate::ZERO,
+            last: now,
+        }
+    }
+
+    /// Integrates the fluid dynamics up to `now`.
+    pub fn advance(&mut self, now: Time) {
+        if now <= self.last {
+            return;
+        }
+        let dt = now - self.last;
+        let inflow = self.arrival.bits_in_ceil(dt).as_bits();
+        let outflow = self.service.bits_in_floor(dt).as_bits();
+        self.backlog = (self.backlog + inflow).saturating_sub(outflow);
+        self.last = now;
+    }
+
+    /// Sets the aggregate arrival rate (Σρ of active microflows) after
+    /// advancing to `now`.
+    pub fn set_arrival(&mut self, now: Time, rate: Rate) {
+        self.advance(now);
+        self.arrival = rate;
+    }
+
+    /// Sets the service (shaping) rate — reserved plus contingency —
+    /// after advancing to `now`.
+    pub fn set_service(&mut self, now: Time, rate: Rate) {
+        self.advance(now);
+        self.service = rate;
+    }
+
+    /// Adds an instantaneous burst (a joining microflow dumping up to its
+    /// bucket depth).
+    pub fn add_burst(&mut self, now: Time, bits: Bits) {
+        self.advance(now);
+        self.backlog += bits.as_bits();
+    }
+
+    /// Current backlog in bits (advance first for an up-to-date value).
+    #[must_use]
+    pub fn backlog(&self) -> u64 {
+        self.backlog
+    }
+
+    /// Predicted drain instant under current rates: `None` if the buffer
+    /// never drains (service ≤ arrival with backlog, or rates equal);
+    /// `Some(last)` if already empty.
+    #[must_use]
+    pub fn empty_at(&self) -> Option<Time> {
+        if self.backlog == 0 {
+            return Some(self.last);
+        }
+        let drain = self.service.checked_sub(self.arrival)?;
+        if drain.is_zero() {
+            return None;
+        }
+        let dt = mul_div_ceil(self.backlog, NANOS_PER_SEC, drain.as_bps());
+        Some(self.last + qos_units::Nanos::from_nanos(dt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_units::Nanos;
+
+    #[test]
+    fn integrates_net_rate() {
+        let mut e = FluidEdge::new(Time::ZERO);
+        e.set_arrival(Time::ZERO, Rate::from_bps(100_000));
+        e.set_service(Time::ZERO, Rate::from_bps(60_000));
+        e.advance(Time::from_secs_f64(1.0));
+        assert_eq!(e.backlog(), 40_000);
+        // Flip the imbalance: drains at 40 kb/s.
+        e.set_arrival(Time::from_secs_f64(1.0), Rate::from_bps(20_000));
+        assert_eq!(
+            e.empty_at(),
+            Some(Time::from_secs_f64(1.0) + Nanos::from_secs(1))
+        );
+        e.advance(Time::from_secs_f64(3.0));
+        assert_eq!(e.backlog(), 0);
+    }
+
+    #[test]
+    fn burst_then_drain() {
+        let mut e = FluidEdge::new(Time::ZERO);
+        e.set_service(Time::ZERO, Rate::from_bps(50_000));
+        e.add_burst(Time::ZERO, Bits::from_bits(48_000));
+        assert_eq!(e.empty_at(), Some(Time::from_nanos(960_000_000)));
+    }
+
+    #[test]
+    fn never_drains_when_oversubscribed() {
+        let mut e = FluidEdge::new(Time::ZERO);
+        e.set_arrival(Time::ZERO, Rate::from_bps(100));
+        e.set_service(Time::ZERO, Rate::from_bps(100));
+        e.add_burst(Time::ZERO, Bits::from_bits(1));
+        assert_eq!(e.empty_at(), None);
+    }
+
+    #[test]
+    fn empty_buffer_reports_immediately() {
+        let e = FluidEdge::new(Time::from_nanos(5));
+        assert_eq!(e.empty_at(), Some(Time::from_nanos(5)));
+    }
+}

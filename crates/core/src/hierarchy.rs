@@ -1,0 +1,409 @@
+//! A two-level (hierarchical) bandwidth broker — the paper's first
+//! future-work item, prototyped.
+//!
+//! §1/§2 of the paper note that a single centralized BB can itself become
+//! the bottleneck of a large domain, and propose "a distributed (or
+//! hierarchical) architecture consisting of multiple BBs" as future
+//! work. This module implements the natural two-level split for per-flow
+//! guaranteed services over **rate-based** segments:
+//!
+//! * the domain's path is partitioned into contiguous **segments**, each
+//!   owned by a child [`Broker`] that holds that segment's full node and
+//!   path QoS state;
+//! * the **parent** holds only O(1) *summaries* per segment — hop count,
+//!   `D_tot`, residual bandwidth — refreshed on demand, never per-flow
+//!   state;
+//! * admission runs at the parent: the segment summaries concatenate into
+//!   exactly the end-to-end parameters of the §3.1 formula, the parent
+//!   computes the minimal feasible rate, and instructs each child to
+//!   install it ([`Broker::reserve_exact`]). A child's refusal (its
+//!   summary may be stale) rolls back the children already booked —
+//!   a two-phase discipline.
+//!
+//! The result keeps the architecture's defining property at every level:
+//! core routers hold no QoS state, and now no single broker holds the
+//! whole domain's flow table either. Delay-based segments would
+//! additionally need residual-service summaries (the `S^k` vectors);
+//! that refinement is left out of this prototype, as the paper leaves
+//! the whole direction to future work.
+
+use netsim::topology::{LinkId, Topology};
+use qos_units::{Nanos, Rate, Time};
+use vtrs::delay::min_rate_rate_based;
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+use crate::broker::{Broker, BrokerConfig, UnknownFlow};
+use crate::mib::PathId;
+use crate::signaling::Reject;
+
+/// One segment: a child broker plus the path it owns.
+#[derive(Debug)]
+pub struct Segment {
+    broker: Broker,
+    path: PathId,
+}
+
+/// The O(1) per-segment state the parent works from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentSummary {
+    /// Hops in the segment.
+    pub h: u64,
+    /// `Σ (Ψ + π)` over the segment.
+    pub d_tot: Nanos,
+    /// Residual bandwidth of the segment's path.
+    pub c_res: Rate,
+}
+
+/// Counters for the hierarchical control plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Parent → child instruction messages (reserve + rollback).
+    pub child_messages: u64,
+    /// Admissions.
+    pub admitted: u64,
+    /// Rejections.
+    pub rejected: u64,
+    /// Rollbacks caused by a child refusing a stale-summary decision.
+    pub rollbacks: u64,
+}
+
+/// The parent broker of a two-level hierarchy.
+#[derive(Debug)]
+pub struct HierarchicalBroker {
+    segments: Vec<Segment>,
+    stats: HierarchyStats,
+}
+
+impl HierarchicalBroker {
+    /// Builds the hierarchy: one child broker per `(topology, route)`
+    /// segment, in path order. Segments must be rate-based-only in this
+    /// prototype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment contains delay-based hops (unsupported here)
+    /// or an empty route.
+    #[must_use]
+    pub fn new(segments: Vec<(Topology, Vec<LinkId>)>) -> Self {
+        let segments = segments
+            .into_iter()
+            .map(|(topo, route)| {
+                assert!(!route.is_empty(), "empty segment route");
+                let mut broker = Broker::new(topo, BrokerConfig::default());
+                let path = broker.register_route(&route);
+                assert!(
+                    !broker.paths().path(path).spec.has_delay_hops(),
+                    "hierarchical prototype supports rate-based segments only"
+                );
+                Segment { broker, path }
+            })
+            .collect();
+        HierarchicalBroker {
+            segments,
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Number of segments.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// The parent's current per-segment summaries (what it would cache
+    /// and refresh in a deployment).
+    #[must_use]
+    pub fn summaries(&self) -> Vec<SegmentSummary> {
+        self.segments
+            .iter()
+            .map(|s| {
+                let p = s.broker.paths().path(s.path);
+                SegmentSummary {
+                    h: p.spec.h(),
+                    d_tot: p.spec.d_tot(),
+                    c_res: p.residual(s.broker.nodes()),
+                }
+            })
+            .collect()
+    }
+
+    /// Per-flow count at a child — the parent never stores these.
+    #[must_use]
+    pub fn child_flow_count(&self, segment: usize) -> usize {
+        self.segments[segment].broker.flows().len()
+    }
+
+    /// End-to-end admission: concatenate the segment summaries, compute
+    /// the §3.1 minimal rate, and install it segment by segment with
+    /// rollback on refusal.
+    ///
+    /// # Errors
+    ///
+    /// * [`Reject::DelayInfeasible`] — infeasible at any rate ≤ `P`;
+    /// * [`Reject::Bandwidth`] — a summary or a child refused for
+    ///   capacity.
+    pub fn request(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        profile: &TrafficProfile,
+        d_req: Nanos,
+    ) -> Result<Rate, Reject> {
+        let summaries = self.summaries();
+        self.request_with_summaries(now, flow, profile, d_req, &summaries)
+    }
+
+    /// Like [`HierarchicalBroker::request`], but deciding from
+    /// caller-supplied (possibly cached, possibly stale) summaries — a
+    /// deployment refreshes summaries periodically rather than per
+    /// request, so a child may refuse and trigger the rollback path.
+    ///
+    /// # Errors
+    ///
+    /// As [`HierarchicalBroker::request`]; a stale-summary refusal
+    /// surfaces as [`Reject::Bandwidth`] after rollback.
+    pub fn request_with_summaries(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        profile: &TrafficProfile,
+        d_req: Nanos,
+        summaries: &[SegmentSummary],
+    ) -> Result<Rate, Reject> {
+        let h: u64 = summaries.iter().map(|s| s.h).sum();
+        let d_tot: Nanos = summaries.iter().map(|s| s.d_tot).sum();
+        let c_res = summaries.iter().map(|s| s.c_res).min().unwrap_or(Rate::MAX);
+
+        let r_min = match min_rate_rate_based(profile, h, d_tot, d_req) {
+            Some(r) => r,
+            None => {
+                self.stats.rejected += 1;
+                return Err(Reject::DelayInfeasible);
+            }
+        };
+        if r_min > profile.peak {
+            self.stats.rejected += 1;
+            return Err(Reject::DelayInfeasible);
+        }
+        let rate = r_min.max(profile.rho);
+        if rate > c_res {
+            self.stats.rejected += 1;
+            return Err(Reject::Bandwidth);
+        }
+
+        // Two-phase install across the children.
+        let mut booked = Vec::new();
+        for (idx, seg) in self.segments.iter_mut().enumerate() {
+            self.stats.child_messages += 1;
+            match seg
+                .broker
+                .reserve_exact(now, flow, profile, rate, Nanos::ZERO, seg.path)
+            {
+                Ok(()) => booked.push(idx),
+                Err(_) => {
+                    // Stale summary: roll back and refuse.
+                    for b in booked {
+                        self.stats.child_messages += 1;
+                        self.segments[b]
+                            .broker
+                            .release(now, flow)
+                            .expect("rollback of a booked segment");
+                    }
+                    self.stats.rollbacks += 1;
+                    self.stats.rejected += 1;
+                    return Err(Reject::Bandwidth);
+                }
+            }
+        }
+        self.stats.admitted += 1;
+        Ok(rate)
+    }
+
+    /// Releases a flow on every segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownFlow`] if no segment knows the id.
+    pub fn release(&mut self, now: Time, flow: FlowId) -> Result<(), UnknownFlow> {
+        let mut found = false;
+        for seg in &mut self.segments {
+            self.stats.child_messages += 1;
+            if seg.broker.release(now, flow).is_ok() {
+                found = true;
+            }
+        }
+        if found {
+            Ok(())
+        } else {
+            Err(UnknownFlow(flow))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::topology::{SchedulerSpec, TopologyBuilder};
+    use qos_units::Bits;
+
+    fn type0() -> TrafficProfile {
+        TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap()
+    }
+
+    /// A chain of `hops` CsVC links as (topology, route).
+    fn segment(hops: usize) -> (Topology, Vec<LinkId>) {
+        let mut b = TopologyBuilder::new();
+        let nodes: Vec<_> = (0..=hops).map(|i| b.node(format!("n{i}"))).collect();
+        let route = (0..hops)
+            .map(|i| {
+                b.link(
+                    nodes[i],
+                    nodes[i + 1],
+                    Rate::from_bps(1_500_000),
+                    Nanos::ZERO,
+                    SchedulerSpec::CsVc,
+                    Bits::from_bytes(1500),
+                )
+            })
+            .collect();
+        (b.build(), route)
+    }
+
+    /// The Figure-8 S1→D1 path split 3 + 2 across two children.
+    fn two_level() -> HierarchicalBroker {
+        HierarchicalBroker::new(vec![segment(3), segment(2)])
+    }
+
+    #[test]
+    fn summaries_concatenate_to_the_flat_path() {
+        let hb = two_level();
+        let s = hb.summaries();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].h + s[1].h, 5);
+        assert_eq!(s[0].d_tot + s[1].d_tot, Nanos::from_millis(40));
+        assert_eq!(s[0].c_res, Rate::from_bps(1_500_000));
+    }
+
+    #[test]
+    fn hierarchical_admission_matches_the_flat_broker() {
+        // Same counts and rates as the single-broker Table-2 columns.
+        for (d_ms, expected, rate) in [(2_440u64, 30u64, 50_000u64), (2_190, 27, 54_020)] {
+            let mut hb = two_level();
+            let mut n = 0u64;
+            while let Ok(r) = hb.request(Time::ZERO, FlowId(n), &type0(), Nanos::from_millis(d_ms))
+            {
+                assert_eq!(r, Rate::from_bps(rate));
+                n += 1;
+                assert!(n <= 40, "runaway admission");
+            }
+            assert_eq!(n, expected, "D = {d_ms} ms");
+            assert_eq!(hb.stats().admitted, expected);
+            assert_eq!(hb.stats().rollbacks, 0);
+            // The parent holds no flow state; children hold only their
+            // segment's.
+            assert_eq!(hb.child_flow_count(0), expected as usize);
+            assert_eq!(hb.child_flow_count(1), expected as usize);
+        }
+    }
+
+    #[test]
+    fn release_frees_both_segments() {
+        let mut hb = two_level();
+        hb.request(Time::ZERO, FlowId(1), &type0(), Nanos::from_millis(2_440))
+            .unwrap();
+        let before = hb.summaries();
+        assert_eq!(before[0].c_res, Rate::from_bps(1_450_000));
+        hb.release(Time::ZERO, FlowId(1)).unwrap();
+        let after = hb.summaries();
+        assert_eq!(after[0].c_res, Rate::from_bps(1_500_000));
+        assert_eq!(after[1].c_res, Rate::from_bps(1_500_000));
+        assert!(hb.release(Time::ZERO, FlowId(1)).is_err());
+    }
+
+    #[test]
+    fn child_refusal_rolls_back_cleanly() {
+        let mut hb = two_level();
+        // Cache summaries, then let another booking make them stale
+        // (simulating concurrent control activity between refreshes).
+        let stale = hb.summaries();
+        let ghost = type0();
+        let seg1_path = hb.segments[1].path;
+        hb.segments[1]
+            .broker
+            .reserve_exact(
+                Time::ZERO,
+                FlowId(999),
+                &ghost,
+                Rate::from_bps(1_480_000),
+                Nanos::ZERO,
+                seg1_path,
+            )
+            .unwrap();
+        // Deciding from the stale summaries, the parent books segment 0,
+        // segment 1 refuses, and the rollback must leave no residue.
+        let err = hb
+            .request_with_summaries(
+                Time::ZERO,
+                FlowId(1),
+                &type0(),
+                Nanos::from_millis(2_440),
+                &stale,
+            )
+            .unwrap_err();
+        assert_eq!(err, Reject::Bandwidth);
+        assert_eq!(hb.stats().rollbacks, 1);
+        assert_eq!(hb.child_flow_count(0), 0);
+        assert_eq!(
+            hb.summaries()[0].c_res,
+            Rate::from_bps(1_500_000),
+            "rollback leaked bandwidth on segment 0"
+        );
+        // With fresh summaries the refusal happens at the parent, with no
+        // child messages wasted.
+        let msgs = hb.stats().child_messages;
+        assert_eq!(
+            hb.request(Time::ZERO, FlowId(2), &type0(), Nanos::from_millis(2_440)),
+            Err(Reject::Bandwidth)
+        );
+        assert_eq!(hb.stats().child_messages, msgs);
+    }
+
+    #[test]
+    fn message_cost_is_per_segment_not_per_hop() {
+        let mut hb = HierarchicalBroker::new(vec![segment(10), segment(10), segment(10)]);
+        hb.request(Time::ZERO, FlowId(1), &type0(), Nanos::from_secs(30))
+            .unwrap();
+        // 3 children × 1 reserve message — not 30 per-hop messages.
+        assert_eq!(hb.stats().child_messages, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate-based segments only")]
+    fn delay_segments_are_rejected_by_the_prototype() {
+        let mut b = TopologyBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        let l = b.link(
+            x,
+            y,
+            Rate::from_bps(1_500_000),
+            Nanos::ZERO,
+            SchedulerSpec::VtEdf,
+            Bits::from_bytes(1500),
+        );
+        let _ = HierarchicalBroker::new(vec![(b.build(), vec![l])]);
+    }
+}

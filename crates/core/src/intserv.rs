@@ -1,0 +1,432 @@
+//! The IntServ/Guaranteed-Service baseline (§5's comparison scheme).
+//!
+//! The conventional architecture the paper argues against: QoS control is
+//! **hop-by-hop**. Every router keeps its own reservation state (per-flow
+//! rate for VC hops; per-flow ⟨rate, local deadline⟩ for RC-EDF hops) and
+//! runs a *local* admission test as the setup message travels the path,
+//! tearing down partial state on failure — the RSVP discipline, including
+//! soft-state refresh bookkeeping.
+//!
+//! The reserved rate is computed from the IETF Guaranteed Service delay
+//! formula against the WFQ reference system (RFC 2212), with per-hop
+//! error terms `C_i = Lmax`, `D_i = Lmax*/C_link`. For a dual-token-
+//! bucket source and `ρ ≤ R ≤ P` this is
+//!
+//! ```text
+//! d_e2e = T_on (P−R)/R + (L + C_tot)/R + D_tot
+//!       = T_on (P−R)/R + (h+1)·L/R + D_tot ,
+//! ```
+//!
+//! numerically identical to the VTRS rate-based bound — which is why
+//! Table 2 shows IntServ/GS and per-flow BB/VTRS admitting the same call
+//! counts on rate-based paths. On mixed paths GS first fixes `R` from the
+//! all-hops WFQ formula and then derives the RC-EDF local deadline
+//! `d_i = L/R`; the broker's path-oriented algorithm can instead trade
+//! rate against deadline path-wide, which is the §5 "slightly smaller
+//! average reserved rate" effect (Figure 9).
+
+use std::collections::HashMap;
+
+use netsim::topology::Topology;
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::delay::min_rate_rate_based;
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+use vtrs::reference::{HopKind, PathSpec};
+
+use crate::mib::LinkQos;
+use crate::signaling::Reject;
+
+/// Per-router (per-link) reservation state under the hop-by-hop model.
+#[derive(Debug)]
+struct HopState {
+    qos: LinkQos,
+    /// Installed per-flow entries — the state footprint the BB
+    /// architecture eliminates from the core.
+    flows: HashMap<FlowId, (Rate, Nanos, Bits)>,
+}
+
+/// A flow's end-to-end record at the IntServ control plane.
+#[derive(Debug, Clone)]
+struct GsFlow {
+    route: Vec<usize>,
+    rate: Rate,
+    local_deadline: Nanos,
+    /// Soft-state epoch of the last refresh.
+    refreshed_at: Time,
+}
+
+/// Counters for the comparison benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntServStats {
+    /// Signaling messages processed (setup, per-hop, teardown, refresh).
+    pub messages: u64,
+    /// Admissions.
+    pub admitted: u64,
+    /// Rejections.
+    pub rejected: u64,
+    /// Per-hop state entries currently installed across all routers.
+    pub installed_entries: u64,
+    /// Soft-state refresh messages sent.
+    pub refreshes: u64,
+}
+
+/// The IntServ/GS control plane for a domain.
+#[derive(Debug)]
+pub struct IntServ {
+    hops: Vec<HopState>,
+    flows: HashMap<FlowId, GsFlow>,
+    stats: IntServStats,
+    /// Soft-state refresh period (RSVP default 30 s).
+    pub refresh_period: Nanos,
+}
+
+impl IntServ {
+    /// Builds the hop-by-hop control plane over a topology: every link
+    /// gets its own QoS state and local admission logic.
+    #[must_use]
+    pub fn new(topo: &Topology) -> Self {
+        let hops = topo
+            .links()
+            .iter()
+            .map(|l| HopState {
+                qos: LinkQos::new(
+                    l.capacity,
+                    l.scheduler.kind(),
+                    l.scheduler.psi(l.capacity, l.max_packet),
+                    l.prop_delay,
+                    l.max_packet,
+                ),
+                flows: HashMap::new(),
+            })
+            .collect();
+        IntServ {
+            hops,
+            flows: HashMap::new(),
+            stats: IntServStats::default(),
+            refresh_period: Nanos::from_secs(30),
+        }
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> &IntServStats {
+        &self.stats
+    }
+
+    /// The GS reserved rate for a request over `spec` — the WFQ-reference
+    /// formula treating every hop as rate-based.
+    ///
+    /// Returns `None` when the requirement is infeasible below the peak
+    /// rate (GS would then need `R > P`, which the paper's comparison —
+    /// like the VTRS edge conditioner — does not use).
+    #[must_use]
+    pub fn gs_rate(profile: &TrafficProfile, d_req: Nanos, spec: &PathSpec) -> Option<Rate> {
+        let r = min_rate_rate_based(profile, spec.h(), spec.d_tot(), d_req)?;
+        let r = r.max(profile.rho);
+        (r <= profile.peak).then_some(r)
+    }
+
+    /// Attempts a hop-by-hop reservation setup along `route` (link
+    /// indices into the topology the control plane was built from).
+    ///
+    /// # Errors
+    ///
+    /// * [`Reject::DelayInfeasible`] — the GS formula yields no rate
+    ///   ≤ `P`;
+    /// * [`Reject::Bandwidth`] / [`Reject::Schedulability`] — a hop's
+    ///   local test failed (partial reservations are torn down);
+    /// * [`Reject::DuplicateFlow`] — the flow is already installed.
+    pub fn request(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        profile: &TrafficProfile,
+        d_req: Nanos,
+        route: &[usize],
+    ) -> Result<Rate, Reject> {
+        if self.flows.contains_key(&flow) {
+            return Err(Reject::DuplicateFlow);
+        }
+        let spec = PathSpec::new(route.iter().map(|i| self.hops[*i].qos.hop_spec()).collect());
+        let rate = Self::gs_rate(profile, d_req, &spec).ok_or(Reject::DelayInfeasible)?;
+        // RC-EDF local deadline derived from the WFQ reference rate.
+        let local_deadline = profile.l_max.tx_time_ceil(rate);
+
+        // Hop-by-hop setup: one message per hop; local test at each.
+        let mut installed = Vec::new();
+        for idx in route {
+            self.stats.messages += 1;
+            let kind = self.hops[*idx].qos.kind;
+            let ok = {
+                let hop = &self.hops[*idx];
+                match kind {
+                    HopKind::RateBased => rate <= hop.qos.residual(),
+                    HopKind::DelayBased => {
+                        hop.qos.edf_admissible(rate, local_deadline, profile.l_max)
+                    }
+                }
+            };
+            if !ok {
+                // Teardown of partial state (one message per installed hop).
+                for done in installed {
+                    self.uninstall(done, flow);
+                    self.stats.messages += 1;
+                }
+                self.stats.rejected += 1;
+                return Err(match kind {
+                    HopKind::RateBased => Reject::Bandwidth,
+                    HopKind::DelayBased => Reject::Schedulability,
+                });
+            }
+            let hop = &mut self.hops[*idx];
+            hop.qos.reserve(rate);
+            if hop.qos.kind == HopKind::DelayBased {
+                hop.qos.add_edf(rate, local_deadline, profile.l_max);
+            }
+            hop.flows
+                .insert(flow, (rate, local_deadline, profile.l_max));
+            self.stats.installed_entries += 1;
+            installed.push(*idx);
+        }
+        self.flows.insert(
+            flow,
+            GsFlow {
+                route: route.to_vec(),
+                rate,
+                local_deadline,
+                refreshed_at: now,
+            },
+        );
+        self.stats.admitted += 1;
+        self.stats.messages += 1; // confirmation back to the sender
+        Ok(rate)
+    }
+
+    fn uninstall(&mut self, hop_idx: usize, flow: FlowId) {
+        let hop = &mut self.hops[hop_idx];
+        if let Some((rate, d, l_max)) = hop.flows.remove(&flow) {
+            hop.qos.release(rate);
+            if hop.qos.kind == HopKind::DelayBased {
+                hop.qos.remove_edf(rate, d, l_max);
+            }
+            self.stats.installed_entries -= 1;
+        }
+    }
+
+    /// Tears a flow down hop by hop.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the flow is unknown.
+    pub fn release(&mut self, flow: FlowId) -> Result<(), crate::broker::UnknownFlow> {
+        let gs = self
+            .flows
+            .remove(&flow)
+            .ok_or(crate::broker::UnknownFlow(flow))?;
+        for idx in gs.route.clone() {
+            self.uninstall(idx, flow);
+            self.stats.messages += 1;
+        }
+        Ok(())
+    }
+
+    /// Soft-state refresh pass: every installed flow re-announces its
+    /// reservation at every hop when its refresh period lapses — the
+    /// recurring control traffic the paper's architecture avoids.
+    /// Returns the number of refresh messages generated.
+    pub fn refresh(&mut self, now: Time) -> u64 {
+        let mut sent = 0;
+        for gs in self.flows.values_mut() {
+            if now.saturating_since(gs.refreshed_at) >= self.refresh_period {
+                sent += gs.route.len() as u64;
+                gs.refreshed_at = now;
+            }
+        }
+        self.stats.refreshes += sent;
+        self.stats.messages += sent;
+        sent
+    }
+
+    /// Installed flow count (control-plane view).
+    #[must_use]
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Reserved rate of an installed flow.
+    #[must_use]
+    pub fn flow_rate(&self, flow: FlowId) -> Option<Rate> {
+        self.flows.get(&flow).map(|g| g.rate)
+    }
+
+    /// The RC-EDF local deadline assigned to an installed flow.
+    #[must_use]
+    pub fn flow_deadline(&self, flow: FlowId) -> Option<Nanos> {
+        self.flows.get(&flow).map(|g| g.local_deadline)
+    }
+
+    /// Residual bandwidth at a hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range hop index.
+    #[must_use]
+    pub fn hop_residual(&self, idx: usize) -> Rate {
+        self.hops[idx].qos.residual()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::topology::{SchedulerSpec, TopologyBuilder};
+
+    fn type0() -> TrafficProfile {
+        TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap()
+    }
+
+    fn topo(kinds: &[SchedulerSpec]) -> Topology {
+        let mut b = TopologyBuilder::new();
+        let nodes: Vec<_> = (0..=kinds.len()).map(|i| b.node(format!("n{i}"))).collect();
+        for (i, k) in kinds.iter().enumerate() {
+            b.link(
+                nodes[i],
+                nodes[i + 1],
+                Rate::from_bps(1_500_000),
+                Nanos::ZERO,
+                *k,
+                Bits::from_bytes(1500),
+            );
+        }
+        b.build()
+    }
+
+    fn rate_only() -> Topology {
+        topo(&[SchedulerSpec::CsVc; 5])
+    }
+
+    fn mixed() -> Topology {
+        topo(&[
+            SchedulerSpec::CsVc,
+            SchedulerSpec::CsVc,
+            SchedulerSpec::VtEdf,
+            SchedulerSpec::VtEdf,
+            SchedulerSpec::CsVc,
+        ])
+    }
+
+    fn fill(is: &mut IntServ, d_req_ms: u64) -> usize {
+        let p = type0();
+        let route: Vec<usize> = (0..5).collect();
+        let mut n = 0;
+        while is
+            .request(
+                Time::ZERO,
+                FlowId(n as u64),
+                &p,
+                Nanos::from_millis(d_req_ms),
+                &route,
+            )
+            .is_ok()
+        {
+            n += 1;
+            assert!(n <= 40, "runaway admission");
+        }
+        n
+    }
+
+    #[test]
+    fn gs_admits_30_at_244_and_27_at_219_rate_only() {
+        let t = rate_only();
+        assert_eq!(fill(&mut IntServ::new(&t), 2_440), 30);
+        assert_eq!(fill(&mut IntServ::new(&t), 2_190), 27);
+    }
+
+    #[test]
+    fn gs_admits_30_at_244_and_27_at_219_mixed() {
+        // Table 2: IntServ/GS counts are identical in the mixed setting.
+        let t = mixed();
+        assert_eq!(fill(&mut IntServ::new(&t), 2_440), 30);
+        assert_eq!(fill(&mut IntServ::new(&t), 2_190), 27);
+    }
+
+    #[test]
+    fn failed_setup_leaves_no_partial_state() {
+        let t = mixed();
+        let mut is = IntServ::new(&t);
+        let n = fill(&mut is, 2_440);
+        let entries_full = is.stats().installed_entries;
+        assert_eq!(entries_full, n as u64 * 5);
+        // One more request fails at some hop; state count must be
+        // unchanged afterwards.
+        let p = type0();
+        let route: Vec<usize> = (0..5).collect();
+        assert!(is
+            .request(
+                Time::ZERO,
+                FlowId(999),
+                &p,
+                Nanos::from_millis(2_440),
+                &route
+            )
+            .is_err());
+        assert_eq!(is.stats().installed_entries, entries_full);
+        assert!(is.flow_rate(FlowId(999)).is_none());
+    }
+
+    #[test]
+    fn release_frees_capacity_everywhere() {
+        let t = rate_only();
+        let mut is = IntServ::new(&t);
+        let n = fill(&mut is, 2_440);
+        assert_eq!(n, 30);
+        is.release(FlowId(0)).unwrap();
+        assert_eq!(is.stats().installed_entries, 29 * 5);
+        // Capacity is back: one more admission succeeds.
+        let p = type0();
+        let route: Vec<usize> = (0..5).collect();
+        assert!(is
+            .request(
+                Time::ZERO,
+                FlowId(100),
+                &p,
+                Nanos::from_millis(2_440),
+                &route
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn soft_state_refresh_scales_with_flows_and_hops() {
+        let t = rate_only();
+        let mut is = IntServ::new(&t);
+        let n = fill(&mut is, 2_440) as u64;
+        assert_eq!(is.refresh(Time::from_nanos(1)), 0); // too early
+        let later = Time::ZERO + Nanos::from_secs(30);
+        assert_eq!(is.refresh(later), n * 5);
+        // Immediately after, nothing is due.
+        assert_eq!(is.refresh(later), 0);
+    }
+
+    #[test]
+    fn rc_edf_deadline_follows_gs_rate() {
+        let t = mixed();
+        let mut is = IntServ::new(&t);
+        let p = type0();
+        let route: Vec<usize> = (0..5).collect();
+        let r = is
+            .request(Time::ZERO, FlowId(1), &p, Nanos::from_millis(2_190), &route)
+            .unwrap();
+        assert_eq!(r, Rate::from_bps(54_020));
+        // d_local = L/R.
+        let d = is.flow_deadline(FlowId(1)).unwrap();
+        assert_eq!(d, Nanos::from_nanos(222_139_949)); // ceil(12000e9/54020)
+    }
+}

@@ -1,0 +1,48 @@
+//! The bandwidth broker (BB) — the paper's contribution.
+//!
+//! Under this architecture **all QoS control state lives here**: core
+//! routers run stateless schedulers (see [`sched`]) driven purely by
+//! dynamic packet state, while the broker holds the flow, node and path
+//! QoS information bases ([`mib`]) and performs every control-plane
+//! function — policy control ([`policy`]), path selection ([`routing`]),
+//! admission control ([`admission`]) and resource bookkeeping
+//! ([`broker`]).
+//!
+//! Admission is **path-oriented**: because the broker sees the entire
+//! path's QoS state at once, it tests all constraints simultaneously
+//! instead of hop by hop —
+//!
+//! * [`admission::rate_based`] — the O(1) test for paths of rate-based
+//!   schedulers only (§3.1);
+//! * [`admission::mixed`] — the Figure-4 algorithm over the distinct
+//!   delay values of the path's delay-based schedulers, returning the
+//!   minimal feasible rate–delay pair (§3.2, Theorem 1);
+//! * [`admission::aggregate`] — class-based guaranteed services under
+//!   dynamic flow aggregation (§4.3), using the contingency-bandwidth
+//!   machinery of [`contingency`] (Theorems 2–4) to neutralize the
+//!   transient delay-bound hazard of microflow joins and leaves.
+//!
+//! [`hierarchy`] prototypes the paper's first future-work item — a
+//! two-level broker where the parent holds only O(1) per-segment
+//! summaries. [`intserv`] implements the comparison baseline of §5: the
+//! IntServ/Guaranteed-Service model with hop-by-hop admission, per-router
+//! reservation state, and the WFQ-reference delay formula.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod broker;
+pub mod contingency;
+pub mod cops;
+pub mod edge_model;
+pub mod hierarchy;
+pub mod intserv;
+pub mod mib;
+pub mod policy;
+pub mod routing;
+pub mod signaling;
+
+pub use broker::{Broker, BrokerConfig};
+pub use mib::{FlowMib, NodeMib, PathId, PathMib};
+pub use signaling::{FlowRequest, Reject, Reservation, ServiceKind};

@@ -1,0 +1,760 @@
+//! The broker's QoS state information bases (§2.2).
+//!
+//! Three bases, exactly as the paper lays them out:
+//!
+//! * the **flow information base** ([`FlowMib`]) — per-flow traffic
+//!   profile, service requirement and granted reservation;
+//! * the **node QoS state information base** ([`NodeMib`]) — per-link
+//!   capacity, scheduler kind and error term, current reservations, and
+//!   (for delay-based links) the per-delay-class aggregates needed to
+//!   evaluate the EDF schedulability condition without enumerating flows;
+//! * the **path QoS state information base** ([`PathMib`]) — per-path hop
+//!   counts, `D_tot = Σ(Ψ+π)`, maximum permissible packet size, and the
+//!   residual-bandwidth / residual-service views the path-oriented
+//!   admission algorithms consume.
+//!
+//! Everything here is plain bookkeeping on exact integer arithmetic — no
+//! router is consulted, which is the architectural point.
+
+use std::collections::{BTreeMap, HashMap};
+
+use qos_units::{Bits, Nanos, Rate, NANOS_PER_SEC};
+use serde::{Deserialize, Serialize};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+use vtrs::reference::{HopKind, HopSpec, PathSpec};
+
+/// Identifies a path registered in the [`PathMib`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PathId(pub u64);
+
+/// Identifies a link (router output port) in the broker's view of the
+/// domain. Mirrors `netsim::LinkId` numerically when the broker is built
+/// from a simulator topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkRef(pub usize);
+
+/// Aggregated reservation state of one delay class on a delay-based link.
+///
+/// The broker never stores per-flow entries at links — only these
+/// per-delay-value sums, which are sufficient to evaluate the EDF
+/// schedulability condition and the residual service exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdfClass {
+    /// Σ r over flows of this delay value.
+    pub rate: Rate,
+    /// Σ r·d in bps·ns (u128 to avoid overflow), for prefix-sum use.
+    pub rate_delay: u128,
+    /// Σ L scaled by 10⁹ (same fixed-point unit as residual service).
+    pub lmax_scaled: u128,
+    /// Number of reservations in the class.
+    pub count: u64,
+}
+
+/// Per-link QoS state held by the broker.
+#[derive(Debug, Clone)]
+pub struct LinkQos {
+    /// Link capacity `C`.
+    pub capacity: Rate,
+    /// Scheduler classification (rate- or delay-based).
+    pub kind: HopKind,
+    /// Scheduler error term `Ψ`.
+    pub psi: Nanos,
+    /// Propagation delay `π` to the next node.
+    pub prop_delay: Nanos,
+    /// Largest packet admitted on the link.
+    pub max_packet: Bits,
+    /// Total reserved bandwidth (all flows, plus active contingency).
+    reserved: Rate,
+    /// Delay-class aggregates (delay-based links only; empty otherwise).
+    edf: BTreeMap<Nanos, EdfClass>,
+}
+
+impl LinkQos {
+    /// Creates link state from static parameters.
+    #[must_use]
+    pub fn new(
+        capacity: Rate,
+        kind: HopKind,
+        psi: Nanos,
+        prop_delay: Nanos,
+        max_packet: Bits,
+    ) -> Self {
+        LinkQos {
+            capacity,
+            kind,
+            psi,
+            prop_delay,
+            max_packet,
+            reserved: Rate::ZERO,
+            edf: BTreeMap::new(),
+        }
+    }
+
+    /// This link's contribution to a path characterization.
+    #[must_use]
+    pub fn hop_spec(&self) -> HopSpec {
+        HopSpec {
+            kind: self.kind,
+            psi: self.psi,
+            prop_delay: self.prop_delay,
+        }
+    }
+
+    /// Currently reserved bandwidth.
+    #[must_use]
+    pub fn reserved(&self) -> Rate {
+        self.reserved
+    }
+
+    /// Residual bandwidth `C_res = C − Σr` (zero if oversubscribed, which
+    /// bookkeeping never allows).
+    #[must_use]
+    pub fn residual(&self) -> Rate {
+        self.capacity.saturating_sub(self.reserved)
+    }
+
+    /// Reserves `r` on the link (bandwidth dimension only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation would exceed capacity — callers must
+    /// admission-test first; violating that is a broker bug.
+    pub fn reserve(&mut self, r: Rate) {
+        let new_total = self.reserved.saturating_add(r);
+        assert!(
+            new_total <= self.capacity,
+            "link over-reserved: {} + {} > {}",
+            self.reserved,
+            r,
+            self.capacity
+        );
+        self.reserved = new_total;
+    }
+
+    /// Releases `r` previously reserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is released than reserved (double-release bug).
+    pub fn release(&mut self, r: Rate) {
+        self.reserved = self
+            .reserved
+            .checked_sub(r)
+            .expect("link reservation released twice");
+    }
+
+    /// Adds an EDF reservation `⟨r, d⟩` with packet bound `l_max` to the
+    /// link's delay-class aggregates (delay-based links).
+    pub fn add_edf(&mut self, r: Rate, d: Nanos, l_max: Bits) {
+        let class = self.edf.entry(d).or_default();
+        class.rate += r;
+        class.rate_delay += u128::from(r.as_bps()) * u128::from(d.as_nanos());
+        class.lmax_scaled += u128::from(l_max.as_bits()) * u128::from(NANOS_PER_SEC);
+        class.count += 1;
+    }
+
+    /// Removes an EDF reservation previously added with identical
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no matching class entry exists (release/accounting bug).
+    pub fn remove_edf(&mut self, r: Rate, d: Nanos, l_max: Bits) {
+        let class = self
+            .edf
+            .get_mut(&d)
+            .expect("EDF class released but never reserved");
+        class.rate -= r;
+        class.rate_delay -= u128::from(r.as_bps()) * u128::from(d.as_nanos());
+        class.lmax_scaled -= u128::from(l_max.as_bits()) * u128::from(NANOS_PER_SEC);
+        class.count -= 1;
+        if class.count == 0 {
+            self.edf.remove(&d);
+        }
+    }
+
+    /// Adjusts an existing EDF reservation's rate in place (macroflow
+    /// re-rating keeps the class delay fixed, §4.2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class does not exist.
+    pub fn adjust_edf_rate(&mut self, d: Nanos, old_r: Rate, new_r: Rate) {
+        let class = self
+            .edf
+            .get_mut(&d)
+            .expect("EDF class adjusted but never reserved");
+        class.rate = class.rate - old_r + new_r;
+        class.rate_delay = class.rate_delay - u128::from(old_r.as_bps()) * u128::from(d.as_nanos())
+            + u128::from(new_r.as_bps()) * u128::from(d.as_nanos());
+    }
+
+    /// Distinct delay values currently reserved on the link.
+    pub fn edf_delays(&self) -> impl Iterator<Item = Nanos> + '_ {
+        self.edf.keys().copied()
+    }
+
+    /// Number of distinct delay classes (the `M` of the Figure-4
+    /// complexity bound).
+    #[must_use]
+    pub fn edf_class_count(&self) -> usize {
+        self.edf.len()
+    }
+
+    /// Total EDF-reserved rate of classes with delay ≤ `t` — the
+    /// complement of the residual-service slope at horizon `t`.
+    #[must_use]
+    pub fn edf_active_rate(&self, t: Nanos) -> Rate {
+        self.edf
+            .range(..=t)
+            .fold(Rate::ZERO, |acc, (_, c)| acc.saturating_add(c.rate))
+    }
+
+    /// The smallest reserved delay value strictly greater than `t`, if
+    /// any (interval walking in the minimum-delay search).
+    #[must_use]
+    pub fn next_edf_delay_after(&self, t: Nanos) -> Option<Nanos> {
+        self.edf
+            .range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(d, _)| *d)
+    }
+
+    /// Exact per-link admissibility test for a candidate EDF reservation
+    /// `⟨r, d⟩` with packet bound `l_max` (the per-hop constraint set of
+    /// eq. 8, evaluated directly):
+    ///
+    /// * slope: `r` must fit in the link's residual bandwidth;
+    /// * the candidate's own breakpoint: `S(d) ≥ L`;
+    /// * every existing breakpoint `d_b ≥ d`: `r·(d_b − d) + L ≤ S(d_b)`.
+    ///
+    /// Used by the hop-by-hop IntServ baseline as its local test, and by
+    /// the path-oriented algorithm as the exact final verification of a
+    /// candidate pair.
+    #[must_use]
+    pub fn edf_admissible(&self, r: Rate, d: Nanos, l_max: Bits) -> bool {
+        if r > self.residual() {
+            return false;
+        }
+        let l9 = i128::from(l_max.as_bits()) * i128::from(NANOS_PER_SEC);
+        // One sorted horizon list — the candidate's own deadline plus all
+        // breakpoints at or above it — evaluated in a single sweep.
+        let mut horizons = vec![d];
+        horizons.extend(self.edf.range(d..).map(|(db, _)| *db));
+        let profile = self.residual_service_profile(&horizons);
+        if profile[0] < l9 {
+            return false;
+        }
+        for (db, s) in horizons[1..].iter().zip(&profile[1..]) {
+            let need = i128::from(r.as_bps()) * i128::from((*db - d).as_nanos()) + l9;
+            if *s < need {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Residual service at every horizon of a **sorted** list, in one
+    /// prefix-sum sweep over the class aggregates — O(classes +
+    /// horizons), versus O(classes × horizons) for repeated point
+    /// queries. This is the bulk evaluation behind the path MIB's `S^k`
+    /// vector (the quantities the Figure-4 scan consumes).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `horizons` is sorted ascending.
+    #[must_use]
+    pub fn residual_service_profile(&self, horizons: &[Nanos]) -> Vec<i128> {
+        debug_assert!(horizons.windows(2).all(|w| w[0] <= w[1]));
+        let mut out = Vec::with_capacity(horizons.len());
+        let mut classes = self.edf.iter().peekable();
+        // Running prefix sums over classes with delay ≤ horizon.
+        let mut sum_rate: i128 = 0; // Σ r_j (bps)
+        let mut sum_rate_delay: i128 = 0; // Σ r_j·d_j (bps·ns)
+        let mut sum_l9: i128 = 0; // Σ L_j · 10⁹
+        for t in horizons {
+            while let Some((d, c)) = classes.peek() {
+                if **d > *t {
+                    break;
+                }
+                sum_rate += i128::from(c.rate.as_bps());
+                sum_rate_delay += i128::try_from(c.rate_delay).expect("fits i128");
+                sum_l9 += i128::try_from(c.lmax_scaled).expect("fits i128");
+                classes.next();
+            }
+            let ct = i128::from(self.capacity.as_bps()) * i128::from(t.as_nanos());
+            out.push(ct - (sum_rate * i128::from(t.as_nanos()) - sum_rate_delay + sum_l9));
+        }
+        out
+    }
+
+    /// Residual service `S(t)` of the link at horizon `t`, in scaled bits
+    /// (`× 10⁹`): `C·t − Σ_{d_j ≤ t} [ r_j (t − d_j) + L_j ]`.
+    ///
+    /// Exact prefix-sum evaluation over the class aggregates; negative
+    /// means the current reservation set would be unschedulable at `t`
+    /// (never true after successful bookkeeping).
+    #[must_use]
+    pub fn residual_service(&self, t: Nanos) -> i128 {
+        let mut s = i128::from(self.capacity.as_bps()) * i128::from(t.as_nanos());
+        for (d, class) in self.edf.range(..=t) {
+            // r_j (t − d_j) summed over the class: rate·t − rate·d.
+            s -= i128::from(class.rate.as_bps()) * i128::from(t.as_nanos());
+            s += i128::try_from(class.rate_delay).expect("rate_delay fits i128");
+            s -= i128::try_from(class.lmax_scaled).expect("lmax fits i128");
+            debug_assert!(*d <= t);
+        }
+        s
+    }
+}
+
+/// The node QoS state information base: one [`LinkQos`] per link of the
+/// domain.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMib {
+    links: Vec<LinkQos>,
+}
+
+impl NodeMib {
+    /// Creates an empty base.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a link, returning its reference.
+    pub fn add_link(&mut self, link: LinkQos) -> LinkRef {
+        let id = LinkRef(self.links.len());
+        self.links.push(link);
+        id
+    }
+
+    /// Immutable access to a link's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown reference.
+    #[must_use]
+    pub fn link(&self, l: LinkRef) -> &LinkQos {
+        &self.links[l.0]
+    }
+
+    /// Mutable access to a link's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown reference.
+    pub fn link_mut(&mut self, l: LinkRef) -> &mut LinkQos {
+        &mut self.links[l.0]
+    }
+
+    /// Number of links registered.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// A path's static QoS characterization plus its member links.
+#[derive(Debug, Clone)]
+pub struct PathQos {
+    /// Ordered links of the path.
+    pub links: Vec<LinkRef>,
+    /// Cached hop characterization (kinds, error terms, propagation).
+    pub spec: PathSpec,
+    /// `L^{P,max}`: the largest packet permissible along the path (§4.1).
+    pub l_pmax: Bits,
+}
+
+impl PathQos {
+    /// Minimal residual bandwidth along the path, `C_res^P`.
+    #[must_use]
+    pub fn residual(&self, nodes: &NodeMib) -> Rate {
+        self.links
+            .iter()
+            .map(|l| nodes.link(*l).residual())
+            .min()
+            .unwrap_or(Rate::MAX)
+    }
+
+    /// The delay-based links of the path.
+    #[must_use]
+    pub fn delay_links<'a>(&'a self, nodes: &'a NodeMib) -> Vec<(&'a LinkQos, LinkRef)> {
+        self.links
+            .iter()
+            .filter(|l| nodes.link(**l).kind == HopKind::DelayBased)
+            .map(|l| (nodes.link(*l), *l))
+            .collect()
+    }
+
+    /// Union of distinct delay values reserved across the path's
+    /// delay-based links — the breakpoints `d¹ < d² < … < d^M` the
+    /// Figure-4 scan walks.
+    #[must_use]
+    pub fn distinct_delays(&self, nodes: &NodeMib) -> Vec<Nanos> {
+        let mut ds: Vec<Nanos> = self
+            .delay_links(nodes)
+            .iter()
+            .flat_map(|(link, _)| link.edf_delays().collect::<Vec<_>>())
+            .collect();
+        ds.sort_unstable();
+        ds.dedup();
+        ds
+    }
+
+    /// Path-level residual service `S̄(t) = min_i S_i(t)` over the
+    /// delay-based links (scaled bits). Returns `None` when the path has
+    /// no delay-based links.
+    #[must_use]
+    pub fn min_residual_service(&self, nodes: &NodeMib, t: Nanos) -> Option<i128> {
+        self.delay_links(nodes)
+            .iter()
+            .map(|(link, _)| link.residual_service(t))
+            .min()
+    }
+}
+
+/// The path QoS state information base.
+#[derive(Debug, Clone, Default)]
+pub struct PathMib {
+    paths: HashMap<PathId, PathQos>,
+    next: u64,
+}
+
+impl PathMib {
+    /// Creates an empty base.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a path over the given links, computing its cached
+    /// characterization from the node base.
+    pub fn register(&mut self, nodes: &NodeMib, links: Vec<LinkRef>) -> PathId {
+        let spec = PathSpec::new(links.iter().map(|l| nodes.link(*l).hop_spec()).collect());
+        let l_pmax = links
+            .iter()
+            .map(|l| nodes.link(*l).max_packet)
+            .max()
+            .unwrap_or(Bits::ZERO);
+        let id = PathId(self.next);
+        self.next += 1;
+        self.paths.insert(
+            id,
+            PathQos {
+                links,
+                spec,
+                l_pmax,
+            },
+        );
+        id
+    }
+
+    /// Path lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    #[must_use]
+    pub fn path(&self, id: PathId) -> &PathQos {
+        self.paths.get(&id).expect("unknown path id")
+    }
+
+    /// Number of registered paths.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the base is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+/// How a flow is being served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowService {
+    /// Dedicated per-flow reservation `⟨r, d⟩`.
+    PerFlow {
+        /// Reserved rate.
+        rate: Rate,
+        /// Delay parameter at delay-based hops.
+        delay: Nanos,
+    },
+    /// Member of a class-based macroflow.
+    ClassMember {
+        /// The macroflow (class × path) the microflow was aggregated into.
+        macroflow: FlowId,
+    },
+}
+
+/// A flow record in the flow information base.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    /// Declared traffic profile.
+    pub profile: TrafficProfile,
+    /// End-to-end delay requirement `D^req`.
+    pub d_req: Nanos,
+    /// Path the flow was routed over.
+    pub path: PathId,
+    /// Granted service.
+    pub service: FlowService,
+}
+
+/// The flow information base.
+#[derive(Debug, Clone, Default)]
+pub struct FlowMib {
+    flows: HashMap<FlowId, FlowRecord>,
+}
+
+impl FlowMib {
+    /// Creates an empty base.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate flow ids (broker bookkeeping bug).
+    pub fn insert(&mut self, id: FlowId, record: FlowRecord) {
+        let prev = self.flows.insert(id, record);
+        assert!(prev.is_none(), "flow {id} already in the flow MIB");
+    }
+
+    /// Removes and returns a record.
+    #[must_use]
+    pub fn remove(&mut self, id: FlowId) -> Option<FlowRecord> {
+        self.flows.remove(&id)
+    }
+
+    /// Record lookup.
+    #[must_use]
+    pub fn get(&self, id: FlowId) -> Option<&FlowRecord> {
+        self.flows.get(&id)
+    }
+
+    /// Number of flows tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the base is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Iterates over all records.
+    pub fn iter(&self) -> impl Iterator<Item = (&FlowId, &FlowRecord)> {
+        self.flows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delay_link() -> LinkQos {
+        LinkQos::new(
+            Rate::from_bps(1_500_000),
+            HopKind::DelayBased,
+            Nanos::from_millis(8),
+            Nanos::ZERO,
+            Bits::from_bytes(1500),
+        )
+    }
+
+    #[test]
+    fn bandwidth_bookkeeping() {
+        let mut l = delay_link();
+        assert_eq!(l.residual(), Rate::from_bps(1_500_000));
+        l.reserve(Rate::from_bps(1_000_000));
+        assert_eq!(l.residual(), Rate::from_bps(500_000));
+        l.release(Rate::from_bps(400_000));
+        assert_eq!(l.reserved(), Rate::from_bps(600_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "over-reserved")]
+    fn over_reservation_is_a_bug() {
+        let mut l = delay_link();
+        l.reserve(Rate::from_bps(1_500_001));
+    }
+
+    #[test]
+    #[should_panic(expected = "released twice")]
+    fn double_release_is_a_bug() {
+        let mut l = delay_link();
+        l.reserve(Rate::from_bps(10));
+        l.release(Rate::from_bps(11));
+    }
+
+    #[test]
+    fn edf_aggregates_match_flow_list_semantics() {
+        // Aggregated arithmetic must equal sched::schedulability's
+        // per-flow computation on the same set.
+        let mut l = delay_link();
+        let flows = [
+            (50_000u64, 240u64),
+            (30_000, 240),
+            (20_000, 100),
+            (10_000, 500),
+        ];
+        let mut list = Vec::new();
+        for (r, d) in flows {
+            l.add_edf(
+                Rate::from_bps(r),
+                Nanos::from_millis(d),
+                Bits::from_bytes(1500),
+            );
+            list.push(sched::schedulability::EdfFlow {
+                rate: Rate::from_bps(r),
+                delay: Nanos::from_millis(d),
+                l_max: Bits::from_bytes(1500),
+            });
+        }
+        assert_eq!(l.edf_class_count(), 3);
+        for t_ms in [50u64, 100, 240, 400, 500, 1000] {
+            let t = Nanos::from_millis(t_ms);
+            assert_eq!(
+                l.residual_service(t),
+                sched::schedulability::residual_service(&list, l.capacity, t),
+                "mismatch at t = {t}"
+            );
+        }
+        // Removal restores the empty state exactly.
+        for (r, d) in flows {
+            l.remove_edf(
+                Rate::from_bps(r),
+                Nanos::from_millis(d),
+                Bits::from_bytes(1500),
+            );
+        }
+        assert_eq!(l.edf_class_count(), 0);
+        assert_eq!(
+            l.residual_service(Nanos::from_secs(1)),
+            i128::from(1_500_000u64) * 1_000_000_000
+        );
+    }
+
+    #[test]
+    fn edf_rate_adjustment_in_place() {
+        let mut l = delay_link();
+        let d = Nanos::from_millis(240);
+        l.add_edf(Rate::from_bps(100_000), d, Bits::from_bytes(1500));
+        l.adjust_edf_rate(d, Rate::from_bps(100_000), Rate::from_bps(150_000));
+        let s_before = l.residual_service(Nanos::from_millis(480));
+        let mut l2 = delay_link();
+        l2.add_edf(Rate::from_bps(150_000), d, Bits::from_bytes(1500));
+        assert_eq!(s_before, l2.residual_service(Nanos::from_millis(480)));
+    }
+
+    #[test]
+    fn path_mib_caches_spec_and_residuals() {
+        let mut nodes = NodeMib::new();
+        let rate_link = LinkQos::new(
+            Rate::from_bps(1_500_000),
+            HopKind::RateBased,
+            Nanos::from_millis(8),
+            Nanos::ZERO,
+            Bits::from_bytes(1500),
+        );
+        let l0 = nodes.add_link(rate_link.clone());
+        let l1 = nodes.add_link(delay_link());
+        let l2 = nodes.add_link(rate_link);
+        let mut paths = PathMib::new();
+        let pid = paths.register(&nodes, vec![l0, l1, l2]);
+        let p = paths.path(pid);
+        assert_eq!(p.spec.h(), 3);
+        assert_eq!(p.spec.q(), 2);
+        assert_eq!(p.l_pmax, Bits::from_bytes(1500));
+        assert_eq!(p.residual(&nodes), Rate::from_bps(1_500_000));
+
+        nodes.link_mut(l1).reserve(Rate::from_bps(600_000));
+        nodes.link_mut(l1).add_edf(
+            Rate::from_bps(600_000),
+            Nanos::from_millis(100),
+            Bits::from_bytes(1500),
+        );
+        let p = paths.path(pid);
+        assert_eq!(p.residual(&nodes), Rate::from_bps(900_000));
+        assert_eq!(p.distinct_delays(&nodes), vec![Nanos::from_millis(100)]);
+        assert!(
+            p.min_residual_service(&nodes, Nanos::from_millis(100))
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
+    fn flow_mib_roundtrip() {
+        let mut fm = FlowMib::new();
+        let profile = TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap();
+        fm.insert(
+            FlowId(1),
+            FlowRecord {
+                profile,
+                d_req: Nanos::from_millis(2_440),
+                path: PathId(0),
+                service: FlowService::PerFlow {
+                    rate: Rate::from_bps(50_000),
+                    delay: Nanos::ZERO,
+                },
+            },
+        );
+        assert_eq!(fm.len(), 1);
+        assert!(fm.get(FlowId(1)).is_some());
+        assert!(fm.remove(FlowId(1)).is_some());
+        assert!(fm.is_empty());
+    }
+}
+// (bulk-profile equivalence test appended)
+
+#[cfg(test)]
+mod profile_sweep_tests {
+    use super::*;
+
+    #[test]
+    fn bulk_profile_matches_point_queries() {
+        let mut l = LinkQos::new(
+            Rate::from_bps(2_000_000),
+            HopKind::DelayBased,
+            Nanos::from_millis(6),
+            Nanos::ZERO,
+            Bits::from_bytes(1500),
+        );
+        for (r, d_ms) in [
+            (50_000u64, 20u64),
+            (30_000, 50),
+            (20_000, 50),
+            (10_000, 200),
+        ] {
+            l.add_edf(
+                Rate::from_bps(r),
+                Nanos::from_millis(d_ms),
+                Bits::from_bytes(1500),
+            );
+        }
+        let horizons: Vec<Nanos> = [5u64, 20, 35, 50, 120, 200, 500]
+            .into_iter()
+            .map(Nanos::from_millis)
+            .collect();
+        let bulk = l.residual_service_profile(&horizons);
+        for (t, s) in horizons.iter().zip(&bulk) {
+            assert_eq!(*s, l.residual_service(*t), "mismatch at {t}");
+        }
+    }
+}

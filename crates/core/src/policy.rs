@@ -1,0 +1,110 @@
+//! The policy control module.
+//!
+//! The paper's BB consults a policy information base before any resource
+//! test (Figure 1). We implement the common administrative controls a
+//! domain operator would configure; the module is deliberately a plain
+//! rule evaluator so experiments can run with `Policy::allow_all()`.
+
+use qos_units::{Nanos, Rate};
+use vtrs::profile::TrafficProfile;
+
+/// Administrative admission policy, evaluated before resource tests.
+#[derive(Debug, Clone, Default)]
+pub struct Policy {
+    /// Reject flows whose declared peak rate exceeds this.
+    pub max_peak: Option<Rate>,
+    /// Reject flows whose sustained rate exceeds this.
+    pub max_rho: Option<Rate>,
+    /// Reject delay requirements tighter than this (anti-abuse: a 1 ns
+    /// requirement would always fail resource tests anyway, but policy
+    /// can refuse it outright without computing).
+    pub min_delay_req: Option<Nanos>,
+    /// Cap on simultaneously active flows in the domain.
+    pub max_flows: Option<usize>,
+}
+
+impl Policy {
+    /// A policy that admits everything (the experiments' default).
+    #[must_use]
+    pub fn allow_all() -> Self {
+        Policy::default()
+    }
+
+    /// Evaluates the policy for a request given the current number of
+    /// active flows. `true` = pass.
+    #[must_use]
+    pub fn permits(&self, profile: &TrafficProfile, d_req: Nanos, active_flows: usize) -> bool {
+        if let Some(max) = self.max_peak {
+            if profile.peak > max {
+                return false;
+            }
+        }
+        if let Some(max) = self.max_rho {
+            if profile.rho > max {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_delay_req {
+            if d_req < min {
+                return false;
+            }
+        }
+        if let Some(max) = self.max_flows {
+            if active_flows >= max {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_units::Bits;
+
+    fn profile() -> TrafficProfile {
+        TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn allow_all_permits_everything() {
+        assert!(Policy::allow_all().permits(&profile(), Nanos::from_nanos(1), 1_000_000));
+    }
+
+    #[test]
+    fn each_rule_can_reject() {
+        let p = profile();
+        let policy = Policy {
+            max_peak: Some(Rate::from_bps(99_999)),
+            ..Policy::default()
+        };
+        assert!(!policy.permits(&p, Nanos::from_secs(1), 0));
+
+        let policy = Policy {
+            max_rho: Some(Rate::from_bps(49_999)),
+            ..Policy::default()
+        };
+        assert!(!policy.permits(&p, Nanos::from_secs(1), 0));
+
+        let policy = Policy {
+            min_delay_req: Some(Nanos::from_millis(100)),
+            ..Policy::default()
+        };
+        assert!(!policy.permits(&p, Nanos::from_millis(99), 0));
+        assert!(policy.permits(&p, Nanos::from_millis(100), 0));
+
+        let policy = Policy {
+            max_flows: Some(2),
+            ..Policy::default()
+        };
+        assert!(policy.permits(&p, Nanos::from_secs(1), 1));
+        assert!(!policy.permits(&p, Nanos::from_secs(1), 2));
+    }
+}

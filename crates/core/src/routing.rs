@@ -1,0 +1,197 @@
+//! The routing module: imports topology and selects paths.
+//!
+//! The paper's BB peers with routers (OSPF/MPLS) to learn topology and
+//! pin paths; here the module imports a [`netsim::Topology`] and registers
+//! the QoS view of each link into the node MIB, plus minimum-hop path
+//! selection between ingress and egress, which is what §5's fixed
+//! topology uses.
+
+use std::collections::HashMap;
+
+use netsim::topology::{LinkId, NodeId, Topology};
+
+use crate::mib::{LinkQos, LinkRef, NodeMib, PathId, PathMib};
+
+/// Maps the simulator topology into the broker's MIBs and answers path
+/// queries.
+#[derive(Debug)]
+pub struct RoutingModule {
+    topo: Topology,
+    /// netsim link id → broker link reference (indices coincide, but the
+    /// mapping is kept explicit so a partial import remains possible).
+    link_map: Vec<LinkRef>,
+    /// Cache of registered paths by (ingress, egress).
+    by_endpoints: HashMap<(NodeId, NodeId), PathId>,
+    /// Cache of alternate path sets by (ingress, egress, k).
+    alt_index: HashMap<(NodeId, NodeId, usize), Vec<PathId>>,
+}
+
+impl RoutingModule {
+    /// Imports the topology: every link's static QoS parameters are
+    /// registered in `nodes`.
+    pub fn import(topo: Topology, nodes: &mut NodeMib) -> Self {
+        let link_map = topo
+            .links()
+            .iter()
+            .map(|l| {
+                nodes.add_link(LinkQos::new(
+                    l.capacity,
+                    l.scheduler.kind(),
+                    l.scheduler.psi(l.capacity, l.max_packet),
+                    l.prop_delay,
+                    l.max_packet,
+                ))
+            })
+            .collect();
+        RoutingModule {
+            topo,
+            link_map,
+            by_endpoints: HashMap::new(),
+            alt_index: HashMap::new(),
+        }
+    }
+
+    /// The imported topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Broker-side reference for a topology link.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown link.
+    #[must_use]
+    pub fn link_ref(&self, l: LinkId) -> LinkRef {
+        self.link_map[l.0]
+    }
+
+    /// Selects (or returns the cached) minimum-hop path between two
+    /// nodes, registering it in the path MIB on first use. `None` if
+    /// unreachable.
+    pub fn path_between(
+        &mut self,
+        nodes: &NodeMib,
+        paths: &mut PathMib,
+        from: NodeId,
+        to: NodeId,
+    ) -> Option<PathId> {
+        if let Some(id) = self.by_endpoints.get(&(from, to)) {
+            return Some(*id);
+        }
+        let route = self.topo.shortest_path(from, to)?;
+        if route.is_empty() {
+            return None;
+        }
+        let refs: Vec<LinkRef> = route.iter().map(|l| self.link_ref(*l)).collect();
+        let id = paths.register(nodes, refs);
+        self.by_endpoints.insert((from, to), id);
+        Some(id)
+    }
+
+    /// Selects (or returns the cached) set of up to `k` candidate paths
+    /// between two nodes — the minimum-hop route plus single-link
+    /// deviations — registering each in the path MIB on first use.
+    ///
+    /// This is the hook for the paper's "network-wide optimization"
+    /// argument (§1): because *all* path QoS state lives at the broker,
+    /// it can steer a new flow to whichever admissible path has the most
+    /// headroom, something a hop-by-hop control plane cannot express.
+    pub fn paths_between(
+        &mut self,
+        nodes: &NodeMib,
+        paths: &mut PathMib,
+        from: NodeId,
+        to: NodeId,
+        k: usize,
+    ) -> Vec<PathId> {
+        if let Some(ids) = self.alt_index.get(&(from, to, k)) {
+            return ids.clone();
+        }
+        let ids: Vec<PathId> = self
+            .topo
+            .k_paths(from, to, k)
+            .into_iter()
+            .filter(|route| !route.is_empty())
+            .map(|route| {
+                let refs: Vec<LinkRef> = route.iter().map(|l| self.link_ref(*l)).collect();
+                paths.register(nodes, refs)
+            })
+            .collect();
+        self.alt_index.insert((from, to, k), ids.clone());
+        ids
+    }
+
+    /// Registers an explicit route (experiments that pin paths).
+    pub fn register_route(
+        &mut self,
+        nodes: &NodeMib,
+        paths: &mut PathMib,
+        route: &[LinkId],
+    ) -> PathId {
+        let refs: Vec<LinkRef> = route.iter().map(|l| self.link_ref(*l)).collect();
+        paths.register(nodes, refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::topology::{SchedulerSpec, TopologyBuilder};
+    use qos_units::{Bits, Nanos, Rate};
+
+    fn topo3() -> (Topology, Vec<NodeId>) {
+        let mut b = TopologyBuilder::new();
+        let n: Vec<_> = ["a", "b", "c"].iter().map(|x| b.node(*x)).collect();
+        b.link(
+            n[0],
+            n[1],
+            Rate::from_bps(1_500_000),
+            Nanos::ZERO,
+            SchedulerSpec::CsVc,
+            Bits::from_bytes(1500),
+        );
+        b.link(
+            n[1],
+            n[2],
+            Rate::from_bps(1_500_000),
+            Nanos::ZERO,
+            SchedulerSpec::VtEdf,
+            Bits::from_bytes(1500),
+        );
+        (b.build(), n)
+    }
+
+    #[test]
+    fn import_registers_all_links() {
+        let (t, _) = topo3();
+        let mut nodes = NodeMib::new();
+        let routing = RoutingModule::import(t, &mut nodes);
+        assert_eq!(nodes.link_count(), 2);
+        assert_eq!(routing.topology().link_count(), 2);
+    }
+
+    #[test]
+    fn path_between_caches() {
+        let (t, n) = topo3();
+        let mut nodes = NodeMib::new();
+        let mut paths = PathMib::new();
+        let mut routing = RoutingModule::import(t, &mut nodes);
+        let p1 = routing
+            .path_between(&nodes, &mut paths, n[0], n[2])
+            .unwrap();
+        let p2 = routing
+            .path_between(&nodes, &mut paths, n[0], n[2])
+            .unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(paths.len(), 1);
+        let q = paths.path(p1);
+        assert_eq!(q.spec.h(), 2);
+        assert_eq!(q.spec.q(), 1);
+        // Unreachable in reverse (unidirectional links).
+        assert!(routing
+            .path_between(&nodes, &mut paths, n[2], n[0])
+            .is_none());
+    }
+}

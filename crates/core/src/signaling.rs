@@ -1,0 +1,121 @@
+//! Control-plane message types between edge routers and the broker.
+//!
+//! The paper's deployment passes these over COPS; here they are plain
+//! Rust types exchanged in-process (the simulator stands in for the
+//! wire), which keeps the protocol semantics — request, admit/reject,
+//! edge (re)configuration, contingency control — without byte-level
+//! framing.
+
+use core::fmt;
+
+use qos_units::{Nanos, Rate, Time};
+use serde::{Deserialize, Serialize};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+use crate::mib::PathId;
+
+/// The service model a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// Dedicated per-flow guaranteed delay service (§3).
+    PerFlow,
+    /// Class-based guaranteed delay service with flow aggregation (§4);
+    /// the value names the delay service class.
+    Class(u32),
+}
+
+/// A new-flow service request, as sent by an ingress router to the BB.
+#[derive(Debug, Clone)]
+pub struct FlowRequest {
+    /// Caller-chosen flow identity.
+    pub flow: FlowId,
+    /// Declared dual-token-bucket traffic profile.
+    pub profile: TrafficProfile,
+    /// End-to-end delay requirement `D^req` (per-flow service; for class
+    /// service the class's bound applies instead).
+    pub d_req: Nanos,
+    /// Requested service model.
+    pub service: ServiceKind,
+    /// Path to use. The broker's routing module can fill this from an
+    /// ingress/egress pair; requests carry it explicitly so experiments
+    /// control placement.
+    pub path: PathId,
+}
+
+/// Why a request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reject {
+    /// Denied by policy control before any resource test.
+    Policy,
+    /// The delay requirement cannot be met at any rate on this path.
+    DelayInfeasible,
+    /// Not enough residual bandwidth along the path.
+    Bandwidth,
+    /// No rate–delay pair satisfies the EDF schedulability constraints.
+    Schedulability,
+    /// The named service class is not offered on this path.
+    UnknownClass,
+    /// The flow id is already active.
+    DuplicateFlow,
+}
+
+impl fmt::Display for Reject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Reject::Policy => "rejected by policy control",
+            Reject::DelayInfeasible => "delay requirement infeasible on this path",
+            Reject::Bandwidth => "insufficient residual bandwidth along the path",
+            Reject::Schedulability => "no feasible rate-delay pair (EDF schedulability)",
+            Reject::UnknownClass => "service class not offered",
+            Reject::DuplicateFlow => "flow id already active",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Reject {}
+
+/// A granted reservation, returned to the ingress so it can configure the
+/// edge conditioner (the paper's `⟨r, d⟩` push via COPS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// The flow (for class service: the microflow) this answers.
+    pub flow: FlowId,
+    /// The conditioner to (re)configure — the flow itself for per-flow
+    /// service, the macroflow for class service.
+    pub conditioned_flow: FlowId,
+    /// Reserved rate `r` to shape to (for class service: the macroflow's
+    /// new reserved rate, excluding contingency).
+    pub rate: Rate,
+    /// Delay parameter `d` to stamp into packets.
+    pub delay: Nanos,
+    /// Contingency bandwidth granted alongside (class service joins and
+    /// leaves; zero for per-flow service).
+    pub contingency: Rate,
+    /// When the contingency grant expires under the *bounding* policy
+    /// (`None` for feedback-managed grants and for per-flow service).
+    pub contingency_expires: Option<Time>,
+}
+
+/// Edge → broker notification that a macroflow's conditioner buffer has
+/// drained (the trigger for the early contingency reset, §4.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeBufferEmpty {
+    /// The macroflow whose buffer emptied.
+    pub macroflow: FlowId,
+    /// When it emptied.
+    pub at: Time,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_messages_are_descriptive() {
+        assert!(Reject::Bandwidth.to_string().contains("residual bandwidth"));
+        assert!(Reject::Schedulability.to_string().contains("EDF"));
+        assert!(Reject::Policy.to_string().contains("policy"));
+    }
+}

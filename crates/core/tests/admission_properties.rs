@@ -1,0 +1,294 @@
+//! Property tests for the admission algorithms.
+//!
+//! The Figure-4 algorithm claims two things about every grant: it is
+//! *feasible* (exactly verified against the MIBs) and *rate-minimal*
+//! (no pair with a smaller rate is feasible at any delay). These tests
+//! exercise both over randomized paths, load states and requests, plus
+//! MIB bookkeeping reversibility.
+
+use bb_core::admission::{mixed, rate_based};
+use bb_core::mib::{LinkQos, NodeMib, PathId, PathMib};
+use bb_core::signaling::Reject;
+use proptest::prelude::*;
+use qos_units::{Bits, Nanos, Rate};
+use vtrs::profile::TrafficProfile;
+use vtrs::reference::HopKind;
+
+/// A randomized flow request.
+#[derive(Debug, Clone)]
+struct GenReq {
+    profile: TrafficProfile,
+    d_req: Nanos,
+}
+
+fn gen_request() -> impl Strategy<Value = GenReq> {
+    (
+        20_000u64..80_000,  // ρ
+        1u64..4,            // P multiplier
+        20_000u64..200_000, // σ extra over Lmax
+        500u64..6_000,      // D_req ms
+    )
+        .prop_map(|(rho, pk, sigma_extra, d_ms)| GenReq {
+            profile: TrafficProfile::new(
+                Bits::from_bits(12_000 + sigma_extra),
+                Rate::from_bps(rho),
+                Rate::from_bps(rho * (1 + pk)),
+                Bits::from_bytes(1500),
+            )
+            .expect("generated profile is valid"),
+            d_req: Nanos::from_millis(d_ms),
+        })
+}
+
+fn gen_path() -> impl Strategy<Value = Vec<HopKind>> {
+    prop::collection::vec(
+        prop_oneof![Just(HopKind::RateBased), Just(HopKind::DelayBased)],
+        2..7,
+    )
+}
+
+fn build(kinds: &[HopKind]) -> (NodeMib, PathMib, PathId) {
+    let mut nodes = NodeMib::new();
+    let refs: Vec<_> = kinds
+        .iter()
+        .map(|k| {
+            nodes.add_link(LinkQos::new(
+                Rate::from_bps(2_000_000),
+                *k,
+                Nanos::from_millis(6),
+                Nanos::ZERO,
+                Bits::from_bytes(1500),
+            ))
+        })
+        .collect();
+    let mut paths = PathMib::new();
+    let pid = paths.register(&nodes, refs);
+    (nodes, paths, pid)
+}
+
+fn book(nodes: &mut NodeMib, paths: &PathMib, pid: PathId, r: Rate, d: Nanos, l: Bits) {
+    for link in paths.path(pid).links.clone() {
+        nodes.link_mut(link).reserve(r);
+        if nodes.link(link).kind == HopKind::DelayBased {
+            nodes.link_mut(link).add_edf(r, d, l);
+        }
+    }
+}
+
+fn unbook(nodes: &mut NodeMib, paths: &PathMib, pid: PathId, r: Rate, d: Nanos, l: Bits) {
+    for link in paths.path(pid).links.clone() {
+        nodes.link_mut(link).release(r);
+        if nodes.link(link).kind == HopKind::DelayBased {
+            nodes.link_mut(link).remove_edf(r, d, l);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every grant verifies exactly, and one bps less is infeasible at
+    /// every candidate delay (the Theorem-1 minimality claim).
+    #[test]
+    fn grants_are_feasible_and_minimal(
+        kinds in gen_path(),
+        reqs in prop::collection::vec(gen_request(), 1..14),
+    ) {
+        let (mut nodes, paths, pid) = build(&kinds);
+        for req in &reqs {
+            let result = mixed::admit(&req.profile, req.d_req, paths.path(pid), &nodes);
+            let Ok(pair) = result else { continue };
+            // Exact feasibility.
+            prop_assert!(
+                mixed::verify(&req.profile, req.d_req, pair.rate, pair.delay,
+                              paths.path(pid), &nodes),
+                "grant failed exact verification: {pair:?}"
+            );
+            // Minimality: r − 1 must fail at the granted delay, at every
+            // breakpoint, and on a grid over the budget.
+            if pair.rate.as_bps() > req.profile.rho.as_bps() {
+                let lower = Rate::from_bps(pair.rate.as_bps() - 1);
+                let mut candidates: Vec<Nanos> =
+                    paths.path(pid).distinct_delays(&nodes);
+                candidates.push(pair.delay);
+                for k in 0..=40u64 {
+                    candidates.push(Nanos::from_nanos(
+                        req.d_req.as_nanos() / 40 * k,
+                    ));
+                }
+                for d in candidates {
+                    prop_assert!(
+                        !mixed::verify(&req.profile, req.d_req, lower, d,
+                                       paths.path(pid), &nodes),
+                        "rate {lower} feasible at d={d}, but grant was {pair:?}"
+                    );
+                }
+            }
+            book(&mut nodes, &paths, pid, pair.rate, pair.delay, req.profile.l_max);
+        }
+    }
+
+    /// Booking then releasing a grant restores the exact residual
+    /// bandwidth and residual service at every probe horizon.
+    #[test]
+    fn bookkeeping_is_reversible(
+        kinds in gen_path(),
+        reqs in prop::collection::vec(gen_request(), 1..10),
+    ) {
+        let (mut nodes, paths, pid) = build(&kinds);
+        // Fill in some base load first.
+        let mut base = Vec::new();
+        for req in &reqs {
+            if let Ok(pair) = mixed::admit(&req.profile, req.d_req, paths.path(pid), &nodes) {
+                book(&mut nodes, &paths, pid, pair.rate, pair.delay, req.profile.l_max);
+                base.push((pair, req.profile.l_max));
+            }
+        }
+        let probes: Vec<Nanos> = (1..=8).map(|k| Nanos::from_millis(25 * k)).collect();
+        let residual_before = paths.path(pid).residual(&nodes);
+        let service_before: Vec<_> = probes
+            .iter()
+            .map(|t| paths.path(pid).min_residual_service(&nodes, *t))
+            .collect();
+        // One more admission, then release it.
+        let extra = GenReq {
+            profile: TrafficProfile::new(
+                Bits::from_bits(60_000),
+                Rate::from_bps(30_000),
+                Rate::from_bps(90_000),
+                Bits::from_bytes(1500),
+            ).unwrap(),
+            d_req: Nanos::from_millis(4_000),
+        };
+        if let Ok(pair) = mixed::admit(&extra.profile, extra.d_req, paths.path(pid), &nodes) {
+            book(&mut nodes, &paths, pid, pair.rate, pair.delay, extra.profile.l_max);
+            prop_assert!(paths.path(pid).residual(&nodes) < residual_before);
+            unbook(&mut nodes, &paths, pid, pair.rate, pair.delay, extra.profile.l_max);
+        }
+        prop_assert_eq!(paths.path(pid).residual(&nodes), residual_before);
+        let service_after: Vec<_> = probes
+            .iter()
+            .map(|t| paths.path(pid).min_residual_service(&nodes, *t))
+            .collect();
+        prop_assert_eq!(service_before, service_after);
+    }
+
+    /// On pure rate-based paths the general algorithm and the O(1) test
+    /// agree exactly.
+    #[test]
+    fn mixed_reduces_to_rate_based(req in gen_request(), hops in 2usize..8) {
+        let (nodes, paths, pid) = build(&vec![HopKind::RateBased; hops]);
+        let a = mixed::admit(&req.profile, req.d_req, paths.path(pid), &nodes);
+        let b = rate_based::admit(&req.profile, req.d_req, paths.path(pid), &nodes);
+        match (a, b) {
+            (Ok(pair), Ok(range)) => prop_assert_eq!(pair.rate, range.low),
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (a, b) => prop_assert!(false, "disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Admission never grants more than the residual bandwidth, and a
+    /// saturated path always rejects with Bandwidth (not a panic, not an
+    /// over-grant).
+    #[test]
+    fn saturation_is_graceful(kinds in gen_path(), req in gen_request()) {
+        let (mut nodes, paths, pid) = build(&kinds);
+        // Consume almost everything.
+        let links = paths.path(pid).links.clone();
+        for l in &links {
+            let res = nodes.link(*l).residual();
+            nodes.link_mut(*l).reserve(res - Rate::from_bps(1_000));
+        }
+        match mixed::admit(&req.profile, req.d_req, paths.path(pid), &nodes) {
+            Ok(pair) => prop_assert!(pair.rate <= Rate::from_bps(1_000)),
+            Err(Reject::Bandwidth | Reject::Schedulability | Reject::DelayInfeasible) => {}
+            Err(e) => prop_assert!(false, "unexpected rejection {e}"),
+        }
+    }
+}
+
+mod intserv_equivalence {
+    use bb_core::intserv::IntServ;
+    use bb_core::mib::{LinkQos, NodeMib, PathMib};
+    use bb_core::signaling::Reject;
+    use netsim::topology::{SchedulerSpec, TopologyBuilder};
+    use proptest::prelude::*;
+    use qos_units::{Bits, Nanos, Rate};
+    use vtrs::profile::TrafficProfile;
+    use vtrs::reference::HopKind;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// On rate-based-only paths the GS/WFQ formula and the VTRS
+        /// rate-based formula are numerically identical, so the two
+        /// control planes must grant the same rate (or reject alike) for
+        /// ANY profile and requirement — the analytic fact behind
+        /// Table 2's matching columns.
+        #[test]
+        fn intserv_and_bb_agree_on_rate_based_paths(
+            rho in 10_000u64..100_000,
+            peak_mult in 1u64..5,
+            sigma_extra in 1u64..200_000,
+            d_ms in 100u64..10_000,
+            hops in 1usize..10,
+        ) {
+            let profile = TrafficProfile::new(
+                Bits::from_bits(12_000 + sigma_extra),
+                Rate::from_bps(rho),
+                Rate::from_bps(rho * (1 + peak_mult)),
+                Bits::from_bytes(1500),
+            ).unwrap();
+            let d_req = Nanos::from_millis(d_ms);
+
+            // BB side: the §3.1 test on a MIB-described path.
+            let mut nodes = NodeMib::new();
+            let refs: Vec<_> = (0..hops)
+                .map(|_| {
+                    nodes.add_link(LinkQos::new(
+                        Rate::from_bps(1_500_000),
+                        HopKind::RateBased,
+                        Nanos::from_millis(8),
+                        Nanos::ZERO,
+                        Bits::from_bytes(1500),
+                    ))
+                })
+                .collect();
+            let mut paths = PathMib::new();
+            let pid = paths.register(&nodes, refs);
+            let bb = bb_core::admission::rate_based::admit(
+                &profile, d_req, paths.path(pid), &nodes,
+            );
+
+            // IntServ side: hop-by-hop on the equivalent topology.
+            let mut b = TopologyBuilder::new();
+            let ns: Vec<_> = (0..=hops).map(|i| b.node(format!("n{i}"))).collect();
+            for i in 0..hops {
+                b.link(
+                    ns[i],
+                    ns[i + 1],
+                    Rate::from_bps(1_500_000),
+                    Nanos::ZERO,
+                    SchedulerSpec::CsVc,
+                    Bits::from_bytes(1500),
+                );
+            }
+            let mut is = IntServ::new(&b.build());
+            let route: Vec<usize> = (0..hops).collect();
+            let gs = is.request(
+                qos_units::Time::ZERO,
+                vtrs::packet::FlowId(1),
+                &profile,
+                d_req,
+                &route,
+            );
+
+            match (bb, gs) {
+                (Ok(range), Ok(rate)) => prop_assert_eq!(range.low, rate),
+                (Err(Reject::DelayInfeasible), Err(Reject::DelayInfeasible)) => {}
+                (Err(Reject::Bandwidth), Err(Reject::Bandwidth)) => {}
+                (a, b) => prop_assert!(false, "control planes disagree: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Network-wide optimization: alternate-path admission (§1's promise).
+//!
+//! Because every path's QoS state lives at the broker, a rejected
+//! shortest path is not the end of the story — the broker can place the
+//! flow on a parallel route with headroom. A hop-by-hop control plane
+//! signaling along the routing-protocol path cannot do this.
+
+use bb_core::{Broker, BrokerConfig, FlowRequest, Reject, ServiceKind};
+use netsim::topology::{NodeId, SchedulerSpec, Topology, TopologyBuilder};
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+fn type0() -> TrafficProfile {
+    TrafficProfile::new(
+        Bits::from_bits(60_000),
+        Rate::from_bps(50_000),
+        Rate::from_bps(100_000),
+        Bits::from_bytes(1500),
+    )
+    .unwrap()
+}
+
+/// A diamond: I → {A | B} → E, plus a direct 1-hop shortcut I → E.
+/// Shortest path is the shortcut; the two 2-hop branches are alternates.
+fn diamond() -> (Topology, NodeId, NodeId) {
+    let mut b = TopologyBuilder::new();
+    let i = b.node("I");
+    let a = b.node("A");
+    let bb = b.node("B");
+    let e = b.node("E");
+    let cap = Rate::from_bps(1_500_000);
+    let lmax = Bits::from_bytes(1500);
+    b.link(i, e, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax); // shortcut
+    b.link(i, a, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+    b.link(a, e, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+    b.link(i, bb, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+    b.link(bb, e, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+    (b.build(), i, e)
+}
+
+fn request(flow: u64) -> FlowRequest {
+    FlowRequest {
+        flow: FlowId(flow),
+        profile: type0(),
+        d_req: Nanos::from_secs(5),
+        service: ServiceKind::PerFlow,
+        path: bb_core::mib::PathId(0), // replaced per candidate
+    }
+}
+
+#[test]
+fn k_paths_enumerates_the_diamond() {
+    let (topo, i, e) = diamond();
+    let paths = topo.k_paths(i, e, 4);
+    assert_eq!(paths.len(), 2, "shortcut + one single-deviation alternate");
+    assert_eq!(paths[0].len(), 1);
+    assert_eq!(paths[1].len(), 2);
+}
+
+#[test]
+fn alternates_carry_flows_the_shortest_path_cannot() {
+    let (topo, i, e) = diamond();
+
+    // Fixed shortest-path admission: capacity for 30 mean-rate flows.
+    let mut fixed = Broker::new(topo.clone(), BrokerConfig::default());
+    let pid = fixed.path_between(i, e).unwrap();
+    let mut n_fixed = 0u64;
+    loop {
+        let mut req = request(n_fixed);
+        req.path = pid;
+        if fixed.request(Time::ZERO, &req).is_err() {
+            break;
+        }
+        n_fixed += 1;
+    }
+    assert_eq!(n_fixed, 30);
+
+    // Alternate-path admission: the deviation route doubles the yield.
+    let mut alt = Broker::new(topo, BrokerConfig::default());
+    let mut n_alt = 0u64;
+    let mut used_alternate = false;
+    loop {
+        match alt.request_with_alternates(Time::ZERO, &request(1_000 + n_alt), i, e, 4) {
+            Ok((_, chosen)) => {
+                n_alt += 1;
+                if alt.paths().path(chosen).spec.h() == 2 {
+                    used_alternate = true;
+                }
+                assert!(n_alt <= 100, "runaway admission");
+            }
+            Err(Reject::Bandwidth) => break,
+            Err(e) => panic!("unexpected rejection {e}"),
+        }
+    }
+    assert!(used_alternate, "the 2-hop branch should have been used");
+    assert_eq!(n_alt, 60, "two disjoint 1.5 Mb/s routes carry 60 flows");
+}
+
+#[test]
+fn selection_prefers_headroom() {
+    // Pre-load the shortcut; the next flow must land on the alternate
+    // even though the shortcut still has room.
+    let (topo, i, e) = diamond();
+    let mut broker = Broker::new(topo, BrokerConfig::default());
+    let candidates = broker.paths_between(i, e, 4);
+    let shortcut = candidates[0];
+    for f in 0..10u64 {
+        let mut req = request(f);
+        req.path = shortcut;
+        broker.request(Time::ZERO, &req).unwrap();
+    }
+    let (_, chosen) = broker
+        .request_with_alternates(Time::ZERO, &request(99), i, e, 4)
+        .unwrap();
+    assert_ne!(
+        chosen, shortcut,
+        "flow should be steered to the idle branch"
+    );
+}
+
+#[test]
+fn rejection_reports_the_best_candidate_cause() {
+    let (topo, i, e) = diamond();
+    let mut broker = Broker::new(topo, BrokerConfig::default());
+    // An impossible delay requirement fails everywhere with
+    // DelayInfeasible (not Bandwidth).
+    let req = FlowRequest {
+        d_req: Nanos::from_millis(1),
+        ..request(0)
+    };
+    assert_eq!(
+        broker.request_with_alternates(Time::ZERO, &req, i, e, 4),
+        Err(Reject::DelayInfeasible)
+    );
+}

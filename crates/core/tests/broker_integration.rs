@@ -1,0 +1,426 @@
+//! End-to-end broker tests on the paper's Figure-8 topology.
+
+use bb_core::admission::aggregate::ClassSpec;
+use bb_core::contingency::ContingencyPolicy;
+use bb_core::policy::Policy;
+use bb_core::{Broker, BrokerConfig, FlowRequest, Reject, ServiceKind};
+use netsim::topology::{LinkId, SchedulerSpec, Topology, TopologyBuilder};
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+fn type0() -> TrafficProfile {
+    TrafficProfile::new(
+        Bits::from_bits(60_000),
+        Rate::from_bps(50_000),
+        Rate::from_bps(100_000),
+        Bits::from_bytes(1500),
+    )
+    .unwrap()
+}
+
+/// The Figure-8 topology. Returns (topology, S1→D1 route, S2→D2 route)
+/// as link-id lists for the *core* part (ingress through egress).
+fn figure8(mixed: bool) -> (Topology, Vec<LinkId>, Vec<LinkId>) {
+    let mut b = TopologyBuilder::new();
+    let i1 = b.node("I1");
+    let i2 = b.node("I2");
+    let r2 = b.node("R2");
+    let r3 = b.node("R3");
+    let r4 = b.node("R4");
+    let r5 = b.node("R5");
+    let e1 = b.node("E1");
+    let e2 = b.node("E2");
+    let cap = Rate::from_bps(1_500_000);
+    let lmax = Bits::from_bytes(1500);
+    let cs = SchedulerSpec::CsVc;
+    let ed = if mixed {
+        SchedulerSpec::VtEdf
+    } else {
+        SchedulerSpec::CsVc
+    };
+    // Mixed setting (§5): CsVC on I1→R2, I2→R2, R2→R3, R5→E1;
+    // VT-EDF on R3→R4, R4→R5, R5→E2.
+    let l_i1r2 = b.link(i1, r2, cap, Nanos::ZERO, cs, lmax);
+    let l_i2r2 = b.link(i2, r2, cap, Nanos::ZERO, cs, lmax);
+    let l_r2r3 = b.link(r2, r3, cap, Nanos::ZERO, cs, lmax);
+    let l_r3r4 = b.link(r3, r4, cap, Nanos::ZERO, ed, lmax);
+    let l_r4r5 = b.link(r4, r5, cap, Nanos::ZERO, ed, lmax);
+    let l_r5e1 = b.link(r5, e1, cap, Nanos::ZERO, cs, lmax);
+    let l_r5e2 = b.link(r5, e2, cap, Nanos::ZERO, ed, lmax);
+    let p1 = vec![l_i1r2, l_r2r3, l_r3r4, l_r4r5, l_r5e1];
+    let p2 = vec![l_i2r2, l_r2r3, l_r3r4, l_r4r5, l_r5e2];
+    (b.build(), p1, p2)
+}
+
+fn broker(mixed: bool, contingency: ContingencyPolicy) -> (Broker, bb_core::mib::PathId) {
+    let (topo, p1, _) = figure8(mixed);
+    let mut broker = Broker::new(
+        topo,
+        BrokerConfig {
+            policy: Policy::allow_all(),
+            contingency,
+            classes: vec![
+                ClassSpec {
+                    id: 0,
+                    d_req: Nanos::from_millis(2_440),
+                    cd: Nanos::from_millis(240),
+                },
+                ClassSpec {
+                    id: 1,
+                    d_req: Nanos::from_millis(2_190),
+                    cd: Nanos::from_millis(100),
+                },
+            ],
+        },
+    );
+    let pid = broker.register_route(&p1);
+    (broker, pid)
+}
+
+fn per_flow_request(flow: u64, pid: bb_core::mib::PathId, d_ms: u64) -> FlowRequest {
+    FlowRequest {
+        flow: FlowId(flow),
+        profile: type0(),
+        d_req: Nanos::from_millis(d_ms),
+        service: ServiceKind::PerFlow,
+        path: pid,
+    }
+}
+
+fn class_request(flow: u64, pid: bb_core::mib::PathId, class: u32) -> FlowRequest {
+    FlowRequest {
+        flow: FlowId(flow),
+        profile: type0(),
+        d_req: Nanos::ZERO, // the class bound governs
+        service: ServiceKind::Class(class),
+        path: pid,
+    }
+}
+
+#[test]
+fn per_flow_table2_counts_through_broker() {
+    for (mixed, d_ms, expected) in [
+        (false, 2_440u64, 30),
+        (false, 2_190, 27),
+        (true, 2_440, 30),
+        (true, 2_190, 27),
+    ] {
+        let (mut broker, pid) = broker(mixed, ContingencyPolicy::Bounding);
+        let mut n = 0u64;
+        while broker
+            .request(Time::ZERO, &per_flow_request(n, pid, d_ms))
+            .is_ok()
+        {
+            n += 1;
+            assert!(n <= 40);
+        }
+        assert_eq!(
+            n, expected,
+            "mixed={mixed} D={d_ms}ms admitted {n}, expected {expected}"
+        );
+        assert_eq!(broker.stats().admitted, expected);
+    }
+}
+
+#[test]
+fn released_capacity_is_reusable() {
+    let (mut broker, pid) = broker(true, ContingencyPolicy::Bounding);
+    let mut n = 0u64;
+    while broker
+        .request(Time::ZERO, &per_flow_request(n, pid, 2_440))
+        .is_ok()
+    {
+        n += 1;
+    }
+    assert_eq!(n, 30);
+    // Release 5 flows, re-admit 5.
+    for f in 0..5 {
+        broker.release(Time::ZERO, FlowId(f)).unwrap();
+    }
+    for f in 100..105 {
+        broker
+            .request(Time::ZERO, &per_flow_request(f, pid, 2_440))
+            .unwrap();
+    }
+    assert!(broker
+        .request(Time::ZERO, &per_flow_request(200, pid, 2_440))
+        .is_err());
+}
+
+#[test]
+fn duplicate_flow_ids_are_rejected() {
+    let (mut broker, pid) = broker(false, ContingencyPolicy::Bounding);
+    broker
+        .request(Time::ZERO, &per_flow_request(1, pid, 2_440))
+        .unwrap();
+    assert_eq!(
+        broker.request(Time::ZERO, &per_flow_request(1, pid, 2_440)),
+        Err(Reject::DuplicateFlow)
+    );
+}
+
+#[test]
+fn class_joins_admit_29_with_infinite_lifetimes() {
+    // Table 2, Aggr BB/VTRS, rate-based setting, D = 2.44 s: 29 calls.
+    // Infinite lifetimes: each contingency period ends before the next
+    // arrival, modeled by ticking past the expiry between requests.
+    let (mut broker, pid) = broker(false, ContingencyPolicy::Bounding);
+    let mut now = Time::ZERO;
+    let mut n = 0u64;
+    loop {
+        match broker.request(now, &class_request(n, pid, 0)) {
+            Ok(res) => {
+                n += 1;
+                assert!(n <= 40);
+                if let Some(exp) = res.contingency_expires {
+                    now = exp + Nanos::from_nanos(1);
+                    broker.tick(now);
+                }
+            }
+            Err(Reject::Bandwidth) => break,
+            Err(e) => panic!("unexpected rejection {e}"),
+        }
+    }
+    assert_eq!(n, 29);
+    let m = broker.macroflow(0, pid).expect("macroflow exists");
+    assert_eq!(m.members, 29);
+    assert_eq!(m.reserved, Rate::from_bps(29 * 50_000));
+    assert!(m.contingency.is_empty());
+    // One macroflow serves 29 microflows: the per-path QoS state the BB
+    // holds for the class is O(1), not O(flows).
+    assert_eq!(broker.flows().len(), 29);
+}
+
+#[test]
+fn contingency_holds_bandwidth_until_expiry() {
+    let (mut broker, pid) = broker(false, ContingencyPolicy::Bounding);
+    let res1 = broker
+        .request(Time::ZERO, &class_request(0, pid, 0))
+        .unwrap();
+    assert_eq!(res1.contingency, Rate::ZERO); // fresh macroflow
+    let res2 = broker
+        .request(Time::ZERO, &class_request(1, pid, 0))
+        .unwrap();
+    // Join of a type-0 flow: increment ρ = 50 kb/s, contingency P − ρ.
+    assert_eq!(res2.rate, Rate::from_bps(100_000));
+    assert_eq!(res2.contingency, Rate::from_bps(50_000));
+    let expires = res2
+        .contingency_expires
+        .expect("bounding policy sets a timer");
+    // While the grant is active, the path carries rate + contingency.
+    let m = broker.macroflow(0, pid).unwrap();
+    assert_eq!(m.allocated(), Rate::from_bps(150_000));
+    assert_eq!(broker.path_residual(pid), Rate::from_bps(1_350_000));
+    // Nothing expires early.
+    assert!(broker.tick(expires - Nanos::from_nanos(1)).is_empty());
+    // At the timer, the grant is returned.
+    let released = broker.tick(expires);
+    assert_eq!(released.len(), 1);
+    assert_eq!(released[0].1, Rate::from_bps(50_000));
+    assert_eq!(broker.path_residual(pid), Rate::from_bps(1_400_000));
+}
+
+#[test]
+fn feedback_policy_releases_on_edge_report() {
+    let (mut broker, pid) = broker(false, ContingencyPolicy::Feedback);
+    broker
+        .request(Time::ZERO, &class_request(0, pid, 0))
+        .unwrap();
+    let res = broker
+        .request(Time::ZERO, &class_request(1, pid, 0))
+        .unwrap();
+    assert_eq!(res.contingency_expires, None);
+    let macro_id = res.conditioned_flow;
+    // No timer will ever fire…
+    assert!(broker.tick(Time::from_secs_f64(1e6)).is_empty());
+    // …but the edge reporting an empty buffer resets everything.
+    let released = broker.edge_buffer_empty(Time::from_secs_f64(1.0), macro_id);
+    assert_eq!(released, Rate::from_bps(50_000));
+    assert_eq!(broker.path_residual(pid), Rate::from_bps(1_400_000));
+}
+
+#[test]
+fn leave_keeps_allocation_through_contingency_then_shrinks() {
+    let (mut broker, pid) = broker(false, ContingencyPolicy::Bounding);
+    let mut now = Time::ZERO;
+    for f in 0..3u64 {
+        let res = broker.request(now, &class_request(f, pid, 0)).unwrap();
+        if let Some(exp) = res.contingency_expires {
+            now = exp + Nanos::from_nanos(1);
+            broker.tick(now);
+        }
+    }
+    assert_eq!(broker.path_residual(pid), Rate::from_bps(1_350_000));
+    // A member leaves: allocation unchanged during the leave transient.
+    let res = broker
+        .release(now, FlowId(1))
+        .unwrap()
+        .expect("class member");
+    assert_eq!(res.rate, Rate::from_bps(100_000)); // new reserved
+    assert_eq!(res.contingency, Rate::from_bps(50_000));
+    assert_eq!(broker.path_residual(pid), Rate::from_bps(1_350_000));
+    // After expiry the decrement is returned.
+    let exp = res.contingency_expires.unwrap();
+    broker.tick(exp);
+    assert_eq!(broker.path_residual(pid), Rate::from_bps(1_400_000));
+    let m = broker.macroflow(0, pid).unwrap();
+    assert_eq!(m.members, 2);
+    assert_eq!(m.reserved, Rate::from_bps(100_000));
+}
+
+#[test]
+fn macroflow_dissolves_after_last_leave() {
+    let (mut broker, pid) = broker(true, ContingencyPolicy::Bounding);
+    broker
+        .request(Time::ZERO, &class_request(0, pid, 0))
+        .unwrap();
+    let res = broker.release(Time::ZERO, FlowId(0)).unwrap().unwrap();
+    assert_eq!(res.rate, Rate::ZERO);
+    // Still allocated during the leave contingency…
+    assert!(broker.macroflow(0, pid).is_some());
+    assert_eq!(broker.path_residual(pid), Rate::from_bps(1_450_000));
+    // …then fully torn down.
+    broker.tick(res.contingency_expires.unwrap());
+    assert!(broker.macroflow(0, pid).is_none());
+    assert_eq!(broker.path_residual(pid), Rate::from_bps(1_500_000));
+    // The EDF entry is gone too: a tight per-flow request that needs the
+    // full link passes again.
+    let mut n = 0u64;
+    while broker
+        .request(Time::ZERO, &per_flow_request(100 + n, pid, 2_440))
+        .is_ok()
+    {
+        n += 1;
+    }
+    assert_eq!(n, 30);
+}
+
+#[test]
+fn classes_on_mixed_path_respect_edf() {
+    // Class 1 (D = 2.19 s, cd = 100 ms) on the mixed path: joins must
+    // pass the EDF checks at the VT-EDF hops.
+    let (mut broker, pid) = broker(true, ContingencyPolicy::Bounding);
+    let mut now = Time::ZERO;
+    let mut n = 0u64;
+    loop {
+        match broker.request(now, &class_request(n, pid, 1)) {
+            Ok(res) => {
+                n += 1;
+                assert!(n <= 40);
+                if let Some(exp) = res.contingency_expires {
+                    now = exp + Nanos::from_nanos(1);
+                    broker.tick(now);
+                }
+            }
+            Err(Reject::Bandwidth | Reject::Schedulability) => break,
+            Err(e) => panic!("unexpected rejection {e}"),
+        }
+    }
+    // Table 2: 29 calls for cd ∈ {0.10, 0.24} at 2.19 s.
+    assert_eq!(n, 29);
+}
+
+#[test]
+fn unknown_class_is_rejected() {
+    let (mut broker, pid) = broker(false, ContingencyPolicy::Bounding);
+    assert_eq!(
+        broker.request(Time::ZERO, &class_request(0, pid, 9)),
+        Err(Reject::UnknownClass)
+    );
+}
+
+#[test]
+fn policy_rejections_precede_resource_tests() {
+    let (topo, p1, _) = figure8(false);
+    let mut broker = Broker::new(
+        topo,
+        BrokerConfig {
+            policy: Policy {
+                max_flows: Some(2),
+                ..Policy::default()
+            },
+            contingency: ContingencyPolicy::Bounding,
+            classes: vec![],
+        },
+    );
+    let pid = broker.register_route(&p1);
+    broker
+        .request(Time::ZERO, &per_flow_request(0, pid, 2_440))
+        .unwrap();
+    broker
+        .request(Time::ZERO, &per_flow_request(1, pid, 2_440))
+        .unwrap();
+    assert_eq!(
+        broker.request(Time::ZERO, &per_flow_request(2, pid, 2_440)),
+        Err(Reject::Policy)
+    );
+    assert_eq!(broker.stats().rejected_policy, 1);
+}
+
+#[test]
+fn path_selection_uses_shortest_route() {
+    let (topo, _, _) = figure8(false);
+    let i1 = topo.node_by_name("I1").unwrap();
+    let e1 = topo.node_by_name("E1").unwrap();
+    let mut broker = Broker::new(topo, BrokerConfig::default());
+    let pid = broker.path_between(i1, e1).expect("reachable");
+    let path = broker.paths().path(pid);
+    assert_eq!(path.spec.h(), 5);
+    // Cached on second query.
+    assert_eq!(broker.path_between(i1, e1), Some(pid));
+}
+
+#[test]
+fn two_source_paths_share_core_links() {
+    // S1→D1 and S2→D2 share R2→R3→R4→R5: admissions on one path reduce
+    // the other's residual.
+    let (topo, p1, p2) = figure8(false);
+    let mut broker = Broker::new(topo, BrokerConfig::default());
+    let pid1 = broker.register_route(&p1);
+    let pid2 = broker.register_route(&p2);
+    broker
+        .request(Time::ZERO, &per_flow_request(0, pid1, 2_440))
+        .unwrap();
+    assert_eq!(broker.path_residual(pid2), Rate::from_bps(1_450_000));
+}
+
+#[test]
+fn join_during_dissolution_creates_an_independent_successor() {
+    // A new microflow arrives while the previous macroflow of the same
+    // (class, path) is still draining its leave contingency: the broker
+    // must serve it with a fresh macroflow, and the old one's eventual
+    // teardown must not orphan the successor's registry entry.
+    let (mut broker, pid) = broker(false, ContingencyPolicy::Bounding);
+    broker
+        .request(Time::ZERO, &class_request(0, pid, 0))
+        .unwrap();
+    let leave = broker.release(Time::ZERO, FlowId(0)).unwrap().unwrap();
+    let old_macro = leave.conditioned_flow;
+    // Old macroflow still allocated (dissolving).
+    assert!(broker.macroflow_by_id(old_macro).is_some());
+
+    // Join during the dissolution.
+    let res = broker
+        .request(Time::ZERO, &class_request(1, pid, 0))
+        .unwrap();
+    let new_macro = res.conditioned_flow;
+    assert_ne!(new_macro, old_macro);
+    assert_eq!(broker.macroflow(0, pid).unwrap().id, new_macro);
+
+    // Old macroflow tears down; the successor must stay registered.
+    broker.tick(leave.contingency_expires.unwrap());
+    assert!(broker.macroflow_by_id(old_macro).is_none());
+    let m = broker
+        .macroflow(0, pid)
+        .expect("successor still registered");
+    assert_eq!(m.id, new_macro);
+    assert_eq!(m.members, 1);
+
+    // And a further join lands in the successor, not a third macroflow.
+    let res2 = broker
+        .request(Time::ZERO, &class_request(2, pid, 0))
+        .unwrap();
+    assert_eq!(res2.conditioned_flow, new_macro);
+    assert_eq!(broker.macroflow(0, pid).unwrap().members, 2);
+}

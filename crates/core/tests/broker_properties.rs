@@ -1,0 +1,210 @@
+//! Property tests for the broker's bookkeeping under arbitrary operation
+//! sequences.
+//!
+//! Invariant: after *any* interleaving of per-flow requests, class joins,
+//! releases, contingency expiries and edge feedback, every link's
+//! reserved bandwidth equals exactly the sum of the per-flow reservations
+//! and macroflow allocations that cross it — and once everything is
+//! released and every contingency has lapsed, the domain is pristine.
+
+use bb_core::admission::aggregate::ClassSpec;
+use bb_core::contingency::ContingencyPolicy;
+use bb_core::mib::{FlowService, LinkRef};
+use bb_core::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use netsim::topology::{LinkId, SchedulerSpec, TopologyBuilder};
+use proptest::prelude::*;
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+#[derive(Debug, Clone)]
+enum Op {
+    RequestPerFlow { d_ms: u64 },
+    RequestClass { class: u32 },
+    Release { victim: usize },
+    Tick { dt_ms: u64 },
+    Feedback,
+}
+
+fn gen_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (2_000u64..6_000).prop_map(|d_ms| Op::RequestPerFlow { d_ms }),
+            (0u32..2).prop_map(|class| Op::RequestClass { class }),
+            (0usize..64).prop_map(|victim| Op::Release { victim }),
+            (1u64..20_000).prop_map(|dt_ms| Op::Tick { dt_ms }),
+            Just(Op::Feedback),
+        ],
+        1..60,
+    )
+}
+
+fn type0() -> TrafficProfile {
+    TrafficProfile::new(
+        Bits::from_bits(60_000),
+        Rate::from_bps(50_000),
+        Rate::from_bps(100_000),
+        Bits::from_bytes(1500),
+    )
+    .unwrap()
+}
+
+fn make_broker(policy: ContingencyPolicy) -> (Broker, bb_core::mib::PathId, Vec<LinkRef>) {
+    let mut b = TopologyBuilder::new();
+    let nodes: Vec<_> = (0..6).map(|i| b.node(format!("n{i}"))).collect();
+    let route: Vec<LinkId> = (0..5)
+        .map(|i| {
+            b.link(
+                nodes[i],
+                nodes[i + 1],
+                Rate::from_bps(1_500_000),
+                Nanos::ZERO,
+                if i == 2 || i == 3 {
+                    SchedulerSpec::VtEdf
+                } else {
+                    SchedulerSpec::CsVc
+                },
+                Bits::from_bytes(1500),
+            )
+        })
+        .collect();
+    let topo = b.build();
+    let mut broker = Broker::new(
+        topo,
+        BrokerConfig {
+            contingency: policy,
+            classes: vec![
+                ClassSpec {
+                    id: 0,
+                    d_req: Nanos::from_millis(2_440),
+                    cd: Nanos::from_millis(240),
+                },
+                ClassSpec {
+                    id: 1,
+                    d_req: Nanos::from_millis(3_000),
+                    cd: Nanos::from_millis(100),
+                },
+            ],
+            ..BrokerConfig::default()
+        },
+    );
+    let pid = broker.register_route(&route);
+    let refs: Vec<LinkRef> = (0..5).map(LinkRef).collect();
+    (broker, pid, refs)
+}
+
+/// Recomputes each link's expected reservation from the flow MIB and the
+/// macroflow registry, and compares with the node MIB.
+fn check_accounting(broker: &Broker, pid: bb_core::mib::PathId, links: &[LinkRef]) {
+    let path_links = &broker.paths().path(pid).links;
+    let mut expected = vec![Rate::ZERO; links.len()];
+    for (_, rec) in broker.flows().iter() {
+        if let FlowService::PerFlow { rate, .. } = rec.service {
+            for l in path_links {
+                expected[l.0] = expected[l.0].saturating_add(rate);
+            }
+        }
+    }
+    for m in broker.macroflows() {
+        for l in &broker.paths().path(m.path).links {
+            expected[l.0] = expected[l.0].saturating_add(m.allocated());
+        }
+    }
+    for l in links {
+        assert_eq!(
+            broker.nodes().link(*l).reserved(),
+            expected[l.0],
+            "link {l:?} accounting drift"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn accounting_never_drifts(ops in gen_ops(), bounding in any::<bool>()) {
+        let policy = if bounding {
+            ContingencyPolicy::Bounding
+        } else {
+            ContingencyPolicy::Feedback
+        };
+        let (mut broker, pid, links) = make_broker(policy);
+        let mut now = Time::ZERO;
+        let mut live: Vec<FlowId> = Vec::new();
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Op::RequestPerFlow { d_ms } => {
+                    let flow = FlowId(next_id);
+                    next_id += 1;
+                    if broker
+                        .request(now, &FlowRequest {
+                            flow,
+                            profile: type0(),
+                            d_req: Nanos::from_millis(d_ms),
+                            service: ServiceKind::PerFlow,
+                            path: pid,
+                        })
+                        .is_ok()
+                    {
+                        live.push(flow);
+                    }
+                }
+                Op::RequestClass { class } => {
+                    let flow = FlowId(next_id);
+                    next_id += 1;
+                    if broker
+                        .request(now, &FlowRequest {
+                            flow,
+                            profile: type0(),
+                            d_req: Nanos::ZERO,
+                            service: ServiceKind::Class(class),
+                            path: pid,
+                        })
+                        .is_ok()
+                    {
+                        live.push(flow);
+                    }
+                }
+                Op::Release { victim } => {
+                    if !live.is_empty() {
+                        let flow = live.remove(victim % live.len());
+                        broker.release(now, flow).expect("live flow");
+                    }
+                }
+                Op::Tick { dt_ms } => {
+                    now += Nanos::from_millis(dt_ms);
+                    broker.tick(now);
+                }
+                Op::Feedback => {
+                    let ids: Vec<FlowId> =
+                        broker.macroflows().map(|m| m.id).collect();
+                    for id in ids {
+                        broker.edge_buffer_empty(now, id);
+                    }
+                }
+            }
+            check_accounting(&broker, pid, &links);
+        }
+
+        // Drain: release everything, flush all contingency, and expect a
+        // pristine domain.
+        for flow in live {
+            broker.release(now, flow).expect("live flow");
+        }
+        let ids: Vec<FlowId> = broker.macroflows().map(|m| m.id).collect();
+        for id in ids {
+            broker.edge_buffer_empty(now, id);
+        }
+        now += Nanos::from_secs(100_000);
+        broker.tick(now);
+        check_accounting(&broker, pid, &links);
+        prop_assert!(broker.flows().is_empty());
+        prop_assert_eq!(broker.macroflows().count(), 0);
+        for l in &links {
+            prop_assert_eq!(broker.nodes().link(*l).reserved(), Rate::ZERO);
+            prop_assert_eq!(broker.nodes().link(*l).edf_class_count(), 0);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! A deterministic discrete-event packet-level network simulator.
+//!
+//! `netsim` is the testbed substrate for the bandwidth-broker evaluation:
+//! it wires [`sched`] schedulers into a [`topology`], attaches [`source`]
+//! models and VTRS edge conditioners to ingress nodes, and runs an
+//! event-driven simulation with nanosecond resolution. Everything is
+//! seeded and deterministic — two runs of the same configuration produce
+//! byte-identical statistics.
+//!
+//! Design notes (following the smoltcp school of simulation substrates):
+//!
+//! * **Sans-IO, single-threaded, no wall clock.** The simulator advances
+//!   a logical [`qos_units::Time`]; nothing blocks, sleeps, or reads the
+//!   host clock.
+//! * **Lazy event invalidation.** Components (conditioners, schedulers)
+//!   are re-queried on event pop, so stale heap entries are skipped
+//!   rather than deleted — the standard calendar-queue discipline.
+//! * **Validation mode.** When enabled, every packet arrival at every hop
+//!   is checked against the VTRS virtual-spacing and reality-check
+//!   properties, turning the simulator into an executable proof-checker
+//!   for the delay-bound theorems.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sim;
+pub mod source;
+pub mod stats;
+pub mod topology;
+pub mod trace;
+
+pub use sim::Simulator;
+pub use source::SourceModel;
+pub use stats::FlowStats;
+pub use topology::{LinkId, NodeId, SchedulerSpec, Topology, TopologyBuilder};

@@ -1,0 +1,1097 @@
+//! The event-driven simulator core.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use qos_units::{Bits, Nanos, Rate, Time};
+use sched::{CJVc, CsVc, Fifo, Scheduler, VtEdf};
+use vtrs::conditioner::EdgeConditioner;
+use vtrs::packet::{FlowId, Packet};
+use vtrs::reference::{advance, RealityChecker, SpacingChecker};
+
+use crate::source::{SourceModel, SourceState};
+use crate::stats::FlowStats;
+use crate::topology::{LinkId, SchedulerSpec, Topology};
+use crate::trace::{TraceBuffer, TraceEvent, TraceEventKind};
+
+/// What an event refers to. Events are lazily validated: on pop the owning
+/// component is re-queried, so stale entries are skipped harmlessly.
+#[derive(Debug)]
+enum EventKind {
+    /// A source may emit its next packet.
+    Source(usize),
+    /// A flow's edge conditioner may release its head packet.
+    Conditioner(FlowId),
+    /// A link's scheduler may complete a departure (or an eligibility
+    /// instant passed).
+    Link(LinkId),
+    /// A packet in flight arrives at the head of `link`'s queue (after
+    /// the upstream propagation delay).
+    Arrive(LinkId, Box<Packet>),
+    /// A packet leaves the network at its egress.
+    Deliver(Box<Packet>),
+}
+
+#[derive(Debug)]
+struct Event {
+    at: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Per-flow runtime state.
+#[derive(Debug)]
+struct FlowRt {
+    route: Vec<LinkId>,
+    conditioner: EdgeConditioner,
+    stats: FlowStats,
+    /// Per-hop VTRS validators (validation mode only); index 0 is the
+    /// conditioner output, index i ≥ 1 the arrival at route hop i−1.
+    spacing: Vec<SpacingChecker>,
+    reality: Vec<RealityChecker>,
+    next_seq: u64,
+}
+
+/// Per-source runtime record.
+#[derive(Debug)]
+struct SourceRt {
+    flow: FlowId,
+    state: SourceState,
+}
+
+/// Telemetry for one link.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkStats {
+    /// Packets that departed the link's scheduler.
+    pub packets: u64,
+    /// Bits carried.
+    pub bits: u64,
+    /// Time of the last departure.
+    pub last_departure: Time,
+}
+
+impl LinkStats {
+    /// Mean utilization of a link of `capacity` over `[0, horizon]`.
+    #[must_use]
+    pub fn utilization(&self, capacity: Rate, horizon: Time) -> f64 {
+        if horizon == Time::ZERO {
+            return 0.0;
+        }
+        let carried = self.bits as f64;
+        let could = capacity.as_bps() as f64 * horizon.as_secs_f64();
+        (carried / could).min(1.0)
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// Construct with a [`Topology`], add flows (each with a reserved rate,
+/// delay parameter and route) and sources, then [`Simulator::run_until`]
+/// or [`Simulator::run_to_completion`]. Control-plane actions (the
+/// bandwidth broker re-rating a macroflow, granting or withdrawing
+/// contingency bandwidth) are applied between `run_until` calls through
+/// [`Simulator::set_flow_rate`] and [`Simulator::set_flow_contingency`] —
+/// exactly the BB → edge-conditioner signaling path of the paper, with
+/// the simulator standing in for the wire.
+#[derive(Debug)]
+pub struct Simulator {
+    topo: Topology,
+    links: Vec<Box<dyn Scheduler>>,
+    /// Per-link counters: (packets forwarded, bits forwarded, busy time).
+    link_stats: Vec<LinkStats>,
+    flows: HashMap<FlowId, FlowRt>,
+    sources: Vec<SourceRt>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: Time,
+    seq: u64,
+    validate: bool,
+    trace: Option<TraceBuffer>,
+}
+
+impl Simulator {
+    /// Creates a simulator over `topo`, instantiating each link's
+    /// scheduler.
+    #[must_use]
+    pub fn new(topo: Topology) -> Self {
+        let links: Vec<Box<dyn Scheduler>> = topo
+            .links()
+            .iter()
+            .map(|l| -> Box<dyn Scheduler> {
+                match l.scheduler {
+                    SchedulerSpec::CsVc => Box::new(CsVc::new(l.capacity, l.max_packet)),
+                    SchedulerSpec::CJVc => Box::new(CJVc::new(l.capacity, l.max_packet)),
+                    SchedulerSpec::VtEdf => Box::new(VtEdf::new(l.capacity, l.max_packet)),
+                    SchedulerSpec::Fifo { assumed_psi } => {
+                        Box::new(Fifo::new(l.capacity, assumed_psi))
+                    }
+                }
+            })
+            .collect();
+        let link_stats = vec![LinkStats::default(); links.len()];
+        Simulator {
+            topo,
+            links,
+            link_stats,
+            flows: HashMap::new(),
+            sources: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            validate: false,
+            trace: None,
+        }
+    }
+
+    /// Enables VTRS invariant checking on every hop arrival (slower;
+    /// counts land in [`FlowStats`]).
+    pub fn enable_validation(&mut self) {
+        self.validate = true;
+    }
+
+    /// Enables per-packet event tracing, keeping the first `capacity`
+    /// events (see [`crate::trace`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceBuffer::new(capacity));
+    }
+
+    /// The trace buffer, if tracing is enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    fn record_trace(&mut self, at: Time, pkt: &Packet, kind: TraceEventKind) {
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEvent {
+                at,
+                flow: pkt.flow,
+                seq: pkt.seq,
+                kind,
+                virtual_time: pkt.state.as_ref().map(|s| s.virtual_time),
+            });
+        }
+    }
+
+    /// The simulation clock.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Read access to the topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Registers a flow with reserved rate `rate` and delay parameter
+    /// `delay` over `route` (ordered link ids forming a path). An edge
+    /// conditioner is created at the route head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route is empty, discontinuous, or the flow id is
+    /// already registered.
+    pub fn add_flow(&mut self, id: FlowId, rate: Rate, delay: Nanos, route: Vec<LinkId>) {
+        assert!(!route.is_empty(), "flow route must have at least one hop");
+        for w in route.windows(2) {
+            assert_eq!(
+                self.topo.link(w[0]).to,
+                self.topo.link(w[1]).from,
+                "flow route is discontinuous"
+            );
+        }
+        let q = self.topo.path_spec(&route).q();
+        let hops = route.len();
+        let prev = self.flows.insert(
+            id,
+            FlowRt {
+                route,
+                conditioner: EdgeConditioner::new(rate, delay, q),
+                stats: FlowStats::default(),
+                spacing: vec![SpacingChecker::new(); hops + 1],
+                reality: vec![RealityChecker::new(); hops + 1],
+                next_seq: 0,
+            },
+        );
+        assert!(prev.is_none(), "flow {id} registered twice");
+    }
+
+    /// Removes a flow (its in-flight packets still drain). Returns its
+    /// statistics.
+    pub fn remove_flow(&mut self, id: FlowId) -> Option<FlowStats> {
+        self.flows.remove(&id).map(|f| f.stats)
+    }
+
+    /// Attaches a source feeding `flow`. `start`/`stop`/`limit` bound the
+    /// emission schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is unknown.
+    pub fn add_source(
+        &mut self,
+        flow: FlowId,
+        model: SourceModel,
+        start: Time,
+        stop: Option<Time>,
+        limit: Option<u64>,
+    ) {
+        assert!(self.flows.contains_key(&flow), "unknown flow {flow}");
+        let state = SourceState::new(model, start, stop, limit);
+        let idx = self.sources.len();
+        if let Some(at) = state.next_emission() {
+            self.push(at, EventKind::Source(idx));
+        }
+        self.sources.push(SourceRt { flow, state });
+    }
+
+    /// Re-configures a flow's reserved rate (BB → edge signaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is unknown.
+    pub fn set_flow_rate(&mut self, flow: FlowId, rate: Rate) {
+        let f = self
+            .flows
+            .get_mut(&flow)
+            .unwrap_or_else(|| panic!("unknown flow {flow}"));
+        f.conditioner.set_reserved_rate(rate);
+        self.reschedule_conditioner(flow);
+    }
+
+    /// Sets a flow's total contingency bandwidth (BB → edge signaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is unknown.
+    pub fn set_flow_contingency(&mut self, flow: FlowId, extra: Rate) {
+        let f = self
+            .flows
+            .get_mut(&flow)
+            .unwrap_or_else(|| panic!("unknown flow {flow}"));
+        f.conditioner.set_contingency(extra);
+        self.reschedule_conditioner(flow);
+    }
+
+    /// The flow's edge-conditioner backlog (the `Q(t)` feeding the
+    /// contingency feedback scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is unknown.
+    #[must_use]
+    pub fn flow_backlog(&self, flow: FlowId) -> Bits {
+        self.flows
+            .get(&flow)
+            .unwrap_or_else(|| panic!("unknown flow {flow}"))
+            .conditioner
+            .backlog()
+    }
+
+    /// Maximum edge-conditioning delay any packet of the flow has seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is unknown.
+    #[must_use]
+    pub fn flow_max_edge_delay(&self, flow: FlowId) -> Nanos {
+        self.flows
+            .get(&flow)
+            .unwrap_or_else(|| panic!("unknown flow {flow}"))
+            .conditioner
+            .max_delay()
+    }
+
+    /// Sets the statistics threshold for a flow: packets created at or
+    /// after `t` are additionally tracked in the `*_post` maxima of
+    /// [`FlowStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is unknown.
+    pub fn set_flow_threshold(&mut self, flow: FlowId, t: Time) {
+        self.flows
+            .get_mut(&flow)
+            .unwrap_or_else(|| panic!("unknown flow {flow}"))
+            .stats
+            .threshold = t;
+    }
+
+    /// Telemetry for a link (packets/bits forwarded, last departure).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range link id.
+    #[must_use]
+    pub fn link_stats(&self, link: LinkId) -> &LinkStats {
+        &self.link_stats[link.0]
+    }
+
+    /// Delivery statistics for a flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is unknown.
+    #[must_use]
+    pub fn flow_stats(&self, flow: FlowId) -> &FlowStats {
+        &self
+            .flows
+            .get(&flow)
+            .unwrap_or_else(|| panic!("unknown flow {flow}"))
+            .stats
+    }
+
+    /// Runs until the event queue is exhausted (all sources done, all
+    /// packets delivered). Returns the final clock.
+    pub fn run_to_completion(&mut self) -> Time {
+        self.run_until(Time::MAX)
+    }
+
+    /// Processes every event with timestamp ≤ `deadline`, advancing the
+    /// clock. Events beyond the deadline stay queued.
+    pub fn run_until(&mut self, deadline: Time) -> Time {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked event exists");
+            debug_assert!(ev.at >= self.now, "event time went backwards");
+            self.now = ev.at;
+            self.dispatch(ev);
+        }
+        self.now = self.now.max(match deadline {
+            Time::MAX => self.now,
+            d => d,
+        });
+        self.now
+    }
+
+    fn push(&mut self, at: Time, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::Source(idx) => self.on_source(ev.at, idx),
+            EventKind::Conditioner(flow) => self.on_conditioner(ev.at, flow),
+            EventKind::Link(link) => self.on_link(ev.at, link),
+            EventKind::Arrive(link, pkt) => self.on_arrive(ev.at, link, *pkt),
+            EventKind::Deliver(pkt) => self.on_deliver(ev.at, *pkt),
+        }
+    }
+
+    fn on_source(&mut self, now: Time, idx: usize) {
+        let src = &mut self.sources[idx];
+        // Lazy validation: only act if this event matches the schedule.
+        let Some(due) = src.state.next_emission() else {
+            return;
+        };
+        if due != now {
+            return;
+        }
+        let size = src.state.emit();
+        let flow_id = src.flow;
+        if let Some(at) = src.state.next_emission() {
+            self.push(at, EventKind::Source(idx));
+        }
+        let f = self
+            .flows
+            .get_mut(&flow_id)
+            .expect("source references registered flow");
+        let seq = f.next_seq;
+        f.next_seq += 1;
+        let pkt = Packet::new(flow_id, seq, size, now);
+        self.record_trace(now, &pkt, TraceEventKind::Created);
+        let f = self
+            .flows
+            .get_mut(&flow_id)
+            .expect("source references registered flow");
+        f.conditioner.arrive(now, pkt);
+        self.reschedule_conditioner(flow_id);
+    }
+
+    fn reschedule_conditioner(&mut self, flow: FlowId) {
+        if let Some(at) = self
+            .flows
+            .get(&flow)
+            .and_then(|f| f.conditioner.next_release_time())
+        {
+            self.push(at.max(self.now), EventKind::Conditioner(flow));
+        }
+    }
+
+    fn on_conditioner(&mut self, now: Time, flow: FlowId) {
+        let Some(f) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        let mut released = Vec::new();
+        while let Some(pkt) = f.conditioner.release(now) {
+            released.push(pkt);
+        }
+        if self.validate {
+            for pkt in &released {
+                if !f.spacing[0].observe(pkt.state(), pkt.size) {
+                    f.stats.spacing_violations += 1;
+                }
+            }
+        }
+        let first_hop = f.route[0];
+        if let Some(at) = f.conditioner.next_release_time() {
+            self.push(at, EventKind::Conditioner(flow));
+        }
+        for pkt in released {
+            // The conditioner is co-located with the first-hop router:
+            // release == arrival at the first scheduler.
+            self.record_trace(now, &pkt, TraceEventKind::EnteredCore);
+            self.push(now, EventKind::Arrive(first_hop, Box::new(pkt)));
+        }
+    }
+
+    fn on_arrive(&mut self, now: Time, link: LinkId, mut pkt: Packet) {
+        if self.validate {
+            // Core routers work off header bytes: in validation mode the
+            // dynamic packet state is round-tripped through its wire
+            // encoding at every hop, so a codec defect (or any reliance
+            // on non-header state) would surface as corruption here.
+            let mut wire = bytes::BytesMut::with_capacity(vtrs::packet::PacketState::WIRE_SIZE);
+            pkt.state().encode(&mut wire);
+            let mut rd = wire.freeze();
+            let decoded = vtrs::packet::PacketState::decode(&mut rd).expect("own encoding decodes");
+            debug_assert_eq!(&decoded, pkt.state());
+            *pkt.state_mut() = decoded;
+        }
+        if self.validate {
+            if let Some(f) = self.flows.get_mut(&pkt.flow) {
+                if let Some(hop_idx) = f.route.iter().position(|l| *l == link) {
+                    if !f.spacing[hop_idx + 1].observe(pkt.state(), pkt.size) {
+                        f.stats.spacing_violations += 1;
+                    }
+                    if !f.reality[hop_idx + 1].observe(now, pkt.state()) {
+                        f.stats.reality_violations += 1;
+                    }
+                }
+            }
+        }
+        self.links[link.0].enqueue(now, pkt);
+        if let Some(at) = self.links[link.0].next_event() {
+            self.push(at, EventKind::Link(link));
+        }
+    }
+
+    fn on_link(&mut self, now: Time, link: LinkId) {
+        loop {
+            let Some(at) = self.links[link.0].next_event() else {
+                return;
+            };
+            if at > now {
+                self.push(at, EventKind::Link(link));
+                return;
+            }
+            let Some(mut pkt) = self.links[link.0].dequeue(at) else {
+                // Eligibility instant (non-work-conserving scheduler):
+                // state advanced internally, re-arm and continue.
+                self.push(at, EventKind::Link(link));
+                return;
+            };
+            // Departure: account, apply the per-hop virtual time update
+            // (concatenation rule) and forward across the wire.
+            let ls = &mut self.link_stats[link.0];
+            ls.packets += 1;
+            ls.bits += pkt.size.as_bits();
+            ls.last_departure = at;
+            let hop = self.topo.link(link).hop_spec();
+            let size = pkt.size;
+            advance(pkt.state_mut(), &hop, size);
+            let arrive_at = at + self.topo.link(link).prop_delay;
+            let hop_and_next = self.flows.get(&pkt.flow).and_then(|f| {
+                let i = f.route.iter().position(|l| *l == link)?;
+                Some((i, f.route.get(i + 1).copied()))
+            });
+            if let Some((i, _)) = hop_and_next {
+                self.record_trace(at, &pkt, TraceEventKind::DepartedHop(i));
+            }
+            let next = hop_and_next.and_then(|(_, n)| n);
+            match next {
+                Some(next_link) => {
+                    self.push(arrive_at, EventKind::Arrive(next_link, Box::new(pkt)));
+                }
+                None => {
+                    self.push(arrive_at, EventKind::Deliver(Box::new(pkt)));
+                }
+            }
+        }
+    }
+
+    fn on_deliver(&mut self, now: Time, pkt: Packet) {
+        self.record_trace(now, &pkt, TraceEventKind::Delivered);
+        if let Some(f) = self.flows.get_mut(&pkt.flow) {
+            let entered = pkt
+                .entered_core_at
+                .expect("delivered packet passed the conditioner");
+            f.stats.record(pkt.created_at, entered, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+    use vtrs::profile::TrafficProfile;
+
+    fn type0() -> TrafficProfile {
+        TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap()
+    }
+
+    /// A 5-hop all-CsVC line: I → R2 → R3 → R4 → R5 → E.
+    fn line_topology() -> (Topology, Vec<LinkId>) {
+        let mut b = TopologyBuilder::new();
+        let names = ["I", "R2", "R3", "R4", "R5", "E"];
+        let nodes: Vec<_> = names.iter().map(|n| b.node(*n)).collect();
+        let links: Vec<_> = (0..5)
+            .map(|i| {
+                b.link(
+                    nodes[i],
+                    nodes[i + 1],
+                    Rate::from_bps(1_500_000),
+                    Nanos::ZERO,
+                    SchedulerSpec::CsVc,
+                    Bits::from_bytes(1500),
+                )
+            })
+            .collect();
+        (b.build(), links)
+    }
+
+    #[test]
+    fn single_flow_delivers_all_packets() {
+        let (topo, links) = line_topology();
+        let mut sim = Simulator::new(topo);
+        sim.enable_validation();
+        let id = FlowId(1);
+        sim.add_flow(id, Rate::from_bps(50_000), Nanos::ZERO, links);
+        sim.add_source(
+            id,
+            SourceModel::Cbr {
+                rate: Rate::from_bps(50_000),
+                packet: Bits::from_bytes(1500),
+            },
+            Time::ZERO,
+            None,
+            Some(20),
+        );
+        sim.run_to_completion();
+        let st = sim.flow_stats(id);
+        assert_eq!(st.delivered, 20);
+        assert_eq!(st.spacing_violations, 0);
+        assert_eq!(st.reality_violations, 0);
+        // Uncontended: per-packet core delay is 5 × 8 ms = 40 ms exactly.
+        assert_eq!(st.max_core, Nanos::from_millis(40));
+    }
+
+    #[test]
+    fn greedy_type0_flow_respects_e2e_bound_at_mean_rate() {
+        // The paper's single-flow sanity point: a greedy type-0 flow at
+        // r = ρ on the 5-hop path must never exceed 2.44 s end to end.
+        let (topo, links) = line_topology();
+        let path = topo.path_spec(&links);
+        let profile = type0();
+        let bound = vtrs::delay::e2e_delay_bound(
+            &profile,
+            &path,
+            profile.l_max,
+            Rate::from_bps(50_000),
+            Nanos::ZERO,
+        )
+        .unwrap();
+        assert_eq!(bound, Nanos::from_millis(2_440));
+
+        let mut sim = Simulator::new(topo);
+        sim.enable_validation();
+        let id = FlowId(1);
+        sim.add_flow(id, Rate::from_bps(50_000), Nanos::ZERO, links);
+        sim.add_source(
+            id,
+            SourceModel::Greedy {
+                profile,
+                packet: Bits::from_bytes(1500),
+            },
+            Time::ZERO,
+            None,
+            Some(100),
+        );
+        sim.run_to_completion();
+        let st = sim.flow_stats(id);
+        assert_eq!(st.delivered, 100);
+        assert!(
+            st.max_e2e <= bound,
+            "observed {} exceeds bound {}",
+            st.max_e2e,
+            bound
+        );
+        assert_eq!(st.spacing_violations, 0);
+        assert_eq!(st.reality_violations, 0);
+    }
+
+    #[test]
+    fn thirty_flows_fill_the_link_without_bound_violations() {
+        // 30 type-0 flows at mean rate exactly fill 1.5 Mb/s; every flow
+        // must stay within the 2.44 s bound (the Table-2 boundary case,
+        // observed in the packet plane).
+        let (topo, links) = line_topology();
+        let path = topo.path_spec(&links);
+        let profile = type0();
+        let bound = vtrs::delay::e2e_delay_bound(
+            &profile,
+            &path,
+            profile.l_max,
+            Rate::from_bps(50_000),
+            Nanos::ZERO,
+        )
+        .unwrap();
+        let mut sim = Simulator::new(topo);
+        sim.enable_validation();
+        for i in 0..30 {
+            let id = FlowId(i);
+            sim.add_flow(id, Rate::from_bps(50_000), Nanos::ZERO, links.clone());
+            sim.add_source(
+                id,
+                SourceModel::Greedy {
+                    profile,
+                    packet: Bits::from_bytes(1500),
+                },
+                Time::ZERO,
+                None,
+                Some(30),
+            );
+        }
+        sim.run_to_completion();
+        for i in 0..30 {
+            let st = sim.flow_stats(FlowId(i));
+            assert_eq!(st.delivered, 30);
+            assert!(
+                st.max_e2e <= bound,
+                "flow {i}: observed {} exceeds bound {}",
+                st.max_e2e,
+                bound
+            );
+            assert_eq!(st.spacing_violations, 0, "flow {i} spacing violations");
+            assert_eq!(st.reality_violations, 0, "flow {i} reality violations");
+        }
+    }
+
+    #[test]
+    fn mixed_path_vtedf_hops_meet_delay_class_bound() {
+        // 3 CsVC hops + 2 VT-EDF hops (the paper's mixed setting shape).
+        let mut b = TopologyBuilder::new();
+        let nodes: Vec<_> = ["I", "R2", "R3", "R4", "R5", "E"]
+            .iter()
+            .map(|n| b.node(*n))
+            .collect();
+        let cap = Rate::from_bps(1_500_000);
+        let lmax = Bits::from_bytes(1500);
+        let specs = [
+            SchedulerSpec::CsVc,
+            SchedulerSpec::CsVc,
+            SchedulerSpec::VtEdf,
+            SchedulerSpec::VtEdf,
+            SchedulerSpec::CsVc,
+        ];
+        let links: Vec<_> = (0..5)
+            .map(|i| b.link(nodes[i], nodes[i + 1], cap, Nanos::ZERO, specs[i], lmax))
+            .collect();
+        let topo = b.build();
+        let path = topo.path_spec(&links);
+        assert_eq!(path.q(), 3);
+
+        let profile = type0();
+        let d = Nanos::from_millis(240);
+        let r = Rate::from_bps(50_000);
+        let bound = vtrs::delay::e2e_delay_bound(&profile, &path, profile.l_max, r, d).unwrap();
+
+        let mut sim = Simulator::new(topo);
+        sim.enable_validation();
+        for i in 0..10 {
+            let id = FlowId(i);
+            sim.add_flow(id, r, d, links.clone());
+            sim.add_source(
+                id,
+                SourceModel::Greedy {
+                    profile,
+                    packet: Bits::from_bytes(1500),
+                },
+                Time::ZERO,
+                None,
+                Some(25),
+            );
+        }
+        sim.run_to_completion();
+        for i in 0..10 {
+            let st = sim.flow_stats(FlowId(i));
+            assert_eq!(st.delivered, 25);
+            assert!(
+                st.max_e2e <= bound,
+                "flow {i}: {} > bound {}",
+                st.max_e2e,
+                bound
+            );
+            assert_eq!(st.spacing_violations + st.reality_violations, 0);
+        }
+    }
+
+    #[test]
+    fn run_until_pauses_and_resumes() {
+        let (topo, links) = line_topology();
+        let mut sim = Simulator::new(topo);
+        let id = FlowId(1);
+        sim.add_flow(id, Rate::from_bps(50_000), Nanos::ZERO, links);
+        sim.add_source(
+            id,
+            SourceModel::Cbr {
+                rate: Rate::from_bps(50_000),
+                packet: Bits::from_bytes(1500),
+            },
+            Time::ZERO,
+            None,
+            Some(10),
+        );
+        sim.run_until(Time::from_secs_f64(0.5));
+        let mid = sim.flow_stats(id).delivered;
+        assert!(mid > 0 && mid < 10, "partial progress, got {mid}");
+        sim.run_to_completion();
+        assert_eq!(sim.flow_stats(id).delivered, 10);
+    }
+
+    #[test]
+    fn rate_change_mid_flight_keeps_invariants() {
+        // Double a flow's rate mid-run (the Theorem-4 data-plane path);
+        // validation must stay clean and delivery complete.
+        let (topo, links) = line_topology();
+        let mut sim = Simulator::new(topo);
+        sim.enable_validation();
+        let id = FlowId(1);
+        sim.add_flow(id, Rate::from_bps(50_000), Nanos::ZERO, links);
+        sim.add_source(
+            id,
+            SourceModel::Greedy {
+                profile: type0(),
+                packet: Bits::from_bytes(1500),
+            },
+            Time::ZERO,
+            None,
+            Some(40),
+        );
+        sim.run_until(Time::from_secs_f64(2.0));
+        sim.set_flow_rate(id, Rate::from_bps(100_000));
+        sim.run_to_completion();
+        let st = sim.flow_stats(id);
+        assert_eq!(st.delivered, 40);
+        assert_eq!(
+            st.spacing_violations, 0,
+            "spacing violated across rate change"
+        );
+        assert_eq!(
+            st.reality_violations, 0,
+            "reality check violated across rate change"
+        );
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+    use vtrs::profile::TrafficProfile;
+
+    fn two_hop(spec: SchedulerSpec) -> (Topology, Vec<LinkId>) {
+        let mut b = TopologyBuilder::new();
+        let n: Vec<_> = (0..3).map(|i| b.node(format!("n{i}"))).collect();
+        let route = (0..2)
+            .map(|i| {
+                b.link(
+                    n[i],
+                    n[i + 1],
+                    Rate::from_mbps(1),
+                    Nanos::from_micros(100),
+                    spec,
+                    Bits::from_bytes(1500),
+                )
+            })
+            .collect();
+        (b.build(), route)
+    }
+
+    #[test]
+    fn remove_flow_returns_stats_and_frees_id() {
+        let (topo, route) = two_hop(SchedulerSpec::CsVc);
+        let mut sim = Simulator::new(topo);
+        let f = FlowId(5);
+        sim.add_flow(f, Rate::from_bps(100_000), Nanos::ZERO, route.clone());
+        sim.add_source(
+            f,
+            SourceModel::Cbr {
+                rate: Rate::from_bps(100_000),
+                packet: Bits::from_bytes(1500),
+            },
+            Time::ZERO,
+            None,
+            Some(3),
+        );
+        sim.run_to_completion();
+        let stats = sim.remove_flow(f).expect("flow existed");
+        assert_eq!(stats.delivered, 3);
+        assert!(sim.remove_flow(f).is_none());
+        // The id can be registered again.
+        sim.add_flow(f, Rate::from_bps(100_000), Nanos::ZERO, route);
+    }
+
+    #[test]
+    fn fifo_links_forward_conditioned_traffic() {
+        let (topo, route) = two_hop(SchedulerSpec::Fifo {
+            assumed_psi: Nanos::from_millis(12),
+        });
+        let mut sim = Simulator::new(topo);
+        let f = FlowId(1);
+        sim.add_flow(f, Rate::from_bps(200_000), Nanos::ZERO, route);
+        sim.add_source(
+            f,
+            SourceModel::Cbr {
+                rate: Rate::from_bps(200_000),
+                packet: Bits::from_bytes(1500),
+            },
+            Time::ZERO,
+            None,
+            Some(5),
+        );
+        sim.run_to_completion();
+        let st = sim.flow_stats(f);
+        assert_eq!(st.delivered, 5);
+        // Uncontended FIFO at 1 Mb/s: 2 × 12 ms transmission + 2 × 100 µs
+        // propagation per packet of core delay.
+        assert_eq!(st.max_core, Nanos::from_micros(24_200));
+    }
+
+    #[test]
+    fn poisson_source_drives_flows_deterministically() {
+        let (topo, route) = two_hop(SchedulerSpec::CsVc);
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(topo.clone());
+            let f = FlowId(1);
+            sim.add_flow(f, Rate::from_bps(300_000), Nanos::ZERO, route.clone());
+            sim.add_source(
+                f,
+                SourceModel::Poisson {
+                    mean_rate: Rate::from_bps(200_000),
+                    packet: Bits::from_bytes(1500),
+                    seed,
+                },
+                Time::ZERO,
+                Some(Time::from_secs_f64(5.0)),
+                None,
+            );
+            sim.run_to_completion();
+            (sim.flow_stats(f).delivered, sim.flow_stats(f).max_e2e)
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+        assert!(run(3).0 > 10, "Poisson source too quiet");
+    }
+
+    #[test]
+    fn aggregated_sources_share_one_conditioner_in_arrival_order() {
+        // Three microflow sources feeding one macroflow id: sequence
+        // numbers are global per flow and all packets are delivered.
+        let (topo, route) = two_hop(SchedulerSpec::CsVc);
+        let mut sim = Simulator::new(topo);
+        let m = FlowId(9);
+        sim.add_flow(m, Rate::from_bps(300_000), Nanos::ZERO, route);
+        for k in 0..3u64 {
+            sim.add_source(
+                m,
+                SourceModel::Cbr {
+                    rate: Rate::from_bps(100_000),
+                    packet: Bits::from_bytes(1500),
+                },
+                Time::from_nanos(k * 1_000),
+                None,
+                Some(4),
+            );
+        }
+        sim.run_to_completion();
+        assert_eq!(sim.flow_stats(m).delivered, 12);
+    }
+
+    #[test]
+    fn link_stats_count_forwarded_traffic() {
+        let (topo, route) = two_hop(SchedulerSpec::CsVc);
+        let cap = topo.link(route[0]).capacity;
+        let mut sim = Simulator::new(topo);
+        let f = FlowId(1);
+        sim.add_flow(f, Rate::from_bps(100_000), Nanos::ZERO, route.clone());
+        sim.add_source(
+            f,
+            SourceModel::Cbr {
+                rate: Rate::from_bps(100_000),
+                packet: Bits::from_bytes(1500),
+            },
+            Time::ZERO,
+            None,
+            Some(8),
+        );
+        sim.run_to_completion();
+        for l in &route {
+            let ls = sim.link_stats(*l);
+            assert_eq!(ls.packets, 8);
+            assert_eq!(ls.bits, 8 * 12_000);
+            assert!(ls.last_departure > Time::ZERO);
+            let u = ls.utilization(cap, ls.last_departure);
+            assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+        }
+    }
+
+    #[test]
+    fn edge_backlog_never_exceeds_the_dimensioning_bound() {
+        // Greedy and on–off sources conformant to type-0: the conditioner
+        // backlog must stay within vtrs::delay::edge_backlog_bound at all
+        // times (polled at 1 ms).
+        let profile = TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap();
+        let r = Rate::from_bps(50_000);
+        let bound = vtrs::delay::edge_backlog_bound(&profile, r).unwrap();
+        for greedy in [true, false] {
+            let (topo, route) = two_hop(SchedulerSpec::CsVc);
+            let mut sim = Simulator::new(topo);
+            let f = FlowId(1);
+            sim.add_flow(f, r, Nanos::ZERO, route);
+            let model = if greedy {
+                SourceModel::Greedy {
+                    profile,
+                    packet: Bits::from_bytes(1500),
+                }
+            } else {
+                // 5 packets (60 kb = σ) per 1.2 s period (ρ = 50 kb/s),
+                // paced at the peak rate: exactly the type-0 envelope.
+                SourceModel::OnOff {
+                    burst: 5,
+                    peak: Rate::from_bps(100_000),
+                    period: Nanos::from_millis(1_200),
+                    packet: Bits::from_bytes(1500),
+                }
+            };
+            sim.add_source(f, model, Time::ZERO, Some(Time::from_secs_f64(6.0)), None);
+            let mut t = Time::ZERO;
+            let mut max_backlog = Bits::ZERO;
+            while t < Time::from_secs_f64(10.0) {
+                t += Nanos::from_millis(1);
+                sim.run_until(t);
+                max_backlog = max_backlog.max(sim.flow_backlog(f));
+            }
+            assert!(
+                max_backlog <= bound,
+                "greedy={greedy}: backlog {max_backlog} exceeded bound {bound}"
+            );
+            assert!(
+                max_backlog > Bits::ZERO,
+                "greedy={greedy}: test never queued anything"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_records_full_packet_journeys() {
+        let (topo, route) = two_hop(SchedulerSpec::CsVc);
+        let mut sim = Simulator::new(topo);
+        sim.enable_trace(1_000);
+        let f = FlowId(1);
+        sim.add_flow(f, Rate::from_bps(100_000), Nanos::ZERO, route);
+        sim.add_source(
+            f,
+            SourceModel::Cbr {
+                rate: Rate::from_bps(100_000),
+                packet: Bits::from_bytes(1500),
+            },
+            Time::ZERO,
+            None,
+            Some(2),
+        );
+        sim.run_to_completion();
+        let trace = sim.trace().expect("tracing enabled");
+        let journey = trace.packet_journey(f, 0);
+        use crate::trace::TraceEventKind as K;
+        let kinds: Vec<K> = journey.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                K::Created,
+                K::EnteredCore,
+                K::DepartedHop(0),
+                K::DepartedHop(1),
+                K::Delivered
+            ]
+        );
+        // Times are non-decreasing, and the conditioned events carry ω̃.
+        for w in journey.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(journey[0].virtual_time.is_none());
+        assert!(journey[2].virtual_time.is_some());
+        assert_eq!(trace.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "route is discontinuous")]
+    fn discontinuous_route_is_rejected() {
+        let mut b = TopologyBuilder::new();
+        let n: Vec<_> = (0..4).map(|i| b.node(format!("n{i}"))).collect();
+        let l0 = b.link(
+            n[0],
+            n[1],
+            Rate::from_mbps(1),
+            Nanos::ZERO,
+            SchedulerSpec::CsVc,
+            Bits::from_bytes(1500),
+        );
+        // Gap: next link starts at n2, not n1.
+        let l1 = b.link(
+            n[2],
+            n[3],
+            Rate::from_mbps(1),
+            Nanos::ZERO,
+            SchedulerSpec::CsVc,
+            Bits::from_bytes(1500),
+        );
+        let mut sim = Simulator::new(b.build());
+        sim.add_flow(FlowId(1), Rate::from_bps(1_000), Nanos::ZERO, vec![l0, l1]);
+    }
+}

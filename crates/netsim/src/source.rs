@@ -1,0 +1,391 @@
+//! Traffic source models.
+//!
+//! A source emits packets for one (micro)flow into the flow's edge
+//! conditioner. All models are deterministic given their configuration
+//! (the Poisson model carries its own seeded RNG), so simulations
+//! replay exactly.
+
+use qos_units::ratio::mul_div_ceil;
+use qos_units::{Bits, Nanos, Rate, Time, NANOS_PER_SEC};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vtrs::profile::TrafficProfile;
+
+/// How a source generates packets.
+#[derive(Debug, Clone)]
+pub enum SourceModel {
+    /// A *greedy* source: at every instant it has emitted exactly the
+    /// maximum its dual-token-bucket envelope `E(t)` allows — the
+    /// worst-case sender the delay bounds are proved against, and the
+    /// adversary of the Figure-7 transient scenario.
+    Greedy {
+        /// The flow's declared traffic profile.
+        profile: TrafficProfile,
+        /// Size of every emitted packet.
+        packet: Bits,
+    },
+    /// Constant bit rate: one packet every `packet/rate`.
+    Cbr {
+        /// Emission rate.
+        rate: Rate,
+        /// Size of every emitted packet.
+        packet: Bits,
+    },
+    /// Poisson packet arrivals with exponential inter-arrival times at
+    /// `mean_rate` (non-conformant background traffic; also useful to
+    /// exercise conditioner queueing).
+    Poisson {
+        /// Long-run average emission rate.
+        mean_rate: Rate,
+        /// Size of every emitted packet.
+        packet: Bits,
+        /// RNG seed (determinism).
+        seed: u64,
+    },
+    /// Deterministic on–off: `burst` packets back-to-back at `peak`
+    /// pacing, then silence until the period ends. Conformant to a
+    /// dual-token-bucket with `σ = burst·packet`, `ρ =
+    /// burst·packet/period`, `P = peak` — the classic voice/video shape.
+    OnOff {
+        /// Packets per burst.
+        burst: u64,
+        /// Pacing rate within the burst.
+        peak: Rate,
+        /// Full cycle length (burst + idle).
+        period: Nanos,
+        /// Size of every emitted packet.
+        packet: Bits,
+    },
+}
+
+/// Runtime state of a source.
+#[derive(Debug)]
+pub(crate) struct SourceState {
+    model: SourceModel,
+    start: Time,
+    /// Emit no packets at or after this time.
+    stop: Option<Time>,
+    /// Emit at most this many packets.
+    limit: Option<u64>,
+    emitted: u64,
+    sent_bits: Bits,
+    rng: Option<SmallRng>,
+    next_at: Option<Time>,
+}
+
+impl SourceState {
+    pub(crate) fn new(
+        model: SourceModel,
+        start: Time,
+        stop: Option<Time>,
+        limit: Option<u64>,
+    ) -> Self {
+        let rng = match &model {
+            SourceModel::Poisson { seed, .. } => Some(SmallRng::seed_from_u64(*seed)),
+            _ => None,
+        };
+        if let SourceModel::OnOff {
+            burst,
+            peak,
+            period,
+            packet,
+        } = &model
+        {
+            assert!(*burst > 0, "OnOff: empty burst");
+            let burst_len = packet.tx_time_ceil(*peak).scale(*burst - 1);
+            assert!(burst_len < *period, "OnOff: burst longer than the period");
+        }
+        let mut s = SourceState {
+            model,
+            start,
+            stop,
+            limit,
+            emitted: 0,
+            sent_bits: Bits::ZERO,
+            rng,
+            next_at: None,
+        };
+        s.next_at = s.compute_next();
+        s
+    }
+
+    /// Time of the next emission, if the source has more to send.
+    pub(crate) fn next_emission(&self) -> Option<Time> {
+        self.next_at
+    }
+
+    /// Records an emission at the scheduled time and returns the packet
+    /// size; advances the schedule.
+    pub(crate) fn emit(&mut self) -> Bits {
+        let size = self.packet_size();
+        self.emitted += 1;
+        self.sent_bits += size;
+        self.next_at = self.compute_next();
+        size
+    }
+
+    fn packet_size(&self) -> Bits {
+        match &self.model {
+            SourceModel::Greedy { packet, .. }
+            | SourceModel::Cbr { packet, .. }
+            | SourceModel::Poisson { packet, .. }
+            | SourceModel::OnOff { packet, .. } => *packet,
+        }
+    }
+
+    fn compute_next(&mut self) -> Option<Time> {
+        if let Some(limit) = self.limit {
+            if self.emitted >= limit {
+                return None;
+            }
+        }
+        let at = match &self.model {
+            SourceModel::Greedy { profile, packet } => {
+                // Earliest t with E(t) ≥ sent + L: invert both envelope
+                // branches and take the later one (E is their min).
+                let target = self.sent_bits + *packet;
+                let by_peak = envelope_inverse(target, profile.peak, profile.l_max);
+                let by_sustained = envelope_inverse(target, profile.rho, profile.sigma);
+                self.start + by_peak.max(by_sustained)
+            }
+            SourceModel::Cbr { rate, packet } => {
+                let gap = packet.tx_time_ceil(*rate);
+                self.start + gap.scale(self.emitted)
+            }
+            SourceModel::OnOff {
+                burst,
+                peak,
+                period,
+                packet,
+            } => {
+                let cycle = self.emitted / burst;
+                let within = self.emitted % burst;
+                self.start + period.scale(cycle) + packet.tx_time_ceil(*peak).scale(within)
+            }
+            SourceModel::Poisson {
+                mean_rate, packet, ..
+            } => {
+                let mean_gap = packet.tx_time_ceil(*mean_rate).as_nanos() as f64;
+                let rng = self.rng.as_mut().expect("poisson source has rng");
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let gap = (-u.ln() * mean_gap).min(u64::MAX as f64 / 2.0) as u64;
+                let base = if self.emitted == 0 {
+                    self.start
+                } else {
+                    self.last_scheduled()
+                };
+                base + Nanos::from_nanos(gap)
+            }
+        };
+        if let Some(stop) = self.stop {
+            if at >= stop {
+                return None;
+            }
+        }
+        Some(at)
+    }
+
+    /// For Poisson the next gap chains off the previous emission time.
+    fn last_scheduled(&self) -> Time {
+        self.next_at.unwrap_or(self.start)
+    }
+}
+
+/// Earliest `t` (relative) with `rate·t + offset ≥ target`; zero when the
+/// offset alone covers it.
+fn envelope_inverse(target: Bits, rate: Rate, offset: Bits) -> Nanos {
+    let Some(deficit) = target.checked_sub(offset) else {
+        return Nanos::ZERO;
+    };
+    if deficit == Bits::ZERO {
+        return Nanos::ZERO;
+    }
+    Nanos::from_nanos(mul_div_ceil(
+        deficit.as_bits(),
+        NANOS_PER_SEC,
+        rate.as_bps(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn type0() -> TrafficProfile {
+        TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap()
+    }
+
+    fn emissions(mut s: SourceState, max: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(t) = s.next_emission() {
+            out.push(t.as_nanos());
+            s.emit();
+            if out.len() >= max {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cbr_spacing_is_exact() {
+        let s = SourceState::new(
+            SourceModel::Cbr {
+                rate: Rate::from_bps(50_000),
+                packet: Bits::from_bytes(1500),
+            },
+            Time::ZERO,
+            None,
+            Some(4),
+        );
+        assert_eq!(
+            emissions(s, 10),
+            vec![0, 240_000_000, 480_000_000, 720_000_000]
+        );
+    }
+
+    #[test]
+    fn greedy_source_tracks_envelope() {
+        // Type 0: burst of σ = 60000 bits = 5 packets allowed "instantly"
+        // but paced by the peak-rate branch: packets at 0, 0.12, 0.24,
+        // 0.36, 0.48 (12000 bits each at P = 100 kb/s)... the 5th packet
+        // (cumulative 60000) needs E(t) ≥ 60000: peak branch t = 0.48 s,
+        // sustained branch t = 0 → 0.48 s. After T_on = 0.96 s the
+        // sustained branch dominates: packet 6 (72000 bits) at
+        // max(0.60, 0.24) = 0.60 s; packet 9 (108000) at
+        // max(0.96, 0.96) = 0.96 s; packet 10 (120000) at
+        // max(1.08, 1.2) = 1.2 s — sustained now binds.
+        let s = SourceState::new(
+            SourceModel::Greedy {
+                profile: type0(),
+                packet: Bits::from_bytes(1500),
+            },
+            Time::ZERO,
+            None,
+            Some(10),
+        );
+        let e = emissions(s, 10);
+        assert_eq!(e[0], 0);
+        assert_eq!(e[1], 120_000_000);
+        assert_eq!(e[4], 480_000_000);
+        assert_eq!(e[8], 960_000_000);
+        assert_eq!(e[9], 1_200_000_000);
+    }
+
+    #[test]
+    fn greedy_emissions_never_violate_envelope() {
+        let profile = type0();
+        let s = SourceState::new(
+            SourceModel::Greedy {
+                profile,
+                packet: Bits::from_bytes(1500),
+            },
+            Time::ZERO,
+            None,
+            Some(50),
+        );
+        let times = emissions(s, 50);
+        let mut sent = Bits::ZERO;
+        for t in &times {
+            sent += Bits::from_bytes(1500);
+            let allowed = profile.envelope(Nanos::from_nanos(*t));
+            assert!(sent <= allowed, "at {t}ns sent {sent} > E(t) {allowed}");
+        }
+    }
+
+    #[test]
+    fn limit_and_stop_are_honored() {
+        let s = SourceState::new(
+            SourceModel::Cbr {
+                rate: Rate::from_bps(50_000),
+                packet: Bits::from_bytes(1500),
+            },
+            Time::ZERO,
+            Some(Time::from_nanos(300_000_000)),
+            None,
+        );
+        // Packets at 0 and 0.24 s; 0.48 s ≥ stop → cut off.
+        assert_eq!(emissions(s, 10), vec![0, 240_000_000]);
+    }
+
+    #[test]
+    fn on_off_cycles_exactly() {
+        // 3 packets at 1 Mb/s pacing (12 ms apart), 1 s period.
+        let s = SourceState::new(
+            SourceModel::OnOff {
+                burst: 3,
+                peak: Rate::from_mbps(1),
+                period: Nanos::from_secs(1),
+                packet: Bits::from_bytes(1500),
+            },
+            Time::ZERO,
+            None,
+            Some(7),
+        );
+        assert_eq!(
+            emissions(s, 10),
+            vec![
+                0,
+                12_000_000,
+                24_000_000,
+                1_000_000_000,
+                1_012_000_000,
+                1_024_000_000,
+                2_000_000_000,
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "burst longer than the period")]
+    fn on_off_rejects_impossible_shape() {
+        let _ = SourceState::new(
+            SourceModel::OnOff {
+                burst: 100,
+                peak: Rate::from_bps(1_000),
+                period: Nanos::from_millis(1),
+                packet: Bits::from_bytes(1500),
+            },
+            Time::ZERO,
+            None,
+            None,
+        );
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let mk = || {
+            SourceState::new(
+                SourceModel::Poisson {
+                    mean_rate: Rate::from_bps(50_000),
+                    packet: Bits::from_bytes(1500),
+                    seed: 42,
+                },
+                Time::ZERO,
+                None,
+                Some(20),
+            )
+        };
+        assert_eq!(emissions(mk(), 20), emissions(mk(), 20));
+    }
+
+    #[test]
+    fn start_offset_shifts_schedule() {
+        let s = SourceState::new(
+            SourceModel::Cbr {
+                rate: Rate::from_bps(50_000),
+                packet: Bits::from_bytes(1500),
+            },
+            Time::from_nanos(1_000),
+            None,
+            Some(2),
+        );
+        assert_eq!(emissions(s, 10), vec![1_000, 240_001_000]);
+    }
+}

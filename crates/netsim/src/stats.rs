@@ -1,0 +1,114 @@
+//! Per-flow simulation statistics.
+
+use qos_units::{Nanos, Time};
+
+/// Delivery statistics for one flow, accumulated by the simulator.
+///
+/// Besides whole-run maxima, the stats track a second set of maxima
+/// restricted to packets *created at or after a threshold instant* —
+/// the Figure-7 transient experiment uses this to isolate the delay of
+/// packets that arrived after a microflow joined the macroflow.
+#[derive(Debug, Clone, Default)]
+pub struct FlowStats {
+    /// Packets delivered to the egress.
+    pub delivered: u64,
+    /// Maximum end-to-end delay (delivery − creation), including edge
+    /// conditioning delay. Compare against `d_e2e` (eq. 4).
+    pub max_e2e: Nanos,
+    /// Maximum edge-conditioning delay (core entry − creation). Compare
+    /// against `d_edge` (eq. 3).
+    pub max_edge: Nanos,
+    /// Maximum core delay (delivery − core entry). Compare against
+    /// `d_core` (eq. 2) / the modified bound (Theorem 4).
+    pub max_core: Nanos,
+    /// Sum of end-to-end delays (for means).
+    pub sum_e2e: Nanos,
+    /// Time of the last delivery.
+    pub last_delivery: Time,
+    /// Threshold for the `*_post` maxima (set via
+    /// [`crate::Simulator::set_flow_threshold`]).
+    pub threshold: Time,
+    /// Max end-to-end delay among packets created at/after `threshold`.
+    pub max_e2e_post: Nanos,
+    /// Max edge delay among packets created at/after `threshold`.
+    pub max_edge_post: Nanos,
+    /// VTRS virtual-spacing violations observed (validation mode).
+    pub spacing_violations: u64,
+    /// VTRS reality-check violations observed (validation mode).
+    pub reality_violations: u64,
+}
+
+impl FlowStats {
+    /// Records a delivery.
+    pub(crate) fn record(&mut self, created: Time, entered_core: Time, delivered: Time) {
+        self.delivered += 1;
+        let e2e = delivered.saturating_since(created);
+        let edge = entered_core.saturating_since(created);
+        let core = delivered.saturating_since(entered_core);
+        self.max_e2e = self.max_e2e.max(e2e);
+        self.max_edge = self.max_edge.max(edge);
+        self.max_core = self.max_core.max(core);
+        self.sum_e2e = self.sum_e2e.saturating_add(e2e);
+        self.last_delivery = delivered;
+        if created >= self.threshold {
+            self.max_e2e_post = self.max_e2e_post.max(e2e);
+            self.max_edge_post = self.max_edge_post.max(edge);
+        }
+    }
+
+    /// Mean end-to-end delay over delivered packets, or zero if none.
+    #[must_use]
+    pub fn mean_e2e(&self) -> Nanos {
+        if self.delivered == 0 {
+            Nanos::ZERO
+        } else {
+            self.sum_e2e / self.delivered
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tracks_max_and_mean() {
+        let mut s = FlowStats::default();
+        s.record(Time::ZERO, Time::from_nanos(10), Time::from_nanos(110));
+        s.record(
+            Time::from_nanos(100),
+            Time::from_nanos(150),
+            Time::from_nanos(400),
+        );
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.max_e2e, Nanos::from_nanos(300));
+        assert_eq!(s.max_edge, Nanos::from_nanos(50));
+        assert_eq!(s.max_core, Nanos::from_nanos(250));
+        assert_eq!(s.mean_e2e(), Nanos::from_nanos(205));
+        assert_eq!(s.last_delivery, Time::from_nanos(400));
+    }
+
+    #[test]
+    fn threshold_partitions_maxima() {
+        let mut s = FlowStats {
+            threshold: Time::from_nanos(50),
+            ..FlowStats::default()
+        };
+        // Created before the threshold: huge delay, excluded from post.
+        s.record(Time::ZERO, Time::from_nanos(900), Time::from_nanos(1000));
+        // Created after: small delay, tracked in both.
+        s.record(
+            Time::from_nanos(100),
+            Time::from_nanos(120),
+            Time::from_nanos(160),
+        );
+        assert_eq!(s.max_e2e, Nanos::from_nanos(1000));
+        assert_eq!(s.max_e2e_post, Nanos::from_nanos(60));
+        assert_eq!(s.max_edge_post, Nanos::from_nanos(20));
+    }
+
+    #[test]
+    fn empty_stats_mean_is_zero() {
+        assert_eq!(FlowStats::default().mean_e2e(), Nanos::ZERO);
+    }
+}

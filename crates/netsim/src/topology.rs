@@ -1,0 +1,451 @@
+//! Network topology: nodes, unidirectional links, and path computation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use qos_units::{Bits, Nanos, Rate};
+use vtrs::reference::{HopKind, HopSpec, PathSpec};
+
+/// Identifies a node in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Identifies a unidirectional link (and the scheduler on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub usize);
+
+/// Which scheduler runs a link's output queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerSpec {
+    /// Core-stateless virtual clock (rate-based, work-conserving).
+    CsVc,
+    /// Core-jitter virtual clock (rate-based, non-work-conserving).
+    CJVc,
+    /// Virtual-time EDF (delay-based).
+    VtEdf,
+    /// FIFO with a caller-asserted error term (see [`sched::Fifo`]).
+    Fifo {
+        /// The error term asserted for this hop.
+        assumed_psi: Nanos,
+    },
+}
+
+impl SchedulerSpec {
+    /// The VTRS hop kind of this scheduler.
+    #[must_use]
+    pub fn kind(self) -> HopKind {
+        match self {
+            SchedulerSpec::CsVc | SchedulerSpec::CJVc | SchedulerSpec::Fifo { .. } => {
+                HopKind::RateBased
+            }
+            SchedulerSpec::VtEdf => HopKind::DelayBased,
+        }
+    }
+
+    /// The error term `Ψ` the scheduler will report for a link of the
+    /// given capacity and maximum packet size.
+    #[must_use]
+    pub fn psi(self, capacity: Rate, max_packet: Bits) -> Nanos {
+        match self {
+            SchedulerSpec::Fifo { assumed_psi } => assumed_psi,
+            _ => max_packet.tx_time_ceil(capacity),
+        }
+    }
+}
+
+/// A unidirectional link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Upstream node (owner of the output queue).
+    pub from: NodeId,
+    /// Downstream node.
+    pub to: NodeId,
+    /// Link capacity.
+    pub capacity: Rate,
+    /// Propagation delay `π` to the downstream node.
+    pub prop_delay: Nanos,
+    /// Scheduler on the output queue.
+    pub scheduler: SchedulerSpec,
+    /// Largest packet admitted on this link (sets `Ψ`).
+    pub max_packet: Bits,
+}
+
+impl Link {
+    /// The link's contribution to a path's QoS characterization.
+    #[must_use]
+    pub fn hop_spec(&self) -> HopSpec {
+        HopSpec {
+            kind: self.scheduler.kind(),
+            psi: self.scheduler.psi(self.capacity, self.max_packet),
+            prop_delay: self.prop_delay,
+        }
+    }
+}
+
+/// An immutable network topology.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    names: Vec<String>,
+    links: Vec<Link>,
+    /// Outgoing link ids per node.
+    out: Vec<Vec<LinkId>>,
+}
+
+impl Topology {
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Node name (for reporting).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    #[must_use]
+    pub fn node_name(&self, n: NodeId) -> &str {
+        &self.names[n.0]
+    }
+
+    /// Looks a node up by name.
+    #[must_use]
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.names.iter().position(|n| n == name).map(NodeId)
+    }
+
+    /// The link record.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    #[must_use]
+    pub fn link(&self, l: LinkId) -> &Link {
+        &self.links[l.0]
+    }
+
+    /// All links.
+    #[must_use]
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Outgoing links of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    #[must_use]
+    pub fn outgoing(&self, n: NodeId) -> &[LinkId] {
+        &self.out[n.0]
+    }
+
+    /// Minimum-hop path from `from` to `to` (Dijkstra on hop count with
+    /// deterministic tie-breaking by link id), as an ordered list of link
+    /// ids. Returns `None` if unreachable.
+    #[must_use]
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<LinkId>> {
+        self.shortest_path_excluding(from, to, &[])
+    }
+
+    /// Like [`Topology::shortest_path`], but treating `banned` links as
+    /// absent — the building block for alternate-path computation.
+    #[must_use]
+    pub fn shortest_path_excluding(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        banned: &[LinkId],
+    ) -> Option<Vec<LinkId>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        let n = self.node_count();
+        let mut dist = vec![usize::MAX; n];
+        let mut prev: Vec<Option<LinkId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[from.0] = 0;
+        heap.push(Reverse((0usize, from.0)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            if u == to.0 {
+                break;
+            }
+            for &lid in &self.out[u] {
+                if banned.contains(&lid) {
+                    continue;
+                }
+                let link = &self.links[lid.0];
+                let v = link.to.0;
+                let nd = d + 1;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = Some(lid);
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        if dist[to.0] == usize::MAX {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = to.0;
+        while let Some(lid) = prev[cur] {
+            path.push(lid);
+            cur = self.links[lid.0].from.0;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Up to `k` loop-free candidate paths from `from` to `to`, shortest
+    /// first: the minimum-hop path plus single-link-deviation
+    /// alternatives (a lightweight Yen variant). Deterministic; paths
+    /// are deduplicated.
+    #[must_use]
+    pub fn k_paths(&self, from: NodeId, to: NodeId, k: usize) -> Vec<Vec<LinkId>> {
+        let Some(primary) = self.shortest_path(from, to) else {
+            return Vec::new();
+        };
+        let mut out = vec![primary.clone()];
+        for banned in &primary {
+            if out.len() >= k {
+                break;
+            }
+            if let Some(alt) = self.shortest_path_excluding(from, to, &[*banned]) {
+                if !out.contains(&alt) {
+                    out.push(alt);
+                }
+            }
+        }
+        out.truncate(k);
+        out
+    }
+
+    /// The QoS characterization of an explicit route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link id is out of range.
+    #[must_use]
+    pub fn path_spec(&self, route: &[LinkId]) -> PathSpec {
+        PathSpec::new(route.iter().map(|l| self.links[l.0].hop_spec()).collect())
+    }
+
+    /// Largest `max_packet` over the route — the `L^{P,max}` of §4.1.
+    #[must_use]
+    pub fn path_max_packet(&self, route: &[LinkId]) -> Bits {
+        route
+            .iter()
+            .map(|l| self.links[l.0].max_packet)
+            .max()
+            .unwrap_or(Bits::ZERO)
+    }
+}
+
+/// Builder for [`Topology`].
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    topo: Topology,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.topo.names.len());
+        self.topo.names.push(name.into());
+        self.topo.out.push(Vec::new());
+        id
+    }
+
+    /// Adds a unidirectional link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range or capacity is zero.
+    pub fn link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        capacity: Rate,
+        prop_delay: Nanos,
+        scheduler: SchedulerSpec,
+        max_packet: Bits,
+    ) -> LinkId {
+        assert!(from.0 < self.topo.names.len(), "unknown `from` node");
+        assert!(to.0 < self.topo.names.len(), "unknown `to` node");
+        assert!(!capacity.is_zero(), "zero link capacity");
+        let id = LinkId(self.topo.links.len());
+        self.topo.links.push(Link {
+            from,
+            to,
+            capacity,
+            prop_delay,
+            scheduler,
+            max_packet,
+        });
+        self.topo.out[from.0].push(id);
+        id
+    }
+
+    /// Finalizes the topology.
+    #[must_use]
+    pub fn build(self) -> Topology {
+        self.topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> (Topology, Vec<NodeId>, Vec<LinkId>) {
+        let mut b = TopologyBuilder::new();
+        let nodes: Vec<NodeId> = (0..n).map(|i| b.node(format!("n{i}"))).collect();
+        let links: Vec<LinkId> = (1..n)
+            .map(|i| {
+                b.link(
+                    nodes[i - 1],
+                    nodes[i],
+                    Rate::from_bps(1_500_000),
+                    Nanos::ZERO,
+                    SchedulerSpec::CsVc,
+                    Bits::from_bytes(1500),
+                )
+            })
+            .collect();
+        (b.build(), nodes, links)
+    }
+
+    #[test]
+    fn shortest_path_on_a_line() {
+        let (t, nodes, links) = line(5);
+        let p = t.shortest_path(nodes[0], nodes[4]).unwrap();
+        assert_eq!(p, links);
+        assert_eq!(t.shortest_path(nodes[2], nodes[2]), Some(vec![]));
+        // No reverse links: unreachable.
+        assert_eq!(t.shortest_path(nodes[4], nodes[0]), None);
+    }
+
+    #[test]
+    fn shortest_path_prefers_fewer_hops() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a");
+        let m = b.node("m");
+        let z = b.node("z");
+        let cap = Rate::from_mbps(1);
+        let l_direct = b.link(
+            a,
+            z,
+            cap,
+            Nanos::ZERO,
+            SchedulerSpec::CsVc,
+            Bits::from_bytes(1500),
+        );
+        b.link(
+            a,
+            m,
+            cap,
+            Nanos::ZERO,
+            SchedulerSpec::CsVc,
+            Bits::from_bytes(1500),
+        );
+        b.link(
+            m,
+            z,
+            cap,
+            Nanos::ZERO,
+            SchedulerSpec::CsVc,
+            Bits::from_bytes(1500),
+        );
+        let t = b.build();
+        assert_eq!(t.shortest_path(a, z).unwrap(), vec![l_direct]);
+    }
+
+    #[test]
+    fn path_spec_reflects_link_properties() {
+        let (t, _, links) = line(4);
+        let spec = t.path_spec(&links);
+        assert_eq!(spec.h(), 3);
+        assert_eq!(spec.q(), 3);
+        // Ψ = 8 ms per CsVC hop at 1.5 Mb/s with 1500 B packets.
+        assert_eq!(spec.d_tot(), Nanos::from_millis(24));
+        assert_eq!(t.path_max_packet(&links), Bits::from_bytes(1500));
+    }
+
+    #[test]
+    fn excluding_links_reroutes() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a");
+        let m = b.node("m");
+        let z = b.node("z");
+        let cap = Rate::from_mbps(1);
+        let lmax = Bits::from_bytes(1500);
+        let direct = b.link(a, z, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+        let via1 = b.link(a, m, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+        let via2 = b.link(m, z, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+        let t = b.build();
+        assert_eq!(
+            t.shortest_path_excluding(a, z, &[direct]).unwrap(),
+            vec![via1, via2]
+        );
+        // Banning everything out of `a` disconnects it.
+        assert_eq!(t.shortest_path_excluding(a, z, &[direct, via1]), None);
+    }
+
+    #[test]
+    fn k_paths_enumerates_single_deviations() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a");
+        let m = b.node("m");
+        let z = b.node("z");
+        let cap = Rate::from_mbps(1);
+        let lmax = Bits::from_bytes(1500);
+        let direct = b.link(a, z, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+        let via1 = b.link(a, m, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+        let via2 = b.link(m, z, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+        let t = b.build();
+        let ps = t.k_paths(a, z, 5);
+        assert_eq!(ps, vec![vec![direct], vec![via1, via2]]);
+        // k = 1 returns just the primary; unreachable pairs yield none.
+        assert_eq!(t.k_paths(a, z, 1).len(), 1);
+        assert!(t.k_paths(z, a, 3).is_empty());
+    }
+
+    #[test]
+    fn node_lookup_by_name() {
+        let (t, nodes, _) = line(3);
+        assert_eq!(t.node_by_name("n1"), Some(nodes[1]));
+        assert_eq!(t.node_by_name("nope"), None);
+        assert_eq!(t.node_name(nodes[2]), "n2");
+    }
+
+    #[test]
+    fn scheduler_spec_kinds_and_psi() {
+        assert_eq!(SchedulerSpec::CsVc.kind(), HopKind::RateBased);
+        assert_eq!(SchedulerSpec::VtEdf.kind(), HopKind::DelayBased);
+        let psi = SchedulerSpec::VtEdf.psi(Rate::from_bps(1_500_000), Bits::from_bytes(1500));
+        assert_eq!(psi, Nanos::from_millis(8));
+        let f = SchedulerSpec::Fifo {
+            assumed_psi: Nanos::from_millis(3),
+        };
+        assert_eq!(
+            f.psi(Rate::from_bps(1), Bits::from_bits(1)),
+            Nanos::from_millis(3)
+        );
+    }
+}

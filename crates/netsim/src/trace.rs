@@ -1,0 +1,165 @@
+//! Per-packet event tracing.
+//!
+//! When enabled, the simulator records a bounded log of packet lifecycle
+//! events — creation, conditioner release (core entry), per-hop
+//! departure, delivery — with their timestamps and, where available, the
+//! packet's virtual time stamp at that point. Traces turn bound
+//! violations from a single aggregate number into a packet-level story,
+//! and they are how the examples print "a packet's journey".
+
+use qos_units::Time;
+use vtrs::packet::FlowId;
+
+/// What happened to a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// The source emitted the packet into the edge conditioner.
+    Created,
+    /// The conditioner released it into the core (dynamic packet state
+    /// stamped).
+    EnteredCore,
+    /// It departed the scheduler of the given hop (index along the
+    /// flow's route).
+    DepartedHop(usize),
+    /// It left the domain at the egress.
+    Delivered,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened (simulation clock).
+    pub at: Time,
+    /// The flow.
+    pub flow: FlowId,
+    /// Sequence number within the flow.
+    pub seq: u64,
+    /// The event.
+    pub kind: TraceEventKind,
+    /// The packet's virtual time stamp `ω̃` at this point, when the
+    /// packet carries state (`None` before conditioning).
+    pub virtual_time: Option<Time>,
+}
+
+/// A bounded in-memory trace buffer.
+///
+/// Keeps the **first** `capacity` events (simulations are deterministic,
+/// so the interesting prefix is reproducible; re-run with a larger
+/// capacity to see more).
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding up to `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event (dropped once full).
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// All recorded events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one packet, in order.
+    #[must_use]
+    pub fn packet_journey(&self, flow: FlowId, seq: u64) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.flow == flow && e.seq == seq)
+            .copied()
+            .collect()
+    }
+
+    /// How many events were dropped after the buffer filled.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders a packet's journey as one line per event.
+    #[must_use]
+    pub fn render_journey(&self, flow: FlowId, seq: u64) -> String {
+        let mut out = String::new();
+        for e in self.packet_journey(flow, seq) {
+            let vt = e
+                .virtual_time
+                .map(|v| format!(" (ω̃ = {:.6}s)", v.as_secs_f64()))
+                .unwrap_or_default();
+            let what = match e.kind {
+                TraceEventKind::Created => "created at source".to_owned(),
+                TraceEventKind::EnteredCore => "entered core (conditioned)".to_owned(),
+                TraceEventKind::DepartedHop(h) => format!("departed hop {h}"),
+                TraceEventKind::Delivered => "delivered at egress".to_owned(),
+            };
+            out.push_str(&format!(
+                "t={:>12.6}s  {} seq {}  {}{}\n",
+                e.at.as_secs_f64(),
+                e.flow,
+                e.seq,
+                what,
+                vt
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ns: u64, seq: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            at: Time::from_nanos(at_ns),
+            flow: FlowId(1),
+            seq,
+            kind,
+            virtual_time: None,
+        }
+    }
+
+    #[test]
+    fn records_in_order_and_bounds_capacity() {
+        let mut t = TraceBuffer::new(3);
+        for k in 0..5 {
+            t.record(ev(k, k, TraceEventKind::Created));
+        }
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn journey_filters_one_packet() {
+        let mut t = TraceBuffer::new(10);
+        t.record(ev(0, 0, TraceEventKind::Created));
+        t.record(ev(1, 1, TraceEventKind::Created));
+        t.record(ev(2, 0, TraceEventKind::EnteredCore));
+        t.record(ev(3, 0, TraceEventKind::DepartedHop(0)));
+        t.record(ev(4, 0, TraceEventKind::Delivered));
+        let j = t.packet_journey(FlowId(1), 0);
+        assert_eq!(j.len(), 4);
+        assert_eq!(j[3].kind, TraceEventKind::Delivered);
+        let s = t.render_journey(FlowId(1), 0);
+        assert!(s.contains("entered core"));
+        assert!(s.contains("departed hop 0"));
+    }
+}

@@ -1,0 +1,178 @@
+//! CJVC vs. C̄SVC: jitter control in the core.
+//!
+//! CJVC holds each packet until its virtual arrival time before serving
+//! it, re-normalizing the flow at every hop; C̄SVC is its work-conserving
+//! sibling and lets packets bunch up when upstream contention clears.
+//! Both meet the same delay bound — the difference is downstream
+//! *spacing*, which this test observes at the egress.
+
+use netsim::topology::{SchedulerSpec, TopologyBuilder};
+use netsim::{Simulator, SourceModel};
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+fn type0() -> TrafficProfile {
+    TrafficProfile::new(
+        Bits::from_bits(60_000),
+        Rate::from_bps(50_000),
+        Rate::from_bps(100_000),
+        Bits::from_bytes(1500),
+    )
+    .unwrap()
+}
+
+/// Runs `n_flows` greedy flows over 4 hops of `spec` and returns the
+/// minimum observed inter-delivery gap of flow 0 at the egress.
+fn min_delivery_gap(spec: SchedulerSpec, n_flows: u64) -> Nanos {
+    let mut b = TopologyBuilder::new();
+    let nodes: Vec<_> = (0..5).map(|i| b.node(format!("n{i}"))).collect();
+    let route: Vec<_> = (0..4)
+        .map(|i| {
+            b.link(
+                nodes[i],
+                nodes[i + 1],
+                Rate::from_bps(1_500_000),
+                Nanos::ZERO,
+                spec,
+                Bits::from_bytes(1500),
+            )
+        })
+        .collect();
+    let topo = b.build();
+    let mut sim = Simulator::new(topo);
+    sim.enable_validation();
+    for f in 0..n_flows {
+        sim.add_flow(
+            FlowId(f),
+            Rate::from_bps(50_000),
+            Nanos::ZERO,
+            route.clone(),
+        );
+        sim.add_source(
+            FlowId(f),
+            SourceModel::Greedy {
+                profile: type0(),
+                packet: Bits::from_bytes(1500),
+            },
+            Time::ZERO,
+            None,
+            Some(25),
+        );
+    }
+    // Track flow 0's deliveries by stepping and diffing `delivered`.
+    let mut gaps = Nanos::MAX;
+    let mut last: Option<Time> = None;
+    let mut seen = 0;
+    let mut t = Time::ZERO;
+    loop {
+        t += Nanos::from_millis(1);
+        sim.run_until(t);
+        let st = sim.flow_stats(FlowId(0));
+        if st.delivered > seen {
+            seen = st.delivered;
+            let at = st.last_delivery;
+            if let Some(prev) = last {
+                gaps = gaps.min(at.saturating_since(prev));
+            }
+            last = Some(at);
+        }
+        if seen >= 25 {
+            break;
+        }
+        assert!(t < Time::from_secs_f64(60.0), "flows stalled");
+    }
+    assert_eq!(sim.flow_stats(FlowId(0)).spacing_violations, 0);
+    assert_eq!(sim.flow_stats(FlowId(0)).reality_violations, 0);
+    gaps
+}
+
+#[test]
+fn downstream_spacing_respects_the_vtrs_floor() {
+    // VTRS theory: departures of a flow at the egress can compress below
+    // the reserved spacing L/r by at most h·Ψ in total (each hop's error
+    // term), for the work-conserving CsVC; CJVC's per-hop regulation can
+    // only widen gaps relative to CsVC (it delays, never hastens). With
+    // L/r = 240 ms, h = 4 and Ψ = 8 ms the floor is 208 ms.
+    let floor = Nanos::from_millis(240) - Nanos::from_millis(8).scale(4);
+    let csvc_gap = min_delivery_gap(SchedulerSpec::CsVc, 20);
+    let cjvc_gap = min_delivery_gap(SchedulerSpec::CJVc, 20);
+    assert!(
+        csvc_gap >= floor,
+        "CsVC min gap {csvc_gap} below the VTRS floor {floor}"
+    );
+    assert!(
+        cjvc_gap >= csvc_gap,
+        "CJVC gap {cjvc_gap} smaller than CsVC gap {csvc_gap}"
+    );
+    // CJVC re-regulates at every hop: its egress spacing stays at the
+    // full reserved spacing (minus one error term for the final link).
+    assert!(
+        cjvc_gap >= Nanos::from_millis(232),
+        "CJVC min gap {cjvc_gap} should sit at the reserved spacing"
+    );
+}
+
+#[test]
+fn both_meet_the_same_e2e_bound() {
+    // Jitter control must not cost correctness: both schedulers keep the
+    // greedy flows within the eq.-4 bound.
+    for spec in [SchedulerSpec::CsVc, SchedulerSpec::CJVc] {
+        let mut b = TopologyBuilder::new();
+        let nodes: Vec<_> = (0..5).map(|i| b.node(format!("n{i}"))).collect();
+        let route: Vec<_> = (0..4)
+            .map(|i| {
+                b.link(
+                    nodes[i],
+                    nodes[i + 1],
+                    Rate::from_bps(1_500_000),
+                    Nanos::ZERO,
+                    spec,
+                    Bits::from_bytes(1500),
+                )
+            })
+            .collect();
+        let topo = b.build();
+        let path = topo.path_spec(&route);
+        let profile = type0();
+        let bound = vtrs::delay::e2e_delay_bound(
+            &profile,
+            &path,
+            profile.l_max,
+            Rate::from_bps(50_000),
+            Nanos::ZERO,
+        )
+        .unwrap();
+        let mut sim = Simulator::new(topo);
+        sim.enable_validation();
+        for f in 0..20u64 {
+            sim.add_flow(
+                FlowId(f),
+                Rate::from_bps(50_000),
+                Nanos::ZERO,
+                route.clone(),
+            );
+            sim.add_source(
+                FlowId(f),
+                SourceModel::Greedy {
+                    profile,
+                    packet: Bits::from_bytes(1500),
+                },
+                Time::ZERO,
+                None,
+                Some(20),
+            );
+        }
+        sim.run_to_completion();
+        for f in 0..20u64 {
+            let st = sim.flow_stats(FlowId(f));
+            assert_eq!(st.delivered, 20);
+            assert!(
+                st.max_e2e <= bound,
+                "{spec:?}: flow {f} observed {} > bound {}",
+                st.max_e2e,
+                bound
+            );
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Data-volume type: [`Bits`].
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::ratio;
+use crate::{Nanos, Rate, NANOS_PER_SEC};
+
+/// A non-negative amount of data, measured in bits.
+///
+/// Packet sizes, burst sizes (the token-bucket `σ`), queue backlogs and
+/// residual service amounts are all `Bits`. Bits rather than bytes because
+/// the paper's traffic profiles (Table 1) specify burst sizes in bits and
+/// rates in bits per second; keeping one unit avoids factor-of-8 bugs.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bits(u64);
+
+impl Bits {
+    /// Zero bits.
+    pub const ZERO: Bits = Bits(0);
+    /// Maximum representable volume; used as an "infinite" sentinel.
+    pub const MAX: Bits = Bits(u64::MAX);
+
+    /// Constructs a volume from a raw bit count.
+    #[must_use]
+    pub const fn from_bits(bits: u64) -> Self {
+        Bits(bits)
+    }
+
+    /// Constructs a volume from bytes (1 byte = 8 bits).
+    #[must_use]
+    pub const fn from_bytes(bytes: u64) -> Self {
+        Bits(bytes * 8)
+    }
+
+    /// Constructs a volume from kilobits (1 kb = 1000 bits).
+    #[must_use]
+    pub const fn from_kilobits(kb: u64) -> Self {
+        Bits(kb * 1_000)
+    }
+
+    /// Raw bit count.
+    #[must_use]
+    pub const fn as_bits(self) -> u64 {
+        self.0
+    }
+
+    /// Volume in bytes, rounded down.
+    #[must_use]
+    pub const fn as_bytes_floor(self) -> u64 {
+        self.0 / 8
+    }
+
+    /// Time needed to transmit this volume at `rate`, rounded **up**.
+    ///
+    /// This is the conservative direction for delay bounds: the bound
+    /// `L/r` is never under-estimated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero.
+    #[must_use]
+    pub fn tx_time_ceil(self, rate: Rate) -> Nanos {
+        Nanos::from_nanos(ratio::mul_div_ceil(self.0, NANOS_PER_SEC, rate.as_bps()))
+    }
+
+    /// Time needed to transmit this volume at `rate`, rounded **down**.
+    ///
+    /// The conservative direction when the result bounds something from
+    /// below (e.g. the earliest instant a backlog can drain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero.
+    #[must_use]
+    pub fn tx_time_floor(self, rate: Rate) -> Nanos {
+        Nanos::from_nanos(ratio::mul_div_floor(self.0, NANOS_PER_SEC, rate.as_bps()))
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Bits) -> Bits {
+        Bits(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    #[must_use]
+    pub const fn checked_sub(self, rhs: Bits) -> Option<Bits> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Bits(v)),
+            None => None,
+        }
+    }
+
+    /// Multiplies by an integer scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    #[must_use]
+    pub fn scale(self, k: u64) -> Bits {
+        Bits(self.0.checked_mul(k).expect("Bits::scale overflow"))
+    }
+}
+
+impl Add for Bits {
+    type Output = Bits;
+    fn add(self, rhs: Bits) -> Bits {
+        Bits(self.0.checked_add(rhs.0).expect("Bits addition overflow"))
+    }
+}
+
+impl AddAssign for Bits {
+    fn add_assign(&mut self, rhs: Bits) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Bits {
+    type Output = Bits;
+    fn sub(self, rhs: Bits) -> Bits {
+        Bits(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Bits subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for Bits {
+    fn sub_assign(&mut self, rhs: Bits) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Bits {
+    fn sum<I: Iterator<Item = Bits>>(iter: I) -> Bits {
+        iter.fold(Bits::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}Mb", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}kb", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}b", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Bits::from_bytes(1500).as_bits(), 12_000);
+        assert_eq!(Bits::from_kilobits(60).as_bits(), 60_000);
+        assert_eq!(Bits::from_bits(7).as_bytes_floor(), 0);
+        assert_eq!(Bits::from_bits(16).as_bytes_floor(), 2);
+    }
+
+    #[test]
+    fn transmission_time_is_exact_for_paper_parameters() {
+        // A 1500-byte packet at 50 kb/s takes exactly 0.24 s.
+        let l = Bits::from_bytes(1500);
+        let r = Rate::from_bps(50_000);
+        assert_eq!(l.tx_time_ceil(r), Nanos::from_millis(240));
+        assert_eq!(l.tx_time_floor(r), Nanos::from_millis(240));
+        // At the 1.5 Mb/s link rate it takes exactly 8 ms (the CsVC error term).
+        let c = Rate::from_bps(1_500_000);
+        assert_eq!(l.tx_time_ceil(c), Nanos::from_millis(8));
+    }
+
+    #[test]
+    fn transmission_time_rounding_directions() {
+        let l = Bits::from_bits(10);
+        let r = Rate::from_bps(3);
+        // 10/3 s = 3.333..s
+        assert_eq!(l.tx_time_floor(r).as_nanos(), 3_333_333_333);
+        assert_eq!(l.tx_time_ceil(r).as_nanos(), 3_333_333_334);
+    }
+
+    #[test]
+    fn arithmetic_and_saturation() {
+        let a = Bits::from_bits(10);
+        let b = Bits::from_bits(3);
+        assert_eq!(a + b, Bits::from_bits(13));
+        assert_eq!(a - b, Bits::from_bits(7));
+        assert_eq!(b.saturating_sub(a), Bits::ZERO);
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a.scale(4), Bits::from_bits(40));
+        let total: Bits = [a, b, b].into_iter().sum();
+        assert_eq!(total, Bits::from_bits(16));
+    }
+}

@@ -1,0 +1,42 @@
+//! Exact fixed-point arithmetic for QoS computations.
+//!
+//! Admission control for guaranteed services lives and dies on boundary
+//! comparisons: the 30th flow of Table 1 type 0 fits on a 1.5 Mb/s link at a
+//! 2.44 s end-to-end delay bound *exactly*, with zero slack. Floating point
+//! would decide such cases by rounding luck, so this crate represents
+//!
+//! * **time** as unsigned 64-bit nanoseconds ([`Nanos`] for durations,
+//!   [`Time`] for absolute simulation instants),
+//! * **rates** as unsigned 64-bit bits-per-second ([`Rate`]), and
+//! * **data volumes** as unsigned 64-bit bits ([`Bits`]),
+//!
+//! and performs the multiply-divide chains that appear in delay-bound and
+//! schedulability formulas in 128-bit intermediates with *directed rounding*
+//! ([`ratio::mul_div_floor`] / [`ratio::mul_div_ceil`]).
+//!
+//! The rounding policy used throughout the workspace is conservative for
+//! admission control:
+//!
+//! * delay bounds round **up** (a computed bound is never smaller than the
+//!   real bound);
+//! * lower bounds on feasible rates round **up**, upper bounds round
+//!   **down** (a rate reported feasible is always truly feasible).
+//!
+//! With this policy an admission decision can be pessimistic by at most
+//! 1 bps or 1 ns, and never optimistic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod rate;
+pub mod ratio;
+pub mod time;
+
+pub use bits::Bits;
+pub use rate::Rate;
+pub use time::{Nanos, Time};
+
+/// Number of nanoseconds in one second, the scaling constant tying
+/// [`Rate`] (bits/second) to [`Nanos`] (nanoseconds).
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;

@@ -1,0 +1,215 @@
+//! Bandwidth type: [`Rate`] in bits per second.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::ratio;
+use crate::{Bits, Nanos, NANOS_PER_SEC};
+
+/// A non-negative bandwidth, measured in bits per second.
+///
+/// Link capacities, reserved rates (`r`), sustained rates (`ρ`), peak rates
+/// (`P`) and contingency bandwidths (`Δr`) are all `Rate`s.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Rate(u64);
+
+impl Rate {
+    /// Zero bandwidth.
+    pub const ZERO: Rate = Rate(0);
+    /// Maximum representable bandwidth; used as an "infinite capacity"
+    /// sentinel for access links in the Figure-8 topology.
+    pub const MAX: Rate = Rate(u64::MAX);
+
+    /// Constructs a rate from raw bits per second.
+    #[must_use]
+    pub const fn from_bps(bps: u64) -> Self {
+        Rate(bps)
+    }
+
+    /// Constructs a rate from kilobits per second (1 kb/s = 1000 b/s).
+    #[must_use]
+    pub const fn from_kbps(kbps: u64) -> Self {
+        Rate(kbps * 1_000)
+    }
+
+    /// Constructs a rate from megabits per second (1 Mb/s = 10^6 b/s).
+    #[must_use]
+    pub const fn from_mbps(mbps: u64) -> Self {
+        Rate(mbps * 1_000_000)
+    }
+
+    /// Raw bits-per-second value.
+    #[must_use]
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// Rate as fractional megabits per second (for reporting only).
+    #[must_use]
+    pub fn as_mbps_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Whether this rate is the zero rate.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Volume transferred at this rate over `dur`, rounded **down**.
+    ///
+    /// Conservative for service guarantees: a scheduler promising `r` is
+    /// never credited with more service than it actually delivered.
+    #[must_use]
+    pub fn bits_in_floor(self, dur: Nanos) -> Bits {
+        Bits::from_bits(ratio::mul_div_floor(self.0, dur.as_nanos(), NANOS_PER_SEC))
+    }
+
+    /// Volume transferred at this rate over `dur`, rounded **up**.
+    ///
+    /// Conservative for arrival envelopes: a source regulated to `ρ` is
+    /// never assumed to have sent less than it may have.
+    #[must_use]
+    pub fn bits_in_ceil(self, dur: Nanos) -> Bits {
+        Bits::from_bits(ratio::mul_div_ceil(self.0, dur.as_nanos(), NANOS_PER_SEC))
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Rate) -> Rate {
+        Rate(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    #[must_use]
+    pub const fn checked_sub(self, rhs: Rate) -> Option<Rate> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Rate(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating addition, clamping at [`Rate::MAX`].
+    ///
+    /// Used when accumulating reservations against an infinite-capacity
+    /// access link, where overflow is expected and harmless.
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Rate) -> Rate {
+        Rate(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiplies by an integer scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    #[must_use]
+    pub fn scale(self, k: u64) -> Rate {
+        Rate(self.0.checked_mul(k).expect("Rate::scale overflow"))
+    }
+}
+
+impl Add for Rate {
+    type Output = Rate;
+    fn add(self, rhs: Rate) -> Rate {
+        Rate(self.0.checked_add(rhs.0).expect("Rate addition overflow"))
+    }
+}
+
+impl AddAssign for Rate {
+    fn add_assign(&mut self, rhs: Rate) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rate {
+    type Output = Rate;
+    fn sub(self, rhs: Rate) -> Rate {
+        Rate(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Rate subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for Rate {
+    fn sub_assign(&mut self, rhs: Rate) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Rate {
+    fn sum<I: Iterator<Item = Rate>>(iter: I) -> Rate {
+        iter.fold(Rate::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == u64::MAX {
+            write!(f, "inf")
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}Mb/s", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}kb/s", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}b/s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Rate::from_kbps(50).as_bps(), 50_000);
+        assert_eq!(Rate::from_mbps(2).as_bps(), 2_000_000);
+        assert!((Rate::from_bps(1_500_000).as_mbps_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bits_in_over_interval() {
+        let r = Rate::from_bps(50_000);
+        // 50 kb/s for 0.96 s = 48000 bits exactly.
+        assert_eq!(
+            r.bits_in_floor(Nanos::from_millis(960)),
+            Bits::from_bits(48_000)
+        );
+        assert_eq!(
+            r.bits_in_ceil(Nanos::from_millis(960)),
+            Bits::from_bits(48_000)
+        );
+        // 3 b/s over 1 ns: floor 0, ceil 1.
+        let tiny = Rate::from_bps(3);
+        assert_eq!(tiny.bits_in_floor(Nanos::from_nanos(1)), Bits::ZERO);
+        assert_eq!(tiny.bits_in_ceil(Nanos::from_nanos(1)), Bits::from_bits(1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rate::from_bps(100);
+        let b = Rate::from_bps(40);
+        assert_eq!(a + b, Rate::from_bps(140));
+        assert_eq!(a - b, Rate::from_bps(60));
+        assert_eq!(b.saturating_sub(a), Rate::ZERO);
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(Rate::MAX.saturating_add(a), Rate::MAX);
+        assert_eq!(a.scale(3), Rate::from_bps(300));
+        let total: Rate = [a, b].into_iter().sum();
+        assert_eq!(total, Rate::from_bps(140));
+    }
+
+    #[test]
+    fn infinite_capacity_sentinel_displays() {
+        assert_eq!(Rate::MAX.to_string(), "inf");
+        assert_eq!(Rate::from_bps(999).to_string(), "999b/s");
+    }
+}

@@ -1,0 +1,150 @@
+//! 128-bit multiply-divide helpers with directed rounding.
+//!
+//! Every delay-bound and schedulability formula in the workspace reduces to
+//! expressions of the form `a * b / c` on 64-bit operands. Computing them in
+//! `u128` makes overflow impossible for any physically meaningful operand
+//! combination (rates below 2^64 bps, durations below 2^64 ns), and the
+//! explicit floor/ceil variants let call sites state which direction is
+//! conservative for them.
+
+/// Computes `a * b / c` rounded toward zero (floor, as all operands are
+/// unsigned).
+///
+/// # Panics
+///
+/// Panics if `c == 0` or if the exact result does not fit in `u64`. Both
+/// conditions indicate a logic error at the call site (division by a zero
+/// rate, or a delay bound beyond ~584 years), not a recoverable runtime
+/// situation.
+#[must_use]
+pub fn mul_div_floor(a: u64, b: u64, c: u64) -> u64 {
+    assert!(c != 0, "mul_div_floor: division by zero");
+    let prod = u128::from(a) * u128::from(b);
+    let q = prod / u128::from(c);
+    u64::try_from(q).expect("mul_div_floor: quotient exceeds u64")
+}
+
+/// Computes `a * b / c` rounded away from zero (ceiling).
+///
+/// # Panics
+///
+/// Panics if `c == 0` or if the exact result does not fit in `u64`.
+#[must_use]
+pub fn mul_div_ceil(a: u64, b: u64, c: u64) -> u64 {
+    assert!(c != 0, "mul_div_ceil: division by zero");
+    let prod = u128::from(a) * u128::from(b);
+    let c = u128::from(c);
+    let q = prod.div_ceil(c);
+    u64::try_from(q).expect("mul_div_ceil: quotient exceeds u64")
+}
+
+/// Computes `a / b` on `u64` rounded up.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[must_use]
+pub fn div_ceil(a: u64, b: u64) -> u64 {
+    assert!(b != 0, "div_ceil: division by zero");
+    a.div_ceil(b)
+}
+
+/// Computes `num / den` on `u128` operands, rounded down, narrowing to
+/// `u64`.
+///
+/// Admission-control formulas accumulate products like `T_on · P` that
+/// exceed 64 bits before the final division; call sites build the numerator
+/// in `u128` and narrow here.
+///
+/// # Panics
+///
+/// Panics if `den == 0` or the quotient exceeds `u64`.
+#[must_use]
+pub fn u128_div_floor(num: u128, den: u128) -> u64 {
+    assert!(den != 0, "u128_div_floor: division by zero");
+    u64::try_from(num / den).expect("u128_div_floor: quotient exceeds u64")
+}
+
+/// Computes `num / den` on `u128` operands, rounded up, narrowing to `u64`.
+///
+/// # Panics
+///
+/// Panics if `den == 0` or the quotient exceeds `u64`.
+#[must_use]
+pub fn u128_div_ceil(num: u128, den: u128) -> u64 {
+    assert!(den != 0, "u128_div_ceil: division by zero");
+    u64::try_from(num.div_ceil(den)).expect("u128_div_ceil: quotient exceeds u64")
+}
+
+/// Compares the rationals `a0/b0` and `a1/b1` exactly, without division.
+///
+/// Useful when an admission test needs an exact comparison between two
+/// derived quantities (e.g. two candidate rates expressed as ratios) and
+/// rounding either side would make the comparison direction-dependent.
+///
+/// # Panics
+///
+/// Panics if either denominator is zero.
+#[must_use]
+pub fn cmp_ratio(a0: u64, b0: u64, a1: u64, b1: u64) -> core::cmp::Ordering {
+    assert!(b0 != 0 && b1 != 0, "cmp_ratio: zero denominator");
+    let lhs = u128::from(a0) * u128::from(b1);
+    let rhs = u128::from(a1) * u128::from(b0);
+    lhs.cmp(&rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::cmp::Ordering;
+
+    #[test]
+    fn floor_and_ceil_agree_on_exact_division() {
+        assert_eq!(mul_div_floor(48_000, 1_000_000_000, 50_000), 960_000_000);
+        assert_eq!(mul_div_ceil(48_000, 1_000_000_000, 50_000), 960_000_000);
+    }
+
+    #[test]
+    fn ceil_rounds_up_inexact_division() {
+        assert_eq!(mul_div_floor(10, 10, 3), 33);
+        assert_eq!(mul_div_ceil(10, 10, 3), 34);
+    }
+
+    #[test]
+    fn handles_products_beyond_u64() {
+        // 2^63 * 4 / 8 = 2^62: the product overflows u64 but the result fits.
+        let big = 1u64 << 63;
+        assert_eq!(mul_div_floor(big, 4, 8), 1u64 << 62);
+        assert_eq!(mul_div_ceil(big, 4, 8), 1u64 << 62);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn floor_rejects_zero_divisor() {
+        let _ = mul_div_floor(1, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quotient exceeds u64")]
+    fn overflowing_quotient_panics() {
+        let _ = mul_div_floor(u64::MAX, u64::MAX, 1);
+    }
+
+    #[test]
+    fn div_ceil_behaviour() {
+        assert_eq!(div_ceil(9, 3), 3);
+        assert_eq!(div_ceil(10, 3), 4);
+        assert_eq!(div_ceil(0, 3), 0);
+    }
+
+    #[test]
+    fn ratio_comparison_is_exact() {
+        // 1/3 vs 333333333/1000000000: the former is strictly larger.
+        assert_eq!(
+            cmp_ratio(1, 3, 333_333_333, 1_000_000_000),
+            Ordering::Greater
+        );
+        assert_eq!(cmp_ratio(2, 4, 1, 2), Ordering::Equal);
+        assert_eq!(cmp_ratio(1, 2, 2, 3), Ordering::Less);
+    }
+}

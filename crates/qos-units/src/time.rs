@@ -1,0 +1,359 @@
+//! Nanosecond-resolution time types: [`Nanos`] durations and [`Time`]
+//! absolute instants.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::NANOS_PER_SEC;
+
+/// A non-negative duration with nanosecond resolution.
+///
+/// `Nanos` is the unit of every delay bound, propagation delay, error term,
+/// and inter-arrival spacing in the workspace. The maximum representable
+/// duration (~584 years) is far beyond any simulation horizon.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// The zero duration.
+    pub const ZERO: Nanos = Nanos(0);
+    /// The maximum representable duration; used as an "infinite" sentinel
+    /// in schedulability scans.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Constructs a duration from raw nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Constructs a duration from microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Constructs a duration from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Constructs a duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * NANOS_PER_SEC)
+    }
+
+    /// Constructs a duration from fractional seconds, rounding to the
+    /// nearest nanosecond.
+    ///
+    /// Intended for configuration boundaries (parsing experiment parameters
+    /// such as a 2.44 s delay bound) — never for arithmetic on the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative, NaN, or too large for the representation.
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Nanos::from_secs_f64: invalid seconds value {s}"
+        );
+        let ns = s * NANOS_PER_SEC as f64;
+        assert!(
+            ns <= u64::MAX as f64,
+            "Nanos::from_secs_f64: duration overflow"
+        );
+        Nanos(ns.round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration as fractional seconds (for reporting only).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Saturating subtraction: returns zero instead of underflowing.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    #[must_use]
+    pub const fn checked_sub(self, rhs: Nanos) -> Option<Nanos> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Nanos(v)),
+            None => None,
+        }
+    }
+
+    /// Checked addition.
+    #[must_use]
+    pub const fn checked_add(self, rhs: Nanos) -> Option<Nanos> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Nanos(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating addition: clamps at [`Nanos::MAX`].
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiplies the duration by an integer scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    #[must_use]
+    pub fn scale(self, k: u64) -> Nanos {
+        Nanos(
+            self.0
+                .checked_mul(k)
+                .expect("Nanos::scale: duration overflow"),
+        )
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.checked_add(rhs.0).expect("Nanos addition overflow"))
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Nanos subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        self.scale(rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= NANOS_PER_SEC {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// An absolute instant on the simulation clock, measured in nanoseconds
+/// since the start of the simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+impl Time {
+    /// The simulation epoch, t = 0.
+    pub const ZERO: Time = Time(0);
+    /// The far future; used as an "never" sentinel for departure times.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Constructs an instant from raw nanoseconds since the epoch.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Constructs an instant from fractional seconds since the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative, NaN, or overflows the representation.
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        Time(Nanos::from_secs_f64(s).as_nanos())
+    }
+
+    /// Raw nanoseconds since the epoch.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Instant as fractional seconds since the epoch (for reporting only).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Elapsed duration since `earlier`, saturating to zero if `earlier` is
+    /// in the future.
+    #[must_use]
+    pub const fn saturating_since(self, earlier: Time) -> Nanos {
+        Nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked duration since `earlier`.
+    #[must_use]
+    pub const fn checked_since(self, earlier: Time) -> Option<Nanos> {
+        match self.0.checked_sub(earlier.0) {
+            Some(v) => Some(Nanos(v)),
+            None => None,
+        }
+    }
+}
+
+impl Add<Nanos> for Time {
+    type Output = Time;
+    fn add(self, rhs: Nanos) -> Time {
+        Time(
+            self.0
+                .checked_add(rhs.as_nanos())
+                .expect("Time addition overflow"),
+        )
+    }
+}
+
+impl AddAssign<Nanos> for Time {
+    fn add_assign(&mut self, rhs: Nanos) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Nanos> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Nanos) -> Time {
+        Time(
+            self.0
+                .checked_sub(rhs.as_nanos())
+                .expect("Time subtraction underflow"),
+        )
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Nanos;
+    fn sub(self, rhs: Time) -> Nanos {
+        Nanos(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Time difference underflow: rhs is later than lhs"),
+        )
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Nanos::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(Nanos::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(Nanos::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(Nanos::from_secs_f64(0.96).as_nanos(), 960_000_000);
+        assert_eq!(Nanos::from_secs_f64(2.44).as_nanos(), 2_440_000_000);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = Nanos::from_millis(10);
+        let b = Nanos::from_millis(4);
+        assert_eq!(a + b, Nanos::from_millis(14));
+        assert_eq!(a - b, Nanos::from_millis(6));
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        assert_eq!(a.scale(3), Nanos::from_millis(30));
+        assert_eq!(a / 2, Nanos::from_millis(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn duration_subtraction_underflow_panics() {
+        let _ = Nanos::from_nanos(1) - Nanos::from_nanos(2);
+    }
+
+    #[test]
+    fn time_and_duration_interact() {
+        let t0 = Time::from_nanos(100);
+        let t1 = t0 + Nanos::from_nanos(50);
+        assert_eq!(t1.as_nanos(), 150);
+        assert_eq!(t1 - t0, Nanos::from_nanos(50));
+        assert_eq!(t0.saturating_since(t1), Nanos::ZERO);
+        assert_eq!(t1.checked_since(t0), Some(Nanos::from_nanos(50)));
+        assert_eq!(t0.checked_since(t1), None);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let parts = [
+            Nanos::from_nanos(1),
+            Nanos::from_nanos(2),
+            Nanos::from_nanos(3),
+        ];
+        let total: Nanos = parts.into_iter().sum();
+        assert_eq!(total, Nanos::from_nanos(6));
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert_eq!(Nanos::from_nanos(12).to_string(), "12ns");
+        assert_eq!(Nanos::from_micros(3).to_string(), "3.000us");
+        assert_eq!(Nanos::from_millis(8).to_string(), "8.000ms");
+        assert_eq!(Nanos::from_secs(2).to_string(), "2.000000s");
+    }
+}

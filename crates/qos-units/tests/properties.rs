@@ -1,0 +1,63 @@
+//! Property-based tests for the exact-arithmetic substrate.
+
+use proptest::prelude::*;
+use qos_units::ratio::{cmp_ratio, mul_div_ceil, mul_div_floor};
+use qos_units::{Bits, Nanos, Rate};
+
+proptest! {
+    /// floor ≤ exact ≤ ceil, and they differ by at most 1.
+    #[test]
+    fn floor_ceil_bracket_exact(a in 0u64..=u32::MAX as u64,
+                                b in 0u64..=u32::MAX as u64,
+                                c in 1u64..=u32::MAX as u64) {
+        let lo = mul_div_floor(a, b, c);
+        let hi = mul_div_ceil(a, b, c);
+        prop_assert!(lo <= hi);
+        prop_assert!(hi - lo <= 1);
+        // Exactness check: lo*c <= a*b < (lo+1)*c
+        let prod = u128::from(a) * u128::from(b);
+        prop_assert!(u128::from(lo) * u128::from(c) <= prod);
+        prop_assert!(prod < (u128::from(lo) + 1) * u128::from(c));
+    }
+
+    /// mul_div round-trips: (a*c/c) == a in both directions.
+    #[test]
+    fn mul_div_identity(a in 0u64..=u32::MAX as u64, c in 1u64..=u32::MAX as u64) {
+        prop_assert_eq!(mul_div_floor(a, c, c), a);
+        prop_assert_eq!(mul_div_ceil(a, c, c), a);
+    }
+
+    /// Ratio comparison agrees with exact rational ordering computed in u128.
+    #[test]
+    fn cmp_ratio_matches_u128(a0 in 0u64..1u64<<32, b0 in 1u64..1u64<<32,
+                              a1 in 0u64..1u64<<32, b1 in 1u64..1u64<<32) {
+        let expected = (u128::from(a0) * u128::from(b1)).cmp(&(u128::from(a1) * u128::from(b0)));
+        prop_assert_eq!(cmp_ratio(a0, b0, a1, b1), expected);
+    }
+
+    /// Transmitting the bits a rate delivers in a window takes no longer
+    /// than the window itself (floor direction), i.e. the two conversions
+    /// are mutually consistent.
+    #[test]
+    fn rate_bits_time_roundtrip(bps in 1u64..10_000_000_000u64, ns in 0u64..10_000_000_000u64) {
+        let rate = Rate::from_bps(bps);
+        let dur = Nanos::from_nanos(ns);
+        let bits = rate.bits_in_floor(dur);
+        prop_assert!(bits.tx_time_floor(rate) <= dur);
+        let bits_up = rate.bits_in_ceil(dur);
+        prop_assert!(bits_up.tx_time_ceil(rate) >= dur);
+    }
+
+    /// Duration saturating ops never panic and obey ordering.
+    #[test]
+    fn saturating_ops(a in any::<u64>(), b in any::<u64>()) {
+        let (x, y) = (Nanos::from_nanos(a), Nanos::from_nanos(b));
+        prop_assert!(x.saturating_sub(y) <= x);
+        prop_assert!(x.saturating_add(y) >= x);
+        let (p, q) = (Bits::from_bits(a), Bits::from_bits(b));
+        prop_assert!(p.saturating_sub(q) <= p);
+        let (r, s) = (Rate::from_bps(a), Rate::from_bps(b));
+        prop_assert!(r.saturating_sub(s) <= r);
+        prop_assert!(r.saturating_add(s) >= r);
+    }
+}

@@ -1,0 +1,131 @@
+//! Core-jitter virtual clock (CJVC) [Stoica & Zhang, SIGCOMM 1999].
+//!
+//! The non-work-conserving sibling of [`crate::CsVc`]: a packet is held
+//! until its **virtual arrival time** `ω̃` (jitter regulation), then served
+//! in virtual-finish-time order. Holding packets re-normalizes the traffic
+//! at every hop, which is what lets CJVC offer end-to-end per-flow delay
+//! guarantees without per-flow state; the cost is that the link may idle
+//! while regulated packets wait.
+
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::Packet;
+use vtrs::reference::{virtual_finish, HopKind};
+
+use crate::engine::PrioServer;
+use crate::Scheduler;
+
+/// A CJVC scheduler for one outgoing link.
+#[derive(Debug)]
+pub struct CJVc {
+    server: PrioServer,
+    psi: Nanos,
+}
+
+impl CJVc {
+    /// Creates a CJVC scheduler on a link of capacity `capacity` with
+    /// maximum packet size `max_packet` (error term `Ψ = Lmax*/C`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: Rate, max_packet: Bits) -> Self {
+        CJVc {
+            server: PrioServer::new(capacity),
+            psi: max_packet.tx_time_ceil(capacity),
+        }
+    }
+}
+
+impl Scheduler for CJVc {
+    fn kind(&self) -> HopKind {
+        HopKind::RateBased
+    }
+
+    fn capacity(&self) -> Rate {
+        self.server.capacity()
+    }
+
+    fn error_term(&self) -> Nanos {
+        self.psi
+    }
+
+    fn enqueue(&mut self, now: Time, pkt: Packet) {
+        let state = pkt.state();
+        // Jitter regulation: ineligible before the virtual arrival time.
+        let eligible = state.virtual_time.max(now);
+        let finish = virtual_finish(HopKind::RateBased, state, pkt.size);
+        self.server.insert(now, finish.as_nanos(), eligible, pkt);
+    }
+
+    fn next_event(&self) -> Option<Time> {
+        self.server.next_event()
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        self.server.complete(now)
+    }
+
+    fn backlog(&self) -> usize {
+        self.server.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtrs::packet::{FlowId, PacketState};
+
+    fn stamped(seq: u64, rate_bps: u64, vt_ns: u64) -> Packet {
+        let mut p = Packet::new(FlowId(1), seq, Bits::from_bytes(1500), Time::ZERO);
+        p.state = Some(PacketState {
+            rate: Rate::from_bps(rate_bps),
+            delay: Nanos::ZERO,
+            virtual_time: Time::from_nanos(vt_ns),
+            delta: Nanos::ZERO,
+        });
+        p
+    }
+
+    #[test]
+    fn holds_packet_until_virtual_arrival() {
+        let mut s = CJVc::new(Rate::from_mbps(1), Bits::from_bytes(1500));
+        // Arrives early (actual 0, virtual arrival 100 ms): must be held.
+        s.enqueue(Time::ZERO, stamped(0, 50_000, 100_000_000));
+        assert_eq!(s.next_event(), Some(Time::from_nanos(100_000_000)));
+        assert!(s.dequeue(Time::from_nanos(99_000_000)).is_none());
+        // Served 100 → 112 ms (12000 bits at 1 Mb/s).
+        let p = s.dequeue(Time::from_nanos(112_000_000)).unwrap();
+        assert_eq!(p.seq, 0);
+    }
+
+    #[test]
+    fn work_conserving_sibling_would_depart_earlier() {
+        let mut wc = crate::CsVc::new(Rate::from_mbps(1), Bits::from_bytes(1500));
+        let mut nwc = CJVc::new(Rate::from_mbps(1), Bits::from_bytes(1500));
+        wc.enqueue(Time::ZERO, stamped(0, 50_000, 100_000_000));
+        nwc.enqueue(Time::ZERO, stamped(0, 50_000, 100_000_000));
+        // CsVC transmits immediately (finishes at 12 ms); CJVC waits.
+        assert_eq!(wc.next_event(), Some(Time::from_nanos(12_000_000)));
+        assert_eq!(nwc.next_event(), Some(Time::from_nanos(100_000_000)));
+    }
+
+    #[test]
+    fn still_meets_virtual_deadline_plus_psi() {
+        let mut s = CJVc::new(Rate::from_bps(150_000), Bits::from_bytes(1500));
+        let psi = s.error_term();
+        for k in 0..10u64 {
+            let vt = k * 240_000_000;
+            s.enqueue(
+                Time::from_nanos(vt.saturating_sub(50_000_000)),
+                stamped(k, 50_000, vt),
+            );
+        }
+        while let Some(t) = s.next_event() {
+            if let Some(p) = s.dequeue(t) {
+                let dl = virtual_finish(HopKind::RateBased, p.state(), p.size) + psi;
+                assert!(t <= dl, "CJVC departure {t} missed deadline {dl}");
+            }
+        }
+    }
+}

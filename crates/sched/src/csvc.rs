@@ -1,0 +1,163 @@
+//! Core-stateless virtual clock (C̄SVC).
+//!
+//! The work-conserving counterpart of CJVC [Stoica & Zhang 1999],
+//! introduced with VTRS: packets are served in order of their **virtual
+//! finish time** `ν̃ = ω̃ + L/r + δ`, computed entirely from the dynamic
+//! packet state — the scheduler keeps no per-flow state. As long as
+//! `Σ r_j ≤ C`, C̄SVC guarantees every flow its reserved rate with the
+//! minimum error term `Ψ = Lmax*/C`.
+
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::Packet;
+use vtrs::reference::{virtual_finish, HopKind};
+
+use crate::engine::PrioServer;
+use crate::Scheduler;
+
+/// A C̄SVC scheduler for one outgoing link.
+#[derive(Debug)]
+pub struct CsVc {
+    server: PrioServer,
+    psi: Nanos,
+}
+
+impl CsVc {
+    /// Creates a C̄SVC scheduler on a link of capacity `capacity`, where
+    /// the largest packet of any flow traversing it is `max_packet`
+    /// (determining the error term `Ψ = Lmax*/C`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: Rate, max_packet: Bits) -> Self {
+        CsVc {
+            server: PrioServer::new(capacity),
+            psi: max_packet.tx_time_ceil(capacity),
+        }
+    }
+}
+
+impl Scheduler for CsVc {
+    fn kind(&self) -> HopKind {
+        HopKind::RateBased
+    }
+
+    fn capacity(&self) -> Rate {
+        self.server.capacity()
+    }
+
+    fn error_term(&self) -> Nanos {
+        self.psi
+    }
+
+    fn enqueue(&mut self, now: Time, pkt: Packet) {
+        let finish = virtual_finish(HopKind::RateBased, pkt.state(), pkt.size);
+        self.server.insert(now, finish.as_nanos(), now, pkt);
+    }
+
+    fn next_event(&self) -> Option<Time> {
+        self.server.next_event()
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        self.server.complete(now)
+    }
+
+    fn backlog(&self) -> usize {
+        self.server.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_units::Bits;
+    use vtrs::packet::{FlowId, PacketState};
+
+    fn stamped(flow: u64, seq: u64, rate_bps: u64, vt_ns: u64) -> Packet {
+        let mut p = Packet::new(FlowId(flow), seq, Bits::from_bytes(1500), Time::ZERO);
+        p.state = Some(PacketState {
+            rate: Rate::from_bps(rate_bps),
+            delay: Nanos::ZERO,
+            virtual_time: Time::from_nanos(vt_ns),
+            delta: Nanos::ZERO,
+        });
+        p
+    }
+
+    #[test]
+    fn error_term_is_lmax_over_capacity() {
+        let s = CsVc::new(Rate::from_bps(1_500_000), Bits::from_bytes(1500));
+        assert_eq!(s.error_term(), Nanos::from_millis(8));
+        assert_eq!(s.kind(), HopKind::RateBased);
+    }
+
+    #[test]
+    fn orders_by_virtual_finish_time() {
+        let mut s = CsVc::new(Rate::from_mbps(1), Bits::from_bytes(1500));
+        // Flow 1 at 50 kb/s: virtual finish = vt + 240 ms.
+        // Flow 2 at 100 kb/s: virtual finish = vt + 120 ms.
+        s.enqueue(Time::ZERO, stamped(1, 0, 50_000, 0));
+        s.enqueue(Time::ZERO, stamped(2, 0, 100_000, 0));
+        s.enqueue(Time::ZERO, stamped(2, 1, 100_000, 100_000_000));
+        // First packet grabbed the server; afterwards flow-2 (smaller
+        // finish) goes before nothing else queued... drain and observe.
+        let mut order = Vec::new();
+        while let Some(t) = s.next_event() {
+            if let Some(p) = s.dequeue(t) {
+                order.push((p.flow.0, p.seq));
+            }
+        }
+        assert_eq!(order, vec![(1, 0), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn rate_guarantee_with_full_reservation() {
+        // C = 150 kb/s fully reserved by three 50 kb/s flows sending
+        // maximum-size packets back to back at their reserved rate: every
+        // packet departs by its virtual finish time + Ψ.
+        let cap = Rate::from_bps(150_000);
+        let lmax = Bits::from_bytes(1500);
+        let mut s = CsVc::new(cap, lmax);
+        let psi = s.error_term();
+        let mut expected: Vec<(Time, Time)> = Vec::new(); // (deadline, _)
+        for k in 0..20u64 {
+            let vt = k * 240_000_000; // spacing L/r = 0.24 s
+            for f in 1..=3u64 {
+                let p = stamped(f, k, 50_000, vt);
+                let deadline = virtual_finish(HopKind::RateBased, p.state(), p.size) + psi;
+                expected.push((deadline, Time::from_nanos(vt)));
+                s.enqueue(Time::from_nanos(vt), p);
+            }
+            // Drain everything that completes before the next round.
+            let next_vt = Time::from_nanos((k + 1) * 240_000_000);
+            while let Some(t) = s.next_event() {
+                if t > next_vt {
+                    break;
+                }
+                if let Some(p) = s.dequeue(t) {
+                    let dl = virtual_finish(HopKind::RateBased, p.state(), p.size) + psi;
+                    assert!(t <= dl, "packet departed {t} after deadline {dl}");
+                }
+            }
+        }
+        // Drain the tail.
+        while let Some(t) = s.next_event() {
+            if let Some(p) = s.dequeue(t) {
+                let dl = virtual_finish(HopKind::RateBased, p.state(), p.size) + psi;
+                assert!(t <= dl);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without edge conditioning")]
+    fn rejects_unconditioned_packets() {
+        let mut s = CsVc::new(Rate::from_mbps(1), Bits::from_bytes(1500));
+        s.enqueue(
+            Time::ZERO,
+            Packet::new(FlowId(1), 0, Bits::from_bytes(1500), Time::ZERO),
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! The shared priority-serving engine behind every scheduler.
+//!
+//! [`PrioServer`] models a non-preemptive server of capacity `C` that
+//! always serves the *eligible* packet with the smallest key (a deadline
+//! or virtual finish time, in nanoseconds), breaking ties by arrival
+//! order. Work-conserving schedulers make every packet eligible on
+//! arrival; non-work-conserving ones (CJVC, the RC-EDF shaper stage) hand
+//! the engine a future eligibility time and the server idles until it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use qos_units::{Rate, Time};
+use vtrs::packet::Packet;
+
+/// An entry waiting to become eligible.
+#[derive(Debug)]
+struct Pending {
+    eligible: Time,
+    key: u64,
+    seq: u64,
+    pkt: Packet,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.eligible == other.eligible && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.eligible, self.seq).cmp(&(other.eligible, other.seq))
+    }
+}
+
+/// An eligible entry awaiting service.
+#[derive(Debug)]
+struct Ready {
+    key: u64,
+    seq: u64,
+    /// Instant the packet became available for service (arrival for
+    /// work-conserving schedulers, eligibility time otherwise).
+    avail: Time,
+    pkt: Packet,
+}
+
+impl PartialEq for Ready {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for Ready {}
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ready {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.key, self.seq).cmp(&(other.key, other.seq))
+    }
+}
+
+/// The packet currently occupying the server.
+#[derive(Debug)]
+struct InService {
+    finish: Time,
+    pkt: Packet,
+}
+
+/// Non-preemptive smallest-key-first server with optional eligibility
+/// times.
+///
+/// Invariant maintained between public calls: whenever the server is idle,
+/// the ready heap is empty (an available packet would have entered
+/// service). [`PrioServer::next_event`] is therefore either the in-service
+/// finish time or the earliest pending eligibility.
+#[derive(Debug)]
+pub struct PrioServer {
+    capacity: Rate,
+    ready: BinaryHeap<Reverse<Ready>>,
+    pending: BinaryHeap<Reverse<Pending>>,
+    in_service: Option<InService>,
+    /// Instant the server becomes (or last became) free.
+    free_at: Time,
+    seq: u64,
+}
+
+impl PrioServer {
+    /// Creates a server for a link of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: Rate) -> Self {
+        assert!(!capacity.is_zero(), "PrioServer: zero link capacity");
+        PrioServer {
+            capacity,
+            ready: BinaryHeap::new(),
+            pending: BinaryHeap::new(),
+            in_service: None,
+            free_at: Time::ZERO,
+            seq: 0,
+        }
+    }
+
+    /// Link capacity.
+    #[must_use]
+    pub fn capacity(&self) -> Rate {
+        self.capacity
+    }
+
+    /// Inserts a packet with service `key` (ns-valued deadline / virtual
+    /// finish time) that becomes eligible at `eligible`. Callers must pass
+    /// non-decreasing `now` values across calls.
+    pub fn insert(&mut self, now: Time, key: u64, eligible: Time, pkt: Packet) {
+        let seq = self.seq;
+        self.seq += 1;
+        if eligible <= now {
+            self.ready.push(Reverse(Ready {
+                key,
+                seq,
+                avail: now,
+                pkt,
+            }));
+        } else {
+            self.pending.push(Reverse(Pending {
+                eligible,
+                key,
+                seq,
+                pkt,
+            }));
+        }
+        self.try_start(now);
+    }
+
+    /// Moves pending entries with eligibility ≤ `t` to the ready heap.
+    fn promote(&mut self, t: Time) {
+        while let Some(Reverse(head)) = self.pending.peek() {
+            if head.eligible > t {
+                break;
+            }
+            let Reverse(p) = self.pending.pop().expect("peeked entry exists");
+            self.ready.push(Reverse(Ready {
+                key: p.key,
+                seq: p.seq,
+                avail: p.eligible,
+                pkt: p.pkt,
+            }));
+        }
+    }
+
+    /// Starts service if the server is free and a packet is available at
+    /// or before `now`.
+    fn try_start(&mut self, now: Time) {
+        while self.in_service.is_none() {
+            // Anything eligible by the time the server went free competes
+            // for the next service slot.
+            self.promote(self.free_at);
+            if self.ready.is_empty() {
+                // Server idle and nothing ready: the next availability is
+                // the earliest pending eligibility, if it has passed.
+                match self.pending.peek() {
+                    Some(Reverse(head)) if head.eligible <= now => {
+                        let e = head.eligible;
+                        self.promote(e);
+                    }
+                    _ => return,
+                }
+                continue;
+            }
+            let Reverse(next) = self.ready.pop().expect("ready nonempty");
+            // Between public calls the ready heap is empty whenever the
+            // server idles, so `next.avail` is the true historical start
+            // bound for this packet.
+            let begin = self.free_at.max(next.avail);
+            let finish = begin + next.pkt.size.tx_time_ceil(self.capacity);
+            self.in_service = Some(InService {
+                finish,
+                pkt: next.pkt,
+            });
+            self.free_at = finish;
+        }
+    }
+
+    /// The next instant the engine's state changes on its own: the current
+    /// service completion, else the earliest pending eligibility.
+    #[must_use]
+    pub fn next_event(&self) -> Option<Time> {
+        if let Some(svc) = &self.in_service {
+            return Some(svc.finish);
+        }
+        self.pending.peek().map(|Reverse(p)| p.eligible)
+    }
+
+    /// Completes and returns the in-service packet if its transmission
+    /// finished by `now`, immediately starting the next available packet.
+    pub fn complete(&mut self, now: Time) -> Option<Packet> {
+        // A pending packet may have become eligible while the server was
+        // idle; its (historical) service must start before completion can
+        // be assessed.
+        if self.in_service.is_none() {
+            self.try_start(now);
+        }
+        match &self.in_service {
+            Some(svc) if svc.finish <= now => {}
+            _ => return None,
+        }
+        let svc = self.in_service.take().expect("checked above");
+        self.free_at = svc.finish;
+        self.try_start(now);
+        Some(svc.pkt)
+    }
+
+    /// Total packets held (pending + ready + in service).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ready.len() + self.pending.len() + usize::from(self.in_service.is_some())
+    }
+
+    /// True when nothing is held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_units::Bits;
+    use vtrs::packet::FlowId;
+
+    fn pkt(seq: u64, bytes: u64) -> Packet {
+        Packet::new(FlowId(1), seq, Bits::from_bytes(bytes), Time::ZERO)
+    }
+
+    fn drain(server: &mut PrioServer) -> Vec<(Time, u64)> {
+        let mut out = Vec::new();
+        while let Some(t) = server.next_event() {
+            if let Some(p) = server.complete(t) {
+                out.push((t, p.seq));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn serves_in_key_order_with_fifo_ties() {
+        // 1 Mb/s link, 1250-byte (10 kb) packets: 10 ms each.
+        let mut s = PrioServer::new(Rate::from_mbps(1));
+        s.insert(Time::ZERO, 50, Time::ZERO, pkt(0, 1250));
+        s.insert(Time::ZERO, 10, Time::ZERO, pkt(1, 1250));
+        s.insert(Time::ZERO, 10, Time::ZERO, pkt(2, 1250));
+        // Packet 0 entered service immediately (non-preemptive); then key
+        // order with FIFO tie-break: 1 before 2.
+        let out = drain(&mut s);
+        assert_eq!(
+            out,
+            vec![
+                (Time::from_nanos(10_000_000), 0),
+                (Time::from_nanos(20_000_000), 1),
+                (Time::from_nanos(30_000_000), 2),
+            ]
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn smaller_key_overtakes_queue_but_not_server() {
+        let mut s = PrioServer::new(Rate::from_mbps(1));
+        s.insert(Time::ZERO, 100, Time::ZERO, pkt(0, 1250));
+        s.insert(Time::ZERO, 200, Time::ZERO, pkt(1, 1250));
+        // Arrives during service of 0 with the smallest key: must beat 1.
+        s.insert(Time::from_nanos(5_000_000), 1, Time::ZERO, pkt(2, 1250));
+        let order: Vec<u64> = drain(&mut s).into_iter().map(|(_, q)| q).collect();
+        assert_eq!(order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn eligibility_holds_packets_back() {
+        let mut s = PrioServer::new(Rate::from_mbps(1));
+        // Eligible only at t = 50 ms, despite being inserted at 0.
+        s.insert(Time::ZERO, 1, Time::from_nanos(50_000_000), pkt(0, 1250));
+        assert_eq!(s.next_event(), Some(Time::from_nanos(50_000_000)));
+        assert!(s.complete(Time::from_nanos(40_000_000)).is_none());
+        // At 60 ms: became eligible at 50 ms, service 50→60 ms, done.
+        let p = s.complete(Time::from_nanos(60_000_000)).unwrap();
+        assert_eq!(p.seq, 0);
+    }
+
+    #[test]
+    fn server_idles_then_starts_at_eligibility_instant() {
+        let mut s = PrioServer::new(Rate::from_mbps(1));
+        s.insert(Time::ZERO, 5, Time::from_nanos(10_000_000), pkt(0, 1250));
+        s.insert(Time::ZERO, 1, Time::from_nanos(30_000_000), pkt(1, 1250));
+        // Packet 0 becomes eligible first and is served 10→20 ms, even
+        // though packet 1 has the smaller key (it is not yet eligible).
+        let out = drain(&mut s);
+        assert_eq!(
+            out,
+            vec![
+                (Time::from_nanos(20_000_000), 0),
+                (Time::from_nanos(40_000_000), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn late_complete_catches_up_in_order() {
+        let mut s = PrioServer::new(Rate::from_mbps(1));
+        s.insert(Time::ZERO, 2, Time::ZERO, pkt(0, 1250));
+        s.insert(Time::ZERO, 1, Time::ZERO, pkt(1, 1250));
+        // Caller only shows up at t = 1 s; completions must still be
+        // reported in service order.
+        let t = Time::from_secs_f64(1.0);
+        assert_eq!(s.complete(t).unwrap().seq, 0);
+        assert_eq!(s.complete(t).unwrap().seq, 1);
+        assert!(s.complete(t).is_none());
+    }
+
+    #[test]
+    fn idle_gap_then_historical_start() {
+        let mut s = PrioServer::new(Rate::from_mbps(1));
+        // Becomes eligible at 100 ms while the server is idle; the caller
+        // only polls at 500 ms. Service must have run 100→110 ms.
+        s.insert(Time::ZERO, 1, Time::from_nanos(100_000_000), pkt(0, 1250));
+        let p = s.complete(Time::from_nanos(500_000_000));
+        assert!(p.is_some());
+        // Next insert honors the historical free time, not the poll time.
+        s.insert(Time::from_nanos(500_000_000), 1, Time::ZERO, pkt(1, 1250));
+        assert_eq!(s.next_event(), Some(Time::from_nanos(510_000_000)));
+    }
+
+    #[test]
+    fn work_conserving_no_idle_gap() {
+        let mut s = PrioServer::new(Rate::from_mbps(1));
+        s.insert(Time::ZERO, 1, Time::ZERO, pkt(0, 1250));
+        // Second packet arrives while the first is still in service.
+        s.insert(Time::from_nanos(3_000_000), 9, Time::ZERO, pkt(1, 1250));
+        let out = drain(&mut s);
+        // Back-to-back: 10 ms then 20 ms, no gap.
+        assert_eq!(out[1].0, Time::from_nanos(20_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero link capacity")]
+    fn zero_capacity_rejected() {
+        let _ = PrioServer::new(Rate::ZERO);
+    }
+}

@@ -1,0 +1,98 @@
+//! First-in-first-out scheduler — the best-effort baseline.
+//!
+//! FIFO offers no isolation: a misbehaving flow inflates everyone's
+//! delay. It exists so experiments can contrast guaranteed-service
+//! schedulers against plain best-effort forwarding, and to model
+//! uncontended access links. Because FIFO makes no per-flow guarantee,
+//! it has no intrinsic VTRS error term; the caller must supply the `Ψ`
+//! they are willing to assume for it (zero is only sound on a link that
+//! can never be congested, e.g. the infinite-capacity access links of the
+//! paper's Figure-8 topology).
+
+use qos_units::{Nanos, Rate, Time};
+use vtrs::packet::Packet;
+use vtrs::reference::HopKind;
+
+use crate::engine::PrioServer;
+use crate::Scheduler;
+
+/// A FIFO scheduler.
+#[derive(Debug)]
+pub struct Fifo {
+    server: PrioServer,
+    assumed_psi: Nanos,
+}
+
+impl Fifo {
+    /// Creates a FIFO scheduler on a link of capacity `capacity`.
+    ///
+    /// `assumed_psi` is the error term the *caller* asserts for this hop
+    /// (see module docs); it is reported verbatim by
+    /// [`Scheduler::error_term`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: Rate, assumed_psi: Nanos) -> Self {
+        Fifo {
+            server: PrioServer::new(capacity),
+            assumed_psi,
+        }
+    }
+}
+
+impl Scheduler for Fifo {
+    fn kind(&self) -> HopKind {
+        HopKind::RateBased
+    }
+
+    fn capacity(&self) -> Rate {
+        self.server.capacity()
+    }
+
+    fn error_term(&self) -> Nanos {
+        self.assumed_psi
+    }
+
+    fn enqueue(&mut self, now: Time, pkt: Packet) {
+        self.server.insert(now, now.as_nanos(), now, pkt);
+    }
+
+    fn next_event(&self) -> Option<Time> {
+        self.server.next_event()
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        self.server.complete(now)
+    }
+
+    fn backlog(&self) -> usize {
+        self.server.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_units::Bits;
+    use vtrs::packet::FlowId;
+
+    #[test]
+    fn serves_in_arrival_order_regardless_of_flow() {
+        let mut s = Fifo::new(Rate::from_mbps(1), Nanos::ZERO);
+        for (i, f) in [3u64, 1, 2, 1].iter().enumerate() {
+            s.enqueue(
+                Time::from_nanos(i as u64),
+                Packet::new(FlowId(*f), i as u64, Bits::from_bytes(1250), Time::ZERO),
+            );
+        }
+        let mut seqs = Vec::new();
+        while let Some(t) = s.next_event() {
+            if let Some(p) = s.dequeue(t) {
+                seqs.push(p.seq);
+            }
+        }
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Packet schedulers for the VTRS data plane and the IntServ baseline.
+//!
+//! Two families:
+//!
+//! * **Core-stateless** schedulers operate purely on the dynamic packet
+//!   state stamped by the edge conditioner — they hold *no per-flow
+//!   state*: [`CsVc`] (core-stateless virtual clock, rate-based,
+//!   work-conserving), [`CJVc`] (core-jitter virtual clock, rate-based,
+//!   non-work-conserving — packets are held until their virtual arrival
+//!   time) and [`VtEdf`] (virtual-time earliest deadline first,
+//!   delay-based).
+//! * **Stateful baselines** used by the IntServ/Guaranteed-Service
+//!   comparison: [`VirtualClock`] (per-flow virtual clocks), [`Wfq`]
+//!   (fair queueing with self-clocked system virtual time), [`RcEdf`]
+//!   (per-flow rate-controlled shapers feeding an EDF queue) and
+//!   [`Fifo`].
+//!
+//! Every scheduler declares its [`Scheduler::kind`] (rate- or delay-based)
+//! and its **error term** `Ψ` ([`Scheduler::error_term`]), the one number
+//! the VTRS abstraction needs: each packet is guaranteed to depart by its
+//! virtual finish time plus `Ψ`. For C̄SVC, VT-EDF, VC and WFQ the minimum
+//! error term is `Lmax*/C` (largest packet among all flows over the link
+//! capacity).
+//!
+//! All schedulers model a non-preemptive link of capacity `C`: a packet of
+//! size `L` occupies the server for exactly `L/C`. The shared serving
+//! engine lives in [`engine`]; [`schedulability`] holds the VT-EDF
+//! schedulability condition (eq. 5) reused by the broker's admission
+//! control.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cjvc;
+pub mod csvc;
+pub mod engine;
+pub mod fifo;
+pub mod rcedf;
+pub mod schedulability;
+pub mod vc;
+pub mod vtedf;
+pub mod wfq;
+
+pub use cjvc::CJVc;
+pub use csvc::CsVc;
+pub use fifo::Fifo;
+pub use rcedf::RcEdf;
+pub use vc::VirtualClock;
+pub use vtedf::VtEdf;
+pub use wfq::Wfq;
+
+use qos_units::{Nanos, Rate, Time};
+use vtrs::packet::Packet;
+use vtrs::reference::HopKind;
+
+/// A non-preemptive packet scheduler serving one outgoing link.
+///
+/// The interface is event-driven and sans-IO: callers [`enqueue`]
+/// arriving packets, ask for the [`next_event`] time (the next departure
+/// completion, or — for non-work-conserving schedulers — the next
+/// eligibility instant) and [`dequeue`] packets whose transmission has
+/// completed by `now`. Time never flows backwards: callers must pass
+/// non-decreasing `now` values.
+///
+/// [`enqueue`]: Scheduler::enqueue
+/// [`next_event`]: Scheduler::next_event
+/// [`dequeue`]: Scheduler::dequeue
+pub trait Scheduler: std::fmt::Debug {
+    /// Whether the scheduler guarantees a rate (`r`) or a per-hop delay
+    /// (`d`) — the classification the VTRS per-hop update keys on.
+    fn kind(&self) -> HopKind;
+
+    /// Link capacity `C`.
+    fn capacity(&self) -> Rate;
+
+    /// The scheduler's error term `Ψ`.
+    fn error_term(&self) -> Nanos;
+
+    /// Offers a packet arriving at `now`.
+    fn enqueue(&mut self, now: Time, pkt: Packet);
+
+    /// The next instant at which [`Scheduler::dequeue`] may yield a packet
+    /// (a departure completion), or at which internal state changes (a
+    /// held packet becoming eligible). `None` when idle and empty.
+    fn next_event(&self) -> Option<Time>;
+
+    /// Removes and returns the packet whose transmission completed at or
+    /// before `now`, if any.
+    fn dequeue(&mut self, now: Time) -> Option<Packet>;
+
+    /// Number of packets currently held (queued, held for eligibility, or
+    /// in service).
+    fn backlog(&self) -> usize;
+
+    /// Convenience: true when no packets are held.
+    fn is_empty(&self) -> bool {
+        self.backlog() == 0
+    }
+}

@@ -1,0 +1,193 @@
+//! The VT-EDF schedulability condition (eq. 5) and residual-service
+//! computations.
+//!
+//! For `N` flows with reservations `⟨r_j, d_j⟩` and maximum packet sizes
+//! `L_j` sharing a VT-EDF link of capacity `C`, the schedulability
+//! condition is
+//!
+//! ```text
+//! Σ_j [ r_j (t − d_j) + L_j ] · 1{t ≥ d_j}  ≤  C·t     for all t ≥ 0.
+//! ```
+//!
+//! The left side is piecewise linear with breakpoints at the distinct
+//! delay values, so it suffices to check the inequality **at every
+//! breakpoint** plus the asymptotic slope condition `Σ r_j ≤ C`.
+//!
+//! The same arithmetic yields the **residual service**
+//! `S(t) = C·t − Σ_{d_j ≤ t} [r_j (t − d_j) + L_j]`, the quantity the
+//! Figure-4 admission algorithm scans (its `S_i^k` values). To stay exact
+//! we evaluate in *scaled bits*: multiplying the condition through by
+//! `NANOS_PER_SEC` makes every term an integer (`r[bps] · Δt[ns]` and
+//! `L[bits] · 10⁹`), so results are `i128` in units of `bits / 10⁹`.
+
+use qos_units::{Bits, Nanos, Rate, NANOS_PER_SEC};
+
+/// A flow's contribution to an EDF link: reservation `⟨r, d⟩` and maximum
+/// packet size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdfFlow {
+    /// Reserved rate `r`.
+    pub rate: Rate,
+    /// Delay parameter `d` at this hop.
+    pub delay: Nanos,
+    /// Maximum packet size `L`.
+    pub l_max: Bits,
+}
+
+/// Converts a bit count to the scaled (`× 10⁹`) fixed-point unit used by
+/// the residual-service arithmetic.
+#[must_use]
+pub fn scaled_bits(b: Bits) -> i128 {
+    i128::from(b.as_bits()) * i128::from(NANOS_PER_SEC)
+}
+
+/// Residual service of the link at horizon `t`, in scaled bits:
+/// `S(t)·10⁹ = C·t − Σ_{d_j ≤ t} [ r_j (t − d_j) + L_j·10⁹ ]`.
+///
+/// Negative values mean the flow set is *not* schedulable at this horizon.
+#[must_use]
+pub fn residual_service(flows: &[EdfFlow], capacity: Rate, t: Nanos) -> i128 {
+    let mut s = i128::from(capacity.as_bps()) * i128::from(t.as_nanos());
+    for f in flows {
+        if f.delay <= t {
+            let lag = t - f.delay;
+            s -= i128::from(f.rate.as_bps()) * i128::from(lag.as_nanos());
+            s -= scaled_bits(f.l_max);
+        }
+    }
+    s
+}
+
+/// Checks the VT-EDF schedulability condition (eq. 5) for `flows` on a
+/// link of capacity `capacity`.
+#[must_use]
+pub fn edf_schedulable(flows: &[EdfFlow], capacity: Rate) -> bool {
+    // Asymptotic slope: total reserved rate must not exceed capacity.
+    let total: u128 = flows.iter().map(|f| u128::from(f.rate.as_bps())).sum();
+    if total > u128::from(capacity.as_bps()) {
+        return false;
+    }
+    // Breakpoint checks at each distinct delay value.
+    flows
+        .iter()
+        .all(|f| residual_service(flows, capacity, f.delay) >= 0)
+}
+
+/// Convenience: would adding `candidate` keep the link schedulable?
+///
+/// Equivalent to the per-hop test (eq. 8) the broker performs for every
+/// delay-based hop of a candidate path, but expressed on an explicit flow
+/// list (used by tests and by the stateful RC-EDF baseline).
+#[must_use]
+pub fn edf_admissible_with(flows: &[EdfFlow], capacity: Rate, candidate: EdfFlow) -> bool {
+    let mut all = Vec::with_capacity(flows.len() + 1);
+    all.extend_from_slice(flows);
+    all.push(candidate);
+    edf_schedulable(&all, capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(r_bps: u64, d_ms: u64) -> EdfFlow {
+        EdfFlow {
+            rate: Rate::from_bps(r_bps),
+            delay: Nanos::from_millis(d_ms),
+            l_max: Bits::from_bytes(1500),
+        }
+    }
+
+    #[test]
+    fn empty_set_is_schedulable() {
+        assert!(edf_schedulable(&[], Rate::from_bps(1)));
+    }
+
+    #[test]
+    fn thirty_type0_flows_at_240ms_exactly_fill_the_link() {
+        // The paper's boundary case: 30 flows, d = 0.24 s, L = 12000 bits,
+        // C = 1.5 Mb/s. At t = 0.24 s: 30·12000 = 360000 = C·t exactly.
+        let flows = vec![flow(50_000, 240); 30];
+        assert!(edf_schedulable(&flows, Rate::from_bps(1_500_000)));
+        // The 31st flow of the same class tips it over.
+        assert!(!edf_admissible_with(
+            &flows,
+            Rate::from_bps(1_500_000),
+            flow(50_000, 240)
+        ));
+        // ... and so does a flow with an even tighter delay.
+        assert!(!edf_admissible_with(
+            &flows,
+            Rate::from_bps(1_500_000),
+            flow(1, 100)
+        ));
+    }
+
+    #[test]
+    fn residual_service_is_exact_at_breakpoints() {
+        let flows = vec![flow(50_000, 240); 30];
+        let c = Rate::from_bps(1_500_000);
+        assert_eq!(residual_service(&flows, c, Nanos::from_millis(240)), 0);
+        // At 0.1 s no flow's delay has passed: S = C·t.
+        assert_eq!(
+            residual_service(&flows, c, Nanos::from_millis(100)),
+            i128::from(1_500_000u64) * 100_000_000
+        );
+    }
+
+    #[test]
+    fn overload_detected_by_slope_even_if_breakpoints_pass() {
+        // Two flows whose rates sum past capacity but with generous delays
+        // and small packets: breakpoints pass, slope must fail it.
+        let flows = vec![
+            EdfFlow {
+                rate: Rate::from_bps(800),
+                delay: Nanos::from_secs(100),
+                l_max: Bits::from_bits(1),
+            },
+            EdfFlow {
+                rate: Rate::from_bps(800),
+                delay: Nanos::from_secs(100),
+                l_max: Bits::from_bits(1),
+            },
+        ];
+        assert!(!edf_schedulable(&flows, Rate::from_bps(1_000)));
+    }
+
+    #[test]
+    fn tight_delay_with_large_packet_fails_at_breakpoint() {
+        // One flow with d = 1 ms but a 12000-bit packet on a 1 Mb/s link:
+        // C·d = 1000 bits < 12000 → unschedulable.
+        let flows = vec![EdfFlow {
+            rate: Rate::from_bps(1_000),
+            delay: Nanos::from_millis(1),
+            l_max: Bits::from_bytes(1500),
+        }];
+        assert!(!edf_schedulable(&flows, Rate::from_mbps(1)));
+    }
+
+    #[test]
+    fn heterogeneous_delays_check_every_breakpoint() {
+        let c = Rate::from_bps(100_000);
+        // A 10 ms flow taking most of the early service...
+        let a = EdfFlow {
+            rate: Rate::from_bps(50_000),
+            delay: Nanos::from_millis(10),
+            l_max: Bits::from_bits(900),
+        };
+        // ...and a 20 ms flow that just fits.
+        let b = EdfFlow {
+            rate: Rate::from_bps(40_000),
+            delay: Nanos::from_millis(20),
+            l_max: Bits::from_bits(500),
+        };
+        assert!(edf_schedulable(&[a, b], c));
+        // Tripling b's packet size breaks the t = 20 ms breakpoint:
+        // S(20ms) = 2000 − [50000·10ms + 900 + 1500] = 2000 − 2900 < 0.
+        let b_big = EdfFlow {
+            l_max: Bits::from_bits(1_500),
+            ..b
+        };
+        assert!(!edf_schedulable(&[a, b_big], c));
+    }
+}

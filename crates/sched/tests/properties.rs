@@ -1,0 +1,320 @@
+//! Property-based tests: schedulers honor their error-term contract.
+//!
+//! The VTRS abstraction reduces a scheduler to one promise — every packet
+//! departs by `ν̃ + Ψ`. These tests generate random conformant traffic
+//! (shaped through a real edge conditioner, so virtual time stamps are
+//! genuine) and assert the promise for every core-stateless scheduler,
+//! under any admissible mix of reservations.
+
+use proptest::prelude::*;
+use qos_units::{Bits, Nanos, Rate, Time};
+use sched::{CJVc, CsVc, Scheduler, VtEdf};
+use vtrs::conditioner::EdgeConditioner;
+use vtrs::packet::{FlowId, Packet};
+use vtrs::reference::virtual_finish;
+
+/// One synthetic flow: a reserved rate (as a share of capacity) and a
+/// burst length.
+#[derive(Debug, Clone)]
+struct GenFlow {
+    rate: Rate,
+    delay: Nanos,
+    burst: usize,
+    jitter_ns: u64,
+}
+
+fn gen_flows(max_flows: usize) -> impl Strategy<Value = Vec<GenFlow>> {
+    prop::collection::vec(
+        (
+            20_000u64..100_000,
+            50u64..500,
+            1usize..12,
+            0u64..100_000_000,
+        )
+            .prop_map(|(r, d_ms, burst, jitter_ns)| GenFlow {
+                rate: Rate::from_bps(r),
+                delay: Nanos::from_millis(d_ms),
+                burst,
+                jitter_ns,
+            }),
+        1..max_flows,
+    )
+}
+
+/// Shapes each flow's burst through a private edge conditioner, producing
+/// genuinely stamped packets with their core entry times.
+fn condition(flows: &[GenFlow], rate_hops: u64) -> Vec<(Time, Packet)> {
+    let mut out = Vec::new();
+    for (i, f) in flows.iter().enumerate() {
+        let mut cond = EdgeConditioner::new(f.rate, f.delay, rate_hops);
+        for k in 0..f.burst {
+            let at = Time::from_nanos(f.jitter_ns + k as u64);
+            cond.arrive(
+                at,
+                Packet::new(FlowId(i as u64), k as u64, Bits::from_bytes(1500), at),
+            );
+        }
+        while let Some(due) = cond.next_release_time() {
+            let p = cond.release(due).unwrap();
+            out.push((due, p));
+        }
+    }
+    // Merge by core entry time; stable order keeps determinism.
+    out.sort_by_key(|(t, p)| (*t, p.flow, p.seq));
+    out
+}
+
+/// Feeds the conditioned arrivals to `sched` and asserts every departure
+/// meets `ν̃ + Ψ`.
+fn assert_deadlines<S: Scheduler>(mut sched: S, arrivals: Vec<(Time, Packet)>) {
+    let psi = sched.error_term();
+    let kind = sched.kind();
+    let mut idx = 0;
+    loop {
+        // Interleave arrivals and departures in event order.
+        let next_arrival = arrivals.get(idx).map(|(t, _)| *t);
+        let next_dep = sched.next_event();
+        match (next_arrival, next_dep) {
+            (Some(ta), Some(td)) if ta <= td => {
+                let (t, p) = arrivals[idx];
+                sched.enqueue(t, p);
+                idx += 1;
+            }
+            (_, Some(td)) => {
+                if let Some(p) = sched.dequeue(td) {
+                    let dl = virtual_finish(kind, p.state(), p.size) + psi;
+                    assert!(
+                        td <= dl,
+                        "{} seq {} departed {} after deadline {}",
+                        p.flow,
+                        p.seq,
+                        td,
+                        dl
+                    );
+                }
+            }
+            (Some(ta), None) => {
+                let (_, p) = arrivals[idx];
+                sched.enqueue(ta, p);
+                idx += 1;
+            }
+            (None, None) => break,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CsVC: any flow set with Σr ≤ C receives its rate guarantee.
+    #[test]
+    fn csvc_meets_deadlines(flows in gen_flows(10)) {
+        let total: u64 = flows.iter().map(|f| f.rate.as_bps()).sum();
+        let cap = Rate::from_bps(total.max(1)); // exactly full reservation
+        let arrivals = condition(&flows, 1);
+        assert_deadlines(CsVc::new(cap, Bits::from_bytes(1500)), arrivals);
+    }
+
+    /// CJVC: same guarantee despite holding packets for jitter control.
+    #[test]
+    fn cjvc_meets_deadlines(flows in gen_flows(10)) {
+        let total: u64 = flows.iter().map(|f| f.rate.as_bps()).sum();
+        let cap = Rate::from_bps(total.max(1));
+        let arrivals = condition(&flows, 1);
+        assert_deadlines(CJVc::new(cap, Bits::from_bytes(1500)), arrivals);
+    }
+
+    /// VT-EDF: any flow set passing the schedulability condition (eq. 5)
+    /// receives its per-hop delay guarantee.
+    #[test]
+    fn vtedf_meets_deadlines(flows in gen_flows(10)) {
+        let cap = Rate::from_bps(2_000_000);
+        let set: Vec<_> = flows
+            .iter()
+            .map(|f| sched::schedulability::EdfFlow {
+                rate: f.rate,
+                delay: f.delay,
+                l_max: Bits::from_bytes(1500),
+            })
+            .collect();
+        prop_assume!(sched::schedulability::edf_schedulable(&set, cap));
+        let arrivals = condition(&flows, 0);
+        assert_deadlines(VtEdf::new(cap, Bits::from_bytes(1500)), arrivals);
+    }
+
+    /// CJVC never departs a packet before its work-conserving sibling
+    /// would be *forced* to by the deadline contract, and both meet it.
+    #[test]
+    fn cjvc_departures_not_earlier_than_virtual_arrival(flows in gen_flows(6)) {
+        let total: u64 = flows.iter().map(|f| f.rate.as_bps()).sum();
+        let cap = Rate::from_bps(total.max(1));
+        let arrivals = condition(&flows, 1);
+        let mut s = CJVc::new(cap, Bits::from_bytes(1500));
+        let mut idx = 0;
+        loop {
+            let next_arrival = arrivals.get(idx).map(|(t, _)| *t);
+            let next_dep = s.next_event();
+            match (next_arrival, next_dep) {
+                (Some(ta), Some(td)) if ta <= td => {
+                    let (t, p) = arrivals[idx];
+                    s.enqueue(t, p);
+                    idx += 1;
+                }
+                (_, Some(td)) => {
+                    if let Some(p) = s.dequeue(td) {
+                        // Jitter regulation: service begins no earlier
+                        // than ω̃, so departure ≥ ω̃ + L/C.
+                        let min_dep = p.state().virtual_time
+                            + p.size.tx_time_floor(cap);
+                        prop_assert!(td >= min_dep,
+                            "CJVC departed {td} before regulated minimum {min_dep}");
+                    }
+                }
+                (Some(ta), None) => {
+                    let (_, p) = arrivals[idx];
+                    s.enqueue(ta, p);
+                    idx += 1;
+                }
+                (None, None) => break,
+            }
+        }
+    }
+}
+
+/// Reference model for the serving engine: a direct simulation that, at
+/// every service completion, picks the smallest-(key, seq) packet among
+/// those whose eligibility has passed, or idles until the next
+/// eligibility. The engine must reproduce it exactly.
+mod engine_oracle {
+    use proptest::prelude::*;
+    use qos_units::{Bits, Rate, Time};
+    use sched::engine::PrioServer;
+    use vtrs::packet::{FlowId, Packet};
+
+    #[derive(Debug, Clone, Copy)]
+    struct Job {
+        arrival: u64,
+        eligible: u64,
+        key: u64,
+        bytes: u64,
+    }
+
+    fn gen_jobs() -> impl Strategy<Value = Vec<Job>> {
+        prop::collection::vec(
+            (0u64..1_000_000, 0u64..1_000_000, 0u64..100, 64u64..1500).prop_map(
+                |(arrival, extra, key, bytes)| Job {
+                    arrival,
+                    eligible: arrival + extra,
+                    key,
+                    bytes,
+                },
+            ),
+            1..30,
+        )
+    }
+
+    /// Golden-model completion order. Ties on the service key break by
+    /// engine insertion order (arrival order, then original index), so
+    /// the pending list carries its post-sort position as the seq.
+    fn oracle(jobs: &[Job], cap_bps: u64) -> Vec<(u64, u64)> {
+        let mut pending: Vec<(usize, Job)> = jobs.iter().copied().enumerate().collect();
+        pending.sort_by_key(|(i, j)| (j.arrival, *i));
+        // (original index, job, insertion seq)
+        let pending: Vec<(usize, Job, usize)> = pending
+            .into_iter()
+            .enumerate()
+            .map(|(seq, (i, j))| (i, j, seq))
+            .collect();
+        let mut free_at = 0u64;
+        let mut out = Vec::new();
+        let mut waiting: Vec<(usize, Job, usize)> = Vec::new();
+        let mut next = 0usize;
+        while out.len() < jobs.len() {
+            // Admit arrivals up to the current notion of time.
+            let now = free_at;
+            while next < pending.len() && pending[next].1.arrival <= now {
+                waiting.push(pending[next]);
+                next += 1;
+            }
+            // Choose among eligible-at-`now` waiters.
+            let choice = waiting
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, j, _))| j.eligible <= now)
+                .min_by_key(|(_, (_, j, seq))| (j.key, *seq))
+                .map(|(pos, _)| pos);
+            match choice {
+                Some(pos) => {
+                    let (i, j, _) = waiting.remove(pos);
+                    let start = now.max(j.eligible);
+                    let finish = start
+                        + j.bytes * 8 * 1_000_000_000 / cap_bps
+                        + u64::from(j.bytes * 8 * 1_000_000_000 % cap_bps != 0);
+                    out.push((finish, i as u64));
+                    free_at = finish;
+                }
+                None => {
+                    // Idle: jump to the next arrival or eligibility.
+                    let next_arrival = pending.get(next).map(|(_, j, _)| j.arrival);
+                    let next_elig = waiting.iter().map(|(_, j, _)| j.eligible).min();
+                    free_at = match (next_arrival, next_elig) {
+                        (Some(a), Some(e)) => a.min(e),
+                        (Some(a), None) => a,
+                        (None, Some(e)) => e,
+                        (None, None) => break,
+                    }
+                    .max(free_at);
+                }
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn engine_matches_the_oracle(jobs in gen_jobs(), cap_kbps in 100u64..10_000) {
+            let cap = Rate::from_bps(cap_kbps * 1_000);
+            let mut server = PrioServer::new(cap);
+            let mut ordered: Vec<(usize, Job)> = jobs.iter().copied().enumerate().collect();
+            ordered.sort_by_key(|(i, j)| (j.arrival, *i));
+            let mut out = Vec::new();
+            let mut idx = 0usize;
+            loop {
+                let next_arrival = ordered.get(idx).map(|(_, j)| Time::from_nanos(j.arrival));
+                let next_event = server.next_event();
+                match (next_arrival, next_event) {
+                    (Some(a), Some(e)) if a <= e => {
+                        let (i, j) = ordered[idx];
+                        idx += 1;
+                        server.insert(
+                            a,
+                            j.key,
+                            Time::from_nanos(j.eligible),
+                            Packet::new(FlowId(1), i as u64, Bits::from_bytes(j.bytes), a),
+                        );
+                    }
+                    (_, Some(e)) => {
+                        if let Some(p) = server.complete(e) {
+                            out.push((e.as_nanos(), p.seq));
+                        }
+                    }
+                    (Some(a), None) => {
+                        let (i, j) = ordered[idx];
+                        idx += 1;
+                        server.insert(
+                            a,
+                            j.key,
+                            Time::from_nanos(j.eligible),
+                            Packet::new(FlowId(1), i as u64, Bits::from_bytes(j.bytes), a),
+                        );
+                    }
+                    (None, None) => break,
+                }
+            }
+            let expect = oracle(&jobs, cap.as_bps());
+            prop_assert_eq!(out, expect);
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! The edge traffic conditioner.
+//!
+//! The conditioner sits at the ingress (co-located with the first-hop
+//! router) and enforces the VTRS entry invariant: consecutive packets of a
+//! flow enter the network core spaced at least `L^{k+1}/r` apart. It also
+//! *initializes the dynamic packet state* — stamping `⟨r, d⟩`, the virtual
+//! time stamp `ω̃₁ = â₁` and the virtual time adjustment `δ` — so that core
+//! routers can schedule statelessly.
+//!
+//! For class-based service the conditioner shapes the *macroflow*: packets
+//! of all constituent microflows share one queue and one shaping rate. The
+//! broker adjusts that rate on microflow join/leave ([`EdgeConditioner::set_reserved_rate`])
+//! and temporarily adds **contingency bandwidth**
+//! ([`EdgeConditioner::set_contingency`], §4.2.1); the conditioner exposes
+//! its backlog and emptiness so the *feedback* variant of the contingency
+//! scheme can release that bandwidth as soon as the lingering backlog
+//! drains.
+//!
+//! The `δ` stamping implements the generalized adjustment recursion that
+//! Theorem 4 requires: it keeps the virtual-spacing property intact across
+//! both variable packet sizes and shaping-rate changes.
+
+use std::collections::VecDeque;
+
+use qos_units::{Bits, Nanos, Rate, Time};
+
+use crate::packet::{Packet, PacketState};
+
+/// Record of the previous release, input to the `δ` recursion.
+#[derive(Debug, Clone, Copy)]
+struct LastRelease {
+    time: Time,
+    /// `L^k / r^k` — the virtual transmission time stamped into packet k.
+    tx_time: Nanos,
+    delta: Nanos,
+}
+
+/// An edge conditioner shaping one flow (or macroflow) to its reserved
+/// rate and stamping dynamic packet state.
+#[derive(Debug)]
+pub struct EdgeConditioner {
+    /// Base reserved rate `r` (excluding contingency bandwidth).
+    reserved: Rate,
+    /// Currently allocated contingency bandwidth `Δr` (sum over active
+    /// contingency periods).
+    contingency: Rate,
+    /// Delay parameter `d` stamped into packets (used by delay-based hops).
+    delay_param: Nanos,
+    /// Number of rate-based hops `q` on the flow's path; divisor of the
+    /// `δ` recursion. Zero disables `δ` computation (no rate-based hops
+    /// reference it).
+    rate_hops: u64,
+    queue: VecDeque<Packet>,
+    backlog: Bits,
+    last: Option<LastRelease>,
+    /// Cumulative count of released packets (diagnostics).
+    released: u64,
+    /// Maximum queueing delay experienced by any released packet so far.
+    max_delay: Nanos,
+}
+
+impl EdgeConditioner {
+    /// Creates a conditioner for a flow reserved at `rate` with delay
+    /// parameter `delay_param`, whose path has `rate_hops` rate-based
+    /// schedulers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero — a flow admitted with no bandwidth cannot
+    /// be shaped.
+    #[must_use]
+    pub fn new(rate: Rate, delay_param: Nanos, rate_hops: u64) -> Self {
+        assert!(!rate.is_zero(), "EdgeConditioner: zero reserved rate");
+        EdgeConditioner {
+            reserved: rate,
+            contingency: Rate::ZERO,
+            delay_param,
+            rate_hops,
+            queue: VecDeque::new(),
+            backlog: Bits::ZERO,
+            last: None,
+            released: 0,
+            max_delay: Nanos::ZERO,
+        }
+    }
+
+    /// The total shaping rate currently in effect: reserved + contingency.
+    #[must_use]
+    pub fn total_rate(&self) -> Rate {
+        self.reserved.saturating_add(self.contingency)
+    }
+
+    /// The base reserved rate.
+    #[must_use]
+    pub fn reserved_rate(&self) -> Rate {
+        self.reserved
+    }
+
+    /// Re-configures the reserved rate (BB instruction on microflow
+    /// join/leave). Takes effect for all subsequent releases — packets
+    /// already released keep their stamped rate, exactly the `r → r'`
+    /// scenario of Theorem 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero.
+    pub fn set_reserved_rate(&mut self, rate: Rate) {
+        assert!(!rate.is_zero(), "EdgeConditioner: zero reserved rate");
+        self.reserved = rate;
+    }
+
+    /// Sets the total contingency bandwidth currently allocated to the
+    /// macroflow (the BB accumulates overlapping contingency periods and
+    /// pushes the sum here).
+    pub fn set_contingency(&mut self, extra: Rate) {
+        self.contingency = extra;
+    }
+
+    /// Updates the stamped delay parameter (fixed per service class; the
+    /// paper holds it constant across joins/leaves, §4.2.2).
+    pub fn set_delay_param(&mut self, d: Nanos) {
+        self.delay_param = d;
+    }
+
+    /// Accepts a packet from the source (or from a constituent microflow
+    /// of the macroflow) at time `now`.
+    pub fn arrive(&mut self, _now: Time, packet: Packet) {
+        self.backlog += packet.size;
+        self.queue.push_back(packet);
+    }
+
+    /// Earliest time the head-of-line packet may be released, or `None` if
+    /// the queue is empty.
+    ///
+    /// The release rule is `max(arrival, prev_release + L_head/r(now))`,
+    /// evaluated against the *current* total shaping rate.
+    #[must_use]
+    pub fn next_release_time(&self) -> Option<Time> {
+        let head = self.queue.front()?;
+        let spacing_ready = match &self.last {
+            None => Time::ZERO,
+            Some(prev) => prev.time + head.size.tx_time_ceil(self.total_rate()),
+        };
+        Some(spacing_ready.max(head.created_at))
+    }
+
+    /// Releases the head packet if `now` has reached its release time,
+    /// stamping its dynamic packet state. Returns `None` if the queue is
+    /// empty or the head is not yet eligible.
+    pub fn release(&mut self, now: Time) -> Option<Packet> {
+        let due = self.next_release_time()?;
+        if now < due {
+            return None;
+        }
+        let mut packet = self.queue.pop_front()?;
+        self.backlog -= packet.size;
+
+        let rate = self.total_rate();
+        let tx_time = packet.size.tx_time_ceil(rate);
+        let delta = self.next_delta(now, tx_time);
+
+        packet.state = Some(PacketState {
+            rate,
+            delay: self.delay_param,
+            virtual_time: now,
+            delta,
+        });
+        packet.entered_core_at = Some(now);
+
+        let queueing = now.saturating_since(packet.created_at);
+        self.max_delay = self.max_delay.max(queueing);
+        self.released += 1;
+        self.last = Some(LastRelease {
+            time: now,
+            tx_time,
+            delta,
+        });
+        Some(packet)
+    }
+
+    /// The `δ` recursion (generalized for rate changes):
+    /// `δ^{k+1} = max{0, δ^k + L^k/r^k − L^{k+1}/r^{k+1}
+    ///                  − (Δa − L^{k+1}/r^{k+1})/q}`.
+    ///
+    /// With constant packet sizes and a constant rate this is identically
+    /// zero; it becomes positive only when a later packet has a *smaller*
+    /// virtual transmission time than its predecessor (shorter packet or
+    /// raised rate) released nearly back-to-back, which would otherwise
+    /// compress virtual spacing downstream.
+    fn next_delta(&self, release: Time, tx_time: Nanos) -> Nanos {
+        if self.rate_hops == 0 {
+            return Nanos::ZERO;
+        }
+        let Some(prev) = &self.last else {
+            return Nanos::ZERO;
+        };
+        let gap = release.saturating_since(prev.time);
+        // relief = (Δa − L^{k+1}/r^{k+1}) / q  — nonnegative by shaping.
+        let relief = gap.saturating_sub(tx_time) / self.rate_hops;
+        (prev.delta + prev.tx_time)
+            .saturating_sub(tx_time)
+            .saturating_sub(relief)
+    }
+
+    /// Bits currently queued — the `Q(t)` of Theorems 2/3 and eq. 16.
+    #[must_use]
+    pub fn backlog(&self) -> Bits {
+        self.backlog
+    }
+
+    /// Whether the buffer is empty (the feedback trigger for resetting
+    /// contingency bandwidth early, §4.2.1).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of packets queued.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Packets released so far.
+    #[must_use]
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// Maximum edge queueing delay experienced by any released packet.
+    #[must_use]
+    pub fn max_delay(&self) -> Nanos {
+        self.max_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+
+    fn pkt(seq: u64, bytes: u64, at_ns: u64) -> Packet {
+        Packet::new(
+            FlowId(7),
+            seq,
+            Bits::from_bytes(bytes),
+            Time::from_nanos(at_ns),
+        )
+    }
+
+    /// Drains everything releasable, advancing time greedily; returns
+    /// (release_time, packet) pairs.
+    fn drain(cond: &mut EdgeConditioner) -> Vec<(Time, Packet)> {
+        let mut out = Vec::new();
+        while let Some(due) = cond.next_release_time() {
+            let p = cond.release(due).expect("due packet must release");
+            out.push((due, p));
+        }
+        out
+    }
+
+    #[test]
+    fn spacing_enforced_on_burst() {
+        // 50 kb/s, three 1500-byte packets arriving at once: released at
+        // t=0, 0.24 s, 0.48 s.
+        let mut c = EdgeConditioner::new(Rate::from_bps(50_000), Nanos::ZERO, 5);
+        for k in 0..3 {
+            c.arrive(Time::ZERO, pkt(k, 1500, 0));
+        }
+        assert_eq!(c.backlog(), Bits::from_bits(36_000));
+        let rel = drain(&mut c);
+        let times: Vec<u64> = rel.iter().map(|(t, _)| t.as_nanos()).collect();
+        assert_eq!(times, vec![0, 240_000_000, 480_000_000]);
+        assert!(c.is_empty());
+        assert_eq!(c.backlog(), Bits::ZERO);
+        // Max edge delay: third packet waited 0.48 s.
+        assert_eq!(c.max_delay(), Nanos::from_millis(480));
+    }
+
+    #[test]
+    fn idle_flow_releases_immediately() {
+        let mut c = EdgeConditioner::new(Rate::from_bps(50_000), Nanos::ZERO, 5);
+        c.arrive(Time::ZERO, pkt(0, 1500, 0));
+        let rel0 = c.release(Time::ZERO).unwrap();
+        assert_eq!(rel0.entered_core_at, Some(Time::ZERO));
+        // Second packet arrives long after the spacing gap: released on arrival.
+        c.arrive(Time::from_secs_f64(10.0), pkt(1, 1500, 10_000_000_000));
+        assert_eq!(
+            c.next_release_time(),
+            Some(Time::from_nanos(10_000_000_000))
+        );
+    }
+
+    #[test]
+    fn release_respects_not_before_due() {
+        let mut c = EdgeConditioner::new(Rate::from_bps(50_000), Nanos::ZERO, 5);
+        c.arrive(Time::ZERO, pkt(0, 1500, 0));
+        assert!(c.release(Time::ZERO).is_some());
+        c.arrive(Time::ZERO, pkt(1, 1500, 0));
+        // Due at 0.24 s; earlier attempts return None.
+        assert!(c.release(Time::from_nanos(239_999_999)).is_none());
+        assert!(c.release(Time::from_nanos(240_000_000)).is_some());
+    }
+
+    #[test]
+    fn stamps_state_with_current_rate_and_delay() {
+        let mut c = EdgeConditioner::new(Rate::from_bps(50_000), Nanos::from_millis(100), 3);
+        c.arrive(Time::ZERO, pkt(0, 1500, 0));
+        let p = c.release(Time::ZERO).unwrap();
+        let s = p.state.unwrap();
+        assert_eq!(s.rate, Rate::from_bps(50_000));
+        assert_eq!(s.delay, Nanos::from_millis(100));
+        assert_eq!(s.virtual_time, Time::ZERO);
+        assert_eq!(s.delta, Nanos::ZERO);
+    }
+
+    #[test]
+    fn delta_zero_for_fixed_sizes_and_rate() {
+        let mut c = EdgeConditioner::new(Rate::from_bps(50_000), Nanos::ZERO, 5);
+        for k in 0..10 {
+            c.arrive(Time::ZERO, pkt(k, 1500, 0));
+        }
+        for (_, p) in drain(&mut c) {
+            assert_eq!(p.state.unwrap().delta, Nanos::ZERO);
+        }
+    }
+
+    #[test]
+    fn delta_compensates_shrinking_packets() {
+        // A large packet followed back-to-back by a small one: the small
+        // packet's virtual delay is shorter, so δ must make up the
+        // difference (spread over q = 1 rate hop here).
+        let mut c = EdgeConditioner::new(Rate::from_bps(50_000), Nanos::ZERO, 1);
+        c.arrive(Time::ZERO, pkt(0, 1500, 0));
+        c.arrive(Time::ZERO, pkt(1, 500, 0));
+        let rel = drain(&mut c);
+        // Small packet released at 0.08 s (4000 bits / 50 kb/s).
+        assert_eq!(rel[1].0, Time::from_nanos(80_000_000));
+        // δ = L0/r − L1/r − (Δa − L1/r)/q = 240ms − 80ms − 0 = 160 ms.
+        assert_eq!(rel[1].1.state.unwrap().delta, Nanos::from_millis(160));
+    }
+
+    #[test]
+    fn rate_change_applies_to_subsequent_spacing() {
+        let mut c = EdgeConditioner::new(Rate::from_bps(50_000), Nanos::ZERO, 5);
+        for k in 0..2 {
+            c.arrive(Time::ZERO, pkt(k, 1500, 0));
+        }
+        assert!(c.release(Time::ZERO).is_some());
+        c.set_reserved_rate(Rate::from_bps(100_000));
+        // Spacing now 12000/100000 = 0.12 s.
+        assert_eq!(c.next_release_time(), Some(Time::from_nanos(120_000_000)));
+        let p = c.release(Time::from_nanos(120_000_000)).unwrap();
+        assert_eq!(p.state.unwrap().rate, Rate::from_bps(100_000));
+    }
+
+    #[test]
+    fn contingency_bandwidth_speeds_up_draining() {
+        let mut c = EdgeConditioner::new(Rate::from_bps(50_000), Nanos::ZERO, 5);
+        for k in 0..2 {
+            c.arrive(Time::ZERO, pkt(k, 1500, 0));
+        }
+        assert!(c.release(Time::ZERO).is_some());
+        c.set_contingency(Rate::from_bps(50_000));
+        assert_eq!(c.total_rate(), Rate::from_bps(100_000));
+        assert_eq!(c.next_release_time(), Some(Time::from_nanos(120_000_000)));
+        // Removing it restores the base spacing.
+        c.set_contingency(Rate::ZERO);
+        assert_eq!(c.next_release_time(), Some(Time::from_nanos(240_000_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero reserved rate")]
+    fn zero_rate_is_rejected() {
+        let _ = EdgeConditioner::new(Rate::ZERO, Nanos::ZERO, 1);
+    }
+}

@@ -1,0 +1,361 @@
+//! End-to-end delay bounds (eqs. 2–4) and the modified core bound under
+//! rate change (Theorem 4).
+//!
+//! These closed-form bounds are the *QoS abstraction of the data plane*:
+//! the broker's admission control evaluates nothing but these formulas and
+//! the schedulability conditions, never touching a router. All arithmetic
+//! is exact (integer ns/bps/bits with conservative rounding), so an
+//! admission decision at a boundary — e.g. the 30th type-0 flow at exactly
+//! a 2.44 s bound — is decided by the mathematics, not by float noise.
+
+use qos_units::ratio::u128_div_ceil;
+use qos_units::{Bits, Nanos, Rate, NANOS_PER_SEC};
+
+use crate::profile::TrafficProfile;
+use crate::reference::PathSpec;
+
+/// Errors from delay-bound evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayError {
+    /// The reserved rate lies outside `[ρ, P]`.
+    RateOutOfRange,
+    /// The rate is zero.
+    ZeroRate,
+}
+
+impl core::fmt::Display for DelayError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DelayError::RateOutOfRange => write!(f, "reserved rate must satisfy ρ ≤ r ≤ P"),
+            DelayError::ZeroRate => write!(f, "reserved rate must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for DelayError {}
+
+/// Maximum delay at the edge shaper (eq. 3):
+/// `d_edge = T_on · (P − r)/r + Lmax/r`.
+///
+/// # Errors
+///
+/// Returns [`DelayError`] if `r` is zero or outside `[ρ, P]`.
+pub fn edge_delay_bound(profile: &TrafficProfile, r: Rate) -> Result<Nanos, DelayError> {
+    if r.is_zero() {
+        return Err(DelayError::ZeroRate);
+    }
+    if r < profile.rho || r > profile.peak {
+        return Err(DelayError::RateOutOfRange);
+    }
+    let t_on = profile.t_on();
+    let excess = profile.peak - r;
+    // T_on (P - r) / r, rounded up.
+    let shaping = Nanos::from_nanos(u128_div_ceil(
+        u128::from(t_on.as_nanos()) * u128::from(excess.as_bps()),
+        u128::from(r.as_bps()),
+    ));
+    Ok(shaping + profile.l_max.tx_time_ceil(r))
+}
+
+/// Maximum backlog at the edge shaper: `Q_max = (P − r)·T_on + Lmax`,
+/// the peak of `E(t) − r·t` (attained at `t = T_on`). Dimensioning the
+/// edge conditioner's buffer to this bound makes loss-free shaping
+/// possible for any conformant source; note `Q_max / r = d_edge`, the
+/// eq.-3 bound.
+///
+/// # Errors
+///
+/// Returns [`DelayError`] if `r` is zero or outside `[ρ, P]` (below `ρ`
+/// the backlog is unbounded).
+pub fn edge_backlog_bound(profile: &TrafficProfile, r: Rate) -> Result<Bits, DelayError> {
+    if r.is_zero() {
+        return Err(DelayError::ZeroRate);
+    }
+    if r < profile.rho || r > profile.peak {
+        return Err(DelayError::RateOutOfRange);
+    }
+    let excess = profile.peak - r;
+    Ok(excess.bits_in_ceil(profile.t_on()) + profile.l_max)
+}
+
+/// Maximum delay across the network core (eq. 2):
+/// `d_core = q · Lmax/r + (h − q) · d + D_tot`.
+///
+/// `l_max` is the flow's maximum packet size for per-flow service, or the
+/// path's maximum permissible packet size `L^{P,max}` for a macroflow
+/// (§4.1) — the edge releases at most one packet of the aggregate at a
+/// time, so the per-hop burst the core sees is a single packet.
+///
+/// # Errors
+///
+/// Returns [`DelayError::ZeroRate`] if `r` is zero while the path has
+/// rate-based hops.
+pub fn core_delay_bound(
+    path: &PathSpec,
+    l_max: Bits,
+    r: Rate,
+    d: Nanos,
+) -> Result<Nanos, DelayError> {
+    let q = path.q();
+    let per_rate_hop = if q == 0 {
+        Nanos::ZERO
+    } else {
+        if r.is_zero() {
+            return Err(DelayError::ZeroRate);
+        }
+        l_max.tx_time_ceil(r)
+    };
+    Ok(per_rate_hop.scale(q) + d.scale(path.delay_hops()) + path.d_tot())
+}
+
+/// End-to-end delay bound (eq. 4): `d_e2e = d_edge + d_core`.
+///
+/// # Errors
+///
+/// Propagates [`DelayError`] from either component.
+pub fn e2e_delay_bound(
+    profile: &TrafficProfile,
+    path: &PathSpec,
+    core_l_max: Bits,
+    r: Rate,
+    d: Nanos,
+) -> Result<Nanos, DelayError> {
+    Ok(edge_delay_bound(profile, r)? + core_delay_bound(path, core_l_max, r, d)?)
+}
+
+/// Modified core delay bound after a rate change `r → r'` (Theorem 4):
+/// `q · max(Lmax/r, Lmax/r') + (h − q) · d + D_tot`.
+///
+/// Packets of the re-rated macroflow may catch up with packets emitted
+/// under the old rate, so the slower of the two rates governs the
+/// rate-based per-hop term.
+///
+/// # Errors
+///
+/// Returns [`DelayError::ZeroRate`] if either rate is zero while the path
+/// has rate-based hops.
+pub fn modified_core_delay_bound(
+    path: &PathSpec,
+    l_max: Bits,
+    r_old: Rate,
+    r_new: Rate,
+    d: Nanos,
+) -> Result<Nanos, DelayError> {
+    let slower = r_old.min(r_new);
+    core_delay_bound(path, l_max, slower, d)
+}
+
+/// The minimal reserved rate meeting delay requirement `d_req` on a path
+/// of `h` rate-based hops (§3.1):
+/// `r_min = (T_on·P + (h+1)·Lmax) / (D_req − D_tot + T_on)`.
+///
+/// Returns `None` when the requirement is infeasible at any rate — i.e.
+/// the fixed part of the delay (`D_tot` minus the `−T_on` credit) already
+/// exceeds the requirement. The caller still must clip the result to
+/// `[ρ, P]` and to the path's residual bandwidth.
+#[must_use]
+pub fn min_rate_rate_based(
+    profile: &TrafficProfile,
+    h: u64,
+    d_tot: Nanos,
+    d_req: Nanos,
+) -> Option<Rate> {
+    let t_on = profile.t_on();
+    // denominator: D_req − D_tot + T_on, in ns (must be positive).
+    let budget = u128::from(d_req.as_nanos()) + u128::from(t_on.as_nanos());
+    let fixed = u128::from(d_tot.as_nanos());
+    if budget <= fixed {
+        return None;
+    }
+    let denom = budget - fixed;
+    // numerator: T_on·P + (h+1)·Lmax·NANOS_PER_SEC, in bit·ns.
+    let num = u128::from(t_on.as_nanos()) * u128::from(profile.peak.as_bps())
+        + u128::from(h + 1) * u128::from(profile.l_max.as_bits()) * u128::from(NANOS_PER_SEC);
+    if num == 0 {
+        return Some(Rate::ZERO);
+    }
+    Some(Rate::from_bps(u128_div_ceil(num, denom)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{HopKind, HopSpec};
+
+    fn type0() -> TrafficProfile {
+        TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap()
+    }
+
+    fn rate_path(h: usize) -> PathSpec {
+        PathSpec::new(vec![
+            HopSpec {
+                kind: HopKind::RateBased,
+                psi: Nanos::from_millis(8),
+                prop_delay: Nanos::ZERO,
+            };
+            h
+        ])
+    }
+
+    #[test]
+    fn edge_bound_at_mean_rate_matches_paper() {
+        // r = ρ: d_edge = 0.96·(50000/50000) + 0.24 = 1.2 s exactly.
+        let d = edge_delay_bound(&type0(), Rate::from_bps(50_000)).unwrap();
+        assert_eq!(d, Nanos::from_millis(1_200));
+    }
+
+    #[test]
+    fn edge_bound_at_peak_rate_is_just_packet_time() {
+        let d = edge_delay_bound(&type0(), Rate::from_bps(100_000)).unwrap();
+        assert_eq!(d, Nanos::from_millis(120));
+    }
+
+    #[test]
+    fn edge_backlog_bound_matches_the_envelope_peak() {
+        let p = type0();
+        // At the mean rate: (100k − 50k)·0.96 s + 12000 = 60000 bits = σ.
+        assert_eq!(
+            edge_backlog_bound(&p, Rate::from_bps(50_000)).unwrap(),
+            Bits::from_bits(60_000)
+        );
+        // At the peak rate only one packet can queue.
+        assert_eq!(
+            edge_backlog_bound(&p, Rate::from_bps(100_000)).unwrap(),
+            Bits::from_bytes(1500)
+        );
+        // Consistency with eq. 3: Q_max / r == d_edge.
+        let r = Rate::from_bps(80_000);
+        let q = edge_backlog_bound(&p, r).unwrap();
+        let d = edge_delay_bound(&p, r).unwrap();
+        let drain = q.tx_time_ceil(r);
+        assert!(drain.saturating_sub(d) <= Nanos::from_nanos(2));
+        assert!(d.saturating_sub(drain) <= Nanos::from_nanos(2));
+        assert!(edge_backlog_bound(&p, Rate::from_bps(1)).is_err());
+    }
+
+    #[test]
+    fn edge_bound_rejects_out_of_range_rates() {
+        assert_eq!(
+            edge_delay_bound(&type0(), Rate::from_bps(10_000)),
+            Err(DelayError::RateOutOfRange)
+        );
+        assert_eq!(
+            edge_delay_bound(&type0(), Rate::from_bps(200_000)),
+            Err(DelayError::RateOutOfRange)
+        );
+        assert_eq!(
+            edge_delay_bound(&type0(), Rate::ZERO),
+            Err(DelayError::ZeroRate)
+        );
+    }
+
+    #[test]
+    fn e2e_bound_reproduces_244s_for_type0_on_5_hop_path() {
+        // The Figure-8 S1→D1 path: 5 CsVC hops, Ψ = 8 ms each, π = 0.
+        // At r = ρ = 50 kb/s: 0.96 + 6·0.24 + 0.04 = 2.44 s exactly.
+        let p = type0();
+        let path = rate_path(5);
+        let d = e2e_delay_bound(&p, &path, p.l_max, Rate::from_bps(50_000), Nanos::ZERO).unwrap();
+        assert_eq!(d, Nanos::from_millis(2_440));
+    }
+
+    #[test]
+    fn min_rate_inverts_the_e2e_bound() {
+        let p = type0();
+        let path = rate_path(5);
+        let d_tot = path.d_tot();
+        // At the 2.44 s requirement, the minimal rate is exactly ρ.
+        let r = min_rate_rate_based(&p, 5, d_tot, Nanos::from_millis(2_440)).unwrap();
+        assert_eq!(r, Rate::from_bps(50_000));
+        // At 2.19 s: r_min = 168000·1e9 / 3.11e9 = 54019.29... → 54020 (ceil).
+        let r = min_rate_rate_based(&p, 5, d_tot, Nanos::from_millis(2_190)).unwrap();
+        assert_eq!(r.as_bps(), 54_020);
+        // Round-trip: the bound at r_min must satisfy the requirement.
+        let bound = e2e_delay_bound(&p, &path, p.l_max, r, Nanos::ZERO).unwrap();
+        assert!(bound <= Nanos::from_millis(2_190));
+        // And one bps below r_min must violate it.
+        let bound_below = e2e_delay_bound(
+            &p,
+            &path,
+            p.l_max,
+            Rate::from_bps(r.as_bps() - 1),
+            Nanos::ZERO,
+        )
+        .unwrap();
+        assert!(bound_below > Nanos::from_millis(2_190));
+    }
+
+    #[test]
+    fn min_rate_detects_infeasible_requirement() {
+        let p = type0();
+        // D_tot alone exceeds the requirement plus the T_on credit.
+        assert_eq!(
+            min_rate_rate_based(&p, 5, Nanos::from_secs(10), Nanos::from_secs(5)),
+            None
+        );
+    }
+
+    #[test]
+    fn core_bound_counts_hop_kinds() {
+        let path = PathSpec::new(vec![
+            HopSpec {
+                kind: HopKind::RateBased,
+                psi: Nanos::from_millis(8),
+                prop_delay: Nanos::from_millis(1),
+            },
+            HopSpec {
+                kind: HopKind::DelayBased,
+                psi: Nanos::from_millis(8),
+                prop_delay: Nanos::from_millis(1),
+            },
+        ]);
+        let d = core_delay_bound(
+            &path,
+            Bits::from_bytes(1500),
+            Rate::from_bps(50_000),
+            Nanos::from_millis(100),
+        )
+        .unwrap();
+        // 1·240ms (rate hop) + 1·100ms (delay hop) + 2·9ms = 358 ms.
+        assert_eq!(d, Nanos::from_millis(358));
+    }
+
+    #[test]
+    fn modified_bound_uses_slower_rate() {
+        let path = rate_path(3);
+        let l = Bits::from_bytes(1500);
+        let slow = Rate::from_bps(50_000);
+        let fast = Rate::from_bps(100_000);
+        let up = modified_core_delay_bound(&path, l, slow, fast, Nanos::ZERO).unwrap();
+        let down = modified_core_delay_bound(&path, l, fast, slow, Nanos::ZERO).unwrap();
+        let slow_only = core_delay_bound(&path, l, slow, Nanos::ZERO).unwrap();
+        assert_eq!(up, slow_only);
+        assert_eq!(down, slow_only);
+    }
+
+    #[test]
+    fn pure_delay_path_ignores_rate() {
+        let path = PathSpec::new(vec![
+            HopSpec {
+                kind: HopKind::DelayBased,
+                psi: Nanos::from_millis(8),
+                prop_delay: Nanos::ZERO,
+            };
+            2
+        ]);
+        let d = core_delay_bound(
+            &path,
+            Bits::from_bytes(1500),
+            Rate::ZERO,
+            Nanos::from_millis(50),
+        )
+        .unwrap();
+        assert_eq!(d, Nanos::from_millis(116));
+    }
+}

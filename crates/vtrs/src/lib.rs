@@ -1,0 +1,40 @@
+//! The Virtual Time Reference System (VTRS).
+//!
+//! VTRS is the core-stateless data-plane abstraction the bandwidth broker
+//! architecture is built on (Zhang, Duan & Hou, *IEEE JSAC* 2000; §2.1 of
+//! the SIGCOMM 2000 paper). It has three components, each a module here:
+//!
+//! * **Packet state** ([`packet`]) — every packet carries a rate–delay
+//!   parameter pair `⟨r, d⟩`, a *virtual time stamp* `ω̃` and a *virtual
+//!   time adjustment* `δ`, initialized at the network edge and updated
+//!   hop by hop. Core routers schedule purely from this state; they keep
+//!   no per-flow (nor aggregate) QoS state.
+//! * **Edge traffic conditioning** ([`conditioner`]) — flows are shaped at
+//!   the ingress so consecutive packets enter the core spaced at least
+//!   `L^{k+1}/r` apart. The conditioner also implements the rate-change
+//!   semantics required for dynamic flow aggregation (§4.2.2) and exposes
+//!   the backlog / empty-buffer signals used by the contingency-bandwidth
+//!   feedback scheme.
+//! * **Per-hop virtual time reference/update** ([`mod@reference`]) — the
+//!   concatenation rule (eq. 1) `ω̃_{i+1} = ω̃_i + d̃_i + Ψ_i + π_i`, the
+//!   virtual-spacing and reality-check properties, and checkers that
+//!   verify both in packet-level simulation.
+//!
+//! [`profile`] defines dual-token-bucket traffic profiles `(σ, ρ, P, Lmax)`
+//! and their aggregation; [`delay`] closes the loop with the end-to-end
+//! delay bounds (eqs. 2–4) and the modified core bound under rate change
+//! (Theorem 4) that the broker's admission control evaluates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conditioner;
+pub mod delay;
+pub mod packet;
+pub mod profile;
+pub mod reference;
+
+pub use conditioner::EdgeConditioner;
+pub use packet::{FlowId, Packet, PacketState};
+pub use profile::TrafficProfile;
+pub use reference::{HopKind, PathSpec};

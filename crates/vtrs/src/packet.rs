@@ -1,0 +1,227 @@
+//! Packets and the dynamic packet state they carry.
+//!
+//! Under VTRS a packet entering the network core carries, in its header,
+//! the flow's rate–delay reservation `⟨r, d⟩`, the packet's current virtual
+//! time stamp `ω̃` and the virtual time adjustment term `δ` (§2.1). Core
+//! routers read and update this state; they never consult a flow table.
+//! [`PacketState`] models the header fields and provides a byte-exact wire
+//! codec so the "carried in packet headers" claim is honored literally.
+
+use core::fmt;
+
+use bytes::{Buf, BufMut};
+use qos_units::{Bits, Nanos, Rate, Time};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a flow within the network domain.
+///
+/// For class-based service this identifies the *macroflow* (path × class);
+/// core routers never see microflow identities.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow#{}", self.0)
+    }
+}
+
+/// The dynamic packet state inserted by the edge conditioner and updated at
+/// every core hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketState {
+    /// Reserved rate `r` of the flow (used by rate-based schedulers).
+    pub rate: Rate,
+    /// Delay parameter `d` of the flow (used by delay-based schedulers).
+    pub delay: Nanos,
+    /// Virtual time stamp `ω̃_i`: the packet's arrival time *in virtual
+    /// time* at the router currently being traversed. Initialized at the
+    /// edge to the actual time the packet enters the first core hop.
+    pub virtual_time: Time,
+    /// Virtual time adjustment `δ`, computed at the edge so the virtual
+    /// spacing property survives variable packet sizes downstream.
+    pub delta: Nanos,
+}
+
+impl PacketState {
+    /// Serialized size of the state on the wire, in bytes.
+    pub const WIRE_SIZE: usize = 32;
+
+    /// Encodes the state into `buf` (32 bytes, big-endian).
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u64(self.rate.as_bps());
+        buf.put_u64(self.delay.as_nanos());
+        buf.put_u64(self.virtual_time.as_nanos());
+        buf.put_u64(self.delta.as_nanos());
+    }
+
+    /// Decodes a state previously written by [`PacketState::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if fewer than [`PacketState::WIRE_SIZE`]
+    /// bytes remain.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        if buf.remaining() < Self::WIRE_SIZE {
+            return Err(DecodeError {
+                needed: Self::WIRE_SIZE,
+                available: buf.remaining(),
+            });
+        }
+        Ok(PacketState {
+            rate: Rate::from_bps(buf.get_u64()),
+            delay: Nanos::from_nanos(buf.get_u64()),
+            virtual_time: Time::from_nanos(buf.get_u64()),
+            delta: Nanos::from_nanos(buf.get_u64()),
+        })
+    }
+}
+
+/// Error returned when a packet-state header cannot be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Bytes required.
+    pub needed: usize,
+    /// Bytes available.
+    pub available: usize,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "truncated packet state: need {} bytes, have {}",
+            self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A packet traversing the simulated domain.
+///
+/// Carries its flow id and sequence number for *tracing and statistics
+/// only* — scheduler implementations that claim to be core-stateless are
+/// forbidden (and verified by tests) to key any per-flow state off them,
+/// scheduling purely from [`Packet::state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Flow (macroflow) the packet belongs to.
+    pub flow: FlowId,
+    /// Sequence number within the flow, assigned by the source.
+    pub seq: u64,
+    /// Packet size including headers.
+    pub size: Bits,
+    /// Dynamic packet state; `None` before edge conditioning.
+    pub state: Option<PacketState>,
+    /// Time the packet left its source (for end-to-end statistics).
+    pub created_at: Time,
+    /// Time the packet entered the first core hop (set by the edge
+    /// conditioner; the anchor of the core-delay bound, eq. 2).
+    pub entered_core_at: Option<Time>,
+}
+
+impl Packet {
+    /// Creates an unconditioned packet at the source.
+    #[must_use]
+    pub fn new(flow: FlowId, seq: u64, size: Bits, created_at: Time) -> Self {
+        Packet {
+            flow,
+            seq,
+            size,
+            state: None,
+            created_at,
+            entered_core_at: None,
+        }
+    }
+
+    /// The packet's state, panicking if it has not been conditioned yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the edge conditioner stamped the packet —
+    /// a core router receiving a stateless packet is a topology bug.
+    #[must_use]
+    pub fn state(&self) -> &PacketState {
+        self.state
+            .as_ref()
+            .expect("packet reached the core without edge conditioning")
+    }
+
+    /// Mutable access to the packet state (per-hop update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet has not been conditioned.
+    pub fn state_mut(&mut self) -> &mut PacketState {
+        self.state
+            .as_mut()
+            .expect("packet reached the core without edge conditioning")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn sample_state() -> PacketState {
+        PacketState {
+            rate: Rate::from_bps(50_000),
+            delay: Nanos::from_millis(240),
+            virtual_time: Time::from_nanos(123_456_789),
+            delta: Nanos::from_nanos(42),
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let state = sample_state();
+        let mut buf = BytesMut::new();
+        state.encode(&mut buf);
+        assert_eq!(buf.len(), PacketState::WIRE_SIZE);
+        let mut rd = buf.freeze();
+        let decoded = PacketState::decode(&mut rd).unwrap();
+        assert_eq!(decoded, state);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let state = sample_state();
+        let mut buf = BytesMut::new();
+        state.encode(&mut buf);
+        let mut short = &buf[..PacketState::WIRE_SIZE - 1];
+        let err = PacketState::decode(&mut short).unwrap_err();
+        assert_eq!(err.needed, 32);
+        assert_eq!(err.available, 31);
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn encoding_is_big_endian_and_stable() {
+        let state = PacketState {
+            rate: Rate::from_bps(1),
+            delay: Nanos::from_nanos(2),
+            virtual_time: Time::from_nanos(3),
+            delta: Nanos::from_nanos(4),
+        };
+        let mut buf = BytesMut::new();
+        state.encode(&mut buf);
+        let expected: [u8; 32] = [
+            0, 0, 0, 0, 0, 0, 0, 1, //
+            0, 0, 0, 0, 0, 0, 0, 2, //
+            0, 0, 0, 0, 0, 0, 0, 3, //
+            0, 0, 0, 0, 0, 0, 0, 4,
+        ];
+        assert_eq!(&buf[..], &expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "without edge conditioning")]
+    fn unconditioned_packet_state_panics() {
+        let p = Packet::new(FlowId(1), 0, Bits::from_bytes(1500), Time::ZERO);
+        let _ = p.state();
+    }
+}

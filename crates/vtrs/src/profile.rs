@@ -1,0 +1,273 @@
+//! Dual-token-bucket traffic profiles `(σ, ρ, P, Lmax)`.
+//!
+//! Every flow — microflow or aggregated macroflow — declares its traffic in
+//! the standard dual-token-bucket form used by the IETF Guaranteed Service
+//! and by the paper: maximum burst `σ`, sustained rate `ρ`, peak rate `P`
+//! and maximum packet size `Lmax`, with arrival envelope
+//! `E(t) = min(P·t + Lmax, ρ·t + σ)`.
+
+use core::fmt;
+
+use qos_units::{Bits, Nanos, Rate, NANOS_PER_SEC};
+use serde::{Deserialize, Serialize};
+
+/// Errors raised when constructing an invalid [`TrafficProfile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileError {
+    /// `σ < Lmax`: the bucket cannot hold even one maximum-size packet.
+    BurstSmallerThanPacket,
+    /// `P < ρ`: the peak rate must dominate the sustained rate.
+    PeakBelowSustained,
+    /// A rate or size field was zero where a positive value is required.
+    ZeroParameter,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::BurstSmallerThanPacket => {
+                write!(
+                    f,
+                    "burst size σ must be at least the maximum packet size Lmax"
+                )
+            }
+            ProfileError::PeakBelowSustained => {
+                write!(f, "peak rate P must be at least the sustained rate ρ")
+            }
+            ProfileError::ZeroParameter => {
+                write!(f, "traffic profile parameters must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// A dual-token-bucket traffic profile `(σ, ρ, P, Lmax)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TrafficProfile {
+    /// Maximum burst size `σ` (≥ `Lmax`).
+    pub sigma: Bits,
+    /// Sustained (mean) rate `ρ`.
+    pub rho: Rate,
+    /// Peak rate `P` (≥ `ρ`).
+    pub peak: Rate,
+    /// Maximum packet size `Lmax`.
+    pub l_max: Bits,
+}
+
+impl TrafficProfile {
+    /// Constructs a validated profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProfileError`] if `σ < Lmax`, `P < ρ`, or any parameter
+    /// is zero.
+    pub fn new(sigma: Bits, rho: Rate, peak: Rate, l_max: Bits) -> Result<Self, ProfileError> {
+        if sigma.as_bits() == 0 || rho.is_zero() || peak.is_zero() || l_max.as_bits() == 0 {
+            return Err(ProfileError::ZeroParameter);
+        }
+        if sigma < l_max {
+            return Err(ProfileError::BurstSmallerThanPacket);
+        }
+        if peak < rho {
+            return Err(ProfileError::PeakBelowSustained);
+        }
+        Ok(TrafficProfile {
+            sigma,
+            rho,
+            peak,
+            l_max,
+        })
+    }
+
+    /// The on-period `T_on = (σ − Lmax)/(P − ρ)`: how long the source can
+    /// sustain its peak rate before the sustained-rate constraint binds.
+    ///
+    /// Returns [`Nanos::ZERO`] for a peak-rate-only profile (`P == ρ` or
+    /// `σ == Lmax`), matching the limit of the formula.
+    #[must_use]
+    pub fn t_on(&self) -> Nanos {
+        let num = self.sigma.saturating_sub(self.l_max);
+        let den = self.peak.saturating_sub(self.rho);
+        if num == Bits::ZERO || den == Rate::ZERO {
+            return Nanos::ZERO;
+        }
+        // Round up: a longer on-period yields a larger (safer) delay bound.
+        num.tx_time_ceil(den)
+    }
+
+    /// The arrival envelope `E(t) = min(P·t + Lmax, ρ·t + σ)`: an upper
+    /// bound on the bits the flow may emit in any window of length `t`.
+    #[must_use]
+    pub fn envelope(&self, t: Nanos) -> Bits {
+        let by_peak = self.peak.bits_in_ceil(t) + self.l_max;
+        let by_sustained = self.rho.bits_in_ceil(t) + self.sigma;
+        by_peak.min(by_sustained)
+    }
+
+    /// Aggregates two profiles as the paper does for macroflows (§4.1):
+    /// component-wise sums, including `Lmax^α = Σ Lmax^j` (a maximum-size
+    /// packet may arrive from every microflow simultaneously).
+    #[must_use]
+    pub fn aggregate(&self, other: &TrafficProfile) -> TrafficProfile {
+        TrafficProfile {
+            sigma: self.sigma + other.sigma,
+            rho: self.rho + other.rho,
+            peak: self.peak + other.peak,
+            l_max: self.l_max + other.l_max,
+        }
+    }
+
+    /// Removes a microflow's contribution from an aggregate profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is not contained in `self` (would underflow); the
+    /// broker only deaggregates profiles it previously aggregated.
+    #[must_use]
+    pub fn deaggregate(&self, other: &TrafficProfile) -> TrafficProfile {
+        TrafficProfile {
+            sigma: self.sigma - other.sigma,
+            rho: self.rho - other.rho,
+            peak: self.peak - other.peak,
+            l_max: self.l_max - other.l_max,
+        }
+    }
+
+    /// Aggregates an iterator of profiles; returns `None` for an empty
+    /// iterator (an empty macroflow has no profile).
+    pub fn aggregate_all<'a, I>(profiles: I) -> Option<TrafficProfile>
+    where
+        I: IntoIterator<Item = &'a TrafficProfile>,
+    {
+        profiles
+            .into_iter()
+            .copied()
+            .reduce(|acc, p| acc.aggregate(&p))
+    }
+
+    /// Mean inter-packet gap at the sustained rate for maximum-size
+    /// packets; a convenience for source models.
+    #[must_use]
+    pub fn mean_packet_gap(&self) -> Nanos {
+        self.l_max.tx_time_ceil(self.rho)
+    }
+}
+
+impl fmt::Display for TrafficProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(σ={}, ρ={}, P={}, Lmax={})",
+            self.sigma, self.rho, self.peak, self.l_max
+        )
+    }
+}
+
+/// Helper: checks the envelope scaling identity used in tests.
+#[doc(hidden)]
+pub fn envelope_is_subadditive(p: &TrafficProfile, t1: Nanos, t2: Nanos) -> bool {
+    // E(t1 + t2) <= E(t1) + E(t2) holds for concave envelopes through 0+;
+    // with the +Lmax/+σ offsets it holds a fortiori.
+    p.envelope(t1 + t2) <= p.envelope(t1) + p.envelope(t2)
+}
+
+const _: () = assert!(NANOS_PER_SEC == 1_000_000_000);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn type0() -> TrafficProfile {
+        // Table 1, type 0: σ=60000 b, ρ=0.05 Mb/s, P=0.1 Mb/s, Lmax=1500 B.
+        TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_profiles() {
+        let l = Bits::from_bytes(1500);
+        assert_eq!(
+            TrafficProfile::new(
+                Bits::from_bits(100),
+                Rate::from_bps(1),
+                Rate::from_bps(2),
+                l
+            ),
+            Err(ProfileError::BurstSmallerThanPacket)
+        );
+        assert_eq!(
+            TrafficProfile::new(
+                Bits::from_bits(60_000),
+                Rate::from_bps(5),
+                Rate::from_bps(4),
+                l
+            ),
+            Err(ProfileError::PeakBelowSustained)
+        );
+        assert_eq!(
+            TrafficProfile::new(Bits::ZERO, Rate::from_bps(5), Rate::from_bps(5), l),
+            Err(ProfileError::ZeroParameter)
+        );
+    }
+
+    #[test]
+    fn t_on_matches_paper_type0() {
+        // T_on = (60000 - 12000) / (100000 - 50000) = 0.96 s exactly.
+        assert_eq!(type0().t_on(), Nanos::from_millis(960));
+    }
+
+    #[test]
+    fn t_on_degenerate_cases() {
+        let l = Bits::from_bytes(1500);
+        let cbr = TrafficProfile::new(l, Rate::from_bps(100), Rate::from_bps(100), l).unwrap();
+        assert_eq!(cbr.t_on(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn envelope_peak_limited_then_sustained_limited() {
+        let p = type0();
+        // At t=0 the envelope is Lmax (peak branch) vs σ (sustained): min is Lmax.
+        assert_eq!(p.envelope(Nanos::ZERO), Bits::from_bits(12_000));
+        // At T_on both branches agree: P*0.96 + 12000 = 108000 = ρ*0.96 + 60000.
+        assert_eq!(
+            p.envelope(Nanos::from_millis(960)),
+            Bits::from_bits(108_000)
+        );
+        // Past T_on the sustained branch binds: at 2 s, 50000*2 + 60000 = 160000.
+        assert_eq!(p.envelope(Nanos::from_secs(2)), Bits::from_bits(160_000));
+    }
+
+    #[test]
+    fn aggregation_sums_components_and_roundtrips() {
+        let p = type0();
+        let agg = p.aggregate(&p).aggregate(&p);
+        assert_eq!(agg.sigma, Bits::from_bits(180_000));
+        assert_eq!(agg.rho, Rate::from_bps(150_000));
+        assert_eq!(agg.peak, Rate::from_bps(300_000));
+        assert_eq!(agg.l_max, Bits::from_bits(36_000));
+        // Homogeneous aggregation preserves T_on (the paper's n-flow case).
+        assert_eq!(agg.t_on(), p.t_on());
+        assert_eq!(agg.deaggregate(&p).deaggregate(&p), p);
+    }
+
+    #[test]
+    fn aggregate_all_handles_empty_and_many() {
+        assert_eq!(TrafficProfile::aggregate_all([].iter()), None);
+        let p = type0();
+        let v = [p; 5];
+        let agg = TrafficProfile::aggregate_all(v.iter()).unwrap();
+        assert_eq!(agg.rho, Rate::from_bps(250_000));
+    }
+
+    #[test]
+    fn mean_packet_gap_type0() {
+        assert_eq!(type0().mean_packet_gap(), Nanos::from_millis(240));
+    }
+}

@@ -1,0 +1,321 @@
+//! Per-hop virtual time reference/update and path characterization.
+//!
+//! Each core scheduler is abstracted by two things (§2.1):
+//!
+//! * its **kind** — rate-based (virtual delay `d̃ = L/r + δ`) or
+//!   delay-based (virtual delay `d̃ = d`), and
+//! * its **error term** `Ψ`: every packet is guaranteed to depart by its
+//!   virtual finish time `ν̃ = ω̃ + d̃` plus `Ψ`.
+//!
+//! The concatenation rule (eq. 1) advances the virtual time stamp across a
+//! hop: `ω̃_{i+1} = ν̃_i + Ψ_i + π_i`. Two invariants must hold at every
+//! hop — the **virtual spacing property**
+//! `ω̃^{k+1} − ω̃^k ≥ L^{k+1}/r` and the **reality check** `â ≤ ω̃` —
+//! and this module provides runtime checkers for both, used by the
+//! simulator's validation mode and by property tests.
+
+use qos_units::{Bits, Nanos, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::packet::PacketState;
+
+/// Scheduler classification as seen by VTRS and the admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HopKind {
+    /// Rate-based scheduler (e.g. C̄SVC, CJVC, VC, WFQ): guarantees the
+    /// flow its reserved rate `r`; per-packet virtual delay `L/r + δ`.
+    RateBased,
+    /// Delay-based scheduler (e.g. VT-EDF, RC-EDF): guarantees the flow
+    /// its delay parameter `d` per hop.
+    DelayBased,
+}
+
+/// One hop of a path, as recorded in the broker's path QoS state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HopSpec {
+    /// Scheduler kind at this hop.
+    pub kind: HopKind,
+    /// The scheduler's error term `Ψ` (e.g. `Lmax*/C` for C̄SVC/VT-EDF).
+    pub psi: Nanos,
+    /// Propagation delay `π` to the next hop.
+    pub prop_delay: Nanos,
+}
+
+/// The QoS-relevant shape of a path: an ordered list of hops.
+///
+/// This is the path abstraction both the delay-bound formulas and the
+/// path-oriented admission algorithms consume; it contains no per-flow
+/// state.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PathSpec {
+    hops: Vec<HopSpec>,
+}
+
+impl PathSpec {
+    /// Builds a path from hop specifications.
+    #[must_use]
+    pub fn new(hops: Vec<HopSpec>) -> Self {
+        PathSpec { hops }
+    }
+
+    /// The hops, in traversal order.
+    #[must_use]
+    pub fn hops(&self) -> &[HopSpec] {
+        &self.hops
+    }
+
+    /// Total hop count `h`.
+    #[must_use]
+    pub fn h(&self) -> u64 {
+        self.hops.len() as u64
+    }
+
+    /// Number of rate-based hops `q`.
+    #[must_use]
+    pub fn q(&self) -> u64 {
+        self.hops
+            .iter()
+            .filter(|h| h.kind == HopKind::RateBased)
+            .count() as u64
+    }
+
+    /// Number of delay-based hops `h − q`.
+    #[must_use]
+    pub fn delay_hops(&self) -> u64 {
+        self.h() - self.q()
+    }
+
+    /// `D_tot = Σ (Ψ_i + π_i)` over the path — the constant term of every
+    /// delay bound.
+    #[must_use]
+    pub fn d_tot(&self) -> Nanos {
+        self.hops.iter().map(|h| h.psi + h.prop_delay).sum()
+    }
+
+    /// Whether the path contains at least one delay-based hop (which makes
+    /// the mixed admission algorithm of §3.2 necessary).
+    #[must_use]
+    pub fn has_delay_hops(&self) -> bool {
+        self.delay_hops() > 0
+    }
+}
+
+/// The virtual delay `d̃` a packet incurs at a hop of the given kind.
+#[must_use]
+pub fn virtual_delay(kind: HopKind, state: &PacketState, size: Bits) -> Nanos {
+    match kind {
+        HopKind::RateBased => size.tx_time_ceil(state.rate) + state.delta,
+        HopKind::DelayBased => state.delay,
+    }
+}
+
+/// The virtual finish time `ν̃ = ω̃ + d̃` of a packet at a hop.
+#[must_use]
+pub fn virtual_finish(kind: HopKind, state: &PacketState, size: Bits) -> Time {
+    state.virtual_time + virtual_delay(kind, state, size)
+}
+
+/// Applies the concatenation rule (eq. 1), advancing the packet's virtual
+/// time stamp past a hop: `ω̃_{i+1} = ω̃_i + d̃_i + Ψ_i + π_i`.
+pub fn advance(state: &mut PacketState, hop: &HopSpec, size: Bits) {
+    let finish = virtual_finish(hop.kind, state, size);
+    state.virtual_time = finish + hop.psi + hop.prop_delay;
+}
+
+/// Runtime checker for the **virtual spacing property** at one observation
+/// point: `ω̃^{k+1} − ω̃^k ≥ L^{k+1}/r` for consecutive packets of a flow.
+#[derive(Debug, Default, Clone)]
+pub struct SpacingChecker {
+    last_stamp: Option<Time>,
+    violations: u64,
+    observed: u64,
+}
+
+impl SpacingChecker {
+    /// Creates a checker with no history.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes the next packet of the flow; returns `true` if the spacing
+    /// property held for this pair (vacuously true for the first packet).
+    pub fn observe(&mut self, state: &PacketState, size: Bits) -> bool {
+        self.observed += 1;
+        let ok = match self.last_stamp {
+            None => true,
+            Some(prev) => {
+                let spacing = size.tx_time_floor(state.rate);
+                state
+                    .virtual_time
+                    .checked_since(prev)
+                    .is_some_and(|gap| gap >= spacing)
+            }
+        };
+        if !ok {
+            self.violations += 1;
+        }
+        self.last_stamp = Some(state.virtual_time);
+        ok
+    }
+
+    /// Number of violating pairs seen so far.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Number of packets observed.
+    #[must_use]
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+}
+
+/// Runtime checker for the **reality check property**: the actual arrival
+/// time never exceeds the virtual one, `â ≤ ω̃`.
+#[derive(Debug, Default, Clone)]
+pub struct RealityChecker {
+    violations: u64,
+    observed: u64,
+    /// Largest lead of virtual over actual time seen (diagnostic).
+    max_lead: Nanos,
+}
+
+impl RealityChecker {
+    /// Creates a checker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes a packet arriving at `actual` with stamp `state`; returns
+    /// `true` if `â ≤ ω̃`.
+    pub fn observe(&mut self, actual: Time, state: &PacketState) -> bool {
+        self.observed += 1;
+        let ok = actual <= state.virtual_time;
+        if ok {
+            self.max_lead = self.max_lead.max(state.virtual_time - actual);
+        } else {
+            self.violations += 1;
+        }
+        ok
+    }
+
+    /// Number of violations seen.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Number of packets observed.
+    #[must_use]
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Largest observed lead of virtual time over real time.
+    #[must_use]
+    pub fn max_lead(&self) -> Nanos {
+        self.max_lead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_units::Rate;
+
+    fn state(rate_bps: u64, vt_ns: u64) -> PacketState {
+        PacketState {
+            rate: Rate::from_bps(rate_bps),
+            delay: Nanos::from_millis(100),
+            virtual_time: Time::from_nanos(vt_ns),
+            delta: Nanos::ZERO,
+        }
+    }
+
+    fn hop(kind: HopKind) -> HopSpec {
+        HopSpec {
+            kind,
+            psi: Nanos::from_millis(8),
+            prop_delay: Nanos::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn path_summary_statistics() {
+        let path = PathSpec::new(vec![
+            hop(HopKind::RateBased),
+            hop(HopKind::RateBased),
+            hop(HopKind::DelayBased),
+        ]);
+        assert_eq!(path.h(), 3);
+        assert_eq!(path.q(), 2);
+        assert_eq!(path.delay_hops(), 1);
+        assert!(path.has_delay_hops());
+        assert_eq!(path.d_tot(), Nanos::from_millis(27));
+    }
+
+    #[test]
+    fn virtual_delay_by_kind() {
+        let s = state(50_000, 0);
+        let size = Bits::from_bytes(1500); // 12000 bits -> 0.24 s at 50 kb/s
+        assert_eq!(
+            virtual_delay(HopKind::RateBased, &s, size),
+            Nanos::from_millis(240)
+        );
+        assert_eq!(
+            virtual_delay(HopKind::DelayBased, &s, size),
+            Nanos::from_millis(100)
+        );
+    }
+
+    #[test]
+    fn delta_contributes_to_rate_based_delay_only() {
+        let mut s = state(50_000, 0);
+        s.delta = Nanos::from_millis(5);
+        let size = Bits::from_bytes(1500);
+        assert_eq!(
+            virtual_delay(HopKind::RateBased, &s, size),
+            Nanos::from_millis(245)
+        );
+        assert_eq!(
+            virtual_delay(HopKind::DelayBased, &s, size),
+            Nanos::from_millis(100)
+        );
+    }
+
+    #[test]
+    fn concatenation_rule_advances_stamp() {
+        let mut s = state(50_000, 1_000_000);
+        let h = hop(HopKind::RateBased);
+        advance(&mut s, &h, Bits::from_bytes(1500));
+        // 1 ms + 240 ms (L/r) + 8 ms (psi) + 1 ms (pi) = 250 ms
+        assert_eq!(s.virtual_time, Time::from_nanos(250_000_000));
+    }
+
+    #[test]
+    fn spacing_checker_flags_violations() {
+        let mut c = SpacingChecker::new();
+        let size = Bits::from_bytes(1500);
+        assert!(c.observe(&state(50_000, 0), size));
+        // Next stamp exactly L/r later: OK.
+        assert!(c.observe(&state(50_000, 240_000_000), size));
+        // Next stamp only 100 ms later: violation.
+        assert!(!c.observe(&state(50_000, 340_000_000), size));
+        assert_eq!(c.violations(), 1);
+        assert_eq!(c.observed(), 3);
+    }
+
+    #[test]
+    fn reality_checker_tracks_lead() {
+        let mut c = RealityChecker::new();
+        let s = state(50_000, 1_000);
+        assert!(c.observe(Time::from_nanos(900), &s));
+        assert!(c.observe(Time::from_nanos(1_000), &s));
+        assert!(!c.observe(Time::from_nanos(1_001), &s));
+        assert_eq!(c.violations(), 1);
+        assert_eq!(c.max_lead(), Nanos::from_nanos(100));
+    }
+}

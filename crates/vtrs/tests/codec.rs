@@ -1,0 +1,63 @@
+//! Property tests for the dynamic-packet-state wire codec.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+use qos_units::{Nanos, Rate, Time};
+use vtrs::packet::PacketState;
+
+proptest! {
+    /// Encode/decode round-trips any state bit-exactly.
+    #[test]
+    fn roundtrip(rate in any::<u64>(), delay in any::<u64>(),
+                 vt in any::<u64>(), delta in any::<u64>()) {
+        let state = PacketState {
+            rate: Rate::from_bps(rate),
+            delay: Nanos::from_nanos(delay),
+            virtual_time: Time::from_nanos(vt),
+            delta: Nanos::from_nanos(delta),
+        };
+        let mut buf = BytesMut::new();
+        state.encode(&mut buf);
+        prop_assert_eq!(buf.len(), PacketState::WIRE_SIZE);
+        let mut rd = buf.freeze();
+        prop_assert_eq!(PacketState::decode(&mut rd).unwrap(), state);
+        prop_assert_eq!(rd.len(), 0, "decode must consume exactly WIRE_SIZE");
+    }
+
+    /// Any truncation is detected, never mis-decoded.
+    #[test]
+    fn truncation_detected(rate in any::<u64>(), cut in 0usize..PacketState::WIRE_SIZE) {
+        let state = PacketState {
+            rate: Rate::from_bps(rate),
+            delay: Nanos::from_nanos(1),
+            virtual_time: Time::from_nanos(2),
+            delta: Nanos::from_nanos(3),
+        };
+        let mut buf = BytesMut::new();
+        state.encode(&mut buf);
+        let mut short = &buf[..cut];
+        let err = PacketState::decode(&mut short).unwrap_err();
+        prop_assert_eq!(err.available, cut);
+    }
+
+    /// Multiple states stream back-to-back without framing ambiguity.
+    #[test]
+    fn streams_of_states(n in 1usize..20) {
+        let mut buf = BytesMut::new();
+        let states: Vec<PacketState> = (0..n)
+            .map(|i| PacketState {
+                rate: Rate::from_bps(i as u64 + 1),
+                delay: Nanos::from_nanos(i as u64 * 7),
+                virtual_time: Time::from_nanos(i as u64 * 13),
+                delta: Nanos::from_nanos(i as u64 % 3),
+            })
+            .collect();
+        for s in &states {
+            s.encode(&mut buf);
+        }
+        let mut rd = buf.freeze();
+        for s in &states {
+            prop_assert_eq!(&PacketState::decode(&mut rd).unwrap(), s);
+        }
+    }
+}

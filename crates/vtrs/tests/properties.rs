@@ -1,0 +1,186 @@
+//! Property-based tests for VTRS invariants.
+//!
+//! The central claim of the virtual time reference system is that edge
+//! conditioning plus the `δ` adjustment keeps the **virtual spacing
+//! property** intact at *every* hop of a path, for arbitrary conformant
+//! arrival processes, variable packet sizes, and even shaping-rate changes
+//! (Theorem 4). These tests exercise exactly that, end to end, without a
+//! scheduler in the loop (scheduler interaction is covered in `netsim`).
+
+use proptest::prelude::*;
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::conditioner::EdgeConditioner;
+use vtrs::packet::{FlowId, Packet};
+use vtrs::profile::TrafficProfile;
+use vtrs::reference::{advance, HopKind, HopSpec, PathSpec, SpacingChecker};
+
+/// Builds a path with `q` rate-based hops followed by `dh` delay-based
+/// hops, all with an 8 ms error term and 1 ms propagation delay.
+fn path(q: usize, dh: usize) -> PathSpec {
+    let mut hops = vec![
+        HopSpec {
+            kind: HopKind::RateBased,
+            psi: Nanos::from_millis(8),
+            prop_delay: Nanos::from_millis(1),
+        };
+        q
+    ];
+    hops.extend(vec![
+        HopSpec {
+            kind: HopKind::DelayBased,
+            psi: Nanos::from_millis(8),
+            prop_delay: Nanos::from_millis(1),
+        };
+        dh
+    ]);
+    PathSpec::new(hops)
+}
+
+/// Conditions `packets` (arrival offsets + sizes) through an edge
+/// conditioner, optionally changing the shaping rate midway, then advances
+/// every released packet across `path`, asserting virtual spacing at every
+/// hop.
+fn check_spacing_along_path(
+    arrivals: &[(u64, u64)], // (inter-arrival ns, size bytes)
+    rate0: Rate,
+    rate_change: Option<(usize, Rate)>, // (after k-th release, new rate)
+    path: &PathSpec,
+) {
+    let q = path.q();
+    let mut cond = EdgeConditioner::new(rate0, Nanos::from_millis(100), q);
+    let mut t = Time::ZERO;
+    for (k, (gap, bytes)) in arrivals.iter().enumerate() {
+        t += Nanos::from_nanos(*gap);
+        cond.arrive(
+            t,
+            Packet::new(FlowId(1), k as u64, Bits::from_bytes(*bytes), t),
+        );
+    }
+    // Release greedily at the earliest legal instants.
+    let mut released = Vec::new();
+    let mut k = 0usize;
+    while let Some(due) = cond.next_release_time() {
+        if let Some((at, new_rate)) = rate_change {
+            if k == at {
+                cond.set_reserved_rate(new_rate);
+                // Rate change may alter the head's due time; recompute.
+                let due = cond.next_release_time().unwrap();
+                released.push(cond.release(due).unwrap());
+                k += 1;
+                continue;
+            }
+        }
+        released.push(cond.release(due).unwrap());
+        k += 1;
+    }
+
+    // Hop 0 is the conditioner output; then advance across each hop and
+    // re-check spacing with the stamps as they would appear there.
+    let mut checkers: Vec<SpacingChecker> = (0..=path.hops().len())
+        .map(|_| SpacingChecker::new())
+        .collect();
+    for pkt in &released {
+        let mut state = *pkt.state();
+        let size = pkt.size;
+        assert!(
+            checkers[0].observe(&state, size),
+            "spacing violated at conditioner output (seq {})",
+            pkt.seq
+        );
+        for (i, hop) in path.hops().iter().enumerate() {
+            advance(&mut state, hop, size);
+            assert!(
+                checkers[i + 1].observe(&state, size),
+                "virtual spacing violated after hop {} (seq {})",
+                i,
+                pkt.seq
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fixed-size packets, constant rate: spacing holds at all hops and δ
+    /// stays zero.
+    #[test]
+    fn spacing_fixed_sizes(
+        gaps in prop::collection::vec(0u64..500_000_000, 1..40),
+        q in 1usize..8, dh in 0usize..4,
+    ) {
+        let arrivals: Vec<(u64, u64)> = gaps.into_iter().map(|g| (g, 1500)).collect();
+        check_spacing_along_path(&arrivals, Rate::from_bps(50_000), None, &path(q, dh));
+    }
+
+    /// Variable packet sizes: the δ adjustment must preserve spacing.
+    #[test]
+    fn spacing_variable_sizes(
+        pkts in prop::collection::vec((0u64..500_000_000, 64u64..1500), 2..40),
+        q in 1usize..8, dh in 0usize..4,
+    ) {
+        check_spacing_along_path(&pkts, Rate::from_bps(50_000), None, &path(q, dh));
+    }
+
+    /// Shaping-rate change mid-stream (the Theorem-4 scenario): spacing
+    /// must survive both rate increases and decreases.
+    #[test]
+    fn spacing_across_rate_change(
+        pkts in prop::collection::vec((0u64..200_000_000, 64u64..1500), 4..40),
+        at in 1usize..4,
+        new_rate in 10_000u64..500_000,
+        q in 1usize..8,
+    ) {
+        check_spacing_along_path(
+            &pkts,
+            Rate::from_bps(50_000),
+            Some((at, Rate::from_bps(new_rate))),
+            &path(q, 2),
+        );
+    }
+
+    /// Conditioner output conforms to the flow's reserved rate: over any
+    /// prefix, released bits ≤ r·t + Lmax.
+    #[test]
+    fn conditioner_output_conforms(
+        pkts in prop::collection::vec((0u64..100_000_000, 64u64..1500), 1..60),
+        rate_bps in 10_000u64..1_000_000,
+    ) {
+        let rate = Rate::from_bps(rate_bps);
+        let mut cond = EdgeConditioner::new(rate, Nanos::ZERO, 3);
+        let mut t = Time::ZERO;
+        for (k, (gap, bytes)) in pkts.iter().enumerate() {
+            t += Nanos::from_nanos(*gap);
+            cond.arrive(t, Packet::new(FlowId(1), k as u64, Bits::from_bytes(*bytes), t));
+        }
+        let mut first: Option<Time> = None;
+        let mut sent = Bits::ZERO;
+        while let Some(due) = cond.next_release_time() {
+            let p = cond.release(due).unwrap();
+            let start = *first.get_or_insert(due);
+            sent += p.size;
+            let window = due.saturating_since(start);
+            let budget = rate.bits_in_ceil(window) + Bits::from_bytes(1500);
+            prop_assert!(sent <= budget,
+                "released {sent} > envelope {budget} in window {window}");
+        }
+    }
+
+    /// Envelope is monotone and subadditive for arbitrary valid profiles.
+    #[test]
+    fn envelope_monotone_subadditive(
+        sigma_kb in 2u64..1000, rho in 1_000u64..1_000_000, excess in 0u64..1_000_000,
+        t1 in 0u64..5_000_000_000, t2 in 0u64..5_000_000_000,
+    ) {
+        let l = Bits::from_bytes(125); // 1000 bits
+        let profile = TrafficProfile::new(
+            Bits::from_kilobits(sigma_kb),
+            Rate::from_bps(rho),
+            Rate::from_bps(rho + excess),
+            l,
+        ).unwrap();
+        let (a, b) = (Nanos::from_nanos(t1), Nanos::from_nanos(t2));
+        prop_assert!(profile.envelope(a.min(b)) <= profile.envelope(a.max(b)));
+        prop_assert!(vtrs::profile::envelope_is_subadditive(&profile, a, b));
+    }
+}

@@ -1,0 +1,261 @@
+//! Stochastic flow arrival/departure processes for the blocking
+//! experiments (Figure 10).
+//!
+//! Flows arrive as a Poisson process and hold for exponentially
+//! distributed durations (mean 200 s in §5). [`FlowProcess`] pre-computes
+//! the merged event sequence — arrivals interleaved with the departures
+//! of previously admitted flows — so an experiment replays a fixed,
+//! seed-determined scenario against any admission scheme, making scheme
+//! comparisons paired (same arrivals, same lifetimes).
+
+use qos_units::{Nanos, Time};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vtrs::packet::FlowId;
+
+/// What happens to a flow at an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowEventKind {
+    /// The flow requests admission.
+    Arrival,
+    /// The flow terminates (only emitted if it was still present at its
+    /// scheduled departure; rejected flows simply never depart).
+    Departure,
+}
+
+/// One event of the flow process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowEvent {
+    /// When it happens.
+    pub at: Time,
+    /// Which flow.
+    pub flow: FlowId,
+    /// Arrival or departure.
+    pub kind: FlowEventKind,
+    /// Index of the source/ingress this flow originates from (§5 uses
+    /// S1 and S2).
+    pub source: usize,
+}
+
+/// A seeded Poisson-arrival / exponential-holding flow process.
+#[derive(Debug, Clone)]
+pub struct FlowProcess {
+    events: Vec<FlowEvent>,
+}
+
+impl FlowProcess {
+    /// Generates a process with `arrival_rate_per_sec` (aggregate over
+    /// all sources, split uniformly), exponential holding with
+    /// `mean_holding`, over `horizon`, from `seed`. Flow ids are assigned
+    /// sequentially from 0.
+    #[must_use]
+    pub fn generate(
+        seed: u64,
+        arrival_rate_per_sec: f64,
+        mean_holding: Nanos,
+        horizon: Time,
+        sources: usize,
+    ) -> Self {
+        assert!(arrival_rate_per_sec > 0.0, "arrival rate must be positive");
+        assert!(sources > 0, "need at least one source");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut t = 0.0f64;
+        let horizon_s = horizon.as_secs_f64();
+        let mean_hold_s = mean_holding.as_secs_f64();
+        let mut next_id = 0u64;
+        while t < horizon_s {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            t += -u.ln() / arrival_rate_per_sec;
+            if t >= horizon_s {
+                break;
+            }
+            let flow = FlowId(next_id);
+            next_id += 1;
+            let source = rng.gen_range(0..sources);
+            let hold: f64 = {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -u.ln() * mean_hold_s
+            };
+            events.push(FlowEvent {
+                at: Time::from_secs_f64(t),
+                flow,
+                kind: FlowEventKind::Arrival,
+                source,
+            });
+            events.push(FlowEvent {
+                at: Time::from_secs_f64(t + hold),
+                flow,
+                kind: FlowEventKind::Departure,
+                source,
+            });
+        }
+        events.sort_by_key(|e| (e.at, e.flow.0, e.kind == FlowEventKind::Departure));
+        FlowProcess { events }
+    }
+
+    /// The merged, time-ordered event sequence.
+    #[must_use]
+    pub fn events(&self) -> &[FlowEvent] {
+        &self.events
+    }
+
+    /// Number of arrivals in the process.
+    #[must_use]
+    pub fn arrivals(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == FlowEventKind::Arrival)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = FlowProcess::generate(
+            7,
+            0.5,
+            Nanos::from_secs(200),
+            Time::from_secs_f64(1000.0),
+            2,
+        );
+        let b = FlowProcess::generate(
+            7,
+            0.5,
+            Nanos::from_secs(200),
+            Time::from_secs_f64(1000.0),
+            2,
+        );
+        assert_eq!(a.events(), b.events());
+        let c = FlowProcess::generate(
+            8,
+            0.5,
+            Nanos::from_secs(200),
+            Time::from_secs_f64(1000.0),
+            2,
+        );
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn every_arrival_has_a_later_departure() {
+        let p = FlowProcess::generate(1, 1.0, Nanos::from_secs(200), Time::from_secs_f64(500.0), 2);
+        let mut arr = std::collections::HashMap::new();
+        for e in p.events() {
+            match e.kind {
+                FlowEventKind::Arrival => {
+                    arr.insert(e.flow, e.at);
+                }
+                FlowEventKind::Departure => {
+                    let at = arr.remove(&e.flow).expect("departure after arrival");
+                    assert!(e.at >= at);
+                }
+            }
+        }
+        assert!(arr.is_empty(), "unmatched arrivals");
+    }
+
+    #[test]
+    fn arrival_count_tracks_rate() {
+        // λ = 2/s over 2000 s → ~4000 arrivals; allow wide tolerance.
+        let p = FlowProcess::generate(
+            3,
+            2.0,
+            Nanos::from_secs(200),
+            Time::from_secs_f64(2000.0),
+            2,
+        );
+        let n = p.arrivals();
+        assert!((3200..4800).contains(&n), "got {n} arrivals");
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let p = FlowProcess::generate(5, 1.0, Nanos::from_secs(200), Time::from_secs_f64(300.0), 2);
+        for w in p.events().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn sources_are_used_roughly_evenly() {
+        let p = FlowProcess::generate(
+            9,
+            2.0,
+            Nanos::from_secs(200),
+            Time::from_secs_f64(2000.0),
+            2,
+        );
+        let s0 = p
+            .events()
+            .iter()
+            .filter(|e| e.kind == FlowEventKind::Arrival && e.source == 0)
+            .count();
+        let total = p.arrivals();
+        let frac = s0 as f64 / total as f64;
+        assert!((0.4..0.6).contains(&frac), "source split {frac}");
+    }
+}
+// (statistical sanity tests appended below)
+
+#[cfg(test)]
+mod statistics {
+    use super::*;
+
+    /// Mean holding time of generated flows tracks the configured mean
+    /// (law of large numbers over a long horizon).
+    #[test]
+    fn holding_times_average_to_the_mean() {
+        let mean = Nanos::from_secs(200);
+        let p = FlowProcess::generate(2, 2.0, mean, Time::from_secs_f64(5_000.0), 2);
+        let mut arrivals = std::collections::HashMap::new();
+        let mut total = 0.0f64;
+        let mut n = 0u64;
+        for e in p.events() {
+            match e.kind {
+                FlowEventKind::Arrival => {
+                    arrivals.insert(e.flow, e.at);
+                }
+                FlowEventKind::Departure => {
+                    let at = arrivals[&e.flow];
+                    total += e.at.saturating_since(at).as_secs_f64();
+                    n += 1;
+                }
+            }
+        }
+        let avg = total / n as f64;
+        assert!(
+            (170.0..230.0).contains(&avg),
+            "mean holding {avg:.1}s, expected ≈200s over {n} flows"
+        );
+    }
+
+    /// Inter-arrival times are exponential-ish: the coefficient of
+    /// variation of an exponential distribution is 1.
+    #[test]
+    fn interarrivals_look_exponential() {
+        let p = FlowProcess::generate(
+            5,
+            1.0,
+            Nanos::from_secs(200),
+            Time::from_secs_f64(5_000.0),
+            1,
+        );
+        let times: Vec<f64> = p
+            .events()
+            .iter()
+            .filter(|e| e.kind == FlowEventKind::Arrival)
+            .map(|e| e.at.as_secs_f64())
+            .collect();
+        let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((0.85..1.15).contains(&cv), "CV {cv:.3}, expected ≈1");
+        assert!((0.9..1.1).contains(&mean), "mean gap {mean:.3}s at λ=1");
+    }
+}

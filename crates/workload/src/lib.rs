@@ -1,0 +1,15 @@
+//! Workload generation for the evaluation (§5).
+//!
+//! Provides the paper's Table-1 traffic profiles, seeded stochastic flow
+//! arrival/holding processes for the blocking experiments (Figure 10),
+//! and offered-load sweep helpers. Everything is deterministic given its
+//! seed, so experiment runs replay exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod profiles;
+
+pub use arrivals::{FlowEvent, FlowEventKind, FlowProcess};
+pub use profiles::{table1, Table1Row};

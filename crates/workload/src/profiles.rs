@@ -1,0 +1,122 @@
+//! The paper's Table 1: traffic profiles and delay bounds.
+
+use qos_units::{Bits, Nanos, Rate};
+use serde::{Deserialize, Serialize};
+use vtrs::profile::TrafficProfile;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Flow type index (0–3).
+    pub flow_type: u32,
+    /// The dual-token-bucket profile.
+    pub profile: TrafficProfile,
+    /// The looser end-to-end delay bound used in §5.
+    pub delay_loose: Nanos,
+    /// The tighter end-to-end delay bound used in §5.
+    pub delay_tight: Nanos,
+}
+
+/// Table 1 verbatim: burst sizes 60/48/36/24 kb, mean rates 50/40/30/20
+/// kb/s, peak rate 0.1 Mb/s, maximum packet size 1500 B, and the two
+/// delay bounds per type.
+#[must_use]
+pub fn table1() -> Vec<Table1Row> {
+    let rows = [
+        (0u32, 60_000u64, 50_000u64, 2_440u64, 2_190u64),
+        (1, 48_000, 40_000, 2_740, 2_460),
+        (2, 36_000, 30_000, 3_240, 2_910),
+        (3, 24_000, 20_000, 4_240, 3_810),
+    ];
+    rows.into_iter()
+        .map(|(t, sigma, rho, loose_ms, tight_ms)| Table1Row {
+            flow_type: t,
+            profile: TrafficProfile::new(
+                Bits::from_bits(sigma),
+                Rate::from_bps(rho),
+                Rate::from_bps(100_000),
+                Bits::from_bytes(1500),
+            )
+            .expect("Table 1 profiles are valid"),
+            delay_loose: Nanos::from_millis(loose_ms),
+            delay_tight: Nanos::from_millis(tight_ms),
+        })
+        .collect()
+}
+
+/// The type-0 profile — the one §5's admission experiments use.
+#[must_use]
+pub fn type0() -> TrafficProfile {
+    table1()[0].profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_four_types_with_common_peak() {
+        let t = table1();
+        assert_eq!(t.len(), 4);
+        for row in &t {
+            assert_eq!(row.profile.peak, Rate::from_bps(100_000));
+            assert_eq!(row.profile.l_max, Bits::from_bytes(1500));
+            assert!(row.delay_tight < row.delay_loose);
+        }
+    }
+
+    #[test]
+    fn loose_bounds_are_met_at_mean_rate_on_the_5_hop_path() {
+        // The loose bound of each type is exactly the e2e bound at
+        // r = ρ over 5 rate-based hops with Ψ = 8 ms — that is how the
+        // paper chose them.
+        use vtrs::reference::{HopKind, HopSpec, PathSpec};
+        let path = PathSpec::new(vec![
+            HopSpec {
+                kind: HopKind::RateBased,
+                psi: Nanos::from_millis(8),
+                prop_delay: Nanos::ZERO,
+            };
+            5
+        ]);
+        for row in table1() {
+            let bound = vtrs::delay::e2e_delay_bound(
+                &row.profile,
+                &path,
+                row.profile.l_max,
+                row.profile.rho,
+                Nanos::ZERO,
+            )
+            .unwrap();
+            // Types 0, 1, 3 are exact in nanoseconds; type 2's T_on
+            // (24000/70000 s) is not ns-representable, so conservative
+            // rounding may add a nanosecond.
+            let slack = bound.saturating_sub(row.delay_loose);
+            assert!(
+                slack <= Nanos::from_nanos(2),
+                "type {} loose bound off by {}",
+                row.flow_type,
+                slack
+            );
+        }
+    }
+
+    #[test]
+    fn tight_bounds_require_rates_above_mean() {
+        for row in table1() {
+            let r = vtrs::delay::min_rate_rate_based(
+                &row.profile,
+                5,
+                Nanos::from_millis(40),
+                row.delay_tight,
+            )
+            .unwrap();
+            assert!(
+                r > row.profile.rho,
+                "type {}: tight bound should need more than the mean rate",
+                row.flow_type
+            );
+            assert!(r <= row.profile.peak);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Packet-level validation of the end-to-end delay bounds (eq. 4).
+//!
+//! Admits a saturating set of greedy type-0 flows, drives the real VTRS
+//! data plane (edge conditioners, dynamic packet state, CsVC/VT-EDF
+//! schedulers), and compares every flow's *observed* worst-case delay
+//! against the bound the broker promised — with the VTRS virtual-spacing
+//! and reality-check invariants verified at every hop.
+//!
+//! ```sh
+//! cargo run --release --example delay_bound_validation
+//! ```
+
+use bbqos::broker::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use bbqos::netsim::topology::{SchedulerSpec, TopologyBuilder};
+use bbqos::netsim::{Simulator, SourceModel};
+use bbqos::units::{Bits, Nanos, Rate, Time};
+use bbqos::vtrs::delay::e2e_delay_bound;
+use bbqos::vtrs::packet::FlowId;
+use bbqos::vtrs::profile::TrafficProfile;
+
+fn main() {
+    // The Figure-8 S1→D1 mixed path.
+    let mut b = TopologyBuilder::new();
+    let names = ["I1", "R2", "R3", "R4", "R5", "E1"];
+    let nodes: Vec<_> = names.iter().map(|n| b.node(*n)).collect();
+    let cap = Rate::from_bps(1_500_000);
+    let lmax = Bits::from_bytes(1500);
+    let specs = [
+        SchedulerSpec::CsVc,
+        SchedulerSpec::CsVc,
+        SchedulerSpec::VtEdf,
+        SchedulerSpec::VtEdf,
+        SchedulerSpec::CsVc,
+    ];
+    let route: Vec<_> = (0..5)
+        .map(|i| b.link(nodes[i], nodes[i + 1], cap, Nanos::ZERO, specs[i], lmax))
+        .collect();
+    let topo = b.build();
+
+    let profile = TrafficProfile::new(
+        Bits::from_bits(60_000),
+        Rate::from_bps(50_000),
+        Rate::from_bps(100_000),
+        lmax,
+    )
+    .unwrap();
+    let d_req = Nanos::from_millis(2_190);
+
+    // Control plane: admit until the path is full.
+    let mut broker = Broker::new(topo.clone(), BrokerConfig::default());
+    let pid = broker.register_route(&route);
+    let mut reservations = Vec::new();
+    loop {
+        let flow = FlowId(reservations.len() as u64);
+        match broker.request(
+            Time::ZERO,
+            &FlowRequest {
+                flow,
+                profile,
+                d_req,
+                service: ServiceKind::PerFlow,
+                path: pid,
+            },
+        ) {
+            Ok(res) => reservations.push(res),
+            Err(_) => break,
+        }
+    }
+    println!(
+        "admitted {} flows at D = 2.19 s on the mixed path",
+        reservations.len()
+    );
+
+    // Data plane: every flow greedy (worst-case senders), invariants on,
+    // with packet tracing for the journey printout at the end.
+    let mut sim = Simulator::new(topo.clone());
+    sim.enable_validation();
+    sim.enable_trace(4_000);
+    let path_spec = topo.path_spec(&route);
+    for res in &reservations {
+        sim.add_flow(res.flow, res.rate, res.delay, route.clone());
+        sim.add_source(
+            res.flow,
+            SourceModel::Greedy {
+                profile,
+                packet: lmax,
+            },
+            Time::ZERO,
+            None,
+            Some(60),
+        );
+    }
+    sim.run_to_completion();
+
+    println!(
+        "{:>4} {:>12} {:>14} {:>14} {:>14} {:>8}",
+        "flow", "rate(b/s)", "d(ms)", "bound(s)", "observed(s)", "ok"
+    );
+    let mut worst_slack = Nanos::MAX;
+    let mut violations = 0u64;
+    for res in &reservations {
+        let bound = e2e_delay_bound(&profile, &path_spec, profile.l_max, res.rate, res.delay)
+            .expect("granted pair is valid");
+        let st = sim.flow_stats(res.flow);
+        // `e2e_delay_bound` rounds each term up (never optimistic), so it
+        // may exceed the requirement by a few nanoseconds even though the
+        // broker verified the exact rational inequality at admission.
+        let rounding = Nanos::from_nanos(8);
+        let ok = st.max_e2e <= bound && bound <= d_req + rounding;
+        if !ok {
+            violations += 1;
+        }
+        worst_slack = worst_slack.min(bound.saturating_sub(st.max_e2e));
+        println!(
+            "{:>4} {:>12} {:>14.3} {:>14.6} {:>14.6} {:>8}",
+            res.flow.0,
+            res.rate.as_bps(),
+            res.delay.as_secs_f64() * 1e3,
+            bound.as_secs_f64(),
+            st.max_e2e.as_secs_f64(),
+            if ok { "yes" } else { "VIOLATED" }
+        );
+        assert_eq!(st.spacing_violations, 0, "VTRS spacing violated");
+        assert_eq!(st.reality_violations, 0, "VTRS reality check violated");
+    }
+    println!(
+        "\n{} flows, {} bound violations, tightest slack {:.6}s, zero VTRS invariant \
+         violations across {} hops × all packets",
+        reservations.len(),
+        violations,
+        worst_slack.as_secs_f64(),
+        path_spec.h(),
+    );
+    assert_eq!(violations, 0);
+
+    // One packet's journey through the core, from the trace.
+    if let Some(trace) = sim.trace() {
+        println!("\njourney of flow 0, packet 3:");
+        print!(
+            "{}",
+            trace.render_journey(bbqos::vtrs::packet::FlowId(0), 3)
+        );
+    }
+}

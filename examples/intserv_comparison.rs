@@ -1,0 +1,117 @@
+//! BB/VTRS vs. IntServ/GS: same admissions, very different control
+//! planes.
+//!
+//! Fills the Figure-8 S1→D1 path under both architectures and compares
+//! what each one had to *do* and *store*: the broker touches only its own
+//! MIBs; the hop-by-hop baseline exchanges per-hop signaling messages,
+//! installs per-flow state at every router, and keeps refreshing it.
+//!
+//! ```sh
+//! cargo run --example intserv_comparison
+//! ```
+
+use bbqos::broker::intserv::IntServ;
+use bbqos::broker::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use bbqos::netsim::topology::{SchedulerSpec, TopologyBuilder};
+use bbqos::units::{Bits, Nanos, Rate, Time};
+use bbqos::vtrs::packet::FlowId;
+use bbqos::vtrs::profile::TrafficProfile;
+
+fn main() {
+    // Figure-8 S1→D1 path, mixed setting.
+    let mut b = TopologyBuilder::new();
+    let nodes: Vec<_> = ["I1", "R2", "R3", "R4", "R5", "E1"]
+        .iter()
+        .map(|n| b.node(*n))
+        .collect();
+    let cap = Rate::from_bps(1_500_000);
+    let lmax = Bits::from_bytes(1500);
+    let specs = [
+        SchedulerSpec::CsVc,
+        SchedulerSpec::CsVc,
+        SchedulerSpec::VtEdf,
+        SchedulerSpec::VtEdf,
+        SchedulerSpec::CsVc,
+    ];
+    let route: Vec<_> = (0..5)
+        .map(|i| b.link(nodes[i], nodes[i + 1], cap, Nanos::ZERO, specs[i], lmax))
+        .collect();
+    let topo = b.build();
+
+    let profile = TrafficProfile::new(
+        Bits::from_bits(60_000),
+        Rate::from_bps(50_000),
+        Rate::from_bps(100_000),
+        lmax,
+    )
+    .unwrap();
+    let d_req = Nanos::from_millis(2_190);
+
+    // --- BB/VTRS ---------------------------------------------------
+    let mut broker = Broker::new(topo.clone(), BrokerConfig::default());
+    let pid = broker.register_route(&route);
+    let mut bb_rates = Vec::new();
+    loop {
+        let flow = FlowId(bb_rates.len() as u64);
+        match broker.request(
+            Time::ZERO,
+            &FlowRequest {
+                flow,
+                profile,
+                d_req,
+                service: ServiceKind::PerFlow,
+                path: pid,
+            },
+        ) {
+            Ok(res) => bb_rates.push(res.rate.as_bps()),
+            Err(_) => break,
+        }
+    }
+
+    // --- IntServ/GS --------------------------------------------------
+    let mut intserv = IntServ::new(&topo);
+    let hop_route: Vec<usize> = route.iter().map(|l| l.0).collect();
+    let mut gs_rates = Vec::new();
+    loop {
+        let flow = FlowId(gs_rates.len() as u64);
+        match intserv.request(Time::ZERO, flow, &profile, d_req, &hop_route) {
+            Ok(rate) => gs_rates.push(rate.as_bps()),
+            Err(_) => break,
+        }
+    }
+    // 10 minutes of soft-state refreshes (RSVP default 30 s period).
+    for k in 1..=20u64 {
+        intserv.refresh(Time::ZERO + Nanos::from_secs(30 * k));
+    }
+
+    // --- Comparison --------------------------------------------------
+    let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len().max(1) as f64;
+    println!("admissions on the mixed S1→D1 path at D = 2.19 s:");
+    println!(
+        "  BB/VTRS     : {} flows, mean reserved rate {:.0} b/s",
+        bb_rates.len(),
+        avg(&bb_rates)
+    );
+    println!(
+        "  IntServ/GS  : {} flows, mean reserved rate {:.0} b/s",
+        gs_rates.len(),
+        avg(&gs_rates)
+    );
+    println!();
+    println!("control-plane footprint after filling the path (+10 min of operation):");
+    println!(
+        "  BB/VTRS     : QoS state at core routers: 0 entries; signaling: 1 request\n\
+         \u{20}               + 1 reply per flow, no refreshes; path-wide test at the broker",
+    );
+    let st = intserv.stats();
+    println!(
+        "  IntServ/GS  : per-router state entries: {} (= flows × hops); signaling\n\
+         \u{20}               messages so far: {} (incl. {} soft-state refreshes)",
+        st.installed_entries, st.messages, st.refreshes
+    );
+    println!();
+    println!(
+        "same guarantees, same (or better) utilization — with every router on the\n\
+         path relieved of QoS control. That asymmetry is the paper's thesis."
+    );
+}

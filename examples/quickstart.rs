@@ -1,0 +1,81 @@
+//! Quickstart: stand up a domain, admit a flow end to end, and watch the
+//! reservation go back to the edge.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use bbqos::broker::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use bbqos::netsim::topology::{SchedulerSpec, TopologyBuilder};
+use bbqos::units::{Bits, Nanos, Rate, Time};
+use bbqos::vtrs::packet::FlowId;
+use bbqos::vtrs::profile::TrafficProfile;
+
+fn main() {
+    // 1. A small domain: ingress → two core routers → egress, with a
+    //    mixed data plane (CsVC rate-based + VT-EDF delay-based). Core
+    //    routers will hold *no* QoS state — that is the whole point.
+    let mut b = TopologyBuilder::new();
+    let (i, r1, r2, e) = (b.node("I"), b.node("R1"), b.node("R2"), b.node("E"));
+    let cap = Rate::from_mbps(10);
+    let lmax = Bits::from_bytes(1500);
+    b.link(i, r1, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+    b.link(r1, r2, cap, Nanos::ZERO, SchedulerSpec::VtEdf, lmax);
+    b.link(r2, e, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+    let topo = b.build();
+
+    // 2. The bandwidth broker imports the topology into its node MIB and
+    //    answers path queries from its routing module.
+    let mut broker = Broker::new(topo, BrokerConfig::default());
+    let path = broker.path_between(i, e).expect("egress reachable");
+    let spec = &broker.paths().path(path).spec;
+    println!(
+        "path I→E: {} hops ({} rate-based, {} delay-based), D_tot = {}",
+        spec.h(),
+        spec.q(),
+        spec.delay_hops(),
+        spec.d_tot()
+    );
+
+    // 3. An application flow declares its dual-token-bucket profile and
+    //    asks for a 600 ms end-to-end delay guarantee.
+    let profile = TrafficProfile::new(
+        Bits::from_bits(60_000), // burst σ
+        Rate::from_bps(50_000),  // sustained rate ρ
+        Rate::from_bps(100_000), // peak rate P
+        lmax,
+    )
+    .expect("valid profile");
+    let request = FlowRequest {
+        flow: FlowId(1),
+        profile,
+        d_req: Nanos::from_millis(600),
+        service: ServiceKind::PerFlow,
+        path,
+    };
+
+    // 4. One message to the broker: policy check, path-wide admissibility
+    //    test against the MIBs (no router involved), bookkeeping, and the
+    //    ⟨r, d⟩ reservation comes back for the edge conditioner.
+    match broker.request(Time::ZERO, &request) {
+        Ok(res) => {
+            println!(
+                "admitted: reserve r = {} and stamp d = {} at the edge",
+                res.rate, res.delay
+            );
+            println!(
+                "residual path bandwidth afterwards: {}",
+                broker.path_residual(path)
+            );
+        }
+        Err(why) => println!("rejected: {why}"),
+    }
+
+    // 5. Releasing the flow returns every reserved resource.
+    broker.release(Time::ZERO, FlowId(1)).expect("flow exists");
+    println!(
+        "after release: residual = {}, flows in MIB = {}",
+        broker.path_residual(path),
+        broker.flows().len()
+    );
+}

@@ -1,0 +1,74 @@
+//! # bbqos — a bandwidth broker for scalable guaranteed services
+//!
+//! A complete implementation of the architecture from *"Decoupling QoS
+//! Control from Core Routers: A Novel Bandwidth Broker Architecture for
+//! Scalable Support of Guaranteed Services"* (Zhang, Duan, Gao & Hou,
+//! ACM SIGCOMM 2000), including every substrate the paper depends on:
+//!
+//! * [`units`] — exact fixed-point QoS arithmetic (ns / bps / bits);
+//! * [`vtrs`] — the Virtual Time Reference System data-plane abstraction:
+//!   dynamic packet state, edge conditioning, per-hop virtual time, and
+//!   the closed-form end-to-end delay bounds;
+//! * [`sched`] — core-stateless schedulers (C̄SVC, CJVC, VT-EDF) and the
+//!   stateful baselines (VC, WFQ, RC-EDF, FIFO);
+//! * [`netsim`] — a deterministic packet-level discrete-event simulator;
+//! * [`broker`] — **the contribution**: the bandwidth broker holding all
+//!   QoS state (flow/node/path MIBs), path-oriented admission control
+//!   for per-flow and class-based guaranteed services, contingency
+//!   bandwidth for dynamic flow aggregation, and the IntServ/GS
+//!   hop-by-hop baseline;
+//! * [`workload`] — Table-1 traffic profiles and seeded flow processes.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bbqos::broker::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+//! use bbqos::netsim::topology::{SchedulerSpec, TopologyBuilder};
+//! use bbqos::units::{Bits, Nanos, Rate, Time};
+//! use bbqos::vtrs::packet::FlowId;
+//! use bbqos::vtrs::profile::TrafficProfile;
+//!
+//! // A 3-hop domain: two CsVC links and one VT-EDF link.
+//! let mut b = TopologyBuilder::new();
+//! let (i, r1, r2, e) = (b.node("I"), b.node("R1"), b.node("R2"), b.node("E"));
+//! let cap = Rate::from_mbps(10);
+//! let lmax = Bits::from_bytes(1500);
+//! b.link(i, r1, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+//! b.link(r1, r2, cap, Nanos::ZERO, SchedulerSpec::VtEdf, lmax);
+//! b.link(r2, e, cap, Nanos::ZERO, SchedulerSpec::CsVc, lmax);
+//! let topo = b.build();
+//!
+//! // The broker imports the topology; core routers keep no QoS state.
+//! let mut broker = Broker::new(topo, BrokerConfig::default());
+//! let path = broker.path_between(i, e).expect("reachable");
+//!
+//! // Admit a flow with a 600 ms end-to-end delay requirement.
+//! let reservation = broker
+//!     .request(
+//!         Time::ZERO,
+//!         &FlowRequest {
+//!             flow: FlowId(1),
+//!             profile: TrafficProfile::new(
+//!                 Bits::from_bits(60_000),
+//!                 Rate::from_bps(50_000),
+//!                 Rate::from_bps(100_000),
+//!                 lmax,
+//!             )
+//!             .unwrap(),
+//!             d_req: Nanos::from_millis(600),
+//!             service: ServiceKind::PerFlow,
+//!             path,
+//!         },
+//!     )
+//!     .expect("admissible");
+//! assert!(reservation.rate >= Rate::from_bps(50_000));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use bb_core as broker;
+pub use netsim;
+pub use qos_units as units;
+pub use sched;
+pub use vtrs;
+pub use workload;

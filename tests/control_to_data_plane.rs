@@ -1,0 +1,140 @@
+//! The whole story, end to end: the broker admits flows using nothing
+//! but its MIBs, the reservations configure edge conditioners in the
+//! packet-level simulator, worst-case (greedy) sources transmit — and
+//! every admitted flow's observed delay stays within its promised bound,
+//! with the VTRS invariants checked at every hop.
+
+use bbqos::broker::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use bbqos::netsim::topology::{LinkId, SchedulerSpec, Topology, TopologyBuilder};
+use bbqos::netsim::{Simulator, SourceModel};
+use bbqos::units::{Bits, Nanos, Rate, Time};
+use bbqos::vtrs::delay::e2e_delay_bound;
+use bbqos::vtrs::packet::FlowId;
+use bbqos::vtrs::profile::TrafficProfile;
+
+fn type0() -> TrafficProfile {
+    TrafficProfile::new(
+        Bits::from_bits(60_000),
+        Rate::from_bps(50_000),
+        Rate::from_bps(100_000),
+        Bits::from_bytes(1500),
+    )
+    .unwrap()
+}
+
+fn path(mixed: bool) -> (Topology, Vec<LinkId>) {
+    let mut b = TopologyBuilder::new();
+    let nodes: Vec<_> = ["I1", "R2", "R3", "R4", "R5", "E1"]
+        .iter()
+        .map(|n| b.node(*n))
+        .collect();
+    let cap = Rate::from_bps(1_500_000);
+    let lmax = Bits::from_bytes(1500);
+    let specs = if mixed {
+        [
+            SchedulerSpec::CsVc,
+            SchedulerSpec::CsVc,
+            SchedulerSpec::VtEdf,
+            SchedulerSpec::VtEdf,
+            SchedulerSpec::CsVc,
+        ]
+    } else {
+        [SchedulerSpec::CsVc; 5]
+    };
+    let route = (0..5)
+        .map(|i| b.link(nodes[i], nodes[i + 1], cap, Nanos::ZERO, specs[i], lmax))
+        .collect();
+    (b.build(), route)
+}
+
+/// Admits until full, then validates every flow in the packet plane.
+fn admit_and_validate(mixed: bool, d_req_ms: u64, expected_flows: u64) {
+    let (topo, route) = path(mixed);
+    let d_req = Nanos::from_millis(d_req_ms);
+    let profile = type0();
+
+    let mut broker = Broker::new(topo.clone(), BrokerConfig::default());
+    let pid = broker.register_route(&route);
+    let mut reservations = Vec::new();
+    loop {
+        let flow = FlowId(reservations.len() as u64);
+        match broker.request(
+            Time::ZERO,
+            &FlowRequest {
+                flow,
+                profile,
+                d_req,
+                service: ServiceKind::PerFlow,
+                path: pid,
+            },
+        ) {
+            Ok(res) => reservations.push(res),
+            Err(_) => break,
+        }
+    }
+    assert_eq!(reservations.len() as u64, expected_flows);
+
+    let mut sim = Simulator::new(topo.clone());
+    sim.enable_validation();
+    let spec = topo.path_spec(&route);
+    for res in &reservations {
+        sim.add_flow(res.flow, res.rate, res.delay, route.clone());
+        sim.add_source(
+            res.flow,
+            SourceModel::Greedy {
+                profile,
+                packet: profile.l_max,
+            },
+            Time::ZERO,
+            None,
+            Some(30),
+        );
+    }
+    sim.run_to_completion();
+
+    for res in &reservations {
+        let bound = e2e_delay_bound(&profile, &spec, profile.l_max, res.rate, res.delay).unwrap();
+        let st = sim.flow_stats(res.flow);
+        assert_eq!(st.delivered, 30, "flow {} lost packets", res.flow.0);
+        assert!(
+            st.max_e2e <= bound,
+            "flow {}: observed {} exceeds bound {} (granted r={}, d={})",
+            res.flow.0,
+            st.max_e2e,
+            bound,
+            res.rate,
+            res.delay
+        );
+        // The conservative bound may round a handful of ns past D; the
+        // observation must respect D itself outright.
+        assert!(
+            st.max_e2e <= d_req,
+            "flow {}: observed {} exceeds the requirement {}",
+            res.flow.0,
+            st.max_e2e,
+            d_req
+        );
+        assert_eq!(st.spacing_violations, 0);
+        assert_eq!(st.reality_violations, 0);
+    }
+}
+
+#[test]
+fn rate_only_path_at_244s_all_30_flows_meet_bounds() {
+    admit_and_validate(false, 2_440, 30);
+}
+
+#[test]
+fn rate_only_path_at_219s_all_27_flows_meet_bounds() {
+    admit_and_validate(false, 2_190, 27);
+}
+
+#[test]
+fn mixed_path_at_244s_all_30_flows_meet_bounds() {
+    admit_and_validate(true, 2_440, 30);
+}
+
+#[test]
+fn mixed_path_at_219s_all_27_flows_meet_bounds() {
+    admit_and_validate(true, 2_190, 27);
+}

@@ -1,0 +1,94 @@
+//! Reproducibility: the entire stack — workload generation, simulation,
+//! admission control, experiments — is deterministic given its seeds.
+
+use bbqos::netsim::topology::{SchedulerSpec, TopologyBuilder};
+use bbqos::netsim::{Simulator, SourceModel};
+use bbqos::units::{Bits, Nanos, Rate, Time};
+use bbqos::vtrs::packet::FlowId;
+
+fn run_scenario() -> (u64, Nanos, Nanos) {
+    let mut b = TopologyBuilder::new();
+    let ns: Vec<_> = (0..4).map(|i| b.node(format!("n{i}"))).collect();
+    let route: Vec<_> = (0..3)
+        .map(|i| {
+            b.link(
+                ns[i],
+                ns[i + 1],
+                Rate::from_bps(1_500_000),
+                Nanos::from_micros(50),
+                if i == 1 {
+                    SchedulerSpec::VtEdf
+                } else {
+                    SchedulerSpec::CsVc
+                },
+                Bits::from_bytes(1500),
+            )
+        })
+        .collect();
+    let topo = b.build();
+    let mut sim = Simulator::new(topo);
+    for i in 0..5u64 {
+        let f = FlowId(i);
+        sim.add_flow(
+            f,
+            Rate::from_bps(100_000),
+            Nanos::from_millis(100),
+            route.clone(),
+        );
+        sim.add_source(
+            f,
+            SourceModel::Poisson {
+                mean_rate: Rate::from_bps(80_000),
+                packet: Bits::from_bytes(1500),
+                seed: 1_000 + i,
+            },
+            Time::ZERO,
+            Some(Time::from_secs_f64(30.0)),
+            None,
+        );
+    }
+    sim.run_to_completion();
+    let mut delivered = 0;
+    let mut max_e2e = Nanos::ZERO;
+    let mut sum = Nanos::ZERO;
+    for i in 0..5u64 {
+        let st = sim.flow_stats(FlowId(i));
+        delivered += st.delivered;
+        max_e2e = max_e2e.max(st.max_e2e);
+        sum += st.mean_e2e();
+    }
+    (delivered, max_e2e, sum)
+}
+
+#[test]
+fn packet_simulation_replays_exactly() {
+    let a = run_scenario();
+    let b = run_scenario();
+    assert_eq!(a, b);
+    assert!(a.0 > 100, "simulation should deliver packets, got {}", a.0);
+}
+
+#[test]
+fn table2_is_stable() {
+    let a = bb_bench::table2::run();
+    let b = bb_bench::table2::run();
+    for ((s1, c1), (s2, c2)) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(s1, s2);
+        assert_eq!(c1, c2);
+    }
+}
+
+#[test]
+fn blocking_experiment_replays_exactly() {
+    let cfg = bb_bench::fig10::Config {
+        arrival_rates: vec![0.2],
+        horizon: Time::from_secs_f64(800.0),
+        seeds: vec![11],
+        ..bb_bench::fig10::Config::default()
+    };
+    let a = bb_bench::fig10::run(&cfg);
+    let b = bb_bench::fig10::run(&cfg);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.points, y.points);
+    }
+}

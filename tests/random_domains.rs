@@ -1,0 +1,152 @@
+//! Randomized whole-stack stress: random domains, random flow mixes,
+//! alternate-path admission — and every admitted flow still meets its
+//! bound in the packet plane with VTRS validation on.
+//!
+//! This is the "does the system hold together off the paper's happy
+//! path" test: topologies the authors never drew, heterogeneous
+//! profiles, partial rejections, and multi-path placement.
+
+use bbqos::broker::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use bbqos::netsim::topology::{LinkId, NodeId, SchedulerSpec, Topology, TopologyBuilder};
+use bbqos::netsim::{Simulator, SourceModel};
+use bbqos::units::{Bits, Nanos, Rate, Time};
+use bbqos::vtrs::delay::e2e_delay_bound;
+use bbqos::vtrs::packet::FlowId;
+use bbqos::vtrs::profile::TrafficProfile;
+use proptest::prelude::*;
+
+/// A random layered topology: `width` parallel relays between ingress
+/// and egress, plus a chain behind them, with randomized scheduler kinds.
+fn build_domain(width: usize, chain: usize, seed_bits: u64) -> (Topology, NodeId, NodeId) {
+    let mut b = TopologyBuilder::new();
+    let ingress = b.node("in");
+    let cap = Rate::from_bps(3_000_000);
+    let lmax = Bits::from_bytes(1500);
+    let pick = |i: usize| {
+        if (seed_bits >> (i % 60)) & 1 == 1 {
+            SchedulerSpec::VtEdf
+        } else {
+            SchedulerSpec::CsVc
+        }
+    };
+    // Parallel relays.
+    let merge = b.node("merge");
+    for w in 0..width {
+        let relay = b.node(format!("relay{w}"));
+        b.link(ingress, relay, cap, Nanos::ZERO, pick(w), lmax);
+        b.link(relay, merge, cap, Nanos::ZERO, pick(w + 7), lmax);
+    }
+    // Chain to the egress.
+    let mut prev = merge;
+    for c in 0..chain {
+        let next = b.node(format!("chain{c}"));
+        b.link(prev, next, cap, Nanos::ZERO, pick(c + 13), lmax);
+        prev = next;
+    }
+    (b.build(), ingress, prev)
+}
+
+#[derive(Debug, Clone)]
+struct GenFlow {
+    profile: TrafficProfile,
+    d_req: Nanos,
+}
+
+fn gen_flow() -> impl Strategy<Value = GenFlow> {
+    (
+        20_000u64..60_000,
+        1u64..4,
+        20_000u64..120_000,
+        1_000u64..8_000,
+    )
+        .prop_map(|(rho, pk, sigma_extra, d_ms)| GenFlow {
+            profile: TrafficProfile::new(
+                Bits::from_bits(12_000 + sigma_extra),
+                Rate::from_bps(rho),
+                Rate::from_bps(rho * (1 + pk)),
+                Bits::from_bytes(1500),
+            )
+            .unwrap(),
+            d_req: Nanos::from_millis(d_ms),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn admitted_flows_meet_bounds_on_random_domains(
+        width in 2usize..4,
+        chain in 1usize..4,
+        kinds in any::<u64>(),
+        flows in prop::collection::vec(gen_flow(), 4..14),
+    ) {
+        let (topo, ingress, egress) = build_domain(width, chain, kinds);
+        let mut broker = Broker::new(topo.clone(), BrokerConfig::default());
+        let mut admitted: Vec<(FlowId, GenFlow, Vec<LinkId>, Rate, Nanos)> = Vec::new();
+        for (i, f) in flows.iter().enumerate() {
+            let req = FlowRequest {
+                flow: FlowId(i as u64),
+                profile: f.profile,
+                d_req: f.d_req,
+                service: ServiceKind::PerFlow,
+                path: bbqos::broker::mib::PathId(0),
+            };
+            if let Ok((res, pid)) =
+                broker.request_with_alternates(Time::ZERO, &req, ingress, egress, 4)
+            {
+                // Recover the concrete route for the simulator from the
+                // path MIB's link refs (indices coincide with topology
+                // link ids under full import).
+                let route: Vec<LinkId> = broker
+                    .paths()
+                    .path(pid)
+                    .links
+                    .iter()
+                    .map(|r| LinkId(r.0))
+                    .collect();
+                admitted.push((res.flow, f.clone(), route, res.rate, res.delay));
+            }
+        }
+        // With a 3 Mb/s core and sustained rates ≤ 60 kb/s, most requests
+        // must admit — vacuous passes would hide a broken harness.
+        prop_assert!(
+            admitted.len() * 2 >= flows.len(),
+            "only {}/{} admitted — harness suspicious",
+            admitted.len(),
+            flows.len()
+        );
+
+        let mut sim = Simulator::new(topo.clone());
+        sim.enable_validation();
+        for (id, f, route, rate, delay) in &admitted {
+            sim.add_flow(*id, *rate, *delay, route.clone());
+            sim.add_source(
+                *id,
+                SourceModel::Greedy {
+                    profile: f.profile,
+                    packet: f.profile.l_max,
+                },
+                Time::ZERO,
+                None,
+                Some(12),
+            );
+        }
+        sim.run_to_completion();
+
+        for (id, f, route, rate, delay) in &admitted {
+            let spec = topo.path_spec(route);
+            let bound =
+                e2e_delay_bound(&f.profile, &spec, f.profile.l_max, *rate, *delay).unwrap();
+            let st = sim.flow_stats(*id);
+            prop_assert_eq!(st.delivered, 12, "flow {} lost packets", id.0);
+            prop_assert!(
+                st.max_e2e <= bound,
+                "flow {}: observed {} > bound {} (r={}, d={}, path h={})",
+                id.0, st.max_e2e, bound, rate, delay, spec.h()
+            );
+            prop_assert_eq!(st.spacing_violations, 0);
+            prop_assert_eq!(st.reality_violations, 0);
+        }
+    }
+}
