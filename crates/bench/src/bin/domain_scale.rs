@@ -5,38 +5,35 @@
 //! Grows a grid-ish domain (parallel pods of 5-hop paths), fills every
 //! pod with per-flow reservations, and reports the broker's decision
 //! throughput and state footprint against the hop-by-hop alternative's
-//! per-router state.
+//! per-router state. Alongside the table, writes the rows to
+//! `BENCH_domain_scale.json` for machine consumption.
 
 use std::time::Instant;
 
 use bb_core::{Broker, BrokerConfig, FlowRequest, ServiceKind};
-use netsim::topology::{LinkId, SchedulerSpec, TopologyBuilder};
+use netsim::topology::{SchedulerSpec, Topology};
 use qos_units::{Bits, Nanos, Rate, Time};
 use vtrs::packet::FlowId;
 use workload::profiles::type0;
 
-/// `pods` disjoint 5-hop chains in one domain.
-fn build(pods: usize) -> (netsim::topology::Topology, Vec<Vec<LinkId>>) {
-    let mut b = TopologyBuilder::new();
-    let mut routes = Vec::new();
-    for p in 0..pods {
-        let nodes: Vec<_> = (0..6).map(|i| b.node(format!("p{p}n{i}"))).collect();
-        routes.push(
-            (0..5)
-                .map(|i| {
-                    b.link(
-                        nodes[i],
-                        nodes[i + 1],
-                        Rate::from_bps(1_500_000),
-                        Nanos::ZERO,
-                        SchedulerSpec::CsVc,
-                        Bits::from_bytes(1500),
-                    )
-                })
-                .collect(),
-        );
-    }
-    (b.build(), routes)
+const HOPS: usize = 5;
+
+#[derive(serde::Serialize)]
+struct Row {
+    pods: usize,
+    links: usize,
+    admitted: u64,
+    decisions_per_s: f64,
+    bb_flow_records: usize,
+    hop_by_hop_entries: u64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    hops: usize,
+    profile: &'static str,
+    d_req_ms: u64,
+    rows: Vec<Row>,
 }
 
 fn main() {
@@ -45,8 +42,16 @@ fn main() {
         "{:>6} {:>8} {:>8} {:>12} {:>14} {:>18}",
         "pods", "links", "flows", "decisions/s", "BB flow recs", "hop-by-hop state"
     );
+    let mut rows = Vec::new();
     for pods in [1usize, 4, 16, 64, 256] {
-        let (topo, routes) = build(pods);
+        let (topo, routes) = Topology::pod_chains(
+            pods,
+            HOPS,
+            Rate::from_bps(1_500_000),
+            Nanos::ZERO,
+            SchedulerSpec::CsVc,
+            Bits::from_bytes(1500),
+        );
         let links = topo.link_count();
         let mut broker = Broker::new(topo, BrokerConfig::default());
         let pids: Vec<_> = routes.iter().map(|r| broker.register_route(r)).collect();
@@ -74,7 +79,7 @@ fn main() {
         }
         let dps = decisions as f64 / t0.elapsed().as_secs_f64();
         // Hop-by-hop would install one entry per flow per hop.
-        let hop_state = admitted * 5;
+        let hop_state = admitted * HOPS as u64;
         println!(
             "{:>6} {:>8} {:>8} {:>12.0} {:>14} {:>18}",
             pods,
@@ -84,10 +89,30 @@ fn main() {
             broker.flows().len(),
             hop_state
         );
+        rows.push(Row {
+            pods,
+            links,
+            admitted,
+            decisions_per_s: dps,
+            bb_flow_records: broker.flows().len(),
+            hop_by_hop_entries: hop_state,
+        });
     }
+    let report = Report {
+        hops: HOPS,
+        profile: "type0",
+        d_req_ms: 2_440,
+        rows,
+    };
+    std::fs::write(
+        "BENCH_domain_scale.json",
+        serde::json::to_string_pretty(&report),
+    )
+    .expect("write BENCH_domain_scale.json");
     println!(
         "\ndecision throughput is flat in domain size (each decision touches one\n\
          path's MIB rows), and the broker's footprint is one record per flow —\n\
-         versus flows × hops entries scattered across routers hop-by-hop."
+         versus flows × hops entries scattered across routers hop-by-hop.\n\
+         wrote BENCH_domain_scale.json"
     );
 }

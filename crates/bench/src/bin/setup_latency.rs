@@ -42,10 +42,26 @@ fn chain(hops: usize) -> (netsim::topology::Topology, Vec<LinkId>) {
     (b.build(), route)
 }
 
+#[derive(serde::Serialize)]
+struct Row {
+    hops: usize,
+    bb_compute_us: f64,
+    rsvp_compute_us: f64,
+    bb_total_ms: f64,
+    rsvp_total_ms: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    message_one_way_ms: f64,
+    rows: Vec<Row>,
+}
+
 fn main() {
     const MSG_MS: f64 = 5.0; // one-way control-message latency
     let profile = type0();
     let d_req = Nanos::from_secs(20);
+    let mut rows = Vec::new();
 
     println!("reservation set-up latency model (message one-way = {MSG_MS} ms):");
     println!(
@@ -92,9 +108,26 @@ fn main() {
             "{:>6} {:>16.2} {:>16.2} {:>12.2} {:>12.2}",
             hops, bb_us, rsvp_us, bb_total, rsvp_total
         );
+        rows.push(Row {
+            hops,
+            bb_compute_us: bb_us,
+            rsvp_compute_us: rsvp_us,
+            bb_total_ms: bb_total,
+            rsvp_total_ms: rsvp_total,
+        });
     }
+    let report = Report {
+        message_one_way_ms: MSG_MS,
+        rows,
+    };
+    std::fs::write(
+        "BENCH_setup_latency.json",
+        serde::json::to_string_pretty(&report),
+    )
+    .expect("write BENCH_setup_latency.json");
     println!(
         "\nthe broker's set-up latency is flat in path length; hop-by-hop grows\n\
-         linearly — plus soft-state refresh traffic forever after."
+         linearly — plus soft-state refresh traffic forever after.\n\
+         wrote BENCH_setup_latency.json"
     );
 }

@@ -149,6 +149,25 @@ impl Broker {
         }
     }
 
+    /// Restricts this broker's macroflow-id allocation to the `shard`-th
+    /// of `shards` equal blocks of the macroflow id space, so brokers
+    /// serving disjoint shards of one domain (see [`crate::shard`]) never
+    /// hand out colliding macroflow ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= shards`, `shards` is zero, or macroflows
+    /// have already been allocated.
+    pub fn set_macro_shard(&mut self, shard: u64, shards: u64) {
+        assert!(shard < shards, "shard index out of range");
+        assert!(
+            self.next_macro == MACRO_BASE && self.macroflows.is_empty(),
+            "macroflow namespace must be set before any allocation"
+        );
+        let block = (1u64 << 63) / shards;
+        self.next_macro = MACRO_BASE + shard * block;
+    }
+
     /// Path selection between two nodes (minimum hop), registering the
     /// path on first use.
     pub fn path_between(&mut self, from: NodeId, to: NodeId) -> Option<PathId> {

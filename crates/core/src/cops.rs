@@ -387,6 +387,7 @@ fn reject_code(r: crate::signaling::Reject) -> u16 {
         R::Schedulability => 4,
         R::UnknownClass => 5,
         R::DuplicateFlow => 6,
+        R::Overloaded => 7,
     }
 }
 
@@ -399,6 +400,7 @@ fn reject_from_code(c: u16) -> Option<crate::signaling::Reject> {
         4 => R::Schedulability,
         5 => R::UnknownClass,
         6 => R::DuplicateFlow,
+        7 => R::Overloaded,
         _ => return None,
     })
 }

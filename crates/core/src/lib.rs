@@ -41,8 +41,10 @@ pub mod intserv;
 pub mod mib;
 pub mod policy;
 pub mod routing;
+pub mod shard;
 pub mod signaling;
 
 pub use broker::{Broker, BrokerConfig};
 pub use mib::{FlowMib, NodeMib, PathId, PathMib};
+pub use shard::{build_shards, plan_shards, shard_of_path, BrokerShard};
 pub use signaling::{FlowRequest, Reject, Reservation, ServiceKind};

@@ -1,0 +1,342 @@
+//! Shard-aware broker API for concurrent deployments.
+//!
+//! The broker of [`crate::broker`] is a passive, single-threaded state
+//! machine — the right shape for the simulator, but a daemon serving
+//! many edge routers wants to run admission control on several cores at
+//! once. The paper's state layout makes that safe to do without locks:
+//! admission for a path touches only that path's rows of the node and
+//! path MIBs, so when a domain partitions into **link-disjoint pods**
+//! (see [`netsim::topology::Topology::pod_of`]), per-pod state can be
+//! owned outright by independent shards.
+//!
+//! [`BrokerShard`] is one such shard: a full [`Broker`] plus a
+//! translation table from *global* path ids (what edge routers put in
+//! COPS requests) to the shard-local registration. It is `Send`, so a
+//! worker thread can own one, and it keeps the broker's explicit-time,
+//! passive semantics — nothing here spawns threads or reads clocks.
+//! [`build_shards`] partitions a routed topology into such shards and
+//! proves (by assertion) that the partition is link-disjoint, which is
+//! the whole correctness argument: a flow's admission outcome depends
+//! only on its own shard's state, so any interleaving of requests across
+//! shards yields the same per-flow decisions as a serial broker fed the
+//! same per-shard request order.
+
+use std::collections::HashMap;
+
+use netsim::topology::{LinkId, Topology};
+use qos_units::Time;
+use vtrs::packet::FlowId;
+
+use crate::broker::{Broker, BrokerConfig, UnknownFlow};
+use crate::mib::PathId;
+use crate::signaling::{FlowRequest, Reject, Reservation};
+
+/// One shard of a domain's broker state: an independent [`Broker`]
+/// owning the MIB rows of the paths assigned to it.
+#[derive(Debug)]
+pub struct BrokerShard {
+    shard: usize,
+    broker: Broker,
+    /// Global path id → id under this shard's own path MIB.
+    paths: HashMap<PathId, PathId>,
+}
+
+impl BrokerShard {
+    /// Builds a shard over the (shared, immutable) domain topology,
+    /// serving exactly the given `(global id, route)` paths.
+    ///
+    /// `shards` is the total shard count; it namespaces macroflow ids so
+    /// class-service reservations minted by different shards never
+    /// collide at the edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= shards` or a route references an unknown
+    /// link.
+    #[must_use]
+    pub fn new(
+        shard: usize,
+        shards: usize,
+        topo: &Topology,
+        config: &BrokerConfig,
+        routes: &[(PathId, Vec<LinkId>)],
+    ) -> Self {
+        let mut broker = Broker::new(topo.clone(), config.clone());
+        broker.set_macro_shard(shard as u64, shards as u64);
+        let paths = routes
+            .iter()
+            .map(|(global, route)| (*global, broker.register_route(route)))
+            .collect();
+        BrokerShard {
+            shard,
+            broker,
+            paths,
+        }
+    }
+
+    /// This shard's index.
+    #[must_use]
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Whether a global path id is served here.
+    #[must_use]
+    pub fn serves(&self, path: PathId) -> bool {
+        self.paths.contains_key(&path)
+    }
+
+    /// Handles a flow request whose `path` field is a **global** path id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the broker's [`Reject`] cause.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the request's path is not served by this shard — the
+    /// dispatcher's responsibility, checked here so a routing bug cannot
+    /// silently corrupt another shard's accounting.
+    pub fn request(&mut self, now: Time, req: &FlowRequest) -> Result<Reservation, Reject> {
+        let local = *self
+            .paths
+            .get(&req.path)
+            .expect("request dispatched to the shard owning its path");
+        let mut translated = req.clone();
+        translated.path = local;
+        self.broker.request(now, &translated)
+    }
+
+    /// Releases a flow admitted by this shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownFlow`] when the id was never admitted here.
+    pub fn release(&mut self, now: Time, flow: FlowId) -> Result<Option<Reservation>, UnknownFlow> {
+        self.broker.release(now, flow)
+    }
+
+    /// Edge feedback for a macroflow owned by this shard.
+    pub fn edge_buffer_empty(&mut self, now: Time, macroflow: FlowId) -> qos_units::Rate {
+        self.broker.edge_buffer_empty(now, macroflow)
+    }
+
+    /// Contingency timer processing (explicit time, as ever).
+    pub fn tick(&mut self, now: Time) -> Vec<(FlowId, qos_units::Rate)> {
+        self.broker.tick(now)
+    }
+
+    /// Read access to the underlying broker (stats, MIBs).
+    #[must_use]
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// The global path ids served here (unordered).
+    pub fn served_paths(&self) -> impl Iterator<Item = PathId> + '_ {
+        self.paths.keys().copied()
+    }
+}
+
+/// Assigns route indices to shards. Routes confined to a pod go to shard
+/// `pod % shards`; routes without pod annotation all go to shard 0 (a
+/// single unsharded broker is always correct).
+#[must_use]
+pub fn plan_shards(topo: &Topology, routes: &[Vec<LinkId>], shards: usize) -> Vec<Vec<usize>> {
+    let shards = shards.max(1);
+    let mut plan = vec![Vec::new(); shards];
+    for (i, route) in routes.iter().enumerate() {
+        let shard = topo.route_pod(route).map_or(0, |pod| pod % shards);
+        plan[shard].push(i);
+    }
+    plan
+}
+
+/// Partitions a routed domain into independent [`BrokerShard`]s, one per
+/// plan entry, assigning route `i` the global id `PathId(i)`.
+///
+/// # Panics
+///
+/// Panics when two different shards would share a link — the partition
+/// must be link-disjoint for lock-free shard ownership to be sound.
+#[must_use]
+pub fn build_shards(
+    topo: &Topology,
+    config: &BrokerConfig,
+    routes: &[Vec<LinkId>],
+    shards: usize,
+) -> Vec<BrokerShard> {
+    let plan = plan_shards(topo, routes, shards);
+    let mut link_owner: HashMap<LinkId, usize> = HashMap::new();
+    for (shard, members) in plan.iter().enumerate() {
+        for &i in members {
+            for l in &routes[i] {
+                let owner = *link_owner.entry(*l).or_insert(shard);
+                assert!(
+                    owner == shard,
+                    "link {l:?} appears in shards {owner} and {shard}: partition not link-disjoint"
+                );
+            }
+        }
+    }
+    let total = plan.len();
+    plan.iter()
+        .enumerate()
+        .map(|(shard, members)| {
+            let shard_routes: Vec<(PathId, Vec<LinkId>)> = members
+                .iter()
+                .map(|&i| (PathId(i as u64), routes[i].clone()))
+                .collect();
+            BrokerShard::new(shard, total, topo, config, &shard_routes)
+        })
+        .collect()
+}
+
+/// Maps a macroflow id back to the shard that minted it, inverting the
+/// block partition of [`Broker::set_macro_shard`]. Returns `None` for
+/// ids outside the macroflow space (i.e. ordinary microflow ids).
+#[must_use]
+pub fn shard_of_macroflow(id: FlowId, shards: usize) -> Option<usize> {
+    const MACRO_BASE: u64 = 1 << 63;
+    if id.0 < MACRO_BASE || shards == 0 {
+        return None;
+    }
+    let block = (1u64 << 63) / shards as u64;
+    Some((((id.0 - MACRO_BASE) / block) as usize).min(shards - 1))
+}
+
+/// Maps a global path id to its owning shard under [`plan_shards`]'
+/// assignment, without building anything.
+#[must_use]
+pub fn shard_of_path(
+    topo: &Topology,
+    routes: &[Vec<LinkId>],
+    shards: usize,
+    path: PathId,
+) -> usize {
+    let shards = shards.max(1);
+    routes
+        .get(path.0 as usize)
+        .and_then(|r| topo.route_pod(r))
+        .map_or(0, |pod| pod % shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signaling::ServiceKind;
+    use netsim::topology::SchedulerSpec;
+    use qos_units::{Bits, Nanos, Rate};
+    use vtrs::profile::TrafficProfile;
+
+    fn type0ish() -> TrafficProfile {
+        TrafficProfile::new(
+            Bits::from_bytes(2_000),
+            Rate::from_bps(16_000),
+            Rate::from_bps(64_000),
+            Bits::from_bytes(125),
+        )
+        .expect("valid profile")
+    }
+
+    fn pod_domain(pods: usize) -> (Topology, Vec<Vec<LinkId>>) {
+        Topology::pod_chains(
+            pods,
+            5,
+            Rate::from_bps(1_500_000),
+            Nanos::ZERO,
+            SchedulerSpec::CsVc,
+            Bits::from_bytes(1500),
+        )
+    }
+
+    #[test]
+    fn broker_shard_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<BrokerShard>();
+        assert_send::<Broker>();
+    }
+
+    #[test]
+    fn plan_is_link_disjoint_and_covers_all_routes() {
+        let (topo, routes) = pod_domain(8);
+        let plan = plan_shards(&topo, &routes, 3);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.iter().map(Vec::len).sum::<usize>(), 8);
+        // Pod p lands on shard p % 3.
+        for (shard, members) in plan.iter().enumerate() {
+            for &i in members {
+                assert_eq!(i % 3, shard);
+            }
+        }
+        let shards = build_shards(&topo, &BrokerConfig::default(), &routes, 3);
+        assert_eq!(shards.len(), 3);
+        for s in &shards {
+            for p in s.served_paths() {
+                assert_eq!(shard_of_path(&topo, &routes, 3, p), s.shard());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_decisions_match_a_serial_broker() {
+        let (topo, routes) = pod_domain(4);
+        let mut shards = build_shards(&topo, &BrokerConfig::default(), &routes, 2);
+
+        let mut serial = Broker::new(topo.clone(), BrokerConfig::default());
+        let serial_pids: Vec<PathId> = routes.iter().map(|r| serial.register_route(r)).collect();
+
+        // Saturate every pod through the sharded API and serially;
+        // decisions must agree flow for flow.
+        let mut id = 0u64;
+        for (i, _) in routes.iter().enumerate() {
+            let global = PathId(i as u64);
+            let shard = shard_of_path(&topo, &routes, 2, global);
+            loop {
+                let req = FlowRequest {
+                    flow: FlowId(id),
+                    profile: type0ish(),
+                    d_req: Nanos::from_millis(2_440),
+                    service: ServiceKind::PerFlow,
+                    path: global,
+                };
+                id += 1;
+                let sharded = shards[shard].request(Time::ZERO, &req);
+                let mut serial_req = req.clone();
+                serial_req.path = serial_pids[i];
+                let reference = serial.request(Time::ZERO, &serial_req);
+                assert_eq!(sharded, reference, "flow {} diverged", req.flow);
+                if sharded.is_err() {
+                    break;
+                }
+            }
+        }
+        let admitted: u64 = shards.iter().map(|s| s.broker().stats().admitted).sum();
+        assert_eq!(admitted, serial.stats().admitted);
+        assert!(admitted > 0);
+    }
+
+    #[test]
+    fn macro_namespaces_do_not_collide() {
+        let (topo, routes) = pod_domain(2);
+        let config = BrokerConfig {
+            classes: vec![crate::admission::aggregate::ClassSpec {
+                id: 1,
+                d_req: Nanos::from_secs(20),
+                cd: Nanos::from_millis(100),
+            }],
+            ..BrokerConfig::default()
+        };
+        let mut shards = build_shards(&topo, &config, &routes, 2);
+        let mk = |flow: u64, path: u64| FlowRequest {
+            flow: FlowId(flow),
+            profile: type0ish(),
+            d_req: Nanos::from_secs(20),
+            service: ServiceKind::Class(1),
+            path: PathId(path),
+        };
+        let a = shards[0].request(Time::ZERO, &mk(1, 0)).unwrap();
+        let b = shards[1].request(Time::ZERO, &mk(2, 1)).unwrap();
+        assert_ne!(a.conditioned_flow, b.conditioned_flow);
+    }
+}

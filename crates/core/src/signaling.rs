@@ -26,7 +26,7 @@ pub enum ServiceKind {
 }
 
 /// A new-flow service request, as sent by an ingress router to the BB.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlowRequest {
     /// Caller-chosen flow identity.
     pub flow: FlowId,
@@ -58,6 +58,10 @@ pub enum Reject {
     UnknownClass,
     /// The flow id is already active.
     DuplicateFlow,
+    /// The broker is shedding load: its request queue is full and the
+    /// request was never admission-tested (daemon backpressure, not a
+    /// resource verdict — the edge may retry).
+    Overloaded,
 }
 
 impl fmt::Display for Reject {
@@ -69,6 +73,7 @@ impl fmt::Display for Reject {
             Reject::Schedulability => "no feasible rate-delay pair (EDF schedulability)",
             Reject::UnknownClass => "service class not offered",
             Reject::DuplicateFlow => "flow id already active",
+            Reject::Overloaded => "broker overloaded; request dropped before admission",
         };
         f.write_str(s)
     }
@@ -78,7 +83,7 @@ impl std::error::Error for Reject {}
 
 /// A granted reservation, returned to the ingress so it can configure the
 /// edge conditioner (the paper's `⟨r, d⟩` push via COPS).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Reservation {
     /// The flow (for class service: the microflow) this answers.
     pub flow: FlowId,

@@ -89,6 +89,11 @@ pub struct Topology {
     links: Vec<Link>,
     /// Outgoing link ids per node.
     out: Vec<Vec<LinkId>>,
+    /// Pod membership per node (`None` = not in any pod). Pods partition
+    /// a domain into link-disjoint regions, which lets a broker shard its
+    /// MIBs: admission decisions for paths confined to one pod never
+    /// touch another pod's state.
+    pods: Vec<Option<usize>>,
 }
 
 impl Topology {
@@ -249,6 +254,95 @@ impl Topology {
             .max()
             .unwrap_or(Bits::ZERO)
     }
+
+    /// The pod a node belongs to, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    #[must_use]
+    pub fn pod_of(&self, n: NodeId) -> Option<usize> {
+        self.pods[n.0]
+    }
+
+    /// Number of distinct pods (max pod index + 1; 0 when no node is
+    /// pod-annotated).
+    #[must_use]
+    pub fn pod_count(&self) -> usize {
+        self.pods
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// The pod a route is confined to: `Some(p)` when every endpoint of
+    /// every link on the route is in pod `p`, `None` for empty,
+    /// pod-crossing, or unannotated routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link id is out of range.
+    #[must_use]
+    pub fn route_pod(&self, route: &[LinkId]) -> Option<usize> {
+        let mut pod = None;
+        for l in route {
+            let link = &self.links[l.0];
+            for n in [link.from, link.to] {
+                let p = self.pods[n.0]?;
+                match pod {
+                    None => pod = Some(p),
+                    Some(q) if q != p => return None,
+                    Some(_) => {}
+                }
+            }
+        }
+        pod
+    }
+
+    /// Builds the standard sharded-domain benchmark topology: `pods`
+    /// link-disjoint chains of `hops` identical links, every node
+    /// annotated with its pod. Returns the topology and the per-pod
+    /// route (ingress to egress along each chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pods` or `hops` is zero, or on zero capacity.
+    #[must_use]
+    pub fn pod_chains(
+        pods: usize,
+        hops: usize,
+        capacity: Rate,
+        prop_delay: Nanos,
+        scheduler: SchedulerSpec,
+        max_packet: Bits,
+    ) -> (Topology, Vec<Vec<LinkId>>) {
+        assert!(pods > 0, "need at least one pod");
+        assert!(hops > 0, "need at least one hop per pod");
+        let mut b = TopologyBuilder::new();
+        let mut routes = Vec::with_capacity(pods);
+        for p in 0..pods {
+            let nodes: Vec<NodeId> = (0..=hops)
+                .map(|i| b.node_in_pod(format!("p{p}n{i}"), p))
+                .collect();
+            routes.push(
+                (0..hops)
+                    .map(|i| {
+                        b.link(
+                            nodes[i],
+                            nodes[i + 1],
+                            capacity,
+                            prop_delay,
+                            scheduler,
+                            max_packet,
+                        )
+                    })
+                    .collect(),
+            );
+        }
+        (b.build(), routes)
+    }
 }
 
 /// Builder for [`Topology`].
@@ -269,6 +363,14 @@ impl TopologyBuilder {
         let id = NodeId(self.topo.names.len());
         self.topo.names.push(name.into());
         self.topo.out.push(Vec::new());
+        self.topo.pods.push(None);
+        id
+    }
+
+    /// Adds a node annotated with its pod (see [`Topology::pod_of`]).
+    pub fn node_in_pod(&mut self, name: impl Into<String>, pod: usize) -> NodeId {
+        let id = self.node(name);
+        self.topo.pods[id.0] = Some(pod);
         id
     }
 
@@ -432,6 +534,36 @@ mod tests {
         assert_eq!(t.node_by_name("n1"), Some(nodes[1]));
         assert_eq!(t.node_by_name("nope"), None);
         assert_eq!(t.node_name(nodes[2]), "n2");
+    }
+
+    #[test]
+    fn pod_chains_annotate_and_partition() {
+        let (t, routes) = Topology::pod_chains(
+            3,
+            5,
+            Rate::from_bps(1_500_000),
+            Nanos::ZERO,
+            SchedulerSpec::CsVc,
+            Bits::from_bytes(1500),
+        );
+        assert_eq!(t.pod_count(), 3);
+        assert_eq!(t.node_count(), 3 * 6);
+        assert_eq!(routes.len(), 3);
+        for (p, route) in routes.iter().enumerate() {
+            assert_eq!(route.len(), 5);
+            assert_eq!(t.route_pod(route), Some(p));
+            for l in route {
+                assert_eq!(t.pod_of(t.link(*l).from), Some(p));
+                assert_eq!(t.pod_of(t.link(*l).to), Some(p));
+            }
+        }
+        // A synthetic pod-crossing route has no confining pod.
+        let crossing = vec![routes[0][0], routes[1][0]];
+        assert_eq!(t.route_pod(&crossing), None);
+        // Unannotated topologies have no pods.
+        let (plain, _, links) = line(3);
+        assert_eq!(plain.pod_count(), 0);
+        assert_eq!(plain.route_pod(&links), None);
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! `bb-loadgen` — open-loop COPS load generator for `bb-server`.
+//!
+//! Drives the daemon from N concurrent edge-router connections, each
+//! sending a seeded open-loop Poisson stream of admission requests for
+//! the pods it owns (pod `p` belongs to client `p mod N`, so every
+//! pod's request order is fixed by one connection). Reports admission
+//! throughput, setup-latency percentiles, and — with `--verify` —
+//! checks every decision flow-for-flow against a serial [`Broker`] fed
+//! the same requests in the same per-pod order.
+//!
+//! ```text
+//! bb-loadgen [--pods 64] [--hops 5] [--clients 8] [--requests 400]
+//!            [--rate 4000] [--seed 1] [--workers 4]
+//!            [--queue-depth 4096] [--verify] [--out BENCH_loadgen.json]
+//!            [--addr HOST:PORT]   # drive an external daemon instead
+//! ```
+//!
+//! Without `--addr` the generator hosts the daemon in-process on an
+//! ephemeral port (still exercising the full TCP path), so one command
+//! reproduces the concurrent-broker experiment end to end.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bb_core::broker::{Broker, BrokerConfig};
+use bb_core::cops::{self, Decision};
+use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
+use bb_server::{BbServer, FrameReader, ServerConfig, ServerReport};
+use netsim::topology::{SchedulerSpec, Topology};
+use qos_units::{Bits, Nanos, Rate, Time};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// The paper's "type 0" audio-like flow: 16 kb/s token rate, 64 kb/s
+/// peak, 2000 B bucket, 125 B packets.
+fn type0_profile() -> TrafficProfile {
+    TrafficProfile::new(
+        Bits::from_bytes(2_000),
+        Rate::from_bps(16_000),
+        Rate::from_bps(64_000),
+        Bits::from_bytes(125),
+    )
+    .expect("well-formed type-0 profile")
+}
+
+/// Deterministic request content for client `c` — independent of
+/// timing, so `--verify` can regenerate the exact same stream.
+fn requests_for(c: u64, clients: u64, pods: usize, n: usize) -> Vec<FlowRequest> {
+    let owned: Vec<usize> = (0..pods).filter(|p| *p as u64 % clients == c).collect();
+    (0..n)
+        .map(|k| FlowRequest {
+            flow: FlowId((c << 32) | k as u64),
+            profile: type0_profile(),
+            d_req: Nanos::from_millis(2_440),
+            service: ServiceKind::PerFlow,
+            path: bb_core::PathId(owned[k % owned.len()] as u64),
+        })
+        .collect()
+}
+
+/// One client's observed decision for a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Admit { rate_bps: u64, delay_ns: u64 },
+    Deny(Reject),
+}
+
+struct ClientResult {
+    /// `request index k → outcome`, in whatever order DECs arrived.
+    outcomes: HashMap<u64, Outcome>,
+    /// Setup latency (send → DEC) per answered request, nanoseconds.
+    latencies: Vec<u64>,
+}
+
+#[derive(serde::Serialize)]
+struct LoadgenReport {
+    pods: usize,
+    hops: usize,
+    clients: usize,
+    requests_per_client: usize,
+    offered_rate_per_client_hz: f64,
+    seed: u64,
+    decisions: u64,
+    admitted: u64,
+    rejected: u64,
+    overloaded: u64,
+    elapsed_s: f64,
+    throughput_decisions_per_s: f64,
+    setup_latency_p50_us: f64,
+    setup_latency_p90_us: f64,
+    setup_latency_p99_us: f64,
+    verified: Option<bool>,
+    server: Option<ServerReport>,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] as f64 / 1_000.0
+}
+
+/// Drives one connection: a sender thread paces the Poisson schedule,
+/// this thread reads DECs until every request is answered.
+fn run_client(
+    addr: String,
+    c: u64,
+    reqs: Vec<FlowRequest>,
+    rate_hz: f64,
+    seed: u64,
+) -> std::io::Result<ClientResult> {
+    let stream = TcpStream::connect(&addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut wstream = stream.try_clone()?;
+
+    let n = reqs.len();
+    let send_at: Arc<Mutex<Vec<Option<Instant>>>> = Arc::new(Mutex::new(vec![None; n]));
+    let sender_times = Arc::clone(&send_at);
+    let sender = std::thread::Builder::new()
+        .name(format!("loadgen-send-{c}"))
+        .spawn(move || -> std::io::Result<()> {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (c.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let start = Instant::now();
+            let mut next_at = 0.0f64;
+            for (k, req) in reqs.iter().enumerate() {
+                // Open loop: arrivals follow the schedule, not the
+                // server; a slow server sees the queue build up.
+                next_at += -rng.gen_range(f64::MIN_POSITIVE..1.0).ln() / rate_hz;
+                let due = start + Duration::from_secs_f64(next_at);
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                sender_times.lock().expect("sender clock lock")[k] = Some(Instant::now());
+                wstream.write_all(&cops::encode_request(req))?;
+            }
+            Ok(())
+        })
+        .expect("spawn sender thread");
+
+    let mut outcomes = HashMap::new();
+    let mut latencies = Vec::with_capacity(n);
+    let mut reader = FrameReader::new();
+    let mut chunk = [0u8; 4096];
+    let mut rstream = stream;
+    let mut idle_reads = 0u32;
+    'recv: while outcomes.len() < n {
+        loop {
+            match reader.next_frame() {
+                Ok(Some(wire)) => {
+                    let recv_at = Instant::now();
+                    let mut buf = wire;
+                    let frame = cops::decode_frame(&mut buf).expect("server sent valid COPS");
+                    let decision = cops::decode_decision(&frame).expect("server sent a DEC");
+                    let (flow, outcome) = match decision {
+                        Decision::Install(res) => (
+                            res.flow,
+                            Outcome::Admit {
+                                rate_bps: res.rate.as_bps(),
+                                delay_ns: res.delay.as_nanos(),
+                            },
+                        ),
+                        Decision::Reject { flow, cause } => (flow, Outcome::Deny(cause)),
+                    };
+                    let k = flow.0 & 0xFFFF_FFFF;
+                    if let Some(at) = send_at.lock().expect("reader clock lock")[k as usize] {
+                        latencies.push(recv_at.duration_since(at).as_nanos() as u64);
+                    }
+                    outcomes.insert(k, outcome);
+                }
+                Ok(None) => break,
+                Err(e) => panic!("server broke framing: {e}"),
+            }
+        }
+        match rstream.read(&mut chunk) {
+            Ok(0) => break 'recv,
+            Ok(got) => {
+                idle_reads = 0;
+                reader.extend(&chunk[..got]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                idle_reads += 1;
+                // 10 s of silence after everything was sent: give up
+                // rather than hang the benchmark.
+                if idle_reads > 50 && sender.is_finished() {
+                    break 'recv;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    sender.join().expect("sender thread panicked")?;
+    Ok(ClientResult {
+        outcomes,
+        latencies,
+    })
+}
+
+/// Replays every client's stream, client by client, through a serial
+/// broker on an identical topology and diffs each flow's decision.
+fn verify_against_serial(
+    pods: usize,
+    hops: usize,
+    clients: u64,
+    requests: usize,
+    results: &[ClientResult],
+) -> bool {
+    let (topo, routes) = pod_topology(pods, hops);
+    let mut broker = Broker::new(topo, BrokerConfig::default());
+    for route in &routes {
+        broker.register_route(route);
+    }
+    let mut mismatches = 0u64;
+    for (c, result) in results.iter().enumerate() {
+        for (k, req) in requests_for(c as u64, clients, pods, requests)
+            .iter()
+            .enumerate()
+        {
+            let expected = match broker.request(Time::ZERO, req) {
+                Ok(res) => Outcome::Admit {
+                    rate_bps: res.rate.as_bps(),
+                    delay_ns: res.delay.as_nanos(),
+                },
+                Err(cause) => Outcome::Deny(cause),
+            };
+            match result.outcomes.get(&(k as u64)) {
+                Some(got) if *got == expected => {}
+                got => {
+                    mismatches += 1;
+                    if mismatches <= 5 {
+                        eprintln!(
+                            "verify mismatch: client {c} request {k} ({:?}): daemon {:?}, serial {:?}",
+                            req.flow, got, expected
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("verify FAILED: {mismatches} decisions differ from the serial broker");
+        false
+    } else {
+        println!(
+            "verify OK: all {} decisions match the serial broker flow-for-flow",
+            clients as usize * requests
+        );
+        true
+    }
+}
+
+fn pod_topology(pods: usize, hops: usize) -> (Topology, Vec<Vec<netsim::topology::LinkId>>) {
+    Topology::pod_chains(
+        pods,
+        hops,
+        Rate::from_bps(1_500_000),
+        Nanos::ZERO,
+        SchedulerSpec::CsVc,
+        Bits::from_bytes(1500),
+    )
+}
+
+fn main() {
+    let pods: usize = arg("--pods", 64);
+    let hops: usize = arg("--hops", 5);
+    let clients: usize = arg("--clients", 8);
+    let requests: usize = arg("--requests", 400);
+    let rate_hz: f64 = arg("--rate", 4_000.0);
+    let seed: u64 = arg("--seed", 1);
+    let verify = flag("--verify");
+    let out: String = arg("--out", "BENCH_loadgen.json".to_string());
+    let external: String = arg("--addr", String::new());
+
+    assert!(clients >= 1, "need at least one client");
+    assert!(
+        pods >= clients,
+        "need at least one pod per client so every client owns a pod"
+    );
+
+    // Host the daemon in-process unless pointed at an external one. The
+    // full TCP path is exercised either way.
+    let mut hosted = None;
+    let addr = if external.is_empty() {
+        let (topo, routes) = pod_topology(pods, hops);
+        let config = ServerConfig {
+            workers: arg("--workers", 4),
+            queue_depth: arg("--queue-depth", 4_096),
+            ..ServerConfig::default()
+        };
+        let server = BbServer::start("127.0.0.1:0", &topo, &routes, &config)
+            .expect("start in-process daemon");
+        let addr = server.local_addr().to_string();
+        hosted = Some(server);
+        addr
+    } else {
+        external
+    };
+    println!(
+        "bb-loadgen: {clients} clients x {requests} requests @ {rate_hz}/s each -> {addr} \
+         ({pods} pods x {hops} hops)"
+    );
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients as u64)
+        .map(|c| {
+            let addr = addr.clone();
+            let reqs = requests_for(c, clients as u64, pods, requests);
+            std::thread::Builder::new()
+                .name(format!("loadgen-recv-{c}"))
+                .spawn(move || run_client(addr, c, reqs, rate_hz, seed))
+                .expect("spawn client thread")
+        })
+        .collect();
+    let results: Vec<ClientResult> = handles
+        .into_iter()
+        .map(|h| {
+            h.join()
+                .expect("client thread panicked")
+                .expect("client I/O")
+        })
+        .collect();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let decisions: u64 = results.iter().map(|r| r.outcomes.len() as u64).sum();
+    let admitted = results
+        .iter()
+        .flat_map(|r| r.outcomes.values())
+        .filter(|o| matches!(o, Outcome::Admit { .. }))
+        .count() as u64;
+    let overloaded = results
+        .iter()
+        .flat_map(|r| r.outcomes.values())
+        .filter(|o| matches!(o, Outcome::Deny(Reject::Overloaded)))
+        .count() as u64;
+    let mut latencies: Vec<u64> = results.iter().flat_map(|r| r.latencies.clone()).collect();
+    latencies.sort_unstable();
+
+    let verified = if verify {
+        let ok = verify_against_serial(pods, hops, clients as u64, requests, &results);
+        let clean = overloaded == 0;
+        if !clean {
+            eprintln!(
+                "verify FAILED: {overloaded} requests were shed under overload; rerun with a \
+                 deeper --queue-depth or lower --rate for a loss-free comparison"
+            );
+        }
+        Some(ok && clean)
+    } else {
+        None
+    };
+
+    let server = hosted.map(BbServer::shutdown);
+    let report = LoadgenReport {
+        pods,
+        hops,
+        clients,
+        requests_per_client: requests,
+        offered_rate_per_client_hz: rate_hz,
+        seed,
+        decisions,
+        admitted,
+        rejected: decisions - admitted,
+        overloaded,
+        elapsed_s: elapsed,
+        throughput_decisions_per_s: decisions as f64 / elapsed,
+        setup_latency_p50_us: percentile(&latencies, 0.50),
+        setup_latency_p90_us: percentile(&latencies, 0.90),
+        setup_latency_p99_us: percentile(&latencies, 0.99),
+        verified,
+        server,
+    };
+    println!(
+        "{} decisions in {:.2} s -> {:.0} decisions/s; admitted {}, setup p50 {:.0} us, p99 {:.0} us",
+        report.decisions,
+        report.elapsed_s,
+        report.throughput_decisions_per_s,
+        report.admitted,
+        report.setup_latency_p50_us,
+        report.setup_latency_p99_us
+    );
+    if let Some(srv) = &report.server {
+        println!(
+            "daemon: {} resident flows across {} shards, {} shed under overload",
+            srv.resident_flows,
+            srv.per_shard.len(),
+            srv.overloaded
+        );
+    }
+    if !out.is_empty() {
+        std::fs::write(&out, serde::json::to_string_pretty(&report)).expect("write bench JSON");
+        println!("wrote {out}");
+    }
+    if verified == Some(false) {
+        std::process::exit(1);
+    }
+}

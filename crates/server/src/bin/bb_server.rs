@@ -1,0 +1,68 @@
+//! `bb-server` — run the concurrent bandwidth-broker daemon.
+//!
+//! Serves COPS admission requests over TCP for a pod-sharded domain
+//! (the `domain_scale` topology: disjoint chains of identical links).
+//! Runs until stdin closes (or the line `quit` arrives), then shuts
+//! down cleanly and prints the final accounting as JSON.
+//!
+//! ```text
+//! bb-server [--addr 127.0.0.1:3288] [--pods 64] [--hops 5]
+//!           [--workers 4] [--queue-depth 1024]
+//! ```
+
+use std::io::BufRead;
+
+use bb_server::{BbServer, ServerConfig};
+use netsim::topology::{SchedulerSpec, Topology};
+use qos_units::{Bits, Nanos, Rate};
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let addr: String = arg("--addr", "127.0.0.1:3288".to_string());
+    let pods: usize = arg("--pods", 64);
+    let hops: usize = arg("--hops", 5);
+    let config = ServerConfig {
+        workers: arg("--workers", 4),
+        queue_depth: arg("--queue-depth", 1024),
+        ..ServerConfig::default()
+    };
+
+    // The paper's evaluation link: 1.5 Mb/s, CsVC, 1500 B packets.
+    let (topo, routes) = Topology::pod_chains(
+        pods,
+        hops,
+        Rate::from_bps(1_500_000),
+        Nanos::ZERO,
+        SchedulerSpec::CsVc,
+        Bits::from_bytes(1500),
+    );
+
+    let server = BbServer::start(&addr, &topo, &routes, &config).expect("bind and start daemon");
+    println!(
+        "bb-server listening on {} ({pods} pods x {hops} hops, {} workers, queue {})",
+        server.local_addr(),
+        config.workers,
+        config.queue_depth
+    );
+    println!("close stdin or type `quit` to stop");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+
+    let report = server.shutdown();
+    println!("{}", serde::json::to_string_pretty(&report));
+}

@@ -1,0 +1,120 @@
+//! A minimal blocking COPS client — the edge-router side of the
+//! conversation, as used by the load generator and the tests.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use bb_core::cops::{self, Decision};
+use bb_core::signaling::FlowRequest;
+use qos_units::Time;
+use vtrs::packet::FlowId;
+
+use crate::frame::FrameReader;
+
+/// One edge router's connection to the daemon.
+pub struct CopsClient {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl CopsClient {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the connect.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(CopsClient {
+            stream,
+            reader: FrameReader::new(),
+        })
+    }
+
+    /// Sets how long [`CopsClient::recv_decision`] may block.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the socket option.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends a flow admission request (`REQ`) without waiting.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the write.
+    pub fn send_request(&mut self, req: &FlowRequest) -> io::Result<()> {
+        self.stream.write_all(&cops::encode_request(req))
+    }
+
+    /// Sends a flow-departed notice (`DRQ`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the write.
+    pub fn send_delete(&mut self, flow: FlowId) -> io::Result<()> {
+        self.stream.write_all(&cops::encode_delete(flow))
+    }
+
+    /// Sends buffer-empty feedback (`RPT`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the write.
+    pub fn send_buffer_empty(&mut self, macroflow: FlowId, at: Time) -> io::Result<()> {
+        self.stream
+            .write_all(&cops::encode_buffer_empty(macroflow, at))
+    }
+
+    /// Blocks until the next `DEC` arrives and decodes it.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, connection close, or protocol violations (surfaced
+    /// as [`io::ErrorKind::InvalidData`]).
+    pub fn recv_decision(&mut self) -> io::Result<Decision> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.reader.next_frame() {
+                Ok(Some(wire)) => {
+                    let mut buf = wire;
+                    let frame = cops::decode_frame(&mut buf)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                    return cops::decode_decision(&frame)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+                }
+                Ok(None) => {}
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            self.reader.extend(&chunk[..n]);
+        }
+    }
+
+    /// Request → decision round trip.
+    ///
+    /// # Errors
+    ///
+    /// As [`CopsClient::send_request`] and [`CopsClient::recv_decision`].
+    pub fn request(&mut self, req: &FlowRequest) -> io::Result<Decision> {
+        self.send_request(req)?;
+        self.recv_decision()
+    }
+
+    /// Splits off an independently owned handle to the same socket (for
+    /// open-loop send/receive threads).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the clone.
+    pub fn try_clone_stream(&self) -> io::Result<TcpStream> {
+        self.stream.try_clone()
+    }
+}

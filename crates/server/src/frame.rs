@@ -1,0 +1,167 @@
+//! Incremental framing of a COPS byte stream.
+//!
+//! TCP delivers the broker's control channel as an arbitrary-chunked
+//! byte stream; [`FrameReader`] reassembles it into whole COPS frames
+//! using the common header's length field, without ever copying a frame
+//! twice or trusting the peer: the length field is bounds-checked
+//! against [`MAX_FRAME`] *before* any buffering commitment, so a hostile
+//! or corrupted 4 GiB length cannot balloon server memory.
+//!
+//! Frame *content* validation (version, client-type, object grammar)
+//! stays in [`bb_core::cops::decode_frame`]; this layer only finds the
+//! boundaries. On any framing error the stream is unrecoverable —
+//! length-prefixed framing has no resynchronization point — so the
+//! caller must drop the connection.
+
+use bytes::Bytes;
+
+/// Upper bound on a single COPS frame. Every legitimate message of this
+/// client-type is under 200 bytes; anything near this limit is garbage
+/// or an attack.
+pub const MAX_FRAME: usize = 16 * 1024;
+
+/// Why the stream cannot be framed any further.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The header's length field is below the 8-byte header minimum.
+    HeaderTooShort {
+        /// The claimed total frame length.
+        claimed: usize,
+    },
+    /// The header claims a frame larger than [`MAX_FRAME`].
+    Oversized {
+        /// The claimed total frame length.
+        claimed: usize,
+    },
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::HeaderTooShort { claimed } => {
+                write!(f, "COPS length field {claimed} is below the header size")
+            }
+            FrameError::Oversized { claimed } => {
+                write!(
+                    f,
+                    "COPS frame of {claimed} bytes exceeds the {MAX_FRAME} limit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reassembles COPS frames from stream chunks of any size.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a received chunk.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet framed.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extracts the next complete frame, `Ok(None)` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] when the stream is malformed; the connection must
+    /// then be closed.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        if self.buf.len() < 8 {
+            return Ok(None);
+        }
+        let claimed =
+            u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]) as usize;
+        if claimed < 8 {
+            return Err(FrameError::HeaderTooShort { claimed });
+        }
+        if claimed > MAX_FRAME {
+            return Err(FrameError::Oversized { claimed });
+        }
+        if self.buf.len() < claimed {
+            return Ok(None);
+        }
+        let rest = self.buf.split_off(claimed);
+        let frame = std::mem::replace(&mut self.buf, rest);
+        Ok(Some(Bytes::from(frame)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A syntactically minimal frame: valid header, no objects.
+    fn frame_of_len(len: u32) -> Vec<u8> {
+        let mut f = vec![0x10, 9, 0x80, 0x02];
+        f.extend_from_slice(&len.to_be_bytes());
+        f.resize(len.max(8) as usize, 0);
+        f
+    }
+
+    #[test]
+    fn single_byte_dribble_reassembles() {
+        let wire = frame_of_len(24);
+        let mut r = FrameReader::new();
+        for (i, b) in wire.iter().enumerate() {
+            r.extend(std::slice::from_ref(b));
+            let got = r.next_frame().unwrap();
+            if i + 1 < wire.len() {
+                assert!(got.is_none(), "frame complete after {} bytes?", i + 1);
+            } else {
+                assert_eq!(&got.unwrap()[..], &wire[..]);
+            }
+        }
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn coalesced_frames_split_apart() {
+        let mut wire = frame_of_len(16);
+        wire.extend_from_slice(&frame_of_len(8));
+        wire.extend_from_slice(&frame_of_len(12));
+        let mut r = FrameReader::new();
+        r.extend(&wire);
+        assert_eq!(r.next_frame().unwrap().unwrap().len(), 16);
+        assert_eq!(r.next_frame().unwrap().unwrap().len(), 8);
+        assert_eq!(r.next_frame().unwrap().unwrap().len(), 12);
+        assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_and_undersized_lengths_are_rejected() {
+        let mut r = FrameReader::new();
+        r.extend(&frame_of_len((MAX_FRAME + 1) as u32)[..8]);
+        assert_eq!(
+            r.next_frame(),
+            Err(FrameError::Oversized {
+                claimed: MAX_FRAME + 1
+            })
+        );
+
+        let mut r = FrameReader::new();
+        r.extend(&frame_of_len(7)[..8]);
+        assert_eq!(
+            r.next_frame(),
+            Err(FrameError::HeaderTooShort { claimed: 7 })
+        );
+    }
+}

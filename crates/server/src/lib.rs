@@ -1,0 +1,33 @@
+//! `bb-server`: a concurrent bandwidth-broker daemon.
+//!
+//! The paper's broker (see [`bb_core`]) decides admission from its MIBs
+//! alone — no router is consulted — so the daemon form of it is pure
+//! control-plane software: accept COPS connections from edge routers,
+//! decode REQ/RPT/DRQ messages, run admission, push DEC messages back.
+//! This crate adds exactly that deployment shell, in three layers:
+//!
+//! * [`frame`] — incremental framing of the COPS byte stream (partial
+//!   reads, bounded frame sizes);
+//! * [`server`] — the daemon: listener, per-connection reader/writer
+//!   threads, pod-sharded broker workers behind bounded queues with
+//!   explicit overload shedding, clean shutdown;
+//! * [`client`] — a small blocking client used by the load generator,
+//!   the integration tests, and any experiment that wants to speak to
+//!   the daemon over real TCP.
+//!
+//! Concurrency never changes admission semantics: shards own
+//! link-disjoint pods (see [`bb_core::shard`]), so the daemon's
+//! decisions match a serial broker fed the same per-pod request order —
+//! the property the integration tests and `bb-loadgen --verify` check
+//! flow for flow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::CopsClient;
+pub use frame::{FrameError, FrameReader, MAX_FRAME};
+pub use server::{BbServer, ClassUsage, ServerConfig, ServerReport};

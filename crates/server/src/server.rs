@@ -1,0 +1,570 @@
+//! The concurrent bandwidth-broker daemon.
+//!
+//! Architecture (one process, all threads named for debuggability):
+//!
+//! ```text
+//!  edge routers ──TCP──▶ accept thread ──▶ per-connection reader thread
+//!                                             │        ▲
+//!                       bounded crossbeam     │        │ per-connection
+//!                       job queues (one       ▼        │ writer thread
+//!                       per shard)       shard worker ─┘
+//!                                        (owns a BrokerShard)
+//! ```
+//!
+//! * **Readers** frame the COPS stream ([`crate::frame::FrameReader`]),
+//!   decode each message, and dispatch it to the owning shard's queue.
+//!   Path → shard is a lock-free table lookup; flow → shard (for `DRQ`)
+//!   reads a [`RwLock`]-guarded map the workers maintain; macroflow →
+//!   shard (for `RPT`) is pure arithmetic on the id-space partition.
+//! * **Workers** each own one [`BrokerShard`] outright — the link-
+//!   disjoint pod partition means no locking on the admission hot path.
+//!   Decisions are encoded and handed to the requesting connection's
+//!   writer queue.
+//! * **Backpressure** is explicit: shard queues are bounded, and a full
+//!   queue turns the request into an immediate `DEC` reject with the
+//!   [`Reject::Overloaded`] cause — the edge learns it was shed, rather
+//!   than the daemon buffering without bound or silently dropping.
+//! * **Shutdown** is clean and total-ordered: stop flag → accept thread
+//!   → readers (bounded by the read timeout) → writers → workers, which
+//!   return their shards so the final [`ServerReport`] is exact.
+//!
+//! The broker itself stays a passive, explicit-time state machine; the
+//! daemon is the clock owner and stamps each job with the elapsed time
+//! since start.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use parking_lot::RwLock;
+use qos_units::Time;
+use vtrs::packet::FlowId;
+
+use bb_core::broker::BrokerConfig;
+use bb_core::cops::{self, OpCode};
+use bb_core::shard::{build_shards, plan_shards, shard_of_macroflow, BrokerShard};
+use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
+use netsim::topology::{LinkId, Topology};
+
+use crate::frame::FrameReader;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Shard worker threads (also the number of broker shards).
+    pub workers: usize,
+    /// Bound on each shard's job queue; beyond it requests are shed
+    /// with [`Reject::Overloaded`].
+    pub queue_depth: usize,
+    /// Per-connection socket read timeout — the granularity at which
+    /// idle readers notice shutdown.
+    pub read_timeout: Duration,
+    /// Broker configuration applied to every shard.
+    pub broker: BrokerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 1024,
+            read_timeout: Duration::from_millis(20),
+            broker: BrokerConfig::default(),
+        }
+    }
+}
+
+/// Cross-shard view of one service class's aggregate state, maintained
+/// by the workers under a [`RwLock`] — the only mutable state shared
+/// between shards, used for domain-wide monitoring (class joins and
+/// reserved bandwidth span shards, which own disjoint paths).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ClassUsage {
+    /// Microflows currently aggregated under the class, domain-wide.
+    pub members: u64,
+    /// Total reserved macroflow bandwidth (bps), domain-wide.
+    pub reserved_bps: u64,
+}
+
+/// Per-class, per-shard contributions; summed into [`ClassUsage`] for
+/// reporting. Keyed by class id; each shard writes only its own slot.
+type ClassDirectory = HashMap<u32, Vec<ClassUsage>>;
+
+fn class_totals(dir: &ClassDirectory) -> Vec<(u32, ClassUsage)> {
+    let mut v: Vec<(u32, ClassUsage)> = dir
+        .iter()
+        .map(|(class, shards)| {
+            let total = shards
+                .iter()
+                .fold(ClassUsage::default(), |a, s| ClassUsage {
+                    members: a.members + s.members,
+                    reserved_bps: a.reserved_bps + s.reserved_bps,
+                });
+            (*class, total)
+        })
+        .collect();
+    v.sort_by_key(|(class, _)| *class);
+    v
+}
+
+/// Final accounting returned by [`BbServer::shutdown`].
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ServerReport {
+    /// Admission requests that reached a broker shard.
+    pub requested: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests rejected by admission control (any cause but overload).
+    pub rejected: u64,
+    /// Requests shed at the queue with [`Reject::Overloaded`].
+    pub overloaded: u64,
+    /// Flows released via `DRQ`.
+    pub released: u64,
+    /// Flow records still resident across all shards (state footprint).
+    pub resident_flows: u64,
+    /// Per-shard `(requested, admitted)` pairs.
+    pub per_shard: Vec<(u64, u64)>,
+    /// Domain-wide class usage at shutdown.
+    pub classes: Vec<(u32, ClassUsage)>,
+}
+
+/// One unit of work for a shard worker.
+enum Job {
+    Request {
+        req: FlowRequest,
+        reply: Sender<Bytes>,
+    },
+    Delete {
+        flow: FlowId,
+        reply: Sender<Bytes>,
+    },
+    Report {
+        macroflow: FlowId,
+        at: Time,
+    },
+}
+
+/// Immutable dispatch state shared by every reader thread.
+struct Dispatch {
+    /// Global path index → shard.
+    path_shard: Vec<usize>,
+    /// Shard job queues.
+    jobs: Vec<Sender<Job>>,
+    /// Flow → owning shard (maintained by workers; read on `DRQ`).
+    flow_owner: RwLock<HashMap<FlowId, usize>>,
+    /// Requests shed due to full queues.
+    overloaded: AtomicU64,
+    /// Flows released (DRQ) across all shards.
+    released: AtomicU64,
+    /// Cross-shard class usage.
+    classes: RwLock<ClassDirectory>,
+    stop: AtomicBool,
+    started: Instant,
+}
+
+impl Dispatch {
+    fn now(&self) -> Time {
+        Time::from_nanos(u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+/// A running daemon. Dropping it without [`BbServer::shutdown`] detaches
+/// the threads; call `shutdown` for a clean stop and final report.
+pub struct BbServer {
+    addr: SocketAddr,
+    dispatch: Arc<Dispatch>,
+    accept_handle: JoinHandle<Vec<JoinHandle<()>>>,
+    worker_handles: Vec<JoinHandle<BrokerShard>>,
+}
+
+impl BbServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// daemon over the given routed topology: route `i` is served under
+    /// the global path id `i`, sharded by pod across `config.workers`
+    /// workers.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pod partition is not link-disjoint (see
+    /// [`build_shards`]) or `config.workers` is zero.
+    pub fn start(
+        addr: &str,
+        topo: &Topology,
+        routes: &[Vec<LinkId>],
+        config: &ServerConfig,
+    ) -> io::Result<Self> {
+        assert!(config.workers > 0, "need at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let plan = plan_shards(topo, routes, config.workers);
+        let shards = build_shards(topo, &config.broker, routes, config.workers);
+        let mut path_shard = vec![0usize; routes.len()];
+        for (shard, members) in plan.iter().enumerate() {
+            for &i in members {
+                path_shard[i] = shard;
+            }
+        }
+
+        let mut jobs = Vec::new();
+        let mut worker_rxs = Vec::new();
+        for _ in 0..shards.len() {
+            let (tx, rx) = channel::bounded::<Job>(config.queue_depth);
+            jobs.push(tx);
+            worker_rxs.push(rx);
+        }
+
+        let dispatch = Arc::new(Dispatch {
+            path_shard,
+            jobs,
+            flow_owner: RwLock::new(HashMap::new()),
+            overloaded: AtomicU64::new(0),
+            released: AtomicU64::new(0),
+            classes: RwLock::new(ClassDirectory::new()),
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+
+        let worker_handles = shards
+            .into_iter()
+            .zip(worker_rxs)
+            .map(|(shard, rx)| {
+                let dispatch = Arc::clone(&dispatch);
+                std::thread::Builder::new()
+                    .name(format!("bb-shard-{}", shard.shard()))
+                    .spawn(move || worker_loop(shard, &rx, &dispatch))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+
+        let accept_dispatch = Arc::clone(&dispatch);
+        let read_timeout = config.read_timeout;
+        let accept_handle = std::thread::Builder::new()
+            .name("bb-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_dispatch, read_timeout))
+            .expect("spawn accept thread");
+
+        Ok(BbServer {
+            addr,
+            dispatch,
+            accept_handle,
+            worker_handles,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the cross-shard class directory (summed over shards).
+    #[must_use]
+    pub fn class_usage(&self) -> Vec<(u32, ClassUsage)> {
+        class_totals(&self.dispatch.classes.read())
+    }
+
+    /// Stops accepting, drains connections and workers, and returns the
+    /// final accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a daemon thread panicked.
+    #[must_use]
+    pub fn shutdown(self) -> ServerReport {
+        self.dispatch.stop.store(true, Ordering::SeqCst);
+        let readers = self.accept_handle.join().expect("accept thread");
+        for r in readers {
+            r.join().expect("reader thread");
+        }
+        // Readers are gone; dropping our queue handles disconnects the
+        // workers once in-flight jobs drain.
+        let dispatch = self.dispatch;
+        let shards: Vec<BrokerShard> = {
+            // `dispatch.jobs` senders live inside the Arc; workers watch
+            // the stop flag as well, so they exit even though the Arc
+            // (and thus one sender clone) survives until report time.
+            self.worker_handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread"))
+                .collect()
+        };
+
+        let mut report = ServerReport {
+            requested: 0,
+            admitted: 0,
+            rejected: 0,
+            overloaded: dispatch.overloaded.load(Ordering::SeqCst),
+            released: dispatch.released.load(Ordering::SeqCst),
+            resident_flows: 0,
+            per_shard: Vec::new(),
+            classes: class_totals(&dispatch.classes.read()),
+        };
+        for s in &shards {
+            let stats = s.broker().stats();
+            report.requested += stats.requested;
+            report.admitted += stats.admitted;
+            report.rejected += stats.requested - stats.admitted;
+            report.resident_flows += s.broker().flows().len() as u64;
+            report.per_shard.push((stats.requested, stats.admitted));
+        }
+        report
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    dispatch: &Arc<Dispatch>,
+    read_timeout: Duration,
+) -> Vec<JoinHandle<()>> {
+    let mut readers = Vec::new();
+    let mut conn_id = 0u64;
+    while !dispatch.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let dispatch = Arc::clone(dispatch);
+                conn_id += 1;
+                let handle = std::thread::Builder::new()
+                    .name(format!("bb-conn-{conn_id}"))
+                    .spawn(move || connection_loop(stream, &dispatch, read_timeout))
+                    .expect("spawn connection reader");
+                readers.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+    readers
+}
+
+/// Reader half of one edge-router connection. Owns the socket; spawns
+/// and joins the paired writer thread.
+fn connection_loop(stream: TcpStream, dispatch: &Arc<Dispatch>, read_timeout: Duration) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(read_timeout)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = channel::unbounded::<Bytes>();
+    let writer = std::thread::Builder::new()
+        .name("bb-conn-writer".into())
+        .spawn(move || writer_loop(write_half, &reply_rx))
+        .expect("spawn connection writer");
+
+    read_until_closed(stream, dispatch, &reply_tx);
+
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+fn read_until_closed(mut stream: TcpStream, dispatch: &Arc<Dispatch>, reply_tx: &Sender<Bytes>) {
+    let mut reader = FrameReader::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if dispatch.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                reader.extend(&chunk[..n]);
+                loop {
+                    match reader.next_frame() {
+                        Ok(Some(frame)) => {
+                            if !handle_frame(&frame, dispatch, reply_tx) {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        // Framing errors are unrecoverable: drop the
+                        // connection.
+                        Err(_) => return,
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, replies: &Receiver<Bytes>) {
+    while let Ok(bytes) = replies.recv() {
+        if stream.write_all(&bytes).is_err() {
+            // Peer gone; drain silently so senders never block.
+            while replies.recv().is_ok() {}
+            return;
+        }
+    }
+    let _ = stream.flush();
+}
+
+/// Decodes and dispatches one frame. Returns `false` when the
+/// connection must close (protocol violation).
+fn handle_frame(wire: &Bytes, dispatch: &Arc<Dispatch>, reply_tx: &Sender<Bytes>) -> bool {
+    let mut buf = wire.clone();
+    let Ok(frame) = cops::decode_frame(&mut buf) else {
+        return false;
+    };
+    match frame.op {
+        OpCode::Request => {
+            let Ok(req) = cops::decode_request(&frame) else {
+                return false;
+            };
+            dispatch_request(req, dispatch, reply_tx);
+            true
+        }
+        OpCode::DeleteRequest => {
+            let Ok(flow) = cops::decode_delete(&frame) else {
+                return false;
+            };
+            let owner = dispatch.flow_owner.read().get(&flow).copied();
+            if let Some(shard) = owner {
+                let job = Job::Delete {
+                    flow,
+                    reply: reply_tx.clone(),
+                };
+                if let Err(TrySendError::Full(_)) = dispatch.jobs[shard].try_send(job) {
+                    shed(flow, dispatch, reply_tx);
+                }
+            }
+            // Unknown flows: DRQ is fire-and-forget state cleanup.
+            true
+        }
+        OpCode::Report => {
+            let Ok((macroflow, at)) = cops::decode_buffer_empty(&frame) else {
+                return false;
+            };
+            if let Some(shard) = shard_of_macroflow(macroflow, dispatch.jobs.len()) {
+                // Reports shed under overload are safe to drop: the
+                // contingency timer still bounds the grant.
+                let _ = dispatch.jobs[shard].try_send(Job::Report { macroflow, at });
+            }
+            true
+        }
+        OpCode::KeepAlive => true,
+        OpCode::Decision => false,
+    }
+}
+
+fn dispatch_request(req: FlowRequest, dispatch: &Arc<Dispatch>, reply_tx: &Sender<Bytes>) {
+    let Some(&shard) = dispatch
+        .path_shard
+        .get(usize::try_from(req.path.0).unwrap_or(usize::MAX))
+    else {
+        // A path this daemon does not serve: refused before any
+        // resource test, which is what the Policy cause means.
+        let _ = reply_tx.send(cops::encode_decision_reject(req.flow, Reject::Policy));
+        return;
+    };
+    let flow = req.flow;
+    let job = Job::Request {
+        req,
+        reply: reply_tx.clone(),
+    };
+    if let Err(TrySendError::Full(_)) = dispatch.jobs[shard].try_send(job) {
+        shed(flow, dispatch, reply_tx);
+    }
+}
+
+fn shed(flow: FlowId, dispatch: &Arc<Dispatch>, reply_tx: &Sender<Bytes>) {
+    dispatch.overloaded.fetch_add(1, Ordering::Relaxed);
+    let _ = reply_tx.send(cops::encode_decision_reject(flow, Reject::Overloaded));
+}
+
+/// One shard worker: owns its [`BrokerShard`]; runs until shutdown.
+fn worker_loop(
+    mut shard: BrokerShard,
+    jobs: &Receiver<Job>,
+    dispatch: &Arc<Dispatch>,
+) -> BrokerShard {
+    loop {
+        match jobs.recv_timeout(Duration::from_millis(20)) {
+            Ok(Job::Request { req, reply }) => {
+                let now = dispatch.now();
+                match shard.request(now, &req) {
+                    Ok(res) => {
+                        dispatch.flow_owner.write().insert(req.flow, shard.shard());
+                        if matches!(req.service, ServiceKind::Class(_)) {
+                            refresh_class_usage(&shard, dispatch);
+                        }
+                        let _ = reply.send(cops::encode_decision_install(&res));
+                    }
+                    Err(cause) => {
+                        let _ = reply.send(cops::encode_decision_reject(req.flow, cause));
+                    }
+                }
+            }
+            Ok(Job::Delete { flow, reply }) => {
+                let now = dispatch.now();
+                match shard.release(now, flow) {
+                    Ok(updated) => {
+                        dispatch.flow_owner.write().remove(&flow);
+                        dispatch.released.fetch_add(1, Ordering::Relaxed);
+                        // For class members the macroflow's revised
+                        // reservation goes back to the edge.
+                        if let Some(res) = updated {
+                            refresh_class_usage(&shard, dispatch);
+                            let _ = reply.send(cops::encode_decision_install(&res));
+                        }
+                    }
+                    Err(_) => {
+                        // Releasing an unknown flow is a no-op.
+                    }
+                }
+            }
+            Ok(Job::Report { macroflow, at }) => {
+                shard.edge_buffer_empty(at, macroflow);
+            }
+            Err(channel::RecvTimeoutError::Timeout) => {
+                if dispatch.stop.load(Ordering::SeqCst) && jobs.is_empty() {
+                    return shard;
+                }
+                // Idle beat: drive contingency timers.
+                shard.tick(dispatch.now());
+            }
+            Err(channel::RecvTimeoutError::Disconnected) => return shard,
+        }
+    }
+}
+
+/// Recomputes this shard's slot of the cross-shard class directory from
+/// its broker's macroflow registry (idempotent — correct after joins,
+/// leaves, and teardowns alike).
+fn refresh_class_usage(shard: &BrokerShard, dispatch: &Arc<Dispatch>) {
+    let mut local: HashMap<u32, ClassUsage> = HashMap::new();
+    for m in shard.broker().macroflows() {
+        let u = local.entry(m.class).or_default();
+        u.members += m.members;
+        u.reserved_bps += m.reserved.as_bps();
+    }
+    let shards_total = dispatch.jobs.len();
+    let mut dir = dispatch.classes.write();
+    // Zero this shard's slot everywhere first so vanished classes clear.
+    for slots in dir.values_mut() {
+        slots[shard.shard()] = ClassUsage::default();
+    }
+    for (class, usage) in local {
+        let slots = dir
+            .entry(class)
+            .or_insert_with(|| vec![ClassUsage::default(); shards_total]);
+        slots[shard.shard()] = usage;
+    }
+}

@@ -1,0 +1,209 @@
+//! End-to-end daemon test over real TCP: four concurrent edge-router
+//! clients drive pods to saturation, and every decision the daemon
+//! makes must equal a serial [`Broker`] fed the same per-pod request
+//! order — the paper's admission semantics are untouched by the
+//! concurrent deployment shell.
+
+use std::collections::HashMap;
+
+use bb_core::broker::{Broker, BrokerConfig};
+use bb_core::cops::Decision;
+use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
+use bb_core::PathId;
+use bb_server::{BbServer, CopsClient, ServerConfig};
+use netsim::topology::{LinkId, SchedulerSpec, Topology};
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+const PODS: usize = 8;
+const HOPS: usize = 3;
+const CLIENTS: u64 = 4;
+/// Bandwidth-bound pod capacity: 1.5 Mb/s / 50 kb/s = 30 flows, so 40
+/// requests per owned pod guarantees saturation with rejections.
+const PER_POD: usize = 40;
+
+fn type0() -> TrafficProfile {
+    TrafficProfile::new(
+        Bits::from_bits(60_000),
+        Rate::from_bps(50_000),
+        Rate::from_bps(100_000),
+        Bits::from_bytes(1500),
+    )
+    .unwrap()
+}
+
+fn topology() -> (Topology, Vec<Vec<LinkId>>) {
+    Topology::pod_chains(
+        PODS,
+        HOPS,
+        Rate::from_bps(1_500_000),
+        Nanos::ZERO,
+        SchedulerSpec::CsVc,
+        Bits::from_bytes(1500),
+    )
+}
+
+/// Client `c`'s request stream: `PER_POD` admissions attempted on each
+/// pod it owns, interleaved pod by pod.
+fn stream_for(c: u64) -> Vec<FlowRequest> {
+    let owned: Vec<u64> = (0..PODS as u64).filter(|p| p % CLIENTS == c).collect();
+    (0..owned.len() * PER_POD)
+        .map(|k| FlowRequest {
+            flow: FlowId((c << 32) | k as u64),
+            profile: type0(),
+            d_req: Nanos::from_millis(2_440),
+            service: ServiceKind::PerFlow,
+            path: PathId(owned[k % owned.len()]),
+        })
+        .collect()
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Outcome {
+    Admit { rate_bps: u64, delay_ns: u64 },
+    Deny(Reject),
+}
+
+fn outcome_of(decision: Decision) -> Outcome {
+    match decision {
+        Decision::Install(res) => Outcome::Admit {
+            rate_bps: res.rate.as_bps(),
+            delay_ns: res.delay.as_nanos(),
+        },
+        Decision::Reject { cause, .. } => Outcome::Deny(cause),
+    }
+}
+
+#[test]
+fn four_concurrent_clients_match_the_serial_broker_flow_for_flow() {
+    let (topo, routes) = topology();
+    let config = ServerConfig {
+        workers: 3, // deliberately coprime with CLIENTS: shards serve several clients
+        queue_depth: 256,
+        ..ServerConfig::default()
+    };
+    let server = BbServer::start("127.0.0.1:0", &topo, &routes, &config).expect("start daemon");
+    let addr = server.local_addr().to_string();
+
+    // Four closed-loop clients, each owning pods p where p % 4 == c.
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || -> HashMap<FlowId, Outcome> {
+                let mut client = CopsClient::connect(&addr).expect("connect");
+                stream_for(c)
+                    .iter()
+                    .map(|req| {
+                        let decision = client.request(req).expect("round trip");
+                        (req.flow, outcome_of(decision))
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+    let mut observed: HashMap<FlowId, Outcome> = HashMap::new();
+    for h in handles {
+        observed.extend(h.join().expect("client thread"));
+    }
+
+    // Serial ground truth: same topology, same per-pod request order
+    // (pods are owned by exactly one client, so client-by-client replay
+    // preserves it).
+    let (topo, routes) = topology();
+    let mut serial = Broker::new(topo, BrokerConfig::default());
+    for route in &routes {
+        serial.register_route(route);
+    }
+    let mut expected_admits = 0u64;
+    let mut total = 0u64;
+    for c in 0..CLIENTS {
+        for req in stream_for(c) {
+            let expected = match serial.request(Time::ZERO, &req) {
+                Ok(res) => {
+                    expected_admits += 1;
+                    Outcome::Admit {
+                        rate_bps: res.rate.as_bps(),
+                        delay_ns: res.delay.as_nanos(),
+                    }
+                }
+                Err(cause) => Outcome::Deny(cause),
+            };
+            total += 1;
+            assert_eq!(
+                observed.get(&req.flow),
+                Some(&expected),
+                "daemon and serial broker disagree on {:?}",
+                req.flow
+            );
+        }
+    }
+    assert_eq!(observed.len() as u64, total);
+    // Every pod was driven past its 30-flow bandwidth ceiling.
+    assert_eq!(expected_admits, (PODS * 30) as u64, "Table 2 per pod");
+    assert!(
+        expected_admits < total,
+        "saturation must produce rejections"
+    );
+
+    let report = server.shutdown();
+    assert_eq!(report.requested, total);
+    assert_eq!(report.admitted, expected_admits);
+    assert_eq!(report.overloaded, 0, "closed-loop load must never shed");
+    assert_eq!(report.resident_flows, expected_admits);
+}
+
+#[test]
+fn departures_over_drq_free_capacity_for_new_flows() {
+    let (topo, routes) = topology();
+    let server =
+        BbServer::start("127.0.0.1:0", &topo, &routes, &ServerConfig::default()).expect("start");
+    let mut client = CopsClient::connect(&server.local_addr().to_string()).expect("connect");
+
+    // Fill pod 0 to its bandwidth ceiling.
+    let mut last_admitted = None;
+    let mut flow = 0u64;
+    loop {
+        let req = FlowRequest {
+            flow: FlowId(flow),
+            profile: type0(),
+            d_req: Nanos::from_millis(2_440),
+            service: ServiceKind::PerFlow,
+            path: PathId(0),
+        };
+        match client.request(&req).expect("round trip") {
+            Decision::Install(res) => {
+                last_admitted = Some(res.flow);
+                flow += 1;
+            }
+            Decision::Reject { cause, .. } => {
+                assert_eq!(cause, Reject::Bandwidth);
+                break;
+            }
+        }
+        assert!(flow <= 40, "pod must saturate by 30 flows");
+    }
+    assert_eq!(flow, 30);
+
+    // DRQ then a fresh REQ on the same connection: the daemon serves the
+    // same pod from one shard queue, so the release is ordered before
+    // the retry and the seat is free again.
+    client
+        .send_delete(last_admitted.expect("at least one admit"))
+        .expect("send DRQ");
+    let retry = FlowRequest {
+        flow: FlowId(1_000),
+        profile: type0(),
+        d_req: Nanos::from_millis(2_440),
+        service: ServiceKind::PerFlow,
+        path: PathId(0),
+    };
+    match client.request(&retry).expect("round trip") {
+        Decision::Install(res) => assert_eq!(res.flow, FlowId(1_000)),
+        Decision::Reject { cause, .. } => panic!("seat was freed, yet rejected: {cause}"),
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.released, 1);
+    assert_eq!(report.resident_flows, 30);
+}

@@ -1,0 +1,126 @@
+//! Property tests for the stream framing layer — the COPS corruption
+//! test from `bb-core` extended to the transport: arbitrary chunking
+//! must never change what is decoded, and corrupt bytes must never
+//! panic the reader.
+
+use bb_core::cops;
+use bb_core::signaling::{FlowRequest, ServiceKind};
+use bb_server::frame::{FrameError, FrameReader, MAX_FRAME};
+use proptest::prelude::*;
+use qos_units::{Bits, Nanos, Rate};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+fn request(flow: u64, path: u64, d_req_ms: u64) -> FlowRequest {
+    FlowRequest {
+        flow: FlowId(flow),
+        profile: TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap(),
+        d_req: Nanos::from_millis(d_req_ms),
+        service: ServiceKind::PerFlow,
+        path: bb_core::PathId(path),
+    }
+}
+
+/// Splits `wire` into chunks whose sizes cycle through `cuts`, feeding
+/// each to the reader and collecting every completed frame.
+fn feed_chunked(wire: &[u8], cuts: &[usize]) -> Result<Vec<Vec<u8>>, FrameError> {
+    let mut reader = FrameReader::new();
+    let mut frames = Vec::new();
+    let mut at = 0;
+    let mut cut = 0;
+    while at < wire.len() {
+        let step = cuts[cut % cuts.len()].max(1).min(wire.len() - at);
+        cut += 1;
+        reader.extend(&wire[at..at + step]);
+        at += step;
+        while let Some(frame) = reader.next_frame()? {
+            frames.push(frame.to_vec());
+        }
+    }
+    Ok(frames)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// However TCP fragments the stream, the reader yields exactly the
+    /// frames that were written, in order, bit for bit.
+    #[test]
+    fn any_chunking_reassembles_the_same_frames(
+        flows in proptest::collection::vec((0u64..1_000, 0u64..64, 1u64..5_000), 1..8),
+        cuts in proptest::collection::vec(1usize..17, 1..6),
+    ) {
+        let encoded: Vec<Vec<u8>> = flows
+            .iter()
+            .map(|&(f, p, d)| cops::encode_request(&request(f, p, d)).to_vec())
+            .collect();
+        let wire: Vec<u8> = encoded.iter().flatten().copied().collect();
+        let frames = feed_chunked(&wire, &cuts).expect("valid frames frame cleanly");
+        prop_assert_eq!(frames, encoded);
+    }
+
+    /// Arbitrary garbage — including bytes that happen to look like
+    /// plausible length fields — never panics the reader, and every
+    /// frame it does emit still survives the COPS decoder without
+    /// panicking (the original corruption property, now behind the
+    /// stream layer).
+    #[test]
+    fn garbage_streams_never_panic(
+        junk in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..256),
+        cuts in proptest::collection::vec(1usize..9, 1..4),
+    ) {
+        match feed_chunked(&junk, &cuts) {
+            Ok(frames) => {
+                for frame in frames {
+                    let mut buf = bytes::Bytes::from(frame);
+                    if let Ok(decoded) = cops::decode_frame(&mut buf) {
+                        let _ = cops::decode_request(&decoded);
+                        let _ = cops::decode_decision(&decoded);
+                        let _ = cops::decode_delete(&decoded);
+                        let _ = cops::decode_buffer_empty(&decoded);
+                    }
+                }
+            }
+            Err(FrameError::HeaderTooShort { claimed }) => prop_assert!(claimed < 8),
+            Err(FrameError::Oversized { claimed }) => prop_assert!(claimed > MAX_FRAME),
+        }
+    }
+
+    /// Flipping a byte of a valid frame's length field either still
+    /// frames (and then hits the content decoder's own checks) or is
+    /// rejected cleanly — the stream layer never over- or under-reads
+    /// into the next frame silently when the length stays plausible.
+    #[test]
+    fn length_corruption_is_contained(flip_at in 4usize..8, flip_to in proptest::arbitrary::any::<u8>()) {
+        let good = cops::encode_request(&request(7, 1, 2_440)).to_vec();
+        let mut corrupted = good.clone();
+        corrupted[flip_at] = flip_to;
+        // A second pristine frame follows the corrupted one.
+        corrupted.extend_from_slice(&good);
+
+        let mut reader = FrameReader::new();
+        reader.extend(&corrupted);
+        match reader.next_frame() {
+            Err(FrameError::HeaderTooShort { claimed }) => prop_assert!(claimed < 8),
+            Err(FrameError::Oversized { claimed }) => prop_assert!(claimed > MAX_FRAME),
+            Ok(Some(frame)) => {
+                // Whatever length was claimed is exactly what came out.
+                let claimed = u32::from_be_bytes([frame[4], frame[5], frame[6], frame[7]]) as usize;
+                prop_assert_eq!(frame.len(), claimed);
+                let mut buf = frame;
+                let _ = cops::decode_frame(&mut buf);
+            }
+            Ok(None) => {
+                // Claimed length runs past everything buffered: nothing
+                // is emitted and the bytes stay pending.
+                prop_assert_eq!(reader.pending(), corrupted.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Minimal in-tree stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` primitives behind `parking_lot`'s non-poisoning
+//! API: `lock()`, `read()` and `write()` return guards directly. A
+//! panicked holder does not poison the lock for later users (matching
+//! `parking_lot` semantics), because poisoning is simply cleared.
+
+#![forbid(unsafe_code)]
+
+use std::sync::{
+    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// A mutual-exclusion lock whose `lock` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A readers-writer lock whose accessors never return poison errors.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps a value.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Acquires a shared read guard, blocking.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires an exclusive write guard, blocking.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_rwlock_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+
+        let rw = RwLock::new(vec![1, 2]);
+        assert_eq!(rw.read().len(), 2);
+        rw.write().push(3);
+        assert_eq!(rw.read().len(), 3);
+        assert_eq!(rw.into_inner(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal in-tree stand-in for `proptest`.
+//!
+//! Supports the API surface this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), range and
+//! tuple strategies, `any::<T>()`, [`strategy::Just`], `prop_oneof!`,
+//! [`collection::vec`], `.prop_map`/`.prop_flat_map`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream, deliberate for a hermetic build:
+//!
+//! * **No shrinking** — a failing case reports its exact inputs
+//!   (`Debug`) and the deterministic seed, which is enough to
+//!   reproduce: cases are generated from a fixed per-test seed, so
+//!   every run explores the same inputs.
+//! * Rejections from `prop_assume!` skip the case rather than
+//!   resampling toward a target count.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::{FullRange, Strategy};
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy type for the whole domain.
+        type Strategy: Strategy<Value = Self>;
+
+        /// The whole-domain strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The whole-domain strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = FullRange<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    FullRange(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary!(u8, u16, u32, u64, usize, i64, bool, f64);
+}
+
+/// The `proptest::prelude::prop` namespace.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property test module imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts inside a property test, failing the case (not panicking
+/// directly) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies with one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::BoxedStrategy::new($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each function runs `cases` deterministic
+/// random cases; a failure reports the case's inputs and stops.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            // Bind strategies once; generation only needs `&self`.
+            $(let $arg = $strategy;)+
+            let seed0 = $crate::test_runner::fnv1a(stringify!($name));
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::new(seed0 ^ (0x9E37_79B9_7F4A_7C15u64
+                        .wrapping_mul(u64::from(case) + 1)));
+                $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);)+
+                // Render inputs up front: the body may consume them.
+                let inputs_desc: String =
+                    [$(format!("\n  {} = {:?}", stringify!($arg), $arg)),+].concat();
+                let outcome: Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {case}/{} failed: {msg}\ninputs:{inputs_desc}",
+                            config.cases,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}

@@ -1,0 +1,186 @@
+//! Minimal in-tree stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Provides [`rngs::SmallRng`] (xoshiro256** seeded via SplitMix64,
+//! matching upstream's choice of a small, fast, non-cryptographic
+//! generator), the [`RngCore`]/[`Rng`]/[`SeedableRng`] traits, and
+//! uniform range sampling for the integer and float ranges this
+//! workspace draws from. Streams are deterministic per seed but are not
+//! bit-compatible with upstream `rand` — all in-repo consumers only
+//! rely on seeded determinism, not on specific streams.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// `u64` bits → uniform f64 in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges a generator can sample uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Draws one uniform sample.
+    fn sample<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                // Modulo bias is negligible for the spans used here
+                // (all far below 2^64) and irrelevant to correctness.
+                let off = (rng.next_u64() as u128) % span;
+                self.start + off as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i64);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+
+    fn sample<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + unit_f64(rng.next_u64()) * (self.end - self.start);
+        // Guard the half-open invariant against rounding.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256**.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as upstream does for small seeds.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        let same: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..u64::MAX)).collect();
+        let mut a2 = SmallRng::seed_from_u64(7);
+        let other: Vec<u64> = (0..8).map(|_| a2.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f = r.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(f > 0.0 && f < 1.0);
+            let u = r.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(1);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,517 @@
+//! The JSON value tree, compact printer, and recursive-descent parser
+//! behind this workspace's `Serialize`/`Deserialize`.
+
+use std::fmt;
+
+use crate::{Deserialize, Serialize};
+
+/// A parsed or to-be-printed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer (kept exact — QoS unit types use
+    /// `u64::MAX` sentinels that an f64 detour would corrupt).
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A float (anything written with `.`, `e`, or out of i64 range).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion-ordered, first match wins on lookup.
+    Obj(Vec<(String, Value)>),
+}
+
+/// Shape or range mismatch while deserializing, or a parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Wraps a message.
+    #[must_use]
+    pub fn new(msg: String) -> Self {
+        Error(msg)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    /// The value as `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Errs on non-integers and negatives.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match self {
+            Value::UInt(n) => Ok(*n),
+            Value::Int(n) if *n >= 0 => Ok(*n as u64),
+            other => Err(Error::new(format!(
+                "expected unsigned integer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The value as `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Errs on non-integers and out-of-range magnitudes.
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            Value::UInt(n) => {
+                i64::try_from(*n).map_err(|_| Error::new(format!("{n} out of range for i64")))
+            }
+            other => Err(Error::new(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    /// The value as `f64` (integers convert).
+    ///
+    /// # Errors
+    ///
+    /// Errs on non-numbers.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(Error::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// Looks up an object field.
+    ///
+    /// # Errors
+    ///
+    /// Errs if this is not an object or the field is absent.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            other => Err(Error::new(format!("expected object, got {other:?}"))),
+        }
+    }
+
+    /// Looks up an array element.
+    ///
+    /// # Errors
+    ///
+    /// Errs if this is not an array or the index is out of range.
+    pub fn element(&self, idx: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Arr(items) => items
+                .get(idx)
+                .ok_or_else(|| Error::new(format!("missing element {idx}"))),
+            other => Err(Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// For an externally tagged enum: the `(variant-name, payload)`
+    /// pair. A bare string is a unit variant (payload `Null`).
+    ///
+    /// # Errors
+    ///
+    /// Errs on shapes that cannot encode an enum.
+    pub fn enum_variant(&self) -> Result<(&str, &Value), Error> {
+        match self {
+            Value::Str(s) => Ok((s.as_str(), &Value::Null)),
+            Value::Obj(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), &pairs[0].1)),
+            other => Err(Error::new(format!(
+                "expected enum (string or single-key object), got {other:?}"
+            ))),
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Keep a decimal point so the token re-parses as float.
+                let s = format!("{x}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent.map(|n| n + 1));
+                write_value(out, item, indent.map(|n| n + 1));
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent);
+            }
+            out.push(']');
+        }
+        Value::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent.map(|n| n + 1));
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent.map(|n| n + 1));
+            }
+            if !pairs.is_empty() {
+                newline_indent(out, indent);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>) {
+    if let Some(n) = indent {
+        out.push('\n');
+        for _ in 0..n {
+            out.push_str("  ");
+        }
+    }
+}
+
+/// Prints a value compactly.
+#[must_use]
+pub fn to_string<T: Serialize + ?Sized>(v: &T) -> String {
+    let mut out = String::new();
+    write_value(&mut out, &v.to_value(), None);
+    out
+}
+
+/// Prints a value with two-space indentation.
+#[must_use]
+pub fn to_string_pretty<T: Serialize + ?Sized>(v: &T) -> String {
+    let mut out = String::new();
+    write_value(&mut out, &v.to_value(), Some(0));
+    out
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+///
+/// Errs on malformed JSON or a shape mismatch for `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&parse(s)?)
+}
+
+/// Parses JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// Errs on malformed JSON or trailing garbage.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_lit("null") => Ok(Value::Null),
+            Some(b't') if self.eat_lit("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_lit("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string".to_owned())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape".to_owned()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("bad \\u escape".to_owned()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape".to_owned()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u escape".to_owned()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::new(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::new("invalid UTF-8".to_owned()))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number".to_owned()))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => {
+                    return Err(Error::new(format!("expected `,` or `]`, got {other:?}")));
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                other => {
+                    return Err(Error::new(format!("expected `,` or `}}`, got {other:?}")));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_value_shapes() {
+        let cases = [
+            "null",
+            "true",
+            "18446744073709551615",
+            "-42",
+            "1.5",
+            "\"hi \\\"there\\\"\"",
+            "[1,2,[3]]",
+            "{\"a\":1,\"b\":{\"c\":[true,null]}}",
+        ];
+        for c in cases {
+            let v = parse(c).unwrap();
+            let printed = {
+                let mut out = String::new();
+                super::write_value(&mut out, &v, None);
+                out
+            };
+            assert_eq!(parse(&printed).unwrap(), v, "case {c}");
+        }
+    }
+
+    #[test]
+    fn u64_max_survives() {
+        let v = parse("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64().unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn derived_reports_serialize() {
+        // Exercised end-to-end by dependent crates; here check the
+        // manual impls compose.
+        let v = vec![(1u64, "x".to_owned()), (2, "y".to_owned())];
+        let s = to_string(&v);
+        assert_eq!(s, "[[1,\"x\"],[2,\"y\"]]");
+        let back: Vec<(u64, String)> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").unwrap_err().to_string().contains("trailing"));
+        assert!(Value::Null.field("x").is_err());
+    }
+}

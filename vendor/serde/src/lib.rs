@@ -1,0 +1,224 @@
+//! Minimal in-tree stand-in for `serde`.
+//!
+//! Upstream serde's data-model indirection (Serializer/Deserializer
+//! visitors) is overkill for this workspace, which only ever needs JSON
+//! for benchmark reports and decision traces. This crate keeps serde's
+//! *surface* — `Serialize`/`Deserialize` traits and working
+//! `#[derive(Serialize, Deserialize)]` macros — but routes both through
+//! an explicit [`json::Value`] tree:
+//!
+//! * `Serialize` renders a value tree ([`Serialize::to_value`]), which
+//!   [`json::to_string`] prints as compact JSON;
+//! * `Deserialize` rebuilds a type from a parsed tree
+//!   ([`json::from_str`]).
+//!
+//! The derive macros (in `serde_derive`) generate the upstream default
+//! encodings: structs as objects, newtypes transparently, tuple structs
+//! as arrays, enums externally tagged (`"Variant"` /
+//! `{"Variant": ...}`), so the emitted JSON matches what real serde +
+//! serde_json would produce for the same types. Integer precision is
+//! preserved end-to-end (no f64 round-trip) because the QoS unit types
+//! use `u64::MAX` sentinels.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Types that can render themselves as a JSON value tree.
+pub trait Serialize {
+    /// The value tree for this instance.
+    fn to_value(&self) -> json::Value;
+}
+
+/// Types that can be rebuilt from a JSON value tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds an instance, reporting a descriptive error on shape or
+    /// range mismatches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`json::Error`] when the value tree does not match the
+    /// type's encoding.
+    fn from_value(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+// ---- implementations for primitives and std containers ----------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+                let n = v.as_u64()?;
+                <$t>::try_from(n).map_err(|_| json::Error::new(format!(
+                    "{n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> json::Value {
+        json::Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        let n = v.as_u64()?;
+        usize::try_from(n).map_err(|_| json::Error::new(format!("{n} out of range for usize")))
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::Int(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+                let n = v.as_i64()?;
+                <$t>::try_from(n).map_err(|_| json::Error::new(format!(
+                    "{n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> json::Value {
+        json::Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(json::Error::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> json::Value {
+        json::Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Str(s) => Ok(s.clone()),
+            other => Err(json::Error::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> json::Value {
+        json::Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> json::Value {
+        json::Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(json::Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> json::Value {
+        json::Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> json::Value {
+                json::Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+                match v {
+                    json::Value::Arr(items) => Ok(($($t::from_value(
+                        items.get($n).ok_or_else(|| json::Error::new(
+                            "tuple array too short".to_owned()
+                        ))?
+                    )?,)+)),
+                    other => Err(json::Error::new(
+                        format!("expected array for tuple, got {other:?}"),
+                    )),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
