@@ -1,0 +1,63 @@
+//! `bench-gate` — CI's bench-regression gate.
+//!
+//! ```text
+//! bench_gate --fresh BENCH_loadgen.fresh.json \
+//!            --baseline BENCH_loadgen.json [--min-ratio 0.6]
+//! ```
+//!
+//! Reads both `bb-loadgen` reports, applies [`bb_bench::gate::check`],
+//! prints the verdict, and exits non-zero when the gate fails: the
+//! fresh run must be `--verify`-clean, produced with the baseline's
+//! exact workload configuration, and within the allowed throughput
+//! margin (default: no more than 40 % below baseline).
+
+use bb_bench::gate::{check, DEFAULT_MIN_RATIO};
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load(path: &str) -> serde::json::Value {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench-gate: cannot read {path}: {e}"));
+    serde::json::parse(&raw).unwrap_or_else(|e| panic!("bench-gate: {path} is not JSON: {e:?}"))
+}
+
+fn main() {
+    let fresh_path = arg("--fresh").expect("bench-gate: --fresh <report.json> is required");
+    let baseline_path =
+        arg("--baseline").expect("bench-gate: --baseline <report.json> is required");
+    let min_ratio: f64 = arg("--min-ratio")
+        .map(|v| v.parse().expect("bench-gate: --min-ratio must be a float"))
+        .unwrap_or(DEFAULT_MIN_RATIO);
+
+    let fresh = load(&fresh_path);
+    let baseline = load(&baseline_path);
+    match check(&fresh, &baseline, min_ratio) {
+        Ok(verdict) => {
+            println!(
+                "bench-gate: fresh {:.0} decisions/s vs baseline {:.0} ({:.0}%, floor {:.0}%)",
+                verdict.fresh_throughput,
+                verdict.baseline_throughput,
+                verdict.ratio * 100.0,
+                verdict.min_ratio * 100.0
+            );
+            if verdict.passed() {
+                println!("bench-gate: PASS");
+            } else {
+                for f in &verdict.failures {
+                    eprintln!("bench-gate: FAIL: {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("bench-gate: unusable report: {e}");
+            std::process::exit(2);
+        }
+    }
+}

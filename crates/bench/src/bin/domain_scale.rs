@@ -6,17 +6,30 @@
 //! pod with per-flow reservations, and reports the broker's decision
 //! throughput and state footprint against the hop-by-hop alternative's
 //! per-router state. Alongside the table, writes the rows to
-//! `BENCH_domain_scale.json` for machine consumption.
+//! `BENCH_domain_scale.json` for machine consumption — each row now
+//! carries a throughput **time series** (sampled as the fill
+//! progresses) and the decision-latency histogram, not only the final
+//! aggregate.
 
 use std::time::Instant;
 
 use bb_core::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use bb_telemetry::{HistogramSnapshot, LogHistogram};
 use netsim::topology::{SchedulerSpec, Topology};
 use qos_units::{Bits, Nanos, Rate, Time};
 use vtrs::packet::FlowId;
 use workload::profiles::type0;
 
 const HOPS: usize = 5;
+/// Decisions between throughput-timeline samples.
+const SAMPLE_EVERY: u64 = 512;
+
+#[derive(serde::Serialize)]
+struct TimelinePoint {
+    t_s: f64,
+    decisions: u64,
+    admitted: u64,
+}
 
 #[derive(serde::Serialize)]
 struct Row {
@@ -24,8 +37,12 @@ struct Row {
     links: usize,
     admitted: u64,
     decisions_per_s: f64,
+    decision_p50_us: Option<f64>,
+    decision_p99_us: Option<f64>,
     bb_flow_records: usize,
     hop_by_hop_entries: u64,
+    timeline: Vec<TimelinePoint>,
+    decision_ns: HistogramSnapshot,
 }
 
 #[derive(serde::Serialize)]
@@ -56,6 +73,8 @@ fn main() {
         let mut broker = Broker::new(topo, BrokerConfig::default());
         let pids: Vec<_> = routes.iter().map(|r| broker.register_route(r)).collect();
 
+        let hist = LogHistogram::new();
+        let mut timeline = Vec::new();
         let t0 = Instant::now();
         let mut decisions = 0u64;
         let mut admitted = 0u64;
@@ -71,12 +90,27 @@ fn main() {
                 };
                 id += 1;
                 decisions += 1;
-                match broker.request(Time::ZERO, &req) {
+                let d0 = Instant::now();
+                let result = broker.request(Time::ZERO, &req);
+                hist.record(u64::try_from(d0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                if decisions.is_multiple_of(SAMPLE_EVERY) {
+                    timeline.push(TimelinePoint {
+                        t_s: t0.elapsed().as_secs_f64(),
+                        decisions,
+                        admitted,
+                    });
+                }
+                match result {
                     Ok(_) => admitted += 1,
                     Err(_) => break,
                 }
             }
         }
+        timeline.push(TimelinePoint {
+            t_s: t0.elapsed().as_secs_f64(),
+            decisions,
+            admitted,
+        });
         let dps = decisions as f64 / t0.elapsed().as_secs_f64();
         // Hop-by-hop would install one entry per flow per hop.
         let hop_state = admitted * HOPS as u64;
@@ -89,13 +123,18 @@ fn main() {
             broker.flows().len(),
             hop_state
         );
+        let snap = hist.snapshot();
         rows.push(Row {
             pods,
             links,
             admitted,
             decisions_per_s: dps,
+            decision_p50_us: snap.quantile_ns(0.50).map(|ns| ns as f64 / 1e3),
+            decision_p99_us: snap.quantile_ns(0.99).map(|ns| ns as f64 / 1e3),
             bb_flow_records: broker.flows().len(),
             hop_by_hop_entries: hop_state,
+            timeline,
+            decision_ns: snap,
         });
     }
     let report = Report {

@@ -19,6 +19,7 @@ use std::time::Instant;
 
 use bb_core::intserv::IntServ;
 use bb_core::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use bb_telemetry::{HistogramSnapshot, LogHistogram};
 use netsim::topology::{LinkId, SchedulerSpec, TopologyBuilder};
 use qos_units::{Bits, Nanos, Rate, Time};
 use vtrs::packet::FlowId;
@@ -46,9 +47,12 @@ fn chain(hops: usize) -> (netsim::topology::Topology, Vec<LinkId>) {
 struct Row {
     hops: usize,
     bb_compute_us: f64,
+    bb_compute_p50_us: Option<f64>,
+    bb_compute_p99_us: Option<f64>,
     rsvp_compute_us: f64,
     bb_total_ms: f64,
     rsvp_total_ms: f64,
+    bb_decision_ns: HistogramSnapshot,
 }
 
 #[derive(serde::Serialize)]
@@ -74,6 +78,7 @@ fn main() {
         // Measure the broker's in-memory decision cost.
         let mut broker = Broker::new(topo.clone(), BrokerConfig::default());
         let pid = broker.register_route(&route);
+        let hist = LogHistogram::new();
         let t0 = Instant::now();
         let iters = 2_000u64;
         for k in 0..iters {
@@ -84,10 +89,13 @@ fn main() {
                 service: ServiceKind::PerFlow,
                 path: pid,
             };
+            let d0 = Instant::now();
             broker.request(Time::ZERO, &req).expect("fat links");
+            hist.record(u64::try_from(d0.elapsed().as_nanos()).unwrap_or(u64::MAX));
             broker.release(Time::ZERO, FlowId(k)).unwrap();
         }
         let bb_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        let bb_snap = hist.snapshot();
 
         // Measure the hop-by-hop walk's compute cost.
         let mut is = IntServ::new(&topo);
@@ -111,9 +119,12 @@ fn main() {
         rows.push(Row {
             hops,
             bb_compute_us: bb_us,
+            bb_compute_p50_us: bb_snap.quantile_ns(0.50).map(|ns| ns as f64 / 1e3),
+            bb_compute_p99_us: bb_snap.quantile_ns(0.99).map(|ns| ns as f64 / 1e3),
             rsvp_compute_us: rsvp_us,
             bb_total_ms: bb_total,
             rsvp_total_ms: rsvp_total,
+            bb_decision_ns: bb_snap,
         });
     }
     let report = Report {

@@ -1,0 +1,197 @@
+//! The CI bench-regression gate over `BENCH_loadgen.json`.
+//!
+//! CI runs `bb-loadgen --verify` with the exact configuration the
+//! checked-in baseline was produced with, then calls [`check`] on the
+//! fresh and baseline reports. The gate fails when:
+//!
+//! * the fresh run's `verified` field is not `true` — the daemon's
+//!   concurrent admissions diverged from the serial reference broker;
+//! * the fresh run's throughput dropped more than the allowed fraction
+//!   below the baseline's (default floor: 60 % of baseline, i.e. a
+//!   >40 % regression);
+//! * the two reports were produced with different workload
+//!   configurations — comparing throughputs across configs is
+//!   meaningless, so a config drift is itself a failure (fix the
+//!   baseline and the CI invocation together).
+//!
+//! Throughput on shared CI runners is noisy; the generous 40 % margin
+//! is deliberate — the gate exists to catch collapses (an accidental
+//! global lock, an O(n²) slip), not single-digit regressions.
+
+use serde::json::Value;
+
+/// Fraction of baseline throughput the fresh run must reach.
+pub const DEFAULT_MIN_RATIO: f64 = 0.6;
+
+/// Workload-configuration fields that must match between the fresh and
+/// baseline reports for a throughput comparison to be meaningful.
+const CONFIG_FIELDS: [&str; 6] = [
+    "pods",
+    "hops",
+    "clients",
+    "requests_per_client",
+    "offered_rate_per_client_hz",
+    "seed",
+];
+
+/// Outcome of gating a fresh report against the baseline.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct GateReport {
+    /// Fresh run's decision throughput (decisions/s).
+    pub fresh_throughput: f64,
+    /// Baseline's decision throughput (decisions/s).
+    pub baseline_throughput: f64,
+    /// `fresh_throughput / baseline_throughput`.
+    pub ratio: f64,
+    /// Minimum acceptable ratio.
+    pub min_ratio: f64,
+    /// Human-readable reasons the gate failed; empty means pass.
+    pub failures: Vec<String>,
+}
+
+impl GateReport {
+    /// True when no gate condition failed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn number(report: &Value, field: &str) -> Result<f64, String> {
+    report
+        .field(field)
+        .and_then(Value::as_f64)
+        .map_err(|e| format!("bad `{field}`: {e}"))
+}
+
+/// Gates a fresh `BENCH_loadgen.json` report against the baseline.
+///
+/// # Errors
+///
+/// Returns `Err` when either report is structurally unusable (missing
+/// or non-numeric fields) — distinct from a well-formed report that
+/// merely fails the gate, which yields `Ok` with non-empty `failures`.
+pub fn check(fresh: &Value, baseline: &Value, min_ratio: f64) -> Result<GateReport, String> {
+    let mut failures = Vec::new();
+
+    for field in CONFIG_FIELDS {
+        let f = number(fresh, field).map_err(|e| format!("fresh: {e}"))?;
+        let b = number(baseline, field).map_err(|e| format!("baseline: {e}"))?;
+        if f != b {
+            failures.push(format!(
+                "config drift on `{field}`: fresh ran {f}, baseline was produced with {b}"
+            ));
+        }
+    }
+
+    match fresh.field("verified") {
+        Ok(Value::Bool(true)) => {}
+        Ok(Value::Bool(false)) => failures.push(
+            "fresh run failed verification: daemon admissions diverged from the serial reference"
+                .to_string(),
+        ),
+        Ok(_) => {
+            failures.push("fresh run has no verification verdict: rerun with --verify".to_string())
+        }
+        Err(e) => return Err(format!("fresh: bad `verified`: {e}")),
+    }
+
+    let fresh_throughput =
+        number(fresh, "throughput_decisions_per_s").map_err(|e| format!("fresh: {e}"))?;
+    let baseline_throughput =
+        number(baseline, "throughput_decisions_per_s").map_err(|e| format!("baseline: {e}"))?;
+    if baseline_throughput <= 0.0 {
+        return Err(format!(
+            "baseline throughput is {baseline_throughput}; regenerate BENCH_loadgen.json"
+        ));
+    }
+    let ratio = fresh_throughput / baseline_throughput;
+    if ratio < min_ratio {
+        failures.push(format!(
+            "throughput regression: {fresh_throughput:.0} decisions/s is {:.0}% of the \
+             {baseline_throughput:.0} baseline (floor: {:.0}%)",
+            ratio * 100.0,
+            min_ratio * 100.0
+        ));
+    }
+
+    Ok(GateReport {
+        fresh_throughput,
+        baseline_throughput,
+        ratio,
+        min_ratio,
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(throughput: f64, verified: &str, seed: u64) -> Value {
+        serde::json::parse(&format!(
+            r#"{{
+              "pods": 64, "hops": 5, "clients": 8, "requests_per_client": 2000,
+              "offered_rate_per_client_hz": 8000.0, "seed": {seed},
+              "throughput_decisions_per_s": {throughput},
+              "verified": {verified}
+            }}"#
+        ))
+        .expect("literal parses")
+    }
+
+    #[test]
+    fn passes_when_verified_and_fast_enough() {
+        let verdict = check(
+            &report(30_000.0, "true", 1),
+            &report(34_000.0, "true", 1),
+            DEFAULT_MIN_RATIO,
+        )
+        .unwrap();
+        assert!(verdict.passed(), "{:?}", verdict.failures);
+        assert!((verdict.ratio - 30.0 / 34.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fails_on_throughput_collapse() {
+        let verdict = check(
+            &report(10_000.0, "true", 1),
+            &report(34_000.0, "true", 1),
+            DEFAULT_MIN_RATIO,
+        )
+        .unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("throughput regression"));
+    }
+
+    #[test]
+    fn fails_on_unverified_or_missing_verdict() {
+        let base = report(34_000.0, "true", 1);
+        let failed = check(&report(34_000.0, "false", 1), &base, DEFAULT_MIN_RATIO).unwrap();
+        assert!(failed
+            .failures
+            .iter()
+            .any(|f| f.contains("failed verification")));
+        let skipped = check(&report(34_000.0, "null", 1), &base, DEFAULT_MIN_RATIO).unwrap();
+        assert!(skipped.failures.iter().any(|f| f.contains("--verify")));
+    }
+
+    #[test]
+    fn fails_on_config_drift_even_when_fast() {
+        let verdict = check(
+            &report(40_000.0, "true", 2),
+            &report(34_000.0, "true", 1),
+            DEFAULT_MIN_RATIO,
+        )
+        .unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("config drift on `seed`"));
+    }
+
+    #[test]
+    fn structural_errors_are_errors_not_failures() {
+        let fresh = serde::json::parse(r#"{"pods": 64}"#).unwrap();
+        let base = report(34_000.0, "true", 1);
+        assert!(check(&fresh, &base, DEFAULT_MIN_RATIO).is_err());
+    }
+}

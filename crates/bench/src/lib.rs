@@ -21,4 +21,5 @@ pub mod fig10;
 pub mod fig7;
 pub mod fig9;
 pub mod figure8;
+pub mod gate;
 pub mod table2;

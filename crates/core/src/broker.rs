@@ -101,6 +101,10 @@ pub struct BrokerStats {
     pub rejected_bandwidth: u64,
     /// Rejected: schedulability.
     pub rejected_sched: u64,
+    /// Rejected: the named service class is not offered.
+    pub rejected_unknown_class: u64,
+    /// Rejected: the flow id is already active.
+    pub rejected_duplicate: u64,
     /// Flows released.
     pub released: u64,
     /// Contingency grants issued.
@@ -109,6 +113,30 @@ pub struct BrokerStats {
     pub grant_expiries: u64,
     /// Contingency bandwidth released by edge feedback.
     pub grant_resets: u64,
+}
+
+impl BrokerStats {
+    /// Rejections attributed to one cause of the admission-outcome
+    /// taxonomy. [`Reject::Overloaded`] is always zero here: shedding
+    /// happens in front of the broker, never inside it.
+    #[must_use]
+    pub fn rejected_by(&self, cause: Reject) -> u64 {
+        match cause {
+            Reject::Policy => self.rejected_policy,
+            Reject::DelayInfeasible => self.rejected_delay,
+            Reject::Bandwidth => self.rejected_bandwidth,
+            Reject::Schedulability => self.rejected_sched,
+            Reject::UnknownClass => self.rejected_unknown_class,
+            Reject::DuplicateFlow => self.rejected_duplicate,
+            Reject::Overloaded => 0,
+        }
+    }
+
+    /// Total rejections across the taxonomy.
+    #[must_use]
+    pub fn rejected_total(&self) -> u64 {
+        Reject::ALL.iter().map(|&c| self.rejected_by(c)).sum()
+    }
 }
 
 /// The bandwidth broker.
@@ -307,7 +335,10 @@ impl Broker {
             Err(Reject::DelayInfeasible) => self.stats.rejected_delay += 1,
             Err(Reject::Bandwidth) => self.stats.rejected_bandwidth += 1,
             Err(Reject::Schedulability) => self.stats.rejected_sched += 1,
-            Err(_) => {}
+            Err(Reject::UnknownClass) => self.stats.rejected_unknown_class += 1,
+            Err(Reject::DuplicateFlow) => self.stats.rejected_duplicate += 1,
+            // Overloaded is a queue verdict, never an admission verdict.
+            Err(Reject::Overloaded) => {}
         }
         result
     }

@@ -132,6 +132,12 @@ impl BrokerShard {
         &self.broker
     }
 
+    /// This shard's admission counters (convenience passthrough).
+    #[must_use]
+    pub fn stats(&self) -> &crate::broker::BrokerStats {
+        self.broker.stats()
+    }
+
     /// The global path ids served here (unordered).
     pub fn served_paths(&self) -> impl Iterator<Item = PathId> + '_ {
         self.paths.keys().copied()

@@ -64,6 +64,58 @@ pub enum Reject {
     Overloaded,
 }
 
+impl Reject {
+    /// Every rejection cause, in wire-code order — the canonical
+    /// admission-outcome taxonomy that counters, metric label sets, and
+    /// the COPS error sub-codes all index the same way.
+    pub const ALL: [Reject; 7] = [
+        Reject::Policy,
+        Reject::DelayInfeasible,
+        Reject::Bandwidth,
+        Reject::Schedulability,
+        Reject::UnknownClass,
+        Reject::DuplicateFlow,
+        Reject::Overloaded,
+    ];
+
+    /// Number of distinct rejection causes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index of this cause into [`Reject::ALL`]-ordered arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Reject::Policy => 0,
+            Reject::DelayInfeasible => 1,
+            Reject::Bandwidth => 2,
+            Reject::Schedulability => 3,
+            Reject::UnknownClass => 4,
+            Reject::DuplicateFlow => 5,
+            Reject::Overloaded => 6,
+        }
+    }
+
+    /// Inverse of [`Reject::index`].
+    #[must_use]
+    pub fn from_index(i: usize) -> Option<Reject> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// Stable snake_case identifier for metric labels and snapshots.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Reject::Policy => "policy",
+            Reject::DelayInfeasible => "delay_infeasible",
+            Reject::Bandwidth => "bandwidth",
+            Reject::Schedulability => "schedulability",
+            Reject::UnknownClass => "unknown_class",
+            Reject::DuplicateFlow => "duplicate_flow",
+            Reject::Overloaded => "overloaded",
+        }
+    }
+}
+
 impl fmt::Display for Reject {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

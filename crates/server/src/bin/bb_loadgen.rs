@@ -12,23 +12,32 @@
 //! bb-loadgen [--pods 64] [--hops 5] [--clients 8] [--requests 400]
 //!            [--rate 4000] [--seed 1] [--workers 4]
 //!            [--queue-depth 4096] [--verify] [--out BENCH_loadgen.json]
+//!            [--sample-ms 50]     # telemetry poll period (0 disables)
 //!            [--addr HOST:PORT]   # drive an external daemon instead
+//!            [--stats-addr H:P]   # its telemetry endpoint, for --addr
 //! ```
 //!
 //! Without `--addr` the generator hosts the daemon in-process on an
 //! ephemeral port (still exercising the full TCP path), so one command
 //! reproduces the concurrent-broker experiment end to end.
+//!
+//! While the run is in flight a sampler thread polls the daemon's
+//! telemetry endpoint (`GET /stats`) every `--sample-ms` and folds the
+//! snapshots into the report as a **time series** — counters, queue
+//! depths, and latency-histogram quantiles over time, not only final
+//! aggregates — so `BENCH_loadgen.json` shows how the run unfolded.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use bb_core::broker::{Broker, BrokerConfig};
 use bb_core::cops::{self, Decision};
 use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
-use bb_server::{BbServer, FrameReader, ServerConfig, ServerReport};
+use bb_server::{fetch_stats, BbServer, FrameReader, ServerConfig, ServerReport, StatsSnapshot};
 use netsim::topology::{SchedulerSpec, Topology};
 use qos_units::{Bits, Nanos, Rate, Time};
 use rand::rngs::SmallRng;
@@ -90,6 +99,47 @@ struct ClientResult {
     latencies: Vec<u64>,
 }
 
+/// One telemetry poll folded into the report's time series.
+#[derive(serde::Serialize)]
+struct TimelinePoint {
+    /// Seconds since the load started.
+    t_s: f64,
+    /// Decisions that reached a shard so far (admitted + rejected).
+    decided: u64,
+    admitted: u64,
+    rejected: u64,
+    overloaded: u64,
+    released: u64,
+    /// Deepest shard job queue at the poll.
+    queue_depth_max: u64,
+    /// Per-shard admitted counts — shard imbalance over time.
+    admitted_per_shard: Vec<u64>,
+    decision_p50_us: Option<f64>,
+    decision_p99_us: Option<f64>,
+    setup_p50_us: Option<f64>,
+    setup_p99_us: Option<f64>,
+}
+
+fn timeline_point(t_s: f64, snap: &StatsSnapshot) -> TimelinePoint {
+    let decision = snap.metrics.decision_ns_merged();
+    let q =
+        |h: &bb_telemetry::HistogramSnapshot, p: f64| h.quantile_ns(p).map(|ns| ns as f64 / 1e3);
+    TimelinePoint {
+        t_s,
+        decided: snap.metrics.decided(),
+        admitted: snap.metrics.admitted,
+        rejected: snap.metrics.rejected,
+        overloaded: snap.metrics.overloaded,
+        released: snap.metrics.released,
+        queue_depth_max: snap.metrics.queue_depth_max(),
+        admitted_per_shard: snap.metrics.shards.iter().map(|s| s.admitted).collect(),
+        decision_p50_us: q(&decision, 0.50),
+        decision_p99_us: q(&decision, 0.99),
+        setup_p50_us: q(&snap.metrics.setup_ns, 0.50),
+        setup_p99_us: q(&snap.metrics.setup_ns, 0.99),
+    }
+}
+
 #[derive(serde::Serialize)]
 struct LoadgenReport {
     pods: usize,
@@ -108,6 +158,11 @@ struct LoadgenReport {
     setup_latency_p90_us: f64,
     setup_latency_p99_us: f64,
     verified: Option<bool>,
+    /// Telemetry polls taken while the load ran.
+    timeline: Vec<TimelinePoint>,
+    /// Final stats snapshot (counters, histograms, classes) fetched
+    /// from the telemetry endpoint after the last decision.
+    stats: Option<StatsSnapshot>,
     server: Option<ServerReport>,
 }
 
@@ -292,6 +347,8 @@ fn main() {
     let verify = flag("--verify");
     let out: String = arg("--out", "BENCH_loadgen.json".to_string());
     let external: String = arg("--addr", String::new());
+    let external_stats: String = arg("--stats-addr", String::new());
+    let sample_ms: u64 = arg("--sample-ms", 50);
 
     assert!(clients >= 1, "need at least one client");
     assert!(
@@ -307,6 +364,7 @@ fn main() {
         let config = ServerConfig {
             workers: arg("--workers", 4),
             queue_depth: arg("--queue-depth", 4_096),
+            stats_addr: Some("127.0.0.1:0".to_string()),
             ..ServerConfig::default()
         };
         let server = BbServer::start("127.0.0.1:0", &topo, &routes, &config)
@@ -317,12 +375,43 @@ fn main() {
     } else {
         external
     };
+    // The telemetry endpoint to poll: the hosted daemon's, or the one
+    // named with --stats-addr for an external daemon.
+    let stats_addr: Option<SocketAddr> = hosted
+        .as_ref()
+        .and_then(BbServer::stats_addr)
+        .or_else(|| external_stats.parse().ok());
     println!(
         "bb-loadgen: {clients} clients x {requests} requests @ {rate_hz}/s each -> {addr} \
          ({pods} pods x {hops} hops)"
     );
 
     let started = Instant::now();
+
+    // Telemetry sampler: polls the stats endpoint over TCP while the
+    // clients run, building the report's time series.
+    let sampling = Arc::new(AtomicBool::new(sample_ms > 0 && stats_addr.is_some()));
+    let sampler = {
+        let sampling = Arc::clone(&sampling);
+        let period = Duration::from_millis(sample_ms.max(1));
+        std::thread::Builder::new()
+            .name("loadgen-sampler".into())
+            .spawn(move || -> Vec<TimelinePoint> {
+                let mut timeline = Vec::new();
+                let Some(sa) = stats_addr else {
+                    return timeline;
+                };
+                while sampling.load(Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    if let Ok(snap) = fetch_stats(&sa) {
+                        timeline.push(timeline_point(started.elapsed().as_secs_f64(), &snap));
+                    }
+                }
+                timeline
+            })
+            .expect("spawn sampler thread")
+    };
+
     let handles: Vec<_> = (0..clients as u64)
         .map(|c| {
             let addr = addr.clone();
@@ -342,6 +431,11 @@ fn main() {
         })
         .collect();
     let elapsed = started.elapsed().as_secs_f64();
+
+    // Final snapshot after the last decision, then stop the sampler.
+    let stats = stats_addr.and_then(|sa| fetch_stats(&sa).ok());
+    sampling.store(false, Ordering::Relaxed);
+    let timeline = sampler.join().expect("sampler thread");
 
     let decisions: u64 = results.iter().map(|r| r.outcomes.len() as u64).sum();
     let admitted = results
@@ -389,6 +483,8 @@ fn main() {
         setup_latency_p90_us: percentile(&latencies, 0.90),
         setup_latency_p99_us: percentile(&latencies, 0.99),
         verified,
+        timeline,
+        stats,
         server,
     };
     println!(
@@ -406,6 +502,16 @@ fn main() {
             srv.resident_flows,
             srv.per_shard.len(),
             srv.overloaded
+        );
+    }
+    if let Some(last) = report.timeline.last() {
+        println!(
+            "telemetry: {} polls; at t={:.2}s decided {} (queue max {}, decision p99 {:.0} us)",
+            report.timeline.len(),
+            last.t_s,
+            last.decided,
+            last.queue_depth_max,
+            last.decision_p99_us.unwrap_or(f64::NAN)
         );
     }
     if !out.is_empty() {

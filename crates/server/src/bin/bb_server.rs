@@ -8,7 +8,14 @@
 //! ```text
 //! bb-server [--addr 127.0.0.1:3288] [--pods 64] [--hops 5]
 //!           [--workers 4] [--queue-depth 1024]
+//!           [--stats-addr 127.0.0.1:3289]   # "" disables telemetry
 //! ```
+//!
+//! The stats address serves live telemetry while the daemon runs:
+//! `GET /stats` returns a JSON snapshot (per-shard admission counters
+//! with the rejection taxonomy, decision/setup latency histograms,
+//! queue gauges, class directory); `GET /metrics` returns the same as
+//! Prometheus text exposition.
 
 use std::io::BufRead;
 
@@ -29,9 +36,11 @@ fn main() {
     let addr: String = arg("--addr", "127.0.0.1:3288".to_string());
     let pods: usize = arg("--pods", 64);
     let hops: usize = arg("--hops", 5);
+    let stats_addr: String = arg("--stats-addr", "127.0.0.1:3289".to_string());
     let config = ServerConfig {
         workers: arg("--workers", 4),
         queue_depth: arg("--queue-depth", 1024),
+        stats_addr: (!stats_addr.is_empty()).then_some(stats_addr),
         ..ServerConfig::default()
     };
 
@@ -52,6 +61,9 @@ fn main() {
         config.workers,
         config.queue_depth
     );
+    if let Some(stats) = server.stats_addr() {
+        println!("telemetry on http://{stats}/stats and http://{stats}/metrics");
+    }
     println!("close stdin or type `quit` to stop");
 
     let stdin = std::io::stdin();

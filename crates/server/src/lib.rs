@@ -13,7 +13,11 @@
 //!   explicit overload shedding, clean shutdown;
 //! * [`client`] — a small blocking client used by the load generator,
 //!   the integration tests, and any experiment that wants to speak to
-//!   the daemon over real TCP.
+//!   the daemon over real TCP;
+//! * [`stats`] — the side telemetry endpoint: a second TCP listener
+//!   serving a JSON [`stats::StatsSnapshot`] (`GET /stats`) and
+//!   Prometheus text exposition (`GET /metrics`) of the live
+//!   [`bb_telemetry`] registry, plus the matching fetch helpers.
 //!
 //! Concurrency never changes admission semantics: shards own
 //! link-disjoint pods (see [`bb_core::shard`]), so the daemon's
@@ -27,7 +31,9 @@
 pub mod client;
 pub mod frame;
 pub mod server;
+pub mod stats;
 
 pub use client::CopsClient;
 pub use frame::{FrameError, FrameReader, MAX_FRAME};
-pub use server::{BbServer, ClassUsage, ServerConfig, ServerReport};
+pub use server::{BbServer, ClassUsage, ServerConfig, ServerReport, ThreadFailures};
+pub use stats::{fetch_metrics_text, fetch_stats, StatsSnapshot};

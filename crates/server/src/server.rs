@@ -50,9 +50,11 @@ use bb_core::broker::BrokerConfig;
 use bb_core::cops::{self, OpCode};
 use bb_core::shard::{build_shards, plan_shards, shard_of_macroflow, BrokerShard};
 use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
+use bb_telemetry::MetricsRegistry;
 use netsim::topology::{LinkId, Topology};
 
 use crate::frame::FrameReader;
+use crate::stats::{stats_loop, StatsSnapshot};
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -67,6 +69,10 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Broker configuration applied to every shard.
     pub broker: BrokerConfig,
+    /// Address for the side telemetry endpoint (`GET /stats`,
+    /// `GET /metrics`); `None` disables it. Use port 0 for an ephemeral
+    /// port, resolved via [`BbServer::stats_addr`].
+    pub stats_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +82,7 @@ impl Default for ServerConfig {
             queue_depth: 1024,
             read_timeout: Duration::from_millis(20),
             broker: BrokerConfig::default(),
+            stats_addr: None,
         }
     }
 }
@@ -84,7 +91,7 @@ impl Default for ServerConfig {
 /// by the workers under a [`RwLock`] — the only mutable state shared
 /// between shards, used for domain-wide monitoring (class joins and
 /// reserved bandwidth span shards, which own disjoint paths).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ClassUsage {
     /// Microflows currently aggregated under the class, domain-wide.
     pub members: u64,
@@ -113,6 +120,31 @@ fn class_totals(dir: &ClassDirectory) -> Vec<(u32, ClassUsage)> {
     v
 }
 
+/// Daemon threads that panicked instead of exiting cleanly, tallied at
+/// shutdown so one poisoned connection or worker degrades the final
+/// accounting instead of aborting it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ThreadFailures {
+    /// The accept thread panicked (its reader handles are lost; those
+    /// readers still exit on the stop flag but go unjoined).
+    pub accept: u64,
+    /// Connection reader threads that panicked.
+    pub readers: u64,
+    /// Shard workers that panicked — their shard's counters and
+    /// resident flows are missing from the report totals.
+    pub workers: u64,
+    /// The telemetry endpoint thread panicked.
+    pub stats: u64,
+}
+
+impl ThreadFailures {
+    /// True when every daemon thread exited cleanly.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.accept == 0 && self.readers == 0 && self.workers == 0 && self.stats == 0
+    }
+}
+
 /// Final accounting returned by [`BbServer::shutdown`].
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct ServerReport {
@@ -132,6 +164,8 @@ pub struct ServerReport {
     pub per_shard: Vec<(u64, u64)>,
     /// Domain-wide class usage at shutdown.
     pub classes: Vec<(u32, ClassUsage)>,
+    /// Threads that panicked during the daemon's lifetime.
+    pub failures: ThreadFailures,
 }
 
 /// One unit of work for a shard worker.
@@ -139,6 +173,8 @@ enum Job {
     Request {
         req: FlowRequest,
         reply: Sender<Bytes>,
+        /// Dispatch time, for the end-to-end setup-latency histogram.
+        enqueued: Instant,
     },
     Delete {
         flow: FlowId,
@@ -164,6 +200,8 @@ struct Dispatch {
     released: AtomicU64,
     /// Cross-shard class usage.
     classes: RwLock<ClassDirectory>,
+    /// Live telemetry, updated lock-free by workers and the dispatcher.
+    metrics: MetricsRegistry,
     stop: AtomicBool,
     started: Instant,
 }
@@ -172,14 +210,23 @@ impl Dispatch {
     fn now(&self) -> Time {
         Time::from_nanos(u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX))
     }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            metrics: self.metrics.snapshot(),
+            classes: class_totals(&self.classes.read()),
+        }
+    }
 }
 
 /// A running daemon. Dropping it without [`BbServer::shutdown`] detaches
 /// the threads; call `shutdown` for a clean stop and final report.
 pub struct BbServer {
     addr: SocketAddr,
+    stats_addr: Option<SocketAddr>,
     dispatch: Arc<Dispatch>,
     accept_handle: JoinHandle<Vec<JoinHandle<()>>>,
+    stats_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<BrokerShard>>,
 }
 
@@ -225,6 +272,20 @@ impl BbServer {
             worker_rxs.push(rx);
         }
 
+        let stats_listener = match &config.stats_addr {
+            Some(a) => {
+                let l = TcpListener::bind(a)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let stats_addr = match &stats_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+
+        let shard_count = shards.len();
         let dispatch = Arc::new(Dispatch {
             path_shard,
             jobs,
@@ -232,8 +293,20 @@ impl BbServer {
             overloaded: AtomicU64::new(0),
             released: AtomicU64::new(0),
             classes: RwLock::new(ClassDirectory::new()),
+            metrics: MetricsRegistry::new(shard_count),
             stop: AtomicBool::new(false),
             started: Instant::now(),
+        });
+
+        let stats_handle = stats_listener.map(|listener| {
+            let dispatch = Arc::clone(&dispatch);
+            std::thread::Builder::new()
+                .name("bb-stats".into())
+                .spawn(move || {
+                    let snapshot = || dispatch.stats_snapshot();
+                    stats_loop(&listener, &dispatch.stop, &snapshot);
+                })
+                .expect("spawn stats thread")
         });
 
         let worker_handles = shards
@@ -257,8 +330,10 @@ impl BbServer {
 
         Ok(BbServer {
             addr,
+            stats_addr,
             dispatch,
             accept_handle,
+            stats_handle,
             worker_handles,
         })
     }
@@ -269,24 +344,47 @@ impl BbServer {
         self.addr
     }
 
+    /// The telemetry endpoint's bound address, when one is configured.
+    #[must_use]
+    pub fn stats_addr(&self) -> Option<SocketAddr> {
+        self.stats_addr
+    }
+
     /// Snapshot of the cross-shard class directory (summed over shards).
     #[must_use]
     pub fn class_usage(&self) -> Vec<(u32, ClassUsage)> {
         class_totals(&self.dispatch.classes.read())
     }
 
+    /// Point-in-time stats: live metrics plus the class directory —
+    /// exactly what the telemetry endpoint serves, without the socket.
+    #[must_use]
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.dispatch.stats_snapshot()
+    }
+
     /// Stops accepting, drains connections and workers, and returns the
-    /// final accounting.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a daemon thread panicked.
+    /// final accounting. A panicked daemon thread is tallied in
+    /// [`ServerReport::failures`] (and its shard's counters go missing
+    /// from the totals) rather than poisoning the whole shutdown.
     #[must_use]
     pub fn shutdown(self) -> ServerReport {
         self.dispatch.stop.store(true, Ordering::SeqCst);
-        let readers = self.accept_handle.join().expect("accept thread");
-        for r in readers {
-            r.join().expect("reader thread");
+        let mut failures = ThreadFailures::default();
+        match self.accept_handle.join() {
+            Ok(readers) => {
+                for r in readers {
+                    if r.join().is_err() {
+                        failures.readers += 1;
+                    }
+                }
+            }
+            Err(_) => failures.accept += 1,
+        }
+        if let Some(h) = self.stats_handle {
+            if h.join().is_err() {
+                failures.stats += 1;
+            }
         }
         // Readers are gone; dropping our queue handles disconnects the
         // workers once in-flight jobs drain.
@@ -297,7 +395,7 @@ impl BbServer {
             // (and thus one sender clone) survives until report time.
             self.worker_handles
                 .into_iter()
-                .map(|h| h.join().expect("worker thread"))
+                .filter_map(|h| h.join().map_err(|_| failures.workers += 1).ok())
                 .collect()
         };
 
@@ -310,6 +408,7 @@ impl BbServer {
             resident_flows: 0,
             per_shard: Vec::new(),
             classes: class_totals(&dispatch.classes.read()),
+            failures,
         };
         for s in &shards {
             let stats = s.broker().stats();
@@ -442,7 +541,7 @@ fn handle_frame(wire: &Bytes, dispatch: &Arc<Dispatch>, reply_tx: &Sender<Bytes>
                     reply: reply_tx.clone(),
                 };
                 if let Err(TrySendError::Full(_)) = dispatch.jobs[shard].try_send(job) {
-                    shed(flow, dispatch, reply_tx);
+                    shed(flow, shard, dispatch, reply_tx);
                 }
             }
             // Unknown flows: DRQ is fire-and-forget state cleanup.
@@ -471,6 +570,7 @@ fn dispatch_request(req: FlowRequest, dispatch: &Arc<Dispatch>, reply_tx: &Sende
     else {
         // A path this daemon does not serve: refused before any
         // resource test, which is what the Policy cause means.
+        dispatch.metrics.record_unrouted();
         let _ = reply_tx.send(cops::encode_decision_reject(req.flow, Reject::Policy));
         return;
     };
@@ -478,14 +578,20 @@ fn dispatch_request(req: FlowRequest, dispatch: &Arc<Dispatch>, reply_tx: &Sende
     let job = Job::Request {
         req,
         reply: reply_tx.clone(),
+        enqueued: Instant::now(),
     };
     if let Err(TrySendError::Full(_)) = dispatch.jobs[shard].try_send(job) {
-        shed(flow, dispatch, reply_tx);
+        shed(flow, shard, dispatch, reply_tx);
     }
 }
 
-fn shed(flow: FlowId, dispatch: &Arc<Dispatch>, reply_tx: &Sender<Bytes>) {
+fn shed(flow: FlowId, shard: usize, dispatch: &Arc<Dispatch>, reply_tx: &Sender<Bytes>) {
     dispatch.overloaded.fetch_add(1, Ordering::Relaxed);
+    let m = dispatch.metrics.shard(shard);
+    m.record_shed();
+    // A shed is still a decision the edge sees; count it in the
+    // taxonomy too so snapshot totals reconcile with DEC counts.
+    m.record_reject(Reject::Overloaded);
     let _ = reply_tx.send(cops::encode_decision_reject(flow, Reject::Overloaded));
 }
 
@@ -495,12 +601,23 @@ fn worker_loop(
     jobs: &Receiver<Job>,
     dispatch: &Arc<Dispatch>,
 ) -> BrokerShard {
+    let metrics = dispatch.metrics.shard(shard.shard());
     loop {
         match jobs.recv_timeout(Duration::from_millis(20)) {
-            Ok(Job::Request { req, reply }) => {
+            Ok(Job::Request {
+                req,
+                reply,
+                enqueued,
+            }) => {
+                metrics.set_queue_depth(jobs.len() as u64);
                 let now = dispatch.now();
-                match shard.request(now, &req) {
+                let t0 = Instant::now();
+                let decision = shard.request(now, &req);
+                metrics
+                    .record_decision_ns(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                match decision {
                     Ok(res) => {
+                        metrics.record_admit();
                         dispatch.flow_owner.write().insert(req.flow, shard.shard());
                         if matches!(req.service, ServiceKind::Class(_)) {
                             refresh_class_usage(&shard, dispatch);
@@ -508,16 +625,22 @@ fn worker_loop(
                         let _ = reply.send(cops::encode_decision_install(&res));
                     }
                     Err(cause) => {
+                        metrics.record_reject(cause);
                         let _ = reply.send(cops::encode_decision_reject(req.flow, cause));
                     }
                 }
+                dispatch.metrics.record_setup_ns(
+                    u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
             }
             Ok(Job::Delete { flow, reply }) => {
+                metrics.set_queue_depth(jobs.len() as u64);
                 let now = dispatch.now();
                 match shard.release(now, flow) {
                     Ok(updated) => {
                         dispatch.flow_owner.write().remove(&flow);
                         dispatch.released.fetch_add(1, Ordering::Relaxed);
+                        metrics.record_release();
                         // For class members the macroflow's revised
                         // reservation goes back to the edge.
                         if let Some(res) = updated {
@@ -534,6 +657,7 @@ fn worker_loop(
                 shard.edge_buffer_empty(at, macroflow);
             }
             Err(channel::RecvTimeoutError::Timeout) => {
+                metrics.set_queue_depth(jobs.len() as u64);
                 if dispatch.stop.load(Ordering::SeqCst) && jobs.is_empty() {
                     return shard;
                 }

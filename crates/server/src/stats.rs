@@ -1,0 +1,154 @@
+//! The daemon's side telemetry endpoint, plus the matching client.
+//!
+//! A second TCP listener — separate from the COPS port, so scraping
+//! never competes with admission traffic for reader threads — answers
+//! minimal HTTP/1.0 `GET`s:
+//!
+//! * `GET /stats` → `application/json`, a [`StatsSnapshot`]: the full
+//!   [`MetricsSnapshot`] (per-shard counters with the rejection
+//!   taxonomy, decision/setup latency histograms, queue gauges) plus
+//!   the domain-wide class directory;
+//! * `GET /metrics` → `text/plain`, Prometheus text exposition of the
+//!   same snapshot.
+//!
+//! The protocol is deliberately the lowest common denominator: one
+//! request per connection, `Connection: close` semantics, so `curl`,
+//! a Prometheus scraper, and the ten-line [`fetch_stats`] client all
+//! work against it unmodified.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use bb_telemetry::registry::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+
+use crate::server::ClassUsage;
+
+/// Point-in-time view served by `GET /stats`: live metrics plus the
+/// cross-shard class directory (summed over shards).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Counter, gauge, and histogram state.
+    pub metrics: MetricsSnapshot,
+    /// Domain-wide class usage, `(class id, usage)` per offered class
+    /// with at least one past member.
+    pub classes: Vec<(u32, ClassUsage)>,
+}
+
+/// Upper bound on an inbound stats request (method + path + headers).
+const MAX_REQUEST: usize = 4096;
+
+/// Serves stats requests until `stop` flips. One connection at a time:
+/// responses are small, sources are few (a scraper, a bench poller),
+/// and serial service keeps the endpoint from ever amplifying load.
+pub(crate) fn stats_loop(
+    listener: &TcpListener,
+    stop: &std::sync::atomic::AtomicBool,
+    snapshot: &(dyn Fn() -> StatsSnapshot + Sync),
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = serve_one(stream, snapshot);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_one(
+    mut stream: TcpStream,
+    snapshot: &(dyn Fn() -> StatsSnapshot + Sync),
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut request = Vec::new();
+    let mut chunk = [0u8; 512];
+    // Read until the header terminator; tolerate bare "GET /x\n" probes.
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        request.extend_from_slice(&chunk[..n]);
+        if request.windows(4).any(|w| w == b"\r\n\r\n") || request.contains(&b'\n') {
+            break;
+        }
+        if request.len() > MAX_REQUEST {
+            break;
+        }
+    }
+    let first_line = String::from_utf8_lossy(&request);
+    let path = first_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or_default()
+        .to_string();
+
+    let (status, content_type, body) = match path.as_str() {
+        "/stats" | "/stats.json" => {
+            let body = serde::json::to_string_pretty(&snapshot());
+            ("200 OK", "application/json", body)
+        }
+        "/metrics" => {
+            let body = bb_telemetry::prometheus(&snapshot().metrics);
+            ("200 OK", "text/plain; version=0.0.4", body)
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            "unknown path; try /stats or /metrics\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+fn http_get(addr: &SocketAddr, path: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no HTTP header terminator"))?;
+    if !head.starts_with("HTTP/1.0 200") && !head.starts_with("HTTP/1.1 200") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "stats endpoint answered: {}",
+                head.lines().next().unwrap_or("")
+            ),
+        ));
+    }
+    Ok(body.to_string())
+}
+
+/// Fetches and parses `GET /stats` from a daemon's telemetry endpoint.
+///
+/// # Errors
+///
+/// I/O errors, non-200 responses, or malformed JSON (as
+/// [`io::ErrorKind::InvalidData`]).
+pub fn fetch_stats(addr: &SocketAddr) -> io::Result<StatsSnapshot> {
+    let body = http_get(addr, "/stats")?;
+    serde::json::from_str(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Fetches the Prometheus text exposition from `GET /metrics`.
+///
+/// # Errors
+///
+/// I/O errors or non-200 responses.
+pub fn fetch_metrics_text(addr: &SocketAddr) -> io::Result<String> {
+    http_get(addr, "/metrics")
+}

@@ -151,6 +151,7 @@ fn four_concurrent_clients_match_the_serial_broker_flow_for_flow() {
     assert_eq!(report.admitted, expected_admits);
     assert_eq!(report.overloaded, 0, "closed-loop load must never shed");
     assert_eq!(report.resident_flows, expected_admits);
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
 }
 
 #[test]
@@ -206,4 +207,5 @@ fn departures_over_drq_free_capacity_for_new_flows() {
     let report = server.shutdown();
     assert_eq!(report.released, 1);
     assert_eq!(report.resident_flows, 30);
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
 }

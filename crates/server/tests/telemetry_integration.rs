@@ -1,0 +1,246 @@
+//! Daemon-side coverage for the two subsystems the original
+//! integration suite left dark: class-based (macroflow) service through
+//! the COPS path, and the live telemetry endpoint observed *while* the
+//! daemon is under load.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use bb_core::admission::aggregate::ClassSpec;
+use bb_core::broker::BrokerConfig;
+use bb_core::cops::Decision;
+use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
+use bb_core::PathId;
+use bb_server::{fetch_metrics_text, fetch_stats, BbServer, CopsClient, ServerConfig};
+use netsim::topology::{LinkId, SchedulerSpec, Topology};
+use qos_units::{Bits, Nanos, Rate};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+/// Macroflow ids live in the upper half of the `FlowId` space.
+const MACRO_BASE: u64 = 1 << 63;
+
+fn type0() -> TrafficProfile {
+    TrafficProfile::new(
+        Bits::from_bits(60_000),
+        Rate::from_bps(50_000),
+        Rate::from_bps(100_000),
+        Bits::from_bytes(1500),
+    )
+    .unwrap()
+}
+
+fn topology(pods: usize) -> (Topology, Vec<Vec<LinkId>>) {
+    Topology::pod_chains(
+        pods,
+        3,
+        Rate::from_bps(1_500_000),
+        Nanos::ZERO,
+        SchedulerSpec::CsVc,
+        Bits::from_bytes(1500),
+    )
+}
+
+fn class_request(flow: u64, class: u32, pod: u64) -> FlowRequest {
+    FlowRequest {
+        flow: FlowId(flow),
+        profile: type0(),
+        d_req: Nanos::from_secs(20),
+        service: ServiceKind::Class(class),
+        path: PathId(pod),
+    }
+}
+
+/// Class-based requests travel the whole COPS path: microflows join a
+/// macroflow (one per class × pod), the reservation names the
+/// *macroflow* as the conditioned flow with a revised aggregate rate,
+/// the class directory fills, and a DRQ-ed member leaves it again.
+#[test]
+fn class_based_requests_aggregate_into_macroflows() {
+    let (topo, routes) = topology(2);
+    let config = ServerConfig {
+        workers: 2,
+        broker: BrokerConfig {
+            classes: vec![ClassSpec {
+                id: 1,
+                d_req: Nanos::from_secs(20),
+                cd: Nanos::from_millis(100),
+            }],
+            ..BrokerConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = BbServer::start("127.0.0.1:0", &topo, &routes, &config).expect("start daemon");
+    let mut client = CopsClient::connect(&server.local_addr().to_string()).expect("connect");
+
+    // Five joins on pod 0: every reservation reconfigures the same
+    // macroflow conditioner, at a non-decreasing aggregate rate.
+    let mut macroflow = None;
+    let mut last_rate = 0u64;
+    for k in 0..5u64 {
+        match client.request(&class_request(k, 1, 0)).expect("round trip") {
+            Decision::Install(res) => {
+                assert_eq!(res.flow, FlowId(k));
+                assert!(
+                    res.conditioned_flow.0 >= MACRO_BASE,
+                    "class service must condition the macroflow, got {:?}",
+                    res.conditioned_flow
+                );
+                let m = *macroflow.get_or_insert(res.conditioned_flow);
+                assert_eq!(res.conditioned_flow, m, "one macroflow per class x pod");
+                assert!(
+                    res.rate.as_bps() >= last_rate,
+                    "aggregate rate must not shrink as members join"
+                );
+                last_rate = res.rate.as_bps();
+            }
+            Decision::Reject { cause, .. } => panic!("join {k} rejected: {cause}"),
+        }
+    }
+    // A second pod aggregates separately.
+    match client
+        .request(&class_request(100, 1, 1))
+        .expect("round trip")
+    {
+        Decision::Install(res) => {
+            assert!(res.conditioned_flow.0 >= MACRO_BASE);
+            assert_ne!(Some(res.conditioned_flow), macroflow, "per-pod macroflows");
+        }
+        Decision::Reject { cause, .. } => panic!("pod-1 join rejected: {cause}"),
+    }
+    // An unoffered class is a taxonomy rejection, not a wire error.
+    match client
+        .request(&class_request(200, 9, 0))
+        .expect("round trip")
+    {
+        Decision::Reject { cause, .. } => assert_eq!(cause, Reject::UnknownClass),
+        Decision::Install(_) => panic!("class 9 is not offered"),
+    }
+
+    let classes = server.class_usage();
+    assert_eq!(classes.len(), 1, "one offered class in the directory");
+    assert_eq!(classes[0].0, 1);
+    assert_eq!(classes[0].1.members, 6, "5 on pod 0 + 1 on pod 1");
+    assert!(classes[0].1.reserved_bps > 0);
+
+    // A DRQ-ed member leaves its macroflow: the daemon answers with the
+    // macroflow's *revised* reservation (an unsolicited DEC on the same
+    // connection), at a rate below the 5-member aggregate.
+    client.send_delete(FlowId(0)).expect("send DRQ");
+    match client.recv_decision().expect("revised reservation DEC") {
+        Decision::Install(res) => {
+            assert_eq!(Some(res.conditioned_flow), macroflow);
+            assert!(
+                res.rate.as_bps() < last_rate,
+                "aggregate must shrink after a leave: {} vs {last_rate}",
+                res.rate.as_bps()
+            );
+        }
+        Decision::Reject { cause, .. } => panic!("DRQ answered with a reject: {cause}"),
+    }
+    match client
+        .request(&class_request(300, 1, 0))
+        .expect("round trip")
+    {
+        Decision::Install(_) => {}
+        Decision::Reject { cause, .. } => panic!("post-DRQ join rejected: {cause}"),
+    }
+    let classes = server.class_usage();
+    assert_eq!(classes[0].1.members, 6, "one left, one joined");
+
+    let report = server.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    assert_eq!(report.admitted, 7);
+    assert_eq!(report.rejected, 1, "the unknown-class request");
+    assert_eq!(report.released, 1);
+    assert_eq!(report.classes.len(), 1);
+    assert_eq!(report.classes[0].1.members, 6);
+}
+
+/// The acceptance test for the telemetry tentpole: while load is in
+/// flight, `GET /stats` answers with non-zero counters and non-empty
+/// latency histograms, and `GET /metrics` carries the same series in
+/// Prometheus text form; the final snapshot reconciles exactly with
+/// what the client observed.
+#[test]
+fn stats_endpoint_serves_nonzero_counters_mid_load() {
+    let (topo, routes) = topology(4);
+    let config = ServerConfig {
+        workers: 2,
+        stats_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    };
+    let server = BbServer::start("127.0.0.1:0", &topo, &routes, &config).expect("start daemon");
+    let addr = server.local_addr().to_string();
+    let stats_addr: SocketAddr = server.stats_addr().expect("stats endpoint configured");
+
+    // Background load: saturate every pod (30-flow bandwidth ceiling),
+    // so the run produces both admissions and rejections.
+    const REQUESTS: u64 = 4 * 40;
+    let load = std::thread::spawn(move || -> (u64, u64) {
+        let mut client = CopsClient::connect(&addr).expect("connect");
+        let (mut admitted, mut rejected) = (0u64, 0u64);
+        for k in 0..REQUESTS {
+            let req = FlowRequest {
+                flow: FlowId(k),
+                profile: type0(),
+                d_req: Nanos::from_millis(2_440),
+                service: ServiceKind::PerFlow,
+                path: PathId(k % 4),
+            };
+            match client.request(&req).expect("round trip") {
+                Decision::Install(_) => admitted += 1,
+                Decision::Reject { .. } => rejected += 1,
+            }
+        }
+        (admitted, rejected)
+    });
+
+    // Poll the endpoint while the load runs: counters and histograms
+    // must come alive mid-flight, not only after the fact.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mid = loop {
+        let snap = fetch_stats(&stats_addr).expect("fetch /stats");
+        if snap.metrics.admitted > 0 && snap.metrics.decision_ns_merged().count > 0 {
+            break snap;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stats never showed live counters; last: {snap:?}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert!(mid.metrics.admitted > 0);
+    let mid_decisions = mid.metrics.decision_ns_merged();
+    assert!(!mid_decisions.buckets.is_empty(), "histogram has buckets");
+    assert_eq!(
+        mid_decisions.buckets.iter().map(|b| b.count).sum::<u64>(),
+        mid_decisions.count
+    );
+
+    let text = fetch_metrics_text(&stats_addr).expect("fetch /metrics");
+    assert!(text.contains("bb_admitted_total"), "{text}");
+    assert!(
+        text.contains("bb_decision_latency_ns_bucket"),
+        "histogram series missing:\n{text}"
+    );
+
+    let (admitted, rejected) = load.join().expect("load thread");
+    assert!(admitted > 0 && rejected > 0, "load must saturate the pods");
+
+    // After the last DEC, the snapshot reconciles with the client.
+    let fin = fetch_stats(&stats_addr).expect("final /stats");
+    assert_eq!(fin.metrics.admitted, admitted);
+    assert_eq!(fin.metrics.rejected, rejected);
+    assert_eq!(fin.metrics.decided(), REQUESTS);
+    assert_eq!(fin.metrics.decision_ns_merged().count, REQUESTS);
+    assert_eq!(fin.metrics.setup_ns.count, REQUESTS);
+    assert_eq!(fin.metrics.overloaded, 0, "closed-loop load never sheds");
+
+    let report = server.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    assert_eq!(report.admitted, admitted);
+
+    // The endpoint dies with the daemon.
+    assert!(fetch_stats(&stats_addr).is_err());
+}

@@ -1,0 +1,198 @@
+//! Prometheus text exposition (version 0.0.4) of a metrics snapshot.
+//!
+//! Rendered from a [`MetricsSnapshot`] — not from the live registry —
+//! so one consistent view feeds both the JSON endpoint and the scrape
+//! endpoint. Histograms follow the Prometheus convention: cumulative
+//! `_bucket{le="…"}` series ending in `le="+Inf"`, plus `_sum` and
+//! `_count`.
+
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::MetricsSnapshot;
+
+fn write_histogram(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for b in &h.buckets {
+        cumulative += b.count;
+        let sep = if labels.is_empty() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}",
+            b.le_ns
+        );
+    }
+    let sep = if labels.is_empty() { "" } else { "," };
+    let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}", h.count);
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name}_sum {}", h.sum_ns);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    } else {
+        let _ = writeln!(out, "{name}_sum{{{labels}}} {}", h.sum_ns);
+        let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count);
+    }
+}
+
+/// Renders the snapshot as Prometheus text exposition.
+#[must_use]
+pub fn prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_uptime_seconds Seconds since the daemon's metrics registry started."
+    );
+    let _ = writeln!(out, "# TYPE bb_uptime_seconds gauge");
+    let _ = writeln!(out, "bb_uptime_seconds {}", snap.uptime_ns as f64 / 1e9);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_admitted_total Admission requests granted, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_admitted_total counter");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_admitted_total{{shard=\"{}\"}} {}",
+            s.shard, s.admitted
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_rejected_total Admission requests rejected, per shard and taxonomy cause."
+    );
+    let _ = writeln!(out, "# TYPE bb_rejected_total counter");
+    for s in &snap.shards {
+        for r in &s.rejected {
+            let _ = writeln!(
+                out,
+                "bb_rejected_total{{shard=\"{}\",reason=\"{}\"}} {}",
+                s.shard, r.reason, r.count
+            );
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_released_total Flows released via DRQ, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_released_total counter");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_released_total{{shard=\"{}\"}} {}",
+            s.shard, s.released
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_shed_total Requests shed at a full shard queue, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_shed_total counter");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_shed_total{{shard=\"{}\"}} {}",
+            s.shard, s.overloaded
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_unrouted_total Requests refused because no shard serves their path."
+    );
+    let _ = writeln!(out, "# TYPE bb_unrouted_total counter");
+    let _ = writeln!(out, "bb_unrouted_total {}", snap.unrouted);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_queue_depth Shard job-queue depth at the last dequeue."
+    );
+    let _ = writeln!(out, "# TYPE bb_queue_depth gauge");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_queue_depth{{shard=\"{}\"}} {}",
+            s.shard, s.queue_depth
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_queue_depth_peak Shard job-queue high-water mark."
+    );
+    let _ = writeln!(out, "# TYPE bb_queue_depth_peak gauge");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_queue_depth_peak{{shard=\"{}\"}} {}",
+            s.shard, s.queue_peak
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_decision_latency_ns Admission-decision latency inside the broker, nanoseconds."
+    );
+    let _ = writeln!(out, "# TYPE bb_decision_latency_ns histogram");
+    for s in &snap.shards {
+        write_histogram(
+            &mut out,
+            "bb_decision_latency_ns",
+            &format!("shard=\"{}\"", s.shard),
+            &s.decision_ns,
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_setup_latency_ns End-to-end setup latency (dispatch to reply handoff), nanoseconds."
+    );
+    let _ = writeln!(out, "# TYPE bb_setup_latency_ns histogram");
+    write_histogram(&mut out, "bb_setup_latency_ns", "", &snap.setup_ns);
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use bb_core::signaling::Reject;
+
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn exposition_lists_every_series_with_cumulative_buckets() {
+        let reg = MetricsRegistry::new(2);
+        reg.shard(0).record_admit();
+        reg.shard(0).record_decision_ns(100);
+        reg.shard(0).record_decision_ns(5_000);
+        reg.shard(1).record_reject(Reject::Bandwidth);
+        reg.shard(1).set_queue_depth(7);
+        reg.record_setup_ns(80_000);
+        let text = prometheus(&reg.snapshot());
+
+        assert!(text.contains("bb_admitted_total{shard=\"0\"} 1"));
+        assert!(text.contains("bb_rejected_total{shard=\"1\",reason=\"bandwidth\"} 1"));
+        assert!(text.contains("bb_queue_depth{shard=\"1\"} 7"));
+        assert!(text.contains("bb_queue_depth_peak{shard=\"1\"} 7"));
+        assert!(text.contains("bb_decision_latency_ns_count{shard=\"0\"} 2"));
+        assert!(text.contains("bb_decision_latency_ns_bucket{shard=\"0\",le=\"+Inf\"} 2"));
+        assert!(text.contains("bb_setup_latency_ns_count 1"));
+        assert!(text.contains("bb_setup_latency_ns_sum 80000"));
+
+        // Buckets are cumulative: the le="+Inf" value equals _count, and
+        // the running values never decrease.
+        let mut last = 0u64;
+        for line in text.lines() {
+            if line.starts_with("bb_decision_latency_ns_bucket{shard=\"0\"") {
+                let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(v >= last, "cumulative bucket decreased: {line}");
+                last = v;
+            }
+        }
+        assert_eq!(last, 2);
+    }
+}

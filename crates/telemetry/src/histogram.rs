@@ -1,0 +1,235 @@
+//! A lock-free, log₂-bucketed histogram for latency samples.
+//!
+//! Recording is one relaxed `fetch_add` on the owning bucket plus two
+//! for the count/sum aggregates — cheap enough for the admission hot
+//! path. Buckets are powers of two: sample `v` (in nanoseconds) lands in
+//! the bucket whose upper bound is the smallest `2^k − 1 ≥ v`, so the
+//! full `u64` range is covered by [`BUCKETS`] slots with ≤ 2× relative
+//! error on any quantile estimate — the right trade for a live endpoint
+//! that must never perturb the workload it observes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of histogram buckets. Bucket `i > 0` covers
+/// `[2^(i−1), 2^i − 1]` ns; bucket 0 holds exact-zero samples; the last
+/// bucket absorbs everything from `2^(BUCKETS−2)` ns (≈ 9.2 minutes)
+/// upward.
+pub const BUCKETS: usize = 40;
+
+/// Lock-free latency histogram (values in nanoseconds).
+#[derive(Debug)]
+pub struct LogHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The bucket owning value `v`.
+fn index_of(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+/// bucket).
+#[must_use]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Lock-free; relaxed ordering — snapshots are
+    /// statistically, not sequentially, consistent.
+    pub fn record(&self, value_ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value_ns, Ordering::Relaxed);
+        self.buckets[index_of(value_ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy, zero buckets elided.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let count = b.load(Ordering::Relaxed);
+                (count > 0).then(|| Bucket {
+                    le_ns: bucket_upper_bound(i),
+                    count,
+                })
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// One non-empty bucket of a [`HistogramSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Inclusive upper bound of the bucket, nanoseconds.
+    pub le_ns: u64,
+    /// Samples in this bucket (non-cumulative).
+    pub count: u64,
+}
+
+/// A serializable point-in-time histogram copy.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples, nanoseconds.
+    pub sum_ns: u64,
+    /// Non-empty buckets in ascending bound order.
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistogramSnapshot {
+    /// Upper-bound estimate of quantile `q ∈ [0, 1]`: the bound of the
+    /// first bucket at which the cumulative count reaches `q · count`.
+    /// `None` on an empty histogram.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= target {
+                return Some(b.le_ns);
+            }
+        }
+        self.buckets.last().map(|b| b.le_ns)
+    }
+
+    /// Mean sample, nanoseconds. `None` on an empty histogram.
+    #[must_use]
+    pub fn mean_ns(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_ns as f64 / self.count as f64)
+    }
+
+    /// Merges another snapshot into this one (bucket-wise add).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        for b in &other.buckets {
+            match self.buckets.binary_search_by_key(&b.le_ns, |s| s.le_ns) {
+                Ok(i) => self.buckets[i].count += b.count,
+                Err(i) => self.buckets.insert(i, *b),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_power_of_two_buckets() {
+        let h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8);
+        // 0 → bucket 0 (le 0); 1 → le 1; 2,3 → le 3; 4 → le 7;
+        // 1023 → le 1023; 1024 → le 2047; MAX → overflow bucket.
+        let find = |le: u64| snap.buckets.iter().find(|b| b.le_ns == le).map(|b| b.count);
+        assert_eq!(find(0), Some(1));
+        assert_eq!(find(1), Some(1));
+        assert_eq!(find(3), Some(2));
+        assert_eq!(find(7), Some(1));
+        assert_eq!(find(1023), Some(1));
+        assert_eq!(find(2047), Some(1));
+        assert_eq!(find(u64::MAX), Some(1));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile_ns(0.50).unwrap();
+        let p99 = snap.quantile_ns(0.99).unwrap();
+        assert!(p50 <= p99);
+        // True p50 is 500; the bucket bound overestimates by < 2x.
+        assert!((511..=1023).contains(&p50), "p50 = {p50}");
+        assert_eq!(snap.quantile_ns(1.0).unwrap(), 1023);
+        assert_eq!(snap.mean_ns().unwrap(), 500.5);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LogHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 40_000);
+        assert_eq!(snap.buckets.iter().map(|b| b.count).sum::<u64>(), 40_000);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        a.record(5);
+        a.record(100);
+        b.record(6);
+        b.record(100_000);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.sum_ns, 5 + 100 + 6 + 100_000);
+        assert_eq!(merged.buckets.iter().map(|x| x.count).sum::<u64>(), 4);
+        // Bounds stay sorted after merge.
+        assert!(merged.buckets.windows(2).all(|w| w[0].le_ns < w[1].le_ns));
+    }
+}

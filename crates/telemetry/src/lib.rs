@@ -1,0 +1,33 @@
+//! Live telemetry for the bandwidth-broker daemon.
+//!
+//! The paper's scalability argument (§6) is quantitative — a broker is
+//! viable only if it sustains a domain's decision rate — so the daemon
+//! must be observable *while it runs*, not only at shutdown. This crate
+//! provides the instrumentation layer:
+//!
+//! * [`histogram::LogHistogram`] — a fixed-size, log₂-bucketed latency
+//!   histogram updated with one relaxed atomic add per sample;
+//! * [`registry::ShardMetrics`] — per-shard admission outcome counters
+//!   (admitted / released / shed, and every [`bb_core::signaling::Reject`]
+//!   cause of the admission-outcome taxonomy) plus a queue-depth gauge;
+//! * [`registry::MetricsRegistry`] — the cheap shared handle tying the
+//!   shards together with the end-to-end setup-latency histogram; shard
+//!   workers update it without ever taking a lock;
+//! * [`registry::MetricsSnapshot`] — a serializable point-in-time view,
+//!   rendered to Prometheus text exposition by [`expose::prometheus`].
+//!
+//! Nothing here spawns threads, owns sockets, or reads config: the
+//! daemon (`bb-server`) decides where snapshots are served, the bench
+//! binaries poll snapshots into their `BENCH_*.json` time series, and CI
+//! consumes those files to gate throughput regressions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expose;
+pub mod histogram;
+pub mod registry;
+
+pub use expose::prometheus;
+pub use histogram::{HistogramSnapshot, LogHistogram};
+pub use registry::{MetricsRegistry, MetricsSnapshot, ReasonCount, ShardMetrics, ShardSnapshot};

@@ -1,0 +1,321 @@
+//! The metrics registry: per-shard counters and gauges behind one
+//! cheap shared handle.
+//!
+//! Ownership mirrors the daemon's sharding: each worker thread updates
+//! only its own [`ShardMetrics`] slot (plus the registry-wide setup
+//! histogram), so every update is an uncontended relaxed atomic — no
+//! locks, no false sharing across the admission hot path beyond the
+//! cache lines the counters themselves occupy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use bb_core::signaling::Reject;
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::{HistogramSnapshot, LogHistogram};
+
+/// Lock-free counters and gauges for one broker shard.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    admitted: AtomicU64,
+    rejected: [AtomicU64; Reject::COUNT],
+    released: AtomicU64,
+    /// Requests shed at this shard's queue (never admission-tested).
+    overloaded: AtomicU64,
+    /// Instantaneous job-queue depth, set by the worker as it dequeues.
+    queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    queue_peak: AtomicU64,
+    /// Admission-decision latency (time inside the broker, per request).
+    decision_ns: LogHistogram,
+}
+
+impl ShardMetrics {
+    /// Counts an admitted request.
+    pub fn record_admit(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a rejection under its taxonomy cause.
+    pub fn record_reject(&self, cause: Reject) {
+        self.rejected[cause.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a released (DRQ'd) flow.
+    pub fn record_release(&self) {
+        self.released.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request shed at the queue.
+    pub fn record_shed(&self) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one admission-decision latency sample.
+    pub fn record_decision_ns(&self, ns: u64) {
+        self.decision_ns.record(ns);
+    }
+
+    /// Updates the queue-depth gauge (and its high-water mark).
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, shard: usize) -> ShardSnapshot {
+        ShardSnapshot {
+            shard,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: Reject::ALL
+                .iter()
+                .map(|&cause| ReasonCount {
+                    reason: cause.label().to_string(),
+                    count: self.rejected[cause.index()].load(Ordering::Relaxed),
+                })
+                .collect(),
+            released: self.released.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            decision_ns: self.decision_ns.snapshot(),
+        }
+    }
+}
+
+/// The shared handle: one [`ShardMetrics`] per shard plus domain-wide
+/// series. Clone an `Arc<MetricsRegistry>` freely; updating costs a few
+/// relaxed atomics.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    started: Instant,
+    shards: Vec<ShardMetrics>,
+    /// End-to-end setup latency: queue wait + decision + encode, from
+    /// dispatch to the reply handoff.
+    setup_ns: LogHistogram,
+    /// Requests refused before sharding (path not served here).
+    unrouted: AtomicU64,
+}
+
+impl MetricsRegistry {
+    /// A registry for `shards` broker shards.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        MetricsRegistry {
+            started: Instant::now(),
+            shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
+            setup_ns: LogHistogram::new(),
+            unrouted: AtomicU64::new(0),
+        }
+    }
+
+    /// Shard `i`'s metrics slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn shard(&self, i: usize) -> &ShardMetrics {
+        &self.shards[i]
+    }
+
+    /// Number of shard slots.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records one end-to-end setup latency sample.
+    pub fn record_setup_ns(&self, ns: u64) {
+        self.setup_ns.record(ns);
+    }
+
+    /// Counts a request refused because no shard serves its path.
+    pub fn record_unrouted(&self) {
+        self.unrouted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A serializable point-in-time view of every series.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let shards: Vec<ShardSnapshot> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.snapshot(i))
+            .collect();
+        let admitted = shards.iter().map(|s| s.admitted).sum();
+        let rejected = shards
+            .iter()
+            .flat_map(|s| s.rejected.iter())
+            .map(|r| r.count)
+            .sum();
+        let overloaded = shards.iter().map(|s| s.overloaded).sum();
+        let released = shards.iter().map(|s| s.released).sum();
+        MetricsSnapshot {
+            uptime_ns: u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            admitted,
+            rejected,
+            overloaded,
+            released,
+            unrouted: self.unrouted.load(Ordering::Relaxed),
+            shards,
+            setup_ns: self.setup_ns.snapshot(),
+        }
+    }
+}
+
+/// One rejection-cause counter in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReasonCount {
+    /// Taxonomy label ([`Reject::label`]).
+    pub reason: String,
+    /// Rejections attributed to it.
+    pub count: u64,
+}
+
+/// Point-in-time view of one shard.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Rejections by taxonomy cause (all causes listed, zeros included,
+    /// so the schema is stable for CI consumers).
+    pub rejected: Vec<ReasonCount>,
+    /// Flows released via DRQ.
+    pub released: u64,
+    /// Requests shed at this shard's queue.
+    pub overloaded: u64,
+    /// Job-queue depth when last sampled.
+    pub queue_depth: u64,
+    /// Highest queue depth observed.
+    pub queue_peak: u64,
+    /// Admission-decision latency histogram.
+    pub decision_ns: HistogramSnapshot,
+}
+
+impl ShardSnapshot {
+    /// Total rejections on this shard.
+    #[must_use]
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.iter().map(|r| r.count).sum()
+    }
+}
+
+/// Point-in-time view of the whole registry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Nanoseconds since the registry was created.
+    pub uptime_ns: u64,
+    /// Requests admitted, domain-wide.
+    pub admitted: u64,
+    /// Requests rejected by admission control or shed, domain-wide
+    /// (sum over every taxonomy cause, including `overloaded` when a
+    /// shard recorded the shed).
+    pub rejected: u64,
+    /// Requests shed at shard queues.
+    pub overloaded: u64,
+    /// Flows released via DRQ.
+    pub released: u64,
+    /// Requests refused before sharding (unserved path).
+    pub unrouted: u64,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardSnapshot>,
+    /// End-to-end setup latency histogram.
+    pub setup_ns: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Decisions that reached a broker shard (admitted + rejected).
+    #[must_use]
+    pub fn decided(&self) -> u64 {
+        self.admitted + self.rejected
+    }
+
+    /// All shards' decision histograms merged into one.
+    #[must_use]
+    pub fn decision_ns_merged(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for s in &self.shards {
+            merged.merge(&s.decision_ns);
+        }
+        merged
+    }
+
+    /// The deepest current queue across shards.
+    #[must_use]
+    pub fn queue_depth_max(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue_depth).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_shards_and_causes() {
+        let reg = MetricsRegistry::new(3);
+        reg.shard(0).record_admit();
+        reg.shard(0).record_admit();
+        reg.shard(1).record_reject(Reject::Bandwidth);
+        reg.shard(2).record_reject(Reject::DuplicateFlow);
+        reg.shard(2).record_shed();
+        reg.shard(2).record_reject(Reject::Overloaded);
+        reg.shard(1).record_release();
+        reg.record_unrouted();
+        let snap = reg.snapshot();
+        assert_eq!(snap.admitted, 2);
+        assert_eq!(snap.rejected, 3);
+        assert_eq!(snap.overloaded, 1);
+        assert_eq!(snap.released, 1);
+        assert_eq!(snap.unrouted, 1);
+        assert_eq!(snap.decided(), 5);
+        // Every shard lists the full taxonomy, zeros included.
+        for s in &snap.shards {
+            assert_eq!(s.rejected.len(), Reject::COUNT);
+        }
+        assert_eq!(
+            snap.shards[1].rejected[Reject::Bandwidth.index()],
+            ReasonCount {
+                reason: "bandwidth".into(),
+                count: 1
+            }
+        );
+    }
+
+    #[test]
+    fn queue_gauge_tracks_peak() {
+        let reg = MetricsRegistry::new(1);
+        reg.shard(0).set_queue_depth(3);
+        reg.shard(0).set_queue_depth(17);
+        reg.shard(0).set_queue_depth(4);
+        let s = &reg.snapshot().shards[0];
+        assert_eq!(s.queue_depth, 4);
+        assert_eq!(s.queue_peak, 17);
+    }
+
+    #[test]
+    fn decision_histograms_merge_across_shards() {
+        let reg = MetricsRegistry::new(2);
+        reg.shard(0).record_decision_ns(100);
+        reg.shard(1).record_decision_ns(1_000_000);
+        let merged = reg.snapshot().decision_ns_merged();
+        assert_eq!(merged.count, 2);
+        assert!(merged.quantile_ns(1.0).unwrap() >= 1_000_000);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let reg = MetricsRegistry::new(2);
+        reg.shard(0).record_admit();
+        reg.shard(0).record_decision_ns(12_345);
+        reg.record_setup_ns(99_999);
+        let snap = reg.snapshot();
+        let text = serde::json::to_string(&snap);
+        let back: MetricsSnapshot = serde::json::from_str(&text).expect("roundtrip");
+        assert_eq!(back, snap);
+    }
+}
