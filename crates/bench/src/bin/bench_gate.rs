@@ -2,16 +2,19 @@
 //!
 //! ```text
 //! bench_gate --fresh BENCH_loadgen.fresh.json \
-//!            --baseline BENCH_loadgen.json [--min-ratio 0.6]
+//!            --baseline BENCH_loadgen.json \
+//!            [--min-ratio 0.6] [--max-p99-ratio 1.5]
 //! ```
 //!
-//! Reads both `bb-loadgen` reports, applies [`bb_bench::gate::check`],
-//! prints the verdict, and exits non-zero when the gate fails: the
-//! fresh run must be `--verify`-clean, produced with the baseline's
-//! exact workload configuration, and within the allowed throughput
-//! margin (default: no more than 40 % below baseline).
+//! Reads both `bb-loadgen` reports, applies
+//! [`bb_bench::gate::check_with_latency`], prints the verdict, and
+//! exits non-zero when the gate fails: the fresh run must be
+//! `--verify`-clean, produced with the baseline's exact workload
+//! configuration, within the allowed throughput margin (default: no
+//! more than 40 % below baseline), and within the allowed p99
+//! setup-latency ceiling (default: no more than 1.5× baseline).
 
-use bb_bench::gate::{check, DEFAULT_MIN_RATIO};
+use bb_bench::gate::{check_with_latency, DEFAULT_MAX_P99_RATIO, DEFAULT_MIN_RATIO};
 
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -34,10 +37,16 @@ fn main() {
     let min_ratio: f64 = arg("--min-ratio")
         .map(|v| v.parse().expect("bench-gate: --min-ratio must be a float"))
         .unwrap_or(DEFAULT_MIN_RATIO);
+    let max_p99_ratio: f64 = arg("--max-p99-ratio")
+        .map(|v| {
+            v.parse()
+                .expect("bench-gate: --max-p99-ratio must be a float")
+        })
+        .unwrap_or(DEFAULT_MAX_P99_RATIO);
 
     let fresh = load(&fresh_path);
     let baseline = load(&baseline_path);
-    match check(&fresh, &baseline, min_ratio) {
+    match check_with_latency(&fresh, &baseline, min_ratio, max_p99_ratio) {
         Ok(verdict) => {
             println!(
                 "bench-gate: fresh {:.0} decisions/s vs baseline {:.0} ({:.0}%, floor {:.0}%)",
@@ -45,6 +54,13 @@ fn main() {
                 verdict.baseline_throughput,
                 verdict.ratio * 100.0,
                 verdict.min_ratio * 100.0
+            );
+            println!(
+                "bench-gate: fresh p99 {:.0}µs vs baseline {:.0}µs ({:.0}%, ceiling {:.0}%)",
+                verdict.fresh_p99_us,
+                verdict.baseline_p99_us,
+                verdict.p99_ratio * 100.0,
+                verdict.max_p99_ratio * 100.0
             );
             if verdict.passed() {
                 println!("bench-gate: PASS");

@@ -9,6 +9,10 @@
 //! * the fresh run's throughput dropped more than the allowed fraction
 //!   below the baseline's (default floor: 60 % of baseline, i.e. a
 //!   >40 % regression);
+//! * the fresh run's p99 setup latency rose above the allowed multiple
+//!   of the baseline's (default ceiling: 1.5× baseline p99) — the
+//!   tail is where a serialized commit queue or a cold path cache
+//!   shows up first, long before mean throughput collapses;
 //! * the two reports were produced with different workload
 //!   configurations — comparing throughputs across configs is
 //!   meaningless, so a config drift is itself a failure (fix the
@@ -22,6 +26,10 @@ use serde::json::Value;
 
 /// Fraction of baseline throughput the fresh run must reach.
 pub const DEFAULT_MIN_RATIO: f64 = 0.6;
+
+/// Multiple of the baseline's p99 setup latency the fresh run must
+/// stay under.
+pub const DEFAULT_MAX_P99_RATIO: f64 = 1.5;
 
 /// Workload-configuration fields that must match between the fresh and
 /// baseline reports for a throughput comparison to be meaningful.
@@ -45,6 +53,14 @@ pub struct GateReport {
     pub ratio: f64,
     /// Minimum acceptable ratio.
     pub min_ratio: f64,
+    /// Fresh run's p99 setup latency (µs).
+    pub fresh_p99_us: f64,
+    /// Baseline's p99 setup latency (µs).
+    pub baseline_p99_us: f64,
+    /// `fresh_p99_us / baseline_p99_us`.
+    pub p99_ratio: f64,
+    /// Maximum acceptable p99 ratio.
+    pub max_p99_ratio: f64,
     /// Human-readable reasons the gate failed; empty means pass.
     pub failures: Vec<String>,
 }
@@ -64,7 +80,8 @@ fn number(report: &Value, field: &str) -> Result<f64, String> {
         .map_err(|e| format!("bad `{field}`: {e}"))
 }
 
-/// Gates a fresh `BENCH_loadgen.json` report against the baseline.
+/// Gates a fresh `BENCH_loadgen.json` report against the baseline with
+/// the default latency ceiling ([`DEFAULT_MAX_P99_RATIO`]).
 ///
 /// # Errors
 ///
@@ -72,6 +89,23 @@ fn number(report: &Value, field: &str) -> Result<f64, String> {
 /// or non-numeric fields) — distinct from a well-formed report that
 /// merely fails the gate, which yields `Ok` with non-empty `failures`.
 pub fn check(fresh: &Value, baseline: &Value, min_ratio: f64) -> Result<GateReport, String> {
+    check_with_latency(fresh, baseline, min_ratio, DEFAULT_MAX_P99_RATIO)
+}
+
+/// Gates a fresh report against the baseline: throughput floor AND p99
+/// setup-latency ceiling.
+///
+/// # Errors
+///
+/// Returns `Err` when either report is structurally unusable (missing
+/// or non-numeric fields) — distinct from a well-formed report that
+/// merely fails the gate, which yields `Ok` with non-empty `failures`.
+pub fn check_with_latency(
+    fresh: &Value,
+    baseline: &Value,
+    min_ratio: f64,
+    max_p99_ratio: f64,
+) -> Result<GateReport, String> {
     let mut failures = Vec::new();
 
     for field in CONFIG_FIELDS {
@@ -115,11 +149,33 @@ pub fn check(fresh: &Value, baseline: &Value, min_ratio: f64) -> Result<GateRepo
         ));
     }
 
+    let fresh_p99_us = number(fresh, "setup_latency_p99_us").map_err(|e| format!("fresh: {e}"))?;
+    let baseline_p99_us =
+        number(baseline, "setup_latency_p99_us").map_err(|e| format!("baseline: {e}"))?;
+    if baseline_p99_us <= 0.0 {
+        return Err(format!(
+            "baseline p99 setup latency is {baseline_p99_us}; regenerate BENCH_loadgen.json"
+        ));
+    }
+    let p99_ratio = fresh_p99_us / baseline_p99_us;
+    if p99_ratio > max_p99_ratio {
+        failures.push(format!(
+            "latency regression: p99 setup latency {fresh_p99_us:.0}µs is {:.0}% of the \
+             {baseline_p99_us:.0}µs baseline (ceiling: {:.0}%)",
+            p99_ratio * 100.0,
+            max_p99_ratio * 100.0
+        ));
+    }
+
     Ok(GateReport {
         fresh_throughput,
         baseline_throughput,
         ratio,
         min_ratio,
+        fresh_p99_us,
+        baseline_p99_us,
+        p99_ratio,
+        max_p99_ratio,
         failures,
     })
 }
@@ -128,16 +184,21 @@ pub fn check(fresh: &Value, baseline: &Value, min_ratio: f64) -> Result<GateRepo
 mod tests {
     use super::*;
 
-    fn report(throughput: f64, verified: &str, seed: u64) -> Value {
+    fn report_with_p99(throughput: f64, verified: &str, seed: u64, p99_us: f64) -> Value {
         serde::json::parse(&format!(
             r#"{{
               "pods": 64, "hops": 5, "clients": 8, "requests_per_client": 2000,
               "offered_rate_per_client_hz": 8000.0, "seed": {seed},
               "throughput_decisions_per_s": {throughput},
+              "setup_latency_p99_us": {p99_us},
               "verified": {verified}
             }}"#
         ))
         .expect("literal parses")
+    }
+
+    fn report(throughput: f64, verified: &str, seed: u64) -> Value {
+        report_with_p99(throughput, verified, seed, 3_500.0)
     }
 
     #[test]
@@ -162,6 +223,29 @@ mod tests {
         .unwrap();
         assert!(!verdict.passed());
         assert!(verdict.failures[0].contains("throughput regression"));
+    }
+
+    #[test]
+    fn fails_on_p99_latency_blowup_even_when_throughput_holds() {
+        let verdict = check(
+            &report_with_p99(34_000.0, "true", 1, 6_000.0),
+            &report_with_p99(34_000.0, "true", 1, 3_500.0),
+            DEFAULT_MIN_RATIO,
+        )
+        .unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("latency regression"));
+        assert!((verdict.p99_ratio - 6_000.0 / 3_500.0).abs() < 1e-9);
+
+        // Exactly at the ceiling still passes: the gate is `>`, not `>=`.
+        let at_ceiling = check_with_latency(
+            &report_with_p99(34_000.0, "true", 1, 5_250.0),
+            &report_with_p99(34_000.0, "true", 1, 3_500.0),
+            DEFAULT_MIN_RATIO,
+            DEFAULT_MAX_P99_RATIO,
+        )
+        .unwrap();
+        assert!(at_ceiling.passed(), "{:?}", at_ceiling.failures);
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //! * [`aggregate`] — rate planning for macroflow joins and leaves under
 //!   class-based service (§4.3), paired with the contingency-bandwidth
 //!   rules of [`crate::contingency`].
+//!
+//! [`plan`] holds the typed output of the decide phase: every algorithm
+//! above feeds an [`plan::AdmissionPlan`] that the broker's commit phase
+//! applies (or aborts) against the MIBs.
 
 pub mod aggregate;
 pub mod mixed;
+pub mod plan;
 pub mod rate_based;

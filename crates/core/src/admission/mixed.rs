@@ -51,7 +51,7 @@ use qos_units::ratio::u128_div_ceil;
 use qos_units::{Bits, Nanos, Rate, NANOS_PER_SEC};
 use vtrs::profile::TrafficProfile;
 
-use crate::mib::{NodeMib, PathQos};
+use crate::mib::{NodeMib, PathQos, PathSummary};
 use crate::signaling::Reject;
 
 /// A granted rate–delay pair.
@@ -86,15 +86,40 @@ pub fn admit(
     path: &PathQos,
     nodes: &NodeMib,
 ) -> Result<RateDelay, Reject> {
+    let summary = path.summarize(nodes, 0);
+    admit_with_summary(profile, d_req, path, nodes, &summary)
+}
+
+/// The Figure-4 test fed from a precomputed [`PathSummary`] — the decide
+/// phase's entry point. The scan itself (residual bandwidth, breakpoint
+/// vector, `S̄^k`) runs entirely off the summary; the node base is still
+/// consulted for the own-deadline slope walk and the final exact
+/// verification of the candidate pair. The summary must describe the
+/// path's current MIB state (same epoch) or the verdict may be stale.
+///
+/// # Errors
+///
+/// As [`admit`].
+pub fn admit_with_summary(
+    profile: &TrafficProfile,
+    d_req: Nanos,
+    path: &PathQos,
+    nodes: &NodeMib,
+    summary: &PathSummary,
+) -> Result<RateDelay, Reject> {
     let dh = path.spec.delay_hops();
     if dh == 0 {
         // Pure rate-based path: §3.1 applies with d unused.
-        let range = super::rate_based::admit(profile, d_req, path, nodes)?;
+        let range = super::rate_based::admit_with_residual(profile, d_req, path, summary.c_res)?;
         return Ok(RateDelay {
             rate: range.low,
             delay: Nanos::ZERO,
         });
     }
+    let delay_summary = summary
+        .delay
+        .as_ref()
+        .expect("delay path summarized without its delay dimension");
     let q = path.spec.q();
     let t_on = profile.t_on();
 
@@ -116,16 +141,16 @@ pub fn admit(
     .div_ceil(u128::from(dh));
     let l9 = scaled(profile.l_max);
 
-    let c_res = path.residual(nodes);
+    let c_res = summary.c_res;
 
     // d ≥ d_min0: the flow's own breakpoint must clear its packet on
-    // every delay-based link (C_i·d ≥ L).
+    // every delay-based link (C_i·d ≥ L) — the binding link is the
+    // slowest one, whose capacity the summary carries.
     let delay_links = path.delay_links(nodes);
-    let d_min0 = delay_links
-        .iter()
-        .map(|(link, _)| Nanos::from_nanos(u128_div_ceil(l9, u128::from(link.capacity.as_bps()))))
-        .max()
-        .unwrap_or(Nanos::ZERO);
+    let d_min0 = Nanos::from_nanos(u128_div_ceil(
+        l9,
+        u128::from(delay_summary.min_capacity.as_bps()),
+    ));
     if d_min0 >= t {
         return Err(Reject::DelayInfeasible);
     }
@@ -143,20 +168,11 @@ pub fn admit(
         return Err(Reject::Bandwidth);
     }
 
-    // Breakpoints and the path's minimal residual service at each,
-    // computed in one prefix-sum sweep per link.
-    let breakpoints = path.distinct_delays(nodes);
+    // Breakpoints and the path's minimal residual service at each, from
+    // the (pre)computed summary.
+    let breakpoints = &delay_summary.breakpoints;
     let m = breakpoints.len();
-    let mut s_bar = vec![i128::MAX; m];
-    for (link, _) in &delay_links {
-        for (k, s) in link
-            .residual_service_profile(&breakpoints)
-            .iter()
-            .enumerate()
-        {
-            s_bar[k] = s_bar[k].min(*s);
-        }
-    }
+    let s_bar = &delay_summary.s_bar;
 
     // i_start: index of the interval containing t; breakpoints[..i_start]
     // are strictly below t.

@@ -1,0 +1,113 @@
+//! The typed output of the admission **decide** phase.
+//!
+//! Splitting §2.2's "admissibility test, then bookkeeping" into explicit
+//! phases turns the broker into an optimistic-concurrency state machine:
+//! [`crate::Broker::decide`] is `&self` — it reads the MIBs (through the
+//! per-path summary cache) and produces an [`AdmissionPlan`] stamped with
+//! the epoch of the path state it read; [`crate::Broker::commit`] takes
+//! `&mut self`, revalidates the stamp, and either applies the plan's
+//! bookkeeping verbatim or re-decides against fresh state. Many decides
+//! can run concurrently against one broker; only commits serialize.
+
+use qos_units::{Nanos, Rate};
+
+use crate::admission::aggregate::{ClassSpec, JoinPlan};
+use crate::signaling::{FlowRequest, Reject};
+
+/// The bookkeeping a successful decide asks the commit phase to apply.
+///
+/// Every variant pins the concrete resource delta so commit performs no
+/// admission arithmetic of its own: it re-checks freshness and writes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanAction {
+    /// Install a dedicated per-flow reservation at the chosen `⟨r, d⟩`.
+    PerFlow {
+        /// Reserved rate `r` on every path link.
+        rate: Rate,
+        /// Delay parameter `d` (zero on rate-based-only paths).
+        delay: Nanos,
+    },
+    /// Join a microflow into the `(class, path)` macroflow, creating the
+    /// macroflow if none exists. The commit phase re-reads the macroflow
+    /// registry — protected by the plan's epoch stamp — so the join plan
+    /// needs no copied macroflow state.
+    ClassJoin {
+        /// The service class joined.
+        class: ClassSpec,
+        /// Rate plan from [`crate::admission::aggregate::plan_join`]:
+        /// the per-link delta is `increment + contingency`.
+        join: JoinPlan,
+    },
+    /// Book an externally computed `⟨r, d⟩` verbatim (the child-broker
+    /// half of [`crate::hierarchy`]).
+    Exact {
+        /// Rate to reserve on every path link.
+        rate: Rate,
+        /// Delay parameter at delay-based hops.
+        delay: Nanos,
+    },
+}
+
+impl PlanAction {
+    /// Uniform bandwidth delta this action reserves on every link of the
+    /// request's path.
+    #[must_use]
+    pub fn link_delta(&self) -> Rate {
+        match self {
+            PlanAction::PerFlow { rate, .. } | PlanAction::Exact { rate, .. } => *rate,
+            PlanAction::ClassJoin { join, .. } => join.increment.saturating_add(join.contingency),
+        }
+    }
+}
+
+/// How a plan was decided — commit re-runs the *same* decision procedure
+/// when the epoch stamp is stale, so the plan must remember which one
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanIntent {
+    /// The full admission pipeline ([`crate::Broker::decide`]): the
+    /// request's [`crate::ServiceKind`] picks the resource test.
+    Admission,
+    /// Validate-and-book an externally chosen pair
+    /// ([`crate::Broker::decide_exact`]).
+    Exact {
+        /// The pair's rate.
+        rate: Rate,
+        /// The pair's delay parameter.
+        delay: Nanos,
+    },
+}
+
+/// A decided admission, ready to commit (or abort).
+///
+/// The plan owns everything commit needs: the original request (so a
+/// stale plan can be re-decided without the caller), the epoch of the
+/// path state the verdict was computed from, and the verdict itself.
+#[derive(Debug, Clone)]
+pub struct AdmissionPlan {
+    /// The request this plan answers.
+    pub request: FlowRequest,
+    /// How the verdict was produced (re-run on stale commit).
+    pub intent: PlanIntent,
+    /// Epoch of the request's path when the verdict was computed.
+    /// Commit compares it against the live epoch; a mismatch means some
+    /// reservation touching this path (or a link it shares) landed in
+    /// between, and the verdict can no longer be trusted.
+    pub epoch: u64,
+    /// The decision: bookkeeping to apply, or the rejection cause.
+    pub verdict: Result<PlanAction, Reject>,
+}
+
+impl AdmissionPlan {
+    /// Whether the decide phase admitted the request.
+    #[must_use]
+    pub fn is_admit(&self) -> bool {
+        self.verdict.is_ok()
+    }
+
+    /// The rejection cause, if the decide phase refused.
+    #[must_use]
+    pub fn cause(&self) -> Option<Reject> {
+        self.verdict.err()
+    }
+}

@@ -36,6 +36,25 @@ pub fn admit(
     path: &PathQos,
     nodes: &NodeMib,
 ) -> Result<FeasibleRange, Reject> {
+    admit_with_residual(profile, d_req, path, path.residual(nodes))
+}
+
+/// The §3.1 test with the path residual `C_res` supplied by the caller —
+/// the decide phase's O(1) entry point: the only dynamic input of the
+/// rate-based test is `C_res`, so a cached
+/// [`crate::mib::PathSummary::c_res`] makes the whole test run without
+/// touching a single link row (`h` and `D_tot` are static in
+/// [`PathQos::spec`]).
+///
+/// # Errors
+///
+/// As [`admit`].
+pub fn admit_with_residual(
+    profile: &TrafficProfile,
+    d_req: Nanos,
+    path: &PathQos,
+    c_res: Rate,
+) -> Result<FeasibleRange, Reject> {
     debug_assert_eq!(
         path.spec.delay_hops(),
         0,
@@ -48,7 +67,7 @@ pub fn admit(
         return Err(Reject::DelayInfeasible);
     }
     let low = r_min.max(profile.rho);
-    let high = profile.peak.min(path.residual(nodes));
+    let high = profile.peak.min(c_res);
     if low > high {
         return Err(Reject::Bandwidth);
     }

@@ -8,23 +8,37 @@
 //! [`Reservation`] goes back so the ingress can (re)configure the edge
 //! conditioner. **No core router is touched at any point.**
 //!
+//! §2.2's two phases are explicit API: [`Broker::decide`] is the
+//! admissibility test — `&self`, reading path state through a per-path
+//! [`PathSummary`] cache so the rate-based test touches no link rows on
+//! a cache hit — and returns an [`AdmissionPlan`] stamped with the
+//! path's epoch. [`Broker::commit`] is the bookkeeping phase: it
+//! revalidates the stamp against the live epoch and either applies the
+//! plan or re-decides it against fresh state (counting retries and
+//! Ok-turned-Err aborts). [`Broker::request`] is simply the two run
+//! back-to-back. Decides may run concurrently; commits serialize.
+//!
 //! Time is passed explicitly into every operation: the broker is a
 //! passive state machine, so it composes with the discrete-event
 //! simulator, the experiment harnesses, and wall-clock deployments alike.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use netsim::topology::{LinkId, NodeId, Topology};
+use parking_lot::RwLock;
 use qos_units::{Nanos, Rate, Time};
 use vtrs::delay::edge_delay_bound;
 use vtrs::packet::FlowId;
 use vtrs::profile::TrafficProfile;
 use vtrs::reference::HopKind;
 
-use crate::admission::aggregate::{plan_join, plan_leave, ClassSpec};
+use crate::admission::aggregate::{plan_join, plan_leave, ClassSpec, JoinPlan};
+use crate::admission::plan::{AdmissionPlan, PlanAction, PlanIntent};
 use crate::admission::{mixed, rate_based};
 use crate::contingency::{bounding_period, ContingencyPolicy, ContingencySet, Grant};
-use crate::mib::{FlowMib, FlowRecord, FlowService, NodeMib, PathId, PathMib};
+use crate::mib::{FlowMib, FlowRecord, FlowService, NodeMib, PathId, PathMib, PathSummary};
 use crate::policy::Policy;
 use crate::routing::RoutingModule;
 use crate::signaling::{FlowRequest, Reject, Reservation, ServiceKind};
@@ -113,6 +127,12 @@ pub struct BrokerStats {
     pub grant_expiries: u64,
     /// Contingency bandwidth released by edge feedback.
     pub grant_resets: u64,
+    /// Plans that arrived at commit with a stale epoch stamp and were
+    /// re-decided against fresh state.
+    pub plan_retries: u64,
+    /// Retried plans whose decide-time admit turned into a rejection
+    /// under fresh state (the optimistic-concurrency abort case).
+    pub plan_aborts: u64,
 }
 
 impl BrokerStats {
@@ -128,7 +148,10 @@ impl BrokerStats {
             Reject::Schedulability => self.rejected_sched,
             Reject::UnknownClass => self.rejected_unknown_class,
             Reject::DuplicateFlow => self.rejected_duplicate,
-            Reject::Overloaded => 0,
+            // Overloaded is a queue verdict and NoRoute a routing
+            // verdict; neither is ever produced by the admission test
+            // proper, so the broker attributes nothing to them.
+            Reject::Overloaded | Reject::NoRoute => 0,
         }
     }
 
@@ -153,6 +176,13 @@ pub struct Broker {
     macro_index: HashMap<(u32, PathId), FlowId>,
     next_macro: u64,
     stats: BrokerStats,
+    /// Per-path QoS summaries keyed by the epoch they were computed at.
+    /// Interior mutability keeps [`Broker::decide`] `&self`; the lock is
+    /// held only for the map probe/insert, never across a summary
+    /// computation's link reads.
+    path_cache: RwLock<HashMap<PathId, Arc<PathSummary>>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl Broker {
@@ -174,6 +204,9 @@ impl Broker {
             macro_index: HashMap::new(),
             next_macro: MACRO_BASE,
             stats: BrokerStats::default(),
+            path_cache: RwLock::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         }
     }
 
@@ -222,7 +255,7 @@ impl Broker {
     ///
     /// Returns the rejection from the *best* candidate (the one with the
     /// most residual bandwidth) when none admits, or
-    /// [`Reject::Bandwidth`] when the egress is unreachable.
+    /// [`Reject::NoRoute`] when routing yields no candidate path at all.
     pub fn request_with_alternates(
         &mut self,
         now: Time,
@@ -233,7 +266,7 @@ impl Broker {
     ) -> Result<(Reservation, PathId), Reject> {
         let mut candidates = self.paths_between(from, to, k);
         if candidates.is_empty() {
-            return Err(Reject::Bandwidth);
+            return Err(Reject::NoRoute);
         }
         candidates.sort_by_key(|pid| std::cmp::Reverse(self.path_residual(*pid)));
         let mut first_err = None;
@@ -320,15 +353,197 @@ impl Broker {
             .min()
     }
 
-    /// Handles a new-flow service request: policy → admissibility test →
-    /// bookkeeping (§2.2's two phases).
+    /// The cached QoS summary for a path, recomputed only when the
+    /// path's epoch has moved past the cached copy's stamp.
+    ///
+    /// On a hit this performs zero per-link MIB reads — the summary
+    /// already folds the path's links into `C_res` (and, for delay
+    /// paths, the residual-service vector `S̄`).
+    #[must_use]
+    pub fn path_summary(&self, path: PathId) -> Arc<PathSummary> {
+        let epoch = self.paths.epoch(path);
+        if let Some(cached) = self.path_cache.read().get(&path) {
+            if cached.epoch == epoch {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(cached);
+            }
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(self.paths.path(path).summarize(&self.nodes, epoch));
+        self.path_cache.write().insert(path, Arc::clone(&fresh));
+        fresh
+    }
+
+    /// Path-summary cache effectiveness: `(hits, misses)` since
+    /// construction.
+    #[must_use]
+    pub fn path_cache_counters(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Handles a new-flow service request: [`Broker::decide`] followed
+    /// immediately by [`Broker::commit`] (§2.2's two phases,
+    /// back-to-back — the epoch stamp is necessarily fresh, so the
+    /// behaviour is exactly the classic monolithic admission).
     ///
     /// # Errors
     ///
     /// Returns the applicable [`Reject`] cause.
     pub fn request(&mut self, now: Time, req: &FlowRequest) -> Result<Reservation, Reject> {
+        let plan = self.decide(req);
+        self.commit(now, &plan)
+    }
+
+    /// The admissibility phase: policy control plus the path-wide
+    /// resource test, **read-only** (`&self`) and against the cached
+    /// path summary — for rate-based-only paths the whole decide is
+    /// O(1) with no link-row reads on a cache hit. The returned plan is
+    /// stamped with the path's epoch for [`Broker::commit`] to
+    /// revalidate.
+    #[must_use]
+    pub fn decide(&self, req: &FlowRequest) -> AdmissionPlan {
+        self.decide_with_intent(req.clone(), PlanIntent::Admission)
+    }
+
+    /// Decide-phase counterpart of [`Broker::reserve_exact`]: validates
+    /// an externally computed `⟨rate, delay⟩` pair against this
+    /// broker's MIBs without booking it — the child-broker half of a
+    /// hierarchical deployment (see [`crate::hierarchy`]). Policy
+    /// control is not applied: the pair was authorized by the parent.
+    #[must_use]
+    pub fn decide_exact(
+        &self,
+        flow: FlowId,
+        profile: &TrafficProfile,
+        rate: Rate,
+        delay: Nanos,
+        path: PathId,
+    ) -> AdmissionPlan {
+        let request = FlowRequest {
+            flow,
+            profile: *profile,
+            d_req: Nanos::MAX,
+            service: ServiceKind::PerFlow,
+            path,
+        };
+        self.decide_with_intent(request, PlanIntent::Exact { rate, delay })
+    }
+
+    fn decide_with_intent(&self, request: FlowRequest, intent: PlanIntent) -> AdmissionPlan {
+        let epoch = self.paths.epoch(request.path);
+        let verdict = match self.global_verdict(&request, intent) {
+            Some(cause) => Err(cause),
+            None => self.intent_verdict(&request, intent),
+        };
+        AdmissionPlan {
+            request,
+            intent,
+            epoch,
+            verdict,
+        }
+    }
+
+    /// Preconditions that depend on *global* broker state (the flow MIB)
+    /// rather than path state. They are outside the epoch's protection —
+    /// a flow admitted or released on an unrelated path changes them
+    /// without touching this path — so commit re-checks them live.
+    fn global_verdict(&self, request: &FlowRequest, intent: PlanIntent) -> Option<Reject> {
+        if self.flows.get(request.flow).is_some() {
+            return Some(Reject::DuplicateFlow);
+        }
+        if matches!(intent, PlanIntent::Admission)
+            && !self
+                .policy
+                .permits(&request.profile, request.d_req, self.flows.len())
+        {
+            return Some(Reject::Policy);
+        }
+        None
+    }
+
+    /// The resource test for a plan's intent (global preconditions
+    /// already checked).
+    fn intent_verdict(&self, req: &FlowRequest, intent: PlanIntent) -> Result<PlanAction, Reject> {
+        match intent {
+            PlanIntent::Admission => match req.service {
+                ServiceKind::PerFlow => self.plan_per_flow(req),
+                ServiceKind::Class(class) => self.plan_class_join(req, class),
+            },
+            PlanIntent::Exact { rate, delay } => self.validate_exact(req, rate, delay),
+        }
+    }
+
+    fn plan_per_flow(&self, req: &FlowRequest) -> Result<PlanAction, Reject> {
+        let path = self.paths.path(req.path);
+        let summary = self.path_summary(req.path);
+        let (rate, delay) = if path.spec.has_delay_hops() {
+            let pair =
+                mixed::admit_with_summary(&req.profile, req.d_req, path, &self.nodes, &summary)?;
+            (pair.rate, pair.delay)
+        } else {
+            let range =
+                rate_based::admit_with_residual(&req.profile, req.d_req, path, summary.c_res)?;
+            (range.low, Nanos::ZERO)
+        };
+        Ok(PlanAction::PerFlow { rate, delay })
+    }
+
+    fn plan_class_join(&self, req: &FlowRequest, class_id: u32) -> Result<PlanAction, Reject> {
+        let class = *self.classes.get(&class_id).ok_or(Reject::UnknownClass)?;
+        let existing = self.live_macroflow(class_id, req.path);
+        let path = self.paths.path(req.path);
+        let current = existing.map(|m| (&m.profile, m.reserved));
+        let join = plan_join(&class, path, &self.nodes, current, &req.profile)?;
+        Ok(PlanAction::ClassJoin { class, join })
+    }
+
+    fn validate_exact(
+        &self,
+        req: &FlowRequest,
+        rate: Rate,
+        delay: Nanos,
+    ) -> Result<PlanAction, Reject> {
+        let p = self.paths.path(req.path);
+        if rate > p.residual(&self.nodes) {
+            return Err(Reject::Bandwidth);
+        }
+        for (link, _) in p.delay_links(&self.nodes) {
+            if !link.edf_admissible(rate, delay, req.profile.l_max) {
+                return Err(Reject::Schedulability);
+            }
+        }
+        Ok(PlanAction::Exact { rate, delay })
+    }
+
+    /// The macroflow currently serving `(class, path)`, excluding one in
+    /// its dissolution transient.
+    fn live_macroflow(&self, class_id: u32, path: PathId) -> Option<&MacroState> {
+        self.macro_index
+            .get(&(class_id, path))
+            .and_then(|id| self.macroflows.get(id))
+            .filter(|m| !m.dissolving)
+    }
+
+    /// The bookkeeping phase: applies a decided plan to the MIBs.
+    ///
+    /// If the plan's epoch stamp no longer matches the path's live
+    /// epoch — some reservation touched the path, or a link it shares,
+    /// between decide and commit — the plan is **re-decided** against
+    /// fresh state first ([`BrokerStats::plan_retries`]); a decide-time
+    /// admit that turns into a rejection is counted as an abort
+    /// ([`BrokerStats::plan_aborts`]). Either way the outcome is
+    /// exactly what a monolithic admission at commit time would produce,
+    /// which is what makes the pipeline serially equivalent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the plan's (re-validated) [`Reject`] cause.
+    pub fn commit(&mut self, now: Time, plan: &AdmissionPlan) -> Result<Reservation, Reject> {
         self.stats.requested += 1;
-        let result = self.request_inner(now, req);
+        let result = self.commit_inner(now, plan);
         match &result {
             Ok(_) => self.stats.admitted += 1,
             Err(Reject::Policy) => self.stats.rejected_policy += 1,
@@ -337,38 +552,55 @@ impl Broker {
             Err(Reject::Schedulability) => self.stats.rejected_sched += 1,
             Err(Reject::UnknownClass) => self.stats.rejected_unknown_class += 1,
             Err(Reject::DuplicateFlow) => self.stats.rejected_duplicate += 1,
-            // Overloaded is a queue verdict, never an admission verdict.
-            Err(Reject::Overloaded) => {}
+            // Overloaded is a queue verdict and NoRoute a routing
+            // verdict; neither is produced by decide or commit.
+            Err(Reject::Overloaded | Reject::NoRoute) => {}
         }
         result
     }
 
-    fn request_inner(&mut self, now: Time, req: &FlowRequest) -> Result<Reservation, Reject> {
-        if self.flows.get(req.flow).is_some() {
-            return Err(Reject::DuplicateFlow);
+    fn commit_inner(&mut self, now: Time, plan: &AdmissionPlan) -> Result<Reservation, Reject> {
+        if plan.epoch == self.paths.epoch(plan.request.path) {
+            return self.apply(now, plan);
         }
-        if !self
-            .policy
-            .permits(&req.profile, req.d_req, self.flows.len())
-        {
-            return Err(Reject::Policy);
+        self.stats.plan_retries += 1;
+        let fresh = self.decide_with_intent(plan.request.clone(), plan.intent);
+        if plan.is_admit() && !fresh.is_admit() {
+            self.stats.plan_aborts += 1;
         }
-        match req.service {
-            ServiceKind::PerFlow => self.admit_per_flow(req),
-            ServiceKind::Class(class) => self.admit_class_member(now, req, class),
+        self.apply(now, &fresh)
+    }
+
+    /// Applies a plan whose epoch stamp matches the live path epoch.
+    /// Global preconditions are re-checked live (see
+    /// [`Broker::global_verdict`]); path-state verdicts are trusted —
+    /// the epoch match guarantees the state they were computed from is
+    /// the state being written.
+    fn apply(&mut self, now: Time, plan: &AdmissionPlan) -> Result<Reservation, Reject> {
+        let req = &plan.request;
+        if let Some(cause) = self.global_verdict(req, plan.intent) {
+            return Err(cause);
+        }
+        let action = match plan.verdict {
+            Ok(action) => action,
+            // Decide refused on a global precondition that has since
+            // cleared, so the resource verdict was never computed.
+            // Under a matching epoch, computing it now is identical to
+            // having computed it at decide time.
+            Err(Reject::DuplicateFlow | Reject::Policy) => self.intent_verdict(req, plan.intent)?,
+            Err(cause) => return Err(cause),
+        };
+        match action {
+            PlanAction::PerFlow { rate, delay } | PlanAction::Exact { rate, delay } => {
+                Ok(self.apply_per_flow(req, rate, delay))
+            }
+            PlanAction::ClassJoin { class, join } => {
+                Ok(self.apply_class_join(now, req, &class, &join))
+            }
         }
     }
 
-    fn admit_per_flow(&mut self, req: &FlowRequest) -> Result<Reservation, Reject> {
-        let path = self.paths.path(req.path);
-        let (rate, delay) = if path.spec.has_delay_hops() {
-            let pair = mixed::admit(&req.profile, req.d_req, path, &self.nodes)?;
-            (pair.rate, pair.delay)
-        } else {
-            let range = rate_based::admit(&req.profile, req.d_req, path, &self.nodes)?;
-            (range.low, Nanos::ZERO)
-        };
-        // Bookkeeping phase.
+    fn apply_per_flow(&mut self, req: &FlowRequest, rate: Rate, delay: Nanos) -> Reservation {
         let links = self.paths.path(req.path).links.clone();
         for l in &links {
             self.nodes.link_mut(*l).reserve(rate);
@@ -387,40 +619,36 @@ impl Broker {
                 service: FlowService::PerFlow { rate, delay },
             },
         );
-        Ok(Reservation {
+        self.paths.touch(req.path);
+        Reservation {
             flow: req.flow,
             conditioned_flow: req.flow,
             rate,
             delay,
             contingency: Rate::ZERO,
             contingency_expires: None,
-        })
+        }
     }
 
-    fn admit_class_member(
+    fn apply_class_join(
         &mut self,
         now: Time,
         req: &FlowRequest,
-        class_id: u32,
-    ) -> Result<Reservation, Reject> {
-        let class = *self.classes.get(&class_id).ok_or(Reject::UnknownClass)?;
-        let macro_id = self.macro_index.get(&(class_id, req.path)).copied();
-        let existing = macro_id
-            .and_then(|id| self.macroflows.get(&id))
-            .filter(|m| !m.dissolving);
-
-        let path = self.paths.path(req.path);
-        let current = existing.map(|m| (&m.profile, m.reserved));
-        let plan = plan_join(&class, path, &self.nodes, current, &req.profile)?;
-
-        // Bookkeeping: allocate the delta (rate increment + contingency)
-        // on every path link; adjust or create the EDF entry at the class
+        class: &ClassSpec,
+        plan: &JoinPlan,
+    ) -> Reservation {
+        // The epoch match guarantees the macroflow registry for this
+        // path is exactly as decide saw it, so re-reading it here
+        // recovers the decide-time state without copying it into the
+        // plan. Allocate the delta (rate increment + contingency) on
+        // every path link; adjust or create the EDF entry at the class
         // delay.
+        let existing = self.live_macroflow(class.id, req.path).map(|m| m.id);
         let links = self.paths.path(req.path).links.clone();
         let l_pmax = self.paths.path(req.path).l_pmax;
         let delta = plan.increment.saturating_add(plan.contingency);
 
-        let (macro_id, old_alloc, expires) = match existing.map(|m| m.id) {
+        let (macro_id, old_alloc, expires) = match existing {
             Some(id) => {
                 // d_edge^old for the bounding period uses the macroflow's
                 // state before this join (eq. 17).
@@ -446,7 +674,7 @@ impl Broker {
                     id,
                     MacroState {
                         id,
-                        class: class_id,
+                        class: class.id,
                         path: req.path,
                         profile: plan.new_profile,
                         reserved: Rate::ZERO,
@@ -455,7 +683,7 @@ impl Broker {
                         dissolving: false,
                     },
                 );
-                self.macro_index.insert((class_id, req.path), id);
+                self.macro_index.insert((class.id, req.path), id);
                 (id, Rate::ZERO, None)
             }
         };
@@ -507,21 +735,20 @@ impl Broker {
                 },
             },
         );
-        Ok(Reservation {
+        self.paths.touch(req.path);
+        Reservation {
             flow: req.flow,
             conditioned_flow: macro_id,
             rate: plan.new_rate,
             delay: class.cd,
             contingency: total_contingency,
             contingency_expires: expires,
-        })
+        }
     }
 
     /// Books an externally computed per-flow reservation `⟨rate, delay⟩`
-    /// verbatim, after validating it against this broker's MIBs — the
-    /// child-broker half of a hierarchical deployment, where a parent
-    /// decides the end-to-end pair and instructs each segment's broker to
-    /// install its share (see [`crate::hierarchy`]).
+    /// verbatim, after validating it against this broker's MIBs — a
+    /// [`Broker::decide_exact`] committed on the spot.
     ///
     /// # Errors
     ///
@@ -531,43 +758,15 @@ impl Broker {
     ///   the pair.
     pub fn reserve_exact(
         &mut self,
-        _now: Time,
+        now: Time,
         flow: FlowId,
         profile: &TrafficProfile,
         rate: Rate,
         delay: Nanos,
         path: PathId,
     ) -> Result<(), Reject> {
-        if self.flows.get(flow).is_some() {
-            return Err(Reject::DuplicateFlow);
-        }
-        let p = self.paths.path(path);
-        if rate > p.residual(&self.nodes) {
-            return Err(Reject::Bandwidth);
-        }
-        for (link, _) in p.delay_links(&self.nodes) {
-            if !link.edf_admissible(rate, delay, profile.l_max) {
-                return Err(Reject::Schedulability);
-            }
-        }
-        let links = self.paths.path(path).links.clone();
-        for l in &links {
-            self.nodes.link_mut(*l).reserve(rate);
-            if self.nodes.link(*l).kind == HopKind::DelayBased {
-                self.nodes.link_mut(*l).add_edf(rate, delay, profile.l_max);
-            }
-        }
-        self.flows.insert(
-            flow,
-            FlowRecord {
-                profile: *profile,
-                d_req: Nanos::MAX,
-                path,
-                service: FlowService::PerFlow { rate, delay },
-            },
-        );
-        self.stats.admitted += 1;
-        Ok(())
+        let plan = self.decide_exact(flow, profile, rate, delay, path);
+        self.commit(now, &plan).map(|_| ())
     }
 
     /// Releases a flow. For a class member this begins the leave
@@ -593,6 +792,7 @@ impl Broker {
                             .remove_edf(rate, delay, record.profile.l_max);
                     }
                 }
+                self.paths.touch(record.path);
                 Ok(None)
             }
             FlowService::ClassMember { macroflow } => {
@@ -633,7 +833,10 @@ impl Broker {
                     self.stats.grants += 1;
                 }
                 // Total allocation is unchanged during the leave
-                // transient — no link updates until expiry/feedback.
+                // transient — no link updates until expiry/feedback —
+                // but the macroflow's registry state changed, and
+                // decide reads that live, so the path epoch must move.
+                self.paths.touch(record.path);
                 let reservation = Reservation {
                     flow,
                     conditioned_flow: macroflow,
@@ -703,6 +906,7 @@ impl Broker {
                 );
             }
         }
+        self.paths.touch(path_id);
     }
 
     /// Tears down a dissolving macroflow once nothing is allocated.
@@ -731,6 +935,7 @@ impl Broker {
         if self.macro_index.get(&(class_id, path_id)) == Some(&macroflow) {
             self.macro_index.remove(&(class_id, path_id));
         }
+        self.paths.touch(path_id);
     }
 }
 

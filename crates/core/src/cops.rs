@@ -378,6 +378,34 @@ pub fn encode_decision_reject(flow: FlowId, cause: crate::signaling::Reject) -> 
     )
 }
 
+/// Error-Code family answering a `DRQ` for a flow the broker does not
+/// know (RFC 2748 Error-Code 2, "Invalid handle reference").
+const ERR_UNKNOWN_HANDLE: u16 = 2;
+
+/// Encodes the BB → edge answer to a `DRQ` naming an unknown flow
+/// (`DEC` / Remove + Error "invalid handle reference"): the edge learns
+/// its flow table has drifted from the broker's instead of the delete
+/// silently vanishing.
+#[must_use]
+pub fn encode_delete_unknown(flow: FlowId) -> Bytes {
+    let mut handle = BytesMut::new();
+    handle.put_u64(flow.0);
+    let mut dec = BytesMut::new();
+    dec.put_u16(CMD_REMOVE);
+    dec.put_u16(0);
+    let mut err = BytesMut::new();
+    err.put_u16(ERR_UNKNOWN_HANDLE);
+    err.put_u16(0);
+    encode_frame(
+        OpCode::Decision,
+        &[
+            (cnum::HANDLE, 1, handle.freeze()),
+            (cnum::DECISION, 1, dec.freeze()),
+            (cnum::ERROR, 1, err.freeze()),
+        ],
+    )
+}
+
 fn reject_code(r: crate::signaling::Reject) -> u16 {
     use crate::signaling::Reject as R;
     match r {
@@ -388,6 +416,7 @@ fn reject_code(r: crate::signaling::Reject) -> u16 {
         R::UnknownClass => 5,
         R::DuplicateFlow => 6,
         R::Overloaded => 7,
+        R::NoRoute => 8,
     }
 }
 
@@ -401,6 +430,7 @@ fn reject_from_code(c: u16) -> Option<crate::signaling::Reject> {
         5 => R::UnknownClass,
         6 => R::DuplicateFlow,
         7 => R::Overloaded,
+        8 => R::NoRoute,
         _ => return None,
     })
 }
@@ -416,6 +446,11 @@ pub enum Decision {
         flow: FlowId,
         /// Why it was rejected.
         cause: crate::signaling::Reject,
+    },
+    /// Answer to a `DRQ` naming a flow the broker holds no state for.
+    UnknownFlow {
+        /// The flow the `DRQ` named.
+        flow: FlowId,
     },
 }
 
@@ -464,7 +499,10 @@ pub fn decode_decision(frame: &Frame) -> Result<Decision, CopsError> {
             if err.len() < 4 {
                 return Err(CopsError::BadObject);
             }
-            let _family = err.get_u16();
+            let family = err.get_u16();
+            if family == ERR_UNKNOWN_HANDLE {
+                return Ok(Decision::UnknownFlow { flow });
+            }
             let cause = reject_from_code(err.get_u16()).ok_or(CopsError::BadObject)?;
             Ok(Decision::Reject { flow, cause })
         }
@@ -596,6 +634,28 @@ mod tests {
                 cause: crate::signaling::Reject::Bandwidth
             }
         );
+    }
+
+    #[test]
+    fn unknown_flow_answer_roundtrips_and_stays_distinct_from_rejects() {
+        let mut buf = encode_delete_unknown(FlowId(77));
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(
+            decode_decision(&frame).unwrap(),
+            Decision::UnknownFlow { flow: FlowId(77) }
+        );
+        // Every reject cause still decodes as a Reject, never UnknownFlow.
+        for cause in crate::signaling::Reject::ALL {
+            let mut buf = encode_decision_reject(FlowId(1), cause);
+            let frame = decode_frame(&mut buf).unwrap();
+            assert_eq!(
+                decode_decision(&frame).unwrap(),
+                Decision::Reject {
+                    flow: FlowId(1),
+                    cause
+                }
+            );
+        }
     }
 
     #[test]

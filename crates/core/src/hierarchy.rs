@@ -15,10 +15,13 @@
 //!   state;
 //! * admission runs at the parent: the segment summaries concatenate into
 //!   exactly the end-to-end parameters of the §3.1 formula, the parent
-//!   computes the minimal feasible rate, and instructs each child to
-//!   install it ([`Broker::reserve_exact`]). A child's refusal (its
-//!   summary may be stale) rolls back the children already booked —
-//!   a two-phase discipline.
+//!   computes the minimal feasible rate, and runs the broker's
+//!   decide/commit pipeline across the children — every child **decides**
+//!   the pair first ([`Broker::decide_exact`], read-only), and only when
+//!   all admit does the parent **commit** each plan. A child's refusal
+//!   (its summary may be stale) therefore aborts before any booking:
+//!   there is no rollback bookkeeping because there is nothing to roll
+//!   back.
 //!
 //! The result keeps the architecture's defining property at every level:
 //! core routers hold no QoS state, and now no single broker holds the
@@ -58,14 +61,16 @@ pub struct SegmentSummary {
 /// Counters for the hierarchical control plane.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
-    /// Parent → child instruction messages (reserve + rollback).
+    /// Parent → child round-trips (one prepare/commit exchange per
+    /// segment contacted).
     pub child_messages: u64,
     /// Admissions.
     pub admitted: u64,
     /// Rejections.
     pub rejected: u64,
-    /// Rollbacks caused by a child refusing a stale-summary decision.
-    pub rollbacks: u64,
+    /// Aborts: a child's decide refused a stale-summary rate before
+    /// anything was booked.
+    pub aborts: u64,
 }
 
 /// The parent broker of a two-level hierarchy.
@@ -141,8 +146,9 @@ impl HierarchicalBroker {
     }
 
     /// End-to-end admission: concatenate the segment summaries, compute
-    /// the §3.1 minimal rate, and install it segment by segment with
-    /// rollback on refusal.
+    /// the §3.1 minimal rate, decide it on every segment, and commit
+    /// only when all children admit — a refusal aborts with nothing
+    /// booked.
     ///
     /// # Errors
     ///
@@ -163,12 +169,14 @@ impl HierarchicalBroker {
     /// Like [`HierarchicalBroker::request`], but deciding from
     /// caller-supplied (possibly cached, possibly stale) summaries — a
     /// deployment refreshes summaries periodically rather than per
-    /// request, so a child may refuse and trigger the rollback path.
+    /// request, so a child may refuse at decide time and abort the
+    /// admission before any segment books.
     ///
     /// # Errors
     ///
     /// As [`HierarchicalBroker::request`]; a stale-summary refusal
-    /// surfaces as [`Reject::Bandwidth`] after rollback.
+    /// surfaces as [`Reject::Bandwidth`], aborted at decide time before
+    /// any child booked.
     pub fn request_with_summaries(
         &mut self,
         now: Time,
@@ -198,29 +206,29 @@ impl HierarchicalBroker {
             return Err(Reject::Bandwidth);
         }
 
-        // Two-phase install across the children.
-        let mut booked = Vec::new();
-        for (idx, seg) in self.segments.iter_mut().enumerate() {
+        // Two-phase across the children: every segment *decides* the
+        // pair first — read-only, so a stale-summary refusal aborts with
+        // zero bookings and nothing to roll back — and only once all
+        // admit does the parent *commit* each plan. Between our own
+        // decides and commits no other actor touches the children, so
+        // every plan's epoch stamp is still fresh at commit.
+        let mut plans = Vec::with_capacity(self.segments.len());
+        for seg in &self.segments {
             self.stats.child_messages += 1;
-            match seg
+            let plan = seg
                 .broker
-                .reserve_exact(now, flow, profile, rate, Nanos::ZERO, seg.path)
-            {
-                Ok(()) => booked.push(idx),
-                Err(_) => {
-                    // Stale summary: roll back and refuse.
-                    for b in booked {
-                        self.stats.child_messages += 1;
-                        self.segments[b]
-                            .broker
-                            .release(now, flow)
-                            .expect("rollback of a booked segment");
-                    }
-                    self.stats.rollbacks += 1;
-                    self.stats.rejected += 1;
-                    return Err(Reject::Bandwidth);
-                }
+                .decide_exact(flow, profile, rate, Nanos::ZERO, seg.path);
+            if !plan.is_admit() {
+                self.stats.aborts += 1;
+                self.stats.rejected += 1;
+                return Err(Reject::Bandwidth);
             }
+            plans.push(plan);
+        }
+        for (seg, plan) in self.segments.iter_mut().zip(&plans) {
+            seg.broker
+                .commit(now, plan)
+                .expect("every child admitted at decide and nothing intervened");
         }
         self.stats.admitted += 1;
         Ok(rate)
@@ -311,7 +319,7 @@ mod tests {
             }
             assert_eq!(n, expected, "D = {d_ms} ms");
             assert_eq!(hb.stats().admitted, expected);
-            assert_eq!(hb.stats().rollbacks, 0);
+            assert_eq!(hb.stats().aborts, 0);
             // The parent holds no flow state; children hold only their
             // segment's.
             assert_eq!(hb.child_flow_count(0), expected as usize);
@@ -352,8 +360,9 @@ mod tests {
                 seg1_path,
             )
             .unwrap();
-        // Deciding from the stale summaries, the parent books segment 0,
-        // segment 1 refuses, and the rollback must leave no residue.
+        // Deciding from the stale summaries, segment 0 admits at decide
+        // but segment 1 refuses — the parent aborts before committing
+        // anything, so no residue can exist.
         let err = hb
             .request_with_summaries(
                 Time::ZERO,
@@ -364,12 +373,12 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err, Reject::Bandwidth);
-        assert_eq!(hb.stats().rollbacks, 1);
+        assert_eq!(hb.stats().aborts, 1);
         assert_eq!(hb.child_flow_count(0), 0);
         assert_eq!(
             hb.summaries()[0].c_res,
             Rate::from_bps(1_500_000),
-            "rollback leaked bandwidth on segment 0"
+            "abort leaked bandwidth on segment 0"
         );
         // With fresh summaries the refusal happens at the parent, with no
         // child messages wasted.

@@ -44,6 +44,7 @@ pub mod routing;
 pub mod shard;
 pub mod signaling;
 
+pub use admission::plan::{AdmissionPlan, PlanAction, PlanIntent};
 pub use broker::{Broker, BrokerConfig};
 pub use mib::{FlowMib, NodeMib, PathId, PathMib};
 pub use shard::{build_shards, plan_shards, shard_of_path, BrokerShard};

@@ -413,12 +413,91 @@ impl PathQos {
             .map(|(link, _)| link.residual_service(t))
             .min()
     }
+
+    /// Computes the path's cached QoS summary from the node base — one
+    /// full walk over the path's link rows, whose result the decide
+    /// phase then reuses for every admission until the path's epoch
+    /// moves (see [`PathMib::epoch`]).
+    #[must_use]
+    pub fn summarize(&self, nodes: &NodeMib, epoch: u64) -> PathSummary {
+        let c_res = self.residual(nodes);
+        let delay = self.spec.has_delay_hops().then(|| {
+            let links = self.delay_links(nodes);
+            let breakpoints = self.distinct_delays(nodes);
+            let mut s_bar = vec![i128::MAX; breakpoints.len()];
+            for (link, _) in &links {
+                for (s, v) in s_bar
+                    .iter_mut()
+                    .zip(link.residual_service_profile(&breakpoints))
+                {
+                    *s = (*s).min(v);
+                }
+            }
+            let min_capacity = links
+                .iter()
+                .map(|(link, _)| link.capacity)
+                .min()
+                .unwrap_or(Rate::MAX);
+            DelaySummary {
+                breakpoints,
+                s_bar,
+                min_capacity,
+            }
+        });
+        PathSummary {
+            epoch,
+            c_res,
+            delay,
+        }
+    }
+}
+
+/// Delay-dimension part of a [`PathSummary`] (delay-based paths only):
+/// everything the Figure-4 minimum-delay scan reads from link rows,
+/// precomputed path-wide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelaySummary {
+    /// Union of distinct reserved delay values across the path's
+    /// delay-based links, ascending (`d¹ < … < d^M`).
+    pub breakpoints: Vec<Nanos>,
+    /// Path residual service `S̄(d^k) = min_i S_i(d^k)` at every
+    /// breakpoint, scaled bits (`× 10⁹`).
+    pub s_bar: Vec<i128>,
+    /// Smallest capacity among the delay-based links — fixes the
+    /// transmission-time floor `d_min⁰` for any packet bound.
+    pub min_capacity: Rate,
+}
+
+/// Per-path cached QoS summary consumed by the read-only decide phase:
+/// the path-level quantities of §3.1/§3.2 (residual bandwidth; for
+/// delay paths the residual-service vector), stamped with the epoch of
+/// the MIB state they were computed from. A summary whose epoch equals
+/// the path's current epoch is exact — using it touches no link rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSummary {
+    /// Path epoch at computation time ([`PathMib::epoch`]).
+    pub epoch: u64,
+    /// Minimal residual bandwidth along the path, `C_res^P`.
+    pub c_res: Rate,
+    /// Delay-dimension summary; `None` for purely rate-based paths.
+    pub delay: Option<DelaySummary>,
 }
 
 /// The path QoS state information base.
+///
+/// Besides the per-path rows, the base keeps a monotone **epoch** per
+/// path — bumped (via [`PathMib::touch`]) whenever broker bookkeeping
+/// changes any state the path's admission verdicts depend on — and the
+/// inverse link → paths index that makes the bump reach every path
+/// sharing a touched link. Cached [`PathSummary`]s are valid exactly as
+/// long as their recorded epoch matches [`PathMib::epoch`].
 #[derive(Debug, Clone, Default)]
 pub struct PathMib {
     paths: HashMap<PathId, PathQos>,
+    /// Per-path state epoch; bumps invalidate cached summaries.
+    epochs: HashMap<PathId, u64>,
+    /// Inverse index: which registered paths traverse each link.
+    link_paths: HashMap<LinkRef, Vec<PathId>>,
     next: u64,
 }
 
@@ -440,6 +519,10 @@ impl PathMib {
             .unwrap_or(Bits::ZERO);
         let id = PathId(self.next);
         self.next += 1;
+        for l in &links {
+            self.link_paths.entry(*l).or_default().push(id);
+        }
+        self.epochs.insert(id, 0);
         self.paths.insert(
             id,
             PathQos {
@@ -459,6 +542,40 @@ impl PathMib {
     #[must_use]
     pub fn path(&self, id: PathId) -> &PathQos {
         self.paths.get(&id).expect("unknown path id")
+    }
+
+    /// The path's current state epoch (0 for ids never registered).
+    #[must_use]
+    pub fn epoch(&self, id: PathId) -> u64 {
+        self.epochs.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Declares that state this path's admission verdicts depend on has
+    /// changed: bumps the epoch of the path **and of every registered
+    /// path sharing a link with it**, invalidating their cached
+    /// summaries. Called by the broker after every mutating operation —
+    /// including ones that change no link row (e.g. a class-member
+    /// leave's macroflow re-rating), since those still move plan-visible
+    /// state.
+    pub fn touch(&mut self, id: PathId) {
+        let Some(path) = self.paths.get(&id) else {
+            return;
+        };
+        if let Some(e) = self.epochs.get_mut(&id) {
+            *e += 1;
+        }
+        // A path can share several links with a neighbour; bumping its
+        // epoch once per shared link is harmless (epochs are compared
+        // for equality, never for distance).
+        for l in &path.links {
+            if let Some(members) = self.link_paths.get(l) {
+                for member in members {
+                    if let Some(e) = self.epochs.get_mut(member) {
+                        *e += 1;
+                    }
+                }
+            }
+        }
     }
 
     /// Number of registered paths.
@@ -690,6 +807,78 @@ mod tests {
             p.min_residual_service(&nodes, Nanos::from_millis(100))
                 .unwrap()
                 > 0
+        );
+    }
+
+    #[test]
+    fn touch_bumps_exactly_the_link_sharing_paths() {
+        let mut nodes = NodeMib::new();
+        let mk = || {
+            LinkQos::new(
+                Rate::from_bps(1_500_000),
+                HopKind::RateBased,
+                Nanos::from_millis(8),
+                Nanos::ZERO,
+                Bits::from_bytes(1500),
+            )
+        };
+        let shared = nodes.add_link(mk());
+        let a = nodes.add_link(mk());
+        let b = nodes.add_link(mk());
+        let c = nodes.add_link(mk());
+        let mut paths = PathMib::new();
+        let p0 = paths.register(&nodes, vec![shared, a]);
+        let p1 = paths.register(&nodes, vec![shared, b]);
+        let p2 = paths.register(&nodes, vec![c]);
+        assert_eq!(
+            (paths.epoch(p0), paths.epoch(p1), paths.epoch(p2)),
+            (0, 0, 0)
+        );
+
+        paths.touch(p0);
+        // p0 and p1 share `shared`, so both move; the disjoint p2 keeps
+        // its epoch (and thus any cached summary) intact.
+        assert_ne!(paths.epoch(p0), 0);
+        assert_ne!(paths.epoch(p1), 0);
+        assert_eq!(paths.epoch(p2), 0);
+
+        let before = paths.epoch(p0);
+        paths.touch(p2);
+        assert_eq!(paths.epoch(p0), before, "disjoint touch must not reach p0");
+    }
+
+    #[test]
+    fn path_summary_matches_direct_link_reads() {
+        let mut nodes = NodeMib::new();
+        let rate_link = LinkQos::new(
+            Rate::from_bps(1_500_000),
+            HopKind::RateBased,
+            Nanos::from_millis(8),
+            Nanos::ZERO,
+            Bits::from_bytes(1500),
+        );
+        let l0 = nodes.add_link(rate_link);
+        let l1 = nodes.add_link(delay_link());
+        let mut paths = PathMib::new();
+        let pid = paths.register(&nodes, vec![l0, l1]);
+        nodes.link_mut(l1).reserve(Rate::from_bps(600_000));
+        nodes.link_mut(l1).add_edf(
+            Rate::from_bps(600_000),
+            Nanos::from_millis(100),
+            Bits::from_bytes(1500),
+        );
+
+        let p = paths.path(pid);
+        let summary = p.summarize(&nodes, paths.epoch(pid));
+        assert_eq!(summary.c_res, p.residual(&nodes));
+        let delay = summary.delay.expect("path has a delay hop");
+        assert_eq!(delay.breakpoints, p.distinct_delays(&nodes));
+        assert_eq!(delay.min_capacity, Rate::from_bps(1_500_000));
+        assert_eq!(
+            delay.s_bar,
+            vec![p
+                .min_residual_service(&nodes, Nanos::from_millis(100))
+                .unwrap()]
         );
     }
 

@@ -98,13 +98,42 @@ impl BrokerShard {
     /// dispatcher's responsibility, checked here so a routing bug cannot
     /// silently corrupt another shard's accounting.
     pub fn request(&mut self, now: Time, req: &FlowRequest) -> Result<Reservation, Reject> {
+        let plan = self.decide(req);
+        self.commit(now, &plan)
+    }
+
+    /// Decide phase against this shard's state (global path id
+    /// translated), read-only — see [`Broker::decide`]. Concurrent
+    /// callers may decide against the same shard; only
+    /// [`BrokerShard::commit`] needs exclusive access.
+    ///
+    /// # Panics
+    ///
+    /// As [`BrokerShard::request`], when the path is not served here.
+    #[must_use]
+    pub fn decide(&self, req: &FlowRequest) -> crate::admission::plan::AdmissionPlan {
         let local = *self
             .paths
             .get(&req.path)
             .expect("request dispatched to the shard owning its path");
         let mut translated = req.clone();
         translated.path = local;
-        self.broker.request(now, &translated)
+        self.broker.decide(&translated)
+    }
+
+    /// Commit phase for a plan decided by this shard — see
+    /// [`Broker::commit`]. The plan already carries the shard-local
+    /// path id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the plan's (re-validated) [`Reject`] cause.
+    pub fn commit(
+        &mut self,
+        now: Time,
+        plan: &crate::admission::plan::AdmissionPlan,
+    ) -> Result<Reservation, Reject> {
+        self.broker.commit(now, plan)
     }
 
     /// Releases a flow admitted by this shard.
@@ -257,10 +286,15 @@ mod tests {
     }
 
     #[test]
-    fn broker_shard_is_send() {
+    fn broker_shard_is_send_and_sync() {
         fn assert_send<T: Send>() {}
+        // Sync matters too: the server's readers run the decide phase
+        // through a shared reference while workers serialize commits.
+        fn assert_sync<T: Sync>() {}
         assert_send::<BrokerShard>();
         assert_send::<Broker>();
+        assert_sync::<BrokerShard>();
+        assert_sync::<Broker>();
     }
 
     #[test]

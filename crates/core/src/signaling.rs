@@ -62,13 +62,17 @@ pub enum Reject {
     /// request was never admission-tested (daemon backpressure, not a
     /// resource verdict — the edge may retry).
     Overloaded,
+    /// Routing produced no candidate path at all between the requested
+    /// ingress and egress — distinct from [`Reject::Bandwidth`], where
+    /// paths exist but none has capacity.
+    NoRoute,
 }
 
 impl Reject {
     /// Every rejection cause, in wire-code order — the canonical
     /// admission-outcome taxonomy that counters, metric label sets, and
     /// the COPS error sub-codes all index the same way.
-    pub const ALL: [Reject; 7] = [
+    pub const ALL: [Reject; 8] = [
         Reject::Policy,
         Reject::DelayInfeasible,
         Reject::Bandwidth,
@@ -76,6 +80,7 @@ impl Reject {
         Reject::UnknownClass,
         Reject::DuplicateFlow,
         Reject::Overloaded,
+        Reject::NoRoute,
     ];
 
     /// Number of distinct rejection causes.
@@ -92,6 +97,7 @@ impl Reject {
             Reject::UnknownClass => 4,
             Reject::DuplicateFlow => 5,
             Reject::Overloaded => 6,
+            Reject::NoRoute => 7,
         }
     }
 
@@ -112,6 +118,7 @@ impl Reject {
             Reject::UnknownClass => "unknown_class",
             Reject::DuplicateFlow => "duplicate_flow",
             Reject::Overloaded => "overloaded",
+            Reject::NoRoute => "no_route",
         }
     }
 }
@@ -126,6 +133,7 @@ impl fmt::Display for Reject {
             Reject::UnknownClass => "service class not offered",
             Reject::DuplicateFlow => "flow id already active",
             Reject::Overloaded => "broker overloaded; request dropped before admission",
+            Reject::NoRoute => "no route between the requested ingress and egress",
         };
         f.write_str(s)
     }

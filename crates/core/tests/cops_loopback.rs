@@ -105,6 +105,7 @@ fn admission_over_the_wire_matches_direct_calls() {
                 assert_eq!(cause, bb_core::signaling::Reject::Bandwidth);
                 break;
             }
+            cops::Decision::UnknownFlow { flow } => panic!("unexpected unknown-flow for {flow}"),
         }
         assert!(admitted <= 40);
     }

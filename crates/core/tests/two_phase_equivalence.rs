@@ -1,0 +1,252 @@
+//! Serial-equivalence property tests for the two-phase admission
+//! pipeline.
+//!
+//! The decide/commit split is an optimisation, not a semantic change:
+//! for *any* mixed workload of per-flow requests, class joins and
+//! releases, a broker driven through explicit [`Broker::decide`] +
+//! [`Broker::commit`] must produce exactly the same per-flow outcomes
+//! and final link accounting as a broker driven through the monolithic
+//! [`Broker::request`] — even when plans are decided in advance and
+//! arrive at commit with stale epoch stamps that force revalidation.
+
+use bb_core::admission::aggregate::ClassSpec;
+use bb_core::signaling::Reject;
+use bb_core::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use netsim::topology::{LinkId, SchedulerSpec, TopologyBuilder};
+use proptest::prelude::*;
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+#[derive(Debug, Clone)]
+enum Op {
+    RequestPerFlow { d_ms: u64 },
+    RequestClass { class: u32 },
+    Release { victim: usize },
+}
+
+fn gen_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (2_000u64..6_000).prop_map(|d_ms| Op::RequestPerFlow { d_ms }),
+            (0u32..2).prop_map(|class| Op::RequestClass { class }),
+            (0usize..64).prop_map(|victim| Op::Release { victim }),
+        ],
+        1..80,
+    )
+}
+
+fn type0() -> TrafficProfile {
+    TrafficProfile::new(
+        Bits::from_bits(60_000),
+        Rate::from_bps(50_000),
+        Rate::from_bps(100_000),
+        Bits::from_bytes(1500),
+    )
+    .unwrap()
+}
+
+/// A five-hop path mixing rate-based (`CsVc`) and delay-based (`VtEdf`)
+/// hops, so both admission procedures run under the cache.
+fn make_broker() -> (Broker, bb_core::mib::PathId, Vec<LinkId>) {
+    let mut b = TopologyBuilder::new();
+    let nodes: Vec<_> = (0..6).map(|i| b.node(format!("n{i}"))).collect();
+    let route: Vec<LinkId> = (0..5)
+        .map(|i| {
+            b.link(
+                nodes[i],
+                nodes[i + 1],
+                Rate::from_bps(1_500_000),
+                Nanos::ZERO,
+                if i == 2 || i == 3 {
+                    SchedulerSpec::VtEdf
+                } else {
+                    SchedulerSpec::CsVc
+                },
+                Bits::from_bytes(1500),
+            )
+        })
+        .collect();
+    let topo = b.build();
+    let mut broker = Broker::new(
+        topo,
+        BrokerConfig {
+            classes: vec![
+                ClassSpec {
+                    id: 0,
+                    d_req: Nanos::from_millis(2_440),
+                    cd: Nanos::from_millis(240),
+                },
+                ClassSpec {
+                    id: 1,
+                    d_req: Nanos::from_millis(3_000),
+                    cd: Nanos::from_millis(100),
+                },
+            ],
+            ..BrokerConfig::default()
+        },
+    );
+    let pid = broker.register_route(&route);
+    (broker, pid, route)
+}
+
+fn request_for(op: &Op, flow: FlowId, pid: bb_core::mib::PathId) -> FlowRequest {
+    match *op {
+        Op::RequestPerFlow { d_ms } => FlowRequest {
+            flow,
+            profile: type0(),
+            d_req: Nanos::from_millis(d_ms),
+            service: ServiceKind::PerFlow,
+            path: pid,
+        },
+        Op::RequestClass { class } => FlowRequest {
+            flow,
+            profile: type0(),
+            d_req: Nanos::ZERO,
+            service: ServiceKind::Class(class),
+            path: pid,
+        },
+        Op::Release { .. } => unreachable!("releases carry no request"),
+    }
+}
+
+type FlowOutcome = Result<(u64, u64), Reject>;
+
+fn outcome_of(res: Result<bb_core::signaling::Reservation, Reject>) -> FlowOutcome {
+    res.map(|r| (r.rate.as_bps(), r.delay.as_nanos()))
+}
+
+/// Both brokers must agree link-for-link once a run ends.
+fn assert_same_accounting(serial: &Broker, piped: &Broker, links: &[LinkId]) {
+    for l in links {
+        let lr = bb_core::mib::LinkRef(l.0);
+        assert_eq!(
+            serial.nodes().link(lr).reserved(),
+            piped.nodes().link(lr).reserved(),
+            "link {l:?} accounting diverged between serial and pipelined brokers"
+        );
+    }
+    assert_eq!(serial.flows().len(), piped.flows().len());
+    assert_eq!(serial.macroflows().count(), piped.macroflows().count());
+}
+
+/// Back-to-back decides with no commit in between share one cached
+/// summary: the first lookup misses, every later one hits, and a
+/// commit (which moves the path epoch) invalidates the entry.
+#[test]
+fn path_summary_cache_hits_between_commits() {
+    let (mut broker, pid, _) = make_broker();
+    let req = request_for(&Op::RequestPerFlow { d_ms: 2_440 }, FlowId(1), pid);
+    let first = broker.decide(&req);
+    let (h0, m0) = broker.path_cache_counters();
+    assert_eq!((h0, m0), (0, 1), "first decide must miss");
+    let _ = broker.decide(&req);
+    let (h1, m1) = broker.path_cache_counters();
+    assert_eq!(
+        (h1, m1),
+        (1, 1),
+        "repeat decide with an unmoved epoch must hit"
+    );
+
+    broker.commit(Time::ZERO, &first).expect("fits empty path");
+    let next = request_for(&Op::RequestPerFlow { d_ms: 2_440 }, FlowId(2), pid);
+    let _ = broker.decide(&next);
+    let (h2, m2) = broker.path_cache_counters();
+    assert_eq!(
+        (h2, m2),
+        (1, 2),
+        "commit moved the epoch, so the entry is stale"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lockstep: each request is decided and committed back-to-back on
+    /// the pipelined broker while the serial broker handles the same
+    /// request monolithically. Every outcome must match flow-for-flow,
+    /// across interleaved releases that invalidate the path cache.
+    #[test]
+    fn decide_commit_lockstep_matches_monolithic_request(ops in gen_ops()) {
+        let (mut serial, pid_a, links) = make_broker();
+        let (mut piped, pid_b, _) = make_broker();
+        prop_assert_eq!(pid_a, pid_b);
+        let now = Time::ZERO;
+        let mut live: Vec<FlowId> = Vec::new();
+        let mut next_id = 0u64;
+        for op in &ops {
+            if let Op::Release { victim } = op {
+                if !live.is_empty() {
+                    let flow = live.remove(victim % live.len());
+                    serial.release(now, flow).expect("live in serial");
+                    piped.release(now, flow).expect("live in piped");
+                }
+                continue;
+            }
+            let flow = FlowId(next_id);
+            next_id += 1;
+            let req = request_for(op, flow, pid_a);
+            let expected = outcome_of(serial.request(now, &req));
+            let plan = piped.decide(&req);
+            let got = outcome_of(piped.commit(now, &plan));
+            prop_assert_eq!(&expected, &got, "outcome diverged for {:?}", flow);
+            if expected.is_ok() {
+                live.push(flow);
+            }
+        }
+        assert_same_accounting(&serial, &piped, &links);
+    }
+
+    /// Stale plans: every request is decided up front against the empty
+    /// domain, then the plans are committed in order with releases
+    /// interleaved. Each commit after the first arrives with a stale
+    /// epoch stamp; revalidation must reproduce exactly what a serial
+    /// broker decides fresh at commit time.
+    #[test]
+    fn stale_plans_revalidate_to_serial_outcomes(ops in gen_ops()) {
+        let (mut serial, pid, links) = make_broker();
+        let (mut piped, _, _) = make_broker();
+        let now = Time::ZERO;
+
+        // Phase one: decide a plan for every request before anything
+        // commits. `decide` is `&self` — the domain stays untouched.
+        let mut plans = Vec::new();
+        let mut next_id = 0u64;
+        for op in &ops {
+            if matches!(op, Op::Release { .. }) {
+                continue;
+            }
+            let flow = FlowId(next_id);
+            next_id += 1;
+            plans.push(request_for(op, flow, pid));
+        }
+        let plans: Vec<_> = plans.iter().map(|req| piped.decide(req)).collect();
+        assert!(piped.flows().is_empty(), "decide must not book state");
+
+        // Phase two: replay the op stream; requests commit their
+        // pre-decided (now stale) plans, releases hit both brokers.
+        let mut live: Vec<FlowId> = Vec::new();
+        let mut plan_iter = plans.iter();
+        for op in &ops {
+            if let Op::Release { victim } = op {
+                if !live.is_empty() {
+                    let flow = live.remove(victim % live.len());
+                    serial.release(now, flow).expect("live in serial");
+                    piped.release(now, flow).expect("live in piped");
+                }
+                continue;
+            }
+            let plan = plan_iter.next().expect("one plan per request op");
+            let req = &plan.request;
+            let expected = outcome_of(serial.request(now, req));
+            let got = outcome_of(piped.commit(now, plan));
+            prop_assert_eq!(&expected, &got, "stale-plan outcome diverged for {:?}", req.flow);
+            if expected.is_ok() {
+                live.push(req.flow);
+            }
+        }
+        assert_same_accounting(&serial, &piped, &links);
+        prop_assert_eq!(serial.stats().admitted, piped.stats().admitted);
+        prop_assert_eq!(serial.stats().requested, piped.stats().requested);
+    }
+}

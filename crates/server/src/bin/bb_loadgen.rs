@@ -157,6 +157,10 @@ struct LoadgenReport {
     setup_latency_p50_us: f64,
     setup_latency_p90_us: f64,
     setup_latency_p99_us: f64,
+    /// Decide-phase path-summary cache effectiveness across all shards
+    /// (hits / lookups); `None` when the daemon exposed no telemetry or
+    /// no admission ever consulted the cache.
+    path_cache_hit_rate: Option<f64>,
     verified: Option<bool>,
     /// Telemetry polls taken while the load ran.
     timeline: Vec<TimelinePoint>,
@@ -235,6 +239,9 @@ fn run_client(
                             },
                         ),
                         Decision::Reject { flow, cause } => (flow, Outcome::Deny(cause)),
+                        Decision::UnknownFlow { flow } => {
+                            panic!("unexpected unknown-flow decision for {flow}")
+                        }
                     };
                     let k = flow.0 & 0xFFFF_FFFF;
                     if let Some(at) = send_at.lock().expect("reader clock lock")[k as usize] {
@@ -482,6 +489,7 @@ fn main() {
         setup_latency_p50_us: percentile(&latencies, 0.50),
         setup_latency_p90_us: percentile(&latencies, 0.90),
         setup_latency_p99_us: percentile(&latencies, 0.99),
+        path_cache_hit_rate: stats.as_ref().and_then(|s| s.metrics.path_cache_hit_rate()),
         verified,
         timeline,
         stats,
@@ -496,6 +504,9 @@ fn main() {
         report.setup_latency_p50_us,
         report.setup_latency_p99_us
     );
+    if let Some(rate) = report.path_cache_hit_rate {
+        println!("path cache: {:.1}% decide-phase hit rate", rate * 100.0);
+    }
     if let Some(srv) = &report.server {
         println!(
             "daemon: {} resident flows across {} shards, {} shed under overload",

@@ -12,14 +12,21 @@
 //! ```
 //!
 //! * **Readers** frame the COPS stream ([`crate::frame::FrameReader`]),
-//!   decode each message, and dispatch it to the owning shard's queue.
-//!   Path → shard is a lock-free table lookup; flow → shard (for `DRQ`)
-//!   reads a [`RwLock`]-guarded map the workers maintain; macroflow →
-//!   shard (for `RPT`) is pure arithmetic on the id-space partition.
-//! * **Workers** each own one [`BrokerShard`] outright — the link-
-//!   disjoint pod partition means no locking on the admission hot path.
-//!   Decisions are encoded and handed to the requesting connection's
-//!   writer queue.
+//!   decode each message, and — for admission requests — run the
+//!   **decide phase right on the reader thread**: [`BrokerShard::decide`]
+//!   is read-only, so any number of connections decide concurrently
+//!   under a shard's read lock. The resulting epoch-stamped plan (admit
+//!   *or* reject — a reject must travel the queue too, or it would
+//!   reorder around already-queued releases and break serial
+//!   equivalence) is enqueued to the owning shard. Path → shard is a
+//!   lock-free table lookup; flow → shard (for `DRQ`) reads a
+//!   [`RwLock`]-guarded map the workers maintain; macroflow → shard
+//!   (for `RPT`) is pure arithmetic on the id-space partition.
+//! * **Workers** serialize the **commit phase**: one worker per shard
+//!   takes the write lock per job, revalidates the plan's epoch stamp
+//!   (stale plans are re-decided by the broker, counted as
+//!   retries/aborts), and applies the bookkeeping. Decisions are
+//!   encoded and handed to the requesting connection's writer queue.
 //! * **Backpressure** is explicit: shard queues are bounded, and a full
 //!   queue turns the request into an immediate `DEC` reject with the
 //!   [`Reject::Overloaded`] cause — the edge learns it was shed, rather
@@ -46,6 +53,7 @@ use parking_lot::RwLock;
 use qos_units::Time;
 use vtrs::packet::FlowId;
 
+use bb_core::admission::plan::AdmissionPlan;
 use bb_core::broker::BrokerConfig;
 use bb_core::cops::{self, OpCode};
 use bb_core::shard::{build_shards, plan_shards, shard_of_macroflow, BrokerShard};
@@ -130,8 +138,10 @@ pub struct ThreadFailures {
     pub accept: u64,
     /// Connection reader threads that panicked.
     pub readers: u64,
-    /// Shard workers that panicked — their shard's counters and
-    /// resident flows are missing from the report totals.
+    /// Shard workers that panicked. Their shard's counters survive in
+    /// the report totals — the shard lives behind a shared handle, not
+    /// inside the worker — but jobs queued after the panic went
+    /// unserved.
     pub workers: u64,
     /// The telemetry endpoint thread panicked.
     pub stats: u64,
@@ -170,11 +180,14 @@ pub struct ServerReport {
 
 /// One unit of work for a shard worker.
 enum Job {
-    Request {
-        req: FlowRequest,
+    /// Commit (or refuse) a plan the reader thread already decided.
+    Commit {
+        plan: AdmissionPlan,
         reply: Sender<Bytes>,
         /// Dispatch time, for the end-to-end setup-latency histogram.
         enqueued: Instant,
+        /// Decide-phase latency measured on the reader thread.
+        decide_ns: u64,
     },
     Delete {
         flow: FlowId,
@@ -186,10 +199,27 @@ enum Job {
     },
 }
 
+impl Job {
+    /// The flow a panicking worker must unmap before unwinding, if the
+    /// job concerns one.
+    fn flow(&self) -> Option<FlowId> {
+        match self {
+            Job::Commit { plan, .. } => Some(plan.request.flow),
+            Job::Delete { flow, .. } => Some(*flow),
+            Job::Report { .. } => None,
+        }
+    }
+}
+
 /// Immutable dispatch state shared by every reader thread.
 struct Dispatch {
     /// Global path index → shard.
     path_shard: Vec<usize>,
+    /// The broker shards. Readers take the read lock to run the decide
+    /// phase concurrently; each shard's single worker takes the write
+    /// lock per commit, so commits serialize per shard while decides
+    /// never block each other.
+    shards: Vec<Arc<RwLock<BrokerShard>>>,
     /// Shard job queues.
     jobs: Vec<Sender<Job>>,
     /// Flow → owning shard (maintained by workers; read on `DRQ`).
@@ -227,7 +257,7 @@ pub struct BbServer {
     dispatch: Arc<Dispatch>,
     accept_handle: JoinHandle<Vec<JoinHandle<()>>>,
     stats_handle: Option<JoinHandle<()>>,
-    worker_handles: Vec<JoinHandle<BrokerShard>>,
+    worker_handles: Vec<JoinHandle<()>>,
 }
 
 impl BbServer {
@@ -256,7 +286,11 @@ impl BbServer {
         let addr = listener.local_addr()?;
 
         let plan = plan_shards(topo, routes, config.workers);
-        let shards = build_shards(topo, &config.broker, routes, config.workers);
+        let shards: Vec<Arc<RwLock<BrokerShard>>> =
+            build_shards(topo, &config.broker, routes, config.workers)
+                .into_iter()
+                .map(|s| Arc::new(RwLock::new(s)))
+                .collect();
         let mut path_shard = vec![0usize; routes.len()];
         for (shard, members) in plan.iter().enumerate() {
             for &i in members {
@@ -288,6 +322,7 @@ impl BbServer {
         let shard_count = shards.len();
         let dispatch = Arc::new(Dispatch {
             path_shard,
+            shards,
             jobs,
             flow_owner: RwLock::new(HashMap::new()),
             overloaded: AtomicU64::new(0),
@@ -309,14 +344,15 @@ impl BbServer {
                 .expect("spawn stats thread")
         });
 
-        let worker_handles = shards
+        let worker_handles = worker_rxs
             .into_iter()
-            .zip(worker_rxs)
-            .map(|(shard, rx)| {
+            .enumerate()
+            .map(|(idx, rx)| {
                 let dispatch = Arc::clone(&dispatch);
+                let shard = Arc::clone(&dispatch.shards[idx]);
                 std::thread::Builder::new()
-                    .name(format!("bb-shard-{}", shard.shard()))
-                    .spawn(move || worker_loop(shard, &rx, &dispatch))
+                    .name(format!("bb-shard-{idx}"))
+                    .spawn(move || worker_loop(&shard, idx, &rx, &dispatch))
                     .expect("spawn shard worker")
             })
             .collect();
@@ -386,18 +422,17 @@ impl BbServer {
                 failures.stats += 1;
             }
         }
-        // Readers are gone; dropping our queue handles disconnects the
-        // workers once in-flight jobs drain.
+        // Readers are gone; workers drain in-flight jobs and exit on the
+        // stop flag (the Arc keeps one sender clone alive until report
+        // time, so disconnection alone would not stop them). A panicked
+        // worker is tallied, but its shard — behind the shared handle —
+        // still reports.
         let dispatch = self.dispatch;
-        let shards: Vec<BrokerShard> = {
-            // `dispatch.jobs` senders live inside the Arc; workers watch
-            // the stop flag as well, so they exit even though the Arc
-            // (and thus one sender clone) survives until report time.
-            self.worker_handles
-                .into_iter()
-                .filter_map(|h| h.join().map_err(|_| failures.workers += 1).ok())
-                .collect()
-        };
+        for h in self.worker_handles {
+            if h.join().is_err() {
+                failures.workers += 1;
+            }
+        }
 
         let mut report = ServerReport {
             requested: 0,
@@ -410,7 +445,8 @@ impl BbServer {
             classes: class_totals(&dispatch.classes.read()),
             failures,
         };
-        for s in &shards {
+        for s in &dispatch.shards {
+            let s = s.read();
             let stats = s.broker().stats();
             report.requested += stats.requested;
             report.admitted += stats.admitted;
@@ -543,8 +579,12 @@ fn handle_frame(wire: &Bytes, dispatch: &Arc<Dispatch>, reply_tx: &Sender<Bytes>
                 if let Err(TrySendError::Full(_)) = dispatch.jobs[shard].try_send(job) {
                     shed(flow, shard, dispatch, reply_tx);
                 }
+            } else {
+                // No shard owns the flow — it was never admitted (or is
+                // long gone). Answer explicitly so the edge can
+                // distinguish "nothing to delete" from a lost DRQ.
+                let _ = reply_tx.send(cops::encode_delete_unknown(flow));
             }
-            // Unknown flows: DRQ is fire-and-forget state cleanup.
             true
         }
         OpCode::Report => {
@@ -568,17 +608,26 @@ fn dispatch_request(req: FlowRequest, dispatch: &Arc<Dispatch>, reply_tx: &Sende
         .path_shard
         .get(usize::try_from(req.path.0).unwrap_or(usize::MAX))
     else {
-        // A path this daemon does not serve: refused before any
-        // resource test, which is what the Policy cause means.
+        // A path this daemon does not serve: there is no route to test
+        // resources on, which is exactly the NoRoute cause.
         dispatch.metrics.record_unrouted();
-        let _ = reply_tx.send(cops::encode_decision_reject(req.flow, Reject::Policy));
+        let _ = reply_tx.send(cops::encode_decision_reject(req.flow, Reject::NoRoute));
         return;
     };
     let flow = req.flow;
-    let job = Job::Request {
-        req,
+    // Decide phase, on the reader thread: read-only against the shard,
+    // so connections decide concurrently and only commits serialize on
+    // the worker. The plan is enqueued whether it admits or rejects —
+    // fast-replying a reject from here would reorder it around releases
+    // already sitting in the queue and break serial equivalence.
+    let t0 = Instant::now();
+    let plan = dispatch.shards[shard].read().decide(&req);
+    let decide_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let job = Job::Commit {
+        plan,
         reply: reply_tx.clone(),
         enqueued: Instant::now(),
+        decide_ns,
     };
     if let Err(TrySendError::Full(_)) = dispatch.jobs[shard].try_send(job) {
         shed(flow, shard, dispatch, reply_tx);
@@ -595,78 +644,149 @@ fn shed(flow: FlowId, shard: usize, dispatch: &Arc<Dispatch>, reply_tx: &Sender<
     let _ = reply_tx.send(cops::encode_decision_reject(flow, Reject::Overloaded));
 }
 
-/// One shard worker: owns its [`BrokerShard`]; runs until shutdown.
+/// Upper bound on jobs applied under one write-lock acquisition. The
+/// lock handover between eight deciding readers and a committing
+/// worker costs more than a commit itself, so the worker drains what
+/// has queued and applies it in one critical section; the bound keeps
+/// any single acquisition from starving decides for long.
+const COMMIT_BATCH: usize = 64;
+
+/// One shard worker: serializes commits on its shard's write lock,
+/// draining up to [`COMMIT_BATCH`] queued jobs per acquisition; runs
+/// until shutdown. Each job is applied under `catch_unwind` so a panic
+/// mid-job can never strand a `flow_owner` mapping for the in-flight
+/// flow — the mapping is cleared before the panic resumes (and is then
+/// tallied as a worker failure at shutdown).
 fn worker_loop(
-    mut shard: BrokerShard,
+    shard: &Arc<RwLock<BrokerShard>>,
+    idx: usize,
     jobs: &Receiver<Job>,
     dispatch: &Arc<Dispatch>,
-) -> BrokerShard {
-    let metrics = dispatch.metrics.shard(shard.shard());
+) {
+    let metrics = dispatch.metrics.shard(idx);
+    let mut batch = Vec::with_capacity(COMMIT_BATCH);
     loop {
         match jobs.recv_timeout(Duration::from_millis(20)) {
-            Ok(Job::Request {
-                req,
-                reply,
-                enqueued,
-            }) => {
-                metrics.set_queue_depth(jobs.len() as u64);
-                let now = dispatch.now();
-                let t0 = Instant::now();
-                let decision = shard.request(now, &req);
-                metrics
-                    .record_decision_ns(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
-                match decision {
-                    Ok(res) => {
-                        metrics.record_admit();
-                        dispatch.flow_owner.write().insert(req.flow, shard.shard());
-                        if matches!(req.service, ServiceKind::Class(_)) {
-                            refresh_class_usage(&shard, dispatch);
-                        }
-                        let _ = reply.send(cops::encode_decision_install(&res));
-                    }
-                    Err(cause) => {
-                        metrics.record_reject(cause);
-                        let _ = reply.send(cops::encode_decision_reject(req.flow, cause));
+            Ok(job) => {
+                batch.push(job);
+                while batch.len() < COMMIT_BATCH {
+                    match jobs.try_recv() {
+                        Ok(job) => batch.push(job),
+                        Err(_) => break,
                     }
                 }
-                dispatch.metrics.record_setup_ns(
-                    u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                );
-            }
-            Ok(Job::Delete { flow, reply }) => {
                 metrics.set_queue_depth(jobs.len() as u64);
-                let now = dispatch.now();
-                match shard.release(now, flow) {
-                    Ok(updated) => {
-                        dispatch.flow_owner.write().remove(&flow);
-                        dispatch.released.fetch_add(1, Ordering::Relaxed);
-                        metrics.record_release();
-                        // For class members the macroflow's revised
-                        // reservation goes back to the edge.
-                        if let Some(res) = updated {
-                            refresh_class_usage(&shard, dispatch);
-                            let _ = reply.send(cops::encode_decision_install(&res));
+                let mut guard = shard.write();
+                for job in batch.drain(..) {
+                    let flow = job.flow();
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_job(job, &mut guard, idx, dispatch);
+                    }));
+                    if let Err(panic) = outcome {
+                        if let Some(flow) = flow {
+                            dispatch.flow_owner.write().remove(&flow);
                         }
-                    }
-                    Err(_) => {
-                        // Releasing an unknown flow is a no-op.
+                        std::panic::resume_unwind(panic);
                     }
                 }
-            }
-            Ok(Job::Report { macroflow, at }) => {
-                shard.edge_buffer_empty(at, macroflow);
+                mirror_pipeline_gauges(&guard, dispatch);
             }
             Err(channel::RecvTimeoutError::Timeout) => {
                 metrics.set_queue_depth(jobs.len() as u64);
                 if dispatch.stop.load(Ordering::SeqCst) && jobs.is_empty() {
-                    return shard;
+                    return;
                 }
                 // Idle beat: drive contingency timers.
-                shard.tick(dispatch.now());
+                shard.write().tick(dispatch.now());
             }
-            Err(channel::RecvTimeoutError::Disconnected) => return shard,
+            Err(channel::RecvTimeoutError::Disconnected) => return,
         }
     }
+}
+
+/// Applies one job to the shard (the worker's commit half); the caller
+/// holds the shard's write lock for the whole batch.
+fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Dispatch>) {
+    let metrics = dispatch.metrics.shard(idx);
+    match job {
+        Job::Commit {
+            plan,
+            reply,
+            enqueued,
+            decide_ns,
+        } => {
+            let now = dispatch.now();
+            let t0 = Instant::now();
+            let decision = shard.commit(now, &plan);
+            let commit_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            metrics.record_decide_ns(decide_ns);
+            metrics.record_commit_ns(commit_ns);
+            // The combined series keeps its historical meaning: total
+            // time inside the broker for this request.
+            metrics.record_decision_ns(decide_ns.saturating_add(commit_ns));
+            let flow = plan.request.flow;
+            match decision {
+                Ok(res) => {
+                    metrics.record_admit();
+                    dispatch.flow_owner.write().insert(flow, idx);
+                    if matches!(plan.request.service, ServiceKind::Class(_)) {
+                        refresh_class_usage(shard, dispatch);
+                    }
+                    let _ = reply.send(cops::encode_decision_install(&res));
+                }
+                Err(cause) => {
+                    // No mapping is ever inserted for a rejected flow.
+                    metrics.record_reject(cause);
+                    let _ = reply.send(cops::encode_decision_reject(flow, cause));
+                }
+            }
+            dispatch
+                .metrics
+                .record_setup_ns(u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        Job::Delete { flow, reply } => {
+            let now = dispatch.now();
+            let released = shard.release(now, flow);
+            match released {
+                Ok(updated) => {
+                    dispatch.flow_owner.write().remove(&flow);
+                    dispatch.released.fetch_add(1, Ordering::Relaxed);
+                    metrics.record_release();
+                    // For class members the macroflow's revised
+                    // reservation goes back to the edge.
+                    if let Some(res) = updated {
+                        refresh_class_usage(shard, dispatch);
+                        let _ = reply.send(cops::encode_decision_install(&res));
+                    }
+                }
+                Err(_) => {
+                    // The broker does not know the flow, so any mapping
+                    // pointing here is stale by definition — clear it
+                    // and tell the edge explicitly.
+                    dispatch.flow_owner.write().remove(&flow);
+                    let _ = reply.send(cops::encode_delete_unknown(flow));
+                }
+            }
+        }
+        Job::Report { macroflow, at } => {
+            shard.edge_buffer_empty(at, macroflow);
+        }
+    }
+}
+
+/// Mirrors the shard broker's pipeline gauges (plan retries/aborts,
+/// path-cache hits/misses) into the telemetry registry as absolute
+/// running totals.
+fn mirror_pipeline_gauges(shard: &BrokerShard, dispatch: &Arc<Dispatch>) {
+    let broker = shard.broker();
+    let stats = broker.stats();
+    let (hits, misses) = broker.path_cache_counters();
+    dispatch.metrics.shard(shard.shard()).set_pipeline_gauges(
+        stats.plan_retries,
+        stats.plan_aborts,
+        hits,
+        misses,
+    );
 }
 
 /// Recomputes this shard's slot of the cross-shard class directory from

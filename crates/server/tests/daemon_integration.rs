@@ -72,6 +72,7 @@ fn outcome_of(decision: Decision) -> Outcome {
             delay_ns: res.delay.as_nanos(),
         },
         Decision::Reject { cause, .. } => Outcome::Deny(cause),
+        Decision::UnknownFlow { flow } => panic!("unexpected unknown-flow decision for {flow}"),
     }
 }
 
@@ -181,6 +182,7 @@ fn departures_over_drq_free_capacity_for_new_flows() {
                 assert_eq!(cause, Reject::Bandwidth);
                 break;
             }
+            Decision::UnknownFlow { flow } => panic!("unexpected unknown-flow for {flow}"),
         }
         assert!(flow <= 40, "pod must saturate by 30 flows");
     }
@@ -202,10 +204,64 @@ fn departures_over_drq_free_capacity_for_new_flows() {
     match client.request(&retry).expect("round trip") {
         Decision::Install(res) => assert_eq!(res.flow, FlowId(1_000)),
         Decision::Reject { cause, .. } => panic!("seat was freed, yet rejected: {cause}"),
+        Decision::UnknownFlow { flow } => panic!("unexpected unknown-flow for {flow}"),
     }
 
     let report = server.shutdown();
     assert_eq!(report.released, 1);
     assert_eq!(report.resident_flows, 30);
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+}
+
+/// A rejected admission must leave no `flow_owner` mapping behind: a
+/// DRQ for the rejected flow (or any flow the daemon never saw) is
+/// answered with an explicit unknown-flow decision instead of being
+/// silently routed to a shard that never held it.
+#[test]
+fn rejected_flows_leave_no_mapping_and_drq_answers_unknown_flow() {
+    let (topo, routes) = topology();
+    let server =
+        BbServer::start("127.0.0.1:0", &topo, &routes, &ServerConfig::default()).expect("start");
+    let mut client = CopsClient::connect(&server.local_addr().to_string()).expect("connect");
+
+    // Saturate pod 0 (30 seats), then collect one guaranteed rejection.
+    let mut flow = 0u64;
+    let rejected = loop {
+        let req = FlowRequest {
+            flow: FlowId(flow),
+            profile: type0(),
+            d_req: Nanos::from_millis(2_440),
+            service: ServiceKind::PerFlow,
+            path: PathId(0),
+        };
+        match client.request(&req).expect("round trip") {
+            Decision::Install(_) => flow += 1,
+            Decision::Reject { flow, cause } => {
+                assert_eq!(cause, Reject::Bandwidth);
+                break flow;
+            }
+            Decision::UnknownFlow { flow } => panic!("unexpected unknown-flow for {flow}"),
+        }
+        assert!(flow <= 40, "pod must saturate by 30 flows");
+    };
+
+    // DRQ for the rejected flow: the daemon never installed it, so no
+    // shard owns it and the edge gets an explicit unknown-flow answer.
+    client.send_delete(rejected).expect("send DRQ");
+    match client.recv_decision().expect("read DEC") {
+        Decision::UnknownFlow { flow } => assert_eq!(flow, rejected),
+        other => panic!("expected unknown-flow, got {other:?}"),
+    }
+
+    // Same answer for a flow the daemon has never seen at all.
+    client.send_delete(FlowId(9_999)).expect("send DRQ");
+    match client.recv_decision().expect("read DEC") {
+        Decision::UnknownFlow { flow } => assert_eq!(flow, FlowId(9_999)),
+        other => panic!("expected unknown-flow, got {other:?}"),
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.resident_flows, 30);
+    assert_eq!(report.released, 0, "nothing real was released");
     assert!(report.failures.is_clean(), "{:?}", report.failures);
 }

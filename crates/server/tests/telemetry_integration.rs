@@ -95,6 +95,7 @@ fn class_based_requests_aggregate_into_macroflows() {
                 last_rate = res.rate.as_bps();
             }
             Decision::Reject { cause, .. } => panic!("join {k} rejected: {cause}"),
+            Decision::UnknownFlow { flow } => panic!("unexpected unknown-flow for {flow}"),
         }
     }
     // A second pod aggregates separately.
@@ -107,6 +108,7 @@ fn class_based_requests_aggregate_into_macroflows() {
             assert_ne!(Some(res.conditioned_flow), macroflow, "per-pod macroflows");
         }
         Decision::Reject { cause, .. } => panic!("pod-1 join rejected: {cause}"),
+        Decision::UnknownFlow { flow } => panic!("unexpected unknown-flow for {flow}"),
     }
     // An unoffered class is a taxonomy rejection, not a wire error.
     match client
@@ -115,6 +117,7 @@ fn class_based_requests_aggregate_into_macroflows() {
     {
         Decision::Reject { cause, .. } => assert_eq!(cause, Reject::UnknownClass),
         Decision::Install(_) => panic!("class 9 is not offered"),
+        Decision::UnknownFlow { flow } => panic!("unexpected unknown-flow for {flow}"),
     }
 
     let classes = server.class_usage();
@@ -137,6 +140,7 @@ fn class_based_requests_aggregate_into_macroflows() {
             );
         }
         Decision::Reject { cause, .. } => panic!("DRQ answered with a reject: {cause}"),
+        Decision::UnknownFlow { flow } => panic!("unexpected unknown-flow for {flow}"),
     }
     match client
         .request(&class_request(300, 1, 0))
@@ -144,6 +148,7 @@ fn class_based_requests_aggregate_into_macroflows() {
     {
         Decision::Install(_) => {}
         Decision::Reject { cause, .. } => panic!("post-DRQ join rejected: {cause}"),
+        Decision::UnknownFlow { flow } => panic!("unexpected unknown-flow for {flow}"),
     }
     let classes = server.class_usage();
     assert_eq!(classes[0].1.members, 6, "one left, one joined");
@@ -191,6 +196,7 @@ fn stats_endpoint_serves_nonzero_counters_mid_load() {
             match client.request(&req).expect("round trip") {
                 Decision::Install(_) => admitted += 1,
                 Decision::Reject { .. } => rejected += 1,
+                Decision::UnknownFlow { flow } => panic!("unexpected unknown-flow for {flow}"),
             }
         }
         (admitted, rejected)

@@ -148,6 +148,86 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
 
     let _ = writeln!(
         out,
+        "# HELP bb_decide_latency_ns Decide-phase (read-only admissibility) latency, nanoseconds."
+    );
+    let _ = writeln!(out, "# TYPE bb_decide_latency_ns histogram");
+    for s in &snap.shards {
+        write_histogram(
+            &mut out,
+            "bb_decide_latency_ns",
+            &format!("shard=\"{}\"", s.shard),
+            &s.decide_ns,
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_commit_latency_ns Commit-phase (revalidate + bookkeeping) latency, nanoseconds."
+    );
+    let _ = writeln!(out, "# TYPE bb_commit_latency_ns histogram");
+    for s in &snap.shards {
+        write_histogram(
+            &mut out,
+            "bb_commit_latency_ns",
+            &format!("shard=\"{}\"", s.shard),
+            &s.commit_ns,
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_plan_retries_total Plans recommitted after a stale epoch stamp, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_plan_retries_total counter");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_plan_retries_total{{shard=\"{}\"}} {}",
+            s.shard, s.plan_retries
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_plan_aborts_total Retried plans whose admit flipped to a rejection, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_plan_aborts_total counter");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_plan_aborts_total{{shard=\"{}\"}} {}",
+            s.shard, s.plan_aborts
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_path_cache_hits_total Decide-phase path-summary cache hits, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_path_cache_hits_total counter");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_path_cache_hits_total{{shard=\"{}\"}} {}",
+            s.shard, s.path_cache_hits
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_path_cache_misses_total Decide-phase path-summary cache misses, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_path_cache_misses_total counter");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_path_cache_misses_total{{shard=\"{}\"}} {}",
+            s.shard, s.path_cache_misses
+        );
+    }
+
+    let _ = writeln!(
+        out,
         "# HELP bb_setup_latency_ns End-to-end setup latency (dispatch to reply handoff), nanoseconds."
     );
     let _ = writeln!(out, "# TYPE bb_setup_latency_ns histogram");
@@ -172,9 +252,18 @@ mod tests {
         reg.shard(1).record_reject(Reject::Bandwidth);
         reg.shard(1).set_queue_depth(7);
         reg.record_setup_ns(80_000);
+        reg.shard(0).record_decide_ns(60);
+        reg.shard(0).record_commit_ns(40);
+        reg.shard(0).set_pipeline_gauges(4, 2, 90, 10);
         let text = prometheus(&reg.snapshot());
 
         assert!(text.contains("bb_admitted_total{shard=\"0\"} 1"));
+        assert!(text.contains("bb_decide_latency_ns_count{shard=\"0\"} 1"));
+        assert!(text.contains("bb_commit_latency_ns_count{shard=\"0\"} 1"));
+        assert!(text.contains("bb_plan_retries_total{shard=\"0\"} 4"));
+        assert!(text.contains("bb_plan_aborts_total{shard=\"0\"} 2"));
+        assert!(text.contains("bb_path_cache_hits_total{shard=\"0\"} 90"));
+        assert!(text.contains("bb_path_cache_misses_total{shard=\"0\"} 10"));
         assert!(text.contains("bb_rejected_total{shard=\"1\",reason=\"bandwidth\"} 1"));
         assert!(text.contains("bb_queue_depth{shard=\"1\"} 7"));
         assert!(text.contains("bb_queue_depth_peak{shard=\"1\"} 7"));

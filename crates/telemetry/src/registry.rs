@@ -29,6 +29,16 @@ pub struct ShardMetrics {
     queue_peak: AtomicU64,
     /// Admission-decision latency (time inside the broker, per request).
     decision_ns: LogHistogram,
+    /// Decide-phase latency (read-only admissibility test).
+    decide_ns: LogHistogram,
+    /// Commit-phase latency (epoch revalidation + bookkeeping).
+    commit_ns: LogHistogram,
+    /// Broker gauges mirrored from the shard's [`bb_core::Broker`] after
+    /// each job (absolute values, not deltas).
+    plan_retries: AtomicU64,
+    plan_aborts: AtomicU64,
+    path_cache_hits: AtomicU64,
+    path_cache_misses: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -57,6 +67,27 @@ impl ShardMetrics {
         self.decision_ns.record(ns);
     }
 
+    /// Records one decide-phase latency sample.
+    pub fn record_decide_ns(&self, ns: u64) {
+        self.decide_ns.record(ns);
+    }
+
+    /// Records one commit-phase latency sample.
+    pub fn record_commit_ns(&self, ns: u64) {
+        self.commit_ns.record(ns);
+    }
+
+    /// Mirrors the shard broker's two-phase pipeline gauges: plan
+    /// retries/aborts and path-summary cache hits/misses, as absolute
+    /// running totals read off [`bb_core::broker::BrokerStats`] and
+    /// [`bb_core::Broker::path_cache_counters`].
+    pub fn set_pipeline_gauges(&self, retries: u64, aborts: u64, hits: u64, misses: u64) {
+        self.plan_retries.store(retries, Ordering::Relaxed);
+        self.plan_aborts.store(aborts, Ordering::Relaxed);
+        self.path_cache_hits.store(hits, Ordering::Relaxed);
+        self.path_cache_misses.store(misses, Ordering::Relaxed);
+    }
+
     /// Updates the queue-depth gauge (and its high-water mark).
     pub fn set_queue_depth(&self, depth: u64) {
         self.queue_depth.store(depth, Ordering::Relaxed);
@@ -79,6 +110,12 @@ impl ShardMetrics {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_peak: self.queue_peak.load(Ordering::Relaxed),
             decision_ns: self.decision_ns.snapshot(),
+            decide_ns: self.decide_ns.snapshot(),
+            commit_ns: self.commit_ns.snapshot(),
+            plan_retries: self.plan_retries.load(Ordering::Relaxed),
+            plan_aborts: self.plan_aborts.load(Ordering::Relaxed),
+            path_cache_hits: self.path_cache_hits.load(Ordering::Relaxed),
+            path_cache_misses: self.path_cache_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -194,6 +231,18 @@ pub struct ShardSnapshot {
     pub queue_peak: u64,
     /// Admission-decision latency histogram.
     pub decision_ns: HistogramSnapshot,
+    /// Decide-phase latency histogram.
+    pub decide_ns: HistogramSnapshot,
+    /// Commit-phase latency histogram.
+    pub commit_ns: HistogramSnapshot,
+    /// Plans recommitted after arriving with a stale epoch stamp.
+    pub plan_retries: u64,
+    /// Retried plans whose admit flipped to a rejection.
+    pub plan_aborts: u64,
+    /// Path-summary cache hits at the decide phase.
+    pub path_cache_hits: u64,
+    /// Path-summary cache misses (summary recomputed).
+    pub path_cache_misses: u64,
 }
 
 impl ShardSnapshot {
@@ -248,6 +297,17 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn queue_depth_max(&self) -> u64 {
         self.shards.iter().map(|s| s.queue_depth).max().unwrap_or(0)
+    }
+
+    /// Fraction of decide-phase path-summary lookups served from cache,
+    /// across all shards; `None` before any lookup happened.
+    #[must_use]
+    pub fn path_cache_hit_rate(&self) -> Option<f64> {
+        let hits: u64 = self.shards.iter().map(|s| s.path_cache_hits).sum();
+        let misses: u64 = self.shards.iter().map(|s| s.path_cache_misses).sum();
+        let total = hits + misses;
+        #[allow(clippy::cast_precision_loss)]
+        (total > 0).then(|| hits as f64 / total as f64)
     }
 }
 
@@ -305,6 +365,25 @@ mod tests {
         let merged = reg.snapshot().decision_ns_merged();
         assert_eq!(merged.count, 2);
         assert!(merged.quantile_ns(1.0).unwrap() >= 1_000_000);
+    }
+
+    #[test]
+    fn pipeline_gauges_are_absolute_and_hit_rate_aggregates() {
+        let reg = MetricsRegistry::new(2);
+        assert_eq!(reg.snapshot().path_cache_hit_rate(), None);
+        reg.shard(0).set_pipeline_gauges(2, 1, 30, 10);
+        reg.shard(0).set_pipeline_gauges(3, 1, 60, 20);
+        reg.shard(1).set_pipeline_gauges(0, 0, 20, 0);
+        reg.shard(0).record_decide_ns(500);
+        reg.shard(0).record_commit_ns(200);
+        let snap = reg.snapshot();
+        // Stores overwrite (running totals), they don't accumulate.
+        assert_eq!(snap.shards[0].plan_retries, 3);
+        assert_eq!(snap.shards[0].plan_aborts, 1);
+        assert_eq!(snap.shards[0].decide_ns.count, 1);
+        assert_eq!(snap.shards[0].commit_ns.count, 1);
+        // (60 + 20) hits over (80 + 20) lookups.
+        assert_eq!(snap.path_cache_hit_rate(), Some(0.8));
     }
 
     #[test]
