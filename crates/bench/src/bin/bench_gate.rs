@@ -3,18 +3,19 @@
 //! ```text
 //! bench_gate --fresh BENCH_loadgen.fresh.json \
 //!            --baseline BENCH_loadgen.json \
-//!            [--min-ratio 0.6] [--max-p99-ratio 1.5]
+//!            [--min-ratio 0.6] [--max-p99-ratio 1.5] [--min-hit-rate 0.5]
 //! ```
 //!
 //! Reads both `bb-loadgen` reports, applies
-//! [`bb_bench::gate::check_with_latency`], prints the verdict, and
+//! [`bb_bench::gate::check_full`], prints the verdict, and
 //! exits non-zero when the gate fails: the fresh run must be
 //! `--verify`-clean, produced with the baseline's exact workload
 //! configuration, within the allowed throughput margin (default: no
-//! more than 40 % below baseline), and within the allowed p99
-//! setup-latency ceiling (default: no more than 1.5× baseline).
+//! more than 40 % below baseline), within the allowed p99
+//! setup-latency ceiling (default: no more than 1.5× baseline), and at
+//! or above the absolute path-cache hit-rate floor (default: 50 %).
 
-use bb_bench::gate::{check_with_latency, DEFAULT_MAX_P99_RATIO, DEFAULT_MIN_RATIO};
+use bb_bench::gate::{check_full, DEFAULT_MAX_P99_RATIO, DEFAULT_MIN_HIT_RATE, DEFAULT_MIN_RATIO};
 
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -43,10 +44,16 @@ fn main() {
                 .expect("bench-gate: --max-p99-ratio must be a float")
         })
         .unwrap_or(DEFAULT_MAX_P99_RATIO);
+    let min_hit_rate: f64 = arg("--min-hit-rate")
+        .map(|v| {
+            v.parse()
+                .expect("bench-gate: --min-hit-rate must be a float")
+        })
+        .unwrap_or(DEFAULT_MIN_HIT_RATE);
 
     let fresh = load(&fresh_path);
     let baseline = load(&baseline_path);
-    match check_with_latency(&fresh, &baseline, min_ratio, max_p99_ratio) {
+    match check_full(&fresh, &baseline, min_ratio, max_p99_ratio, min_hit_rate) {
         Ok(verdict) => {
             println!(
                 "bench-gate: fresh {:.0} decisions/s vs baseline {:.0} ({:.0}%, floor {:.0}%)",
@@ -62,6 +69,14 @@ fn main() {
                 verdict.p99_ratio * 100.0,
                 verdict.max_p99_ratio * 100.0
             );
+            match verdict.fresh_hit_rate {
+                Some(rate) => println!(
+                    "bench-gate: fresh path-cache hit rate {:.1}% (floor {:.1}%)",
+                    rate * 100.0,
+                    verdict.min_hit_rate * 100.0
+                ),
+                None => println!("bench-gate: fresh report carries no path-cache hit rate"),
+            }
             if verdict.passed() {
                 println!("bench-gate: PASS");
             } else {

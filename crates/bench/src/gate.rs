@@ -13,6 +13,10 @@
 //!   of the baseline's (default ceiling: 1.5× baseline p99) — the
 //!   tail is where a serialized commit queue or a cold path cache
 //!   shows up first, long before mean throughput collapses;
+//! * the fresh run's `path_cache_hit_rate` is missing or fell below
+//!   the absolute floor (default: [`DEFAULT_MIN_HIT_RATE`]) — a decide
+//!   phase that recomputes its path summary every time is no longer
+//!   O(1), however fast the run happened to be;
 //! * the two reports were produced with different workload
 //!   configurations — comparing throughputs across configs is
 //!   meaningless, so a config drift is itself a failure (fix the
@@ -30,6 +34,13 @@ pub const DEFAULT_MIN_RATIO: f64 = 0.6;
 /// Multiple of the baseline's p99 setup latency the fresh run must
 /// stay under.
 pub const DEFAULT_MAX_P99_RATIO: f64 = 1.5;
+
+/// Absolute floor on the fresh run's decide-phase path-summary cache
+/// hit rate. The steady-state rate under the CI workload is ~0.7; a
+/// drop below half signals the epoch lanes are being invalidated far
+/// too eagerly (every decide recomputing its summary), which destroys
+/// the O(1) decide long before throughput visibly collapses.
+pub const DEFAULT_MIN_HIT_RATE: f64 = 0.5;
 
 /// Workload-configuration fields that must match between the fresh and
 /// baseline reports for a throughput comparison to be meaningful.
@@ -61,6 +72,10 @@ pub struct GateReport {
     pub p99_ratio: f64,
     /// Maximum acceptable p99 ratio.
     pub max_p99_ratio: f64,
+    /// Fresh run's path-summary cache hit rate, if the report has one.
+    pub fresh_hit_rate: Option<f64>,
+    /// Minimum acceptable hit rate (absolute, fresh run only).
+    pub min_hit_rate: f64,
     /// Human-readable reasons the gate failed; empty means pass.
     pub failures: Vec<String>,
 }
@@ -105,6 +120,32 @@ pub fn check_with_latency(
     baseline: &Value,
     min_ratio: f64,
     max_p99_ratio: f64,
+) -> Result<GateReport, String> {
+    check_full(
+        fresh,
+        baseline,
+        min_ratio,
+        max_p99_ratio,
+        DEFAULT_MIN_HIT_RATE,
+    )
+}
+
+/// Gates a fresh report against the baseline: throughput floor, p99
+/// setup-latency ceiling, AND path-cache hit-rate floor (an absolute
+/// floor on the fresh run — the cache either works or it doesn't, so
+/// no baseline ratio is involved).
+///
+/// # Errors
+///
+/// Returns `Err` when either report is structurally unusable (missing
+/// or non-numeric fields) — distinct from a well-formed report that
+/// merely fails the gate, which yields `Ok` with non-empty `failures`.
+pub fn check_full(
+    fresh: &Value,
+    baseline: &Value,
+    min_ratio: f64,
+    max_p99_ratio: f64,
+    min_hit_rate: f64,
 ) -> Result<GateReport, String> {
     let mut failures = Vec::new();
 
@@ -167,6 +208,21 @@ pub fn check_with_latency(
         ));
     }
 
+    let fresh_hit_rate = number(fresh, "path_cache_hit_rate").ok();
+    match fresh_hit_rate {
+        Some(rate) if rate < min_hit_rate => failures.push(format!(
+            "path-cache collapse: hit rate {:.1}% is below the {:.1}% floor \
+             (summaries are being recomputed on the decide hot path)",
+            rate * 100.0,
+            min_hit_rate * 100.0
+        )),
+        Some(_) => {}
+        None => failures.push(
+            "fresh run reports no `path_cache_hit_rate`: rerun with a current bb-loadgen"
+                .to_string(),
+        ),
+    }
+
     Ok(GateReport {
         fresh_throughput,
         baseline_throughput,
@@ -176,6 +232,8 @@ pub fn check_with_latency(
         baseline_p99_us,
         p99_ratio,
         max_p99_ratio,
+        fresh_hit_rate,
+        min_hit_rate,
         failures,
     })
 }
@@ -184,17 +242,28 @@ pub fn check_with_latency(
 mod tests {
     use super::*;
 
-    fn report_with_p99(throughput: f64, verified: &str, seed: u64, p99_us: f64) -> Value {
+    fn report_with_hit_rate(
+        throughput: f64,
+        verified: &str,
+        seed: u64,
+        p99_us: f64,
+        hit_rate: &str,
+    ) -> Value {
         serde::json::parse(&format!(
             r#"{{
               "pods": 64, "hops": 5, "clients": 8, "requests_per_client": 2000,
               "offered_rate_per_client_hz": 8000.0, "seed": {seed},
               "throughput_decisions_per_s": {throughput},
               "setup_latency_p99_us": {p99_us},
+              "path_cache_hit_rate": {hit_rate},
               "verified": {verified}
             }}"#
         ))
         .expect("literal parses")
+    }
+
+    fn report_with_p99(throughput: f64, verified: &str, seed: u64, p99_us: f64) -> Value {
+        report_with_hit_rate(throughput, verified, seed, p99_us, "0.7")
     }
 
     fn report(throughput: f64, verified: &str, seed: u64) -> Value {
@@ -270,6 +339,40 @@ mod tests {
         .unwrap();
         assert!(!verdict.passed());
         assert!(verdict.failures[0].contains("config drift on `seed`"));
+    }
+
+    #[test]
+    fn fails_when_the_path_cache_collapses_or_goes_unreported() {
+        let base = report(34_000.0, "true", 1);
+        let cold = check(
+            &report_with_hit_rate(34_000.0, "true", 1, 3_500.0, "0.1"),
+            &base,
+            DEFAULT_MIN_RATIO,
+        )
+        .unwrap();
+        assert!(!cold.passed());
+        assert!(cold.failures[0].contains("path-cache collapse"));
+        assert_eq!(cold.fresh_hit_rate, Some(0.1));
+
+        let unreported = check(
+            &report_with_hit_rate(34_000.0, "true", 1, 3_500.0, "null"),
+            &base,
+            DEFAULT_MIN_RATIO,
+        )
+        .unwrap();
+        assert!(!unreported.passed());
+        assert!(unreported.failures[0].contains("path_cache_hit_rate"));
+
+        // Exactly at the floor passes: the gate is `<`, not `<=`.
+        let at_floor = check_full(
+            &report_with_hit_rate(34_000.0, "true", 1, 3_500.0, "0.5"),
+            &base,
+            DEFAULT_MIN_RATIO,
+            DEFAULT_MAX_P99_RATIO,
+            DEFAULT_MIN_HIT_RATE,
+        )
+        .unwrap();
+        assert!(at_floor.passed(), "{:?}", at_floor.failures);
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub enum PlanAction {
     ClassJoin {
         /// The service class joined.
         class: ClassSpec,
+        /// Dense row of `class` in the broker's class table, interned by
+        /// decide so commit never re-hashes the wire-level class id.
+        class_row: usize,
         /// Rate plan from [`crate::admission::aggregate::plan_join`]:
         /// the per-link delta is `increment + contingency`.
         join: JoinPlan,

@@ -22,7 +22,6 @@
 //! passive state machine, so it composes with the discrete-event
 //! simulator, the experiment harnesses, and wall-clock deployments alike.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -42,6 +41,7 @@ use crate::mib::{FlowMib, FlowRecord, FlowService, NodeMib, PathId, PathMib, Pat
 use crate::policy::Policy;
 use crate::routing::RoutingModule;
 use crate::signaling::{FlowRequest, Reject, Reservation, ServiceKind};
+use crate::store::{Interner, MacroIdx, MacroTag, Slab};
 
 /// Macroflow identifiers live in the top half of the `FlowId` space so
 /// they can never collide with caller-chosen microflow ids.
@@ -71,10 +71,15 @@ impl Default for BrokerConfig {
 /// A macroflow's control state.
 #[derive(Debug, Clone)]
 pub struct MacroState {
-    /// The macroflow's own id (top-half space).
+    /// The macroflow's own id (top-half space) — the wire identifier
+    /// edge conditioners see in [`Reservation::conditioned_flow`].
     pub id: FlowId,
-    /// Service class.
+    /// Service class (wire-level class number).
     pub class: u32,
+    /// Dense row of the class in the broker's class table — inboard
+    /// bookkeeping (release, expiry, teardown) reads the spec through
+    /// this, never by re-hashing `class`.
+    pub(crate) class_row: usize,
     /// Path it is pinned to.
     pub path: PathId,
     /// Aggregate profile of current members (meaningless once
@@ -162,7 +167,30 @@ impl BrokerStats {
     }
 }
 
+/// Occupancy of the broker's dense state stores, surfaced per shard as
+/// telemetry gauges: live counts against allocated arena slots show how
+/// much of the footprint is working state versus recyclable headroom.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreOccupancy {
+    /// Wire flow ids currently interned (= live flows).
+    pub interned_flows: u64,
+    /// Flow-arena slots allocated (live + recyclable).
+    pub flow_slots: u64,
+    /// Live macroflows.
+    pub macroflows: u64,
+    /// Macroflow-arena slots allocated.
+    pub macroflow_slots: u64,
+    /// Registered path rows (dense, never freed).
+    pub paths: u64,
+}
+
 /// The bandwidth broker.
+///
+/// All registries are dense (see [`crate::store`]): classes and paths
+/// are contiguous rows, flows and macroflows live in slab arenas, and
+/// the only wire-id hashes on the decide/commit pipeline are the
+/// boundary interner probes that translate the external `FlowId`/class
+/// number of an incoming message into handles.
 #[derive(Debug)]
 pub struct Broker {
     nodes: NodeMib,
@@ -171,16 +199,27 @@ pub struct Broker {
     flows: FlowMib,
     policy: Policy,
     contingency_policy: ContingencyPolicy,
-    classes: HashMap<u32, ClassSpec>,
-    macroflows: HashMap<FlowId, MacroState>,
-    macro_index: HashMap<(u32, PathId), FlowId>,
+    /// Dense class rows; `class_interner` maps the wire class number to
+    /// its row exactly once per boundary crossing.
+    classes: Vec<ClassSpec>,
+    class_interner: Interner<usize>,
+    /// Macroflow control state, addressed by generational handle.
+    macroflows: Slab<MacroTag, MacroState>,
+    /// Wire macroflow id → handle: the boundary translation for RPT
+    /// feedback and monitoring lookups (never consulted by decide or
+    /// commit).
+    macro_interner: Interner<MacroIdx>,
+    /// Dense `(path row × class row)` → serving macroflow, the registry
+    /// decide and commit read with pure arithmetic — no tuple hashing.
+    macro_slots: Vec<Option<MacroIdx>>,
     next_macro: u64,
     stats: BrokerStats,
-    /// Per-path QoS summaries keyed by the epoch they were computed at.
-    /// Interior mutability keeps [`Broker::decide`] `&self`; the lock is
-    /// held only for the map probe/insert, never across a summary
-    /// computation's link reads.
-    path_cache: RwLock<HashMap<PathId, Arc<PathSummary>>>,
+    /// Per-path QoS summary slots, one per path row. Interior
+    /// mutability keeps [`Broker::decide`] `&self`; each slot's lock is
+    /// held only for the probe/store, never across a summary
+    /// computation's link reads, and concurrent decides on different
+    /// paths touch different slots.
+    summaries: Vec<RwLock<Option<Arc<PathSummary>>>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
 }
@@ -192,6 +231,13 @@ impl Broker {
     pub fn new(topo: Topology, config: BrokerConfig) -> Self {
         let mut nodes = NodeMib::new();
         let routing = RoutingModule::import(topo, &mut nodes);
+        let classes = config.classes;
+        let mut class_interner = Interner::new();
+        for (row, c) in classes.iter().enumerate() {
+            // Later duplicates shadow earlier ones, matching the old
+            // map-collect semantics.
+            class_interner.bind(u64::from(c.id), row);
+        }
         Broker {
             nodes,
             paths: PathMib::new(),
@@ -199,15 +245,36 @@ impl Broker {
             flows: FlowMib::new(),
             policy: config.policy,
             contingency_policy: config.contingency,
-            classes: config.classes.into_iter().map(|c| (c.id, c)).collect(),
-            macroflows: HashMap::new(),
-            macro_index: HashMap::new(),
+            classes,
+            class_interner,
+            macroflows: Slab::new(),
+            macro_interner: Interner::new(),
+            macro_slots: Vec::new(),
             next_macro: MACRO_BASE,
             stats: BrokerStats::default(),
-            path_cache: RwLock::new(HashMap::new()),
+            summaries: Vec::new(),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Grows the dense per-path tables — summary slots and the
+    /// `(path × class)` macroflow registry — to cover rows registered
+    /// since the last call. Invoked after every routing operation that
+    /// may register paths, so inboard code can index unconditionally.
+    fn sync_dense_tables(&mut self) {
+        while self.summaries.len() < self.paths.len() {
+            self.summaries.push(RwLock::new(None));
+        }
+        let need = self.paths.len() * self.classes.len();
+        if self.macro_slots.len() < need {
+            self.macro_slots.resize(need, None);
+        }
+    }
+
+    /// Dense row of a path id the MIB has validated.
+    fn path_row(id: PathId) -> usize {
+        usize::try_from(id.0).expect("registered path rows fit usize")
     }
 
     /// Restricts this broker's macroflow-id allocation to the `shard`-th
@@ -232,15 +299,21 @@ impl Broker {
     /// Path selection between two nodes (minimum hop), registering the
     /// path on first use.
     pub fn path_between(&mut self, from: NodeId, to: NodeId) -> Option<PathId> {
-        self.routing
-            .path_between(&self.nodes, &mut self.paths, from, to)
+        let id = self
+            .routing
+            .path_between(&self.nodes, &mut self.paths, from, to);
+        self.sync_dense_tables();
+        id
     }
 
     /// Candidate paths between two nodes (min-hop + single-link
     /// deviations), registered on first use.
     pub fn paths_between(&mut self, from: NodeId, to: NodeId, k: usize) -> Vec<PathId> {
-        self.routing
-            .paths_between(&self.nodes, &mut self.paths, from, to, k)
+        let ids = self
+            .routing
+            .paths_between(&self.nodes, &mut self.paths, from, to, k);
+        self.sync_dense_tables();
+        ids
     }
 
     /// Handles a request with **alternate-path selection**: candidate
@@ -285,8 +358,11 @@ impl Broker {
 
     /// Registers an explicit route.
     pub fn register_route(&mut self, route: &[LinkId]) -> PathId {
-        self.routing
-            .register_route(&self.nodes, &mut self.paths, route)
+        let id = self
+            .routing
+            .register_route(&self.nodes, &mut self.paths, route);
+        self.sync_dense_tables();
+        id
     }
 
     /// The node MIB (read access for experiments and tests).
@@ -325,32 +401,60 @@ impl Broker {
         self.paths.path(path).residual(&self.nodes)
     }
 
-    /// The macroflow serving (class, path), if any.
+    /// The macroflow serving (class, path), if any — a monitoring entry
+    /// point, so the wire-level class number is interned here.
     #[must_use]
     pub fn macroflow(&self, class: u32, path: PathId) -> Option<&MacroState> {
-        self.macro_index
-            .get(&(class, path))
-            .and_then(|id| self.macroflows.get(id))
+        let class_row = self.class_interner.resolve(u64::from(class))?;
+        let idx = self.macro_slot(Self::path_row(path), class_row)?;
+        self.macroflows.get(idx)
     }
 
-    /// Macroflow lookup by id.
+    /// Macroflow lookup by wire id (monitoring boundary: one interner
+    /// probe).
     #[must_use]
     pub fn macroflow_by_id(&self, id: FlowId) -> Option<&MacroState> {
-        self.macroflows.get(&id)
+        self.macroflows.get(self.macro_interner.resolve(id.0)?)
     }
 
     /// Iterates over all live macroflows (monitoring / invariant checks).
     pub fn macroflows(&self) -> impl Iterator<Item = &MacroState> {
-        self.macroflows.values()
+        self.macroflows.iter().map(|(_, m)| m)
     }
 
     /// Earliest pending contingency timer across all macroflows.
     #[must_use]
     pub fn next_expiry(&self) -> Option<Time> {
         self.macroflows
-            .values()
-            .filter_map(|m| m.contingency.next_expiry())
+            .iter()
+            .filter_map(|(_, m)| m.contingency.next_expiry())
             .min()
+    }
+
+    /// Occupancy of the dense stores (interner + arena telemetry).
+    #[must_use]
+    pub fn store_occupancy(&self) -> StoreOccupancy {
+        StoreOccupancy {
+            interned_flows: self.flows.len() as u64,
+            flow_slots: self.flows.slot_count() as u64,
+            macroflows: self.macroflows.len() as u64,
+            macroflow_slots: self.macroflows.slot_count() as u64,
+            paths: self.paths.len() as u64,
+        }
+    }
+
+    /// The `(path row × class row)` registry slot, `None` when nothing
+    /// serves the pair (or the pair is out of range).
+    fn macro_slot(&self, path_row: usize, class_row: usize) -> Option<MacroIdx> {
+        self.macro_slots
+            .get(path_row * self.classes.len() + class_row)
+            .copied()
+            .flatten()
+    }
+
+    fn macro_slot_set(&mut self, path_row: usize, class_row: usize, value: Option<MacroIdx>) {
+        let slot = path_row * self.classes.len() + class_row;
+        self.macro_slots[slot] = value;
     }
 
     /// The cached QoS summary for a path, recomputed only when the
@@ -362,7 +466,11 @@ impl Broker {
     #[must_use]
     pub fn path_summary(&self, path: PathId) -> Arc<PathSummary> {
         let epoch = self.paths.epoch(path);
-        if let Some(cached) = self.path_cache.read().get(&path) {
+        let slot = self
+            .summaries
+            .get(Self::path_row(path))
+            .expect("unknown path id");
+        if let Some(cached) = slot.read().as_ref() {
             if cached.epoch == epoch {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(cached);
@@ -370,7 +478,7 @@ impl Broker {
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let fresh = Arc::new(self.paths.path(path).summarize(&self.nodes, epoch));
-        self.path_cache.write().insert(path, Arc::clone(&fresh));
+        *slot.write() = Some(Arc::clone(&fresh));
         fresh
     }
 
@@ -492,12 +600,22 @@ impl Broker {
     }
 
     fn plan_class_join(&self, req: &FlowRequest, class_id: u32) -> Result<PlanAction, Reject> {
-        let class = *self.classes.get(&class_id).ok_or(Reject::UnknownClass)?;
-        let existing = self.live_macroflow(class_id, req.path);
+        // The request's class id came off the wire: intern it here, and
+        // carry the dense row in the plan so commit never re-hashes it.
+        let class_row = self
+            .class_interner
+            .resolve(u64::from(class_id))
+            .ok_or(Reject::UnknownClass)?;
+        let class = self.classes[class_row];
+        let existing = self.live_macroflow(class_row, req.path);
         let path = self.paths.path(req.path);
-        let current = existing.map(|m| (&m.profile, m.reserved));
+        let current = existing.map(|(_, m)| (&m.profile, m.reserved));
         let join = plan_join(&class, path, &self.nodes, current, &req.profile)?;
-        Ok(PlanAction::ClassJoin { class, join })
+        Ok(PlanAction::ClassJoin {
+            class,
+            class_row,
+            join,
+        })
     }
 
     fn validate_exact(
@@ -519,12 +637,14 @@ impl Broker {
     }
 
     /// The macroflow currently serving `(class, path)`, excluding one in
-    /// its dissolution transient.
-    fn live_macroflow(&self, class_id: u32, path: PathId) -> Option<&MacroState> {
-        self.macro_index
-            .get(&(class_id, path))
-            .and_then(|id| self.macroflows.get(id))
+    /// its dissolution transient. Both keys are dense rows, so the probe
+    /// is a single vector index — no hashing.
+    fn live_macroflow(&self, class_row: usize, path: PathId) -> Option<(MacroIdx, &MacroState)> {
+        let idx = self.macro_slot(Self::path_row(path), class_row)?;
+        self.macroflows
+            .get(idx)
             .filter(|m| !m.dissolving)
+            .map(|m| (idx, m))
     }
 
     /// The bookkeeping phase: applies a decided plan to the MIBs.
@@ -594,9 +714,11 @@ impl Broker {
             PlanAction::PerFlow { rate, delay } | PlanAction::Exact { rate, delay } => {
                 Ok(self.apply_per_flow(req, rate, delay))
             }
-            PlanAction::ClassJoin { class, join } => {
-                Ok(self.apply_class_join(now, req, &class, &join))
-            }
+            PlanAction::ClassJoin {
+                class,
+                class_row,
+                join,
+            } => Ok(self.apply_class_join(now, req, &class, class_row, &join)),
         }
     }
 
@@ -635,6 +757,7 @@ impl Broker {
         now: Time,
         req: &FlowRequest,
         class: &ClassSpec,
+        class_row: usize,
         plan: &JoinPlan,
     ) -> Reservation {
         // The epoch match guarantees the macroflow registry for this
@@ -643,16 +766,16 @@ impl Broker {
         // plan. Allocate the delta (rate increment + contingency) on
         // every path link; adjust or create the EDF entry at the class
         // delay.
-        let existing = self.live_macroflow(class.id, req.path).map(|m| m.id);
+        let existing = self.live_macroflow(class_row, req.path).map(|(idx, _)| idx);
         let links = self.paths.path(req.path).links.clone();
         let l_pmax = self.paths.path(req.path).l_pmax;
         let delta = plan.increment.saturating_add(plan.contingency);
 
-        let (macro_id, old_alloc, expires) = match existing {
-            Some(id) => {
+        let (macro_idx, old_alloc, expires) = match existing {
+            Some(idx) => {
                 // d_edge^old for the bounding period uses the macroflow's
                 // state before this join (eq. 17).
-                let m = self.macroflows.get(&id).expect("existing macroflow");
+                let m = self.macroflows.get(idx).expect("existing macroflow");
                 let d_edge_old = edge_delay_bound(&m.profile, m.reserved).unwrap_or(class.d_req);
                 let expires = match self.contingency_policy {
                     ContingencyPolicy::Bounding => Some(
@@ -665,26 +788,25 @@ impl Broker {
                     ),
                     ContingencyPolicy::Feedback => None,
                 };
-                (id, m.allocated(), expires)
+                (idx, m.allocated(), expires)
             }
             None => {
                 let id = FlowId(self.next_macro);
                 self.next_macro += 1;
-                self.macroflows.insert(
+                let idx = self.macroflows.insert(MacroState {
                     id,
-                    MacroState {
-                        id,
-                        class: class.id,
-                        path: req.path,
-                        profile: plan.new_profile,
-                        reserved: Rate::ZERO,
-                        members: 0,
-                        contingency: ContingencySet::new(),
-                        dissolving: false,
-                    },
-                );
-                self.macro_index.insert((class.id, req.path), id);
-                (id, Rate::ZERO, None)
+                    class: class.id,
+                    class_row,
+                    path: req.path,
+                    profile: plan.new_profile,
+                    reserved: Rate::ZERO,
+                    members: 0,
+                    contingency: ContingencySet::new(),
+                    dissolving: false,
+                });
+                self.macro_interner.bind(id.0, idx);
+                self.macro_slot_set(Self::path_row(req.path), class_row, Some(idx));
+                (idx, Rate::ZERO, None)
             }
         };
 
@@ -709,7 +831,7 @@ impl Broker {
 
         let m = self
             .macroflows
-            .get_mut(&macro_id)
+            .get_mut(macro_idx)
             .expect("macroflow exists");
         m.profile = plan.new_profile;
         m.reserved = plan.new_rate;
@@ -722,6 +844,7 @@ impl Broker {
             });
             self.stats.grants += 1;
         }
+        let macro_id = m.id;
         let total_contingency = m.contingency.total();
 
         self.flows.insert(
@@ -731,7 +854,7 @@ impl Broker {
                 d_req: class.d_req,
                 path: req.path,
                 service: FlowService::ClassMember {
-                    macroflow: macro_id,
+                    macroflow: macro_idx,
                 },
             },
         );
@@ -796,11 +919,13 @@ impl Broker {
                 Ok(None)
             }
             FlowService::ClassMember { macroflow } => {
+                // The record carries the macroflow's dense handle, so the
+                // whole leave path runs without hashing a wire id.
                 let class = {
-                    let m = self.macroflows.get(&macroflow).expect("member's macroflow");
-                    *self.classes.get(&m.class).expect("registered class")
+                    let m = self.macroflows.get(macroflow).expect("member's macroflow");
+                    self.classes[m.class_row]
                 };
-                let m = self.macroflows.get(&macroflow).expect("member's macroflow");
+                let m = self.macroflows.get(macroflow).expect("member's macroflow");
                 let path = self.paths.path(m.path);
                 let plan = plan_leave(&class, path, (&m.profile, m.reserved), &record.profile);
 
@@ -817,7 +942,7 @@ impl Broker {
                     ContingencyPolicy::Feedback => None,
                 };
 
-                let m = self.macroflows.get_mut(&macroflow).expect("macroflow");
+                let m = self.macroflows.get_mut(macroflow).expect("macroflow");
                 m.members -= 1;
                 m.reserved = plan.new_rate;
                 match plan.new_profile {
@@ -839,7 +964,7 @@ impl Broker {
                 self.paths.touch(record.path);
                 let reservation = Reservation {
                     flow,
-                    conditioned_flow: macroflow,
+                    conditioned_flow: m.id,
                     rate: plan.new_rate,
                     delay: class.cd,
                     contingency: m.contingency.total(),
@@ -854,19 +979,21 @@ impl Broker {
     /// Processes contingency timer expiries up to `now` (bounding
     /// policy). Returns `(macroflow, released)` pairs.
     pub fn tick(&mut self, now: Time) -> Vec<(FlowId, Rate)> {
-        let ids: Vec<FlowId> = self.macroflows.keys().copied().collect();
         let mut out = Vec::new();
-        for id in ids {
-            let released = {
-                let m = self.macroflows.get_mut(&id).expect("iterating known ids");
-                m.contingency.expire(now)
+        for idx in self.macroflows.handles() {
+            let (wire, released) = {
+                let m = self
+                    .macroflows
+                    .get_mut(idx)
+                    .expect("iterating live handles");
+                (m.id, m.contingency.expire(now))
             };
             if !released.is_zero() {
                 self.stats.grant_expiries += 1;
-                self.release_macro_bandwidth(id, released);
-                out.push((id, released));
+                self.release_macro_bandwidth(idx, released);
+                out.push((wire, released));
             }
-            self.maybe_teardown_macro(id);
+            self.maybe_teardown_macro(idx);
         }
         out
     }
@@ -875,26 +1002,32 @@ impl Broker {
     /// of its contingency bandwidth can be reset (§4.2.1). Returns the
     /// bandwidth released.
     pub fn edge_buffer_empty(&mut self, _now: Time, macroflow: FlowId) -> Rate {
-        let Some(m) = self.macroflows.get_mut(&macroflow) else {
+        // RPT feedback arrives keyed by the macroflow's wire id — a
+        // boundary crossing, so this is one of the sanctioned interner
+        // probes.
+        let Some(idx) = self.macro_interner.resolve(macroflow.0) else {
+            return Rate::ZERO;
+        };
+        let Some(m) = self.macroflows.get_mut(idx) else {
             return Rate::ZERO;
         };
         let released = m.contingency.reset();
         if !released.is_zero() {
             self.stats.grant_resets += 1;
-            self.release_macro_bandwidth(macroflow, released);
+            self.release_macro_bandwidth(idx, released);
         }
-        self.maybe_teardown_macro(macroflow);
+        self.maybe_teardown_macro(idx);
         released
     }
 
     /// Releases `amount` of a macroflow's allocation from its path links,
     /// keeping the EDF aggregates consistent.
-    fn release_macro_bandwidth(&mut self, macroflow: FlowId, amount: Rate) {
-        let (path_id, class_id, new_alloc) = {
-            let m = self.macroflows.get(&macroflow).expect("known macroflow");
-            (m.path, m.class, m.allocated())
+    fn release_macro_bandwidth(&mut self, macroflow: MacroIdx, amount: Rate) {
+        let (path_id, class_row, new_alloc) = {
+            let m = self.macroflows.get(macroflow).expect("known macroflow");
+            (m.path, m.class_row, m.allocated())
         };
-        let cd = self.classes.get(&class_id).expect("registered class").cd;
+        let cd = self.classes[class_row].cd;
         let links = self.paths.path(path_id).links.clone();
         for l in &links {
             self.nodes.link_mut(*l).release(amount);
@@ -910,15 +1043,15 @@ impl Broker {
     }
 
     /// Tears down a dissolving macroflow once nothing is allocated.
-    fn maybe_teardown_macro(&mut self, macroflow: FlowId) {
-        let Some(m) = self.macroflows.get(&macroflow) else {
+    fn maybe_teardown_macro(&mut self, macroflow: MacroIdx) {
+        let Some(m) = self.macroflows.get(macroflow) else {
             return;
         };
         if !(m.dissolving && m.contingency.is_empty() && m.reserved.is_zero()) {
             return;
         }
-        let (class_id, path_id) = (m.class, m.path);
-        let cd = self.classes.get(&class_id).expect("registered class").cd;
+        let (wire, class_row, path_id) = (m.id, m.class_row, m.path);
+        let cd = self.classes[class_row].cd;
         let l_pmax = self.paths.path(path_id).l_pmax;
         // Remove the (now zero-rate) EDF entry so its Lmax burst term no
         // longer weighs on the links.
@@ -928,12 +1061,14 @@ impl Broker {
                 self.nodes.link_mut(*l).remove_edf(Rate::ZERO, cd, l_pmax);
             }
         }
-        self.macroflows.remove(&macroflow);
+        self.macroflows.remove(macroflow);
+        self.macro_interner.unbind(wire.0);
         // A successor macroflow may already serve (class, path) — joins
         // arriving during the dissolution create one — so only clear the
-        // index if it still points at the flow being torn down.
-        if self.macro_index.get(&(class_id, path_id)) == Some(&macroflow) {
-            self.macro_index.remove(&(class_id, path_id));
+        // slot if it still points at the flow being torn down.
+        let path_row = Self::path_row(path_id);
+        if self.macro_slot(path_row, class_row) == Some(macroflow) {
+            self.macro_slot_set(path_row, class_row, None);
         }
         self.paths.touch(path_id);
     }

@@ -24,6 +24,14 @@
 //! Security note: decoders treat all length fields as untrusted — every
 //! read is bounds-checked and rejects truncated or oversized frames
 //! (property-tested against random corruption).
+//!
+//! This codec is also the broker's **intern-once boundary**: the
+//! `FlowId`/`PathId`/class values decoded here are wire-level
+//! identifiers chosen by edge routers, and they are hashed exactly once
+//! — by the [`crate::store::Interner`]s at the broker's entry points —
+//! into dense handles. Everything inboard (admission, the MIBs, the
+//! macroflow registry) operates on handles and never hashes a wire id
+//! on the decide or commit hot paths.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use qos_units::{Nanos, Rate, Time};

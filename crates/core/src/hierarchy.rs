@@ -25,7 +25,10 @@
 //!
 //! The result keeps the architecture's defining property at every level:
 //! core routers hold no QoS state, and now no single broker holds the
-//! whole domain's flow table either. Delay-based segments would
+//! whole domain's flow table either. Each child also keeps the flat
+//! broker's dense-store discipline: the parent addresses children with
+//! wire-level flow and path ids, which every child interns once at its
+//! own boundary before running the handle-based pipeline. Delay-based segments would
 //! additionally need residual-service summaries (the `S^k` vectors);
 //! that refinement is left out of this prototype, as the paper leaves
 //! the whole direction to future work.

@@ -15,14 +15,24 @@
 //!
 //! Everything here is plain bookkeeping on exact integer arithmetic — no
 //! router is consulted, which is the architectural point.
+//!
+//! State is stored **densely** (see [`crate::store`]): path rows and
+//! epochs live in contiguous vectors indexed by the sequentially
+//! assigned [`PathId`], flow records live in a slab arena reached
+//! through the wire-id interner, and the link → paths inverse index is
+//! a compact CSR adjacency. The only hash in this module is the flow
+//! interner probe at the MIB boundary.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use qos_units::{Bits, Nanos, Rate, NANOS_PER_SEC};
 use serde::{Deserialize, Serialize};
 use vtrs::packet::FlowId;
 use vtrs::profile::TrafficProfile;
 use vtrs::reference::{HopKind, HopSpec, PathSpec};
+
+use crate::store::{FlowIdx, FlowTag, Interner, MacroIdx, PathIdx, Slab};
 
 /// Identifies a path registered in the [`PathMib`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -483,22 +493,108 @@ pub struct PathSummary {
     pub delay: Option<DelaySummary>,
 }
 
+/// Compact link → paths inverse index in CSR form: one offset span per
+/// link, all member rows in one contiguous vector — no per-link `Vec`
+/// allocations, one cache-friendly slice walk per touched link.
+///
+/// Registration only marks the index stale; the first
+/// [`PathMib::touch`] after a registration burst rebuilds it in one
+/// O(links + memberships) pass. Setup registers paths in bursts and
+/// the hot path only touches, so rebuilds are effectively free.
+#[derive(Debug, Clone, Default)]
+struct LinkAdjacency {
+    /// `offsets[l]..offsets[l+1]` spans the rows of link `l` in
+    /// `members`.
+    offsets: Vec<u32>,
+    /// Path rows, grouped by link.
+    members: Vec<u32>,
+    /// A registration happened since the last rebuild.
+    stale: bool,
+}
+
+impl LinkAdjacency {
+    fn rebuild(&mut self, rows: &[PathQos]) {
+        let link_count = rows
+            .iter()
+            .flat_map(|p| &p.links)
+            .map(|l| l.0 + 1)
+            .max()
+            .unwrap_or(0);
+        let mut counts = vec![0u32; link_count];
+        for p in rows {
+            for l in &p.links {
+                counts[l.0] += 1;
+            }
+        }
+        self.offsets.clear();
+        self.offsets.reserve(link_count + 1);
+        let mut running = 0u32;
+        self.offsets.push(0);
+        for c in &counts {
+            running += c;
+            self.offsets.push(running);
+        }
+        self.members.clear();
+        self.members.resize(running as usize, 0);
+        let mut cursor: Vec<u32> = self.offsets[..link_count].to_vec();
+        for (row, p) in rows.iter().enumerate() {
+            for l in &p.links {
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    self.members[cursor[l.0] as usize] = row as u32;
+                }
+                cursor[l.0] += 1;
+            }
+        }
+        self.stale = false;
+    }
+
+    /// The rows of paths traversing `link` (empty for unknown links).
+    fn members(&self, link: LinkRef) -> &[u32] {
+        match (self.offsets.get(link.0), self.offsets.get(link.0 + 1)) {
+            (Some(&a), Some(&b)) => &self.members[a as usize..b as usize],
+            _ => &[],
+        }
+    }
+}
+
 /// The path QoS state information base.
 ///
-/// Besides the per-path rows, the base keeps a monotone **epoch** per
-/// path — bumped (via [`PathMib::touch`]) whenever broker bookkeeping
-/// changes any state the path's admission verdicts depend on — and the
-/// inverse link → paths index that makes the bump reach every path
-/// sharing a touched link. Cached [`PathSummary`]s are valid exactly as
-/// long as their recorded epoch matches [`PathMib::epoch`].
-#[derive(Debug, Clone, Default)]
+/// Rows are dense: [`PathMib::register`] assigns [`PathId`]s
+/// sequentially, so the wire-visible id *is* the row index and every
+/// lookup is a bounds-checked array read — no hashing. Alongside the
+/// rows runs an inline **epoch lane** of `AtomicU64`s, bumped (via
+/// [`PathMib::touch`]) whenever broker bookkeeping changes any state a
+/// path's admission verdicts depend on; the read-only decide phase
+/// validates summary stamps with one relaxed load per decision. The
+/// link → paths inverse index that makes a bump reach every path
+/// sharing a touched link is a CSR adjacency (`LinkAdjacency`).
+/// Cached [`PathSummary`]s are valid exactly as long as their recorded
+/// epoch matches [`PathMib::epoch`].
+#[derive(Debug, Default)]
 pub struct PathMib {
-    paths: HashMap<PathId, PathQos>,
-    /// Per-path state epoch; bumps invalidate cached summaries.
-    epochs: HashMap<PathId, u64>,
-    /// Inverse index: which registered paths traverse each link.
-    link_paths: HashMap<LinkRef, Vec<PathId>>,
-    next: u64,
+    rows: Vec<PathQos>,
+    /// Inline epoch lane, one counter per row. Atomics so `&self`
+    /// readers (concurrent decides under a shard read lock) can load
+    /// while `&mut self` bookkeeping stores; all accesses are relaxed —
+    /// the shard lock orders the state the epoch protects.
+    epochs: Vec<AtomicU64>,
+    /// Inverse index: which rows traverse each link.
+    adjacency: LinkAdjacency,
+}
+
+impl Clone for PathMib {
+    fn clone(&self) -> Self {
+        PathMib {
+            rows: self.rows.clone(),
+            epochs: self
+                .epochs
+                .iter()
+                .map(|e| AtomicU64::new(e.load(Ordering::Relaxed)))
+                .collect(),
+            adjacency: self.adjacency.clone(),
+        }
+    }
 }
 
 impl PathMib {
@@ -509,7 +605,8 @@ impl PathMib {
     }
 
     /// Registers a path over the given links, computing its cached
-    /// characterization from the node base.
+    /// characterization from the node base. Ids are assigned densely:
+    /// the `n`-th registration returns `PathId(n)`.
     pub fn register(&mut self, nodes: &NodeMib, links: Vec<LinkRef>) -> PathId {
         let spec = PathSpec::new(links.iter().map(|l| nodes.link(*l).hop_spec()).collect());
         let l_pmax = links
@@ -517,37 +614,66 @@ impl PathMib {
             .map(|l| nodes.link(*l).max_packet)
             .max()
             .unwrap_or(Bits::ZERO);
-        let id = PathId(self.next);
-        self.next += 1;
-        for l in &links {
-            self.link_paths.entry(*l).or_default().push(id);
-        }
-        self.epochs.insert(id, 0);
-        self.paths.insert(
-            id,
-            PathQos {
-                links,
-                spec,
-                l_pmax,
-            },
-        );
+        let id = PathId(self.rows.len() as u64);
+        self.rows.push(PathQos {
+            links,
+            spec,
+            l_pmax,
+        });
+        self.epochs.push(AtomicU64::new(0));
+        self.adjacency.stale = true;
         id
     }
 
-    /// Path lookup.
+    /// Row index of a registered id, `None` otherwise.
+    fn row_of(&self, id: PathId) -> Option<usize> {
+        let i = usize::try_from(id.0).ok()?;
+        (i < self.rows.len()).then_some(i)
+    }
+
+    /// Interns a wire-level path id to its dense handle, `None` when
+    /// the id was never registered. Paths are never deregistered, so
+    /// the handle generation is always zero.
+    #[must_use]
+    pub fn resolve(&self, id: PathId) -> Option<PathIdx> {
+        #[allow(clippy::cast_possible_truncation)]
+        self.row_of(id).map(|i| PathIdx::new(i as u32, 0))
+    }
+
+    /// Direct row access by dense handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the handle was not minted by [`PathMib::resolve`].
+    #[must_use]
+    pub fn row(&self, idx: PathIdx) -> &PathQos {
+        &self.rows[idx.index()]
+    }
+
+    /// Path lookup by wire id.
     ///
     /// # Panics
     ///
     /// Panics on an unknown id.
     #[must_use]
     pub fn path(&self, id: PathId) -> &PathQos {
-        self.paths.get(&id).expect("unknown path id")
+        self.row_of(id)
+            .map(|i| &self.rows[i])
+            .expect("unknown path id")
     }
 
     /// The path's current state epoch (0 for ids never registered).
     #[must_use]
     pub fn epoch(&self, id: PathId) -> u64 {
-        self.epochs.get(&id).copied().unwrap_or(0)
+        self.row_of(id)
+            .map_or(0, |i| self.epochs[i].load(Ordering::Relaxed))
+    }
+
+    /// Epoch of a row named by dense handle — the decide phase's stamp
+    /// validation, one relaxed load with no map lookup.
+    #[must_use]
+    pub fn epoch_at(&self, idx: PathIdx) -> u64 {
+        self.epochs[idx.index()].load(Ordering::Relaxed)
     }
 
     /// Declares that state this path's admission verdicts depend on has
@@ -556,24 +682,21 @@ impl PathMib {
     /// summaries. Called by the broker after every mutating operation —
     /// including ones that change no link row (e.g. a class-member
     /// leave's macroflow re-rating), since those still move plan-visible
-    /// state.
+    /// state. Each bump is a relaxed RMW on the epoch lane.
     pub fn touch(&mut self, id: PathId) {
-        let Some(path) = self.paths.get(&id) else {
+        let Some(row) = self.row_of(id) else {
             return;
         };
-        if let Some(e) = self.epochs.get_mut(&id) {
-            *e += 1;
+        if self.adjacency.stale {
+            self.adjacency.rebuild(&self.rows);
         }
+        self.epochs[row].fetch_add(1, Ordering::Relaxed);
         // A path can share several links with a neighbour; bumping its
-        // epoch once per shared link is harmless (epochs are compared
-        // for equality, never for distance).
-        for l in &path.links {
-            if let Some(members) = self.link_paths.get(l) {
-                for member in members {
-                    if let Some(e) = self.epochs.get_mut(member) {
-                        *e += 1;
-                    }
-                }
+        // epoch once per shared link (and itself once per own link) is
+        // harmless — epochs are compared for equality, never distance.
+        for l in &self.rows[row].links {
+            for &member in self.adjacency.members(*l) {
+                self.epochs[member as usize].fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -581,13 +704,13 @@ impl PathMib {
     /// Number of registered paths.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.paths.len()
+        self.rows.len()
     }
 
     /// Whether the base is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.paths.is_empty()
+        self.rows.is_empty()
     }
 }
 
@@ -603,8 +726,11 @@ pub enum FlowService {
     },
     /// Member of a class-based macroflow.
     ClassMember {
-        /// The macroflow (class × path) the microflow was aggregated into.
-        macroflow: FlowId,
+        /// Dense handle of the macroflow (class × path) the microflow
+        /// was aggregated into — release and feedback reach the
+        /// macroflow arena directly, no wire-id hash. The macroflow's
+        /// wire id lives in its [`crate::broker::MacroState`].
+        macroflow: MacroIdx,
     },
 }
 
@@ -621,10 +747,15 @@ pub struct FlowRecord {
     pub service: FlowService,
 }
 
-/// The flow information base.
+/// The flow information base: records in a dense slab arena
+/// ([`crate::store::Slab`]), reached through the wire-id interner.
+/// Each wire-keyed operation performs exactly one interner probe — the
+/// sanctioned boundary translation — and every inboard consumer holding
+/// a [`FlowIdx`] addresses the record without hashing at all.
 #[derive(Debug, Clone, Default)]
 pub struct FlowMib {
-    flows: HashMap<FlowId, FlowRecord>,
+    arena: Slab<FlowTag, (FlowId, FlowRecord)>,
+    interner: Interner<FlowIdx>,
 }
 
 impl FlowMib {
@@ -634,43 +765,66 @@ impl FlowMib {
         Self::default()
     }
 
-    /// Inserts a record.
+    /// Inserts a record, returning its dense handle.
     ///
     /// # Panics
     ///
     /// Panics on duplicate flow ids (broker bookkeeping bug).
-    pub fn insert(&mut self, id: FlowId, record: FlowRecord) {
-        let prev = self.flows.insert(id, record);
+    pub fn insert(&mut self, id: FlowId, record: FlowRecord) -> FlowIdx {
+        let idx = self.arena.insert((id, record));
+        let prev = self.interner.bind(id.0, idx);
         assert!(prev.is_none(), "flow {id} already in the flow MIB");
+        idx
     }
 
-    /// Removes and returns a record.
+    /// Removes and returns a record by wire id (one interner probe).
     #[must_use]
     pub fn remove(&mut self, id: FlowId) -> Option<FlowRecord> {
-        self.flows.remove(&id)
+        let idx = self.interner.unbind(id.0)?;
+        self.arena.remove(idx).map(|(_, record)| record)
     }
 
-    /// Record lookup.
+    /// Record lookup by wire id (one interner probe).
     #[must_use]
     pub fn get(&self, id: FlowId) -> Option<&FlowRecord> {
-        self.flows.get(&id)
+        self.record(self.interner.resolve(id.0)?)
+    }
+
+    /// Interns a wire id to its dense handle without reading the
+    /// record.
+    #[must_use]
+    pub fn lookup(&self, id: FlowId) -> Option<FlowIdx> {
+        self.interner.resolve(id.0)
+    }
+
+    /// Record access by dense handle — no hashing.
+    #[must_use]
+    pub fn record(&self, idx: FlowIdx) -> Option<&FlowRecord> {
+        self.arena.get(idx).map(|(_, record)| record)
     }
 
     /// Number of flows tracked.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.flows.len()
+        self.arena.len()
     }
 
     /// Whether the base is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.flows.is_empty()
+        self.arena.is_empty()
+    }
+
+    /// Total arena slots (live + recyclable) — the base's footprint,
+    /// surfaced as a telemetry occupancy gauge.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.arena.slot_count()
     }
 
     /// Iterates over all records.
     pub fn iter(&self) -> impl Iterator<Item = (&FlowId, &FlowRecord)> {
-        self.flows.iter()
+        self.arena.iter().map(|(_, entry)| (&entry.0, &entry.1))
     }
 }
 

@@ -37,8 +37,11 @@ use crate::signaling::{FlowRequest, Reject, Reservation};
 pub struct BrokerShard {
     shard: usize,
     broker: Broker,
-    /// Global path id → id under this shard's own path MIB.
-    paths: HashMap<PathId, PathId>,
+    /// Global path id → id under this shard's own path MIB, indexed by
+    /// the global id's value. Global ids are route indices (dense by
+    /// construction, see [`build_shards`]), so the translation on the
+    /// decide hot path is a vector probe, not a hash.
+    paths: Vec<Option<PathId>>,
 }
 
 impl BrokerShard {
@@ -63,10 +66,14 @@ impl BrokerShard {
     ) -> Self {
         let mut broker = Broker::new(topo.clone(), config.clone());
         broker.set_macro_shard(shard as u64, shards as u64);
-        let paths = routes
-            .iter()
-            .map(|(global, route)| (*global, broker.register_route(route)))
-            .collect();
+        let mut paths = Vec::new();
+        for (global, route) in routes {
+            let row = usize::try_from(global.0).expect("global path ids fit usize");
+            if row >= paths.len() {
+                paths.resize(row + 1, None);
+            }
+            paths[row] = Some(broker.register_route(route));
+        }
         BrokerShard {
             shard,
             broker,
@@ -83,7 +90,15 @@ impl BrokerShard {
     /// Whether a global path id is served here.
     #[must_use]
     pub fn serves(&self, path: PathId) -> bool {
-        self.paths.contains_key(&path)
+        self.local_path(path).is_some()
+    }
+
+    /// Dense translation of a global path id, `None` if not served here.
+    fn local_path(&self, path: PathId) -> Option<PathId> {
+        self.paths
+            .get(usize::try_from(path.0).ok()?)
+            .copied()
+            .flatten()
     }
 
     /// Handles a flow request whose `path` field is a **global** path id.
@@ -112,9 +127,8 @@ impl BrokerShard {
     /// As [`BrokerShard::request`], when the path is not served here.
     #[must_use]
     pub fn decide(&self, req: &FlowRequest) -> crate::admission::plan::AdmissionPlan {
-        let local = *self
-            .paths
-            .get(&req.path)
+        let local = self
+            .local_path(req.path)
             .expect("request dispatched to the shard owning its path");
         let mut translated = req.clone();
         translated.path = local;
@@ -155,6 +169,14 @@ impl BrokerShard {
         self.broker.tick(now)
     }
 
+    /// Earliest pending contingency expiry across this shard's
+    /// macroflows, for callers deciding whether a [`BrokerShard::tick`]
+    /// is due (see [`Broker::next_expiry`]).
+    #[must_use]
+    pub fn next_expiry(&self) -> Option<Time> {
+        self.broker.next_expiry()
+    }
+
     /// Read access to the underlying broker (stats, MIBs).
     #[must_use]
     pub fn broker(&self) -> &Broker {
@@ -169,7 +191,11 @@ impl BrokerShard {
 
     /// The global path ids served here (unordered).
     pub fn served_paths(&self) -> impl Iterator<Item = PathId> + '_ {
-        self.paths.keys().copied()
+        self.paths
+            .iter()
+            .enumerate()
+            .filter(|(_, local)| local.is_some())
+            .map(|(row, _)| PathId(row as u64))
     }
 }
 

@@ -1,0 +1,320 @@
+//! Dense, generation-checked state storage for the broker's MIBs.
+//!
+//! §5's scalability argument turns on how the MIBs are organized: the
+//! broker holds *all* of a domain's QoS state, so the admission hot
+//! path must read and write that state without chasing hash buckets
+//! sized by sparse wire-level identifiers. This module supplies the two
+//! building blocks the MIBs and the broker registry are rebuilt on:
+//!
+//! * [`Slab`] — a typed arena of contiguous slots addressed by
+//!   generational [`Handle`]s ([`FlowIdx`], [`MacroIdx`], …). Lookup is
+//!   a bounds check plus a generation compare; freed slots are recycled
+//!   with a bumped generation so stale handles resolve to `None`
+//!   instead of aliasing a new occupant.
+//! * [`Interner`] — the **single translation point** between external
+//!   wire identifiers (`FlowId`/`PathId`/class u64s, chosen by edge
+//!   routers) and dense handles. A wire id is hashed exactly once, at
+//!   the COPS boundary; everything inboard of [`crate::cops`] — broker,
+//!   admission, hierarchy, shard — passes handles and never re-hashes a
+//!   wire id on the decide or commit hot paths.
+//!
+//! [`LinkIdx`] is an alias for [`crate::mib::LinkRef`]: links are
+//! registered once at import and never deallocated, so their handles
+//! need no generation.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+use qos_units::handle::Handle;
+
+/// Tag for handles into the flow arena ([`crate::mib::FlowMib`]).
+pub enum FlowTag {}
+/// Tag for handles naming path MIB rows ([`crate::mib::PathMib`]).
+pub enum PathTag {}
+/// Tag for handles into the broker's macroflow arena.
+pub enum MacroTag {}
+
+/// Dense handle to a flow record.
+pub type FlowIdx = Handle<FlowTag>;
+/// Dense handle to a path row.
+pub type PathIdx = Handle<PathTag>;
+/// Dense handle to a macroflow's control state.
+pub type MacroIdx = Handle<MacroTag>;
+/// Dense handle to a link row. Links live for the broker's lifetime,
+/// so the plain index is already generation-safe.
+pub type LinkIdx = crate::mib::LinkRef;
+
+/// One arena slot: occupied with the generation it was minted at, or
+/// vacant carrying the generation its *next* occupant will get.
+#[derive(Debug, Clone)]
+enum Slot<T> {
+    Vacant { next_generation: u32 },
+    Occupied { generation: u32, value: T },
+}
+
+/// A typed slab arena: contiguous slots, O(1) insert/remove/lookup by
+/// generational handle, vacant slots recycled LIFO.
+pub struct Slab<M, T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    live: usize,
+    _tag: PhantomData<fn() -> M>,
+}
+
+// Manual impls: derives would demand bounds on the phantom tag `M`.
+impl<M, T: std::fmt::Debug> std::fmt::Debug for Slab<M, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slab")
+            .field("slots", &self.slots)
+            .field("free", &self.free)
+            .field("live", &self.live)
+            .finish()
+    }
+}
+
+impl<M, T: Clone> Clone for Slab<M, T> {
+    fn clone(&self) -> Self {
+        Slab {
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            live: self.live,
+            _tag: PhantomData,
+        }
+    }
+}
+
+impl<M, T> Default for Slab<M, T> {
+    fn default() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            _tag: PhantomData,
+        }
+    }
+}
+
+impl<M, T> Slab<M, T> {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a value, returning its handle. Reuses the most recently
+    /// freed slot if any, else appends a new one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena would exceed `u32::MAX` slots.
+    pub fn insert(&mut self, value: T) -> Handle<M> {
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            let generation = match *slot {
+                Slot::Vacant { next_generation } => next_generation,
+                Slot::Occupied { .. } => unreachable!("free list points at an occupied slot"),
+            };
+            *slot = Slot::Occupied { generation, value };
+            return Handle::new(index, generation);
+        }
+        let index = u32::try_from(self.slots.len()).expect("slab exceeds u32 slots");
+        self.slots.push(Slot::Occupied {
+            generation: 0,
+            value,
+        });
+        Handle::new(index, 0)
+    }
+
+    /// Removes the value a live handle points at. Stale handles (wrong
+    /// generation, already freed, out of range) return `None`.
+    pub fn remove(&mut self, handle: Handle<M>) -> Option<T> {
+        let slot = self.slots.get_mut(handle.index())?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == handle.generation() => {
+                let next_generation = handle.generation().wrapping_add(1);
+                let old = std::mem::replace(slot, Slot::Vacant { next_generation });
+                #[allow(clippy::cast_possible_truncation)]
+                self.free.push(handle.index() as u32);
+                self.live -= 1;
+                match old {
+                    Slot::Occupied { value, .. } => Some(value),
+                    Slot::Vacant { .. } => unreachable!("matched occupied above"),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Resolves a handle, `None` if stale.
+    #[must_use]
+    pub fn get(&self, handle: Handle<M>) -> Option<&T> {
+        match self.slots.get(handle.index())? {
+            Slot::Occupied { generation, value } if *generation == handle.generation() => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable counterpart of [`Slab::get`].
+    pub fn get_mut(&mut self, handle: Handle<M>) -> Option<&mut T> {
+        match self.slots.get_mut(handle.index())? {
+            Slot::Occupied { generation, value } if *generation == handle.generation() => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of live values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no value is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots allocated (live + vacant) — the arena's footprint,
+    /// exposed as an occupancy gauge by the daemon's telemetry.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterates over live `(handle, value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle<M>, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, slot)| {
+            #[allow(clippy::cast_possible_truncation)]
+            match slot {
+                Slot::Occupied { generation, value } => {
+                    Some((Handle::new(i as u32, *generation), value))
+                }
+                Slot::Vacant { .. } => None,
+            }
+        })
+    }
+
+    /// Live handles in slot order (detached from the borrow, for
+    /// mutate-while-iterating patterns like timer sweeps).
+    #[must_use]
+    pub fn handles(&self) -> Vec<Handle<M>> {
+        self.iter().map(|(h, _)| h).collect()
+    }
+}
+
+/// The wire-id → dense-value translation table.
+///
+/// One hash probe per *boundary crossing* — a request, release or
+/// report arriving from an edge router — is the entire hashing budget
+/// of the admission pipeline; the value stored here (a [`Handle`] or a
+/// dense row number) is what travels inboard.
+#[derive(Debug, Clone)]
+pub struct Interner<V> {
+    map: HashMap<u64, V>,
+}
+
+impl<V> Default for Interner<V> {
+    fn default() -> Self {
+        Interner {
+            map: HashMap::new(),
+        }
+    }
+}
+
+impl<V: Copy> Interner<V> {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds a wire id to a dense value, returning the previous binding
+    /// if the id was already interned.
+    pub fn bind(&mut self, wire: u64, value: V) -> Option<V> {
+        self.map.insert(wire, value)
+    }
+
+    /// The single sanctioned wire-id hash: resolves an external id to
+    /// its dense value.
+    #[must_use]
+    pub fn resolve(&self, wire: u64) -> Option<V> {
+        self.map.get(&wire).copied()
+    }
+
+    /// Unbinds a wire id (when its flow/macroflow leaves the domain).
+    pub fn unbind(&mut self, wire: u64) -> Option<V> {
+        self.map.remove(&wire)
+    }
+
+    /// Number of interned wire ids.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_insert_get_remove_roundtrip() {
+        let mut slab: Slab<FlowTag, &'static str> = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.get(a), None, "freed handle must not resolve");
+        assert_eq!(slab.remove(a), None, "double free is a no-op");
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn recycled_slots_bump_the_generation() {
+        let mut slab: Slab<MacroTag, u64> = Slab::new();
+        let first = slab.insert(1);
+        slab.remove(first).unwrap();
+        let second = slab.insert(2);
+        // Same dense row, new generation: the stale handle misses.
+        assert_eq!(second.index(), first.index());
+        assert_ne!(second.generation(), first.generation());
+        assert_eq!(slab.get(first), None);
+        assert_eq!(slab.get(second), Some(&2));
+        assert_eq!(slab.slot_count(), 1, "the slot was reused, not grown");
+    }
+
+    #[test]
+    fn iteration_skips_vacant_slots() {
+        let mut slab: Slab<FlowTag, u32> = Slab::new();
+        let handles: Vec<_> = (0..5u32).map(|v| slab.insert(v)).collect();
+        slab.remove(handles[1]).unwrap();
+        slab.remove(handles[3]).unwrap();
+        let seen: Vec<u32> = slab.iter().map(|(_, v)| *v).collect();
+        assert_eq!(seen, vec![0, 2, 4]);
+        assert_eq!(slab.handles().len(), 3);
+    }
+
+    #[test]
+    fn interner_binds_resolves_unbinds() {
+        let mut interner: Interner<FlowIdx> = Interner::new();
+        let h = Handle::new(3, 1);
+        assert!(interner.bind(42, h).is_none());
+        assert_eq!(interner.resolve(42), Some(h));
+        assert_eq!(interner.resolve(7), None);
+        assert_eq!(interner.unbind(42), Some(h));
+        assert!(interner.is_empty());
+    }
+}

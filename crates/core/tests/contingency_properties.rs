@@ -1,0 +1,219 @@
+//! Property tests for the §4.2.1 early-reset rule under the
+//! [`ContingencyPolicy::Feedback`] policy.
+//!
+//! When the edge conditioner of a macroflow reports an empty buffer,
+//! *all* of that macroflow's contingency bandwidth can be reclaimed at
+//! once: an empty buffer proves the transient that motivated every
+//! outstanding grant has drained. Under arbitrary join / leave /
+//! buffer-empty sequences the broker must therefore maintain:
+//!
+//! * **exactly-once release** — bandwidth granted as contingency is
+//!   released exactly once; a second empty report (or a timer tick) on
+//!   an already-reset macroflow releases nothing;
+//! * **total reset** — after any empty report the reporting macroflow's
+//!   outstanding contingency is zero, whatever mixture of join and
+//!   leave grants it held;
+//! * **conservation** — at every step, cumulative granted bandwidth
+//!   equals cumulative released plus currently outstanding, and each
+//!   link's reserved bandwidth equals exactly the sum of live macroflow
+//!   allocations crossing it (no under- or overflow ever).
+
+use bb_core::admission::aggregate::ClassSpec;
+use bb_core::contingency::ContingencyPolicy;
+use bb_core::mib::LinkRef;
+use bb_core::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use netsim::topology::{LinkId, SchedulerSpec, TopologyBuilder};
+use proptest::prelude::*;
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Join { class: u32 },
+    Leave { victim: usize },
+    BufferEmpty { which: usize },
+}
+
+fn gen_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..2).prop_map(|class| Op::Join { class }),
+            (0u32..2).prop_map(|class| Op::Join { class }),
+            (0usize..64).prop_map(|victim| Op::Leave { victim }),
+            (0usize..64).prop_map(|which| Op::BufferEmpty { which }),
+        ],
+        1..80,
+    )
+}
+
+fn type0() -> TrafficProfile {
+    TrafficProfile::new(
+        Bits::from_bits(60_000),
+        Rate::from_bps(50_000),
+        Rate::from_bps(100_000),
+        Bits::from_bytes(1500),
+    )
+    .unwrap()
+}
+
+fn make_broker() -> (Broker, bb_core::mib::PathId, Vec<LinkRef>) {
+    let mut b = TopologyBuilder::new();
+    let nodes: Vec<_> = (0..5).map(|i| b.node(format!("n{i}"))).collect();
+    let route: Vec<LinkId> = (0..4)
+        .map(|i| {
+            b.link(
+                nodes[i],
+                nodes[i + 1],
+                Rate::from_bps(1_500_000),
+                Nanos::ZERO,
+                if i == 1 {
+                    SchedulerSpec::VtEdf
+                } else {
+                    SchedulerSpec::CsVc
+                },
+                Bits::from_bytes(1500),
+            )
+        })
+        .collect();
+    let topo = b.build();
+    let mut broker = Broker::new(
+        topo,
+        BrokerConfig {
+            contingency: ContingencyPolicy::Feedback,
+            classes: vec![
+                ClassSpec {
+                    id: 0,
+                    d_req: Nanos::from_millis(2_440),
+                    cd: Nanos::from_millis(240),
+                },
+                ClassSpec {
+                    id: 1,
+                    d_req: Nanos::from_millis(3_000),
+                    cd: Nanos::from_millis(100),
+                },
+            ],
+            ..BrokerConfig::default()
+        },
+    );
+    let pid = broker.register_route(&route);
+    let refs: Vec<LinkRef> = (0..4).map(LinkRef).collect();
+    (broker, pid, refs)
+}
+
+/// Total outstanding contingency bandwidth across all macroflows.
+fn outstanding(broker: &Broker) -> u64 {
+    broker
+        .macroflows()
+        .map(|m| m.contingency.total().as_bps())
+        .sum()
+}
+
+/// Every link's reserved bandwidth equals exactly the macroflow
+/// allocations crossing it (all service here is class-based).
+fn check_links(broker: &Broker, links: &[LinkRef]) {
+    let mut expected = vec![0u64; links.len()];
+    for m in broker.macroflows() {
+        for l in &broker.paths().path(m.path).links {
+            expected[l.0] += m.allocated().as_bps();
+        }
+    }
+    for l in links {
+        assert_eq!(
+            broker.nodes().link(*l).reserved().as_bps(),
+            expected[l.0],
+            "link {l:?} reservation drift"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn feedback_resets_release_every_grant_exactly_once(ops in gen_ops()) {
+        let (mut broker, pid, links) = make_broker();
+        let mut now = Time::ZERO;
+        let mut live: Vec<FlowId> = Vec::new();
+        let mut next_id = 0u64;
+        // Conservation ledger, in bps: grants observed entering the
+        // registry vs. bandwidth handed back by empty reports.
+        let mut granted = 0u64;
+        let mut released = 0u64;
+
+        for op in ops {
+            now += Nanos::from_millis(7);
+            let before = outstanding(&broker);
+            match op {
+                Op::Join { class } => {
+                    let flow = FlowId(next_id);
+                    next_id += 1;
+                    if broker
+                        .request(now, &FlowRequest {
+                            flow,
+                            profile: type0(),
+                            d_req: Nanos::ZERO,
+                            service: ServiceKind::Class(class),
+                            path: pid,
+                        })
+                        .is_ok()
+                    {
+                        live.push(flow);
+                    }
+                    // Joins and leaves only ever add grants.
+                    prop_assert!(outstanding(&broker) >= before);
+                    granted += outstanding(&broker) - before;
+                }
+                Op::Leave { victim } => {
+                    if !live.is_empty() {
+                        let flow = live.remove(victim % live.len());
+                        broker.release(now, flow).expect("live flow");
+                    }
+                    prop_assert!(outstanding(&broker) >= before);
+                    granted += outstanding(&broker) - before;
+                }
+                Op::BufferEmpty { which } => {
+                    let ids: Vec<FlowId> = broker.macroflows().map(|m| m.id).collect();
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let id = ids[which % ids.len()];
+                    let got = broker.edge_buffer_empty(now, id).as_bps();
+                    released += got;
+                    // §4.2.1: one empty report resets the *whole* set —
+                    // if the macroflow survives the report (it may have
+                    // been torn down when dissolving), nothing remains.
+                    if let Some(m) = broker.macroflows().find(|m| m.id == id) {
+                        prop_assert_eq!(m.contingency.total(), Rate::ZERO);
+                    }
+                    // Exactly-once: an immediate second report finds
+                    // nothing left to release.
+                    prop_assert_eq!(broker.edge_buffer_empty(now, id), Rate::ZERO);
+                }
+            }
+            // Under the feedback policy no grant carries a timer, so a
+            // tick — however late — must never double-release.
+            prop_assert!(broker.tick(now + Nanos::from_secs(3_600)).is_empty());
+            prop_assert_eq!(granted, released + outstanding(&broker), "grant ledger drift");
+            check_links(&broker, &links);
+        }
+
+        // Drain everything; the ledger must balance to zero outstanding
+        // and the links must be pristine again.
+        let before_drain = outstanding(&broker);
+        for flow in live {
+            broker.release(now, flow).expect("live flow");
+        }
+        granted += outstanding(&broker) - before_drain;
+        let ids: Vec<FlowId> = broker.macroflows().map(|m| m.id).collect();
+        for id in ids {
+            released += broker.edge_buffer_empty(now, id).as_bps();
+        }
+        prop_assert_eq!(granted, released, "drained domain must balance the ledger");
+        prop_assert_eq!(outstanding(&broker), 0);
+        prop_assert_eq!(broker.macroflows().count(), 0, "all macroflows dissolved");
+        for l in &links {
+            prop_assert_eq!(broker.nodes().link(*l).reserved(), Rate::ZERO);
+        }
+    }
+}

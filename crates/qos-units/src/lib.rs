@@ -29,11 +29,13 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod handle;
 pub mod rate;
 pub mod ratio;
 pub mod time;
 
 pub use bits::Bits;
+pub use handle::Handle;
 pub use rate::Rate;
 pub use time::{Nanos, Time};
 

@@ -27,6 +27,48 @@
 //! depths, and latency-histogram quantiles over time, not only final
 //! aggregates — so `BENCH_loadgen.json` shows how the run unfolded.
 
+/// Counting global allocator (`--features count-allocs`): wraps the
+/// system allocator with a relaxed counter per allocation so a run can
+/// report `allocs_per_decision` — the before/after metric for state-
+/// layout work. The daemon is hosted in-process, so the counter covers
+/// the full serving path (plus the client-side codec, identical across
+/// runs). Compiled out entirely without the feature.
+#[cfg(feature = "count-allocs")]
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    // SAFETY: delegates verbatim to the system allocator; the counter
+    // never affects layout or returned pointers.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: Counting = Counting;
+
+    /// Allocations since process start.
+    pub fn total() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -161,6 +203,10 @@ struct LoadgenReport {
     /// (hits / lookups); `None` when the daemon exposed no telemetry or
     /// no admission ever consulted the cache.
     path_cache_hit_rate: Option<f64>,
+    /// Process-wide heap allocations per decision across the load
+    /// window (daemon + client codec); `None` unless the binary was
+    /// built with `--features count-allocs`.
+    allocs_per_decision: Option<f64>,
     verified: Option<bool>,
     /// Telemetry polls taken while the load ran.
     timeline: Vec<TimelinePoint>,
@@ -394,6 +440,8 @@ fn main() {
     );
 
     let started = Instant::now();
+    #[cfg(feature = "count-allocs")]
+    let allocs_start = alloc_counter::total();
 
     // Telemetry sampler: polls the stats endpoint over TCP while the
     // clients run, building the report's time series.
@@ -438,6 +486,8 @@ fn main() {
         })
         .collect();
     let elapsed = started.elapsed().as_secs_f64();
+    #[cfg(feature = "count-allocs")]
+    let allocs_total = alloc_counter::total() - allocs_start;
 
     // Final snapshot after the last decision, then stop the sampler.
     let stats = stats_addr.and_then(|sa| fetch_stats(&sa).ok());
@@ -472,6 +522,11 @@ fn main() {
         None
     };
 
+    #[cfg(feature = "count-allocs")]
+    let allocs_per_decision = (decisions > 0).then(|| allocs_total as f64 / decisions as f64);
+    #[cfg(not(feature = "count-allocs"))]
+    let allocs_per_decision: Option<f64> = None;
+
     let server = hosted.map(BbServer::shutdown);
     let report = LoadgenReport {
         pods,
@@ -490,6 +545,7 @@ fn main() {
         setup_latency_p90_us: percentile(&latencies, 0.90),
         setup_latency_p99_us: percentile(&latencies, 0.99),
         path_cache_hit_rate: stats.as_ref().and_then(|s| s.metrics.path_cache_hit_rate()),
+        allocs_per_decision,
         verified,
         timeline,
         stats,
@@ -506,6 +562,9 @@ fn main() {
     );
     if let Some(rate) = report.path_cache_hit_rate {
         println!("path cache: {:.1}% decide-phase hit rate", rate * 100.0);
+    }
+    if let Some(apd) = report.allocs_per_decision {
+        println!("allocations: {apd:.1} per decision (count-allocs)");
     }
     if let Some(srv) = &report.server {
         println!(

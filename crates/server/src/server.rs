@@ -179,6 +179,10 @@ pub struct ServerReport {
 }
 
 /// One unit of work for a shard worker.
+// One Commit is built per admission request; boxing the plan to shrink
+// the enum would put a heap allocation on that hot path for the sake of
+// the rarer Delete/Report variants.
+#[allow(clippy::large_enum_variant)]
 enum Job {
     /// Commit (or refuse) a plan the reader thread already decided.
     Commit {
@@ -689,6 +693,16 @@ fn worker_loop(
                         std::panic::resume_unwind(panic);
                     }
                 }
+                // Drive contingency timers in the normal drain too: a
+                // shard kept busy by a steady request stream would
+                // otherwise never hit the idle beat below, and bounding
+                // grants (eq. 17) would outlive their period for as long
+                // as the load lasts. The write lock is already held, and
+                // `next_expiry` is a cheap scan of live macroflows.
+                let now = dispatch.now();
+                if guard.next_expiry().is_some_and(|due| due <= now) {
+                    guard.tick(now);
+                }
                 mirror_pipeline_gauges(&guard, dispatch);
             }
             Err(channel::RecvTimeoutError::Timeout) => {
@@ -697,7 +711,9 @@ fn worker_loop(
                     return;
                 }
                 // Idle beat: drive contingency timers.
-                shard.write().tick(dispatch.now());
+                let mut guard = shard.write();
+                guard.tick(dispatch.now());
+                mirror_pipeline_gauges(&guard, dispatch);
             }
             Err(channel::RecvTimeoutError::Disconnected) => return,
         }
@@ -775,17 +791,22 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
 }
 
 /// Mirrors the shard broker's pipeline gauges (plan retries/aborts,
-/// path-cache hits/misses) into the telemetry registry as absolute
+/// path-cache hits/misses), contingency lifecycle totals, and
+/// dense-store occupancy into the telemetry registry as absolute
 /// running totals.
 fn mirror_pipeline_gauges(shard: &BrokerShard, dispatch: &Arc<Dispatch>) {
     let broker = shard.broker();
     let stats = broker.stats();
     let (hits, misses) = broker.path_cache_counters();
-    dispatch.metrics.shard(shard.shard()).set_pipeline_gauges(
-        stats.plan_retries,
-        stats.plan_aborts,
-        hits,
-        misses,
+    let metrics = dispatch.metrics.shard(shard.shard());
+    metrics.set_pipeline_gauges(stats.plan_retries, stats.plan_aborts, hits, misses);
+    metrics.set_contingency_gauges(stats.grants, stats.grant_expiries, stats.grant_resets);
+    let occ = broker.store_occupancy();
+    metrics.set_store_gauges(
+        occ.interned_flows,
+        occ.flow_slots,
+        occ.macroflows,
+        occ.macroflow_slots,
     );
 }
 

@@ -250,3 +250,122 @@ fn stats_endpoint_serves_nonzero_counters_mid_load() {
     // The endpoint dies with the daemon.
     assert!(fetch_stats(&stats_addr).is_err());
 }
+
+/// Regression test for contingency expiries under sustained load: a
+/// bounding-policy grant must be released by the worker's normal drain
+/// loop while the shard is continuously busy — the 20 ms idle beat,
+/// which previously was the only tick driver, never fires here.
+#[test]
+fn bounding_expiries_fire_while_the_shard_stays_busy() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use bb_core::contingency::ContingencyPolicy;
+
+    // A short-burst profile keeps the eq.-17 bounding period well under
+    // a second (t_on = 8 kb / 50 kb/s = 160 ms), so the grant posted by
+    // the leave below expires while the busy loop is still running.
+    let short = TrafficProfile::new(
+        Bits::from_bits(8_000),
+        Rate::from_bps(50_000),
+        Rate::from_bps(100_000),
+        Bits::from_bytes(125),
+    )
+    .unwrap();
+
+    let (topo, routes) = topology(1);
+    let config = ServerConfig {
+        workers: 1, // single shard: the busy loop starves exactly the worker that owes the tick
+        stats_addr: Some("127.0.0.1:0".to_string()),
+        broker: BrokerConfig {
+            classes: vec![ClassSpec {
+                id: 1,
+                d_req: Nanos::from_secs(20),
+                cd: Nanos::from_millis(100),
+            }],
+            contingency: ContingencyPolicy::Bounding,
+            ..BrokerConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = BbServer::start("127.0.0.1:0", &topo, &routes, &config).expect("start daemon");
+    let addr = server.local_addr().to_string();
+    let stats_addr: SocketAddr = server.stats_addr().expect("stats endpoint configured");
+
+    // Saturate the worker *before* creating the grant, so there is no
+    // idle window anywhere between grant and expiry: a closed loop of
+    // per-flow requests keeps jobs arriving every round trip, far
+    // inside the 20 ms idle-beat timeout.
+    let stop = Arc::new(AtomicBool::new(false));
+    let busy = {
+        let stop = Arc::clone(&stop);
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = CopsClient::connect(&addr).expect("connect busy client");
+            let mut k = 1_000u64;
+            while !stop.load(Ordering::Relaxed) {
+                let req = FlowRequest {
+                    flow: FlowId(k),
+                    profile: type0(),
+                    d_req: Nanos::from_millis(2_440),
+                    service: ServiceKind::PerFlow,
+                    path: PathId(0),
+                };
+                k += 1;
+                // Admit or reject, either way the worker stays busy.
+                let _ = client.request(&req).expect("round trip");
+            }
+        })
+    };
+
+    // Two members join the class, one leaves: the leave transient posts
+    // a bounding-policy grant (Δr = r^α − r^{α'} > 0) with a timer.
+    let mut client = CopsClient::connect(&addr).expect("connect");
+    for k in 0..2u64 {
+        let req = FlowRequest {
+            flow: FlowId(k),
+            profile: short,
+            d_req: Nanos::from_secs(20),
+            service: ServiceKind::Class(1),
+            path: PathId(0),
+        };
+        match client.request(&req).expect("round trip") {
+            Decision::Install(_) => {}
+            Decision::Reject { cause, .. } => panic!("join {k} rejected: {cause}"),
+            Decision::UnknownFlow { flow } => panic!("unexpected unknown-flow for {flow}"),
+        }
+    }
+    client.send_delete(FlowId(0)).expect("send DRQ");
+    match client.recv_decision().expect("revised reservation DEC") {
+        Decision::Install(res) => assert!(
+            res.contingency_expires.is_some(),
+            "bounding policy must stamp the leave grant with an expiry"
+        ),
+        other => panic!("DRQ answered with {other:?}"),
+    }
+
+    // The grant must expire and be released while the load still runs —
+    // processed by the drain loop, since the idle beat is starved.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = fetch_stats(&stats_addr).expect("fetch /stats");
+        let expiries: u64 = snap.metrics.shards.iter().map(|s| s.grant_expiries).sum();
+        if expiries >= 1 {
+            assert!(
+                snap.metrics.shards.iter().map(|s| s.grants).sum::<u64>() >= 1,
+                "expired grants must have been counted as granted first"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "bounding grant never expired under sustained load; last: {snap:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    busy.join().expect("busy client thread");
+    let report = server.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+}

@@ -228,6 +228,97 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
 
     let _ = writeln!(
         out,
+        "# HELP bb_contingency_grants_total Contingency-bandwidth grants issued, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_contingency_grants_total counter");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_contingency_grants_total{{shard=\"{}\"}} {}",
+            s.shard, s.grants
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_contingency_expiries_total Grants released by the bounding-period timer, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_contingency_expiries_total counter");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_contingency_expiries_total{{shard=\"{}\"}} {}",
+            s.shard, s.grant_expiries
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_contingency_resets_total Grants reset early by buffer-empty edge feedback, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_contingency_resets_total counter");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_contingency_resets_total{{shard=\"{}\"}} {}",
+            s.shard, s.grant_resets
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_interned_flows Live flows interned at the COPS boundary, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_interned_flows gauge");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_interned_flows{{shard=\"{}\"}} {}",
+            s.shard, s.interned_flows
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_flow_arena_slots Flow-arena slot footprint (live + vacant), per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_flow_arena_slots gauge");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_flow_arena_slots{{shard=\"{}\"}} {}",
+            s.shard, s.flow_slots
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_macroflows Live macroflows in the broker registry, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_macroflows gauge");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_macroflows{{shard=\"{}\"}} {}",
+            s.shard, s.macroflows
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_macroflow_arena_slots Macroflow-arena slot footprint (live + vacant), per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_macroflow_arena_slots gauge");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_macroflow_arena_slots{{shard=\"{}\"}} {}",
+            s.shard, s.macroflow_slots
+        );
+    }
+
+    let _ = writeln!(
+        out,
         "# HELP bb_setup_latency_ns End-to-end setup latency (dispatch to reply handoff), nanoseconds."
     );
     let _ = writeln!(out, "# TYPE bb_setup_latency_ns histogram");
@@ -255,6 +346,8 @@ mod tests {
         reg.shard(0).record_decide_ns(60);
         reg.shard(0).record_commit_ns(40);
         reg.shard(0).set_pipeline_gauges(4, 2, 90, 10);
+        reg.shard(0).set_contingency_gauges(6, 3, 1);
+        reg.shard(0).set_store_gauges(12, 16, 2, 4);
         let text = prometheus(&reg.snapshot());
 
         assert!(text.contains("bb_admitted_total{shard=\"0\"} 1"));
@@ -264,6 +357,13 @@ mod tests {
         assert!(text.contains("bb_plan_aborts_total{shard=\"0\"} 2"));
         assert!(text.contains("bb_path_cache_hits_total{shard=\"0\"} 90"));
         assert!(text.contains("bb_path_cache_misses_total{shard=\"0\"} 10"));
+        assert!(text.contains("bb_contingency_grants_total{shard=\"0\"} 6"));
+        assert!(text.contains("bb_contingency_expiries_total{shard=\"0\"} 3"));
+        assert!(text.contains("bb_contingency_resets_total{shard=\"0\"} 1"));
+        assert!(text.contains("bb_interned_flows{shard=\"0\"} 12"));
+        assert!(text.contains("bb_flow_arena_slots{shard=\"0\"} 16"));
+        assert!(text.contains("bb_macroflows{shard=\"0\"} 2"));
+        assert!(text.contains("bb_macroflow_arena_slots{shard=\"0\"} 4"));
         assert!(text.contains("bb_rejected_total{shard=\"1\",reason=\"bandwidth\"} 1"));
         assert!(text.contains("bb_queue_depth{shard=\"1\"} 7"));
         assert!(text.contains("bb_queue_depth_peak{shard=\"1\"} 7"));

@@ -39,6 +39,17 @@ pub struct ShardMetrics {
     plan_aborts: AtomicU64,
     path_cache_hits: AtomicU64,
     path_cache_misses: AtomicU64,
+    /// Contingency-bandwidth lifecycle totals mirrored from
+    /// [`bb_core::broker::BrokerStats`].
+    grants: AtomicU64,
+    grant_expiries: AtomicU64,
+    grant_resets: AtomicU64,
+    /// Dense-store occupancy mirrored from
+    /// [`bb_core::Broker::store_occupancy`].
+    interned_flows: AtomicU64,
+    flow_slots: AtomicU64,
+    macroflows: AtomicU64,
+    macroflow_slots: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -88,6 +99,24 @@ impl ShardMetrics {
         self.path_cache_misses.store(misses, Ordering::Relaxed);
     }
 
+    /// Mirrors the shard broker's contingency-bandwidth lifecycle
+    /// totals: grants issued, grants expired by the bounding timer, and
+    /// grants reset early by edge feedback (§4.2.1).
+    pub fn set_contingency_gauges(&self, grants: u64, expiries: u64, resets: u64) {
+        self.grants.store(grants, Ordering::Relaxed);
+        self.grant_expiries.store(expiries, Ordering::Relaxed);
+        self.grant_resets.store(resets, Ordering::Relaxed);
+    }
+
+    /// Mirrors the shard broker's dense-store occupancy: live interned
+    /// flows and macroflows against their arenas' total slot footprints.
+    pub fn set_store_gauges(&self, flows: u64, flow_slots: u64, macros: u64, macro_slots: u64) {
+        self.interned_flows.store(flows, Ordering::Relaxed);
+        self.flow_slots.store(flow_slots, Ordering::Relaxed);
+        self.macroflows.store(macros, Ordering::Relaxed);
+        self.macroflow_slots.store(macro_slots, Ordering::Relaxed);
+    }
+
     /// Updates the queue-depth gauge (and its high-water mark).
     pub fn set_queue_depth(&self, depth: u64) {
         self.queue_depth.store(depth, Ordering::Relaxed);
@@ -116,6 +145,13 @@ impl ShardMetrics {
             plan_aborts: self.plan_aborts.load(Ordering::Relaxed),
             path_cache_hits: self.path_cache_hits.load(Ordering::Relaxed),
             path_cache_misses: self.path_cache_misses.load(Ordering::Relaxed),
+            grants: self.grants.load(Ordering::Relaxed),
+            grant_expiries: self.grant_expiries.load(Ordering::Relaxed),
+            grant_resets: self.grant_resets.load(Ordering::Relaxed),
+            interned_flows: self.interned_flows.load(Ordering::Relaxed),
+            flow_slots: self.flow_slots.load(Ordering::Relaxed),
+            macroflows: self.macroflows.load(Ordering::Relaxed),
+            macroflow_slots: self.macroflow_slots.load(Ordering::Relaxed),
         }
     }
 }
@@ -243,6 +279,20 @@ pub struct ShardSnapshot {
     pub path_cache_hits: u64,
     /// Path-summary cache misses (summary recomputed).
     pub path_cache_misses: u64,
+    /// Contingency-bandwidth grants issued (joins and leaves).
+    pub grants: u64,
+    /// Grants released by the bounding-period timer.
+    pub grant_expiries: u64,
+    /// Grants reset early by buffer-empty edge feedback.
+    pub grant_resets: u64,
+    /// Live flows interned at the COPS boundary.
+    pub interned_flows: u64,
+    /// Flow-arena slot footprint (live + vacant).
+    pub flow_slots: u64,
+    /// Live macroflows in the broker's registry.
+    pub macroflows: u64,
+    /// Macroflow-arena slot footprint (live + vacant).
+    pub macroflow_slots: u64,
 }
 
 impl ShardSnapshot {
