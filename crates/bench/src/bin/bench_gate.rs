@@ -4,6 +4,7 @@
 //! bench_gate --fresh BENCH_loadgen.fresh.json \
 //!            --baseline BENCH_loadgen.json \
 //!            [--min-ratio 0.6] [--max-p99-ratio 1.5] [--min-hit-rate 0.5]
+//!            [--durable]
 //! ```
 //!
 //! Reads both `bb-loadgen` reports, applies
@@ -14,8 +15,17 @@
 //! more than 40 % below baseline), within the allowed p99
 //! setup-latency ceiling (default: no more than 1.5× baseline), and at
 //! or above the absolute path-cache hit-rate floor (default: 50 %).
+//!
+//! With `--durable` the fresh report must come from a
+//! `bb-loadgen --durable` run and is gated with
+//! [`bb_bench::gate::check_durable`] instead: same config and
+//! verification rules, a successful restart-recovery check, and a
+//! throughput floor against the **non-durable** baseline (so the gate
+//! bounds the durability tax itself).
 
-use bb_bench::gate::{check_full, DEFAULT_MAX_P99_RATIO, DEFAULT_MIN_HIT_RATE, DEFAULT_MIN_RATIO};
+use bb_bench::gate::{
+    check_durable, check_full, DEFAULT_MAX_P99_RATIO, DEFAULT_MIN_HIT_RATE, DEFAULT_MIN_RATIO,
+};
 
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -23,6 +33,10 @@ fn arg(name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 fn load(path: &str) -> serde::json::Value {
@@ -53,6 +67,43 @@ fn main() {
 
     let fresh = load(&fresh_path);
     let baseline = load(&baseline_path);
+    if flag("--durable") {
+        match check_durable(&fresh, &baseline, min_ratio) {
+            Ok(verdict) => {
+                println!(
+                    "bench-gate: durable {:.0} decisions/s vs non-durable baseline {:.0} \
+                     ({:.0}%, floor {:.0}%)",
+                    verdict.fresh_throughput,
+                    verdict.baseline_throughput,
+                    verdict.ratio * 100.0,
+                    verdict.min_ratio * 100.0
+                );
+                println!(
+                    "bench-gate: restart recovered state in {:.1} ms ({:.0} journal records) -> {}",
+                    verdict.restart_recovery_ms,
+                    verdict.recovery_replayed_records,
+                    if verdict.recovery_matches {
+                        "match"
+                    } else {
+                        "MISMATCH"
+                    }
+                );
+                if verdict.passed() {
+                    println!("bench-gate: PASS (durable)");
+                } else {
+                    for f in &verdict.failures {
+                        eprintln!("bench-gate: FAIL: {f}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("bench-gate: unusable report: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     match check_full(&fresh, &baseline, min_ratio, max_p99_ratio, min_hit_rate) {
         Ok(verdict) => {
             println!(

@@ -14,18 +14,24 @@
 //!
 //! This binary models both with ℓ = ℓ_bb = 5 ms of one-way message
 //! latency and the measured per-decision compute from this machine.
+//!
+//! It also times **crash recovery** (bb-durable): how long a broker
+//! takes to come back from a snapshot versus from a pure journal
+//! replay, per resident-flow count — the restart-availability cost of
+//! concentrating all reservation state in the broker.
 
 use std::time::Instant;
 
 use bb_core::intserv::IntServ;
-use bb_core::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use bb_core::{Broker, BrokerConfig, BrokerShard, FlowRequest, PathId, ServiceKind};
+use bb_durable::{replay, ShardStore, WalRecord};
 use bb_telemetry::{HistogramSnapshot, LogHistogram};
 use netsim::topology::{LinkId, SchedulerSpec, TopologyBuilder};
 use qos_units::{Bits, Nanos, Rate, Time};
 use vtrs::packet::FlowId;
 use workload::profiles::type0;
 
-fn chain(hops: usize) -> (netsim::topology::Topology, Vec<LinkId>) {
+fn chain(hops: usize, rate: Rate) -> (netsim::topology::Topology, Vec<LinkId>) {
     let mut b = TopologyBuilder::new();
     let nodes: Vec<_> = (0..=hops).map(|i| b.node(format!("n{i}"))).collect();
     let route = (0..hops)
@@ -33,7 +39,7 @@ fn chain(hops: usize) -> (netsim::topology::Topology, Vec<LinkId>) {
             b.link(
                 nodes[i],
                 nodes[i + 1],
-                Rate::from_mbps(100),
+                rate,
                 Nanos::ZERO,
                 SchedulerSpec::CsVc,
                 Bits::from_bytes(1500),
@@ -56,9 +62,102 @@ struct Row {
 }
 
 #[derive(serde::Serialize)]
+struct RecoveryRow {
+    flows: u64,
+    /// Restart from a sealed snapshot (graceful-shutdown path).
+    snapshot_ms: f64,
+    /// Restart from a journal-only chain (crash path): every admission
+    /// replays through the monolithic entry points.
+    replay_ms: f64,
+    replayed_records: u64,
+}
+
+#[derive(serde::Serialize)]
 struct Report {
     message_one_way_ms: f64,
     rows: Vec<Row>,
+    recovery: Vec<RecoveryRow>,
+}
+
+/// Times a recovery (`ShardStore::open` + journal replay into a fresh
+/// shard) and returns `(elapsed ms, records replayed, resident flows)`.
+fn time_recovery(dir: &std::path::Path, mk: impl Fn() -> BrokerShard) -> (f64, u64, u64) {
+    let t0 = Instant::now();
+    let (store, outcome) = ShardStore::open(dir).expect("recover");
+    let mut shard = mk();
+    let summary = replay(&mut shard, &outcome);
+    store
+        .commit_recovery(&shard.export_image(), outcome.max_now.unwrap_or(Time::ZERO))
+        .expect("seal recovery");
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    (ms, summary.total(), shard.broker().flows().len() as u64)
+}
+
+/// Recovery-time measurement: build a durable shard directory holding
+/// `flows` admissions two ways — sealed into a snapshot, and as a raw
+/// journal — and time a cold restart from each.
+fn recovery_row(flows: u64) -> RecoveryRow {
+    // Gigabit links: room for the 8000-flow row (type0 reserves
+    // 50 kb/s per flow, so 100 Mb/s would cap out at 2000).
+    let (topo, route) = chain(5, Rate::from_mbps(1_000));
+    let mk = || {
+        BrokerShard::new(
+            0,
+            1,
+            &topo,
+            &BrokerConfig::default(),
+            &[(PathId(0), route.clone())],
+        )
+    };
+    let dir =
+        std::env::temp_dir().join(format!("bb-bench-recovery-{}-{flows}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Journal-only state: an empty initial snapshot, then one Admit
+    // record per flow, exactly what a crashed daemon leaves behind.
+    let mut shard = mk();
+    let (store, _) = ShardStore::open(&dir).expect("open fresh");
+    store
+        .commit_recovery(&shard.export_image(), Time::ZERO)
+        .expect("seal");
+    for k in 0..flows {
+        let req = FlowRequest {
+            flow: FlowId(k),
+            profile: type0(),
+            d_req: Nanos::from_secs(20),
+            service: ServiceKind::PerFlow,
+            path: PathId(0),
+        };
+        let plan = shard.decide(&req);
+        shard.commit(Time::ZERO, &plan).expect("fat links");
+        store
+            .append(&WalRecord::Admit {
+                now: Time::ZERO,
+                request: plan.request,
+            })
+            .expect("append");
+    }
+    store.flush().expect("flush");
+    drop(store);
+    let (replay_ms, replayed_records, resident) = time_recovery(&dir, mk);
+    assert_eq!(resident, flows, "journal replay must rebuild every flow");
+    assert_eq!(replayed_records, flows);
+
+    // The timed recovery above sealed the replayed state into a fresh
+    // snapshot with an empty journal — which is exactly the
+    // graceful-shutdown layout, so restarting again times the
+    // snapshot-only path.
+    let (snapshot_ms, snap_records, resident) = time_recovery(&dir, mk);
+    assert_eq!(resident, flows, "snapshot must carry every flow");
+    assert_eq!(snap_records, 0, "sealed recovery leaves no journal tail");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    RecoveryRow {
+        flows,
+        snapshot_ms,
+        replay_ms,
+        replayed_records,
+    }
 }
 
 fn main() {
@@ -73,7 +172,7 @@ fn main() {
         "hops", "BB compute(us)", "RSVP compute(us)", "BB total(ms)", "RSVP total(ms)"
     );
     for hops in [2usize, 5, 10, 20, 40] {
-        let (topo, route) = chain(hops);
+        let (topo, route) = chain(hops, Rate::from_mbps(100));
 
         // Measure the broker's in-memory decision cost.
         let mut broker = Broker::new(topo.clone(), BrokerConfig::default());
@@ -127,9 +226,22 @@ fn main() {
             bb_decision_ns: bb_snap,
         });
     }
+    println!("\ncrash-recovery time (bb-durable, 5-hop chain, one shard):");
+    println!("{:>8} {:>14} {:>14}", "flows", "snapshot(ms)", "replay(ms)");
+    let mut recovery = Vec::new();
+    for flows in [500u64, 2_000, 8_000] {
+        let row = recovery_row(flows);
+        println!(
+            "{:>8} {:>14.2} {:>14.2}",
+            row.flows, row.snapshot_ms, row.replay_ms
+        );
+        recovery.push(row);
+    }
+
     let report = Report {
         message_one_way_ms: MSG_MS,
         rows,
+        recovery,
     };
     std::fs::write(
         "BENCH_setup_latency.json",

@@ -238,6 +238,136 @@ pub fn check_full(
     })
 }
 
+/// Outcome of gating a `--durable` fresh run against the non-durable
+/// baseline.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DurableGateReport {
+    /// Durable run's decision throughput (decisions/s).
+    pub fresh_throughput: f64,
+    /// Non-durable baseline's decision throughput (decisions/s).
+    pub baseline_throughput: f64,
+    /// `fresh_throughput / baseline_throughput` — the durability tax.
+    pub ratio: f64,
+    /// Minimum acceptable ratio.
+    pub min_ratio: f64,
+    /// Whether the restart-recovery check reproduced the daemon's final
+    /// state.
+    pub recovery_matches: bool,
+    /// Journal records the restart check replayed.
+    pub recovery_replayed_records: f64,
+    /// Wall time of the restart (bind + recover + spawn), milliseconds.
+    pub restart_recovery_ms: f64,
+    /// Human-readable reasons the gate failed; empty means pass.
+    pub failures: Vec<String>,
+}
+
+impl DurableGateReport {
+    /// True when no gate condition failed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Gates a `--durable` fresh run against the checked-in **non-durable**
+/// baseline. The gate fails when:
+///
+/// * the workload configurations differ (same rule as [`check_full`]);
+/// * the fresh run is not `verified: true` (serial-equivalence check,
+///   with the restart-recovery verdict folded in by `bb-loadgen`);
+/// * the report has no `durable` row — the run was not actually
+///   durable, so it gates nothing;
+/// * the row's `recovery_matches` is not `true` — a restart from the
+///   data directory failed to reproduce the daemon's final state;
+/// * throughput fell below `min_ratio` of the **non-durable** baseline
+///   — group commit is supposed to amortize the fsyncs; if durability
+///   costs more than the margin, the journal is on the hot path.
+///
+/// # Errors
+///
+/// Returns `Err` when either report is structurally unusable, distinct
+/// from a well-formed report that merely fails the gate.
+pub fn check_durable(
+    fresh: &Value,
+    baseline: &Value,
+    min_ratio: f64,
+) -> Result<DurableGateReport, String> {
+    let mut failures = Vec::new();
+
+    for field in CONFIG_FIELDS {
+        let f = number(fresh, field).map_err(|e| format!("fresh: {e}"))?;
+        let b = number(baseline, field).map_err(|e| format!("baseline: {e}"))?;
+        if f != b {
+            failures.push(format!(
+                "config drift on `{field}`: fresh ran {f}, baseline was produced with {b}"
+            ));
+        }
+    }
+
+    match fresh.field("verified") {
+        Ok(Value::Bool(true)) => {}
+        Ok(Value::Bool(false)) => failures.push(
+            "fresh run failed verification: daemon admissions diverged from the serial reference \
+             (or the restart-recovery check failed)"
+                .to_string(),
+        ),
+        Ok(_) => {
+            failures.push("fresh run has no verification verdict: rerun with --verify".to_string())
+        }
+        Err(e) => return Err(format!("fresh: bad `verified`: {e}")),
+    }
+
+    let mut recovery_matches = false;
+    let mut recovery_replayed_records = 0.0;
+    let mut restart_recovery_ms = 0.0;
+    match fresh.field("durable") {
+        Ok(Value::Null) | Err(_) => failures
+            .push("fresh run has no `durable` row: rerun bb-loadgen with --durable".to_string()),
+        Ok(row) => {
+            match row.field("recovery_matches") {
+                Ok(Value::Bool(true)) => recovery_matches = true,
+                _ => failures.push(
+                    "restart-recovery check failed: the state recovered from the data directory \
+                     does not match the daemon's final state"
+                        .to_string(),
+                ),
+            }
+            recovery_replayed_records = number(row, "recovery_replayed_records").unwrap_or(0.0);
+            restart_recovery_ms = number(row, "restart_recovery_ms").unwrap_or(0.0);
+        }
+    }
+
+    let fresh_throughput =
+        number(fresh, "throughput_decisions_per_s").map_err(|e| format!("fresh: {e}"))?;
+    let baseline_throughput =
+        number(baseline, "throughput_decisions_per_s").map_err(|e| format!("baseline: {e}"))?;
+    if baseline_throughput <= 0.0 {
+        return Err(format!(
+            "baseline throughput is {baseline_throughput}; regenerate BENCH_loadgen.json"
+        ));
+    }
+    let ratio = fresh_throughput / baseline_throughput;
+    if ratio < min_ratio {
+        failures.push(format!(
+            "durability tax too high: {fresh_throughput:.0} decisions/s is {:.0}% of the \
+             {baseline_throughput:.0} non-durable baseline (floor: {:.0}%)",
+            ratio * 100.0,
+            min_ratio * 100.0
+        ));
+    }
+
+    Ok(DurableGateReport {
+        fresh_throughput,
+        baseline_throughput,
+        ratio,
+        min_ratio,
+        recovery_matches,
+        recovery_replayed_records,
+        restart_recovery_ms,
+        failures,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,5 +510,66 @@ mod tests {
         let fresh = serde::json::parse(r#"{"pods": 64}"#).unwrap();
         let base = report(34_000.0, "true", 1);
         assert!(check(&fresh, &base, DEFAULT_MIN_RATIO).is_err());
+    }
+
+    fn durable_report(throughput: f64, verified: &str, durable: &str) -> Value {
+        serde::json::parse(&format!(
+            r#"{{
+              "pods": 64, "hops": 5, "clients": 8, "requests_per_client": 2000,
+              "offered_rate_per_client_hz": 8000.0, "seed": 1,
+              "throughput_decisions_per_s": {throughput},
+              "setup_latency_p99_us": 4000.0,
+              "path_cache_hit_rate": 0.7,
+              "verified": {verified},
+              "durable": {durable}
+            }}"#
+        ))
+        .expect("literal parses")
+    }
+
+    const DURABLE_ROW: &str = r#"{
+        "wal_flush_ms": 5, "snapshot_every": 10000,
+        "fsync_count": 40, "snapshot_bytes": 120000,
+        "restart_recovery_ms": 55.0,
+        "recovery_replayed_records": 123,
+        "recovered_resident_flows": 960,
+        "recovery_matches": true
+    }"#;
+
+    #[test]
+    fn durable_gate_passes_within_the_throughput_margin() {
+        let fresh = durable_report(25_000.0, "true", DURABLE_ROW);
+        let base = report(34_000.0, "true", 1);
+        let verdict = check_durable(&fresh, &base, DEFAULT_MIN_RATIO).unwrap();
+        assert!(verdict.passed(), "{:?}", verdict.failures);
+        assert!(verdict.recovery_matches);
+        assert!((verdict.recovery_replayed_records - 123.0).abs() < 1e-9);
+        assert!((verdict.ratio - 25.0 / 34.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn durable_gate_fails_on_heavy_tax_missing_row_or_recovery_mismatch() {
+        let base = report(34_000.0, "true", 1);
+
+        let slow = durable_report(10_000.0, "true", DURABLE_ROW);
+        let verdict = check_durable(&slow, &base, DEFAULT_MIN_RATIO).unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("durability tax"));
+
+        let rowless = report(30_000.0, "true", 1);
+        let verdict = check_durable(&rowless, &base, DEFAULT_MIN_RATIO).unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("--durable"));
+
+        let mismatched_row =
+            DURABLE_ROW.replace("\"recovery_matches\": true", "\"recovery_matches\": false");
+        let mismatch = durable_report(30_000.0, "false", &mismatched_row);
+        let verdict = check_durable(&mismatch, &base, DEFAULT_MIN_RATIO).unwrap();
+        assert!(!verdict.passed());
+        assert!(!verdict.recovery_matches);
+        assert!(verdict
+            .failures
+            .iter()
+            .any(|f| f.contains("restart-recovery check failed")));
     }
 }

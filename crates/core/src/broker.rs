@@ -37,11 +37,17 @@ use crate::admission::aggregate::{plan_join, plan_leave, ClassSpec, JoinPlan};
 use crate::admission::plan::{AdmissionPlan, PlanAction, PlanIntent};
 use crate::admission::{mixed, rate_based};
 use crate::contingency::{bounding_period, ContingencyPolicy, ContingencySet, Grant};
-use crate::mib::{FlowMib, FlowRecord, FlowService, NodeMib, PathId, PathMib, PathSummary};
+use crate::mib::{
+    FlowMib, FlowRecord, FlowService, LinkRef, NodeMib, PathId, PathMib, PathSummary,
+};
+use crate::persist::{
+    BrokerImage, EdfEntryImage, FlowRecordImage, FlowSlotImage, LinkImage, MacroImage,
+    MacroSlotImage,
+};
 use crate::policy::Policy;
 use crate::routing::RoutingModule;
 use crate::signaling::{FlowRequest, Reject, Reservation, ServiceKind};
-use crate::store::{Interner, MacroIdx, MacroTag, Slab};
+use crate::store::{Interner, MacroIdx, MacroTag, RawSlot, Slab};
 
 /// Macroflow identifiers live in the top half of the `FlowId` space so
 /// they can never collide with caller-chosen microflow ids.
@@ -106,7 +112,7 @@ impl MacroState {
 }
 
 /// Counters for reporting and the scalability benches.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct BrokerStats {
     /// Requests received.
     pub requested: u64,
@@ -440,6 +446,175 @@ impl Broker {
             macroflows: self.macroflows.len() as u64,
             macroflow_slots: self.macroflows.slot_count() as u64,
             paths: self.paths.len() as u64,
+        }
+    }
+
+    /// Exports the broker's full dynamic state as a serializable
+    /// [`BrokerImage`]: link reservation tables, the flow and macroflow
+    /// arenas with generation counters and free lists intact, the
+    /// `(path × class)` macroflow registry, the macroflow id cursor,
+    /// and the admission counters. Deterministic: two brokers that
+    /// applied the same operation sequence export equal images.
+    ///
+    /// Derived state — path summary caches, epoch stamps, interners —
+    /// is *not* exported; [`Broker::restore_image`] rebuilds or
+    /// cold-starts it.
+    #[must_use]
+    pub fn export_image(&self) -> BrokerImage {
+        let links = (0..self.nodes.link_count())
+            .map(|i| {
+                let link = self.nodes.link(LinkRef(i));
+                LinkImage {
+                    reserved: link.reserved(),
+                    edf: link
+                        .edf_classes()
+                        .map(|(d, c)| EdfEntryImage::from_class(d, &c))
+                        .collect(),
+                }
+            })
+            .collect();
+        let (raw_flows, flow_free) = self.flows.export_raw();
+        let flow_slots = raw_flows
+            .into_iter()
+            .map(|slot| match slot {
+                RawSlot::Vacant { next_generation } => FlowSlotImage::Vacant { next_generation },
+                RawSlot::Occupied {
+                    generation,
+                    value: (id, record),
+                } => FlowSlotImage::Occupied {
+                    generation,
+                    flow: id.0,
+                    record: FlowRecordImage::from_record(&record),
+                },
+            })
+            .collect();
+        let (raw_macros, macro_free) = self.macroflows.export_raw();
+        let macro_slots = raw_macros
+            .into_iter()
+            .map(|slot| match slot {
+                RawSlot::Vacant { next_generation } => MacroSlotImage::Vacant { next_generation },
+                RawSlot::Occupied { generation, value } => MacroSlotImage::Occupied {
+                    generation,
+                    state: MacroImage {
+                        id: value.id.0,
+                        class: value.class,
+                        path: value.path,
+                        profile: value.profile,
+                        reserved: value.reserved,
+                        members: value.members,
+                        grants: value.contingency.grants().to_vec(),
+                        dissolving: value.dissolving,
+                    },
+                },
+            })
+            .collect();
+        BrokerImage {
+            links,
+            flow_slots,
+            flow_free,
+            macro_slots,
+            macro_free,
+            macro_registry: self
+                .macro_slots
+                .iter()
+                .map(|slot| slot.map(|idx| idx.to_bits()))
+                .collect(),
+            next_macro: self.next_macro,
+            stats: self.stats,
+        }
+    }
+
+    /// Overwrites the broker's dynamic state from a snapshot image.
+    ///
+    /// The broker must have been constructed with the **same topology,
+    /// routes, and configuration** as the one that exported the image:
+    /// link rows, path rows, and class rows are positional. After
+    /// restore, every handle and wire id resolves exactly as it did in
+    /// the original; summary caches start cold and are recomputed on
+    /// first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image's link or registry dimensions do not match
+    /// this broker's (snapshot from a different domain), or when it
+    /// references a service class this broker does not offer.
+    pub fn restore_image(&mut self, image: &BrokerImage) {
+        assert_eq!(
+            image.links.len(),
+            self.nodes.link_count(),
+            "snapshot link table does not match the broker's topology"
+        );
+        for (row, link_image) in image.links.iter().enumerate() {
+            self.nodes.link_mut(LinkRef(row)).restore_dynamic(
+                link_image.reserved,
+                link_image.edf.iter().map(EdfEntryImage::to_entry),
+            );
+        }
+        let flow_slots = image
+            .flow_slots
+            .iter()
+            .map(|slot| match slot {
+                FlowSlotImage::Vacant { next_generation } => RawSlot::Vacant {
+                    next_generation: *next_generation,
+                },
+                FlowSlotImage::Occupied {
+                    generation,
+                    flow,
+                    record,
+                } => RawSlot::Occupied {
+                    generation: *generation,
+                    value: (FlowId(*flow), record.to_record()),
+                },
+            })
+            .collect();
+        self.flows = FlowMib::from_raw(flow_slots, image.flow_free.clone());
+        let macro_slots = image
+            .macro_slots
+            .iter()
+            .map(|slot| match slot {
+                MacroSlotImage::Vacant { next_generation } => RawSlot::Vacant {
+                    next_generation: *next_generation,
+                },
+                MacroSlotImage::Occupied { generation, state } => {
+                    let class_row = self
+                        .class_interner
+                        .resolve(u64::from(state.class))
+                        .expect("snapshot references a service class this broker does not offer");
+                    RawSlot::Occupied {
+                        generation: *generation,
+                        value: MacroState {
+                            id: FlowId(state.id),
+                            class: state.class,
+                            class_row,
+                            path: state.path,
+                            profile: state.profile,
+                            reserved: state.reserved,
+                            members: state.members,
+                            contingency: ContingencySet::from_grants(state.grants.iter().copied()),
+                            dissolving: state.dissolving,
+                        },
+                    }
+                }
+            })
+            .collect();
+        self.macroflows = Slab::from_raw(macro_slots, image.macro_free.clone());
+        self.macro_interner =
+            Interner::from_entries(self.macroflows.iter().map(|(idx, m)| (m.id.0, idx)));
+        self.sync_dense_tables();
+        assert_eq!(
+            image.macro_registry.len(),
+            self.macro_slots.len(),
+            "snapshot macroflow registry does not match the broker's path × class grid"
+        );
+        self.macro_slots = image
+            .macro_registry
+            .iter()
+            .map(|slot| slot.map(MacroIdx::from_bits))
+            .collect();
+        self.next_macro = image.next_macro;
+        self.stats = image.stats;
+        for slot in &self.summaries {
+            *slot.write() = None;
         }
     }
 

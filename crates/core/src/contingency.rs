@@ -33,7 +33,7 @@ pub enum ContingencyPolicy {
 }
 
 /// One active contingency grant on a macroflow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Grant {
     /// Extra bandwidth held.
     pub amount: Rate,
@@ -159,6 +159,24 @@ impl ContingencySet {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.grants.is_empty()
+    }
+
+    /// The active grants, in grant order — exported by MIB snapshots.
+    #[must_use]
+    pub fn grants(&self) -> &[Grant] {
+        &self.grants
+    }
+
+    /// Rebuilds a set from snapshotted grants, preserving order (order
+    /// matters only for image-equality checks, not semantics).
+    /// Zero-amount grants are dropped, mirroring [`ContingencySet::add`].
+    #[must_use]
+    pub fn from_grants(grants: impl IntoIterator<Item = Grant>) -> Self {
+        let mut set = Self::new();
+        for g in grants {
+            set.add(g);
+        }
+        set
     }
 }
 

@@ -39,6 +39,7 @@ pub mod edge_model;
 pub mod hierarchy;
 pub mod intserv;
 pub mod mib;
+pub mod persist;
 pub mod policy;
 pub mod routing;
 pub mod shard;
@@ -48,6 +49,7 @@ pub mod store;
 pub use admission::plan::{AdmissionPlan, PlanAction, PlanIntent};
 pub use broker::{Broker, BrokerConfig};
 pub use mib::{FlowMib, NodeMib, PathId, PathMib};
+pub use persist::BrokerImage;
 pub use shard::{build_shards, plan_shards, shard_of_path, BrokerShard};
 pub use signaling::{FlowRequest, Reject, Reservation, ServiceKind};
 pub use store::{FlowIdx, Interner, LinkIdx, MacroIdx, PathIdx, Slab};

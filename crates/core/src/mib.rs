@@ -205,6 +205,37 @@ impl LinkQos {
         self.edf.keys().copied()
     }
 
+    /// The link's delay-class aggregates in ascending delay order —
+    /// the dynamic state a MIB snapshot captures alongside
+    /// [`LinkQos::reserved`].
+    pub fn edf_classes(&self) -> impl Iterator<Item = (Nanos, EdfClass)> + '_ {
+        self.edf.iter().map(|(d, c)| (*d, *c))
+    }
+
+    /// Overwrites the link's dynamic reservation state from a snapshot
+    /// image: the reserved total and the full delay-class table. Static
+    /// parameters (capacity, scheduler kind, Ψ, π, packet bound) are
+    /// untouched — they come from the topology the broker was rebuilt
+    /// with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the restored total exceeds capacity (image from a
+    /// different topology).
+    pub fn restore_dynamic(
+        &mut self,
+        reserved: Rate,
+        edf: impl IntoIterator<Item = (Nanos, EdfClass)>,
+    ) {
+        assert!(
+            reserved <= self.capacity,
+            "snapshot restores {reserved} onto a link of capacity {}",
+            self.capacity
+        );
+        self.reserved = reserved;
+        self.edf = edf.into_iter().collect();
+    }
+
     /// Number of distinct delay classes (the `M` of the Figure-4
     /// complexity bound).
     #[must_use]
@@ -825,6 +856,28 @@ impl FlowMib {
     /// Iterates over all records.
     pub fn iter(&self) -> impl Iterator<Item = (&FlowId, &FlowRecord)> {
         self.arena.iter().map(|(_, entry)| (&entry.0, &entry.1))
+    }
+
+    /// Exports the arena's raw layout (slots with generations, free
+    /// list) for a MIB snapshot. The interner is not exported: every
+    /// occupied slot carries its wire id, so [`FlowMib::from_raw`]
+    /// rebuilds the translation table losslessly.
+    #[must_use]
+    pub fn export_raw(&self) -> (Vec<crate::store::RawSlot<(FlowId, FlowRecord)>>, Vec<u32>) {
+        self.arena.export_raw()
+    }
+
+    /// Rebuilds the base from an [`FlowMib::export_raw`] image,
+    /// re-interning every occupied slot's wire id to its original
+    /// dense handle (generations intact).
+    #[must_use]
+    pub fn from_raw(
+        slots: Vec<crate::store::RawSlot<(FlowId, FlowRecord)>>,
+        free: Vec<u32>,
+    ) -> Self {
+        let arena = Slab::from_raw(slots, free);
+        let interner = Interner::from_entries(arena.iter().map(|(idx, (id, _))| (id.0, idx)));
+        FlowMib { arena, interner }
     }
 }
 

@@ -1,0 +1,305 @@
+//! Serializable snapshot images of the broker's MIBs.
+//!
+//! The paper's architecture concentrates **all** of a domain's QoS
+//! reservation state in the broker (§2); core routers keep none. That
+//! makes the broker process the single point whose crash would void
+//! every admitted flow's guarantee — so the dense stores must be
+//! exportable to (and rebuildable from) stable storage. This module
+//! defines the image types a snapshot serializes:
+//!
+//! * [`BrokerImage`] — the full dynamic state of one [`crate::Broker`]:
+//!   per-link reservation totals and EDF class tables, the flow arena
+//!   (slots, generations, free list), the macroflow arena and its
+//!   `(path × class)` registry, the macroflow id allocator cursor, and
+//!   the admission counters.
+//! * The per-store images ([`LinkImage`], [`FlowSlotImage`],
+//!   [`MacroSlotImage`], …), each a plain serde-derivable struct.
+//!
+//! Design constraints the shapes encode:
+//!
+//! * **Generation counters are part of the state.** Arena slots are
+//!   exported vacant-or-occupied with their generations and the free
+//!   list verbatim, so a restored broker mints exactly the handles the
+//!   original would have — stale handles keep missing, and the
+//!   recovered arena's layout is byte-equivalent (which is what lets
+//!   the recovery-equivalence test compare images with `==`).
+//! * **Interners are not serialized.** Every occupied slot carries its
+//!   wire id, so the wire-id → handle tables are rebuilt losslessly on
+//!   import; a `HashMap` has no canonical serialized order anyway.
+//! * **`u128` aggregates are split.** The vendored serde speaks `u64`
+//!   at widest, so [`crate::mib::EdfClass`]'s 128-bit prefix sums
+//!   travel as `(hi, lo)` pairs.
+//! * **Derived state is recomputed.** Path summary caches, epoch
+//!   stamps, and dense class rows are rebuilt or start cold: none of
+//!   them is reservation state, and no in-flight `AdmissionPlan`
+//!   survives a restart to observe the difference.
+
+use qos_units::{Nanos, Rate};
+use serde::{Deserialize, Serialize};
+use vtrs::profile::TrafficProfile;
+
+use crate::broker::BrokerStats;
+use crate::contingency::Grant;
+use crate::mib::{EdfClass, FlowRecord, FlowService, PathId};
+use crate::store::MacroIdx;
+
+/// Splits a `u128` aggregate into `(hi, lo)` words for serialization.
+#[must_use]
+pub fn split_u128(v: u128) -> (u64, u64) {
+    ((v >> 64) as u64, v as u64)
+}
+
+/// Reassembles a `u128` from its `(hi, lo)` words.
+#[must_use]
+pub fn join_u128(hi: u64, lo: u64) -> u128 {
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+/// One EDF delay-class aggregate of a link, serialization form of
+/// `(Nanos, EdfClass)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdfEntryImage {
+    /// The class's delay value `d`.
+    pub delay: Nanos,
+    /// Σ r over reservations of this delay.
+    pub rate: Rate,
+    /// High word of `Σ r·d` (bps·ns).
+    pub rate_delay_hi: u64,
+    /// Low word of `Σ r·d`.
+    pub rate_delay_lo: u64,
+    /// High word of `Σ L · 10⁹`.
+    pub lmax_hi: u64,
+    /// Low word of `Σ L · 10⁹`.
+    pub lmax_lo: u64,
+    /// Reservations in the class.
+    pub count: u64,
+}
+
+impl EdfEntryImage {
+    /// Captures one `(delay, class)` aggregate.
+    #[must_use]
+    pub fn from_class(delay: Nanos, class: &EdfClass) -> Self {
+        let (rate_delay_hi, rate_delay_lo) = split_u128(class.rate_delay);
+        let (lmax_hi, lmax_lo) = split_u128(class.lmax_scaled);
+        EdfEntryImage {
+            delay,
+            rate: class.rate,
+            rate_delay_hi,
+            rate_delay_lo,
+            lmax_hi,
+            lmax_lo,
+            count: class.count,
+        }
+    }
+
+    /// Rebuilds the `(delay, class)` aggregate.
+    #[must_use]
+    pub fn to_entry(&self) -> (Nanos, EdfClass) {
+        (
+            self.delay,
+            EdfClass {
+                rate: self.rate,
+                rate_delay: join_u128(self.rate_delay_hi, self.rate_delay_lo),
+                lmax_scaled: join_u128(self.lmax_hi, self.lmax_lo),
+                count: self.count,
+            },
+        )
+    }
+}
+
+/// Dynamic reservation state of one link (static parameters come from
+/// the topology the restoring broker is built with).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkImage {
+    /// Total reserved bandwidth, contingency included.
+    pub reserved: Rate,
+    /// EDF class table in ascending delay order.
+    pub edf: Vec<EdfEntryImage>,
+}
+
+/// How a snapshotted flow is served, with dense handles flattened to
+/// their bit representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowServiceImage {
+    /// Dedicated per-flow reservation.
+    PerFlow {
+        /// Reserved rate.
+        rate: Rate,
+        /// Delay parameter at delay-based hops.
+        delay: Nanos,
+    },
+    /// Member of a macroflow.
+    ClassMember {
+        /// The macroflow handle's `Handle::to_bits` image.
+        macroflow: u64,
+    },
+}
+
+/// One flow record of the flow MIB.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRecordImage {
+    /// Declared traffic profile.
+    pub profile: TrafficProfile,
+    /// End-to-end delay requirement.
+    pub d_req: Nanos,
+    /// Path the flow is routed over.
+    pub path: PathId,
+    /// Granted service.
+    pub service: FlowServiceImage,
+}
+
+impl FlowRecordImage {
+    /// Captures a flow record.
+    #[must_use]
+    pub fn from_record(record: &FlowRecord) -> Self {
+        FlowRecordImage {
+            profile: record.profile,
+            d_req: record.d_req,
+            path: record.path,
+            service: match record.service {
+                FlowService::PerFlow { rate, delay } => FlowServiceImage::PerFlow { rate, delay },
+                FlowService::ClassMember { macroflow } => FlowServiceImage::ClassMember {
+                    macroflow: macroflow.to_bits(),
+                },
+            },
+        }
+    }
+
+    /// Rebuilds the flow record.
+    #[must_use]
+    pub fn to_record(&self) -> FlowRecord {
+        FlowRecord {
+            profile: self.profile,
+            d_req: self.d_req,
+            path: self.path,
+            service: match self.service {
+                FlowServiceImage::PerFlow { rate, delay } => FlowService::PerFlow { rate, delay },
+                FlowServiceImage::ClassMember { macroflow } => FlowService::ClassMember {
+                    macroflow: MacroIdx::from_bits(macroflow),
+                },
+            },
+        }
+    }
+}
+
+/// One slot of the flow arena, generation counters intact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowSlotImage {
+    /// Vacant slot awaiting reuse.
+    Vacant {
+        /// Generation its next occupant will be minted at.
+        next_generation: u32,
+    },
+    /// Occupied slot.
+    Occupied {
+        /// Generation of the live handle.
+        generation: u32,
+        /// The flow's wire id.
+        flow: u64,
+        /// The flow record.
+        record: FlowRecordImage,
+    },
+}
+
+/// One macroflow's control state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacroImage {
+    /// The macroflow's wire id (top-half `FlowId` space).
+    pub id: u64,
+    /// Wire-level service class number (the dense class row is
+    /// re-interned on restore).
+    pub class: u32,
+    /// Path the macroflow is pinned to.
+    pub path: PathId,
+    /// Aggregate member profile.
+    pub profile: TrafficProfile,
+    /// Reserved rate `r^α` (excluding contingency).
+    pub reserved: Rate,
+    /// Member microflows.
+    pub members: u64,
+    /// Active contingency grants, in grant order.
+    pub grants: Vec<Grant>,
+    /// Whether the macroflow is dissolving.
+    pub dissolving: bool,
+}
+
+/// One slot of the macroflow arena.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MacroSlotImage {
+    /// Vacant slot awaiting reuse.
+    Vacant {
+        /// Generation its next occupant will be minted at.
+        next_generation: u32,
+    },
+    /// Occupied slot.
+    Occupied {
+        /// Generation of the live handle.
+        generation: u32,
+        /// The macroflow's control state.
+        state: MacroImage,
+    },
+}
+
+/// The full dynamic state of one broker — everything
+/// [`crate::Broker::restore_image`] needs to rebuild the MIBs exactly,
+/// given the same topology, routes, and configuration the original was
+/// constructed with.
+///
+/// Equality is meaningful: two brokers that evolved through the same
+/// operation sequence export equal images (arena layouts, free lists,
+/// and EDF tables are all deterministic), which is the property the
+/// recovery-equivalence test checks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrokerImage {
+    /// Per-link dynamic state, indexed by link row.
+    pub links: Vec<LinkImage>,
+    /// Flow-arena slots in slot order.
+    pub flow_slots: Vec<FlowSlotImage>,
+    /// Flow-arena LIFO free list.
+    pub flow_free: Vec<u32>,
+    /// Macroflow-arena slots in slot order.
+    pub macro_slots: Vec<MacroSlotImage>,
+    /// Macroflow-arena LIFO free list.
+    pub macro_free: Vec<u32>,
+    /// The dense `(path row × class row)` → serving-macroflow registry,
+    /// handles as `Handle::to_bits` images.
+    pub macro_registry: Vec<Option<u64>>,
+    /// Next macroflow wire id to mint (shard-offset cursor).
+    pub next_macro: u64,
+    /// Admission counters.
+    pub stats: BrokerStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u128_words_roundtrip() {
+        for v in [
+            0u128,
+            1,
+            u128::from(u64::MAX),
+            u128::MAX,
+            1 << 64,
+            (1 << 100) + 17,
+        ] {
+            let (hi, lo) = split_u128(v);
+            assert_eq!(join_u128(hi, lo), v);
+        }
+    }
+
+    #[test]
+    fn edf_entry_roundtrips_wide_aggregates() {
+        let class = EdfClass {
+            rate: Rate::from_bps(123_456),
+            rate_delay: (1 << 90) + 42,
+            lmax_scaled: (1 << 70) + 7,
+            count: 3,
+        };
+        let img = EdfEntryImage::from_class(Nanos::from_millis(240), &class);
+        let json = serde::json::to_string(&img);
+        let back: EdfEntryImage = serde::json::from_str(&json).unwrap();
+        assert_eq!(back.to_entry(), (Nanos::from_millis(240), class));
+    }
+}

@@ -150,6 +150,22 @@ impl BrokerShard {
         self.broker.commit(now, plan)
     }
 
+    /// Replays a request whose `path` field is already **shard-local**
+    /// (the form a committed [`crate::AdmissionPlan`] carries, and
+    /// therefore the form a commit journal records). Runs the full
+    /// monolithic decide+commit against current state — the
+    /// serial-equivalence property of the two-phase pipeline is exactly
+    /// what makes this the correct recovery replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns the broker's [`Reject`] cause; a replayed rejection is
+    /// the expected outcome for journaled rejects and is not an error
+    /// of the replay itself.
+    pub fn replay_request(&mut self, now: Time, req: &FlowRequest) -> Result<Reservation, Reject> {
+        self.broker.request(now, req)
+    }
+
     /// Releases a flow admitted by this shard.
     ///
     /// # Errors
@@ -187,6 +203,25 @@ impl BrokerShard {
     #[must_use]
     pub fn stats(&self) -> &crate::broker::BrokerStats {
         self.broker.stats()
+    }
+
+    /// Exports this shard's broker state as a snapshot image — see
+    /// [`Broker::export_image`].
+    #[must_use]
+    pub fn export_image(&self) -> crate::persist::BrokerImage {
+        self.broker.export_image()
+    }
+
+    /// Restores this shard's broker state from a snapshot image taken
+    /// by a shard built over the same topology, routes, and
+    /// configuration — see [`Broker::restore_image`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Broker::restore_image`], on a dimensionally mismatched
+    /// image.
+    pub fn restore_image(&mut self, image: &crate::persist::BrokerImage) {
+        self.broker.restore_image(image);
     }
 
     /// The global path ids served here (unordered).

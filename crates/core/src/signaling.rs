@@ -26,7 +26,7 @@ pub enum ServiceKind {
 }
 
 /// A new-flow service request, as sent by an ingress router to the BB.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FlowRequest {
     /// Caller-chosen flow identity.
     pub flow: FlowId,

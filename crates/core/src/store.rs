@@ -52,6 +52,28 @@ enum Slot<T> {
     Occupied { generation: u32, value: T },
 }
 
+/// The exportable image of one slab slot: the persistence view of a
+/// slot with its generation counter intact, so a slab rebuilt from raw
+/// slots resolves (and rejects) exactly the same handles as the
+/// original. Produced by [`Slab::export_raw`], consumed by
+/// [`Slab::from_raw`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawSlot<T> {
+    /// A vacant slot, carrying the generation its next occupant will
+    /// be minted at.
+    Vacant {
+        /// Generation the next [`Slab::insert`] reusing this slot gets.
+        next_generation: u32,
+    },
+    /// An occupied slot.
+    Occupied {
+        /// Generation of the live handle addressing this slot.
+        generation: u32,
+        /// The stored value.
+        value: T,
+    },
+}
+
 /// A typed slab arena: contiguous slots, O(1) insert/remove/lookup by
 /// generational handle, vacant slots recycled LIFO.
 pub struct Slab<M, T> {
@@ -205,6 +227,80 @@ impl<M, T> Slab<M, T> {
     pub fn handles(&self) -> Vec<Handle<M>> {
         self.iter().map(|(h, _)| h).collect()
     }
+
+    /// Exports the arena's full layout — every slot (vacant ones
+    /// included, with their pending generations) plus the LIFO free
+    /// list — so a snapshot can reconstruct a byte-for-byte equivalent
+    /// arena with [`Slab::from_raw`].
+    #[must_use]
+    pub fn export_raw(&self) -> (Vec<RawSlot<T>>, Vec<u32>)
+    where
+        T: Clone,
+    {
+        let slots = self
+            .slots
+            .iter()
+            .map(|slot| match slot {
+                Slot::Vacant { next_generation } => RawSlot::Vacant {
+                    next_generation: *next_generation,
+                },
+                Slot::Occupied { generation, value } => RawSlot::Occupied {
+                    generation: *generation,
+                    value: value.clone(),
+                },
+            })
+            .collect();
+        (slots, self.free.clone())
+    }
+
+    /// Rebuilds an arena from an [`Slab::export_raw`] image. Slot
+    /// order, generations, and free-list order are preserved, so every
+    /// handle minted by the original arena resolves identically here —
+    /// including stale handles, which still miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image is internally inconsistent (a free-list
+    /// entry that is out of range, points at an occupied slot, or a
+    /// vacant slot missing from the free list). Images come from
+    /// checksummed snapshots, so an inconsistency is a logic bug, not
+    /// disk corruption.
+    #[must_use]
+    pub fn from_raw(raw_slots: Vec<RawSlot<T>>, free: Vec<u32>) -> Self {
+        let mut on_free_list = vec![false; raw_slots.len()];
+        for &index in &free {
+            let slot = on_free_list
+                .get_mut(index as usize)
+                .expect("slab image: free-list entry out of range");
+            assert!(!*slot, "slab image: duplicate free-list entry {index}");
+            *slot = true;
+        }
+        let mut live = 0usize;
+        let slots: Vec<Slot<T>> = raw_slots
+            .into_iter()
+            .zip(on_free_list)
+            .map(|(raw, freed)| match raw {
+                RawSlot::Vacant { next_generation } => {
+                    assert!(freed, "slab image: vacant slot missing from free list");
+                    Slot::Vacant { next_generation }
+                }
+                RawSlot::Occupied { generation, value } => {
+                    assert!(
+                        !freed,
+                        "slab image: free-list entry points at occupied slot"
+                    );
+                    live += 1;
+                    Slot::Occupied { generation, value }
+                }
+            })
+            .collect();
+        Slab {
+            slots,
+            free,
+            live,
+            _tag: PhantomData,
+        }
+    }
 }
 
 /// The wire-id → dense-value translation table.
@@ -261,6 +357,25 @@ impl<V: Copy> Interner<V> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// All `(wire id, dense value)` bindings, in unspecified order.
+    /// Snapshot export sorts these before serializing so images are
+    /// deterministic.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(u64, V)> {
+        self.map
+            .iter()
+            .map(|(&wire, &value)| (wire, value))
+            .collect()
+    }
+
+    /// Rebuilds a table from exported bindings.
+    #[must_use]
+    pub fn from_entries(entries: impl IntoIterator<Item = (u64, V)>) -> Self {
+        Interner {
+            map: entries.into_iter().collect(),
+        }
     }
 }
 

@@ -1,0 +1,63 @@
+//! CRC-32 (IEEE 802.3 polynomial) for journal and snapshot framing.
+//!
+//! Hand-rolled table-driven implementation — the workspace is fully
+//! self-contained (no crates-registry access), and a 256-entry table is
+//! all a record-integrity check needs. This is the reflected CRC-32
+//! every `cksum`-family tool speaks (polynomial `0xEDB88320`, initial
+//! value and final XOR `0xFFFF_FFFF`), so journal frames can be
+//! cross-checked with standard tooling.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `data`.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for the ASCII digits "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"journal record payload");
+        let mut flipped = b"journal record payload".to_vec();
+        flipped[5] ^= 0x01;
+        assert_ne!(crc32(&flipped), base);
+    }
+}

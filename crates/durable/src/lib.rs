@@ -1,0 +1,46 @@
+//! `bb-durable` — write-ahead commit journal, MIB snapshots, and crash
+//! recovery for the bandwidth broker.
+//!
+//! The paper's architecture (§2) concentrates **all** of a domain's QoS
+//! reservation state in the bandwidth broker's MIBs; core routers keep
+//! none. The flip side of that core-stateless bet is that a broker
+//! crash would silently void every admitted flow's guarantee — so the
+//! broker's state must be recoverable. This crate makes it so, without
+//! touching the admission hot path's asymptotics:
+//!
+//! * **Write-ahead commit journal** ([`record`], [`store`]) — the
+//!   two-phase pipeline serializes every state mutation through a
+//!   single commit point per shard, which is the natural WAL hook: the
+//!   worker appends one [`WalRecord`] per applied mutation (admission,
+//!   release, edge report, due timer sweep), length-prefixed and
+//!   CRC-32-checksummed ([`crc`]).
+//! * **Group commit** — appends buffer in memory; a flusher thread
+//!   fsyncs on a configurable interval, so the commit path pays a
+//!   memcpy and the fsync amortizes over the whole batch. Crash loss is
+//!   bounded by the flush interval and surfaces as a torn journal tail,
+//!   which recovery discards and reports.
+//! * **Snapshots** — periodic images of the dense MIB stores
+//!   ([`bb_core::persist::BrokerImage`]: flow/macroflow arenas with
+//!   generation counters intact, link EDF tables, counters), written
+//!   atomically via temp-file + fsync + rename, with the journal
+//!   rotating to a new epoch at each snapshot.
+//! * **Recovery** ([`recovery`]) — load the latest valid snapshot,
+//!   replay the journal chain through the broker's monolithic entry
+//!   points (sound by the two-phase pipeline's serial-equivalence
+//!   property), tolerate exactly one torn record at the very tail, and
+//!   treat any other inconsistency as the hard error it is.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod record;
+pub mod recovery;
+pub mod store;
+
+pub use record::{encode_record, FrameCursor, FrameError, WalRecord, FRAME_HEADER};
+pub use recovery::{replay, RecoveryOutcome, ReplaySummary};
+pub use store::{
+    read_snapshot, snap_path, wal_path, write_snapshot, DurableError, FsyncSample, RotateStats,
+    ShardStore, SnapMeta,
+};

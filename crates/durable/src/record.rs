@@ -1,0 +1,292 @@
+//! Journal records and their on-disk framing.
+//!
+//! The journal is a **command log of inputs**: every record captures a
+//! state-mutating operation at the broker's serialized commit point,
+//! with the explicit timestamp the live broker applied it at. Recovery
+//! replays the same inputs in the same order through the same monolithic
+//! `Broker::request`/`release`/`edge_buffer_empty`/`tick` entry points —
+//! the two-phase pipeline's serial-equivalence property (a commit is
+//! equivalent to a monolithic request at commit time) is precisely what
+//! makes replaying the request, rather than the decided plan, correct.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! ┌────────────┬────────────┬──────────────────┐
+//! │ len: u32 LE│ crc: u32 LE│ payload (len B)  │
+//! └────────────┴────────────┴──────────────────┘
+//! ```
+//!
+//! `crc` is the CRC-32 of the payload (JSON-serialized record). A frame
+//! cut short by a crash mid-write is a **torn** frame: tolerated (and
+//! discarded, with its byte count reported) at the very end of the last
+//! journal of a recovery chain, a hard error anywhere else. A frame
+//! whose payload is fully present but fails its checksum is corruption
+//! and always a hard error — append-only writes tear by truncation, so
+//! a bad checksum on a complete frame cannot be explained by a crash.
+
+use serde::{Deserialize, Serialize};
+
+use bb_core::FlowRequest;
+use qos_units::Time;
+use vtrs::packet::FlowId;
+
+use crate::crc::crc32;
+
+/// Frame header size: `len` + `crc`, both little-endian `u32`.
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on a single frame's payload (sanity guard against
+/// reading a corrupt length as an allocation size). Snapshot images of
+/// very large MIBs are the biggest frames; 256 MiB is far beyond any of
+/// them.
+pub const MAX_FRAME_PAYLOAD: usize = 256 << 20;
+
+/// One journaled state mutation, with the timestamp the live broker
+/// applied it at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// An admission decided and committed (admits **and** rejects are
+    /// journaled: rejections advance the broker's counters, and replay
+    /// must reproduce those too). The request carries the shard-local
+    /// path id, the form a committed plan records.
+    Admit {
+        /// Commit-time clock.
+        now: Time,
+        /// The admitted (or rejected) request.
+        request: FlowRequest,
+    },
+    /// A successful flow release.
+    Release {
+        /// Commit-time clock.
+        now: Time,
+        /// The released flow's wire id.
+        flow: FlowId,
+    },
+    /// An edge buffer-empty report for a macroflow.
+    Report {
+        /// Report-time clock.
+        now: Time,
+        /// The macroflow's wire id.
+        macroflow: FlowId,
+    },
+    /// A contingency-timer sweep that was due (ticks with no pending
+    /// expiry are state no-ops and are not journaled).
+    Tick {
+        /// Sweep-time clock.
+        now: Time,
+    },
+}
+
+impl WalRecord {
+    /// The clock value the record was applied at.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        match self {
+            WalRecord::Admit { now, .. }
+            | WalRecord::Release { now, .. }
+            | WalRecord::Report { now, .. }
+            | WalRecord::Tick { now } => *now,
+        }
+    }
+}
+
+/// Appends one length-prefixed, checksummed frame to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    let len = u32::try_from(payload.len()).expect("frame payload fits u32");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Serializes a record into one framed byte string.
+#[must_use]
+pub fn encode_record<T: Serialize>(record: &T) -> Vec<u8> {
+    let payload = serde::json::to_string(record);
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    encode_frame(payload.as_bytes(), &mut out);
+    out
+}
+
+/// Why a frame stream stopped short of a clean end-of-buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The final frame is incomplete — a crash tore the tail. Carries
+    /// the byte offset the valid prefix ends at and how many trailing
+    /// bytes the torn frame occupies.
+    Torn {
+        /// Offset of the first byte of the torn frame.
+        offset: usize,
+        /// Bytes from `offset` to the end of the buffer.
+        trailing: usize,
+    },
+    /// A structurally invalid frame: checksum mismatch on a complete
+    /// payload, an absurd length, or an undecodable record.
+    Corrupt {
+        /// Offset of the corrupt frame.
+        offset: usize,
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Torn { offset, trailing } => {
+                write!(f, "torn frame at byte {offset} ({trailing} trailing bytes)")
+            }
+            FrameError::Corrupt { offset, detail } => {
+                write!(f, "corrupt frame at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+/// Iterates frames of a buffer, yielding payload slices.
+pub struct FrameCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameCursor<'a> {
+    /// A cursor at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        FrameCursor { buf, pos: 0 }
+    }
+
+    /// Offset of the next unread byte — after a clean or torn stop,
+    /// the length of the valid prefix.
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// The next frame's payload: `Ok(None)` at a clean end of buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Torn`] when the remaining bytes cannot hold the
+    /// frame they start (crash-truncated tail); [`FrameError::Corrupt`]
+    /// on a checksum mismatch or an implausible length.
+    pub fn next_frame(&mut self) -> Result<Option<&'a [u8]>, FrameError> {
+        let remaining = &self.buf[self.pos..];
+        if remaining.is_empty() {
+            return Ok(None);
+        }
+        if remaining.len() < FRAME_HEADER {
+            return Err(FrameError::Torn {
+                offset: self.pos,
+                trailing: remaining.len(),
+            });
+        }
+        let len = u32::from_le_bytes(remaining[0..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(remaining[4..8].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(FrameError::Corrupt {
+                offset: self.pos,
+                detail: format!("frame length {len} exceeds the {MAX_FRAME_PAYLOAD}-byte bound"),
+            });
+        }
+        if remaining.len() < FRAME_HEADER + len {
+            return Err(FrameError::Torn {
+                offset: self.pos,
+                trailing: remaining.len(),
+            });
+        }
+        let payload = &remaining[FRAME_HEADER..FRAME_HEADER + len];
+        let actual = crc32(payload);
+        if actual != crc {
+            return Err(FrameError::Corrupt {
+                offset: self.pos,
+                detail: format!("checksum mismatch: stored {crc:#010x}, computed {actual:#010x}"),
+            });
+        }
+        self.pos += FRAME_HEADER + len;
+        Ok(Some(payload))
+    }
+}
+
+/// Decodes a frame payload into a record.
+///
+/// # Errors
+///
+/// [`FrameError::Corrupt`] when the payload is not the expected JSON
+/// shape (`offset` is supplied by the caller for the error report).
+pub fn decode_payload<T: Deserialize>(payload: &[u8], offset: usize) -> Result<T, FrameError> {
+    let text = std::str::from_utf8(payload).map_err(|e| FrameError::Corrupt {
+        offset,
+        detail: format!("payload is not UTF-8: {e}"),
+    })?;
+    serde::json::from_str(text).map_err(|e| FrameError::Corrupt {
+        offset,
+        detail: format!("payload does not decode: {e:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(ns: u64) -> WalRecord {
+        WalRecord::Tick {
+            now: Time::from_nanos(ns),
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_through_frames() {
+        let records = vec![
+            tick(1),
+            WalRecord::Release {
+                now: Time::from_nanos(2),
+                flow: FlowId(77),
+            },
+            WalRecord::Report {
+                now: Time::from_nanos(3),
+                macroflow: FlowId(1 << 63),
+            },
+        ];
+        let mut buf = Vec::new();
+        for r in &records {
+            buf.extend_from_slice(&encode_record(r));
+        }
+        let mut cursor = FrameCursor::new(&buf);
+        let mut back = Vec::new();
+        while let Some(payload) = cursor.next_frame().unwrap() {
+            back.push(decode_payload::<WalRecord>(payload, 0).unwrap());
+        }
+        assert_eq!(back, records);
+        assert_eq!(cursor.offset(), buf.len());
+    }
+
+    #[test]
+    fn truncation_is_torn_not_corrupt() {
+        let mut buf = encode_record(&tick(9));
+        buf.extend_from_slice(&encode_record(&tick(10)));
+        let first_len = encode_record(&tick(9)).len();
+        // A cut exactly at the boundary is a clean EOF; every cut
+        // strictly inside the second frame must read as torn.
+        for cut in first_len + 1..buf.len() {
+            let mut cursor = FrameCursor::new(&buf[..cut]);
+            assert!(cursor.next_frame().unwrap().is_some());
+            match cursor.next_frame() {
+                Err(FrameError::Torn { offset, .. }) => assert_eq!(offset, first_len),
+                other => panic!("cut at {cut}: expected torn tail, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_corrupt() {
+        let mut buf = encode_record(&tick(9));
+        let payload_byte = FRAME_HEADER + 2;
+        buf[payload_byte] ^= 0x40;
+        let mut cursor = FrameCursor::new(&buf);
+        assert!(matches!(
+            cursor.next_frame(),
+            Err(FrameError::Corrupt { offset: 0, .. })
+        ));
+    }
+}

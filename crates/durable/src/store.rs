@@ -1,0 +1,548 @@
+//! The per-shard durable store: epoch-numbered journals + snapshots.
+//!
+//! ## Directory layout
+//!
+//! One directory per broker shard, holding files of two kinds:
+//!
+//! ```text
+//! snap-<E>.img   state image at the *start* of epoch E
+//! wal-<E>.log    commit journal of epoch E (records after snap-<E>)
+//! ```
+//!
+//! The invariant recovery relies on: `snap-<E>` plus the journals
+//! `wal-<E>, wal-<E+1>, …` replayed in order reconstruct the live
+//! state. Rotation (a periodic snapshot) seals the current journal,
+//! advances the epoch, writes the new snapshot **atomically**
+//! (temp-file + fsync + rename + directory fsync), creates the new
+//! journal, and only then garbage-collects everything older — so a
+//! crash at any point leaves at least one complete snapshot-plus-chain
+//! on disk.
+//!
+//! ## Group commit
+//!
+//! [`ShardStore::append`] buffers into the journal's `BufWriter` and
+//! returns without syncing — the commit hot path pays a memcpy, not an
+//! fsync. A flusher (the daemon runs one thread for all shards) calls
+//! [`ShardStore::flush`] every `--wal-flush-ms`, paying one fsync for
+//! the whole batch. The durability contract is therefore
+//! *bounded-loss*: a crash can drop at most the last flush interval's
+//! records, which land on disk as a torn tail the next recovery
+//! discards (and reports).
+//!
+//! ## Recovery
+//!
+//! [`ShardStore::open`] never appends to an old journal: it reads the
+//! latest snapshot and its journal chain into a
+//! [`RecoveryOutcome`], then positions the store at a **new** epoch.
+//! The caller replays the outcome into its broker and calls
+//! [`ShardStore::commit_recovery`] with the recovered image, which
+//! writes the new epoch's snapshot and retires the old chain. Until
+//! that call, nothing on disk is modified (stray `*.tmp` files from an
+//! interrupted snapshot aside) — a crash loop cannot eat state.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use bb_core::persist::BrokerImage;
+use qos_units::Time;
+
+use crate::record::{decode_payload, encode_record, FrameCursor, FrameError, WalRecord};
+use crate::recovery::RecoveryOutcome;
+
+/// Journal file name for an epoch.
+#[must_use]
+pub fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("wal-{epoch}.log"))
+}
+
+/// Snapshot file name for an epoch.
+#[must_use]
+pub fn snap_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("snap-{epoch}.img"))
+}
+
+/// Snapshot header frame: identifies the epoch and the clock value the
+/// image was captured at (so a restarted server can resume its clock
+/// past every timer the image carries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapMeta {
+    /// Epoch this snapshot starts.
+    pub epoch: u64,
+    /// Clock value at capture.
+    pub as_of: Time,
+}
+
+/// A durable-store failure.
+#[derive(Debug)]
+pub enum DurableError {
+    /// An I/O operation failed.
+    Io {
+        /// File or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A journal or snapshot frame is structurally invalid — checksum
+    /// mismatch, undecodable payload, or a torn record somewhere torn
+    /// records cannot legitimately occur (mid-chain).
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// The frame-level failure.
+        error: FrameError,
+    },
+    /// The journal chain has a gap: an epoch between the snapshot and
+    /// the newest journal has no file.
+    MissingJournal {
+        /// The absent file.
+        path: PathBuf,
+    },
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            DurableError::Corrupt { path, error } => write!(f, "{}: {error}", path.display()),
+            DurableError::MissingJournal { path } => {
+                write!(f, "{}: journal missing from recovery chain", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl DurableError {
+    fn io(path: &Path, source: std::io::Error) -> Self {
+        DurableError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+/// One fsync's worth of group-commit accounting, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsyncSample {
+    /// Wall time the fsync took, nanoseconds.
+    pub fsync_ns: u64,
+    /// Journal bytes appended so far this epoch (all now durable).
+    pub wal_bytes: u64,
+}
+
+/// What a rotation wrote, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RotateStats {
+    /// The new epoch.
+    pub epoch: u64,
+    /// Size of the snapshot written, bytes.
+    pub snapshot_bytes: u64,
+    /// Wall time of the journal-sealing fsync, nanoseconds.
+    pub seal_fsync_ns: u64,
+}
+
+struct Inner {
+    epoch: u64,
+    /// `None` between [`ShardStore::open`] and
+    /// [`ShardStore::commit_recovery`] — appends are a contract
+    /// violation in that window.
+    wal: Option<BufWriter<File>>,
+    wal_bytes: u64,
+    dirty: bool,
+    records_since_snapshot: u64,
+    snapshot_bytes: u64,
+}
+
+/// The durable store of one broker shard. Sync: appends, flushes, and
+/// rotations serialize on an internal mutex (appends come from the
+/// shard's worker thread, flushes from the daemon's flusher thread).
+pub struct ShardStore {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl ShardStore {
+    /// Opens (creating if needed) a shard's durable directory and reads
+    /// whatever state it holds: the latest snapshot plus its journal
+    /// chain, tolerating a torn final record in the newest journal.
+    /// Leftover `*.tmp` files from an interrupted snapshot write are
+    /// deleted; nothing else on disk is touched.
+    ///
+    /// The store comes back positioned at a fresh epoch with **no
+    /// journal open**: replay the outcome into a broker, then call
+    /// [`ShardStore::commit_recovery`] with the recovered image before
+    /// appending.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; corruption anywhere it cannot be explained by a
+    /// crash-torn tail (checksum mismatch on a complete record, torn
+    /// record in a non-final journal, gap in the journal chain).
+    pub fn open(dir: &Path) -> Result<(Self, RecoveryOutcome), DurableError> {
+        fs::create_dir_all(dir).map_err(|e| DurableError::io(dir, e))?;
+        let mut snap_epochs: Vec<u64> = Vec::new();
+        let mut wal_epochs: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(dir).map_err(|e| DurableError::io(dir, e))? {
+            let entry = entry.map_err(|e| DurableError::io(dir, e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp") {
+                let _ = fs::remove_file(entry.path());
+            } else if let Some(epoch) = parse_epoch(name, "snap-", ".img") {
+                snap_epochs.push(epoch);
+            } else if let Some(epoch) = parse_epoch(name, "wal-", ".log") {
+                wal_epochs.push(epoch);
+            }
+        }
+        snap_epochs.sort_unstable();
+        wal_epochs.sort_unstable();
+
+        let snapshot_epoch = snap_epochs.last().copied();
+        let mut outcome = RecoveryOutcome {
+            image: None,
+            snapshot_epoch,
+            records: Vec::new(),
+            discarded_tail_bytes: 0,
+            max_now: None,
+            notes: Vec::new(),
+        };
+        if let Some(epoch) = snapshot_epoch {
+            let (meta, image) = read_snapshot(&snap_path(dir, epoch))?;
+            outcome.max_now = Some(meta.as_of);
+            outcome.image = Some(image);
+        }
+
+        // The journal chain: every epoch from the snapshot (or the
+        // oldest journal on a snapshot-less directory) to the newest
+        // journal, contiguous. Journals older than the snapshot are
+        // retired state awaiting garbage collection — ignored.
+        let chain_start =
+            snapshot_epoch.unwrap_or_else(|| wal_epochs.first().copied().unwrap_or(0));
+        let chain: Vec<u64> = wal_epochs
+            .iter()
+            .copied()
+            .filter(|&e| e >= chain_start)
+            .collect();
+        if let (Some(&first), Some(&last)) = (chain.first(), chain.last()) {
+            for epoch in first..=last {
+                if !chain.contains(&epoch) {
+                    return Err(DurableError::MissingJournal {
+                        path: wal_path(dir, epoch),
+                    });
+                }
+            }
+        }
+        let newest = chain.last().copied();
+        for &epoch in &chain {
+            let path = wal_path(dir, epoch);
+            let bytes = read_file(&path)?;
+            let mut cursor = FrameCursor::new(&bytes);
+            loop {
+                match cursor.next_frame() {
+                    Ok(Some(payload)) => {
+                        let rec: WalRecord =
+                            decode_payload(payload, cursor.offset()).map_err(|error| {
+                                DurableError::Corrupt {
+                                    path: path.clone(),
+                                    error,
+                                }
+                            })?;
+                        outcome.max_now = outcome.max_now.max(Some(rec.now()));
+                        outcome.records.push(rec);
+                    }
+                    Ok(None) => break,
+                    Err(FrameError::Torn { offset, trailing }) if Some(epoch) == newest => {
+                        outcome.discarded_tail_bytes = trailing as u64;
+                        outcome.notes.push(format!(
+                            "{}: discarded {trailing}-byte torn tail at offset {offset} \
+                             (crash mid-append; records past the last group commit)",
+                            path.display()
+                        ));
+                        break;
+                    }
+                    Err(error) => {
+                        return Err(DurableError::Corrupt { path, error });
+                    }
+                }
+            }
+        }
+
+        let epoch = match (snapshot_epoch, newest) {
+            (None, None) => 0,
+            (a, b) => a.max(b).expect("at least one epoch present") + 1,
+        };
+        let store = ShardStore {
+            dir: dir.to_path_buf(),
+            inner: Mutex::new(Inner {
+                epoch,
+                wal: None,
+                wal_bytes: 0,
+                dirty: false,
+                records_since_snapshot: 0,
+                snapshot_bytes: 0,
+            }),
+        };
+        Ok((store, outcome))
+    }
+
+    /// Seals recovery: writes the recovered image as this epoch's
+    /// snapshot (atomically), opens this epoch's journal, and retires
+    /// every older snapshot and journal. Must be called exactly once,
+    /// before the first [`ShardStore::append`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing the snapshot or journal.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called twice (the journal is already open).
+    pub fn commit_recovery(&self, image: &BrokerImage, as_of: Time) -> Result<(), DurableError> {
+        let mut inner = self.inner.lock();
+        assert!(inner.wal.is_none(), "commit_recovery called twice");
+        let epoch = inner.epoch;
+        inner.snapshot_bytes = write_snapshot(&self.dir, epoch, image, as_of)?;
+        let path = wal_path(&self.dir, epoch);
+        let file = File::create(&path).map_err(|e| DurableError::io(&path, e))?;
+        inner.wal = Some(BufWriter::new(file));
+        inner.wal_bytes = 0;
+        inner.dirty = false;
+        inner.records_since_snapshot = 0;
+        drop(inner);
+        self.gc(epoch);
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// Appends one record to the journal buffer. No fsync — durability
+    /// arrives with the next [`ShardStore::flush`] (group commit).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure writing to the journal's buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`ShardStore::commit_recovery`].
+    pub fn append(&self, record: &WalRecord) -> Result<(), DurableError> {
+        let bytes = encode_record(record);
+        let mut inner = self.inner.lock();
+        let path = wal_path(&self.dir, inner.epoch);
+        let wal = inner.wal.as_mut().expect("append before commit_recovery");
+        wal.write_all(&bytes)
+            .map_err(|e| DurableError::io(&path, e))?;
+        inner.wal_bytes += bytes.len() as u64;
+        inner.records_since_snapshot += 1;
+        inner.dirty = true;
+        Ok(())
+    }
+
+    /// Group commit: flushes buffered records and fsyncs the journal.
+    /// Returns `None` when nothing was pending.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure flushing or syncing.
+    pub fn flush(&self) -> Result<Option<FsyncSample>, DurableError> {
+        let mut inner = self.inner.lock();
+        if !inner.dirty {
+            return Ok(None);
+        }
+        let epoch = inner.epoch;
+        let wal_bytes = inner.wal_bytes;
+        let path = wal_path(&self.dir, epoch);
+        let wal = inner.wal.as_mut().expect("flush before commit_recovery");
+        wal.flush().map_err(|e| DurableError::io(&path, e))?;
+        let started = Instant::now();
+        wal.get_ref()
+            .sync_data()
+            .map_err(|e| DurableError::io(&path, e))?;
+        let fsync_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        inner.dirty = false;
+        Ok(Some(FsyncSample {
+            fsync_ns,
+            wal_bytes,
+        }))
+    }
+
+    /// Rotation: seals the current journal (flush + fsync), advances
+    /// the epoch, writes `image` as the new epoch's snapshot, opens the
+    /// new journal, and retires the old chain. Call with the state
+    /// image captured at the current journal position (the daemon's
+    /// worker does this under its shard write lock, so no append can
+    /// slip between capture and seal).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures at any step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`ShardStore::commit_recovery`].
+    pub fn rotate(&self, image: &BrokerImage, as_of: Time) -> Result<RotateStats, DurableError> {
+        let mut inner = self.inner.lock();
+        let old_path = wal_path(&self.dir, inner.epoch);
+        let wal = inner.wal.as_mut().expect("rotate before commit_recovery");
+        wal.flush().map_err(|e| DurableError::io(&old_path, e))?;
+        let started = Instant::now();
+        wal.get_ref()
+            .sync_data()
+            .map_err(|e| DurableError::io(&old_path, e))?;
+        let seal_fsync_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+        let epoch = inner.epoch + 1;
+        let snapshot_bytes = write_snapshot(&self.dir, epoch, image, as_of)?;
+        let path = wal_path(&self.dir, epoch);
+        let file = File::create(&path).map_err(|e| DurableError::io(&path, e))?;
+        inner.epoch = epoch;
+        inner.wal = Some(BufWriter::new(file));
+        inner.wal_bytes = 0;
+        inner.dirty = false;
+        inner.records_since_snapshot = 0;
+        inner.snapshot_bytes = snapshot_bytes;
+        drop(inner);
+        self.gc(epoch);
+        sync_dir(&self.dir)?;
+        Ok(RotateStats {
+            epoch,
+            snapshot_bytes,
+            seal_fsync_ns,
+        })
+    }
+
+    /// Records appended since the last snapshot — the daemon's
+    /// `--snapshot-every` trigger reads this.
+    #[must_use]
+    pub fn records_since_snapshot(&self) -> u64 {
+        self.inner.lock().records_since_snapshot
+    }
+
+    /// Bytes appended to the current journal (including not-yet-synced
+    /// ones).
+    #[must_use]
+    pub fn wal_bytes(&self) -> u64 {
+        self.inner.lock().wal_bytes
+    }
+
+    /// Size of the last snapshot written by this store, bytes.
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.inner.lock().snapshot_bytes
+    }
+
+    /// The current epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// The store's directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Removes snapshots and journals of epochs before `keep`. Failures
+    /// are ignored: stale files are re-collected on the next rotation,
+    /// and recovery ignores everything older than the newest snapshot.
+    fn gc(&self, keep: u64) {
+        for epoch in 0..keep {
+            let _ = fs::remove_file(snap_path(&self.dir, epoch));
+            let _ = fs::remove_file(wal_path(&self.dir, epoch));
+        }
+    }
+}
+
+fn parse_epoch(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>, DurableError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| DurableError::io(path, e))?;
+    Ok(bytes)
+}
+
+fn sync_dir(dir: &Path) -> Result<(), DurableError> {
+    // Directory fsync publishes renames and creations; platforms that
+    // refuse to open directories for writing just sync on open.
+    match File::open(dir) {
+        Ok(f) => f.sync_all().map_err(|e| DurableError::io(dir, e)),
+        Err(e) => Err(DurableError::io(dir, e)),
+    }
+}
+
+/// Writes a snapshot atomically: temp file, flush, fsync, rename into
+/// place, directory fsync. Returns the snapshot's size in bytes.
+///
+/// # Errors
+///
+/// I/O failures at any step.
+pub fn write_snapshot(
+    dir: &Path,
+    epoch: u64,
+    image: &BrokerImage,
+    as_of: Time,
+) -> Result<u64, DurableError> {
+    let mut bytes = encode_record(&SnapMeta { epoch, as_of });
+    bytes.extend_from_slice(&encode_record(image));
+    let len = bytes.len() as u64;
+    let tmp = dir.join(format!("snap-{epoch}.img.tmp"));
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| DurableError::io(&tmp, e))?;
+        f.write_all(&bytes).map_err(|e| DurableError::io(&tmp, e))?;
+        f.sync_all().map_err(|e| DurableError::io(&tmp, e))?;
+    }
+    let path = snap_path(dir, epoch);
+    fs::rename(&tmp, &path).map_err(|e| DurableError::io(&path, e))?;
+    sync_dir(dir)?;
+    Ok(len)
+}
+
+/// Reads and validates a snapshot file.
+///
+/// # Errors
+///
+/// I/O failures, or corruption of either frame — snapshots are written
+/// atomically, so unlike a journal tail, a short or invalid snapshot is
+/// never a tolerable crash artifact.
+pub fn read_snapshot(path: &Path) -> Result<(SnapMeta, BrokerImage), DurableError> {
+    let bytes = read_file(path)?;
+    let corrupt = |error| DurableError::Corrupt {
+        path: path.to_path_buf(),
+        error,
+    };
+    let mut cursor = FrameCursor::new(&bytes);
+    let meta_frame = cursor.next_frame().map_err(&corrupt)?.ok_or_else(|| {
+        corrupt(FrameError::Torn {
+            offset: 0,
+            trailing: 0,
+        })
+    })?;
+    let meta: SnapMeta = decode_payload(meta_frame, 0).map_err(&corrupt)?;
+    let offset = cursor.offset();
+    let image_frame = cursor.next_frame().map_err(&corrupt)?.ok_or_else(|| {
+        corrupt(FrameError::Torn {
+            offset,
+            trailing: 0,
+        })
+    })?;
+    let image: BrokerImage = decode_payload(image_frame, offset).map_err(&corrupt)?;
+    Ok((meta, image))
+}

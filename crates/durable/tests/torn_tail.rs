@@ -1,0 +1,180 @@
+//! Filesystem-level torn-tail tolerance, exhaustively.
+//!
+//! A crash between group commits leaves the newest journal truncated at
+//! an arbitrary byte. Recovery must treat **every** such truncation of
+//! the final record as a survivable torn tail — keep the fully-written
+//! prefix, discard and report the tail, never panic — while a checksum
+//! mismatch on a *complete* record mid-journal (which truncation cannot
+//! produce) stays the hard corruption error it is.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bb_core::{BrokerConfig, BrokerShard, FlowRequest, PathId, ServiceKind};
+use bb_durable::store::{snap_path, wal_path};
+use bb_durable::{replay, DurableError, ShardStore, WalRecord};
+use netsim::topology::{SchedulerSpec, Topology};
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+fn type0() -> TrafficProfile {
+    TrafficProfile::new(
+        Bits::from_bits(60_000),
+        Rate::from_bps(50_000),
+        Rate::from_bps(100_000),
+        Bits::from_bytes(1500),
+    )
+    .unwrap()
+}
+
+fn make_shard() -> BrokerShard {
+    let (topo, routes) = Topology::pod_chains(
+        1,
+        3,
+        Rate::from_bps(1_500_000),
+        Nanos::ZERO,
+        SchedulerSpec::CsVc,
+        Bits::from_bytes(1500),
+    );
+    BrokerShard::new(
+        0,
+        1,
+        &topo,
+        &BrokerConfig::default(),
+        &[(PathId(0), routes[0].clone())],
+    )
+}
+
+fn admit(shard: &mut BrokerShard, store: &ShardStore, id: u64) {
+    let req = FlowRequest {
+        flow: FlowId(id),
+        profile: type0(),
+        d_req: Nanos::from_millis(2_440),
+        service: ServiceKind::PerFlow,
+        path: PathId(0),
+    };
+    let plan = shard.decide(&req);
+    shard.commit(Time::ZERO, &plan).expect("pod has capacity");
+    store
+        .append(&WalRecord::Admit {
+            now: Time::ZERO,
+            request: plan.request,
+        })
+        .expect("append");
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bb-torn-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A sealed store directory holding one snapshot (empty state) and a
+/// journal of `admits` admission records, plus the byte layout of that
+/// journal. Returns (dir, wal bytes, per-record end offsets).
+fn build_template(tag: &str, admits: u64) -> (PathBuf, Vec<u8>, Vec<usize>) {
+    let dir = scratch(tag);
+    let mut shard = make_shard();
+    let (store, outcome) = ShardStore::open(&dir).expect("open fresh");
+    assert!(outcome.is_fresh());
+    store
+        .commit_recovery(&shard.export_image(), Time::ZERO)
+        .expect("seal");
+    let mut ends = Vec::new();
+    for id in 0..admits {
+        admit(&mut shard, &store, id);
+        ends.push(store.wal_bytes() as usize);
+    }
+    store.flush().expect("flush");
+    let epoch = store.epoch();
+    drop(store);
+    let wal = fs::read(wal_path(&dir, epoch)).expect("read wal");
+    assert_eq!(wal.len(), *ends.last().expect("at least one record"));
+    (dir, wal, ends)
+}
+
+/// Copies the template into a scratch dir with the journal truncated
+/// (or patched) to `bytes`.
+fn restage(template: &Path, epoch: u64, bytes: &[u8], tag: &str) -> PathBuf {
+    let dir = scratch(tag);
+    fs::create_dir_all(&dir).expect("mkdir");
+    fs::copy(snap_path(template, epoch), snap_path(&dir, epoch)).expect("copy snap");
+    fs::write(wal_path(&dir, epoch), bytes).expect("write wal");
+    dir
+}
+
+/// Every byte-level truncation of the final record recovers the prefix:
+/// the complete records replay, the torn tail's byte count is reported
+/// in the outcome's notes, and nothing panics.
+#[test]
+fn truncation_at_every_offset_of_the_last_record_recovers_the_prefix() {
+    let (template, wal, ends) = build_template("template", 4);
+    let prefix_end = ends[ends.len() - 2];
+    for cut in prefix_end..wal.len() {
+        let dir = restage(&template, 0, &wal[..cut], "case");
+        let (_store, outcome) =
+            ShardStore::open(&dir).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+        let torn = cut - prefix_end;
+        assert_eq!(outcome.discarded_tail_bytes, torn as u64, "cut at {cut}");
+        assert_eq!(outcome.records.len(), ends.len() - 1, "cut at {cut}");
+        if torn == 0 {
+            // Truncation exactly at a frame boundary is a clean EOF —
+            // nothing was lost, nothing to report.
+            assert!(
+                outcome.notes.is_empty(),
+                "cut at {cut}: {:?}",
+                outcome.notes
+            );
+        } else {
+            assert!(
+                outcome.notes.iter().any(|n| n.contains("torn tail")),
+                "cut at {cut}: discard must be reported, got {:?}",
+                outcome.notes
+            );
+        }
+        let mut recovered = make_shard();
+        replay(&mut recovered, &outcome);
+        assert_eq!(
+            recovered.broker().flows().len(),
+            ends.len() - 1,
+            "cut at {cut}: prefix admissions must survive"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+    let _ = fs::remove_dir_all(&template);
+}
+
+/// A bit flip inside a complete mid-journal record is not a crash
+/// artifact — recovery must refuse with a hard corruption error rather
+/// than silently dropping state.
+#[test]
+fn checksum_mismatch_mid_journal_is_a_hard_error() {
+    let (template, wal, ends) = build_template("corrupt-template", 3);
+    // Flip one payload byte of the *first* record: its frame is
+    // complete, so the checksum must catch it.
+    let mut patched = wal.clone();
+    patched[bb_durable::FRAME_HEADER + 4] ^= 0x01;
+    let dir = restage(&template, 0, &patched, "corrupt-case");
+    match ShardStore::open(&dir) {
+        Err(DurableError::Corrupt { path, .. }) => {
+            assert_eq!(path, wal_path(&dir, 0));
+        }
+        Err(other) => panic!("expected hard corruption error, got {other}"),
+        Ok(_) => panic!("a complete record with a bad checksum must not recover"),
+    }
+
+    // Same flip in the middle record: still complete, still fatal —
+    // torn-tail tolerance never applies to interior records.
+    let mut patched = wal.clone();
+    patched[ends[0] + bb_durable::FRAME_HEADER + 4] ^= 0x01;
+    let dir2 = restage(&template, 0, &patched, "corrupt-mid");
+    assert!(matches!(
+        ShardStore::open(&dir2),
+        Err(DurableError::Corrupt { .. })
+    ));
+
+    let _ = fs::remove_dir_all(&template);
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&dir2);
+}

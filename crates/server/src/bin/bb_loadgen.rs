@@ -15,7 +15,17 @@
 //!            [--sample-ms 50]     # telemetry poll period (0 disables)
 //!            [--addr HOST:PORT]   # drive an external daemon instead
 //!            [--stats-addr H:P]   # its telemetry endpoint, for --addr
+//!            [--durable]          # journal + snapshot the hosted daemon
+//!            [--data-dir PATH] [--wal-flush-ms 5] [--snapshot-every 10000]
 //! ```
+//!
+//! `--durable` hosts the daemon with a write-ahead journal and MIB
+//! snapshots under `--data-dir` (a fresh temp directory by default),
+//! measuring the durability overhead against the same workload. After
+//! the run the generator **restarts** a daemon from the data directory
+//! and checks the recovered state matches what the serving daemon shut
+//! down with — the result rides in the report's `durable` row and is
+//! folded into `verified`.
 //!
 //! Without `--addr` the generator hosts the daemon in-process on an
 //! ephemeral port (still exercising the full TCP path), so one command
@@ -79,7 +89,9 @@ use std::time::{Duration, Instant};
 use bb_core::broker::{Broker, BrokerConfig};
 use bb_core::cops::{self, Decision};
 use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
-use bb_server::{fetch_stats, BbServer, FrameReader, ServerConfig, ServerReport, StatsSnapshot};
+use bb_server::{
+    fetch_stats, BbServer, DurableOptions, FrameReader, ServerConfig, ServerReport, StatsSnapshot,
+};
 use netsim::topology::{SchedulerSpec, Topology};
 use qos_units::{Bits, Nanos, Rate, Time};
 use rand::rngs::SmallRng;
@@ -182,6 +194,33 @@ fn timeline_point(t_s: f64, snap: &StatsSnapshot) -> TimelinePoint {
     }
 }
 
+/// The durability row of the report: what the journal cost, and
+/// whether a restart from the data directory recovered the daemon's
+/// exact final state.
+#[derive(serde::Serialize)]
+struct DurableReport {
+    /// Group-commit interval the run used.
+    wal_flush_ms: u64,
+    /// Journal-rotation threshold the run used.
+    snapshot_every: u64,
+    /// WAL fsyncs across all shards (group commits + rotation seals).
+    fsync_count: u64,
+    fsync_p50_us: Option<f64>,
+    fsync_p99_us: Option<f64>,
+    /// Latest snapshot sizes summed over shards, bytes.
+    snapshot_bytes: u64,
+    /// Wall time for the restart check's `BbServer::start` — bind,
+    /// recover every shard (snapshot load + journal replay), spawn.
+    restart_recovery_ms: f64,
+    /// Journal records the restart check replayed across shards.
+    recovery_replayed_records: u64,
+    /// Flow records resident after recovery.
+    recovered_resident_flows: u64,
+    /// Whether recovery reproduced the serving daemon's final state
+    /// (resident flows and per-shard admission counters).
+    recovery_matches: bool,
+}
+
 #[derive(serde::Serialize)]
 struct LoadgenReport {
     pods: usize,
@@ -208,6 +247,8 @@ struct LoadgenReport {
     /// built with `--features count-allocs`.
     allocs_per_decision: Option<f64>,
     verified: Option<bool>,
+    /// Durability cost and the restart-recovery check (`--durable`).
+    durable: Option<DurableReport>,
     /// Telemetry polls taken while the load ran.
     timeline: Vec<TimelinePoint>,
     /// Final stats snapshot (counters, histograms, classes) fetched
@@ -402,12 +443,47 @@ fn main() {
     let external: String = arg("--addr", String::new());
     let external_stats: String = arg("--stats-addr", String::new());
     let sample_ms: u64 = arg("--sample-ms", 50);
+    let durable = flag("--durable");
+    let data_dir: String = arg("--data-dir", String::new());
+    let wal_flush_ms: u64 = arg("--wal-flush-ms", 5);
+    let snapshot_every: u64 = arg("--snapshot-every", 10_000);
 
     assert!(clients >= 1, "need at least one client");
     assert!(
         pods >= clients,
         "need at least one pod per client so every client owns a pod"
     );
+
+    // Resolve the durable data directory. The benchmark measures a
+    // fresh run, so the directory must start empty: the default (a
+    // pid-stamped temp path this process owns) is wiped, a caller-named
+    // one must already be empty.
+    let durable_opts = durable.then(|| {
+        let dir = if data_dir.is_empty() {
+            let d = std::env::temp_dir().join(format!("bb-loadgen-durable-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&d);
+            d
+        } else {
+            let d = std::path::PathBuf::from(&data_dir);
+            let occupied = std::fs::read_dir(&d)
+                .map(|mut entries| entries.next().is_some())
+                .unwrap_or(false);
+            assert!(
+                !occupied,
+                "--data-dir {} is not empty; bb-loadgen benchmarks a fresh run",
+                d.display()
+            );
+            d
+        };
+        DurableOptions {
+            data_dir: dir,
+            wal_flush: Duration::from_millis(wal_flush_ms),
+            snapshot_every,
+        }
+    });
+    if durable && !external.is_empty() {
+        eprintln!("--durable only applies to the hosted daemon; the external one ignores it");
+    }
 
     // Host the daemon in-process unless pointed at an external one. The
     // full TCP path is exercised either way.
@@ -418,6 +494,7 @@ fn main() {
             workers: arg("--workers", 4),
             queue_depth: arg("--queue-depth", 4_096),
             stats_addr: Some("127.0.0.1:0".to_string()),
+            durable: durable_opts.clone(),
             ..ServerConfig::default()
         };
         let server = BbServer::start("127.0.0.1:0", &topo, &routes, &config)
@@ -528,6 +605,74 @@ fn main() {
     let allocs_per_decision: Option<f64> = None;
 
     let server = hosted.map(BbServer::shutdown);
+
+    // Durable restart check: boot a second daemon from the data
+    // directory the first one just shut down over, and require the
+    // recovered state to match the final report exactly — resident
+    // flows and every shard's admission counters.
+    let durable_row = durable_opts.as_ref().zip(server.as_ref()).map(|(opts, final_report)| {
+        let fsync = stats.as_ref().map(|s| {
+            let mut merged = bb_telemetry::HistogramSnapshot::default();
+            for sh in &s.metrics.shards {
+                merged.merge(&sh.wal_fsync_ns);
+            }
+            merged
+        });
+        let snapshot_bytes: u64 = stats
+            .as_ref()
+            .map(|s| s.metrics.shards.iter().map(|sh| sh.snapshot_bytes).sum())
+            .unwrap_or(0);
+        let (topo, routes) = pod_topology(pods, hops);
+        let check_config = ServerConfig {
+            workers: arg("--workers", 4),
+            queue_depth: arg("--queue-depth", 4_096),
+            durable: Some(opts.clone()),
+            ..ServerConfig::default()
+        };
+        let t0 = Instant::now();
+        let check = BbServer::start("127.0.0.1:0", &topo, &routes, &check_config)
+            .expect("restart daemon from the data directory");
+        let restart_recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let snap = check.stats_snapshot();
+        let recovery_replayed_records: u64 = snap
+            .metrics
+            .shards
+            .iter()
+            .map(|s| s.recovery_replayed_records)
+            .sum();
+        let check_report = check.shutdown();
+        let recovery_matches = check_report.resident_flows == final_report.resident_flows
+            && check_report.per_shard == final_report.per_shard;
+        if !recovery_matches {
+            eprintln!(
+                "recovery check FAILED: recovered {} resident flows / {:?}, daemon finished with {} / {:?}",
+                check_report.resident_flows,
+                check_report.per_shard,
+                final_report.resident_flows,
+                final_report.per_shard
+            );
+        }
+        let q = |p: f64| {
+            fsync
+                .as_ref()
+                .and_then(|h| h.quantile_ns(p))
+                .map(|ns| ns as f64 / 1e3)
+        };
+        DurableReport {
+            wal_flush_ms,
+            snapshot_every,
+            fsync_count: fsync.as_ref().map_or(0, |h| h.count),
+            fsync_p50_us: q(0.50),
+            fsync_p99_us: q(0.99),
+            snapshot_bytes,
+            restart_recovery_ms,
+            recovery_replayed_records,
+            recovered_resident_flows: check_report.resident_flows,
+            recovery_matches,
+        }
+    });
+    let verified = verified.map(|v| v && durable_row.as_ref().is_none_or(|d| d.recovery_matches));
+
     let report = LoadgenReport {
         pods,
         hops,
@@ -547,6 +692,7 @@ fn main() {
         path_cache_hit_rate: stats.as_ref().and_then(|s| s.metrics.path_cache_hit_rate()),
         allocs_per_decision,
         verified,
+        durable: durable_row,
         timeline,
         stats,
         server,
@@ -574,6 +720,23 @@ fn main() {
             srv.overloaded
         );
     }
+    if let Some(d) = &report.durable {
+        println!(
+            "durable: {} fsyncs (p99 {:.0} us), snapshot {} B; restart recovered {} flows \
+             ({} journal records) in {:.1} ms -> {}",
+            d.fsync_count,
+            d.fsync_p99_us.unwrap_or(f64::NAN),
+            d.snapshot_bytes,
+            d.recovered_resident_flows,
+            d.recovery_replayed_records,
+            d.restart_recovery_ms,
+            if d.recovery_matches {
+                "match"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
     if let Some(last) = report.timeline.last() {
         println!(
             "telemetry: {} polls; at t={:.2}s decided {} (queue max {}, decision p99 {:.0} us)",
@@ -588,7 +751,7 @@ fn main() {
         std::fs::write(&out, serde::json::to_string_pretty(&report)).expect("write bench JSON");
         println!("wrote {out}");
     }
-    if verified == Some(false) {
+    if verified == Some(false) || report.durable.is_some_and(|d| !d.recovery_matches) {
         std::process::exit(1);
     }
 }

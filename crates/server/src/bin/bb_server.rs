@@ -9,7 +9,14 @@
 //! bb-server [--addr 127.0.0.1:3288] [--pods 64] [--hops 5]
 //!           [--workers 4] [--queue-depth 1024]
 //!           [--stats-addr 127.0.0.1:3289]   # "" disables telemetry
+//!           [--data-dir PATH]               # enables durability
+//!           [--wal-flush-ms 5] [--snapshot-every 10000]
 //! ```
+//!
+//! With `--data-dir` the daemon journals every committed decision and
+//! periodically snapshots its MIBs under the directory; at startup it
+//! recovers whatever state the directory holds **before** accepting
+//! connections, and prints how many journal records it replayed.
 //!
 //! The stats address serves live telemetry while the daemon runs:
 //! `GET /stats` returns a JSON snapshot (per-shard admission counters
@@ -19,7 +26,7 @@
 
 use std::io::BufRead;
 
-use bb_server::{BbServer, ServerConfig};
+use bb_server::{BbServer, DurableOptions, ServerConfig};
 use netsim::topology::{SchedulerSpec, Topology};
 use qos_units::{Bits, Nanos, Rate};
 
@@ -37,10 +44,16 @@ fn main() {
     let pods: usize = arg("--pods", 64);
     let hops: usize = arg("--hops", 5);
     let stats_addr: String = arg("--stats-addr", "127.0.0.1:3289".to_string());
+    let data_dir: String = arg("--data-dir", String::new());
     let config = ServerConfig {
         workers: arg("--workers", 4),
         queue_depth: arg("--queue-depth", 1024),
         stats_addr: (!stats_addr.is_empty()).then_some(stats_addr),
+        durable: (!data_dir.is_empty()).then(|| DurableOptions {
+            data_dir: data_dir.clone().into(),
+            wal_flush: std::time::Duration::from_millis(arg("--wal-flush-ms", 5)),
+            snapshot_every: arg("--snapshot-every", 10_000),
+        }),
         ..ServerConfig::default()
     };
 
@@ -63,6 +76,21 @@ fn main() {
     );
     if let Some(stats) = server.stats_addr() {
         println!("telemetry on http://{stats}/stats and http://{stats}/metrics");
+    }
+    if let Some(opts) = &config.durable {
+        let replayed: u64 = server
+            .stats_snapshot()
+            .metrics
+            .shards
+            .iter()
+            .map(|s| s.recovery_replayed_records)
+            .sum();
+        println!(
+            "durable under {} (flush every {:?}, snapshot every {} records); recovery replayed {replayed} journal records",
+            opts.data_dir.display(),
+            opts.wal_flush,
+            opts.snapshot_every
+        );
     }
     println!("close stdin or type `quit` to stop");
 

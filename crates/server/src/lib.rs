@@ -35,5 +35,7 @@ pub mod stats;
 
 pub use client::CopsClient;
 pub use frame::{FrameError, FrameReader, MAX_FRAME};
-pub use server::{BbServer, ClassUsage, ServerConfig, ServerReport, ThreadFailures};
+pub use server::{
+    BbServer, ClassUsage, DurableOptions, ServerConfig, ServerReport, ThreadFailures,
+};
 pub use stats::{fetch_metrics_text, fetch_stats, StatsSnapshot};

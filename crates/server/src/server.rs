@@ -42,6 +42,7 @@
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -58,7 +59,8 @@ use bb_core::broker::BrokerConfig;
 use bb_core::cops::{self, OpCode};
 use bb_core::shard::{build_shards, plan_shards, shard_of_macroflow, BrokerShard};
 use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
-use bb_telemetry::MetricsRegistry;
+use bb_durable::{replay, ShardStore, WalRecord};
+use bb_telemetry::{MetricsRegistry, ShardMetrics};
 use netsim::topology::{LinkId, Topology};
 
 use crate::frame::FrameReader;
@@ -81,6 +83,10 @@ pub struct ServerConfig {
     /// `GET /metrics`); `None` disables it. Use port 0 for an ephemeral
     /// port, resolved via [`BbServer::stats_addr`].
     pub stats_addr: Option<String>,
+    /// Durability: journal every committed mutation and snapshot the
+    /// MIBs under a data directory, recovering from it at startup.
+    /// `None` keeps the daemon purely in-memory.
+    pub durable: Option<DurableOptions>,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +97,34 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_millis(20),
             broker: BrokerConfig::default(),
             stats_addr: None,
+            durable: None,
+        }
+    }
+}
+
+/// Where and how the daemon persists its state (see [`bb_durable`]).
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Data directory; the daemon keeps one `shard-<i>` subdirectory of
+    /// journals and snapshots per shard. Created if absent; an existing
+    /// directory is recovered from before the listener accepts.
+    pub data_dir: PathBuf,
+    /// Group-commit interval: a dedicated flusher thread fsyncs every
+    /// shard's journal this often. Acknowledgements are not gated on
+    /// the fsync, so a crash can lose at most this window of committed
+    /// decisions — they surface at recovery as a torn journal tail.
+    pub wal_flush: Duration,
+    /// Rotate the journal — snapshot the MIBs and start a new epoch —
+    /// after this many appended records.
+    pub snapshot_every: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            data_dir: PathBuf::from("bb-data"),
+            wal_flush: Duration::from_millis(5),
+            snapshot_every: 10_000,
         }
     }
 }
@@ -145,13 +179,20 @@ pub struct ThreadFailures {
     pub workers: u64,
     /// The telemetry endpoint thread panicked.
     pub stats: u64,
+    /// The WAL flusher thread panicked (group commits stopped; the
+    /// final shutdown snapshot still captures everything applied).
+    pub flusher: u64,
 }
 
 impl ThreadFailures {
     /// True when every daemon thread exited cleanly.
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.accept == 0 && self.readers == 0 && self.workers == 0 && self.stats == 0
+        self.accept == 0
+            && self.readers == 0
+            && self.workers == 0
+            && self.stats == 0
+            && self.flusher == 0
     }
 }
 
@@ -238,11 +279,24 @@ struct Dispatch {
     metrics: MetricsRegistry,
     stop: AtomicBool,
     started: Instant,
+    /// Per-shard durable stores; `None` without durability.
+    stores: Option<Vec<Arc<ShardStore>>>,
+    /// Journal records between snapshots (rotation threshold).
+    snapshot_every: u64,
+    /// Clock offset: the recovered state's latest observed timestamp.
+    /// The daemon's clock resumes from here so post-restart journal
+    /// records stay monotone with everything replayed before them.
+    base_nanos: u64,
 }
 
 impl Dispatch {
     fn now(&self) -> Time {
-        Time::from_nanos(u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX))
+        let elapsed = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Time::from_nanos(self.base_nanos.saturating_add(elapsed))
+    }
+
+    fn store(&self, idx: usize) -> Option<&ShardStore> {
+        self.stores.as_deref().map(|s| &*s[idx])
     }
 
     fn stats_snapshot(&self) -> StatsSnapshot {
@@ -262,6 +316,7 @@ pub struct BbServer {
     accept_handle: JoinHandle<Vec<JoinHandle<()>>>,
     stats_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
+    flusher_handle: Option<JoinHandle<()>>,
 }
 
 impl BbServer {
@@ -302,6 +357,53 @@ impl BbServer {
             }
         }
 
+        // Recovery happens here — after the shards exist, before any
+        // thread can serve a request — so a recovering daemon never
+        // mixes replayed and live mutations. Each shard recovers
+        // independently: load its latest snapshot, replay its journal
+        // tail through the broker's monolithic entry points, then open
+        // a fresh epoch (snapshot of the recovered state + empty
+        // journal) so a crash during recovery can never eat state.
+        let mut stores = None;
+        let mut base_nanos = 0u64;
+        let mut recovered_owners: HashMap<FlowId, usize> = HashMap::new();
+        let mut recovery_replayed = vec![0u64; shards.len()];
+        if let Some(opts) = &config.durable {
+            let mut opened = Vec::with_capacity(shards.len());
+            for (idx, shard) in shards.iter().enumerate() {
+                let dir = opts.data_dir.join(format!("shard-{idx}"));
+                let (store, outcome) = ShardStore::open(&dir).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("shard {idx} recovery: {e}"),
+                    )
+                })?;
+                for note in &outcome.notes {
+                    eprintln!("bb-server: shard {idx}: {note}");
+                }
+                let mut guard = shard.write();
+                let summary = replay(&mut guard, &outcome);
+                recovery_replayed[idx] = summary.total();
+                let as_of = outcome.max_now.unwrap_or(Time::ZERO);
+                base_nanos = base_nanos.max(as_of.as_nanos());
+                store
+                    .commit_recovery(&guard.export_image(), as_of)
+                    .map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("shard {idx} recovery commit: {e}"),
+                        )
+                    })?;
+                // The flow → shard map is derived state; rebuild it from
+                // the recovered MIBs.
+                for (flow, _) in guard.broker().flows().iter() {
+                    recovered_owners.insert(*flow, idx);
+                }
+                opened.push(Arc::new(store));
+            }
+            stores = Some(opened);
+        }
+
         let mut jobs = Vec::new();
         let mut worker_rxs = Vec::new();
         for _ in 0..shards.len() {
@@ -328,13 +430,49 @@ impl BbServer {
             path_shard,
             shards,
             jobs,
-            flow_owner: RwLock::new(HashMap::new()),
+            flow_owner: RwLock::new(recovered_owners),
             overloaded: AtomicU64::new(0),
             released: AtomicU64::new(0),
             classes: RwLock::new(ClassDirectory::new()),
             metrics: MetricsRegistry::new(shard_count),
             stop: AtomicBool::new(false),
             started: Instant::now(),
+            stores,
+            snapshot_every: config
+                .durable
+                .as_ref()
+                .map_or(u64::MAX, |o| o.snapshot_every.max(1)),
+            base_nanos,
+        });
+
+        // Surface what recovery did and rebuild the remaining derived
+        // state (class directory, telemetry gauges) from the restored
+        // MIBs, still before any serving thread exists.
+        if dispatch.stores.is_some() {
+            for (idx, &replayed) in recovery_replayed.iter().enumerate() {
+                let m = dispatch.metrics.shard(idx);
+                m.set_recovery_replayed(replayed);
+                if let Some(store) = dispatch.store(idx) {
+                    m.set_snapshot_bytes(store.snapshot_bytes());
+                }
+                let guard = dispatch.shards[idx].read();
+                refresh_class_usage(&guard, &dispatch);
+                mirror_pipeline_gauges(&guard, &dispatch);
+            }
+        }
+
+        let flusher_handle = dispatch.stores.as_ref().map(|stores| {
+            let stores = stores.clone();
+            let dispatch = Arc::clone(&dispatch);
+            let interval = config
+                .durable
+                .as_ref()
+                .expect("stores imply durable options")
+                .wal_flush;
+            std::thread::Builder::new()
+                .name("bb-wal-flush".into())
+                .spawn(move || flusher_loop(&stores, interval, &dispatch))
+                .expect("spawn wal flusher")
         });
 
         let stats_handle = stats_listener.map(|listener| {
@@ -375,6 +513,7 @@ impl BbServer {
             accept_handle,
             stats_handle,
             worker_handles,
+            flusher_handle,
         })
     }
 
@@ -435,6 +574,22 @@ impl BbServer {
         for h in self.worker_handles {
             if h.join().is_err() {
                 failures.workers += 1;
+            }
+        }
+        if let Some(h) = self.flusher_handle {
+            if h.join().is_err() {
+                failures.flusher += 1;
+            }
+        }
+        // Workers have drained every in-flight commit batch by now, so
+        // this final rotation — seal the journal with one last fsync,
+        // snapshot the MIBs — captures exactly the state the report
+        // describes. Restarting from the data directory resumes from
+        // the snapshot alone.
+        if let Some(stores) = &dispatch.stores {
+            for (idx, store) in stores.iter().enumerate() {
+                let guard = dispatch.shards[idx].read();
+                rotate_shard(store, &guard, dispatch.now(), dispatch.metrics.shard(idx));
             }
         }
 
@@ -699,9 +854,14 @@ fn worker_loop(
                 // grants (eq. 17) would outlive their period for as long
                 // as the load lasts. The write lock is already held, and
                 // `next_expiry` is a cheap scan of live macroflows.
-                let now = dispatch.now();
-                if guard.next_expiry().is_some_and(|due| due <= now) {
-                    guard.tick(now);
+                drive_timers(&mut guard, idx, dispatch);
+                // Rotation happens under the same write lock, so no
+                // append can slip between capturing the image and
+                // sealing the journal it supersedes.
+                if let Some(store) = dispatch.store(idx) {
+                    if store.records_since_snapshot() >= dispatch.snapshot_every {
+                        rotate_shard(store, &guard, dispatch.now(), metrics);
+                    }
                 }
                 mirror_pipeline_gauges(&guard, dispatch);
             }
@@ -710,12 +870,80 @@ fn worker_loop(
                 if dispatch.stop.load(Ordering::SeqCst) && jobs.is_empty() {
                     return;
                 }
-                // Idle beat: drive contingency timers.
+                // Idle beat: drive contingency timers. Gated on a due
+                // expiry — like the busy path — so every applied tick is
+                // a state change worth journaling and no-op beats stay
+                // out of the journal.
                 let mut guard = shard.write();
-                guard.tick(dispatch.now());
+                drive_timers(&mut guard, idx, dispatch);
                 mirror_pipeline_gauges(&guard, dispatch);
             }
             Err(channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Runs the shard's contingency-timer sweep when one is due, journaling
+/// the applied sweep. Not-due sweeps mutate nothing and are skipped.
+fn drive_timers(shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Dispatch>) {
+    let now = dispatch.now();
+    if shard.next_expiry().is_some_and(|due| due <= now) {
+        shard.tick(now);
+        journal(dispatch.store(idx), &WalRecord::Tick { now });
+    }
+}
+
+/// Appends one record to the shard's journal, when one exists. An
+/// append failure is fatal for the worker: continuing would leave a
+/// hole in the journal and make recovery silently wrong.
+fn journal(store: Option<&ShardStore>, record: &WalRecord) {
+    if let Some(store) = store {
+        store
+            .append(record)
+            .unwrap_or_else(|e| panic!("journal append failed: {e}"));
+    }
+}
+
+/// Rotates a shard's journal: seals the current epoch with a final
+/// fsync, snapshots the MIB image, opens the next epoch, and reflects
+/// the new sizes in telemetry. The caller holds the shard lock.
+fn rotate_shard(store: &ShardStore, shard: &BrokerShard, now: Time, metrics: &ShardMetrics) {
+    match store.rotate(&shard.export_image(), now) {
+        Ok(stats) => {
+            metrics.record_wal_fsync_ns(stats.seal_fsync_ns);
+            metrics.set_snapshot_bytes(stats.snapshot_bytes);
+            metrics.set_wal_bytes(0);
+        }
+        Err(e) => panic!("journal rotation failed: {e}"),
+    }
+}
+
+/// Group commit: fsyncs every shard's journal once per interval,
+/// recording the fsync latency and journal size. Runs until shutdown;
+/// the final flush is the rotation in [`BbServer::shutdown`].
+fn flusher_loop(stores: &[Arc<ShardStore>], interval: Duration, dispatch: &Arc<Dispatch>) {
+    let beat = Duration::from_millis(5);
+    while !dispatch.stop.load(Ordering::SeqCst) {
+        // Sleep the interval in short beats so shutdown is never stuck
+        // behind a long flush period.
+        let deadline = Instant::now() + interval;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() || dispatch.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep(left.min(beat));
+        }
+        for (idx, store) in stores.iter().enumerate() {
+            match store.flush() {
+                Ok(Some(sample)) => {
+                    let m = dispatch.metrics.shard(idx);
+                    m.record_wal_fsync_ns(sample.fsync_ns);
+                    m.set_wal_bytes(sample.wal_bytes);
+                }
+                Ok(None) => {}
+                Err(e) => panic!("wal flush failed on shard {idx}: {e}"),
+            }
         }
     }
 }
@@ -735,6 +963,19 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
             let t0 = Instant::now();
             let decision = shard.commit(now, &plan);
             let commit_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            // Journal the committed admission — rejects too, since they
+            // advance the broker's counters and replay must reproduce
+            // them. The request (with its shard-local path id) is the
+            // whole input: by serial equivalence the commit behaved as a
+            // monolithic request at `now`, which is exactly how recovery
+            // replays it.
+            journal(
+                dispatch.store(idx),
+                &WalRecord::Admit {
+                    now,
+                    request: plan.request.clone(),
+                },
+            );
             metrics.record_decide_ns(decide_ns);
             metrics.record_commit_ns(commit_ns);
             // The combined series keeps its historical meaning: total
@@ -765,6 +1006,9 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
             let released = shard.release(now, flow);
             match released {
                 Ok(updated) => {
+                    // Journal only applied releases; an unknown-flow DRQ
+                    // mutates nothing.
+                    journal(dispatch.store(idx), &WalRecord::Release { now, flow });
                     dispatch.flow_owner.write().remove(&flow);
                     dispatch.released.fetch_add(1, Ordering::Relaxed);
                     metrics.record_release();
@@ -786,6 +1030,17 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
         }
         Job::Report { macroflow, at } => {
             shard.edge_buffer_empty(at, macroflow);
+            // Journaled with the daemon's clock, not the edge-supplied
+            // `at`: the broker ignores the report's timestamp (the reset
+            // is unconditional), and keeping wire-controlled times out
+            // of the journal keeps the recovered clock base sane.
+            journal(
+                dispatch.store(idx),
+                &WalRecord::Report {
+                    now: dispatch.now(),
+                    macroflow,
+                },
+            );
         }
     }
 }

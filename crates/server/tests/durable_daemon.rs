@@ -1,0 +1,328 @@
+//! Durability integration tests over real TCP: graceful shutdown must
+//! persist every acknowledged decision (in-flight commit batches are
+//! drained before the final flush/snapshot), and a SIGKILL'd daemon
+//! must recover its journal tail on restart — with the union of pre-
+//! and post-crash decisions matching a serial broker fed the same
+//! request order.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use bb_core::broker::{Broker, BrokerConfig};
+use bb_core::cops::Decision;
+use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
+use bb_core::PathId;
+use bb_server::{BbServer, CopsClient, DurableOptions, ServerConfig};
+use netsim::topology::{LinkId, SchedulerSpec, Topology};
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+const PODS: usize = 8;
+const HOPS: usize = 3;
+
+fn type0() -> TrafficProfile {
+    TrafficProfile::new(
+        Bits::from_bits(60_000),
+        Rate::from_bps(50_000),
+        Rate::from_bps(100_000),
+        Bits::from_bytes(1500),
+    )
+    .unwrap()
+}
+
+fn topology() -> (Topology, Vec<Vec<LinkId>>) {
+    Topology::pod_chains(
+        PODS,
+        HOPS,
+        Rate::from_bps(1_500_000),
+        Nanos::ZERO,
+        SchedulerSpec::CsVc,
+        Bits::from_bytes(1500),
+    )
+}
+
+fn request(flow: u64, pod: u64) -> FlowRequest {
+    FlowRequest {
+        flow: FlowId(flow),
+        profile: type0(),
+        d_req: Nanos::from_millis(2_440),
+        service: ServiceKind::PerFlow,
+        path: PathId(pod),
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bb-durable-it-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(dir: &Path) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        durable: Some(DurableOptions {
+            data_dir: dir.to_path_buf(),
+            wal_flush: Duration::from_millis(1),
+            // Never snapshot mid-run: shutdown (or crash recovery) has
+            // to cope with the whole journal.
+            snapshot_every: 1_000_000,
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+/// Satellite regression: decisions acknowledged right before shutdown —
+/// commit batches possibly still unflushed — must survive the restart.
+/// The shutdown path drains workers first, then flushes and snapshots.
+#[test]
+fn graceful_shutdown_persists_every_acknowledged_decision() {
+    let dir = scratch("graceful");
+    let (topo, routes) = topology();
+    let config = durable_config(&dir);
+
+    let server = BbServer::start("127.0.0.1:0", &topo, &routes, &config).expect("start");
+    let mut client = CopsClient::connect(&server.local_addr().to_string()).expect("connect");
+    // Ten admissions across pods, one release, and a final admission
+    // acknowledged immediately before shutdown — no flush interval
+    // elapses for that last batch.
+    for i in 0..10u64 {
+        match client.request(&request(i, i % PODS as u64)).expect("req") {
+            Decision::Install(_) => {}
+            other => panic!("pods are empty, yet {other:?}"),
+        }
+    }
+    // A successful per-flow DRQ carries no reply; the round trip of the
+    // next request proves the reader dispatched it (shutdown drains the
+    // shard queues before the final flush, so enqueued means applied).
+    client.send_delete(FlowId(3)).expect("DRQ");
+    match client.request(&request(99, 0)).expect("req") {
+        Decision::Install(_) => {}
+        other => panic!("last-second admission failed: {other:?}"),
+    }
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(
+        report.resident_flows, 10,
+        "10 admitted + 1 more - 1 released"
+    );
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+
+    // Restart over the same directory: every acknowledged admission is
+    // resident again (duplicate ids are refused), the released flow is
+    // gone (its seat re-admits), and the counters picked up where the
+    // first run stopped.
+    let server = BbServer::start("127.0.0.1:0", &topo, &routes, &config).expect("restart");
+    let mut client = CopsClient::connect(&server.local_addr().to_string()).expect("connect");
+    for i in (0..10u64).chain([99]) {
+        if i == 3 {
+            continue;
+        }
+        // Same pod as the original admission: duplicate detection lives
+        // in the owning shard's MIB.
+        let pod = if i == 99 { 0 } else { i % PODS as u64 };
+        match client.request(&request(i, pod)).expect("req") {
+            Decision::Reject { cause, .. } => {
+                assert_eq!(cause, Reject::DuplicateFlow, "flow {i} must have survived");
+            }
+            other => panic!("flow {i} was lost across restart: {other:?}"),
+        }
+    }
+    // The released flow's id is free again: its release was journaled.
+    match client.request(&request(3, 3)).expect("req") {
+        Decision::Install(res) => assert_eq!(res.flow, FlowId(3)),
+        other => panic!("released seat must be re-admittable, got {other:?}"),
+    }
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.resident_flows, 11, "10 recovered + 1 re-admission");
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+fn spawn_daemon(dir: &Path) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bb-server"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--pods",
+            "8",
+            "--hops",
+            "3",
+            "--workers",
+            "2",
+            "--stats-addr",
+            "",
+            "--wal-flush-ms",
+            "1",
+            "--snapshot-every",
+            "1000000",
+            "--data-dir",
+        ])
+        .arg(dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn bb-server");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let addr = loop {
+        let mut line = String::new();
+        if stdout.read_line(&mut line).expect("read startup line") == 0 {
+            panic!("bb-server exited before announcing its address");
+        }
+        if let Some(rest) = line.strip_prefix("bb-server listening on ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address token")
+                .to_string();
+        }
+    };
+    Daemon {
+        child,
+        addr,
+        stdout,
+    }
+}
+
+impl Daemon {
+    /// Reads startup lines until the recovery summary and returns how
+    /// many journal records the daemon replayed.
+    fn replayed_records(&mut self) -> u64 {
+        loop {
+            let mut line = String::new();
+            if self.stdout.read_line(&mut line).expect("read line") == 0 {
+                panic!("bb-server exited before printing its recovery summary");
+            }
+            if let Some(rest) = line.split("recovery replayed ").nth(1) {
+                return rest
+                    .split_whitespace()
+                    .next()
+                    .expect("count token")
+                    .parse()
+                    .expect("replayed count");
+            }
+        }
+    }
+
+    fn quit(mut self) {
+        if let Some(mut stdin) = self.child.stdin.take() {
+            let _ = stdin.write_all(b"quit\n");
+        }
+        let _ = self.child.wait();
+    }
+}
+
+/// Crash injection: SIGKILL the daemon process mid-run — no shutdown
+/// path, no final snapshot — restart it over the same directory, and
+/// check the union of pre- and post-crash decisions against a serial
+/// broker fed the same request order.
+#[test]
+fn sigkill_recovery_matches_the_serial_broker_across_the_crash() {
+    let dir = scratch("sigkill");
+
+    // Phase 1: drive pod 0 past its 30-seat bandwidth ceiling (so the
+    // journal holds rejects too) and spread a few flows elsewhere.
+    let phase1: Vec<FlowRequest> = (0..35u64)
+        .map(|i| request(i, 0))
+        .chain((100..110u64).map(|i| request(i, 1 + i % 7)))
+        .collect();
+    let mut daemon = spawn_daemon(&dir);
+    assert_eq!(daemon.replayed_records(), 0, "fresh directory");
+    let mut observed: Vec<(FlowId, DecisionKey)> = Vec::new();
+    {
+        let mut client = CopsClient::connect(&daemon.addr).expect("connect");
+        for req in &phase1 {
+            let decision = client.request(req).expect("round trip");
+            observed.push((req.flow, key_of(decision)));
+        }
+    }
+    // Let the group-commit flusher (1 ms interval) sync the tail, then
+    // pull the plug: SIGKILL, no drop handlers, no shutdown.
+    std::thread::sleep(Duration::from_millis(200));
+    daemon.child.kill().expect("SIGKILL");
+    let _ = daemon.child.wait();
+
+    // Phase 2 on a restarted daemon: duplicates of every phase-1 id
+    // (admitted ones must now refuse as duplicates), plus fresh
+    // admissions into the capacity that should remain.
+    let phase2: Vec<FlowRequest> = phase1
+        .iter()
+        .cloned()
+        .chain((200..210u64).map(|i| request(i, 1 + i % 7)))
+        .collect();
+    let mut daemon = spawn_daemon(&dir);
+    let replayed = daemon.replayed_records();
+    assert!(
+        replayed >= phase1.len() as u64,
+        "a crashed daemon recovers from its journal alone; replayed only {replayed}"
+    );
+    {
+        let mut client = CopsClient::connect(&daemon.addr).expect("connect");
+        for req in &phase2 {
+            let decision = client.request(req).expect("round trip");
+            observed.push((req.flow, key_of(decision)));
+        }
+    }
+    daemon.quit();
+
+    // Serial ground truth: one broker, both phases in order. A single
+    // client per phase keeps the daemon's per-pod order equal to the
+    // stream order.
+    let (topo, routes) = topology();
+    let mut serial = Broker::new(topo, BrokerConfig::default());
+    for route in &routes {
+        serial.register_route(route);
+    }
+    let mut expected: Vec<(FlowId, DecisionKey)> = Vec::new();
+    let mut duplicates = 0u64;
+    for req in phase1.iter().chain(&phase2) {
+        let key = match serial.request(Time::ZERO, req) {
+            Ok(res) => DecisionKey::Admit {
+                rate_bps: res.rate.as_bps(),
+                delay_ns: res.delay.as_nanos(),
+            },
+            Err(cause) => {
+                if cause == Reject::DuplicateFlow {
+                    duplicates += 1;
+                }
+                DecisionKey::Deny(cause)
+            }
+        };
+        expected.push((req.flow, key));
+    }
+    assert!(duplicates >= 30, "phase 2 must re-offer persisted flows");
+    assert_eq!(
+        observed, expected,
+        "pre/post-crash decision union diverged from the serial broker"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum DecisionKey {
+    Admit { rate_bps: u64, delay_ns: u64 },
+    Deny(Reject),
+}
+
+fn key_of(decision: Decision) -> DecisionKey {
+    match decision {
+        Decision::Install(res) => DecisionKey::Admit {
+            rate_bps: res.rate.as_bps(),
+            delay_ns: res.delay.as_nanos(),
+        },
+        Decision::Reject { cause, .. } => DecisionKey::Deny(cause),
+        Decision::UnknownFlow { flow } => panic!("unexpected unknown-flow decision for {flow}"),
+    }
+}

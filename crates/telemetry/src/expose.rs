@@ -33,6 +33,26 @@ fn write_histogram(out: &mut String, name: &str, labels: &str, h: &HistogramSnap
     }
 }
 
+/// Like [`write_histogram`], but renders a nanosecond-sampled histogram
+/// in base seconds — the Prometheus convention for `_seconds` series.
+/// Bucket bounds and the sum divide by 1e9; counts are untouched.
+fn write_histogram_seconds(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for b in &h.buckets {
+        cumulative += b.count;
+        let sep = if labels.is_empty() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}",
+            b.le_ns as f64 / 1e9
+        );
+    }
+    let sep = if labels.is_empty() { "" } else { "," };
+    let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum{{{labels}}} {}", h.sum_ns as f64 / 1e9);
+    let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count);
+}
+
 /// Renders the snapshot as Prometheus text exposition.
 #[must_use]
 pub fn prometheus(snap: &MetricsSnapshot) -> String {
@@ -319,6 +339,55 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
 
     let _ = writeln!(
         out,
+        "# HELP bb_wal_fsync_seconds WAL fsync latency (group-commit flushes and rotation seals), per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_wal_fsync_seconds histogram");
+    for s in &snap.shards {
+        write_histogram_seconds(
+            &mut out,
+            "bb_wal_fsync_seconds",
+            &format!("shard=\"{}\"", s.shard),
+            &s.wal_fsync_ns,
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_wal_bytes Bytes in the current journal epoch as of the last flush, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_wal_bytes gauge");
+    for s in &snap.shards {
+        let _ = writeln!(out, "bb_wal_bytes{{shard=\"{}\"}} {}", s.shard, s.wal_bytes);
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_snapshot_bytes Size of the latest MIB snapshot image on disk, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_snapshot_bytes gauge");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_snapshot_bytes{{shard=\"{}\"}} {}",
+            s.shard, s.snapshot_bytes
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_recovery_replayed_records_total Journal records replayed at startup recovery, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_recovery_replayed_records_total counter");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_recovery_replayed_records_total{{shard=\"{}\"}} {}",
+            s.shard, s.recovery_replayed_records
+        );
+    }
+
+    let _ = writeln!(
+        out,
         "# HELP bb_setup_latency_ns End-to-end setup latency (dispatch to reply handoff), nanoseconds."
     );
     let _ = writeln!(out, "# TYPE bb_setup_latency_ns histogram");
@@ -383,5 +452,37 @@ mod tests {
             }
         }
         assert_eq!(last, 2);
+    }
+
+    #[test]
+    fn durability_series_expose_in_base_units() {
+        let reg = MetricsRegistry::new(1);
+        reg.shard(0).record_wal_fsync_ns(1_500_000);
+        reg.shard(0).set_wal_bytes(4096);
+        reg.shard(0).set_snapshot_bytes(1 << 20);
+        reg.shard(0).set_recovery_replayed(7);
+        let text = prometheus(&reg.snapshot());
+
+        assert!(text.contains("# TYPE bb_wal_fsync_seconds histogram"));
+        assert!(text.contains("bb_wal_fsync_seconds_count{shard=\"0\"} 1"));
+        assert!(text.contains("bb_wal_fsync_seconds_bucket{shard=\"0\",le=\"+Inf\"} 1"));
+        // The 1.5 ms sample exposes in seconds, not raw nanoseconds.
+        assert!(text.contains("bb_wal_fsync_seconds_sum{shard=\"0\"} 0.0015"));
+        assert!(text.contains("bb_wal_bytes{shard=\"0\"} 4096"));
+        assert!(text.contains("bb_snapshot_bytes{shard=\"0\"} 1048576"));
+        assert!(text.contains("bb_recovery_replayed_records_total{shard=\"0\"} 7"));
+
+        // Every finite fsync bucket bound is in seconds: sub-second
+        // bounds must exist (the 40 log2 buckets start at 1 ns = 1e-9 s).
+        let finite_bounds: Vec<f64> = text
+            .lines()
+            .filter(|l| l.starts_with("bb_wal_fsync_seconds_bucket") && !l.contains("+Inf"))
+            .map(|l| {
+                let le = l.split("le=\"").nth(1).unwrap();
+                le.split('"').next().unwrap().parse().unwrap()
+            })
+            .collect();
+        assert!(!finite_bounds.is_empty());
+        assert!(finite_bounds.iter().any(|&b| b < 1.0));
     }
 }

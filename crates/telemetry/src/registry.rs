@@ -50,6 +50,15 @@ pub struct ShardMetrics {
     flow_slots: AtomicU64,
     macroflows: AtomicU64,
     macroflow_slots: AtomicU64,
+    /// WAL fsync latency (group-commit flushes and rotation seals).
+    wal_fsync_ns: LogHistogram,
+    /// Bytes appended to the current journal epoch since its last
+    /// rotation, as of the last flush.
+    wal_bytes: AtomicU64,
+    /// Size of the shard's most recent snapshot image on disk.
+    snapshot_bytes: AtomicU64,
+    /// Journal records replayed during startup recovery.
+    recovery_replayed: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -117,6 +126,28 @@ impl ShardMetrics {
         self.macroflow_slots.store(macro_slots, Ordering::Relaxed);
     }
 
+    /// Records one WAL fsync latency sample (a group-commit flush or a
+    /// rotation seal).
+    pub fn record_wal_fsync_ns(&self, ns: u64) {
+        self.wal_fsync_ns.record(ns);
+    }
+
+    /// Updates the current-journal size gauge.
+    pub fn set_wal_bytes(&self, bytes: u64) {
+        self.wal_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Updates the latest-snapshot size gauge.
+    pub fn set_snapshot_bytes(&self, bytes: u64) {
+        self.snapshot_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Sets the count of journal records replayed at startup recovery
+    /// (written once, when the daemon finishes recovering).
+    pub fn set_recovery_replayed(&self, records: u64) {
+        self.recovery_replayed.store(records, Ordering::Relaxed);
+    }
+
     /// Updates the queue-depth gauge (and its high-water mark).
     pub fn set_queue_depth(&self, depth: u64) {
         self.queue_depth.store(depth, Ordering::Relaxed);
@@ -152,6 +183,10 @@ impl ShardMetrics {
             flow_slots: self.flow_slots.load(Ordering::Relaxed),
             macroflows: self.macroflows.load(Ordering::Relaxed),
             macroflow_slots: self.macroflow_slots.load(Ordering::Relaxed),
+            wal_fsync_ns: self.wal_fsync_ns.snapshot(),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
+            recovery_replayed_records: self.recovery_replayed.load(Ordering::Relaxed),
         }
     }
 }
@@ -293,6 +328,15 @@ pub struct ShardSnapshot {
     pub macroflows: u64,
     /// Macroflow-arena slot footprint (live + vacant).
     pub macroflow_slots: u64,
+    /// WAL fsync latency histogram (group-commit flushes and rotation
+    /// seals); empty when the daemon runs without durability.
+    pub wal_fsync_ns: HistogramSnapshot,
+    /// Bytes in the current journal epoch as of the last flush.
+    pub wal_bytes: u64,
+    /// Size of the latest snapshot image on disk.
+    pub snapshot_bytes: u64,
+    /// Journal records replayed during startup recovery.
+    pub recovery_replayed_records: u64,
 }
 
 impl ShardSnapshot {
@@ -434,6 +478,28 @@ mod tests {
         assert_eq!(snap.shards[0].commit_ns.count, 1);
         // (60 + 20) hits over (80 + 20) lookups.
         assert_eq!(snap.path_cache_hit_rate(), Some(0.8));
+    }
+
+    #[test]
+    fn durability_series_surface_in_snapshots() {
+        let reg = MetricsRegistry::new(2);
+        reg.shard(0).record_wal_fsync_ns(250_000);
+        reg.shard(0).record_wal_fsync_ns(1_000_000);
+        reg.shard(0).set_wal_bytes(4096);
+        reg.shard(0).set_snapshot_bytes(1 << 20);
+        reg.shard(0).set_recovery_replayed(42);
+        let snap = reg.snapshot();
+        let s = &snap.shards[0];
+        assert_eq!(s.wal_fsync_ns.count, 2);
+        assert_eq!(s.wal_bytes, 4096);
+        assert_eq!(s.snapshot_bytes, 1 << 20);
+        assert_eq!(s.recovery_replayed_records, 42);
+        // A shard that never touched the WAL reports empty series.
+        assert_eq!(snap.shards[1].wal_fsync_ns.count, 0);
+        assert_eq!(snap.shards[1].wal_bytes, 0);
+        let text = serde::json::to_string(&snap);
+        let back: MetricsSnapshot = serde::json::from_str(&text).expect("roundtrip");
+        assert_eq!(back, snap);
     }
 
     #[test]
