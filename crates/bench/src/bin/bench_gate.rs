@@ -4,7 +4,7 @@
 //! bench_gate --fresh BENCH_loadgen.fresh.json \
 //!            --baseline BENCH_loadgen.json \
 //!            [--min-ratio 0.6] [--max-p99-ratio 1.5] [--min-hit-rate 0.5]
-//!            [--durable]
+//!            [--durable] [--min-connections N]
 //! ```
 //!
 //! Reads both `bb-loadgen` reports, applies
@@ -22,9 +22,17 @@
 //! verification rules, a successful restart-recovery check, and a
 //! throughput floor against the **non-durable** baseline (so the gate
 //! bounds the durability tax itself).
+//!
+//! With `--min-connections N` the fresh report must come from a
+//! `bb-loadgen --connections` swarm run and is gated with
+//! [`bb_bench::gate::check_swarm`]: same workload configuration, at
+//! least N persistent connections held by the generator **and**
+//! observed concurrently open by the daemon, and throughput within the
+//! margin of the baseline — high fan-in must not cost decisions/s.
 
 use bb_bench::gate::{
-    check_durable, check_full, DEFAULT_MAX_P99_RATIO, DEFAULT_MIN_HIT_RATE, DEFAULT_MIN_RATIO,
+    check_durable, check_full, check_swarm, DEFAULT_MAX_P99_RATIO, DEFAULT_MIN_HIT_RATE,
+    DEFAULT_MIN_RATIO,
 };
 
 fn arg(name: &str) -> Option<String> {
@@ -67,6 +75,43 @@ fn main() {
 
     let fresh = load(&fresh_path);
     let baseline = load(&baseline_path);
+    if let Some(minc) = arg("--min-connections") {
+        let min_connections: f64 = minc
+            .parse()
+            .expect("bench-gate: --min-connections must be a number");
+        match check_swarm(&fresh, &baseline, min_ratio, min_connections) {
+            Ok(verdict) => {
+                println!(
+                    "bench-gate: swarm {:.0} decisions/s vs baseline {:.0} ({:.0}%, floor {:.0}%)",
+                    verdict.fresh_throughput,
+                    verdict.baseline_throughput,
+                    verdict.ratio * 100.0,
+                    verdict.min_ratio * 100.0
+                );
+                println!(
+                    "bench-gate: {:.0} persistent connections (daemon peak {}), floor {:.0}",
+                    verdict.connections,
+                    verdict
+                        .daemon_open_peak
+                        .map_or("unreported".to_string(), |p| format!("{p:.0}")),
+                    verdict.min_connections
+                );
+                if verdict.passed() {
+                    println!("bench-gate: PASS (swarm)");
+                } else {
+                    for f in &verdict.failures {
+                        eprintln!("bench-gate: FAIL: {f}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("bench-gate: unusable report: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     if flag("--durable") {
         match check_durable(&fresh, &baseline, min_ratio) {
             Ok(verdict) => {

@@ -72,11 +72,26 @@ struct RecoveryRow {
     replayed_records: u64,
 }
 
+/// Snapshot codec comparison: the same [`bb_core::persist::BrokerImage`] encoded and
+/// decoded through the legacy JSON path and the binary `binfmt` path
+/// that is now the write default.
+#[derive(serde::Serialize)]
+struct CodecRow {
+    flows: u64,
+    json_bytes: u64,
+    binary_bytes: u64,
+    json_encode_ms: f64,
+    json_decode_ms: f64,
+    binary_encode_ms: f64,
+    binary_decode_ms: f64,
+}
+
 #[derive(serde::Serialize)]
 struct Report {
     message_one_way_ms: f64,
     rows: Vec<Row>,
     recovery: Vec<RecoveryRow>,
+    snapshot_codec: Vec<CodecRow>,
 }
 
 /// Times a recovery (`ShardStore::open` + journal replay into a fresh
@@ -160,6 +175,76 @@ fn recovery_row(flows: u64) -> RecoveryRow {
     }
 }
 
+/// Times `iters` runs of `f` and returns milliseconds per run.
+fn per_run_ms(iters: u64, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+/// Snapshot codec measurement: a shard image holding `flows` resident
+/// flows pushed through both snapshot codecs, timing encode and decode
+/// separately.
+fn codec_row(flows: u64) -> CodecRow {
+    let (topo, route) = chain(5, Rate::from_mbps(1_000));
+    let mut shard = BrokerShard::new(0, 1, &topo, &BrokerConfig::default(), &[(PathId(0), route)]);
+    for k in 0..flows {
+        let req = FlowRequest {
+            flow: FlowId(k),
+            profile: type0(),
+            d_req: Nanos::from_secs(20),
+            service: ServiceKind::PerFlow,
+            path: PathId(0),
+        };
+        let plan = shard.decide(&req);
+        shard.commit(Time::ZERO, &plan).expect("fat links");
+    }
+    let image = shard.export_image();
+    let iters = 40u64;
+
+    let json = serde::json::to_string(&image);
+    let json_encode_ms = per_run_ms(iters, || {
+        std::hint::black_box(serde::json::to_string(std::hint::black_box(&image)));
+    });
+    let json_decode_ms = per_run_ms(iters, || {
+        let decoded: bb_core::persist::BrokerImage =
+            serde::json::from_str(std::hint::black_box(&json)).expect("json round trip");
+        std::hint::black_box(decoded);
+    });
+
+    let mut binary = Vec::new();
+    bb_durable::binfmt::encode_payload(&image, &mut binary);
+    assert_eq!(
+        bb_durable::binfmt::decode_payload::<bb_core::persist::BrokerImage>(&binary)
+            .expect("binary round trip"),
+        image
+    );
+    let binary_encode_ms = per_run_ms(iters, || {
+        let mut out = Vec::new();
+        bb_durable::binfmt::encode_payload(std::hint::black_box(&image), &mut out);
+        std::hint::black_box(out);
+    });
+    let binary_decode_ms = per_run_ms(iters, || {
+        let decoded = bb_durable::binfmt::decode_payload::<bb_core::persist::BrokerImage>(
+            std::hint::black_box(&binary),
+        )
+        .expect("binary round trip");
+        std::hint::black_box(decoded);
+    });
+
+    CodecRow {
+        flows,
+        json_bytes: json.len() as u64,
+        binary_bytes: binary.len() as u64,
+        json_encode_ms,
+        json_decode_ms,
+        binary_encode_ms,
+        binary_decode_ms,
+    }
+}
+
 fn main() {
     const MSG_MS: f64 = 5.0; // one-way control-message latency
     let profile = type0();
@@ -238,10 +323,32 @@ fn main() {
         recovery.push(row);
     }
 
+    println!("\nsnapshot codec (BrokerImage, JSON vs binary binfmt):");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "flows", "json(B)", "bin(B)", "jenc(ms)", "jdec(ms)", "benc(ms)", "bdec(ms)"
+    );
+    let mut snapshot_codec = Vec::new();
+    for flows in [500u64, 2_000, 8_000] {
+        let row = codec_row(flows);
+        println!(
+            "{:>8} {:>12} {:>12} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            row.flows,
+            row.json_bytes,
+            row.binary_bytes,
+            row.json_encode_ms,
+            row.json_decode_ms,
+            row.binary_encode_ms,
+            row.binary_decode_ms
+        );
+        snapshot_codec.push(row);
+    }
+
     let report = Report {
         message_one_way_ms: MSG_MS,
         rows,
         recovery,
+        snapshot_codec,
     };
     std::fs::write(
         "BENCH_setup_latency.json",

@@ -238,6 +238,129 @@ pub fn check_full(
     })
 }
 
+/// Outcome of gating a `--connections` swarm run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SwarmGateReport {
+    /// Swarm run's decision throughput (decisions/s).
+    pub fresh_throughput: f64,
+    /// Baseline's decision throughput (decisions/s).
+    pub baseline_throughput: f64,
+    /// `fresh_throughput / baseline_throughput`.
+    pub ratio: f64,
+    /// Minimum acceptable ratio.
+    pub min_ratio: f64,
+    /// Persistent connections the load generator held open.
+    pub connections: f64,
+    /// Peak concurrently-open connections the daemon itself observed
+    /// (`stats.metrics.conns.open_peak`), when the report carries one.
+    pub daemon_open_peak: Option<f64>,
+    /// Minimum acceptable connection count.
+    pub min_connections: f64,
+    /// Human-readable reasons the gate failed; empty means pass.
+    pub failures: Vec<String>,
+}
+
+impl SwarmGateReport {
+    /// True when no gate condition failed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Gates a `--connections` swarm run against the baseline: the
+/// high-fan-in shape must not cost throughput. The gate fails when:
+///
+/// * the workload configurations differ (same rule as [`check_full`]);
+/// * the report's `concurrent_connections` is missing (the run was not
+///   a swarm run) or below `min_connections`;
+/// * the daemon's own `stats.metrics.conns.open_peak`, when present,
+///   is below `min_connections` — the generator claiming N connections
+///   is not enough; the daemon must have seen them open at once;
+/// * throughput fell below `min_ratio` of the baseline — the event
+///   loop must hold the single-digit-connection throughput while
+///   fronting thousands of edges.
+///
+/// Swarm runs carry no `verified` verdict (replies spread over many
+/// sockets no longer pin each pod's request order), so unlike
+/// [`check_full`] this gate does not require one.
+///
+/// # Errors
+///
+/// Returns `Err` when either report is structurally unusable, distinct
+/// from a well-formed report that merely fails the gate.
+pub fn check_swarm(
+    fresh: &Value,
+    baseline: &Value,
+    min_ratio: f64,
+    min_connections: f64,
+) -> Result<SwarmGateReport, String> {
+    let mut failures = Vec::new();
+
+    for field in CONFIG_FIELDS {
+        let f = number(fresh, field).map_err(|e| format!("fresh: {e}"))?;
+        let b = number(baseline, field).map_err(|e| format!("baseline: {e}"))?;
+        if f != b {
+            failures.push(format!(
+                "config drift on `{field}`: fresh ran {f}, baseline was produced with {b}"
+            ));
+        }
+    }
+
+    let connections = number(fresh, "concurrent_connections").unwrap_or(0.0);
+    if connections < min_connections {
+        failures.push(format!(
+            "connection floor: the run held {connections:.0} persistent connections, below the \
+             {min_connections:.0} floor (rerun bb-loadgen with --connections)"
+        ));
+    }
+    let daemon_open_peak = fresh
+        .field("stats")
+        .ok()
+        .and_then(|s| s.field("metrics").ok())
+        .and_then(|m| m.field("conns").ok())
+        .and_then(|c| c.field("open_peak").ok())
+        .and_then(|v| v.as_f64().ok());
+    if let Some(peak) = daemon_open_peak {
+        if peak < min_connections {
+            failures.push(format!(
+                "connection floor: the daemon observed only {peak:.0} concurrently open \
+                 connections at peak, below the {min_connections:.0} floor"
+            ));
+        }
+    }
+
+    let fresh_throughput =
+        number(fresh, "throughput_decisions_per_s").map_err(|e| format!("fresh: {e}"))?;
+    let baseline_throughput =
+        number(baseline, "throughput_decisions_per_s").map_err(|e| format!("baseline: {e}"))?;
+    if baseline_throughput <= 0.0 {
+        return Err(format!(
+            "baseline throughput is {baseline_throughput}; regenerate BENCH_loadgen.json"
+        ));
+    }
+    let ratio = fresh_throughput / baseline_throughput;
+    if ratio < min_ratio {
+        failures.push(format!(
+            "throughput regression under fan-in: {fresh_throughput:.0} decisions/s is {:.0}% of \
+             the {baseline_throughput:.0} baseline (floor: {:.0}%)",
+            ratio * 100.0,
+            min_ratio * 100.0
+        ));
+    }
+
+    Ok(SwarmGateReport {
+        fresh_throughput,
+        baseline_throughput,
+        ratio,
+        min_ratio,
+        connections,
+        daemon_open_peak,
+        min_connections,
+        failures,
+    })
+}
+
 /// Outcome of gating a `--durable` fresh run against the non-durable
 /// baseline.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -510,6 +633,57 @@ mod tests {
         let fresh = serde::json::parse(r#"{"pods": 64}"#).unwrap();
         let base = report(34_000.0, "true", 1);
         assert!(check(&fresh, &base, DEFAULT_MIN_RATIO).is_err());
+    }
+
+    fn swarm_report(throughput: f64, connections: &str, open_peak: &str) -> Value {
+        serde::json::parse(&format!(
+            r#"{{
+              "pods": 64, "hops": 5, "clients": 8, "requests_per_client": 2000,
+              "offered_rate_per_client_hz": 8000.0, "seed": 1,
+              "concurrent_connections": {connections},
+              "throughput_decisions_per_s": {throughput},
+              "setup_latency_p99_us": 4000.0,
+              "verified": null,
+              "stats": {{ "metrics": {{ "conns": {{ "open_peak": {open_peak} }} }} }}
+            }}"#
+        ))
+        .expect("literal parses")
+    }
+
+    #[test]
+    fn swarm_gate_passes_at_the_connection_floor_and_margin() {
+        let fresh = swarm_report(33_000.0, "10000", "10000");
+        let base = report(34_000.0, "true", 1);
+        let verdict = check_swarm(&fresh, &base, DEFAULT_MIN_RATIO, 10_000.0).unwrap();
+        assert!(verdict.passed(), "{:?}", verdict.failures);
+        assert_eq!(verdict.daemon_open_peak, Some(10_000.0));
+    }
+
+    #[test]
+    fn swarm_gate_fails_below_the_floor_slow_or_not_a_swarm_run() {
+        let base = report(34_000.0, "true", 1);
+
+        let few = swarm_report(33_000.0, "4000", "4000");
+        let verdict = check_swarm(&few, &base, DEFAULT_MIN_RATIO, 10_000.0).unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("connection floor"));
+
+        // The generator's claim alone is not enough: the daemon must
+        // have seen the connections concurrently open.
+        let shallow_peak = swarm_report(33_000.0, "10000", "512");
+        let verdict = check_swarm(&shallow_peak, &base, DEFAULT_MIN_RATIO, 10_000.0).unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("daemon observed only"));
+
+        let slow = swarm_report(10_000.0, "10000", "10000");
+        let verdict = check_swarm(&slow, &base, DEFAULT_MIN_RATIO, 10_000.0).unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("throughput regression under fan-in"));
+
+        let classic = report(34_000.0, "true", 1);
+        let verdict = check_swarm(&classic, &base, DEFAULT_MIN_RATIO, 10_000.0).unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("--connections"));
     }
 
     fn durable_report(throughput: f64, verified: &str, durable: &str) -> Value {

@@ -1,0 +1,872 @@
+//! Compact binary payload codec for journal records and snapshots.
+//!
+//! PR 5 made JSON recovery linear-time; this module removes JSON from
+//! the durable write path altogether. Payloads are length-delimited by
+//! the frame layer ([`crate::record`]) — inside a frame, the binary
+//! form is:
+//!
+//! ```text
+//! ┌──────┬──────┬───────────────────────────────┐
+//! │ 0xB1 │ tag  │ body (type-specific fields)   │
+//! └──────┴──────┴───────────────────────────────┘
+//! ```
+//!
+//! `0xB1` is the format magic: JSON payloads begin with `{` (0x7B), so
+//! the first byte alone tells recovery which decoder a legacy or
+//! current epoch needs. `tag` names the payload type
+//! ([`WalRecord`] = 1, [`SnapMeta`] = 2, [`BrokerImage`] = 3), catching
+//! a snapshot frame fed to the journal decoder (or vice versa) as
+//! corruption rather than misinterpretation.
+//!
+//! Bodies use two primitive encodings:
+//!
+//! * **LEB128 varints** for ids, counts, rates, and timestamps — the
+//!   values that dominate journal traffic and compress well (a small
+//!   flow id costs one byte instead of JSON's quoted decimal).
+//! * **Fixed little-endian `u64`** for high-entropy words where a
+//!   varint would pessimize: the `(hi, lo)` halves of 128-bit EDF
+//!   aggregates and `Handle::to_bits` images (generation ‖ index).
+//!
+//! Dense-store rows (arena slots, free lists, the macro registry)
+//! serialize as contiguous length-prefixed arrays in slot order, so a
+//! snapshot body mirrors the arena layout it captures.
+//!
+//! Decoding is strict: truncated bodies, unknown tags, and trailing
+//! bytes are all [`BinError`]s, surfaced by the frame layer as
+//! [`crate::record::FrameError::Corrupt`] — the checksum already
+//! passed, so a malformed body is real corruption, never a torn write.
+
+use serde::{Deserialize, Serialize};
+
+use bb_core::broker::BrokerStats;
+use bb_core::contingency::Grant;
+use bb_core::persist::{
+    BrokerImage, EdfEntryImage, FlowRecordImage, FlowServiceImage, FlowSlotImage, LinkImage,
+    MacroImage, MacroSlotImage,
+};
+use bb_core::{FlowRequest, PathId, ServiceKind};
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+use crate::record::WalRecord;
+use crate::store::SnapMeta;
+
+/// First byte of every binary payload. JSON payloads start with `{`
+/// (0x7B), so this byte alone discriminates the two formats.
+pub const MAGIC: u8 = 0xB1;
+
+/// A binary-payload decode failure; converted to
+/// [`crate::record::FrameError::Corrupt`] at the frame layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinError {
+    /// The body ended before a field completed.
+    Truncated {
+        /// Byte offset within the payload where input ran out.
+        at: usize,
+    },
+    /// A tag byte (payload type, enum variant, option) had no meaning.
+    BadTag {
+        /// Byte offset of the tag.
+        at: usize,
+        /// The unrecognized value.
+        tag: u8,
+    },
+    /// The payload-type tag named a different type than the decoder.
+    WrongType {
+        /// The decoder's expected tag.
+        expected: u8,
+        /// The tag found.
+        found: u8,
+    },
+    /// A varint ran past 10 bytes (no `u64` does).
+    VarintOverflow {
+        /// Byte offset where the varint began.
+        at: usize,
+    },
+    /// The body decoded completely but bytes remain.
+    Trailing {
+        /// Offset of the first unconsumed byte.
+        at: usize,
+        /// How many bytes remain.
+        remaining: usize,
+    },
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::Truncated { at } => write!(f, "binary payload truncated at byte {at}"),
+            BinError::BadTag { at, tag } => {
+                write!(f, "binary payload has unknown tag {tag:#04x} at byte {at}")
+            }
+            BinError::WrongType { expected, found } => write!(
+                f,
+                "binary payload type tag {found:#04x} where {expected:#04x} was expected"
+            ),
+            BinError::VarintOverflow { at } => {
+                write!(f, "binary payload varint overflows u64 at byte {at}")
+            }
+            BinError::Trailing { at, remaining } => write!(
+                f,
+                "binary payload has {remaining} trailing bytes at offset {at}"
+            ),
+        }
+    }
+}
+
+/// A type the durable layer can frame: binary on the write path, with
+/// serde JSON (the supertraits) kept for reading legacy epochs.
+pub trait Payload: Serialize + Deserialize {
+    /// The payload-type tag written after [`MAGIC`].
+    const TAG: u8;
+    /// Appends the body (everything after magic + tag) to `out`.
+    fn encode_body(&self, out: &mut Vec<u8>);
+    /// Decodes the body; the caller checks for trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`BinError`] the body surfaces.
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, BinError>;
+}
+
+/// Encodes `v` as a complete binary payload (magic, tag, body).
+pub fn encode_payload<T: Payload>(v: &T, out: &mut Vec<u8>) {
+    out.push(MAGIC);
+    out.push(T::TAG);
+    v.encode_body(out);
+}
+
+/// Decodes a complete binary payload, enforcing magic, type tag, and
+/// full consumption.
+///
+/// # Errors
+///
+/// [`BinError`] on any structural mismatch.
+pub fn decode_payload<T: Payload>(payload: &[u8]) -> Result<T, BinError> {
+    let mut r = Reader::new(payload);
+    let magic = r.u8()?;
+    if magic != MAGIC {
+        return Err(BinError::BadTag { at: 0, tag: magic });
+    }
+    let tag = r.u8()?;
+    if tag != T::TAG {
+        return Err(BinError::WrongType {
+            expected: T::TAG,
+            found: tag,
+        });
+    }
+    let v = T::decode_body(&mut r)?;
+    r.finish()?;
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+/// Appends a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a fixed little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Sequential reader over a binary payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// One byte.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, BinError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(BinError::Truncated { at: self.pos })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// A LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::Truncated`] or [`BinError::VarintOverflow`].
+    pub fn varint(&mut self) -> Result<u64, BinError> {
+        let start = self.pos;
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(BinError::VarintOverflow { at: start });
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(BinError::VarintOverflow { at: start });
+            }
+        }
+    }
+
+    /// A fixed little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::Truncated`] at end of input.
+    pub fn u64(&mut self) -> Result<u64, BinError> {
+        let end = self.pos + 8;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(BinError::Truncated { at: self.pos })?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Asserts the payload is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::Trailing`] when bytes remain.
+    pub fn finish(&self) -> Result<(), BinError> {
+        let remaining = self.buf.len() - self.pos;
+        if remaining != 0 {
+            return Err(BinError::Trailing {
+                at: self.pos,
+                remaining,
+            });
+        }
+        Ok(())
+    }
+
+    /// A length-prefixed count, sanity-bounded against the bytes that
+    /// remain (each element costs at least `min_bytes`), so a corrupt
+    /// count cannot become a huge allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::Truncated`] when the count cannot fit the input.
+    pub fn count(&mut self, min_bytes: usize) -> Result<usize, BinError> {
+        let at = self.pos;
+        let n = self.varint()? as usize;
+        if n.saturating_mul(min_bytes.max(1)) > self.buf.len() - self.pos {
+            return Err(BinError::Truncated { at });
+        }
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Composite field helpers
+// ---------------------------------------------------------------------
+
+fn put_profile(out: &mut Vec<u8>, p: &TrafficProfile) {
+    put_varint(out, p.sigma.as_bits());
+    put_varint(out, p.rho.as_bps());
+    put_varint(out, p.peak.as_bps());
+    put_varint(out, p.l_max.as_bits());
+}
+
+fn get_profile(r: &mut Reader<'_>) -> Result<TrafficProfile, BinError> {
+    Ok(TrafficProfile {
+        sigma: Bits::from_bits(r.varint()?),
+        rho: Rate::from_bps(r.varint()?),
+        peak: Rate::from_bps(r.varint()?),
+        l_max: Bits::from_bits(r.varint()?),
+    })
+}
+
+fn put_request(out: &mut Vec<u8>, req: &FlowRequest) {
+    put_varint(out, req.flow.0);
+    put_profile(out, &req.profile);
+    put_varint(out, req.d_req.as_nanos());
+    match req.service {
+        ServiceKind::PerFlow => out.push(0),
+        ServiceKind::Class(c) => {
+            out.push(1);
+            put_varint(out, u64::from(c));
+        }
+    }
+    put_varint(out, req.path.0);
+}
+
+fn get_request(r: &mut Reader<'_>) -> Result<FlowRequest, BinError> {
+    let flow = FlowId(r.varint()?);
+    let profile = get_profile(r)?;
+    let d_req = Nanos::from_nanos(r.varint()?);
+    let at = r.pos;
+    let service = match r.u8()? {
+        0 => ServiceKind::PerFlow,
+        1 => ServiceKind::Class(r.varint()? as u32),
+        tag => return Err(BinError::BadTag { at, tag }),
+    };
+    let path = PathId(r.varint()?);
+    Ok(FlowRequest {
+        flow,
+        profile,
+        d_req,
+        service,
+        path,
+    })
+}
+
+fn put_grant(out: &mut Vec<u8>, g: &Grant) {
+    put_varint(out, g.amount.as_bps());
+    put_varint(out, g.granted_at.as_nanos());
+    match g.expires {
+        None => out.push(0),
+        Some(t) => {
+            out.push(1);
+            put_varint(out, t.as_nanos());
+        }
+    }
+}
+
+fn get_grant(r: &mut Reader<'_>) -> Result<Grant, BinError> {
+    let amount = Rate::from_bps(r.varint()?);
+    let granted_at = Time::from_nanos(r.varint()?);
+    let at = r.pos;
+    let expires = match r.u8()? {
+        0 => None,
+        1 => Some(Time::from_nanos(r.varint()?)),
+        tag => return Err(BinError::BadTag { at, tag }),
+    };
+    Ok(Grant {
+        amount,
+        granted_at,
+        expires,
+    })
+}
+
+fn put_flow_record(out: &mut Vec<u8>, rec: &FlowRecordImage) {
+    put_profile(out, &rec.profile);
+    put_varint(out, rec.d_req.as_nanos());
+    put_varint(out, rec.path.0);
+    match rec.service {
+        FlowServiceImage::PerFlow { rate, delay } => {
+            out.push(0);
+            put_varint(out, rate.as_bps());
+            put_varint(out, delay.as_nanos());
+        }
+        FlowServiceImage::ClassMember { macroflow } => {
+            out.push(1);
+            put_u64(out, macroflow);
+        }
+    }
+}
+
+fn get_flow_record(r: &mut Reader<'_>) -> Result<FlowRecordImage, BinError> {
+    let profile = get_profile(r)?;
+    let d_req = Nanos::from_nanos(r.varint()?);
+    let path = PathId(r.varint()?);
+    let at = r.pos;
+    let service = match r.u8()? {
+        0 => FlowServiceImage::PerFlow {
+            rate: Rate::from_bps(r.varint()?),
+            delay: Nanos::from_nanos(r.varint()?),
+        },
+        1 => FlowServiceImage::ClassMember {
+            macroflow: r.u64()?,
+        },
+        tag => return Err(BinError::BadTag { at, tag }),
+    };
+    Ok(FlowRecordImage {
+        profile,
+        d_req,
+        path,
+        service,
+    })
+}
+
+fn put_free_list(out: &mut Vec<u8>, free: &[u32]) {
+    put_varint(out, free.len() as u64);
+    for &idx in free {
+        put_varint(out, u64::from(idx));
+    }
+}
+
+fn get_free_list(r: &mut Reader<'_>) -> Result<Vec<u32>, BinError> {
+    let n = r.count(1)?;
+    let mut free = Vec::with_capacity(n);
+    for _ in 0..n {
+        free.push(r.varint()? as u32);
+    }
+    Ok(free)
+}
+
+// ---------------------------------------------------------------------
+// Payload impls
+// ---------------------------------------------------------------------
+
+impl Payload for WalRecord {
+    const TAG: u8 = 1;
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::Admit { now, request } => {
+                out.push(0);
+                put_varint(out, now.as_nanos());
+                put_request(out, request);
+            }
+            WalRecord::Release { now, flow } => {
+                out.push(1);
+                put_varint(out, now.as_nanos());
+                put_varint(out, flow.0);
+            }
+            WalRecord::Report { now, macroflow } => {
+                out.push(2);
+                put_varint(out, now.as_nanos());
+                put_varint(out, macroflow.0);
+            }
+            WalRecord::Tick { now } => {
+                out.push(3);
+                put_varint(out, now.as_nanos());
+            }
+        }
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, BinError> {
+        let at = r.pos;
+        let variant = r.u8()?;
+        let now = Time::from_nanos(r.varint()?);
+        Ok(match variant {
+            0 => WalRecord::Admit {
+                now,
+                request: get_request(r)?,
+            },
+            1 => WalRecord::Release {
+                now,
+                flow: FlowId(r.varint()?),
+            },
+            2 => WalRecord::Report {
+                now,
+                macroflow: FlowId(r.varint()?),
+            },
+            3 => WalRecord::Tick { now },
+            tag => return Err(BinError::BadTag { at, tag }),
+        })
+    }
+}
+
+impl Payload for SnapMeta {
+    const TAG: u8 = 2;
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.epoch);
+        put_varint(out, self.as_of.as_nanos());
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, BinError> {
+        Ok(SnapMeta {
+            epoch: r.varint()?,
+            as_of: Time::from_nanos(r.varint()?),
+        })
+    }
+}
+
+impl Payload for BrokerImage {
+    const TAG: u8 = 3;
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.links.len() as u64);
+        for link in &self.links {
+            put_varint(out, link.reserved.as_bps());
+            put_varint(out, link.edf.len() as u64);
+            for e in &link.edf {
+                put_varint(out, e.delay.as_nanos());
+                put_varint(out, e.rate.as_bps());
+                put_u64(out, e.rate_delay_hi);
+                put_u64(out, e.rate_delay_lo);
+                put_u64(out, e.lmax_hi);
+                put_u64(out, e.lmax_lo);
+                put_varint(out, e.count);
+            }
+        }
+        put_varint(out, self.flow_slots.len() as u64);
+        for slot in &self.flow_slots {
+            match slot {
+                FlowSlotImage::Vacant { next_generation } => {
+                    out.push(0);
+                    put_varint(out, u64::from(*next_generation));
+                }
+                FlowSlotImage::Occupied {
+                    generation,
+                    flow,
+                    record,
+                } => {
+                    out.push(1);
+                    put_varint(out, u64::from(*generation));
+                    put_varint(out, *flow);
+                    put_flow_record(out, record);
+                }
+            }
+        }
+        put_free_list(out, &self.flow_free);
+        put_varint(out, self.macro_slots.len() as u64);
+        for slot in &self.macro_slots {
+            match slot {
+                MacroSlotImage::Vacant { next_generation } => {
+                    out.push(0);
+                    put_varint(out, u64::from(*next_generation));
+                }
+                MacroSlotImage::Occupied { generation, state } => {
+                    out.push(1);
+                    put_varint(out, u64::from(*generation));
+                    put_varint(out, state.id);
+                    put_varint(out, u64::from(state.class));
+                    put_varint(out, state.path.0);
+                    put_profile(out, &state.profile);
+                    put_varint(out, state.reserved.as_bps());
+                    put_varint(out, state.members);
+                    put_varint(out, state.grants.len() as u64);
+                    for g in &state.grants {
+                        put_grant(out, g);
+                    }
+                    out.push(u8::from(state.dissolving));
+                }
+            }
+        }
+        put_free_list(out, &self.macro_free);
+        put_varint(out, self.macro_registry.len() as u64);
+        for entry in &self.macro_registry {
+            match entry {
+                None => out.push(0),
+                Some(bits) => {
+                    out.push(1);
+                    put_u64(out, *bits);
+                }
+            }
+        }
+        put_varint(out, self.next_macro);
+        let s = &self.stats;
+        for field in [
+            s.requested,
+            s.admitted,
+            s.rejected_policy,
+            s.rejected_delay,
+            s.rejected_bandwidth,
+            s.rejected_sched,
+            s.rejected_unknown_class,
+            s.rejected_duplicate,
+            s.released,
+            s.grants,
+            s.grant_expiries,
+            s.grant_resets,
+            s.plan_retries,
+            s.plan_aborts,
+        ] {
+            put_varint(out, field);
+        }
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, BinError> {
+        let n_links = r.count(2)?;
+        let mut links = Vec::with_capacity(n_links);
+        for _ in 0..n_links {
+            let reserved = Rate::from_bps(r.varint()?);
+            let n_edf = r.count(35)?;
+            let mut edf = Vec::with_capacity(n_edf);
+            for _ in 0..n_edf {
+                edf.push(EdfEntryImage {
+                    delay: Nanos::from_nanos(r.varint()?),
+                    rate: Rate::from_bps(r.varint()?),
+                    rate_delay_hi: r.u64()?,
+                    rate_delay_lo: r.u64()?,
+                    lmax_hi: r.u64()?,
+                    lmax_lo: r.u64()?,
+                    count: r.varint()?,
+                });
+            }
+            links.push(LinkImage { reserved, edf });
+        }
+        let n_flows = r.count(2)?;
+        let mut flow_slots = Vec::with_capacity(n_flows);
+        for _ in 0..n_flows {
+            let at = r.pos;
+            flow_slots.push(match r.u8()? {
+                0 => FlowSlotImage::Vacant {
+                    next_generation: r.varint()? as u32,
+                },
+                1 => FlowSlotImage::Occupied {
+                    generation: r.varint()? as u32,
+                    flow: r.varint()?,
+                    record: get_flow_record(r)?,
+                },
+                tag => return Err(BinError::BadTag { at, tag }),
+            });
+        }
+        let flow_free = get_free_list(r)?;
+        let n_macros = r.count(2)?;
+        let mut macro_slots = Vec::with_capacity(n_macros);
+        for _ in 0..n_macros {
+            let at = r.pos;
+            macro_slots.push(match r.u8()? {
+                0 => MacroSlotImage::Vacant {
+                    next_generation: r.varint()? as u32,
+                },
+                1 => {
+                    let generation = r.varint()? as u32;
+                    let id = r.varint()?;
+                    let class = r.varint()? as u32;
+                    let path = PathId(r.varint()?);
+                    let profile = get_profile(r)?;
+                    let reserved = Rate::from_bps(r.varint()?);
+                    let members = r.varint()?;
+                    let n_grants = r.count(3)?;
+                    let mut grants = Vec::with_capacity(n_grants);
+                    for _ in 0..n_grants {
+                        grants.push(get_grant(r)?);
+                    }
+                    let dissolving = match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        tag => return Err(BinError::BadTag { at: r.pos - 1, tag }),
+                    };
+                    MacroSlotImage::Occupied {
+                        generation,
+                        state: MacroImage {
+                            id,
+                            class,
+                            path,
+                            profile,
+                            reserved,
+                            members,
+                            grants,
+                            dissolving,
+                        },
+                    }
+                }
+                tag => return Err(BinError::BadTag { at, tag }),
+            });
+        }
+        let macro_free = get_free_list(r)?;
+        let n_registry = r.count(1)?;
+        let mut macro_registry = Vec::with_capacity(n_registry);
+        for _ in 0..n_registry {
+            let at = r.pos;
+            macro_registry.push(match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                tag => return Err(BinError::BadTag { at, tag }),
+            });
+        }
+        let next_macro = r.varint()?;
+        let stats = BrokerStats {
+            requested: r.varint()?,
+            admitted: r.varint()?,
+            rejected_policy: r.varint()?,
+            rejected_delay: r.varint()?,
+            rejected_bandwidth: r.varint()?,
+            rejected_sched: r.varint()?,
+            rejected_unknown_class: r.varint()?,
+            rejected_duplicate: r.varint()?,
+            released: r.varint()?,
+            grants: r.varint()?,
+            grant_expiries: r.varint()?,
+            grant_resets: r.varint()?,
+            plan_retries: r.varint()?,
+            plan_aborts: r.varint()?,
+        };
+        Ok(BrokerImage {
+            links,
+            flow_slots,
+            flow_free,
+            macro_slots,
+            macro_free,
+            macro_registry,
+            next_macro,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrips_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn varint_overflow_is_an_error_not_a_wrap() {
+        // 11 continuation bytes can't encode any u64.
+        let buf = [0xff; 11];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.varint(), Err(BinError::VarintOverflow { .. })));
+    }
+
+    #[test]
+    fn wal_record_binary_is_smaller_than_json() {
+        let rec = WalRecord::Admit {
+            now: Time::from_nanos(1_234_567),
+            request: FlowRequest {
+                flow: FlowId(42),
+                profile: TrafficProfile {
+                    sigma: Bits::from_bits(25_600),
+                    rho: Rate::from_bps(64_000),
+                    peak: Rate::from_bps(256_000),
+                    l_max: Bits::from_bits(12_800),
+                },
+                d_req: Nanos::from_millis(2_440),
+                service: ServiceKind::Class(0),
+                path: PathId(7),
+            },
+        };
+        let mut bin = Vec::new();
+        encode_payload(&rec, &mut bin);
+        let json = serde::json::to_string(&rec);
+        assert!(
+            bin.len() * 3 < json.len(),
+            "binary {}B should be well under a third of JSON {}B",
+            bin.len(),
+            json.len()
+        );
+        assert_eq!(decode_payload::<WalRecord>(&bin).unwrap(), rec);
+    }
+
+    #[test]
+    fn type_tag_mismatch_is_detected() {
+        let meta = SnapMeta {
+            epoch: 3,
+            as_of: Time::from_nanos(99),
+        };
+        let mut buf = Vec::new();
+        encode_payload(&meta, &mut buf);
+        assert!(matches!(
+            decode_payload::<WalRecord>(&buf),
+            Err(BinError::WrongType {
+                expected: 1,
+                found: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_corruption() {
+        let mut buf = Vec::new();
+        encode_payload(
+            &WalRecord::Tick {
+                now: Time::from_nanos(5),
+            },
+            &mut buf,
+        );
+        buf.push(0);
+        assert!(matches!(
+            decode_payload::<WalRecord>(&buf),
+            Err(BinError::Trailing { .. })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_of_a_snapshot_body_errors() {
+        let image = BrokerImage {
+            links: vec![LinkImage {
+                reserved: Rate::from_bps(1_500_000),
+                edf: vec![EdfEntryImage {
+                    delay: Nanos::from_millis(100),
+                    rate: Rate::from_bps(64_000),
+                    rate_delay_hi: 1,
+                    rate_delay_lo: u64::MAX,
+                    lmax_hi: 0,
+                    lmax_lo: 12_800_000_000_000,
+                    count: 2,
+                }],
+            }],
+            flow_slots: vec![
+                FlowSlotImage::Occupied {
+                    generation: 1,
+                    flow: 9,
+                    record: FlowRecordImage {
+                        profile: TrafficProfile {
+                            sigma: Bits::from_bits(25_600),
+                            rho: Rate::from_bps(64_000),
+                            peak: Rate::from_bps(256_000),
+                            l_max: Bits::from_bits(12_800),
+                        },
+                        d_req: Nanos::from_millis(2_440),
+                        path: PathId(0),
+                        service: FlowServiceImage::ClassMember {
+                            macroflow: (3u64 << 32) | 1,
+                        },
+                    },
+                },
+                FlowSlotImage::Vacant { next_generation: 4 },
+            ],
+            flow_free: vec![1],
+            macro_slots: vec![MacroSlotImage::Occupied {
+                generation: 3,
+                state: MacroImage {
+                    id: 1 << 33,
+                    class: 0,
+                    path: PathId(0),
+                    profile: TrafficProfile {
+                        sigma: Bits::from_bits(25_600),
+                        rho: Rate::from_bps(64_000),
+                        peak: Rate::from_bps(256_000),
+                        l_max: Bits::from_bits(12_800),
+                    },
+                    reserved: Rate::from_bps(128_000),
+                    members: 2,
+                    grants: vec![Grant {
+                        amount: Rate::from_bps(192_000),
+                        granted_at: Time::from_nanos(50),
+                        expires: Some(Time::from_nanos(1_000_050)),
+                    }],
+                    dissolving: false,
+                },
+            }],
+            macro_free: vec![],
+            macro_registry: vec![Some(3u64 << 32), None],
+            next_macro: (1 << 33) + 2,
+            stats: BrokerStats {
+                requested: 10,
+                admitted: 8,
+                ..BrokerStats::default()
+            },
+        };
+        let mut buf = Vec::new();
+        encode_payload(&image, &mut buf);
+        assert_eq!(decode_payload::<BrokerImage>(&buf).unwrap(), image);
+        for cut in 0..buf.len() {
+            assert!(
+                decode_payload::<BrokerImage>(&buf[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+}

@@ -33,12 +33,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binfmt;
 pub mod crc;
 pub mod record;
 pub mod recovery;
 pub mod store;
 
-pub use record::{encode_record, FrameCursor, FrameError, WalRecord, FRAME_HEADER};
+pub use binfmt::Payload;
+pub use record::{
+    encode_record, encode_record_json, FrameCursor, FrameError, WalRecord, FRAME_HEADER,
+};
 pub use recovery::{replay, RecoveryOutcome, ReplaySummary};
 pub use store::{
     read_snapshot, snap_path, wal_path, write_snapshot, DurableError, FsyncSample, RotateStats,

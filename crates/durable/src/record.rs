@@ -17,7 +17,9 @@
 //! └────────────┴────────────┴──────────────────┘
 //! ```
 //!
-//! `crc` is the CRC-32 of the payload (JSON-serialized record). A frame
+//! `crc` is the CRC-32 of the payload (a [`crate::binfmt`]-serialized
+//! record; legacy epochs carry JSON payloads, which the decoder detects
+//! by the format byte and still reads). A frame
 //! cut short by a crash mid-write is a **torn** frame: tolerated (and
 //! discarded, with its byte count reported) at the very end of the last
 //! journal of a recovery chain, a hard error anywhere else. A frame
@@ -31,6 +33,7 @@ use bb_core::FlowRequest;
 use qos_units::Time;
 use vtrs::packet::FlowId;
 
+use crate::binfmt::Payload;
 use crate::crc::crc32;
 
 /// Frame header size: `len` + `crc`, both little-endian `u32`.
@@ -99,9 +102,23 @@ pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
     out.extend_from_slice(payload);
 }
 
-/// Serializes a record into one framed byte string.
+/// Serializes a record into one framed byte string, in the binary
+/// format ([`crate::binfmt`]) — the write-path default since PR 6.
 #[must_use]
-pub fn encode_record<T: Serialize>(record: &T) -> Vec<u8> {
+pub fn encode_record<T: Payload>(record: &T) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64);
+    crate::binfmt::encode_payload(record, &mut payload);
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    encode_frame(&payload, &mut out);
+    out
+}
+
+/// Serializes a record into one framed byte string with a legacy JSON
+/// payload — the format every epoch before PR 6 was written in. Kept so
+/// mixed-epoch recovery (JSON snapshot or journal prefix + binary tail)
+/// stays testable.
+#[must_use]
+pub fn encode_record_json<T: Serialize>(record: &T) -> Vec<u8> {
     let payload = serde::json::to_string(record);
     let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
     encode_frame(payload.as_bytes(), &mut out);
@@ -208,13 +225,22 @@ impl<'a> FrameCursor<'a> {
     }
 }
 
-/// Decodes a frame payload into a record.
+/// Decodes a frame payload into a record, dispatching on the format
+/// byte: [`crate::binfmt::MAGIC`] (0xB1) selects the binary decoder,
+/// anything else is treated as a legacy JSON epoch (JSON payloads start
+/// with `{`, 0x7B).
 ///
 /// # Errors
 ///
-/// [`FrameError::Corrupt`] when the payload is not the expected JSON
-/// shape (`offset` is supplied by the caller for the error report).
-pub fn decode_payload<T: Deserialize>(payload: &[u8], offset: usize) -> Result<T, FrameError> {
+/// [`FrameError::Corrupt`] when the payload matches neither format
+/// (`offset` is supplied by the caller for the error report).
+pub fn decode_payload<T: Payload>(payload: &[u8], offset: usize) -> Result<T, FrameError> {
+    if payload.first() == Some(&crate::binfmt::MAGIC) {
+        return crate::binfmt::decode_payload(payload).map_err(|e| FrameError::Corrupt {
+            offset,
+            detail: e.to_string(),
+        });
+    }
     let text = std::str::from_utf8(payload).map_err(|e| FrameError::Corrupt {
         offset,
         detail: format!("payload is not UTF-8: {e}"),

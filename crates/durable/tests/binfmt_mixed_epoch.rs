@@ -1,0 +1,482 @@
+//! Binary-codec round-trip properties and mixed-epoch recovery.
+//!
+//! Two families of checks:
+//!
+//! * **Round-trip identity** — structurally arbitrary [`WalRecord`]s
+//!   and [`BrokerImage`]s (vacant and occupied arena slots, free lists,
+//!   wide EDF aggregates, grants with and without expiries) must
+//!   survive `encode → decode` bit-for-bit, and the binary payload must
+//!   be smaller than the JSON it replaced.
+//! * **Mixed-epoch recovery** — a data dir whose snapshot (and possibly
+//!   a journal prefix) is legacy JSON while the journal tail is binary
+//!   must recover to exactly the state of a shard that executed the
+//!   same operations live. That is the upgrade path: a broker restarted
+//!   onto the PR 6 binary writes lands on JSON state from its previous
+//!   life and must read it transparently.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bb_core::admission::aggregate::ClassSpec;
+use bb_core::broker::BrokerStats;
+use bb_core::contingency::Grant;
+use bb_core::persist::{
+    BrokerImage, EdfEntryImage, FlowRecordImage, FlowServiceImage, FlowSlotImage, LinkImage,
+    MacroImage, MacroSlotImage,
+};
+use bb_core::{BrokerConfig, BrokerShard, FlowRequest, PathId, ServiceKind};
+use bb_durable::store::{snap_path, wal_path, SnapMeta};
+use bb_durable::{encode_record, encode_record_json, replay, ShardStore, WalRecord};
+use netsim::topology::{LinkId, SchedulerSpec, TopologyBuilder};
+use proptest::prelude::*;
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+fn profile_strategy() -> impl Strategy<Value = TrafficProfile> {
+    (1u64..1 << 40, 1u64..1 << 40, 0u64..1 << 40, 1u64..1 << 20).prop_map(
+        |(l_max, rho, peak_extra, sigma_extra)| TrafficProfile {
+            sigma: Bits::from_bits(l_max + sigma_extra),
+            rho: Rate::from_bps(rho),
+            peak: Rate::from_bps(rho + peak_extra),
+            l_max: Bits::from_bits(l_max),
+        },
+    )
+}
+
+fn request_strategy() -> impl Strategy<Value = FlowRequest> {
+    (
+        any::<u64>(),
+        profile_strategy(),
+        any::<u64>(),
+        prop_oneof![
+            Just(ServiceKind::PerFlow),
+            (0u32..1 << 16).prop_map(ServiceKind::Class),
+        ],
+        any::<u64>(),
+    )
+        .prop_map(|(flow, profile, d_req, service, path)| FlowRequest {
+            flow: FlowId(flow),
+            profile,
+            d_req: Nanos::from_nanos(d_req),
+            service,
+            path: PathId(path),
+        })
+}
+
+fn record_strategy() -> impl Strategy<Value = WalRecord> {
+    prop_oneof![
+        (any::<u64>(), request_strategy()).prop_map(|(now, request)| WalRecord::Admit {
+            now: Time::from_nanos(now),
+            request,
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(now, flow)| WalRecord::Release {
+            now: Time::from_nanos(now),
+            flow: FlowId(flow),
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(now, mf)| WalRecord::Report {
+            now: Time::from_nanos(now),
+            macroflow: FlowId(mf),
+        }),
+        any::<u64>().prop_map(|now| WalRecord::Tick {
+            now: Time::from_nanos(now),
+        }),
+    ]
+}
+
+fn link_strategy() -> impl Strategy<Value = LinkImage> {
+    (
+        any::<u64>(),
+        prop::collection::vec(
+            (
+                any::<u64>(),
+                any::<u64>(),
+                (any::<u64>(), any::<u64>()),
+                (any::<u64>(), any::<u64>()),
+                any::<u64>(),
+            )
+                .prop_map(|(delay, rate, rd, lm, count)| EdfEntryImage {
+                    delay: Nanos::from_nanos(delay),
+                    rate: Rate::from_bps(rate),
+                    rate_delay_hi: rd.0,
+                    rate_delay_lo: rd.1,
+                    lmax_hi: lm.0,
+                    lmax_lo: lm.1,
+                    count,
+                }),
+            0..4,
+        ),
+    )
+        .prop_map(|(reserved, edf)| LinkImage {
+            reserved: Rate::from_bps(reserved),
+            edf,
+        })
+}
+
+fn flow_slot_strategy() -> impl Strategy<Value = FlowSlotImage> {
+    prop_oneof![
+        any::<u32>().prop_map(|next_generation| FlowSlotImage::Vacant { next_generation }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            profile_strategy(),
+            any::<u64>(),
+            any::<u64>(),
+            prop_oneof![
+                (any::<u64>(), any::<u64>()).prop_map(|(rate, delay)| {
+                    FlowServiceImage::PerFlow {
+                        rate: Rate::from_bps(rate),
+                        delay: Nanos::from_nanos(delay),
+                    }
+                }),
+                any::<u64>().prop_map(|macroflow| FlowServiceImage::ClassMember { macroflow }),
+            ],
+        )
+            .prop_map(|(generation, flow, profile, d_req, path, service)| {
+                FlowSlotImage::Occupied {
+                    generation,
+                    flow,
+                    record: FlowRecordImage {
+                        profile,
+                        d_req: Nanos::from_nanos(d_req),
+                        path: PathId(path),
+                        service,
+                    },
+                }
+            }),
+    ]
+}
+
+fn macro_slot_strategy() -> impl Strategy<Value = MacroSlotImage> {
+    prop_oneof![
+        any::<u32>().prop_map(|next_generation| MacroSlotImage::Vacant { next_generation }),
+        (
+            any::<u32>(),
+            (any::<u64>(), 0u32..1 << 16, any::<u64>()),
+            profile_strategy(),
+            (any::<u64>(), any::<u64>()),
+            prop::collection::vec(
+                (
+                    any::<u64>(),
+                    any::<u64>(),
+                    prop_oneof![
+                        Just(None),
+                        any::<u64>().prop_map(|t| Some(Time::from_nanos(t))),
+                    ]
+                )
+                    .prop_map(|(amount, at, expires)| Grant {
+                        amount: Rate::from_bps(amount),
+                        granted_at: Time::from_nanos(at),
+                        expires,
+                    }),
+                0..3,
+            ),
+            any::<bool>(),
+        )
+            .prop_map(
+                |(
+                    generation,
+                    (id, class, path),
+                    profile,
+                    (reserved, members),
+                    grants,
+                    dissolving,
+                )| {
+                    MacroSlotImage::Occupied {
+                        generation,
+                        state: MacroImage {
+                            id,
+                            class,
+                            path: PathId(path),
+                            profile,
+                            reserved: Rate::from_bps(reserved),
+                            members,
+                            grants,
+                            dissolving,
+                        },
+                    }
+                }
+            ),
+    ]
+}
+
+fn image_strategy() -> impl Strategy<Value = BrokerImage> {
+    (
+        prop::collection::vec(link_strategy(), 0..3),
+        prop::collection::vec(flow_slot_strategy(), 0..6),
+        prop::collection::vec(any::<u32>(), 0..4),
+        prop::collection::vec(macro_slot_strategy(), 0..4),
+        prop::collection::vec(any::<u32>(), 0..4),
+        prop::collection::vec(prop_oneof![Just(None), any::<u64>().prop_map(Some)], 0..4),
+        any::<u64>(),
+        prop::collection::vec(any::<u64>(), 14..15),
+    )
+        .prop_map(
+            |(links, flow_slots, flow_free, macro_slots, macro_free, registry, next_macro, s)| {
+                BrokerImage {
+                    links,
+                    flow_slots,
+                    flow_free,
+                    macro_slots,
+                    macro_free,
+                    macro_registry: registry,
+                    next_macro,
+                    stats: BrokerStats {
+                        requested: s[0],
+                        admitted: s[1],
+                        rejected_policy: s[2],
+                        rejected_delay: s[3],
+                        rejected_bandwidth: s[4],
+                        rejected_sched: s[5],
+                        rejected_unknown_class: s[6],
+                        rejected_duplicate: s[7],
+                        released: s[8],
+                        grants: s[9],
+                        grant_expiries: s[10],
+                        grant_resets: s[11],
+                        plan_retries: s[12],
+                        plan_aborts: s[13],
+                    },
+                }
+            },
+        )
+}
+
+/// Strips the frame header, leaving the payload a frame carries.
+fn payload(framed: &[u8]) -> &[u8] {
+    &framed[bb_durable::FRAME_HEADER..]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `WalRecord` encode→decode is the identity, and the binary
+    /// payload beats JSON on size.
+    #[test]
+    fn wal_record_roundtrips(rec in record_strategy()) {
+        let framed = encode_record(&rec);
+        let back: WalRecord =
+            bb_durable::record::decode_payload(payload(&framed), 0).expect("decode");
+        prop_assert_eq!(&back, &rec);
+        let json = encode_record_json(&rec);
+        prop_assert!(
+            framed.len() < json.len(),
+            "binary frame {}B not smaller than JSON {}B",
+            framed.len(),
+            json.len()
+        );
+    }
+
+    /// `BrokerImage` encode→decode is the identity over structurally
+    /// arbitrary images (vacancies, free lists, wide aggregates).
+    #[test]
+    fn broker_image_roundtrips(image in image_strategy()) {
+        let framed = encode_record(&image);
+        let back: BrokerImage =
+            bb_durable::record::decode_payload(payload(&framed), 0).expect("decode");
+        prop_assert_eq!(back, image);
+    }
+
+    /// The dispatcher reads the same record from either format: a
+    /// JSON-encoded frame and a binary-encoded frame of one record
+    /// decode to equal values.
+    #[test]
+    fn json_and_binary_frames_decode_identically(rec in record_strategy()) {
+        let bin: WalRecord =
+            bb_durable::record::decode_payload(payload(&encode_record(&rec)), 0).expect("binary");
+        let json: WalRecord = bb_durable::record::decode_payload(
+            payload(&encode_record_json(&rec)),
+            0,
+        )
+        .expect("json");
+        prop_assert_eq!(bin, json);
+    }
+}
+
+/// The two-phase harness topology (five-hop chain, one shard), same as
+/// the recovery-equivalence test.
+fn make_shard() -> BrokerShard {
+    let mut b = TopologyBuilder::new();
+    let nodes: Vec<_> = (0..6).map(|i| b.node(format!("n{i}"))).collect();
+    let route: Vec<LinkId> = (0..5)
+        .map(|i| {
+            b.link(
+                nodes[i],
+                nodes[i + 1],
+                Rate::from_bps(1_500_000),
+                Nanos::ZERO,
+                if i == 2 || i == 3 {
+                    SchedulerSpec::VtEdf
+                } else {
+                    SchedulerSpec::CsVc
+                },
+                Bits::from_bytes(1500),
+            )
+        })
+        .collect();
+    let topo = b.build();
+    let config = BrokerConfig {
+        classes: vec![ClassSpec {
+            id: 0,
+            d_req: Nanos::from_millis(2_440),
+            cd: Nanos::from_millis(240),
+        }],
+        ..BrokerConfig::default()
+    };
+    BrokerShard::new(0, 1, &topo, &config, &[(PathId(0), route)])
+}
+
+fn type0() -> TrafficProfile {
+    TrafficProfile::new(
+        Bits::from_bits(60_000),
+        Rate::from_bps(50_000),
+        Rate::from_bps(100_000),
+        Bits::from_bytes(1500),
+    )
+    .unwrap()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("bb-binfmt-{tag}-{}-{case}", std::process::id()))
+}
+
+/// Runs `n` admissions (a mix of per-flow and class service) against
+/// `shard` starting at flow id `base`, returning the journal records a
+/// live daemon would have appended.
+fn run_ops(shard: &mut BrokerShard, base: u64, n: u64) -> Vec<WalRecord> {
+    let mut records = Vec::new();
+    for k in 0..n {
+        let now = Time::from_nanos((base + k + 1) * 50_000_000);
+        let req = FlowRequest {
+            flow: FlowId(base + k),
+            profile: type0(),
+            d_req: Nanos::from_millis(2_440),
+            service: if k % 2 == 0 {
+                ServiceKind::PerFlow
+            } else {
+                ServiceKind::Class(0)
+            },
+            path: PathId(0),
+        };
+        let plan = shard.decide(&req);
+        let _ = shard.commit(now, &plan);
+        records.push(WalRecord::Admit {
+            now,
+            request: plan.request.clone(),
+        });
+    }
+    records
+}
+
+/// The upgrade path: a JSON snapshot from a pre-PR 6 broker plus a
+/// journal whose prefix is JSON and whose tail is binary (the restarted
+/// broker kept appending to state it inherited) must recover to the
+/// live shard's exact state.
+#[test]
+fn mixed_epoch_recovery_json_snapshot_binary_tail() {
+    let dir = scratch_dir("mixed");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+
+    let mut live = make_shard();
+    // Pre-snapshot history lands in the image; its records are retired.
+    run_ops(&mut live, 0, 12);
+    let as_of = Time::from_nanos(12 * 50_000_000);
+
+    // Legacy JSON snapshot at epoch 3, exactly as a pre-PR 6 broker
+    // wrote it: a SnapMeta frame then a BrokerImage frame.
+    let mut snap = encode_record_json(&SnapMeta { epoch: 3, as_of });
+    snap.extend_from_slice(&encode_record_json(&live.export_image()));
+    File::create(snap_path(&dir, 3))
+        .unwrap()
+        .write_all(&snap)
+        .unwrap();
+
+    // Epoch 3's journal: a JSON prefix (written before the upgrade)
+    // followed by a binary tail (after), formats mixed mid-file.
+    let tail_a = run_ops(&mut live, 100, 6);
+    let tail_b = run_ops(&mut live, 200, 6);
+    let mut wal = Vec::new();
+    for rec in &tail_a {
+        wal.extend_from_slice(&encode_record_json(rec));
+    }
+    for rec in &tail_b {
+        wal.extend_from_slice(&encode_record(rec));
+    }
+    File::create(wal_path(&dir, 3))
+        .unwrap()
+        .write_all(&wal)
+        .unwrap();
+
+    let (store, outcome) = ShardStore::open(&dir).expect("mixed-format recovery");
+    assert_eq!(outcome.snapshot_epoch, Some(3));
+    assert_eq!(outcome.records.len(), tail_a.len() + tail_b.len());
+    assert_eq!(outcome.discarded_tail_bytes, 0);
+
+    let mut recovered = make_shard();
+    let summary = replay(&mut recovered, &outcome);
+    assert_eq!(summary.total(), 12);
+    assert_eq!(
+        recovered.export_image(),
+        live.export_image(),
+        "recovered state diverged from the live shard"
+    );
+
+    // Sealing recovery writes the new epoch's snapshot in the binary
+    // format: it must start with the frame header + magic, not JSON.
+    store
+        .commit_recovery(&recovered.export_image(), outcome.max_now.unwrap())
+        .expect("seal");
+    let epoch = store.epoch();
+    assert_eq!(epoch, 4);
+    let new_snap = fs::read(snap_path(&dir, epoch)).unwrap();
+    assert_eq!(
+        new_snap[bb_durable::FRAME_HEADER],
+        bb_durable::binfmt::MAGIC,
+        "post-upgrade snapshots must be binary"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A torn tail in a binary journal is still tolerated: truncating the
+/// final (binary) record mid-frame recovers the full prefix.
+#[test]
+fn binary_journal_torn_tail_is_discarded() {
+    let dir = scratch_dir("torn");
+    let _ = fs::remove_dir_all(&dir);
+
+    let mut live = make_shard();
+    let (store, outcome) = ShardStore::open(&dir).unwrap();
+    assert!(outcome.is_fresh());
+    store
+        .commit_recovery(&live.export_image(), Time::ZERO)
+        .unwrap();
+    let records = run_ops(&mut live, 0, 8);
+    for rec in &records {
+        store.append(rec).unwrap();
+    }
+    store.flush().unwrap();
+    let epoch = store.epoch();
+    drop(store);
+
+    // Tear the last record: keep all but its final 3 bytes.
+    let path = wal_path(&dir, epoch);
+    let len = fs::metadata(&path).unwrap().len();
+    let last = encode_record(records.last().unwrap()).len() as u64;
+    assert!(last > 3);
+    fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .unwrap()
+        .set_len(len - 3)
+        .unwrap();
+
+    let (_store, outcome) = ShardStore::open(&dir).expect("torn binary tail tolerated");
+    assert_eq!(outcome.records.len(), records.len() - 1);
+    assert_eq!(outcome.discarded_tail_bytes, last - 3);
+}

@@ -1,0 +1,312 @@
+//! `netpoll`: a minimal readiness layer for the broker daemon.
+//!
+//! Like the crates under `vendor/`, this is a deliberately small
+//! in-tree stand-in — here for `mio`/`epoll` bindings — exposing
+//! exactly the surface the daemon needs and nothing more:
+//!
+//! * [`Poller`] — fd registration and readiness waits. On Linux this is
+//!   `epoll` in edge-triggered mode (one `epoll_wait` syscall returns
+//!   every ready connection, so a pass over thousands of idle edges
+//!   costs nothing); on other Unixes it falls back to level-triggered
+//!   `poll(2)`. Consumers must drain reads until `WouldBlock` and flush
+//!   writes until `WouldBlock` or empty — the discipline that makes
+//!   edge- and level-triggered backends behave identically.
+//! * [`Waker`] — a self-pipe (`UnixStream` pair) another thread can
+//!   write to, waking a blocked [`Poller::wait`]. The daemon's shard
+//!   workers use it to tell an event loop "this connection has replies
+//!   queued".
+//! * [`wheel::DeadlineWheel`] — a coarse timing wheel for
+//!   idle-connection deadlines: O(1) arm/advance, lazy cancellation by
+//!   generation counter.
+//!
+//! The crate speaks raw file descriptors ([`std::os::fd::RawFd`]); the
+//! caller keeps ownership of its sockets and must deregister before
+//! closing them (the epoll backend would otherwise keep a stale
+//! interest entry until the kernel reaps the description).
+
+#![warn(missing_docs)]
+#![cfg(unix)]
+
+pub mod wheel;
+
+mod sys;
+
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Identifies a registered fd in readiness events; the caller picks the
+/// value (typically an index into its connection table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// What readiness to watch a registration for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub read: bool,
+    /// Wake when the fd is writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Read readiness only.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Write readiness only.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// Both read and write readiness.
+    pub const BOTH: Interest = Interest {
+        read: true,
+        write: true,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: Token,
+    /// The fd is readable (data, EOF, or a hangup to observe via read).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer closed or the fd errored; treat as readable (the read
+    /// will surface the EOF/error) but never wait on it again.
+    pub hangup: bool,
+}
+
+/// A readiness selector over registered fds.
+///
+/// Thread-safety: registration and waiting may happen from different
+/// threads on the epoll backend (the kernel serializes), but the daemon
+/// uses one owning loop thread per poller; the `poll(2)` fallback
+/// requires `&mut self` for waits and keeps its interest table behind a
+/// mutex so registration from other threads stays safe.
+pub struct Poller {
+    inner: sys::Selector,
+}
+
+impl Poller {
+    /// Creates an empty selector.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_create1` (or allocation) failure.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: sys::Selector::new()?,
+        })
+    }
+
+    /// Starts watching `fd` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST` when the fd is already registered, or any kernel
+    /// failure.
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.inner.register(fd, token, interest)
+    }
+
+    /// Changes an existing registration's token or interest.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` when the fd is not registered, or any kernel failure.
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.inner.reregister(fd, token, interest)
+    }
+
+    /// Stops watching `fd`. Must happen before the fd is closed.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` when the fd is not registered, or any kernel failure.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.inner.deregister(fd)
+    }
+
+    /// Blocks until at least one registered fd is ready, the timeout
+    /// lapses, or a [`Waker`] fires; clears `out` and fills it with the
+    /// ready set. A `None` timeout blocks indefinitely.
+    ///
+    /// # Errors
+    ///
+    /// Kernel failures other than `EINTR` (interrupts retry
+    /// internally).
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        out.clear();
+        self.inner.wait(out, timeout)?;
+        Ok(out.len())
+    }
+}
+
+/// Wakes a [`Poller::wait`] from another thread: a nonblocking
+/// self-pipe whose read half the owning loop registers like any other
+/// fd.
+pub struct Waker {
+    read: UnixStream,
+    write: UnixStream,
+}
+
+impl Waker {
+    /// Creates the pipe pair, both halves nonblocking.
+    ///
+    /// # Errors
+    ///
+    /// Socketpair creation failure.
+    pub fn new() -> io::Result<Waker> {
+        let (read, write) = UnixStream::pair()?;
+        read.set_nonblocking(true)?;
+        write.set_nonblocking(true)?;
+        Ok(Waker { read, write })
+    }
+
+    /// The fd to register (readable when the waker has fired).
+    #[must_use]
+    pub fn fd(&self) -> RawFd {
+        self.read.as_raw_fd()
+    }
+
+    /// Wakes the loop. Cheap and idempotent: a full pipe already means
+    /// a wake is pending, so `WouldBlock` is success.
+    pub fn wake(&self) {
+        let _ = (&self.write).write(&[1u8]);
+    }
+
+    /// Drains pending wake bytes; call on every wake event before
+    /// processing, so coalesced wakes cannot be lost.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.read).read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    /// A clonable handle other threads keep to fire this waker.
+    ///
+    /// # Errors
+    ///
+    /// fd duplication failure.
+    pub fn handle(&self) -> io::Result<WakerHandle> {
+        Ok(WakerHandle {
+            write: self.write.try_clone()?,
+        })
+    }
+}
+
+/// A cheap clonable handle to a [`Waker`].
+pub struct WakerHandle {
+    write: UnixStream,
+}
+
+impl WakerHandle {
+    /// Wakes the owning loop (see [`Waker::wake`]).
+    pub fn wake(&self) {
+        let _ = (&self.write).write(&[1u8]);
+    }
+}
+
+impl Clone for WakerHandle {
+    fn clone(&self) -> Self {
+        WakerHandle {
+            write: self.write.try_clone().expect("dup waker fd"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn readable_event_fires_for_pending_data() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(server.as_raw_fd(), Token(7), Interest::READ)
+            .unwrap();
+
+        // Nothing pending yet: the wait must time out empty.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        client.write_all(b"ping").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, Token(7));
+        assert!(events[0].readable);
+        poller.deregister(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn waker_unblocks_a_wait_from_another_thread() {
+        let mut poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller
+            .register(waker.fd(), Token(0), Interest::READ)
+            .unwrap();
+        let handle = waker.handle().unwrap();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            handle.wake();
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == Token(0) && e.readable));
+        waker.drain();
+        t.join().unwrap();
+
+        // Drained: the next wait times out instead of spinning on the
+        // stale wake byte.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn write_interest_reports_writable_and_reregister_narrows() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (_server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(client.as_raw_fd(), Token(3), Interest::BOTH)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == Token(3) && e.writable));
+
+        // Narrow to read-only: an idle socket stops reporting writable.
+        poller
+            .reregister(client.as_raw_fd(), Token(3), Interest::READ)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+        poller.deregister(client.as_raw_fd()).unwrap();
+    }
+}

@@ -1,0 +1,310 @@
+//! Platform backends behind [`crate::Poller`].
+//!
+//! Linux gets edge-triggered `epoll` through raw FFI (std already links
+//! libc, so declaring the three syscall wrappers `extern "C"` costs
+//! nothing); every other Unix gets a level-triggered `poll(2)` loop
+//! over a mutex-guarded interest table. Both present the same
+//! `Selector` surface, and the drain-until-`WouldBlock` discipline
+//! documented on [`crate::Poller`] makes their semantics match.
+
+use std::io;
+use std::time::Duration;
+
+use crate::{Event, Interest, Token};
+
+#[cfg(target_os = "linux")]
+pub(crate) use epoll::Selector;
+
+#[cfg(all(unix, not(target_os = "linux")))]
+pub(crate) use pollfd::Selector;
+
+/// Clamps a wait timeout to epoll/poll's millisecond `int`, rounding up
+/// so a 100µs deadline never busy-loops as a zero-timeout wait.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            if d.subsec_nanos() % 1_000_000 != 0 {
+                (ms + 1).min(i32::MAX as u128) as i32
+            } else {
+                ms.min(i32::MAX as u128) as i32
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::*;
+    use std::os::fd::RawFd;
+
+    const EPOLL_CLOEXEC: i32 = 0x8_0000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLET: u32 = 1 << 31;
+
+    // The kernel ABI packs epoll_event on x86-64 (12 bytes); other
+    // architectures use natural alignment (16 bytes).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub(crate) struct Selector {
+        epfd: RawFd,
+    }
+
+    // The epfd is used only through the syscalls above; the kernel
+    // serializes concurrent epoll_ctl/epoll_wait on one instance.
+    unsafe impl Send for Selector {}
+    unsafe impl Sync for Selector {}
+
+    impl Selector {
+        pub(crate) fn new() -> io::Result<Selector> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Selector { epfd })
+        }
+
+        fn mask(interest: Interest) -> u32 {
+            let mut m = EPOLLET | EPOLLRDHUP;
+            if interest.read {
+                m |= EPOLLIN;
+            }
+            if interest.write {
+                m |= EPOLLOUT;
+            }
+            m
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: Self::mask(interest),
+                data: token.0 as u64,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(crate) fn register(
+            &self,
+            fd: RawFd,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub(crate) fn reregister(
+            &self,
+            fd: RawFd,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(crate) fn wait(
+            &mut self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            const CAPACITY: usize = 1024;
+            let mut buf = [EpollEvent { events: 0, data: 0 }; CAPACITY];
+            let n = loop {
+                let rc = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        buf.as_mut_ptr(),
+                        CAPACITY as i32,
+                        timeout_ms(timeout),
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for ev in &buf[..n] {
+                // Copy out of the (possibly packed) struct before use.
+                let events = ev.events;
+                let data = ev.data;
+                let hangup = events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                out.push(Event {
+                    token: Token(data as usize),
+                    readable: events & EPOLLIN != 0 || hangup,
+                    writable: events & EPOLLOUT != 0,
+                    hangup,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod pollfd {
+    use super::*;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    pub(crate) struct Selector {
+        interests: Mutex<Vec<(RawFd, Token, Interest)>>,
+    }
+
+    impl Selector {
+        pub(crate) fn new() -> io::Result<Selector> {
+            Ok(Selector {
+                interests: Mutex::new(Vec::new()),
+            })
+        }
+
+        pub(crate) fn register(
+            &self,
+            fd: RawFd,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let mut table = self.interests.lock().unwrap();
+            if table.iter().any(|(f, _, _)| *f == fd) {
+                return Err(io::Error::from_raw_os_error(17)); // EEXIST
+            }
+            table.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub(crate) fn reregister(
+            &self,
+            fd: RawFd,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let mut table = self.interests.lock().unwrap();
+            match table.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(entry) => {
+                    entry.1 = token;
+                    entry.2 = interest;
+                    Ok(())
+                }
+                None => Err(io::Error::from_raw_os_error(2)), // ENOENT
+            }
+        }
+
+        pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut table = self.interests.lock().unwrap();
+            let before = table.len();
+            table.retain(|(f, _, _)| *f != fd);
+            if table.len() == before {
+                return Err(io::Error::from_raw_os_error(2)); // ENOENT
+            }
+            Ok(())
+        }
+
+        pub(crate) fn wait(
+            &mut self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let snapshot: Vec<(RawFd, Token, Interest)> = self.interests.lock().unwrap().clone();
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|(fd, _, interest)| PollFd {
+                    fd: *fd,
+                    events: {
+                        let mut e = 0i16;
+                        if interest.read {
+                            e |= POLLIN;
+                        }
+                        if interest.write {
+                            e |= POLLOUT;
+                        }
+                        e
+                    },
+                    revents: 0,
+                })
+                .collect();
+            loop {
+                let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms(timeout)) };
+                if rc >= 0 {
+                    break;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+            for (pfd, (_, token, _)) in fds.iter().zip(snapshot.iter()) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                let hangup = pfd.revents & (POLLERR | POLLHUP) != 0;
+                out.push(Event {
+                    token: *token,
+                    readable: pfd.revents & POLLIN != 0 || hangup,
+                    writable: pfd.revents & POLLOUT != 0,
+                    hangup,
+                });
+            }
+            Ok(())
+        }
+    }
+}

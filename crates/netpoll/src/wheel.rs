@@ -1,0 +1,179 @@
+//! A coarse timing wheel for idle-connection deadlines.
+//!
+//! The daemon arms a deadline whenever a connection has a partial COPS
+//! frame buffered and disarms it when the frame completes; with tens of
+//! thousands of connections both operations must be O(1). The wheel
+//! buckets deadlines at tick granularity and cancels lazily: each
+//! connection carries a generation counter, bumped on every re-arm or
+//! disarm, and an expired entry whose recorded generation no longer
+//! matches is simply dropped on pop. Stale entries therefore cost one
+//! bucket slot until their tick passes — bounded by arm rate, not by
+//! connection count.
+
+/// A deadline entry: which connection, and the generation it was armed
+/// under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Armed {
+    /// The caller's connection identifier.
+    pub token: usize,
+    /// Generation at arm time; compare against the connection's current
+    /// generation to detect a stale (cancelled or re-armed) entry.
+    pub generation: u64,
+}
+
+/// Bucketed deadline wheel; see the module docs for the cancellation
+/// protocol.
+pub struct DeadlineWheel {
+    buckets: Vec<Vec<Armed>>,
+    tick_ms: u64,
+    /// The tick `buckets[cursor]` covers; deadlines at or before this
+    /// tick are due.
+    current_tick: u64,
+    cursor: usize,
+}
+
+impl DeadlineWheel {
+    /// Creates a wheel of `slots` buckets, each `tick_ms` wide. The
+    /// horizon (`(slots - 1) * tick_ms`) caps how far ahead a deadline
+    /// may be armed; farther delays clamp to the horizon. Size the
+    /// wheel so the caller's one configured timeout fits:
+    /// `slots >= timeout / tick + 2`.
+    #[must_use]
+    pub fn new(slots: usize, tick_ms: u64) -> DeadlineWheel {
+        assert!(slots >= 2, "wheel needs at least 2 slots");
+        assert!(tick_ms > 0, "tick must be positive");
+        DeadlineWheel {
+            buckets: (0..slots).map(|_| Vec::new()).collect(),
+            tick_ms,
+            current_tick: 0,
+            cursor: 0,
+        }
+    }
+
+    /// The wheel's horizon in milliseconds: the farthest future a
+    /// deadline can be armed without clamping.
+    #[must_use]
+    pub fn horizon_ms(&self) -> u64 {
+        (self.buckets.len() as u64 - 1) * self.tick_ms
+    }
+
+    /// Arms a deadline `delay_ms` from `now_ms`. Delays beyond the
+    /// horizon clamp to it (the caller sized the wheel so its one
+    /// configured timeout fits; see [`DeadlineWheel::new`]).
+    pub fn arm(&mut self, now_ms: u64, delay_ms: u64, token: usize, generation: u64) {
+        let delay = delay_ms.min(self.horizon_ms());
+        let due_tick = (now_ms + delay)
+            .div_ceil(self.tick_ms)
+            .max(self.current_tick);
+        let ahead = ((due_tick - self.current_tick) as usize).min(self.buckets.len() - 1);
+        let slot = (self.cursor + ahead) % self.buckets.len();
+        self.buckets[slot].push(Armed { token, generation });
+    }
+
+    /// Advances to `now_ms` and appends every entry whose tick has
+    /// passed to `expired`. The caller filters stale generations.
+    pub fn advance(&mut self, now_ms: u64, expired: &mut Vec<Armed>) {
+        let target_tick = now_ms / self.tick_ms;
+        while self.current_tick < target_tick {
+            self.current_tick += 1;
+            self.cursor = (self.cursor + 1) % self.buckets.len();
+            expired.append(&mut self.buckets[self.cursor]);
+        }
+    }
+
+    /// Total entries currently parked (including stale ones awaiting
+    /// lazy drop).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// True when no entries are parked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expires_at_the_right_tick_not_before() {
+        let mut wheel = DeadlineWheel::new(64, 10);
+        wheel.arm(0, 50, 1, 0);
+        let mut expired = Vec::new();
+        wheel.advance(40, &mut expired);
+        assert!(expired.is_empty(), "deadline must not fire early");
+        wheel.advance(60, &mut expired);
+        assert_eq!(
+            expired,
+            vec![Armed {
+                token: 1,
+                generation: 0
+            }]
+        );
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn generation_bump_marks_entry_stale() {
+        let mut wheel = DeadlineWheel::new(64, 10);
+        wheel.arm(0, 30, 5, 1);
+        // The connection completed its frame: the caller bumps its
+        // generation to 2 and (on the next partial frame) re-arms.
+        wheel.arm(0, 80, 5, 2);
+        let mut expired = Vec::new();
+        wheel.advance(50, &mut expired);
+        // The stale gen-1 entry pops but the caller's gen check (==2)
+        // drops it.
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].generation, 1);
+        expired.clear();
+        wheel.advance(100, &mut expired);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].generation, 2);
+    }
+
+    #[test]
+    fn delays_beyond_horizon_clamp_to_horizon() {
+        let mut wheel = DeadlineWheel::new(4, 10); // horizon 30ms
+        wheel.arm(0, 1_000_000, 9, 0);
+        let mut expired = Vec::new();
+        wheel.advance(30, &mut expired);
+        assert_eq!(expired.len(), 1, "clamped to the horizon tick");
+    }
+
+    #[test]
+    fn arm_after_advance_uses_current_cursor() {
+        let mut wheel = DeadlineWheel::new(8, 10);
+        let mut expired = Vec::new();
+        wheel.advance(1000, &mut expired);
+        assert!(expired.is_empty());
+        wheel.arm(1000, 20, 3, 7);
+        wheel.advance(1010, &mut expired);
+        assert!(expired.is_empty());
+        wheel.advance(1020, &mut expired);
+        assert_eq!(
+            expired,
+            vec![Armed {
+                token: 3,
+                generation: 7
+            }]
+        );
+    }
+
+    #[test]
+    fn many_entries_in_one_bucket_all_pop() {
+        let mut wheel = DeadlineWheel::new(16, 5);
+        for t in 0..100 {
+            wheel.arm(0, 25, t, 0);
+        }
+        assert_eq!(wheel.len(), 100);
+        let mut expired = Vec::new();
+        wheel.advance(25, &mut expired);
+        assert_eq!(expired.len(), 100);
+        assert!(wheel.is_empty());
+    }
+}

@@ -10,14 +10,30 @@
 //!
 //! ```text
 //! bb-loadgen [--pods 64] [--hops 5] [--clients 8] [--requests 400]
-//!            [--rate 4000] [--seed 1] [--workers 4]
+//!            [--rate 4000] [--seed 1] [--workers 4] [--io-threads 2]
 //!            [--queue-depth 4096] [--verify] [--out BENCH_loadgen.json]
+//!            [--connections N]    # swarm mode: N persistent edge conns
+//!            [--drivers D]        # swarm driver threads (default: --clients)
 //!            [--sample-ms 50]     # telemetry poll period (0 disables)
 //!            [--addr HOST:PORT]   # drive an external daemon instead
 //!            [--stats-addr H:P]   # its telemetry endpoint, for --addr
 //!            [--durable]          # journal + snapshot the hosted daemon
 //!            [--data-dir PATH] [--wal-flush-ms 5] [--snapshot-every 10000]
 //! ```
+//!
+//! With `--connections N` each client stream multiplexes its open-loop
+//! schedule over its share of N persistent nonblocking connections (a
+//! [`netpoll`] poller per driver thread), round-robin per request — the
+//! high-fan-in shape of a production broker fronting thousands of edge
+//! routers. All N connections are established **before** any load is
+//! offered, stay open for the whole run, and the report carries
+//! `concurrent_connections` plus the per-connection decision fairness
+//! spread. `--drivers D` runs the `--clients` seeded streams on D OS
+//! threads (workload identical, fewer threads) so the generator's own
+//! scheduling doesn't crowd the daemon off small machines. `--verify`
+//! is unavailable in swarm mode: replies arriving across many sockets
+//! no longer pin each pod's request order, so the serial-replay
+//! comparison is not meaningful.
 //!
 //! `--durable` hosts the daemon with a write-ahead journal and MIB
 //! snapshots under `--data-dir` (a fresh temp directory by default),
@@ -82,8 +98,9 @@ mod alloc_counter {
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use bb_core::broker::{Broker, BrokerConfig};
@@ -92,6 +109,7 @@ use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
 use bb_server::{
     fetch_stats, BbServer, DurableOptions, FrameReader, ServerConfig, ServerReport, StatsSnapshot,
 };
+use netpoll::{Event, Interest, Poller, Token};
 use netsim::topology::{SchedulerSpec, Topology};
 use qos_units::{Bits, Nanos, Rate, Time};
 use rand::rngs::SmallRng;
@@ -151,6 +169,33 @@ struct ClientResult {
     outcomes: HashMap<u64, Outcome>,
     /// Setup latency (send → DEC) per answered request, nanoseconds.
     latencies: Vec<u64>,
+    /// Decisions received per connection this client drove (one entry
+    /// in classic mode, `--connections`-share entries in swarm mode).
+    per_conn: Vec<u64>,
+}
+
+/// How evenly the decision stream spread over the persistent
+/// connections of a `--connections` run.
+#[derive(serde::Serialize)]
+struct ConnectionFairness {
+    /// Fewest decisions any single connection carried.
+    decisions_min: u64,
+    /// Most decisions any single connection carried.
+    decisions_max: u64,
+    decisions_mean: f64,
+    /// `(max - min) / mean` — 0 is perfectly fair.
+    spread: f64,
+}
+
+fn fairness(per_conn: &[u64]) -> Option<ConnectionFairness> {
+    let (min, max) = (per_conn.iter().min()?, per_conn.iter().max()?);
+    let mean = per_conn.iter().sum::<u64>() as f64 / per_conn.len() as f64;
+    (mean > 0.0).then(|| ConnectionFairness {
+        decisions_min: *min,
+        decisions_max: *max,
+        decisions_mean: mean,
+        spread: (max - min) as f64 / mean,
+    })
 }
 
 /// One telemetry poll folded into the report's time series.
@@ -233,6 +278,12 @@ struct LoadgenReport {
     admitted: u64,
     rejected: u64,
     overloaded: u64,
+    /// Persistent connections held open across the whole run
+    /// (`--connections` swarm mode); `None` for the classic
+    /// one-connection-per-client run.
+    concurrent_connections: Option<usize>,
+    /// How evenly the decision stream spread over those connections.
+    connection_fairness: Option<ConnectionFairness>,
     elapsed_s: f64,
     throughput_decisions_per_s: f64,
     setup_latency_p50_us: f64,
@@ -273,11 +324,15 @@ fn run_client(
     reqs: Vec<FlowRequest>,
     rate_hz: f64,
     seed: u64,
+    ready: Arc<Barrier>,
 ) -> std::io::Result<ClientResult> {
     let stream = TcpStream::connect(&addr)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
     let mut wstream = stream.try_clone()?;
+    // Every client is connected before any load is offered, so the
+    // measured window starts with the full connection count open.
+    ready.wait();
 
     let n = reqs.len();
     let send_at: Arc<Mutex<Vec<Option<Instant>>>> = Arc::new(Mutex::new(vec![None; n]));
@@ -361,9 +416,256 @@ fn run_client(
         }
     }
     sender.join().expect("sender thread panicked")?;
+    let per_conn = vec![outcomes.len() as u64];
     Ok(ClientResult {
         outcomes,
         latencies,
+        per_conn,
+    })
+}
+
+/// One persistent connection of a swarm client: its socket, framing
+/// state, and any bytes the kernel has not yet accepted.
+struct Edge {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Encoded requests waiting for the socket to accept them, in send
+    /// order; non-empty only while the kernel send buffer is full.
+    out: Vec<u8>,
+    decided: u64,
+    open: bool,
+}
+
+impl Edge {
+    /// Pushes what the kernel will take; returns `false` when the
+    /// connection died underneath the write.
+    fn flush(&mut self) -> bool {
+        while self.open && !self.out.is_empty() {
+            match self.stream.write(&self.out) {
+                Ok(0) => self.open = false,
+                Ok(wrote) => {
+                    self.out.drain(..wrote);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => self.open = false,
+            }
+        }
+        self.open
+    }
+}
+
+/// Connects with a few retries: a daemon absorbing thousands of
+/// simultaneous connects can transiently overflow its accept backlog.
+fn connect_retry(addr: &str) -> std::io::Result<TcpStream> {
+    let mut last = None;
+    for attempt in 0..5u32 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(20 << attempt));
+            }
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+/// One client's worth of work inside a swarm driver: its pre-encoded
+/// request stream, Poisson schedule, and the slice of the driver's
+/// edges it multiplexes over.
+struct Stream {
+    /// Client index — the high word of every flow id it emits.
+    c: u64,
+    wires: Vec<bytes::Bytes>,
+    /// Absolute send deadlines, filled once the barrier releases.
+    due: Vec<Instant>,
+    send_at: Vec<Option<Instant>>,
+    next_k: usize,
+    /// Its edges are `edge_base .. edge_base + conns` in the driver.
+    edge_base: usize,
+    conns: usize,
+}
+
+/// Drives several swarm clients from one OS thread: each client keeps
+/// the same seeded open-loop Poisson stream as [`run_client`],
+/// multiplexed round-robin over its own persistent nonblocking
+/// connections, all behind one shared [`netpoll`] poller. Pacing and
+/// reply collection share the thread — the poller's wait timeout is
+/// clamped to the earliest due send. Decoupling driver threads from
+/// workload clients keeps the generator's own scheduling overhead off
+/// the measurement when cores are scarce.
+fn run_swarm_driver(
+    addr: String,
+    clients: Vec<(u64, Vec<FlowRequest>, usize)>,
+    rate_hz: f64,
+    seed: u64,
+    ready: Arc<Barrier>,
+) -> std::io::Result<ClientResult> {
+    let mut edges = Vec::new();
+    let mut streams = Vec::with_capacity(clients.len());
+    let mut poller = Poller::new()?;
+    for (c, reqs, conns) in clients {
+        let edge_base = edges.len();
+        for _ in 0..conns {
+            let stream = connect_retry(&addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_nonblocking(true)?;
+            poller.register(stream.as_raw_fd(), Token(edges.len()), Interest::READ)?;
+            edges.push(Edge {
+                stream,
+                reader: FrameReader::new(),
+                out: Vec::new(),
+                decided: 0,
+                open: true,
+            });
+        }
+        // Encode every request before the measured window opens: the
+        // swarm exists to measure the daemon under fan-in, not the
+        // generator's own encoder.
+        let n = reqs.len();
+        streams.push(Stream {
+            c,
+            wires: reqs.iter().map(cops::encode_request).collect(),
+            due: Vec::with_capacity(n),
+            send_at: vec![None; n],
+            next_k: 0,
+            edge_base,
+            conns,
+        });
+    }
+    ready.wait();
+
+    // The full Poisson schedules up front: identical increments to the
+    // classic sender, so `--connections` changes only the multiplexing.
+    let start = Instant::now();
+    let mut total = 0usize;
+    for s in &mut streams {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (s.c.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let mut next_at = 0.0f64;
+        for _ in 0..s.wires.len() {
+            next_at += -rng.gen_range(f64::MIN_POSITIVE..1.0).ln() / rate_hz;
+            s.due.push(start + Duration::from_secs_f64(next_at));
+        }
+        total += s.wires.len();
+    }
+
+    let mut outcomes = HashMap::new();
+    let mut latencies = Vec::with_capacity(total);
+    let mut events: Vec<Event> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // Edges whose `out` buffer is non-empty, retried every pass.
+    let mut clogged: Vec<usize> = Vec::new();
+    let mut last_progress = Instant::now();
+    while outcomes.len() < total {
+        // Offer every due request on its stream's round-robin edge.
+        let now = Instant::now();
+        let mut all_sent = true;
+        let mut next_due: Option<Instant> = None;
+        for s in &mut streams {
+            while s.next_k < s.wires.len() && s.due[s.next_k] <= now {
+                let i = s.edge_base + s.next_k % s.conns;
+                let edge = &mut edges[i];
+                if edge.open {
+                    let was_clear = edge.out.is_empty();
+                    edge.out.extend_from_slice(&s.wires[s.next_k]);
+                    s.send_at[s.next_k] = Some(Instant::now());
+                    edge.flush();
+                    if edge.open && !edge.out.is_empty() && was_clear {
+                        clogged.push(i);
+                    }
+                }
+                s.next_k += 1;
+            }
+            if s.next_k < s.wires.len() {
+                all_sent = false;
+                let d = s.due[s.next_k];
+                next_due = Some(next_due.map_or(d, |nd| nd.min(d)));
+            }
+        }
+        // Retry kernel-blocked writes every pass; the wait timeout
+        // below bounds how long a clogged edge can stall.
+        clogged.retain(|&i| {
+            let edge = &mut edges[i];
+            edge.flush();
+            edge.open && !edge.out.is_empty()
+        });
+
+        let timeout = next_due.map_or(Duration::from_millis(10), |d| {
+            d.saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(10))
+        });
+        events.clear();
+        poller.wait(&mut events, Some(timeout))?;
+        let mut progressed = false;
+        for ev in &events {
+            let i = ev.token.0;
+            let edge = &mut edges[i];
+            if !edge.open {
+                continue;
+            }
+            // Edge-triggered: drain until the socket runs dry.
+            loop {
+                match edge.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        edge.open = false;
+                        break;
+                    }
+                    Ok(got) => edge.reader.extend(&chunk[..got]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        edge.open = false;
+                        break;
+                    }
+                }
+            }
+            while let Some(wire) = edge.reader.next_frame().expect("server broke framing") {
+                let recv_at = Instant::now();
+                let mut buf = wire;
+                let frame = cops::decode_frame(&mut buf).expect("server sent valid COPS");
+                let decision = cops::decode_decision(&frame).expect("server sent a DEC");
+                let (flow, outcome) = match decision {
+                    Decision::Install(res) => (
+                        res.flow,
+                        Outcome::Admit {
+                            rate_bps: res.rate.as_bps(),
+                            delay_ns: res.delay.as_nanos(),
+                        },
+                    ),
+                    Decision::Reject { flow, cause } => (flow, Outcome::Deny(cause)),
+                    Decision::UnknownFlow { flow } => {
+                        panic!("unexpected unknown-flow decision for {flow}")
+                    }
+                };
+                let (c, k) = (flow.0 >> 32, (flow.0 & 0xFFFF_FFFF) as usize);
+                if let Some(s) = streams.iter().find(|s| s.c == c) {
+                    if let Some(at) = s.send_at[k] {
+                        latencies.push(recv_at.duration_since(at).as_nanos() as u64);
+                    }
+                }
+                outcomes.insert(flow.0, outcome);
+                edge.decided += 1;
+                progressed = true;
+            }
+            if !edge.open {
+                let _ = poller.deregister(edge.stream.as_raw_fd());
+            }
+        }
+        if progressed {
+            last_progress = Instant::now();
+        } else if all_sent && last_progress.elapsed() > Duration::from_secs(10) {
+            // 10 s of silence after everything was sent: give up
+            // rather than hang the benchmark.
+            break;
+        }
+        if edges.iter().all(|e| !e.open) {
+            break;
+        }
+    }
+    Ok(ClientResult {
+        outcomes,
+        latencies,
+        per_conn: edges.iter().map(|e| e.decided).collect(),
     })
 }
 
@@ -438,7 +740,9 @@ fn main() {
     let requests: usize = arg("--requests", 400);
     let rate_hz: f64 = arg("--rate", 4_000.0);
     let seed: u64 = arg("--seed", 1);
-    let verify = flag("--verify");
+    let connections: usize = arg("--connections", 0);
+    let drivers_arg: usize = arg("--drivers", 0);
+    let mut verify = flag("--verify");
     let out: String = arg("--out", "BENCH_loadgen.json".to_string());
     let external: String = arg("--addr", String::new());
     let external_stats: String = arg("--stats-addr", String::new());
@@ -453,6 +757,30 @@ fn main() {
         pods >= clients,
         "need at least one pod per client so every client owns a pod"
     );
+    assert!(
+        connections == 0 || connections >= clients,
+        "--connections must be at least --clients so every client thread owns a connection"
+    );
+    if connections > 0 && verify {
+        eprintln!(
+            "--verify is unavailable with --connections: replies spread over many sockets no \
+             longer pin each pod's request order, so the serial comparison is skipped"
+        );
+        verify = false;
+    }
+    // Swarm mode decouples OS threads from workload clients: the same
+    // `--clients` seeded streams can be driven by fewer threads
+    // (`--drivers`), keeping the generator's scheduling overhead off
+    // the measurement on small machines. Classic mode keeps one thread
+    // per client — the blocking sender/receiver pair needs it.
+    let drivers = if connections > 0 {
+        match drivers_arg {
+            0 => clients,
+            d => d.min(clients),
+        }
+    } else {
+        clients
+    };
 
     // Resolve the durable data directory. The benchmark measures a
     // fresh run, so the directory must start empty: the default (a
@@ -493,6 +821,7 @@ fn main() {
         let config = ServerConfig {
             workers: arg("--workers", 4),
             queue_depth: arg("--queue-depth", 4_096),
+            io_threads: arg("--io-threads", 2),
             stats_addr: Some("127.0.0.1:0".to_string()),
             durable: durable_opts.clone(),
             ..ServerConfig::default()
@@ -511,10 +840,18 @@ fn main() {
         .as_ref()
         .and_then(BbServer::stats_addr)
         .or_else(|| external_stats.parse().ok());
-    println!(
-        "bb-loadgen: {clients} clients x {requests} requests @ {rate_hz}/s each -> {addr} \
-         ({pods} pods x {hops} hops)"
-    );
+    if connections > 0 {
+        println!(
+            "bb-loadgen: {clients} clients x {requests} requests @ {rate_hz}/s each over \
+             {connections} persistent connections ({drivers} driver threads) -> {addr} \
+             ({pods} pods x {hops} hops)"
+        );
+    } else {
+        println!(
+            "bb-loadgen: {clients} clients x {requests} requests @ {rate_hz}/s each -> {addr} \
+             ({pods} pods x {hops} hops)"
+        );
+    }
 
     let started = Instant::now();
     #[cfg(feature = "count-allocs")]
@@ -544,16 +881,46 @@ fn main() {
             .expect("spawn sampler thread")
     };
 
-    let handles: Vec<_> = (0..clients as u64)
-        .map(|c| {
-            let addr = addr.clone();
-            let reqs = requests_for(c, clients as u64, pods, requests);
-            std::thread::Builder::new()
-                .name(format!("loadgen-recv-{c}"))
-                .spawn(move || run_client(addr, c, reqs, rate_hz, seed))
-                .expect("spawn client thread")
-        })
-        .collect();
+    // Threads rendezvous here once connected, so the measured window
+    // starts with every persistent connection already open.
+    let ready = Arc::new(Barrier::new(drivers + 1));
+    let handles: Vec<_> = if connections > 0 {
+        (0..drivers as u64)
+            .map(|t| {
+                let addr = addr.clone();
+                let ready = Arc::clone(&ready);
+                // Each driver multiplexes every client stream with
+                // c ≡ t (mod drivers); each stream keeps its own even
+                // share of the swarm.
+                let streams: Vec<(u64, Vec<FlowRequest>, usize)> = (0..clients as u64)
+                    .filter(|c| c % drivers as u64 == t)
+                    .map(|c| {
+                        let conns = connections / clients
+                            + usize::from((c as usize) < connections % clients);
+                        (c, requests_for(c, clients as u64, pods, requests), conns)
+                    })
+                    .collect();
+                std::thread::Builder::new()
+                    .name(format!("loadgen-drv-{t}"))
+                    .spawn(move || run_swarm_driver(addr, streams, rate_hz, seed, ready))
+                    .expect("spawn driver thread")
+            })
+            .collect()
+    } else {
+        (0..clients as u64)
+            .map(|c| {
+                let addr = addr.clone();
+                let reqs = requests_for(c, clients as u64, pods, requests);
+                let ready = Arc::clone(&ready);
+                std::thread::Builder::new()
+                    .name(format!("loadgen-recv-{c}"))
+                    .spawn(move || run_client(addr, c, reqs, rate_hz, seed, ready))
+                    .expect("spawn client thread")
+            })
+            .collect()
+    };
+    ready.wait();
+    let load_started = Instant::now();
     let results: Vec<ClientResult> = handles
         .into_iter()
         .map(|h| {
@@ -562,7 +929,7 @@ fn main() {
                 .expect("client I/O")
         })
         .collect();
-    let elapsed = started.elapsed().as_secs_f64();
+    let elapsed = load_started.elapsed().as_secs_f64();
     #[cfg(feature = "count-allocs")]
     let allocs_total = alloc_counter::total() - allocs_start;
 
@@ -684,6 +1051,13 @@ fn main() {
         admitted,
         rejected: decisions - admitted,
         overloaded,
+        concurrent_connections: (connections > 0).then_some(connections),
+        connection_fairness: (connections > 0)
+            .then(|| {
+                let per_conn: Vec<u64> = results.iter().flat_map(|r| r.per_conn.clone()).collect();
+                fairness(&per_conn)
+            })
+            .flatten(),
         elapsed_s: elapsed,
         throughput_decisions_per_s: decisions as f64 / elapsed,
         setup_latency_p50_us: percentile(&latencies, 0.50),
@@ -706,6 +1080,16 @@ fn main() {
         report.setup_latency_p50_us,
         report.setup_latency_p99_us
     );
+    if let Some(n) = report.concurrent_connections {
+        match &report.connection_fairness {
+            Some(f) => println!(
+                "connections: {n} persistent; per-connection decisions min {} / mean {:.1} / \
+                 max {} (spread {:.2})",
+                f.decisions_min, f.decisions_mean, f.decisions_max, f.spread
+            ),
+            None => println!("connections: {n} persistent; no decisions recorded"),
+        }
+    }
     if let Some(rate) = report.path_cache_hit_rate {
         println!("path cache: {:.1}% decide-phase hit rate", rate * 100.0);
     }

@@ -8,10 +8,17 @@
 //! ```text
 //! bb-server [--addr 127.0.0.1:3288] [--pods 64] [--hops 5]
 //!           [--workers 4] [--queue-depth 1024]
+//!           [--io-threads 2]                # netpoll event loops
+//!           [--idle-timeout-ms 0]           # 0 disables mid-frame idle close
 //!           [--stats-addr 127.0.0.1:3289]   # "" disables telemetry
 //!           [--data-dir PATH]               # enables durability
 //!           [--wal-flush-ms 5] [--snapshot-every 10000]
 //! ```
+//!
+//! `--idle-timeout-ms` closes connections that sit mid-frame (a partial
+//! COPS message buffered, no completion) past the deadline — the
+//! slow-loris guard. Complete-frame-then-silent connections are never
+//! touched, so long-lived idle edges stay up.
 //!
 //! With `--data-dir` the daemon journals every committed decision and
 //! periodically snapshots its MIBs under the directory; at startup it
@@ -45,9 +52,12 @@ fn main() {
     let hops: usize = arg("--hops", 5);
     let stats_addr: String = arg("--stats-addr", "127.0.0.1:3289".to_string());
     let data_dir: String = arg("--data-dir", String::new());
+    let idle_ms: u64 = arg("--idle-timeout-ms", 0);
     let config = ServerConfig {
         workers: arg("--workers", 4),
         queue_depth: arg("--queue-depth", 1024),
+        io_threads: arg("--io-threads", 2),
+        idle_timeout: (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms)),
         stats_addr: (!stats_addr.is_empty()).then_some(stats_addr),
         durable: (!data_dir.is_empty()).then(|| DurableOptions {
             data_dir: data_dir.clone().into(),

@@ -1,0 +1,788 @@
+//! Event-driven COPS connection layer.
+//!
+//! Replaces the seed daemon's two-threads-per-connection model (blocking
+//! reader + writer) with a fixed pool of `io_threads` event loops built
+//! on [`netpoll`]: each loop owns a [`netpoll::Poller`] (epoll on Linux,
+//! edge-triggered), a [`netpoll::Waker`] the shard workers fire when a
+//! reply is queued, and a [`DeadlineWheel`] of idle deadlines. Ten
+//! thousand mostly-idle edge connections then cost ten thousand fds and
+//! one readiness wait — not twenty thousand parked threads.
+//!
+//! ## Connection state machine
+//!
+//! ```text
+//!            accept (loop 0)
+//!                 │  round-robin hand-off
+//!                 ▼
+//!   ┌─► READ-DRAIN ── partial frame ──► idle deadline armed
+//!   │      │ whole frames
+//!   │      ▼
+//!   │   PASS BATCH ── decide per shard under ONE read lock ─► jobs
+//!   │      │ replies (workers → out-queue → waker)
+//!   │      ▼
+//!   └── WRITE-FLUSH ── `WouldBlock` ──► write interest, resume on
+//!          │                            writable readiness
+//!          ▼
+//!        CLOSED  (EOF, error, protocol violation, idle deadline)
+//! ```
+//!
+//! Every readiness pass decodes **all** complete frames from **all**
+//! ready connections first, then runs the decide phase for the whole
+//! batch grouped by shard — one shard read-lock acquisition serves every
+//! connection that became ready together, where the seed design paid
+//! one acquisition per request. Jobs are then enqueued per connection in
+//! frame order, so the per-connection request order — the order serial
+//! equivalence is defined over — is exactly preserved; reordering the
+//! decide ahead of the enqueue is safe because the commit phase
+//! revalidates each plan's epoch stamp.
+//!
+//! ## Slow-loris defense
+//!
+//! A connection holding a *partial* frame arms a deadline on the wheel;
+//! completing a frame re-arms it, but mere dribbled bytes do not. A
+//! connection that sits mid-frame past the configured timeout is closed
+//! and counted (`bb_conn_idle_closed_total`). Connections with no
+//! buffered partial frame are never idle-closed — an edge router that
+//! signals rarely is normal, half a frame that never completes is not.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::TrySendError;
+use netpoll::wheel::DeadlineWheel;
+use netpoll::{Event, Interest, Poller, Token, Waker, WakerHandle};
+use parking_lot::Mutex;
+use qos_units::Time;
+use vtrs::packet::FlowId;
+
+use bb_core::admission::plan::AdmissionPlan;
+use bb_core::cops::{self, OpCode};
+use bb_core::shard::shard_of_macroflow;
+use bb_core::signaling::{FlowRequest, Reject};
+
+use crate::frame::FrameReader;
+use crate::server::{Dispatch, Job};
+
+/// Token reserved for the loop's waker fd.
+const TOKEN_WAKER: Token = Token(0);
+/// Token reserved for the listener (loop 0 only).
+const TOKEN_LISTENER: Token = Token(1);
+/// Connection slots start here: slot `i` registers as `Token(i + 2)`.
+const TOKEN_CONN_BASE: usize = 2;
+
+/// Deadline-wheel granularity. Idle timeouts are a defense, not a
+/// latency promise; 16 ms slop on a multi-second deadline is free.
+const WHEEL_TICK_MS: u64 = 16;
+
+/// Readiness-wait timeout: bounds how stale the stop flag and the
+/// deadline wheel can get when nothing else wakes the loop.
+const WAIT_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Per-loop state shared with the accept path and the shard workers.
+pub(crate) struct IoShared {
+    /// Connections whose out-queue gained replies since the loop last
+    /// flushed, as `(slot, generation)` — the generation filters
+    /// entries that outlived their connection.
+    dirty: Mutex<Vec<(usize, u64)>>,
+    /// Newly accepted sockets handed over by the accepting loop.
+    inbox: Mutex<Vec<TcpStream>>,
+    /// Fires the owning loop's poller.
+    pub(crate) waker: WakerHandle,
+}
+
+/// The cross-thread half of one connection: the reply queue workers
+/// push into, and the flags that make a send after close a no-op.
+pub(crate) struct ConnShared {
+    slot: usize,
+    /// Unique per connection within its loop (never reused), so stale
+    /// dirty-list entries and wheel deadlines are detectable.
+    generation: u64,
+    io: Arc<IoShared>,
+    out: Mutex<VecDeque<Bytes>>,
+    /// Already on the dirty list; avoids one list push per reply.
+    queued: AtomicBool,
+    closed: AtomicBool,
+}
+
+/// Where a shard worker sends a connection's DEC bytes. Replaces the
+/// seed's per-connection `crossbeam` channel + writer thread: a send
+/// queues the bytes and wakes the owning event loop, which writes them
+/// out (or parks them under write interest when the socket is full).
+/// Sends to a closed connection are dropped, like writes to a dead
+/// writer thread were.
+#[derive(Clone)]
+pub(crate) struct ReplyHandle(Arc<ConnShared>);
+
+impl ReplyHandle {
+    pub(crate) fn send(&self, bytes: Bytes) {
+        let c = &*self.0;
+        if c.closed.load(Ordering::Acquire) {
+            return;
+        }
+        c.out.lock().push_back(bytes);
+        if !c.queued.swap(true, Ordering::AcqRel) {
+            c.io.dirty.lock().push((c.slot, c.generation));
+            c.io.waker.wake();
+        }
+    }
+}
+
+/// One live connection, owned by its event loop.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    shared: Arc<ConnShared>,
+    interest: Interest,
+    /// Bytes of the out-queue head already written (partial write).
+    head_written: usize,
+    /// Current idle-deadline generation; bumped to cancel lazily.
+    idle_gen: u64,
+    idle_armed: bool,
+}
+
+/// One decoded COPS message awaiting the batch phase of a readiness
+/// pass. `Request` carries its decided plan after the batch decide.
+// Like `Job`: one Request is built per admission; boxing its plan to
+// shrink the enum would put a heap allocation on the hot path for the
+// sake of the rarer variants.
+#[allow(clippy::large_enum_variant)]
+enum Action {
+    Request {
+        req: FlowRequest,
+        shard: usize,
+        plan: Option<(AdmissionPlan, u64)>,
+    },
+    NoRoute {
+        flow: FlowId,
+    },
+    Delete {
+        flow: FlowId,
+    },
+    Report {
+        macroflow: FlowId,
+        at: Time,
+    },
+}
+
+/// Everything one readiness pass decoded, per connection in arrival
+/// order. The `Arc<ConnShared>` (not the slot) keeps the reply path
+/// valid even for a connection that EOF'd in the same pass — its
+/// requests still commit; the replies drop at the closed flag.
+#[derive(Default)]
+struct Pass {
+    conns: Vec<(Arc<ConnShared>, Vec<Action>)>,
+    frames: u64,
+}
+
+/// Why a connection is being torn down, for the telemetry taxonomy.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CloseCause {
+    /// Clean EOF from the peer, or daemon shutdown.
+    Eof,
+    /// I/O error or COPS protocol violation.
+    Error,
+    /// Idle (slow-loris) deadline expired mid-frame.
+    Idle,
+}
+
+/// Runs one event loop until the dispatch stop flag rises. Loop 0 owns
+/// the listener and hands accepted sockets round-robin across all
+/// loops (itself included) through their inboxes.
+pub(crate) fn io_loop(
+    loop_idx: usize,
+    listener: Option<TcpListener>,
+    waker: Waker,
+    shared: Arc<IoShared>,
+    peers: Vec<Arc<IoShared>>,
+    dispatch: Arc<Dispatch>,
+    idle_timeout: Option<Duration>,
+) {
+    let mut poller = Poller::new().expect("create poller");
+    poller
+        .register(waker.fd(), TOKEN_WAKER, Interest::READ)
+        .expect("register waker");
+    if let Some(l) = &listener {
+        poller
+            .register(l.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+            .expect("register listener");
+    }
+
+    let idle_ms = idle_timeout.map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX).max(1));
+    let mut wheel = idle_ms.map(|ms| {
+        let slots = usize::try_from(ms / WHEEL_TICK_MS + 2).unwrap_or(usize::MAX);
+        DeadlineWheel::new(slots.clamp(8, 1 << 16), WHEEL_TICK_MS)
+    });
+    let epoch = Instant::now();
+
+    let mut slab: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut next_gen = 0u64;
+    let mut next_loop = 0usize;
+
+    let mut events: Vec<Event> = Vec::with_capacity(1024);
+    let mut expired = Vec::new();
+    let mut pass = Pass::default();
+
+    loop {
+        let _ = poller.wait(&mut events, Some(WAIT_TIMEOUT));
+        if dispatch.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let now_ms = elapsed_ms(epoch);
+
+        for &ev in &events {
+            match ev.token {
+                TOKEN_WAKER => waker.drain(),
+                TOKEN_LISTENER => {
+                    let l = listener.as_ref().expect("listener event without listener");
+                    accept_burst(l, loop_idx, &peers, &mut next_loop, &dispatch, |stream| {
+                        if let Some(slot) = install(
+                            stream,
+                            &mut slab,
+                            &mut free,
+                            &mut next_gen,
+                            &shared,
+                            &poller,
+                        ) {
+                            read_drain(
+                                slot, &mut slab, &mut free, &poller, &dispatch, &mut pass, now_ms,
+                                idle_ms, &mut wheel,
+                            );
+                        }
+                    });
+                }
+                Token(t) => {
+                    let slot = t - TOKEN_CONN_BASE;
+                    if slab.get(slot).is_none_or(Option::is_none) {
+                        continue; // closed earlier in this same pass
+                    }
+                    if ev.writable {
+                        flush_writes(slot, &mut slab, &mut free, &poller, &dispatch);
+                    }
+                    if (ev.readable || ev.hangup) && slab[slot].is_some() {
+                        read_drain(
+                            slot, &mut slab, &mut free, &poller, &dispatch, &mut pass, now_ms,
+                            idle_ms, &mut wheel,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Sockets handed over by the accepting loop: install and do the
+        // first drain now — with edge triggering, bytes that raced the
+        // registration would otherwise never produce an event.
+        loop {
+            let Some(stream) = shared.inbox.lock().pop() else {
+                break;
+            };
+            if let Some(slot) = install(
+                stream,
+                &mut slab,
+                &mut free,
+                &mut next_gen,
+                &shared,
+                &poller,
+            ) {
+                read_drain(
+                    slot, &mut slab, &mut free, &poller, &dispatch, &mut pass, now_ms, idle_ms,
+                    &mut wheel,
+                );
+            }
+        }
+
+        process_pass(&mut pass, &dispatch);
+
+        // Flush every connection with newly queued replies — the shard
+        // workers' since the last pass, plus this pass's inline ones.
+        let dirty = std::mem::take(&mut *shared.dirty.lock());
+        for (slot, gen) in dirty {
+            let Some(conn) = slab.get(slot).and_then(Option::as_ref) else {
+                continue;
+            };
+            if conn.shared.generation != gen {
+                continue;
+            }
+            // Clear before flushing: a reply racing in after the store
+            // re-queues the slot; one racing in before it is caught by
+            // the flush reading the queue afterwards.
+            conn.shared.queued.store(false, Ordering::Release);
+            flush_writes(slot, &mut slab, &mut free, &poller, &dispatch);
+        }
+
+        if let (Some(wheel), Some(_)) = (&mut wheel, idle_ms) {
+            wheel.advance(elapsed_ms(epoch), &mut expired);
+            for armed in expired.drain(..) {
+                let slot = armed.token;
+                let due = slab
+                    .get(slot)
+                    .and_then(Option::as_ref)
+                    .is_some_and(|c| c.idle_armed && c.idle_gen == armed.generation);
+                if due {
+                    close_conn(
+                        slot,
+                        &mut slab,
+                        &mut free,
+                        &poller,
+                        &dispatch,
+                        CloseCause::Idle,
+                    );
+                }
+            }
+        }
+    }
+
+    // Shutdown: tear down every connection this loop owns, and balance
+    // the gauge for accepted-but-never-installed sockets in the inbox.
+    for slot in 0..slab.len() {
+        if slab[slot].is_some() {
+            close_conn(
+                slot,
+                &mut slab,
+                &mut free,
+                &poller,
+                &dispatch,
+                CloseCause::Eof,
+            );
+        }
+    }
+    let orphans = shared.inbox.lock().drain(..).count();
+    for _ in 0..orphans {
+        dispatch.metrics.record_conn_closed();
+    }
+}
+
+fn elapsed_ms(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// Accepts until `WouldBlock` (edge triggering reports a burst once),
+/// distributing sockets round-robin: locally via `install_local`, to a
+/// peer loop via its inbox + waker.
+fn accept_burst(
+    listener: &TcpListener,
+    loop_idx: usize,
+    peers: &[Arc<IoShared>],
+    next_loop: &mut usize,
+    dispatch: &Arc<Dispatch>,
+    mut install_local: impl FnMut(TcpStream),
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                dispatch.metrics.record_accept();
+                let target = *next_loop % peers.len();
+                *next_loop = next_loop.wrapping_add(1);
+                if target == loop_idx {
+                    install_local(stream);
+                } else {
+                    peers[target].inbox.lock().push(stream);
+                    peers[target].waker.wake();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Transient accept failure (e.g. fd exhaustion). The
+                // pending connection stays in the backlog; the next
+                // arrival re-triggers readiness.
+                dispatch.metrics.record_conn_error();
+                return;
+            }
+        }
+    }
+}
+
+/// Registers a fresh socket into a slab slot under read interest.
+/// Returns `None` (counting an error) when socket setup fails.
+fn install(
+    stream: TcpStream,
+    slab: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+    next_gen: &mut u64,
+    io: &Arc<IoShared>,
+    poller: &Poller,
+) -> Option<usize> {
+    let _ = stream.set_nodelay(true);
+    if stream.set_nonblocking(true).is_err() {
+        return None;
+    }
+    let slot = free.pop().unwrap_or_else(|| {
+        slab.push(None);
+        slab.len() - 1
+    });
+    *next_gen += 1;
+    let shared = Arc::new(ConnShared {
+        slot,
+        generation: *next_gen,
+        io: Arc::clone(io),
+        out: Mutex::new(VecDeque::new()),
+        queued: AtomicBool::new(false),
+        closed: AtomicBool::new(false),
+    });
+    if poller
+        .register(
+            stream.as_raw_fd(),
+            Token(slot + TOKEN_CONN_BASE),
+            Interest::READ,
+        )
+        .is_err()
+    {
+        free.push(slot);
+        return None;
+    }
+    slab[slot] = Some(Conn {
+        stream,
+        reader: FrameReader::new(),
+        shared,
+        interest: Interest::READ,
+        head_written: 0,
+        idle_gen: 0,
+        idle_armed: false,
+    });
+    Some(slot)
+}
+
+/// Reads until `WouldBlock` or EOF, decoding every complete frame into
+/// the pass. Manages the idle deadline: armed while a partial frame is
+/// buffered, re-armed only when a frame *completes* (dribbled bytes
+/// never reset it — the slow-loris case), disarmed at a frame boundary.
+#[allow(clippy::too_many_arguments)]
+fn read_drain(
+    slot: usize,
+    slab: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    poller: &Poller,
+    dispatch: &Arc<Dispatch>,
+    pass: &mut Pass,
+    now_ms: u64,
+    idle_ms: Option<u64>,
+    wheel: &mut Option<DeadlineWheel>,
+) {
+    let mut chunk = [0u8; 16 * 1024];
+    let mut actions: Vec<Action> = Vec::new();
+    let mut frames_completed = false;
+    let mut close = None;
+    {
+        let conn = slab[slot].as_mut().expect("read_drain on live conn");
+        'read: loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    close = Some(CloseCause::Eof);
+                    break 'read;
+                }
+                Ok(n) => {
+                    conn.reader.extend(&chunk[..n]);
+                    loop {
+                        match conn.reader.next_frame() {
+                            Ok(Some(frame)) => {
+                                frames_completed = true;
+                                pass.frames += 1;
+                                if !decode_into(&frame, dispatch, &mut actions) {
+                                    close = Some(CloseCause::Error);
+                                    break 'read;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                close = Some(CloseCause::Error);
+                                break 'read;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break 'read,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    close = Some(CloseCause::Error);
+                    break 'read;
+                }
+            }
+        }
+
+        if close.is_none() {
+            if let (Some(wheel), Some(idle_ms)) = (wheel.as_mut(), idle_ms) {
+                let partial = conn.reader.pending() > 0;
+                if partial && (!conn.idle_armed || frames_completed) {
+                    conn.idle_gen += 1;
+                    conn.idle_armed = true;
+                    wheel.arm(now_ms, idle_ms, slot, conn.idle_gen);
+                } else if !partial && conn.idle_armed {
+                    conn.idle_gen += 1; // lazy-cancel the parked entry
+                    conn.idle_armed = false;
+                }
+            }
+        }
+
+        if !actions.is_empty() {
+            pass.conns.push((Arc::clone(&conn.shared), actions));
+        }
+    }
+    if let Some(cause) = close {
+        // The decoded actions still run: requests received before an
+        // EOF (or before the violating frame) must reach the broker,
+        // exactly as the blocking reader processed them before
+        // returning. Their replies drop at the closed flag.
+        close_conn(slot, slab, free, poller, dispatch, cause);
+    }
+}
+
+/// Decodes one COPS frame into pass actions. Returns `false` on a
+/// protocol violation (undecodable frame, or a `DEC` sent to a server).
+fn decode_into(wire: &Bytes, dispatch: &Arc<Dispatch>, actions: &mut Vec<Action>) -> bool {
+    let mut buf = wire.clone();
+    let Ok(frame) = cops::decode_frame(&mut buf) else {
+        return false;
+    };
+    match frame.op {
+        OpCode::Request => {
+            let Ok(req) = cops::decode_request(&frame) else {
+                return false;
+            };
+            match dispatch
+                .path_shard
+                .get(usize::try_from(req.path.0).unwrap_or(usize::MAX))
+            {
+                Some(&shard) => actions.push(Action::Request {
+                    req,
+                    shard,
+                    plan: None,
+                }),
+                // A path this daemon does not serve: nothing to decide.
+                None => actions.push(Action::NoRoute { flow: req.flow }),
+            }
+            true
+        }
+        OpCode::DeleteRequest => {
+            let Ok(flow) = cops::decode_delete(&frame) else {
+                return false;
+            };
+            actions.push(Action::Delete { flow });
+            true
+        }
+        OpCode::Report => {
+            let Ok((macroflow, at)) = cops::decode_buffer_empty(&frame) else {
+                return false;
+            };
+            actions.push(Action::Report { macroflow, at });
+            true
+        }
+        OpCode::KeepAlive => true,
+        OpCode::Decision => false,
+    }
+}
+
+/// The batch phase: decide every request of the pass grouped by shard —
+/// one read-lock acquisition per shard per pass — then dispatch all
+/// actions per connection in frame order, preserving exactly the order
+/// a per-connection blocking reader would have produced.
+fn process_pass(pass: &mut Pass, dispatch: &Arc<Dispatch>) {
+    if pass.frames > 0 {
+        dispatch.metrics.record_batch_frames(pass.frames);
+    }
+    if pass.conns.is_empty() {
+        pass.frames = 0;
+        return;
+    }
+
+    let shard_count = dispatch.jobs.len();
+    let mut by_shard: Vec<Vec<(usize, usize)>> = vec![Vec::new(); shard_count];
+    for (ci, (_, actions)) in pass.conns.iter().enumerate() {
+        for (ai, action) in actions.iter().enumerate() {
+            if let Action::Request { shard, .. } = action {
+                by_shard[*shard].push((ci, ai));
+            }
+        }
+    }
+    for (shard, items) in by_shard.iter().enumerate() {
+        if items.is_empty() {
+            continue;
+        }
+        let guard = dispatch.shards[shard].read();
+        for &(ci, ai) in items {
+            if let Action::Request { req, plan, .. } = &mut pass.conns[ci].1[ai] {
+                let t0 = Instant::now();
+                let decided = guard.decide(req);
+                let decide_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                *plan = Some((decided, decide_ns));
+            }
+        }
+    }
+
+    for (shared, actions) in pass.conns.drain(..) {
+        let reply = ReplyHandle(shared);
+        for action in actions {
+            match action {
+                Action::Request { shard, plan, .. } => {
+                    let (plan, decide_ns) = plan.expect("batch decide filled every plan");
+                    let flow = plan.request.flow;
+                    let job = Job::Commit {
+                        plan,
+                        reply: reply.clone(),
+                        enqueued: Instant::now(),
+                        decide_ns,
+                    };
+                    if let Err(TrySendError::Full(_)) = dispatch.jobs[shard].try_send(job) {
+                        shed(flow, shard, dispatch, &reply);
+                    }
+                }
+                Action::NoRoute { flow } => {
+                    dispatch.metrics.record_unrouted();
+                    reply.send(cops::encode_decision_reject(flow, Reject::NoRoute));
+                }
+                Action::Delete { flow } => {
+                    let owner = dispatch.flow_owner.read().get(&flow).copied();
+                    if let Some(shard) = owner {
+                        let job = Job::Delete {
+                            flow,
+                            reply: reply.clone(),
+                        };
+                        if let Err(TrySendError::Full(_)) = dispatch.jobs[shard].try_send(job) {
+                            shed(flow, shard, dispatch, &reply);
+                        }
+                    } else {
+                        // Never admitted (or long gone): answer so the
+                        // edge can tell "nothing to delete" from a lost
+                        // DRQ.
+                        reply.send(cops::encode_delete_unknown(flow));
+                    }
+                }
+                Action::Report { macroflow, at } => {
+                    if let Some(shard) = shard_of_macroflow(macroflow, shard_count) {
+                        // Reports shed under overload are safe to drop:
+                        // the contingency timer still bounds the grant.
+                        let _ = dispatch.jobs[shard].try_send(Job::Report { macroflow, at });
+                    }
+                }
+            }
+        }
+    }
+    pass.frames = 0;
+}
+
+/// Sheds one request at a full shard queue: counted, taxonomized, and
+/// answered with an explicit `Overloaded` reject.
+fn shed(flow: FlowId, shard: usize, dispatch: &Arc<Dispatch>, reply: &ReplyHandle) {
+    dispatch.overloaded.fetch_add(1, Ordering::Relaxed);
+    let m = dispatch.metrics.shard(shard);
+    m.record_shed();
+    // A shed is still a decision the edge sees; count it in the
+    // taxonomy too so snapshot totals reconcile with DEC counts.
+    m.record_reject(Reject::Overloaded);
+    reply.send(cops::encode_decision_reject(flow, Reject::Overloaded));
+}
+
+/// Writes queued replies until the queue empties or the socket fills,
+/// widening interest to `BOTH` on `WouldBlock` and narrowing back to
+/// `READ` once drained. Closes the connection on a write error.
+fn flush_writes(
+    slot: usize,
+    slab: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    poller: &Poller,
+    dispatch: &Arc<Dispatch>,
+) {
+    let mut failed = false;
+    let mut blocked = false;
+    {
+        let Some(conn) = slab[slot].as_mut() else {
+            return;
+        };
+        loop {
+            // Clone the head (refcounted) instead of holding the queue
+            // lock across a write syscall a worker might contend on.
+            let Some(head) = conn.shared.out.lock().front().cloned() else {
+                break;
+            };
+            match conn.stream.write(&head[conn.head_written..]) {
+                Ok(n) if n > 0 => {
+                    conn.head_written += n;
+                    if conn.head_written == head.len() {
+                        conn.shared.out.lock().pop_front();
+                        conn.head_written = 0;
+                    }
+                }
+                Ok(_) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    blocked = true;
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if !failed {
+            let want = if blocked {
+                Interest::BOTH
+            } else {
+                Interest::READ
+            };
+            if conn.interest != want
+                && poller
+                    .reregister(conn.stream.as_raw_fd(), Token(slot + TOKEN_CONN_BASE), want)
+                    .is_ok()
+            {
+                conn.interest = want;
+            }
+        }
+    }
+    if failed {
+        close_conn(slot, slab, free, poller, dispatch, CloseCause::Error);
+    }
+}
+
+/// Tears a connection down: marks the shared half closed (reply sends
+/// become no-ops), clears its queue, deregisters, drops the socket,
+/// frees the slot, and records the close under its cause.
+fn close_conn(
+    slot: usize,
+    slab: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    poller: &Poller,
+    dispatch: &Arc<Dispatch>,
+    cause: CloseCause,
+) {
+    let Some(conn) = slab[slot].take() else {
+        return;
+    };
+    free.push(slot);
+    conn.shared.closed.store(true, Ordering::Release);
+    conn.shared.out.lock().clear();
+    let _ = poller.deregister(conn.stream.as_raw_fd());
+    match cause {
+        CloseCause::Eof => {}
+        CloseCause::Error => dispatch.metrics.record_conn_error(),
+        CloseCause::Idle => dispatch.metrics.record_conn_idle_closed(),
+    }
+    dispatch.metrics.record_conn_closed();
+}
+
+/// Builds the per-loop shared blocks and wakers for `io_threads` loops.
+pub(crate) fn build_io_shared(io_threads: usize) -> (Vec<Waker>, Vec<Arc<IoShared>>) {
+    let wakers: Vec<Waker> = (0..io_threads)
+        .map(|_| Waker::new().expect("create waker"))
+        .collect();
+    let shared = wakers
+        .iter()
+        .map(|w| {
+            Arc::new(IoShared {
+                dirty: Mutex::new(Vec::new()),
+                inbox: Mutex::new(Vec::new()),
+                waker: w.handle().expect("dup waker fd"),
+            })
+        })
+        .collect();
+    (wakers, shared)
+}

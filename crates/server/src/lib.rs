@@ -8,9 +8,13 @@
 //!
 //! * [`frame`] — incremental framing of the COPS byte stream (partial
 //!   reads, bounded frame sizes);
-//! * [`server`] — the daemon: listener, per-connection reader/writer
-//!   threads, pod-sharded broker workers behind bounded queues with
-//!   explicit overload shedding, clean shutdown;
+//! * `conn` — the event-driven connection layer: a fixed pool of
+//!   [`netpoll`]-based io loops multiplexing every edge connection
+//!   (edge-triggered readiness, per-pass shard-batched decides,
+//!   idle/slow-loris deadlines);
+//! * [`server`] — the daemon: io event loops, pod-sharded broker
+//!   workers behind bounded queues with explicit overload shedding,
+//!   clean shutdown;
 //! * [`client`] — a small blocking client used by the load generator,
 //!   the integration tests, and any experiment that wants to speak to
 //!   the daemon over real TCP;
@@ -29,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub(crate) mod conn;
 pub mod frame;
 pub mod server;
 pub mod stats;

@@ -3,67 +3,73 @@
 //! Architecture (one process, all threads named for debuggability):
 //!
 //! ```text
-//!  edge routers ──TCP──▶ accept thread ──▶ per-connection reader thread
-//!                                             │        ▲
-//!                       bounded crossbeam     │        │ per-connection
-//!                       job queues (one       ▼        │ writer thread
-//!                       per shard)       shard worker ─┘
-//!                                        (owns a BrokerShard)
+//!  edge routers ──TCP──▶ io event loops (netpoll/epoll: accept,
+//!      (10k+ conns)      framed decode, batched decide, DEC writes)
+//!                                │        ▲
+//!              bounded crossbeam │        │ reply queues + waker
+//!              job queues (one   ▼        │ (ReplyHandle)
+//!              per shard)   shard worker ─┘
+//!                           (owns a BrokerShard)
 //! ```
 //!
-//! * **Readers** frame the COPS stream ([`crate::frame::FrameReader`]),
-//!   decode each message, and — for admission requests — run the
-//!   **decide phase right on the reader thread**: [`BrokerShard::decide`]
-//!   is read-only, so any number of connections decide concurrently
-//!   under a shard's read lock. The resulting epoch-stamped plan (admit
-//!   *or* reject — a reject must travel the queue too, or it would
-//!   reorder around already-queued releases and break serial
-//!   equivalence) is enqueued to the owning shard. Path → shard is a
-//!   lock-free table lookup; flow → shard (for `DRQ`) reads a
-//!   [`RwLock`]-guarded map the workers maintain; macroflow → shard
-//!   (for `RPT`) is pure arithmetic on the id-space partition.
+//! * **IO loops** (`crate::conn`) own the listener and all sockets:
+//!   `io_threads` event loops multiplex every connection over
+//!   edge-triggered readiness ([`netpoll`]), so tens of thousands of
+//!   mostly-idle edges cost fds, not threads. Each readiness pass frames
+//!   the COPS stream ([`crate::frame::FrameReader`]), decodes each
+//!   message, and runs the **decide phase batched per shard**:
+//!   [`BrokerShard::decide`] is read-only, so one read-lock acquisition
+//!   serves every connection that became ready together. The resulting
+//!   epoch-stamped plan (admit *or* reject — a reject must travel the
+//!   queue too, or it would reorder around already-queued releases and
+//!   break serial equivalence) is enqueued to the owning shard in
+//!   per-connection frame order. Path → shard is a lock-free table
+//!   lookup; flow → shard (for `DRQ`) reads a [`RwLock`]-guarded map the
+//!   workers maintain; macroflow → shard (for `RPT`) is pure arithmetic
+//!   on the id-space partition. Connections sitting mid-frame past the
+//!   idle timeout are closed (slow-loris defense).
 //! * **Workers** serialize the **commit phase**: one worker per shard
-//!   takes the write lock per job, revalidates the plan's epoch stamp
-//!   (stale plans are re-decided by the broker, counted as
+//!   takes the write lock per batch, revalidates each plan's epoch
+//!   stamp (stale plans are re-decided by the broker, counted as
 //!   retries/aborts), and applies the bookkeeping. Decisions are
-//!   encoded and handed to the requesting connection's writer queue.
+//!   encoded and handed back through the connection's reply queue,
+//!   waking its io loop.
 //! * **Backpressure** is explicit: shard queues are bounded, and a full
 //!   queue turns the request into an immediate `DEC` reject with the
-//!   [`Reject::Overloaded`] cause — the edge learns it was shed, rather
+//!   [`bb_core::signaling::Reject::Overloaded`] cause — the edge learns it was shed, rather
 //!   than the daemon buffering without bound or silently dropping.
-//! * **Shutdown** is clean and total-ordered: stop flag → accept thread
-//!   → readers (bounded by the read timeout) → writers → workers, which
-//!   return their shards so the final [`ServerReport`] is exact.
+//! * **Shutdown** is clean and total-ordered: stop flag → io loops
+//!   (woken, they tear down their connections) → workers, which drain
+//!   their queues so the final [`ServerReport`] is exact.
 //!
 //! The broker itself stays a passive, explicit-time state machine; the
 //! daemon is the clock owner and stamps each job with the elapsed time
 //! since start.
 
 use std::collections::HashMap;
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
-use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::RwLock;
 use qos_units::Time;
 use vtrs::packet::FlowId;
 
 use bb_core::admission::plan::AdmissionPlan;
 use bb_core::broker::BrokerConfig;
-use bb_core::cops::{self, OpCode};
-use bb_core::shard::{build_shards, plan_shards, shard_of_macroflow, BrokerShard};
-use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
+use bb_core::cops;
+use bb_core::shard::{build_shards, plan_shards, BrokerShard};
+use bb_core::signaling::ServiceKind;
 use bb_durable::{replay, ShardStore, WalRecord};
 use bb_telemetry::{MetricsRegistry, ShardMetrics};
 use netsim::topology::{LinkId, Topology};
 
-use crate::frame::FrameReader;
+use crate::conn::{self, ReplyHandle};
 use crate::stats::{stats_loop, StatsSnapshot};
 
 /// Daemon tuning knobs.
@@ -72,11 +78,16 @@ pub struct ServerConfig {
     /// Shard worker threads (also the number of broker shards).
     pub workers: usize,
     /// Bound on each shard's job queue; beyond it requests are shed
-    /// with [`Reject::Overloaded`].
+    /// with [`bb_core::signaling::Reject::Overloaded`].
     pub queue_depth: usize,
-    /// Per-connection socket read timeout — the granularity at which
-    /// idle readers notice shutdown.
-    pub read_timeout: Duration,
+    /// IO event loops multiplexing all connections. Loop 0 owns the
+    /// listener; accepted sockets distribute round-robin.
+    pub io_threads: usize,
+    /// Close a connection that sits with a *partial* COPS frame
+    /// buffered for this long (slow-loris defense). `None` disables
+    /// idle closing; connections idle at a frame boundary are never
+    /// closed.
+    pub idle_timeout: Option<Duration>,
     /// Broker configuration applied to every shard.
     pub broker: BrokerConfig,
     /// Address for the side telemetry endpoint (`GET /stats`,
@@ -94,7 +105,8 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             queue_depth: 1024,
-            read_timeout: Duration::from_millis(20),
+            io_threads: 2,
+            idle_timeout: None,
             broker: BrokerConfig::default(),
             stats_addr: None,
             durable: None,
@@ -167,10 +179,12 @@ fn class_totals(dir: &ClassDirectory) -> Vec<(u32, ClassUsage)> {
 /// accounting instead of aborting it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct ThreadFailures {
-    /// The accept thread panicked (its reader handles are lost; those
-    /// readers still exit on the stop flag but go unjoined).
+    /// Unused since the event-loop rewrite (the accepting loop is io
+    /// loop 0, counted under `readers`); kept so the report schema
+    /// stays stable.
     pub accept: u64,
-    /// Connection reader threads that panicked.
+    /// IO event loops that panicked (their connections are lost; the
+    /// other loops and the workers keep serving).
     pub readers: u64,
     /// Shard workers that panicked. Their shard's counters survive in
     /// the report totals — the shard lives behind a shared handle, not
@@ -205,7 +219,7 @@ pub struct ServerReport {
     pub admitted: u64,
     /// Requests rejected by admission control (any cause but overload).
     pub rejected: u64,
-    /// Requests shed at the queue with [`Reject::Overloaded`].
+    /// Requests shed at the queue with [`bb_core::signaling::Reject::Overloaded`].
     pub overloaded: u64,
     /// Flows released via `DRQ`.
     pub released: u64,
@@ -224,19 +238,19 @@ pub struct ServerReport {
 // the enum would put a heap allocation on that hot path for the sake of
 // the rarer Delete/Report variants.
 #[allow(clippy::large_enum_variant)]
-enum Job {
-    /// Commit (or refuse) a plan the reader thread already decided.
+pub(crate) enum Job {
+    /// Commit (or refuse) a plan the io loop already decided.
     Commit {
         plan: AdmissionPlan,
-        reply: Sender<Bytes>,
+        reply: ReplyHandle,
         /// Dispatch time, for the end-to-end setup-latency histogram.
         enqueued: Instant,
-        /// Decide-phase latency measured on the reader thread.
+        /// Decide-phase latency measured on the io loop.
         decide_ns: u64,
     },
     Delete {
         flow: FlowId,
-        reply: Sender<Bytes>,
+        reply: ReplyHandle,
     },
     Report {
         macroflow: FlowId,
@@ -256,28 +270,28 @@ impl Job {
     }
 }
 
-/// Immutable dispatch state shared by every reader thread.
-struct Dispatch {
+/// Immutable dispatch state shared by the io loops and workers.
+pub(crate) struct Dispatch {
     /// Global path index → shard.
-    path_shard: Vec<usize>,
-    /// The broker shards. Readers take the read lock to run the decide
-    /// phase concurrently; each shard's single worker takes the write
-    /// lock per commit, so commits serialize per shard while decides
-    /// never block each other.
-    shards: Vec<Arc<RwLock<BrokerShard>>>,
+    pub(crate) path_shard: Vec<usize>,
+    /// The broker shards. IO loops take the read lock to run the decide
+    /// phase (batched per readiness pass); each shard's single worker
+    /// takes the write lock per commit batch, so commits serialize per
+    /// shard while decides never block each other.
+    pub(crate) shards: Vec<Arc<RwLock<BrokerShard>>>,
     /// Shard job queues.
-    jobs: Vec<Sender<Job>>,
+    pub(crate) jobs: Vec<Sender<Job>>,
     /// Flow → owning shard (maintained by workers; read on `DRQ`).
-    flow_owner: RwLock<HashMap<FlowId, usize>>,
+    pub(crate) flow_owner: RwLock<HashMap<FlowId, usize>>,
     /// Requests shed due to full queues.
-    overloaded: AtomicU64,
+    pub(crate) overloaded: AtomicU64,
     /// Flows released (DRQ) across all shards.
     released: AtomicU64,
     /// Cross-shard class usage.
     classes: RwLock<ClassDirectory>,
-    /// Live telemetry, updated lock-free by workers and the dispatcher.
-    metrics: MetricsRegistry,
-    stop: AtomicBool,
+    /// Live telemetry, updated lock-free by workers and the io loops.
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) stop: AtomicBool,
     started: Instant,
     /// Per-shard durable stores; `None` without durability.
     stores: Option<Vec<Arc<ShardStore>>>,
@@ -313,7 +327,8 @@ pub struct BbServer {
     addr: SocketAddr,
     stats_addr: Option<SocketAddr>,
     dispatch: Arc<Dispatch>,
-    accept_handle: JoinHandle<Vec<JoinHandle<()>>>,
+    io_handles: Vec<JoinHandle<()>>,
+    io_shared: Vec<Arc<conn::IoShared>>,
     stats_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
     flusher_handle: Option<JoinHandle<()>>,
@@ -340,6 +355,7 @@ impl BbServer {
         config: &ServerConfig,
     ) -> io::Result<Self> {
         assert!(config.workers > 0, "need at least one worker");
+        assert!(config.io_threads > 0, "need at least one io loop");
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -499,18 +515,33 @@ impl BbServer {
             })
             .collect();
 
-        let accept_dispatch = Arc::clone(&dispatch);
-        let read_timeout = config.read_timeout;
-        let accept_handle = std::thread::Builder::new()
-            .name("bb-accept".into())
-            .spawn(move || accept_loop(&listener, &accept_dispatch, read_timeout))
-            .expect("spawn accept thread");
+        let (wakers, io_shared) = conn::build_io_shared(config.io_threads);
+        let idle_timeout = config.idle_timeout;
+        let mut listener = Some(listener);
+        let io_handles = wakers
+            .into_iter()
+            .enumerate()
+            .map(|(idx, waker)| {
+                let dispatch = Arc::clone(&dispatch);
+                let shared = Arc::clone(&io_shared[idx]);
+                let peers = io_shared.clone();
+                // Loop 0 owns the listener and distributes accepts.
+                let listener = listener.take();
+                std::thread::Builder::new()
+                    .name(format!("bb-io-{idx}"))
+                    .spawn(move || {
+                        conn::io_loop(idx, listener, waker, shared, peers, dispatch, idle_timeout);
+                    })
+                    .expect("spawn io loop")
+            })
+            .collect();
 
         Ok(BbServer {
             addr,
             stats_addr,
             dispatch,
-            accept_handle,
+            io_handles,
+            io_shared,
             stats_handle,
             worker_handles,
             flusher_handle,
@@ -550,26 +581,25 @@ impl BbServer {
     pub fn shutdown(self) -> ServerReport {
         self.dispatch.stop.store(true, Ordering::SeqCst);
         let mut failures = ThreadFailures::default();
-        match self.accept_handle.join() {
-            Ok(readers) => {
-                for r in readers {
-                    if r.join().is_err() {
-                        failures.readers += 1;
-                    }
-                }
+        // Wake every io loop so none sits out its full wait timeout.
+        for shared in &self.io_shared {
+            shared.waker.wake();
+        }
+        for h in self.io_handles {
+            if h.join().is_err() {
+                failures.readers += 1;
             }
-            Err(_) => failures.accept += 1,
         }
         if let Some(h) = self.stats_handle {
             if h.join().is_err() {
                 failures.stats += 1;
             }
         }
-        // Readers are gone; workers drain in-flight jobs and exit on the
-        // stop flag (the Arc keeps one sender clone alive until report
-        // time, so disconnection alone would not stop them). A panicked
-        // worker is tallied, but its shard — behind the shared handle —
-        // still reports.
+        // The io loops are gone; workers drain in-flight jobs and exit
+        // on the stop flag (the Arc keeps one sender clone alive until
+        // report time, so disconnection alone would not stop them). A
+        // panicked worker is tallied, but its shard — behind the shared
+        // handle — still reports.
         let dispatch = self.dispatch;
         for h in self.worker_handles {
             if h.join().is_err() {
@@ -615,192 +645,6 @@ impl BbServer {
         }
         report
     }
-}
-
-fn accept_loop(
-    listener: &TcpListener,
-    dispatch: &Arc<Dispatch>,
-    read_timeout: Duration,
-) -> Vec<JoinHandle<()>> {
-    let mut readers = Vec::new();
-    let mut conn_id = 0u64;
-    while !dispatch.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let dispatch = Arc::clone(dispatch);
-                conn_id += 1;
-                let handle = std::thread::Builder::new()
-                    .name(format!("bb-conn-{conn_id}"))
-                    .spawn(move || connection_loop(stream, &dispatch, read_timeout))
-                    .expect("spawn connection reader");
-                readers.push(handle);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Err(_) => break,
-        }
-    }
-    readers
-}
-
-/// Reader half of one edge-router connection. Owns the socket; spawns
-/// and joins the paired writer thread.
-fn connection_loop(stream: TcpStream, dispatch: &Arc<Dispatch>, read_timeout: Duration) {
-    let _ = stream.set_nodelay(true);
-    if stream.set_read_timeout(Some(read_timeout)).is_err() {
-        return;
-    }
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let (reply_tx, reply_rx) = channel::unbounded::<Bytes>();
-    let writer = std::thread::Builder::new()
-        .name("bb-conn-writer".into())
-        .spawn(move || writer_loop(write_half, &reply_rx))
-        .expect("spawn connection writer");
-
-    read_until_closed(stream, dispatch, &reply_tx);
-
-    drop(reply_tx);
-    let _ = writer.join();
-}
-
-fn read_until_closed(mut stream: TcpStream, dispatch: &Arc<Dispatch>, reply_tx: &Sender<Bytes>) {
-    let mut reader = FrameReader::new();
-    let mut chunk = [0u8; 4096];
-    loop {
-        if dispatch.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return,
-            Ok(n) => {
-                reader.extend(&chunk[..n]);
-                loop {
-                    match reader.next_frame() {
-                        Ok(Some(frame)) => {
-                            if !handle_frame(&frame, dispatch, reply_tx) {
-                                return;
-                            }
-                        }
-                        Ok(None) => break,
-                        // Framing errors are unrecoverable: drop the
-                        // connection.
-                        Err(_) => return,
-                    }
-                }
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
-            }
-            Err(_) => return,
-        }
-    }
-}
-
-fn writer_loop(mut stream: TcpStream, replies: &Receiver<Bytes>) {
-    while let Ok(bytes) = replies.recv() {
-        if stream.write_all(&bytes).is_err() {
-            // Peer gone; drain silently so senders never block.
-            while replies.recv().is_ok() {}
-            return;
-        }
-    }
-    let _ = stream.flush();
-}
-
-/// Decodes and dispatches one frame. Returns `false` when the
-/// connection must close (protocol violation).
-fn handle_frame(wire: &Bytes, dispatch: &Arc<Dispatch>, reply_tx: &Sender<Bytes>) -> bool {
-    let mut buf = wire.clone();
-    let Ok(frame) = cops::decode_frame(&mut buf) else {
-        return false;
-    };
-    match frame.op {
-        OpCode::Request => {
-            let Ok(req) = cops::decode_request(&frame) else {
-                return false;
-            };
-            dispatch_request(req, dispatch, reply_tx);
-            true
-        }
-        OpCode::DeleteRequest => {
-            let Ok(flow) = cops::decode_delete(&frame) else {
-                return false;
-            };
-            let owner = dispatch.flow_owner.read().get(&flow).copied();
-            if let Some(shard) = owner {
-                let job = Job::Delete {
-                    flow,
-                    reply: reply_tx.clone(),
-                };
-                if let Err(TrySendError::Full(_)) = dispatch.jobs[shard].try_send(job) {
-                    shed(flow, shard, dispatch, reply_tx);
-                }
-            } else {
-                // No shard owns the flow — it was never admitted (or is
-                // long gone). Answer explicitly so the edge can
-                // distinguish "nothing to delete" from a lost DRQ.
-                let _ = reply_tx.send(cops::encode_delete_unknown(flow));
-            }
-            true
-        }
-        OpCode::Report => {
-            let Ok((macroflow, at)) = cops::decode_buffer_empty(&frame) else {
-                return false;
-            };
-            if let Some(shard) = shard_of_macroflow(macroflow, dispatch.jobs.len()) {
-                // Reports shed under overload are safe to drop: the
-                // contingency timer still bounds the grant.
-                let _ = dispatch.jobs[shard].try_send(Job::Report { macroflow, at });
-            }
-            true
-        }
-        OpCode::KeepAlive => true,
-        OpCode::Decision => false,
-    }
-}
-
-fn dispatch_request(req: FlowRequest, dispatch: &Arc<Dispatch>, reply_tx: &Sender<Bytes>) {
-    let Some(&shard) = dispatch
-        .path_shard
-        .get(usize::try_from(req.path.0).unwrap_or(usize::MAX))
-    else {
-        // A path this daemon does not serve: there is no route to test
-        // resources on, which is exactly the NoRoute cause.
-        dispatch.metrics.record_unrouted();
-        let _ = reply_tx.send(cops::encode_decision_reject(req.flow, Reject::NoRoute));
-        return;
-    };
-    let flow = req.flow;
-    // Decide phase, on the reader thread: read-only against the shard,
-    // so connections decide concurrently and only commits serialize on
-    // the worker. The plan is enqueued whether it admits or rejects —
-    // fast-replying a reject from here would reorder it around releases
-    // already sitting in the queue and break serial equivalence.
-    let t0 = Instant::now();
-    let plan = dispatch.shards[shard].read().decide(&req);
-    let decide_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    let job = Job::Commit {
-        plan,
-        reply: reply_tx.clone(),
-        enqueued: Instant::now(),
-        decide_ns,
-    };
-    if let Err(TrySendError::Full(_)) = dispatch.jobs[shard].try_send(job) {
-        shed(flow, shard, dispatch, reply_tx);
-    }
-}
-
-fn shed(flow: FlowId, shard: usize, dispatch: &Arc<Dispatch>, reply_tx: &Sender<Bytes>) {
-    dispatch.overloaded.fetch_add(1, Ordering::Relaxed);
-    let m = dispatch.metrics.shard(shard);
-    m.record_shed();
-    // A shed is still a decision the edge sees; count it in the
-    // taxonomy too so snapshot totals reconcile with DEC counts.
-    m.record_reject(Reject::Overloaded);
-    let _ = reply_tx.send(cops::encode_decision_reject(flow, Reject::Overloaded));
 }
 
 /// Upper bound on jobs applied under one write-lock acquisition. The
@@ -989,12 +833,12 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
                     if matches!(plan.request.service, ServiceKind::Class(_)) {
                         refresh_class_usage(shard, dispatch);
                     }
-                    let _ = reply.send(cops::encode_decision_install(&res));
+                    reply.send(cops::encode_decision_install(&res));
                 }
                 Err(cause) => {
                     // No mapping is ever inserted for a rejected flow.
                     metrics.record_reject(cause);
-                    let _ = reply.send(cops::encode_decision_reject(flow, cause));
+                    reply.send(cops::encode_decision_reject(flow, cause));
                 }
             }
             dispatch
@@ -1016,7 +860,7 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
                     // reservation goes back to the edge.
                     if let Some(res) = updated {
                         refresh_class_usage(shard, dispatch);
-                        let _ = reply.send(cops::encode_decision_install(&res));
+                        reply.send(cops::encode_decision_install(&res));
                     }
                 }
                 Err(_) => {
@@ -1024,7 +868,7 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
                     // pointing here is stale by definition — clear it
                     // and tell the edge explicitly.
                     dispatch.flow_owner.write().remove(&flow);
-                    let _ = reply.send(cops::encode_delete_unknown(flow));
+                    reply.send(cops::encode_delete_unknown(flow));
                 }
             }
         }

@@ -1,0 +1,257 @@
+//! Integration tests for the event-driven connection layer: however
+//! TCP fragments the COPS stream across readiness passes, the daemon's
+//! decision stream must be byte-identical to coalesced delivery (the
+//! blocking frame reader's view of the same bytes); mid-frame
+//! disconnects must drop the partial frame silently; and the idle
+//! deadline must close mid-frame stallers — and only them.
+//!
+//! Every test pins the workload to a single pod, so all requests land
+//! on one shard and the DEC stream on one connection is strict FIFO —
+//! the strongest comparison (raw reply bytes) is well-defined.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use bb_core::cops;
+use bb_core::signaling::{FlowRequest, ServiceKind};
+use bb_server::{BbServer, CopsClient, FrameReader, ServerConfig};
+use netsim::topology::{LinkId, SchedulerSpec, Topology};
+use proptest::prelude::*;
+use qos_units::{Bits, Nanos, Rate};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+fn topology() -> (Topology, Vec<Vec<LinkId>>) {
+    Topology::pod_chains(
+        1,
+        3,
+        Rate::from_bps(1_500_000),
+        Nanos::ZERO,
+        SchedulerSpec::CsVc,
+        Bits::from_bytes(1500),
+    )
+}
+
+fn request(flow: u64, d_req_ms: u64) -> FlowRequest {
+    FlowRequest {
+        flow: FlowId(flow),
+        profile: TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap(),
+        d_req: Nanos::from_millis(d_req_ms),
+        service: ServiceKind::PerFlow,
+        path: bb_core::PathId(0),
+    }
+}
+
+fn start_daemon() -> BbServer {
+    let (topo, routes) = topology();
+    BbServer::start("127.0.0.1:0", &topo, &routes, &ServerConfig::default()).expect("start daemon")
+}
+
+/// Writes `wire` to a fresh connection in the given chunks (a short
+/// pause after each so the daemon genuinely sees them as separate
+/// readiness passes), then reads exactly `expected` DEC frames and
+/// returns their raw bytes in arrival order.
+fn drive(addr: &str, wire: &[u8], chunks: &[usize], expected: usize) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .expect("read timeout");
+
+    let mut at = 0;
+    let mut cut = 0;
+    while at < wire.len() {
+        let step = if chunks.is_empty() {
+            wire.len()
+        } else {
+            chunks[cut % chunks.len()].max(1).min(wire.len() - at)
+        };
+        cut += 1;
+        stream.write_all(&wire[at..at + step]).expect("write chunk");
+        at += step;
+        if at < wire.len() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    let mut reader = FrameReader::new();
+    let mut replies = Vec::new();
+    let mut frames = 0;
+    let mut chunk = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while frames < expected {
+        assert!(Instant::now() < deadline, "timed out awaiting DEC frames");
+        match stream.read(&mut chunk) {
+            Ok(0) => panic!("daemon closed with {frames}/{expected} DECs delivered"),
+            Ok(got) => {
+                reader.extend(&chunk[..got]);
+                while let Some(frame) = reader.next_frame().expect("daemon broke framing") {
+                    replies.extend_from_slice(&frame);
+                    frames += 1;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+    replies
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Two fresh daemons fed the same request stream — one coalesced
+    /// in a single write, one fragmented at arbitrary boundaries —
+    /// answer with byte-identical DEC streams: the nonblocking decoder
+    /// reassembles exactly what the blocking frame reader would.
+    #[test]
+    fn any_chunking_yields_byte_identical_decisions(
+        flows in proptest::collection::vec((0u64..1_000, 1u64..5_000), 1..9),
+        cuts in proptest::collection::vec(1usize..17, 1..6),
+    ) {
+        let wire: Vec<u8> = flows
+            .iter()
+            .flat_map(|&(f, d)| cops::encode_request(&request(f, d)).to_vec())
+            .collect();
+
+        let coalesced_daemon = start_daemon();
+        let coalesced = drive(
+            &coalesced_daemon.local_addr().to_string(),
+            &wire,
+            &[],
+            flows.len(),
+        );
+        let report = coalesced_daemon.shutdown();
+        prop_assert!(report.failures.is_clean(), "{:?}", report.failures);
+
+        let chunked_daemon = start_daemon();
+        let chunked = drive(
+            &chunked_daemon.local_addr().to_string(),
+            &wire,
+            &cuts,
+            flows.len(),
+        );
+        let report = chunked_daemon.shutdown();
+        prop_assert!(report.failures.is_clean(), "{:?}", report.failures);
+
+        prop_assert_eq!(coalesced, chunked);
+    }
+}
+
+/// The literal worst case: every single byte of a multi-request stream
+/// arrives in its own readiness pass, and the DEC stream still matches
+/// coalesced delivery bit for bit.
+#[test]
+fn one_byte_dribble_yields_byte_identical_decisions() {
+    let wire: Vec<u8> = [request(1, 2_440), request(2, 1_200), request(3, 900)]
+        .iter()
+        .flat_map(|r| cops::encode_request(r).to_vec())
+        .collect();
+
+    let coalesced_daemon = start_daemon();
+    let coalesced = drive(&coalesced_daemon.local_addr().to_string(), &wire, &[], 3);
+    let _ = coalesced_daemon.shutdown();
+
+    let dribble_daemon = start_daemon();
+    let dribbled = drive(&dribble_daemon.local_addr().to_string(), &wire, &[1], 3);
+    let report = dribble_daemon.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+
+    assert_eq!(coalesced, dribbled);
+}
+
+/// A connection that dies mid-frame — at every possible byte boundary
+/// of the unfinished frame — loses only the partial frame: everything
+/// complete before it was already answered, the daemon drops the tail
+/// without error, and keeps serving new connections.
+#[test]
+fn mid_frame_disconnect_at_every_boundary_drops_only_the_partial_frame() {
+    let server = start_daemon();
+    let addr = server.local_addr().to_string();
+    let partial = cops::encode_request(&request(99_999, 2_440)).to_vec();
+
+    for prefix in 1..partial.len() {
+        let full = cops::encode_request(&request(prefix as u64, 2_440)).to_vec();
+        let mut wire = full;
+        wire.extend_from_slice(&partial[..prefix]);
+        // Expect exactly one DEC (for the complete frame), then drop
+        // the socket with `prefix` bytes of the next frame buffered
+        // server-side.
+        drive(&addr, &wire, &[], 1);
+    }
+
+    // The daemon is unharmed: a fresh connection still round-trips.
+    let mut client = CopsClient::connect(&addr).expect("connect after disconnect storm");
+    client
+        .request(&request(1_000_000, 2_440))
+        .expect("daemon still serves");
+
+    let report = server.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    // One decision per loop iteration plus the final probe; the
+    // dribbled partial frames produced none.
+    assert_eq!(report.requested, partial.len() as u64);
+}
+
+/// `idle_timeout` closes connections stalled mid-frame (and counts
+/// them), while connections idling at a frame boundary — however long
+/// — are left alone: the deadline arms only while a partial frame is
+/// buffered.
+#[test]
+fn idle_deadline_closes_mid_frame_stallers_only() {
+    let (topo, routes) = topology();
+    let config = ServerConfig {
+        idle_timeout: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    };
+    let server = BbServer::start("127.0.0.1:0", &topo, &routes, &config).expect("start daemon");
+    let addr = server.local_addr().to_string();
+
+    // A well-behaved edge: full request, DEC, then a long frame-boundary
+    // silence — far past the idle deadline.
+    let mut polite = CopsClient::connect(&addr).expect("connect");
+    polite.request(&request(1, 2_440)).expect("round trip");
+
+    // A slow-loris edge: half a frame, then silence. The daemon must
+    // hang up on it within a few deadline periods.
+    let mut loris = TcpStream::connect(&addr).expect("connect");
+    loris.set_nodelay(true).expect("nodelay");
+    let frame = cops::encode_request(&request(2, 2_440)).to_vec();
+    loris
+        .write_all(&frame[..frame.len() / 2])
+        .expect("half frame");
+    loris
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let mut buf = [0u8; 64];
+    let closed_at = Instant::now();
+    match loris.read(&mut buf) {
+        Ok(0) => {}
+        other => panic!("expected idle close (EOF), got {other:?}"),
+    }
+    assert!(
+        closed_at.elapsed() < Duration::from_secs(4),
+        "idle close took {:?}",
+        closed_at.elapsed()
+    );
+
+    // The polite connection survived the same wall-clock stretch of
+    // silence, because it idles at a frame boundary.
+    polite.request(&request(3, 2_440)).expect("still serving");
+
+    let conns = server.stats_snapshot().metrics.conns;
+    assert_eq!(conns.idle_closed, 1, "exactly the loris was reaped");
+
+    let report = server.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    assert_eq!(report.requested, 2, "the dropped half-frame never counted");
+}

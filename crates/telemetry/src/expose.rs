@@ -393,6 +393,53 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
     let _ = writeln!(out, "# TYPE bb_setup_latency_ns histogram");
     write_histogram(&mut out, "bb_setup_latency_ns", "", &snap.setup_ns);
 
+    let _ = writeln!(
+        out,
+        "# HELP bb_open_connections COPS connections currently open."
+    );
+    let _ = writeln!(out, "# TYPE bb_open_connections gauge");
+    let _ = writeln!(out, "bb_open_connections {}", snap.conns.open);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_open_connections_peak High-water mark of open COPS connections."
+    );
+    let _ = writeln!(out, "# TYPE bb_open_connections_peak gauge");
+    let _ = writeln!(out, "bb_open_connections_peak {}", snap.conns.open_peak);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_accepts_total COPS connections accepted since startup."
+    );
+    let _ = writeln!(out, "# TYPE bb_accepts_total counter");
+    let _ = writeln!(out, "bb_accepts_total {}", snap.conns.accepts);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_conn_errors_total Connections torn down by I/O errors or protocol violations."
+    );
+    let _ = writeln!(out, "# TYPE bb_conn_errors_total counter");
+    let _ = writeln!(out, "bb_conn_errors_total {}", snap.conns.errors);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_conn_idle_closed_total Connections closed by the idle (slow-loris) deadline."
+    );
+    let _ = writeln!(out, "# TYPE bb_conn_idle_closed_total counter");
+    let _ = writeln!(out, "bb_conn_idle_closed_total {}", snap.conns.idle_closed);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_readiness_batch_frames COPS frames decoded per readiness pass (bucket bounds are frame counts)."
+    );
+    let _ = writeln!(out, "# TYPE bb_readiness_batch_frames histogram");
+    write_histogram(
+        &mut out,
+        "bb_readiness_batch_frames",
+        "",
+        &snap.conns.batch_frames,
+    );
+
     out
 }
 
@@ -446,6 +493,44 @@ mod tests {
         let mut last = 0u64;
         for line in text.lines() {
             if line.starts_with("bb_decision_latency_ns_bucket{shard=\"0\"") {
+                let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(v >= last, "cumulative bucket decreased: {line}");
+                last = v;
+            }
+        }
+        assert_eq!(last, 2);
+    }
+
+    #[test]
+    fn connection_series_expose_with_cumulative_batch_buckets() {
+        let reg = MetricsRegistry::new(1);
+        for _ in 0..5 {
+            reg.record_accept();
+        }
+        reg.record_conn_error();
+        reg.record_conn_closed();
+        reg.record_conn_idle_closed();
+        reg.record_conn_closed();
+        reg.record_batch_frames(3);
+        reg.record_batch_frames(200);
+        let text = prometheus(&reg.snapshot());
+
+        assert!(text.contains("# TYPE bb_open_connections gauge"));
+        assert!(text.contains("bb_open_connections 3"));
+        assert!(text.contains("bb_open_connections_peak 5"));
+        assert!(text.contains("# TYPE bb_accepts_total counter"));
+        assert!(text.contains("bb_accepts_total 5"));
+        assert!(text.contains("bb_conn_errors_total 1"));
+        assert!(text.contains("bb_conn_idle_closed_total 1"));
+        assert!(text.contains("# TYPE bb_readiness_batch_frames histogram"));
+        assert!(text.contains("bb_readiness_batch_frames_count 2"));
+        assert!(text.contains("bb_readiness_batch_frames_sum 203"));
+        assert!(text.contains("bb_readiness_batch_frames_bucket{le=\"+Inf\"} 2"));
+
+        // Batch buckets are cumulative and end at _count.
+        let mut last = 0u64;
+        for line in text.lines() {
+            if line.starts_with("bb_readiness_batch_frames_bucket") {
                 let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
                 assert!(v >= last, "cumulative bucket decreased: {line}");
                 last = v;

@@ -30,4 +30,6 @@ pub mod registry;
 
 pub use expose::prometheus;
 pub use histogram::{HistogramSnapshot, LogHistogram};
-pub use registry::{MetricsRegistry, MetricsSnapshot, ReasonCount, ShardMetrics, ShardSnapshot};
+pub use registry::{
+    ConnSnapshot, MetricsRegistry, MetricsSnapshot, ReasonCount, ShardMetrics, ShardSnapshot,
+};

@@ -203,6 +203,17 @@ pub struct MetricsRegistry {
     setup_ns: LogHistogram,
     /// Requests refused before sharding (path not served here).
     unrouted: AtomicU64,
+    /// Connection-layer series, written by the IO event loops
+    /// (registry-wide: connections are not owned by shards).
+    open_connections: AtomicU64,
+    open_connections_peak: AtomicU64,
+    accepts: AtomicU64,
+    conn_errors: AtomicU64,
+    conn_idle_closed: AtomicU64,
+    /// COPS frames decoded per readiness pass — the batching the event
+    /// loop achieves (one shard read-lock acquisition serves the whole
+    /// pass).
+    batch_frames: LogHistogram,
 }
 
 impl MetricsRegistry {
@@ -214,6 +225,12 @@ impl MetricsRegistry {
             shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
             setup_ns: LogHistogram::new(),
             unrouted: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            open_connections_peak: AtomicU64::new(0),
+            accepts: AtomicU64::new(0),
+            conn_errors: AtomicU64::new(0),
+            conn_idle_closed: AtomicU64::new(0),
+            batch_frames: LogHistogram::new(),
         }
     }
 
@@ -243,6 +260,44 @@ impl MetricsRegistry {
         self.unrouted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts an accepted connection and raises the open gauge (and its
+    /// high-water mark).
+    pub fn record_accept(&self) {
+        self.accepts.fetch_add(1, Ordering::Relaxed);
+        let open = self.open_connections.fetch_add(1, Ordering::Relaxed) + 1;
+        self.open_connections_peak
+            .fetch_max(open, Ordering::Relaxed);
+    }
+
+    /// Lowers the open-connections gauge (clean close or error alike).
+    pub fn record_conn_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection torn down by an I/O error or protocol
+    /// violation (the close itself is reported separately).
+    pub fn record_conn_error(&self) {
+        self.conn_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection closed by the idle/slow-loris deadline: it
+    /// sat mid-frame past the configured timeout.
+    pub fn record_conn_idle_closed(&self) {
+        self.conn_idle_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records how many COPS frames one readiness pass decoded (passes
+    /// that decode nothing are not recorded).
+    pub fn record_batch_frames(&self, frames: u64) {
+        self.batch_frames.record(frames);
+    }
+
+    /// Current value of the open-connections gauge.
+    #[must_use]
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
     /// A serializable point-in-time view of every series.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -269,8 +324,33 @@ impl MetricsRegistry {
             unrouted: self.unrouted.load(Ordering::Relaxed),
             shards,
             setup_ns: self.setup_ns.snapshot(),
+            conns: ConnSnapshot {
+                open: self.open_connections.load(Ordering::Relaxed),
+                open_peak: self.open_connections_peak.load(Ordering::Relaxed),
+                accepts: self.accepts.load(Ordering::Relaxed),
+                errors: self.conn_errors.load(Ordering::Relaxed),
+                idle_closed: self.conn_idle_closed.load(Ordering::Relaxed),
+                batch_frames: self.batch_frames.snapshot(),
+            },
         }
     }
+}
+
+/// Point-in-time view of the connection layer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnSnapshot {
+    /// COPS connections currently open.
+    pub open: u64,
+    /// High-water mark of `open`.
+    pub open_peak: u64,
+    /// Connections accepted since startup.
+    pub accepts: u64,
+    /// Connections torn down by I/O errors or protocol violations.
+    pub errors: u64,
+    /// Connections closed by the idle (slow-loris) deadline.
+    pub idle_closed: u64,
+    /// COPS frames decoded per readiness pass.
+    pub batch_frames: HistogramSnapshot,
 }
 
 /// One rejection-cause counter in a snapshot.
@@ -368,6 +448,8 @@ pub struct MetricsSnapshot {
     pub shards: Vec<ShardSnapshot>,
     /// End-to-end setup latency histogram.
     pub setup_ns: HistogramSnapshot,
+    /// Connection-layer series (registry-wide).
+    pub conns: ConnSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -500,6 +582,31 @@ mod tests {
         let text = serde::json::to_string(&snap);
         let back: MetricsSnapshot = serde::json::from_str(&text).expect("roundtrip");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn connection_series_track_gauge_peak_and_batches() {
+        let reg = MetricsRegistry::new(1);
+        for _ in 0..3 {
+            reg.record_accept();
+        }
+        reg.record_conn_closed();
+        reg.record_conn_error();
+        reg.record_conn_closed();
+        reg.record_conn_idle_closed();
+        reg.record_conn_closed();
+        reg.record_accept();
+        reg.record_batch_frames(1);
+        reg.record_batch_frames(64);
+        assert_eq!(reg.open_connections(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.conns.open, 1);
+        assert_eq!(snap.conns.open_peak, 3);
+        assert_eq!(snap.conns.accepts, 4);
+        assert_eq!(snap.conns.errors, 1);
+        assert_eq!(snap.conns.idle_closed, 1);
+        assert_eq!(snap.conns.batch_frames.count, 2);
+        assert!(snap.conns.batch_frames.quantile_ns(1.0).unwrap() >= 64);
     }
 
     #[test]
