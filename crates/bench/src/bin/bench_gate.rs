@@ -4,11 +4,12 @@
 //! bench_gate --fresh BENCH_loadgen.fresh.json \
 //!            --baseline BENCH_loadgen.json \
 //!            [--min-ratio 0.6] [--max-p99-ratio 1.5] [--min-hit-rate 0.5]
-//!            [--durable] [--min-connections N]
+//!            [--max-allocs-per-decision X]
+//!            [--durable] [--min-connections N] [--min-decide-speedup R]
 //! ```
 //!
 //! Reads both `bb-loadgen` reports, applies
-//! [`bb_bench::gate::check_full`], prints the verdict, and
+//! [`bb_bench::gate::check_full_with_allocs`], prints the verdict, and
 //! exits non-zero when the gate fails: the fresh run must be
 //! `--verify`-clean, produced with the baseline's exact workload
 //! configuration, within the allowed throughput margin (default: no
@@ -16,12 +17,27 @@
 //! setup-latency ceiling (default: no more than 1.5× baseline), and at
 //! or above the absolute path-cache hit-rate floor (default: 50 %).
 //!
+//! `--max-allocs-per-decision X` additionally caps the fresh run's heap
+//! allocations per decision at X (absolute, strict). It requires the
+//! fresh report to come from a `bb-loadgen` built with
+//! `--features count-allocs`; without the flag the field is ignored.
+//!
 //! With `--durable` the fresh report must come from a
 //! `bb-loadgen --durable` run and is gated with
 //! [`bb_bench::gate::check_durable`] instead: same config and
 //! verification rules, a successful restart-recovery check, and a
 //! throughput floor against the **non-durable** baseline (so the gate
 //! bounds the durability tax itself).
+//!
+//! With `--min-decide-speedup R` the fresh report is a **batched**
+//! (lock-free decide) run and the baseline its `--no-batched-decide`
+//! twin of the same workload; the gate is
+//! [`bb_bench::gate::check_decide_speedup`]: the locked run's mean
+//! decide-phase cost per decision must be at least R times the batched
+//! run's. Decide CPU, not throughput, because under a paced or
+//! backlogged workload wall time is set by the wire and the commit
+//! queue — the decide histograms are the signal that survives the
+//! noise.
 //!
 //! With `--min-connections N` the fresh report must come from a
 //! `bb-loadgen --connections` swarm run and is gated with
@@ -31,8 +47,8 @@
 //! margin of the baseline — high fan-in must not cost decisions/s.
 
 use bb_bench::gate::{
-    check_durable, check_full, check_swarm, DEFAULT_MAX_P99_RATIO, DEFAULT_MIN_HIT_RATE,
-    DEFAULT_MIN_RATIO,
+    check_decide_speedup, check_durable, check_full_with_allocs, check_swarm,
+    DEFAULT_MAX_P99_RATIO, DEFAULT_MIN_HIT_RATE, DEFAULT_MIN_RATIO,
 };
 
 fn arg(name: &str) -> Option<String> {
@@ -72,9 +88,43 @@ fn main() {
                 .expect("bench-gate: --min-hit-rate must be a float")
         })
         .unwrap_or(DEFAULT_MIN_HIT_RATE);
+    let max_allocs: Option<f64> = arg("--max-allocs-per-decision").map(|v| {
+        v.parse()
+            .expect("bench-gate: --max-allocs-per-decision must be a float")
+    });
 
     let fresh = load(&fresh_path);
     let baseline = load(&baseline_path);
+    if let Some(mins) = arg("--min-decide-speedup") {
+        let min_speedup: f64 = mins
+            .parse()
+            .expect("bench-gate: --min-decide-speedup must be a float");
+        match check_decide_speedup(&fresh, &baseline, min_speedup) {
+            Ok(verdict) => {
+                println!(
+                    "bench-gate: batched decide {:.0} ns/decision vs locked {:.0} ns \
+                     ({:.2}x, floor {:.2}x)",
+                    verdict.fresh_decide_ns,
+                    verdict.baseline_decide_ns,
+                    verdict.speedup,
+                    verdict.min_speedup
+                );
+                if verdict.passed() {
+                    println!("bench-gate: PASS (decide speedup)");
+                } else {
+                    for f in &verdict.failures {
+                        eprintln!("bench-gate: FAIL: {f}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("bench-gate: unusable report: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     if let Some(minc) = arg("--min-connections") {
         let min_connections: f64 = minc
             .parse()
@@ -149,7 +199,14 @@ fn main() {
         }
         return;
     }
-    match check_full(&fresh, &baseline, min_ratio, max_p99_ratio, min_hit_rate) {
+    match check_full_with_allocs(
+        &fresh,
+        &baseline,
+        min_ratio,
+        max_p99_ratio,
+        min_hit_rate,
+        max_allocs,
+    ) {
         Ok(verdict) => {
             println!(
                 "bench-gate: fresh {:.0} decisions/s vs baseline {:.0} ({:.0}%, floor {:.0}%)",
@@ -172,6 +229,14 @@ fn main() {
                     verdict.min_hit_rate * 100.0
                 ),
                 None => println!("bench-gate: fresh report carries no path-cache hit rate"),
+            }
+            if let Some(max) = verdict.max_allocs_per_decision {
+                match verdict.fresh_allocs_per_decision {
+                    Some(allocs) => println!(
+                        "bench-gate: fresh {allocs:.1} allocations/decision (ceiling {max:.1})"
+                    ),
+                    None => println!("bench-gate: fresh report carries no allocs_per_decision"),
+                }
             }
             if verdict.passed() {
                 println!("bench-gate: PASS");

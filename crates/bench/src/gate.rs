@@ -76,6 +76,11 @@ pub struct GateReport {
     pub fresh_hit_rate: Option<f64>,
     /// Minimum acceptable hit rate (absolute, fresh run only).
     pub min_hit_rate: f64,
+    /// Fresh run's heap allocations per decision, if the report has one
+    /// (requires a `count-allocs` bb-loadgen build).
+    pub fresh_allocs_per_decision: Option<f64>,
+    /// Ceiling on allocations per decision; `None` when not gated.
+    pub max_allocs_per_decision: Option<f64>,
     /// Human-readable reasons the gate failed; empty means pass.
     pub failures: Vec<String>,
 }
@@ -146,6 +151,38 @@ pub fn check_full(
     min_ratio: f64,
     max_p99_ratio: f64,
     min_hit_rate: f64,
+) -> Result<GateReport, String> {
+    check_full_with_allocs(
+        fresh,
+        baseline,
+        min_ratio,
+        max_p99_ratio,
+        min_hit_rate,
+        None,
+    )
+}
+
+/// [`check_full`] plus an optional ceiling on the fresh run's heap
+/// allocations per decision.
+///
+/// The ceiling is absolute and strict (`>` fails, exactly at the
+/// ceiling passes). When `max_allocs_per_decision` is `Some`, a fresh
+/// report without an `allocs_per_decision` number fails the gate — the
+/// ceiling demands a `count-allocs` build; without the ceiling the
+/// field is ignored entirely, so ordinary builds gate as before.
+///
+/// # Errors
+///
+/// Returns `Err` when either report is structurally unusable (missing
+/// or non-numeric fields) — distinct from a well-formed report that
+/// merely fails the gate, which yields `Ok` with non-empty `failures`.
+pub fn check_full_with_allocs(
+    fresh: &Value,
+    baseline: &Value,
+    min_ratio: f64,
+    max_p99_ratio: f64,
+    min_hit_rate: f64,
+    max_allocs_per_decision: Option<f64>,
 ) -> Result<GateReport, String> {
     let mut failures = Vec::new();
 
@@ -223,6 +260,22 @@ pub fn check_full(
         ),
     }
 
+    let fresh_allocs_per_decision = number(fresh, "allocs_per_decision").ok();
+    if let Some(max_allocs) = max_allocs_per_decision {
+        match fresh_allocs_per_decision {
+            Some(allocs) if allocs > max_allocs => failures.push(format!(
+                "allocation regression: {allocs:.1} heap allocations per decision is above the \
+                 {max_allocs:.1} ceiling (something on the decide path started allocating)"
+            )),
+            Some(_) => {}
+            None => failures.push(
+                "fresh run reports no `allocs_per_decision`: rerun a bb-loadgen built with \
+                 --features count-allocs"
+                    .to_string(),
+            ),
+        }
+    }
+
     Ok(GateReport {
         fresh_throughput,
         baseline_throughput,
@@ -234,6 +287,8 @@ pub fn check_full(
         max_p99_ratio,
         fresh_hit_rate,
         min_hit_rate,
+        fresh_allocs_per_decision,
+        max_allocs_per_decision,
         failures,
     })
 }
@@ -357,6 +412,135 @@ pub fn check_swarm(
         connections,
         daemon_open_peak,
         min_connections,
+        failures,
+    })
+}
+
+/// Outcome of gating a batched (lock-free decide) run against its
+/// locked twin.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DecideSpeedupReport {
+    /// Batched run's mean decide-phase cost per decision (ns).
+    pub fresh_decide_ns: f64,
+    /// Locked run's mean decide-phase cost per decision (ns).
+    pub baseline_decide_ns: f64,
+    /// `baseline_decide_ns / fresh_decide_ns` — how much cheaper the
+    /// lock-free decide is.
+    pub speedup: f64,
+    /// Minimum acceptable speedup.
+    pub min_speedup: f64,
+    /// Human-readable reasons the gate failed; empty means pass.
+    pub failures: Vec<String>,
+}
+
+impl DecideSpeedupReport {
+    /// True when no gate condition failed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Total decide-phase CPU and decision count summed over a report's
+/// per-shard rows (`stats.metrics.shards[].decide_ns`).
+fn decide_cost(report: &Value) -> Result<(f64, f64), String> {
+    let shards = report
+        .field("stats")
+        .and_then(|s| s.field("metrics"))
+        .and_then(|m| m.field("shards"))
+        .map_err(|e| format!("bad `stats.metrics.shards`: {e}"))?;
+    let Value::Arr(rows) = shards else {
+        return Err("`stats.metrics.shards` is not an array".to_string());
+    };
+    let mut sum_ns = 0.0;
+    let mut count = 0.0;
+    for row in rows {
+        let hist = row
+            .field("decide_ns")
+            .map_err(|e| format!("bad shard `decide_ns`: {e}"))?;
+        sum_ns += number(hist, "sum_ns").map_err(|e| format!("shard decide_ns: {e}"))?;
+        count += number(hist, "count").map_err(|e| format!("shard decide_ns: {e}"))?;
+    }
+    Ok((sum_ns, count))
+}
+
+/// Gates a batched-decide run against a locked-decide run of the same
+/// workload on **decide-phase CPU per decision**, not end-to-end
+/// throughput: under a paced or backlogged workload the wire and the
+/// commit queue dominate wall time, so throughput compares as noise
+/// while the decide histograms cleanly isolate what the lock-free path
+/// actually changes. The gate fails when:
+///
+/// * the workload configurations differ (same rule as [`check_full`]);
+/// * either run is not `verified: true` — a fast decide that diverges
+///   from the serial reference gates nothing;
+/// * either report lacks per-shard `decide_ns` histograms, or recorded
+///   zero decisions;
+/// * the locked run's mean decide cost is less than `min_speedup` times
+///   the batched run's — the seqlock fast path stopped paying for
+///   itself.
+///
+/// # Errors
+///
+/// Returns `Err` when either report is structurally unusable, distinct
+/// from a well-formed report that merely fails the gate.
+pub fn check_decide_speedup(
+    fresh: &Value,
+    baseline: &Value,
+    min_speedup: f64,
+) -> Result<DecideSpeedupReport, String> {
+    let mut failures = Vec::new();
+
+    for field in CONFIG_FIELDS {
+        let f = number(fresh, field).map_err(|e| format!("fresh: {e}"))?;
+        let b = number(baseline, field).map_err(|e| format!("baseline: {e}"))?;
+        if f != b {
+            failures.push(format!(
+                "config drift on `{field}`: fresh ran {f}, baseline was produced with {b}"
+            ));
+        }
+    }
+
+    for (label, report) in [("fresh", fresh), ("baseline", baseline)] {
+        match report.field("verified") {
+            Ok(Value::Bool(true)) => {}
+            Ok(Value::Bool(false)) => failures.push(format!(
+                "{label} run failed verification: daemon admissions diverged from the serial \
+                 reference"
+            )),
+            Ok(_) => failures.push(format!(
+                "{label} run has no verification verdict: rerun with --verify"
+            )),
+            Err(e) => return Err(format!("{label}: bad `verified`: {e}")),
+        }
+    }
+
+    let (fresh_sum, fresh_count) = decide_cost(fresh).map_err(|e| format!("fresh: {e}"))?;
+    let (base_sum, base_count) = decide_cost(baseline).map_err(|e| format!("baseline: {e}"))?;
+    if fresh_count <= 0.0 || base_count <= 0.0 {
+        return Err("a report recorded zero decisions in its decide_ns histograms".to_string());
+    }
+    let fresh_decide_ns = fresh_sum / fresh_count;
+    let baseline_decide_ns = base_sum / base_count;
+    if fresh_decide_ns <= 0.0 {
+        return Err(format!(
+            "fresh mean decide cost is {fresh_decide_ns} ns; the decide histograms are empty"
+        ));
+    }
+    let speedup = baseline_decide_ns / fresh_decide_ns;
+    if speedup < min_speedup {
+        failures.push(format!(
+            "decide-phase regression: batched decide costs {fresh_decide_ns:.0} ns/decision vs \
+             {baseline_decide_ns:.0} ns locked — {speedup:.2}x, below the {min_speedup:.2}x floor \
+             (the lock-free fast path is no longer paying for itself)"
+        ));
+    }
+
+    Ok(DecideSpeedupReport {
+        fresh_decide_ns,
+        baseline_decide_ns,
+        speedup,
+        min_speedup,
         failures,
     })
 }
@@ -628,6 +812,77 @@ mod tests {
         assert!(at_floor.passed(), "{:?}", at_floor.failures);
     }
 
+    fn report_with_allocs(throughput: f64, allocs: &str) -> Value {
+        serde::json::parse(&format!(
+            r#"{{
+              "pods": 64, "hops": 5, "clients": 8, "requests_per_client": 2000,
+              "offered_rate_per_client_hz": 8000.0, "seed": 1,
+              "throughput_decisions_per_s": {throughput},
+              "setup_latency_p99_us": 3500.0,
+              "path_cache_hit_rate": 0.7,
+              "allocs_per_decision": {allocs},
+              "verified": true
+            }}"#
+        ))
+        .expect("literal parses")
+    }
+
+    #[test]
+    fn allocs_ceiling_gates_only_when_requested() {
+        let base = report(34_000.0, "true", 1);
+
+        // Above the ceiling fails; exactly at it passes (strict `>`).
+        let bloated = check_full_with_allocs(
+            &report_with_allocs(34_000.0, "80.2"),
+            &base,
+            DEFAULT_MIN_RATIO,
+            DEFAULT_MAX_P99_RATIO,
+            DEFAULT_MIN_HIT_RATE,
+            Some(40.0),
+        )
+        .unwrap();
+        assert!(!bloated.passed());
+        assert!(bloated.failures[0].contains("allocation regression"));
+        assert_eq!(bloated.fresh_allocs_per_decision, Some(80.2));
+
+        let at_ceiling = check_full_with_allocs(
+            &report_with_allocs(34_000.0, "40.0"),
+            &base,
+            DEFAULT_MIN_RATIO,
+            DEFAULT_MAX_P99_RATIO,
+            DEFAULT_MIN_HIT_RATE,
+            Some(40.0),
+        )
+        .unwrap();
+        assert!(at_ceiling.passed(), "{:?}", at_ceiling.failures);
+
+        // The ceiling demands a count-allocs build: a null field fails
+        // when the ceiling is given...
+        let uncounted = check_full_with_allocs(
+            &report_with_allocs(34_000.0, "null"),
+            &base,
+            DEFAULT_MIN_RATIO,
+            DEFAULT_MAX_P99_RATIO,
+            DEFAULT_MIN_HIT_RATE,
+            Some(40.0),
+        )
+        .unwrap();
+        assert!(!uncounted.passed());
+        assert!(uncounted.failures[0].contains("count-allocs"));
+
+        // ...and is ignored entirely when it is not.
+        let ungated = check_full(
+            &report_with_allocs(34_000.0, "null"),
+            &base,
+            DEFAULT_MIN_RATIO,
+            DEFAULT_MAX_P99_RATIO,
+            DEFAULT_MIN_HIT_RATE,
+        )
+        .unwrap();
+        assert!(ungated.passed(), "{:?}", ungated.failures);
+        assert_eq!(ungated.max_allocs_per_decision, None);
+    }
+
     #[test]
     fn structural_errors_are_errors_not_failures() {
         let fresh = serde::json::parse(r#"{"pods": 64}"#).unwrap();
@@ -684,6 +939,65 @@ mod tests {
         let verdict = check_swarm(&classic, &base, DEFAULT_MIN_RATIO, 10_000.0).unwrap();
         assert!(!verdict.passed());
         assert!(verdict.failures[0].contains("--connections"));
+    }
+
+    fn decide_report(verified: &str, shard_sums_ns: &[u64], per_shard_count: u64) -> Value {
+        let shards: Vec<String> = shard_sums_ns
+            .iter()
+            .map(|sum| {
+                format!(r#"{{ "decide_ns": {{ "count": {per_shard_count}, "sum_ns": {sum} }} }}"#)
+            })
+            .collect();
+        serde::json::parse(&format!(
+            r#"{{
+              "pods": 64, "hops": 5, "clients": 8, "requests_per_client": 2000,
+              "offered_rate_per_client_hz": 8000.0, "seed": 1,
+              "throughput_decisions_per_s": 60000.0,
+              "setup_latency_p99_us": 4000.0,
+              "verified": {verified},
+              "stats": {{ "metrics": {{ "shards": [{}] }} }}
+            }}"#,
+            shards.join(",")
+        ))
+        .expect("literal parses")
+    }
+
+    #[test]
+    fn decide_speedup_gate_compares_mean_decide_cost() {
+        // Locked: 400 ns/decision over 2 shards; batched: 200 ns.
+        let locked = decide_report("true", &[4_000_000, 4_000_000], 10_000);
+        let batched = decide_report("true", &[2_000_000, 2_000_000], 10_000);
+        let verdict = check_decide_speedup(&batched, &locked, 1.15).unwrap();
+        assert!(verdict.passed(), "{:?}", verdict.failures);
+        assert!((verdict.speedup - 2.0).abs() < 1e-9);
+        assert!((verdict.fresh_decide_ns - 200.0).abs() < 1e-9);
+
+        // Exactly at the floor passes: the gate is `<`, not `<=`.
+        let at_floor = decide_report("true", &[4_000_000, 4_000_000], 11_500);
+        let verdict = check_decide_speedup(&at_floor, &locked, 1.15).unwrap();
+        assert!(verdict.passed(), "{:?}", verdict.failures);
+    }
+
+    #[test]
+    fn decide_speedup_gate_fails_when_the_fast_path_stops_paying() {
+        let locked = decide_report("true", &[4_000_000], 10_000);
+        let slow = decide_report("true", &[3_900_000], 10_000);
+        let verdict = check_decide_speedup(&slow, &locked, 1.15).unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("decide-phase regression"));
+    }
+
+    #[test]
+    fn decide_speedup_gate_requires_verification_and_histograms() {
+        let locked = decide_report("true", &[4_000_000], 10_000);
+
+        let unverified = decide_report("false", &[2_000_000], 10_000);
+        let verdict = check_decide_speedup(&unverified, &locked, 1.15).unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("failed verification"));
+
+        let histogramless = report(60_000.0, "true", 1);
+        assert!(check_decide_speedup(&histogramless, &locked, 1.15).is_err());
     }
 
     fn durable_report(throughput: f64, verified: &str, durable: &str) -> Value {

@@ -10,6 +10,7 @@
 use qos_units::{Nanos, Rate};
 use vtrs::delay::min_rate_rate_based;
 use vtrs::profile::TrafficProfile;
+use vtrs::reference::PathSpec;
 
 use crate::mib::{NodeMib, PathQos};
 use crate::signaling::Reject;
@@ -55,14 +56,31 @@ pub fn admit_with_residual(
     path: &PathQos,
     c_res: Rate,
 ) -> Result<FeasibleRange, Reject> {
+    admit_with_spec(profile, d_req, &path.spec, c_res)
+}
+
+/// The §3.1 test from the static hop characterization alone — the form
+/// the lock-free decide handles call: `spec` is an immutable snapshot
+/// taken at handle-build time and `c_res` comes out of the path's
+/// seqlock summary cell, so no MIB reference of any kind is needed.
+///
+/// # Errors
+///
+/// As [`admit`].
+pub fn admit_with_spec(
+    profile: &TrafficProfile,
+    d_req: Nanos,
+    spec: &PathSpec,
+    c_res: Rate,
+) -> Result<FeasibleRange, Reject> {
     debug_assert_eq!(
-        path.spec.delay_hops(),
+        spec.delay_hops(),
         0,
         "rate_based::admit on a path with delay-based hops"
     );
-    let h = path.spec.h();
+    let h = spec.h();
     let r_min =
-        min_rate_rate_based(profile, h, path.spec.d_tot(), d_req).ok_or(Reject::DelayInfeasible)?;
+        min_rate_rate_based(profile, h, spec.d_tot(), d_req).ok_or(Reject::DelayInfeasible)?;
     if r_min > profile.peak {
         return Err(Reject::DelayInfeasible);
     }

@@ -26,7 +26,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use netsim::topology::{LinkId, NodeId, Topology};
-use parking_lot::RwLock;
 use qos_units::{Nanos, Rate, Time};
 use vtrs::delay::edge_delay_bound;
 use vtrs::packet::FlowId;
@@ -48,6 +47,7 @@ use crate::policy::Policy;
 use crate::routing::RoutingModule;
 use crate::signaling::{FlowRequest, Reject, Reservation, ServiceKind};
 use crate::store::{Interner, MacroIdx, MacroTag, RawSlot, Slab};
+use crate::summary::SummaryTable;
 
 /// Macroflow identifiers live in the top half of the `FlowId` space so
 /// they can never collide with caller-chosen microflow ids.
@@ -220,14 +220,18 @@ pub struct Broker {
     macro_slots: Vec<Option<MacroIdx>>,
     next_macro: u64,
     stats: BrokerStats,
-    /// Per-path QoS summary slots, one per path row. Interior
-    /// mutability keeps [`Broker::decide`] `&self`; each slot's lock is
-    /// held only for the probe/store, never across a summary
-    /// computation's link reads, and concurrent decides on different
-    /// paths touch different slots.
-    summaries: Vec<RwLock<Option<Arc<PathSummary>>>>,
+    /// Per-path QoS summary cells, one seqlock cell per path row (see
+    /// [`crate::summary`]). Atomic payloads keep [`Broker::decide`]
+    /// `&self` with **no lock at all**: a summary hit is a torn-read-
+    /// checked snapshot, a miss recomputes from link rows and races to
+    /// publish (CAS losers keep their stack-local copy). Shared via
+    /// `Arc` with the lock-free decide handles built by
+    /// [`crate::shard::BrokerShard::fast_handle`].
+    summaries: Arc<SummaryTable>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Torn seqlock snapshots observed by this broker's own probes.
+    seqlock_retries: AtomicU64,
 }
 
 impl Broker {
@@ -258,19 +262,27 @@ impl Broker {
             macro_slots: Vec::new(),
             next_macro: MACRO_BASE,
             stats: BrokerStats::default(),
-            summaries: Vec::new(),
+            summaries: Arc::new(SummaryTable::default()),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            seqlock_retries: AtomicU64::new(0),
         }
     }
 
-    /// Grows the dense per-path tables — summary slots and the
+    /// Grows the dense per-path tables — summary cells and the
     /// `(path × class)` macroflow registry — to cover rows registered
     /// since the last call. Invoked after every routing operation that
     /// may register paths, so inboard code can index unconditionally.
+    ///
+    /// The summary table grows through `Arc::make_mut`: registration
+    /// after decide handles were built copies the table and freezes the
+    /// handles' view (their probes go permanently stale and fall back
+    /// to the locked path — safe, just slower). Servers register all
+    /// routes before building handles, so the table is normally never
+    /// cloned.
     fn sync_dense_tables(&mut self) {
-        while self.summaries.len() < self.paths.len() {
-            self.summaries.push(RwLock::new(None));
+        if self.summaries.len() < self.paths.len() {
+            Arc::make_mut(&mut self.summaries).grow(self.paths.len());
         }
         let need = self.paths.len() * self.classes.len();
         if self.macro_slots.len() < need {
@@ -613,9 +625,7 @@ impl Broker {
             .collect();
         self.next_macro = image.next_macro;
         self.stats = image.stats;
-        for slot in &self.summaries {
-            *slot.write() = None;
-        }
+        self.summaries.invalidate_all();
     }
 
     /// The `(path row × class row)` registry slot, `None` when nothing
@@ -635,26 +645,45 @@ impl Broker {
     /// The cached QoS summary for a path, recomputed only when the
     /// path's epoch has moved past the cached copy's stamp.
     ///
-    /// On a hit this performs zero per-link MIB reads — the summary
-    /// already folds the path's links into `C_res` (and, for delay
-    /// paths, the residual-service vector `S̄`).
+    /// **Lock-free**: a hit is one seqlock snapshot of the path's
+    /// summary cell — zero per-link MIB reads and zero lock
+    /// acquisitions. A miss (empty, stale, oversized, or torn past the
+    /// retry bound) recomputes from the link rows and races to publish
+    /// the fresh summary; CAS losers keep their stack-local copy.
     #[must_use]
-    pub fn path_summary(&self, path: PathId) -> Arc<PathSummary> {
+    pub fn path_summary(&self, path: PathId) -> PathSummary {
         let epoch = self.paths.epoch(path);
-        let slot = self
+        let cell = self
             .summaries
-            .get(Self::path_row(path))
+            .cell(Self::path_row(path))
             .expect("unknown path id");
-        if let Some(cached) = slot.read().as_ref() {
+        if let Some(cached) = cell.read(&self.seqlock_retries) {
             if cached.epoch == epoch {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(cached);
+                return cached;
             }
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let fresh = Arc::new(self.paths.path(path).summarize(&self.nodes, epoch));
-        *slot.write() = Some(Arc::clone(&fresh));
+        let fresh = self.paths.path(path).summarize(&self.nodes, epoch);
+        cell.try_publish(&fresh);
         fresh
+    }
+
+    /// Precomputes and publishes the summary cell of **every**
+    /// registered path — one chunked sweep over the contiguous
+    /// `PathMib` rows, so the first wave of decides after startup or
+    /// recovery hits warm cells instead of each paying a miss.
+    pub fn warm_summaries(&self) {
+        for row in 0..self.paths.len() {
+            let id = PathId(row as u64);
+            let fresh = self
+                .paths
+                .path(id)
+                .summarize(&self.nodes, self.paths.epoch(id));
+            if let Some(cell) = self.summaries.cell(row) {
+                cell.try_publish(&fresh);
+            }
+        }
     }
 
     /// Path-summary cache effectiveness: `(hits, misses)` since
@@ -665,6 +694,25 @@ impl Broker {
             self.cache_hits.load(Ordering::Relaxed),
             self.cache_misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Torn seqlock snapshots this broker's own summary probes have
+    /// retried (the lock-free decide handles count their own).
+    #[must_use]
+    pub fn seqlock_retries(&self) -> u64 {
+        self.seqlock_retries.load(Ordering::Relaxed)
+    }
+
+    /// Shared view of the summary cells for lock-free decide handles.
+    #[must_use]
+    pub fn summary_table(&self) -> Arc<SummaryTable> {
+        Arc::clone(&self.summaries)
+    }
+
+    /// Shared view of the path epoch lane for lock-free decide handles.
+    #[must_use]
+    pub fn epoch_lane(&self) -> Arc<crate::mib::EpochLane> {
+        self.paths.epoch_lane()
     }
 
     /// Handles a new-flow service request: [`Broker::decide`] followed

@@ -45,11 +45,12 @@ pub mod routing;
 pub mod shard;
 pub mod signaling;
 pub mod store;
+pub mod summary;
 
 pub use admission::plan::{AdmissionPlan, PlanAction, PlanIntent};
 pub use broker::{Broker, BrokerConfig};
 pub use mib::{FlowMib, NodeMib, PathId, PathMib};
 pub use persist::BrokerImage;
-pub use shard::{build_shards, plan_shards, shard_of_path, BrokerShard};
+pub use shard::{build_shards, plan_shards, shard_of_path, BrokerShard, FastDecideHandle};
 pub use signaling::{FlowRequest, Reject, Reservation, ServiceKind};
 pub use store::{FlowIdx, Interner, LinkIdx, MacroIdx, PathIdx, Slab};

@@ -25,6 +25,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use qos_units::{Bits, Nanos, Rate, NANOS_PER_SEC};
 use serde::{Deserialize, Serialize};
@@ -395,6 +396,32 @@ impl NodeMib {
     pub fn link_count(&self) -> usize {
         self.links.len()
     }
+
+    /// Minimal residual bandwidth over a set of links — the §3.1
+    /// admissibility scan's inner loop, as a chunked walk over the
+    /// dense link rows. Processing four independent rows per iteration
+    /// breaks the serial `min` dependency chain so the loads pipeline
+    /// (and auto-vectorize), instead of pointer-chasing one row at a
+    /// time. Returns [`Rate::MAX`] for an empty set.
+    #[must_use]
+    pub fn residual_min(&self, links: &[LinkRef]) -> Rate {
+        let mut chunks = links.chunks_exact(4);
+        let mut m0 = Rate::MAX;
+        let mut m1 = Rate::MAX;
+        let mut m2 = Rate::MAX;
+        let mut m3 = Rate::MAX;
+        for c in &mut chunks {
+            m0 = m0.min(self.links[c[0].0].residual());
+            m1 = m1.min(self.links[c[1].0].residual());
+            m2 = m2.min(self.links[c[2].0].residual());
+            m3 = m3.min(self.links[c[3].0].residual());
+        }
+        let mut min = m0.min(m1).min(m2.min(m3));
+        for l in chunks.remainder() {
+            min = min.min(self.links[l.0].residual());
+        }
+        min
+    }
 }
 
 /// A path's static QoS characterization plus its member links.
@@ -409,14 +436,12 @@ pub struct PathQos {
 }
 
 impl PathQos {
-    /// Minimal residual bandwidth along the path, `C_res^P`.
+    /// Minimal residual bandwidth along the path, `C_res^P` — one
+    /// chunked sweep over the path's dense link rows
+    /// ([`NodeMib::residual_min`]).
     #[must_use]
     pub fn residual(&self, nodes: &NodeMib) -> Rate {
-        self.links
-            .iter()
-            .map(|l| nodes.link(*l).residual())
-            .min()
-            .unwrap_or(Rate::MAX)
+        nodes.residual_min(&self.links)
     }
 
     /// The delay-based links of the path.
@@ -605,11 +630,9 @@ impl LinkAdjacency {
 #[derive(Debug, Default)]
 pub struct PathMib {
     rows: Vec<PathQos>,
-    /// Inline epoch lane, one counter per row. Atomics so `&self`
-    /// readers (concurrent decides under a shard read lock) can load
-    /// while `&mut self` bookkeeping stores; all accesses are relaxed —
-    /// the shard lock orders the state the epoch protects.
-    epochs: Vec<AtomicU64>,
+    /// Inline epoch lane, one counter per row, shared via `Arc` with
+    /// the lock-free decide handles (see [`crate::shard`]).
+    epochs: Arc<EpochLane>,
     /// Inverse index: which rows traverse each link.
     adjacency: LinkAdjacency,
 }
@@ -618,13 +641,70 @@ impl Clone for PathMib {
     fn clone(&self) -> Self {
         PathMib {
             rows: self.rows.clone(),
-            epochs: self
-                .epochs
+            // Deep copy: a cloned MIB must own an independent lane, not
+            // alias the source's bookkeeping.
+            epochs: Arc::new((*self.epochs).clone()),
+            adjacency: self.adjacency.clone(),
+        }
+    }
+}
+
+/// The path epoch lane: one `AtomicU64` per dense path row, bumped by
+/// broker bookkeeping and read by the decide phase to validate summary
+/// stamps. Atomics so `&self` readers (concurrent decides — under a
+/// shard read lock *or* through a lock-free
+/// [`crate::shard::FastDecideHandle`]) can load while `&mut self`
+/// bookkeeping stores; all accesses are relaxed. For locked decides the
+/// shard lock orders the state the epoch protects; for lock-free
+/// decides the commit phase revalidates the stamp under the write lock,
+/// so a racy load can only cause a plan retry, never a wrong booking.
+///
+/// Shared via `Arc` between the owning [`PathMib`] and any decide
+/// handles built from it. Registration grows the lane through
+/// `Arc::make_mut`: if handles exist at registration time the live lane
+/// is copied and the handles keep a frozen snapshot — their rows stop
+/// advancing, every fast probe goes stale, and they degrade safely to
+/// the locked path. Servers build handles after setup registration,
+/// so in practice the lane is never cloned.
+#[derive(Debug, Default)]
+pub struct EpochLane {
+    lanes: Vec<AtomicU64>,
+}
+
+impl Clone for EpochLane {
+    fn clone(&self) -> Self {
+        EpochLane {
+            lanes: self
+                .lanes
                 .iter()
                 .map(|e| AtomicU64::new(e.load(Ordering::Relaxed)))
                 .collect(),
-            adjacency: self.adjacency.clone(),
         }
+    }
+}
+
+impl EpochLane {
+    /// Number of rows the lane covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the lane covers no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Relaxed load of a row's epoch; `None` for rows past the lane's
+    /// end (paths registered after this lane view was taken).
+    #[must_use]
+    pub fn load(&self, row: usize) -> Option<u64> {
+        self.lanes.get(row).map(|e| e.load(Ordering::Relaxed))
+    }
+
+    fn bump(&self, row: usize) {
+        self.lanes[row].fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -651,9 +731,17 @@ impl PathMib {
             spec,
             l_pmax,
         });
-        self.epochs.push(AtomicU64::new(0));
+        Arc::make_mut(&mut self.epochs)
+            .lanes
+            .push(AtomicU64::new(0));
         self.adjacency.stale = true;
         id
+    }
+
+    /// Shared view of the epoch lane for lock-free decide handles.
+    #[must_use]
+    pub fn epoch_lane(&self) -> Arc<EpochLane> {
+        Arc::clone(&self.epochs)
     }
 
     /// Row index of a registered id, `None` otherwise.
@@ -697,14 +785,19 @@ impl PathMib {
     #[must_use]
     pub fn epoch(&self, id: PathId) -> u64 {
         self.row_of(id)
-            .map_or(0, |i| self.epochs[i].load(Ordering::Relaxed))
+            .and_then(|i| self.epochs.load(i))
+            .unwrap_or(0)
     }
 
     /// Epoch of a row named by dense handle — the decide phase's stamp
     /// validation, one relaxed load with no map lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the handle was not minted by [`PathMib::resolve`].
     #[must_use]
     pub fn epoch_at(&self, idx: PathIdx) -> u64 {
-        self.epochs[idx.index()].load(Ordering::Relaxed)
+        self.epochs.load(idx.index()).expect("unknown path handle")
     }
 
     /// Declares that state this path's admission verdicts depend on has
@@ -721,13 +814,13 @@ impl PathMib {
         if self.adjacency.stale {
             self.adjacency.rebuild(&self.rows);
         }
-        self.epochs[row].fetch_add(1, Ordering::Relaxed);
+        self.epochs.bump(row);
         // A path can share several links with a neighbour; bumping its
         // epoch once per shared link (and itself once per own link) is
         // harmless — epochs are compared for equality, never distance.
         for l in &self.rows[row].links {
             for &member in self.adjacency.members(*l) {
-                self.epochs[member as usize].fetch_add(1, Ordering::Relaxed);
+                self.epochs.bump(member as usize);
             }
         }
     }

@@ -22,14 +22,20 @@
 //! same per-shard request order.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use netsim::topology::{LinkId, Topology};
-use qos_units::Time;
+use qos_units::{Nanos, Rate, Time};
 use vtrs::packet::FlowId;
+use vtrs::reference::PathSpec;
 
+use crate::admission::plan::{AdmissionPlan, PlanAction, PlanIntent};
+use crate::admission::rate_based;
 use crate::broker::{Broker, BrokerConfig, UnknownFlow};
-use crate::mib::PathId;
-use crate::signaling::{FlowRequest, Reject, Reservation};
+use crate::mib::{EpochLane, PathId};
+use crate::signaling::{FlowRequest, Reject, Reservation, ServiceKind};
+use crate::summary::SummaryTable;
 
 /// One shard of a domain's broker state: an independent [`Broker`]
 /// owning the MIB rows of the paths assigned to it.
@@ -231,6 +237,170 @@ impl BrokerShard {
             .enumerate()
             .filter(|(_, local)| local.is_some())
             .map(|(row, _)| PathId(row as u64))
+    }
+
+    /// Builds a [`FastDecideHandle`] over this shard's current path set:
+    /// a lock-free decide front end sharing the shard's summary cells
+    /// and epoch lane via `Arc`, plus an immutable snapshot of each
+    /// served path's static characterization. Build it **after** all
+    /// routes are registered; paths registered later simply fall outside
+    /// the handle's view and take the locked path.
+    #[must_use]
+    pub fn fast_handle(&self) -> FastDecideHandle {
+        let paths = self
+            .paths
+            .iter()
+            .map(|local| {
+                local.map(|local| {
+                    let row = usize::try_from(local.0).expect("local path rows fit usize");
+                    let spec = self.broker.paths().path(local).spec.clone();
+                    let rate_only = !spec.has_delay_hops();
+                    FastPathInfo {
+                        local,
+                        row,
+                        spec,
+                        rate_only,
+                    }
+                })
+            })
+            .collect();
+        FastDecideHandle {
+            summaries: self.broker.summary_table(),
+            epochs: self.broker.epoch_lane(),
+            paths,
+            hits: AtomicU64::new(0),
+            seqlock_retries: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Static per-path snapshot a [`FastDecideHandle`] decides from: the
+/// shard-local id plus the immutable hop characterization. Everything
+/// dynamic (residual bandwidth, epoch) comes out of the shared atomic
+/// cells at decide time.
+#[derive(Debug)]
+struct FastPathInfo {
+    local: PathId,
+    row: usize,
+    spec: PathSpec,
+    /// Rate-based hops only — the O(1) §3.1 test applies and the whole
+    /// decide needs nothing but `(epoch, C_res)` from the summary cell.
+    rate_only: bool,
+}
+
+/// A lock-free decide front end for one [`BrokerShard`].
+///
+/// Holds `Arc` views of the shard's seqlock summary cells
+/// ([`SummaryTable`]) and path epoch lane ([`EpochLane`]) plus immutable
+/// static path info, so the **fast path acquires no lock at all**: a
+/// per-flow request on a rate-only path whose summary cell is fresh is
+/// decided entirely from atomic loads and the static spec.
+///
+/// Everything else returns `None` and must take the ordinary locked
+/// decide (class joins need the macroflow registry, delay paths the
+/// Figure-4 scan, stale cells a recompute from link rows). Skipped
+/// global preconditions (duplicate-flow, policy) are safe to omit here
+/// because [`Broker::commit`] re-checks them live under the write lock;
+/// a stale epoch stamp likewise only causes a commit-time re-decide.
+/// Serial equivalence is therefore preserved — the commit phase is the
+/// arbiter, exactly as for plans decided under the read lock.
+#[derive(Debug)]
+pub struct FastDecideHandle {
+    summaries: Arc<SummaryTable>,
+    epochs: Arc<EpochLane>,
+    /// Global path row → static info, same dense translation as the
+    /// owning shard's table.
+    paths: Vec<Option<FastPathInfo>>,
+    hits: AtomicU64,
+    seqlock_retries: AtomicU64,
+}
+
+impl FastDecideHandle {
+    /// Starts a decide batch for one `(path, service)` group: probes
+    /// the path's summary cell **once** and, when the fast path
+    /// applies, returns a context that decides any number of requests
+    /// for that path against the one snapshot. `None` means the group
+    /// must be decided under the shard lock (class service, delay
+    /// path, unknown path, stale/empty/torn cell).
+    #[must_use]
+    pub fn begin(&self, path: PathId, service: ServiceKind) -> Option<FastGroup<'_>> {
+        if !matches!(service, ServiceKind::PerFlow) {
+            return None;
+        }
+        let info = self
+            .paths
+            .get(usize::try_from(path.0).ok()?)?
+            .as_ref()
+            .filter(|info| info.rate_only)?;
+        let live = self.epochs.load(info.row)?;
+        let cell = self.summaries.cell(info.row)?;
+        let (epoch, c_res) = cell.read_rate(&self.seqlock_retries)?;
+        // A stale cell means bookkeeping moved since the last publish;
+        // fall back to the locked decide, which recomputes and
+        // republishes. (Deciding from the stale snapshot would also be
+        // *safe* — commit re-decides on the epoch mismatch — but it
+        // would turn every request of the group into a plan retry.)
+        (epoch == live).then_some(FastGroup {
+            handle: self,
+            local: info.local,
+            spec: &info.spec,
+            epoch,
+            c_res,
+        })
+    }
+
+    /// Lock-free decide for a single request; `None` when the fast
+    /// path does not apply (caller takes the locked path).
+    #[must_use]
+    pub fn decide(&self, req: &FlowRequest) -> Option<AdmissionPlan> {
+        self.begin(req.path, req.service).map(|g| g.decide(req))
+    }
+
+    /// Summary hits served lock-free through this handle.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Torn seqlock snapshots this handle's probes have retried.
+    #[must_use]
+    pub fn seqlock_retries(&self) -> u64 {
+        self.seqlock_retries.load(Ordering::Relaxed)
+    }
+}
+
+/// One fresh summary snapshot amortized over a batch of same-path
+/// requests (see [`FastDecideHandle::begin`]).
+#[derive(Debug)]
+pub struct FastGroup<'a> {
+    handle: &'a FastDecideHandle,
+    local: PathId,
+    spec: &'a PathSpec,
+    epoch: u64,
+    c_res: Rate,
+}
+
+impl FastGroup<'_> {
+    /// Decides one request of the group against the snapshot: the O(1)
+    /// §3.1 test on the static spec and the snapshotted `C_res`. The
+    /// returned plan carries the shard-local path id and the snapshot's
+    /// epoch stamp, exactly as a locked [`BrokerShard::decide`] would.
+    #[must_use]
+    pub fn decide(&self, req: &FlowRequest) -> AdmissionPlan {
+        self.handle.hits.fetch_add(1, Ordering::Relaxed);
+        let verdict = rate_based::admit_with_spec(&req.profile, req.d_req, self.spec, self.c_res)
+            .map(|range| PlanAction::PerFlow {
+                rate: range.low,
+                delay: Nanos::ZERO,
+            });
+        let mut request = req.clone();
+        request.path = self.local;
+        AdmissionPlan {
+            request,
+            intent: PlanIntent::Admission,
+            epoch: self.epoch,
+            verdict,
+        }
     }
 }
 

@@ -1,0 +1,423 @@
+//! Seqlock-style atomic path-summary cells — the lock-free fast path
+//! for the read-only decide phase.
+//!
+//! PR 3 cached one [`PathSummary`] per path behind a `RwLock` slot; a
+//! summary *hit* still paid a reader-lock acquisition per decide. This
+//! module replaces the slot with a **seqlock cell**: one sequence word
+//! plus a fixed block of payload words, all plain `AtomicU64`s (no
+//! `unsafe` anywhere — the crate forbids it).
+//!
+//! # Protocol
+//!
+//! Writers (decide-phase cache misses racing to publish a freshly
+//! computed summary, and the restore path invalidating state):
+//!
+//! 1. CAS the sequence word from an *even* value `s` to the *odd*
+//!    `s + 1` with `AcqRel`. Losing the CAS means another publisher is
+//!    mid-flight — the loser simply skips publication and uses its own
+//!    stack-local summary, preserving the lazy-fill semantics of the
+//!    old cache.
+//! 2. Store every payload word with `Relaxed` ordering. The acquire
+//!    half of the CAS keeps these stores from moving above it.
+//! 3. Seal with a `Release` store of `s + 2` (even again), ordering
+//!    the payload stores before the new sequence value.
+//!
+//! Readers:
+//!
+//! 1. Load the sequence word with `Acquire`; an odd value means a
+//!    writer is mid-flight — retry.
+//! 2. Load the payload words with `Relaxed`.
+//! 3. Issue an `Acquire` fence, then re-load the sequence word with
+//!    `Relaxed`. If both sequence reads agree (and are even) the
+//!    payload snapshot is consistent: the fence orders the payload
+//!    loads before the second sequence load, so any concurrent writer
+//!    would have changed the sequence word we observe.
+//!
+//! Torn reads are counted (the `bb_seqlock_retries_total` metric) and
+//! retried a bounded number of times before degrading to a cache miss.
+//!
+//! # Why staleness is safe
+//!
+//! A published cell always carries an internally consistent
+//! `(epoch, summary-at-that-epoch)` pair — possibly *stale*, never
+//! *mixed*. Path epochs only ever increase, so a stale epoch can never
+//! be confused with a current one (no ABA). The commit phase is the
+//! arbiter: it revalidates the plan's epoch against the live epoch
+//! lane under the shard write lock and re-decides on mismatch, so the
+//! worst a stale cell can cause is a `plan_retry`, never an incorrect
+//! booking.
+//!
+//! # Payload layout
+//!
+//! | word(s) | contents |
+//! |---|---|
+//! | 0 | path epoch at computation time |
+//! | 1 | `C_res^P` in bits/s |
+//! | 2 | flags (`bit0` VALID, `bit1` HAS_DELAY) \| breakpoint count `M << 8` |
+//! | 3 | min delay-link capacity in bits/s |
+//! | 4 .. 4+M | Figure-4 breakpoints `d^k`, nanoseconds |
+//! | 10 .. 10+2M | `S̄(d^k)` scaled bits, `i128` split into (hi, lo) words |
+//!
+//! Delay summaries with more than [`MAX_BREAKPOINTS`] distinct delay
+//! values do not fit the fixed payload; [`SummaryCell::try_publish`]
+//! refuses them and every probe recomputes from the link rows — still
+//! without taking any lock.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use crate::mib::{DelaySummary, PathSummary};
+use qos_units::{Nanos, Rate};
+
+/// Maximum number of Figure-4 breakpoints a cell can hold inline.
+///
+/// Six covers every distinct-delay union seen in the paper's scenarios
+/// (the Figure-8 topology reserves at most a handful of distinct delay
+/// values per path); larger summaries fall back to per-probe
+/// recomputation.
+pub const MAX_BREAKPOINTS: usize = 6;
+
+/// Fixed payload size: epoch, residual, flags, min-capacity, `M`
+/// breakpoints and `M` two-word `i128` residual-service values.
+const PAYLOAD_WORDS: usize = 4 + MAX_BREAKPOINTS + 2 * MAX_BREAKPOINTS;
+
+/// How many torn snapshots a reader tolerates before reporting a miss.
+/// Writers publish in a handful of instructions, so anything beyond a
+/// couple of retries means pathological contention; degrading to a
+/// miss (recompute from link rows) keeps the reader wait-free.
+const READ_RETRY_LIMIT: u32 = 8;
+
+const FLAG_VALID: u64 = 1;
+const FLAG_DELAY: u64 = 1 << 1;
+const COUNT_SHIFT: u32 = 8;
+
+const WORD_EPOCH: usize = 0;
+const WORD_C_RES: usize = 1;
+const WORD_FLAGS: usize = 2;
+const WORD_MIN_CAP: usize = 3;
+const WORD_BREAKPOINTS: usize = 4;
+const WORD_S_BAR: usize = WORD_BREAKPOINTS + MAX_BREAKPOINTS;
+
+/// One seqlock cell holding a [`PathSummary`] snapshot.
+#[derive(Debug)]
+pub struct SummaryCell {
+    /// Sequence word: even = stable, odd = writer mid-flight.
+    seq: AtomicU64,
+    /// Fixed payload block (see module docs for the layout).
+    words: [AtomicU64; PAYLOAD_WORDS],
+}
+
+impl Default for SummaryCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for SummaryCell {
+    /// Relaxed word-by-word copy. Only meaningful on quiescent cells
+    /// (table growth under `&mut Broker`, where no publisher can run);
+    /// concurrent readers of the source cell are unaffected.
+    fn clone(&self) -> Self {
+        Self {
+            seq: AtomicU64::new(self.seq.load(Ordering::Relaxed)),
+            words: std::array::from_fn(|i| AtomicU64::new(self.words[i].load(Ordering::Relaxed))),
+        }
+    }
+}
+
+impl SummaryCell {
+    /// An empty (never published) cell.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Whether `summary` fits the fixed payload block.
+    #[must_use]
+    pub fn encodable(summary: &PathSummary) -> bool {
+        summary
+            .delay
+            .as_ref()
+            .is_none_or(|d| d.breakpoints.len() <= MAX_BREAKPOINTS)
+    }
+
+    /// Attempts to publish `summary` into the cell.
+    ///
+    /// Returns `false` without touching the cell when the summary does
+    /// not fit ([`Self::encodable`]) or when another publisher holds
+    /// the cell (CAS loss) — the caller keeps using its stack-local
+    /// summary either way.
+    pub fn try_publish(&self, summary: &PathSummary) -> bool {
+        if !Self::encodable(summary) {
+            return false;
+        }
+        let s = self.seq.load(Ordering::Relaxed);
+        if s & 1 == 1 {
+            return false;
+        }
+        if self
+            .seq
+            .compare_exchange(s, s + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        self.words[WORD_EPOCH].store(summary.epoch, Ordering::Relaxed);
+        self.words[WORD_C_RES].store(summary.c_res.as_bps(), Ordering::Relaxed);
+        let mut flags = FLAG_VALID;
+        if let Some(delay) = &summary.delay {
+            flags |= FLAG_DELAY | ((delay.breakpoints.len() as u64) << COUNT_SHIFT);
+            self.words[WORD_MIN_CAP].store(delay.min_capacity.as_bps(), Ordering::Relaxed);
+            for (k, bp) in delay.breakpoints.iter().enumerate() {
+                self.words[WORD_BREAKPOINTS + k].store(bp.as_nanos(), Ordering::Relaxed);
+            }
+            for (k, s_bar) in delay.s_bar.iter().enumerate() {
+                let raw = *s_bar as u128;
+                self.words[WORD_S_BAR + 2 * k].store((raw >> 64) as u64, Ordering::Relaxed);
+                self.words[WORD_S_BAR + 2 * k + 1].store(raw as u64, Ordering::Relaxed);
+            }
+        } else {
+            self.words[WORD_MIN_CAP].store(0, Ordering::Relaxed);
+        }
+        self.words[WORD_FLAGS].store(flags, Ordering::Relaxed);
+        self.seq.store(s + 2, Ordering::Release);
+        true
+    }
+
+    /// Seqlock-writes an *invalid* payload, forcing every subsequent
+    /// probe to miss. Used when restored state replaces the MIBs.
+    pub fn invalidate(&self) {
+        let s = self.seq.load(Ordering::Relaxed);
+        if s & 1 == 1 {
+            // A publisher is mid-flight; it will seal a payload computed
+            // from pre-restore state, but restore bumps no epochs and
+            // callers revalidate epochs anyway. Only reachable when the
+            // cell is shared and the restore races a decide, which the
+            // server never does (recovery runs before serving).
+            return;
+        }
+        if self
+            .seq
+            .compare_exchange(s, s + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.words[WORD_FLAGS].store(0, Ordering::Relaxed);
+        self.seq.store(s + 2, Ordering::Release);
+    }
+
+    /// One snapshot attempt: `None` when torn or a writer is mid-flight.
+    fn snapshot(&self) -> Option<[u64; PAYLOAD_WORDS]> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 & 1 == 1 {
+            return None;
+        }
+        let words = std::array::from_fn(|i| self.words[i].load(Ordering::Relaxed));
+        fence(Ordering::Acquire);
+        let s2 = self.seq.load(Ordering::Relaxed);
+        (s1 == s2).then_some(words)
+    }
+
+    /// Reads the published summary, retrying torn snapshots up to a
+    /// bound. Every torn snapshot increments `retries`. Returns `None`
+    /// when the cell was never published, was invalidated, or stayed
+    /// torn past the retry bound (all treated as cache misses).
+    pub fn read(&self, retries: &AtomicU64) -> Option<PathSummary> {
+        let words = self.stable_snapshot(retries)?;
+        let flags = words[WORD_FLAGS];
+        if flags & FLAG_VALID == 0 {
+            return None;
+        }
+        let delay = (flags & FLAG_DELAY != 0).then(|| {
+            let m = (flags >> COUNT_SHIFT) as usize;
+            DelaySummary {
+                breakpoints: (0..m)
+                    .map(|k| Nanos::from_nanos(words[WORD_BREAKPOINTS + k]))
+                    .collect(),
+                s_bar: (0..m)
+                    .map(|k| {
+                        let hi = words[WORD_S_BAR + 2 * k] as u128;
+                        let lo = words[WORD_S_BAR + 2 * k + 1] as u128;
+                        ((hi << 64) | lo) as i128
+                    })
+                    .collect(),
+                min_capacity: Rate::from_bps(words[WORD_MIN_CAP]),
+            }
+        });
+        Some(PathSummary {
+            epoch: words[WORD_EPOCH],
+            c_res: Rate::from_bps(words[WORD_C_RES]),
+            delay,
+        })
+    }
+
+    /// Allocation-free probe of the rate dimension only: the published
+    /// `(epoch, C_res^P)` pair for a cell holding a **purely
+    /// rate-based** summary. Returns `None` on a miss *or* when the
+    /// cell carries a delay summary (callers wanting delay state must
+    /// use [`Self::read`]).
+    pub fn read_rate(&self, retries: &AtomicU64) -> Option<(u64, Rate)> {
+        let words = self.stable_snapshot(retries)?;
+        let flags = words[WORD_FLAGS];
+        if flags & FLAG_VALID == 0 || flags & FLAG_DELAY != 0 {
+            return None;
+        }
+        Some((words[WORD_EPOCH], Rate::from_bps(words[WORD_C_RES])))
+    }
+
+    fn stable_snapshot(&self, retries: &AtomicU64) -> Option<[u64; PAYLOAD_WORDS]> {
+        let mut attempts = 0;
+        loop {
+            if let Some(words) = self.snapshot() {
+                return Some(words);
+            }
+            retries.fetch_add(1, Ordering::Relaxed);
+            attempts += 1;
+            if attempts >= READ_RETRY_LIMIT {
+                return None;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Dense table of one [`SummaryCell`] per path row, shared via `Arc`
+/// between the broker (publisher) and the lock-free decide handles
+/// (readers).
+#[derive(Debug, Default, Clone)]
+pub struct SummaryTable {
+    cells: Vec<SummaryCell>,
+}
+
+impl SummaryTable {
+    /// Number of path rows the table covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the table covers no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Grows the table to cover `rows` path rows (no-op when already
+    /// large enough). Called under `&mut Broker` during registration.
+    pub(crate) fn grow(&mut self, rows: usize) {
+        while self.cells.len() < rows {
+            self.cells.push(SummaryCell::new());
+        }
+    }
+
+    /// The cell for dense path row `row`.
+    #[must_use]
+    pub fn cell(&self, row: usize) -> Option<&SummaryCell> {
+        self.cells.get(row)
+    }
+
+    /// Invalidates every cell (restore path).
+    pub fn invalidate_all(&self) {
+        for cell in &self.cells {
+            cell.invalidate();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rate_summary(epoch: u64, bps: u64) -> PathSummary {
+        PathSummary {
+            epoch,
+            c_res: Rate::from_bps(bps),
+            delay: None,
+        }
+    }
+
+    fn delay_summary(epoch: u64, m: usize) -> PathSummary {
+        PathSummary {
+            epoch,
+            c_res: Rate::from_bps(1_000 + epoch),
+            delay: Some(DelaySummary {
+                breakpoints: (1..=m as u64).map(Nanos::from_millis).collect(),
+                s_bar: (0..m as i128).map(|k| (k - 1) * 1_000_000_000).collect(),
+                min_capacity: Rate::from_mbps(10),
+            }),
+        }
+    }
+
+    #[test]
+    fn empty_cell_reads_none() {
+        let cell = SummaryCell::new();
+        let retries = AtomicU64::new(0);
+        assert_eq!(cell.read(&retries), None);
+        assert_eq!(cell.read_rate(&retries), None);
+        assert_eq!(retries.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn publish_then_read_roundtrips_rate_only() {
+        let cell = SummaryCell::new();
+        let retries = AtomicU64::new(0);
+        let s = rate_summary(7, 123_456);
+        assert!(cell.try_publish(&s));
+        assert_eq!(cell.read(&retries), Some(s));
+        assert_eq!(cell.read_rate(&retries), Some((7, Rate::from_bps(123_456))));
+    }
+
+    #[test]
+    fn publish_then_read_roundtrips_delay_including_negative_s_bar() {
+        let cell = SummaryCell::new();
+        let retries = AtomicU64::new(0);
+        let s = delay_summary(42, MAX_BREAKPOINTS);
+        assert!(cell.try_publish(&s));
+        assert_eq!(cell.read(&retries), Some(s));
+        // Rate-only probe refuses delay cells.
+        assert_eq!(cell.read_rate(&retries), None);
+    }
+
+    #[test]
+    fn oversized_delay_summary_is_refused() {
+        let cell = SummaryCell::new();
+        let retries = AtomicU64::new(0);
+        let s = delay_summary(1, MAX_BREAKPOINTS + 1);
+        assert!(!SummaryCell::encodable(&s));
+        assert!(!cell.try_publish(&s));
+        assert_eq!(cell.read(&retries), None);
+    }
+
+    #[test]
+    fn republish_overwrites_and_invalidate_clears() {
+        let cell = SummaryCell::new();
+        let retries = AtomicU64::new(0);
+        assert!(cell.try_publish(&rate_summary(1, 100)));
+        assert!(cell.try_publish(&rate_summary(2, 200)));
+        assert_eq!(cell.read(&retries), Some(rate_summary(2, 200)));
+        cell.invalidate();
+        assert_eq!(cell.read(&retries), None);
+        // A cell can be republished after invalidation.
+        assert!(cell.try_publish(&rate_summary(3, 300)));
+        assert_eq!(cell.read(&retries), Some(rate_summary(3, 300)));
+    }
+
+    #[test]
+    fn table_grows_and_invalidates() {
+        let mut table = SummaryTable::default();
+        assert!(table.is_empty());
+        table.grow(3);
+        assert_eq!(table.len(), 3);
+        let retries = AtomicU64::new(0);
+        assert!(table.cell(0).unwrap().try_publish(&rate_summary(1, 10)));
+        assert!(table.cell(2).unwrap().try_publish(&rate_summary(1, 30)));
+        assert!(table.cell(3).is_none());
+        table.invalidate_all();
+        for row in 0..3 {
+            assert_eq!(table.cell(row).unwrap().read(&retries), None);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Torn-read stress test for the seqlock summary cells.
+//!
+//! Many writer threads publish summaries into one shared
+//! [`SummaryCell`] while many reader threads continuously snapshot it.
+//! Every published summary is built so that **all** of its fields are
+//! deterministic functions of its epoch; a reader that ever observes a
+//! summary violating those relations has seen a torn snapshot — fields
+//! mixed from two different publications — which is exactly what the
+//! seqlock protocol must make impossible. Retries (odd sequence word,
+//! sequence moved mid-read) are expected under contention and are
+//! merely counted; an inconsistent *successful* read fails the test.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bb_core::mib::{DelaySummary, PathSummary};
+use bb_core::summary::{SummaryCell, MAX_BREAKPOINTS};
+use qos_units::{Nanos, Rate};
+
+const WRITERS: usize = 4;
+const READERS: usize = 4;
+const PUBLISHES_PER_WRITER: u64 = 25_000;
+
+/// A delay-flavoured summary in which every field is derived from `k`:
+/// any mix of fields from two different `k` values breaks at least one
+/// of the relations checked by [`check_delay_summary`].
+fn delay_summary_for(k: u64) -> PathSummary {
+    let m = (k as usize % MAX_BREAKPOINTS) + 1;
+    PathSummary {
+        epoch: k,
+        c_res: Rate::from_bps(3 * k + 1),
+        delay: Some(DelaySummary {
+            breakpoints: (0..m as u64)
+                .map(|j| Nanos::from_nanos(k + j + 1))
+                .collect(),
+            s_bar: (0..m as i128).map(|j| i128::from(k) * 7 + j).collect(),
+            min_capacity: Rate::from_bps(5 * k + 2),
+        }),
+    }
+}
+
+fn check_delay_summary(s: &PathSummary) {
+    let k = s.epoch;
+    assert_eq!(
+        s.c_res.as_bps(),
+        3 * k + 1,
+        "torn read: c_res does not match epoch {k}"
+    );
+    let delay = s
+        .delay
+        .as_ref()
+        .unwrap_or_else(|| panic!("torn read: delay summary missing at epoch {k}"));
+    let m = (k as usize % MAX_BREAKPOINTS) + 1;
+    assert_eq!(
+        delay.breakpoints.len(),
+        m,
+        "torn read: breakpoint count does not match epoch {k}"
+    );
+    assert_eq!(
+        delay.s_bar.len(),
+        m,
+        "torn read: s_bar length does not match epoch {k}"
+    );
+    for (j, bp) in delay.breakpoints.iter().enumerate() {
+        assert_eq!(
+            bp.as_nanos(),
+            k + j as u64 + 1,
+            "torn read: breakpoint {j} does not match epoch {k}"
+        );
+    }
+    for (j, s_bar) in delay.s_bar.iter().enumerate() {
+        assert_eq!(
+            *s_bar,
+            i128::from(k) * 7 + j as i128,
+            "torn read: s_bar[{j}] does not match epoch {k}"
+        );
+    }
+    assert_eq!(
+        delay.min_capacity.as_bps(),
+        5 * k + 2,
+        "torn read: min_capacity does not match epoch {k}"
+    );
+}
+
+/// Readers hammer `read()` on a cell that writers keep republishing
+/// with epoch-derived payloads. Every successful snapshot must be
+/// internally consistent. (Epoch *order* is deliberately not asserted:
+/// a writer draws its epoch before racing for the sequence word, so a
+/// slow writer may publish an older epoch after a newer one — harmless,
+/// since stale epochs only make `FastDecideHandle::begin` decline.)
+#[test]
+fn concurrent_publishes_never_yield_torn_snapshots() {
+    let cell = Arc::new(SummaryCell::new());
+    let counter = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    assert!(cell.try_publish(&delay_summary_for(0)));
+
+    std::thread::scope(|scope| {
+        for _ in 0..WRITERS {
+            let cell = Arc::clone(&cell);
+            let counter = Arc::clone(&counter);
+            scope.spawn(move || {
+                for _ in 0..PUBLISHES_PER_WRITER {
+                    let k = counter.fetch_add(1, Ordering::Relaxed) + 1;
+                    // A writer losing the even→odd CAS skips its
+                    // publication — the protocol's liveness rule, not a
+                    // failure.
+                    let _ = cell.try_publish(&delay_summary_for(k));
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let cell = Arc::clone(&cell);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let retries = AtomicU64::new(0);
+                let mut observed = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    if let Some(snapshot) = cell.read(&retries) {
+                        check_delay_summary(&snapshot);
+                        observed += 1;
+                    }
+                }
+                assert!(observed > 0, "reader never saw a consistent snapshot");
+            });
+        }
+        // Writers finish on their own; scope joins would deadlock the
+        // readers, so flag them down once all publishes are in.
+        scope.spawn({
+            let counter = Arc::clone(&counter);
+            let done = Arc::clone(&done);
+            move || {
+                while counter.load(Ordering::Relaxed) < WRITERS as u64 * PUBLISHES_PER_WRITER {
+                    std::thread::yield_now();
+                }
+                done.store(true, Ordering::Relaxed);
+            }
+        });
+    });
+}
+
+/// Same protocol through the rate-only fast-path probe: `read_rate`
+/// snapshots `(epoch, C_res)` and the pair must always satisfy the
+/// writer's relation.
+#[test]
+fn concurrent_publishes_never_tear_the_rate_probe() {
+    let cell = Arc::new(SummaryCell::new());
+    let counter = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    let rate_summary = |k: u64| PathSummary {
+        epoch: k,
+        c_res: Rate::from_bps(3 * k + 1),
+        delay: None,
+    };
+    assert!(cell.try_publish(&rate_summary(0)));
+
+    std::thread::scope(|scope| {
+        for _ in 0..WRITERS {
+            let cell = Arc::clone(&cell);
+            let counter = Arc::clone(&counter);
+            scope.spawn(move || {
+                for _ in 0..PUBLISHES_PER_WRITER {
+                    let k = counter.fetch_add(1, Ordering::Relaxed) + 1;
+                    let _ = cell.try_publish(&rate_summary(k));
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let cell = Arc::clone(&cell);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let retries = AtomicU64::new(0);
+                let mut observed = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    if let Some((epoch, c_res)) = cell.read_rate(&retries) {
+                        assert_eq!(
+                            c_res.as_bps(),
+                            3 * epoch + 1,
+                            "torn read: (epoch, c_res) pair mixes two publications"
+                        );
+                        observed += 1;
+                    }
+                }
+                assert!(observed > 0, "reader never saw a consistent snapshot");
+            });
+        }
+        scope.spawn({
+            let counter = Arc::clone(&counter);
+            let done = Arc::clone(&done);
+            move || {
+                while counter.load(Ordering::Relaxed) < WRITERS as u64 * PUBLISHES_PER_WRITER {
+                    std::thread::yield_now();
+                }
+                done.store(true, Ordering::Relaxed);
+            }
+        });
+    });
+}

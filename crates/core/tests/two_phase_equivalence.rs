@@ -10,10 +10,12 @@
 //! arrive at commit with stale epoch stamps that force revalidation.
 
 use bb_core::admission::aggregate::ClassSpec;
+use bb_core::shard::{BrokerShard, FastDecideHandle};
 use bb_core::signaling::Reject;
-use bb_core::{Broker, BrokerConfig, FlowRequest, ServiceKind};
+use bb_core::{AdmissionPlan, Broker, BrokerConfig, FlowRequest, PathId, ServiceKind};
 use netsim::topology::{LinkId, SchedulerSpec, TopologyBuilder};
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 use qos_units::{Bits, Nanos, Rate, Time};
 use vtrs::packet::FlowId;
 use vtrs::profile::TrafficProfile;
@@ -248,5 +250,227 @@ proptest! {
         assert_same_accounting(&serial, &piped, &links);
         prop_assert_eq!(serial.stats().admitted, piped.stats().admitted);
         prop_assert_eq!(serial.stats().requested, piped.stats().requested);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched lock-free decides (seqlock fast path).
+// ---------------------------------------------------------------------
+
+/// Three disjoint, purely rate-based chains registered under one shard
+/// — the fixture for the batched lock-free decide path. (The
+/// mixed-scheduler [`make_broker`] path has `VtEdf` hops, so the fast
+/// path would always decline it.)
+fn make_rate_only_shard() -> (BrokerShard, Vec<LinkId>) {
+    let mut b = TopologyBuilder::new();
+    let mut links = Vec::new();
+    let mut routes: Vec<(PathId, Vec<LinkId>)> = Vec::new();
+    for chain in 0..3u64 {
+        let nodes: Vec<_> = (0..4).map(|i| b.node(format!("c{chain}n{i}"))).collect();
+        let route: Vec<LinkId> = (0..3)
+            .map(|i| {
+                b.link(
+                    nodes[i],
+                    nodes[i + 1],
+                    Rate::from_bps(1_500_000),
+                    Nanos::ZERO,
+                    SchedulerSpec::CsVc,
+                    Bits::from_bytes(1500),
+                )
+            })
+            .collect();
+        links.extend(route.iter().copied());
+        routes.push((PathId(chain), route));
+    }
+    let topo = b.build();
+    let shard = BrokerShard::new(0, 1, &topo, &BrokerConfig::default(), &routes);
+    (shard, links)
+}
+
+#[derive(Debug, Clone)]
+enum BatchOp {
+    Request { path: u64, d_ms: u64 },
+    Release { victim: usize },
+}
+
+fn gen_batch_ops() -> impl Strategy<Value = Vec<BatchOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            ((0u64..3), (2_000u64..6_000)).prop_map(|(path, d_ms)| BatchOp::Request { path, d_ms }),
+            ((0u64..3), (2_000u64..6_000)).prop_map(|(path, d_ms)| BatchOp::Request { path, d_ms }),
+            ((0u64..3), (2_000u64..6_000)).prop_map(|(path, d_ms)| BatchOp::Request { path, d_ms }),
+            (0usize..64).prop_map(|victim| BatchOp::Release { victim }),
+        ],
+        1..80,
+    )
+}
+
+fn batch_request(flow: FlowId, path: u64, d_ms: u64) -> FlowRequest {
+    FlowRequest {
+        flow,
+        profile: type0(),
+        d_req: Nanos::from_millis(d_ms),
+        service: ServiceKind::PerFlow,
+        path: PathId(path),
+    }
+}
+
+/// Decides one window the way `conn.rs` does — sorted into contiguous
+/// same-path groups, one summary probe per group, locked fallback when
+/// the fast path declines — then commits every plan in **arrival**
+/// order against the serial reference, flow for flow.
+///
+/// The counter assertion inside is the lock-freedom proof of the
+/// ISSUE: a group served by [`FastDecideHandle::begin`] must leave the
+/// broker's own summary-cache counters untouched, because those only
+/// move under the shard's locked decide.
+fn flush_window(
+    now: Time,
+    window: &mut Vec<FlowRequest>,
+    serial: &mut BrokerShard,
+    batched: &mut BrokerShard,
+    fast: &FastDecideHandle,
+    fast_decided: &mut u64,
+    live: &mut Vec<FlowId>,
+) -> Result<(), TestCaseError> {
+    let mut order: Vec<usize> = (0..window.len()).collect();
+    order.sort_by_key(|&i| window[i].path.0);
+    let mut plans: Vec<Option<AdmissionPlan>> = (0..window.len()).map(|_| None).collect();
+    let mut i = 0;
+    while i < order.len() {
+        let path = window[order[i]].path;
+        let mut j = i;
+        while j < order.len() && window[order[j]].path == path {
+            j += 1;
+        }
+        let before = batched.broker().path_cache_counters();
+        if let Some(group) = fast.begin(path, ServiceKind::PerFlow) {
+            for &k in &order[i..j] {
+                plans[k] = Some(group.decide(&window[k]));
+                *fast_decided += 1;
+            }
+            prop_assert_eq!(
+                batched.broker().path_cache_counters(),
+                before,
+                "fast-path decide probed the locked summary cache"
+            );
+        } else {
+            for &k in &order[i..j] {
+                plans[k] = Some(batched.decide(&window[k]));
+            }
+        }
+        i = j;
+    }
+    for (req, plan) in window.iter().zip(plans) {
+        let plan = plan.expect("every windowed request was planned");
+        let expected = outcome_of(serial.request(now, req));
+        let got = outcome_of(batched.commit(now, &plan));
+        prop_assert_eq!(
+            &expected,
+            &got,
+            "batched outcome diverged for {:?}",
+            req.flow
+        );
+        if expected.is_ok() {
+            live.push(req.flow);
+        }
+    }
+    window.clear();
+    Ok(())
+}
+
+/// One warmed group decides its whole batch lock-free: the handle
+/// counts every hit, the broker's summary-cache counters stay
+/// untouched, and the commits reproduce the serial outcomes — including
+/// the plans that arrive stale because an earlier commit of the same
+/// batch moved the epoch.
+#[test]
+fn fast_group_decides_without_probing_the_locked_cache() {
+    let (mut serial, _) = make_rate_only_shard();
+    let (mut batched, _) = make_rate_only_shard();
+    batched.broker().warm_summaries();
+    let fast = batched.fast_handle();
+    let now = Time::ZERO;
+    let reqs: Vec<FlowRequest> = (0..5).map(|i| batch_request(FlowId(i), 1, 4_000)).collect();
+    let before = batched.broker().path_cache_counters();
+    let group = fast
+        .begin(PathId(1), ServiceKind::PerFlow)
+        .expect("warmed rate-only path takes the fast path");
+    let plans: Vec<AdmissionPlan> = reqs.iter().map(|r| group.decide(r)).collect();
+    assert_eq!(fast.hits(), 5);
+    assert_eq!(
+        batched.broker().path_cache_counters(),
+        before,
+        "lock-free decides must not touch the locked summary cache"
+    );
+    for (req, plan) in reqs.iter().zip(&plans) {
+        let expected = outcome_of(serial.request(now, req));
+        let got = outcome_of(batched.commit(now, plan));
+        assert_eq!(expected, got, "outcome diverged for {:?}", req.flow);
+    }
+    // The commits moved the path epoch, so the cell is stale: the fast
+    // path declines until a locked decide recomputes and republishes.
+    assert!(
+        fast.begin(PathId(1), ServiceKind::PerFlow).is_none(),
+        "stale cell must decline the fast path"
+    );
+    let refresh = batch_request(FlowId(99), 1, 4_000);
+    let _ = batched.decide(&refresh);
+    assert!(
+        fast.begin(PathId(1), ServiceKind::PerFlow).is_some(),
+        "locked decide republishes the summary for the next batch"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary interleavings of same-path and cross-path requests,
+    /// decided in path-grouped batches over the lock-free seqlock fast
+    /// path (with locked fallback on stale cells) and committed in
+    /// arrival order, are flow-for-flow equivalent to the serial
+    /// monolithic broker — with releases interleaved to churn epochs.
+    #[test]
+    fn batched_grouped_decides_match_the_serial_broker(ops in gen_batch_ops()) {
+        let (mut serial, _) = make_rate_only_shard();
+        let (mut batched, links) = make_rate_only_shard();
+        batched.broker().warm_summaries();
+        let fast = batched.fast_handle();
+        let now = Time::ZERO;
+        let mut live: Vec<FlowId> = Vec::new();
+        let mut window: Vec<FlowRequest> = Vec::new();
+        let mut fast_decided = 0u64;
+        let mut next_id = 0u64;
+        for op in &ops {
+            match *op {
+                BatchOp::Request { path, d_ms } => {
+                    window.push(batch_request(FlowId(next_id), path, d_ms));
+                    next_id += 1;
+                    if window.len() == 8 {
+                        flush_window(now, &mut window, &mut serial, &mut batched,
+                                     &fast, &mut fast_decided, &mut live)?;
+                    }
+                }
+                BatchOp::Release { victim } => {
+                    // A release is a serialization point: the pending
+                    // window commits first, exactly as the dispatcher
+                    // drains a readiness pass before mutating ops.
+                    flush_window(now, &mut window, &mut serial, &mut batched,
+                                 &fast, &mut fast_decided, &mut live)?;
+                    if !live.is_empty() {
+                        let flow = live.remove(victim % live.len());
+                        serial.release(now, flow).expect("live in serial");
+                        batched.release(now, flow).expect("live in batched");
+                    }
+                }
+            }
+        }
+        flush_window(now, &mut window, &mut serial, &mut batched,
+                     &fast, &mut fast_decided, &mut live)?;
+        assert_same_accounting(serial.broker(), batched.broker(), &links);
+        prop_assert_eq!(
+            fast.hits(), fast_decided,
+            "every lock-free decide is counted exactly once"
+        );
     }
 }

@@ -19,6 +19,7 @@
 //!            [--stats-addr H:P]   # its telemetry endpoint, for --addr
 //!            [--durable]          # journal + snapshot the hosted daemon
 //!            [--data-dir PATH] [--wal-flush-ms 5] [--snapshot-every 10000]
+//!            [--no-batched-decide] # hosted daemon decides under the shard lock
 //! ```
 //!
 //! With `--connections N` each client stream multiplexes its open-loop
@@ -185,16 +186,31 @@ struct ConnectionFairness {
     decisions_mean: f64,
     /// `(max - min) / mean` — 0 is perfectly fair.
     spread: f64,
+    /// Connections that carried no decision at all (excluded from the
+    /// spread statistics above).
+    idle_connections: u64,
 }
 
+/// Fairness over the connections that carried at least one decision.
+///
+/// A swarm run can open more connections than the seeded streams ever
+/// reach (`--connections` exceeding the per-stream round-robin shares),
+/// leaving permanently idle entries. Folding those zeros into the mean
+/// understates it — and with every connection idle the spread became
+/// 0/0 = NaN. Idle connections are therefore reported separately and
+/// excluded from min/max/mean; `None` when nothing was decided on any
+/// connection.
 fn fairness(per_conn: &[u64]) -> Option<ConnectionFairness> {
-    let (min, max) = (per_conn.iter().min()?, per_conn.iter().max()?);
-    let mean = per_conn.iter().sum::<u64>() as f64 / per_conn.len() as f64;
-    (mean > 0.0).then(|| ConnectionFairness {
-        decisions_min: *min,
-        decisions_max: *max,
+    let idle = per_conn.iter().filter(|&&d| d == 0).count() as u64;
+    let live: Vec<u64> = per_conn.iter().copied().filter(|&d| d > 0).collect();
+    let (min, max) = (*live.iter().min()?, *live.iter().max()?);
+    let mean = live.iter().sum::<u64>() as f64 / live.len() as f64;
+    Some(ConnectionFairness {
+        decisions_min: min,
+        decisions_max: max,
         decisions_mean: mean,
         spread: (max - min) as f64 / mean,
+        idle_connections: idle,
     })
 }
 
@@ -274,6 +290,11 @@ struct LoadgenReport {
     requests_per_client: usize,
     offered_rate_per_client_hz: f64,
     seed: u64,
+    /// Whether the hosted daemon ran the lock-free batched decide path
+    /// (seqlock path summaries + path×class grouping). Deliberately not
+    /// a gate config field: the batched-gain CI gate compares an
+    /// on-run against an off-run of the same workload.
+    batched_decide: bool,
     decisions: u64,
     admitted: u64,
     rejected: u64,
@@ -394,6 +415,12 @@ fn run_client(
                 Ok(None) => break,
                 Err(e) => panic!("server broke framing: {e}"),
             }
+        }
+        // Re-check before blocking: the drain above may have consumed the
+        // final DEC, and falling into the timed read anyway would tax every
+        // run with one full read-timeout of dead air after the last reply.
+        if outcomes.len() >= n {
+            break 'recv;
         }
         match rstream.read(&mut chunk) {
             Ok(0) => break 'recv,
@@ -748,6 +775,7 @@ fn main() {
     let external_stats: String = arg("--stats-addr", String::new());
     let sample_ms: u64 = arg("--sample-ms", 50);
     let durable = flag("--durable");
+    let batched_decide = !flag("--no-batched-decide");
     let data_dir: String = arg("--data-dir", String::new());
     let wal_flush_ms: u64 = arg("--wal-flush-ms", 5);
     let snapshot_every: u64 = arg("--snapshot-every", 10_000);
@@ -823,6 +851,7 @@ fn main() {
             queue_depth: arg("--queue-depth", 4_096),
             io_threads: arg("--io-threads", 2),
             stats_addr: Some("127.0.0.1:0".to_string()),
+            batched_decide,
             durable: durable_opts.clone(),
             ..ServerConfig::default()
         };
@@ -993,6 +1022,7 @@ fn main() {
         let check_config = ServerConfig {
             workers: arg("--workers", 4),
             queue_depth: arg("--queue-depth", 4_096),
+            batched_decide,
             durable: Some(opts.clone()),
             ..ServerConfig::default()
         };
@@ -1047,6 +1077,7 @@ fn main() {
         requests_per_client: requests,
         offered_rate_per_client_hz: rate_hz,
         seed,
+        batched_decide,
         decisions,
         admitted,
         rejected: decisions - admitted,
@@ -1137,5 +1168,43 @@ fn main() {
     }
     if verified == Some(false) || report.durable.is_some_and(|d| !d.recovery_matches) {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fairness;
+
+    #[test]
+    fn fairness_of_no_connections_is_none() {
+        assert!(fairness(&[]).is_none());
+    }
+
+    #[test]
+    fn fairness_of_all_idle_connections_is_none_not_nan() {
+        // The regression: with --connections exceeding what the seeded
+        // streams ever touched, every entry could be zero and the old
+        // spread computed 0/0.
+        assert!(fairness(&[0, 0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn idle_connections_are_excluded_from_the_spread() {
+        let f = fairness(&[10, 0, 14, 0, 12, 0]).expect("live connections present");
+        assert_eq!(f.decisions_min, 10);
+        assert_eq!(f.decisions_max, 14);
+        assert!((f.decisions_mean - 12.0).abs() < 1e-9);
+        assert!((f.spread - 4.0 / 12.0).abs() < 1e-9);
+        assert_eq!(f.idle_connections, 3);
+        assert!(f.spread.is_finite());
+    }
+
+    #[test]
+    fn uniform_live_connections_are_perfectly_fair() {
+        let f = fairness(&[7, 7, 7]).expect("live connections present");
+        assert_eq!(f.decisions_min, 7);
+        assert_eq!(f.decisions_max, 7);
+        assert!((f.spread).abs() < 1e-9);
+        assert_eq!(f.idle_connections, 0);
     }
 }

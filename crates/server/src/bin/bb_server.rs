@@ -10,10 +10,16 @@
 //!           [--workers 4] [--queue-depth 1024]
 //!           [--io-threads 2]                # netpoll event loops
 //!           [--idle-timeout-ms 0]           # 0 disables mid-frame idle close
+//!           [--no-batched-decide]           # lock-taking decide path
 //!           [--stats-addr 127.0.0.1:3289]   # "" disables telemetry
 //!           [--data-dir PATH]               # enables durability
 //!           [--wal-flush-ms 5] [--snapshot-every 10000]
 //! ```
+//!
+//! `--no-batched-decide` disables the lock-free batched decide path
+//! (seqlock path summaries + path×class request grouping) and decides
+//! every request under the shard read lock instead — the comparison
+//! baseline for the batched-gain CI gate.
 //!
 //! `--idle-timeout-ms` closes connections that sit mid-frame (a partial
 //! COPS message buffered, no completion) past the deadline — the
@@ -58,6 +64,7 @@ fn main() {
         queue_depth: arg("--queue-depth", 1024),
         io_threads: arg("--io-threads", 2),
         idle_timeout: (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms)),
+        batched_decide: !std::env::args().any(|a| a == "--no-batched-decide"),
         stats_addr: (!stats_addr.is_empty()).then_some(stats_addr),
         durable: (!data_dir.is_empty()).then(|| DurableOptions {
             data_dir: data_dir.clone().into(),

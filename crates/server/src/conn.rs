@@ -64,7 +64,7 @@ use vtrs::packet::FlowId;
 use bb_core::admission::plan::AdmissionPlan;
 use bb_core::cops::{self, OpCode};
 use bb_core::shard::shard_of_macroflow;
-use bb_core::signaling::{FlowRequest, Reject};
+use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
 
 use crate::frame::FrameReader;
 use crate::server::{Dispatch, Job};
@@ -578,10 +578,33 @@ fn decode_into(wire: &Bytes, dispatch: &Arc<Dispatch>, actions: &mut Vec<Action>
     }
 }
 
-/// The batch phase: decide every request of the pass grouped by shard —
-/// one read-lock acquisition per shard per pass — then dispatch all
-/// actions per connection in frame order, preserving exactly the order
-/// a per-connection blocking reader would have produced.
+/// Grouping key for the batch decide: requests sharing a shard, an
+/// interned path row, and a service class decide against the same
+/// summary cell, so sorting by this key makes each group contiguous and
+/// one summary read amortizes over the whole group.
+fn group_key(action: &Action) -> (u64, u64) {
+    match action {
+        Action::Request { req, .. } => {
+            let class = match req.service {
+                ServiceKind::PerFlow => 0,
+                ServiceKind::Class(c) => 1 + u64::from(c),
+            };
+            (req.path.0, class)
+        }
+        // Only Request actions are ever keyed.
+        _ => (u64::MAX, u64::MAX),
+    }
+}
+
+/// The batch phase: decide every request of the pass grouped by shard
+/// and, within a shard, by `PathId` × class row — so each group costs
+/// **one** summary-cell read through the shard's lock-free
+/// [`bb_core::FastDecideHandle`], with no shard lock at all on the fast
+/// path. Groups the handle declines (class joins, delay paths, stale
+/// cells, or batching disabled) fall back to one read-lock acquisition
+/// per shard per pass, as before. All actions then dispatch per
+/// connection in frame order, preserving exactly the order a
+/// per-connection blocking reader would have produced.
 fn process_pass(pass: &mut Pass, dispatch: &Arc<Dispatch>) {
     if pass.frames > 0 {
         dispatch.metrics.record_batch_frames(pass.frames);
@@ -600,17 +623,62 @@ fn process_pass(pass: &mut Pass, dispatch: &Arc<Dispatch>) {
             }
         }
     }
-    for (shard, items) in by_shard.iter().enumerate() {
+    for (shard, items) in by_shard.iter_mut().enumerate() {
         if items.is_empty() {
             continue;
         }
-        let guard = dispatch.shards[shard].read();
-        for &(ci, ai) in items {
-            if let Action::Request { req, plan, .. } = &mut pass.conns[ci].1[ai] {
-                let t0 = Instant::now();
-                let decided = guard.decide(req);
-                let decide_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                *plan = Some((decided, decide_ns));
+        // Requests a fast group couldn't serve, decided under the lock.
+        let mut locked: Vec<(usize, usize)> = Vec::new();
+        if let Some(fast) = dispatch.fast.as_ref().map(|f| &f[shard]) {
+            // Sorting by (path, class) makes same-row requests
+            // contiguous; per-connection frame order is re-imposed at
+            // dispatch below, so the decide order within a pass is
+            // free to choose.
+            items.sort_unstable_by_key(|&(ci, ai)| group_key(&pass.conns[ci].1[ai]));
+            let mut i = 0;
+            while i < items.len() {
+                let (ci0, ai0) = items[i];
+                let key = group_key(&pass.conns[ci0].1[ai0]);
+                let mut j = i + 1;
+                while j < items.len() {
+                    let (ci, ai) = items[j];
+                    if group_key(&pass.conns[ci].1[ai]) != key {
+                        break;
+                    }
+                    j += 1;
+                }
+                dispatch.metrics.record_decide_batch((j - i) as u64);
+                let (path, service) = match &pass.conns[ci0].1[ai0] {
+                    Action::Request { req, .. } => (req.path, req.service),
+                    _ => unreachable!("only requests are grouped"),
+                };
+                if let Some(group) = fast.begin(path, service) {
+                    for &(ci, ai) in &items[i..j] {
+                        if let Action::Request { req, plan, .. } = &mut pass.conns[ci].1[ai] {
+                            let t0 = Instant::now();
+                            let decided = group.decide(req);
+                            let decide_ns =
+                                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            *plan = Some((decided, decide_ns));
+                        }
+                    }
+                } else {
+                    locked.extend_from_slice(&items[i..j]);
+                }
+                i = j;
+            }
+        } else {
+            locked = std::mem::take(items);
+        }
+        if !locked.is_empty() {
+            let guard = dispatch.shards[shard].read();
+            for &(ci, ai) in &locked {
+                if let Action::Request { req, plan, .. } = &mut pass.conns[ci].1[ai] {
+                    let t0 = Instant::now();
+                    let decided = guard.decide(req);
+                    let decide_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    *plan = Some((decided, decide_ns));
+                }
             }
         }
     }

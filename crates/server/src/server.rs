@@ -63,7 +63,7 @@ use vtrs::packet::FlowId;
 use bb_core::admission::plan::AdmissionPlan;
 use bb_core::broker::BrokerConfig;
 use bb_core::cops;
-use bb_core::shard::{build_shards, plan_shards, BrokerShard};
+use bb_core::shard::{build_shards, plan_shards, BrokerShard, FastDecideHandle};
 use bb_core::signaling::ServiceKind;
 use bb_durable::{replay, ShardStore, WalRecord};
 use bb_telemetry::{MetricsRegistry, ShardMetrics};
@@ -98,6 +98,13 @@ pub struct ServerConfig {
     /// MIBs under a data directory, recovering from it at startup.
     /// `None` keeps the daemon purely in-memory.
     pub durable: Option<DurableOptions>,
+    /// Batched lock-free decide: group each readiness pass's requests
+    /// by `PathId` × class and decide per-flow rate-based groups through
+    /// a [`bb_core::FastDecideHandle`] — one seqlock summary read per
+    /// group, no shard read lock. Off forces every decide under the
+    /// shard read lock (the pre-batching behaviour, kept as a CI
+    /// comparison axis and an escape hatch).
+    pub batched_decide: bool,
 }
 
 impl Default for ServerConfig {
@@ -110,6 +117,7 @@ impl Default for ServerConfig {
             broker: BrokerConfig::default(),
             stats_addr: None,
             durable: None,
+            batched_decide: true,
         }
     }
 }
@@ -289,6 +297,11 @@ pub(crate) struct Dispatch {
     released: AtomicU64,
     /// Cross-shard class usage.
     classes: RwLock<ClassDirectory>,
+    /// Per-shard lock-free decide handles sharing each shard's seqlock
+    /// summary cells and epoch lane; `None` when batched decide is
+    /// disabled. Built after recovery over the full route set, so
+    /// every served path is in view.
+    pub(crate) fast: Option<Vec<Arc<FastDecideHandle>>>,
     /// Live telemetry, updated lock-free by workers and the io loops.
     pub(crate) metrics: MetricsRegistry,
     pub(crate) stop: AtomicBool,
@@ -420,6 +433,21 @@ impl BbServer {
             stores = Some(opened);
         }
 
+        // Warm every shard's summary cells (a chunked sweep over the
+        // dense path rows) and build the lock-free decide handles —
+        // after recovery, which invalidated the cells, and before any
+        // io loop exists, so the first wave of decides hits warm cells.
+        let fast = config.batched_decide.then(|| {
+            shards
+                .iter()
+                .map(|s| {
+                    let guard = s.read();
+                    guard.broker().warm_summaries();
+                    Arc::new(guard.fast_handle())
+                })
+                .collect::<Vec<_>>()
+        });
+
         let mut jobs = Vec::new();
         let mut worker_rxs = Vec::new();
         for _ in 0..shards.len() {
@@ -450,6 +478,7 @@ impl BbServer {
             overloaded: AtomicU64::new(0),
             released: AtomicU64::new(0),
             classes: RwLock::new(ClassDirectory::new()),
+            fast,
             metrics: MetricsRegistry::new(shard_count),
             stop: AtomicBool::new(false),
             started: Instant::now(),
@@ -890,15 +919,26 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
 }
 
 /// Mirrors the shard broker's pipeline gauges (plan retries/aborts,
-/// path-cache hits/misses), contingency lifecycle totals, and
+/// path-cache hits/misses — with the lock-free handle's hits folded
+/// in), seqlock retry totals, contingency lifecycle totals, and
 /// dense-store occupancy into the telemetry registry as absolute
 /// running totals.
 fn mirror_pipeline_gauges(shard: &BrokerShard, dispatch: &Arc<Dispatch>) {
     let broker = shard.broker();
     let stats = broker.stats();
-    let (hits, misses) = broker.path_cache_counters();
+    let (mut hits, misses) = broker.path_cache_counters();
+    let mut seqlock_retries = broker.seqlock_retries();
+    if let Some(fast) = dispatch.fast.as_ref().map(|f| &f[shard.shard()]) {
+        // A fast-path hit never reaches the broker's counters; a fast-
+        // path decline falls through to the locked decide, which counts
+        // its own probe — so adding only the handle's hits keeps one
+        // count per decision.
+        hits += fast.hits();
+        seqlock_retries += fast.seqlock_retries();
+    }
     let metrics = dispatch.metrics.shard(shard.shard());
     metrics.set_pipeline_gauges(stats.plan_retries, stats.plan_aborts, hits, misses);
+    metrics.set_seqlock_retries(seqlock_retries);
     metrics.set_contingency_gauges(stats.grants, stats.grant_expiries, stats.grant_resets);
     let occ = broker.store_occupancy();
     metrics.set_store_gauges(

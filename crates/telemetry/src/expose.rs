@@ -248,6 +248,19 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
 
     let _ = writeln!(
         out,
+        "# HELP bb_seqlock_retries_total Torn seqlock summary reads retried or degraded to a miss, per shard."
+    );
+    let _ = writeln!(out, "# TYPE bb_seqlock_retries_total counter");
+    for s in &snap.shards {
+        let _ = writeln!(
+            out,
+            "bb_seqlock_retries_total{{shard=\"{}\"}} {}",
+            s.shard, s.seqlock_retries
+        );
+    }
+
+    let _ = writeln!(
+        out,
         "# HELP bb_contingency_grants_total Contingency-bandwidth grants issued, per shard."
     );
     let _ = writeln!(out, "# TYPE bb_contingency_grants_total counter");
@@ -440,6 +453,18 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
         &snap.conns.batch_frames,
     );
 
+    let _ = writeln!(
+        out,
+        "# HELP bb_decide_batch_size Requests decided per path-class batch group (bucket bounds are request counts)."
+    );
+    let _ = writeln!(out, "# TYPE bb_decide_batch_size histogram");
+    write_histogram(
+        &mut out,
+        "bb_decide_batch_size",
+        "",
+        &snap.conns.decide_batch,
+    );
+
     out
 }
 
@@ -462,6 +487,7 @@ mod tests {
         reg.shard(0).record_decide_ns(60);
         reg.shard(0).record_commit_ns(40);
         reg.shard(0).set_pipeline_gauges(4, 2, 90, 10);
+        reg.shard(0).set_seqlock_retries(11);
         reg.shard(0).set_contingency_gauges(6, 3, 1);
         reg.shard(0).set_store_gauges(12, 16, 2, 4);
         let text = prometheus(&reg.snapshot());
@@ -473,6 +499,8 @@ mod tests {
         assert!(text.contains("bb_plan_aborts_total{shard=\"0\"} 2"));
         assert!(text.contains("bb_path_cache_hits_total{shard=\"0\"} 90"));
         assert!(text.contains("bb_path_cache_misses_total{shard=\"0\"} 10"));
+        assert!(text.contains("bb_seqlock_retries_total{shard=\"0\"} 11"));
+        assert!(text.contains("bb_seqlock_retries_total{shard=\"1\"} 0"));
         assert!(text.contains("bb_contingency_grants_total{shard=\"0\"} 6"));
         assert!(text.contains("bb_contingency_expiries_total{shard=\"0\"} 3"));
         assert!(text.contains("bb_contingency_resets_total{shard=\"0\"} 1"));
@@ -513,6 +541,8 @@ mod tests {
         reg.record_conn_closed();
         reg.record_batch_frames(3);
         reg.record_batch_frames(200);
+        reg.record_decide_batch(4);
+        reg.record_decide_batch(12);
         let text = prometheus(&reg.snapshot());
 
         assert!(text.contains("# TYPE bb_open_connections gauge"));
@@ -526,6 +556,10 @@ mod tests {
         assert!(text.contains("bb_readiness_batch_frames_count 2"));
         assert!(text.contains("bb_readiness_batch_frames_sum 203"));
         assert!(text.contains("bb_readiness_batch_frames_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("# TYPE bb_decide_batch_size histogram"));
+        assert!(text.contains("bb_decide_batch_size_count 2"));
+        assert!(text.contains("bb_decide_batch_size_sum 16"));
+        assert!(text.contains("bb_decide_batch_size_bucket{le=\"+Inf\"} 2"));
 
         // Batch buckets are cumulative and end at _count.
         let mut last = 0u64;

@@ -39,6 +39,9 @@ pub struct ShardMetrics {
     plan_aborts: AtomicU64,
     path_cache_hits: AtomicU64,
     path_cache_misses: AtomicU64,
+    /// Torn seqlock summary reads retried (or degraded to a miss),
+    /// mirrored from the broker's and fast handle's retry counters.
+    seqlock_retries: AtomicU64,
     /// Contingency-bandwidth lifecycle totals mirrored from
     /// [`bb_core::broker::BrokerStats`].
     grants: AtomicU64,
@@ -106,6 +109,13 @@ impl ShardMetrics {
         self.plan_aborts.store(aborts, Ordering::Relaxed);
         self.path_cache_hits.store(hits, Ordering::Relaxed);
         self.path_cache_misses.store(misses, Ordering::Relaxed);
+    }
+
+    /// Mirrors the shard's seqlock torn-read retry total (broker probe
+    /// retries plus the lock-free decide handle's), as an absolute
+    /// running count.
+    pub fn set_seqlock_retries(&self, retries: u64) {
+        self.seqlock_retries.store(retries, Ordering::Relaxed);
     }
 
     /// Mirrors the shard broker's contingency-bandwidth lifecycle
@@ -176,6 +186,7 @@ impl ShardMetrics {
             plan_aborts: self.plan_aborts.load(Ordering::Relaxed),
             path_cache_hits: self.path_cache_hits.load(Ordering::Relaxed),
             path_cache_misses: self.path_cache_misses.load(Ordering::Relaxed),
+            seqlock_retries: self.seqlock_retries.load(Ordering::Relaxed),
             grants: self.grants.load(Ordering::Relaxed),
             grant_expiries: self.grant_expiries.load(Ordering::Relaxed),
             grant_resets: self.grant_resets.load(Ordering::Relaxed),
@@ -214,6 +225,9 @@ pub struct MetricsRegistry {
     /// loop achieves (one shard read-lock acquisition serves the whole
     /// pass).
     batch_frames: LogHistogram,
+    /// Requests decided per path×class group on the batched decide path
+    /// (one seqlock summary read amortizes over each group).
+    decide_batch: LogHistogram,
 }
 
 impl MetricsRegistry {
@@ -231,6 +245,7 @@ impl MetricsRegistry {
             conn_errors: AtomicU64::new(0),
             conn_idle_closed: AtomicU64::new(0),
             batch_frames: LogHistogram::new(),
+            decide_batch: LogHistogram::new(),
         }
     }
 
@@ -292,6 +307,12 @@ impl MetricsRegistry {
         self.batch_frames.record(frames);
     }
 
+    /// Records the size of one batched-decide group: requests sharing an
+    /// interned path×class row that one seqlock summary read served.
+    pub fn record_decide_batch(&self, requests: u64) {
+        self.decide_batch.record(requests);
+    }
+
     /// Current value of the open-connections gauge.
     #[must_use]
     pub fn open_connections(&self) -> u64 {
@@ -331,6 +352,7 @@ impl MetricsRegistry {
                 errors: self.conn_errors.load(Ordering::Relaxed),
                 idle_closed: self.conn_idle_closed.load(Ordering::Relaxed),
                 batch_frames: self.batch_frames.snapshot(),
+                decide_batch: self.decide_batch.snapshot(),
             },
         }
     }
@@ -351,6 +373,10 @@ pub struct ConnSnapshot {
     pub idle_closed: u64,
     /// COPS frames decoded per readiness pass.
     pub batch_frames: HistogramSnapshot,
+    /// Requests decided per path×class batch group (absent in snapshots
+    /// from older builds).
+    #[serde(default)]
+    pub decide_batch: HistogramSnapshot,
 }
 
 /// One rejection-cause counter in a snapshot.
@@ -394,6 +420,10 @@ pub struct ShardSnapshot {
     pub path_cache_hits: u64,
     /// Path-summary cache misses (summary recomputed).
     pub path_cache_misses: u64,
+    /// Torn seqlock summary reads retried or degraded to a miss
+    /// (absent in snapshots from older builds).
+    #[serde(default)]
+    pub seqlock_retries: u64,
     /// Contingency-bandwidth grants issued (joins and leaves).
     pub grants: u64,
     /// Grants released by the bounding-period timer.
@@ -550,6 +580,8 @@ mod tests {
         reg.shard(0).set_pipeline_gauges(2, 1, 30, 10);
         reg.shard(0).set_pipeline_gauges(3, 1, 60, 20);
         reg.shard(1).set_pipeline_gauges(0, 0, 20, 0);
+        reg.shard(0).set_seqlock_retries(5);
+        reg.shard(0).set_seqlock_retries(7);
         reg.shard(0).record_decide_ns(500);
         reg.shard(0).record_commit_ns(200);
         let snap = reg.snapshot();
@@ -558,6 +590,8 @@ mod tests {
         assert_eq!(snap.shards[0].plan_aborts, 1);
         assert_eq!(snap.shards[0].decide_ns.count, 1);
         assert_eq!(snap.shards[0].commit_ns.count, 1);
+        assert_eq!(snap.shards[0].seqlock_retries, 7);
+        assert_eq!(snap.shards[1].seqlock_retries, 0);
         // (60 + 20) hits over (80 + 20) lookups.
         assert_eq!(snap.path_cache_hit_rate(), Some(0.8));
     }
@@ -598,6 +632,9 @@ mod tests {
         reg.record_accept();
         reg.record_batch_frames(1);
         reg.record_batch_frames(64);
+        reg.record_decide_batch(8);
+        reg.record_decide_batch(1);
+        reg.record_decide_batch(32);
         assert_eq!(reg.open_connections(), 1);
         let snap = reg.snapshot();
         assert_eq!(snap.conns.open, 1);
@@ -607,6 +644,25 @@ mod tests {
         assert_eq!(snap.conns.idle_closed, 1);
         assert_eq!(snap.conns.batch_frames.count, 2);
         assert!(snap.conns.batch_frames.quantile_ns(1.0).unwrap() >= 64);
+        assert_eq!(snap.conns.decide_batch.count, 3);
+        assert!(snap.conns.decide_batch.quantile_ns(1.0).unwrap() >= 32);
+    }
+
+    #[test]
+    fn old_snapshots_without_seqlock_fields_still_deserialize() {
+        // Snapshots serialized before the seqlock/batched-decide series
+        // existed lack `seqlock_retries` and `conns.decide_batch`;
+        // `#[serde(default)]` must fill them with zeros so bench_gate
+        // can still read an old baseline file.
+        let reg = MetricsRegistry::new(1);
+        let snap = reg.snapshot();
+        let text = serde::json::to_string(&snap);
+        let stripped = text
+            .replace("\"seqlock_retries\":0,", "")
+            .replace(",\"seqlock_retries\":0", "");
+        assert_ne!(stripped, text, "field name drifted; update this test");
+        let back: MetricsSnapshot = serde::json::from_str(&stripped).expect("lenient decode");
+        assert_eq!(back.shards[0].seqlock_retries, 0);
     }
 
     #[test]

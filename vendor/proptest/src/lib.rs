@@ -167,7 +167,7 @@ macro_rules! __proptest_impl {
             // Bind strategies once; generation only needs `&self`.
             $(let $arg = $strategy;)+
             let seed0 = $crate::test_runner::fnv1a(stringify!($name));
-            for case in 0..config.cases {
+            for case in 0..config.resolved_cases() {
                 let mut rng =
                     $crate::test_runner::TestRng::new(seed0 ^ (0x9E37_79B9_7F4A_7C15u64
                         .wrapping_mul(u64::from(case) + 1)));

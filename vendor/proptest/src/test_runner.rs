@@ -14,6 +14,19 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count actually run: the `PROPTEST_CASES` environment
+    /// variable, when set to a positive integer, overrides any in-test
+    /// configuration — CI's stress knob for running the same properties
+    /// at a multiple of their everyday budget.
+    #[must_use]
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(self.cases)
+    }
 }
 
 impl Default for ProptestConfig {

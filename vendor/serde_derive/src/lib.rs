@@ -13,6 +13,11 @@
 //! defaults: objects for named structs, transparent newtypes, arrays
 //! for tuples, externally tagged enums. Generic items produce a
 //! `compile_error!` naming the limitation.
+//!
+//! One field attribute is honored: `#[serde(default)]` on a named
+//! struct field makes deserialization substitute `Default::default()`
+//! when the field is absent from the input object — the lenient-decode
+//! escape hatch that lets new snapshot fields read old baseline files.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -20,7 +25,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Item {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     TupleStruct {
         name: String,
@@ -38,7 +43,7 @@ enum Item {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Variant {
@@ -46,14 +51,20 @@ struct Variant {
     kind: VariantKind,
 }
 
+/// One named field and whether it carries `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
+}
+
 /// Generates the `Serialize` impl.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, gen_serialize)
 }
 
 /// Generates the `Deserialize` impl.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, gen_deserialize)
 }
@@ -72,7 +83,7 @@ fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
 fn parse_item(input: TokenStream) -> Result<Item, String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
-    skip_attrs_and_vis(&tokens, &mut i);
+    let _ = skip_attrs_and_vis(&tokens, &mut i);
     let kw = match tokens.get(i) {
         Some(TokenTree::Ident(id)) => id.to_string(),
         other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
@@ -117,12 +128,17 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
 }
 
 /// Skips leading outer attributes (`#[...]`) and a visibility modifier
-/// (`pub`, `pub(...)`).
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+/// (`pub`, `pub(...)`), reporting whether a `#[serde(default)]`
+/// attribute was among those skipped.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 // Attribute: `#` then a bracket group.
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    has_default |= is_serde_default(g);
+                }
                 *i += 2;
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -134,8 +150,29 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                     *i += 1;
                 }
             }
-            _ => return,
+            _ => return has_default,
         }
+    }
+}
+
+/// Recognizes the bracket group of a `#[serde(default)]` attribute:
+/// the ident `serde` followed by a parenthesized `default`.
+fn is_serde_default(group: &proc_macro::Group) -> bool {
+    if group.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            matches!(
+                (inner.first(), inner.len()),
+                (Some(TokenTree::Ident(arg)), 1) if arg.to_string() == "default"
+            )
+        }
+        _ => false,
     }
 }
 
@@ -163,13 +200,16 @@ fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     segments
 }
 
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     for seg in split_top_level_commas(stream) {
         let mut i = 0;
-        skip_attrs_and_vis(&seg, &mut i);
+        let default = skip_attrs_and_vis(&seg, &mut i);
         match seg.get(i) {
-            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => fields.push(Field {
+                name: id.to_string(),
+                default,
+            }),
             other => return Err(format!("expected field name, got {other:?}")),
         }
     }
@@ -184,7 +224,7 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
     let mut variants = Vec::new();
     for seg in split_top_level_commas(stream) {
         let mut i = 0;
-        skip_attrs_and_vis(&seg, &mut i);
+        let _ = skip_attrs_and_vis(&seg, &mut i);
         let name = match seg.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
             other => return Err(format!("expected variant name, got {other:?}")),
@@ -217,7 +257,10 @@ fn gen_serialize(item: &Item) -> String {
         Item::NamedStruct { name, fields } => {
             let pairs: Vec<String> = fields
                 .iter()
-                .map(|f| format!("({f:?}.to_owned(), ::serde::Serialize::to_value(&self.{f}))"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("({f:?}.to_owned(), ::serde::Serialize::to_value(&self.{f}))")
+                })
                 .collect();
             impl_serialize(
                 name,
@@ -262,10 +305,13 @@ fn gen_serialize(item: &Item) -> String {
                             )
                         }
                         VariantKind::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let binds = binds.join(", ");
                             let pairs: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "({f:?}.to_owned(), ::serde::Serialize::to_value({f}))"
                                     )
@@ -296,10 +342,7 @@ fn impl_serialize(name: &str, body: &str) -> String {
 fn gen_deserialize(item: &Item) -> String {
     let body = match item {
         Item::NamedStruct { name, fields } => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, "v")).collect();
             format!("Ok({name} {{ {} }})", inits.join(", "))
         }
         Item::TupleStruct { name, arity: 1 } => {
@@ -333,18 +376,9 @@ fn gen_deserialize(item: &Item) -> String {
                             format!("{vn:?} => Ok({name}::{vn}({}))", inits.join(", "))
                         }
                         VariantKind::Named(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_value(payload.field({f:?})?)?"
-                                    )
-                                })
-                                .collect();
-                            format!(
-                                "{vn:?} => Ok({name}::{vn} {{ {} }})",
-                                inits.join(", ")
-                            )
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| field_init(f, "payload")).collect();
+                            format!("{vn:?} => Ok({name}::{vn} {{ {} }})", inits.join(", "))
                         }
                     }
                 })
@@ -367,6 +401,23 @@ fn gen_deserialize(item: &Item) -> String {
          }}",
         item_name(item)
     )
+}
+
+/// The initializer expression for one named field read from `src`: a
+/// plain lookup, or — under `#[serde(default)]` — `Default::default()`
+/// when the field is absent (a lookup on a non-object still errs).
+fn field_init(f: &Field, src: &str) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match {src}.field({name:?}) {{ \
+                 Ok(fv) => ::serde::Deserialize::from_value(fv)?, \
+                 Err(_) => ::core::default::Default::default() \
+             }}"
+        )
+    } else {
+        format!("{name}: ::serde::Deserialize::from_value({src}.field({name:?})?)?")
+    }
 }
 
 fn item_name(item: &Item) -> &str {
