@@ -6,6 +6,7 @@
 //!            [--min-ratio 0.6] [--max-p99-ratio 1.5] [--min-hit-rate 0.5]
 //!            [--max-allocs-per-decision X]
 //!            [--durable] [--min-connections N] [--min-decide-speedup R]
+//!            [--federation] [--min-domains 3]
 //! ```
 //!
 //! Reads both `bb-loadgen` reports, applies
@@ -45,9 +46,17 @@
 //! least N persistent connections held by the generator **and**
 //! observed concurrently open by the daemon, and throughput within the
 //! margin of the baseline — high fan-in must not cost decisions/s.
+//!
+//! With `--federation` the fresh report is a `bb-loadgen --domains`
+//! federation run gated with [`bb_bench::gate::check_federation`]
+//! against the checked-in `BENCH_federation.json`: at least
+//! `--min-domains` chained domains (default 3), `--verify`-clean
+//! against the flat union-topology broker, zero residue left in any
+//! downstream domain, and throughput/cross-domain-p99 within the
+//! margins. Every failed check prints expected vs actual, in one pass.
 
 use bb_bench::gate::{
-    check_decide_speedup, check_durable, check_full_with_allocs, check_swarm,
+    check_decide_speedup, check_durable, check_federation, check_full_with_allocs, check_swarm,
     DEFAULT_MAX_P99_RATIO, DEFAULT_MIN_HIT_RATE, DEFAULT_MIN_RATIO,
 };
 
@@ -95,6 +104,53 @@ fn main() {
 
     let fresh = load(&fresh_path);
     let baseline = load(&baseline_path);
+    if flag("--federation") {
+        let min_domains: f64 = arg("--min-domains")
+            .map(|v| {
+                v.parse()
+                    .expect("bench-gate: --min-domains must be a number")
+            })
+            .unwrap_or(3.0);
+        match check_federation(&fresh, &baseline, min_ratio, max_p99_ratio, min_domains) {
+            Ok(verdict) => {
+                println!(
+                    "bench-gate: federation {:.0} decisions/s over {:.0} domains vs baseline \
+                     {:.0} ({:.0}%, floor {:.0}%)",
+                    verdict.fresh_throughput,
+                    verdict.domains,
+                    verdict.baseline_throughput,
+                    verdict.ratio * 100.0,
+                    verdict.min_ratio * 100.0
+                );
+                println!(
+                    "bench-gate: cross-domain p99 {:.0}µs vs baseline {:.0}µs ({:.0}%, ceiling \
+                     {:.0}%); downstream residency {}",
+                    verdict.fresh_p99_us,
+                    verdict.baseline_p99_us,
+                    verdict.p99_ratio * 100.0,
+                    verdict.max_p99_ratio * 100.0,
+                    match verdict.residency_ok {
+                        Some(true) => "clean",
+                        Some(false) => "LEAKED",
+                        None => "unchecked (externally hosted chain)",
+                    }
+                );
+                if verdict.passed() {
+                    println!("bench-gate: PASS (federation)");
+                } else {
+                    for f in &verdict.failures {
+                        eprintln!("bench-gate: FAIL: {f}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("bench-gate: unusable report: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     if let Some(mins) = arg("--min-decide-speedup") {
         let min_speedup: f64 = mins
             .parse()

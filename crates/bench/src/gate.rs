@@ -100,14 +100,52 @@ fn number(report: &Value, field: &str) -> Result<f64, String> {
         .map_err(|e| format!("bad `{field}`: {e}"))
 }
 
+/// Accumulates every config-field mismatch between the two reports into
+/// `failures` — one pass over all fields, so a report that drifted on
+/// three knobs reports three drifts, not just the first. Missing or
+/// non-numeric fields are themselves failures, stated with what was
+/// expected and what was found.
+fn config_drift(fresh: &Value, baseline: &Value, fields: &[&str], failures: &mut Vec<String>) {
+    for field in fields {
+        match (number(fresh, field), number(baseline, field)) {
+            (Ok(f), Ok(b)) if f != b => failures.push(format!(
+                "config drift on `{field}`: expected {b} (baseline), actual {f} (fresh)"
+            )),
+            (Ok(_), Ok(_)) => {}
+            (Err(e), _) => failures.push(format!("fresh: {e}")),
+            (_, Err(e)) => failures.push(format!("baseline: {e}")),
+        }
+    }
+}
+
+/// Fetches a numeric gate input, converting a structural problem into a
+/// recorded failure instead of aborting the whole gate — the caller
+/// gets `None` and keeps checking everything else, so one unusable
+/// field cannot hide an unrelated regression in the same run.
+fn gated_number(
+    report: &Value,
+    label: &str,
+    field: &str,
+    failures: &mut Vec<String>,
+) -> Option<f64> {
+    match number(report, field) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            failures.push(format!("{label}: {e}"));
+            None
+        }
+    }
+}
+
 /// Gates a fresh `BENCH_loadgen.json` report against the baseline with
 /// the default latency ceiling ([`DEFAULT_MAX_P99_RATIO`]).
 ///
 /// # Errors
 ///
-/// Returns `Err` when either report is structurally unusable (missing
-/// or non-numeric fields) — distinct from a well-formed report that
-/// merely fails the gate, which yields `Ok` with non-empty `failures`.
+/// Practically always returns `Ok`: field-level problems (missing or
+/// non-numeric fields) are accumulated into `failures` alongside the
+/// regressions, so one structural miss cannot hide the rest of the
+/// verdict.
 pub fn check(fresh: &Value, baseline: &Value, min_ratio: f64) -> Result<GateReport, String> {
     check_with_latency(fresh, baseline, min_ratio, DEFAULT_MAX_P99_RATIO)
 }
@@ -117,9 +155,8 @@ pub fn check(fresh: &Value, baseline: &Value, min_ratio: f64) -> Result<GateRepo
 ///
 /// # Errors
 ///
-/// Returns `Err` when either report is structurally unusable (missing
-/// or non-numeric fields) — distinct from a well-formed report that
-/// merely fails the gate, which yields `Ok` with non-empty `failures`.
+/// As [`check`]: field-level problems accumulate into `failures`
+/// rather than aborting the pass.
 pub fn check_with_latency(
     fresh: &Value,
     baseline: &Value,
@@ -142,9 +179,8 @@ pub fn check_with_latency(
 ///
 /// # Errors
 ///
-/// Returns `Err` when either report is structurally unusable (missing
-/// or non-numeric fields) — distinct from a well-formed report that
-/// merely fails the gate, which yields `Ok` with non-empty `failures`.
+/// As [`check`]: field-level problems accumulate into `failures`
+/// rather than aborting the pass.
 pub fn check_full(
     fresh: &Value,
     baseline: &Value,
@@ -173,9 +209,8 @@ pub fn check_full(
 ///
 /// # Errors
 ///
-/// Returns `Err` when either report is structurally unusable (missing
-/// or non-numeric fields) — distinct from a well-formed report that
-/// merely fails the gate, which yields `Ok` with non-empty `failures`.
+/// As [`check`]: field-level problems accumulate into `failures`
+/// rather than aborting the pass.
 pub fn check_full_with_allocs(
     fresh: &Value,
     baseline: &Value,
@@ -186,62 +221,71 @@ pub fn check_full_with_allocs(
 ) -> Result<GateReport, String> {
     let mut failures = Vec::new();
 
-    for field in CONFIG_FIELDS {
-        let f = number(fresh, field).map_err(|e| format!("fresh: {e}"))?;
-        let b = number(baseline, field).map_err(|e| format!("baseline: {e}"))?;
-        if f != b {
-            failures.push(format!(
-                "config drift on `{field}`: fresh ran {f}, baseline was produced with {b}"
-            ));
-        }
-    }
+    config_drift(fresh, baseline, &CONFIG_FIELDS, &mut failures);
 
     match fresh.field("verified") {
         Ok(Value::Bool(true)) => {}
         Ok(Value::Bool(false)) => failures.push(
-            "fresh run failed verification: daemon admissions diverged from the serial reference"
+            "fresh run failed verification: expected verified=true, actual false (daemon \
+             admissions diverged from the serial reference)"
                 .to_string(),
         ),
         Ok(_) => {
             failures.push("fresh run has no verification verdict: rerun with --verify".to_string())
         }
-        Err(e) => return Err(format!("fresh: bad `verified`: {e}")),
+        Err(e) => failures.push(format!("fresh: bad `verified`: {e}")),
     }
 
+    // Every check below records its own failure and keeps going: the
+    // gate's whole verdict lands in one pass, so a run that regressed
+    // on three axes reports all three instead of whichever the code
+    // happened to test first.
     let fresh_throughput =
-        number(fresh, "throughput_decisions_per_s").map_err(|e| format!("fresh: {e}"))?;
-    let baseline_throughput =
-        number(baseline, "throughput_decisions_per_s").map_err(|e| format!("baseline: {e}"))?;
-    if baseline_throughput <= 0.0 {
-        return Err(format!(
+        gated_number(fresh, "fresh", "throughput_decisions_per_s", &mut failures).unwrap_or(0.0);
+    let baseline_throughput = gated_number(
+        baseline,
+        "baseline",
+        "throughput_decisions_per_s",
+        &mut failures,
+    )
+    .unwrap_or(0.0);
+    let ratio = if baseline_throughput > 0.0 {
+        fresh_throughput / baseline_throughput
+    } else {
+        failures.push(format!(
             "baseline throughput is {baseline_throughput}; regenerate BENCH_loadgen.json"
         ));
-    }
-    let ratio = fresh_throughput / baseline_throughput;
-    if ratio < min_ratio {
+        0.0
+    };
+    if baseline_throughput > 0.0 && ratio < min_ratio {
         failures.push(format!(
-            "throughput regression: {fresh_throughput:.0} decisions/s is {:.0}% of the \
-             {baseline_throughput:.0} baseline (floor: {:.0}%)",
-            ratio * 100.0,
-            min_ratio * 100.0
+            "throughput regression: expected >= {:.0} decisions/s ({:.0}% of the \
+             {baseline_throughput:.0} baseline), actual {fresh_throughput:.0} ({:.0}%)",
+            baseline_throughput * min_ratio,
+            min_ratio * 100.0,
+            ratio * 100.0
         ));
     }
 
-    let fresh_p99_us = number(fresh, "setup_latency_p99_us").map_err(|e| format!("fresh: {e}"))?;
+    let fresh_p99_us =
+        gated_number(fresh, "fresh", "setup_latency_p99_us", &mut failures).unwrap_or(0.0);
     let baseline_p99_us =
-        number(baseline, "setup_latency_p99_us").map_err(|e| format!("baseline: {e}"))?;
-    if baseline_p99_us <= 0.0 {
-        return Err(format!(
+        gated_number(baseline, "baseline", "setup_latency_p99_us", &mut failures).unwrap_or(0.0);
+    let p99_ratio = if baseline_p99_us > 0.0 {
+        fresh_p99_us / baseline_p99_us
+    } else {
+        failures.push(format!(
             "baseline p99 setup latency is {baseline_p99_us}; regenerate BENCH_loadgen.json"
         ));
-    }
-    let p99_ratio = fresh_p99_us / baseline_p99_us;
-    if p99_ratio > max_p99_ratio {
+        0.0
+    };
+    if baseline_p99_us > 0.0 && p99_ratio > max_p99_ratio {
         failures.push(format!(
-            "latency regression: p99 setup latency {fresh_p99_us:.0}µs is {:.0}% of the \
-             {baseline_p99_us:.0}µs baseline (ceiling: {:.0}%)",
-            p99_ratio * 100.0,
-            max_p99_ratio * 100.0
+            "latency regression: expected p99 setup latency <= {:.0}µs ({:.0}% of the \
+             {baseline_p99_us:.0}µs baseline), actual {fresh_p99_us:.0}µs ({:.0}%)",
+            baseline_p99_us * max_p99_ratio,
+            max_p99_ratio * 100.0,
+            p99_ratio * 100.0
         ));
     }
 
@@ -352,15 +396,7 @@ pub fn check_swarm(
 ) -> Result<SwarmGateReport, String> {
     let mut failures = Vec::new();
 
-    for field in CONFIG_FIELDS {
-        let f = number(fresh, field).map_err(|e| format!("fresh: {e}"))?;
-        let b = number(baseline, field).map_err(|e| format!("baseline: {e}"))?;
-        if f != b {
-            failures.push(format!(
-                "config drift on `{field}`: fresh ran {f}, baseline was produced with {b}"
-            ));
-        }
-    }
+    config_drift(fresh, baseline, &CONFIG_FIELDS, &mut failures);
 
     let connections = number(fresh, "concurrent_connections").unwrap_or(0.0);
     if connections < min_connections {
@@ -491,15 +527,7 @@ pub fn check_decide_speedup(
 ) -> Result<DecideSpeedupReport, String> {
     let mut failures = Vec::new();
 
-    for field in CONFIG_FIELDS {
-        let f = number(fresh, field).map_err(|e| format!("fresh: {e}"))?;
-        let b = number(baseline, field).map_err(|e| format!("baseline: {e}"))?;
-        if f != b {
-            failures.push(format!(
-                "config drift on `{field}`: fresh ran {f}, baseline was produced with {b}"
-            ));
-        }
-    }
+    config_drift(fresh, baseline, &CONFIG_FIELDS, &mut failures);
 
     for (label, report) in [("fresh", fresh), ("baseline", baseline)] {
         match report.field("verified") {
@@ -601,15 +629,7 @@ pub fn check_durable(
 ) -> Result<DurableGateReport, String> {
     let mut failures = Vec::new();
 
-    for field in CONFIG_FIELDS {
-        let f = number(fresh, field).map_err(|e| format!("fresh: {e}"))?;
-        let b = number(baseline, field).map_err(|e| format!("baseline: {e}"))?;
-        if f != b {
-            failures.push(format!(
-                "config drift on `{field}`: fresh ran {f}, baseline was produced with {b}"
-            ));
-        }
-    }
+    config_drift(fresh, baseline, &CONFIG_FIELDS, &mut failures);
 
     match fresh.field("verified") {
         Ok(Value::Bool(true)) => {}
@@ -671,6 +691,186 @@ pub fn check_durable(
         recovery_matches,
         recovery_replayed_records,
         restart_recovery_ms,
+        failures,
+    })
+}
+
+/// Outcome of gating a `--domains` federation run against the
+/// checked-in `BENCH_federation.json` baseline.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FederationGateReport {
+    /// Fresh run's decision throughput across the chain (decisions/s).
+    pub fresh_throughput: f64,
+    /// Baseline's decision throughput (decisions/s).
+    pub baseline_throughput: f64,
+    /// `fresh_throughput / baseline_throughput`.
+    pub ratio: f64,
+    /// Minimum acceptable ratio.
+    pub min_ratio: f64,
+    /// Fresh run's cross-domain p99 setup latency (µs).
+    pub fresh_p99_us: f64,
+    /// Baseline's cross-domain p99 setup latency (µs).
+    pub baseline_p99_us: f64,
+    /// `fresh_p99_us / baseline_p99_us`.
+    pub p99_ratio: f64,
+    /// Maximum acceptable p99 ratio.
+    pub max_p99_ratio: f64,
+    /// Federation chain length the fresh run drove.
+    pub domains: f64,
+    /// Minimum acceptable chain length.
+    pub min_domains: f64,
+    /// Whether every downstream domain finished holding exactly the
+    /// edge domain's resident flows (`None` when the run could not
+    /// check — e.g. an externally hosted chain).
+    pub residency_ok: Option<bool>,
+    /// Human-readable reasons the gate failed; empty means pass.
+    pub failures: Vec<String>,
+}
+
+impl FederationGateReport {
+    /// True when no gate condition failed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Gates a `--domains` federation run against the checked-in
+/// `BENCH_federation.json` baseline. Failures accumulate — every check
+/// runs and every miss is reported with expected vs actual. The gate
+/// fails when:
+///
+/// * the workload configurations differ, **including `domains`** (the
+///   chain length is part of the workload);
+/// * the fresh run drove fewer than `min_domains` domains — the gate
+///   exists to exercise a real multi-hop chain, not a flat run that
+///   happened to write the federation report name;
+/// * the fresh run is not `verified: true` — cross-domain admissions
+///   must match the flat union-topology broker flow-for-flow (the
+///   zero-residue downstream check is folded into `verified` by
+///   `bb-loadgen`);
+/// * `federation_residency_ok` is reported and not `true` — some abort
+///   path left a booking resident in a downstream domain;
+/// * throughput fell below `min_ratio` of the baseline, or the
+///   cross-domain p99 setup latency rose above `max_p99_ratio` times
+///   the baseline's — each admission traverses the whole chain, so the
+///   tail is where a peer-hop stall shows first.
+///
+/// The single-domain gate's path-cache floor is deliberately absent:
+/// federated admissions take the exact-rate path, not the cached
+/// summary path, so the hit rate measures nothing here.
+///
+/// # Errors
+///
+/// Returns `Err` only when a report is not a JSON object at all;
+/// field-level problems are accumulated as failures.
+pub fn check_federation(
+    fresh: &Value,
+    baseline: &Value,
+    min_ratio: f64,
+    max_p99_ratio: f64,
+    min_domains: f64,
+) -> Result<FederationGateReport, String> {
+    let mut failures = Vec::new();
+
+    let mut fields: Vec<&str> = CONFIG_FIELDS.to_vec();
+    fields.push("domains");
+    config_drift(fresh, baseline, &fields, &mut failures);
+
+    let domains = gated_number(fresh, "fresh", "domains", &mut failures).unwrap_or(0.0);
+    if domains < min_domains {
+        failures.push(format!(
+            "chain too short: expected >= {min_domains:.0} federated domains, actual {domains:.0} \
+             (rerun bb-loadgen with --domains)"
+        ));
+    }
+
+    match fresh.field("verified") {
+        Ok(Value::Bool(true)) => {}
+        Ok(Value::Bool(false)) => failures.push(
+            "fresh run failed verification: expected verified=true, actual false (cross-domain \
+             admissions diverged from the flat union-topology broker, or a booking leaked)"
+                .to_string(),
+        ),
+        Ok(_) => {
+            failures.push("fresh run has no verification verdict: rerun with --verify".to_string())
+        }
+        Err(e) => failures.push(format!("fresh: bad `verified`: {e}")),
+    }
+
+    let residency_ok = match fresh.field("federation_residency_ok") {
+        Ok(Value::Bool(b)) => Some(*b),
+        _ => None,
+    };
+    if residency_ok == Some(false) {
+        failures.push(
+            "zero-residue violation: expected every downstream domain to finish holding exactly \
+             the edge domain's resident flows, actual federation_residency_ok=false"
+                .to_string(),
+        );
+    }
+
+    let fresh_throughput =
+        gated_number(fresh, "fresh", "throughput_decisions_per_s", &mut failures).unwrap_or(0.0);
+    let baseline_throughput = gated_number(
+        baseline,
+        "baseline",
+        "throughput_decisions_per_s",
+        &mut failures,
+    )
+    .unwrap_or(0.0);
+    let ratio = if baseline_throughput > 0.0 {
+        fresh_throughput / baseline_throughput
+    } else {
+        failures.push(format!(
+            "baseline throughput is {baseline_throughput}; regenerate BENCH_federation.json"
+        ));
+        0.0
+    };
+    if baseline_throughput > 0.0 && ratio < min_ratio {
+        failures.push(format!(
+            "throughput regression: expected >= {:.0} decisions/s ({:.0}% of the \
+             {baseline_throughput:.0} baseline), actual {fresh_throughput:.0} ({:.0}%)",
+            baseline_throughput * min_ratio,
+            min_ratio * 100.0,
+            ratio * 100.0
+        ));
+    }
+
+    let fresh_p99_us =
+        gated_number(fresh, "fresh", "setup_latency_p99_us", &mut failures).unwrap_or(0.0);
+    let baseline_p99_us =
+        gated_number(baseline, "baseline", "setup_latency_p99_us", &mut failures).unwrap_or(0.0);
+    let p99_ratio = if baseline_p99_us > 0.0 {
+        fresh_p99_us / baseline_p99_us
+    } else {
+        failures.push(format!(
+            "baseline p99 setup latency is {baseline_p99_us}; regenerate BENCH_federation.json"
+        ));
+        0.0
+    };
+    if baseline_p99_us > 0.0 && p99_ratio > max_p99_ratio {
+        failures.push(format!(
+            "latency regression: expected cross-domain p99 setup latency <= {:.0}µs ({:.0}% of \
+             the {baseline_p99_us:.0}µs baseline), actual {fresh_p99_us:.0}µs ({:.0}%)",
+            baseline_p99_us * max_p99_ratio,
+            max_p99_ratio * 100.0,
+            p99_ratio * 100.0
+        ));
+    }
+
+    Ok(FederationGateReport {
+        fresh_throughput,
+        baseline_throughput,
+        ratio,
+        min_ratio,
+        fresh_p99_us,
+        baseline_p99_us,
+        p99_ratio,
+        max_p99_ratio,
+        domains,
+        min_domains,
+        residency_ok,
         failures,
     })
 }
@@ -884,10 +1084,42 @@ mod tests {
     }
 
     #[test]
-    fn structural_errors_are_errors_not_failures() {
-        let fresh = serde::json::parse(r#"{"pods": 64}"#).unwrap();
+    fn every_failed_check_is_reported_in_one_pass() {
+        // The regression this guards: a structurally broken field used
+        // to abort the gate with a single bare message, hiding every
+        // other finding. Now one pass reports them all — the missing
+        // fields AND the drift on the field that is present.
+        let fresh = serde::json::parse(r#"{"pods": 32}"#).unwrap();
         let base = report(34_000.0, "true", 1);
-        assert!(check(&fresh, &base, DEFAULT_MIN_RATIO).is_err());
+        let verdict = check(&fresh, &base, DEFAULT_MIN_RATIO).unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict
+            .failures
+            .iter()
+            .any(|f| f.contains("config drift on `pods`")
+                && f.contains("expected 64")
+                && f.contains("actual 32")));
+        for missing in ["hops", "throughput_decisions_per_s", "setup_latency_p99_us"] {
+            assert!(
+                verdict.failures.iter().any(|f| f.contains(missing)),
+                "no failure mentions `{missing}`: {:?}",
+                verdict.failures
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_regressions_surface_together() {
+        // Slow AND tail-heavy AND cache-cold: all three must be in the
+        // verdict, each stating expected vs actual.
+        let fresh = report_with_hit_rate(10_000.0, "true", 1, 9_000.0, "0.1");
+        let base = report(34_000.0, "true", 1);
+        let verdict = check(&fresh, &base, DEFAULT_MIN_RATIO).unwrap();
+        assert_eq!(verdict.failures.len(), 3, "{:?}", verdict.failures);
+        assert!(verdict.failures[0].contains("throughput regression"));
+        assert!(verdict.failures[0].contains("expected >="));
+        assert!(verdict.failures[1].contains("latency regression"));
+        assert!(verdict.failures[2].contains("path-cache collapse"));
     }
 
     fn swarm_report(throughput: f64, connections: &str, open_peak: &str) -> Value {
@@ -1059,5 +1291,93 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.contains("restart-recovery check failed")));
+    }
+
+    fn federation_report(
+        throughput: f64,
+        p99_us: f64,
+        domains: u64,
+        verified: &str,
+        residency: &str,
+    ) -> Value {
+        serde::json::parse(&format!(
+            r#"{{
+              "pods": 8, "hops": 5, "clients": 4, "requests_per_client": 200,
+              "offered_rate_per_client_hz": 2000.0, "seed": 1, "domains": {domains},
+              "throughput_decisions_per_s": {throughput},
+              "setup_latency_p99_us": {p99_us},
+              "verified": {verified},
+              "federation_residency_ok": {residency}
+            }}"#
+        ))
+        .expect("literal parses")
+    }
+
+    #[test]
+    fn federation_gate_passes_a_clean_chain_run() {
+        let fresh = federation_report(7_000.0, 1_100.0, 3, "true", "true");
+        let base = federation_report(7_400.0, 1_000.0, 3, "true", "true");
+        let verdict =
+            check_federation(&fresh, &base, DEFAULT_MIN_RATIO, DEFAULT_MAX_P99_RATIO, 3.0).unwrap();
+        assert!(verdict.passed(), "{:?}", verdict.failures);
+        assert_eq!(verdict.domains, 3.0);
+        assert_eq!(verdict.residency_ok, Some(true));
+    }
+
+    #[test]
+    fn federation_gate_fails_on_short_chain_residue_or_divergence() {
+        let base = federation_report(7_400.0, 1_000.0, 3, "true", "true");
+
+        // A flat run that wrote the federation report name: the chain
+        // length drifts AND misses the floor — both reported.
+        let flat = federation_report(7_400.0, 1_000.0, 1, "true", "null");
+        let verdict =
+            check_federation(&flat, &base, DEFAULT_MIN_RATIO, DEFAULT_MAX_P99_RATIO, 3.0).unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict
+            .failures
+            .iter()
+            .any(|f| f.contains("config drift on `domains`")));
+        assert!(verdict
+            .failures
+            .iter()
+            .any(|f| f.contains("chain too short")));
+
+        let leaked = federation_report(7_400.0, 1_000.0, 3, "false", "false");
+        let verdict = check_federation(
+            &leaked,
+            &base,
+            DEFAULT_MIN_RATIO,
+            DEFAULT_MAX_P99_RATIO,
+            3.0,
+        )
+        .unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict
+            .failures
+            .iter()
+            .any(|f| f.contains("zero-residue violation")));
+        assert!(verdict
+            .failures
+            .iter()
+            .any(|f| f.contains("failed verification")));
+        assert_eq!(verdict.residency_ok, Some(false));
+    }
+
+    #[test]
+    fn federation_gate_bounds_throughput_and_cross_domain_tail_together() {
+        let base = federation_report(7_400.0, 1_000.0, 3, "true", "true");
+        let slow_and_heavy = federation_report(2_000.0, 5_000.0, 3, "true", "true");
+        let verdict = check_federation(
+            &slow_and_heavy,
+            &base,
+            DEFAULT_MIN_RATIO,
+            DEFAULT_MAX_P99_RATIO,
+            3.0,
+        )
+        .unwrap();
+        assert_eq!(verdict.failures.len(), 2, "{:?}", verdict.failures);
+        assert!(verdict.failures[0].contains("throughput regression"));
+        assert!(verdict.failures[1].contains("latency regression"));
     }
 }

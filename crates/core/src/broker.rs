@@ -159,10 +159,11 @@ impl BrokerStats {
             Reject::Schedulability => self.rejected_sched,
             Reject::UnknownClass => self.rejected_unknown_class,
             Reject::DuplicateFlow => self.rejected_duplicate,
-            // Overloaded is a queue verdict and NoRoute a routing
-            // verdict; neither is ever produced by the admission test
-            // proper, so the broker attributes nothing to them.
-            Reject::Overloaded | Reject::NoRoute => 0,
+            // Overloaded is a queue verdict, NoRoute a routing verdict,
+            // and PeerUnreachable a federation-fabric verdict; none is
+            // ever produced by the admission test proper, so the broker
+            // attributes nothing to them.
+            Reject::Overloaded | Reject::NoRoute | Reject::PeerUnreachable => 0,
         }
     }
 
@@ -895,9 +896,10 @@ impl Broker {
             Err(Reject::Schedulability) => self.stats.rejected_sched += 1,
             Err(Reject::UnknownClass) => self.stats.rejected_unknown_class += 1,
             Err(Reject::DuplicateFlow) => self.stats.rejected_duplicate += 1,
-            // Overloaded is a queue verdict and NoRoute a routing
-            // verdict; neither is produced by decide or commit.
-            Err(Reject::Overloaded | Reject::NoRoute) => {}
+            // Overloaded is a queue verdict, NoRoute a routing verdict,
+            // and PeerUnreachable a federation-fabric verdict; none is
+            // produced by decide or commit.
+            Err(Reject::Overloaded | Reject::NoRoute | Reject::PeerUnreachable) => {}
         }
         result
     }

@@ -60,6 +60,14 @@ pub enum OpCode {
     DeleteRequest,
     /// KA: keep-alive.
     KeepAlive,
+    /// PEER-DEC: broker → broker segment decide (query downstream, or
+    /// the answer travelling back upstream). Private-space op code —
+    /// RFC 2748 assigns 1–10; broker federation extends the grammar.
+    PeerDecide,
+    /// PEER-COMMIT: the upstream broker finalizes a tentative booking.
+    PeerCommit,
+    /// PEER-RELEASE: tear down (or abort) a booking down the chain.
+    PeerRelease,
 }
 
 impl OpCode {
@@ -70,6 +78,9 @@ impl OpCode {
             OpCode::Report => 3,
             OpCode::DeleteRequest => 4,
             OpCode::KeepAlive => 9,
+            OpCode::PeerDecide => 11,
+            OpCode::PeerCommit => 12,
+            OpCode::PeerRelease => 13,
         }
     }
 
@@ -80,6 +91,9 @@ impl OpCode {
             3 => OpCode::Report,
             4 => OpCode::DeleteRequest,
             9 => OpCode::KeepAlive,
+            11 => OpCode::PeerDecide,
+            12 => OpCode::PeerCommit,
+            13 => OpCode::PeerRelease,
             _ => return None,
         })
     }
@@ -425,6 +439,7 @@ fn reject_code(r: crate::signaling::Reject) -> u16 {
         R::DuplicateFlow => 6,
         R::Overloaded => 7,
         R::NoRoute => 8,
+        R::PeerUnreachable => 9,
     }
 }
 
@@ -439,6 +454,7 @@ fn reject_from_code(c: u16) -> Option<crate::signaling::Reject> {
         6 => R::DuplicateFlow,
         7 => R::Overloaded,
         8 => R::NoRoute,
+        9 => R::PeerUnreachable,
         _ => return None,
     })
 }
@@ -584,6 +600,266 @@ pub fn decode_delete(frame: &Frame) -> Result<FlowId, CopsError> {
     Ok(FlowId(handle.get_u64()))
 }
 
+// ---- Broker-to-broker federation codecs -------------------------------
+//
+// Three private-space ops stitch single-domain brokers into one
+// reservation fabric. A PEER-DEC query travels *down* the chain carrying
+// the flow's profile plus the hop count and static delay accumulated
+// over every upstream domain's segment; the terminal domain computes the
+// end-to-end rate from the union totals and the answer travels back
+// *up*, each domain booking tentatively as it passes. PEER-COMMIT
+// finalizes a tentative booking; PEER-RELEASE is both teardown and the
+// compensating rollback on any abort path. Query and answer share the
+// PEER-DEC op (they are one transaction on the wire); they are told
+// apart by shape — the query carries a Context + wide ClientSI, the
+// answer a Decision object, exactly like REQ vs DEC.
+
+/// A broker → broker segment-decide query (PEER-DEC, downstream-bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerDecide {
+    /// The end-to-end flow being admitted (edge-chosen identity; shared
+    /// by every domain on the chain).
+    pub flow: FlowId,
+    /// Declared dual-token-bucket traffic profile.
+    pub profile: TrafficProfile,
+    /// End-to-end delay requirement `D^req`.
+    pub d_req: Nanos,
+    /// Path within each domain (chain-stitched topologies use the same
+    /// pod index in every domain).
+    pub path: PathId,
+    /// Hop count `Σh` accumulated over upstream domains' segments.
+    pub h_acc: u64,
+    /// Static delay `ΣD^tot` accumulated over upstream segments.
+    pub d_acc: Nanos,
+}
+
+/// Encodes a PEER-DEC query.
+#[must_use]
+pub fn encode_peer_decide(q: &PeerDecide) -> Bytes {
+    let mut handle = BytesMut::new();
+    handle.put_u64(q.flow.0);
+    // Context: R-Type = 1 (incoming message), M-Type = 0 — same shape
+    // as an edge REQ, which this query is the inter-domain echo of.
+    let mut ctx = BytesMut::new();
+    ctx.put_u16(1);
+    ctx.put_u16(0);
+    let mut si = BytesMut::new();
+    put_profile(&mut si, &q.profile);
+    si.put_u64(q.d_req.as_nanos());
+    si.put_u64(q.path.0);
+    si.put_u64(q.h_acc);
+    si.put_u64(q.d_acc.as_nanos());
+    encode_frame(
+        OpCode::PeerDecide,
+        &[
+            (cnum::HANDLE, 1, handle.freeze()),
+            (cnum::CONTEXT, 1, ctx.freeze()),
+            (cnum::CLIENT_SI, 1, si.freeze()),
+        ],
+    )
+}
+
+/// Decodes a PEER-DEC query.
+///
+/// # Errors
+///
+/// [`CopsError`] on malformed frames (an *answer* frame fails here: its
+/// ClientSI is too narrow to be a query).
+pub fn decode_peer_decide(frame: &Frame) -> Result<PeerDecide, CopsError> {
+    if frame.op != OpCode::PeerDecide {
+        return Err(CopsError::BadOpCode);
+    }
+    let mut handle = frame.object(cnum::HANDLE)?.body.clone();
+    if handle.len() < 8 {
+        return Err(CopsError::BadObject);
+    }
+    let flow = FlowId(handle.get_u64());
+    let mut si = frame.object(cnum::CLIENT_SI)?.body.clone();
+    let profile = get_profile(&mut si)?;
+    if si.len() < 8 * 4 {
+        return Err(CopsError::BadObject);
+    }
+    Ok(PeerDecide {
+        flow,
+        profile,
+        d_req: Nanos::from_nanos(si.get_u64()),
+        path: PathId(si.get_u64()),
+        h_acc: si.get_u64(),
+        d_acc: Nanos::from_nanos(si.get_u64()),
+    })
+}
+
+/// The answer half of a PEER-DEC transaction, upstream-bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerAnswer {
+    /// Every domain from here down said yes and holds a tentative
+    /// booking at this rate; the receiver should book too and pass the
+    /// answer on up.
+    Ok {
+        /// The flow the answer names.
+        flow: FlowId,
+        /// End-to-end reserved rate, computed once at the terminal
+        /// domain from the union totals.
+        rate: Rate,
+        /// Delay parameter `d` for the ⟨r, d⟩ pair (zero on rate-based
+        /// segments).
+        delay: Nanos,
+    },
+    /// Some domain from here down refused; nothing is booked there.
+    Refuse {
+        /// The flow the answer names.
+        flow: FlowId,
+        /// Why it was refused.
+        cause: crate::signaling::Reject,
+    },
+}
+
+/// Encodes a PEER-DEC answer (install-shaped for yes, remove-shaped with
+/// the reject cause for no).
+#[must_use]
+pub fn encode_peer_answer(ans: &PeerAnswer) -> Bytes {
+    match *ans {
+        PeerAnswer::Ok { flow, rate, delay } => {
+            let mut handle = BytesMut::new();
+            handle.put_u64(flow.0);
+            let mut dec = BytesMut::new();
+            dec.put_u16(CMD_INSTALL);
+            dec.put_u16(0);
+            let mut si = BytesMut::new();
+            si.put_u64(rate.as_bps());
+            si.put_u64(delay.as_nanos());
+            encode_frame(
+                OpCode::PeerDecide,
+                &[
+                    (cnum::HANDLE, 1, handle.freeze()),
+                    (cnum::DECISION, 1, dec.freeze()),
+                    (cnum::CLIENT_SI, 1, si.freeze()),
+                ],
+            )
+        }
+        PeerAnswer::Refuse { flow, cause } => {
+            let mut handle = BytesMut::new();
+            handle.put_u64(flow.0);
+            let mut dec = BytesMut::new();
+            dec.put_u16(CMD_REMOVE);
+            dec.put_u16(0);
+            let mut err = BytesMut::new();
+            err.put_u16(1);
+            err.put_u16(reject_code(cause));
+            encode_frame(
+                OpCode::PeerDecide,
+                &[
+                    (cnum::HANDLE, 1, handle.freeze()),
+                    (cnum::DECISION, 1, dec.freeze()),
+                    (cnum::ERROR, 1, err.freeze()),
+                ],
+            )
+        }
+    }
+}
+
+/// Decodes a PEER-DEC answer.
+///
+/// # Errors
+///
+/// [`CopsError`] on malformed frames (a *query* frame fails here: it
+/// carries no Decision object).
+pub fn decode_peer_answer(frame: &Frame) -> Result<PeerAnswer, CopsError> {
+    if frame.op != OpCode::PeerDecide {
+        return Err(CopsError::BadOpCode);
+    }
+    let mut handle = frame.object(cnum::HANDLE)?.body.clone();
+    if handle.len() < 8 {
+        return Err(CopsError::BadObject);
+    }
+    let flow = FlowId(handle.get_u64());
+    let mut dec = frame.object(cnum::DECISION)?.body.clone();
+    if dec.len() < 4 {
+        return Err(CopsError::BadObject);
+    }
+    match dec.get_u16() {
+        CMD_INSTALL => {
+            let mut si = frame.object(cnum::CLIENT_SI)?.body.clone();
+            if si.len() < 16 {
+                return Err(CopsError::BadObject);
+            }
+            Ok(PeerAnswer::Ok {
+                flow,
+                rate: Rate::from_bps(si.get_u64()),
+                delay: Nanos::from_nanos(si.get_u64()),
+            })
+        }
+        CMD_REMOVE => {
+            let mut err = frame.object(cnum::ERROR)?.body.clone();
+            if err.len() < 4 {
+                return Err(CopsError::BadObject);
+            }
+            err.advance(2);
+            let cause = reject_from_code(err.get_u16()).ok_or(CopsError::BadObject)?;
+            Ok(PeerAnswer::Refuse { flow, cause })
+        }
+        _ => Err(CopsError::BadObject),
+    }
+}
+
+/// True when a PEER-DEC frame is the answer half (carries a Decision
+/// object) rather than the query half.
+#[must_use]
+pub fn peer_frame_is_answer(frame: &Frame) -> bool {
+    frame.op == OpCode::PeerDecide && frame.object(cnum::DECISION).is_ok()
+}
+
+/// Encodes a PEER-COMMIT: finalize the tentative booking for `flow` and
+/// forward the commit on down the chain.
+#[must_use]
+pub fn encode_peer_commit(flow: FlowId) -> Bytes {
+    let mut handle = BytesMut::new();
+    handle.put_u64(flow.0);
+    encode_frame(OpCode::PeerCommit, &[(cnum::HANDLE, 1, handle.freeze())])
+}
+
+/// Decodes a PEER-COMMIT into the flow it finalizes.
+///
+/// # Errors
+///
+/// [`CopsError`] on malformed frames.
+pub fn decode_peer_commit(frame: &Frame) -> Result<FlowId, CopsError> {
+    if frame.op != OpCode::PeerCommit {
+        return Err(CopsError::BadOpCode);
+    }
+    let mut handle = frame.object(cnum::HANDLE)?.body.clone();
+    if handle.len() < 8 {
+        return Err(CopsError::BadObject);
+    }
+    Ok(FlowId(handle.get_u64()))
+}
+
+/// Encodes a PEER-RELEASE: free `flow`'s booking here and everywhere
+/// downstream — the compensating message for teardown and every abort
+/// path.
+#[must_use]
+pub fn encode_peer_release(flow: FlowId) -> Bytes {
+    let mut handle = BytesMut::new();
+    handle.put_u64(flow.0);
+    encode_frame(OpCode::PeerRelease, &[(cnum::HANDLE, 1, handle.freeze())])
+}
+
+/// Decodes a PEER-RELEASE into the flow it frees.
+///
+/// # Errors
+///
+/// [`CopsError`] on malformed frames.
+pub fn decode_peer_release(frame: &Frame) -> Result<FlowId, CopsError> {
+    if frame.op != OpCode::PeerRelease {
+        return Err(CopsError::BadOpCode);
+    }
+    let mut handle = frame.object(cnum::HANDLE)?.body.clone();
+    if handle.len() < 8 {
+        return Err(CopsError::BadObject);
+    }
+    Ok(FlowId(handle.get_u64()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -677,6 +953,75 @@ mod tests {
         let mut buf = encode_delete(FlowId(6));
         let frame = decode_frame(&mut buf).unwrap();
         assert_eq!(decode_delete(&frame).unwrap(), FlowId(6));
+    }
+
+    #[test]
+    fn peer_decide_roundtrips_query_and_both_answers() {
+        let q = PeerDecide {
+            flow: FlowId(42),
+            profile: req().profile,
+            d_req: Nanos::from_millis(2_440),
+            path: PathId(7),
+            h_acc: 10,
+            d_acc: Nanos::from_millis(80),
+        };
+        let mut buf = encode_peer_decide(&q);
+        let frame = decode_frame(&mut buf).unwrap();
+        assert!(!peer_frame_is_answer(&frame));
+        assert_eq!(decode_peer_decide(&frame).unwrap(), q);
+        // An answer frame must not decode as a query.
+        let ok = PeerAnswer::Ok {
+            flow: FlowId(42),
+            rate: Rate::from_bps(54_020),
+            delay: Nanos::ZERO,
+        };
+        let mut buf = encode_peer_answer(&ok);
+        let frame = decode_frame(&mut buf).unwrap();
+        assert!(peer_frame_is_answer(&frame));
+        assert!(decode_peer_decide(&frame).is_err());
+        assert_eq!(decode_peer_answer(&frame).unwrap(), ok);
+        // Every reject cause survives the refuse answer.
+        for cause in crate::signaling::Reject::ALL {
+            let refuse = PeerAnswer::Refuse {
+                flow: FlowId(9),
+                cause,
+            };
+            let mut buf = encode_peer_answer(&refuse);
+            let frame = decode_frame(&mut buf).unwrap();
+            assert_eq!(decode_peer_answer(&frame).unwrap(), refuse);
+        }
+        // A query frame must not decode as an answer.
+        let mut buf = encode_peer_decide(&q);
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(decode_peer_answer(&frame), Err(CopsError::MissingObject));
+    }
+
+    #[test]
+    fn peer_commit_and_release_roundtrip_and_stay_distinct() {
+        let mut buf = encode_peer_commit(FlowId(5));
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(decode_peer_commit(&frame).unwrap(), FlowId(5));
+        assert_eq!(decode_peer_release(&frame), Err(CopsError::BadOpCode));
+        let mut buf = encode_peer_release(FlowId(6));
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(decode_peer_release(&frame).unwrap(), FlowId(6));
+        assert_eq!(decode_peer_commit(&frame), Err(CopsError::BadOpCode));
+    }
+
+    #[test]
+    fn peer_frames_survive_truncation_fuzz() {
+        let good = encode_peer_decide(&PeerDecide {
+            flow: FlowId(1),
+            profile: req().profile,
+            d_req: Nanos::from_millis(100),
+            path: PathId(0),
+            h_acc: 5,
+            d_acc: Nanos::from_millis(40),
+        });
+        for cut in 0..good.len() {
+            let mut short = good.slice(..cut);
+            assert!(decode_frame(&mut short).is_err(), "cut at {cut} decoded");
+        }
     }
 
     #[test]

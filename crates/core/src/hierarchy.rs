@@ -8,79 +8,51 @@
 //! guaranteed services over **rate-based** segments:
 //!
 //! * the domain's path is partitioned into contiguous **segments**, each
-//!   owned by a child [`Broker`] that holds that segment's full node and
-//!   path QoS state;
+//!   owned by a child [`crate::broker::Broker`] that holds that
+//!   segment's full node and path QoS state;
 //! * the **parent** holds only O(1) *summaries* per segment — hop count,
 //!   `D_tot`, residual bandwidth — refreshed on demand, never per-flow
 //!   state;
 //! * admission runs at the parent: the segment summaries concatenate into
 //!   exactly the end-to-end parameters of the §3.1 formula, the parent
-//!   computes the minimal feasible rate, and runs the broker's
-//!   decide/commit pipeline across the children — every child **decides**
-//!   the pair first ([`Broker::decide_exact`], read-only), and only when
-//!   all admit does the parent **commit** each plan. A child's refusal
-//!   (its summary may be stale) therefore aborts before any booking:
-//!   there is no rollback bookkeeping because there is nothing to roll
-//!   back.
+//!   computes the minimal feasible rate, and drives the two-phase
+//!   decide-all-then-commit protocol across the children. A child's
+//!   refusal (its summary may be stale) aborts before any booking.
+//!
+//! The plan machinery itself lives in the domain-agnostic
+//! [`crate::segment`] layer — [`SegmentChain`] drives the phases over
+//! any [`crate::segment::SegmentAdmitter`], and this parent is now the
+//! thin in-process instantiation of it over [`LocalSegment`] children.
+//! Remote peer domains drive the same phases over COPS (the server's
+//! broker-to-broker federation); the hierarchy keeps its historical
+//! role as the single-process reference for that protocol.
 //!
 //! The result keeps the architecture's defining property at every level:
 //! core routers hold no QoS state, and now no single broker holds the
 //! whole domain's flow table either. Each child also keeps the flat
 //! broker's dense-store discipline: the parent addresses children with
 //! wire-level flow and path ids, which every child interns once at its
-//! own boundary before running the handle-based pipeline. Delay-based segments would
-//! additionally need residual-service summaries (the `S^k` vectors);
-//! that refinement is left out of this prototype, as the paper leaves
-//! the whole direction to future work.
+//! own boundary before running the handle-based pipeline. Delay-based
+//! segments would additionally need residual-service summaries (the
+//! `S^k` vectors); that refinement is left out of this prototype, as the
+//! paper leaves the whole direction to future work.
 
 use netsim::topology::{LinkId, Topology};
 use qos_units::{Nanos, Rate, Time};
-use vtrs::delay::min_rate_rate_based;
 use vtrs::packet::FlowId;
 use vtrs::profile::TrafficProfile;
 
-use crate::broker::{Broker, BrokerConfig, UnknownFlow};
-use crate::mib::PathId;
+use crate::broker::UnknownFlow;
+use crate::segment::{LocalSegment, SegmentChain};
 use crate::signaling::Reject;
 
-/// One segment: a child broker plus the path it owns.
-#[derive(Debug)]
-pub struct Segment {
-    broker: Broker,
-    path: PathId,
-}
+pub use crate::segment::{ChainStats as HierarchyStats, SegmentSummary};
 
-/// The O(1) per-segment state the parent works from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SegmentSummary {
-    /// Hops in the segment.
-    pub h: u64,
-    /// `Σ (Ψ + π)` over the segment.
-    pub d_tot: Nanos,
-    /// Residual bandwidth of the segment's path.
-    pub c_res: Rate,
-}
-
-/// Counters for the hierarchical control plane.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct HierarchyStats {
-    /// Parent → child round-trips (one prepare/commit exchange per
-    /// segment contacted).
-    pub child_messages: u64,
-    /// Admissions.
-    pub admitted: u64,
-    /// Rejections.
-    pub rejected: u64,
-    /// Aborts: a child's decide refused a stale-summary rate before
-    /// anything was booked.
-    pub aborts: u64,
-}
-
-/// The parent broker of a two-level hierarchy.
+/// The parent broker of a two-level hierarchy: a [`SegmentChain`] of
+/// in-process [`LocalSegment`] children.
 #[derive(Debug)]
 pub struct HierarchicalBroker {
-    segments: Vec<Segment>,
-    stats: HierarchyStats,
+    chain: SegmentChain<LocalSegment>,
 }
 
 impl HierarchicalBroker {
@@ -96,56 +68,36 @@ impl HierarchicalBroker {
     pub fn new(segments: Vec<(Topology, Vec<LinkId>)>) -> Self {
         let segments = segments
             .into_iter()
-            .map(|(topo, route)| {
-                assert!(!route.is_empty(), "empty segment route");
-                let mut broker = Broker::new(topo, BrokerConfig::default());
-                let path = broker.register_route(&route);
-                assert!(
-                    !broker.paths().path(path).spec.has_delay_hops(),
-                    "hierarchical prototype supports rate-based segments only"
-                );
-                Segment { broker, path }
-            })
+            .map(|(topo, route)| LocalSegment::new(topo, &route))
             .collect();
         HierarchicalBroker {
-            segments,
-            stats: HierarchyStats::default(),
+            chain: SegmentChain::new(segments),
         }
     }
 
     /// Number of segments.
     #[must_use]
     pub fn segment_count(&self) -> usize {
-        self.segments.len()
+        self.chain.segment_count()
     }
 
     /// Counters.
     #[must_use]
     pub fn stats(&self) -> &HierarchyStats {
-        &self.stats
+        self.chain.stats()
     }
 
     /// The parent's current per-segment summaries (what it would cache
     /// and refresh in a deployment).
     #[must_use]
     pub fn summaries(&self) -> Vec<SegmentSummary> {
-        self.segments
-            .iter()
-            .map(|s| {
-                let p = s.broker.paths().path(s.path);
-                SegmentSummary {
-                    h: p.spec.h(),
-                    d_tot: p.spec.d_tot(),
-                    c_res: p.residual(s.broker.nodes()),
-                }
-            })
-            .collect()
+        self.chain.summaries()
     }
 
     /// Per-flow count at a child — the parent never stores these.
     #[must_use]
     pub fn child_flow_count(&self, segment: usize) -> usize {
-        self.segments[segment].broker.flows().len()
+        self.chain.segments()[segment].broker().flows().len()
     }
 
     /// End-to-end admission: concatenate the segment summaries, compute
@@ -165,8 +117,7 @@ impl HierarchicalBroker {
         profile: &TrafficProfile,
         d_req: Nanos,
     ) -> Result<Rate, Reject> {
-        let summaries = self.summaries();
-        self.request_with_summaries(now, flow, profile, d_req, &summaries)
+        self.chain.admit(now, flow, profile, d_req)
     }
 
     /// Like [`HierarchicalBroker::request`], but deciding from
@@ -188,53 +139,8 @@ impl HierarchicalBroker {
         d_req: Nanos,
         summaries: &[SegmentSummary],
     ) -> Result<Rate, Reject> {
-        let h: u64 = summaries.iter().map(|s| s.h).sum();
-        let d_tot: Nanos = summaries.iter().map(|s| s.d_tot).sum();
-        let c_res = summaries.iter().map(|s| s.c_res).min().unwrap_or(Rate::MAX);
-
-        let r_min = match min_rate_rate_based(profile, h, d_tot, d_req) {
-            Some(r) => r,
-            None => {
-                self.stats.rejected += 1;
-                return Err(Reject::DelayInfeasible);
-            }
-        };
-        if r_min > profile.peak {
-            self.stats.rejected += 1;
-            return Err(Reject::DelayInfeasible);
-        }
-        let rate = r_min.max(profile.rho);
-        if rate > c_res {
-            self.stats.rejected += 1;
-            return Err(Reject::Bandwidth);
-        }
-
-        // Two-phase across the children: every segment *decides* the
-        // pair first — read-only, so a stale-summary refusal aborts with
-        // zero bookings and nothing to roll back — and only once all
-        // admit does the parent *commit* each plan. Between our own
-        // decides and commits no other actor touches the children, so
-        // every plan's epoch stamp is still fresh at commit.
-        let mut plans = Vec::with_capacity(self.segments.len());
-        for seg in &self.segments {
-            self.stats.child_messages += 1;
-            let plan = seg
-                .broker
-                .decide_exact(flow, profile, rate, Nanos::ZERO, seg.path);
-            if !plan.is_admit() {
-                self.stats.aborts += 1;
-                self.stats.rejected += 1;
-                return Err(Reject::Bandwidth);
-            }
-            plans.push(plan);
-        }
-        for (seg, plan) in self.segments.iter_mut().zip(&plans) {
-            seg.broker
-                .commit(now, plan)
-                .expect("every child admitted at decide and nothing intervened");
-        }
-        self.stats.admitted += 1;
-        Ok(rate)
+        let plan = self.chain.decide(flow, profile, d_req, summaries)?;
+        self.chain.commit(now, &plan)
     }
 
     /// Releases a flow on every segment.
@@ -243,18 +149,7 @@ impl HierarchicalBroker {
     ///
     /// Returns [`UnknownFlow`] if no segment knows the id.
     pub fn release(&mut self, now: Time, flow: FlowId) -> Result<(), UnknownFlow> {
-        let mut found = false;
-        for seg in &mut self.segments {
-            self.stats.child_messages += 1;
-            if seg.broker.release(now, flow).is_ok() {
-                found = true;
-            }
-        }
-        if found {
-            Ok(())
-        } else {
-            Err(UnknownFlow(flow))
-        }
+        self.chain.release(now, flow)
     }
 }
 
@@ -351,9 +246,10 @@ mod tests {
         // (simulating concurrent control activity between refreshes).
         let stale = hb.summaries();
         let ghost = type0();
-        let seg1_path = hb.segments[1].path;
-        hb.segments[1]
-            .broker
+        let seg1_path = hb.chain.segment_mut(1).path();
+        hb.chain
+            .segment_mut(1)
+            .broker_mut()
             .reserve_exact(
                 Time::ZERO,
                 FlowId(999),

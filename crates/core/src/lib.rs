@@ -42,6 +42,7 @@ pub mod mib;
 pub mod persist;
 pub mod policy;
 pub mod routing;
+pub mod segment;
 pub mod shard;
 pub mod signaling;
 pub mod store;
@@ -51,6 +52,10 @@ pub use admission::plan::{AdmissionPlan, PlanAction, PlanIntent};
 pub use broker::{Broker, BrokerConfig};
 pub use mib::{FlowMib, NodeMib, PathId, PathMib};
 pub use persist::BrokerImage;
+pub use segment::{
+    end_to_end_rate, ChainStats, LocalSegment, SegmentAdmitter, SegmentChain, SegmentPlan,
+    SegmentSummary,
+};
 pub use shard::{build_shards, plan_shards, shard_of_path, BrokerShard, FastDecideHandle};
 pub use signaling::{FlowRequest, Reject, Reservation, ServiceKind};
 pub use store::{FlowIdx, Interner, LinkIdx, MacroIdx, PathIdx, Slab};

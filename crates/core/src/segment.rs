@@ -1,0 +1,543 @@
+//! The domain-agnostic **segment layer**: two-phase admission over a
+//! chain of segments, each satisfied by any [`SegmentAdmitter`].
+//!
+//! The paper's §4 hierarchy decides per-segment inside one domain; its
+//! future-work direction — and this module's reason to exist — is the
+//! inter-domain version, where end-to-end admission composes per-domain
+//! ⟨r, d⟩ segments across independent brokers. The decide-all-then-commit
+//! flow that [`crate::hierarchy`] originally hard-wired to in-process
+//! child [`Broker`]s is extracted here into a trait layer:
+//!
+//! * a [`SegmentAdmitter`] answers the three questions any domain must —
+//!   *what does your segment cost* (an O(1) [`SegmentSummary`]),
+//!   *would you admit this exact pair* (a read-only decide), and
+//!   *book it / free it* (commit / release);
+//! * a [`SegmentPlan`] is the decide phase's output: the per-domain
+//!   segment list of epoch-stamped plans plus the end-to-end pair, held
+//!   by the coordinator between the phases;
+//! * a [`SegmentChain`] drives the two-phase protocol: **decide
+//!   everywhere, commit only if every segment said yes**, and release
+//!   back through the chain — in reverse order — if a commit refuses
+//!   after a prefix has booked, so no abort path leaves a booking
+//!   behind.
+//!
+//! In-process hierarchy levels implement the trait via [`LocalSegment`]
+//! (a child broker plus the path it owns). Remote peer domains speak the
+//! same phases over COPS (PEER-DEC / PEER-COMMIT / PEER-RELEASE, see
+//! [`crate::cops`]); the server's federation layer drives those
+//! asynchronously off its event loops, but the message grammar *is* this
+//! trait's grammar, one frame per method.
+
+use netsim::topology::{LinkId, Topology};
+use qos_units::{Nanos, Rate, Time};
+use vtrs::delay::min_rate_rate_based;
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+use crate::admission::plan::AdmissionPlan;
+use crate::broker::{Broker, BrokerConfig, UnknownFlow};
+use crate::mib::PathId;
+use crate::signaling::{Reject, Reservation};
+
+/// The O(1) per-segment state a coordinator works from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentSummary {
+    /// Hops in the segment.
+    pub h: u64,
+    /// `Σ (Ψ + π)` over the segment.
+    pub d_tot: Nanos,
+    /// Residual bandwidth of the segment's path.
+    pub c_res: Rate,
+}
+
+/// Counters for a segment-chain control plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChainStats {
+    /// Coordinator → segment round-trips. A decide and the commit that
+    /// follows it count as one prepare/commit exchange per segment
+    /// contacted; a release (teardown or rollback) is its own exchange.
+    pub child_messages: u64,
+    /// Admissions.
+    pub admitted: u64,
+    /// Rejections.
+    pub rejected: u64,
+    /// Aborts: a segment refused a stale-summary rate at decide or
+    /// commit time; any prefix already booked was released back through
+    /// the chain.
+    pub aborts: u64,
+}
+
+/// One domain's share of a two-phase end-to-end admission.
+///
+/// The three methods are the segment-side halves of the chain protocol;
+/// over the wire they map one-to-one onto the broker-to-broker COPS ops
+/// (PEER-DEC carries decide, PEER-COMMIT carries commit, PEER-RELEASE
+/// carries release).
+pub trait SegmentAdmitter {
+    /// Current O(1) summary — what the coordinator caches and refreshes
+    /// in a deployment, so it may be stale by decide time.
+    fn summary(&self) -> SegmentSummary;
+
+    /// Phase 1 — would this segment admit the exact ⟨rate, delay⟩ pair
+    /// for `flow`? Read-only: a refusal here aborts the end-to-end
+    /// admission with nothing booked anywhere.
+    fn decide(
+        &self,
+        flow: FlowId,
+        profile: &TrafficProfile,
+        rate: Rate,
+        delay: Nanos,
+    ) -> AdmissionPlan;
+
+    /// Phase 2 — book a plan this segment produced at decide time.
+    ///
+    /// # Errors
+    ///
+    /// The [`Reject`] cause if the segment's state moved against the
+    /// plan between the phases (the coordinator then releases any
+    /// already-committed prefix back through the chain).
+    fn commit(&mut self, now: Time, plan: &AdmissionPlan) -> Result<Reservation, Reject>;
+
+    /// Free `flow`'s booking — teardown and abort-rollback share this.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownFlow`] if this segment holds no booking for the id.
+    fn release(&mut self, now: Time, flow: FlowId) -> Result<(), UnknownFlow>;
+}
+
+impl<T: SegmentAdmitter + ?Sized> SegmentAdmitter for Box<T> {
+    fn summary(&self) -> SegmentSummary {
+        (**self).summary()
+    }
+
+    fn decide(
+        &self,
+        flow: FlowId,
+        profile: &TrafficProfile,
+        rate: Rate,
+        delay: Nanos,
+    ) -> AdmissionPlan {
+        (**self).decide(flow, profile, rate, delay)
+    }
+
+    fn commit(&mut self, now: Time, plan: &AdmissionPlan) -> Result<Reservation, Reject> {
+        (**self).commit(now, plan)
+    }
+
+    fn release(&mut self, now: Time, flow: FlowId) -> Result<(), UnknownFlow> {
+        (**self).release(now, flow)
+    }
+}
+
+/// An in-process segment: a child [`Broker`] plus the path it owns.
+#[derive(Debug)]
+pub struct LocalSegment {
+    broker: Broker,
+    path: PathId,
+}
+
+impl LocalSegment {
+    /// Builds the segment's child broker over its `(topology, route)`.
+    /// Rate-based-only in this prototype, as in the original hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment contains delay-based hops (unsupported
+    /// here) or an empty route.
+    #[must_use]
+    pub fn new(topo: Topology, route: &[LinkId]) -> Self {
+        assert!(!route.is_empty(), "empty segment route");
+        let mut broker = Broker::new(topo, BrokerConfig::default());
+        let path = broker.register_route(route);
+        assert!(
+            !broker.paths().path(path).spec.has_delay_hops(),
+            "hierarchical prototype supports rate-based segments only"
+        );
+        LocalSegment { broker, path }
+    }
+
+    /// The child broker (the segment's full QoS state).
+    #[must_use]
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// Mutable access to the child broker — for experiments that
+    /// manufacture concurrent control activity between summary
+    /// refreshes.
+    pub fn broker_mut(&mut self) -> &mut Broker {
+        &mut self.broker
+    }
+
+    /// The path this segment owns within its child broker.
+    #[must_use]
+    pub fn path(&self) -> PathId {
+        self.path
+    }
+}
+
+impl SegmentAdmitter for LocalSegment {
+    fn summary(&self) -> SegmentSummary {
+        let p = self.broker.paths().path(self.path);
+        SegmentSummary {
+            h: p.spec.h(),
+            d_tot: p.spec.d_tot(),
+            c_res: p.residual(self.broker.nodes()),
+        }
+    }
+
+    fn decide(
+        &self,
+        flow: FlowId,
+        profile: &TrafficProfile,
+        rate: Rate,
+        delay: Nanos,
+    ) -> AdmissionPlan {
+        self.broker
+            .decide_exact(flow, profile, rate, delay, self.path)
+    }
+
+    fn commit(&mut self, now: Time, plan: &AdmissionPlan) -> Result<Reservation, Reject> {
+        self.broker.commit(now, plan)
+    }
+
+    fn release(&mut self, now: Time, flow: FlowId) -> Result<(), UnknownFlow> {
+        self.broker.release(now, flow).map(|_| ())
+    }
+}
+
+/// The decide phase's output for a whole chain: the per-domain segment
+/// list of epoch-stamped plans, plus the end-to-end pair they grant.
+///
+/// Held by the coordinator between the phases; [`SegmentChain::commit`]
+/// consumes it. Dropping it unconsumed costs nothing — decide is
+/// read-only, so an abandoned plan leaves no booking anywhere.
+#[derive(Debug, Clone)]
+pub struct SegmentPlan {
+    /// The flow the chain decided.
+    pub flow: FlowId,
+    /// End-to-end reserved rate (every segment books the same rate).
+    pub rate: Rate,
+    /// Delay parameter of the pair (zero on rate-based chains).
+    pub delay: Nanos,
+    /// One decided plan per segment, in chain order.
+    plans: Vec<AdmissionPlan>,
+}
+
+impl SegmentPlan {
+    /// Number of per-domain segments the plan spans.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.plans.len()
+    }
+}
+
+/// The §3.1 end-to-end minimal rate over concatenated segment totals:
+/// `Σh` hops and `ΣD^tot` static delay against the requirement `D^req`.
+///
+/// This is the formula both coordinators share — the in-process
+/// [`SegmentChain`] applies it to its cached summaries, and the terminal
+/// domain of a federated chain applies it to the accumulated totals a
+/// PEER-DEC query carries.
+///
+/// # Errors
+///
+/// [`Reject::DelayInfeasible`] when no rate ≤ `P` meets the requirement.
+pub fn end_to_end_rate(
+    profile: &TrafficProfile,
+    h: u64,
+    d_tot: Nanos,
+    d_req: Nanos,
+) -> Result<Rate, Reject> {
+    let r_min = min_rate_rate_based(profile, h, d_tot, d_req).ok_or(Reject::DelayInfeasible)?;
+    if r_min > profile.peak {
+        return Err(Reject::DelayInfeasible);
+    }
+    Ok(r_min.max(profile.rho))
+}
+
+/// A chain of segments under one coordinator, driving the two-phase
+/// decide-all-then-commit protocol end to end.
+#[derive(Debug)]
+pub struct SegmentChain<A> {
+    segments: Vec<A>,
+    stats: ChainStats,
+}
+
+impl<A: SegmentAdmitter> SegmentChain<A> {
+    /// Builds the chain, in path order.
+    #[must_use]
+    pub fn new(segments: Vec<A>) -> Self {
+        SegmentChain {
+            segments,
+            stats: ChainStats::default(),
+        }
+    }
+
+    /// Number of segments.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segments, in chain order.
+    #[must_use]
+    pub fn segments(&self) -> &[A] {
+        &self.segments
+    }
+
+    /// Mutable access to one segment.
+    pub fn segment_mut(&mut self, i: usize) -> &mut A {
+        &mut self.segments[i]
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> &ChainStats {
+        &self.stats
+    }
+
+    /// Current per-segment summaries (what a deployment would cache and
+    /// refresh rather than recompute per request).
+    #[must_use]
+    pub fn summaries(&self) -> Vec<SegmentSummary> {
+        self.segments.iter().map(SegmentAdmitter::summary).collect()
+    }
+
+    /// Phase 1 across the chain: concatenate the summaries, compute the
+    /// §3.1 end-to-end rate, and ask every segment to decide the exact
+    /// pair. Read-only — a refusal aborts with zero bookings and
+    /// nothing to roll back.
+    ///
+    /// # Errors
+    ///
+    /// * [`Reject::DelayInfeasible`] — infeasible at any rate ≤ `P`;
+    /// * [`Reject::Bandwidth`] — a summary or a segment refused for
+    ///   capacity (stale summaries surface here, at decide time).
+    pub fn decide(
+        &mut self,
+        flow: FlowId,
+        profile: &TrafficProfile,
+        d_req: Nanos,
+        summaries: &[SegmentSummary],
+    ) -> Result<SegmentPlan, Reject> {
+        let h: u64 = summaries.iter().map(|s| s.h).sum();
+        let d_tot: Nanos = summaries.iter().map(|s| s.d_tot).sum();
+        let c_res = summaries.iter().map(|s| s.c_res).min().unwrap_or(Rate::MAX);
+
+        let rate = end_to_end_rate(profile, h, d_tot, d_req).inspect_err(|_| {
+            self.stats.rejected += 1;
+        })?;
+        if rate > c_res {
+            self.stats.rejected += 1;
+            return Err(Reject::Bandwidth);
+        }
+
+        let mut plans = Vec::with_capacity(self.segments.len());
+        for seg in &self.segments {
+            self.stats.child_messages += 1;
+            let plan = seg.decide(flow, profile, rate, Nanos::ZERO);
+            if !plan.is_admit() {
+                self.stats.aborts += 1;
+                self.stats.rejected += 1;
+                return Err(Reject::Bandwidth);
+            }
+            plans.push(plan);
+        }
+        Ok(SegmentPlan {
+            flow,
+            rate,
+            delay: Nanos::ZERO,
+            plans,
+        })
+    }
+
+    /// Phase 2 across the chain: commit every segment's plan. If a
+    /// segment refuses at commit (its state moved between the phases),
+    /// the already-committed prefix is released back through the chain
+    /// in reverse order before the cause is returned — no abort path
+    /// leaves a booking behind.
+    ///
+    /// # Errors
+    ///
+    /// The refusing segment's [`Reject`] cause, after rollback.
+    pub fn commit(&mut self, now: Time, plan: &SegmentPlan) -> Result<Rate, Reject> {
+        assert_eq!(
+            plan.plans.len(),
+            self.segments.len(),
+            "plan spans a different chain"
+        );
+        // Commit rides the decide exchange (one prepare/commit
+        // round-trip per segment), so only rollback releases add
+        // message cost here.
+        for (i, (seg, p)) in self.segments.iter_mut().zip(&plan.plans).enumerate() {
+            if let Err(cause) = seg.commit(now, p) {
+                // Release flows back through the chain: free the booked
+                // prefix in reverse order, nearest segment last.
+                for seg in self.segments[..i].iter_mut().rev() {
+                    self.stats.child_messages += 1;
+                    seg.release(now, plan.flow)
+                        .expect("committed prefix must hold the booking being rolled back");
+                }
+                self.stats.aborts += 1;
+                self.stats.rejected += 1;
+                return Err(cause);
+            }
+        }
+        self.stats.admitted += 1;
+        Ok(plan.rate)
+    }
+
+    /// Both phases with fresh summaries: decide everywhere, commit only
+    /// if every segment said yes.
+    ///
+    /// # Errors
+    ///
+    /// As [`SegmentChain::decide`] / [`SegmentChain::commit`].
+    pub fn admit(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        profile: &TrafficProfile,
+        d_req: Nanos,
+    ) -> Result<Rate, Reject> {
+        let summaries = self.summaries();
+        let plan = self.decide(flow, profile, d_req, &summaries)?;
+        self.commit(now, &plan)
+    }
+
+    /// Releases a flow on every segment (teardown).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownFlow`] if no segment knows the id.
+    pub fn release(&mut self, now: Time, flow: FlowId) -> Result<(), UnknownFlow> {
+        let mut found = false;
+        for seg in &mut self.segments {
+            self.stats.child_messages += 1;
+            if seg.release(now, flow).is_ok() {
+                found = true;
+            }
+        }
+        if found {
+            Ok(())
+        } else {
+            Err(UnknownFlow(flow))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::topology::{SchedulerSpec, TopologyBuilder};
+    use qos_units::Bits;
+
+    fn type0() -> TrafficProfile {
+        TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap()
+    }
+
+    fn segment(hops: usize) -> LocalSegment {
+        let mut b = TopologyBuilder::new();
+        let nodes: Vec<_> = (0..=hops).map(|i| b.node(format!("n{i}"))).collect();
+        let route: Vec<_> = (0..hops)
+            .map(|i| {
+                b.link(
+                    nodes[i],
+                    nodes[i + 1],
+                    Rate::from_bps(1_500_000),
+                    Nanos::ZERO,
+                    SchedulerSpec::CsVc,
+                    Bits::from_bytes(1500),
+                )
+            })
+            .collect();
+        LocalSegment::new(b.build(), &route)
+    }
+
+    #[test]
+    fn decide_is_free_to_abandon() {
+        let mut chain = SegmentChain::new(vec![segment(3), segment(2)]);
+        let summaries = chain.summaries();
+        let plan = chain
+            .decide(FlowId(1), &type0(), Nanos::from_millis(2_440), &summaries)
+            .unwrap();
+        assert_eq!(plan.segment_count(), 2);
+        drop(plan);
+        // Nothing booked: the full residual is still there.
+        for s in chain.summaries() {
+            assert_eq!(s.c_res, Rate::from_bps(1_500_000));
+        }
+    }
+
+    #[test]
+    fn commit_refusal_releases_the_booked_prefix() {
+        let mut chain = SegmentChain::new(vec![segment(3), segment(2)]);
+        let summaries = chain.summaries();
+        let plan = chain
+            .decide(FlowId(1), &type0(), Nanos::from_millis(2_440), &summaries)
+            .unwrap();
+        // Between decide and commit, a competing booking exhausts
+        // segment 1: its commit re-decides under the fresh epoch and
+        // refuses, so segment 0's booking must be rolled back.
+        let path = chain.segment_mut(1).path();
+        chain
+            .segment_mut(1)
+            .broker_mut()
+            .reserve_exact(
+                Time::ZERO,
+                FlowId(999),
+                &type0(),
+                Rate::from_bps(1_480_000),
+                Nanos::ZERO,
+                path,
+            )
+            .unwrap();
+        let err = chain.commit(Time::ZERO, &plan).unwrap_err();
+        assert_eq!(err, Reject::Bandwidth);
+        assert_eq!(chain.stats().aborts, 1);
+        assert_eq!(
+            chain.segments()[0].summary().c_res,
+            Rate::from_bps(1_500_000),
+            "rollback leaked bandwidth on segment 0"
+        );
+        assert_eq!(chain.segments()[0].broker().flows().len(), 0);
+    }
+
+    #[test]
+    fn boxed_admitters_drive_the_same_chain() {
+        let segs: Vec<Box<dyn SegmentAdmitter>> = vec![Box::new(segment(3)), Box::new(segment(2))];
+        let mut chain = SegmentChain::new(segs);
+        let rate = chain
+            .admit(Time::ZERO, FlowId(1), &type0(), Nanos::from_millis(2_440))
+            .unwrap();
+        assert_eq!(rate, Rate::from_bps(50_000));
+        chain.release(Time::ZERO, FlowId(1)).unwrap();
+        assert!(chain.release(Time::ZERO, FlowId(1)).is_err());
+    }
+
+    #[test]
+    fn end_to_end_rate_matches_the_table_columns() {
+        // 5 hops, 40 ms static delay — the Figure-8 S1→D1 path.
+        let d_tot = Nanos::from_millis(40);
+        assert_eq!(
+            end_to_end_rate(&type0(), 5, d_tot, Nanos::from_millis(2_440)),
+            Ok(Rate::from_bps(50_000))
+        );
+        assert_eq!(
+            end_to_end_rate(&type0(), 5, d_tot, Nanos::from_millis(2_190)),
+            Ok(Rate::from_bps(54_020))
+        );
+        assert_eq!(
+            end_to_end_rate(&type0(), 5, d_tot, Nanos::from_millis(30)),
+            Err(Reject::DelayInfeasible)
+        );
+    }
+}

@@ -141,6 +141,41 @@ impl BrokerShard {
         self.broker.decide(&translated)
     }
 
+    /// Decide phase for an **exact** ⟨rate, delay⟩ pair on a global
+    /// path id — the segment-layer half of a federated admission: the
+    /// pair was computed by the chain coordinator from the accumulated
+    /// segment totals, and this shard only answers whether its own
+    /// segment can hold it (see [`Broker::decide_exact`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`BrokerShard::request`], when the path is not served here.
+    #[must_use]
+    pub fn decide_exact(
+        &self,
+        flow: FlowId,
+        profile: &vtrs::profile::TrafficProfile,
+        rate: Rate,
+        delay: Nanos,
+        path: PathId,
+    ) -> AdmissionPlan {
+        let local = self
+            .local_path(path)
+            .expect("federated admission dispatched to the shard owning its path");
+        self.broker.decide_exact(flow, profile, rate, delay, local)
+    }
+
+    /// The static segment cost of a served global path: its hop count
+    /// `h` and fixed delay `D^tot` — what a broker-to-broker PEER-DEC
+    /// query accumulates as it travels down a federated chain. `None`
+    /// when the path is not served here.
+    #[must_use]
+    pub fn path_cost(&self, path: PathId) -> Option<(u64, Nanos)> {
+        let local = self.local_path(path)?;
+        let spec = &self.broker.paths().path(local).spec;
+        Some((spec.h(), spec.d_tot()))
+    }
+
     /// Commit phase for a plan decided by this shard — see
     /// [`Broker::commit`]. The plan already carries the shard-local
     /// path id.

@@ -66,13 +66,18 @@ pub enum Reject {
     /// ingress and egress — distinct from [`Reject::Bandwidth`], where
     /// paths exist but none has capacity.
     NoRoute,
+    /// A downstream peer domain the admission depends on is dead or
+    /// timed out — a fabric verdict, not a resource one: no segment of
+    /// the request was booked anywhere, and the edge may retry once the
+    /// peering recovers.
+    PeerUnreachable,
 }
 
 impl Reject {
     /// Every rejection cause, in wire-code order — the canonical
     /// admission-outcome taxonomy that counters, metric label sets, and
     /// the COPS error sub-codes all index the same way.
-    pub const ALL: [Reject; 8] = [
+    pub const ALL: [Reject; 9] = [
         Reject::Policy,
         Reject::DelayInfeasible,
         Reject::Bandwidth,
@@ -81,6 +86,7 @@ impl Reject {
         Reject::DuplicateFlow,
         Reject::Overloaded,
         Reject::NoRoute,
+        Reject::PeerUnreachable,
     ];
 
     /// Number of distinct rejection causes.
@@ -98,6 +104,7 @@ impl Reject {
             Reject::DuplicateFlow => 5,
             Reject::Overloaded => 6,
             Reject::NoRoute => 7,
+            Reject::PeerUnreachable => 8,
         }
     }
 
@@ -119,6 +126,7 @@ impl Reject {
             Reject::DuplicateFlow => "duplicate_flow",
             Reject::Overloaded => "overloaded",
             Reject::NoRoute => "no_route",
+            Reject::PeerUnreachable => "peer_unreachable",
         }
     }
 }
@@ -134,6 +142,7 @@ impl fmt::Display for Reject {
             Reject::DuplicateFlow => "flow id already active",
             Reject::Overloaded => "broker overloaded; request dropped before admission",
             Reject::NoRoute => "no route between the requested ingress and egress",
+            Reject::PeerUnreachable => "downstream peer domain unreachable; nothing was booked",
         };
         f.write_str(s)
     }

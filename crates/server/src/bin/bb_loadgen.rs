@@ -17,6 +17,8 @@
 //!            [--sample-ms 50]     # telemetry poll period (0 disables)
 //!            [--addr HOST:PORT]   # drive an external daemon instead
 //!            [--stats-addr H:P]   # its telemetry endpoint, for --addr
+//!            [--domains N]        # federation: drive an N-domain broker chain
+//!            [--d-req-ms 2440]    # per-flow end-to-end delay requirement
 //!            [--durable]          # journal + snapshot the hosted daemon
 //!            [--data-dir PATH] [--wal-flush-ms 5] [--snapshot-every 10000]
 //!            [--no-batched-decide] # hosted daemon decides under the shard lock
@@ -35,6 +37,17 @@
 //! is unavailable in swarm mode: replies arriving across many sockets
 //! no longer pin each pod's request order, so the serial-replay
 //! comparison is not meaningful.
+//!
+//! `--domains N` drives the **edge** domain of an N-broker federation
+//! chain (DESIGN.md §4i): without `--addr` the generator hosts all N
+//! daemons in-process, launched terminal-first and peered into a chain,
+//! and the clients drive domain 0. Every domain serves the same
+//! `--pods x --hops` topology, so the stitched fabric is equivalent to
+//! one flat broker over `--pods x (--hops x N)` — which is exactly what
+//! `--verify` replays serially, checking every cross-domain decision
+//! flow-for-flow. The report gains per-domain daemon reports so a run
+//! can also assert that a refusal left no booking resident anywhere.
+//! The default report name becomes `BENCH_federation.json`.
 //!
 //! `--durable` hosts the daemon with a write-ahead journal and MIB
 //! snapshots under `--data-dir` (a fresh temp directory by default),
@@ -144,14 +157,19 @@ fn type0_profile() -> TrafficProfile {
 }
 
 /// Deterministic request content for client `c` — independent of
-/// timing, so `--verify` can regenerate the exact same stream.
+/// timing, so `--verify` can regenerate the exact same stream. The
+/// delay requirement comes from `--d-req-ms` (default the paper's
+/// 2.44 s operating point); a federation run tightens it so the union
+/// chain's `r_min` rises above ρ and the granted rate actually depends
+/// on the accumulated hop count.
 fn requests_for(c: u64, clients: u64, pods: usize, n: usize) -> Vec<FlowRequest> {
     let owned: Vec<usize> = (0..pods).filter(|p| *p as u64 % clients == c).collect();
+    let d_req = Nanos::from_millis(arg("--d-req-ms", 2_440));
     (0..n)
         .map(|k| FlowRequest {
             flow: FlowId((c << 32) | k as u64),
             profile: type0_profile(),
-            d_req: Nanos::from_millis(2_440),
+            d_req,
             service: ServiceKind::PerFlow,
             path: bb_core::PathId(owned[k % owned.len()] as u64),
         })
@@ -286,6 +304,10 @@ struct DurableReport {
 struct LoadgenReport {
     pods: usize,
     hops: usize,
+    /// Federation chain length (`--domains`); 1 is the flat single-
+    /// domain run. Setup latencies in a multi-domain report are
+    /// **cross-domain**: each admission traversed the whole chain.
+    domains: usize,
     clients: usize,
     requests_per_client: usize,
     offered_rate_per_client_hz: f64,
@@ -327,6 +349,15 @@ struct LoadgenReport {
     /// from the telemetry endpoint after the last decision.
     stats: Option<StatsSnapshot>,
     server: Option<ServerReport>,
+    /// Hosted downstream federation domains in chain order (the domain
+    /// the edge dials first, the terminal last); empty unless
+    /// `--domains` > 1 hosted the chain in-process.
+    peer_servers: Vec<ServerReport>,
+    /// Whether every downstream domain finished holding exactly the
+    /// edge domain's resident flows — the zero-residue check on the
+    /// federation abort paths. `None` for single-domain or external
+    /// runs.
+    federation_residency_ok: Option<bool>,
 }
 
 fn percentile(sorted: &[u64], q: f64) -> f64 {
@@ -698,6 +729,11 @@ fn run_swarm_driver(
 
 /// Replays every client's stream, client by client, through a serial
 /// broker on an identical topology and diffs each flow's decision.
+///
+/// For a federation run the caller passes the **union** hop count
+/// (`--hops x --domains`): a chain of identical per-domain segments is
+/// equivalent to one flat broker over the concatenated path, so the
+/// same serial replay verifies cross-domain admission flow-for-flow.
 fn verify_against_serial(
     pods: usize,
     hops: usize,
@@ -770,9 +806,15 @@ fn main() {
     let connections: usize = arg("--connections", 0);
     let drivers_arg: usize = arg("--drivers", 0);
     let mut verify = flag("--verify");
-    let out: String = arg("--out", "BENCH_loadgen.json".to_string());
     let external: String = arg("--addr", String::new());
     let external_stats: String = arg("--stats-addr", String::new());
+    let domains: usize = arg("--domains", 1);
+    let default_out = if domains > 1 {
+        "BENCH_federation.json"
+    } else {
+        "BENCH_loadgen.json"
+    };
+    let out: String = arg("--out", default_out.to_string());
     let sample_ms: u64 = arg("--sample-ms", 50);
     let durable = flag("--durable");
     let batched_decide = !flag("--no-batched-decide");
@@ -781,6 +823,12 @@ fn main() {
     let snapshot_every: u64 = arg("--snapshot-every", 10_000);
 
     assert!(clients >= 1, "need at least one client");
+    assert!(domains >= 1, "need at least one domain");
+    assert!(
+        !(durable && domains > 1),
+        "--durable and --domains are incompatible: federated admissions are not journaled \
+         (the WAL replays local decisions only; see DESIGN.md §4i)"
+    );
     assert!(
         pods >= clients,
         "need at least one pod per client so every client owns a pod"
@@ -842,10 +890,29 @@ fn main() {
     }
 
     // Host the daemon in-process unless pointed at an external one. The
-    // full TCP path is exercised either way.
+    // full TCP path is exercised either way. With `--domains N` the
+    // whole federation chain is hosted: downstream domains first
+    // (terminal-most leading, since every broker dials its downstream
+    // peer at startup), then the edge domain the clients drive.
     let mut hosted = None;
+    let mut peer_hosts: Vec<BbServer> = Vec::new();
     let addr = if external.is_empty() {
         let (topo, routes) = pod_topology(pods, hops);
+        let mut next_peer: Option<String> = None;
+        for _ in 1..domains {
+            let config = ServerConfig {
+                workers: arg("--workers", 4),
+                queue_depth: arg("--queue-depth", 4_096),
+                io_threads: arg("--io-threads", 2),
+                batched_decide,
+                peer: next_peer.take(),
+                ..ServerConfig::default()
+            };
+            let srv = BbServer::start("127.0.0.1:0", &topo, &routes, &config)
+                .expect("start downstream federation domain");
+            next_peer = Some(srv.local_addr().to_string());
+            peer_hosts.push(srv);
+        }
         let config = ServerConfig {
             workers: arg("--workers", 4),
             queue_depth: arg("--queue-depth", 4_096),
@@ -853,6 +920,7 @@ fn main() {
             stats_addr: Some("127.0.0.1:0".to_string()),
             batched_decide,
             durable: durable_opts.clone(),
+            peer: next_peer,
             ..ServerConfig::default()
         };
         let server = BbServer::start("127.0.0.1:0", &topo, &routes, &config)
@@ -879,6 +947,13 @@ fn main() {
         println!(
             "bb-loadgen: {clients} clients x {requests} requests @ {rate_hz}/s each -> {addr} \
              ({pods} pods x {hops} hops)"
+        );
+    }
+    if domains > 1 {
+        println!(
+            "federation: {domains}-domain chain ({} hosted downstream), union path {} hops",
+            peer_hosts.len(),
+            hops * domains
         );
     }
 
@@ -982,7 +1057,9 @@ fn main() {
     latencies.sort_unstable();
 
     let verified = if verify {
-        let ok = verify_against_serial(pods, hops, clients as u64, requests, &results);
+        // Federation: the chain of N identical domains must match one
+        // flat broker over the concatenated (hops x domains) path.
+        let ok = verify_against_serial(pods, hops * domains, clients as u64, requests, &results);
         let clean = overloaded == 0;
         if !clean {
             eprintln!(
@@ -1001,6 +1078,37 @@ fn main() {
     let allocs_per_decision: Option<f64> = None;
 
     let server = hosted.map(BbServer::shutdown);
+    // Downstream domains shut down after the edge (the edge's outbound
+    // peer connection drains first), reported in chain order: the
+    // domain the edge dials first, the terminal last.
+    let peer_servers: Vec<ServerReport> = peer_hosts
+        .into_iter()
+        .rev()
+        .map(BbServer::shutdown)
+        .collect();
+
+    // Zero-residue invariant of the federation protocol: an admission
+    // books in every domain, a refusal (or abort) books in none — so
+    // at shutdown every domain must hold exactly the flows the edge
+    // holds.
+    let fed_consistent = (domains > 1 && !peer_servers.is_empty()).then(|| {
+        let edge_resident = server.as_ref().map_or(0, |s| s.resident_flows);
+        let ok = peer_servers
+            .iter()
+            .all(|p| p.resident_flows == edge_resident);
+        if !ok {
+            eprintln!(
+                "federation residency FAILED: edge holds {edge_resident} flows, downstream \
+                 domains hold {:?} — some abort path leaked a booking",
+                peer_servers
+                    .iter()
+                    .map(|p| p.resident_flows)
+                    .collect::<Vec<_>>()
+            );
+        }
+        ok
+    });
+    let verified = verified.map(|v| v && fed_consistent.unwrap_or(true));
 
     // Durable restart check: boot a second daemon from the data
     // directory the first one just shut down over, and require the
@@ -1073,6 +1181,7 @@ fn main() {
     let report = LoadgenReport {
         pods,
         hops,
+        domains,
         clients,
         requests_per_client: requests,
         offered_rate_per_client_hz: rate_hz,
@@ -1101,6 +1210,8 @@ fn main() {
         timeline,
         stats,
         server,
+        peer_servers,
+        federation_residency_ok: fed_consistent,
     };
     println!(
         "{} decisions in {:.2} s -> {:.0} decisions/s; admitted {}, setup p50 {:.0} us, p99 {:.0} us",
@@ -1135,6 +1246,21 @@ fn main() {
             srv.overloaded
         );
     }
+    if report.domains > 1 && !report.peer_servers.is_empty() {
+        println!(
+            "federation: downstream residents {:?} -> {}",
+            report
+                .peer_servers
+                .iter()
+                .map(|p| p.resident_flows)
+                .collect::<Vec<_>>(),
+            match report.federation_residency_ok {
+                Some(true) => "zero residue",
+                Some(false) => "RESIDUE LEAKED",
+                None => "unchecked",
+            }
+        );
+    }
     if let Some(d) = &report.durable {
         println!(
             "durable: {} fsyncs (p99 {:.0} us), snapshot {} B; restart recovered {} flows \
@@ -1166,7 +1292,10 @@ fn main() {
         std::fs::write(&out, serde::json::to_string_pretty(&report)).expect("write bench JSON");
         println!("wrote {out}");
     }
-    if verified == Some(false) || report.durable.is_some_and(|d| !d.recovery_matches) {
+    if verified == Some(false)
+        || report.durable.is_some_and(|d| !d.recovery_matches)
+        || report.federation_residency_ok == Some(false)
+    {
         std::process::exit(1);
     }
 }

@@ -10,6 +10,7 @@
 //!           [--workers 4] [--queue-depth 1024]
 //!           [--io-threads 2]                # netpoll event loops
 //!           [--idle-timeout-ms 0]           # 0 disables mid-frame idle close
+//!           [--peer HOST:PORT]              # dial downstream broker (federation)
 //!           [--no-batched-decide]           # lock-taking decide path
 //!           [--stats-addr 127.0.0.1:3289]   # "" disables telemetry
 //!           [--data-dir PATH]               # enables durability
@@ -20,6 +21,13 @@
 //! (seqlock path summaries + path×class request grouping) and decides
 //! every request under the shard read lock instead — the comparison
 //! baseline for the batched-gain CI gate.
+//!
+//! `--peer` federates this daemon with a downstream domain: per-flow
+//! requests are answered only after the whole chain of brokers admits
+//! the flow (PEER-DEC / PEER-COMMIT / PEER-RELEASE; see DESIGN.md §4i).
+//! Launch chains terminal-first — the dial retries for up to ten
+//! seconds, then startup fails. Federation composes with everything
+//! except `--data-dir` (durability journals local decisions only).
 //!
 //! `--idle-timeout-ms` closes connections that sit mid-frame (a partial
 //! COPS message buffered, no completion) past the deadline — the
@@ -59,12 +67,14 @@ fn main() {
     let stats_addr: String = arg("--stats-addr", "127.0.0.1:3289".to_string());
     let data_dir: String = arg("--data-dir", String::new());
     let idle_ms: u64 = arg("--idle-timeout-ms", 0);
+    let peer: String = arg("--peer", String::new());
     let config = ServerConfig {
         workers: arg("--workers", 4),
         queue_depth: arg("--queue-depth", 1024),
         io_threads: arg("--io-threads", 2),
         idle_timeout: (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms)),
         batched_decide: !std::env::args().any(|a| a == "--no-batched-decide"),
+        peer: (!peer.is_empty()).then_some(peer),
         stats_addr: (!stats_addr.is_empty()).then_some(stats_addr),
         durable: (!data_dir.is_empty()).then(|| DurableOptions {
             data_dir: data_dir.clone().into(),
@@ -93,6 +103,9 @@ fn main() {
     );
     if let Some(stats) = server.stats_addr() {
         println!("telemetry on http://{stats}/stats and http://{stats}/metrics");
+    }
+    if let Some(peer) = &config.peer {
+        println!("federated: per-flow admissions chained through peer {peer}");
     }
     if let Some(opts) = &config.durable {
         let replayed: u64 = server

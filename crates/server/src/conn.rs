@@ -62,10 +62,12 @@ use qos_units::Time;
 use vtrs::packet::FlowId;
 
 use bb_core::admission::plan::AdmissionPlan;
-use bb_core::cops::{self, OpCode};
+use bb_core::cops::{self, OpCode, PeerAnswer, PeerDecide};
+use bb_core::segment::end_to_end_rate;
 use bb_core::shard::shard_of_macroflow;
 use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
 
+use crate::fed::{Origin, Pending};
 use crate::frame::FrameReader;
 use crate::server::{Dispatch, Job};
 
@@ -133,11 +135,26 @@ impl ReplyHandle {
     }
 }
 
+/// What kind of party sits on the other end of a connection — it
+/// decides which COPS ops are legal inbound and what a close means.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConnRole {
+    /// An accepted connection: an edge router (REQ/DRQ/RPT) or an
+    /// *upstream* broker (PEER-DEC queries, PEER-COMMIT/RELEASE) —
+    /// both answered back over the same socket.
+    Edge,
+    /// The daemon's own outbound connection to its downstream peer
+    /// domain. Only PEER-DEC *answers* arrive here, and its death
+    /// fails every dependent admission closed.
+    Peer,
+}
+
 /// One live connection, owned by its event loop.
 struct Conn {
     stream: TcpStream,
     reader: FrameReader,
     shared: Arc<ConnShared>,
+    role: ConnRole,
     interest: Interest,
     /// Bytes of the out-queue head already written (partial write).
     head_written: usize,
@@ -168,6 +185,33 @@ enum Action {
         macroflow: FlowId,
         at: Time,
     },
+    /// A per-flow edge request on a federated (peered) daemon: instead
+    /// of deciding locally, park it and query the chain. The local
+    /// booking happens when the downstream answer comes back.
+    FedForward {
+        req: FlowRequest,
+        shard: usize,
+    },
+    /// A PEER-DEC query from an upstream broker.
+    PeerQuery {
+        q: PeerDecide,
+        shard: usize,
+    },
+    /// A PEER-DEC answer from our downstream peer.
+    PeerReply {
+        ans: PeerAnswer,
+    },
+    /// A PEER-COMMIT from upstream: forward it on down (the bookings
+    /// already exist; the message is informational in this protocol
+    /// version — abort safety comes from compensating releases).
+    PeerCommitFwd {
+        flow: FlowId,
+    },
+    /// A PEER-RELEASE from upstream: free the flow here and forward
+    /// the release on down.
+    PeerReleaseFwd {
+        flow: FlowId,
+    },
 }
 
 /// Everything one readiness pass decoded, per connection in arrival
@@ -194,9 +238,11 @@ enum CloseCause {
 /// Runs one event loop until the dispatch stop flag rises. Loop 0 owns
 /// the listener and hands accepted sockets round-robin across all
 /// loops (itself included) through their inboxes.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn io_loop(
     loop_idx: usize,
     listener: Option<TcpListener>,
+    peer: Option<TcpStream>,
     waker: Waker,
     shared: Arc<IoShared>,
     peers: Vec<Arc<IoShared>>,
@@ -229,6 +275,29 @@ pub(crate) fn io_loop(
     let mut expired = Vec::new();
     let mut pass = Pass::default();
 
+    // The daemon's outbound link to its downstream peer domain (loop 0
+    // only), installed before the first accept so a federated request
+    // can never observe a configured-but-absent link. It rides the
+    // same conn state machine as inbound sockets — FrameReader, reply
+    // queue, idle wheel — just under the Peer role.
+    if let Some(stream) = peer {
+        if let Some(slot) = install(
+            stream,
+            &mut slab,
+            &mut free,
+            &mut next_gen,
+            &shared,
+            &poller,
+            ConnRole::Peer,
+        ) {
+            let conn = slab[slot].as_ref().expect("peer conn just installed");
+            dispatch.fed.set_peer(ReplyHandle(Arc::clone(&conn.shared)));
+            dispatch.metrics.record_dial();
+        }
+        // On install failure the link stays Absent and every federated
+        // admission fails closed with `PeerUnreachable`.
+    }
+
     loop {
         let _ = poller.wait(&mut events, Some(WAIT_TIMEOUT));
         if dispatch.stop.load(Ordering::SeqCst) {
@@ -249,6 +318,7 @@ pub(crate) fn io_loop(
                             &mut next_gen,
                             &shared,
                             &poller,
+                            ConnRole::Edge,
                         ) {
                             read_drain(
                                 slot, &mut slab, &mut free, &poller, &dispatch, &mut pass, now_ms,
@@ -289,6 +359,7 @@ pub(crate) fn io_loop(
                 &mut next_gen,
                 &shared,
                 &poller,
+                ConnRole::Edge,
             ) {
                 read_drain(
                     slot, &mut slab, &mut free, &poller, &dispatch, &mut pass, now_ms, idle_ms,
@@ -408,6 +479,7 @@ fn install(
     next_gen: &mut u64,
     io: &Arc<IoShared>,
     poller: &Poller,
+    role: ConnRole,
 ) -> Option<usize> {
     let _ = stream.set_nodelay(true);
     if stream.set_nonblocking(true).is_err() {
@@ -441,6 +513,7 @@ fn install(
         stream,
         reader: FrameReader::new(),
         shared,
+        role,
         interest: Interest::READ,
         head_written: 0,
         idle_gen: 0,
@@ -471,6 +544,7 @@ fn read_drain(
     let mut close = None;
     {
         let conn = slab[slot].as_mut().expect("read_drain on live conn");
+        let role = conn.role;
         'read: loop {
             match conn.stream.read(&mut chunk) {
                 Ok(0) => {
@@ -484,7 +558,7 @@ fn read_drain(
                             Ok(Some(frame)) => {
                                 frames_completed = true;
                                 pass.frames += 1;
-                                if !decode_into(&frame, dispatch, &mut actions) {
+                                if !decode_into(&frame, dispatch, &mut actions, role) {
                                     close = Some(CloseCause::Error);
                                     break 'read;
                                 }
@@ -534,12 +608,35 @@ fn read_drain(
 }
 
 /// Decodes one COPS frame into pass actions. Returns `false` on a
-/// protocol violation (undecodable frame, or a `DEC` sent to a server).
-fn decode_into(wire: &Bytes, dispatch: &Arc<Dispatch>, actions: &mut Vec<Action>) -> bool {
+/// protocol violation: an undecodable frame, or an op illegal for the
+/// connection's role (a `DEC` sent to a server, a peer *query* on our
+/// own outbound link, a peer *answer* on an inbound one).
+fn decode_into(
+    wire: &Bytes,
+    dispatch: &Arc<Dispatch>,
+    actions: &mut Vec<Action>,
+    role: ConnRole,
+) -> bool {
     let mut buf = wire.clone();
     let Ok(frame) = cops::decode_frame(&mut buf) else {
         return false;
     };
+    if role == ConnRole::Peer {
+        // Downstream only ever answers our queries (or keeps alive).
+        return match frame.op {
+            OpCode::PeerDecide if cops::peer_frame_is_answer(&frame) => {
+                match cops::decode_peer_answer(&frame) {
+                    Ok(ans) => {
+                        actions.push(Action::PeerReply { ans });
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            OpCode::KeepAlive => true,
+            _ => false,
+        };
+    }
     match frame.op {
         OpCode::Request => {
             let Ok(req) = cops::decode_request(&frame) else {
@@ -549,6 +646,12 @@ fn decode_into(wire: &Bytes, dispatch: &Arc<Dispatch>, actions: &mut Vec<Action>
                 .path_shard
                 .get(usize::try_from(req.path.0).unwrap_or(usize::MAX))
             {
+                // On a peered daemon, per-flow requests enter the
+                // federation protocol; class requests stay local-only
+                // (dynamic flow aggregation is intra-domain state).
+                Some(&shard) if dispatch.fed.federates() && req.service == ServiceKind::PerFlow => {
+                    actions.push(Action::FedForward { req, shard });
+                }
                 Some(&shard) => actions.push(Action::Request {
                     req,
                     shard,
@@ -573,6 +676,42 @@ fn decode_into(wire: &Bytes, dispatch: &Arc<Dispatch>, actions: &mut Vec<Action>
             actions.push(Action::Report { macroflow, at });
             true
         }
+        OpCode::PeerDecide => {
+            // An answer on an inbound connection is a protocol
+            // violation — answers travel back on the socket the query
+            // went out on, which for us is the outbound peer link.
+            if cops::peer_frame_is_answer(&frame) {
+                return false;
+            }
+            let Ok(q) = cops::decode_peer_decide(&frame) else {
+                return false;
+            };
+            match dispatch
+                .path_shard
+                .get(usize::try_from(q.path.0).unwrap_or(usize::MAX))
+            {
+                Some(&shard) => actions.push(Action::PeerQuery { q, shard }),
+                None => actions.push(Action::PeerQuery {
+                    q,
+                    shard: usize::MAX,
+                }),
+            }
+            true
+        }
+        OpCode::PeerCommit => match cops::decode_peer_commit(&frame) {
+            Ok(flow) => {
+                actions.push(Action::PeerCommitFwd { flow });
+                true
+            }
+            Err(_) => false,
+        },
+        OpCode::PeerRelease => match cops::decode_peer_release(&frame) {
+            Ok(flow) => {
+                actions.push(Action::PeerReleaseFwd { flow });
+                true
+            }
+            Err(_) => false,
+        },
         OpCode::KeepAlive => true,
         OpCode::Decision => false,
     }
@@ -714,6 +853,11 @@ fn process_pass(pass: &mut Pass, dispatch: &Arc<Dispatch>) {
                         if let Err(TrySendError::Full(_)) = dispatch.jobs[shard].try_send(job) {
                             shed(flow, shard, dispatch, &reply);
                         }
+                        // A teardown at the edge of a federated chain
+                        // frees the downstream suffix too. Harmless
+                        // for local-only (class) flows: an unknown
+                        // release is a no-op at every peer.
+                        dispatch.fed.forward_release(flow);
                     } else {
                         // Never admitted (or long gone): answer so the
                         // edge can tell "nothing to delete" from a lost
@@ -727,6 +871,32 @@ fn process_pass(pass: &mut Pass, dispatch: &Arc<Dispatch>) {
                         // the contingency timer still bounds the grant.
                         let _ = dispatch.jobs[shard].try_send(Job::Report { macroflow, at });
                     }
+                }
+                Action::FedForward { req, shard } => {
+                    fed_forward(req, shard, dispatch, &reply);
+                }
+                Action::PeerQuery { q, shard } => {
+                    peer_query(q, shard, dispatch, &reply);
+                }
+                Action::PeerReply { ans } => {
+                    peer_reply(ans, dispatch);
+                }
+                Action::PeerCommitFwd { flow } => {
+                    // Informational in this protocol version: every
+                    // domain already holds its booking. Pass it down so
+                    // the whole chain sees the finalization.
+                    dispatch.fed.forward_commit(flow);
+                }
+                Action::PeerReleaseFwd { flow } => {
+                    let owner = dispatch.flow_owner.read().get(&flow).copied();
+                    if let Some(shard) = owner {
+                        // A release must never be lost (it is the
+                        // zero-residue guarantee); block through a
+                        // momentarily full queue — the worker drains it
+                        // independently of this loop.
+                        let _ = dispatch.jobs[shard].send(Job::FedRelease { flow });
+                    }
+                    dispatch.fed.forward_release(flow);
                 }
             }
         }
@@ -744,6 +914,196 @@ fn shed(flow: FlowId, shard: usize, dispatch: &Arc<Dispatch>, reply: &ReplyHandl
     // taxonomy too so snapshot totals reconcile with DEC counts.
     m.record_reject(Reject::Overloaded);
     reply.send(cops::encode_decision_reject(flow, Reject::Overloaded));
+}
+
+/// Starts a federated admission for an edge per-flow request: park it
+/// and send the chain a PEER-DEC with this domain's segment cost as
+/// the initial accumulators. The local booking happens only when the
+/// downstream answer comes back `Ok` — decide everywhere, commit only
+/// if every segment said yes.
+fn fed_forward(req: FlowRequest, shard: usize, dispatch: &Arc<Dispatch>, reply: &ReplyHandle) {
+    let flow = req.flow;
+    // Pre-empt duplicates here: the flat broker refuses the second REQ
+    // at decide, so the fabric must too — before it can collide with
+    // the parked first admission.
+    if dispatch.flow_owner.read().contains_key(&flow) || dispatch.fed.is_pending(flow) {
+        dispatch
+            .metrics
+            .shard(shard)
+            .record_reject(Reject::DuplicateFlow);
+        reply.send(cops::encode_decision_reject(flow, Reject::DuplicateFlow));
+        return;
+    }
+    let Some((h, d_tot)) = dispatch.fed.path_cost(req.path) else {
+        dispatch.metrics.record_unrouted();
+        reply.send(cops::encode_decision_reject(flow, Reject::NoRoute));
+        return;
+    };
+    let now = Instant::now();
+    let parked = dispatch.fed.park(
+        flow,
+        Pending {
+            origin: Origin::Client(reply.clone()),
+            profile: req.profile,
+            path: req.path,
+            enqueued: now,
+            sent_at: now,
+        },
+    );
+    if !parked {
+        dispatch
+            .metrics
+            .shard(shard)
+            .record_reject(Reject::DuplicateFlow);
+        reply.send(cops::encode_decision_reject(flow, Reject::DuplicateFlow));
+        return;
+    }
+    let query = cops::encode_peer_decide(&PeerDecide {
+        flow,
+        profile: req.profile,
+        d_req: req.d_req,
+        path: req.path,
+        h_acc: h,
+        d_acc: d_tot,
+    });
+    if !dispatch.fed.peer_send(query) {
+        // The link is already down: fail closed with nothing booked.
+        let _ = dispatch.fed.resolve(flow);
+        dispatch.metrics.record_peer_reject(Reject::PeerUnreachable);
+        reply.send(cops::encode_decision_reject(flow, Reject::PeerUnreachable));
+    }
+    dispatch.metrics.set_fed_in_flight(dispatch.fed.in_flight());
+}
+
+/// Answers or forwards a PEER-DEC query from an upstream broker: add
+/// this domain's segment cost to the accumulators, then either pass
+/// the query downstream (mid-chain) or — at the terminal domain —
+/// run the §3.1 formula once over the union totals and book
+/// tentatively, answering `Ok⟨r, d⟩` up the chain.
+fn peer_query(q: PeerDecide, shard: usize, dispatch: &Arc<Dispatch>, reply: &ReplyHandle) {
+    let flow = q.flow;
+    let refuse = |cause: Reject| {
+        reply.send(cops::encode_peer_answer(&PeerAnswer::Refuse {
+            flow,
+            cause,
+        }));
+    };
+    let Some((h, d_tot)) = dispatch.fed.path_cost(q.path) else {
+        dispatch.metrics.record_unrouted();
+        refuse(Reject::NoRoute);
+        return;
+    };
+    let h_acc = q.h_acc + h;
+    let d_acc = q.d_acc + d_tot;
+    if dispatch.flow_owner.read().contains_key(&flow) || dispatch.fed.is_pending(flow) {
+        refuse(Reject::DuplicateFlow);
+        return;
+    }
+    if dispatch.fed.federates() {
+        // Mid-chain: park and pass the accumulated query on down.
+        let now = Instant::now();
+        let parked = dispatch.fed.park(
+            flow,
+            Pending {
+                origin: Origin::Peer(reply.clone()),
+                profile: q.profile,
+                path: q.path,
+                enqueued: now,
+                sent_at: now,
+            },
+        );
+        if !parked {
+            refuse(Reject::DuplicateFlow);
+            return;
+        }
+        let fwd = cops::encode_peer_decide(&PeerDecide { h_acc, d_acc, ..q });
+        if !dispatch.fed.peer_send(fwd) {
+            let _ = dispatch.fed.resolve(flow);
+            dispatch.metrics.record_peer_reject(Reject::PeerUnreachable);
+            refuse(Reject::PeerUnreachable);
+        }
+        dispatch.metrics.set_fed_in_flight(dispatch.fed.in_flight());
+        return;
+    }
+    // Terminal domain: the accumulators now hold the union path's
+    // totals. A formula refusal books nothing anywhere; an admissible
+    // rate books tentatively on the worker (decide + commit under one
+    // write-lock pass, so no epoch race can void the answer we send).
+    match end_to_end_rate(&q.profile, h_acc, d_acc, q.d_req) {
+        Ok(rate) => {
+            let job = Job::FedAdmit {
+                flow,
+                profile: q.profile,
+                rate,
+                delay: qos_units::Nanos::ZERO,
+                path: q.path,
+                origin: Origin::Peer(reply.clone()),
+                enqueued: Instant::now(),
+                rollback_downstream: false,
+            };
+            if let Err(TrySendError::Full(_)) = dispatch.jobs[shard].try_send(job) {
+                dispatch.overloaded.fetch_add(1, Ordering::Relaxed);
+                let m = dispatch.metrics.shard(shard);
+                m.record_shed();
+                m.record_reject(Reject::Overloaded);
+                refuse(Reject::Overloaded);
+            }
+        }
+        Err(cause) => {
+            dispatch.metrics.shard(shard).record_reject(cause);
+            refuse(cause);
+        }
+    }
+}
+
+/// Resolves a downstream answer against the parked admission it names:
+/// an `Ok` books this domain's segment at the chain-computed pair (the
+/// worker answers the origin after its commit — and compensates
+/// downstream with a PEER-RELEASE if that commit refuses); a `Refuse`
+/// relays the verdict upward unchanged, nothing booked below.
+fn peer_reply(ans: PeerAnswer, dispatch: &Arc<Dispatch>) {
+    let flow = match ans {
+        PeerAnswer::Ok { flow, .. } | PeerAnswer::Refuse { flow, .. } => flow,
+    };
+    let Some(pending) = dispatch.fed.resolve(flow) else {
+        return; // stale or unsolicited answer: fail-closed, ignore
+    };
+    dispatch.metrics.record_peer_rtt_ns(
+        u64::try_from(pending.sent_at.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
+    dispatch.metrics.set_fed_in_flight(dispatch.fed.in_flight());
+    match ans {
+        PeerAnswer::Ok { rate, delay, .. } => {
+            let shard = dispatch.path_shard[usize::try_from(pending.path.0).unwrap_or(usize::MAX)];
+            let job = Job::FedAdmit {
+                flow,
+                profile: pending.profile,
+                rate,
+                delay,
+                path: pending.path,
+                origin: pending.origin,
+                enqueued: pending.enqueued,
+                rollback_downstream: true,
+            };
+            if let Err(TrySendError::Full(job)) = dispatch.jobs[shard].try_send(job) {
+                // Shed — but downstream already booked tentatively:
+                // compensate before refusing so nothing is left behind.
+                let Job::FedAdmit { origin, .. } = job else {
+                    unreachable!("the unsent job comes back unchanged");
+                };
+                dispatch.fed.forward_release(flow);
+                dispatch.overloaded.fetch_add(1, Ordering::Relaxed);
+                let m = dispatch.metrics.shard(shard);
+                m.record_shed();
+                m.record_reject(Reject::Overloaded);
+                origin.refuse(flow, Reject::Overloaded);
+            }
+        }
+        PeerAnswer::Refuse { cause, .. } => {
+            dispatch.metrics.record_peer_reject(cause);
+            pending.origin.refuse(flow, cause);
+        }
+    }
 }
 
 /// Writes queued replies until the queue empties or the socket fills,
@@ -835,6 +1195,17 @@ fn close_conn(
         CloseCause::Idle => dispatch.metrics.record_conn_idle_closed(),
     }
     dispatch.metrics.record_conn_closed();
+    if conn.role == ConnRole::Peer {
+        // The downstream link died: fail every parked admission
+        // closed. Nothing was booked locally for a parked flow, so
+        // answering `PeerUnreachable` leaves zero residue here, and
+        // the link stays down for the daemon's lifetime.
+        for (flow, pending) in dispatch.fed.fail_peer() {
+            dispatch.metrics.record_peer_reject(Reject::PeerUnreachable);
+            pending.origin.refuse(flow, Reject::PeerUnreachable);
+        }
+        dispatch.metrics.set_fed_in_flight(0);
+    }
 }
 
 /// Builds the per-loop shared blocks and wakers for `io_threads` loops.

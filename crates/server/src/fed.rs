@@ -1,0 +1,224 @@
+//! Broker-to-broker federation state: the daemon-side half of the
+//! domain-agnostic segment layer ([`bb_core::segment`]).
+//!
+//! A federated deployment stitches N single-domain daemons into one
+//! reservation fabric: each daemon owns its domain's QoS state and
+//! dials at most one *downstream* peer (`--peer addr`), forming a
+//! chain that mirrors an inter-domain path. Admission then runs the
+//! same decide-everywhere / commit-only-if-everyone-said-yes protocol
+//! the in-process [`bb_core::hierarchy`] prototype drives, over COPS:
+//!
+//! ```text
+//!  edge REQ ─▶ D0 ──PEER-DEC(h₀,D₀)──▶ D1 ──PEER-DEC(h₀+h₁, …)──▶ D2
+//!              │                        │    (terminal: §3.1 rate
+//!              │                        │     from the union totals,
+//!              │                        │     tentative booking)
+//!              │◀──── Ok⟨r,d⟩ (book) ───│◀──── Ok⟨r,d⟩ ────────────┘
+//!  edge DEC ◀──┘ ──PEER-COMMIT──▶ … (informational; bookings exist)
+//! ```
+//!
+//! The zero-residue guarantee on abort paths comes from compensating
+//! `PEER-RELEASE` messages, not from the commit: a domain whose own
+//! booking fails after downstream said yes releases the whole
+//! downstream suffix before refusing upstream, and a teardown at the
+//! edge releases the whole chain. A dead peer fails *closed*: every
+//! in-flight admission that depends on it is answered
+//! [`Reject::PeerUnreachable`] with nothing booked anywhere, and the
+//! link stays down for the daemon's lifetime (no redial — restarting
+//! the chain is the operator's move, and it keeps the failure model
+//! legible).
+//!
+//! This module holds the shared state only — the outbound link, the
+//! in-flight (pending) table, and the per-path segment costs. The
+//! event loops drive the protocol (`crate::conn`), the shard workers
+//! apply the bookings (`Job::FedAdmit` / `Job::FedRelease`).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use qos_units::Nanos;
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+use bb_core::cops::{self, PeerAnswer};
+use bb_core::mib::PathId;
+use bb_core::signaling::Reject;
+
+use crate::conn::ReplyHandle;
+
+/// The outbound peer link's lifecycle. It only ever moves forward:
+/// `Absent → Up → Down` (a daemon without `--peer` stays `Absent`).
+enum PeerLink {
+    /// No peer configured, or the dialed socket not yet installed by
+    /// io loop 0 (a startup-only window — loop 0 installs the peer
+    /// before it accepts its first client).
+    Absent,
+    /// Live outbound connection; sends go through this handle.
+    Up(ReplyHandle),
+    /// The connection died. Permanent: federated admissions now fail
+    /// closed with [`Reject::PeerUnreachable`].
+    Down,
+}
+
+/// Who is waiting on a downstream answer for a flow, and how to tell
+/// them the outcome.
+pub(crate) enum Origin {
+    /// The flow entered the fabric at this daemon's edge: the outcome
+    /// is a client-facing COPS `DEC`.
+    Client(ReplyHandle),
+    /// The query came from an upstream broker: the outcome is a
+    /// `PEER-DEC` answer back up the chain.
+    Peer(ReplyHandle),
+}
+
+impl Origin {
+    /// Refuses the waiting party: a `DEC` reject for a client, a
+    /// `Refuse` answer for an upstream broker.
+    pub(crate) fn refuse(&self, flow: FlowId, cause: Reject) {
+        match self {
+            Origin::Client(reply) => reply.send(cops::encode_decision_reject(flow, cause)),
+            Origin::Peer(reply) => {
+                reply.send(cops::encode_peer_answer(&PeerAnswer::Refuse {
+                    flow,
+                    cause,
+                }));
+            }
+        }
+    }
+}
+
+/// One admission parked on the downstream answer.
+pub(crate) struct Pending {
+    /// Where the outcome goes.
+    pub(crate) origin: Origin,
+    /// Declared profile, needed to book locally once downstream says
+    /// yes (the answer carries only the ⟨rate, delay⟩ pair).
+    pub(crate) profile: TrafficProfile,
+    /// Global path id (same pod index in every chained domain).
+    pub(crate) path: PathId,
+    /// When the triggering frame arrived here — start of the
+    /// cross-domain setup-latency clock (edge only).
+    pub(crate) enqueued: Instant,
+    /// When the `PEER-DEC` left for downstream — start of the peer
+    /// RTT clock.
+    pub(crate) sent_at: Instant,
+}
+
+/// Federation state shared by the io loops and shard workers (a field
+/// of `Dispatch`). All of it is cold-path: a non-federated daemon
+/// never takes these locks, and a federated one takes them once per
+/// cross-domain admission, not per packet of io.
+pub(crate) struct Federation {
+    peer: Mutex<PeerLink>,
+    pending: Mutex<HashMap<FlowId, Pending>>,
+    /// Global path id → this domain's segment cost `(h, D^tot)` —
+    /// what this daemon adds to a query's accumulators.
+    paths: Vec<(u64, Nanos)>,
+    has_peer: bool,
+}
+
+impl Federation {
+    /// Builds the state for a daemon serving `paths` (indexed by
+    /// global path id). `has_peer` marks a daemon that dials
+    /// downstream — the edge or a mid-chain domain.
+    pub(crate) fn new(paths: Vec<(u64, Nanos)>, has_peer: bool) -> Self {
+        Federation {
+            peer: Mutex::new(PeerLink::Absent),
+            pending: Mutex::new(HashMap::new()),
+            paths,
+            has_peer,
+        }
+    }
+
+    /// True when this daemon forwards admissions downstream (it was
+    /// started with `--peer`). A daemon without one serves locally —
+    /// and acts as the chain's terminal domain when queried.
+    pub(crate) fn federates(&self) -> bool {
+        self.has_peer
+    }
+
+    /// This domain's segment cost for a global path id, or `None` for
+    /// a path this daemon does not serve.
+    pub(crate) fn path_cost(&self, path: PathId) -> Option<(u64, Nanos)> {
+        self.paths
+            .get(usize::try_from(path.0).unwrap_or(usize::MAX))
+            .copied()
+    }
+
+    /// Installs the outbound link's reply handle. Called once by io
+    /// loop 0 after registering the dialed socket, before it accepts
+    /// any client.
+    pub(crate) fn set_peer(&self, handle: ReplyHandle) {
+        *self.peer.lock() = PeerLink::Up(handle);
+    }
+
+    /// Queues `bytes` on the outbound link. `false` when the link is
+    /// not up — the caller must fail the admission closed.
+    pub(crate) fn peer_send(&self, bytes: Bytes) -> bool {
+        match &*self.peer.lock() {
+            PeerLink::Up(handle) => {
+                handle.send(bytes);
+                true
+            }
+            PeerLink::Absent | PeerLink::Down => false,
+        }
+    }
+
+    /// Forwards a `PEER-COMMIT` downstream (no-op at the terminal).
+    pub(crate) fn forward_commit(&self, flow: FlowId) {
+        if self.has_peer {
+            let _ = self.peer_send(cops::encode_peer_commit(flow));
+        }
+    }
+
+    /// Forwards a `PEER-RELEASE` downstream (no-op at the terminal) —
+    /// the compensating message for teardown and every abort path.
+    pub(crate) fn forward_release(&self, flow: FlowId) {
+        if self.has_peer {
+            let _ = self.peer_send(cops::encode_peer_release(flow));
+        }
+    }
+
+    /// Parks an admission awaiting the downstream answer. `false` when
+    /// the flow already has one in flight (a duplicate: refuse it
+    /// without touching the parked one).
+    pub(crate) fn park(&self, flow: FlowId, pending: Pending) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.pending.lock().entry(flow) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(slot) => {
+                slot.insert(pending);
+                true
+            }
+        }
+    }
+
+    /// True when `flow` has an admission parked on downstream.
+    pub(crate) fn is_pending(&self, flow: FlowId) -> bool {
+        self.pending.lock().contains_key(&flow)
+    }
+
+    /// Claims the parked admission a downstream answer resolves.
+    /// `None` for an answer naming no parked flow (stale or bogus —
+    /// ignored, the protocol is fail-closed not fail-crash).
+    pub(crate) fn resolve(&self, flow: FlowId) -> Option<Pending> {
+        self.pending.lock().remove(&flow)
+    }
+
+    /// Cross-domain admissions currently in flight (the gauge value).
+    pub(crate) fn in_flight(&self) -> u64 {
+        self.pending.lock().len() as u64
+    }
+
+    /// Marks the link dead and drains every parked admission — the
+    /// caller answers each origin [`Reject::PeerUnreachable`]. Nothing
+    /// is booked locally for a parked flow, and a downstream domain
+    /// that did book tentatively is unreachable by definition — its
+    /// operator restarts the chain, which starts it empty.
+    pub(crate) fn fail_peer(&self) -> Vec<(FlowId, Pending)> {
+        *self.peer.lock() = PeerLink::Down;
+        self.pending.lock().drain().collect()
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod client;
 pub(crate) mod conn;
+pub(crate) mod fed;
 pub mod frame;
 pub mod server;
 pub mod stats;

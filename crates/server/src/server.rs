@@ -57,12 +57,14 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::RwLock;
-use qos_units::Time;
+use qos_units::{Nanos, Rate, Time};
 use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
 
 use bb_core::admission::plan::AdmissionPlan;
 use bb_core::broker::BrokerConfig;
-use bb_core::cops;
+use bb_core::cops::{self, PeerAnswer};
+use bb_core::mib::PathId;
 use bb_core::shard::{build_shards, plan_shards, BrokerShard, FastDecideHandle};
 use bb_core::signaling::ServiceKind;
 use bb_durable::{replay, ShardStore, WalRecord};
@@ -70,6 +72,7 @@ use bb_telemetry::{MetricsRegistry, ShardMetrics};
 use netsim::topology::{LinkId, Topology};
 
 use crate::conn::{self, ReplyHandle};
+use crate::fed::{Federation, Origin};
 use crate::stats::{stats_loop, StatsSnapshot};
 
 /// Daemon tuning knobs.
@@ -105,6 +108,17 @@ pub struct ServerConfig {
     /// shard read lock (the pre-batching behaviour, kept as a CI
     /// comparison axis and an escape hatch).
     pub batched_decide: bool,
+    /// Downstream peer domain (`host:port`) for broker-to-broker
+    /// federation. When set, per-flow edge requests run the
+    /// decide-everywhere / commit-if-all-said-yes protocol over the
+    /// peered chain instead of being admitted locally; the daemon
+    /// dials the peer at startup (retrying briefly so a chain can be
+    /// launched terminal-first). `None` keeps the daemon single-domain
+    /// — it still *answers* PEER-DEC queries, acting as the terminal
+    /// domain of any chain pointed at it. Federation composes with
+    /// everything except durability: federated bookings are not
+    /// journaled (see `DESIGN.md` §4i).
+    pub peer: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +132,7 @@ impl Default for ServerConfig {
             stats_addr: None,
             durable: None,
             batched_decide: true,
+            peer: None,
         }
     }
 }
@@ -264,6 +279,30 @@ pub(crate) enum Job {
         macroflow: FlowId,
         at: Time,
     },
+    /// Book one domain's segment of a federated admission at the exact
+    /// ⟨rate, delay⟩ pair the chain computed, and answer the origin.
+    /// Unlike `Commit`, decide and commit both run here, atomically
+    /// under the worker's write lock — the answer sent upstream is a
+    /// promise, so no epoch race may void it after the fact.
+    FedAdmit {
+        flow: FlowId,
+        profile: TrafficProfile,
+        rate: Rate,
+        delay: Nanos,
+        path: PathId,
+        origin: Origin,
+        /// When the triggering frame arrived, for the setup histogram.
+        enqueued: Instant,
+        /// True when downstream domains already hold tentative
+        /// bookings — a local refusal must send PEER-RELEASE down
+        /// before refusing up, or residue survives the abort.
+        rollback_downstream: bool,
+    },
+    /// Free a federated flow's local booking (PEER-RELEASE from
+    /// upstream). No reply: the release is propagated, not answered.
+    FedRelease {
+        flow: FlowId,
+    },
 }
 
 impl Job {
@@ -274,6 +313,7 @@ impl Job {
             Job::Commit { plan, .. } => Some(plan.request.flow),
             Job::Delete { flow, .. } => Some(*flow),
             Job::Report { .. } => None,
+            Job::FedAdmit { flow, .. } | Job::FedRelease { flow } => Some(*flow),
         }
     }
 }
@@ -302,6 +342,9 @@ pub(crate) struct Dispatch {
     /// disabled. Built after recovery over the full route set, so
     /// every served path is in view.
     pub(crate) fast: Option<Vec<Arc<FastDecideHandle>>>,
+    /// Broker-to-broker federation state: the outbound peer link, the
+    /// parked cross-domain admissions, and per-path segment costs.
+    pub(crate) fed: Federation,
     /// Live telemetry, updated lock-free by workers and the io loops.
     pub(crate) metrics: MetricsRegistry,
     pub(crate) stop: AtomicBool,
@@ -448,6 +491,25 @@ impl BbServer {
                 .collect::<Vec<_>>()
         });
 
+        // Federation: each global path's segment cost here (what this
+        // domain adds to a PEER-DEC's accumulators), and the dialed
+        // downstream link. Dialing retries briefly so a chain can be
+        // launched terminal-first without orchestration races.
+        let fed_paths: Vec<(u64, Nanos)> = (0..routes.len())
+            .map(|i| {
+                let path = PathId(i as u64);
+                shards[path_shard[i]]
+                    .read()
+                    .path_cost(path)
+                    .expect("every route is served by its planned shard")
+            })
+            .collect();
+        let fed = Federation::new(fed_paths, config.peer.is_some());
+        let mut peer_stream = match &config.peer {
+            Some(peer_addr) => Some(dial_peer(peer_addr)?),
+            None => None,
+        };
+
         let mut jobs = Vec::new();
         let mut worker_rxs = Vec::new();
         for _ in 0..shards.len() {
@@ -479,6 +541,7 @@ impl BbServer {
             released: AtomicU64::new(0),
             classes: RwLock::new(ClassDirectory::new()),
             fast,
+            fed,
             metrics: MetricsRegistry::new(shard_count),
             stop: AtomicBool::new(false),
             started: Instant::now(),
@@ -554,12 +617,24 @@ impl BbServer {
                 let dispatch = Arc::clone(&dispatch);
                 let shared = Arc::clone(&io_shared[idx]);
                 let peers = io_shared.clone();
-                // Loop 0 owns the listener and distributes accepts.
+                // Loop 0 owns the listener (and the outbound peer
+                // link, installed before its first accept) and
+                // distributes accepts.
                 let listener = listener.take();
+                let peer = peer_stream.take();
                 std::thread::Builder::new()
                     .name(format!("bb-io-{idx}"))
                     .spawn(move || {
-                        conn::io_loop(idx, listener, waker, shared, peers, dispatch, idle_timeout);
+                        conn::io_loop(
+                            idx,
+                            listener,
+                            peer,
+                            waker,
+                            shared,
+                            peers,
+                            dispatch,
+                            idle_timeout,
+                        );
                     })
                     .expect("spawn io loop")
             })
@@ -673,6 +748,32 @@ impl BbServer {
             report.per_shard.push((stats.requested, stats.admitted));
         }
         report
+    }
+}
+
+/// Dials the downstream peer domain, retrying for a few seconds so a
+/// chain launched terminal-first wins the startup race without outside
+/// orchestration. The socket is nonblocking with Nagle off, ready for
+/// the event loop to own.
+fn dial_peer(addr: &str) -> io::Result<std::net::TcpStream> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match std::net::TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                stream.set_nonblocking(true)?;
+                return Ok(stream);
+            }
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("dialing peer {addr}: {e}"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
     }
 }
 
@@ -900,6 +1001,74 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
                     reply.send(cops::encode_delete_unknown(flow));
                 }
             }
+        }
+        Job::FedAdmit {
+            flow,
+            profile,
+            rate,
+            delay,
+            path,
+            origin,
+            enqueued,
+            rollback_downstream,
+        } => {
+            let now = dispatch.now();
+            let t0 = Instant::now();
+            // Decide and commit back-to-back under the held write
+            // lock: the plan's epoch cannot go stale in between, so
+            // the answer below is authoritative, never a retry.
+            let plan = shard.decide_exact(flow, &profile, rate, delay, path);
+            let decision = shard.commit(now, &plan);
+            metrics.record_decision_ns(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            // Deliberately NOT journaled: a WAL replay re-runs records
+            // as fresh admissions, which would recompute this flow's
+            // rate from local state instead of restoring the exact
+            // chain-computed pair. Federation and durability do not
+            // compose in this version (DESIGN.md §4i).
+            match decision {
+                Ok(res) => {
+                    metrics.record_admit();
+                    dispatch.flow_owner.write().insert(flow, idx);
+                    match origin {
+                        Origin::Client(reply) => {
+                            // The whole chain said yes: answer the edge
+                            // client and finalize downstream.
+                            reply.send(cops::encode_decision_install(&res));
+                            dispatch.fed.forward_commit(flow);
+                        }
+                        Origin::Peer(reply) => {
+                            reply.send(cops::encode_peer_answer(&PeerAnswer::Ok {
+                                flow,
+                                rate: res.rate,
+                                delay: res.delay,
+                            }));
+                        }
+                    }
+                }
+                Err(cause) => {
+                    metrics.record_reject(cause);
+                    if rollback_downstream {
+                        // Downstream booked tentatively on our behalf;
+                        // compensate before refusing upstream so no
+                        // abort path leaves a booking anywhere.
+                        dispatch.fed.forward_release(flow);
+                    }
+                    origin.refuse(flow, cause);
+                }
+            }
+            dispatch
+                .metrics
+                .record_setup_ns(u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        Job::FedRelease { flow } => {
+            let now = dispatch.now();
+            if shard.release(now, flow).is_ok() {
+                dispatch.flow_owner.write().remove(&flow);
+                dispatch.released.fetch_add(1, Ordering::Relaxed);
+                metrics.record_release();
+            }
+            // Not journaled (see FedAdmit) and never answered — the
+            // release propagates down the chain, it is not a request.
         }
         Job::Report { macroflow, at } => {
             shard.edge_buffer_empty(at, macroflow);

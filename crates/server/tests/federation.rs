@@ -1,0 +1,384 @@
+//! Integration tests for broker-to-broker federation: a chain of
+//! peered single-domain daemons must be observationally equivalent to
+//! one flat broker over the union topology — flow for flow — and every
+//! abort path (local refusal after downstream booked, dead peer, slow
+//! peer reaped mid-frame) must leave zero bookings in every domain.
+//!
+//! The chains here are real daemons wired over loopback TCP, launched
+//! terminal-first exactly as `bb-server --peer` chains are, and driven
+//! sequentially through one edge client so the serial comparison is
+//! well-defined.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use bb_core::broker::{Broker, BrokerConfig};
+use bb_core::cops::{self, Decision, PeerAnswer};
+use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
+use bb_server::{BbServer, CopsClient, ServerConfig};
+use netsim::topology::{LinkId, SchedulerSpec, Topology};
+use proptest::prelude::*;
+use qos_units::{Bits, Nanos, Rate, Time};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+const PODS: usize = 2;
+const HOPS: usize = 3;
+const DOMAINS: usize = 3;
+
+fn pod_topology(link_bps: u64) -> (Topology, Vec<Vec<LinkId>>) {
+    Topology::pod_chains(
+        PODS,
+        HOPS,
+        Rate::from_bps(link_bps),
+        Nanos::ZERO,
+        SchedulerSpec::CsVc,
+        Bits::from_bytes(1500),
+    )
+}
+
+/// A flow whose minimum feasible rate depends on the accumulated hop
+/// count at moderate deadlines — so a domain that forgets to add its
+/// segment to the union totals grants a visibly wrong rate.
+fn request(flow: u64, d_req_ms: u64) -> FlowRequest {
+    FlowRequest {
+        flow: FlowId(flow),
+        profile: TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap(),
+        d_req: Nanos::from_millis(d_req_ms),
+        service: ServiceKind::PerFlow,
+        path: bb_core::PathId(flow % PODS as u64),
+    }
+}
+
+/// Starts a chain of `domains` daemons terminal-first, each dialing
+/// the one started before it, and returns them edge-first (index 0 is
+/// the domain clients talk to, the last is the terminal). The edge
+/// domain's links carry `edge_bps`; every downstream domain runs the
+/// paper's 1.5 Mb/s links — a narrower edge forces the edge's own
+/// commit to refuse *after* downstream booked, exercising rollback.
+fn start_chain(domains: usize, edge_bps: u64) -> Vec<BbServer> {
+    let mut servers: Vec<BbServer> = Vec::new();
+    let mut peer: Option<String> = None;
+    for i in 0..domains {
+        let bps = if i == domains - 1 {
+            edge_bps
+        } else {
+            1_500_000
+        };
+        let (topo, routes) = pod_topology(bps);
+        let config = ServerConfig {
+            peer: peer.take(),
+            ..ServerConfig::default()
+        };
+        let srv = BbServer::start("127.0.0.1:0", &topo, &routes, &config).expect("start domain");
+        peer = Some(srv.local_addr().to_string());
+        servers.push(srv);
+    }
+    servers.reverse();
+    servers
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The federation equivalence property: a 3-domain peered chain
+    /// answers every request — admissions with their exact ⟨r, d⟩
+    /// pair, rejections with their exact cause — identically to one
+    /// flat broker over the union topology (triple the hops, same
+    /// links). Duplicate flows, infeasible deadlines, and bandwidth
+    /// exhaustion are all in the driven mix, and afterwards every
+    /// domain holds exactly the same number of resident flows.
+    #[test]
+    fn three_domain_chain_matches_flat_union_broker(
+        reqs in proptest::collection::vec((0u64..64, 150u64..3_000), 1..64),
+    ) {
+        let servers = start_chain(DOMAINS, 1_500_000);
+        let mut client =
+            CopsClient::connect(&servers[0].local_addr().to_string()).expect("connect to edge");
+        client.set_timeout(Some(Duration::from_secs(10))).expect("timeout");
+
+        let (union_topo, union_routes) = Topology::pod_chains(
+            PODS,
+            HOPS * DOMAINS,
+            Rate::from_bps(1_500_000),
+            Nanos::ZERO,
+            SchedulerSpec::CsVc,
+            Bits::from_bytes(1500),
+        );
+        let mut flat = Broker::new(union_topo, BrokerConfig::default());
+        for route in &union_routes {
+            flat.register_route(route);
+        }
+
+        let mut expected_resident = 0u64;
+        for &(flow, d_ms) in &reqs {
+            let req = request(flow, d_ms);
+            let got = client.request(&req).expect("edge round trip");
+            match (got, flat.request(Time::ZERO, &req)) {
+                (Decision::Install(res), Ok(serial)) => {
+                    expected_resident += 1;
+                    prop_assert_eq!(res.rate, serial.rate, "rate for flow {}", flow);
+                    prop_assert_eq!(res.delay, serial.delay, "delay for flow {}", flow);
+                }
+                (Decision::Reject { cause, .. }, Err(expected)) => {
+                    prop_assert_eq!(cause, expected, "cause for flow {}", flow);
+                }
+                (got, expected) => {
+                    return Err(TestCaseError::fail(format!(
+                        "flow {flow}: daemon said {got:?}, serial broker said {expected:?}"
+                    )));
+                }
+            }
+        }
+
+        drop(client);
+        // Edge first, terminal last — the edge's outbound peer link
+        // drains before its downstream sees EOF.
+        let reports: Vec<_> = servers.into_iter().map(BbServer::shutdown).collect();
+        for (i, report) in reports.iter().enumerate() {
+            prop_assert!(report.failures.is_clean(), "domain {i}: {:?}", report.failures);
+            prop_assert_eq!(
+                report.resident_flows, expected_resident,
+                "domain {} residency diverged from the union broker", i
+            );
+        }
+    }
+}
+
+/// An edge DRQ tears the reservation down in *every* domain: the
+/// PEER-RELEASE propagates the whole chain, and the flow is admittable
+/// again afterwards — at the same rate as the first time.
+#[test]
+fn release_propagates_down_the_whole_chain() {
+    let servers = start_chain(DOMAINS, 1_500_000);
+    let mut client =
+        CopsClient::connect(&servers[0].local_addr().to_string()).expect("connect to edge");
+
+    let first = match client.request(&request(5, 2_440)).expect("round trip") {
+        Decision::Install(res) => res,
+        other => panic!("expected install, got {other:?}"),
+    };
+
+    client.send_delete(FlowId(5)).expect("send DRQ");
+    for (i, srv) in servers.iter().enumerate() {
+        wait_until(&format!("domain {i} to release flow 5"), || {
+            srv.stats_snapshot().metrics.released == 1
+        });
+    }
+
+    // Fully torn down everywhere — the flow books again from scratch.
+    let second = match client.request(&request(5, 2_440)).expect("round trip") {
+        Decision::Install(res) => res,
+        other => panic!("expected re-install after release, got {other:?}"),
+    };
+    assert_eq!(first.rate, second.rate);
+    assert_eq!(first.delay, second.delay);
+
+    drop(client);
+    for (i, report) in servers.into_iter().map(BbServer::shutdown).enumerate() {
+        assert!(
+            report.failures.is_clean(),
+            "domain {i}: {:?}",
+            report.failures
+        );
+        assert_eq!(report.resident_flows, 1, "domain {i}");
+    }
+}
+
+/// The hard abort path: downstream domains say yes and book
+/// tentatively, then the *edge's own* commit refuses (its links are
+/// narrower than the chain-computed rate). The compensating
+/// PEER-RELEASE must unwind the tentative bookings in every downstream
+/// domain — no booking left behind.
+#[test]
+fn edge_refusal_rolls_back_tentative_downstream_bookings() {
+    // 30 kb/s edge links cannot carry the flow's 50 kb/s token rate,
+    // so the edge refuses with Bandwidth after both downstream domains
+    // already booked. The deadline is generous (10 s) because narrow
+    // links also inflate the edge's fixed delay terms — a tight one
+    // would refuse DelayInfeasible at the terminal, before any
+    // booking, and never reach the rollback path under test.
+    let servers = start_chain(DOMAINS, 30_000);
+    let mut client =
+        CopsClient::connect(&servers[0].local_addr().to_string()).expect("connect to edge");
+
+    match client.request(&request(1, 10_000)).expect("round trip") {
+        Decision::Reject {
+            cause: Reject::Bandwidth,
+            ..
+        } => {}
+        other => panic!("expected Bandwidth refusal from the narrow edge, got {other:?}"),
+    }
+
+    // The compensation is asynchronous; both downstream domains must
+    // observe it as a release of their tentative booking.
+    for (i, srv) in servers.iter().enumerate().skip(1) {
+        wait_until(
+            &format!("domain {i} to unwind its tentative booking"),
+            || srv.stats_snapshot().metrics.released == 1,
+        );
+    }
+
+    drop(client);
+    for (i, report) in servers.into_iter().map(BbServer::shutdown).enumerate() {
+        assert!(
+            report.failures.is_clean(),
+            "domain {i}: {:?}",
+            report.failures
+        );
+        assert_eq!(
+            report.resident_flows, 0,
+            "domain {i} kept a booking for a refused flow"
+        );
+    }
+}
+
+/// A dead downstream peer fails admissions closed: the edge answers
+/// `PeerUnreachable` (wire code 9), books nothing, and counts the
+/// refusal in its federation telemetry.
+#[test]
+fn dead_peer_refuses_admissions_without_booking_anywhere() {
+    let mut servers = start_chain(2, 1_500_000);
+    let terminal = servers.pop().expect("terminal domain");
+    let edge = servers.pop().expect("edge domain");
+
+    // Kill the downstream domain, then give the edge's io loop a
+    // moment to observe the EOF (either ordering ends in the same
+    // refusal — a parked admission is drained by the close, a later
+    // one is refused on send).
+    let report = terminal.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    std::thread::sleep(Duration::from_millis(200));
+
+    let mut client = CopsClient::connect(&edge.local_addr().to_string()).expect("connect to edge");
+    client
+        .set_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    match client.request(&request(9, 2_440)).expect("round trip") {
+        Decision::Reject {
+            cause: Reject::PeerUnreachable,
+            ..
+        } => {}
+        other => panic!("expected PeerUnreachable, got {other:?}"),
+    }
+
+    let fed = edge.stats_snapshot().metrics.fed;
+    let unreachable = fed
+        .peer_rejects
+        .iter()
+        .find(|r| r.reason == "peer_unreachable")
+        .map_or(0, |r| r.count);
+    assert!(unreachable >= 1, "telemetry missed the refusal: {fed:?}");
+    assert_eq!(fed.in_flight, 0, "nothing may stay parked on a dead link");
+
+    drop(client);
+    let report = edge.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    assert_eq!(report.resident_flows, 0, "a refused flow left residue");
+    // The refusal fails closed at the connection layer — no shard
+    // broker ever sees the request, so admission counters stay zero
+    // and the only trace is the peer_rejects series asserted above.
+    assert_eq!(report.requested, 0);
+}
+
+/// The DeadlineWheel re-arms on *outbound* peer connections exactly as
+/// it does on inbound edges: a downstream peer that answers with half
+/// a frame and stalls is reaped by `--idle-timeout-ms`, the reap
+/// increments `bb_conn_idle_closed_total`, and the parked admission is
+/// drained to the client as `PeerUnreachable` — while the
+/// frame-boundary-idle client connection is left alone.
+#[test]
+fn slow_peer_mid_frame_is_reaped_by_the_idle_wheel() {
+    // A test-controlled fake peer: accepts the edge's dial, swallows
+    // the PEER-DEC query, answers with HALF an install-shaped frame,
+    // then stalls until the edge hangs up.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake peer");
+    let peer_addr = listener.local_addr().expect("fake peer addr").to_string();
+    let fake_peer = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().expect("accept the edge's dial");
+        sock.set_nodelay(true).expect("nodelay");
+        sock.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let mut buf = [0u8; 1024];
+        let got = sock.read(&mut buf).expect("read the PEER-DEC query");
+        assert!(got > 0, "the edge sent nothing");
+        let answer = cops::encode_peer_answer(&PeerAnswer::Ok {
+            flow: FlowId(7),
+            rate: Rate::from_bps(50_000),
+            delay: Nanos::ZERO,
+        });
+        sock.write_all(&answer[..answer.len() / 2])
+            .expect("write half the answer");
+        // Stall mid-frame; the edge must hang up on us.
+        let mut eof = [0u8; 64];
+        matches!(sock.read(&mut eof), Ok(0))
+    });
+
+    let (topo, routes) = pod_topology(1_500_000);
+    let config = ServerConfig {
+        peer: Some(peer_addr),
+        idle_timeout: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    };
+    let edge = BbServer::start("127.0.0.1:0", &topo, &routes, &config).expect("start edge");
+
+    let mut client = CopsClient::connect(&edge.local_addr().to_string()).expect("connect to edge");
+    client
+        .set_timeout(Some(Duration::from_secs(8)))
+        .expect("timeout");
+    let asked_at = Instant::now();
+    match client.request(&request(7, 2_440)).expect("round trip") {
+        Decision::Reject {
+            cause: Reject::PeerUnreachable,
+            ..
+        } => {}
+        other => panic!("expected PeerUnreachable after the reap, got {other:?}"),
+    }
+    assert!(
+        asked_at.elapsed() < Duration::from_secs(4),
+        "reap took {:?} — the wheel never armed on the outbound link",
+        asked_at.elapsed()
+    );
+
+    let metrics = edge.stats_snapshot().metrics;
+    assert_eq!(
+        metrics.conns.idle_closed, 1,
+        "exactly the mid-frame peer link was reaped"
+    );
+    assert_eq!(metrics.fed.in_flight, 0);
+
+    assert!(
+        fake_peer.join().expect("fake peer thread"),
+        "the fake peer saw no EOF — the edge never hung up"
+    );
+
+    // The client connection idled at a frame boundary through all of
+    // this and must still be served.
+    match client.request(&request(8, 2_440)).expect("still serving") {
+        Decision::Reject {
+            cause: Reject::PeerUnreachable,
+            ..
+        } => {}
+        other => panic!("the dead link must stay down, got {other:?}"),
+    }
+
+    drop(client);
+    let report = edge.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    assert_eq!(report.resident_flows, 0, "a refused flow left residue");
+}

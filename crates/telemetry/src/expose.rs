@@ -465,6 +465,33 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
         &snap.conns.decide_batch,
     );
 
+    let _ = writeln!(
+        out,
+        "# HELP bb_peer_rtt_ns PEER-DEC round-trip latency to the downstream peer domain, nanoseconds."
+    );
+    let _ = writeln!(out, "# TYPE bb_peer_rtt_ns histogram");
+    write_histogram(&mut out, "bb_peer_rtt_ns", "", &snap.fed.peer_rtt_ns);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_peer_rejects_total Federated admissions refused through the peered chain, by taxonomy cause."
+    );
+    let _ = writeln!(out, "# TYPE bb_peer_rejects_total counter");
+    for r in &snap.fed.peer_rejects {
+        let _ = writeln!(
+            out,
+            "bb_peer_rejects_total{{reason=\"{}\"}} {}",
+            r.reason, r.count
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_fed_in_flight Cross-domain admissions parked on a downstream answer."
+    );
+    let _ = writeln!(out, "# TYPE bb_fed_in_flight gauge");
+    let _ = writeln!(out, "bb_fed_in_flight {}", snap.fed.in_flight);
+
     out
 }
 

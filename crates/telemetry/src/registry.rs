@@ -228,6 +228,16 @@ pub struct MetricsRegistry {
     /// Requests decided per path×class group on the batched decide path
     /// (one seqlock summary read amortizes over each group).
     decide_batch: LogHistogram,
+    /// Round-trip time of PEER-DEC queries to the downstream peer
+    /// domain (send → answer), federated daemons only.
+    peer_rtt_ns: LogHistogram,
+    /// Federated admissions refused by (or on behalf of) the peered
+    /// chain, by taxonomy cause — includes `peer_unreachable` verdicts
+    /// generated locally when the link is down.
+    peer_rejects: [AtomicU64; Reject::COUNT],
+    /// Cross-domain admissions currently parked on a downstream
+    /// answer.
+    fed_in_flight: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -246,6 +256,9 @@ impl MetricsRegistry {
             conn_idle_closed: AtomicU64::new(0),
             batch_frames: LogHistogram::new(),
             decide_batch: LogHistogram::new(),
+            peer_rtt_ns: LogHistogram::new(),
+            peer_rejects: Default::default(),
+            fed_in_flight: AtomicU64::new(0),
         }
     }
 
@@ -284,6 +297,16 @@ impl MetricsRegistry {
             .fetch_max(open, Ordering::Relaxed);
     }
 
+    /// Counts an outbound (dialed) connection and raises the open
+    /// gauge. The federation peer link rides the same close path as
+    /// accepted sockets, so it must ride the same gauge up — else the
+    /// gauge wraps below zero when the link dies.
+    pub fn record_dial(&self) {
+        let open = self.open_connections.fetch_add(1, Ordering::Relaxed) + 1;
+        self.open_connections_peak
+            .fetch_max(open, Ordering::Relaxed);
+    }
+
     /// Lowers the open-connections gauge (clean close or error alike).
     pub fn record_conn_closed(&self) {
         self.open_connections.fetch_sub(1, Ordering::Relaxed);
@@ -311,6 +334,22 @@ impl MetricsRegistry {
     /// interned path×class row that one seqlock summary read served.
     pub fn record_decide_batch(&self, requests: u64) {
         self.decide_batch.record(requests);
+    }
+
+    /// Records one PEER-DEC round trip to the downstream peer domain.
+    pub fn record_peer_rtt_ns(&self, ns: u64) {
+        self.peer_rtt_ns.record(ns);
+    }
+
+    /// Counts a federated admission refused through (or because of)
+    /// the peered chain, under its taxonomy cause.
+    pub fn record_peer_reject(&self, cause: Reject) {
+        self.peer_rejects[cause.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the parked cross-domain admissions gauge.
+    pub fn set_fed_in_flight(&self, in_flight: u64) {
+        self.fed_in_flight.store(in_flight, Ordering::Relaxed);
     }
 
     /// Current value of the open-connections gauge.
@@ -354,7 +393,40 @@ impl MetricsRegistry {
                 batch_frames: self.batch_frames.snapshot(),
                 decide_batch: self.decide_batch.snapshot(),
             },
+            fed: FederationSnapshot {
+                peer_rtt_ns: self.peer_rtt_ns.snapshot(),
+                peer_rejects: Reject::ALL
+                    .iter()
+                    .map(|&cause| ReasonCount {
+                        reason: cause.label().to_string(),
+                        count: self.peer_rejects[cause.index()].load(Ordering::Relaxed),
+                    })
+                    .collect(),
+                in_flight: self.fed_in_flight.load(Ordering::Relaxed),
+            },
         }
+    }
+}
+
+/// Point-in-time view of the broker-to-broker federation layer; all
+/// zeros on a daemon that neither dials a peer nor is dialed by one.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FederationSnapshot {
+    /// PEER-DEC round-trip latency to the downstream peer domain.
+    pub peer_rtt_ns: HistogramSnapshot,
+    /// Federated refusals relayed from (or generated about) the peered
+    /// chain, by taxonomy cause.
+    pub peer_rejects: Vec<ReasonCount>,
+    /// Cross-domain admissions currently parked on a downstream
+    /// answer.
+    pub in_flight: u64,
+}
+
+impl FederationSnapshot {
+    /// Total federated refusals across all causes.
+    #[must_use]
+    pub fn peer_rejects_total(&self) -> u64 {
+        self.peer_rejects.iter().map(|r| r.count).sum()
     }
 }
 
@@ -480,6 +552,10 @@ pub struct MetricsSnapshot {
     pub setup_ns: HistogramSnapshot,
     /// Connection-layer series (registry-wide).
     pub conns: ConnSnapshot,
+    /// Broker-to-broker federation series (absent in snapshots from
+    /// builds before multi-domain support).
+    #[serde(default)]
+    pub fed: FederationSnapshot,
 }
 
 impl MetricsSnapshot {
