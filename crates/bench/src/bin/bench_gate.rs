@@ -7,6 +7,7 @@
 //!            [--max-allocs-per-decision X]
 //!            [--durable] [--min-connections N] [--min-decide-speedup R]
 //!            [--federation] [--min-domains 3]
+//!            [--failover] [--max-failover-p99-ms 5000]
 //! ```
 //!
 //! Reads both `bb-loadgen` reports, applies
@@ -54,10 +55,19 @@
 //! against the flat union-topology broker, zero residue left in any
 //! downstream domain, and throughput/cross-domain-p99 within the
 //! margins. Every failed check prints expected vs actual, in one pass.
+//!
+//! With `--failover` the fresh report is a `bb-loadgen --failover` run
+//! gated with [`bb_bench::gate::check_failover`]. The report is
+//! self-contained (it measures its own durable baseline), so
+//! `--baseline` is not read: zero acknowledged flows lost across the
+//! SIGKILL, every offered request answered, the replicated throughput
+//! at or above `--min-ratio` (default 0.9) of the durable baseline, and
+//! the p99 failover time under `--max-failover-p99-ms` (default 5000).
 
 use bb_bench::gate::{
-    check_decide_speedup, check_durable, check_federation, check_full_with_allocs, check_swarm,
-    DEFAULT_MAX_P99_RATIO, DEFAULT_MIN_HIT_RATE, DEFAULT_MIN_RATIO,
+    check_decide_speedup, check_durable, check_failover, check_federation, check_full_with_allocs,
+    check_swarm, DEFAULT_MAX_FAILOVER_P99_MS, DEFAULT_MAX_P99_RATIO, DEFAULT_MIN_HIT_RATE,
+    DEFAULT_MIN_RATIO, DEFAULT_MIN_REPL_RATIO,
 };
 
 fn arg(name: &str) -> Option<String> {
@@ -80,6 +90,54 @@ fn load(path: &str) -> serde::json::Value {
 
 fn main() {
     let fresh_path = arg("--fresh").expect("bench-gate: --fresh <report.json> is required");
+    // The failover gate is self-contained — BENCH_failover.json carries
+    // its own durable baseline — so it resolves before --baseline is
+    // demanded.
+    if flag("--failover") {
+        let min_ratio: f64 = arg("--min-ratio")
+            .map(|v| v.parse().expect("bench-gate: --min-ratio must be a float"))
+            .unwrap_or(DEFAULT_MIN_REPL_RATIO);
+        let max_p99_ms: f64 = arg("--max-failover-p99-ms")
+            .map(|v| {
+                v.parse()
+                    .expect("bench-gate: --max-failover-p99-ms must be a float")
+            })
+            .unwrap_or(DEFAULT_MAX_FAILOVER_P99_MS);
+        match check_failover(&load(&fresh_path), min_ratio, max_p99_ms) {
+            Ok(verdict) => {
+                println!(
+                    "bench-gate: replicated {:.0} decisions/s vs durable baseline {:.0} \
+                     ({:.0}%, floor {:.0}%)",
+                    verdict.replicated_rps,
+                    verdict.durable_baseline_rps,
+                    verdict.throughput_ratio * 100.0,
+                    verdict.min_ratio * 100.0
+                );
+                println!(
+                    "bench-gate: failover p50 {:.1} ms, p99 {:.1} ms (ceiling {:.0} ms); \
+                     {:.0} acknowledged flows lost, {:.0} ghost duplicates",
+                    verdict.failover_p50_ms,
+                    verdict.failover_p99_ms,
+                    verdict.max_p99_ms,
+                    verdict.lost_admitted_flows.max(0.0),
+                    verdict.ghost_duplicates
+                );
+                if verdict.passed() {
+                    println!("bench-gate: PASS (failover)");
+                } else {
+                    for f in &verdict.failures {
+                        eprintln!("bench-gate: FAIL: {f}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("bench-gate: unusable report: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     let baseline_path =
         arg("--baseline").expect("bench-gate: --baseline <report.json> is required");
     let min_ratio: f64 = arg("--min-ratio")

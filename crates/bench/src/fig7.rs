@@ -143,15 +143,15 @@ pub fn run() -> TransientResult {
     let (r_old, r_new) = rates();
     let d_edge_old = edge_delay_bound(&alpha2, r_old).expect("valid rate");
     let d_edge_new = edge_delay_bound(&alpha3, r_new).expect("valid rate");
-    let (naive_observed, v1, t_star) = run_one(false);
-    let (contingency_observed, v2, _) = run_one(true);
+    let (naive_observed, naive_violations, t_star) = run_one(false);
+    let (contingency_observed, contingency_violations, _) = run_one(true);
     TransientResult {
         d_edge_old,
         d_edge_new,
         t_star,
         naive_observed,
         contingency_observed,
-        invariant_violations: v1 + v2,
+        invariant_violations: naive_violations + contingency_violations,
     }
 }
 

@@ -875,6 +875,156 @@ pub fn check_federation(
     })
 }
 
+/// Fraction of the durable baseline's throughput a replicated run must
+/// hold: the semi-synchronous DEC gate is supposed to cost latency
+/// inside the pacing slack, not decisions per second.
+pub const DEFAULT_MIN_REPL_RATIO: f64 = 0.9;
+
+/// Ceiling on the kill run's p99 failover time (kill → first decision
+/// from the promoted standby), milliseconds. Promotion is a barrier
+/// drain plus a bind; whole seconds mean the standby stalled.
+pub const DEFAULT_MAX_FAILOVER_P99_MS: f64 = 5_000.0;
+
+/// Outcome of gating a `bb-loadgen --failover` run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FailoverGateReport {
+    /// Durable single-daemon throughput (decisions/s).
+    pub durable_baseline_rps: f64,
+    /// Throughput with the warm standby attached (decisions/s).
+    pub replicated_rps: f64,
+    /// `replicated_rps / durable_baseline_rps`.
+    pub throughput_ratio: f64,
+    /// Minimum acceptable ratio.
+    pub min_ratio: f64,
+    /// Kill → first standby decision, p50 (ms).
+    pub failover_p50_ms: f64,
+    /// Kill → first standby decision, p99 (ms).
+    pub failover_p99_ms: f64,
+    /// Maximum acceptable p99 (ms).
+    pub max_p99_ms: f64,
+    /// Acknowledged flows missing from the promoted standby.
+    pub lost_admitted_flows: f64,
+    /// Re-sent requests the standby refused as duplicates (admitted and
+    /// replicated, DEC lost in the kill) — reported, never gated.
+    pub ghost_duplicates: f64,
+    /// Human-readable reasons the gate failed; empty means pass.
+    pub failures: Vec<String>,
+}
+
+impl FailoverGateReport {
+    /// True when no gate condition failed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Gates a `bb-loadgen --failover` report. Self-contained — the run
+/// measures its own durable baseline, so no second report is involved.
+/// Failures accumulate; every miss states expected vs actual. The gate
+/// fails when:
+///
+/// * `lost_admitted_flows` is missing or not zero — an admitted flow
+///   the primary acknowledged did not survive onto the promoted
+///   standby, which is exactly what the semi-synchronous DEC gate
+///   exists to make impossible;
+/// * the kill run answered fewer decisions than
+///   `clients x requests_per_client` — requests were dropped across the
+///   failover instead of re-delivered;
+/// * `throughput_ratio` fell below `min_ratio` — gating every DEC on
+///   the standby's ack started costing decisions per second, meaning
+///   replication moved onto the critical path instead of overlapping
+///   with the pacing slack;
+/// * the failover percentiles are missing, non-positive, or the p99
+///   rose above `max_p99_ms` — the kill was never crossed, or the
+///   promotion stalled.
+///
+/// # Errors
+///
+/// Practically always returns `Ok`: structural problems are
+/// accumulated into `failures` so one bad field cannot hide the rest.
+pub fn check_failover(
+    fresh: &Value,
+    min_ratio: f64,
+    max_p99_ms: f64,
+) -> Result<FailoverGateReport, String> {
+    let mut failures = Vec::new();
+
+    let lost = gated_number(fresh, "fresh", "lost_admitted_flows", &mut failures);
+    if let Some(lost) = lost {
+        if lost > 0.0 {
+            failures.push(format!(
+                "admitted-flow loss: expected 0 acknowledged flows lost in the failover, \
+                 actual {lost:.0} — the promoted standby is missing flows the primary \
+                 acknowledged admitting"
+            ));
+        }
+    }
+
+    let decided = gated_number(fresh, "fresh", "decisions_failover", &mut failures).unwrap_or(0.0);
+    let clients = gated_number(fresh, "fresh", "clients", &mut failures).unwrap_or(0.0);
+    let per_client =
+        gated_number(fresh, "fresh", "requests_per_client", &mut failures).unwrap_or(0.0);
+    let offered = clients * per_client;
+    if offered > 0.0 && decided < offered {
+        failures.push(format!(
+            "failover run dropped requests: expected {offered:.0} decisions across the kill, \
+             actual {decided:.0}"
+        ));
+    }
+
+    let durable_baseline_rps =
+        gated_number(fresh, "fresh", "durable_baseline_rps", &mut failures).unwrap_or(0.0);
+    let replicated_rps =
+        gated_number(fresh, "fresh", "replicated_rps", &mut failures).unwrap_or(0.0);
+    let throughput_ratio = if durable_baseline_rps > 0.0 {
+        replicated_rps / durable_baseline_rps
+    } else {
+        failures.push(format!(
+            "durable baseline throughput is {durable_baseline_rps}; rerun bb-loadgen --failover"
+        ));
+        0.0
+    };
+    if durable_baseline_rps > 0.0 && throughput_ratio < min_ratio {
+        failures.push(format!(
+            "replication tax too high: expected >= {:.0} decisions/s ({:.0}% of the \
+             {durable_baseline_rps:.0} durable baseline), actual {replicated_rps:.0} ({:.0}%)",
+            durable_baseline_rps * min_ratio,
+            min_ratio * 100.0,
+            throughput_ratio * 100.0
+        ));
+    }
+
+    let failover_p50_ms =
+        gated_number(fresh, "fresh", "failover_p50_ms", &mut failures).unwrap_or(0.0);
+    let failover_p99_ms =
+        gated_number(fresh, "fresh", "failover_p99_ms", &mut failures).unwrap_or(0.0);
+    if failover_p50_ms <= 0.0 || failover_p99_ms <= 0.0 {
+        failures.push(format!(
+            "failover times are not positive (p50 {failover_p50_ms} ms, p99 {failover_p99_ms} \
+             ms): no client crossed the kill"
+        ));
+    } else if failover_p99_ms > max_p99_ms {
+        failures.push(format!(
+            "failover too slow: expected p99 <= {max_p99_ms:.0} ms from SIGKILL to the first \
+             decision off the promoted standby, actual {failover_p99_ms:.0} ms"
+        ));
+    }
+
+    Ok(FailoverGateReport {
+        durable_baseline_rps,
+        replicated_rps,
+        throughput_ratio,
+        min_ratio,
+        failover_p50_ms,
+        failover_p99_ms,
+        max_p99_ms,
+        lost_admitted_flows: lost.unwrap_or(-1.0),
+        ghost_duplicates: number(fresh, "ghost_duplicates").unwrap_or(0.0),
+        failures,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1362,6 +1512,81 @@ mod tests {
             .iter()
             .any(|f| f.contains("failed verification")));
         assert_eq!(verdict.residency_ok, Some(false));
+    }
+
+    fn failover_report(
+        baseline_rps: f64,
+        replicated_rps: f64,
+        decided: u64,
+        lost: &str,
+        p99_ms: f64,
+    ) -> Value {
+        serde::json::parse(&format!(
+            r#"{{
+              "pods": 16, "hops": 3, "clients": 4, "requests_per_client": 400,
+              "offered_rate_per_client_hz": 2000.0, "seed": 1,
+              "durable_baseline_rps": {baseline_rps},
+              "replicated_rps": {replicated_rps},
+              "throughput_ratio": {},
+              "decisions_failover": {decided},
+              "admitted_by_primary": 810, "admitted_by_standby": 677,
+              "ghost_duplicates": 1,
+              "lost_admitted_flows": {lost},
+              "failover_p50_ms": 14.0, "failover_p99_ms": {p99_ms}
+            }}"#,
+            replicated_rps / baseline_rps
+        ))
+        .expect("literal parses")
+    }
+
+    #[test]
+    fn failover_gate_passes_a_clean_zero_loss_run() {
+        let fresh = failover_report(7_600.0, 7_500.0, 1_600, "0", 20.0);
+        let verdict =
+            check_failover(&fresh, DEFAULT_MIN_REPL_RATIO, DEFAULT_MAX_FAILOVER_P99_MS).unwrap();
+        assert!(verdict.passed(), "{:?}", verdict.failures);
+        assert!((verdict.throughput_ratio - 7_500.0 / 7_600.0).abs() < 1e-9);
+        assert_eq!(verdict.lost_admitted_flows, 0.0);
+        assert_eq!(verdict.ghost_duplicates, 1.0);
+    }
+
+    #[test]
+    fn failover_gate_fails_on_any_lost_admitted_flow() {
+        // The one number the whole architecture exists to keep at zero.
+        let fresh = failover_report(7_600.0, 7_500.0, 1_600, "3", 20.0);
+        let verdict =
+            check_failover(&fresh, DEFAULT_MIN_REPL_RATIO, DEFAULT_MAX_FAILOVER_P99_MS).unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("admitted-flow loss"));
+        assert!(verdict.failures[0].contains("actual 3"));
+
+        // A report with no loss count at all must not pass either.
+        let unsaid = failover_report(7_600.0, 7_500.0, 1_600, "null", 20.0);
+        let verdict =
+            check_failover(&unsaid, DEFAULT_MIN_REPL_RATIO, DEFAULT_MAX_FAILOVER_P99_MS).unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict
+            .failures
+            .iter()
+            .any(|f| f.contains("lost_admitted_flows")));
+    }
+
+    #[test]
+    fn failover_gate_bounds_replication_tax_drops_and_promotion_stall() {
+        // Taxed AND droppy AND slow to promote: all three in one pass.
+        let fresh = failover_report(10_000.0, 5_000.0, 1_200, "0", 9_000.0);
+        let verdict =
+            check_failover(&fresh, DEFAULT_MIN_REPL_RATIO, DEFAULT_MAX_FAILOVER_P99_MS).unwrap();
+        assert_eq!(verdict.failures.len(), 3, "{:?}", verdict.failures);
+        assert!(verdict.failures[0].contains("dropped requests"));
+        assert!(verdict.failures[1].contains("replication tax"));
+        assert!(verdict.failures[2].contains("failover too slow"));
+
+        // Exactly at the floor and ceiling still passes.
+        let edge = failover_report(10_000.0, 9_000.0, 1_600, "0", 5_000.0);
+        let verdict =
+            check_failover(&edge, DEFAULT_MIN_REPL_RATIO, DEFAULT_MAX_FAILOVER_P99_MS).unwrap();
+        assert!(verdict.passed(), "{:?}", verdict.failures);
     }
 
     #[test]

@@ -68,6 +68,25 @@ pub enum OpCode {
     PeerCommit,
     /// PEER-RELEASE: tear down (or abort) a booking down the chain.
     PeerRelease,
+    /// REPL-HELLO: a warm standby announces itself on a freshly dialed
+    /// connection and asks the primary to start shipping its journal.
+    ReplHello,
+    /// REPL-SNAPSHOT: one chunk of a shard's bootstrap snapshot image
+    /// (primary → standby; chunked to respect the frame-size cap).
+    ReplSnapshot,
+    /// REPL-RECORDS: committed WAL frames for one shard, tagged with
+    /// the journal position they end at (primary → standby).
+    ReplRecords,
+    /// REPL-ACK: the standby's journal-position watermark — it has
+    /// enqueued everything up to ⟨epoch, offset⟩ for apply.
+    ReplAck,
+    /// REPL-ROTATE: the primary's journal rotated into a new epoch;
+    /// offsets restart at zero (no image ships — the standby already
+    /// applied every record the rotation snapshot folds in).
+    ReplRotate,
+    /// REPL-PROMOTE: explicit admin order to the standby — seal replay
+    /// and start serving (the wire twin of the `promote` stdin command).
+    ReplPromote,
 }
 
 impl OpCode {
@@ -81,6 +100,12 @@ impl OpCode {
             OpCode::PeerDecide => 11,
             OpCode::PeerCommit => 12,
             OpCode::PeerRelease => 13,
+            OpCode::ReplHello => 14,
+            OpCode::ReplSnapshot => 15,
+            OpCode::ReplRecords => 16,
+            OpCode::ReplAck => 17,
+            OpCode::ReplRotate => 18,
+            OpCode::ReplPromote => 19,
         }
     }
 
@@ -94,6 +119,12 @@ impl OpCode {
             11 => OpCode::PeerDecide,
             12 => OpCode::PeerCommit,
             13 => OpCode::PeerRelease,
+            14 => OpCode::ReplHello,
+            15 => OpCode::ReplSnapshot,
+            16 => OpCode::ReplRecords,
+            17 => OpCode::ReplAck,
+            18 => OpCode::ReplRotate,
+            19 => OpCode::ReplPromote,
             _ => return None,
         })
     }
@@ -809,21 +840,47 @@ pub fn peer_frame_is_answer(frame: &Frame) -> bool {
     frame.op == OpCode::PeerDecide && frame.object(cnum::DECISION).is_ok()
 }
 
-/// Encodes a PEER-COMMIT: finalize the tentative booking for `flow` and
-/// forward the commit on down the chain.
-#[must_use]
-pub fn encode_peer_commit(flow: FlowId) -> Bytes {
-    let mut handle = BytesMut::new();
-    handle.put_u64(flow.0);
-    encode_frame(OpCode::PeerCommit, &[(cnum::HANDLE, 1, handle.freeze())])
+/// A decoded PEER-COMMIT: the flow being finalized plus the
+/// terminal-computed ⟨r, d⟩ pair the whole chain booked under. Each
+/// domain the commit passes through asserts the pair matches its own
+/// tentative booking — a mismatch means the chain's bookings have
+/// diverged and the local booking must be released, not finalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerCommit {
+    /// The flow the commit finalizes.
+    pub flow: FlowId,
+    /// End-to-end reserved rate the terminal domain computed.
+    pub rate: Rate,
+    /// Delay parameter `d` of the ⟨r, d⟩ pair.
+    pub delay: Nanos,
 }
 
-/// Decodes a PEER-COMMIT into the flow it finalizes.
+/// Encodes a PEER-COMMIT: finalize the tentative booking for `flow` —
+/// carrying the terminal-computed ⟨r, d⟩ so every domain down the chain
+/// can assert its booking matches — and forward the commit on down.
+#[must_use]
+pub fn encode_peer_commit(commit: &PeerCommit) -> Bytes {
+    let mut handle = BytesMut::new();
+    handle.put_u64(commit.flow.0);
+    let mut si = BytesMut::new();
+    si.put_u64(commit.rate.as_bps());
+    si.put_u64(commit.delay.as_nanos());
+    encode_frame(
+        OpCode::PeerCommit,
+        &[
+            (cnum::HANDLE, 1, handle.freeze()),
+            (cnum::CLIENT_SI, 1, si.freeze()),
+        ],
+    )
+}
+
+/// Decodes a PEER-COMMIT into the flow it finalizes and the ⟨r, d⟩
+/// pair it claims the chain booked under.
 ///
 /// # Errors
 ///
 /// [`CopsError`] on malformed frames.
-pub fn decode_peer_commit(frame: &Frame) -> Result<FlowId, CopsError> {
+pub fn decode_peer_commit(frame: &Frame) -> Result<PeerCommit, CopsError> {
     if frame.op != OpCode::PeerCommit {
         return Err(CopsError::BadOpCode);
     }
@@ -831,7 +888,16 @@ pub fn decode_peer_commit(frame: &Frame) -> Result<FlowId, CopsError> {
     if handle.len() < 8 {
         return Err(CopsError::BadObject);
     }
-    Ok(FlowId(handle.get_u64()))
+    let flow = FlowId(handle.get_u64());
+    let mut si = frame.object(cnum::CLIENT_SI)?.body.clone();
+    if si.len() < 16 {
+        return Err(CopsError::BadObject);
+    }
+    Ok(PeerCommit {
+        flow,
+        rate: Rate::from_bps(si.get_u64()),
+        delay: Nanos::from_nanos(si.get_u64()),
+    })
 }
 
 /// Encodes a PEER-RELEASE: free `flow`'s booking here and everywhere
@@ -858,6 +924,273 @@ pub fn decode_peer_release(frame: &Frame) -> Result<FlowId, CopsError> {
         return Err(CopsError::BadObject);
     }
     Ok(FlowId(handle.get_u64()))
+}
+
+// ---- WAL-shipping replication codecs ----------------------------------
+//
+// Six private-space ops pair a primary with a warm standby. The standby
+// dials the primary's client listener and sends REPL-HELLO; the primary
+// answers with each shard's bootstrap (REPL-SNAPSHOT chunks, then the
+// journal prefix and all live commits as REPL-RECORDS) and the standby
+// answers REPL-ACK watermarks. Framing stays within the daemon's
+// frame-size cap by chunking: a snapshot image or journal prefix splits
+// across as many frames as it takes. Shard index rides in the Handle
+// object (these frames name a shard's journal, not a flow); everything
+// else is ClientSI payload.
+
+/// Maximum replication payload bytes per frame — snapshot chunks and
+/// record batches split at this size so every REPL frame stays well
+/// under the daemon's 16 KiB frame cap after header overhead.
+pub const REPL_CHUNK: usize = 8 * 1024;
+
+/// One chunk of a shard's bootstrap snapshot image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplSnapshot {
+    /// Which broker shard the image belongs to.
+    pub shard: u32,
+    /// Journal epoch the snapshot starts.
+    pub epoch: u64,
+    /// True on the final chunk: the accumulated image is complete and
+    /// may be decoded and restored.
+    pub last: bool,
+    /// This chunk's slice of the raw snapshot-file bytes.
+    pub chunk: Bytes,
+}
+
+/// A batch of committed WAL frames for one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplRecords {
+    /// Which broker shard the records belong to.
+    pub shard: u32,
+    /// Journal epoch the records were appended under.
+    pub epoch: u64,
+    /// Journal byte offset immediately after the last frame in this
+    /// batch — the watermark an ack for this batch must carry.
+    pub end_offset: u64,
+    /// Primary-side monotonic timestamp, nanoseconds; echoed verbatim
+    /// in the covering REPL-ACK so the primary can measure ack RTT
+    /// without per-batch state.
+    pub stamp_ns: u64,
+    /// Raw WAL frames, concatenated (`bb-durable` frame format).
+    pub frames: Bytes,
+}
+
+/// The standby's journal-position watermark for one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplAck {
+    /// Which broker shard the watermark covers.
+    pub shard: u32,
+    /// Journal epoch acknowledged through.
+    pub epoch: u64,
+    /// Journal byte offset acknowledged through (everything at or
+    /// before ⟨epoch, offset⟩ is enqueued for apply on the standby).
+    pub end_offset: u64,
+    /// Echo of the latest [`ReplRecords::stamp_ns`] seen, zero on acks
+    /// covering only bootstrap traffic.
+    pub stamp_ns: u64,
+}
+
+/// Encodes a REPL-HELLO carrying the standby's shard count — the
+/// primary refuses a standby whose sharding disagrees with its own,
+/// because journal records are per-shard command logs.
+#[must_use]
+pub fn encode_repl_hello(shards: u32) -> Bytes {
+    let mut si = BytesMut::new();
+    si.put_u32(shards);
+    encode_frame(OpCode::ReplHello, &[(cnum::CLIENT_SI, 1, si.freeze())])
+}
+
+/// Decodes a REPL-HELLO into the standby's shard count.
+///
+/// # Errors
+///
+/// [`CopsError`] on malformed frames.
+pub fn decode_repl_hello(frame: &Frame) -> Result<u32, CopsError> {
+    if frame.op != OpCode::ReplHello {
+        return Err(CopsError::BadOpCode);
+    }
+    let mut si = frame.object(cnum::CLIENT_SI)?.body.clone();
+    if si.len() < 4 {
+        return Err(CopsError::BadObject);
+    }
+    Ok(si.get_u32())
+}
+
+/// Encodes one REPL-SNAPSHOT chunk.
+#[must_use]
+pub fn encode_repl_snapshot(snap: &ReplSnapshot) -> Bytes {
+    let mut handle = BytesMut::new();
+    handle.put_u64(u64::from(snap.shard));
+    let mut si = BytesMut::new();
+    si.put_u64(snap.epoch);
+    si.put_u8(u8::from(snap.last));
+    si.put_slice(&snap.chunk);
+    encode_frame(
+        OpCode::ReplSnapshot,
+        &[
+            (cnum::HANDLE, 1, handle.freeze()),
+            (cnum::CLIENT_SI, 1, si.freeze()),
+        ],
+    )
+}
+
+/// Decodes a REPL-SNAPSHOT chunk.
+///
+/// # Errors
+///
+/// [`CopsError`] on malformed frames.
+pub fn decode_repl_snapshot(frame: &Frame) -> Result<ReplSnapshot, CopsError> {
+    if frame.op != OpCode::ReplSnapshot {
+        return Err(CopsError::BadOpCode);
+    }
+    let shard = decode_shard_handle(frame)?;
+    let mut si = frame.object(cnum::CLIENT_SI)?.body.clone();
+    if si.len() < 9 {
+        return Err(CopsError::BadObject);
+    }
+    let epoch = si.get_u64();
+    let last = si.get_u8() == 1;
+    Ok(ReplSnapshot {
+        shard,
+        epoch,
+        last,
+        chunk: si,
+    })
+}
+
+/// Encodes a REPL-RECORDS batch.
+#[must_use]
+pub fn encode_repl_records(rec: &ReplRecords) -> Bytes {
+    let mut handle = BytesMut::new();
+    handle.put_u64(u64::from(rec.shard));
+    let mut si = BytesMut::new();
+    si.put_u64(rec.epoch);
+    si.put_u64(rec.end_offset);
+    si.put_u64(rec.stamp_ns);
+    si.put_slice(&rec.frames);
+    encode_frame(
+        OpCode::ReplRecords,
+        &[
+            (cnum::HANDLE, 1, handle.freeze()),
+            (cnum::CLIENT_SI, 1, si.freeze()),
+        ],
+    )
+}
+
+/// Decodes a REPL-RECORDS batch.
+///
+/// # Errors
+///
+/// [`CopsError`] on malformed frames.
+pub fn decode_repl_records(frame: &Frame) -> Result<ReplRecords, CopsError> {
+    if frame.op != OpCode::ReplRecords {
+        return Err(CopsError::BadOpCode);
+    }
+    let shard = decode_shard_handle(frame)?;
+    let mut si = frame.object(cnum::CLIENT_SI)?.body.clone();
+    if si.len() < 24 {
+        return Err(CopsError::BadObject);
+    }
+    let epoch = si.get_u64();
+    let end_offset = si.get_u64();
+    let stamp_ns = si.get_u64();
+    Ok(ReplRecords {
+        shard,
+        epoch,
+        end_offset,
+        stamp_ns,
+        frames: si,
+    })
+}
+
+/// Encodes a REPL-ACK watermark.
+#[must_use]
+pub fn encode_repl_ack(ack: &ReplAck) -> Bytes {
+    let mut handle = BytesMut::new();
+    handle.put_u64(u64::from(ack.shard));
+    let mut si = BytesMut::new();
+    si.put_u64(ack.epoch);
+    si.put_u64(ack.end_offset);
+    si.put_u64(ack.stamp_ns);
+    encode_frame(
+        OpCode::ReplAck,
+        &[
+            (cnum::HANDLE, 1, handle.freeze()),
+            (cnum::CLIENT_SI, 1, si.freeze()),
+        ],
+    )
+}
+
+/// Decodes a REPL-ACK watermark.
+///
+/// # Errors
+///
+/// [`CopsError`] on malformed frames.
+pub fn decode_repl_ack(frame: &Frame) -> Result<ReplAck, CopsError> {
+    if frame.op != OpCode::ReplAck {
+        return Err(CopsError::BadOpCode);
+    }
+    let shard = decode_shard_handle(frame)?;
+    let mut si = frame.object(cnum::CLIENT_SI)?.body.clone();
+    if si.len() < 24 {
+        return Err(CopsError::BadObject);
+    }
+    Ok(ReplAck {
+        shard,
+        epoch: si.get_u64(),
+        end_offset: si.get_u64(),
+        stamp_ns: si.get_u64(),
+    })
+}
+
+/// Encodes a REPL-ROTATE notice: `shard`'s journal rotated into
+/// `epoch`, offsets restart at zero.
+#[must_use]
+pub fn encode_repl_rotate(shard: u32, epoch: u64) -> Bytes {
+    let mut handle = BytesMut::new();
+    handle.put_u64(u64::from(shard));
+    let mut si = BytesMut::new();
+    si.put_u64(epoch);
+    encode_frame(
+        OpCode::ReplRotate,
+        &[
+            (cnum::HANDLE, 1, handle.freeze()),
+            (cnum::CLIENT_SI, 1, si.freeze()),
+        ],
+    )
+}
+
+/// Decodes a REPL-ROTATE notice into `(shard, epoch)`.
+///
+/// # Errors
+///
+/// [`CopsError`] on malformed frames.
+pub fn decode_repl_rotate(frame: &Frame) -> Result<(u32, u64), CopsError> {
+    if frame.op != OpCode::ReplRotate {
+        return Err(CopsError::BadOpCode);
+    }
+    let shard = decode_shard_handle(frame)?;
+    let mut si = frame.object(cnum::CLIENT_SI)?.body.clone();
+    if si.len() < 8 {
+        return Err(CopsError::BadObject);
+    }
+    Ok((shard, si.get_u64()))
+}
+
+/// Encodes a REPL-PROMOTE admin order (no payload — the op is the
+/// message).
+#[must_use]
+pub fn encode_repl_promote() -> Bytes {
+    encode_frame(OpCode::ReplPromote, &[])
+}
+
+/// Reads the shard index out of a REPL frame's Handle object.
+fn decode_shard_handle(frame: &Frame) -> Result<u32, CopsError> {
+    let mut handle = frame.object(cnum::HANDLE)?.body.clone();
+    if handle.len() < 8 {
+        return Err(CopsError::BadObject);
+    }
+    u32::try_from(handle.get_u64()).map_err(|_| CopsError::BadObject)
 }
 
 #[cfg(test)]
@@ -998,14 +1331,85 @@ mod tests {
 
     #[test]
     fn peer_commit_and_release_roundtrip_and_stay_distinct() {
-        let mut buf = encode_peer_commit(FlowId(5));
+        let commit = PeerCommit {
+            flow: FlowId(5),
+            rate: Rate::from_bps(54_020),
+            delay: Nanos::from_millis(12),
+        };
+        let mut buf = encode_peer_commit(&commit);
         let frame = decode_frame(&mut buf).unwrap();
-        assert_eq!(decode_peer_commit(&frame).unwrap(), FlowId(5));
+        assert_eq!(decode_peer_commit(&frame).unwrap(), commit);
         assert_eq!(decode_peer_release(&frame), Err(CopsError::BadOpCode));
         let mut buf = encode_peer_release(FlowId(6));
         let frame = decode_frame(&mut buf).unwrap();
         assert_eq!(decode_peer_release(&frame).unwrap(), FlowId(6));
         assert_eq!(decode_peer_commit(&frame), Err(CopsError::BadOpCode));
+    }
+
+    #[test]
+    fn repl_frames_roundtrip() {
+        let mut buf = encode_repl_hello(4);
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(decode_repl_hello(&frame).unwrap(), 4);
+
+        let snap = ReplSnapshot {
+            shard: 2,
+            epoch: 7,
+            last: true,
+            chunk: Bytes::from_static(b"image-bytes"),
+        };
+        let mut buf = encode_repl_snapshot(&snap);
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(decode_repl_snapshot(&frame).unwrap(), snap);
+
+        let recs = ReplRecords {
+            shard: 1,
+            epoch: 7,
+            end_offset: 4096,
+            stamp_ns: 123_456_789,
+            frames: Bytes::from_static(b"wal-frames"),
+        };
+        let mut buf = encode_repl_records(&recs);
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(decode_repl_records(&frame).unwrap(), recs);
+
+        let ack = ReplAck {
+            shard: 1,
+            epoch: 7,
+            end_offset: 4096,
+            stamp_ns: 123_456_789,
+        };
+        let mut buf = encode_repl_ack(&ack);
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(decode_repl_ack(&frame).unwrap(), ack);
+
+        let mut buf = encode_repl_rotate(3, 8);
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(decode_repl_rotate(&frame).unwrap(), (3, 8));
+
+        let mut buf = encode_repl_promote();
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(frame.op, OpCode::ReplPromote);
+
+        // Empty-chunk snapshot frames and op confusion stay rejected.
+        let mut buf = encode_repl_ack(&ack);
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(decode_repl_records(&frame), Err(CopsError::BadOpCode));
+    }
+
+    #[test]
+    fn repl_frames_survive_truncation_fuzz() {
+        let good = encode_repl_records(&ReplRecords {
+            shard: 0,
+            epoch: 1,
+            end_offset: 64,
+            stamp_ns: 42,
+            frames: Bytes::from_static(b"abcdef"),
+        });
+        for cut in 0..good.len() {
+            let mut short = good.slice(..cut);
+            assert!(decode_frame(&mut short).is_err(), "cut at {cut} decoded");
+        }
     }
 
     #[test]

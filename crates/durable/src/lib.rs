@@ -24,6 +24,11 @@
 //!   generation counters intact, link EDF tables, counters), written
 //!   atomically via temp-file + fsync + rename, with the journal
 //!   rotating to a new epoch at each snapshot.
+//! * **Replication seam** ([`store::LogSink`]) — every committed frame
+//!   also fans out, byte-identical and in append order, to an attached
+//!   sink; [`ShardStore::attach_sink`] hands the attacher a consistent
+//!   snapshot + journal-prefix bootstrap in the same critical section,
+//!   which is all a warm standby needs to tail the journal gaplessly.
 //! * **Recovery** ([`recovery`]) — load the latest valid snapshot,
 //!   replay the journal chain through the broker's monolithic entry
 //!   points (sound by the two-phase pipeline's serial-equivalence
@@ -43,8 +48,8 @@ pub use binfmt::Payload;
 pub use record::{
     encode_record, encode_record_json, FrameCursor, FrameError, WalRecord, FRAME_HEADER,
 };
-pub use recovery::{replay, RecoveryOutcome, ReplaySummary};
+pub use recovery::{apply_record, replay, RecoveryOutcome, ReplaySummary};
 pub use store::{
-    read_snapshot, snap_path, wal_path, write_snapshot, DurableError, FsyncSample, RotateStats,
-    ShardStore, SnapMeta,
+    decode_snapshot, read_snapshot, snap_path, wal_path, write_snapshot, DurableError, FsyncSample,
+    LogSink, RotateStats, ShardStore, SinkBootstrap, SnapMeta, WalPosition,
 };

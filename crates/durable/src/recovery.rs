@@ -79,24 +79,34 @@ pub fn replay(shard: &mut BrokerShard, outcome: &RecoveryOutcome) -> ReplaySumma
     }
     let mut summary = ReplaySummary::default();
     for rec in &outcome.records {
-        match rec {
-            WalRecord::Admit { now, request } => {
-                let _ = shard.replay_request(*now, request);
-                summary.admissions += 1;
-            }
-            WalRecord::Release { now, flow } => {
-                let _ = shard.release(*now, *flow);
-                summary.releases += 1;
-            }
-            WalRecord::Report { now, macroflow } => {
-                let _ = shard.edge_buffer_empty(*now, *macroflow);
-                summary.reports += 1;
-            }
-            WalRecord::Tick { now } => {
-                let _ = shard.tick(*now);
-                summary.ticks += 1;
-            }
-        }
+        apply_record(shard, rec, &mut summary);
     }
     summary
+}
+
+/// Applies one journal record to a shard through its monolithic entry
+/// points — the unit step of [`replay`], also driven record-at-a-time
+/// by a warm standby tailing a primary's shipped journal stream. The
+/// same serial-equivalence argument covers both: the record carries the
+/// clock value the primary committed under, so the standby's image
+/// tracks the primary's exactly.
+pub fn apply_record(shard: &mut BrokerShard, rec: &WalRecord, summary: &mut ReplaySummary) {
+    match rec {
+        WalRecord::Admit { now, request } => {
+            let _ = shard.replay_request(*now, request);
+            summary.admissions += 1;
+        }
+        WalRecord::Release { now, flow } => {
+            let _ = shard.release(*now, *flow);
+            summary.releases += 1;
+        }
+        WalRecord::Report { now, macroflow } => {
+            let _ = shard.edge_buffer_empty(*now, *macroflow);
+            summary.reports += 1;
+        }
+        WalRecord::Tick { now } => {
+            let _ = shard.tick(*now);
+            summary.ticks += 1;
+        }
+    }
 }

@@ -43,6 +43,7 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -127,6 +128,50 @@ impl DurableError {
     }
 }
 
+/// Where in the journal an append landed: the epoch it belongs to and
+/// the journal's byte length once the record was written. A replication
+/// ack naming `(epoch, end_offset)` covers this record iff its epoch is
+/// later, or equal with an offset at or past `end_offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WalPosition {
+    /// Journal epoch the record was appended to.
+    pub epoch: u64,
+    /// Journal bytes up to and including this record.
+    pub end_offset: u64,
+}
+
+/// The fan-out seam on the committed-record path: every frame appended
+/// to the local journal is also offered, byte-identical and in append
+/// order, to an attached sink — the hook an outbound replication stream
+/// hangs off. Callbacks run under the store's internal mutex, so a sink
+/// observes a total order consistent with the journal; implementations
+/// must therefore only do cheap, non-blocking work (queue bytes and
+/// return).
+pub trait LogSink: Send + Sync {
+    /// One record appended: the encoded WAL `frame` now ends at `pos`.
+    fn record(&self, pos: WalPosition, frame: &[u8]);
+    /// The journal rotated into `epoch`; offsets restart at zero. The
+    /// rotation snapshot is *not* shipped: a sink attached since
+    /// bootstrap has already applied every record the snapshot folds in.
+    fn rotate(&self, epoch: u64);
+}
+
+/// What [`ShardStore::attach_sink`] hands the bootstrap closure: the
+/// bytes a cold replica needs to reach the exact journal position the
+/// sink will stream from. Borrowed, because the closure runs inside the
+/// store's critical section — ship (enqueue) and return.
+pub struct SinkBootstrap<'a> {
+    /// The current journal epoch.
+    pub epoch: u64,
+    /// Raw contents of this epoch's snapshot file (`snap-<E>.img`):
+    /// a [`SnapMeta`] frame followed by a [`BrokerImage`] frame —
+    /// decode with [`decode_snapshot`].
+    pub snapshot: &'a [u8],
+    /// This epoch's journal prefix: every record appended so far, as
+    /// raw WAL frames.
+    pub journal: &'a [u8],
+}
+
 /// One fsync's worth of group-commit accounting, for telemetry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FsyncSample {
@@ -157,6 +202,9 @@ struct Inner {
     dirty: bool,
     records_since_snapshot: u64,
     snapshot_bytes: u64,
+    /// Attached replication sink; committed frames fan out here in
+    /// append order, under this same mutex.
+    sink: Option<Arc<dyn LogSink>>,
 }
 
 /// The durable store of one broker shard. Sync: appends, flushes, and
@@ -286,6 +334,7 @@ impl ShardStore {
                 dirty: false,
                 records_since_snapshot: 0,
                 snapshot_bytes: 0,
+                sink: None,
             }),
         };
         Ok((store, outcome))
@@ -320,8 +369,11 @@ impl ShardStore {
         Ok(())
     }
 
-    /// Appends one record to the journal buffer. No fsync — durability
-    /// arrives with the next [`ShardStore::flush`] (group commit).
+    /// Appends one record to the journal buffer and fans it out to the
+    /// attached [`LogSink`], if any. No fsync — durability arrives with
+    /// the next [`ShardStore::flush`] (group commit). Returns where the
+    /// record landed, so a caller gating on replication acks knows which
+    /// `(epoch, offset)` watermark must cover it.
     ///
     /// # Errors
     ///
@@ -330,7 +382,7 @@ impl ShardStore {
     /// # Panics
     ///
     /// Panics when called before [`ShardStore::commit_recovery`].
-    pub fn append(&self, record: &WalRecord) -> Result<(), DurableError> {
+    pub fn append(&self, record: &WalRecord) -> Result<WalPosition, DurableError> {
         let bytes = encode_record(record);
         let mut inner = self.inner.lock();
         let path = wal_path(&self.dir, inner.epoch);
@@ -340,7 +392,61 @@ impl ShardStore {
         inner.wal_bytes += bytes.len() as u64;
         inner.records_since_snapshot += 1;
         inner.dirty = true;
+        let pos = WalPosition {
+            epoch: inner.epoch,
+            end_offset: inner.wal_bytes,
+        };
+        if let Some(sink) = &inner.sink {
+            sink.record(pos, &bytes);
+        }
+        Ok(pos)
+    }
+
+    /// Attaches the replication sink, handing `bootstrap` the snapshot
+    /// and journal-prefix bytes that bring a cold replica to the exact
+    /// position the sink will stream from. Everything happens in one
+    /// critical section against [`ShardStore::append`]: no record can
+    /// land between the prefix read and the sink install, so the stream
+    /// the sink sees is gapless. Replaces any previously attached sink.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure flushing the journal buffer or reading the snapshot
+    /// or journal files back.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`ShardStore::commit_recovery`].
+    pub fn attach_sink(
+        &self,
+        sink: Arc<dyn LogSink>,
+        bootstrap: impl FnOnce(SinkBootstrap<'_>),
+    ) -> Result<(), DurableError> {
+        let mut inner = self.inner.lock();
+        let epoch = inner.epoch;
+        let path = wal_path(&self.dir, epoch);
+        let wal = inner
+            .wal
+            .as_mut()
+            .expect("attach_sink before commit_recovery");
+        // Write buffered appends through to the OS (no fsync needed —
+        // we are about to read the file back, not survive a crash).
+        wal.flush().map_err(|e| DurableError::io(&path, e))?;
+        let snapshot = read_file(&snap_path(&self.dir, epoch))?;
+        let journal = read_file(&path)?;
+        bootstrap(SinkBootstrap {
+            epoch,
+            snapshot: &snapshot,
+            journal: &journal,
+        });
+        inner.sink = Some(sink);
         Ok(())
+    }
+
+    /// Detaches the replication sink (replica died or was replaced);
+    /// subsequent appends stay local-only. Idempotent.
+    pub fn detach_sink(&self) {
+        self.inner.lock().sink = None;
     }
 
     /// Group commit: flushes buffered records and fsyncs the journal.
@@ -406,6 +512,9 @@ impl ShardStore {
         inner.dirty = false;
         inner.records_since_snapshot = 0;
         inner.snapshot_bytes = snapshot_bytes;
+        if let Some(sink) = &inner.sink {
+            sink.rotate(epoch);
+        }
         drop(inner);
         self.gc(epoch);
         sync_dir(&self.dir)?;
@@ -524,25 +633,31 @@ pub fn write_snapshot(
 /// never a tolerable crash artifact.
 pub fn read_snapshot(path: &Path) -> Result<(SnapMeta, BrokerImage), DurableError> {
     let bytes = read_file(path)?;
-    let corrupt = |error| DurableError::Corrupt {
+    decode_snapshot(&bytes).map_err(|error| DurableError::Corrupt {
         path: path.to_path_buf(),
         error,
-    };
-    let mut cursor = FrameCursor::new(&bytes);
-    let meta_frame = cursor.next_frame().map_err(&corrupt)?.ok_or_else(|| {
-        corrupt(FrameError::Torn {
-            offset: 0,
-            trailing: 0,
-        })
+    })
+}
+
+/// Decodes a snapshot image from its raw bytes (the contents of a
+/// `snap-<E>.img` file, or the same bytes shipped over a replication
+/// bootstrap): a [`SnapMeta`] frame followed by a [`BrokerImage`] frame.
+///
+/// # Errors
+///
+/// [`FrameError`] when either frame is torn, truncated, or corrupt.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<(SnapMeta, BrokerImage), FrameError> {
+    let mut cursor = FrameCursor::new(bytes);
+    let meta_frame = cursor.next_frame()?.ok_or(FrameError::Torn {
+        offset: 0,
+        trailing: 0,
     })?;
-    let meta: SnapMeta = decode_payload(meta_frame, 0).map_err(&corrupt)?;
+    let meta: SnapMeta = decode_payload(meta_frame, 0)?;
     let offset = cursor.offset();
-    let image_frame = cursor.next_frame().map_err(&corrupt)?.ok_or_else(|| {
-        corrupt(FrameError::Torn {
-            offset,
-            trailing: 0,
-        })
+    let image_frame = cursor.next_frame()?.ok_or(FrameError::Torn {
+        offset,
+        trailing: 0,
     })?;
-    let image: BrokerImage = decode_payload(image_frame, offset).map_err(&corrupt)?;
+    let image: BrokerImage = decode_payload(image_frame, offset)?;
     Ok((meta, image))
 }

@@ -137,6 +137,51 @@ mod tests {
     }
 
     #[test]
+    fn same_tick_dereg_rereg_is_not_reaped_by_the_stale_deadline() {
+        // The slot-reuse race the generation protocol exists for: a
+        // connection with an armed deadline closes, and within the
+        // same tick its slab slot is taken by a *new* connection that
+        // arms its own deadline. Two entries for token 7 now sit in
+        // the wheel; the stale one expires first and must not reap the
+        // new connection.
+        let mut wheel = DeadlineWheel::new(64, 10);
+        // Old connection in slot 7, gen 1, deadline at ~10ms.
+        wheel.arm(0, 10, 7, 1);
+        // Same tick: the old conn closes (caller bumps the slot's gen)
+        // and a new conn in the same slot arms at gen 2, deadline ~20ms.
+        let slot_gen = 2u64;
+        wheel.arm(0, 20, 7, slot_gen);
+
+        let mut expired = Vec::new();
+        wheel.advance(16, &mut expired);
+        // Only the stale gen-1 entry has expired; the caller's
+        // generation check refuses it, so the new connection survives.
+        assert_eq!(
+            expired,
+            vec![Armed {
+                token: 7,
+                generation: 1
+            }]
+        );
+        assert!(
+            expired.iter().all(|a| a.generation != slot_gen),
+            "the live connection's entry must not expire at the stale deadline"
+        );
+        expired.clear();
+
+        // The new connection's own deadline still fires on schedule.
+        wheel.advance(32, &mut expired);
+        assert_eq!(
+            expired,
+            vec![Armed {
+                token: 7,
+                generation: slot_gen
+            }]
+        );
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
     fn delays_beyond_horizon_clamp_to_horizon() {
         let mut wheel = DeadlineWheel::new(4, 10); // horizon 30ms
         wheel.arm(0, 1_000_000, 9, 0);

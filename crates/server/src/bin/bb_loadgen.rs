@@ -22,7 +22,23 @@
 //!            [--durable]          # journal + snapshot the hosted daemon
 //!            [--data-dir PATH] [--wal-flush-ms 5] [--snapshot-every 10000]
 //!            [--no-batched-decide] # hosted daemon decides under the shard lock
+//!            [--failover]         # measured kill-the-primary failover run
+//!            [--server-bin PATH]  # bb-server binary for --failover phases
 //! ```
+//!
+//! `--failover` runs the high-availability experiment end to end with
+//! **real `bb-server` processes** (so the primary can be SIGKILLed):
+//! first a durable baseline run, then the same workload against a
+//! durable primary with a warm standby attached (the replication tax),
+//! then a kill run — the primary is SIGKILLed mid-load, the standby
+//! auto-promotes, every client re-sends its unanswered requests on the
+//! promoted daemon, and a final probe pass re-REQs every flow the
+//! primary *acknowledged* admitting, requiring the duplicate to be
+//! refused (resident). An `Install` answer there means an acknowledged
+//! flow was lost — the run fails. The report (`BENCH_failover.json` by
+//! default) carries both throughputs, their ratio, the per-client
+//! failover times (kill → first decision from the standby), and the
+//! loss count; `bench_gate --failover` gates it.
 //!
 //! With `--connections N` each client stream multiplexes its open-loop
 //! schedule over its share of N persistent nonblocking connections (a
@@ -110,18 +126,19 @@ mod alloc_counter {
 }
 
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::{BufRead, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use bb_core::broker::{Broker, BrokerConfig};
 use bb_core::cops::{self, Decision};
 use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
 use bb_server::{
-    fetch_stats, BbServer, DurableOptions, FrameReader, ServerConfig, ServerReport, StatsSnapshot,
+    fetch_stats, BbServer, CopsClient, DurableOptions, FrameReader, ServerConfig, ServerReport,
+    StatsSnapshot,
 };
 use netpoll::{Event, Interest, Poller, Token};
 use netsim::topology::{SchedulerSpec, Topology};
@@ -796,7 +813,740 @@ fn pod_topology(pods: usize, hops: usize) -> (Topology, Vec<Vec<netsim::topology
     )
 }
 
+// ---------------------------------------------------------------------------
+// --failover: the measured kill-the-primary experiment (see module docs)
+// ---------------------------------------------------------------------------
+
+/// The `bb-server` binary the failover phases spawn. The kill run needs
+/// a real process (SIGKILL has no in-process stand-in), so the daemon
+/// binary must sit next to this one — which `cargo build --release
+/// --bins` guarantees — or be named with `--server-bin`.
+fn server_bin() -> std::path::PathBuf {
+    let explicit: String = arg("--server-bin", String::new());
+    if !explicit.is_empty() {
+        return explicit.into();
+    }
+    std::env::current_exe()
+        .expect("resolve current executable")
+        .parent()
+        .expect("executable has a directory")
+        .join("bb-server")
+}
+
+type ServerHandle = (
+    std::process::Child,
+    std::process::ChildStdin,
+    std::io::BufReader<std::process::ChildStdout>,
+);
+
+fn spawn_server(args: &[String]) -> ServerHandle {
+    let bin = server_bin();
+    let mut child = std::process::Command::new(&bin)
+        .args(args)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| {
+            panic!(
+                "spawn {} failed ({e}); build bb-server alongside bb-loadgen or pass --server-bin",
+                bin.display()
+            )
+        });
+    let stdin = child.stdin.take().expect("piped stdin");
+    let reader = std::io::BufReader::new(child.stdout.take().expect("piped stdout"));
+    (child, stdin, reader)
+}
+
+/// Reads stdout lines until one contains `marker`; panics if the daemon
+/// exits first. Startup-order dependent: callers await the banners in
+/// the order `bb-server` prints them.
+fn await_line(reader: &mut impl BufRead, what: &str, marker: &str) -> String {
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read bb-server stdout");
+        assert!(n > 0, "bb-server exited before printing {what}");
+        if line.contains(marker) {
+            return line;
+        }
+    }
+}
+
+/// The whitespace-delimited socket address following `marker`.
+fn addr_after(line: &str, marker: &str) -> SocketAddr {
+    line.split(marker)
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| c.is_whitespace() || c == '/').next())
+        .and_then(|tok| tok.parse().ok())
+        .unwrap_or_else(|| panic!("no address after {marker:?} in {line:?}"))
+}
+
+/// Keeps the child's stdout pipe drained so the final shutdown report
+/// (printed on `quit`) can never block the daemon.
+fn drain_stdout(reader: std::io::BufReader<std::process::ChildStdout>) {
+    std::thread::spawn(move || {
+        let mut sink = reader;
+        let mut buf = [0u8; 4096];
+        while matches!(sink.read(&mut buf), Ok(n) if n > 0) {}
+    });
+}
+
+fn graceful_quit(mut child: std::process::Child, mut stdin: std::process::ChildStdin, what: &str) {
+    let _ = stdin.write_all(b"quit\n");
+    drop(stdin);
+    let status = child
+        .wait()
+        .unwrap_or_else(|e| panic!("wait for {what}: {e}"));
+    assert!(status.success(), "{what} exited with {status}");
+}
+
+fn wait_for_attach(stats: &SocketAddr) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(snap) = fetch_stats(stats) {
+            if snap.metrics.repl.attached == 1 {
+                return;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for the standby to attach to the primary"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Drives one classic paced load phase and returns
+/// `(decisions, admitted, elapsed_s)`.
+fn drive_load(
+    addr: &str,
+    pods: usize,
+    clients: usize,
+    requests: usize,
+    rate_hz: f64,
+    seed: u64,
+) -> (u64, u64, f64) {
+    let ready = Arc::new(Barrier::new(clients + 1));
+    let handles: Vec<_> = (0..clients as u64)
+        .map(|c| {
+            let addr = addr.to_string();
+            let reqs = requests_for(c, clients as u64, pods, requests);
+            let ready = Arc::clone(&ready);
+            std::thread::Builder::new()
+                .name(format!("failover-load-{c}"))
+                .spawn(move || run_client(addr, c, reqs, rate_hz, seed, ready))
+                .expect("spawn load client")
+        })
+        .collect();
+    ready.wait();
+    let t0 = Instant::now();
+    let results: Vec<ClientResult> = handles
+        .into_iter()
+        .map(|h| h.join().expect("load client panicked").expect("client I/O"))
+        .collect();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let decisions: u64 = results.iter().map(|r| r.outcomes.len() as u64).sum();
+    let admitted = results
+        .iter()
+        .flat_map(|r| r.outcomes.values())
+        .filter(|o| matches!(o, Outcome::Admit { .. }))
+        .count() as u64;
+    (decisions, admitted, elapsed)
+}
+
+/// State the kill run's threads coordinate through: the killer stamps
+/// `kill_at` before the SIGKILL, the standby's stdout watcher publishes
+/// the promoted address, and every client counts its answered requests
+/// toward the kill trigger.
+struct FailoverShared {
+    promoted: Mutex<Option<SocketAddr>>,
+    promoted_cv: Condvar,
+    kill_at: Mutex<Option<Instant>>,
+    answered: AtomicU64,
+}
+
+impl FailoverShared {
+    /// Blocks until the watcher publishes the promoted address.
+    fn await_promoted(&self) -> SocketAddr {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut guard = self.promoted.lock().expect("promoted lock");
+        loop {
+            if let Some(addr) = *guard {
+                return addr;
+            }
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .expect("timed out waiting for the standby to announce promotion");
+            guard = self
+                .promoted_cv
+                .wait_timeout(guard, left)
+                .expect("promoted lock")
+                .0;
+        }
+    }
+}
+
+struct FailoverClientResult {
+    outcomes: HashMap<u64, Outcome>,
+    /// Request indices the **primary** acknowledged admitting before it
+    /// was killed — the set the zero-loss probe re-REQs.
+    admitted_primary: Vec<u64>,
+    /// Flows admitted fresh by the promoted standby (never answered by
+    /// the primary).
+    admitted_standby: u64,
+    /// Re-sent requests the standby refused as duplicates: the primary
+    /// admitted and replicated them but was killed before the DEC
+    /// reached this client. Over-delivery, never loss.
+    ghost_duplicates: u64,
+    /// Kill instant → first decision from the promoted standby, ms.
+    failover_ms: Option<f64>,
+}
+
+/// One client of the kill run: paces the schedule at the primary,
+/// survives its death, re-sends everything unanswered on the promoted
+/// standby, and reports how long the failover gap was.
+fn run_failover_client(
+    primary: String,
+    c: u64,
+    reqs: Vec<FlowRequest>,
+    rate_hz: f64,
+    seed: u64,
+    ready: Arc<Barrier>,
+    shared: Arc<FailoverShared>,
+) -> FailoverClientResult {
+    let n = reqs.len();
+    let stream = TcpStream::connect(&primary).expect("connect to primary");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .expect("read timeout");
+    let mut wstream = stream.try_clone().expect("clone stream");
+    ready.wait();
+
+    // Paced open-loop sender, tolerant of the socket dying mid-schedule:
+    // a failed write means the kill landed, and whatever was not sent
+    // joins the unanswered set the reconnect path re-sends.
+    let send_reqs = reqs.clone();
+    let sender = std::thread::Builder::new()
+        .name(format!("failover-send-{c}"))
+        .spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (c.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let start = Instant::now();
+            let mut next_at = 0.0f64;
+            for req in &send_reqs {
+                next_at += -rng.gen_range(f64::MIN_POSITIVE..1.0).ln() / rate_hz;
+                let due = start + Duration::from_secs_f64(next_at);
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                if wstream.write_all(&cops::encode_request(req)).is_err() {
+                    return;
+                }
+            }
+        })
+        .expect("spawn failover sender");
+
+    let mut outcomes: HashMap<u64, Outcome> = HashMap::new();
+    let decode_one = |wire| -> (u64, Outcome) {
+        let mut buf = wire;
+        let frame = cops::decode_frame(&mut buf).expect("server sent valid COPS");
+        match cops::decode_decision(&frame).expect("server sent a DEC") {
+            Decision::Install(res) => (
+                res.flow.0 & 0xFFFF_FFFF,
+                Outcome::Admit {
+                    rate_bps: res.rate.as_bps(),
+                    delay_ns: res.delay.as_nanos(),
+                },
+            ),
+            Decision::Reject { flow, cause } => (flow.0 & 0xFFFF_FFFF, Outcome::Deny(cause)),
+            Decision::UnknownFlow { flow } => panic!("unexpected unknown-flow DEC for {flow}"),
+        }
+    };
+
+    // Phase one: read the primary until it answers everything or dies.
+    let mut reader = FrameReader::new();
+    let mut chunk = [0u8; 4096];
+    let mut rstream = stream;
+    let mut primary_died = false;
+    'primary: while outcomes.len() < n {
+        while let Some(wire) = reader.next_frame().expect("primary broke framing") {
+            let (k, outcome) = decode_one(wire);
+            if outcomes.insert(k, outcome).is_none() {
+                shared.answered.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if outcomes.len() >= n {
+            break 'primary;
+        }
+        match rstream.read(&mut chunk) {
+            Ok(0) => {
+                primary_died = true;
+                break 'primary;
+            }
+            Ok(got) => reader.extend(&chunk[..got]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => {
+                // SIGKILL surfaces as RST once the kernel tears the
+                // socket down; either way the primary is gone.
+                primary_died = true;
+                break 'primary;
+            }
+        }
+    }
+    sender.join().expect("failover sender panicked");
+    let admitted_primary: Vec<u64> = outcomes
+        .iter()
+        .filter(|(_, o)| matches!(o, Outcome::Admit { .. }))
+        .map(|(k, _)| *k)
+        .collect();
+    if !primary_died {
+        return FailoverClientResult {
+            outcomes,
+            admitted_primary,
+            admitted_standby: 0,
+            ghost_duplicates: 0,
+            failover_ms: None,
+        };
+    }
+
+    // Phase two: redirect to the promoted standby and re-send every
+    // unanswered request, unpaced — the failover gap is what is being
+    // measured now, not the offered schedule.
+    let promoted = shared.await_promoted();
+    let standby = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpStream::connect(promoted) {
+                Ok(s) => break s,
+                Err(_) => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "timed out connecting to the promoted standby at {promoted}"
+                    );
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    };
+    standby.set_nodelay(true).expect("nodelay");
+    standby
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let mut wstandby = standby.try_clone().expect("clone stream");
+    let resend: Vec<_> = (0..n as u64)
+        .filter(|k| !outcomes.contains_key(k))
+        .map(|k| cops::encode_request(&reqs[k as usize]))
+        .collect();
+    let resender = std::thread::spawn(move || {
+        for frame in &resend {
+            if wstandby.write_all(frame).is_err() {
+                return;
+            }
+        }
+    });
+
+    let mut first_dec: Option<Instant> = None;
+    let mut admitted_standby = 0u64;
+    let mut ghost_duplicates = 0u64;
+    let mut reader = FrameReader::new();
+    let mut rstandby = standby;
+    while outcomes.len() < n {
+        while let Some(wire) = reader.next_frame().expect("standby broke framing") {
+            let (k, outcome) = decode_one(wire);
+            first_dec.get_or_insert_with(Instant::now);
+            match outcome {
+                Outcome::Admit { .. } => admitted_standby += 1,
+                Outcome::Deny(Reject::DuplicateFlow) => ghost_duplicates += 1,
+                Outcome::Deny(_) => {}
+            }
+            outcomes.insert(k, outcome);
+        }
+        if outcomes.len() >= n {
+            break;
+        }
+        match rstandby.read(&mut chunk) {
+            Ok(0) => panic!(
+                "promoted standby closed with {} of {n} requests unanswered",
+                n - outcomes.len()
+            ),
+            Ok(got) => reader.extend(&chunk[..got]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                panic!("promoted standby went silent mid-drain")
+            }
+            Err(e) => panic!("read from the promoted standby: {e}"),
+        }
+    }
+    resender.join().expect("resender panicked");
+    let kill_at = shared.kill_at.lock().expect("kill_at lock");
+    let failover_ms = first_dec
+        .zip(*kill_at)
+        .map(|(t, k)| t.saturating_duration_since(k).as_secs_f64() * 1e3);
+    FailoverClientResult {
+        outcomes,
+        admitted_primary,
+        admitted_standby,
+        ghost_duplicates,
+        failover_ms,
+    }
+}
+
+/// The checked-in `BENCH_failover.json` row. Self-contained: the run
+/// measures its own durable baseline, so `bench_gate --failover` needs
+/// no second report.
+#[derive(serde::Serialize)]
+struct FailoverReport {
+    pods: usize,
+    hops: usize,
+    clients: usize,
+    requests_per_client: usize,
+    offered_rate_per_client_hz: f64,
+    seed: u64,
+    /// Durable single-daemon throughput (decisions/s), same workload.
+    durable_baseline_rps: f64,
+    /// Throughput with a warm standby attached and every DEC gated on
+    /// its ack (decisions/s).
+    replicated_rps: f64,
+    /// `replicated_rps / durable_baseline_rps` — the replication tax.
+    throughput_ratio: f64,
+    decisions_baseline: u64,
+    decisions_replicated: u64,
+    /// Decisions delivered across the kill run (primary + standby);
+    /// equals `clients x requests_per_client` when no request was lost.
+    decisions_failover: u64,
+    /// Flows the primary acknowledged admitting before the SIGKILL.
+    admitted_by_primary: u64,
+    /// Flows admitted fresh by the promoted standby.
+    admitted_by_standby: u64,
+    /// Re-sent requests refused as duplicates: admitted and replicated
+    /// by the primary, DEC lost in the kill. Over-delivery, not loss.
+    ghost_duplicates: u64,
+    /// Acknowledged flows missing from the promoted standby — the
+    /// number that must be zero.
+    lost_admitted_flows: u64,
+    /// Kill instant → first standby decision, per reconnected client.
+    failover_ms_per_client: Vec<f64>,
+    failover_p50_ms: f64,
+    failover_p99_ms: f64,
+}
+
+fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// The whole `--failover` experiment: baseline, replicated steady
+/// state, then the kill run and its zero-loss probe.
+fn run_failover() {
+    let pods: usize = arg("--pods", 16);
+    let hops: usize = arg("--hops", 3);
+    let clients: usize = arg("--clients", 4);
+    let requests: usize = arg("--requests", 400);
+    let rate_hz: f64 = arg("--rate", 2_000.0);
+    let seed: u64 = arg("--seed", 1);
+    let out: String = arg("--out", "BENCH_failover.json".to_string());
+    assert!(clients >= 1 && pods >= clients, "need a pod per client");
+    let scratch = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!("bb-failover-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+    let common_args = |stats: &str, extra: &[String]| -> Vec<String> {
+        let mut v: Vec<String> = [
+            "--addr",
+            "127.0.0.1:0",
+            "--stats-addr",
+            stats,
+            "--pods",
+            &pods.to_string(),
+            "--hops",
+            &hops.to_string(),
+            "--workers",
+            &arg("--workers", 4usize).to_string(),
+            "--queue-depth",
+            &arg("--queue-depth", 4_096usize).to_string(),
+            "--io-threads",
+            &arg("--io-threads", 2usize).to_string(),
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        v.extend_from_slice(extra);
+        v
+    };
+    let durable_args = |dir: &std::path::Path| -> Vec<String> {
+        vec![
+            "--data-dir".into(),
+            dir.display().to_string(),
+            "--wal-flush-ms".into(),
+            arg("--wal-flush-ms", 1u64).to_string(),
+        ]
+    };
+
+    // Phase 1: the durable baseline the replication tax is measured
+    // against.
+    println!("failover phase 1/3: durable baseline ({clients} clients x {requests} @ {rate_hz}/s)");
+    let base_dir = scratch("baseline");
+    let (child, stdin, mut reader) = spawn_server(&common_args("", &durable_args(&base_dir)));
+    let banner = await_line(
+        &mut reader,
+        "the listening banner",
+        "bb-server listening on ",
+    );
+    let base_addr = addr_after(&banner, "listening on ");
+    drain_stdout(reader);
+    let (decisions_baseline, _, elapsed) = drive_load(
+        &base_addr.to_string(),
+        pods,
+        clients,
+        requests,
+        rate_hz,
+        seed,
+    );
+    let durable_baseline_rps = decisions_baseline as f64 / elapsed;
+    graceful_quit(child, stdin, "baseline daemon");
+    let _ = std::fs::remove_dir_all(&base_dir);
+    println!("  baseline: {decisions_baseline} decisions -> {durable_baseline_rps:.0}/s");
+
+    // Phase 2: same workload with a warm standby attached — every DEC
+    // now waits for the standby's ack, so this measures the gate's tax.
+    println!("failover phase 2/3: replicated steady state (warm standby attached)");
+    let repl_dir = scratch("replicated");
+    let (p_child, p_stdin, mut p_reader) =
+        spawn_server(&common_args("127.0.0.1:0", &durable_args(&repl_dir)));
+    let banner = await_line(
+        &mut p_reader,
+        "the listening banner",
+        "bb-server listening on ",
+    );
+    let p_addr = addr_after(&banner, "listening on ");
+    let stats_line = await_line(
+        &mut p_reader,
+        "the telemetry banner",
+        "telemetry on http://",
+    );
+    let p_stats = addr_after(&stats_line, "http://");
+    drain_stdout(p_reader);
+    let (s_child, s_stdin, mut s_reader) = spawn_server(&common_args(
+        "",
+        &["--replica-of".into(), p_addr.to_string()],
+    ));
+    await_line(&mut s_reader, "the standby banner", "bb-server standby of ");
+    drain_stdout(s_reader);
+    wait_for_attach(&p_stats);
+    let (decisions_replicated, _, elapsed) =
+        drive_load(&p_addr.to_string(), pods, clients, requests, rate_hz, seed);
+    let replicated_rps = decisions_replicated as f64 / elapsed;
+    graceful_quit(s_child, s_stdin, "steady-state standby");
+    graceful_quit(p_child, p_stdin, "steady-state primary");
+    let _ = std::fs::remove_dir_all(&repl_dir);
+    let throughput_ratio = replicated_rps / durable_baseline_rps;
+    println!(
+        "  replicated: {decisions_replicated} decisions -> {replicated_rps:.0}/s \
+         ({:.0}% of baseline)",
+        throughput_ratio * 100.0
+    );
+
+    // Phase 3: the kill run. SIGKILL the primary once half the total
+    // decisions are acknowledged, let the standby auto-promote, and
+    // finish the load on it.
+    println!("failover phase 3/3: SIGKILL the primary mid-load");
+    let kill_dir = scratch("kill");
+    let (p_child, p_stdin, mut p_reader) =
+        spawn_server(&common_args("127.0.0.1:0", &durable_args(&kill_dir)));
+    let banner = await_line(
+        &mut p_reader,
+        "the listening banner",
+        "bb-server listening on ",
+    );
+    let p_addr = addr_after(&banner, "listening on ");
+    let stats_line = await_line(
+        &mut p_reader,
+        "the telemetry banner",
+        "telemetry on http://",
+    );
+    let p_stats = addr_after(&stats_line, "http://");
+    drain_stdout(p_reader);
+    let (s_child, s_stdin, mut s_reader) = spawn_server(&common_args(
+        "",
+        &["--replica-of".into(), p_addr.to_string()],
+    ));
+    await_line(&mut s_reader, "the standby banner", "bb-server standby of ");
+    wait_for_attach(&p_stats);
+
+    let shared = Arc::new(FailoverShared {
+        promoted: Mutex::new(None),
+        promoted_cv: Condvar::new(),
+        kill_at: Mutex::new(None),
+        answered: AtomicU64::new(0),
+    });
+    // The standby's stdout watcher: publishes the promoted address the
+    // moment the daemon announces it, then keeps the pipe drained.
+    let watcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                if s_reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    return;
+                }
+                if let Some(rest) = line.strip_prefix("bb-server promoted: listening on ") {
+                    let addr: SocketAddr = rest.trim().parse().expect("promoted address");
+                    *shared.promoted.lock().expect("promoted lock") = Some(addr);
+                    shared.promoted_cv.notify_all();
+                }
+            }
+        })
+    };
+    // The killer: SIGKILL — not a graceful quit — once half the run is
+    // acknowledged. The primary's stdin handle rides along so the pipe
+    // cannot close early (stdin EOF is the *graceful* shutdown path).
+    let killer = {
+        let shared = Arc::clone(&shared);
+        let half = (clients * requests) as u64 / 2;
+        let mut victim = p_child;
+        let victim_stdin = p_stdin;
+        std::thread::spawn(move || {
+            while shared.answered.load(Ordering::Relaxed) < half {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            *shared.kill_at.lock().expect("kill_at lock") = Some(Instant::now());
+            victim.kill().expect("SIGKILL the primary");
+            let _ = victim.wait();
+            drop(victim_stdin);
+        })
+    };
+
+    let ready = Arc::new(Barrier::new(clients + 1));
+    let handles: Vec<_> = (0..clients as u64)
+        .map(|c| {
+            let addr = p_addr.to_string();
+            let reqs = requests_for(c, clients as u64, pods, requests);
+            let ready = Arc::clone(&ready);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("failover-client-{c}"))
+                .spawn(move || run_failover_client(addr, c, reqs, rate_hz, seed, ready, shared))
+                .expect("spawn failover client")
+        })
+        .collect();
+    ready.wait();
+    let results: Vec<FailoverClientResult> = handles
+        .into_iter()
+        .map(|h| h.join().expect("failover client panicked"))
+        .collect();
+    killer.join().expect("killer panicked");
+
+    // The zero-loss probe: every flow the primary *acknowledged*
+    // admitting must be resident on the promoted standby, proven by the
+    // duplicate refusal. Anything else is a lost admitted flow.
+    let promoted = shared.await_promoted();
+    let mut probe = CopsClient::connect(&promoted.to_string()).expect("connect the probe");
+    probe
+        .set_timeout(Some(Duration::from_secs(5)))
+        .expect("probe timeout");
+    let mut lost_admitted_flows = 0u64;
+    for (c, result) in results.iter().enumerate() {
+        let reqs = requests_for(c as u64, clients as u64, pods, requests);
+        for &k in &result.admitted_primary {
+            match probe.request(&reqs[k as usize]).expect("probe round trip") {
+                Decision::Reject {
+                    cause: Reject::DuplicateFlow,
+                    ..
+                } => {}
+                other => {
+                    lost_admitted_flows += 1;
+                    eprintln!(
+                        "LOST: flow {:#x} was acknowledged by the primary but is not resident \
+                         on the promoted standby (probe answered {other:?})",
+                        (c as u64) << 32 | k
+                    );
+                }
+            }
+        }
+    }
+    drop(probe);
+    graceful_quit(s_child, s_stdin, "promoted standby");
+    watcher.join().expect("watcher panicked");
+    let _ = std::fs::remove_dir_all(&kill_dir);
+
+    let decisions_failover: u64 = results.iter().map(|r| r.outcomes.len() as u64).sum();
+    let admitted_by_primary: u64 = results
+        .iter()
+        .map(|r| r.admitted_primary.len() as u64)
+        .sum();
+    let admitted_by_standby: u64 = results.iter().map(|r| r.admitted_standby).sum();
+    let ghost_duplicates: u64 = results.iter().map(|r| r.ghost_duplicates).sum();
+    let mut failover_ms_per_client: Vec<f64> =
+        results.iter().filter_map(|r| r.failover_ms).collect();
+    failover_ms_per_client.sort_by(|a, b| a.partial_cmp(b).expect("finite failover times"));
+    assert!(
+        !failover_ms_per_client.is_empty(),
+        "no client crossed the failover: the kill landed after the load finished \
+         (raise --requests or lower --rate)"
+    );
+
+    let report = FailoverReport {
+        pods,
+        hops,
+        clients,
+        requests_per_client: requests,
+        offered_rate_per_client_hz: rate_hz,
+        seed,
+        durable_baseline_rps,
+        replicated_rps,
+        throughput_ratio,
+        decisions_baseline,
+        decisions_replicated,
+        decisions_failover,
+        admitted_by_primary,
+        admitted_by_standby,
+        ghost_duplicates,
+        lost_admitted_flows,
+        failover_p50_ms: percentile_ms(&failover_ms_per_client, 0.50),
+        failover_p99_ms: percentile_ms(&failover_ms_per_client, 0.99),
+        failover_ms_per_client,
+    };
+    println!(
+        "  kill run: {} decisions ({} by the primary's acknowledged admits, {} standby admits, \
+         {} ghost duplicates); failover p50 {:.1} ms, p99 {:.1} ms",
+        report.decisions_failover,
+        report.admitted_by_primary,
+        report.admitted_by_standby,
+        report.ghost_duplicates,
+        report.failover_p50_ms,
+        report.failover_p99_ms
+    );
+    println!(
+        "  zero-loss probe: {} acknowledged flows checked, {} lost",
+        report.admitted_by_primary, report.lost_admitted_flows
+    );
+    if !out.is_empty() {
+        std::fs::write(&out, serde::json::to_string_pretty(&report)).expect("write failover JSON");
+        println!("wrote {out}");
+    }
+    let complete = report.decisions_failover == (clients * requests) as u64;
+    if !complete {
+        eprintln!(
+            "failover run incomplete: {} of {} requests answered",
+            report.decisions_failover,
+            clients * requests
+        );
+    }
+    if report.lost_admitted_flows > 0 || !complete {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    if flag("--failover") {
+        run_failover();
+        return;
+    }
     let pods: usize = arg("--pods", 64);
     let hops: usize = arg("--hops", 5);
     let clients: usize = arg("--clients", 8);

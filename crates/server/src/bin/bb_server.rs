@@ -15,6 +15,7 @@
 //!           [--stats-addr 127.0.0.1:3289]   # "" disables telemetry
 //!           [--data-dir PATH]               # enables durability
 //!           [--wal-flush-ms 5] [--snapshot-every 10000]
+//!           [--replica-of HOST:PORT]        # warm standby of a durable primary
 //! ```
 //!
 //! `--no-batched-decide` disables the lock-free batched decide path
@@ -38,6 +39,16 @@
 //! periodically snapshots its MIBs under the directory; at startup it
 //! recovers whatever state the directory holds **before** accepting
 //! connections, and prints how many journal records it replayed.
+//!
+//! `--replica-of` starts a warm standby: it dials the primary's client
+//! port, bootstraps from its latest snapshot, tails the journal into a
+//! live broker image, and accepts **no** client connection. `--addr` is
+//! the address it will serve on *after* promotion. Promotion happens
+//! when the primary's connection dies, or on the stdin line `promote`
+//! (the in-process twin of the wire REPL-PROMOTE). Invalid flag
+//! combinations (`--replica-of` with `--peer` or `--data-dir`,
+//! `--data-dir` with `--peer`) are refused with exit code 64 and a
+//! one-line reason on stderr.
 //!
 //! The stats address serves live telemetry while the daemon runs:
 //! `GET /stats` returns a JSON snapshot (per-shard admission counters
@@ -68,6 +79,7 @@ fn main() {
     let data_dir: String = arg("--data-dir", String::new());
     let idle_ms: u64 = arg("--idle-timeout-ms", 0);
     let peer: String = arg("--peer", String::new());
+    let replica_of: String = arg("--replica-of", String::new());
     let config = ServerConfig {
         workers: arg("--workers", 4),
         queue_depth: arg("--queue-depth", 1024),
@@ -75,6 +87,7 @@ fn main() {
         idle_timeout: (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms)),
         batched_decide: !std::env::args().any(|a| a == "--no-batched-decide"),
         peer: (!peer.is_empty()).then_some(peer),
+        replica_of: (!replica_of.is_empty()).then_some(replica_of),
         stats_addr: (!stats_addr.is_empty()).then_some(stats_addr),
         durable: (!data_dir.is_empty()).then(|| DurableOptions {
             data_dir: data_dir.clone().into(),
@@ -94,13 +107,29 @@ fn main() {
         Bits::from_bytes(1500),
     );
 
+    // Refuse invalid flag combinations before anything binds, with a
+    // stable exit code wrappers can distinguish from a crash.
+    if let Err(e) = bb_server::startup::validate(&config) {
+        eprintln!("bb-server: {e}");
+        std::process::exit(e.exit_code());
+    }
+
     let server = BbServer::start(&addr, &topo, &routes, &config).expect("bind and start daemon");
-    println!(
-        "bb-server listening on {} ({pods} pods x {hops} hops, {} workers, queue {})",
-        server.local_addr(),
-        config.workers,
-        config.queue_depth
-    );
+    if server.is_replica() {
+        println!(
+            "bb-server standby of {} (will serve on {} after promotion; \
+             stdin `promote` or primary death promotes)",
+            config.replica_of.as_deref().unwrap_or("?"),
+            server.local_addr(),
+        );
+    } else {
+        println!(
+            "bb-server listening on {} ({pods} pods x {hops} hops, {} workers, queue {})",
+            server.local_addr(),
+            config.workers,
+            config.queue_depth
+        );
+    }
     if let Some(stats) = server.stats_addr() {
         println!("telemetry on http://{stats}/stats and http://{stats}/metrics");
     }
@@ -128,6 +157,16 @@ fn main() {
     for line in stdin.lock().lines() {
         match line {
             Ok(l) if l.trim() == "quit" => break,
+            Ok(l) if l.trim() == "promote" => {
+                // Explicit operator promotion; a no-op (with a note)
+                // on a daemon that is not a standby. The "promoted:
+                // listening on" line prints from the promotion path
+                // itself, so wire- and stdin-triggered promotions look
+                // identical to a watcher.
+                if server.promote().is_none() && !server.is_replica() {
+                    println!("bb-server: not a standby; `promote` ignored");
+                }
+            }
             Ok(_) => {}
             Err(_) => break,
         }

@@ -62,13 +62,17 @@ use qos_units::Time;
 use vtrs::packet::FlowId;
 
 use bb_core::admission::plan::AdmissionPlan;
-use bb_core::cops::{self, OpCode, PeerAnswer, PeerDecide};
+use bb_core::cops::{
+    self, OpCode, PeerAnswer, PeerCommit, PeerDecide, ReplAck, ReplRecords, ReplSnapshot,
+};
 use bb_core::segment::end_to_end_rate;
 use bb_core::shard::shard_of_macroflow;
 use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
+use bb_durable::WalPosition;
 
 use crate::fed::{Origin, Pending};
 use crate::frame::FrameReader;
+use crate::repl;
 use crate::server::{Dispatch, Job};
 
 /// Token reserved for the loop's waker fd.
@@ -94,6 +98,11 @@ pub(crate) struct IoShared {
     dirty: Mutex<Vec<(usize, u64)>>,
     /// Newly accepted sockets handed over by the accepting loop.
     inbox: Mutex<Vec<TcpStream>>,
+    /// A client listener handed to the loop mid-life: promotion binds
+    /// the standby's deferred listener and parks it here (loop 0 only);
+    /// the loop registers it on its next iteration and starts
+    /// accepting.
+    pub(crate) pending_listener: Mutex<Option<TcpListener>>,
     /// Fires the owning loop's poller.
     pub(crate) waker: WakerHandle,
 }
@@ -147,6 +156,12 @@ pub(crate) enum ConnRole {
     /// domain. Only PEER-DEC *answers* arrive here, and its death
     /// fails every dependent admission closed.
     Peer,
+    /// The WAL-shipping replication link. On a primary: an inbound
+    /// connection a standby upgraded with REPL-HELLO (only REPL-ACKs
+    /// arrive; its death fails open). On a standby: the outbound
+    /// connection to the primary (snapshot chunks, record batches,
+    /// rotations, and PROMOTE arrive; its death triggers promotion).
+    Repl,
 }
 
 /// One live connection, owned by its event loop.
@@ -201,17 +216,37 @@ enum Action {
     PeerReply {
         ans: PeerAnswer,
     },
-    /// A PEER-COMMIT from upstream: forward it on down (the bookings
-    /// already exist; the message is informational in this protocol
-    /// version — abort safety comes from compensating releases).
+    /// A PEER-COMMIT from upstream, carrying the terminal-computed
+    /// ⟨r, d⟩: assert it matches this domain's tentative booking (a
+    /// mismatch means the chain disagrees on what was reserved — the
+    /// only safe move is to release), then forward it on down.
     PeerCommitFwd {
-        flow: FlowId,
+        commit: PeerCommit,
     },
     /// A PEER-RELEASE from upstream: free the flow here and forward
     /// the release on down.
     PeerReleaseFwd {
         flow: FlowId,
     },
+    /// Primary side: the standby acknowledged a shard's journal
+    /// watermark — release the decisions gated on it.
+    ReplAcked {
+        ack: ReplAck,
+    },
+    /// Standby side: one chunk of a shard's bootstrap snapshot.
+    ReplSnapshotChunk {
+        snap: ReplSnapshot,
+    },
+    /// Standby side: a batch of committed WAL frames to apply.
+    ReplRecordBatch {
+        rec: ReplRecords,
+    },
+    /// Standby side: the primary rotated a shard's journal.
+    ReplRotated {
+        shard: u32,
+    },
+    /// Standby side: explicit promotion order from the primary.
+    ReplPromote,
 }
 
 /// Everything one readiness pass decoded, per connection in arrival
@@ -242,7 +277,7 @@ enum CloseCause {
 pub(crate) fn io_loop(
     loop_idx: usize,
     listener: Option<TcpListener>,
-    peer: Option<TcpStream>,
+    peer: Option<(TcpStream, ConnRole)>,
     waker: Waker,
     shared: Arc<IoShared>,
     peers: Vec<Arc<IoShared>>,
@@ -275,12 +310,13 @@ pub(crate) fn io_loop(
     let mut expired = Vec::new();
     let mut pass = Pass::default();
 
-    // The daemon's outbound link to its downstream peer domain (loop 0
-    // only), installed before the first accept so a federated request
-    // can never observe a configured-but-absent link. It rides the
-    // same conn state machine as inbound sockets — FrameReader, reply
-    // queue, idle wheel — just under the Peer role.
-    if let Some(stream) = peer {
+    // The daemon's outbound link (loop 0 only), installed before the
+    // first accept: the downstream federation peer (a federated request
+    // must never observe a configured-but-absent link), or — on a
+    // standby — the replication primary. Both ride the same conn state
+    // machine as inbound sockets — FrameReader, reply queue, idle
+    // wheel — just under their role.
+    if let Some((stream, role)) = peer {
         if let Some(slot) = install(
             stream,
             &mut slab,
@@ -288,22 +324,62 @@ pub(crate) fn io_loop(
             &mut next_gen,
             &shared,
             &poller,
-            ConnRole::Peer,
+            role,
         ) {
-            let conn = slab[slot].as_ref().expect("peer conn just installed");
-            dispatch.fed.set_peer(ReplyHandle(Arc::clone(&conn.shared)));
+            let conn = slab[slot].as_ref().expect("outbound conn just installed");
+            let handle = ReplyHandle(Arc::clone(&conn.shared));
+            match role {
+                ConnRole::Peer => dispatch.fed.set_peer(handle),
+                // Introduce ourselves; the primary validates the shard
+                // count and answers with the bootstrap stream.
+                ConnRole::Repl => {
+                    handle.send(cops::encode_repl_hello(dispatch.jobs.len() as u32));
+                }
+                ConnRole::Edge => unreachable!("outbound links are Peer or Repl"),
+            }
             dispatch.metrics.record_dial();
         }
-        // On install failure the link stays Absent and every federated
-        // admission fails closed with `PeerUnreachable`.
+        // On install failure a federation link stays Absent (admissions
+        // fail closed with `PeerUnreachable`); a standby stays a cold
+        // replica until its operator restarts it.
     }
 
+    let mut listener = listener;
     loop {
         let _ = poller.wait(&mut events, Some(WAIT_TIMEOUT));
         if dispatch.stop.load(Ordering::SeqCst) {
             break;
         }
         let now_ms = elapsed_ms(epoch);
+
+        // A promoted standby's deferred client listener arrives here;
+        // register it and drain the accepts that raced the hand-off
+        // (edge triggering would otherwise swallow them).
+        if listener.is_none() {
+            if let Some(l) = shared.pending_listener.lock().take() {
+                poller
+                    .register(l.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+                    .expect("register promoted listener");
+                listener = Some(l);
+                let l = listener.as_ref().expect("just installed");
+                accept_burst(l, loop_idx, &peers, &mut next_loop, &dispatch, |stream| {
+                    if let Some(slot) = install(
+                        stream,
+                        &mut slab,
+                        &mut free,
+                        &mut next_gen,
+                        &shared,
+                        &poller,
+                        ConnRole::Edge,
+                    ) {
+                        read_drain(
+                            slot, &mut slab, &mut free, &poller, &dispatch, &mut pass, now_ms,
+                            idle_ms, &mut wheel,
+                        );
+                    }
+                });
+            }
+        }
 
         for &ev in &events {
             match ev.token {
@@ -544,7 +620,6 @@ fn read_drain(
     let mut close = None;
     {
         let conn = slab[slot].as_mut().expect("read_drain on live conn");
-        let role = conn.role;
         'read: loop {
             match conn.stream.read(&mut chunk) {
                 Ok(0) => {
@@ -558,9 +633,22 @@ fn read_drain(
                             Ok(Some(frame)) => {
                                 frames_completed = true;
                                 pass.frames += 1;
-                                if !decode_into(&frame, dispatch, &mut actions, role) {
-                                    close = Some(CloseCause::Error);
-                                    break 'read;
+                                // Role is re-read per frame: a
+                                // REPL-HELLO upgrades the connection
+                                // mid-burst, and the very next frame
+                                // must decode under the new role.
+                                match decode_into(&frame, dispatch, &mut actions, conn.role) {
+                                    Decoded::Ok => {}
+                                    Decoded::ReplHello { shards } => {
+                                        if !attach_replica(conn, dispatch, shards) {
+                                            close = Some(CloseCause::Error);
+                                            break 'read;
+                                        }
+                                    }
+                                    Decoded::Violation => {
+                                        close = Some(CloseCause::Error);
+                                        break 'read;
+                                    }
                                 }
                             }
                             Ok(None) => break,
@@ -607,19 +695,32 @@ fn read_drain(
     }
 }
 
-/// Decodes one COPS frame into pass actions. Returns `false` on a
-/// protocol violation: an undecodable frame, or an op illegal for the
-/// connection's role (a `DEC` sent to a server, a peer *query* on our
-/// own outbound link, a peer *answer* on an inbound one).
+/// What one frame decoded to, beyond the actions it pushed.
+enum Decoded {
+    /// Legal frame; any actions are in the pass.
+    Ok,
+    /// Undecodable frame, or an op illegal for the connection's role
+    /// (a `DEC` sent to a server, a peer *query* on our own outbound
+    /// link, a peer *answer* on an inbound one, replication traffic on
+    /// the wrong side of the link).
+    Violation,
+    /// A standby introduced itself on an inbound connection: upgrade
+    /// it to the `Repl` role (handled inline by `read_drain`, not as a
+    /// pass action — the role must change before the *next* frame of
+    /// the same read burst decodes).
+    ReplHello { shards: u32 },
+}
+
+/// Decodes one COPS frame into pass actions.
 fn decode_into(
     wire: &Bytes,
     dispatch: &Arc<Dispatch>,
     actions: &mut Vec<Action>,
     role: ConnRole,
-) -> bool {
+) -> Decoded {
     let mut buf = wire.clone();
     let Ok(frame) = cops::decode_frame(&mut buf) else {
-        return false;
+        return Decoded::Violation;
     };
     if role == ConnRole::Peer {
         // Downstream only ever answers our queries (or keeps alive).
@@ -628,19 +729,22 @@ fn decode_into(
                 match cops::decode_peer_answer(&frame) {
                     Ok(ans) => {
                         actions.push(Action::PeerReply { ans });
-                        true
+                        Decoded::Ok
                     }
-                    Err(_) => false,
+                    Err(_) => Decoded::Violation,
                 }
             }
-            OpCode::KeepAlive => true,
-            _ => false,
+            OpCode::KeepAlive => Decoded::Ok,
+            _ => Decoded::Violation,
         };
+    }
+    if role == ConnRole::Repl {
+        return decode_repl(&frame, dispatch, actions);
     }
     match frame.op {
         OpCode::Request => {
             let Ok(req) = cops::decode_request(&frame) else {
-                return false;
+                return Decoded::Violation;
             };
             match dispatch
                 .path_shard
@@ -660,31 +764,31 @@ fn decode_into(
                 // A path this daemon does not serve: nothing to decide.
                 None => actions.push(Action::NoRoute { flow: req.flow }),
             }
-            true
+            Decoded::Ok
         }
         OpCode::DeleteRequest => {
             let Ok(flow) = cops::decode_delete(&frame) else {
-                return false;
+                return Decoded::Violation;
             };
             actions.push(Action::Delete { flow });
-            true
+            Decoded::Ok
         }
         OpCode::Report => {
             let Ok((macroflow, at)) = cops::decode_buffer_empty(&frame) else {
-                return false;
+                return Decoded::Violation;
             };
             actions.push(Action::Report { macroflow, at });
-            true
+            Decoded::Ok
         }
         OpCode::PeerDecide => {
             // An answer on an inbound connection is a protocol
             // violation — answers travel back on the socket the query
             // went out on, which for us is the outbound peer link.
             if cops::peer_frame_is_answer(&frame) {
-                return false;
+                return Decoded::Violation;
             }
             let Ok(q) = cops::decode_peer_decide(&frame) else {
-                return false;
+                return Decoded::Violation;
             };
             match dispatch
                 .path_shard
@@ -696,25 +800,136 @@ fn decode_into(
                     shard: usize::MAX,
                 }),
             }
-            true
+            Decoded::Ok
         }
         OpCode::PeerCommit => match cops::decode_peer_commit(&frame) {
-            Ok(flow) => {
-                actions.push(Action::PeerCommitFwd { flow });
-                true
+            Ok(commit) => {
+                actions.push(Action::PeerCommitFwd { commit });
+                Decoded::Ok
             }
-            Err(_) => false,
+            Err(_) => Decoded::Violation,
         },
         OpCode::PeerRelease => match cops::decode_peer_release(&frame) {
             Ok(flow) => {
                 actions.push(Action::PeerReleaseFwd { flow });
-                true
+                Decoded::Ok
             }
-            Err(_) => false,
+            Err(_) => Decoded::Violation,
         },
-        OpCode::KeepAlive => true,
-        OpCode::Decision => false,
+        OpCode::ReplHello => match cops::decode_repl_hello(&frame) {
+            Ok(shards) => Decoded::ReplHello { shards },
+            Err(_) => Decoded::Violation,
+        },
+        OpCode::KeepAlive => Decoded::Ok,
+        // A DEC sent at a server, or replication traffic before the
+        // REPL-HELLO handshake claimed the connection.
+        OpCode::Decision
+        | OpCode::ReplSnapshot
+        | OpCode::ReplRecords
+        | OpCode::ReplAck
+        | OpCode::ReplRotate
+        | OpCode::ReplPromote => Decoded::Violation,
     }
+}
+
+/// Decodes one frame on an established replication link. Which ops are
+/// legal depends on which *side* of the link this daemon is: a standby
+/// (`dispatch.replica` is `Some`) receives the primary's stream —
+/// snapshot chunks, record batches, rotations, PROMOTE; a primary
+/// receives only the standby's acks.
+fn decode_repl(
+    frame: &cops::Frame,
+    dispatch: &Arc<Dispatch>,
+    actions: &mut Vec<Action>,
+) -> Decoded {
+    let standby = dispatch.replica.is_some();
+    match frame.op {
+        OpCode::ReplSnapshot if standby => match cops::decode_repl_snapshot(frame) {
+            Ok(snap) if (snap.shard as usize) < dispatch.jobs.len() => {
+                actions.push(Action::ReplSnapshotChunk { snap });
+                Decoded::Ok
+            }
+            _ => Decoded::Violation,
+        },
+        OpCode::ReplRecords if standby => match cops::decode_repl_records(frame) {
+            Ok(rec) if (rec.shard as usize) < dispatch.jobs.len() => {
+                actions.push(Action::ReplRecordBatch { rec });
+                Decoded::Ok
+            }
+            _ => Decoded::Violation,
+        },
+        OpCode::ReplRotate if standby => match cops::decode_repl_rotate(frame) {
+            Ok((shard, _epoch)) if (shard as usize) < dispatch.jobs.len() => {
+                actions.push(Action::ReplRotated { shard });
+                Decoded::Ok
+            }
+            _ => Decoded::Violation,
+        },
+        OpCode::ReplPromote if standby => {
+            actions.push(Action::ReplPromote);
+            Decoded::Ok
+        }
+        OpCode::ReplAck if !standby => match cops::decode_repl_ack(frame) {
+            Ok(ack) if (ack.shard as usize) < dispatch.jobs.len() => {
+                actions.push(Action::ReplAcked { ack });
+                Decoded::Ok
+            }
+            _ => Decoded::Violation,
+        },
+        OpCode::KeepAlive => Decoded::Ok,
+        _ => Decoded::Violation,
+    }
+}
+
+/// Upgrades an inbound connection to the replication link after its
+/// REPL-HELLO: claims the single standby slot, flips the role, and
+/// attaches one [`repl::ShardSink`] per durable shard store — each
+/// attach ships that shard's bootstrap (snapshot + journal prefix)
+/// inside the store's critical section, so no committed record can fall
+/// between the bootstrap and the live stream. `false` refuses the
+/// standby (wrong role, not a durable primary, shard-count mismatch, a
+/// standby already attached, or a bootstrap read failure) and closes
+/// the connection.
+fn attach_replica(conn: &mut Conn, dispatch: &Arc<Dispatch>, shards: u32) -> bool {
+    // Only a plain inbound connection may upgrade: a second HELLO on a
+    // replication link (or one from our own outbound sockets) is a
+    // protocol violation. And a standby does not serve standbys.
+    if conn.role != ConnRole::Edge || dispatch.replica.is_some() {
+        return false;
+    }
+    let Some(stores) = dispatch.shard_stores() else {
+        // Not durable: there is no journal to ship.
+        return false;
+    };
+    if shards as usize != stores.len() {
+        return false;
+    }
+    if !dispatch.repl.try_attach() {
+        return false;
+    }
+    // The role flips *before* the sinks attach: if a bootstrap read
+    // fails below, close_conn sees a Repl connection and runs the
+    // fail-open path (drain gates, detach the sinks already attached).
+    conn.role = ConnRole::Repl;
+    dispatch.metrics.set_repl_attached(true);
+    let handle = ReplyHandle(Arc::clone(&conn.shared));
+    for (idx, store) in stores.iter().enumerate() {
+        let shard = u32::try_from(idx).expect("shard count fits u32");
+        let sink = Arc::new(repl::ShardSink::new(
+            shard,
+            handle.clone(),
+            Arc::downgrade(dispatch),
+        ));
+        if store
+            .attach_sink(sink, |b| {
+                repl::ship_bootstrap(shard, &handle, &dispatch.metrics, &b);
+            })
+            .is_err()
+        {
+            return false;
+        }
+    }
+    true
 }
 
 /// Grouping key for the batch decide: requests sharing a shard, an
@@ -881,11 +1096,33 @@ fn process_pass(pass: &mut Pass, dispatch: &Arc<Dispatch>) {
                 Action::PeerReply { ans } => {
                     peer_reply(ans, dispatch);
                 }
-                Action::PeerCommitFwd { flow } => {
-                    // Informational in this protocol version: every
-                    // domain already holds its booking. Pass it down so
-                    // the whole chain sees the finalization.
-                    dispatch.fed.forward_commit(flow);
+                Action::PeerCommitFwd { commit } => {
+                    // The commit carries the terminal's authoritative
+                    // ⟨r, d⟩. It must equal what this domain booked at
+                    // answer time — the chain computed both from the
+                    // same accumulators. If it doesn't, the chain
+                    // disagrees on what was reserved, and a booking the
+                    // chain disagrees on is a booking this domain must
+                    // not hold: release it (here and downstream) and
+                    // count the mismatch.
+                    match dispatch.fed.take_booking(commit.flow) {
+                        Some((rate, delay)) if rate == commit.rate && delay == commit.delay => {
+                            dispatch.fed.forward_commit(&commit);
+                        }
+                        Some(_) => {
+                            dispatch.metrics.record_fed_commit_mismatch();
+                            let owner = dispatch.flow_owner.read().get(&commit.flow).copied();
+                            if let Some(shard) = owner {
+                                let _ = dispatch.jobs[shard]
+                                    .send(Job::FedRelease { flow: commit.flow });
+                            }
+                            dispatch.fed.forward_release(commit.flow);
+                        }
+                        // No tentative booking (released while the
+                        // commit was in flight): nothing to assert
+                        // against; still pass the finalization down.
+                        None => dispatch.fed.forward_commit(&commit),
+                    }
                 }
                 Action::PeerReleaseFwd { flow } => {
                     let owner = dispatch.flow_owner.read().get(&flow).copied();
@@ -897,6 +1134,42 @@ fn process_pass(pass: &mut Pass, dispatch: &Arc<Dispatch>) {
                         let _ = dispatch.jobs[shard].send(Job::FedRelease { flow });
                     }
                     dispatch.fed.forward_release(flow);
+                }
+                Action::ReplAcked { ack } => {
+                    let (released, lag) = dispatch.repl.ack(
+                        ack.shard as usize,
+                        WalPosition {
+                            epoch: ack.epoch,
+                            end_offset: ack.end_offset,
+                        },
+                    );
+                    for (gated_reply, bytes) in released {
+                        gated_reply.send(bytes);
+                    }
+                    dispatch.metrics.set_repl_lag(lag);
+                    if ack.stamp_ns > 0 {
+                        // Echoed from the records frame that carried
+                        // it; zero marks bootstrap traffic whose
+                        // latency is not an ack round trip.
+                        dispatch.metrics.record_repl_ack_rtt_ns(
+                            dispatch.monotonic_ns().saturating_sub(ack.stamp_ns),
+                        );
+                    }
+                }
+                // The standby-side handlers validate shard indices
+                // again (decode_repl already did); a `false` here would
+                // mean a logic error, not a wire condition — ignore.
+                Action::ReplSnapshotChunk { snap } => {
+                    let _ = repl::standby_snapshot(dispatch, &snap);
+                }
+                Action::ReplRecordBatch { rec } => {
+                    let _ = repl::standby_records(dispatch, &rec, &reply);
+                }
+                Action::ReplRotated { shard } => {
+                    let _ = repl::standby_rotate(dispatch, shard);
+                }
+                Action::ReplPromote => {
+                    let _ = repl::promote(dispatch);
                 }
             }
         }
@@ -1206,6 +1479,25 @@ fn close_conn(
         }
         dispatch.metrics.set_fed_in_flight(0);
     }
+    if conn.role == ConnRole::Repl && !dispatch.stop.load(Ordering::SeqCst) {
+        if dispatch.replica.is_some() {
+            // Standby side: the primary died. Promote — seal replay,
+            // resume the clock, open the client listener.
+            let _ = crate::repl::promote(dispatch);
+        } else {
+            // Primary side: the standby died. Fail open — availability
+            // over replication: release every gated decision (the
+            // journal already holds them; only the shipping stops),
+            // detach the sinks, and keep serving solo.
+            for (reply, bytes) in dispatch.repl.fail_open() {
+                reply.send(bytes);
+            }
+            dispatch.detach_replica_sinks();
+            dispatch.metrics.set_repl_attached(false);
+            dispatch.metrics.record_repl_demotion();
+            dispatch.metrics.set_repl_lag(0);
+        }
+    }
 }
 
 /// Builds the per-loop shared blocks and wakers for `io_threads` loops.
@@ -1219,6 +1511,7 @@ pub(crate) fn build_io_shared(io_threads: usize) -> (Vec<Waker>, Vec<Arc<IoShare
             Arc::new(IoShared {
                 dirty: Mutex::new(Vec::new()),
                 inbox: Mutex::new(Vec::new()),
+                pending_listener: Mutex::new(None),
                 waker: w.handle().expect("dup waker fd"),
             })
         })

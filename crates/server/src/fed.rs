@@ -38,11 +38,11 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use qos_units::Nanos;
+use qos_units::{Nanos, Rate};
 use vtrs::packet::FlowId;
 use vtrs::profile::TrafficProfile;
 
-use bb_core::cops::{self, PeerAnswer};
+use bb_core::cops::{self, PeerAnswer, PeerCommit};
 use bb_core::mib::PathId;
 use bb_core::signaling::Reject;
 
@@ -113,6 +113,13 @@ pub(crate) struct Pending {
 pub(crate) struct Federation {
     peer: Mutex<PeerLink>,
     pending: Mutex<HashMap<FlowId, Pending>>,
+    /// Tentative bookings made on behalf of an upstream broker, at the
+    /// exact ⟨rate, delay⟩ pair this domain committed. The PEER-COMMIT
+    /// that finalizes the flow must carry the same pair — a mismatch
+    /// means the chain's domains disagree on what was reserved, and the
+    /// only safe move is to release the booking rather than keep a
+    /// reservation nobody agrees on.
+    committed: Mutex<HashMap<FlowId, (Rate, Nanos)>>,
     /// Global path id → this domain's segment cost `(h, D^tot)` —
     /// what this daemon adds to a query's accumulators.
     paths: Vec<(u64, Nanos)>,
@@ -127,6 +134,7 @@ impl Federation {
         Federation {
             peer: Mutex::new(PeerLink::Absent),
             pending: Mutex::new(HashMap::new()),
+            committed: Mutex::new(HashMap::new()),
             paths,
             has_peer,
         }
@@ -166,11 +174,26 @@ impl Federation {
         }
     }
 
-    /// Forwards a `PEER-COMMIT` downstream (no-op at the terminal).
-    pub(crate) fn forward_commit(&self, flow: FlowId) {
+    /// Forwards a `PEER-COMMIT` downstream (no-op at the terminal),
+    /// carrying the terminal-computed ⟨r, d⟩ so every domain down the
+    /// chain can assert its tentative booking matches.
+    pub(crate) fn forward_commit(&self, commit: &PeerCommit) {
         if self.has_peer {
-            let _ = self.peer_send(cops::encode_peer_commit(flow));
+            let _ = self.peer_send(cops::encode_peer_commit(commit));
         }
+    }
+
+    /// Remembers the ⟨rate, delay⟩ pair this domain booked tentatively
+    /// on behalf of an upstream broker, for the commit-time assert.
+    pub(crate) fn record_booking(&self, flow: FlowId, rate: Rate, delay: Nanos) {
+        self.committed.lock().insert(flow, (rate, delay));
+    }
+
+    /// Claims (and forgets) the tentative-booking record a PEER-COMMIT
+    /// or PEER-RELEASE resolves. `None` for a flow this domain never
+    /// booked for an upstream broker.
+    pub(crate) fn take_booking(&self, flow: FlowId) -> Option<(Rate, Nanos)> {
+        self.committed.lock().remove(&flow)
     }
 
     /// Forwards a `PEER-RELEASE` downstream (no-op at the terminal) —

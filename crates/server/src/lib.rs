@@ -36,7 +36,9 @@ pub mod client;
 pub(crate) mod conn;
 pub(crate) mod fed;
 pub mod frame;
+pub(crate) mod repl;
 pub mod server;
+pub mod startup;
 pub mod stats;
 
 pub use client::CopsClient;
@@ -44,4 +46,5 @@ pub use frame::{FrameError, FrameReader, MAX_FRAME};
 pub use server::{
     BbServer, ClassUsage, DurableOptions, ServerConfig, ServerReport, ThreadFailures,
 };
+pub use startup::StartupError;
 pub use stats::{fetch_metrics_text, fetch_stats, StatsSnapshot};

@@ -1,0 +1,493 @@
+//! WAL-shipping replication: the high-availability layer.
+//!
+//! The paper's architecture concentrates a whole domain's QoS state in
+//! the broker (§2), which makes the broker the domain's single point of
+//! failure. `bb-durable` already bounds *data* loss — every committed
+//! decision is journaled — but recovery-from-disk still costs a full
+//! restart. This module closes the availability gap with a warm
+//! standby:
+//!
+//! ```text
+//!   PRIMARY (durable)                      STANDBY (--replica-of)
+//!   ShardStore ──LogSink──▶ REPL-RECORDS ──▶ Job::ReplApply ─▶ live
+//!       │ bootstrap: REPL-SNAPSHOT chunks     (same replay entry      BrokerShard
+//!       │            + journal prefix          points recovery uses)
+//!       ◀────────────── REPL-ACK ⟨epoch,off⟩ ──┘
+//!   DEC release gated on the covering ack (semi-synchronous)
+//! ```
+//!
+//! * **Semi-synchronous acknowledgement.** A committed decision's `DEC`
+//!   is parked until the standby's ack covers the journal position of
+//!   the record that encodes it ([`ReplState::gate`]). An admitted flow
+//!   the edge has *seen* admitted therefore exists on the standby — the
+//!   zero-lost-admissions property `bb-loadgen --failover` checks. The
+//!   standby acks after *enqueueing* the apply jobs; that is sound
+//!   because promotion drains every shard queue before the standby
+//!   serves its first client.
+//! * **Fail open on standby death.** Replication protects availability;
+//!   it must not create a second liveness dependency. When the standby's
+//!   link drops, the primary releases every parked `DEC`, detaches the
+//!   sinks, and keeps serving alone ([`ReplState::fail_open`]).
+//! * **Promotion.** On primary death (repl-link EOF), an explicit
+//!   `REPL-PROMOTE` frame, a `promote` line on stdin, or
+//!   [`crate::BbServer::promote`], the standby drains its apply queues,
+//!   resumes the clock past the highest replicated timestamp, binds the
+//!   client listener it had deferred, and serves from the replicated
+//!   image ([`promote`]).
+//!
+//! Bootstrap is gapless: [`bb_durable::ShardStore::attach_sink`] reads
+//! the snapshot and journal prefix and installs the sink in one critical
+//! section, so every record is either in the shipped prefix or observed
+//! by the sink — never neither, never both.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use bytes::Bytes;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use qos_units::Time;
+
+use bb_core::cops::{self, ReplAck, ReplRecords, ReplSnapshot};
+use bb_durable::{
+    decode_snapshot, FrameCursor, FrameError, LogSink, SinkBootstrap, WalPosition, WalRecord,
+};
+use bb_telemetry::MetricsRegistry;
+
+use crate::conn::ReplyHandle;
+use crate::server::{Dispatch, Job};
+
+/// Primary-side replication state: the ack watermark and the parked
+/// `DEC`s per shard. Lives in `Dispatch` whether or not a standby ever
+/// attaches — an unattached daemon pays one atomic load per decision.
+pub(crate) struct ReplState {
+    shards: Vec<Mutex<ShardRepl>>,
+    /// A standby is attached and sinks are (being) installed. Gating
+    /// starts the moment this rises; records committed before their
+    /// shard's sink installs still reach the standby via the bootstrap
+    /// journal prefix, whose covering ack releases them.
+    attached: AtomicBool,
+    /// Shipped-but-unacked records across all shards (the lag gauge).
+    unacked: AtomicU64,
+}
+
+#[derive(Default)]
+struct ShardRepl {
+    /// Highest ⟨epoch, offset⟩ the standby has acknowledged.
+    acked: Option<WalPosition>,
+    /// One entry per shipped-but-unacked record, keyed by its journal
+    /// position; `DEC`s gated on that record ride in the value.
+    pending: BTreeMap<(u64, u64), Vec<(ReplyHandle, Bytes)>>,
+}
+
+impl ReplState {
+    pub(crate) fn new(shards: usize) -> Self {
+        ReplState {
+            shards: (0..shards)
+                .map(|_| Mutex::new(ShardRepl::default()))
+                .collect(),
+            attached: AtomicBool::new(false),
+            unacked: AtomicU64::new(0),
+        }
+    }
+
+    /// True while a standby is attached (decisions are being gated).
+    pub(crate) fn is_attached(&self) -> bool {
+        self.attached.load(Ordering::SeqCst)
+    }
+
+    /// Claims the single standby slot, resetting per-shard state first
+    /// so a watermark from an earlier standby can never release this
+    /// one's gated decisions. `false` when a standby is already
+    /// attached.
+    pub(crate) fn try_attach(&self) -> bool {
+        if self.attached.load(Ordering::SeqCst) {
+            return false;
+        }
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.acked = None;
+            s.pending.clear();
+        }
+        self.unacked.store(0, Ordering::SeqCst);
+        self.attached
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Counts one record shipped to the standby; returns the lag gauge.
+    pub(crate) fn note_shipped(&self, shard: usize, pos: WalPosition) -> u64 {
+        let mut s = self.shards[shard].lock();
+        // An ack can cover a record before the shipping thread gets
+        // here (the position is known at append time); don't resurrect.
+        if s.acked.is_some_and(|a| a >= pos) {
+            return self.unacked.load(Ordering::SeqCst);
+        }
+        s.pending.entry((pos.epoch, pos.end_offset)).or_default();
+        self.unacked.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Gates one decision's reply on the ack covering its journal
+    /// position: returns the bytes back when they should be sent now
+    /// (no standby, or already acked), `None` when parked.
+    pub(crate) fn gate(
+        &self,
+        shard: usize,
+        pos: WalPosition,
+        reply: &ReplyHandle,
+        bytes: Bytes,
+    ) -> Option<Bytes> {
+        let mut s = self.shards[shard].lock();
+        if !self.attached.load(Ordering::SeqCst) {
+            return Some(bytes);
+        }
+        if s.acked.is_some_and(|a| a >= pos) {
+            return Some(bytes);
+        }
+        s.pending
+            .entry((pos.epoch, pos.end_offset))
+            .or_default()
+            .push((reply.clone(), bytes));
+        None
+    }
+
+    /// Advances a shard's watermark, returning every reply the ack
+    /// released plus the updated lag gauge.
+    pub(crate) fn ack(&self, shard: usize, pos: WalPosition) -> (Vec<(ReplyHandle, Bytes)>, u64) {
+        let mut s = self.shards[shard].lock();
+        if s.acked.is_none_or(|a| a < pos) {
+            s.acked = Some(pos);
+        }
+        // Everything at or before ⟨epoch, offset⟩ is covered; an ack in
+        // a later epoch covers every earlier epoch's records too (the
+        // stream is in order).
+        let rest = s.pending.split_off(&(pos.epoch, pos.end_offset + 1));
+        let covered = std::mem::replace(&mut s.pending, rest);
+        self.unacked
+            .fetch_sub(covered.len() as u64, Ordering::SeqCst);
+        let lag = self.unacked.load(Ordering::SeqCst);
+        (covered.into_values().flatten().collect(), lag)
+    }
+
+    /// The standby died: stop gating and hand back every parked reply
+    /// so the primary serves alone again (availability over sync).
+    pub(crate) fn fail_open(&self) -> Vec<(ReplyHandle, Bytes)> {
+        self.attached.store(false, Ordering::SeqCst);
+        let mut drained = Vec::new();
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            for (_, replies) in std::mem::take(&mut s.pending) {
+                drained.extend(replies);
+            }
+            s.acked = None;
+        }
+        self.unacked.store(0, Ordering::SeqCst);
+        drained
+    }
+}
+
+/// Standby-side state; `Some` in `Dispatch` only on a daemon started
+/// with `--replica-of`.
+pub(crate) struct ReplicaState {
+    /// Client address to bind at promotion (deferred from startup).
+    addr: String,
+    shards: Vec<Mutex<ReplicaShard>>,
+    /// Records applied (mirrored into `bb_repl_applied_records_total`).
+    applied: AtomicU64,
+    /// Highest `now` timestamp seen in an applied record or restored
+    /// snapshot — the promoted daemon's clock base, so post-promotion
+    /// journal-able time stays monotone with the replicated history.
+    max_now: AtomicU64,
+    promoted: AtomicBool,
+    bound: Mutex<Option<SocketAddr>>,
+}
+
+#[derive(Default)]
+struct ReplicaShard {
+    /// Accumulating bootstrap snapshot chunks.
+    snap: Vec<u8>,
+    /// Partial WAL frame carried between record batches (bootstrap
+    /// prefix chunks split mid-frame).
+    tail: Vec<u8>,
+}
+
+impl ReplicaState {
+    pub(crate) fn new(addr: String, shards: usize) -> Self {
+        ReplicaState {
+            addr,
+            shards: (0..shards)
+                .map(|_| Mutex::new(ReplicaShard::default()))
+                .collect(),
+            applied: AtomicU64::new(0),
+            max_now: AtomicU64::new(0),
+            promoted: AtomicBool::new(false),
+            bound: Mutex::new(None),
+        }
+    }
+
+    /// The promoted listener's address, once bound.
+    pub(crate) fn bound_addr(&self) -> Option<SocketAddr> {
+        *self.bound.lock()
+    }
+
+    /// True once promotion has started (or finished).
+    pub(crate) fn is_promoted(&self) -> bool {
+        self.promoted.load(Ordering::SeqCst)
+    }
+
+    /// Folds one applied record into the clock base and the applied
+    /// counter; returns the counter for the telemetry mirror.
+    pub(crate) fn note_applied(&self, now: Time) -> u64 {
+        self.max_now.fetch_max(now.as_nanos(), Ordering::SeqCst);
+        self.applied.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Folds a restored snapshot's capture time into the clock base.
+    pub(crate) fn note_restored(&self, as_of: Time) {
+        self.max_now.fetch_max(as_of.as_nanos(), Ordering::SeqCst);
+    }
+}
+
+/// The commit-time timestamp a WAL record carries.
+pub(crate) fn record_now(rec: &WalRecord) -> Time {
+    match rec {
+        WalRecord::Admit { now, .. }
+        | WalRecord::Release { now, .. }
+        | WalRecord::Report { now, .. }
+        | WalRecord::Tick { now } => *now,
+    }
+}
+
+/// One shard's outbound replication sink: every frame the store commits
+/// is queued on the standby's connection as a `REPL-RECORDS` frame.
+/// Runs under the store's internal mutex — it only queues bytes.
+/// Holds `Dispatch` weakly: the store holds the sink, the dispatch
+/// holds the store, and a strong edge back would leak the cycle.
+pub(crate) struct ShardSink {
+    shard: u32,
+    handle: ReplyHandle,
+    dispatch: Weak<Dispatch>,
+}
+
+impl ShardSink {
+    pub(crate) fn new(shard: u32, handle: ReplyHandle, dispatch: Weak<Dispatch>) -> Self {
+        ShardSink {
+            shard,
+            handle,
+            dispatch,
+        }
+    }
+}
+
+impl LogSink for ShardSink {
+    fn record(&self, pos: WalPosition, frame: &[u8]) {
+        let Some(dispatch) = self.dispatch.upgrade() else {
+            return;
+        };
+        let lag = dispatch.repl.note_shipped(self.shard as usize, pos);
+        dispatch.metrics.set_repl_lag(lag);
+        dispatch.metrics.record_repl_bytes(frame.len() as u64);
+        self.handle.send(cops::encode_repl_records(&ReplRecords {
+            shard: self.shard,
+            epoch: pos.epoch,
+            end_offset: pos.end_offset,
+            stamp_ns: dispatch.monotonic_ns(),
+            frames: Bytes::from(frame),
+        }));
+    }
+
+    fn rotate(&self, epoch: u64) {
+        self.handle
+            .send(cops::encode_repl_rotate(self.shard, epoch));
+    }
+}
+
+/// Ships one shard's bootstrap to a freshly attached standby: the
+/// snapshot file in [`cops::REPL_CHUNK`]-sized `REPL-SNAPSHOT` chunks,
+/// then the journal prefix as `REPL-RECORDS` batches whose cumulative
+/// `end_offset`s let the standby's acks release any decision gated on a
+/// prefix record. Runs inside the store's attach critical section —
+/// everything is queued, nothing blocks.
+pub(crate) fn ship_bootstrap(
+    shard: u32,
+    handle: &ReplyHandle,
+    metrics: &MetricsRegistry,
+    b: &SinkBootstrap<'_>,
+) {
+    debug_assert!(
+        !b.snapshot.is_empty(),
+        "a committed store always has a snapshot"
+    );
+    let chunks = b.snapshot.chunks(cops::REPL_CHUNK);
+    let total = chunks.len();
+    for (i, chunk) in chunks.enumerate() {
+        metrics.record_repl_bytes(chunk.len() as u64);
+        handle.send(cops::encode_repl_snapshot(&ReplSnapshot {
+            shard,
+            epoch: b.epoch,
+            last: i + 1 == total,
+            chunk: Bytes::from(chunk),
+        }));
+    }
+    let mut shipped = 0usize;
+    for chunk in b.journal.chunks(cops::REPL_CHUNK) {
+        shipped += chunk.len();
+        metrics.record_repl_bytes(chunk.len() as u64);
+        handle.send(cops::encode_repl_records(&ReplRecords {
+            shard,
+            epoch: b.epoch,
+            end_offset: shipped as u64,
+            // Zero marks bootstrap traffic: the echoing ack skips the
+            // RTT histogram (the prefix's latency is not an ack RTT).
+            stamp_ns: 0,
+            frames: Bytes::from(chunk),
+        }));
+    }
+}
+
+/// Standby: folds one `REPL-SNAPSHOT` chunk in; on the final chunk,
+/// decodes the image and queues its restore on the owning shard worker.
+/// `false` on a malformed frame (shard out of range).
+pub(crate) fn standby_snapshot(dispatch: &Arc<Dispatch>, snap: &ReplSnapshot) -> bool {
+    let Some(replica) = dispatch.replica.as_ref() else {
+        return false;
+    };
+    let idx = snap.shard as usize;
+    if idx >= dispatch.jobs.len() {
+        return false;
+    }
+    let mut s = replica.shards[idx].lock();
+    s.snap.extend_from_slice(&snap.chunk);
+    if !snap.last {
+        return true;
+    }
+    let bytes = std::mem::take(&mut s.snap);
+    drop(s);
+    // A bootstrap image that does not decode means the standby cannot
+    // ever reach the primary's state; crashing loudly beats promoting a
+    // wrong image later.
+    let (meta, image) = decode_snapshot(&bytes)
+        .unwrap_or_else(|e| panic!("replica bootstrap: shard {idx} snapshot: {e}"));
+    replica.note_restored(meta.as_of);
+    let _ = dispatch.jobs[idx].send(Job::ReplRestore {
+        image: Box::new(image),
+    });
+    true
+}
+
+/// Standby: appends a `REPL-RECORDS` batch to the shard's stream,
+/// queues every completed WAL frame for apply, and acks the batch's
+/// watermark back to the primary. Acking at enqueue (not apply) is
+/// sound because promotion drains the queues before serving.
+/// `false` on a malformed frame.
+pub(crate) fn standby_records(
+    dispatch: &Arc<Dispatch>,
+    rec: &ReplRecords,
+    reply: &ReplyHandle,
+) -> bool {
+    let Some(replica) = dispatch.replica.as_ref() else {
+        return false;
+    };
+    let idx = rec.shard as usize;
+    if idx >= dispatch.jobs.len() {
+        return false;
+    }
+    let mut s = replica.shards[idx].lock();
+    s.tail.extend_from_slice(&rec.frames);
+    let mut records = Vec::new();
+    let consumed = {
+        let mut cursor = FrameCursor::new(&s.tail);
+        loop {
+            match cursor.next_frame() {
+                Ok(Some(frame)) => {
+                    match bb_durable::record::decode_payload::<WalRecord>(frame, cursor.offset()) {
+                        Ok(record) => records.push(record),
+                        Err(e) => panic!("replica stream: shard {idx}: {e}"),
+                    }
+                }
+                Ok(None) | Err(FrameError::Torn { .. }) => break,
+                Err(e) => panic!("replica stream: shard {idx}: {e}"),
+            }
+        }
+        cursor.offset()
+    };
+    s.tail.drain(..consumed);
+    drop(s);
+    for record in records {
+        // Blocking send: a replicated record must never be dropped at a
+        // momentarily full queue — the worker drains independently.
+        let _ = dispatch.jobs[idx].send(Job::ReplApply { record });
+    }
+    reply.send(cops::encode_repl_ack(&ReplAck {
+        shard: rec.shard,
+        epoch: rec.epoch,
+        end_offset: rec.end_offset,
+        stamp_ns: rec.stamp_ns,
+    }));
+    true
+}
+
+/// Standby: the primary rotated a shard's journal; offsets restart at
+/// zero under the new epoch. Record batches are frame-aligned, so the
+/// carried tail is empty at a rotation by construction.
+pub(crate) fn standby_rotate(dispatch: &Arc<Dispatch>, shard: u32) -> bool {
+    let Some(replica) = dispatch.replica.as_ref() else {
+        return false;
+    };
+    let idx = shard as usize;
+    if idx >= dispatch.jobs.len() {
+        return false;
+    }
+    let mut s = replica.shards[idx].lock();
+    debug_assert!(s.tail.is_empty(), "rotation inside a torn record batch");
+    s.tail.clear();
+    true
+}
+
+/// Promotes the standby: seal the replay (drain every shard's apply
+/// queue behind a barrier), resume the clock past the highest
+/// replicated timestamp, bind the deferred client listener, and hand it
+/// to io loop 0. Idempotent — a second caller gets the first's address.
+/// Returns `None` when this daemon is not a standby, is shutting down,
+/// or the bind failed.
+pub(crate) fn promote(dispatch: &Arc<Dispatch>) -> Option<SocketAddr> {
+    let replica = dispatch.replica.as_ref()?;
+    if dispatch.stop.load(Ordering::SeqCst) {
+        return None;
+    }
+    if replica.promoted.swap(true, Ordering::SeqCst) {
+        return replica.bound_addr();
+    }
+    // Barrier: every ReplApply/ReplRestore queued before this point is
+    // applied before the first client decision — the acked-at-enqueue
+    // protocol depends on exactly this drain.
+    let (tx, rx) = channel::bounded::<()>(dispatch.jobs.len());
+    for jobs in &dispatch.jobs {
+        let _ = jobs.send(Job::Barrier { done: tx.clone() });
+    }
+    drop(tx);
+    while rx.recv().is_ok() {}
+    dispatch.resume_clock_at(replica.max_now.load(Ordering::SeqCst));
+    let listener = match TcpListener::bind(&replica.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bb-server: promote: bind {}: {e}", replica.addr);
+            return None;
+        }
+    };
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("bb-server: promote: nonblocking: {e}");
+        return None;
+    }
+    let addr = listener.local_addr().ok()?;
+    *replica.bound.lock() = Some(addr);
+    if let Some(io) = dispatch.io_shared.get() {
+        *io[0].pending_listener.lock() = Some(listener);
+        io[0].waker.wake();
+    }
+    // The failover harness and the CI smoke job watch stdout for this.
+    println!("bb-server promoted: listening on {addr}");
+    Some(addr)
+}

@@ -48,10 +48,10 @@
 
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -63,16 +63,19 @@ use vtrs::profile::TrafficProfile;
 
 use bb_core::admission::plan::AdmissionPlan;
 use bb_core::broker::BrokerConfig;
-use bb_core::cops::{self, PeerAnswer};
+use bb_core::cops::{self, PeerAnswer, PeerCommit};
 use bb_core::mib::PathId;
+use bb_core::persist::BrokerImage;
 use bb_core::shard::{build_shards, plan_shards, BrokerShard, FastDecideHandle};
 use bb_core::signaling::ServiceKind;
-use bb_durable::{replay, ShardStore, WalRecord};
+use bb_durable::{replay, ShardStore, WalPosition, WalRecord};
 use bb_telemetry::{MetricsRegistry, ShardMetrics};
+use bytes::Bytes;
 use netsim::topology::{LinkId, Topology};
 
-use crate::conn::{self, ReplyHandle};
+use crate::conn::{self, ConnRole, ReplyHandle};
 use crate::fed::{Federation, Origin};
+use crate::repl::{self, record_now, ReplState, ReplicaState};
 use crate::stats::{stats_loop, StatsSnapshot};
 
 /// Daemon tuning knobs.
@@ -119,6 +122,16 @@ pub struct ServerConfig {
     /// everything except durability: federated bookings are not
     /// journaled (see `DESIGN.md` §4i).
     pub peer: Option<String>,
+    /// Start as a warm standby replicating from the primary daemon at
+    /// `host:port`. The standby dials the primary, bootstraps from its
+    /// latest snapshot, tails the journal continuously into a live
+    /// broker image, and accepts **no** client connections until
+    /// promoted — by primary death, a `REPL-PROMOTE` frame, or
+    /// [`BbServer::promote`] — at which point it binds the configured
+    /// client address and serves from the replicated state. Excludes
+    /// both `durable` (the standby's durability *is* the primary's
+    /// journal) and `peer` (see [`crate::startup`]).
+    pub replica_of: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -133,6 +146,7 @@ impl Default for ServerConfig {
             durable: None,
             batched_decide: true,
             peer: None,
+            replica_of: None,
         }
     }
 }
@@ -303,6 +317,22 @@ pub(crate) enum Job {
     FedRelease {
         flow: FlowId,
     },
+    /// Standby only: apply one replicated journal record to the live
+    /// image through the same replay entry points recovery uses,
+    /// maintaining the derived flow → shard map so a promoted standby
+    /// serves `DRQ`s correctly.
+    ReplApply {
+        record: WalRecord,
+    },
+    /// Standby only: restore a shipped bootstrap snapshot.
+    ReplRestore {
+        image: Box<BrokerImage>,
+    },
+    /// Drain barrier: answered once every job queued before it has been
+    /// applied. Promotion uses one per shard to seal the replay.
+    Barrier {
+        done: Sender<()>,
+    },
 }
 
 impl Job {
@@ -312,8 +342,9 @@ impl Job {
         match self {
             Job::Commit { plan, .. } => Some(plan.request.flow),
             Job::Delete { flow, .. } => Some(*flow),
-            Job::Report { .. } => None,
+            Job::Report { .. } | Job::ReplApply { .. } | Job::ReplRestore { .. } => None,
             Job::FedAdmit { flow, .. } | Job::FedRelease { flow } => Some(*flow),
+            Job::Barrier { .. } => None,
         }
     }
 }
@@ -345,6 +376,15 @@ pub(crate) struct Dispatch {
     /// Broker-to-broker federation state: the outbound peer link, the
     /// parked cross-domain admissions, and per-path segment costs.
     pub(crate) fed: Federation,
+    /// Primary-side replication state: the standby slot, ack
+    /// watermarks, and the `DEC`s parked on them.
+    pub(crate) repl: ReplState,
+    /// Standby-side state; `Some` only under `--replica-of`.
+    pub(crate) replica: Option<ReplicaState>,
+    /// The io loops' shared blocks, for promotion's deferred-listener
+    /// hand-off to loop 0. Set once in [`BbServer::start`] before any
+    /// io loop spawns.
+    pub(crate) io_shared: OnceLock<Vec<Arc<conn::IoShared>>>,
     /// Live telemetry, updated lock-free by workers and the io loops.
     pub(crate) metrics: MetricsRegistry,
     pub(crate) stop: AtomicBool,
@@ -353,20 +393,73 @@ pub(crate) struct Dispatch {
     stores: Option<Vec<Arc<ShardStore>>>,
     /// Journal records between snapshots (rotation threshold).
     snapshot_every: u64,
-    /// Clock offset: the recovered state's latest observed timestamp.
-    /// The daemon's clock resumes from here so post-restart journal
-    /// records stay monotone with everything replayed before them.
-    base_nanos: u64,
+    /// Clock offset: the recovered (or, at promotion, replicated)
+    /// state's latest observed timestamp. The daemon's clock resumes
+    /// from here so post-restart journal records stay monotone with
+    /// everything replayed before them. Atomic because promotion
+    /// advances it on a live standby.
+    base_nanos: AtomicU64,
 }
 
 impl Dispatch {
     fn now(&self) -> Time {
         let elapsed = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        Time::from_nanos(self.base_nanos.saturating_add(elapsed))
+        Time::from_nanos(
+            self.base_nanos
+                .load(Ordering::Relaxed)
+                .saturating_add(elapsed),
+        )
+    }
+
+    /// Monotonic nanoseconds since daemon start — the stateless RTT
+    /// stamp embedded in `REPL-RECORDS` and echoed back in acks.
+    pub(crate) fn monotonic_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Advances the clock base so [`Dispatch::now`] never runs behind
+    /// `floor_nanos` — promotion's clock hand-off (a forward jump, the
+    /// same discontinuity recovery produces).
+    pub(crate) fn resume_clock_at(&self, floor_nanos: u64) {
+        self.base_nanos.fetch_max(floor_nanos, Ordering::SeqCst);
     }
 
     fn store(&self, idx: usize) -> Option<&ShardStore> {
         self.stores.as_deref().map(|s| &*s[idx])
+    }
+
+    /// The per-shard durable stores (the replication attach path needs
+    /// them from the io loops).
+    pub(crate) fn shard_stores(&self) -> Option<&[Arc<ShardStore>]> {
+        self.stores.as_deref()
+    }
+
+    /// Detaches every shard's replication sink (standby death).
+    pub(crate) fn detach_replica_sinks(&self) {
+        if let Some(stores) = self.stores.as_deref() {
+            for store in stores {
+                store.detach_sink();
+            }
+        }
+    }
+
+    /// Sends one decision's reply, gating it on the standby's ack when
+    /// the decision was journaled (`pos`) and a standby is attached —
+    /// the semi-synchronous half of the replication protocol.
+    pub(crate) fn gate_send(
+        &self,
+        shard: usize,
+        pos: Option<WalPosition>,
+        reply: &ReplyHandle,
+        bytes: Bytes,
+    ) {
+        let send_now = match pos {
+            Some(pos) => self.repl.gate(shard, pos, reply, bytes),
+            None => Some(bytes),
+        };
+        if let Some(bytes) = send_now {
+            reply.send(bytes);
+        }
     }
 
     fn stats_snapshot(&self) -> StatsSnapshot {
@@ -412,9 +505,30 @@ impl BbServer {
     ) -> io::Result<Self> {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.io_threads > 0, "need at least one io loop");
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
+        if let Err(e) = crate::startup::validate(config) {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, e.to_string()));
+        }
+        // A standby defers the client listener to promotion: until then
+        // it must accept no client connection. Its advertised address is
+        // the configured one, resolved; the live (possibly ephemeral)
+        // address appears via `promoted_addr` after promotion.
+        let client_addr = addr.to_string();
+        let listener = if config.replica_of.is_some() {
+            None
+        } else {
+            let l = TcpListener::bind(addr)?;
+            l.set_nonblocking(true)?;
+            Some(l)
+        };
+        let addr = match &listener {
+            Some(l) => l.local_addr()?,
+            None => addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("unresolvable addr {addr}"),
+                )
+            })?,
+        };
 
         let plan = plan_shards(topo, routes, config.workers);
         let shards: Vec<Arc<RwLock<BrokerShard>>> =
@@ -505,9 +619,14 @@ impl BbServer {
             })
             .collect();
         let fed = Federation::new(fed_paths, config.peer.is_some());
-        let mut peer_stream = match &config.peer {
-            Some(peer_addr) => Some(dial_peer(peer_addr)?),
-            None => None,
+        // One outbound dial at most: the federation peer (Peer role) or
+        // the replication primary (Repl role) — startup::validate
+        // refused the combination already.
+        let mut peer_stream = match (&config.peer, &config.replica_of) {
+            (Some(peer_addr), None) => Some((dial_peer(peer_addr)?, ConnRole::Peer)),
+            (None, Some(primary)) => Some((dial_peer(primary)?, ConnRole::Repl)),
+            (None, None) => None,
+            (Some(_), Some(_)) => unreachable!("validate refused --peer with --replica-of"),
         };
 
         let mut jobs = Vec::new();
@@ -542,6 +661,12 @@ impl BbServer {
             classes: RwLock::new(ClassDirectory::new()),
             fast,
             fed,
+            repl: ReplState::new(shard_count),
+            replica: config
+                .replica_of
+                .as_ref()
+                .map(|_| ReplicaState::new(client_addr, shard_count)),
+            io_shared: OnceLock::new(),
             metrics: MetricsRegistry::new(shard_count),
             stop: AtomicBool::new(false),
             started: Instant::now(),
@@ -550,7 +675,7 @@ impl BbServer {
                 .durable
                 .as_ref()
                 .map_or(u64::MAX, |o| o.snapshot_every.max(1)),
-            base_nanos,
+            base_nanos: AtomicU64::new(base_nanos),
         });
 
         // Surface what recovery did and rebuild the remaining derived
@@ -608,8 +733,11 @@ impl BbServer {
             .collect();
 
         let (wakers, io_shared) = conn::build_io_shared(config.io_threads);
+        // Promotion hands the deferred listener to loop 0 through this;
+        // set before any io loop exists so no promote call can miss it.
+        let _ = dispatch.io_shared.set(io_shared.clone());
         let idle_timeout = config.idle_timeout;
-        let mut listener = Some(listener);
+        let mut listener = listener;
         let io_handles = wakers
             .into_iter()
             .enumerate()
@@ -652,10 +780,55 @@ impl BbServer {
         })
     }
 
-    /// The bound address (resolves ephemeral ports).
+    /// The bound address (resolves ephemeral ports). On a standby this
+    /// is the *configured* client address — nothing listens on it until
+    /// promotion; see [`BbServer::promoted_addr`] for the live one.
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// True for a daemon started with [`ServerConfig::replica_of`].
+    #[must_use]
+    pub fn is_replica(&self) -> bool {
+        self.dispatch.replica.is_some()
+    }
+
+    /// Promotes a standby to primary: seals the replay (drains every
+    /// apply queue), resumes the clock past the replicated history,
+    /// binds the deferred client listener, and starts accepting.
+    /// Idempotent; returns the promoted listener's address, or `None`
+    /// on a daemon that is not a standby (or a failed bind).
+    pub fn promote(&self) -> Option<SocketAddr> {
+        repl::promote(&self.dispatch)
+    }
+
+    /// The promoted client listener's address, once a standby has been
+    /// promoted (resolves an ephemeral configured port).
+    #[must_use]
+    pub fn promoted_addr(&self) -> Option<SocketAddr> {
+        self.dispatch
+            .replica
+            .as_ref()
+            .and_then(ReplicaState::bound_addr)
+    }
+
+    /// True on a standby that has been promoted to serving.
+    #[must_use]
+    pub fn is_promoted(&self) -> bool {
+        self.dispatch
+            .replica
+            .as_ref()
+            .is_some_and(ReplicaState::is_promoted)
+    }
+
+    /// True on a primary while a standby is attached and journal
+    /// records are being gated on its acks. Failover harnesses wait on
+    /// this before killing the primary (a kill during bootstrap tests
+    /// nothing).
+    #[must_use]
+    pub fn replication_attached(&self) -> bool {
+        self.dispatch.repl.is_attached()
     }
 
     /// The telemetry endpoint's bound address, when one is configured.
@@ -863,19 +1036,21 @@ fn drive_timers(shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Dispatch>) {
     let now = dispatch.now();
     if shard.next_expiry().is_some_and(|due| due <= now) {
         shard.tick(now);
-        journal(dispatch.store(idx), &WalRecord::Tick { now });
+        let _ = journal(dispatch.store(idx), &WalRecord::Tick { now });
     }
 }
 
-/// Appends one record to the shard's journal, when one exists. An
-/// append failure is fatal for the worker: continuing would leave a
-/// hole in the journal and make recovery silently wrong.
-fn journal(store: Option<&ShardStore>, record: &WalRecord) {
-    if let Some(store) = store {
+/// Appends one record to the shard's journal, when one exists,
+/// returning where it landed — the position a replication ack must
+/// cover before the decision it encodes may be released. An append
+/// failure is fatal for the worker: continuing would leave a hole in
+/// the journal and make recovery silently wrong.
+fn journal(store: Option<&ShardStore>, record: &WalRecord) -> Option<WalPosition> {
+    store.map(|store| {
         store
             .append(record)
-            .unwrap_or_else(|e| panic!("journal append failed: {e}"));
-    }
+            .unwrap_or_else(|e| panic!("journal append failed: {e}"))
+    })
 }
 
 /// Rotates a shard's journal: seals the current epoch with a final
@@ -943,7 +1118,7 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
             // whole input: by serial equivalence the commit behaved as a
             // monolithic request at `now`, which is exactly how recovery
             // replays it.
-            journal(
+            let pos = journal(
                 dispatch.store(idx),
                 &WalRecord::Admit {
                     now,
@@ -963,12 +1138,15 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
                     if matches!(plan.request.service, ServiceKind::Class(_)) {
                         refresh_class_usage(shard, dispatch);
                     }
-                    reply.send(cops::encode_decision_install(&res));
+                    // With a standby attached, the DEC waits for the ack
+                    // covering its journal record: an admission the edge
+                    // has seen admitted survives a primary crash.
+                    dispatch.gate_send(idx, pos, &reply, cops::encode_decision_install(&res));
                 }
                 Err(cause) => {
                     // No mapping is ever inserted for a rejected flow.
                     metrics.record_reject(cause);
-                    reply.send(cops::encode_decision_reject(flow, cause));
+                    dispatch.gate_send(idx, pos, &reply, cops::encode_decision_reject(flow, cause));
                 }
             }
             dispatch
@@ -982,7 +1160,7 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
                 Ok(updated) => {
                     // Journal only applied releases; an unknown-flow DRQ
                     // mutates nothing.
-                    journal(dispatch.store(idx), &WalRecord::Release { now, flow });
+                    let pos = journal(dispatch.store(idx), &WalRecord::Release { now, flow });
                     dispatch.flow_owner.write().remove(&flow);
                     dispatch.released.fetch_add(1, Ordering::Relaxed);
                     metrics.record_release();
@@ -990,7 +1168,7 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
                     // reservation goes back to the edge.
                     if let Some(res) = updated {
                         refresh_class_usage(shard, dispatch);
-                        reply.send(cops::encode_decision_install(&res));
+                        dispatch.gate_send(idx, pos, &reply, cops::encode_decision_install(&res));
                     }
                 }
                 Err(_) => {
@@ -1032,11 +1210,22 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
                     match origin {
                         Origin::Client(reply) => {
                             // The whole chain said yes: answer the edge
-                            // client and finalize downstream.
+                            // client and finalize downstream, carrying
+                            // the chain-computed ⟨r, d⟩ every domain
+                            // must find matching its tentative booking.
                             reply.send(cops::encode_decision_install(&res));
-                            dispatch.fed.forward_commit(flow);
+                            dispatch.fed.forward_commit(&PeerCommit {
+                                flow,
+                                rate: res.rate,
+                                delay: res.delay,
+                            });
                         }
                         Origin::Peer(reply) => {
+                            // Record the pair *before* answering: once
+                            // the answer is on the wire the PEER-COMMIT
+                            // may race back, and its assert needs the
+                            // booking to check against.
+                            dispatch.fed.record_booking(flow, res.rate, res.delay);
                             reply.send(cops::encode_peer_answer(&PeerAnswer::Ok {
                                 flow,
                                 rate: res.rate,
@@ -1062,6 +1251,9 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
         }
         Job::FedRelease { flow } => {
             let now = dispatch.now();
+            // Drop any tentative-booking record too: a released flow's
+            // late PEER-COMMIT has nothing to assert against.
+            let _ = dispatch.fed.take_booking(flow);
             if shard.release(now, flow).is_ok() {
                 dispatch.flow_owner.write().remove(&flow);
                 dispatch.released.fetch_add(1, Ordering::Relaxed);
@@ -1076,13 +1268,60 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
             // `at`: the broker ignores the report's timestamp (the reset
             // is unconditional), and keeping wire-controlled times out
             // of the journal keeps the recovered clock base sane.
-            journal(
+            let _ = journal(
                 dispatch.store(idx),
                 &WalRecord::Report {
                     now: dispatch.now(),
                     macroflow,
                 },
             );
+        }
+        Job::ReplApply { record } => {
+            // The same replay entry points recovery drives, plus the
+            // derived state recovery rebuilds wholesale: the flow →
+            // shard map and the class directory stay live so the shard
+            // serves correctly the instant promotion opens the door.
+            match &record {
+                WalRecord::Admit { now, request } => {
+                    if shard.replay_request(*now, request).is_ok() {
+                        dispatch.flow_owner.write().insert(request.flow, idx);
+                        if matches!(request.service, ServiceKind::Class(_)) {
+                            refresh_class_usage(shard, dispatch);
+                        }
+                    }
+                }
+                WalRecord::Release { now, flow } => {
+                    if let Ok(updated) = shard.release(*now, *flow) {
+                        dispatch.flow_owner.write().remove(flow);
+                        if updated.is_some() {
+                            refresh_class_usage(shard, dispatch);
+                        }
+                    }
+                }
+                WalRecord::Report { now, macroflow } => {
+                    let _ = shard.edge_buffer_empty(*now, *macroflow);
+                }
+                WalRecord::Tick { now } => {
+                    let _ = shard.tick(*now);
+                }
+            }
+            if let Some(replica) = &dispatch.replica {
+                let applied = replica.note_applied(record_now(&record));
+                dispatch.metrics.set_repl_applied(applied);
+            }
+        }
+        Job::ReplRestore { image } => {
+            shard.restore_image(&image);
+            let mut owners = dispatch.flow_owner.write();
+            owners.retain(|_, owner| *owner != idx);
+            for (flow, _) in shard.broker().flows().iter() {
+                owners.insert(*flow, idx);
+            }
+            drop(owners);
+            refresh_class_usage(shard, dispatch);
+        }
+        Job::Barrier { done } => {
+            let _ = done.send(());
         }
     }
 }

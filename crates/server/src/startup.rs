@@ -1,0 +1,159 @@
+//! Structured startup validation: every invalid flag combination is one
+//! [`StartupError`] variant with a stable exit code and a one-line
+//! reason, instead of an ad-hoc panic or a silently wrong daemon.
+//!
+//! The daemon's modes do not all compose:
+//!
+//! * **Federation × durability** — federated bookings are deliberately
+//!   not journaled (a WAL replay would recompute the flow's rate from
+//!   local state instead of restoring the chain-computed pair; see
+//!   `DESIGN.md` §4i), so a federated daemon with a data directory
+//!   would recover to a state its peers disagree with.
+//! * **Standby × federation** — a standby holds no bookings of its own
+//!   until promotion, and promotion mid-chain would change the chain
+//!   topology under live flows.
+//! * **Standby × durability** — the standby's durability *is* the
+//!   primary's journal; a local data directory would fork the history.
+//!
+//! [`validate`] is called by [`crate::BbServer::start`] (library users
+//! get an `InvalidInput` io error) and by the `bb-server` binary, which
+//! prints the reason to stderr and exits with [`StartupError::exit_code`].
+
+use std::fmt;
+
+use crate::server::ServerConfig;
+
+/// An invalid flag combination, refused before any thread spawns or
+/// socket binds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartupError {
+    /// `--data-dir` with `--peer`: durability does not compose with
+    /// federation (bookings are not journaled, `DESIGN.md` §4i).
+    DurableWithPeer,
+    /// `--replica-of` with `--peer`: a standby cannot federate.
+    ReplicaWithPeer,
+    /// `--replica-of` with `--data-dir`: a standby does not journal
+    /// locally.
+    ReplicaWithDurable,
+}
+
+impl StartupError {
+    /// Process exit code for this refusal: uniformly `64` (BSD
+    /// `EX_USAGE` — command-line usage error) so wrappers and CI can
+    /// distinguish "refused flags" from a crash.
+    #[must_use]
+    pub fn exit_code(self) -> i32 {
+        64
+    }
+}
+
+impl fmt::Display for StartupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartupError::DurableWithPeer => write!(
+                f,
+                "--data-dir does not compose with --peer: federated bookings are not \
+                 journaled, so a recovered daemon would disagree with its chain (DESIGN.md §4i)"
+            ),
+            StartupError::ReplicaWithPeer => write!(
+                f,
+                "--replica-of does not compose with --peer: a standby books nothing until \
+                 promotion, and promoting mid-chain would rewire the chain under live flows"
+            ),
+            StartupError::ReplicaWithDurable => write!(
+                f,
+                "--replica-of does not compose with --data-dir: a standby's durability is \
+                 the primary's journal; a local data directory would fork the history"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StartupError {}
+
+/// Refuses invalid mode combinations. Called before anything binds.
+///
+/// # Errors
+///
+/// One [`StartupError`] per refused combination; when several apply,
+/// the replica-mode refusals win (they subsume the durable one).
+pub fn validate(config: &ServerConfig) -> Result<(), StartupError> {
+    if config.replica_of.is_some() && config.peer.is_some() {
+        return Err(StartupError::ReplicaWithPeer);
+    }
+    if config.replica_of.is_some() && config.durable.is_some() {
+        return Err(StartupError::ReplicaWithDurable);
+    }
+    if config.durable.is_some() && config.peer.is_some() {
+        return Err(StartupError::DurableWithPeer);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::DurableOptions;
+
+    fn base() -> ServerConfig {
+        ServerConfig::default()
+    }
+
+    #[test]
+    fn plain_config_is_valid() {
+        assert_eq!(validate(&base()), Ok(()));
+    }
+
+    #[test]
+    fn each_mode_alone_is_valid() {
+        let mut durable = base();
+        durable.durable = Some(DurableOptions::default());
+        assert_eq!(validate(&durable), Ok(()));
+
+        let mut federated = base();
+        federated.peer = Some("127.0.0.1:9".into());
+        assert_eq!(validate(&federated), Ok(()));
+
+        let mut standby = base();
+        standby.replica_of = Some("127.0.0.1:9".into());
+        assert_eq!(validate(&standby), Ok(()));
+    }
+
+    #[test]
+    fn durable_with_peer_is_refused() {
+        let mut config = base();
+        config.durable = Some(DurableOptions::default());
+        config.peer = Some("127.0.0.1:9".into());
+        assert_eq!(validate(&config), Err(StartupError::DurableWithPeer));
+    }
+
+    #[test]
+    fn replica_with_peer_is_refused() {
+        let mut config = base();
+        config.replica_of = Some("127.0.0.1:9".into());
+        config.peer = Some("127.0.0.1:9".into());
+        assert_eq!(validate(&config), Err(StartupError::ReplicaWithPeer));
+    }
+
+    #[test]
+    fn replica_with_durable_is_refused() {
+        let mut config = base();
+        config.replica_of = Some("127.0.0.1:9".into());
+        config.durable = Some(DurableOptions::default());
+        assert_eq!(validate(&config), Err(StartupError::ReplicaWithDurable));
+    }
+
+    #[test]
+    fn exit_code_is_ex_usage_for_every_variant() {
+        for err in [
+            StartupError::DurableWithPeer,
+            StartupError::ReplicaWithPeer,
+            StartupError::ReplicaWithDurable,
+        ] {
+            assert_eq!(err.exit_code(), 64);
+            // Every refusal renders a non-empty one-line reason.
+            assert!(!err.to_string().is_empty());
+            assert!(!err.to_string().contains('\n'));
+        }
+    }
+}

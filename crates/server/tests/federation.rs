@@ -296,6 +296,107 @@ fn dead_peer_refuses_admissions_without_booking_anywhere() {
     assert_eq!(report.requested, 0);
 }
 
+/// PEER-COMMIT carries the terminal-computed ⟨r, d⟩, and every domain
+/// asserts it against its own tentative booking. A commit that matches
+/// finalizes the booking; a commit that disagrees means the chain has
+/// diverged on what was reserved, and the only safe move is to release
+/// the booking and count `bb_fed_commit_mismatches_total` — the flow
+/// must not stay resident under a rate the chain disputes.
+#[test]
+fn mismatched_peer_commit_releases_the_booking_and_counts_it() {
+    use bb_core::cops::PeerCommit;
+    use bb_server::FrameReader;
+
+    let (topo, routes) = pod_topology(1_500_000);
+    let srv = BbServer::start("127.0.0.1:0", &topo, &routes, &ServerConfig::default())
+        .expect("start terminal domain");
+
+    // This test *is* the upstream broker: a raw socket speaking the
+    // peer protocol at the terminal domain.
+    let mut upstream = std::net::TcpStream::connect(srv.local_addr()).expect("dial terminal");
+    upstream.set_nodelay(true).expect("nodelay");
+    upstream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+
+    let mut reader = FrameReader::new();
+    let read_answer = |sock: &mut std::net::TcpStream, reader: &mut FrameReader| {
+        let mut buf = [0u8; 1024];
+        loop {
+            if let Some(wire) = reader.next_frame().expect("well-formed answer") {
+                let mut wire = wire;
+                let frame = cops::decode_frame(&mut wire).expect("decode frame");
+                return cops::decode_peer_answer(&frame).expect("decode answer");
+            }
+            let n = sock.read(&mut buf).expect("read answer");
+            assert!(n > 0, "terminal hung up mid-admission");
+            reader.extend(&buf[..n]);
+        }
+    };
+    let admit = |flow: u64, upstream: &mut std::net::TcpStream, reader: &mut FrameReader| {
+        let req = request(flow, 2_440);
+        upstream
+            .write_all(&cops::encode_peer_decide(&cops::PeerDecide {
+                flow: req.flow,
+                profile: req.profile,
+                d_req: req.d_req,
+                path: req.path,
+                h_acc: HOPS as u64,
+                d_acc: Nanos::from_millis(1),
+            }))
+            .expect("send PEER-DEC");
+        match read_answer(upstream, reader) {
+            PeerAnswer::Ok {
+                flow: f,
+                rate,
+                delay,
+            } => {
+                assert_eq!(f, req.flow);
+                (rate, delay)
+            }
+            other => panic!("expected a tentative booking for flow {flow}, got {other:?}"),
+        }
+    };
+
+    // Flow 20: the commit echoes the answered pair exactly — the
+    // booking finalizes, nothing releases, nothing is counted.
+    let (rate, delay) = admit(20, &mut upstream, &mut reader);
+    upstream
+        .write_all(&cops::encode_peer_commit(&PeerCommit {
+            flow: FlowId(20),
+            rate,
+            delay,
+        }))
+        .expect("send matching commit");
+
+    // Flow 21: the commit claims a different rate than this domain
+    // booked. The domain must release the booking and count it.
+    let (rate, delay) = admit(21, &mut upstream, &mut reader);
+    upstream
+        .write_all(&cops::encode_peer_commit(&PeerCommit {
+            flow: FlowId(21),
+            rate: Rate::from_bps(rate.as_bps() + 1),
+            delay,
+        }))
+        .expect("send mismatched commit");
+
+    wait_until(
+        "the mismatch to be counted and the booking released",
+        || {
+            let m = srv.stats_snapshot().metrics;
+            m.fed.commit_mismatches == 1 && m.released == 1
+        },
+    );
+
+    drop(upstream);
+    let report = srv.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    assert_eq!(
+        report.resident_flows, 1,
+        "the matched commit must stay resident and the mismatched one must not"
+    );
+}
+
 /// The DeadlineWheel re-arms on *outbound* peer connections exactly as
 /// it does on inbound edges: a downstream peer that answers with half
 /// a frame and stalls is reaped by `--idle-timeout-ms`, the reap

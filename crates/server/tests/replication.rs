@@ -1,0 +1,296 @@
+//! Replication integration tests over real TCP: a warm standby started
+//! with `replica_of` bootstraps from the durable primary's snapshot,
+//! tails its journal into a live broker image, and — on promotion —
+//! serves every decision the primary ever acknowledged. The
+//! semi-synchronous gate (DECs held until the standby's ack covers
+//! their journal position) is exactly what makes "acknowledged" and
+//! "replicated" the same set, so a promoted standby can lose no
+//! admitted flow. When the standby dies instead, the primary must fail
+//! open and keep serving alone.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use bb_core::cops::Decision;
+use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
+use bb_core::PathId;
+use bb_server::{BbServer, CopsClient, DurableOptions, ServerConfig};
+use netsim::topology::{LinkId, SchedulerSpec, Topology};
+use qos_units::{Bits, Nanos, Rate};
+use vtrs::packet::FlowId;
+use vtrs::profile::TrafficProfile;
+
+const PODS: usize = 8;
+const HOPS: usize = 3;
+
+fn topology() -> (Topology, Vec<Vec<LinkId>>) {
+    Topology::pod_chains(
+        PODS,
+        HOPS,
+        Rate::from_bps(1_500_000),
+        Nanos::ZERO,
+        SchedulerSpec::CsVc,
+        Bits::from_bytes(1500),
+    )
+}
+
+fn request(flow: u64, pod: u64) -> FlowRequest {
+    FlowRequest {
+        flow: FlowId(flow),
+        profile: TrafficProfile::new(
+            Bits::from_bits(60_000),
+            Rate::from_bps(50_000),
+            Rate::from_bps(100_000),
+            Bits::from_bytes(1500),
+        )
+        .unwrap(),
+        d_req: Nanos::from_millis(2_440),
+        service: ServiceKind::PerFlow,
+        path: PathId(pod),
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bb-repl-it-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(dir: &Path) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        durable: Some(DurableOptions {
+            data_dir: dir.to_path_buf(),
+            wal_flush: Duration::from_millis(1),
+            snapshot_every: 1_000_000,
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+fn standby_config(primary: &BbServer) -> ServerConfig {
+    ServerConfig {
+        // Shard layout must match the primary's: the journal is
+        // per-shard and the REPL-HELLO carries the count.
+        workers: 2,
+        replica_of: Some(primary.local_addr().to_string()),
+        ..ServerConfig::default()
+    }
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The tentpole property, in-process: every flow the primary
+/// *acknowledged* is resident on the promoted standby (probed by
+/// re-REQ — a resident flow refuses the duplicate), every flow deleted
+/// before the failover is admittable again, and flows never admitted
+/// admit fresh on the promoted daemon.
+#[test]
+fn promoted_standby_serves_every_acknowledged_flow() {
+    let dir = scratch("promote");
+    let (topo, routes) = topology();
+    let primary =
+        BbServer::start("127.0.0.1:0", &topo, &routes, &durable_config(&dir)).expect("primary");
+    let standby =
+        BbServer::start("127.0.0.1:0", &topo, &routes, &standby_config(&primary)).expect("standby");
+    assert!(standby.is_replica());
+    assert!(!standby.is_promoted());
+    wait_until("the standby to attach", || primary.replication_attached());
+
+    let mut client = CopsClient::connect(&primary.local_addr().to_string()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut admitted = Vec::new();
+    for flow in 0..40u64 {
+        match client
+            .request(&request(flow, flow % PODS as u64))
+            .expect("round trip")
+        {
+            Decision::Install(_) => admitted.push(flow),
+            other => panic!("unexpected answer for flow {flow}: {other:?}"),
+        }
+    }
+    assert!(admitted.len() >= 8, "workload too small to mean anything");
+    // Tear down two mid-stream: the deletes replicate too, so the
+    // promoted standby must treat them as *gone*, not resident.
+    let deleted = [admitted.remove(0), admitted.remove(admitted.len() / 2)];
+    for flow in deleted {
+        client.send_delete(FlowId(flow)).expect("send DRQ");
+    }
+    // A per-flow DRQ gets no reply; wait for both releases to land (and
+    // journal, and replicate) before sealing the failover.
+    wait_until("both deletes to be released", || {
+        primary.stats_snapshot().metrics.released == 2
+    });
+    drop(client);
+
+    // The gate makes this deterministic: every DEC above was released
+    // only after the standby acked (enqueued) its journal record, and
+    // promotion drains the apply queues behind a barrier.
+    let promoted = standby.promote().expect("promote the standby");
+    assert!(standby.is_promoted());
+    assert_eq!(standby.promote(), Some(promoted), "promotion is idempotent");
+
+    let mut probe = CopsClient::connect(&promoted.to_string()).expect("connect to promoted");
+    probe
+        .set_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    for &flow in &admitted {
+        // The residency probe: a resident flow refuses its duplicate.
+        // An Install here would mean the admitted flow was LOST.
+        match probe
+            .request(&request(flow, flow % PODS as u64))
+            .expect("probe")
+        {
+            Decision::Reject {
+                cause: Reject::DuplicateFlow,
+                ..
+            } => {}
+            other => panic!("flow {flow} lost in failover: probe answered {other:?}"),
+        }
+    }
+    for flow in deleted {
+        // Deleted before the failover: the standby applied the release,
+        // so the flow admits again from scratch.
+        match probe
+            .request(&request(flow, flow % PODS as u64))
+            .expect("probe")
+        {
+            Decision::Install(_) => {}
+            other => panic!("deleted flow {flow} still resident after failover: {other:?}"),
+        }
+    }
+
+    let snap = standby.stats_snapshot().metrics.repl;
+    assert!(
+        snap.applied_records as usize >= admitted.len(),
+        "standby applied {} records for {} acknowledged admissions",
+        snap.applied_records,
+        admitted.len()
+    );
+
+    drop(probe);
+    let report = standby.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    let report = primary.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Killing the *primary* (ungraceful close of the replication link)
+/// must auto-promote the standby — no operator in the loop — and the
+/// primary's acknowledged flows survive onto it.
+#[test]
+fn standby_auto_promotes_when_the_primary_dies() {
+    let dir = scratch("autopromote");
+    let (topo, routes) = topology();
+    let primary =
+        BbServer::start("127.0.0.1:0", &topo, &routes, &durable_config(&dir)).expect("primary");
+    let standby =
+        BbServer::start("127.0.0.1:0", &topo, &routes, &standby_config(&primary)).expect("standby");
+    wait_until("the standby to attach", || primary.replication_attached());
+
+    let mut client = CopsClient::connect(&primary.local_addr().to_string()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut admitted = Vec::new();
+    for flow in 0..12u64 {
+        if let Decision::Install(_) = client
+            .request(&request(flow, flow % PODS as u64))
+            .expect("round trip")
+        {
+            admitted.push(flow);
+        }
+    }
+    drop(client);
+
+    // An in-process stand-in for SIGKILL: shutdown closes the
+    // replication socket, which is all the standby can observe of a
+    // dead primary either way.
+    let report = primary.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+
+    wait_until("the standby to auto-promote", || standby.is_promoted());
+    let promoted = standby.promoted_addr().expect("promoted address");
+    let mut probe = CopsClient::connect(&promoted.to_string()).expect("connect to promoted");
+    probe
+        .set_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    for &flow in &admitted {
+        match probe
+            .request(&request(flow, flow % PODS as u64))
+            .expect("probe")
+        {
+            Decision::Reject {
+                cause: Reject::DuplicateFlow,
+                ..
+            } => {}
+            other => panic!("flow {flow} lost in auto-failover: {other:?}"),
+        }
+    }
+
+    drop(probe);
+    let report = standby.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    assert_eq!(
+        report.resident_flows,
+        admitted.len() as u64,
+        "promoted standby residency diverged from the acknowledged set"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The availability half of the design: when the *standby* dies, the
+/// primary fails open — parked DECs release, the demotion is counted,
+/// and admissions keep flowing with no standby to gate on.
+#[test]
+fn primary_fails_open_when_the_standby_dies() {
+    let dir = scratch("failopen");
+    let (topo, routes) = topology();
+    let primary =
+        BbServer::start("127.0.0.1:0", &topo, &routes, &durable_config(&dir)).expect("primary");
+    let standby =
+        BbServer::start("127.0.0.1:0", &topo, &routes, &standby_config(&primary)).expect("standby");
+    wait_until("the standby to attach", || primary.replication_attached());
+
+    let mut client = CopsClient::connect(&primary.local_addr().to_string()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    match client.request(&request(1, 1)).expect("gated admission") {
+        Decision::Install(_) => {}
+        other => panic!("expected a replicated admission, got {other:?}"),
+    }
+
+    let report = standby.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    wait_until("the primary to fail open", || {
+        !primary.replication_attached()
+    });
+
+    // Serving continues, now ungated.
+    match client.request(&request(2, 2)).expect("solo admission") {
+        Decision::Install(_) => {}
+        other => panic!("expected a solo admission after fail-open, got {other:?}"),
+    }
+
+    let snap = primary.stats_snapshot().metrics.repl;
+    assert_eq!(snap.attached, 0);
+    assert_eq!(snap.demotions, 1);
+    assert_eq!(snap.lag_records, 0, "fail-open must clear the gate");
+
+    drop(client);
+    let report = primary.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    assert_eq!(report.resident_flows, 2);
+    let _ = fs::remove_dir_all(&dir);
+}

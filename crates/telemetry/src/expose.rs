@@ -492,6 +492,63 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
     let _ = writeln!(out, "# TYPE bb_fed_in_flight gauge");
     let _ = writeln!(out, "bb_fed_in_flight {}", snap.fed.in_flight);
 
+    let _ = writeln!(
+        out,
+        "# HELP bb_fed_commit_mismatches_total PEER-COMMIT assertions that disagreed with the local tentative booking."
+    );
+    let _ = writeln!(out, "# TYPE bb_fed_commit_mismatches_total counter");
+    let _ = writeln!(
+        out,
+        "bb_fed_commit_mismatches_total {}",
+        snap.fed.commit_mismatches
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_repl_lag_records Journal records shipped to the standby but not yet acked."
+    );
+    let _ = writeln!(out, "# TYPE bb_repl_lag_records gauge");
+    let _ = writeln!(out, "bb_repl_lag_records {}", snap.repl.lag_records);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_repl_bytes_total Replication payload bytes shipped since startup."
+    );
+    let _ = writeln!(out, "# TYPE bb_repl_bytes_total counter");
+    let _ = writeln!(out, "bb_repl_bytes_total {}", snap.repl.bytes_total);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_repl_ack_rtt_ns Ship-to-ack round-trip latency on the replication link, nanoseconds."
+    );
+    let _ = writeln!(out, "# TYPE bb_repl_ack_rtt_ns histogram");
+    write_histogram(&mut out, "bb_repl_ack_rtt_ns", "", &snap.repl.ack_rtt_ns);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_repl_attached 1 while a standby is attached and tailing, else 0."
+    );
+    let _ = writeln!(out, "# TYPE bb_repl_attached gauge");
+    let _ = writeln!(out, "bb_repl_attached {}", snap.repl.attached);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_repl_demotions_total Replication-link deaths the primary failed open over."
+    );
+    let _ = writeln!(out, "# TYPE bb_repl_demotions_total counter");
+    let _ = writeln!(out, "bb_repl_demotions_total {}", snap.repl.demotions);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_repl_applied_records_total Shipped records applied into the live image (standby side)."
+    );
+    let _ = writeln!(out, "# TYPE bb_repl_applied_records_total counter");
+    let _ = writeln!(
+        out,
+        "bb_repl_applied_records_total {}",
+        snap.repl.applied_records
+    );
+
     out
 }
 
@@ -598,6 +655,31 @@ mod tests {
             }
         }
         assert_eq!(last, 2);
+    }
+
+    #[test]
+    fn replication_and_mismatch_series_expose() {
+        let reg = MetricsRegistry::new(1);
+        reg.set_repl_attached(true);
+        reg.set_repl_lag(3);
+        reg.record_repl_bytes(2048);
+        reg.record_repl_ack_rtt_ns(500_000);
+        reg.record_repl_demotion();
+        reg.set_repl_applied(9);
+        reg.record_fed_commit_mismatch();
+        let text = prometheus(&reg.snapshot());
+
+        assert!(text.contains("# TYPE bb_repl_lag_records gauge"));
+        assert!(text.contains("bb_repl_lag_records 3"));
+        assert!(text.contains("# TYPE bb_repl_bytes_total counter"));
+        assert!(text.contains("bb_repl_bytes_total 2048"));
+        assert!(text.contains("# TYPE bb_repl_ack_rtt_ns histogram"));
+        assert!(text.contains("bb_repl_ack_rtt_ns_count 1"));
+        assert!(text.contains("bb_repl_ack_rtt_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("bb_repl_attached 1"));
+        assert!(text.contains("bb_repl_demotions_total 1"));
+        assert!(text.contains("bb_repl_applied_records_total 9"));
+        assert!(text.contains("bb_fed_commit_mismatches_total 1"));
     }
 
     #[test]

@@ -31,6 +31,6 @@ pub mod registry;
 pub use expose::prometheus;
 pub use histogram::{HistogramSnapshot, LogHistogram};
 pub use registry::{
-    ConnSnapshot, FederationSnapshot, MetricsRegistry, MetricsSnapshot, ReasonCount, ShardMetrics,
-    ShardSnapshot,
+    ConnSnapshot, FederationSnapshot, MetricsRegistry, MetricsSnapshot, ReasonCount,
+    ReplicationSnapshot, ShardMetrics, ShardSnapshot,
 };

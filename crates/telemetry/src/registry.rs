@@ -238,6 +238,26 @@ pub struct MetricsRegistry {
     /// Cross-domain admissions currently parked on a downstream
     /// answer.
     fed_in_flight: AtomicU64,
+    /// PEER-COMMIT frames whose terminal-computed ⟨r, d⟩ disagreed
+    /// with this domain's tentative booking (the booking is released).
+    fed_commit_mismatches: AtomicU64,
+    /// Journal records shipped to the standby but not yet covered by a
+    /// REPL-ACK watermark (primary side; zero without a replica).
+    repl_lag_records: AtomicU64,
+    /// Raw WAL bytes shipped over the replication link since startup
+    /// (bootstrap prefixes included).
+    repl_bytes_total: AtomicU64,
+    /// Round-trip time from shipping a records batch to the ack whose
+    /// stamp echoes it (primary side).
+    repl_ack_rtt_ns: LogHistogram,
+    /// 1 while a standby is attached and tailing, else 0.
+    repl_attached: AtomicU64,
+    /// Times the replication link died and the primary failed open
+    /// (released every gated DEC and detached the sinks).
+    repl_demotions: AtomicU64,
+    /// Shipped records applied into the live broker image (standby
+    /// side; zero on a primary).
+    repl_applied_records: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -259,6 +279,13 @@ impl MetricsRegistry {
             peer_rtt_ns: LogHistogram::new(),
             peer_rejects: Default::default(),
             fed_in_flight: AtomicU64::new(0),
+            fed_commit_mismatches: AtomicU64::new(0),
+            repl_lag_records: AtomicU64::new(0),
+            repl_bytes_total: AtomicU64::new(0),
+            repl_ack_rtt_ns: LogHistogram::new(),
+            repl_attached: AtomicU64::new(0),
+            repl_demotions: AtomicU64::new(0),
+            repl_applied_records: AtomicU64::new(0),
         }
     }
 
@@ -352,6 +379,45 @@ impl MetricsRegistry {
         self.fed_in_flight.store(in_flight, Ordering::Relaxed);
     }
 
+    /// Counts a PEER-COMMIT whose ⟨r, d⟩ disagreed with the local
+    /// tentative booking (which is released in response).
+    pub fn record_fed_commit_mismatch(&self) {
+        self.fed_commit_mismatches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the shipped-but-unacked journal records gauge
+    /// (`bb_repl_lag_records`).
+    pub fn set_repl_lag(&self, records: u64) {
+        self.repl_lag_records.store(records, Ordering::Relaxed);
+    }
+
+    /// Adds shipped replication payload bytes (`bb_repl_bytes_total`).
+    pub fn record_repl_bytes(&self, bytes: u64) {
+        self.repl_bytes_total.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one ship→ack round trip on the replication link.
+    pub fn record_repl_ack_rtt_ns(&self, ns: u64) {
+        self.repl_ack_rtt_ns.record(ns);
+    }
+
+    /// Raises or lowers the standby-attached gauge.
+    pub fn set_repl_attached(&self, attached: bool) {
+        self.repl_attached
+            .store(u64::from(attached), Ordering::Relaxed);
+    }
+
+    /// Counts a replication-link death the primary survived by failing
+    /// open (gated DECs released, sinks detached).
+    pub fn record_repl_demotion(&self) {
+        self.repl_demotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the standby-side applied-records counter.
+    pub fn set_repl_applied(&self, records: u64) {
+        self.repl_applied_records.store(records, Ordering::Relaxed);
+    }
+
     /// Current value of the open-connections gauge.
     #[must_use]
     pub fn open_connections(&self) -> u64 {
@@ -403,9 +469,36 @@ impl MetricsRegistry {
                     })
                     .collect(),
                 in_flight: self.fed_in_flight.load(Ordering::Relaxed),
+                commit_mismatches: self.fed_commit_mismatches.load(Ordering::Relaxed),
+            },
+            repl: ReplicationSnapshot {
+                lag_records: self.repl_lag_records.load(Ordering::Relaxed),
+                bytes_total: self.repl_bytes_total.load(Ordering::Relaxed),
+                ack_rtt_ns: self.repl_ack_rtt_ns.snapshot(),
+                attached: self.repl_attached.load(Ordering::Relaxed),
+                demotions: self.repl_demotions.load(Ordering::Relaxed),
+                applied_records: self.repl_applied_records.load(Ordering::Relaxed),
             },
         }
     }
+}
+
+/// Point-in-time view of the WAL-shipping replication layer; all zeros
+/// on a daemon with neither a standby attached nor a primary tailed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationSnapshot {
+    /// Journal records shipped but not yet acked (`bb_repl_lag_records`).
+    pub lag_records: u64,
+    /// Replication payload bytes shipped since startup.
+    pub bytes_total: u64,
+    /// Ship→ack round-trip latency on the replication link.
+    pub ack_rtt_ns: HistogramSnapshot,
+    /// 1 while a standby is attached, else 0.
+    pub attached: u64,
+    /// Replication-link deaths the primary failed open over.
+    pub demotions: u64,
+    /// Records applied into the live image (standby side).
+    pub applied_records: u64,
 }
 
 /// Point-in-time view of the broker-to-broker federation layer; all
@@ -420,6 +513,10 @@ pub struct FederationSnapshot {
     /// Cross-domain admissions currently parked on a downstream
     /// answer.
     pub in_flight: u64,
+    /// PEER-COMMIT assertions that disagreed with the local tentative
+    /// booking (absent in snapshots from older builds).
+    #[serde(default)]
+    pub commit_mismatches: u64,
 }
 
 impl FederationSnapshot {
@@ -556,6 +653,10 @@ pub struct MetricsSnapshot {
     /// builds before multi-domain support).
     #[serde(default)]
     pub fed: FederationSnapshot,
+    /// WAL-shipping replication series (absent in snapshots from
+    /// builds before high availability).
+    #[serde(default)]
+    pub repl: ReplicationSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -739,6 +840,40 @@ mod tests {
         assert_ne!(stripped, text, "field name drifted; update this test");
         let back: MetricsSnapshot = serde::json::from_str(&stripped).expect("lenient decode");
         assert_eq!(back.shards[0].seqlock_retries, 0);
+    }
+
+    #[test]
+    fn replication_series_surface_and_old_snapshots_decode() {
+        let reg = MetricsRegistry::new(1);
+        reg.set_repl_attached(true);
+        reg.set_repl_lag(7);
+        reg.record_repl_bytes(1024);
+        reg.record_repl_bytes(512);
+        reg.record_repl_ack_rtt_ns(250_000);
+        reg.record_repl_demotion();
+        reg.set_repl_applied(42);
+        reg.record_fed_commit_mismatch();
+        let snap = reg.snapshot();
+        assert_eq!(snap.repl.attached, 1);
+        assert_eq!(snap.repl.lag_records, 7);
+        assert_eq!(snap.repl.bytes_total, 1536);
+        assert_eq!(snap.repl.ack_rtt_ns.count, 1);
+        assert_eq!(snap.repl.demotions, 1);
+        assert_eq!(snap.repl.applied_records, 42);
+        assert_eq!(snap.fed.commit_mismatches, 1);
+        // Snapshots serialized before replication existed lack the
+        // whole `repl` block and the mismatch counter; `#[serde(default)]`
+        // must zero-fill both.
+        let text = serde::json::to_string(&snap);
+        let repl_block = format!(",\"repl\":{}", serde::json::to_string(&snap.repl));
+        let stripped = text
+            .replace(",\"commit_mismatches\":1", "")
+            .replace(&repl_block, "");
+        assert_ne!(stripped, text, "field name drifted; update this test");
+        assert!(!stripped.contains("lag_records"));
+        let back: MetricsSnapshot = serde::json::from_str(&stripped).expect("lenient decode");
+        assert_eq!(back.fed.commit_mismatches, 0);
+        assert_eq!(back.repl, ReplicationSnapshot::default());
     }
 
     #[test]
