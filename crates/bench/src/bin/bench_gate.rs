@@ -8,6 +8,7 @@
 //!            [--durable] [--min-connections N] [--min-decide-speedup R]
 //!            [--federation] [--min-domains 3]
 //!            [--failover] [--max-failover-p99-ms 5000]
+//!            [--scenario] [--max-bytes-per-flow 4096]
 //! ```
 //!
 //! Reads both `bb-loadgen` reports, applies
@@ -63,11 +64,22 @@
 //! SIGKILL, every offered request answered, the replicated throughput
 //! at or above `--min-ratio` (default 0.9) of the durable baseline, and
 //! the p99 failover time under `--max-failover-p99-ms` (default 5000).
+//!
+//! With `--scenario` the fresh report is a `bb-loadgen --scenario`
+//! subscriber-tree run (`BENCH_scenario.json`) gated with
+//! [`bb_bench::gate::check_scenario`]: same tree/target/seed as the
+//! baseline, probe-verified (`verified_sampled` true), the resident
+//! ramp at or above `resident_target`, sustained ramp decisions/s at
+//! or above `--min-ratio` (default 0.6) of the baseline, the RSS
+//! envelope under `--max-bytes-per-flow` per resident flow (absolute
+//! ceiling, default 4096, so memory regressions cannot hide behind a
+//! noisy baseline), and a non-empty event replay.
 
 use bb_bench::gate::{
     check_decide_speedup, check_durable, check_failover, check_federation, check_full_with_allocs,
-    check_swarm, DEFAULT_MAX_FAILOVER_P99_MS, DEFAULT_MAX_P99_RATIO, DEFAULT_MIN_HIT_RATE,
-    DEFAULT_MIN_RATIO, DEFAULT_MIN_REPL_RATIO,
+    check_scenario, check_swarm, DEFAULT_MAX_BYTES_PER_FLOW, DEFAULT_MAX_FAILOVER_P99_MS,
+    DEFAULT_MAX_P99_RATIO, DEFAULT_MIN_HIT_RATE, DEFAULT_MIN_RATIO, DEFAULT_MIN_REPL_RATIO,
+    DEFAULT_MIN_SCENARIO_RATIO,
 };
 
 fn arg(name: &str) -> Option<String> {
@@ -162,6 +174,56 @@ fn main() {
 
     let fresh = load(&fresh_path);
     let baseline = load(&baseline_path);
+    if flag("--scenario") {
+        // Scenario runs are paced end-to-end sweeps, noisier than the
+        // steady-state loadgen bench — the throughput floor defaults
+        // looser than the plain gate's.
+        let min_ratio: f64 = arg("--min-ratio")
+            .map(|v| v.parse().expect("bench-gate: --min-ratio must be a float"))
+            .unwrap_or(DEFAULT_MIN_SCENARIO_RATIO);
+        let max_bytes_per_flow: f64 = arg("--max-bytes-per-flow")
+            .map(|v| {
+                v.parse()
+                    .expect("bench-gate: --max-bytes-per-flow must be a float")
+            })
+            .unwrap_or(DEFAULT_MAX_BYTES_PER_FLOW);
+        match check_scenario(&fresh, &baseline, min_ratio, max_bytes_per_flow) {
+            Ok(verdict) => {
+                println!(
+                    "bench-gate: scenario ramp held {:.0} resident flows (target {:.0})",
+                    verdict.resident_peak, verdict.resident_target
+                );
+                println!(
+                    "bench-gate: sustained {:.0} decisions/s vs baseline {:.0} \
+                     ({:.0}%, floor {:.0}%)",
+                    verdict.fresh_sustained_rps,
+                    verdict.baseline_sustained_rps,
+                    verdict.ratio * 100.0,
+                    verdict.min_ratio * 100.0
+                );
+                println!(
+                    "bench-gate: {:.0} bytes/resident-flow (ceiling {:.0}); \
+                     {:.0} replay events",
+                    verdict.bytes_per_resident_flow,
+                    verdict.max_bytes_per_flow,
+                    verdict.replay_events
+                );
+                if verdict.passed() {
+                    println!("bench-gate: PASS (scenario)");
+                } else {
+                    for f in &verdict.failures {
+                        eprintln!("bench-gate: FAIL: {f}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("bench-gate: unusable report: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     if flag("--federation") {
         let min_domains: f64 = arg("--min-domains")
             .map(|v| {

@@ -1025,6 +1025,219 @@ pub fn check_failover(
     })
 }
 
+/// Configuration-identity fields of a `--scenario` report: two runs are
+/// comparable only over the same tree shape, resident target, and seed.
+const SCENARIO_CONFIG_FIELDS: [&str; 5] = [
+    "sites",
+    "aps_per_site",
+    "clients_per_ap",
+    "resident_target",
+    "seed",
+];
+
+/// Fraction of the baseline's sustained ramp throughput a fresh
+/// scenario run must reach (same generous margin as the loadgen gate:
+/// shared runners are noisy, the gate hunts collapses).
+pub const DEFAULT_MIN_SCENARIO_RATIO: f64 = 0.6;
+
+/// Absolute ceiling on the daemon's RSS growth per resident flow,
+/// bytes. The flow record, its WAL-free MIB bookings, and the id maps
+/// cost on the order of a few hundred bytes per flow; a multi-KiB
+/// figure means per-flow state started duplicating somewhere on the
+/// admission path.
+pub const DEFAULT_MAX_BYTES_PER_FLOW: f64 = 4_096.0;
+
+/// Fetches a number at a nested `a.b` path, accumulating a failure (and
+/// returning `None`) when any segment is missing or the leaf is not a
+/// number — same contract as [`gated_number`], one level deeper.
+fn gated_nested_number(
+    report: &Value,
+    label: &str,
+    path: &[&str],
+    failures: &mut Vec<String>,
+) -> Option<f64> {
+    let mut v = report;
+    for (i, seg) in path.iter().enumerate() {
+        match v.field(seg) {
+            Ok(inner) => v = inner,
+            Err(e) => {
+                failures.push(format!("{label}: bad `{}`: {e}", path[..=i].join(".")));
+                return None;
+            }
+        }
+    }
+    match v.as_f64() {
+        Ok(n) => Some(n),
+        Err(e) => {
+            failures.push(format!("{label}: bad `{}`: {e}", path.join(".")));
+            None
+        }
+    }
+}
+
+/// Outcome of gating a `bb-loadgen --scenario` run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ScenarioGateReport {
+    /// Flows the ramp admitted and held.
+    pub resident_peak: f64,
+    /// Flows the spec demanded resident.
+    pub resident_target: f64,
+    /// Fresh run's sustained ramp throughput (decisions/s).
+    pub fresh_sustained_rps: f64,
+    /// Baseline's sustained ramp throughput (decisions/s).
+    pub baseline_sustained_rps: f64,
+    /// `fresh_sustained_rps / baseline_sustained_rps`.
+    pub ratio: f64,
+    /// Minimum acceptable ratio.
+    pub min_ratio: f64,
+    /// Fresh run's RSS growth per resident flow (bytes).
+    pub bytes_per_resident_flow: f64,
+    /// Maximum acceptable bytes per resident flow (absolute).
+    pub max_bytes_per_flow: f64,
+    /// Trace events the replay phase drove.
+    pub replay_events: f64,
+    /// Human-readable reasons the gate failed; empty means pass.
+    pub failures: Vec<String>,
+}
+
+impl ScenarioGateReport {
+    /// True when no gate condition failed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Gates a `bb-loadgen --scenario` report against the checked-in
+/// scenario baseline. Failures accumulate; every miss states expected
+/// vs actual. The gate fails when:
+///
+/// * the two reports disagree on any tree/target/seed config knob —
+///   different trees or seeds are different experiments;
+/// * `verified_sampled` is not `true` — a sampled resident flow was
+///   lost, or a departed flow's state survived its teardown;
+/// * `ramp.resident_peak` fell short of `resident_target` — the run's
+///   whole point is *holding* that population;
+/// * the sustained ramp throughput dropped below `min_ratio` of the
+///   baseline's — admission slowed down under a resident population;
+/// * `ramp.bytes_per_resident_flow` rose above `max_bytes_per_flow` —
+///   the per-flow state envelope grew (absolute ceiling: memory
+///   regressions must not hide behind a noisy baseline);
+/// * the replay phase drove no events or no arrivals — the scenario
+///   engine produced an empty trace, so churn/flash/failure coverage
+///   silently vanished.
+///
+/// # Errors
+///
+/// Practically always returns `Ok`: structural problems are
+/// accumulated into `failures` so one bad field cannot hide the rest.
+pub fn check_scenario(
+    fresh: &Value,
+    baseline: &Value,
+    min_ratio: f64,
+    max_bytes_per_flow: f64,
+) -> Result<ScenarioGateReport, String> {
+    let mut failures = Vec::new();
+
+    config_drift(fresh, baseline, &SCENARIO_CONFIG_FIELDS, &mut failures);
+
+    match fresh.field("verified_sampled") {
+        Ok(Value::Bool(true)) => {}
+        Ok(Value::Bool(false)) => failures.push(
+            "fresh run failed sampled verification: expected verified_sampled=true, actual \
+             false (a sampled resident flow was lost, or a departed flow's state survived)"
+                .to_string(),
+        ),
+        Ok(_) => failures.push(
+            "fresh run has no `verified_sampled` verdict: rerun bb-loadgen --scenario".into(),
+        ),
+        Err(e) => failures.push(format!("fresh: bad `verified_sampled`: {e}")),
+    }
+
+    let resident_target =
+        gated_number(fresh, "fresh", "resident_target", &mut failures).unwrap_or(0.0);
+    let resident_peak =
+        gated_nested_number(fresh, "fresh", &["ramp", "resident_peak"], &mut failures)
+            .unwrap_or(0.0);
+    if resident_peak < resident_target {
+        failures.push(format!(
+            "resident population fell short: expected >= {resident_target:.0} flows admitted \
+             and held through the ramp, actual {resident_peak:.0}"
+        ));
+    }
+
+    let fresh_sustained_rps = gated_nested_number(
+        fresh,
+        "fresh",
+        &["ramp", "sustained_decisions_per_s"],
+        &mut failures,
+    )
+    .unwrap_or(0.0);
+    let baseline_sustained_rps = gated_nested_number(
+        baseline,
+        "baseline",
+        &["ramp", "sustained_decisions_per_s"],
+        &mut failures,
+    )
+    .unwrap_or(0.0);
+    let ratio = if baseline_sustained_rps > 0.0 {
+        fresh_sustained_rps / baseline_sustained_rps
+    } else {
+        failures.push(format!(
+            "baseline sustained throughput is {baseline_sustained_rps}; regenerate the \
+             scenario baseline"
+        ));
+        0.0
+    };
+    if baseline_sustained_rps > 0.0 && ratio < min_ratio {
+        failures.push(format!(
+            "sustained-throughput regression: expected >= {:.0} decisions/s ({:.0}% of the \
+             {baseline_sustained_rps:.0} baseline), actual {fresh_sustained_rps:.0} ({:.0}%)",
+            baseline_sustained_rps * min_ratio,
+            min_ratio * 100.0,
+            ratio * 100.0
+        ));
+    }
+
+    let bytes_per_resident_flow = gated_nested_number(
+        fresh,
+        "fresh",
+        &["ramp", "bytes_per_resident_flow"],
+        &mut failures,
+    )
+    .unwrap_or(0.0);
+    if bytes_per_resident_flow > max_bytes_per_flow {
+        failures.push(format!(
+            "memory envelope regression: expected <= {max_bytes_per_flow:.0} B of RSS growth \
+             per resident flow, actual {bytes_per_resident_flow:.0} B"
+        ));
+    }
+
+    let replay_events =
+        gated_nested_number(fresh, "fresh", &["replay", "events"], &mut failures).unwrap_or(0.0);
+    let replay_arrivals =
+        gated_nested_number(fresh, "fresh", &["replay", "arrivals"], &mut failures).unwrap_or(0.0);
+    if replay_events <= 0.0 || replay_arrivals <= 0.0 {
+        failures.push(format!(
+            "empty replay: expected a populated event trace, actual {replay_events:.0} events \
+             / {replay_arrivals:.0} arrivals"
+        ));
+    }
+
+    Ok(ScenarioGateReport {
+        resident_peak,
+        resident_target,
+        fresh_sustained_rps,
+        baseline_sustained_rps,
+        ratio,
+        min_ratio,
+        bytes_per_resident_flow,
+        max_bytes_per_flow,
+        replay_events,
+        failures,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1604,5 +1817,159 @@ mod tests {
         assert_eq!(verdict.failures.len(), 2, "{:?}", verdict.failures);
         assert!(verdict.failures[0].contains("throughput regression"));
         assert!(verdict.failures[1].contains("latency regression"));
+    }
+
+    fn scenario_report(
+        resident_peak: u64,
+        sustained_rps: f64,
+        bytes_per_flow: f64,
+        verified: &str,
+        seed: u64,
+    ) -> Value {
+        serde::json::parse(&scenario_report_text(
+            resident_peak,
+            sustained_rps,
+            bytes_per_flow,
+            verified,
+            seed,
+        ))
+        .unwrap()
+    }
+
+    fn scenario_report_text(
+        resident_peak: u64,
+        sustained_rps: f64,
+        bytes_per_flow: f64,
+        verified: &str,
+        seed: u64,
+    ) -> String {
+        format!(
+            r#"{{
+              "scenario": "smoke", "seed": {seed},
+              "sites": 4, "aps_per_site": 8, "clients_per_ap": 32,
+              "clients": 1024, "resident_target": 20000,
+              "time_scale": 60.0, "workers": 4,
+              "ramp": {{
+                "resident_peak": {resident_peak}, "ramp_rejected": 0,
+                "elapsed_s": 2.0, "sustained_decisions_per_s": {sustained_rps},
+                "rss_before_bytes": 10000000, "rss_after_bytes": 30000000,
+                "bytes_per_resident_flow": {bytes_per_flow}
+              }},
+              "replay": {{
+                "events": 2200, "arrivals": 1100, "class_arrivals": 300,
+                "flash_arrivals": 200, "admitted": 1050, "rejected": 50,
+                "rerouted": 40, "departures": 1100, "link_downs": 1,
+                "link_ups": 1, "elapsed_s": 1.0,
+                "contingency_grants": 120, "contingency_expiries": 60,
+                "contingency_resets": 0
+              }},
+              "probe": {{
+                "probed_resident": 1024, "probed_departed": 512,
+                "verified_sampled": {verified}
+              }},
+              "verified_sampled": {verified}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn scenario_gate_passes_a_clean_run() {
+        let base = scenario_report(20_000, 10_000.0, 900.0, "true", 1);
+        let fresh = scenario_report(20_000, 9_000.0, 950.0, "true", 1);
+        let verdict = check_scenario(
+            &fresh,
+            &base,
+            DEFAULT_MIN_SCENARIO_RATIO,
+            DEFAULT_MAX_BYTES_PER_FLOW,
+        )
+        .unwrap();
+        assert!(verdict.passed(), "{:?}", verdict.failures);
+        assert_eq!(verdict.resident_peak, 20_000.0);
+        assert!((verdict.ratio - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scenario_gate_fails_unverified_or_short_populations() {
+        let base = scenario_report(20_000, 10_000.0, 900.0, "true", 1);
+        // A lost sampled flow is a verification failure...
+        let lost = scenario_report(20_000, 10_000.0, 900.0, "false", 1);
+        let verdict = check_scenario(
+            &lost,
+            &base,
+            DEFAULT_MIN_SCENARIO_RATIO,
+            DEFAULT_MAX_BYTES_PER_FLOW,
+        )
+        .unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("verified_sampled"));
+
+        // ...and so is a ramp that never reached the resident target.
+        let short = scenario_report(19_000, 10_000.0, 900.0, "true", 1);
+        let verdict = check_scenario(
+            &short,
+            &base,
+            DEFAULT_MIN_SCENARIO_RATIO,
+            DEFAULT_MAX_BYTES_PER_FLOW,
+        )
+        .unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("resident population fell short"));
+        assert!(verdict.failures[0].contains("actual 19000"));
+    }
+
+    #[test]
+    fn scenario_gate_bounds_throughput_and_memory_together() {
+        let base = scenario_report(20_000, 10_000.0, 900.0, "true", 1);
+        let slow_and_fat = scenario_report(20_000, 4_000.0, 9_000.0, "true", 1);
+        let verdict = check_scenario(
+            &slow_and_fat,
+            &base,
+            DEFAULT_MIN_SCENARIO_RATIO,
+            DEFAULT_MAX_BYTES_PER_FLOW,
+        )
+        .unwrap();
+        assert_eq!(verdict.failures.len(), 2, "{:?}", verdict.failures);
+        assert!(verdict.failures[0].contains("sustained-throughput regression"));
+        assert!(verdict.failures[1].contains("memory envelope regression"));
+
+        // Exactly at the floor and the ceiling still passes.
+        let edge = scenario_report(20_000, 6_000.0, 4_096.0, "true", 1);
+        let verdict = check_scenario(
+            &edge,
+            &base,
+            DEFAULT_MIN_SCENARIO_RATIO,
+            DEFAULT_MAX_BYTES_PER_FLOW,
+        )
+        .unwrap();
+        assert!(verdict.passed(), "{:?}", verdict.failures);
+    }
+
+    #[test]
+    fn scenario_gate_rejects_config_drift_and_empty_replays() {
+        let base = scenario_report(20_000, 10_000.0, 900.0, "true", 1);
+        let reseeded = scenario_report(20_000, 10_000.0, 900.0, "true", 2);
+        let verdict = check_scenario(
+            &reseeded,
+            &base,
+            DEFAULT_MIN_SCENARIO_RATIO,
+            DEFAULT_MAX_BYTES_PER_FLOW,
+        )
+        .unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures[0].contains("config drift on `seed`"));
+
+        let hollow_text = scenario_report_text(20_000, 10_000.0, 900.0, "true", 1)
+            .replace("\"events\": 2200", "\"events\": 0")
+            .replace("\"arrivals\": 1100", "\"arrivals\": 0");
+        let hollow = serde::json::parse(&hollow_text).unwrap();
+        let verdict = check_scenario(
+            &hollow,
+            &base,
+            DEFAULT_MIN_SCENARIO_RATIO,
+            DEFAULT_MAX_BYTES_PER_FLOW,
+        )
+        .unwrap();
+        assert!(!verdict.passed());
+        assert!(verdict.failures.iter().any(|f| f.contains("empty replay")));
     }
 }

@@ -420,6 +420,33 @@ impl Broker {
         self.paths.path(path).residual(&self.nodes)
     }
 
+    /// Flips a link's operational state. Down blocks **new** admissions
+    /// over the link (its residual reads zero, failing every rate-based
+    /// and EDF test) while existing reservations ride out the outage
+    /// and release normally — the broker rejects, it does not revoke.
+    /// Bumps the epoch of every path crossing the link so cached
+    /// seqlock summaries go stale and the next decide re-reads the MIB.
+    ///
+    /// Transient state: not persisted, and cleared by a restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a link reference outside the imported topology.
+    pub fn set_link_state(&mut self, link: LinkRef, up: bool) {
+        self.nodes.link_mut(link).set_down(!up);
+        self.paths.touch_link(link);
+    }
+
+    /// Whether a link is currently up.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a link reference outside the imported topology.
+    #[must_use]
+    pub fn link_up(&self, link: LinkRef) -> bool {
+        !self.nodes.link(link).is_down()
+    }
+
     /// The macroflow serving (class, path), if any — a monitoring entry
     /// point, so the wire-level class number is interned here.
     #[must_use]

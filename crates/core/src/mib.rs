@@ -79,6 +79,12 @@ pub struct LinkQos {
     reserved: Rate,
     /// Delay-class aggregates (delay-based links only; empty otherwise).
     edf: BTreeMap<Nanos, EdfClass>,
+    /// Administratively/operationally down. A down link admits nothing
+    /// (its residual reads zero) but keeps its bookkeeping: existing
+    /// reservations ride out the outage and release normally. Transient
+    /// — not part of the persisted image; a recovered broker starts
+    /// with every link up.
+    down: bool,
 }
 
 impl LinkQos {
@@ -99,7 +105,20 @@ impl LinkQos {
             max_packet,
             reserved: Rate::ZERO,
             edf: BTreeMap::new(),
+            down: false,
         }
+    }
+
+    /// Marks the link down (true) or up (false). See the field note:
+    /// down blocks new admissions only.
+    pub fn set_down(&mut self, down: bool) {
+        self.down = down;
+    }
+
+    /// Whether the link is currently down.
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        self.down
     }
 
     /// This link's contribution to a path characterization.
@@ -119,9 +138,14 @@ impl LinkQos {
     }
 
     /// Residual bandwidth `C_res = C − Σr` (zero if oversubscribed, which
-    /// bookkeeping never allows).
+    /// bookkeeping never allows). A down link has no residual: every
+    /// admissibility test — rate-based and EDF alike — funnels through
+    /// this, so marking a link down rejects all new work on it.
     #[must_use]
     pub fn residual(&self) -> Rate {
+        if self.down {
+            return Rate::ZERO;
+        }
         self.capacity.saturating_sub(self.reserved)
     }
 
@@ -825,6 +849,19 @@ impl PathMib {
         }
     }
 
+    /// Declares that one link's state changed out-of-band (an up/down
+    /// flip): bumps the epoch of every registered path crossing that
+    /// link, invalidating their cached summaries — [`PathMib::touch`]
+    /// restricted to a single link instead of a path's link set.
+    pub fn touch_link(&mut self, link: LinkRef) {
+        if self.adjacency.stale {
+            self.adjacency.rebuild(&self.rows);
+        }
+        for &member in self.adjacency.members(link) {
+            self.epochs.bump(member as usize);
+        }
+    }
+
     /// Number of registered paths.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -996,6 +1033,27 @@ mod tests {
         assert_eq!(l.residual(), Rate::from_bps(500_000));
         l.release(Rate::from_bps(400_000));
         assert_eq!(l.reserved(), Rate::from_bps(600_000));
+    }
+
+    #[test]
+    fn down_link_has_no_residual_but_keeps_its_books() {
+        let mut l = delay_link();
+        l.reserve(Rate::from_bps(600_000));
+        l.set_down(true);
+        assert!(l.is_down());
+        assert_eq!(l.residual(), Rate::ZERO);
+        // EDF admissibility funnels through residual(): nothing fits.
+        assert!(!l.edf_admissible(
+            Rate::from_bps(1),
+            Nanos::from_millis(500),
+            Bits::from_bytes(125)
+        ));
+        // Bookkeeping continues through the outage: releases (and even
+        // reserves driven by pre-decided plans) still apply.
+        l.release(Rate::from_bps(100_000));
+        assert_eq!(l.reserved(), Rate::from_bps(500_000));
+        l.set_down(false);
+        assert_eq!(l.residual(), Rate::from_bps(1_000_000));
     }
 
     #[test]

@@ -226,6 +226,20 @@ impl BrokerShard {
         self.broker.tick(now)
     }
 
+    /// Flips a link's operational state (see [`Broker::set_link_state`]).
+    /// Link references are global: every shard imports the full domain
+    /// topology, so `LinkRef(l)` mirrors `netsim::LinkId(l)` here as in
+    /// the monolithic broker. Paths of other shards never cross this
+    /// shard's links (the partition is link-disjoint), so the epoch
+    /// bumps stay local to this shard's rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a link reference outside the domain topology.
+    pub fn set_link_state(&mut self, link: crate::mib::LinkRef, up: bool) {
+        self.broker.set_link_state(link, up);
+    }
+
     /// Earliest pending contingency expiry across this shard's
     /// macroflows, for callers deciding whether a [`BrokerShard::tick`]
     /// is due (see [`Broker::next_expiry`]).

@@ -386,6 +386,73 @@ fn two_source_paths_share_core_links() {
 }
 
 #[test]
+fn downed_link_blocks_new_admissions_but_not_teardown() {
+    // A link failure marks the link down: every path crossing it stops
+    // admitting, existing reservations ride out the outage (and may
+    // still release), and restoring the link restores admissions.
+    let (topo, p1, p2) = figure8(false);
+    let mut broker = Broker::new(topo, BrokerConfig::default());
+    let pid1 = broker.register_route(&p1);
+    let pid2 = broker.register_route(&p2);
+    broker
+        .request(Time::ZERO, &per_flow_request(0, pid1, 2_440))
+        .unwrap();
+
+    // Fail the shared core link R2→R3 (p1[1] — LinkRef mirrors LinkId).
+    let shared = bb_core::mib::LinkRef(p1[1].0);
+    assert!(broker.link_up(shared));
+    broker.set_link_state(shared, false);
+    assert!(!broker.link_up(shared));
+
+    // Both paths cross the downed link: no residual, no admissions.
+    assert_eq!(broker.path_residual(pid1), Rate::ZERO);
+    assert_eq!(broker.path_residual(pid2), Rate::ZERO);
+    assert_eq!(
+        broker.request(Time::ZERO, &per_flow_request(1, pid1, 2_440)),
+        Err(Reject::Bandwidth)
+    );
+    assert_eq!(
+        broker.request(Time::ZERO, &per_flow_request(2, pid2, 2_440)),
+        Err(Reject::Bandwidth)
+    );
+
+    // The resident flow's state survives the outage and releases cleanly.
+    broker.release(Time::ZERO, FlowId(0)).unwrap();
+
+    // Repair: the full capacity is admissible again on both paths.
+    broker.set_link_state(shared, true);
+    assert!(broker.link_up(shared));
+    assert_eq!(broker.path_residual(pid1), Rate::from_bps(1_500_000));
+    broker
+        .request(Time::ZERO, &per_flow_request(3, pid1, 2_440))
+        .unwrap();
+    broker
+        .request(Time::ZERO, &per_flow_request(4, pid2, 2_440))
+        .unwrap();
+}
+
+#[test]
+fn link_failure_spares_disjoint_paths() {
+    // Failing an edge link only stops paths that cross it; the disjoint
+    // route keeps its full residual (the epoch bump is local).
+    let (topo, p1, p2) = figure8(false);
+    let mut broker = Broker::new(topo, BrokerConfig::default());
+    let pid1 = broker.register_route(&p1);
+    let pid2 = broker.register_route(&p2);
+    // p1[0] is I1→R2: only p1 crosses it.
+    broker.set_link_state(bb_core::mib::LinkRef(p1[0].0), false);
+    assert_eq!(broker.path_residual(pid1), Rate::ZERO);
+    assert_eq!(broker.path_residual(pid2), Rate::from_bps(1_500_000));
+    broker
+        .request(Time::ZERO, &per_flow_request(0, pid2, 2_440))
+        .unwrap();
+    assert_eq!(
+        broker.request(Time::ZERO, &per_flow_request(1, pid1, 2_440)),
+        Err(Reject::Bandwidth)
+    );
+}
+
+#[test]
 fn join_during_dissolution_creates_an_independent_successor() {
     // A new microflow arrives while the previous macroflow of the same
     // (class, path) is still draining its leave contingency: the broker

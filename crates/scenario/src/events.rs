@@ -1,0 +1,479 @@
+//! The deterministic scenario event engine.
+//!
+//! [`ScenarioTrace::generate`] composes four processes into one totally
+//! ordered event sequence, all drawn from a single seeded PRNG stream
+//! so the trace is a pure function of the spec:
+//!
+//! 1. **Diurnal base load** — a non-homogeneous Poisson arrival process
+//!    whose intensity follows a raised-cosine day curve
+//!    ([`workload::IntensityCurve::diurnal`]) from `trough_hz` up to
+//!    `peak_hz` and back over the horizon, each arrival aimed at a
+//!    uniformly random client;
+//! 2. **Class churn** — a spec-given fraction of base arrivals join
+//!    their AP's delay-service class instead of requesting per-flow
+//!    service, holding only briefly — the §4.2 join/leave traffic that
+//!    drives contingency grants, expiries, and resets at scale;
+//! 3. **Flash crowds** — step bursts of extra per-flow arrivals
+//!    confined to one site's clients;
+//! 4. **Link failures** — scheduled down/up flips of one AP's primary
+//!    uplink, under which the driver re-routes new admissions to the
+//!    backup uplink.
+//!
+//! Every arrival gets a departure at `arrival + Exp(mean_holding)`,
+//! possibly beyond the horizon — replay drains the full trace, so the
+//! flow population always returns to its starting point.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use workload::intensity::{sample_arrivals_rng, IntensityCurve};
+
+use crate::spec::ScenarioSpec;
+
+/// Flow ids in a trace start here, clear of the resident-flow ramp's
+/// id range (`0..resident_target`) and of the broker's macroflow
+/// top-half space.
+pub const TRACE_FLOW_BASE: u64 = 1 << 33;
+
+/// One scenario event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioEvent {
+    /// Scenario-time instant, nanoseconds from trace start.
+    pub at_ns: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+/// What a [`ScenarioEvent`] does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A flow requests admission at `client`'s leaf.
+    Arrival {
+        /// Trace-wide unique flow id (from [`TRACE_FLOW_BASE`]).
+        flow: u64,
+        /// Target client (global index).
+        client: u32,
+        /// True: join the client's AP class; false: per-flow service.
+        class: bool,
+        /// True when this arrival belongs to a flash-crowd burst.
+        flash: bool,
+    },
+    /// The flow terminates (DRQ), if it was admitted.
+    Departure {
+        /// The departing flow.
+        flow: u64,
+        /// The client it arrived at.
+        client: u32,
+        /// Whether the arrival was a class join.
+        class: bool,
+    },
+    /// An AP's primary uplink fails.
+    LinkDown {
+        /// Site of the AP.
+        site: u32,
+        /// AP index within the site.
+        ap: u32,
+    },
+    /// The failed uplink recovers.
+    LinkUp {
+        /// Site of the AP.
+        site: u32,
+        /// AP index within the site.
+        ap: u32,
+    },
+}
+
+/// Per-kind totals of a trace, for rate checks and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScenarioCounts {
+    /// All arrivals (base + flash, per-flow + class).
+    pub arrivals: u64,
+    /// Arrivals that are class joins.
+    pub class_arrivals: u64,
+    /// Arrivals belonging to flash-crowd bursts.
+    pub flash_arrivals: u64,
+    /// Departures (always equals `arrivals`: the trace drains fully).
+    pub departures: u64,
+    /// Link-failure events.
+    pub link_downs: u64,
+    /// Link-recovery events.
+    pub link_ups: u64,
+}
+
+/// A generated, totally ordered scenario trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioTrace {
+    events: Vec<ScenarioEvent>,
+}
+
+impl ScenarioTrace {
+    /// Generates the trace for `spec` — deterministic: the same spec
+    /// (seed included) yields a byte-identical trace
+    /// ([`ScenarioTrace::trace_bytes`]).
+    #[must_use]
+    pub fn generate(spec: &ScenarioSpec) -> Self {
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        let clients = spec.tree.clients() as u64;
+        let mut events = Vec::new();
+        let mut next_flow = TRACE_FLOW_BASE;
+
+        // 1 + 2: diurnal base arrivals, a fraction churning as class
+        // joins. One day cycle spans the horizon.
+        let curve = IntensityCurve::diurnal(
+            spec.load.trough_hz,
+            spec.load.peak_hz,
+            spec.load.horizon_s,
+            48,
+        );
+        for t in sample_arrivals_rng(&mut rng, &curve, spec.load.horizon_s) {
+            let client = rng.gen_range(0..clients) as u32;
+            let class = rng.gen_range(0.0..1.0) < spec.churn.class_fraction;
+            let mean_hold = if class {
+                spec.churn.mean_holding_s
+            } else {
+                spec.load.mean_holding_s
+            };
+            push_flow(
+                &mut events,
+                &mut next_flow,
+                t,
+                client,
+                class,
+                false,
+                mean_hold,
+                &mut rng,
+            );
+        }
+
+        // 3: flash crowds — extra per-flow arrivals confined to a site.
+        for crowd in &spec.flash_crowds {
+            let site_clients = {
+                let per_site = (spec.tree.aps_per_site * spec.tree.clients_per_ap) as u64;
+                let lo = u64::from(crowd.site) * per_site;
+                lo..lo + per_site
+            };
+            let flat = IntensityCurve::flat(crowd.extra_hz);
+            for dt in sample_arrivals_rng(&mut rng, &flat, crowd.duration_s) {
+                let t = crowd.at_s + dt;
+                let client = rng.gen_range(site_clients.clone()) as u32;
+                push_flow(
+                    &mut events,
+                    &mut next_flow,
+                    t,
+                    client,
+                    false,
+                    true,
+                    spec.load.mean_holding_s,
+                    &mut rng,
+                );
+            }
+        }
+
+        // 4: link failures.
+        for f in &spec.link_failures {
+            events.push(ScenarioEvent {
+                at_ns: to_ns(f.at_s),
+                kind: EventKind::LinkDown {
+                    site: f.site,
+                    ap: f.ap,
+                },
+            });
+            events.push(ScenarioEvent {
+                at_ns: to_ns(f.at_s + f.duration_s),
+                kind: EventKind::LinkUp {
+                    site: f.site,
+                    ap: f.ap,
+                },
+            });
+        }
+
+        events.sort_by_key(|e| (e.at_ns, rank(&e.kind), ids(&e.kind)));
+        ScenarioTrace { events }
+    }
+
+    /// The ordered event sequence.
+    #[must_use]
+    pub fn events(&self) -> &[ScenarioEvent] {
+        &self.events
+    }
+
+    /// Per-kind totals.
+    #[must_use]
+    pub fn counts(&self) -> ScenarioCounts {
+        let mut c = ScenarioCounts::default();
+        for e in &self.events {
+            match e.kind {
+                EventKind::Arrival { class, flash, .. } => {
+                    c.arrivals += 1;
+                    c.class_arrivals += u64::from(class);
+                    c.flash_arrivals += u64::from(flash);
+                }
+                EventKind::Departure { .. } => c.departures += 1,
+                EventKind::LinkDown { .. } => c.link_downs += 1,
+                EventKind::LinkUp { .. } => c.link_ups += 1,
+            }
+        }
+        c
+    }
+
+    /// A canonical byte encoding of the trace — the determinism
+    /// fingerprint the property tests compare. Little-endian, one
+    /// record per event: `at_ns:u64, tag:u8, fields…`.
+    #[must_use]
+    pub fn trace_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.events.len() * 22);
+        for e in &self.events {
+            out.extend_from_slice(&e.at_ns.to_le_bytes());
+            match e.kind {
+                EventKind::Arrival {
+                    flow,
+                    client,
+                    class,
+                    flash,
+                } => {
+                    out.push(0);
+                    out.extend_from_slice(&flow.to_le_bytes());
+                    out.extend_from_slice(&client.to_le_bytes());
+                    out.push(u8::from(class) | (u8::from(flash) << 1));
+                }
+                EventKind::Departure {
+                    flow,
+                    client,
+                    class,
+                } => {
+                    out.push(1);
+                    out.extend_from_slice(&flow.to_le_bytes());
+                    out.extend_from_slice(&client.to_le_bytes());
+                    out.push(u8::from(class));
+                }
+                EventKind::LinkDown { site, ap } => {
+                    out.push(2);
+                    out.extend_from_slice(&site.to_le_bytes());
+                    out.extend_from_slice(&ap.to_le_bytes());
+                }
+                EventKind::LinkUp { site, ap } => {
+                    out.push(3);
+                    out.extend_from_slice(&site.to_le_bytes());
+                    out.extend_from_slice(&ap.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+}
+
+fn to_ns(t_s: f64) -> u64 {
+    (t_s * 1e9).round() as u64
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_flow(
+    events: &mut Vec<ScenarioEvent>,
+    next_flow: &mut u64,
+    t_s: f64,
+    client: u32,
+    class: bool,
+    flash: bool,
+    mean_hold_s: f64,
+    rng: &mut SmallRng,
+) {
+    let flow = *next_flow;
+    *next_flow += 1;
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let hold_s = -u.ln() * mean_hold_s;
+    events.push(ScenarioEvent {
+        at_ns: to_ns(t_s),
+        kind: EventKind::Arrival {
+            flow,
+            client,
+            class,
+            flash,
+        },
+    });
+    events.push(ScenarioEvent {
+        at_ns: to_ns(t_s + hold_s),
+        kind: EventKind::Departure {
+            flow,
+            client,
+            class,
+        },
+    });
+}
+
+/// Same-instant tie-break: departures first (free capacity before new
+/// demand claims it), then arrivals, then link flips.
+fn rank(k: &EventKind) -> u8 {
+    match k {
+        EventKind::Departure { .. } => 0,
+        EventKind::Arrival { .. } => 1,
+        EventKind::LinkDown { .. } => 2,
+        EventKind::LinkUp { .. } => 3,
+    }
+}
+
+fn ids(k: &EventKind) -> u64 {
+    match k {
+        EventKind::Arrival { flow, .. } | EventKind::Departure { flow, .. } => *flow,
+        EventKind::LinkDown { site, ap } | EventKind::LinkUp { site, ap } => {
+            (u64::from(*site) << 32) | u64::from(*ap)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{
+        ChurnSpec, FlashCrowdSpec, LinkFailureSpec, LoadSpec, ScenarioSpec, TreeSpec,
+    };
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "events-unit".into(),
+            seed: 11,
+            tree: TreeSpec {
+                sites: 2,
+                aps_per_site: 2,
+                clients_per_ap: 8,
+                client_rate_bps: 1_000_000,
+                ap_oversub: 2.0,
+                site_oversub: 1.0,
+            },
+            load: LoadSpec {
+                horizon_s: 120.0,
+                trough_hz: 2.0,
+                peak_hz: 30.0,
+                mean_holding_s: 20.0,
+                flow_rho_bps: 16_000,
+                flow_peak_bps: 64_000,
+                flow_sigma_bytes: 2_000,
+                flow_lmax_bytes: 125,
+                d_req_ms: 2_440,
+            },
+            churn: ChurnSpec {
+                class_fraction: 0.3,
+                mean_holding_s: 2.0,
+                class_d_req_ms: 2_440,
+                class_cd_ms: 100,
+            },
+            flash_crowds: vec![FlashCrowdSpec {
+                at_s: 40.0,
+                duration_s: 20.0,
+                site: 1,
+                extra_hz: 25.0,
+            }],
+            link_failures: vec![LinkFailureSpec {
+                at_s: 60.0,
+                duration_s: 30.0,
+                site: 0,
+                ap: 1,
+            }],
+            resident_target: 0,
+        }
+    }
+
+    #[test]
+    fn trace_is_time_ordered_and_balanced() {
+        let t = ScenarioTrace::generate(&spec());
+        assert!(!t.events().is_empty());
+        for w in t.events().windows(2) {
+            assert!(w[0].at_ns <= w[1].at_ns);
+        }
+        let c = t.counts();
+        assert_eq!(c.arrivals, c.departures, "trace drains fully");
+        assert_eq!(c.link_downs, 1);
+        assert_eq!(c.link_ups, 1);
+        assert!(c.class_arrivals > 0);
+        assert!(c.flash_arrivals > 0);
+    }
+
+    #[test]
+    fn every_departure_follows_its_arrival() {
+        let t = ScenarioTrace::generate(&spec());
+        let mut seen = std::collections::HashMap::new();
+        for e in t.events() {
+            match e.kind {
+                EventKind::Arrival {
+                    flow,
+                    client,
+                    class,
+                    ..
+                } => {
+                    assert!(seen.insert(flow, (e.at_ns, client, class)).is_none());
+                }
+                EventKind::Departure {
+                    flow,
+                    client,
+                    class,
+                } => {
+                    let (at, a_client, a_class) = seen.remove(&flow).expect("arrival first");
+                    assert!(e.at_ns >= at);
+                    assert_eq!(client, a_client);
+                    assert_eq!(class, a_class);
+                }
+                _ => {}
+            }
+        }
+        assert!(seen.is_empty(), "unmatched arrivals");
+    }
+
+    #[test]
+    fn flash_arrivals_stay_in_their_site_and_window() {
+        let s = spec();
+        let t = ScenarioTrace::generate(&s);
+        let per_site = (s.tree.aps_per_site * s.tree.clients_per_ap) as u32;
+        for e in t.events() {
+            if let EventKind::Arrival {
+                client,
+                flash: true,
+                class,
+                ..
+            } = e.kind
+            {
+                assert!(!class, "flash arrivals are per-flow");
+                assert!((per_site..2 * per_site).contains(&client), "site-1 client");
+                let t_s = e.at_ns as f64 / 1e9;
+                assert!((40.0..60.0).contains(&t_s), "inside the burst window");
+            }
+        }
+    }
+
+    #[test]
+    fn flow_ids_start_above_the_ramp_space() {
+        let t = ScenarioTrace::generate(&spec());
+        for e in t.events() {
+            if let EventKind::Arrival { flow, .. } = e.kind {
+                assert!(flow >= TRACE_FLOW_BASE);
+            }
+        }
+    }
+
+    #[test]
+    fn same_instant_departures_precede_arrivals() {
+        // Ranks are fixed by construction; assert the comparator.
+        assert!(
+            rank(&EventKind::Departure {
+                flow: 0,
+                client: 0,
+                class: false
+            }) < rank(&EventKind::Arrival {
+                flow: 0,
+                client: 0,
+                class: false,
+                flash: false
+            })
+        );
+    }
+
+    #[test]
+    fn trace_bytes_round_determinism() {
+        let a = ScenarioTrace::generate(&spec());
+        let b = ScenarioTrace::generate(&spec());
+        assert_eq!(a.trace_bytes(), b.trace_bytes());
+        let mut other = spec();
+        other.seed += 1;
+        assert_ne!(
+            a.trace_bytes(),
+            ScenarioTrace::generate(&other).trace_bytes()
+        );
+    }
+}

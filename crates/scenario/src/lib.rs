@@ -1,0 +1,34 @@
+//! ISP-scale scenario engine for the bandwidth-broker benchmarks.
+//!
+//! The paper's evaluation (§5) drives constant-rate Poisson arrivals
+//! over symmetric chains; a broker claiming ISP scale has to survive
+//! what an ISP actually sees. This crate supplies that workload in
+//! three deterministic, seedable pieces:
+//!
+//! * [`spec`] — the JSON scenario specification consumed by
+//!   `bb-loadgen --scenario <spec.json>`;
+//! * [`tree`] — a LibreQoS-style subscriber-tree generator: site →
+//!   access-point → client tiers with per-tier capacity and
+//!   oversubscription ratios, emitted as a [`netsim::Topology`] with
+//!   per-client primary/backup routes and a per-AP delay-service class
+//!   so admissions exercise the hierarchical/macroflow path (§4);
+//! * [`events`] — an event engine layered on [`workload`] composing
+//!   diurnal load curves, flash-crowd spikes targeting one subtree,
+//!   heavy class-join/leave churn (driving the §4.2 contingency
+//!   machinery), and mid-load link-failure/re-route events into one
+//!   totally ordered trace.
+//!
+//! Everything is a pure function of the spec and its seed: the same
+//! spec replays byte-for-byte (see `trace_bytes`), so scheme and
+//! version comparisons stay paired.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod spec;
+pub mod tree;
+
+pub use events::{EventKind, ScenarioCounts, ScenarioEvent, ScenarioTrace};
+pub use spec::{ChurnSpec, FlashCrowdSpec, LinkFailureSpec, LoadSpec, ScenarioSpec, TreeSpec};
+pub use tree::SubscriberTree;

@@ -1,0 +1,345 @@
+//! The JSON scenario specification.
+//!
+//! A spec file is the complete, self-contained description of one
+//! scenario run: the subscriber tree's shape and capacities, the
+//! diurnal base load, churn intensity, flash-crowd and link-failure
+//! schedules, and the resident-flow ramp target. Two runs given the
+//! same spec produce the same trace — the spec (plus its embedded
+//! seed) is the experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape and per-tier capacities of the subscriber tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeSpec {
+    /// Number of sites (one pod — and so one potential shard — each).
+    pub sites: usize,
+    /// Access points per site.
+    pub aps_per_site: usize,
+    /// Subscriber clients per access point.
+    pub clients_per_ap: usize,
+    /// Capacity of each client's leaf link, b/s.
+    pub client_rate_bps: u64,
+    /// AP-uplink oversubscription: each of the AP's two parallel
+    /// uplinks carries `clients_per_ap × client_rate_bps / ap_oversub`.
+    pub ap_oversub: f64,
+    /// Site-link oversubscription: the site ingress link carries
+    /// `aps_per_site × ap_uplink_bps / site_oversub`.
+    pub site_oversub: f64,
+}
+
+impl TreeSpec {
+    /// Total subscriber clients in the tree.
+    #[must_use]
+    pub fn clients(&self) -> usize {
+        self.sites * self.aps_per_site * self.clients_per_ap
+    }
+
+    /// Capacity of one AP uplink, b/s.
+    #[must_use]
+    pub fn ap_uplink_bps(&self) -> u64 {
+        let raw = self.clients_per_ap as f64 * self.client_rate_bps as f64 / self.ap_oversub;
+        raw.round() as u64
+    }
+
+    /// Capacity of the site ingress link, b/s.
+    #[must_use]
+    pub fn site_link_bps(&self) -> u64 {
+        let raw = self.aps_per_site as f64 * self.ap_uplink_bps() as f64 / self.site_oversub;
+        raw.round() as u64
+    }
+}
+
+/// The diurnal base load and the per-flow traffic profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadSpec {
+    /// Scenario horizon, seconds of scenario time.
+    pub horizon_s: f64,
+    /// Diurnal trough: aggregate arrival rate at t = 0, arrivals/s.
+    pub trough_hz: f64,
+    /// Diurnal peak: aggregate arrival rate at mid-horizon, arrivals/s.
+    pub peak_hz: f64,
+    /// Mean flow holding time (exponential), seconds.
+    pub mean_holding_s: f64,
+    /// Per-flow sustained rate ρ, b/s.
+    pub flow_rho_bps: u64,
+    /// Per-flow peak rate P, b/s.
+    pub flow_peak_bps: u64,
+    /// Per-flow burst σ, bytes.
+    pub flow_sigma_bytes: u64,
+    /// Per-flow maximum packet, bytes.
+    pub flow_lmax_bytes: u64,
+    /// Per-flow end-to-end delay requirement, milliseconds.
+    pub d_req_ms: u64,
+}
+
+/// Class-join/leave churn riding on the base load (§4.2 contingency).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Fraction of base arrivals that join their AP's delay-service
+    /// class instead of requesting per-flow service, in `[0, 1]`.
+    pub class_fraction: f64,
+    /// Mean holding time of class members (short — this is the churn),
+    /// seconds.
+    pub mean_holding_s: f64,
+    /// The class's end-to-end delay bound, milliseconds.
+    pub class_d_req_ms: u64,
+    /// The class's fixed per-hop delay parameter, milliseconds.
+    pub class_cd_ms: u64,
+}
+
+/// A step burst of extra arrivals aimed at one site's subtree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowdSpec {
+    /// Burst start, seconds of scenario time.
+    pub at_s: f64,
+    /// Burst duration, seconds.
+    pub duration_s: f64,
+    /// Target site; the burst's arrivals pick clients of this site only.
+    pub site: u32,
+    /// Extra arrival rate during the burst, arrivals/s (on top of the
+    /// diurnal base).
+    pub extra_hz: f64,
+}
+
+/// A scheduled failure of one AP's primary uplink.
+///
+/// While the link is down, new admissions for its clients re-route to
+/// the AP's backup uplink; the primary's existing reservations ride
+/// out the outage (the broker rejects new work, it does not revoke).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkFailureSpec {
+    /// Failure instant, seconds of scenario time.
+    pub at_s: f64,
+    /// Outage duration, seconds.
+    pub duration_s: f64,
+    /// Site of the failed AP uplink.
+    pub site: u32,
+    /// AP index within the site.
+    pub ap: u32,
+}
+
+/// A complete scenario: tree, load, churn, and event schedules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Human-readable scenario name (reported, not semantic).
+    pub name: String,
+    /// PRNG seed; the whole trace is a pure function of spec + seed.
+    pub seed: u64,
+    /// Subscriber-tree shape and capacities.
+    pub tree: TreeSpec,
+    /// Diurnal base load and per-flow profile.
+    pub load: LoadSpec,
+    /// Class-churn intensity.
+    pub churn: ChurnSpec,
+    /// Flash-crowd schedule.
+    #[serde(default)]
+    pub flash_crowds: Vec<FlashCrowdSpec>,
+    /// Link-failure schedule.
+    #[serde(default)]
+    pub link_failures: Vec<LinkFailureSpec>,
+    /// Resident-flow ramp target: flows admitted (round-robin over all
+    /// clients, per-flow service) and *held* before the event trace
+    /// replays. `0` skips the ramp.
+    #[serde(default)]
+    pub resident_target: u64,
+}
+
+impl ScenarioSpec {
+    /// Parses a spec from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse/shape error text on malformed input, plus
+    /// validation failures for structurally impossible scenarios.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let spec: ScenarioSpec = serde::json::from_str(text).map_err(|e| e.to_string())?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Renders the spec as pretty JSON (the inverse of
+    /// [`ScenarioSpec::from_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        // Strictly positive and not NaN (a bare `> 0.0` inverted with
+        // `!` would also reject NaN, but reads as its negation).
+        fn positive(v: f64) -> bool {
+            v.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater)
+        }
+        let t = &self.tree;
+        if t.sites == 0 || t.aps_per_site == 0 || t.clients_per_ap == 0 {
+            return Err("tree tiers must all be non-empty".into());
+        }
+        if t.client_rate_bps == 0 {
+            return Err("client_rate_bps must be positive".into());
+        }
+        if !positive(t.ap_oversub) || !positive(t.site_oversub) {
+            return Err("oversubscription ratios must be positive".into());
+        }
+        let l = &self.load;
+        if !positive(l.horizon_s) {
+            return Err("horizon_s must be positive".into());
+        }
+        if l.trough_hz < 0.0 || l.peak_hz < l.trough_hz {
+            return Err("need 0 ≤ trough_hz ≤ peak_hz".into());
+        }
+        if !positive(l.mean_holding_s) {
+            return Err("mean_holding_s must be positive".into());
+        }
+        if l.flow_rho_bps == 0 || l.flow_peak_bps < l.flow_rho_bps {
+            return Err("need 0 < flow_rho_bps ≤ flow_peak_bps".into());
+        }
+        if !(0.0..=1.0).contains(&self.churn.class_fraction) {
+            return Err("churn class_fraction must be in [0, 1]".into());
+        }
+        if self.churn.class_fraction > 0.0 && !positive(self.churn.mean_holding_s) {
+            return Err("churn mean_holding_s must be positive".into());
+        }
+        for f in &self.flash_crowds {
+            if f.site as usize >= t.sites {
+                return Err(format!("flash crowd targets unknown site {}", f.site));
+            }
+            if !positive(f.duration_s) || f.at_s < 0.0 || f.extra_hz < 0.0 {
+                return Err("flash crowd needs at_s ≥ 0, duration > 0, extra_hz ≥ 0".into());
+            }
+        }
+        for lf in &self.link_failures {
+            if lf.site as usize >= t.sites || lf.ap as usize >= t.aps_per_site {
+                return Err(format!(
+                    "link failure targets unknown AP {}/{}",
+                    lf.site, lf.ap
+                ));
+            }
+            if !positive(lf.duration_s) || lf.at_s < 0.0 {
+                return Err("link failure needs at_s ≥ 0 and duration > 0".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn small_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "unit".into(),
+            seed: 7,
+            tree: TreeSpec {
+                sites: 2,
+                aps_per_site: 2,
+                clients_per_ap: 4,
+                client_rate_bps: 1_000_000,
+                ap_oversub: 2.0,
+                site_oversub: 1.5,
+            },
+            load: LoadSpec {
+                horizon_s: 60.0,
+                trough_hz: 2.0,
+                peak_hz: 20.0,
+                mean_holding_s: 10.0,
+                flow_rho_bps: 16_000,
+                flow_peak_bps: 64_000,
+                flow_sigma_bytes: 2_000,
+                flow_lmax_bytes: 125,
+                d_req_ms: 2_440,
+            },
+            churn: ChurnSpec {
+                class_fraction: 0.25,
+                mean_holding_s: 2.0,
+                class_d_req_ms: 2_440,
+                class_cd_ms: 100,
+            },
+            flash_crowds: vec![FlashCrowdSpec {
+                at_s: 20.0,
+                duration_s: 10.0,
+                site: 1,
+                extra_hz: 30.0,
+            }],
+            link_failures: vec![LinkFailureSpec {
+                at_s: 30.0,
+                duration_s: 15.0,
+                site: 0,
+                ap: 1,
+            }],
+            resident_target: 0,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let spec = small_spec();
+        let text = spec.to_json();
+        let back = ScenarioSpec::from_json(&text).expect("round trip");
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn optional_schedules_default_empty() {
+        // A spec with no flash_crowds / link_failures / resident_target
+        // keys at all still parses: those fields are #[serde(default)].
+        let text = r#"{
+            "name": "minimal",
+            "seed": 1,
+            "tree": {
+                "sites": 1, "aps_per_site": 1, "clients_per_ap": 2,
+                "client_rate_bps": 1000000,
+                "ap_oversub": 1.0, "site_oversub": 1.0
+            },
+            "load": {
+                "horizon_s": 10.0, "trough_hz": 1.0, "peak_hz": 2.0,
+                "mean_holding_s": 5.0,
+                "flow_rho_bps": 16000, "flow_peak_bps": 64000,
+                "flow_sigma_bytes": 2000, "flow_lmax_bytes": 125,
+                "d_req_ms": 2440
+            },
+            "churn": {
+                "class_fraction": 0.0, "mean_holding_s": 1.0,
+                "class_d_req_ms": 2440, "class_cd_ms": 100
+            }
+        }"#;
+        let lenient = ScenarioSpec::from_json(text).expect("minimal spec parses");
+        assert!(lenient.flash_crowds.is_empty());
+        assert!(lenient.link_failures.is_empty());
+        assert_eq!(lenient.resident_target, 0);
+    }
+
+    #[test]
+    fn validation_rejects_impossible_specs() {
+        let mut spec = small_spec();
+        spec.tree.sites = 0;
+        assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
+
+        let mut spec = small_spec();
+        spec.flash_crowds[0].site = 9;
+        assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
+
+        let mut spec = small_spec();
+        spec.link_failures[0].ap = 5;
+        assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
+
+        let mut spec = small_spec();
+        spec.churn.class_fraction = 1.5;
+        assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
+
+        let mut spec = small_spec();
+        spec.load.peak_hz = spec.load.trough_hz - 1.0;
+        assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
+    }
+
+    #[test]
+    fn tier_capacities_follow_the_oversubscription_ratios() {
+        let t = small_spec().tree;
+        // 4 clients × 1 Mb/s / 2.0 = 2 Mb/s per AP uplink.
+        assert_eq!(t.ap_uplink_bps(), 2_000_000);
+        // 2 APs × 2 Mb/s / 1.5 ≈ 2.667 Mb/s site link.
+        assert_eq!(t.site_link_bps(), 2_666_667);
+        assert_eq!(t.clients(), 16);
+    }
+}

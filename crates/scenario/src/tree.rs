@@ -1,0 +1,252 @@
+//! The subscriber-tree topology generator.
+//!
+//! ISP access networks are trees: a site (head-end) feeds
+//! access points, each access point feeds subscriber clients, and every
+//! tier is oversubscribed relative to the sum of its children — the
+//! shape LibreQoS mirrors in its HTB hierarchy. [`SubscriberTree`]
+//! emits that shape as a [`netsim::Topology`]:
+//!
+//! ```text
+//!   ingress(p) ──site link──▶ site(p) ══two parallel uplinks══▶ ap(p,j)
+//!                                            (primary+backup)     │ leaf
+//!                                                                 ▼
+//!                                                             client(p,j,k)
+//! ```
+//!
+//! Every node of site `p` is annotated with pod `p`, so each site is a
+//! link-disjoint pod and the daemon shards the tree site-wise
+//! ([`bb_core::shard`]). Each client gets two registered routes —
+//! through the primary and the backup AP uplink — at consecutive path
+//! ids, so a link-failure event re-routes new admissions by flipping
+//! one path-id bit. Each AP carries one delay-service class
+//! ([`ClassSpec`], id = global AP index) for the churn workload's
+//! class joins.
+
+use bb_core::admission::aggregate::ClassSpec;
+use bb_core::PathId;
+use netsim::topology::{LinkId, SchedulerSpec, Topology, TopologyBuilder};
+use qos_units::{Bits, Nanos, Rate};
+
+use crate::spec::{ChurnSpec, TreeSpec};
+
+/// A generated subscriber tree: topology, per-client routes, per-AP
+/// classes, and the index arithmetic tying them together.
+#[derive(Debug, Clone)]
+pub struct SubscriberTree {
+    /// The tree topology (sites pod-annotated).
+    pub topo: Topology,
+    /// Registered routes, two per client: `2c` through the primary AP
+    /// uplink, `2c + 1` through the backup.
+    pub routes: Vec<Vec<LinkId>>,
+    /// One delay-service class per AP, id = global AP index.
+    pub classes: Vec<ClassSpec>,
+    /// Primary site→AP uplink per global AP index.
+    pub ap_primary_uplink: Vec<LinkId>,
+    /// Backup site→AP uplink per global AP index.
+    pub ap_backup_uplink: Vec<LinkId>,
+    sites: usize,
+    aps_per_site: usize,
+    clients_per_ap: usize,
+}
+
+impl SubscriberTree {
+    /// Builds the tree for `spec`, with churn's class parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tier or a zero computed capacity — validated
+    /// specs (see [`crate::ScenarioSpec::from_json`]) never do.
+    #[must_use]
+    pub fn build(spec: &TreeSpec, churn: &ChurnSpec) -> Self {
+        assert!(
+            spec.sites > 0 && spec.aps_per_site > 0 && spec.clients_per_ap > 0,
+            "tree tiers must be non-empty"
+        );
+        let client_rate = Rate::from_bps(spec.client_rate_bps);
+        let ap_rate = Rate::from_bps(spec.ap_uplink_bps());
+        let site_rate = Rate::from_bps(spec.site_link_bps());
+        let lmax = Bits::from_bytes(1500);
+        let sched = SchedulerSpec::CsVc;
+
+        let mut b = TopologyBuilder::new();
+        let mut routes = Vec::with_capacity(spec.clients() * 2);
+        let mut ap_primary_uplink = Vec::with_capacity(spec.sites * spec.aps_per_site);
+        let mut ap_backup_uplink = Vec::with_capacity(spec.sites * spec.aps_per_site);
+        for p in 0..spec.sites {
+            let ingress = b.node_in_pod(format!("i{p}"), p);
+            let site = b.node_in_pod(format!("s{p}"), p);
+            let site_link = b.link(ingress, site, site_rate, Nanos::ZERO, sched, lmax);
+            for j in 0..spec.aps_per_site {
+                let ap = b.node_in_pod(format!("a{p}_{j}"), p);
+                let primary = b.link(site, ap, ap_rate, Nanos::ZERO, sched, lmax);
+                let backup = b.link(site, ap, ap_rate, Nanos::ZERO, sched, lmax);
+                ap_primary_uplink.push(primary);
+                ap_backup_uplink.push(backup);
+                for k in 0..spec.clients_per_ap {
+                    let client = b.node_in_pod(format!("c{p}_{j}_{k}"), p);
+                    let leaf = b.link(ap, client, client_rate, Nanos::ZERO, sched, lmax);
+                    routes.push(vec![site_link, primary, leaf]);
+                    routes.push(vec![site_link, backup, leaf]);
+                }
+            }
+        }
+
+        let classes = (0..spec.sites * spec.aps_per_site)
+            .map(|ap| ClassSpec {
+                id: ap as u32,
+                d_req: Nanos::from_millis(churn.class_d_req_ms),
+                cd: Nanos::from_millis(churn.class_cd_ms),
+            })
+            .collect();
+
+        SubscriberTree {
+            topo: b.build(),
+            routes,
+            classes,
+            ap_primary_uplink,
+            ap_backup_uplink,
+            sites: spec.sites,
+            aps_per_site: spec.aps_per_site,
+            clients_per_ap: spec.clients_per_ap,
+        }
+    }
+
+    /// Total clients.
+    #[must_use]
+    pub fn clients(&self) -> usize {
+        self.sites * self.aps_per_site * self.clients_per_ap
+    }
+
+    /// The client's primary route (through its AP's primary uplink).
+    #[must_use]
+    pub fn primary_path(&self, client: usize) -> PathId {
+        PathId(2 * client as u64)
+    }
+
+    /// The client's backup route (through its AP's backup uplink).
+    #[must_use]
+    pub fn backup_path(&self, client: usize) -> PathId {
+        PathId(2 * client as u64 + 1)
+    }
+
+    /// Global AP index of a client.
+    #[must_use]
+    pub fn ap_of_client(&self, client: usize) -> usize {
+        client / self.clients_per_ap
+    }
+
+    /// Site of a client.
+    #[must_use]
+    pub fn site_of_client(&self, client: usize) -> usize {
+        client / (self.clients_per_ap * self.aps_per_site)
+    }
+
+    /// Global AP index of `(site, ap)`.
+    #[must_use]
+    pub fn ap_index(&self, site: u32, ap: u32) -> usize {
+        site as usize * self.aps_per_site + ap as usize
+    }
+
+    /// The contiguous range of client indices under one site.
+    #[must_use]
+    pub fn clients_of_site(&self, site: u32) -> std::ops::Range<usize> {
+        let per_site = self.aps_per_site * self.clients_per_ap;
+        let lo = site as usize * per_site;
+        lo..lo + per_site
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ChurnSpec, TreeSpec};
+
+    fn tree_spec() -> TreeSpec {
+        TreeSpec {
+            sites: 3,
+            aps_per_site: 2,
+            clients_per_ap: 4,
+            client_rate_bps: 1_000_000,
+            ap_oversub: 2.0,
+            site_oversub: 1.0,
+        }
+    }
+
+    fn churn_spec() -> ChurnSpec {
+        ChurnSpec {
+            class_fraction: 0.1,
+            mean_holding_s: 2.0,
+            class_d_req_ms: 2_440,
+            class_cd_ms: 100,
+        }
+    }
+
+    #[test]
+    fn shape_counts_add_up() {
+        let t = SubscriberTree::build(&tree_spec(), &churn_spec());
+        // Per site: ingress + site + 2 APs + 8 clients = 12 nodes.
+        assert_eq!(t.topo.node_count(), 3 * 12);
+        // Per site: 1 site link + 2×2 uplinks + 8 leaves = 13 links.
+        assert_eq!(t.topo.link_count(), 3 * 13);
+        assert_eq!(t.clients(), 24);
+        assert_eq!(t.routes.len(), 48);
+        assert_eq!(t.classes.len(), 6);
+        assert_eq!(t.ap_primary_uplink.len(), 6);
+        assert_eq!(t.ap_backup_uplink.len(), 6);
+    }
+
+    #[test]
+    fn every_route_is_pod_confined_to_its_site() {
+        let t = SubscriberTree::build(&tree_spec(), &churn_spec());
+        for c in 0..t.clients() {
+            let site = t.site_of_client(c);
+            for path in [t.primary_path(c), t.backup_path(c)] {
+                let route = &t.routes[path.0 as usize];
+                assert_eq!(route.len(), 3, "site link + uplink + leaf");
+                assert_eq!(t.topo.route_pod(route), Some(site));
+            }
+        }
+    }
+
+    #[test]
+    fn primary_and_backup_share_only_site_and_leaf_links() {
+        let t = SubscriberTree::build(&tree_spec(), &churn_spec());
+        for c in 0..t.clients() {
+            let p = &t.routes[t.primary_path(c).0 as usize];
+            let b = &t.routes[t.backup_path(c).0 as usize];
+            assert_eq!(p[0], b[0], "same site link");
+            assert_ne!(p[1], b[1], "distinct uplinks");
+            assert_eq!(p[2], b[2], "same leaf");
+            let ap = t.ap_of_client(c);
+            assert_eq!(p[1], t.ap_primary_uplink[ap]);
+            assert_eq!(b[1], t.ap_backup_uplink[ap]);
+        }
+    }
+
+    #[test]
+    fn tier_capacities_follow_the_spec() {
+        let spec = tree_spec();
+        let t = SubscriberTree::build(&spec, &churn_spec());
+        let ap0 = t.ap_primary_uplink[0];
+        assert_eq!(t.topo.link(ap0).capacity, Rate::from_bps(2_000_000));
+        let leaf = *t.routes[0].last().unwrap();
+        assert_eq!(t.topo.link(leaf).capacity, Rate::from_bps(1_000_000));
+        let site_link = t.routes[0][0];
+        assert_eq!(t.topo.link(site_link).capacity, Rate::from_bps(4_000_000));
+    }
+
+    #[test]
+    fn index_arithmetic_is_consistent() {
+        let t = SubscriberTree::build(&tree_spec(), &churn_spec());
+        assert_eq!(t.ap_of_client(0), 0);
+        assert_eq!(t.ap_of_client(7), 1);
+        assert_eq!(t.site_of_client(7), 0);
+        assert_eq!(t.site_of_client(8), 1);
+        assert_eq!(t.ap_index(1, 1), 3);
+        assert_eq!(t.clients_of_site(1), 8..16);
+        // Classes are per-AP, ids dense from 0.
+        for (i, c) in t.classes.iter().enumerate() {
+            assert_eq!(c.id, i as u32);
+        }
+    }
+}

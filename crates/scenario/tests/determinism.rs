@@ -1,0 +1,156 @@
+//! Property tests for workload determinism: the scenario trace is a
+//! pure function of its spec, and the composed processes hit the rates
+//! the spec declares.
+
+use bb_scenario::{
+    ChurnSpec, EventKind, FlashCrowdSpec, LinkFailureSpec, LoadSpec, ScenarioSpec, ScenarioTrace,
+    TreeSpec,
+};
+use proptest::prelude::*;
+
+/// Builds a structurally valid spec from sampled knobs.
+#[allow(clippy::too_many_arguments)]
+fn spec(
+    seed: u64,
+    sites: usize,
+    aps: usize,
+    clients: usize,
+    trough_hz: f64,
+    peak_hz: f64,
+    class_fraction: f64,
+    flash: Option<(f64, f64, u32, f64)>,
+    failure: Option<(f64, f64, u32, u32)>,
+) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "prop".into(),
+        seed,
+        tree: TreeSpec {
+            sites,
+            aps_per_site: aps,
+            clients_per_ap: clients,
+            client_rate_bps: 1_000_000,
+            ap_oversub: 2.0,
+            site_oversub: 1.0,
+        },
+        load: LoadSpec {
+            horizon_s: 200.0,
+            trough_hz,
+            peak_hz,
+            mean_holding_s: 15.0,
+            flow_rho_bps: 16_000,
+            flow_peak_bps: 64_000,
+            flow_sigma_bytes: 2_000,
+            flow_lmax_bytes: 125,
+            d_req_ms: 2_440,
+        },
+        churn: ChurnSpec {
+            class_fraction,
+            mean_holding_s: 2.0,
+            class_d_req_ms: 2_440,
+            class_cd_ms: 100,
+        },
+        flash_crowds: flash
+            .map(|(at_s, duration_s, site, extra_hz)| {
+                vec![FlashCrowdSpec {
+                    at_s,
+                    duration_s,
+                    site: site % sites as u32,
+                    extra_hz,
+                }]
+            })
+            .unwrap_or_default(),
+        link_failures: failure
+            .map(|(at_s, duration_s, site, ap)| {
+                vec![LinkFailureSpec {
+                    at_s,
+                    duration_s,
+                    site: site % sites as u32,
+                    ap: ap % aps as u32,
+                }]
+            })
+            .unwrap_or_default(),
+        resident_target: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The same spec + seed yields a byte-identical event trace; a
+    /// different seed diverges (for any workload that has events).
+    #[test]
+    fn same_spec_and_seed_is_byte_identical(
+        seed in 0u64..1_000_000,
+        sites in 1usize..4,
+        aps in 1usize..4,
+        clients in 1usize..9,
+        trough in 1.0f64..5.0,
+        extra in 2.0f64..40.0,
+    ) {
+        let peak = trough * 4.0;
+        let s = spec(seed, sites, aps, clients, trough, peak, 0.2,
+            Some((50.0, 30.0, 0, extra)), Some((80.0, 40.0, 0, 0)));
+        let a = ScenarioTrace::generate(&s).trace_bytes();
+        let b = ScenarioTrace::generate(&s).trace_bytes();
+        prop_assert_eq!(&a, &b);
+
+        let mut reseeded = s.clone();
+        reseeded.seed = seed.wrapping_add(1);
+        let c = ScenarioTrace::generate(&reseeded).trace_bytes();
+        prop_assert_ne!(&a, &c);
+    }
+
+    /// Flash-crowd arrival counts match the burst's declared rate ×
+    /// duration (within Poisson tolerance), stay inside the burst
+    /// window, and target only the named site's clients.
+    #[test]
+    fn flash_crowd_counts_match_declared_rates(
+        seed in 0u64..1_000_000,
+        extra_hz in 5.0f64..60.0,
+        duration in 20.0f64..80.0,
+        site in 0u32..3,
+    ) {
+        let s = spec(seed, 3, 2, 8, 0.5, 2.0, 0.0,
+            Some((60.0, duration, site, extra_hz)), None);
+        let trace = ScenarioTrace::generate(&s);
+        let c = trace.counts();
+        let expected = extra_hz * duration;
+        let tol = 5.0 * expected.sqrt() + 1.0;
+        prop_assert!(
+            ((c.flash_arrivals as f64) - expected).abs() < tol,
+            "flash arrivals {} vs expected {:.0} ± {:.0}",
+            c.flash_arrivals, expected, tol
+        );
+        let per_site = 16u32;
+        let target = site % 3;
+        for e in trace.events() {
+            if let EventKind::Arrival { client, flash: true, .. } = e.kind {
+                prop_assert_eq!(client / per_site, target);
+            }
+        }
+    }
+
+    /// The class-join share of base arrivals matches the churn spec's
+    /// declared fraction, and link events mirror the failure schedule.
+    #[test]
+    fn churn_fraction_and_link_schedule_match_the_spec(
+        seed in 0u64..1_000_000,
+        class_fraction in 0.05f64..0.95,
+    ) {
+        let s = spec(seed, 2, 2, 8, 4.0, 16.0, class_fraction,
+            None, Some((100.0, 50.0, 1, 1)));
+        let trace = ScenarioTrace::generate(&s);
+        let c = trace.counts();
+        prop_assert_eq!(c.link_downs, 1);
+        prop_assert_eq!(c.link_ups, 1);
+        prop_assert_eq!(c.arrivals, c.departures);
+        prop_assert!(c.arrivals > 100, "enough samples for a fraction test");
+        let share = c.class_arrivals as f64 / c.arrivals as f64;
+        // Binomial tolerance: 5 standard errors.
+        let se = (class_fraction * (1.0 - class_fraction) / c.arrivals as f64).sqrt();
+        prop_assert!(
+            (share - class_fraction).abs() < 5.0 * se + 0.01,
+            "class share {share:.3} vs declared {class_fraction:.3}"
+        );
+    }
+}

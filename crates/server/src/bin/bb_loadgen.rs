@@ -24,6 +24,10 @@
 //!            [--no-batched-decide] # hosted daemon decides under the shard lock
 //!            [--failover]         # measured kill-the-primary failover run
 //!            [--server-bin PATH]  # bb-server binary for --failover phases
+//!            [--scenario SPEC]    # ISP subscriber-tree scenario run
+//!            [--time-scale 60]    # scenario replay speed-up factor
+//!            [--ramp-threads 8]   # resident-flow ramp connections
+//!            [--probe 1024]       # residency-probe sample size
 //! ```
 //!
 //! `--failover` runs the high-availability experiment end to end with
@@ -39,6 +43,22 @@
 //! default) carries both throughputs, their ratio, the per-client
 //! failover times (kill → first decision from the standby), and the
 //! loss count; `bench_gate --failover` gates it.
+//!
+//! `--scenario <spec.json>` replaces the symmetric pod-chain workload
+//! with an ISP-shaped one (see [`bb_scenario`]): a subscriber tree
+//! (site → access-point → client, oversubscribed per tier) is hosted
+//! in-process and driven in three phases. **Ramp** admits and *holds*
+//! `resident_target` per-flow reservations round-robin over every
+//! client, reporting sustained decisions/s and the daemon's RSS growth
+//! per resident flow. **Replay** runs the spec's deterministic event
+//! trace — diurnal arrivals, class-join churn, flash crowds, link
+//! failures (new admissions re-route to the AP's backup uplink while
+//! the primary is down) — paced at `--time-scale` × real time.
+//! **Probe** re-REQs a sample of the ramp's flows (a resident flow
+//! refuses its duplicate) and of the replay's departed flows (a
+//! drained flow must *not*), folding the result into
+//! `verified_sampled`. The report (`BENCH_scenario.json` by default)
+//! is gated by `bench_gate --scenario`.
 //!
 //! With `--connections N` each client stream multiplexes its open-loop
 //! schedule over its share of N persistent nonblocking connections (a
@@ -134,8 +154,10 @@ use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use bb_core::broker::{Broker, BrokerConfig};
+use bb_core::contingency::ContingencyPolicy;
 use bb_core::cops::{self, Decision};
 use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
+use bb_scenario::{EventKind, ScenarioSpec, ScenarioTrace, SubscriberTree};
 use bb_server::{
     fetch_stats, BbServer, CopsClient, DurableOptions, FrameReader, ServerConfig, ServerReport,
     StatsSnapshot,
@@ -287,6 +309,63 @@ fn timeline_point(t_s: f64, snap: &StatsSnapshot) -> TimelinePoint {
         decision_p99_us: q(&decision, 0.99),
         setup_p50_us: q(&snap.metrics.setup_ns, 0.50),
         setup_p99_us: q(&snap.metrics.setup_ns, 0.99),
+    }
+}
+
+/// Report time-series cap: the sampler decimates beyond this many
+/// points (even, so decimation preserves the stride invariant).
+const TIMELINE_CAP: usize = 600;
+
+/// On-the-fly decimator bounding the report's telemetry time series.
+///
+/// A long run polled every `--sample-ms` used to grow `timeline[]`
+/// without bound; this keeps at most `cap` points spanning the whole
+/// run. Samples are kept when their arrival index is a multiple of the
+/// current stride; when the buffer would overflow the cap, every other
+/// held point is dropped and the stride doubles — so the retained
+/// points are always the multiples of one power-of-two stride,
+/// starting at the very first sample.
+struct Downsampler<T> {
+    points: Vec<T>,
+    cap: usize,
+    stride: u64,
+    seen: u64,
+}
+
+impl<T> Downsampler<T> {
+    fn new(cap: usize) -> Self {
+        assert!(
+            cap >= 2 && cap.is_multiple_of(2),
+            "cap must be even so decimation keeps retained indices on the doubled stride"
+        );
+        Downsampler {
+            points: Vec::new(),
+            cap,
+            stride: 1,
+            seen: 0,
+        }
+    }
+
+    /// Offers the next sample in arrival order.
+    fn offer(&mut self, point: T) {
+        if self.seen.is_multiple_of(self.stride) {
+            self.points.push(point);
+            if self.points.len() > self.cap {
+                let mut i = 0usize;
+                self.points.retain(|_| {
+                    let keep = i.is_multiple_of(2);
+                    i += 1;
+                    keep
+                });
+                self.stride *= 2;
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// The decimated series, in arrival order.
+    fn into_points(self) -> Vec<T> {
+        self.points
     }
 }
 
@@ -1330,8 +1409,10 @@ fn run_failover() {
     );
     let p_stats = addr_after(&stats_line, "http://");
     drain_stdout(p_reader);
+    // The standby serves its own read-only stats from the replicated
+    // state (an ephemeral endpoint, so the two daemons never collide).
     let (s_child, s_stdin, mut s_reader) = spawn_server(&common_args(
-        "",
+        "127.0.0.1:0",
         &["--replica-of".into(), p_addr.to_string()],
     ));
     await_line(&mut s_reader, "the standby banner", "bb-server standby of ");
@@ -1371,7 +1452,7 @@ fn run_failover() {
     let p_stats = addr_after(&stats_line, "http://");
     drain_stdout(p_reader);
     let (s_child, s_stdin, mut s_reader) = spawn_server(&common_args(
-        "",
+        "127.0.0.1:0",
         &["--replica-of".into(), p_addr.to_string()],
     ));
     await_line(&mut s_reader, "the standby banner", "bb-server standby of ");
@@ -1542,9 +1623,506 @@ fn run_failover() {
     }
 }
 
+/// Ramp phase row: how fast the daemon absorbed the resident
+/// population and what each resident flow costs in memory.
+#[derive(serde::Serialize)]
+struct ScenarioRampReport {
+    /// Flows admitted and *held* by the ramp (the resident population
+    /// the replay runs on top of).
+    resident_peak: u64,
+    /// Ramp requests refused — a correctly sized spec admits them all.
+    ramp_rejected: u64,
+    elapsed_s: f64,
+    /// Ramp decisions (admits + rejects) per second of ramp wall time.
+    sustained_decisions_per_s: f64,
+    /// Daemon RSS just before the ramp, bytes.
+    rss_before_bytes: u64,
+    /// Daemon RSS with the full resident population held, bytes.
+    rss_after_bytes: u64,
+    /// RSS growth per resident flow — the per-flow state envelope.
+    bytes_per_resident_flow: f64,
+}
+
+/// Replay phase row: what the deterministic event trace did.
+#[derive(serde::Serialize)]
+struct ScenarioReplayReport {
+    /// Total trace events replayed.
+    events: u64,
+    arrivals: u64,
+    /// Arrivals that joined their AP's delay-service class (churn).
+    class_arrivals: u64,
+    /// Arrivals belonging to flash-crowd bursts.
+    flash_arrivals: u64,
+    admitted: u64,
+    rejected: u64,
+    /// Arrivals sent down their AP's backup uplink because the primary
+    /// was down at the time.
+    rerouted: u64,
+    departures: u64,
+    link_downs: u64,
+    link_ups: u64,
+    elapsed_s: f64,
+    /// §4.2 contingency totals over the whole run (ramp + replay),
+    /// summed across shards — the churn exists to drive these.
+    contingency_grants: u64,
+    contingency_expiries: u64,
+    contingency_resets: u64,
+}
+
+/// Probe phase row: sampled flow-for-flow verification.
+#[derive(serde::Serialize)]
+struct ScenarioProbeReport {
+    /// Ramp flows re-REQed; each must refuse its duplicate (resident).
+    probed_resident: u64,
+    /// Replay flows admitted then departed, re-REQed; none may refuse
+    /// as a duplicate (their state must be gone).
+    probed_departed: u64,
+    /// Both probes passed on every sampled flow.
+    verified_sampled: bool,
+}
+
+/// The `--scenario` report (`BENCH_scenario.json`).
+#[derive(serde::Serialize)]
+struct ScenarioReport {
+    /// Spec name (human-readable; config identity is the fields below).
+    scenario: String,
+    seed: u64,
+    sites: usize,
+    aps_per_site: usize,
+    clients_per_ap: usize,
+    /// Total subscriber clients (= sites × aps_per_site × clients_per_ap).
+    clients: usize,
+    resident_target: u64,
+    /// Replay speed-up: scenario seconds per wall second.
+    time_scale: f64,
+    workers: usize,
+    ramp: ScenarioRampReport,
+    replay: ScenarioReplayReport,
+    probe: ScenarioProbeReport,
+    /// Mirror of `probe.verified_sampled`, hoisted for the gate.
+    verified_sampled: bool,
+    /// Telemetry polls over the whole run, decimated to ≤ `TIMELINE_CAP`.
+    timeline: Vec<TimelinePoint>,
+    /// Final stats snapshot (includes the scenario gauges and RSS).
+    stats: Option<StatsSnapshot>,
+    server: Option<ServerReport>,
+}
+
+/// Per-connection in-flight window of the ramp: deep enough to keep
+/// the pipe full, bounded so the daemon's queues see open-loop
+/// pressure rather than one giant burst.
+const RAMP_WINDOW: usize = 1024;
+
+/// Builds the spec's per-flow request against `tree` for `flow`,
+/// aimed at `client` on `path`.
+fn scenario_request(spec: &ScenarioSpec, flow: u64, path: bb_core::PathId) -> FlowRequest {
+    FlowRequest {
+        flow: FlowId(flow),
+        profile: TrafficProfile::new(
+            Bits::from_bytes(spec.load.flow_sigma_bytes),
+            Rate::from_bps(spec.load.flow_rho_bps),
+            Rate::from_bps(spec.load.flow_peak_bps),
+            Bits::from_bytes(spec.load.flow_lmax_bytes),
+        )
+        .expect("validated spec profile"),
+        d_req: Nanos::from_millis(spec.load.d_req_ms),
+        service: ServiceKind::PerFlow,
+        path,
+    }
+}
+
+/// The `--scenario` run: host the subscriber tree, ramp the resident
+/// population, replay the deterministic event trace, probe a sample.
+fn run_scenario(spec_path: &str) {
+    let text = std::fs::read_to_string(spec_path).unwrap_or_else(|e| {
+        eprintln!("cannot read scenario spec {spec_path}: {e}");
+        std::process::exit(2);
+    });
+    let spec = ScenarioSpec::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("bad scenario spec {spec_path}: {e}");
+        std::process::exit(2);
+    });
+    let out: String = arg("--out", "BENCH_scenario.json".to_string());
+    let time_scale: f64 = arg("--time-scale", 60.0);
+    let ramp_threads: usize = arg("--ramp-threads", 8).max(1);
+    let probe_n: u64 = arg("--probe", 1_024).max(1);
+    let sample_ms: u64 = arg("--sample-ms", 250);
+    // Shards own link-disjoint pods and the tree has one pod per site,
+    // so the worker count can never exceed the site count.
+    let workers = arg("--workers", 4).clamp(1, spec.tree.sites);
+
+    let tree = Arc::new(SubscriberTree::build(&spec.tree, &spec.churn));
+    let config = ServerConfig {
+        workers,
+        queue_depth: arg("--queue-depth", 4_096),
+        io_threads: arg("--io-threads", 2),
+        stats_addr: Some("127.0.0.1:0".to_string()),
+        broker: BrokerConfig {
+            // Bounding termination: grant expiries tick over without
+            // edge feedback, so churn exercises the §4.2 timers.
+            contingency: ContingencyPolicy::Bounding,
+            classes: tree.classes.clone(),
+            ..BrokerConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = BbServer::start("127.0.0.1:0", &tree.topo, &tree.routes, &config)
+        .expect("start scenario daemon");
+    let addr = server.local_addr().to_string();
+    let sa = server.stats_addr().expect("scenario daemon serves stats");
+    println!(
+        "bb-scenario '{}': {} sites x {} APs x {} clients = {} subscribers -> {addr} \
+         ({workers} shards); resident target {}",
+        spec.name,
+        spec.tree.sites,
+        spec.tree.aps_per_site,
+        spec.tree.clients_per_ap,
+        tree.clients(),
+        spec.resident_target
+    );
+
+    let started = Instant::now();
+    let sampling = Arc::new(AtomicBool::new(sample_ms > 0));
+    let sampler = {
+        let sampling = Arc::clone(&sampling);
+        let period = Duration::from_millis(sample_ms.max(1));
+        std::thread::Builder::new()
+            .name("scenario-sampler".into())
+            .spawn(move || -> Vec<TimelinePoint> {
+                let mut timeline = Downsampler::new(TIMELINE_CAP);
+                while sampling.load(Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    if let Ok(snap) = fetch_stats(&sa) {
+                        timeline.offer(timeline_point(started.elapsed().as_secs_f64(), &snap));
+                    }
+                }
+                timeline.into_points()
+            })
+            .expect("spawn scenario sampler")
+    };
+
+    // ---- Phase 1: ramp the resident population ----------------------
+    server.set_scenario_phase(1);
+    let rss_before = fetch_stats(&sa).map_or(0, |s| s.metrics.scenario.rss_bytes);
+    let target = spec.resident_target;
+    let clients_total = tree.clients() as u64;
+    let ramp_admitted = Arc::new(AtomicU64::new(0));
+    let ramp_rejected = Arc::new(AtomicU64::new(0));
+    let ramp_started = Instant::now();
+    let ramp_handles: Vec<_> = (0..ramp_threads as u64)
+        .map(|t| {
+            let addr = addr.clone();
+            let spec = spec.clone();
+            let tree = Arc::clone(&tree);
+            let admitted = Arc::clone(&ramp_admitted);
+            let rejected = Arc::clone(&ramp_rejected);
+            std::thread::Builder::new()
+                .name(format!("scenario-ramp-{t}"))
+                .spawn(move || {
+                    let mut client = CopsClient::connect(&addr).expect("connect ramp client");
+                    client
+                        .set_timeout(Some(Duration::from_secs(60)))
+                        .expect("ramp timeout");
+                    // Flows f ≡ t (mod threads), a bounded window each.
+                    let mut next = t;
+                    let mut in_flight = 0usize;
+                    while next < target || in_flight > 0 {
+                        if next < target && in_flight < RAMP_WINDOW {
+                            let client_idx = (next % clients_total) as usize;
+                            let req = scenario_request(&spec, next, tree.primary_path(client_idx));
+                            client.send_request(&req).expect("ramp send");
+                            in_flight += 1;
+                            next += ramp_threads as u64;
+                        } else {
+                            match client.recv_decision().expect("ramp recv") {
+                                Decision::Install(_) => {
+                                    admitted.fetch_add(1, Ordering::Relaxed);
+                                }
+                                _ => {
+                                    rejected.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            in_flight -= 1;
+                        }
+                    }
+                })
+                .expect("spawn ramp thread")
+        })
+        .collect();
+    while ramp_handles.iter().any(|h| !h.is_finished()) {
+        server.set_scenario_resident(ramp_admitted.load(Ordering::Relaxed));
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    for h in ramp_handles {
+        h.join().expect("ramp thread panicked");
+    }
+    let ramp_elapsed = ramp_started.elapsed().as_secs_f64();
+    let resident_peak = ramp_admitted.load(Ordering::Relaxed);
+    server.set_scenario_resident(resident_peak);
+    let rss_after = fetch_stats(&sa).map_or(0, |s| s.metrics.scenario.rss_bytes);
+    let ramp = ScenarioRampReport {
+        resident_peak,
+        ramp_rejected: ramp_rejected.load(Ordering::Relaxed),
+        elapsed_s: ramp_elapsed,
+        sustained_decisions_per_s: if target > 0 {
+            target as f64 / ramp_elapsed
+        } else {
+            0.0
+        },
+        rss_before_bytes: rss_before,
+        rss_after_bytes: rss_after,
+        bytes_per_resident_flow: if resident_peak > 0 {
+            rss_after.saturating_sub(rss_before) as f64 / resident_peak as f64
+        } else {
+            0.0
+        },
+    };
+    println!(
+        "ramp: {} resident flows in {:.2} s -> {:.0} decisions/s sustained; RSS {:.1} MiB -> \
+         {:.1} MiB ({:.0} B/flow)",
+        ramp.resident_peak,
+        ramp.elapsed_s,
+        ramp.sustained_decisions_per_s,
+        ramp.rss_before_bytes as f64 / (1024.0 * 1024.0),
+        ramp.rss_after_bytes as f64 / (1024.0 * 1024.0),
+        ramp.bytes_per_resident_flow
+    );
+
+    // ---- Phase 2: replay the event trace ----------------------------
+    server.set_scenario_phase(2);
+    let trace = ScenarioTrace::generate(&spec);
+    let counts = trace.counts();
+    let mut driver = CopsClient::connect(&addr).expect("connect replay driver");
+    driver
+        .set_timeout(Some(Duration::from_secs(60)))
+        .expect("driver timeout");
+    // Flow → was-it-a-class-join, for every *admitted* trace flow: a
+    // departure DRQs only admitted flows (an unknown DRQ would draw an
+    // UnknownFlow reply the serial read loop must not see).
+    let mut live: HashMap<u64, bool> = HashMap::new();
+    // Per-flow flows that arrived, admitted, and departed — the probe
+    // samples these to prove teardown really erased them.
+    let mut departed: Vec<(u64, u32)> = Vec::new();
+    let mut downed_aps: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let (mut adm, mut rej, mut rerouted) = (0u64, 0u64, 0u64);
+    let replay_started = Instant::now();
+    for e in trace.events() {
+        let due = Duration::from_nanos((e.at_ns as f64 / time_scale) as u64);
+        if let Some(wait) = due.checked_sub(replay_started.elapsed()) {
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+        }
+        match e.kind {
+            EventKind::Arrival {
+                flow,
+                client,
+                class,
+                ..
+            } => {
+                let c = client as usize;
+                let ap = tree.ap_of_client(c);
+                let path = if downed_aps.contains(&ap) {
+                    rerouted += 1;
+                    tree.backup_path(c)
+                } else {
+                    tree.primary_path(c)
+                };
+                let mut req = scenario_request(&spec, flow, path);
+                if class {
+                    req.service = ServiceKind::Class(ap as u32);
+                    req.d_req = Nanos::from_millis(spec.churn.class_d_req_ms);
+                }
+                driver.send_request(&req).expect("replay send");
+                match driver.recv_decision().expect("replay recv") {
+                    Decision::Install(_) => {
+                        adm += 1;
+                        live.insert(flow, class);
+                    }
+                    _ => rej += 1,
+                }
+                server.set_scenario_resident(resident_peak + live.len() as u64);
+            }
+            EventKind::Departure { flow, client, .. } => {
+                if let Some(class) = live.remove(&flow) {
+                    driver.send_delete(FlowId(flow)).expect("replay DRQ");
+                    if class {
+                        // A class-member delete answers with the
+                        // macroflow's revised reservation; drain it so
+                        // the stream stays in lock-step.
+                        driver.recv_decision().expect("macroflow DEC");
+                    } else {
+                        departed.push((flow, client));
+                    }
+                    server.set_scenario_resident(resident_peak + live.len() as u64);
+                }
+            }
+            EventKind::LinkDown { site, ap } => {
+                let g = tree.ap_index(site, ap);
+                downed_aps.insert(g);
+                server.set_link_state(tree.ap_primary_uplink[g], false);
+            }
+            EventKind::LinkUp { site, ap } => {
+                let g = tree.ap_index(site, ap);
+                downed_aps.remove(&g);
+                server.set_link_state(tree.ap_primary_uplink[g], true);
+            }
+        }
+    }
+    let replay_elapsed = replay_started.elapsed().as_secs_f64();
+    assert!(
+        live.is_empty(),
+        "the trace drains fully, yet {} replay flows are still live",
+        live.len()
+    );
+    let cont = fetch_stats(&sa).ok();
+    let sum_shards = |f: &dyn Fn(&bb_telemetry::ShardSnapshot) -> u64| -> u64 {
+        cont.as_ref()
+            .map_or(0, |s| s.metrics.shards.iter().map(f).sum())
+    };
+    let replay = ScenarioReplayReport {
+        events: trace.events().len() as u64,
+        arrivals: counts.arrivals,
+        class_arrivals: counts.class_arrivals,
+        flash_arrivals: counts.flash_arrivals,
+        admitted: adm,
+        rejected: rej,
+        rerouted,
+        departures: counts.departures,
+        link_downs: counts.link_downs,
+        link_ups: counts.link_ups,
+        elapsed_s: replay_elapsed,
+        contingency_grants: sum_shards(&|s| s.grants),
+        contingency_expiries: sum_shards(&|s| s.grant_expiries),
+        contingency_resets: sum_shards(&|s| s.grant_resets),
+    };
+    println!(
+        "replay: {} events in {:.2} s ({} arrivals: {} class, {} flash; {} admitted, \
+         {} rejected, {} rerouted; {} link downs); contingency {} grants / {} expiries / \
+         {} resets",
+        replay.events,
+        replay.elapsed_s,
+        replay.arrivals,
+        replay.class_arrivals,
+        replay.flash_arrivals,
+        replay.admitted,
+        replay.rejected,
+        replay.rerouted,
+        replay.link_downs,
+        replay.contingency_grants,
+        replay.contingency_expiries,
+        replay.contingency_resets
+    );
+
+    // ---- Phase 3: sampled flow-for-flow verification ----------------
+    server.set_scenario_phase(3);
+    let mut probe = CopsClient::connect(&addr).expect("connect probe");
+    probe
+        .set_timeout(Some(Duration::from_secs(60)))
+        .expect("probe timeout");
+    let mut verified = true;
+    // Resident sample: every k-th ramp flow must refuse its duplicate.
+    let mut probed_resident = 0u64;
+    if target > 0 {
+        let step = (target / probe_n.min(target)).max(1);
+        let mut f = 0u64;
+        while f < target {
+            let client_idx = (f % clients_total) as usize;
+            let req = scenario_request(&spec, f, tree.primary_path(client_idx));
+            match probe.request(&req).expect("resident probe") {
+                Decision::Reject {
+                    cause: Reject::DuplicateFlow,
+                    ..
+                } => {}
+                other => {
+                    verified = false;
+                    eprintln!("LOST: resident flow {f} answered {other:?}, not DuplicateFlow");
+                }
+            }
+            probed_resident += 1;
+            f += step;
+        }
+    }
+    // Departed sample: a drained replay flow must NOT be resident. A
+    // fresh Install proves it (and is torn down again to restore the
+    // population); a capacity refusal proves it too.
+    let mut probed_departed = 0u64;
+    if !departed.is_empty() {
+        let step = (departed.len() as u64 / probe_n).max(1) as usize;
+        for &(flow, client) in departed.iter().step_by(step) {
+            let req = scenario_request(&spec, flow, tree.primary_path(client as usize));
+            match probe.request(&req).expect("departed probe") {
+                Decision::Reject {
+                    cause: Reject::DuplicateFlow,
+                    ..
+                } => {
+                    verified = false;
+                    eprintln!("GHOST: departed flow {flow} is still resident");
+                }
+                Decision::Install(_) => {
+                    // Re-admitted: erase it again (per-flow DRQs draw
+                    // no reply).
+                    probe.send_delete(FlowId(flow)).expect("probe DRQ");
+                }
+                _ => {}
+            }
+            probed_departed += 1;
+        }
+    }
+    let probe_row = ScenarioProbeReport {
+        probed_resident,
+        probed_departed,
+        verified_sampled: verified,
+    };
+    println!(
+        "probe: {} resident + {} departed flows sampled -> {}",
+        probe_row.probed_resident,
+        probe_row.probed_departed,
+        if verified { "verified" } else { "FAILED" }
+    );
+
+    drop(driver);
+    drop(probe);
+    let stats = fetch_stats(&sa).ok();
+    sampling.store(false, Ordering::Relaxed);
+    let timeline = sampler.join().expect("scenario sampler");
+    let server_report = server.shutdown();
+
+    let report = ScenarioReport {
+        scenario: spec.name.clone(),
+        seed: spec.seed,
+        sites: spec.tree.sites,
+        aps_per_site: spec.tree.aps_per_site,
+        clients_per_ap: spec.tree.clients_per_ap,
+        clients: clients_total as usize,
+        resident_target: target,
+        time_scale,
+        workers,
+        ramp,
+        replay,
+        probe: probe_row,
+        verified_sampled: verified,
+        timeline,
+        stats,
+        server: Some(server_report),
+    };
+    if !out.is_empty() {
+        std::fs::write(&out, serde::json::to_string_pretty(&report)).expect("write scenario JSON");
+        println!("wrote {out}");
+    }
+    if !verified {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     if flag("--failover") {
         run_failover();
+        return;
+    }
+    let scenario: String = arg("--scenario", String::new());
+    if !scenario.is_empty() {
+        run_scenario(&scenario);
         return;
     }
     let pods: usize = arg("--pods", 64);
@@ -1720,17 +2298,17 @@ fn main() {
         std::thread::Builder::new()
             .name("loadgen-sampler".into())
             .spawn(move || -> Vec<TimelinePoint> {
-                let mut timeline = Vec::new();
+                let mut timeline = Downsampler::new(TIMELINE_CAP);
                 let Some(sa) = stats_addr else {
-                    return timeline;
+                    return Vec::new();
                 };
                 while sampling.load(Ordering::Relaxed) {
                     std::thread::sleep(period);
                     if let Ok(snap) = fetch_stats(&sa) {
-                        timeline.push(timeline_point(started.elapsed().as_secs_f64(), &snap));
+                        timeline.offer(timeline_point(started.elapsed().as_secs_f64(), &snap));
                     }
                 }
-                timeline
+                timeline.into_points()
             })
             .expect("spawn sampler thread")
     };
@@ -2052,7 +2630,51 @@ fn main() {
 
 #[cfg(test)]
 mod tests {
-    use super::fairness;
+    use super::{fairness, Downsampler};
+
+    #[test]
+    fn downsampler_passes_short_runs_through_unchanged() {
+        let mut d = Downsampler::new(4);
+        for i in 0..4u64 {
+            d.offer(i);
+        }
+        assert_eq!(d.into_points(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn downsampler_bounds_the_series_and_keeps_a_strided_subsequence() {
+        for n in [0u64, 1, 5, 599, 600, 601, 1_200, 1_201, 4_999, 100_000] {
+            let mut d = Downsampler::new(600);
+            for i in 0..n {
+                d.offer(i);
+            }
+            let pts = d.into_points();
+            assert!(pts.len() <= 600, "offered {n}, held {}", pts.len());
+            if n == 0 {
+                assert!(pts.is_empty());
+                continue;
+            }
+            // The retained samples are exactly the consecutive
+            // multiples of one power-of-two stride, from the first.
+            let stride = if pts.len() > 1 { pts[1] } else { 1 };
+            assert!(stride.is_power_of_two(), "offered {n}, stride {stride}");
+            for (k, &p) in pts.iter().enumerate() {
+                assert_eq!(p, k as u64 * stride, "offered {n}");
+            }
+            // And they span the run: the next kept index is off the end.
+            assert!(pts.len() as u64 * stride >= n, "offered {n} not covered");
+        }
+    }
+
+    #[test]
+    fn downsampler_decimation_halves_at_the_cap() {
+        let mut d = Downsampler::new(4);
+        for i in 0..5u64 {
+            d.offer(i);
+        }
+        // The fifth sample overflowed the cap: odd indices dropped.
+        assert_eq!(d.into_points(), vec![0, 2, 4]);
+    }
 
     #[test]
     fn fairness_of_no_connections_is_none() {

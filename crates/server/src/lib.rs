@@ -44,7 +44,8 @@ pub mod stats;
 pub use client::CopsClient;
 pub use frame::{FrameError, FrameReader, MAX_FRAME};
 pub use server::{
-    BbServer, ClassUsage, DurableOptions, ServerConfig, ServerReport, ThreadFailures,
+    process_rss_bytes, BbServer, ClassUsage, DurableOptions, ServerConfig, ServerReport,
+    ThreadFailures,
 };
 pub use startup::StartupError;
 pub use stats::{fetch_metrics_text, fetch_stats, StatsSnapshot};

@@ -64,7 +64,7 @@ use vtrs::profile::TrafficProfile;
 use bb_core::admission::plan::AdmissionPlan;
 use bb_core::broker::BrokerConfig;
 use bb_core::cops::{self, PeerAnswer, PeerCommit};
-use bb_core::mib::PathId;
+use bb_core::mib::{LinkRef, PathId};
 use bb_core::persist::BrokerImage;
 use bb_core::shard::{build_shards, plan_shards, BrokerShard, FastDecideHandle};
 use bb_core::signaling::ServiceKind;
@@ -328,6 +328,14 @@ pub(crate) enum Job {
     ReplRestore {
         image: Box<BrokerImage>,
     },
+    /// Administratively mark a topology link down (or back up) in this
+    /// shard's broker image. Down links admit nothing new while
+    /// existing reservations ride out the outage. Transient by design —
+    /// not journaled, so a recovered daemon starts with every link up.
+    SetLinkState {
+        link: LinkRef,
+        up: bool,
+    },
     /// Drain barrier: answered once every job queued before it has been
     /// applied. Promotion uses one per shard to seal the replay.
     Barrier {
@@ -344,7 +352,7 @@ impl Job {
             Job::Delete { flow, .. } => Some(*flow),
             Job::Report { .. } | Job::ReplApply { .. } | Job::ReplRestore { .. } => None,
             Job::FedAdmit { flow, .. } | Job::FedRelease { flow } => Some(*flow),
-            Job::Barrier { .. } => None,
+            Job::SetLinkState { .. } | Job::Barrier { .. } => None,
         }
     }
 }
@@ -463,11 +471,25 @@ impl Dispatch {
     }
 
     fn stats_snapshot(&self) -> StatsSnapshot {
+        // Refresh the RSS gauge at snapshot time: stats consumers (the
+        // scenario driver's memory envelope above all) want the value
+        // as of the poll, and polls are far too rare to matter.
+        self.metrics.set_rss_bytes(process_rss_bytes().unwrap_or(0));
         StatsSnapshot {
             metrics: self.metrics.snapshot(),
             classes: class_totals(&self.classes.read()),
         }
     }
+}
+
+/// This process's resident-set size in bytes, from `/proc/self/status`
+/// (`VmRSS` is reported in kB). `None` where /proc is unavailable.
+#[must_use]
+pub fn process_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 /// A running daemon. Dropping it without [`BbServer::shutdown`] detaches
@@ -841,6 +863,52 @@ impl BbServer {
     #[must_use]
     pub fn class_usage(&self) -> Vec<(u32, ClassUsage)> {
         class_totals(&self.dispatch.classes.read())
+    }
+
+    /// Administratively fails (or restores) a topology link across every
+    /// shard and waits for the change to apply. While a link is down,
+    /// every path crossing it stops admitting ([`bb_core::signaling::Reject::Bandwidth`]);
+    /// existing reservations ride out the outage and still release.
+    /// Plans decided against the pre-flip state recommit through the
+    /// epoch machinery, so no stale admit slips past the outage.
+    ///
+    /// Every shard holds the full topology (link ids are global), so the
+    /// flip is broadcast; only the shard whose paths cross the link
+    /// bumps any epoch. Blocks until each shard has drained past the
+    /// job — on return the new state governs all later decisions.
+    pub fn set_link_state(&self, link: LinkId, up: bool) {
+        let link = LinkRef(link.0);
+        let mut barriers = Vec::with_capacity(self.dispatch.jobs.len());
+        for tx in &self.dispatch.jobs {
+            if tx.send(Job::SetLinkState { link, up }).is_err() {
+                continue; // worker gone (shutdown race); nothing to wait on
+            }
+            let (done_tx, done_rx) = channel::bounded::<()>(1);
+            if tx.send(Job::Barrier { done: done_tx }).is_ok() {
+                barriers.push(done_rx);
+            }
+        }
+        for rx in barriers {
+            let _ = rx.recv_timeout(Duration::from_secs(5));
+        }
+        if up {
+            self.dispatch.metrics.record_link_up();
+        } else {
+            self.dispatch.metrics.record_link_down();
+        }
+    }
+
+    /// Updates the telemetry scenario-phase gauge (0 none, 1 ramp,
+    /// 2 replay, 3 probe) — set by a hosting scenario driver so the
+    /// daemon's `/metrics` shows which phase the load is in.
+    pub fn set_scenario_phase(&self, phase: u64) {
+        self.dispatch.metrics.set_scenario_phase(phase);
+    }
+
+    /// Updates the telemetry resident-reservations gauge with the
+    /// hosting scenario driver's count of flows it holds open.
+    pub fn set_scenario_resident(&self, flows: u64) {
+        self.dispatch.metrics.set_scenario_resident_flows(flows);
     }
 
     /// Point-in-time stats: live metrics plus the class directory —
@@ -1319,6 +1387,12 @@ fn handle_job(job: Job, shard: &mut BrokerShard, idx: usize, dispatch: &Arc<Disp
             }
             drop(owners);
             refresh_class_usage(shard, dispatch);
+        }
+        Job::SetLinkState { link, up } => {
+            // Not journaled: link state is transient operational fact,
+            // not QoS bookkeeping — a recovered daemon starts with the
+            // topology fully up and re-learns outages from its driver.
+            shard.set_link_state(link, up);
         }
         Job::Barrier { done } => {
             let _ = done.send(());

@@ -15,7 +15,9 @@ use std::time::{Duration, Instant};
 use bb_core::cops::Decision;
 use bb_core::signaling::{FlowRequest, Reject, ServiceKind};
 use bb_core::PathId;
-use bb_server::{BbServer, CopsClient, DurableOptions, ServerConfig};
+use bb_server::{
+    fetch_metrics_text, fetch_stats, BbServer, CopsClient, DurableOptions, ServerConfig,
+};
 use netsim::topology::{LinkId, SchedulerSpec, Topology};
 use qos_units::{Bits, Nanos, Rate};
 use vtrs::packet::FlowId;
@@ -246,6 +248,64 @@ fn standby_auto_promotes_when_the_primary_dies() {
         admitted.len() as u64,
         "promoted standby residency diverged from the acknowledged set"
     );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A warm standby started with a stats address binds its telemetry
+/// listener immediately and serves read-only `GET /stats` and
+/// `GET /metrics` *from the replicated state* while still a standby —
+/// an operator can watch apply lag without promoting anything.
+#[test]
+fn standby_serves_read_only_stats_from_replicated_state() {
+    let dir = scratch("standbystats");
+    let (topo, routes) = topology();
+    let primary =
+        BbServer::start("127.0.0.1:0", &topo, &routes, &durable_config(&dir)).expect("primary");
+    let mut config = standby_config(&primary);
+    config.stats_addr = Some("127.0.0.1:0".to_string());
+    let standby = BbServer::start("127.0.0.1:0", &topo, &routes, &config).expect("standby");
+    let standby_stats = standby
+        .stats_addr()
+        .expect("a standby with a stats address binds its telemetry listener");
+    wait_until("the standby to attach", || primary.replication_attached());
+
+    let mut client = CopsClient::connect(&primary.local_addr().to_string()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut admitted = 0u64;
+    for flow in 0..20u64 {
+        if let Decision::Install(_) = client
+            .request(&request(flow, flow % PODS as u64))
+            .expect("round trip")
+        {
+            admitted += 1;
+        }
+    }
+    assert!(admitted >= 8, "workload too small to mean anything");
+
+    // The endpoint reflects the replicated image catching up with the
+    // primary's acknowledged admissions — not a blank registry.
+    wait_until("the standby to apply the replicated admissions", || {
+        fetch_stats(&standby_stats)
+            .map(|s| s.metrics.repl.applied_records >= admitted)
+            .unwrap_or(false)
+    });
+    // The Prometheus rendering of the same state serves too.
+    let text = fetch_metrics_text(&standby_stats).expect("standby /metrics");
+    assert!(
+        text.contains("bb_repl_applied_records_total"),
+        "standby exposition is missing the apply counter:\n{text}"
+    );
+    // Read-only means read-only: serving stats promoted nothing.
+    assert!(standby.is_replica());
+    assert!(!standby.is_promoted());
+
+    drop(client);
+    let report = standby.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    let report = primary.shutdown();
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
     let _ = fs::remove_dir_all(&dir);
 }
 

@@ -549,6 +549,47 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
         snap.repl.applied_records
     );
 
+    let _ = writeln!(
+        out,
+        "# HELP bb_scenario_phase Scenario-driver phase (0 none, 1 ramp, 2 replay, 3 probe)."
+    );
+    let _ = writeln!(out, "# TYPE bb_scenario_phase gauge");
+    let _ = writeln!(out, "bb_scenario_phase {}", snap.scenario.phase);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_scenario_resident_flows Reservations the scenario driver holds resident."
+    );
+    let _ = writeln!(out, "# TYPE bb_scenario_resident_flows gauge");
+    let _ = writeln!(
+        out,
+        "bb_scenario_resident_flows {}",
+        snap.scenario.resident_flows
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_process_rss_bytes Daemon resident-set size at the last stats snapshot."
+    );
+    let _ = writeln!(out, "# TYPE bb_process_rss_bytes gauge");
+    let _ = writeln!(out, "bb_process_rss_bytes {}", snap.scenario.rss_bytes);
+
+    let _ = writeln!(
+        out,
+        "# HELP bb_link_transitions_total Administrative link state changes, by direction."
+    );
+    let _ = writeln!(out, "# TYPE bb_link_transitions_total counter");
+    let _ = writeln!(
+        out,
+        "bb_link_transitions_total{{direction=\"down\"}} {}",
+        snap.scenario.link_downs
+    );
+    let _ = writeln!(
+        out,
+        "bb_link_transitions_total{{direction=\"up\"}} {}",
+        snap.scenario.link_ups
+    );
+
     out
 }
 
@@ -680,6 +721,28 @@ mod tests {
         assert!(text.contains("bb_repl_demotions_total 1"));
         assert!(text.contains("bb_repl_applied_records_total 9"));
         assert!(text.contains("bb_fed_commit_mismatches_total 1"));
+    }
+
+    #[test]
+    fn scenario_series_expose() {
+        let reg = MetricsRegistry::new(1);
+        reg.set_scenario_phase(1);
+        reg.set_scenario_resident_flows(1_000_000);
+        reg.set_rss_bytes(2_147_483_648);
+        reg.record_link_down();
+        reg.record_link_up();
+        reg.record_link_down();
+        let text = prometheus(&reg.snapshot());
+
+        assert!(text.contains("# TYPE bb_scenario_phase gauge"));
+        assert!(text.contains("bb_scenario_phase 1"));
+        assert!(text.contains("# TYPE bb_scenario_resident_flows gauge"));
+        assert!(text.contains("bb_scenario_resident_flows 1000000"));
+        assert!(text.contains("# TYPE bb_process_rss_bytes gauge"));
+        assert!(text.contains("bb_process_rss_bytes 2147483648"));
+        assert!(text.contains("# TYPE bb_link_transitions_total counter"));
+        assert!(text.contains("bb_link_transitions_total{direction=\"down\"} 2"));
+        assert!(text.contains("bb_link_transitions_total{direction=\"up\"} 1"));
     }
 
     #[test]

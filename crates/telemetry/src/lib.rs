@@ -32,5 +32,5 @@ pub use expose::prometheus;
 pub use histogram::{HistogramSnapshot, LogHistogram};
 pub use registry::{
     ConnSnapshot, FederationSnapshot, MetricsRegistry, MetricsSnapshot, ReasonCount,
-    ReplicationSnapshot, ShardMetrics, ShardSnapshot,
+    ReplicationSnapshot, ScenarioSnapshot, ShardMetrics, ShardSnapshot,
 };

@@ -258,6 +258,21 @@ pub struct MetricsRegistry {
     /// Shipped records applied into the live broker image (standby
     /// side; zero on a primary).
     repl_applied_records: AtomicU64,
+    /// Scenario-engine phase the domain is being driven through
+    /// (0 = none, 1 = ramp, 2 = replay, 3 = probe).
+    scenario_phase: AtomicU64,
+    /// Reservations currently resident, as reported by the scenario
+    /// driver (distinct from `interned_flows`, which is a broker-side
+    /// occupancy gauge: this one is the driver's intent).
+    scenario_resident_flows: AtomicU64,
+    /// Daemon resident-set size in bytes, sampled when the stats
+    /// endpoint snapshots (zero where /proc is unavailable).
+    rss_bytes: AtomicU64,
+    /// Topology links administratively marked down (scenario link
+    /// failures) since startup.
+    link_downs: AtomicU64,
+    /// Topology links restored since startup.
+    link_ups: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -286,6 +301,11 @@ impl MetricsRegistry {
             repl_attached: AtomicU64::new(0),
             repl_demotions: AtomicU64::new(0),
             repl_applied_records: AtomicU64::new(0),
+            scenario_phase: AtomicU64::new(0),
+            scenario_resident_flows: AtomicU64::new(0),
+            rss_bytes: AtomicU64::new(0),
+            link_downs: AtomicU64::new(0),
+            link_ups: AtomicU64::new(0),
         }
     }
 
@@ -418,6 +438,32 @@ impl MetricsRegistry {
         self.repl_applied_records.store(records, Ordering::Relaxed);
     }
 
+    /// Updates the scenario-phase gauge (0 = none, 1 = ramp, 2 =
+    /// replay, 3 = probe).
+    pub fn set_scenario_phase(&self, phase: u64) {
+        self.scenario_phase.store(phase, Ordering::Relaxed);
+    }
+
+    /// Updates the driver-reported resident-reservations gauge.
+    pub fn set_scenario_resident_flows(&self, flows: u64) {
+        self.scenario_resident_flows.store(flows, Ordering::Relaxed);
+    }
+
+    /// Updates the daemon RSS gauge (bytes).
+    pub fn set_rss_bytes(&self, bytes: u64) {
+        self.rss_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Counts a topology link administratively marked down.
+    pub fn record_link_down(&self) {
+        self.link_downs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a topology link restored to service.
+    pub fn record_link_up(&self) {
+        self.link_ups.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Current value of the open-connections gauge.
     #[must_use]
     pub fn open_connections(&self) -> u64 {
@@ -479,8 +525,31 @@ impl MetricsRegistry {
                 demotions: self.repl_demotions.load(Ordering::Relaxed),
                 applied_records: self.repl_applied_records.load(Ordering::Relaxed),
             },
+            scenario: ScenarioSnapshot {
+                phase: self.scenario_phase.load(Ordering::Relaxed),
+                resident_flows: self.scenario_resident_flows.load(Ordering::Relaxed),
+                rss_bytes: self.rss_bytes.load(Ordering::Relaxed),
+                link_downs: self.link_downs.load(Ordering::Relaxed),
+                link_ups: self.link_ups.load(Ordering::Relaxed),
+            },
         }
     }
+}
+
+/// Point-in-time view of the scenario-engine series; all zeros on a
+/// daemon that no scenario driver has touched.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioSnapshot {
+    /// Driver phase: 0 = none, 1 = ramp, 2 = replay, 3 = probe.
+    pub phase: u64,
+    /// Reservations the scenario driver currently holds resident.
+    pub resident_flows: u64,
+    /// Daemon resident-set size in bytes at the last stats snapshot.
+    pub rss_bytes: u64,
+    /// Links administratively failed since startup.
+    pub link_downs: u64,
+    /// Links restored since startup.
+    pub link_ups: u64,
 }
 
 /// Point-in-time view of the WAL-shipping replication layer; all zeros
@@ -657,6 +726,10 @@ pub struct MetricsSnapshot {
     /// builds before high availability).
     #[serde(default)]
     pub repl: ReplicationSnapshot,
+    /// Scenario-engine series (absent in snapshots from builds before
+    /// the workload scenario pack).
+    #[serde(default)]
+    pub scenario: ScenarioSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -874,6 +947,32 @@ mod tests {
         let back: MetricsSnapshot = serde::json::from_str(&stripped).expect("lenient decode");
         assert_eq!(back.fed.commit_mismatches, 0);
         assert_eq!(back.repl, ReplicationSnapshot::default());
+    }
+
+    #[test]
+    fn scenario_series_surface_and_old_snapshots_decode() {
+        let reg = MetricsRegistry::new(1);
+        reg.set_scenario_phase(2);
+        reg.set_scenario_resident_flows(1_000_000);
+        reg.set_rss_bytes(3 << 30);
+        reg.record_link_down();
+        reg.record_link_down();
+        reg.record_link_up();
+        let snap = reg.snapshot();
+        assert_eq!(snap.scenario.phase, 2);
+        assert_eq!(snap.scenario.resident_flows, 1_000_000);
+        assert_eq!(snap.scenario.rss_bytes, 3 << 30);
+        assert_eq!(snap.scenario.link_downs, 2);
+        assert_eq!(snap.scenario.link_ups, 1);
+        // Snapshots serialized before the scenario pack existed lack the
+        // whole `scenario` block; `#[serde(default)]` must zero-fill it.
+        let text = serde::json::to_string(&snap);
+        let block = format!(",\"scenario\":{}", serde::json::to_string(&snap.scenario));
+        let stripped = text.replace(&block, "");
+        assert_ne!(stripped, text, "field name drifted; update this test");
+        assert!(!stripped.contains("resident_flows"));
+        let back: MetricsSnapshot = serde::json::from_str(&stripped).expect("lenient decode");
+        assert_eq!(back.scenario, ScenarioSnapshot::default());
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Time-varying arrival intensity: diurnal load curves and a
+//! non-homogeneous Poisson sampler.
+//!
+//! The Figure-10 experiments drive constant-rate Poisson arrivals; an
+//! ISP-scale scenario needs the arrival rate itself to move — a diurnal
+//! swell from a night-time trough to an evening peak, with flash-crowd
+//! steps layered on top. [`IntensityCurve`] is a piecewise-linear
+//! λ(t); [`sample_arrivals`] draws arrival instants from it by Lewis &
+//! Shedler thinning (candidates at the peak rate, each kept with
+//! probability λ(t)/λ_peak), so the draw is exact for any curve and —
+//! like everything in this crate — deterministic given its seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A piecewise-linear arrival-intensity curve λ(t) in arrivals/s.
+///
+/// Points are `(t_seconds, rate_per_second)` knots; the rate is linearly
+/// interpolated between knots and held constant before the first and
+/// after the last. A curve is never negative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntensityCurve {
+    knots: Vec<(f64, f64)>,
+}
+
+impl IntensityCurve {
+    /// Builds a curve from its knots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `knots` is empty, out of time order, or carries a
+    /// negative or non-finite time/rate.
+    #[must_use]
+    pub fn new(knots: Vec<(f64, f64)>) -> Self {
+        assert!(!knots.is_empty(), "intensity curve needs at least one knot");
+        for w in knots.windows(2) {
+            assert!(w[0].0 <= w[1].0, "intensity knots out of time order");
+        }
+        for &(t, r) in &knots {
+            assert!(
+                t.is_finite() && t >= 0.0,
+                "knot time must be finite and ≥ 0"
+            );
+            assert!(
+                r.is_finite() && r >= 0.0,
+                "knot rate must be finite and ≥ 0"
+            );
+        }
+        IntensityCurve { knots }
+    }
+
+    /// A flat curve: constant `rate` arrivals/s.
+    #[must_use]
+    pub fn flat(rate: f64) -> Self {
+        IntensityCurve::new(vec![(0.0, rate)])
+    }
+
+    /// A diurnal curve over `period_s`: a raised cosine swinging from
+    /// `trough` (at t = 0) up to `peak` (at t = period/2) and back,
+    /// sampled into `segments` linear pieces. With `period_s` scaled
+    /// down (say 86 400 s of "model time" compressed into a minute of
+    /// wall time) this is the canonical day/night load shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `peak < trough`, rates are negative, `period_s ≤ 0`,
+    /// or `segments < 2`.
+    #[must_use]
+    pub fn diurnal(trough: f64, peak: f64, period_s: f64, segments: usize) -> Self {
+        assert!(trough >= 0.0 && peak >= trough, "need 0 ≤ trough ≤ peak");
+        assert!(period_s > 0.0, "period must be positive");
+        assert!(segments >= 2, "need at least two segments");
+        let knots = (0..=segments)
+            .map(|i| {
+                let t = period_s * i as f64 / segments as f64;
+                let phase = std::f64::consts::TAU * i as f64 / segments as f64;
+                // Raised cosine: trough at phase 0, peak at phase π.
+                let r = trough + (peak - trough) * (1.0 - phase.cos()) / 2.0;
+                (t, r)
+            })
+            .collect();
+        IntensityCurve::new(knots)
+    }
+
+    /// λ(t): linear interpolation between knots, clamped to the first
+    /// and last knot outside their span.
+    #[must_use]
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        let first = self.knots[0];
+        let last = self.knots[self.knots.len() - 1];
+        if t_s <= first.0 {
+            return first.1;
+        }
+        if t_s >= last.0 {
+            return last.1;
+        }
+        // Knots are few (tens); a linear scan beats binary search noise.
+        for w in self.knots.windows(2) {
+            let ((t0, r0), (t1, r1)) = (w[0], w[1]);
+            if t_s <= t1 {
+                if t1 <= t0 {
+                    return r1;
+                }
+                let f = (t_s - t0) / (t1 - t0);
+                return r0 + (r1 - r0) * f;
+            }
+        }
+        last.1
+    }
+
+    /// The curve's maximum rate — the thinning envelope.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.knots.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+    }
+
+    /// ∫λ(t)dt over `[0, horizon_s]` — the expected arrival count
+    /// (trapezoid rule; exact for a piecewise-linear curve).
+    #[must_use]
+    pub fn expected_arrivals(&self, horizon_s: f64) -> f64 {
+        let steps = 4096;
+        let dt = horizon_s / steps as f64;
+        (0..steps)
+            .map(|i| {
+                let a = self.rate_at(dt * i as f64);
+                let b = self.rate_at(dt * (i + 1) as f64);
+                (a + b) / 2.0 * dt
+            })
+            .sum()
+    }
+}
+
+/// Draws arrival instants (seconds, ascending) on `[0, horizon_s)` from
+/// the non-homogeneous Poisson process with intensity `curve`, by
+/// thinning. Deterministic given `seed`.
+#[must_use]
+pub fn sample_arrivals(seed: u64, curve: &IntensityCurve, horizon_s: f64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    sample_arrivals_rng(&mut rng, curve, horizon_s)
+}
+
+/// [`sample_arrivals`] over a caller-owned RNG, for composing several
+/// processes from one deterministic stream.
+#[must_use]
+pub fn sample_arrivals_rng(rng: &mut SmallRng, curve: &IntensityCurve, horizon_s: f64) -> Vec<f64> {
+    let peak = curve.peak();
+    let mut out = Vec::new();
+    if peak <= 0.0 || horizon_s <= 0.0 {
+        return out;
+    }
+    let mut t = 0.0f64;
+    loop {
+        // Candidate stream at the constant envelope rate…
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -u.ln() / peak;
+        if t >= horizon_s {
+            return out;
+        }
+        // …each kept with probability λ(t)/λ_peak.
+        let keep: f64 = rng.gen_range(0.0..1.0);
+        if keep * peak < curve.rate_at(t) {
+            out.push(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_curve_interpolates_trivially() {
+        let c = IntensityCurve::flat(3.5);
+        assert_eq!(c.rate_at(0.0), 3.5);
+        assert_eq!(c.rate_at(1e6), 3.5);
+        assert_eq!(c.peak(), 3.5);
+    }
+
+    #[test]
+    fn interpolation_is_linear_and_clamped() {
+        let c = IntensityCurve::new(vec![(10.0, 0.0), (20.0, 10.0)]);
+        assert_eq!(c.rate_at(0.0), 0.0); // clamped before the first knot
+        assert_eq!(c.rate_at(15.0), 5.0);
+        assert!((c.rate_at(12.5) - 2.5).abs() < 1e-12);
+        assert_eq!(c.rate_at(25.0), 10.0); // clamped after the last
+        assert_eq!(c.peak(), 10.0);
+    }
+
+    #[test]
+    fn diurnal_troughs_and_peaks_where_expected() {
+        let c = IntensityCurve::diurnal(1.0, 9.0, 100.0, 24);
+        assert!((c.rate_at(0.0) - 1.0).abs() < 1e-9);
+        assert!((c.rate_at(50.0) - 9.0).abs() < 1e-9);
+        assert!((c.rate_at(100.0) - 1.0).abs() < 1e-9);
+        assert!(c.peak() <= 9.0 + 1e-9);
+        // Rising through the morning, falling through the evening.
+        assert!(c.rate_at(25.0) > c.rate_at(10.0));
+        assert!(c.rate_at(90.0) < c.rate_at(60.0));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let c = IntensityCurve::diurnal(0.5, 5.0, 200.0, 12);
+        let a = sample_arrivals(42, &c, 200.0);
+        let b = sample_arrivals(42, &c, 200.0);
+        assert_eq!(a, b);
+        assert_ne!(a, sample_arrivals(43, &c, 200.0));
+    }
+
+    #[test]
+    fn arrival_count_tracks_the_curve_integral() {
+        let c = IntensityCurve::diurnal(2.0, 20.0, 500.0, 24);
+        let expected = c.expected_arrivals(500.0);
+        let n = sample_arrivals(7, &c, 500.0).len() as f64;
+        assert!(
+            (n - expected).abs() < 4.0 * expected.sqrt(),
+            "got {n} arrivals, expected ≈{expected:.0}"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_horizon() {
+        let c = IntensityCurve::diurnal(1.0, 8.0, 300.0, 12);
+        let xs = sample_arrivals(3, &c, 300.0);
+        assert!(!xs.is_empty());
+        for w in xs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*xs.last().unwrap() < 300.0);
+    }
+
+    #[test]
+    fn thinning_concentrates_arrivals_at_the_peak() {
+        // Trough 0 → no arrivals at all in the first/last quarters of a
+        // half-period window around t=0; nearly all mass mid-period.
+        let c = IntensityCurve::diurnal(0.0, 10.0, 400.0, 48);
+        let xs = sample_arrivals(11, &c, 400.0);
+        let early = xs.iter().filter(|&&t| t < 40.0).count();
+        let mid = xs.iter().filter(|&&t| (180.0..220.0).contains(&t)).count();
+        assert!(mid > early * 5, "mid {mid} vs early {early}");
+    }
+
+    #[test]
+    fn flat_curve_reduces_to_homogeneous_poisson() {
+        let c = IntensityCurve::flat(1.0);
+        let xs = sample_arrivals(5, &c, 5_000.0);
+        let gaps: Vec<f64> = xs.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((0.85..1.15).contains(&cv), "CV {cv:.3}, expected ≈1");
+        assert!((0.9..1.1).contains(&mean), "mean gap {mean:.3}s at λ=1");
+    }
+
+    #[test]
+    fn zero_rate_curve_yields_no_arrivals() {
+        let c = IntensityCurve::flat(0.0);
+        assert!(sample_arrivals(1, &c, 100.0).is_empty());
+    }
+}

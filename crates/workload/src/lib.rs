@@ -9,7 +9,9 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod intensity;
 pub mod profiles;
 
 pub use arrivals::{FlowEvent, FlowEventKind, FlowProcess};
+pub use intensity::{sample_arrivals, sample_arrivals_rng, IntensityCurve};
 pub use profiles::{table1, Table1Row};
